@@ -1,0 +1,49 @@
+//! # autovec — the baseline loop auto-vectorizer
+//!
+//! The paper's baselines are LLVM's default loop + SLP auto-vectorization of
+//! *serial* code. This crate reproduces that role over `psir`: a classical
+//! innermost-loop vectorizer with a canonical-induction-variable
+//! requirement, linear (SCEV-style) address analysis, a conservative
+//! memory-dependence legality check, and a scalar remainder loop — plus a
+//! small superword-level-parallelism (SLP) pass for straight-line code.
+//!
+//! Deliberately missing, because the mainstream baseline lacks them too
+//! (§2 of the paper — this is what separates the 3.46× baseline from
+//! Parsimony's 7.7×):
+//!
+//! * no gather/scatter emission (non-unit strides fail → scalar),
+//! * no vectorization of math-library calls (no `-mveclib`),
+//! * no horizontal operations — serial loop semantics cannot express them,
+//! * no if-conversion of control flow in loop bodies,
+//! * aliasing is only disproved for `restrict` (noalias) parameters,
+//! * genuine loop-carried dependences (e.g. `a[i+1] = a[i]`) are detected
+//!   and reject vectorization, as they must.
+
+#![warn(missing_docs)]
+
+mod loopvec;
+mod scev;
+mod slp;
+
+pub use loopvec::{autovectorize_function, autovectorize_module, AutovecReport};
+pub use scev::{Lin, Scev};
+pub use slp::slp_function;
+
+/// Options for the auto-vectorizer.
+#[derive(Debug, Clone)]
+pub struct AutovecOptions {
+    /// Vector register width in bits (the VF is derived from the widest
+    /// element type in the loop body).
+    pub vector_bits: u32,
+    /// Run the SLP pass on straight-line code after loop vectorization.
+    pub slp: bool,
+}
+
+impl Default for AutovecOptions {
+    fn default() -> AutovecOptions {
+        AutovecOptions {
+            vector_bits: 512,
+            slp: true,
+        }
+    }
+}

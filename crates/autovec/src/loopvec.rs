@@ -1,0 +1,977 @@
+//! The innermost-loop vectorizer.
+//!
+//! For each innermost, while-shaped loop with a canonical induction
+//! variable, unit-stride memory references, no calls and no control flow in
+//! the body, this pass emits a vector main loop plus the original loop as a
+//! scalar remainder. Everything else is copied unchanged. Reductions
+//! (`acc = acc ⊕ f(i)`) are supported with a horizontal reduce in the
+//! middle block, matching what production loop vectorizers do.
+
+use crate::scev::{base_root, classify, Lin, Scev};
+use crate::AutovecOptions;
+use parsimony::structurize::{structurize, Node};
+use psir::{
+    BinOp, BlockId, CmpPred, Const, Function, FunctionBuilder, Inst, InstId,
+    Intrinsic, Module, ReduceOp, ScalarTy, Terminator, Ty, Value,
+};
+use std::collections::{HashMap, HashSet};
+
+/// What happened to each candidate loop.
+#[derive(Debug, Clone, Default)]
+pub struct AutovecReport {
+    /// Number of loops vectorized.
+    pub vectorized: usize,
+    /// Rejections: (loop header in the original function, reason).
+    pub rejected: Vec<(BlockId, String)>,
+}
+
+struct Copier<'a> {
+    old: &'a Function,
+    opts: &'a AutovecOptions,
+    fb: FunctionBuilder,
+    env: HashMap<Value, Value>,
+    report: AutovecReport,
+    old_preds: HashMap<BlockId, Vec<BlockId>>,
+    dom: psir::DomTree,
+}
+
+/// A recognized reduction.
+struct Reduction {
+    phi: InstId,
+    op: BinOp,
+    update: InstId,
+}
+
+/// A vectorizable loop, after legality analysis.
+struct Plan {
+    iv: InstId,
+    step: i64,
+    init: Value,
+    bound: Value,
+    pred: CmpPred,
+    reductions: Vec<Reduction>,
+    vf: u32,
+    scev: HashMap<InstId, Scev>,
+    body_insts: Vec<InstId>,
+}
+
+impl<'a> Copier<'a> {
+    fn map(&self, v: Value) -> Value {
+        match v {
+            Value::Const(_) | Value::Param(_) => v,
+            Value::Inst(_) => *self
+                .env
+                .get(&v)
+                .unwrap_or_else(|| panic!("unmapped value {v:?} in @{}", self.old.name)),
+        }
+    }
+
+    fn latch_of(&self, header: BlockId) -> BlockId {
+        self.old_preds[&header]
+            .iter()
+            .copied()
+            .find(|&p| self.dom.dominates(header, p))
+            .expect("loop header has a dominated latch")
+    }
+
+    fn old_phis(&self, b: BlockId) -> Vec<InstId> {
+        self.old
+            .block(b)
+            .insts
+            .iter()
+            .copied()
+            .filter(|&i| matches!(self.old.inst(i), Inst::Phi { .. }))
+            .collect()
+    }
+
+    fn phi_edge(&self, phi: InstId, pred: impl Fn(BlockId) -> bool) -> Value {
+        match self.old.inst(phi) {
+            Inst::Phi { incoming } => incoming
+                .iter()
+                .find(|(b, _)| pred(*b))
+                .map(|(_, v)| *v)
+                .expect("phi edge exists"),
+            _ => unreachable!(),
+        }
+    }
+
+    fn blocks_in(nodes: &[Node], out: &mut Vec<BlockId>) {
+        for n in nodes {
+            match n {
+                Node::Block(b) => out.push(*b),
+                Node::If {
+                    cond_block,
+                    then_nodes,
+                    else_nodes,
+                    ..
+                } => {
+                    out.push(*cond_block);
+                    Self::blocks_in(then_nodes, out);
+                    Self::blocks_in(else_nodes, out);
+                }
+                Node::Loop { header, body, .. } => {
+                    out.push(*header);
+                    Self::blocks_in(body, out);
+                }
+            }
+        }
+    }
+
+    // ---- structural copy ---------------------------------------------------
+
+    fn copy_inst(&mut self, id: InstId) {
+        let mut inst = self.old.inst(id).clone();
+        let ty = self.old.inst_ty(id);
+        inst.map_operands(|v| self.map(v));
+        let new_id = {
+            // Append through the builder's current block by re-adding.
+            let v = self.push_inst(inst, ty);
+            v
+        };
+        self.env.insert(Value::Inst(id), new_id);
+    }
+
+    fn push_inst(&mut self, inst: Inst, ty: Ty) -> Value {
+        // FunctionBuilder has no raw-push; emulate with its typed methods
+        // where possible. Instead we extend the builder via a generic hook:
+        self.fb.push_raw(inst, ty)
+    }
+
+    fn copy_block(&mut self, b: BlockId) {
+        for &id in &self.old.block(b).insts.clone() {
+            if self.env.contains_key(&Value::Inst(id)) {
+                continue; // φ handled by structure emitters
+            }
+            self.copy_inst(id);
+        }
+        if let Terminator::Ret(v) = &self.old.block(b).term {
+            let v = v.map(|v| self.map(v));
+            self.fb.ret(v);
+        }
+    }
+
+    fn copy_nodes(&mut self, nodes: &[Node]) {
+        for n in nodes {
+            match n {
+                Node::Block(b) => self.copy_block(*b),
+                Node::If {
+                    cond_block,
+                    then_nodes,
+                    else_nodes,
+                    join,
+                } => self.copy_if(*cond_block, then_nodes, else_nodes, *join),
+                Node::Loop { header, body, exit } => {
+                    match self.plan_loop(*header, body) {
+                        Ok(plan) => {
+                            self.report.vectorized += 1;
+                            self.emit_vector_loop(*header, body, &plan);
+                            // Remainder: the original loop, seeded from the
+                            // vector loop's final state.
+                            self.copy_loop(*header, body, *exit, Some(&plan));
+                        }
+                        Err(reason) => {
+                            self.report.rejected.push((*header, reason));
+                            self.copy_loop_plain(*header, body, *exit);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn copy_if(
+        &mut self,
+        cond_block: BlockId,
+        then_nodes: &[Node],
+        else_nodes: &[Node],
+        join: BlockId,
+    ) {
+        self.copy_block(cond_block);
+        let cond = match &self.old.block(cond_block).term {
+            Terminator::CondBr { cond, .. } => self.map(*cond),
+            _ => unreachable!("structurizer guarantees condbr"),
+        };
+        let phis = self.old_phis(join);
+        let mut then_blocks = Vec::new();
+        Self::blocks_in(then_nodes, &mut then_blocks);
+
+        let pred_block = self.fb.current_block();
+        // Pre-map empty-arm φ edges before sealing this block.
+        let pre_then: Option<Vec<Value>> = then_nodes.is_empty().then(|| {
+            phis.iter()
+                .map(|&p| self.map(self.phi_edge(p, |b| b == cond_block)))
+                .collect()
+        });
+        let pre_else: Option<Vec<Value>> = else_nodes.is_empty().then(|| {
+            phis.iter()
+                .map(|&p| self.map(self.phi_edge(p, |b| b == cond_block)))
+                .collect()
+        });
+
+        let then_blk = (!then_nodes.is_empty()).then(|| self.fb.new_block("av.then"));
+        let else_blk = (!else_nodes.is_empty()).then(|| self.fb.new_block("av.else"));
+        let join_blk = self.fb.new_block("av.join");
+        self.fb.cond_br(
+            cond,
+            then_blk.unwrap_or(join_blk),
+            else_blk.unwrap_or(join_blk),
+        );
+
+        let (then_exit, then_vals) = if let Some(tb) = then_blk {
+            self.fb.switch_to(tb);
+            self.copy_nodes(then_nodes);
+            let exit = self.fb.current_block();
+            let vals: Vec<Value> = phis
+                .iter()
+                .map(|&p| self.map(self.phi_edge(p, |b| then_blocks.contains(&b))))
+                .collect();
+            self.fb.br(join_blk);
+            (exit, vals)
+        } else {
+            (pred_block, pre_then.expect("precomputed"))
+        };
+        let (else_exit, else_vals) = if let Some(eb) = else_blk {
+            self.fb.switch_to(eb);
+            self.copy_nodes(else_nodes);
+            let exit = self.fb.current_block();
+            let vals: Vec<Value> = phis
+                .iter()
+                .map(|&p| {
+                    self.map(self.phi_edge(p, |b| !then_blocks.contains(&b) && b != cond_block))
+                })
+                .collect();
+            self.fb.br(join_blk);
+            (exit, vals)
+        } else {
+            (pred_block, pre_else.expect("precomputed"))
+        };
+
+        self.fb.switch_to(join_blk);
+        for ((p, tv), ev) in phis.iter().zip(then_vals).zip(else_vals) {
+            let np = self.fb.phi(vec![(then_exit, tv), (else_exit, ev)]);
+            self.env.insert(Value::Inst(*p), np);
+        }
+    }
+
+    fn copy_loop_plain(&mut self, header: BlockId, body: &[Node], exit: BlockId) {
+        self.copy_loop(header, body, exit, None);
+    }
+
+    /// Copies the original loop. With a `seed` plan, the loop-carried φs
+    /// start from the vector loop's final state (IV and reduction partials
+    /// bound in `env` by `emit_vector_loop`).
+    fn copy_loop(&mut self, header: BlockId, body: &[Node], _exit: BlockId, seed: Option<&Plan>) {
+        let latch = self.latch_of(header);
+        let phis = self.old_phis(header);
+
+        let pre = self.fb.current_block();
+        let header_blk = self.fb.new_block("av.loop.header");
+        let body_blk = self.fb.new_block("av.loop.body");
+        let exit_blk = self.fb.new_block("av.loop.exit");
+
+        // Seeded φ inits come from env bindings made by the vector loop.
+        let inits: Vec<Value> = phis
+            .iter()
+            .map(|&p| {
+                if let Some(plan) = seed {
+                    if p == plan.iv || plan.reductions.iter().any(|r| r.phi == p) {
+                        return self.env[&Value::Inst(p)];
+                    }
+                }
+                self.map(self.phi_edge(p, |b| b != latch))
+            })
+            .collect();
+
+        self.fb.br(header_blk);
+        self.fb.switch_to(header_blk);
+        let mut new_phis = Vec::new();
+        for (p, init) in phis.iter().zip(&inits) {
+            let ty = self.old.inst_ty(*p);
+            let np = self.fb.phi_typed(ty, vec![(pre, *init)]);
+            self.env.insert(Value::Inst(*p), np);
+            new_phis.push(np);
+        }
+        // Header straight-line code + terminator.
+        for &id in &self.old.block(header).insts.clone() {
+            if matches!(self.old.inst(id), Inst::Phi { .. }) {
+                continue;
+            }
+            self.copy_inst(id);
+        }
+        let cond = match &self.old.block(header).term {
+            Terminator::CondBr { cond, .. } => self.map(*cond),
+            _ => unreachable!(),
+        };
+        self.fb.cond_br(cond, body_blk, exit_blk);
+
+        self.fb.switch_to(body_blk);
+        self.copy_nodes(body);
+        let latch_new = self.fb.current_block();
+        for (p, np) in phis.iter().zip(&new_phis) {
+            let backedge = self.map(self.phi_edge(*p, |b| b == latch));
+            self.fb.phi_add_incoming(*np, latch_new, backedge);
+        }
+        self.fb.br(header_blk);
+        self.fb.switch_to(exit_blk);
+    }
+
+    // ---- legality ----------------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn plan_loop(&self, header: BlockId, body: &[Node]) -> Result<Plan, String> {
+        // Innermost, straight-line body only.
+        if !body.iter().all(|n| matches!(n, Node::Block(_))) {
+            return Err("control flow in loop body".into());
+        }
+        let body_blocks: Vec<BlockId> = body
+            .iter()
+            .map(|n| match n {
+                Node::Block(b) => *b,
+                _ => unreachable!(),
+            })
+            .collect();
+        let latch = self.latch_of(header);
+
+        // Header: φs then exactly one compare feeding the terminator.
+        let phis = self.old_phis(header);
+        let header_rest: Vec<InstId> = self
+            .old
+            .block(header)
+            .insts
+            .iter()
+            .copied()
+            .filter(|&i| !matches!(self.old.inst(i), Inst::Phi { .. }))
+            .collect();
+        let cond_val = match &self.old.block(header).term {
+            Terminator::CondBr { cond, .. } => *cond,
+            _ => return Err("loop header terminator is not a branch".into()),
+        };
+        if header_rest.len() != 1 || Value::Inst(header_rest[0]) != cond_val {
+            return Err("loop header computes more than the exit condition".into());
+        }
+        let (pred, cmp_a, cmp_b) = match self.old.inst(header_rest[0]) {
+            Inst::Cmp { pred, a, b } => (*pred, *a, *b),
+            _ => return Err("exit condition is not a compare".into()),
+        };
+        if !matches!(pred, CmpPred::Slt | CmpPred::Ult) {
+            return Err(format!("unsupported exit predicate {}", pred.mnemonic()));
+        }
+
+        // Identify the IV among the φs.
+        let in_loop: HashSet<InstId> = {
+            let mut s: HashSet<InstId> = self.old.block(header).insts.iter().copied().collect();
+            for &b in &body_blocks {
+                s.extend(self.old.block(b).insts.iter().copied());
+            }
+            s
+        };
+        let mut iv = None;
+        for &p in &phis {
+            if Value::Inst(p) != cmp_a {
+                continue;
+            }
+            let back = self.phi_edge(p, |b| b == latch);
+            if let Value::Inst(upd) = back {
+                if let Inst::Bin {
+                    op: BinOp::Add,
+                    a,
+                    b,
+                } = self.old.inst(upd)
+                {
+                    let step = match (a, b) {
+                        (x, Value::Const(c)) if *x == Value::Inst(p) => c.as_i64(),
+                        (Value::Const(c), x) if *x == Value::Inst(p) => c.as_i64(),
+                        _ => continue,
+                    };
+                    if step > 0 {
+                        iv = Some((p, step));
+                    }
+                }
+            }
+        }
+        let Some((iv, step)) = iv else {
+            return Err("no canonical induction variable".into());
+        };
+        // Bound must be invariant.
+        let invariant = |v: Value| match v {
+            Value::Const(_) | Value::Param(_) => true,
+            Value::Inst(i) => !in_loop.contains(&i),
+        };
+        if !invariant(cmp_b) {
+            return Err("loop bound is not invariant".into());
+        }
+
+        // Other φs must be reductions.
+        let mut reductions = Vec::new();
+        for &p in &phis {
+            if p == iv {
+                continue;
+            }
+            let back = self.phi_edge(p, |b| b == latch);
+            let Value::Inst(upd) = back else {
+                return Err("non-reduction loop-carried value".into());
+            };
+            let Inst::Bin { op, a, b } = self.old.inst(upd) else {
+                return Err("non-reduction loop-carried value".into());
+            };
+            let ok_op = matches!(
+                op,
+                BinOp::Add
+                    | BinOp::FAdd
+                    | BinOp::SMin
+                    | BinOp::SMax
+                    | BinOp::UMin
+                    | BinOp::UMax
+                    | BinOp::FMin
+                    | BinOp::FMax
+                    | BinOp::And
+                    | BinOp::Or
+                    | BinOp::Xor
+            );
+            if !ok_op || (*a != Value::Inst(p) && *b != Value::Inst(p)) {
+                return Err("loop-carried value is not a supported reduction".into());
+            }
+            // The φ must not be used elsewhere inside the loop.
+            for &i in &in_loop {
+                if i == upd {
+                    continue;
+                }
+                if self.old.inst(i).operands().contains(&Value::Inst(p)) {
+                    return Err("reduction value used inside the loop".into());
+                }
+            }
+            reductions.push(Reduction {
+                phi: p,
+                op: *op,
+                update: upd,
+            });
+        }
+
+        // Classify body values.
+        let mut body_insts: Vec<InstId> = Vec::new();
+        for &b in &body_blocks {
+            body_insts.extend(self.old.block(b).insts.iter().copied());
+        }
+        let scev = classify(self.old, iv, &in_loop, &body_insts);
+
+        // Memory legality + widest type for the VF.
+        let mut widest_bits = 8u32;
+        let mut refs: Vec<(bool, Value, Lin, u32)> = Vec::new(); // (is_store, root, lin, elem_bits)
+        for &id in &body_insts {
+            let inst = self.old.inst(id);
+            let ty = self.old.inst_ty(id);
+            if let Some(e) = ty.elem() {
+                widest_bits = widest_bits.max(e.bits());
+            }
+            match inst {
+                Inst::Load { ptr, .. } | Inst::Store { ptr, .. } => {
+                    let is_store = matches!(inst, Inst::Store { .. });
+                    let elem = match inst {
+                        Inst::Load { .. } => ty.elem().expect("load elem"),
+                        Inst::Store { val, .. } => {
+                            self.old.value_ty(*val).elem().expect("store elem")
+                        }
+                        _ => unreachable!(),
+                    };
+                    widest_bits = widest_bits.max(elem.bits());
+                    let s = match ptr {
+                        Value::Inst(pi) => scev
+                            .get(pi)
+                            .cloned()
+                            .unwrap_or(Scev::Other)
+                            .lin_of(*ptr),
+                        other => Some(Lin {
+                            pieces: vec![(*other, 1)],
+                            iv_scale: 0,
+                            konst: 0,
+                        }),
+                    };
+                    let Some(lin) = s else {
+                        return Err("non-affine address".into());
+                    };
+                    let stride = lin.iv_scale * step;
+                    if is_store {
+                        if stride != elem.size_bytes() as i64 {
+                            return Err(format!(
+                                "store stride {stride} ≠ element size {}",
+                                elem.size_bytes()
+                            ));
+                        }
+                    } else if stride != elem.size_bytes() as i64 && stride != 0 {
+                        return Err(format!(
+                            "load stride {stride} is neither 0 nor the element size"
+                        ));
+                    }
+                    refs.push((is_store, base_root(self.old, *ptr), lin, elem.bits()));
+                }
+                Inst::Call { .. } => return Err("call in loop body".into()),
+                Inst::Intrin { kind, .. } => match kind {
+                    Intrinsic::Fma => {}
+                    Intrinsic::Math(_) => {
+                        return Err("math library call in loop body (no veclib)".into())
+                    }
+                    other => return Err(format!("intrinsic {} in loop body", other.name())),
+                },
+                Inst::Phi { .. } => return Err("φ in straight-line body".into()),
+                Inst::Alloca { .. } => return Err("alloca in loop body".into()),
+                _ => {}
+            }
+        }
+
+        // Dependence check.
+        let noalias_root = |v: Value| match v {
+            Value::Param(i) => self.old.params[i as usize].noalias,
+            _ => false,
+        };
+        for (i, a) in refs.iter().enumerate() {
+            for b in refs.iter().skip(i + 1) {
+                if !(a.0 || b.0) {
+                    continue; // two loads never conflict
+                }
+                if a.1 == b.1 {
+                    // Same base: require identical affine address.
+                    if a.2 != b.2 {
+                        return Err("possible loop-carried dependence (same base, \
+                                    different offsets)"
+                            .into());
+                    }
+                } else if !(noalias_root(a.1) || noalias_root(b.1)) {
+                    return Err("may-alias bases without `restrict`".into());
+                }
+            }
+        }
+
+        let vf = (self.opts.vector_bits / widest_bits).max(2);
+        let init = self.phi_edge(iv, |b| b != latch);
+        Ok(Plan {
+            iv,
+            step,
+            init,
+            bound: cmp_b,
+            pred,
+            reductions,
+            vf,
+            scev,
+            body_insts,
+        })
+    }
+
+    // ---- vector emission -----------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn emit_vector_loop(&mut self, _header: BlockId, _body: &[Node], plan: &Plan) {
+        let vf = plan.vf;
+        let iv_ty = self.old.inst_ty(plan.iv);
+        let iv_elem = iv_ty.elem().expect("IV is an integer");
+        let init = self.map(plan.init);
+        let bound = self.map(plan.bound);
+
+        let pre = self.fb.current_block();
+        let vheader = self.fb.new_block("av.vec.header");
+        let vbody = self.fb.new_block("av.vec.body");
+        let vmid = self.fb.new_block("av.vec.mid");
+
+        // Reduction inits: lane 0 carries the scalar init, others identity.
+        let red_inits: Vec<Value> = plan
+            .reductions
+            .iter()
+            .map(|r| {
+                let ty = self.old.inst_ty(r.phi);
+                let e = ty.elem().expect("reduction elem");
+                let ident = reduction_identity(r.op, e);
+                let splat = self.fb.const_vec(e, vec![ident; vf as usize]);
+                let init_scalar = self.map(self.phi_edge(r.phi, |b| {
+                    b != self.latch_of(_header)
+                }));
+                self.fb
+                    .insert(splat, Value::Const(Const::i64(0)), init_scalar)
+            })
+            .collect();
+
+        self.fb.br(vheader);
+        self.fb.switch_to(vheader);
+        let viv = self.fb.phi_typed(iv_ty, vec![(pre, init)]);
+        let vreds: Vec<Value> = plan
+            .reductions
+            .iter()
+            .zip(&red_inits)
+            .map(|(r, ri)| {
+                let ty = self.old.inst_ty(r.phi);
+                let e = ty.elem().expect("reduction elem");
+                self.fb.phi_typed(Ty::vec(e, vf), vec![(pre, *ri)])
+            })
+            .collect();
+        let last_off = Value::Const(Const::new(iv_elem, ((vf as i64 - 1) * plan.step) as u64));
+        let last = self.fb.bin(BinOp::Add, viv, last_off);
+        let ok = self.fb.cmp(plan.pred, last, bound);
+        self.fb.cond_br(ok, vbody, vmid);
+
+        // Vector body.
+        self.fb.switch_to(vbody);
+        let mut venv: HashMap<InstId, VForm> = HashMap::new();
+        venv.insert(plan.iv, VForm::Lin(viv, Lin { pieces: vec![], iv_scale: 1, konst: 0 }));
+        for (r, vr) in plan.reductions.iter().zip(&vreds) {
+            venv.insert(r.phi, VForm::Vec(*vr));
+        }
+        for &id in &plan.body_insts {
+            self.vectorize_body_inst(id, plan, &mut venv, viv);
+        }
+        let latch_new = self.fb.current_block();
+        let stride = Value::Const(Const::new(iv_elem, (vf as i64 * plan.step) as u64));
+        let viv_next = self.fb.bin(BinOp::Add, viv, stride);
+        self.fb.phi_add_incoming(viv, latch_new, viv_next);
+        for (r, vr) in plan.reductions.iter().zip(&vreds) {
+            let next = match &venv[&r.update] {
+                VForm::Vec(v) => *v,
+                _ => unreachable!("reduction update is a vector op"),
+            };
+            self.fb.phi_add_incoming(*vr, latch_new, next);
+        }
+        self.fb.br(vheader);
+
+        // Middle block: horizontal reduce, bind final IV / partials in env
+        // so the scalar remainder loop starts from them.
+        self.fb.switch_to(vmid);
+        self.env.insert(Value::Inst(plan.iv), viv);
+        for (r, vr) in plan.reductions.iter().zip(&vreds) {
+            let rop = match r.op {
+                BinOp::Add | BinOp::FAdd => ReduceOp::Add,
+                BinOp::SMin => ReduceOp::SMin,
+                BinOp::SMax => ReduceOp::SMax,
+                BinOp::UMin => ReduceOp::UMin,
+                BinOp::UMax => ReduceOp::UMax,
+                BinOp::FMin => ReduceOp::FMin,
+                BinOp::FMax => ReduceOp::FMax,
+                BinOp::And => ReduceOp::And,
+                BinOp::Or => ReduceOp::Or,
+                BinOp::Xor => ReduceOp::Xor,
+                _ => unreachable!("checked in plan_loop"),
+            };
+            let partial = self.fb.reduce(rop, *vr, None);
+            self.env.insert(Value::Inst(r.phi), partial);
+        }
+    }
+
+    fn vec_of(&mut self, v: Value, plan: &Plan, venv: &HashMap<InstId, VForm>) -> Value {
+        let vf = plan.vf;
+        match v {
+            Value::Const(c) => self.fb.splat(Value::Const(c), vf),
+            Value::Param(_) => {
+                let m = self.map(v);
+                self.fb.splat(m, vf)
+            }
+            Value::Inst(i) => match venv.get(&i) {
+                Some(VForm::Vec(nv)) => *nv,
+                Some(VForm::Lin(scalar, lin)) => {
+                    let e = self
+                        .old
+                        .value_ty(v)
+                        .elem()
+                        .expect("linear values are int/ptr");
+                    let lane_step = lin.iv_scale.wrapping_mul(plan.step) as u64;
+                    let offsets: Vec<u64> = (0..vf as u64)
+                        .map(|l| l.wrapping_mul(lane_step) & e.bit_mask())
+                        .collect();
+                    let s = self.fb.splat(*scalar, vf);
+                    if offsets.iter().all(|&o| o == 0) {
+                        s
+                    } else if e == ScalarTy::Ptr {
+                        let idx = self.fb.const_vec(ScalarTy::I64, offsets);
+                        self.fb.gep(s, idx, 1)
+                    } else {
+                        let offs = self.fb.const_vec(e, offsets);
+                        self.fb.bin(BinOp::Add, s, offs)
+                    }
+                }
+                Some(VForm::Uniform(nv)) => {
+                    let nv = *nv;
+                    self.fb.splat(nv, vf)
+                }
+                None => {
+                    // Defined outside the loop: invariant.
+                    let m = self.map(v);
+                    self.fb.splat(m, vf)
+                }
+            },
+        }
+    }
+
+    /// Scalar copy of a Lin/Inv body value at the current IV.
+    fn scalar_copy(&mut self, id: InstId, venv: &mut HashMap<InstId, VForm>, lin: Lin) {
+        let mut inst = self.old.inst(id).clone();
+        let ty = self.old.inst_ty(id);
+        let old = self.old;
+        let env = &self.env;
+        inst.map_operands(|v| match v {
+            Value::Inst(i) => match venv.get(&i) {
+                Some(VForm::Lin(s, _)) | Some(VForm::Uniform(s)) => *s,
+                Some(VForm::Vec(_)) => {
+                    unreachable!("linear value cannot have vector operands")
+                }
+                None => {
+                    let _ = old;
+                    *env.get(&v).expect("invariant operand mapped")
+                }
+            },
+            other => other,
+        });
+        let nv = self.fb.push_raw(inst, ty);
+        venv.insert(id, VForm::Lin(nv, lin));
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn vectorize_body_inst(
+        &mut self,
+        id: InstId,
+        plan: &Plan,
+        venv: &mut HashMap<InstId, VForm>,
+        _viv: Value,
+    ) {
+        let vf = plan.vf;
+        let inst = self.old.inst(id).clone();
+        let ty = self.old.inst_ty(id);
+        // Linear & invariant values stay scalar.
+        match plan.scev.get(&id) {
+            Some(Scev::Lin(l)) => {
+                let l = l.clone();
+                self.scalar_copy(id, venv, l);
+                return;
+            }
+            Some(Scev::Inv) => {
+                // Recompute invariantly (cheap; a real compiler would hoist).
+                let lin = Lin {
+                    pieces: vec![],
+                    iv_scale: 0,
+                    konst: 0,
+                };
+                self.scalar_copy(id, venv, lin);
+                return;
+            }
+            _ => {}
+        }
+        match &inst {
+            Inst::Load { ptr, .. } => {
+                let elem = ty.elem().expect("load elem");
+                // Address is linear by legality; find its scalar copy.
+                let addr = match ptr {
+                    Value::Inst(pi) => match &venv[pi] {
+                        VForm::Lin(s, l) => (*s, l.clone()),
+                        _ => unreachable!("legal loads have linear addresses"),
+                    },
+                    other => (
+                        self.map(*other),
+                        Lin {
+                            pieces: vec![],
+                            iv_scale: 0,
+                            konst: 0,
+                        },
+                    ),
+                };
+                let stride = addr.1.iv_scale * plan.step;
+                if stride == 0 {
+                    // Invariant load: scalar once per vector iteration.
+                    let s = self.fb.load(Ty::Scalar(elem), addr.0, None);
+                    venv.insert(id, VForm::Uniform(s));
+                } else {
+                    let v = self.fb.load(Ty::vec(elem, vf), addr.0, None);
+                    venv.insert(id, VForm::Vec(v));
+                }
+            }
+            Inst::Store { ptr, val, .. } => {
+                let addr = match ptr {
+                    Value::Inst(pi) => match &venv[pi] {
+                        VForm::Lin(s, _) => *s,
+                        _ => unreachable!("legal stores have linear addresses"),
+                    },
+                    other => self.map(*other),
+                };
+                let vval = self.vec_of(*val, plan, venv);
+                self.fb.store(addr, vval, None);
+            }
+            Inst::Bin { op, a, b } => {
+                let va = self.vec_of(*a, plan, venv);
+                let vb = self.vec_of(*b, plan, venv);
+                let nv = self.fb.bin(*op, va, vb);
+                venv.insert(id, VForm::Vec(nv));
+            }
+            Inst::Un { op, a } => {
+                let va = self.vec_of(*a, plan, venv);
+                let nv = self.fb.un(*op, va);
+                venv.insert(id, VForm::Vec(nv));
+            }
+            Inst::Cmp { pred, a, b } => {
+                let va = self.vec_of(*a, plan, venv);
+                let vb = self.vec_of(*b, plan, venv);
+                let nv = self.fb.cmp(*pred, va, vb);
+                venv.insert(id, VForm::Vec(nv));
+            }
+            Inst::Cast { kind, a } => {
+                let va = self.vec_of(*a, plan, venv);
+                let elem = ty.elem().expect("cast elem");
+                let nv = self.fb.cast(*kind, va, Ty::vec(elem, vf));
+                venv.insert(id, VForm::Vec(nv));
+            }
+            Inst::Select { cond, t, f } => {
+                let vc = self.vec_of(*cond, plan, venv);
+                let vt = self.vec_of(*t, plan, venv);
+                let vfv = self.vec_of(*f, plan, venv);
+                let nv = self.fb.select(vc, vt, vfv);
+                venv.insert(id, VForm::Vec(nv));
+            }
+            Inst::Intrin {
+                kind: Intrinsic::Fma,
+                args,
+            } => {
+                let elem = ty.elem().expect("fma elem");
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|&a| self.vec_of(a, plan, venv))
+                    .collect();
+                let nv = self.fb.intrin(Intrinsic::Fma, vals, Ty::vec(elem, vf));
+                venv.insert(id, VForm::Vec(nv));
+            }
+            Inst::Gep { base, index, scale } => {
+                // Non-linear gep (varying index would have failed loads, but
+                // a gep feeding nothing memory-related can appear).
+                let vb = self.vec_of(*base, plan, venv);
+                let vi = self.vec_of(*index, plan, venv);
+                let nv = self.fb.gep(vb, vi, *scale);
+                venv.insert(id, VForm::Vec(nv));
+            }
+            other => unreachable!("legality rejected {other:?}"),
+        }
+    }
+}
+
+#[derive(Clone)]
+enum VForm {
+    /// Vector value in the new function.
+    Vec(Value),
+    /// Linear scalar copy (value at lane 0) with its linear form.
+    Lin(Value, Lin),
+    /// Loop-invariant scalar (splat on use).
+    Uniform(Value),
+}
+
+fn reduction_identity(op: BinOp, e: ScalarTy) -> u64 {
+    match op {
+        BinOp::Add | BinOp::Or | BinOp::Xor => {
+            if e.is_float() {
+                if e == ScalarTy::F32 {
+                    0.0f32.to_bits() as u64
+                } else {
+                    0.0f64.to_bits()
+                }
+            } else {
+                0
+            }
+        }
+        BinOp::FAdd => {
+            if e == ScalarTy::F32 {
+                0.0f32.to_bits() as u64
+            } else {
+                0.0f64.to_bits()
+            }
+        }
+        BinOp::And => e.bit_mask(),
+        BinOp::SMin => psir::reduce_identity(ReduceOp::SMin, e),
+        BinOp::SMax => psir::reduce_identity(ReduceOp::SMax, e),
+        BinOp::UMin => psir::reduce_identity(ReduceOp::UMin, e),
+        BinOp::UMax => psir::reduce_identity(ReduceOp::UMax, e),
+        BinOp::FMin => psir::reduce_identity(ReduceOp::FMin, e),
+        BinOp::FMax => psir::reduce_identity(ReduceOp::FMax, e),
+        _ => 0,
+    }
+}
+
+/// Auto-vectorizes one function. SPMD-annotated functions are returned
+/// unchanged (they are not serial code). Returns the new function and a
+/// per-loop report.
+pub fn autovectorize_function(
+    f: &Function,
+    opts: &AutovecOptions,
+) -> (Function, AutovecReport) {
+    if f.spmd.is_some() {
+        return (f.clone(), AutovecReport::default());
+    }
+    // Canonicalize first: dependence legality needs structurally equal
+    // addresses to be the same SSA value.
+    let mut f = f.clone();
+    parsimony::opt::cse(&mut f);
+    let f = &f;
+    let tree = match structurize(f) {
+        Ok(t) => t,
+        Err(e) => {
+            let mut r = AutovecReport::default();
+            r.rejected.push((f.entry, format!("not structurized: {e}")));
+            return (f.clone(), r);
+        }
+    };
+    let fb = FunctionBuilder::new(f.name.clone(), f.params.clone(), f.ret);
+    let mut c = Copier {
+        old: f,
+        opts,
+        fb,
+        env: HashMap::new(),
+        report: AutovecReport::default(),
+        old_preds: f.predecessors(),
+        dom: psir::DomTree::compute(f),
+    };
+    c.copy_nodes(&tree.roots);
+    let mut out = c.fb.finish();
+    if opts.slp {
+        crate::slp::slp_function(&mut out, opts.vector_bits);
+    }
+    parsimony::opt::cleanup(&mut out);
+    (out, c.report)
+}
+
+/// Auto-vectorizes every serial function in a module.
+pub fn autovectorize_module(m: &Module, opts: &AutovecOptions) -> (Module, Vec<AutovecReport>) {
+    let mut out = Module::new();
+    let mut reports = Vec::new();
+    for f in m.functions() {
+        let (nf, rep) = autovectorize_function(f, opts);
+        out.add_function(nf);
+        reports.push(rep);
+    }
+    (out, reports)
+}
+
+/// Builder extension used by the copier (raw instruction push).
+trait PushRaw {
+    fn push_raw(&mut self, inst: Inst, ty: Ty) -> Value;
+}
+
+impl PushRaw for FunctionBuilder {
+    fn push_raw(&mut self, inst: Inst, ty: Ty) -> Value {
+        push_raw_impl(self, inst, ty)
+    }
+}
+
+fn push_raw_impl(fb: &mut FunctionBuilder, inst: Inst, ty: Ty) -> Value {
+    match inst {
+        Inst::Bin { op, a, b } => fb.bin(op, a, b),
+        Inst::Un { op, a } => fb.un(op, a),
+        Inst::Cmp { pred, a, b } => fb.cmp(pred, a, b),
+        Inst::Cast { kind, a } => fb.cast(kind, a, ty),
+        Inst::Select { cond, t, f } => fb.select(cond, t, f),
+        Inst::Splat { a } => fb.splat(a, ty.lanes()),
+        Inst::ConstVec { elem, lanes } => fb.const_vec(elem, lanes),
+        Inst::Extract { v, lane } => fb.extract(v, lane),
+        Inst::Insert { v, lane, x } => fb.insert(v, lane, x),
+        Inst::ShuffleConst { v, pattern } => fb.shuffle_const(v, pattern),
+        Inst::ShuffleVar { v, idx } => fb.shuffle_var(v, idx),
+        Inst::Load { ptr, mask } => fb.load(ty, ptr, mask),
+        Inst::Store { ptr, val, mask } => {
+            fb.store(ptr, val, mask);
+            Value::Const(Const::i32(0))
+        }
+        Inst::Alloca { size } => fb.alloca(size),
+        Inst::Gep { base, index, scale } => fb.gep(base, index, scale),
+        Inst::Call { callee, args } => fb.call(callee, ty, args),
+        Inst::Intrin { kind, args } => fb.intrin(kind, args, ty),
+        Inst::Phi { incoming } => fb.phi_typed(ty, incoming),
+        Inst::Reduce { op, v, mask } => fb.reduce(op, v, mask),
+    }
+}

@@ -1,0 +1,296 @@
+//! Linear (SCEV-style) classification of loop-body values.
+//!
+//! Every value inside a candidate loop is classified relative to the
+//! canonical induction variable `iv`:
+//!
+//! * [`Scev::Inv`] — loop-invariant (defined outside the loop),
+//! * [`Scev::Lin`] — a linear function `Σ cᵢ·invᵢ + s·iv + k` (addresses and
+//!   index arithmetic),
+//! * [`Scev::Other`] — everything else (loaded data, nonlinear arithmetic).
+//!
+//! Only `Lin` addresses whose per-iteration byte stride equals the element
+//! size vectorize into packed memory operations; the baseline has no
+//! gather/scatter path.
+
+use psir::{BinOp, Function, Inst, InstId, Value};
+use std::collections::{HashMap, HashSet};
+
+/// A linear form `Σ coeff·piece + iv_scale·iv + konst`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lin {
+    /// Invariant pieces with integer coefficients.
+    pub pieces: Vec<(Value, i64)>,
+    /// Coefficient of the induction variable.
+    pub iv_scale: i64,
+    /// Constant term.
+    pub konst: i64,
+}
+
+impl Lin {
+    fn inv(v: Value) -> Lin {
+        Lin {
+            pieces: vec![(v, 1)],
+            iv_scale: 0,
+            konst: 0,
+        }
+    }
+
+    fn konst(k: i64) -> Lin {
+        Lin {
+            pieces: vec![],
+            iv_scale: 0,
+            konst: k,
+        }
+    }
+
+    fn iv() -> Lin {
+        Lin {
+            pieces: vec![],
+            iv_scale: 1,
+            konst: 0,
+        }
+    }
+
+    fn add(&self, o: &Lin, sign: i64) -> Lin {
+        // All coefficient arithmetic wraps mod 2⁶⁴, matching the IR's
+        // wrapping semantics (linear forms are only *compared*, and both
+        // sides of a comparison wrap identically).
+        let mut pieces = self.pieces.clone();
+        for (v, c) in &o.pieces {
+            match pieces.iter_mut().find(|(w, _)| w == v) {
+                Some((_, cc)) => *cc = cc.wrapping_add(c.wrapping_mul(sign)),
+                None => pieces.push((*v, c.wrapping_mul(sign))),
+            }
+        }
+        pieces.retain(|(_, c)| *c != 0);
+        Lin {
+            pieces,
+            iv_scale: self.iv_scale.wrapping_add(sign.wrapping_mul(o.iv_scale)),
+            konst: self.konst.wrapping_add(sign.wrapping_mul(o.konst)),
+        }
+    }
+
+    fn scale(&self, k: i64) -> Lin {
+        Lin {
+            pieces: self
+                .pieces
+                .iter()
+                .map(|(v, c)| (*v, c.wrapping_mul(k)))
+                .filter(|(_, c)| *c != 0)
+                .collect(),
+            iv_scale: self.iv_scale.wrapping_mul(k),
+            konst: self.konst.wrapping_mul(k),
+        }
+    }
+
+    /// Whether the form is invariant (no `iv` component).
+    pub fn is_invariant(&self) -> bool {
+        self.iv_scale == 0
+    }
+}
+
+/// Classification of one value relative to a loop's induction variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scev {
+    /// Loop-invariant value.
+    Inv,
+    /// Linear in the induction variable.
+    Lin(Lin),
+    /// Not linear (loaded data, products of non-constants, …).
+    Other,
+}
+
+impl Scev {
+    /// The linear form, if any (`Inv` values are linear with scale 0).
+    pub fn lin_of(&self, v: Value) -> Option<Lin> {
+        match self {
+            Scev::Lin(l) => Some(l.clone()),
+            Scev::Inv => Some(Lin::inv(v)),
+            Scev::Other => None,
+        }
+    }
+}
+
+/// Classifies all values used inside a loop body relative to `iv`.
+///
+/// `in_loop` must contain every instruction id defined inside the loop
+/// (header included). Values not in `in_loop` are invariant by definition.
+pub fn classify(
+    f: &Function,
+    iv: InstId,
+    in_loop: &HashSet<InstId>,
+    body_order: &[InstId],
+) -> HashMap<InstId, Scev> {
+    let mut map: HashMap<InstId, Scev> = HashMap::new();
+    map.insert(iv, Scev::Lin(Lin::iv()));
+
+    let classify_val = |map: &HashMap<InstId, Scev>, v: Value| -> Scev {
+        match v {
+            Value::Const(c) => {
+                if c.ty.is_int() {
+                    Scev::Lin(Lin::konst(c.as_i64()))
+                } else {
+                    Scev::Inv
+                }
+            }
+            Value::Param(_) => Scev::Inv,
+            Value::Inst(i) => {
+                if !in_loop.contains(&i) {
+                    Scev::Inv
+                } else {
+                    map.get(&i).cloned().unwrap_or(Scev::Other)
+                }
+            }
+        }
+    };
+
+    for &id in body_order {
+        if id == iv {
+            continue;
+        }
+        let inst = f.inst(id);
+        let ty = f.inst_ty(id);
+        let s = match inst {
+            Inst::Bin { op, a, b } => {
+                let (sa, sb) = (classify_val(&map, *a), classify_val(&map, *b));
+                let (la, lb) = (sa.lin_of(*a), sb.lin_of(*b));
+                match (op, la, lb) {
+                    (BinOp::Add, Some(x), Some(y)) => Scev::Lin(x.add(&y, 1)),
+                    (BinOp::Sub, Some(x), Some(y)) => Scev::Lin(x.add(&y, -1)),
+                    (BinOp::Mul | BinOp::Shl, Some(x), Some(y)) => {
+                        // Multiplication by a compile-time constant only.
+                        let konst_of = |l: &Lin| -> Option<i64> {
+                            if l.pieces.is_empty() && l.iv_scale == 0 {
+                                Some(l.konst)
+                            } else {
+                                None
+                            }
+                        };
+                        if let Some(k) = konst_of(&y) {
+                            let k = if matches!(op, BinOp::Shl) { 1i64 << (k & 63) } else { k };
+                            Scev::Lin(x.scale(k))
+                        } else if let (BinOp::Mul, Some(k)) = (*op, konst_of(&x)) {
+                            Scev::Lin(y.scale(k))
+                        } else if x.is_invariant() && y.is_invariant() {
+                            Scev::Inv
+                        } else {
+                            Scev::Other
+                        }
+                    }
+                    (_, Some(x), Some(y)) if x.is_invariant() && y.is_invariant() => Scev::Inv,
+                    _ => Scev::Other,
+                }
+            }
+            // Width changes preserve linearity for the index ranges kernels
+            // use (the vectorizer only consumes strides, which are exact for
+            // in-range indices; out-of-range indices would fault anyway).
+            Inst::Cast { a, .. } => match classify_val(&map, *a) {
+                Scev::Lin(l) if ty.elem().map_or(false, |e| e.is_int() || e.is_ptr()) => {
+                    Scev::Lin(l)
+                }
+                Scev::Inv => Scev::Inv,
+                _ => Scev::Other,
+            },
+            Inst::Gep { base, index, scale } => {
+                let sb = classify_val(&map, *base);
+                let si = classify_val(&map, *index);
+                match (sb.lin_of(*base), si.lin_of(*index)) {
+                    (Some(b), Some(i)) => Scev::Lin(b.add(&i.scale(*scale as i64), 1)),
+                    _ => Scev::Other,
+                }
+            }
+            Inst::Un { a, .. } | Inst::Select { cond: a, .. } => {
+                // Conservative: invariant if all operands invariant.
+                let _ = a;
+                let ops = inst.operands();
+                if ops
+                    .iter()
+                    .all(|&o| matches!(classify_val(&map, o), Scev::Inv) || matches!(classify_val(&map,o), Scev::Lin(ref l) if l.is_invariant()))
+                {
+                    Scev::Inv
+                } else {
+                    Scev::Other
+                }
+            }
+            Inst::Load { .. } | Inst::Call { .. } | Inst::Intrin { .. } => Scev::Other,
+            Inst::Cmp { .. } => Scev::Other,
+            _ => Scev::Other,
+        };
+        map.insert(id, s);
+    }
+    map
+}
+
+/// The root of a pointer expression: follows `gep` bases to a parameter or
+/// other defining value.
+pub fn base_root(f: &Function, mut v: Value) -> Value {
+    loop {
+        match v {
+            Value::Inst(i) => match f.inst(i) {
+                Inst::Gep { base, .. } => v = *base,
+                Inst::Cast { a, .. } => v = *a,
+                _ => return v,
+            },
+            other => return other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psir::{FunctionBuilder, Param, ScalarTy, Ty};
+
+    #[test]
+    fn linear_forms_compose() {
+        // Build: v = (iv * 4 + 8) inside a pseudo-loop
+        let mut fb = FunctionBuilder::new(
+            "t",
+            vec![Param::new("p", Ty::scalar(ScalarTy::Ptr))],
+            Ty::Void,
+        );
+        let iv = fb.bin(BinOp::Add, 0i64, 0i64); // stand-in for the IV phi
+        let x4 = fb.bin(BinOp::Mul, iv, 4i64);
+        let x48 = fb.bin(BinOp::Add, x4, 8i64);
+        let addr = fb.gep(Value::Param(0), x48, 2);
+        fb.ret(None);
+        let f = fb.finish();
+        let iv_id = iv.as_inst().unwrap();
+        let in_loop: HashSet<InstId> = [iv_id, x4.as_inst().unwrap(), x48.as_inst().unwrap(), addr.as_inst().unwrap()]
+            .into_iter()
+            .collect();
+        let order: Vec<InstId> = in_loop.iter().copied().collect();
+        let mut order = order;
+        order.sort();
+        let map = classify(&f, iv_id, &in_loop, &order);
+        match &map[&x48.as_inst().unwrap()] {
+            Scev::Lin(l) => {
+                assert_eq!(l.iv_scale, 4);
+                assert_eq!(l.konst, 8);
+            }
+            other => panic!("expected Lin, got {other:?}"),
+        }
+        match &map[&addr.as_inst().unwrap()] {
+            Scev::Lin(l) => {
+                assert_eq!(l.iv_scale, 8); // 4 elements × 2 bytes
+                assert_eq!(l.konst, 16);
+                assert_eq!(l.pieces, vec![(Value::Param(0), 1)]);
+            }
+            other => panic!("expected Lin, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn base_roots_follow_geps() {
+        let mut fb = FunctionBuilder::new(
+            "r",
+            vec![Param::new("p", Ty::scalar(ScalarTy::Ptr))],
+            Ty::Void,
+        );
+        let a = fb.gep(Value::Param(0), 4i64, 1);
+        let b = fb.gep(a, 8i64, 4);
+        fb.ret(None);
+        let f = fb.finish();
+        assert_eq!(base_root(&f, b), Value::Param(0));
+    }
+}

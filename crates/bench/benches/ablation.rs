@@ -1,0 +1,76 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! shape analysis on/off (gather pressure), the strided-shuffle window,
+//! and gang-size choice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use suite::runner::{run_kernel, Config};
+use suite::simdlib::kernels;
+
+fn bench_shape_ablation(c: &mut Criterion) {
+    let ks = kernels(2048);
+    for name in ["add_sat_u8", "bgr_to_gray", "blur3_u8"] {
+        let k = ks.iter().find(|k| k.name == name).expect("kernel exists");
+        let mut g = c.benchmark_group(format!("ablation/shape/{name}"));
+        g.sample_size(10);
+        g.bench_function("with-shape", |b| {
+            b.iter(|| run_kernel(k, Config::Parsimony).expect("runs"));
+        });
+        g.bench_function("no-shape", |b| {
+            b.iter(|| run_kernel(k, Config::ParsimonyNoShape).expect("runs"));
+        });
+        g.finish();
+    }
+}
+
+fn bench_boscc(c: &mut Criterion) {
+    // §4.2.3's branch-on-superword-condition: pays a scalar any-test per
+    // arm, wins when gangs are often fully converged.
+    use parsimony::{vectorize_module, VectorizeOptions};
+    let ks = kernels(2048);
+    let k = ks.iter().find(|k| k.name == "background_u8").expect("kernel exists");
+    let mut g = c.benchmark_group("ablation/boscc/background_u8");
+    g.sample_size(10);
+    for (label, boscc) in [("linearized", false), ("boscc", true)] {
+        let m = psimc::compile(&k.psim_src).expect("compiles");
+        let opts = VectorizeOptions { boscc, ..VectorizeOptions::default() };
+        let _ = vectorize_module(&m, &opts).expect("vectorizes");
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let m = psimc::compile(&k.psim_src).expect("compiles");
+                vectorize_module(&m, &opts).expect("vectorizes")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_gang_sizes(c: &mut Criterion) {
+    // §1's argument: gang size is a per-region program constant; the sweet
+    // spot depends on the element width.
+    let base = kernels(2048)
+        .into_iter()
+        .find(|k| k.name == "add_sat_u8")
+        .expect("kernel exists");
+    let mut g = c.benchmark_group("ablation/gang-size/add_sat_u8");
+    g.sample_size(10);
+    for gang in [16u32, 32, 64, 128] {
+        let mut k = suite::Kernel::new(
+            format!("add_sat_u8_g{gang}"),
+            "ablation",
+            gang,
+            base.psim_src
+                .replace("psim gang(64)", &format!("psim gang({gang})")),
+            base.serial_src.clone(),
+            base.buffers.clone(),
+            base.n,
+        );
+        k.extra_args = base.extra_args.clone();
+        g.bench_function(format!("gang{gang}"), |b| {
+            b.iter(|| run_kernel(&k, Config::Parsimony).expect("runs"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_shape_ablation, bench_boscc, bench_gang_sizes);
+criterion_main!(benches);

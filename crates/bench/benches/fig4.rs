@@ -1,0 +1,24 @@
+//! Criterion timing of the Figure 4 configurations (one ispc workload per
+//! group; the value measured is the wall time of the cost-model simulation,
+//! which is proportional to simulated work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use suite::ispc::{kernels, IspcSizes};
+use suite::runner::{run_kernel, Config};
+
+fn bench_fig4(c: &mut Criterion) {
+    let ks = kernels(IspcSizes::tiny());
+    for k in &ks {
+        let mut g = c.benchmark_group(format!("fig4/{}", k.name));
+        g.sample_size(10);
+        for cfg in [Config::Autovec, Config::Parsimony, Config::GangSync] {
+            g.bench_function(cfg.label(), |b| {
+                b.iter(|| run_kernel(k, cfg).expect("runs"));
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion timing of the Figure 5 configurations over a representative
+//! subset of the 72 Simd Library kernels (the full sweep is the `fig5`
+//! binary; Criterion's statistics over all 72×4 runs would take hours).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use suite::runner::{run_kernel, Config};
+use suite::simdlib::kernels;
+
+fn bench_fig5(c: &mut Criterion) {
+    let ks = kernels(2048);
+    // One representative per mechanism: native saturating ops, the
+    // sat-sub absolute-difference trick, strided loads (packed + shuffle),
+    // the vector math library, the vpsadbw reduction, and compare/select.
+    let names = [
+        "add_sat_u8",
+        "abs_diff_u8",
+        "bgr_to_gray",
+        "sigmoid_f32",
+        "abs_diff_sum_u8",
+        "binarize_u8",
+    ];
+    for name in names {
+        let k = ks.iter().find(|k| k.name == name).expect("kernel exists");
+        let mut g = c.benchmark_group(format!("fig5/{name}"));
+        g.sample_size(10);
+        for cfg in [
+            Config::Scalar,
+            Config::Autovec,
+            Config::Parsimony,
+            Config::Handwritten,
+        ] {
+            g.bench_function(cfg.label(), |b| {
+                b.iter(|| run_kernel(k, cfg).expect("runs"));
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Figure 5: speedup over scalar compilation on 72 Simd Library benchmarks.
+//!
+//! Paper numbers (Xeon Gold 6258R, AVX-512): auto-vectorization geomean
+//! 3.46×, Parsimony 7.70×, hand-written intrinsics 7.91×; Parsimony reaches
+//! 0.97× of hand-written. This harness prints the same three series from
+//! the simulated-cycle cost model, plus the shape-analysis ablation when
+//! requested.
+//!
+//! Usage:
+//!   cargo run --release -p psim-bench --bin fig5 `[-- --n N] [--no-shape] [--avx2] [--stride-window]`
+
+use psim_bench::{cell, geomean_speedup, measure};
+use suite::runner::{run_kernel_with, Config};
+use suite::simdlib::{kernels, DEFAULT_N};
+use vmach::{Avx512Cost, Target};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut n = DEFAULT_N;
+    let mut with_noshape = false;
+    let mut with_avx2 = false;
+    let mut with_window = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--n" => {
+                i += 1;
+                n = args[i].parse().expect("--n takes an element count");
+            }
+            "--no-shape" => with_noshape = true,
+            "--avx2" => with_avx2 = true,
+            "--stride-window" => with_window = true,
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+
+    let mut cfgs = vec![
+        Config::Scalar,
+        Config::Autovec,
+        Config::Parsimony,
+        Config::Handwritten,
+    ];
+    if with_noshape {
+        cfgs.push(Config::ParsimonyNoShape);
+    }
+
+    eprintln!("figure 5: 72 Simd Library kernels, n = {n} elements");
+    let ks = kernels(n);
+    let rows = measure(&ks, &cfgs);
+
+    println!(
+        "{:<22} {:>8} {:>8} {:>8}{}",
+        "kernel",
+        "autovec",
+        "parsim",
+        "hand",
+        if with_noshape { "  noshape" } else { "" }
+    );
+    println!("{}", "-".repeat(if with_noshape { 60 } else { 50 }));
+    for r in &rows {
+        let a = r.speedup(Config::Autovec, Config::Scalar);
+        let p = r.speedup(Config::Parsimony, Config::Scalar);
+        let h = r.speedup(Config::Handwritten, Config::Scalar);
+        print!("{:<22} {} {} {}", r.name, cell(a), cell(p), cell(h));
+        if with_noshape {
+            let ns = r.speedup(Config::ParsimonyNoShape, Config::Scalar);
+            print!(" {}", cell(ns));
+        }
+        println!();
+    }
+    println!("{}", "-".repeat(if with_noshape { 60 } else { 50 }));
+
+    let ga = geomean_speedup(&rows, Config::Autovec, Config::Scalar);
+    let gp = geomean_speedup(&rows, Config::Parsimony, Config::Scalar);
+    let gh = geomean_speedup(&rows, Config::Handwritten, Config::Scalar);
+    println!("geomean speedup over scalar:");
+    println!("  LLVM-style auto-vectorization : {ga:5.2}x   (paper: 3.46x)");
+    println!("  Parsimony                     : {gp:5.2}x   (paper: 7.70x)");
+    println!("  hand-written vector code      : {gh:5.2}x   (paper: 7.91x)");
+    if with_noshape {
+        let gn = geomean_speedup(&rows, Config::ParsimonyNoShape, Config::Scalar);
+        println!("  Parsimony without shape analysis : {gn:5.2}x   (ablation)");
+    }
+    let ratio = gp / gh;
+    println!(
+        "Parsimony / hand-written              : {ratio:5.2}   (paper: 0.97; artifact gate: > 0.90)"
+    );
+    println!(
+        "Parsimony / auto-vectorization        : {:5.2}   (paper: 2.23x)",
+        gp / ga
+    );
+    assert!(
+        ratio > 0.90,
+        "artifact acceptance requires Parsimony ≥ 90% of hand-written"
+    );
+    assert!(gp > ga, "Parsimony must beat the auto-vectorizer overall");
+
+    if with_window {
+        // §4.2.3 ablation: the strided-shuffle window (default 4× the gang
+        // size). Window 0 forces gather/scatter on every non-unit stride;
+        // the difference is the packed+shuffle payoff.
+        use parsimony::VectorizeOptions;
+        use suite::runner::run_kernel_custom;
+        println!("\nstride-window ablation (Parsimony cycles):");
+        println!("{:<22} {:>12} {:>12} {:>8}", "kernel", "window=4", "window=0", "ratio");
+        for name in ["deinterleave2_u8", "interleave2_u8", "bgr_to_gray", "gray_to_bgr", "extract_g_u8", "reverse_u8"] {
+            let k = ks.iter().find(|k| k.name == name).expect("kernel");
+            let w4 = run_kernel_custom(k, &VectorizeOptions::default()).expect("runs");
+            let w0 = run_kernel_custom(
+                k,
+                &VectorizeOptions { stride_window: 0, ..VectorizeOptions::default() },
+            )
+            .expect("runs");
+            assert_eq!(w4.outputs, w0.outputs, "{name}: window must not change results");
+            println!(
+                "{:<22} {:>12} {:>12} {:>8.2}",
+                name,
+                w4.cycles,
+                w0.cycles,
+                w0.cycles as f64 / w4.cycles as f64
+            );
+        }
+    }
+
+    if with_avx2 {
+        // §4.3 portability: the *same* gang-width vector IR legalizes onto
+        // a narrower (256-bit) machine — no recompilation of the SPMD
+        // program, only a different back-end cost. A subset keeps it quick.
+        println!("\nvector-width portability (Parsimony cycles, same IR):");
+        println!("{:<22} {:>12} {:>12} {:>8}", "kernel", "avx512", "avx2", "ratio");
+        let avx512 = Avx512Cost::new();
+        let avx2 = Avx512Cost::for_target(Target::avx2());
+        for k in ks.iter().take(8) {
+            let a = run_kernel_with(k, Config::Parsimony, &avx512).expect("runs");
+            let b = run_kernel_with(k, Config::Parsimony, &avx2).expect("runs");
+            println!(
+                "{:<22} {:>12} {:>12} {:>8.2}",
+                k.name,
+                a.cycles,
+                b.cycles,
+                b.cycles as f64 / a.cycles as f64
+            );
+        }
+    }
+}

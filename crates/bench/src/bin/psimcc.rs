@@ -1,0 +1,140 @@
+//! `psimcc` — a command-line driver for the PsimC → Parsimony toolchain.
+//!
+//! ```text
+//! psimcc FILE.psim [--emit scalar|vector] [--gang-sync] [--no-shape]
+//!        [--boscc] [--run ENTRY [ARG…]] [--cycles]
+//! ```
+//!
+//! * `--emit scalar` prints the front-end's IR (outlined regions + gang
+//!   loops); `--emit vector` (default) prints the module after the
+//!   Parsimony pass.
+//! * `--run ENTRY` executes the named function on the virtual AVX-512
+//!   machine. Integer arguments are passed as `i64`; an argument of the
+//!   form `buf:N` allocates a zeroed N-byte buffer and passes its address
+//!   (its contents are hex-dumped after the run).
+//! * `--cycles` prints the simulated cycle count.
+
+use parsimony::{vectorize_module, VectorizeOptions};
+use psir::{Interp, Memory, RtVal};
+use vmach::Avx512Cost;
+use vmath::RuntimeExterns;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: psimcc FILE [--emit scalar|vector] [--gang-sync] [--no-shape] \
+         [--boscc] [--run ENTRY [ARG…]] [--cycles]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut emit = "vector".to_string();
+    let mut opts = VectorizeOptions::default();
+    let mut run: Option<(String, Vec<String>)> = None;
+    let mut show_cycles = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--emit" => {
+                i += 1;
+                emit = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            "--gang-sync" => opts = VectorizeOptions::gang_synchronous(),
+            "--no-shape" => opts.enable_shape = false,
+            "--boscc" => opts.boscc = true,
+            "--cycles" => show_cycles = true,
+            "--run" => {
+                i += 1;
+                let entry = args.get(i).cloned().unwrap_or_else(|| usage());
+                let mut rest = Vec::new();
+                for a in &args[i + 1..] {
+                    if a == "--cycles" {
+                        show_cycles = true;
+                    } else {
+                        rest.push(a.clone());
+                    }
+                }
+                run = Some((entry, rest));
+                i = args.len();
+            }
+            other if file.is_none() && !other.starts_with('-') => {
+                file = Some(other.to_string());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(file) = file else { usage() };
+
+    let src = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+        eprintln!("psimcc: cannot read {file}: {e}");
+        std::process::exit(1);
+    });
+    let scalar = psimc::compile(&src).unwrap_or_else(|e| {
+        eprintln!("psimcc: {e}");
+        std::process::exit(1);
+    });
+
+    if emit == "scalar" {
+        print!("{}", psir::print_module(&scalar));
+        return;
+    }
+
+    let out = vectorize_module(&scalar, &opts).unwrap_or_else(|e| {
+        eprintln!("psimcc: vectorization failed: {e}");
+        std::process::exit(1);
+    });
+    for w in &out.warnings {
+        eprintln!("warning: {w}");
+    }
+
+    if let Some((entry, raw_args)) = run {
+        static EXT: RuntimeExterns = RuntimeExterns::new();
+        let cost = Avx512Cost::new();
+        let mut mem = Memory::default();
+        let mut call_args = Vec::new();
+        let mut bufs: Vec<(u64, u64)> = Vec::new();
+        for a in &raw_args {
+            if let Some(n) = a.strip_prefix("buf:") {
+                let n: u64 = n.parse().unwrap_or_else(|_| usage());
+                let addr = mem.alloc(n, 64).expect("buffer fits");
+                bufs.push((addr, n));
+                call_args.push(RtVal::S(addr));
+            } else if let Ok(v) = a.parse::<i64>() {
+                call_args.push(RtVal::S(v as u64));
+            } else if let Ok(v) = a.parse::<f32>() {
+                call_args.push(RtVal::from_f32(v));
+            } else {
+                usage();
+            }
+        }
+        let mut it = Interp::new(&out.module, mem, &cost, &EXT);
+        match it.call(&entry, &call_args) {
+            Ok(RtVal::Unit) => {}
+            Ok(RtVal::S(v)) => println!("=> {v} (as i64: {})", v as i64),
+            Ok(RtVal::V(v)) => println!("=> {v:?}"),
+            Err(e) => {
+                eprintln!("psimcc: runtime error: {e}");
+                std::process::exit(1);
+            }
+        }
+        for (k, (addr, n)) in bufs.iter().enumerate() {
+            let bytes = it.mem.read_bytes(*addr, (*n).min(64)).expect("readback");
+            let hex: Vec<String> = bytes.iter().map(|b| format!("{b:02x}")).collect();
+            println!(
+                "buf{k} [{} bytes{}]: {}",
+                n,
+                if *n > 64 { ", first 64 shown" } else { "" },
+                hex.join(" ")
+            );
+        }
+        if show_cycles {
+            println!("cycles: {}", it.cycles);
+        }
+    } else {
+        print!("{}", psir::print_module(&out.module));
+    }
+}

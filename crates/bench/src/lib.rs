@@ -1,0 +1,69 @@
+//! # psim-bench — the experiment harnesses
+//!
+//! Binaries `fig4` and `fig5` regenerate the paper's two results figures
+//! (run them with `cargo run --release -p psim-bench --bin fig4` / `fig5`);
+//! the Criterion benches under `benches/` time the same configurations.
+//! See `EXPERIMENTS.md` at the repository root for recorded outputs.
+
+#![warn(missing_docs)]
+
+use suite::runner::{geomean, run_kernel, Config, RunResult};
+use suite::Kernel;
+
+/// One row of a speedup table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Kernel name.
+    pub name: String,
+    /// `(config, cycles)` pairs in presentation order.
+    pub cycles: Vec<(Config, u64)>,
+}
+
+impl Row {
+    /// Speedup of `cfg` relative to `base` (higher = faster than base).
+    pub fn speedup(&self, cfg: Config, base: Config) -> f64 {
+        let get = |c: Config| {
+            self.cycles
+                .iter()
+                .find(|(k, _)| *k == c)
+                .map(|(_, v)| *v as f64)
+                .expect("config measured")
+        };
+        get(base) / get(cfg)
+    }
+}
+
+/// Runs every configuration of every kernel, returning the rows.
+///
+/// # Panics
+/// Panics on any build or runtime failure (harness inputs are trusted).
+pub fn measure(kernels: &[Kernel], cfgs: &[Config]) -> Vec<Row> {
+    kernels
+        .iter()
+        .map(|k| {
+            let cycles = cfgs
+                .iter()
+                .map(|&c| {
+                    let r: RunResult = run_kernel(k, c)
+                        .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+                    (c, r.cycles)
+                })
+                .collect();
+            Row {
+                name: k.name.clone(),
+                cycles,
+            }
+        })
+        .collect()
+}
+
+/// Geomean of per-row speedups of `cfg` over `base`.
+pub fn geomean_speedup(rows: &[Row], cfg: Config, base: Config) -> f64 {
+    let xs: Vec<f64> = rows.iter().map(|r| r.speedup(cfg, base)).collect();
+    geomean(&xs)
+}
+
+/// Formats a fixed-width table cell.
+pub fn cell(v: f64) -> String {
+    format!("{v:8.2}")
+}

@@ -1,0 +1,36 @@
+//! # parsimony — the Parsimony SPMD vectorizer (CGO 2023)
+//!
+//! This crate is the paper's primary contribution: a well-specified SPMD
+//! programming model plus a **standalone IR-to-IR vectorization pass** that
+//! turns SPMD-annotated scalar `psir` functions into architecture-
+//! independent vector IR.
+//!
+//! * [`structurize()`] — control-flow structurization (§4.2.1),
+//! * [`analyze`] — shape analysis over the offline-verified rule catalog
+//!   (§4.2.2, via the `shapecheck` crate),
+//! * [`vectorize_function`] / [`vectorize_module`] — instruction
+//!   transformation and driver (§4.2.3),
+//! * [`SpmdRef`] — a reference executor that runs the *scalar* SPMD
+//!   function as interleaved conceptual threads with real barrier
+//!   semantics; the differential oracle for the vectorizer,
+//! * [`emit_gang_loop`] — the front-end contract of §4.1 (Listing 6):
+//!   outlined regions, the gang loop, full/partial specialization.
+
+#![warn(missing_docs)]
+
+pub mod opt;
+pub mod pipeline;
+pub mod region;
+pub mod shape;
+pub mod spmd_ref;
+pub mod structurize;
+pub mod transform;
+
+pub use pipeline::{vectorize_module, PipelineOutput};
+pub use region::emit_gang_loop;
+pub use shape::{analyze, Shape, ShapeInfo, ShapeMap};
+pub use spmd_ref::SpmdRef;
+pub use structurize::{structurize, ControlTree, Node, StructurizeError};
+pub use transform::{
+    vectorize_function, MathLib, VectorizeError, VectorizeOptions, Vectorized,
+};

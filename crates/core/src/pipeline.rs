@@ -1,0 +1,85 @@
+//! Module-level driver: run the Parsimony pass over every SPMD-annotated
+//! function in a module, exactly as the paper inserts its single IR-to-IR
+//! pass into an existing pipeline (§4).
+
+use crate::transform::{vectorize_function, vectorize_function_with, VectorizeError, VectorizeOptions};
+use psir::{Inst, Intrinsic, Module};
+
+/// Result of vectorizing a module.
+#[derive(Debug)]
+pub struct PipelineOutput {
+    /// The module with `<region>__full` / `<region>__partial` vector
+    /// functions added (scalar functions, including the annotated
+    /// originals, are preserved).
+    pub module: Module,
+    /// All compile-time warnings across regions.
+    pub warnings: Vec<String>,
+    /// Names of the regions that were vectorized.
+    pub vectorized: Vec<String>,
+}
+
+/// Vectorizes every SPMD function in `m`, adding the full and partial
+/// specializations the gang loop (Listing 6) calls, then re-inlines the
+/// *full* specialization into its call sites (§4.1: the back-end re-inlines
+/// the vectorized function to avoid the call overhead; the cold tail call
+/// stays out of line).
+///
+/// # Errors
+/// Fails if any region cannot be vectorized; the module is not partially
+/// updated in that case.
+pub fn vectorize_module(
+    m: &Module,
+    opts: &VectorizeOptions,
+) -> Result<PipelineOutput, VectorizeError> {
+    let mut out = m.clone();
+    let mut warnings = Vec::new();
+    let mut vectorized = Vec::new();
+    let mut inline_targets = Vec::new();
+    for name in m.spmd_functions() {
+        let f = m.function(&name).expect("listed function exists");
+        // Head-gang peeling applies when the region queries the predicate.
+        let uses_head = f.block_ids().any(|b| {
+            f.block(b).insts.iter().any(|&i| {
+                matches!(
+                    f.inst(i),
+                    Inst::Intrin { kind: Intrinsic::IsHeadGang, .. }
+                )
+            })
+        });
+        let mut variants = Vec::new();
+        if uses_head {
+            // The peeled specialization folds the predicate; the plain
+            // __full keeps the runtime check so non-peeling drivers (or the
+            // n < G case) remain correct.
+            variants.push(vectorize_function_with(f, opts, false, Some(true))?);
+        }
+        variants.push(vectorize_function(f, opts, false)?);
+        variants.push(vectorize_function(f, opts, true)?);
+        for v in variants {
+            let mut func = v.func;
+            crate::opt::cleanup(&mut func);
+            warnings.extend(v.warnings);
+            if func.name.ends_with("__full") || func.name.ends_with("__head") {
+                inline_targets.push(func.name.clone());
+            }
+            out.add_function(func);
+        }
+        vectorized.push(name);
+    }
+    crate::opt::inline_calls(&mut out, &inline_targets);
+    let caller_names: Vec<String> = out
+        .functions()
+        .filter(|f| f.spmd.is_none())
+        .map(|f| f.name.clone())
+        .collect();
+    for name in caller_names {
+        if let Some(f) = out.function_mut(&name) {
+            crate::opt::cleanup(f);
+        }
+    }
+    Ok(PipelineOutput {
+        module: out,
+        warnings,
+        vectorized,
+    })
+}

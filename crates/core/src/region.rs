@@ -1,0 +1,196 @@
+//! The front-end contract (§4.1): SPMD region outlining and the gang loop.
+//!
+//! A `#psim gang_size(G)` region is outlined by the front-end into a
+//! standalone SPMD-annotated function whose parameters are the captured
+//! variables plus two implicit trailing parameters `(gang_base: i64,
+//! num_threads: i64)`. The call site becomes the loop of Listing 6: iterate
+//! over gangs, calling the *full* specialization for complete gangs and the
+//! *partial* one for the tail.
+//!
+//! The names of the two specializations are derived from the region name by
+//! [`full_name`] / [`partial_name`]; the vectorizer (or, for testing, any
+//! other implementation strategy) must provide functions with those names.
+
+use psir::{BinOp, CmpPred, Const, FunctionBuilder, Ty, Value};
+
+/// Name of the full-gang specialization of an outlined region.
+pub fn full_name(region: &str) -> String {
+    format!("{region}__full")
+}
+
+/// Name of the partial (tail-gang) specialization.
+pub fn partial_name(region: &str) -> String {
+    format!("{region}__partial")
+}
+
+/// Name of the peeled head-gang specialization (only generated when the
+/// region uses `psim_is_head_gang()`).
+pub fn head_name(region: &str) -> String {
+    format!("{region}__head")
+}
+
+/// Emits the gang loop of Listing 6 into `fb` at the current insertion
+/// point: calls `region__full(captured…, base, n)` for each complete gang
+/// and `region__partial` for a trailing partial gang.
+///
+/// `num_threads` is the total SPMD thread count (a scalar `i64` value in the
+/// caller); `gang` the compile-time gang size. If `static_threads` is
+/// provided and is a multiple of the gang size, the partial branch is not
+/// emitted at all (the §4.1 specialization).
+pub fn emit_gang_loop(
+    fb: &mut FunctionBuilder,
+    region: &str,
+    captured: &[Value],
+    num_threads: Value,
+    gang: u32,
+    static_threads: Option<u64>,
+) {
+    emit_gang_loop_peeled(fb, region, captured, num_threads, gang, static_threads, false);
+}
+
+/// [`emit_gang_loop`] with optional head-gang peeling: when the region uses
+/// `psim_is_head_gang()`, the first complete gang is extracted into a call
+/// to the `__head` specialization so the steady-state loop runs code with
+/// the head predicate folded away (§3: "the compiler can use this
+/// information to automatically extract the first and last gang into a copy
+/// of the function").
+#[allow(clippy::too_many_arguments)]
+pub fn emit_gang_loop_peeled(
+    fb: &mut FunctionBuilder,
+    region: &str,
+    captured: &[Value],
+    num_threads: Value,
+    gang: u32,
+    static_threads: Option<u64>,
+    peel_head: bool,
+) {
+    let g = Const::i64(gang as i64);
+    let only_full = static_threads.map_or(false, |n| n % gang as u64 == 0);
+
+    // Specialized driver: a main loop over complete gangs with no
+    // per-iteration full/partial test, then at most one partial (tail) call.
+    let full_end = if only_full {
+        num_threads
+    } else {
+        let rem = fb.bin(BinOp::SRem, num_threads, Value::Const(g));
+        fb.bin(BinOp::Sub, num_threads, rem)
+    };
+
+    // Optional head peel: if at least one complete gang exists, run it
+    // through the __head specialization and start the loop at G.
+    let loop_start: Value = if peel_head {
+        let head_blk = fb.new_block("gang.head");
+        let cont = fb.new_block("gang.head.cont");
+        let has_full = fb.cmp(CmpPred::Sle, Value::Const(g), full_end);
+        let pre = fb.current_block();
+        fb.cond_br(has_full, head_blk, cont);
+        fb.switch_to(head_blk);
+        let mut hargs: Vec<Value> = captured.to_vec();
+        hargs.push(Value::Const(Const::i64(0)));
+        hargs.push(num_threads);
+        fb.call(head_name(region), Ty::Void, hargs);
+        fb.br(cont);
+        fb.switch_to(cont);
+        let start = fb.phi(vec![
+            (head_blk, Value::Const(g)),
+            (pre, Value::Const(Const::i64(0))),
+        ]);
+        start
+    } else {
+        Value::Const(Const::i64(0))
+    };
+
+    let header = fb.new_block("gang.header");
+    let body = fb.new_block("gang.body");
+    let exit = fb.new_block("gang.exit");
+    let pre = fb.current_block();
+    fb.br(header);
+
+    fb.switch_to(header);
+    let base = fb.phi_typed(
+        Ty::scalar(psir::ScalarTy::I64),
+        vec![(pre, loop_start)],
+    );
+    let more = fb.cmp(CmpPred::Slt, base, full_end);
+    fb.cond_br(more, body, exit);
+
+    fb.switch_to(body);
+    let mut args: Vec<Value> = captured.to_vec();
+    args.push(base);
+    args.push(num_threads);
+    fb.call(full_name(region), Ty::Void, args.clone());
+    let next = fb.bin(BinOp::Add, base, Value::Const(g));
+    let cur = fb.current_block();
+    fb.phi_add_incoming(base, cur, next);
+    fb.br(header);
+
+    fb.switch_to(exit);
+    if !only_full {
+        let tail = fb.new_block("gang.tail");
+        let done = fb.new_block("gang.done");
+        let has_tail = fb.cmp(CmpPred::Slt, full_end, num_threads);
+        fb.cond_br(has_tail, tail, done);
+        fb.switch_to(tail);
+        let mut targs: Vec<Value> = captured.to_vec();
+        targs.push(full_end);
+        targs.push(num_threads);
+        fb.call(partial_name(region), Ty::Void, targs);
+        fb.br(done);
+        fb.switch_to(done);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psir::{assert_valid, Param, ScalarTy};
+
+    #[test]
+    fn gang_loop_shape() {
+        let mut fb = FunctionBuilder::new(
+            "driver",
+            vec![
+                Param::new("a", Ty::scalar(ScalarTy::Ptr)),
+                Param::new("n", Ty::scalar(ScalarTy::I64)),
+            ],
+            Ty::Void,
+        );
+        emit_gang_loop(
+            &mut fb,
+            "kernel__psim0",
+            &[Value::Param(0)],
+            Value::Param(1),
+            16,
+            None,
+        );
+        fb.ret(None);
+        let f = fb.finish();
+        assert_valid(&f);
+        let text = psir::print_function(&f);
+        assert!(text.contains("kernel__psim0__full"));
+        assert!(text.contains("kernel__psim0__partial"));
+    }
+
+    #[test]
+    fn static_multiple_skips_partial() {
+        let mut fb = FunctionBuilder::new(
+            "driver2",
+            vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))],
+            Ty::Void,
+        );
+        emit_gang_loop(
+            &mut fb,
+            "k",
+            &[Value::Param(0)],
+            Value::Const(Const::i64(64)),
+            16,
+            Some(64),
+        );
+        fb.ret(None);
+        let f = fb.finish();
+        assert_valid(&f);
+        let text = psir::print_function(&f);
+        assert!(text.contains("k__full"));
+        assert!(!text.contains("k__partial"));
+    }
+}

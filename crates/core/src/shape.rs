@@ -1,0 +1,908 @@
+//! Shape analysis (§4.2.2).
+//!
+//! Classifies every value of a scalar SPMD function as **indexed** (a common
+//! scalar base plus compile-time per-lane offsets — uniform and strided are
+//! the all-zero and arithmetic-progression special cases) or **varying**
+//! (a true per-lane vector). Indexed values stay scalar through
+//! vectorization, which is what makes uniform branches scalar, keeps address
+//! computations out of vector registers, and lets the memory-op selector
+//! pick packed accesses over gathers.
+//!
+//! The analysis is a forward fixpoint over the instruction graph with an
+//! optimistic lattice `Top → Indexed → Varying`; transformation rules are
+//! applied only when their preconditions hold, via the offline-verified
+//! catalog in the `shapecheck` crate (the paper's two-phase z3 flow).
+
+use psir::{
+    iota_bits, BinOp, CastKind, Function, Inst, InstId, Intrinsic, ScalarTy, Ty, Value,
+};
+use shapecheck::{largest_pow2_divisor, match_rule, OperandInfo, RuleOp};
+use std::collections::HashMap;
+
+/// Facts carried by an indexed value (see [`Shape::Indexed`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeInfo {
+    /// Per-lane compile-time offsets (raw payload bits), length = gang size.
+    pub offsets: Vec<u64>,
+    /// Compile-time value of the base, if known.
+    pub base_const: Option<u64>,
+    /// Known power-of-two alignment of the base.
+    pub align: u64,
+    /// `base + offsets[i]` known not to wrap (unsigned).
+    pub nowrap_u: bool,
+    /// `base + offsets[i]` known not to wrap (signed).
+    pub nowrap_s: bool,
+}
+
+impl ShapeInfo {
+    /// A uniform value (all offsets zero). Uniform values trivially satisfy
+    /// the no-wrap facts, since their offsets are zero.
+    pub fn uniform(gang: u32, base_const: Option<u64>, align: u64) -> ShapeInfo {
+        ShapeInfo {
+            offsets: vec![0; gang as usize],
+            base_const,
+            align,
+            nowrap_u: true,
+            nowrap_s: true,
+        }
+    }
+
+    /// Whether every offset is zero.
+    pub fn is_uniform(&self) -> bool {
+        self.offsets.iter().all(|&o| o == 0)
+    }
+
+    /// The common stride, if offsets form `o0, o0+s, o0+2s, …`.
+    pub fn stride(&self, ty: ScalarTy) -> Option<i64> {
+        let info = OperandInfo {
+            base_const: self.base_const,
+            base_align: self.align,
+            offsets: self.offsets.clone(),
+            nowrap_unsigned: self.nowrap_u,
+            nowrap_signed: self.nowrap_s,
+        };
+        info.stride(ty)
+    }
+
+    fn to_operand_info(&self) -> OperandInfo {
+        OperandInfo {
+            base_const: self.base_const,
+            base_align: self.align,
+            offsets: self.offsets.clone(),
+            nowrap_unsigned: self.nowrap_u,
+            nowrap_signed: self.nowrap_s,
+        }
+    }
+}
+
+/// The shape lattice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Shape {
+    /// Not yet computed (optimistic initial state inside loops).
+    Top,
+    /// Scalar base + compile-time per-lane offsets.
+    Indexed(ShapeInfo),
+    /// A true vector value.
+    Varying,
+}
+
+impl Shape {
+    /// Whether the value is indexed with all-zero offsets.
+    pub fn is_uniform(&self) -> bool {
+        matches!(self, Shape::Indexed(i) if i.is_uniform())
+    }
+
+    /// Whether the value is indexed (including uniform).
+    pub fn is_indexed(&self) -> bool {
+        matches!(self, Shape::Indexed(_))
+    }
+
+    /// The indexed payload, if any.
+    pub fn indexed(&self) -> Option<&ShapeInfo> {
+        match self {
+            Shape::Indexed(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+/// Lattice meet for φ nodes: indexed shapes merge only when their offsets
+/// agree (the bases become a scalar φ); anything else degrades to varying.
+fn meet(a: &Shape, b: &Shape) -> Shape {
+    match (a, b) {
+        (Shape::Top, x) | (x, Shape::Top) => x.clone(),
+        (Shape::Varying, _) | (_, Shape::Varying) => Shape::Varying,
+        (Shape::Indexed(x), Shape::Indexed(y)) => {
+            if x.offsets == y.offsets {
+                Shape::Indexed(ShapeInfo {
+                    offsets: x.offsets.clone(),
+                    base_const: match (x.base_const, y.base_const) {
+                        (Some(a), Some(b)) if a == b => Some(a),
+                        _ => None,
+                    },
+                    align: x.align.min(y.align),
+                    nowrap_u: x.nowrap_u && y.nowrap_u,
+                    nowrap_s: x.nowrap_s && y.nowrap_s,
+                })
+            } else {
+                Shape::Varying
+            }
+        }
+    }
+}
+
+/// The result of shape analysis for one SPMD function.
+#[derive(Debug, Clone)]
+pub struct ShapeMap {
+    gang: u32,
+    insts: HashMap<InstId, Shape>,
+    params: Vec<Shape>,
+}
+
+impl ShapeMap {
+    /// The shape of any operand value.
+    pub fn shape(&self, f: &Function, v: Value) -> Shape {
+        match v {
+            Value::Const(c) => Shape::Indexed(ShapeInfo::uniform(
+                self.gang,
+                Some(c.bits),
+                largest_pow2_divisor(c.bits),
+            )),
+            Value::Param(i) => self.params[i as usize].clone(),
+            Value::Inst(id) => {
+                let _ = f;
+                self.insts.get(&id).cloned().unwrap_or(Shape::Varying)
+            }
+        }
+    }
+
+    /// Whether `v` is uniform.
+    pub fn is_uniform(&self, f: &Function, v: Value) -> bool {
+        self.shape(f, v).is_uniform()
+    }
+
+    /// Gang size the analysis ran at.
+    pub fn gang(&self) -> u32 {
+        self.gang
+    }
+}
+
+/// Number of implicit trailing parameters every outlined SPMD region
+/// function carries: `(gang_base: i64, num_threads: i64)` — see §4.1 and
+/// `crate::region`.
+pub const SPMD_EXTRA_PARAMS: usize = 2;
+
+/// Index of the implicit `gang_base` parameter.
+pub fn gang_base_param(f: &Function) -> u32 {
+    (f.params.len() - SPMD_EXTRA_PARAMS) as u32
+}
+
+/// Index of the implicit `num_threads` parameter.
+pub fn num_threads_param(f: &Function) -> u32 {
+    (f.params.len() - 1) as u32
+}
+
+/// Whether no-wrap facts are propagated for this element type. Index and
+/// pointer arithmetic in well-formed SPMD programs does not wrap (the same
+/// assumption LLVM encodes with `nsw`/`nuw`/`inbounds` flags emitted by
+/// front-ends); narrow integer arithmetic legitimately wraps all the time,
+/// so it never keeps the facts.
+fn nowrap_ty(ty: ScalarTy) -> bool {
+    matches!(ty, ScalarTy::I64 | ScalarTy::Ptr)
+}
+
+struct Analyzer<'f> {
+    f: &'f Function,
+    gang: u32,
+    map: ShapeMap,
+    /// For φ nodes: the branch condition controlling the join (the `If`
+    /// condition for if-joins, the loop's exit condition for loop headers).
+    /// A φ whose controlling condition is varying is itself varying — lanes
+    /// arrive from different predecessors (§4.2.1's divergence).
+    block_ctrl: HashMap<psir::BlockId, Value>,
+    /// Values defined inside a loop and used outside it, keyed by the
+    /// loop's exit condition: if that loop diverges (condition varying),
+    /// lanes exit at different iterations, so the escaping value differs
+    /// per lane and must be varying.
+    escapes: HashMap<InstId, Vec<Value>>,
+    /// Which block each instruction lives in.
+    inst_block: HashMap<InstId, psir::BlockId>,
+}
+
+impl<'f> Analyzer<'f> {
+    fn shape_of(&self, v: Value) -> Shape {
+        self.map.shape(self.f, v)
+    }
+
+    fn transfer(&self, id: InstId) -> Shape {
+        let f = self.f;
+        let g = self.gang;
+        let inst = f.inst(id);
+        let ty = f.inst_ty(id);
+        let uni = |align: u64| Shape::Indexed(ShapeInfo::uniform(g, None, align));
+        match inst {
+            Inst::Bin { op, a, b } => {
+                let (sa, sb) = (self.shape_of(*a), self.shape_of(*b));
+                match (&sa, &sb) {
+                    (Shape::Top, _) | (_, Shape::Top) => Shape::Top,
+                    (Shape::Indexed(ia), Shape::Indexed(ib)) => {
+                        let elem = ty.elem().unwrap_or(ScalarTy::I64);
+                        if elem.is_float() {
+                            // Floats are only uniform-or-varying.
+                            return if ia.is_uniform() && ib.is_uniform() {
+                                uni(1)
+                            } else {
+                                Shape::Varying
+                            };
+                        }
+                        if ia.is_uniform() && ib.is_uniform() {
+                            // Uniform op uniform is uniform for every op.
+                            let bc = match (ia.base_const, ib.base_const) {
+                                (Some(x), Some(y)) => psir::eval_bin(*op, elem, x, y).ok(),
+                                _ => None,
+                            };
+                            let align = bc
+                                .map(largest_pow2_divisor)
+                                .unwrap_or_else(|| uniform_align(*op, ia, ib));
+                            return Shape::Indexed(ShapeInfo::uniform(g, bc, align));
+                        }
+                        let (oa, ob) = (ia.to_operand_info(), ib.to_operand_info());
+                        match match_rule(RuleOp::Bin(*op), elem, &oa, &ob) {
+                            Some(rule) => {
+                                let offsets = rule.result_offsets(elem, elem, &oa, &ob);
+                                let base_const = match (ia.base_const, ib.base_const) {
+                                    (Some(x), Some(y)) => {
+                                        Some(rule.result_base(elem, elem, x, y))
+                                    }
+                                    _ => None,
+                                };
+                                let align = base_const
+                                    .map(largest_pow2_divisor)
+                                    .unwrap_or_else(|| rule_align(*op, ia, ib));
+                                let keep_nowrap = nowrap_ty(elem)
+                                    && ia.nowrap_u
+                                    && ia.nowrap_s
+                                    && ib.nowrap_u
+                                    && ib.nowrap_s
+                                    && matches!(
+                                        op,
+                                        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Shl
+                                    );
+                                Shape::Indexed(ShapeInfo {
+                                    offsets,
+                                    base_const,
+                                    align,
+                                    nowrap_u: keep_nowrap,
+                                    nowrap_s: keep_nowrap,
+                                })
+                            }
+                            None => Shape::Varying,
+                        }
+                    }
+                    _ => Shape::Varying,
+                }
+            }
+            Inst::Un { a, .. } => {
+                // Unary ops preserve uniformity only.
+                match self.shape_of(*a) {
+                    Shape::Top => Shape::Top,
+                    s if s.is_uniform() => uni(1),
+                    _ => Shape::Varying,
+                }
+            }
+            Inst::Cmp { a, b, .. } => {
+                match (self.shape_of(*a), self.shape_of(*b)) {
+                    (Shape::Top, _) | (_, Shape::Top) => Shape::Top,
+                    (sa, sb) if sa.is_uniform() && sb.is_uniform() => uni(1),
+                    _ => Shape::Varying,
+                }
+            }
+            Inst::Cast { kind, a } => {
+                let sa = self.shape_of(*a);
+                let from = f.value_ty(*a).elem().unwrap_or(ScalarTy::I64);
+                let to = ty.elem().unwrap_or(ScalarTy::I64);
+                match sa {
+                    Shape::Top => Shape::Top,
+                    Shape::Indexed(ia) if ia.is_uniform() => Shape::Indexed(ShapeInfo::uniform(
+                        g,
+                        ia.base_const.map(|c| psir::eval_cast(*kind, from, to, c)),
+                        1,
+                    )),
+                    Shape::Indexed(ia)
+                        if matches!(
+                            kind,
+                            CastKind::Trunc | CastKind::Zext | CastKind::Sext
+                        ) =>
+                    {
+                        let oa = ia.to_operand_info();
+                        let dummy = OperandInfo::with_const_base(0, vec![0; g as usize]);
+                        match match_rule(RuleOp::Cast(*kind), from, &oa, &dummy) {
+                            Some(rule) => {
+                                let offsets = rule.result_offsets(from, to, &oa, &dummy);
+                                let keep = nowrap_ty(to) && ia.nowrap_u && ia.nowrap_s;
+                                Shape::Indexed(ShapeInfo {
+                                    offsets,
+                                    base_const: ia
+                                        .base_const
+                                        .map(|c| rule.result_base(from, to, c, 0)),
+                                    align: ia.align,
+                                    nowrap_u: keep,
+                                    nowrap_s: keep,
+                                })
+                            }
+                            None => Shape::Varying,
+                        }
+                    }
+                    Shape::Indexed(ia)
+                        if matches!(kind, CastKind::PtrToInt | CastKind::IntToPtr) =>
+                    {
+                        // Pointer/integer reinterpretation keeps the shape.
+                        Shape::Indexed(ia)
+                    }
+                    _ => Shape::Varying,
+                }
+            }
+            Inst::Select { cond, t, f: fv } => {
+                let (sc, st, sf) = (self.shape_of(*cond), self.shape_of(*t), self.shape_of(*fv));
+                if matches!(sc, Shape::Top) || matches!(st, Shape::Top) || matches!(sf, Shape::Top)
+                {
+                    return Shape::Top;
+                }
+                if sc.is_uniform() {
+                    match (&st, &sf) {
+                        (Shape::Indexed(a), Shape::Indexed(b)) if a.offsets == b.offsets => {
+                            meet(&st, &sf)
+                        }
+                        _ => Shape::Varying,
+                    }
+                } else {
+                    Shape::Varying
+                }
+            }
+            Inst::Gep { base, index, scale } => {
+                let (sb, si) = (self.shape_of(*base), self.shape_of(*index));
+                match (&sb, &si) {
+                    (Shape::Top, _) | (_, Shape::Top) => Shape::Top,
+                    (Shape::Indexed(ib), Shape::Indexed(ii)) => {
+                        let ity = f.value_ty(*index).elem().unwrap_or(ScalarTy::I64);
+                        let offsets: Vec<u64> = ib
+                            .offsets
+                            .iter()
+                            .zip(&ii.offsets)
+                            .map(|(&bo, &io)| {
+                                bo.wrapping_add(
+                                    (psir::sext(ity, io) as u64).wrapping_mul(*scale),
+                                )
+                            })
+                            .collect();
+                        let align = ib
+                            .align
+                            .min(largest_pow2_divisor(*scale).max(1).saturating_mul(ii.align))
+                            .min(1 << 62);
+                        Shape::Indexed(ShapeInfo {
+                            offsets,
+                            base_const: None,
+                            align,
+                            // Pointer arithmetic does not wrap in valid
+                            // programs (LLVM `inbounds` analogue).
+                            nowrap_u: true,
+                            nowrap_s: true,
+                        })
+                    }
+                    _ => Shape::Varying,
+                }
+            }
+            Inst::Load { ptr, .. } => match self.shape_of(*ptr) {
+                Shape::Top => Shape::Top,
+                s if s.is_uniform() => uni(1),
+                _ => Shape::Varying,
+            },
+            Inst::Alloca { size } => {
+                // Private per-thread allocation: the vectorized allocation is
+                // G × size, and thread i's copy lives at offset i × size.
+                if let Value::Const(c) = size {
+                    let s = c.bits;
+                    Shape::Indexed(ShapeInfo {
+                        offsets: (0..g as u64).map(|i| i * s).collect(),
+                        base_const: None,
+                        align: 64,
+                        nowrap_u: true,
+                        nowrap_s: true,
+                    })
+                } else {
+                    Shape::Varying
+                }
+            }
+            Inst::Call { .. } => Shape::Varying,
+            Inst::Intrin { kind, args } => match kind {
+                Intrinsic::LaneNum => Shape::Indexed(ShapeInfo {
+                    offsets: iota_bits(ScalarTy::I64, g),
+                    base_const: Some(0),
+                    align: 1 << 62,
+                    nowrap_u: true,
+                    nowrap_s: true,
+                }),
+                Intrinsic::ThreadNum => Shape::Indexed(ShapeInfo {
+                    offsets: iota_bits(ScalarTy::I64, g),
+                    base_const: None,
+                    align: largest_pow2_divisor(g as u64),
+                    nowrap_u: true,
+                    nowrap_s: true,
+                }),
+                Intrinsic::GangSize => {
+                    Shape::Indexed(ShapeInfo::uniform(g, Some(g as u64), g as u64))
+                }
+                Intrinsic::NumThreads
+                | Intrinsic::GangNum
+                | Intrinsic::IsHeadGang
+                | Intrinsic::IsTailGang
+                | Intrinsic::Broadcast
+                | Intrinsic::GangReduce(_) => uni(1),
+                Intrinsic::GangSync => uni(1), // void, shape unused
+                Intrinsic::Shuffle | Intrinsic::SadGroups => Shape::Varying,
+                Intrinsic::Math(_) | Intrinsic::Fma => {
+                    if args.iter().all(|&a| self.shape_of(a).is_uniform()) {
+                        uni(1)
+                    } else if args.iter().any(|&a| matches!(self.shape_of(a), Shape::Top)) {
+                        Shape::Top
+                    } else {
+                        Shape::Varying
+                    }
+                }
+            },
+            Inst::Phi { incoming } => {
+                let mut s = Shape::Top;
+                for (_, v) in incoming {
+                    s = meet(&s, &self.shape_of(*v));
+                }
+                // Divergence: a φ at a join controlled by a varying branch
+                // (or in the header of a divergent loop) mixes values from
+                // different paths per lane.
+                if let Some(block) = self.inst_block.get(&id) {
+                    if let Some(ctrl) = self.block_ctrl.get(block) {
+                        if matches!(self.shape_of(*ctrl), Shape::Varying) {
+                            return Shape::Varying;
+                        }
+                    }
+                }
+                s
+            }
+            // Explicit vector instructions should not appear in scalar SPMD
+            // input, but classify them defensively.
+            _ => Shape::Varying,
+        }
+    }
+}
+
+/// Alignment of `op(a_base, b_base)` when both operands are uniform.
+fn uniform_align(op: BinOp, a: &ShapeInfo, b: &ShapeInfo) -> u64 {
+    rule_align(op, a, b)
+}
+
+/// Conservative alignment of the result base for rule-produced bases.
+fn rule_align(op: BinOp, a: &ShapeInfo, b: &ShapeInfo) -> u64 {
+    match op {
+        BinOp::Add | BinOp::Sub => a.align.min(b.align),
+        BinOp::Mul => {
+            let factor = b.base_const.or(a.base_const).map(largest_pow2_divisor).unwrap_or(1);
+            (a.align.max(b.align)).saturating_mul(factor).min(1 << 62)
+        }
+        BinOp::Shl => {
+            let k = b.base_const.unwrap_or(0).min(62);
+            a.align.checked_shl(k as u32).unwrap_or(1 << 62).max(1).min(1 << 62)
+        }
+        BinOp::And => {
+            let k = b
+                .base_const
+                .map(|m| if m == 0 { 1 } else { 1u64 << m.trailing_zeros().min(62) })
+                .unwrap_or(1);
+            a.align.max(k)
+        }
+        BinOp::LShr => {
+            let k = b.base_const.unwrap_or(0).min(62);
+            (a.align >> k).max(1)
+        }
+        BinOp::Or | BinOp::Xor => {
+            let c = b.base_const.unwrap_or(1);
+            a.align.min(largest_pow2_divisor(c))
+        }
+        _ => 1,
+    }
+}
+
+/// Ablation helper: a shape map in which every instruction is varying
+/// (parameters stay uniform — they are scalars by construction). Used by
+/// the `--no-shape` experiment to quantify what shape analysis buys.
+pub fn all_varying(f: &Function, gang: u32) -> ShapeMap {
+    let params = f
+        .params
+        .iter()
+        .map(|_| Shape::Indexed(ShapeInfo::uniform(gang, None, 1)))
+        .collect();
+    let mut insts = HashMap::new();
+    for b in f.block_ids() {
+        for &i in &f.block(b).insts {
+            insts.insert(i, Shape::Varying);
+        }
+    }
+    ShapeMap {
+        gang,
+        insts,
+        params,
+    }
+}
+
+/// Collects, from the control tree, (a) the controlling condition of every
+/// join/header block and (b) loop membership for escape analysis.
+fn divergence_context(
+    f: &Function,
+    tree: &crate::structurize::ControlTree,
+) -> (
+    HashMap<psir::BlockId, Value>,
+    HashMap<InstId, Vec<Value>>,
+) {
+    use crate::structurize::Node;
+    let mut block_ctrl: HashMap<psir::BlockId, Value> = HashMap::new();
+    // (loop cond, set of blocks in the loop) per loop
+    let mut loops: Vec<(Value, Vec<psir::BlockId>)> = Vec::new();
+
+    fn blocks_of(nodes: &[Node], out: &mut Vec<psir::BlockId>) {
+        for n in nodes {
+            match n {
+                Node::Block(b) => out.push(*b),
+                Node::If {
+                    cond_block,
+                    then_nodes,
+                    else_nodes,
+                    ..
+                } => {
+                    out.push(*cond_block);
+                    blocks_of(then_nodes, out);
+                    blocks_of(else_nodes, out);
+                }
+                Node::Loop { header, body, .. } => {
+                    out.push(*header);
+                    blocks_of(body, out);
+                }
+            }
+        }
+    }
+
+    fn cond_of(f: &Function, b: psir::BlockId) -> Value {
+        match &f.block(b).term {
+            psir::Terminator::CondBr { cond, .. } => *cond,
+            _ => unreachable!("structurizer guarantees a conditional branch"),
+        }
+    }
+
+    fn walk(
+        f: &Function,
+        nodes: &[Node],
+        block_ctrl: &mut HashMap<psir::BlockId, Value>,
+        loops: &mut Vec<(Value, Vec<psir::BlockId>)>,
+    ) {
+        for n in nodes {
+            match n {
+                Node::Block(_) => {}
+                Node::If {
+                    cond_block,
+                    then_nodes,
+                    else_nodes,
+                    join,
+                } => {
+                    block_ctrl.insert(*join, cond_of(f, *cond_block));
+                    walk(f, then_nodes, block_ctrl, loops);
+                    walk(f, else_nodes, block_ctrl, loops);
+                }
+                Node::Loop { header, body, .. } => {
+                    let c = cond_of(f, *header);
+                    block_ctrl.insert(*header, c);
+                    let mut blocks = vec![*header];
+                    blocks_of(body, &mut blocks);
+                    loops.push((c, blocks));
+                    walk(f, body, block_ctrl, loops);
+                }
+            }
+        }
+    }
+    walk(f, &tree.roots, &mut block_ctrl, &mut loops);
+
+    // Escape analysis: instructions defined in a loop but used outside it.
+    let mut inst_block: HashMap<InstId, psir::BlockId> = HashMap::new();
+    for b in f.block_ids() {
+        for &i in &f.block(b).insts {
+            inst_block.insert(i, b);
+        }
+    }
+    let mut escapes: HashMap<InstId, Vec<Value>> = HashMap::new();
+    for (cond, blocks) in &loops {
+        let inside: std::collections::HashSet<psir::BlockId> = blocks.iter().copied().collect();
+        for b in f.block_ids() {
+            if inside.contains(&b) {
+                continue;
+            }
+            for &user in &f.block(b).insts {
+                for op in f.inst(user).operands() {
+                    if let Value::Inst(def) = op {
+                        if inst_block.get(&def).map_or(false, |db| inside.contains(db)) {
+                            escapes.entry(def).or_default().push(*cond);
+                        }
+                    }
+                }
+            }
+            // Terminator conditions count as uses too.
+            if let psir::Terminator::CondBr { cond: c, .. } = &f.block(b).term {
+                if let Value::Inst(def) = c {
+                    if inst_block.get(def).map_or(false, |db| inside.contains(db)) {
+                        escapes.entry(*def).or_default().push(*cond);
+                    }
+                }
+            }
+        }
+    }
+    (block_ctrl, escapes)
+}
+
+/// Runs shape analysis over an SPMD function with gang size `gang`, using
+/// the structurized control tree for divergence information.
+///
+/// # Panics
+/// Panics if the function lacks the SPMD annotation.
+pub fn analyze(
+    f: &Function,
+    gang: u32,
+    tree: &crate::structurize::ControlTree,
+) -> ShapeMap {
+    assert!(f.spmd.is_some(), "shape analysis needs an SPMD function");
+    let nparams = f.params.len();
+    let mut params = Vec::with_capacity(nparams);
+    for (i, p) in f.params.iter().enumerate() {
+        let align = match p.ty {
+            // Buffers handed to regions come from the host allocator, which
+            // is 64-byte aligned in this VM (see psir::Memory::alloc).
+            Ty::Scalar(ScalarTy::Ptr) => 64,
+            _ => 1,
+        };
+        let base_align = if i == nparams - SPMD_EXTRA_PARAMS {
+            // gang_base is a multiple of the gang size.
+            largest_pow2_divisor(gang as u64)
+        } else {
+            align
+        };
+        params.push(Shape::Indexed(ShapeInfo::uniform(gang, None, base_align)));
+    }
+
+    let (block_ctrl, escapes) = divergence_context(f, tree);
+    let mut inst_block = HashMap::new();
+    for b in f.block_ids() {
+        for &i in &f.block(b).insts {
+            inst_block.insert(i, b);
+        }
+    }
+    let mut a = Analyzer {
+        f,
+        gang,
+        map: ShapeMap {
+            gang,
+            insts: HashMap::new(),
+            params,
+        },
+        block_ctrl,
+        escapes,
+        inst_block,
+    };
+
+    // Optimistic iteration to fixpoint: every instruction starts at Top and
+    // can only move down the (finite) lattice, so this terminates.
+    for b in f.block_ids() {
+        for &id in &f.block(b).insts {
+            a.map.insts.insert(id, Shape::Top);
+        }
+    }
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed {
+        changed = false;
+        rounds += 1;
+        assert!(rounds < 1000, "shape analysis failed to converge");
+        for b in f.block_ids() {
+            for &id in &f.block(b).insts.clone() {
+                let mut new = a.transfer(id);
+                // Escaping a divergent loop forces varying (lanes leave the
+                // loop at different iterations).
+                if let Some(conds) = a.escapes.get(&id) {
+                    if conds
+                        .iter()
+                        .any(|&c| matches!(a.shape_of(c), Shape::Varying))
+                    {
+                        new = Shape::Varying;
+                    }
+                }
+                let old = a.map.insts.get(&id).cloned().unwrap_or(Shape::Top);
+                let merged = if matches!(old, Shape::Top) {
+                    new
+                } else {
+                    meet(&old, &new)
+                };
+                if merged != old {
+                    a.map.insts.insert(id, merged);
+                    changed = true;
+                }
+            }
+        }
+    }
+    // Anything still Top is dead/unreachable; treat as uniform-unknown.
+    for (_, s) in a.map.insts.iter_mut() {
+        if matches!(s, Shape::Top) {
+            *s = Shape::Indexed(ShapeInfo::uniform(gang, None, 1));
+        }
+    }
+    a.map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psir::{
+        CmpPred, FunctionBuilder, Param, SpmdInfo, ThreadCount, Ty, Value,
+    };
+
+    fn spmd_fb(name: &str, user_params: Vec<Param>, gang: u32) -> FunctionBuilder {
+        let mut params = user_params;
+        params.push(Param::new("gang_base", Ty::scalar(ScalarTy::I64)));
+        params.push(Param::new("num_threads", Ty::scalar(ScalarTy::I64)));
+        let mut fb = FunctionBuilder::new(name, params, Ty::Void);
+        fb.set_spmd(SpmdInfo {
+            gang_size: gang,
+            num_threads: ThreadCount::Dynamic,
+            partial: false,
+        });
+        fb
+    }
+
+    #[test]
+    fn lane_num_is_strided() {
+        let mut fb = spmd_fb("f", vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))], 8);
+        let lane = fb.lane_num();
+        let addr = fb.gep(Value::Param(0), lane, 4);
+        let v = fb.load(Ty::scalar(ScalarTy::I32), addr, None);
+        let _ = v;
+        fb.ret(None);
+        let f = fb.finish();
+        let shapes = analyze(&f, 8, &crate::structurize::structurize(&f).unwrap());
+        let s = shapes.shape(&f, lane);
+        let info = s.indexed().expect("lane num is indexed");
+        assert_eq!(info.offsets, (0..8).collect::<Vec<u64>>());
+        assert_eq!(info.stride(ScalarTy::I64), Some(1));
+        // address: stride 4 (packed-eligible for i32)
+        let sa = shapes.shape(&f, addr);
+        assert_eq!(sa.indexed().unwrap().stride(ScalarTy::Ptr), Some(4));
+        // loaded data is varying
+        assert_eq!(shapes.shape(&f, v), Shape::Varying);
+    }
+
+    #[test]
+    fn uniform_arith_stays_uniform() {
+        let mut fb = spmd_fb("g", vec![Param::new("n", Ty::scalar(ScalarTy::I64))], 16);
+        let x = fb.bin(BinOp::Mul, Value::Param(0), 3i64);
+        let c = fb.cmp(CmpPred::Slt, x, 100i64);
+        fb.ret(None);
+        let f = fb.finish();
+        let shapes = analyze(&f, 16, &crate::structurize::structurize(&f).unwrap());
+        assert!(shapes.shape(&f, x).is_uniform());
+        assert!(shapes.shape(&f, c).is_uniform());
+    }
+
+    #[test]
+    fn lane_times_dynamic_scalar_is_varying() {
+        let mut fb = spmd_fb("h", vec![Param::new("n", Ty::scalar(ScalarTy::I64))], 8);
+        let lane = fb.lane_num();
+        let v = fb.bin(BinOp::Mul, lane, Value::Param(0));
+        let _ = v;
+        fb.ret(None);
+        let f = fb.finish();
+        let shapes = analyze(&f, 8, &crate::structurize::structurize(&f).unwrap());
+        assert_eq!(shapes.shape(&f, v), Shape::Varying);
+    }
+
+    #[test]
+    fn lane_times_const_is_strided() {
+        let mut fb = spmd_fb("h2", vec![], 4);
+        let lane = fb.lane_num();
+        let v = fb.bin(BinOp::Mul, lane, 12i64);
+        let _ = v;
+        fb.ret(None);
+        let f = fb.finish();
+        let shapes = analyze(&f, 4, &crate::structurize::structurize(&f).unwrap());
+        let s = shapes.shape(&f, v);
+        assert_eq!(s.indexed().unwrap().offsets, vec![0, 12, 24, 36]);
+    }
+
+    #[test]
+    fn loop_phi_of_uniform_stays_uniform() {
+        // i = 0; while (i < n) { i = i + 1 }  — i is uniform.
+        let mut fb = spmd_fb("l", vec![Param::new("n", Ty::scalar(ScalarTy::I64))], 8);
+        let header = fb.new_block("header");
+        let body = fb.new_block("body");
+        let exit = fb.new_block("exit");
+        let entry = fb.current_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi_typed(Ty::scalar(ScalarTy::I64), vec![(entry, psir::c_i64(0))]);
+        let c = fb.cmp(CmpPred::Slt, i, Value::Param(0));
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let i2 = fb.bin(BinOp::Add, i, 1i64);
+        fb.phi_add_incoming(i, body, i2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let f = fb.finish();
+        let shapes = analyze(&f, 8, &crate::structurize::structurize(&f).unwrap());
+        assert!(shapes.shape(&f, i).is_uniform());
+        assert!(shapes.shape(&f, c).is_uniform());
+    }
+
+    #[test]
+    fn loop_phi_fed_by_varying_degrades() {
+        // acc = 0; while (c) { acc = acc + load(gather) } — acc varying.
+        let mut fb = spmd_fb("lv", vec![
+            Param::new("a", Ty::scalar(ScalarTy::Ptr)),
+            Param::new("n", Ty::scalar(ScalarTy::I64)),
+        ], 8);
+        let header = fb.new_block("header");
+        let body = fb.new_block("body");
+        let exit = fb.new_block("exit");
+        let entry = fb.current_block();
+        let lane = fb.lane_num();
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi_typed(Ty::scalar(ScalarTy::I64), vec![(entry, psir::c_i64(0))]);
+        let acc = fb.phi_typed(Ty::scalar(ScalarTy::I64), vec![(entry, psir::c_i64(0))]);
+        let c = fb.cmp(CmpPred::Slt, i, Value::Param(1));
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        // a[lane * i]: varying address
+        let li = fb.bin(BinOp::Mul, lane, i);
+        let addr = fb.gep(Value::Param(0), li, 8);
+        let x = fb.load(Ty::scalar(ScalarTy::I64), addr, None);
+        let acc2 = fb.bin(BinOp::Add, acc, x);
+        let i2 = fb.bin(BinOp::Add, i, 1i64);
+        fb.phi_add_incoming(i, body, i2);
+        fb.phi_add_incoming(acc, body, acc2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let f = fb.finish();
+        let shapes = analyze(&f, 8, &crate::structurize::structurize(&f).unwrap());
+        assert_eq!(shapes.shape(&f, acc), Shape::Varying);
+        assert!(shapes.shape(&f, i).is_uniform());
+    }
+
+    #[test]
+    fn gep_combines_strides() {
+        let mut fb = spmd_fb("gp", vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))], 4);
+        let lane = fb.lane_num();
+        let two = fb.bin(BinOp::Mul, lane, 2i64); // 0,2,4,6
+        let addr = fb.gep(Value::Param(0), two, 4); // byte offsets 0,8,16,24
+        let _ = addr;
+        fb.ret(None);
+        let f = fb.finish();
+        let shapes = analyze(&f, 4, &crate::structurize::structurize(&f).unwrap());
+        let info = shapes.shape(&f, addr).indexed().unwrap().clone();
+        assert_eq!(info.offsets, vec![0, 8, 16, 24]);
+        assert_eq!(info.stride(ScalarTy::Ptr), Some(8));
+    }
+
+    #[test]
+    fn alloca_private_copies() {
+        let mut fb = spmd_fb("al", vec![], 4);
+        let p = fb.alloca(16i64);
+        let _ = p;
+        fb.ret(None);
+        let f = fb.finish();
+        let shapes = analyze(&f, 4, &crate::structurize::structurize(&f).unwrap());
+        let info = shapes.shape(&f, p).indexed().unwrap().clone();
+        assert_eq!(info.offsets, vec![0, 16, 32, 48]);
+    }
+}

@@ -1,0 +1,539 @@
+//! Reference executor for the Parsimony programming model (§3).
+//!
+//! Runs the *scalar* SPMD-annotated function the way the model defines it:
+//! `N` conceptual threads grouped into gangs of `G`, each executing the
+//! function body with its own values, communicating through shared memory
+//! and through explicit horizontal operations. Horizontal ops act as
+//! rendezvous points: a thread reaching one blocks until every other
+//! non-finished thread of its gang reaches the *same* op (anything else is
+//! a divergent-barrier error, which the model leaves undefined).
+//!
+//! The scheduler runs threads in lane order, switching only at horizontal
+//! ops or termination — a legal interleaving under the model's weak
+//! forward-progress guarantee (§3). Gangs execute sequentially, which is
+//! also permitted ("no guarantee of ordering among gangs").
+//!
+//! This executor is the differential oracle for the vectorizer: both must
+//! produce identical memory effects for race-free programs.
+
+use crate::shape::SPMD_EXTRA_PARAMS;
+use psir::{
+    eval_bin, eval_cast, eval_cmp, eval_math, eval_un, reduce_identity, reduce_step, sext,
+    BinOp, BlockId, ExecError, Function, Inst, InstId, Interp, Intrinsic, Memory, Module,
+    NoExterns, RtVal, Terminator, UnitCost, Value,
+};
+use std::collections::HashMap;
+
+static UNIT: UnitCost = UnitCost;
+static NOEXT: NoExterns = NoExterns;
+
+/// Why a thread stopped stepping.
+enum Stop {
+    /// Reached a horizontal op; carries the instruction and operand values.
+    Horizontal(InstId, Vec<u64>),
+    /// Returned from the region.
+    Done,
+}
+
+struct Thread {
+    lane: u64,
+    vals: HashMap<InstId, u64>,
+    block: BlockId,
+    idx: usize,
+    prev: Option<BlockId>,
+    done: bool,
+    /// Set while blocked at a horizontal op.
+    pending: Option<(InstId, Vec<u64>)>,
+}
+
+/// The reference executor. Owns the flat memory; see the module docs.
+pub struct SpmdRef<'m> {
+    module: &'m Module,
+    /// Shared memory (inputs and outputs live here).
+    pub mem: Memory,
+    steps: u64,
+    step_limit: u64,
+    schedule: u64,
+}
+
+impl<'m> SpmdRef<'m> {
+    /// Creates an executor over `module` and `mem`.
+    pub fn new(module: &'m Module, mem: Memory) -> SpmdRef<'m> {
+        SpmdRef {
+            module,
+            mem,
+            steps: 0,
+            step_limit: 1_000_000_000,
+            schedule: 0,
+        }
+    }
+
+    /// Uses a seeded pseudo-random thread-stepping order instead of lane
+    /// order. The model (§3) only promises weak forward progress between
+    /// synchronization points, so every schedule must give the same result
+    /// for race-free programs — tests exploit this to detect hidden
+    /// schedule dependence.
+    pub fn with_schedule(mut self, seed: u64) -> SpmdRef<'m> {
+        self.schedule = seed;
+        self
+    }
+
+    /// Replaces the runaway-loop guard.
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.step_limit = limit;
+    }
+
+    /// Runs an SPMD region for `num_threads` conceptual threads, gang by
+    /// gang, per the Parsimony model.
+    ///
+    /// `user_args` are the captured variables (everything except the two
+    /// implicit trailing parameters, which this function supplies).
+    ///
+    /// # Errors
+    /// Any runtime trap, a divergent barrier, or an unsupported construct.
+    pub fn run_region(
+        &mut self,
+        region: &str,
+        user_args: &[RtVal],
+        num_threads: u64,
+    ) -> Result<(), ExecError> {
+        let f = self
+            .module
+            .function(region)
+            .ok_or_else(|| ExecError::UnknownFunction(region.to_string()))?;
+        let spmd = f
+            .spmd
+            .ok_or_else(|| ExecError::Other(format!("@{region} is not SPMD-annotated")))?;
+        if f.params.len() != user_args.len() + SPMD_EXTRA_PARAMS {
+            return Err(ExecError::Other(format!(
+                "@{region} expects {} captured arguments, got {}",
+                f.params.len() - SPMD_EXTRA_PARAMS,
+                user_args.len()
+            )));
+        }
+        let g = spmd.gang_size as u64;
+        let mut base = 0;
+        while base < num_threads {
+            let active = (num_threads - base).min(g);
+            self.run_gang(f, user_args, base, num_threads, active)?;
+            base += g;
+        }
+        Ok(())
+    }
+
+    fn run_gang(
+        &mut self,
+        f: &Function,
+        user_args: &[RtVal],
+        gang_base: u64,
+        num_threads: u64,
+        active: u64,
+    ) -> Result<(), ExecError> {
+        let mut args: Vec<u64> = Vec::with_capacity(f.params.len());
+        for a in user_args {
+            args.push(a.scalar()?);
+        }
+        args.push(gang_base);
+        args.push(num_threads);
+
+        let mut threads: Vec<Thread> = (0..active)
+            .map(|lane| Thread {
+                lane,
+                vals: HashMap::new(),
+                block: f.entry,
+                idx: 0,
+                prev: None,
+                done: false,
+                pending: None,
+            })
+            .collect();
+        let gang_size = f.spmd.expect("checked").gang_size as u64;
+
+        let mut rng = self.schedule;
+        loop {
+            // Run every unblocked thread as far as it goes, in lane order
+            // or (with a schedule seed) a per-round pseudo-random order —
+            // both are legal interleavings under weak forward progress.
+            let mut order: Vec<usize> = (0..threads.len()).collect();
+            if self.schedule != 0 {
+                for i in (1..order.len()).rev() {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    order.swap(i, (rng as usize) % (i + 1));
+                }
+            }
+            let mut all_done = true;
+            for &t in &order {
+                if threads[t].done || threads[t].pending.is_some() {
+                    continue;
+                }
+                match self.step_thread(f, &mut threads[t], &args)? {
+                    Stop::Done => threads[t].done = true,
+                    Stop::Horizontal(id, ops) => threads[t].pending = Some((id, ops)),
+                }
+            }
+            for t in &threads {
+                if !t.done {
+                    all_done = false;
+                }
+            }
+            if all_done {
+                return Ok(());
+            }
+
+            // Everyone alive is blocked; they must agree on the op.
+            let ids: Vec<InstId> = threads
+                .iter()
+                .filter(|t| !t.done)
+                .map(|t| t.pending.as_ref().expect("blocked").0)
+                .collect();
+            if ids.windows(2).any(|w| w[0] != w[1]) {
+                return Err(ExecError::Other(
+                    "divergent barrier: gang threads blocked at different horizontal ops"
+                        .into(),
+                ));
+            }
+            let id = ids[0];
+            self.resolve_horizontal(f, id, gang_size, &mut threads)?;
+        }
+    }
+
+    /// Executes the horizontal op all blocked threads agreed on, writing
+    /// each participant's result and unblocking it.
+    fn resolve_horizontal(
+        &mut self,
+        f: &Function,
+        id: InstId,
+        gang_size: u64,
+        threads: &mut [Thread],
+    ) -> Result<(), ExecError> {
+        let kind = match f.inst(id) {
+            Inst::Intrin { kind, .. } => *kind,
+            other => return Err(ExecError::Other(format!("not horizontal: {other:?}"))),
+        };
+        // Contributions indexed by lane; non-participants contribute 0.
+        let mut contrib: Vec<Vec<u64>> = vec![Vec::new(); gang_size as usize];
+        for t in threads.iter() {
+            if let Some((_, ops)) = &t.pending {
+                contrib[t.lane as usize] = ops.clone();
+            }
+        }
+        let elem = f.inst_ty(id).elem();
+        let results: Vec<Option<u64>> = match kind {
+            Intrinsic::GangSync => vec![None; gang_size as usize],
+            Intrinsic::Shuffle | Intrinsic::Broadcast => (0..gang_size as usize)
+                .map(|lane| {
+                    let ops = &contrib[lane];
+                    if ops.is_empty() {
+                        return Some(0);
+                    }
+                    let src = (ops[1] % gang_size) as usize;
+                    Some(contrib[src].first().copied().unwrap_or(0))
+                })
+                .collect(),
+            Intrinsic::GangReduce(op) => {
+                let e = elem.ok_or_else(|| ExecError::Other("void reduce".into()))?;
+                let mut acc = reduce_identity(op, e);
+                for ops in &contrib {
+                    if let Some(&v) = ops.first() {
+                        acc = reduce_step(op, e, acc, v);
+                    }
+                }
+                vec![Some(acc); gang_size as usize]
+            }
+            Intrinsic::SadGroups => {
+                let e = elem.ok_or_else(|| ExecError::Other("void sad".into()))?;
+                let src = match f.inst(id) {
+                    Inst::Intrin { args, .. } => f
+                        .value_ty(args[0])
+                        .elem()
+                        .ok_or_else(|| ExecError::Other("void sad arg".into()))?,
+                    _ => unreachable!(),
+                };
+                let groups = (gang_size as usize).div_ceil(8);
+                let mut sums = vec![0u64; groups];
+                for (lane, ops) in contrib.iter().enumerate() {
+                    if ops.len() >= 2 {
+                        let a = sext(src, ops[0]);
+                        let b = sext(src, ops[1]);
+                        // unsigned absolute difference on the raw payloads
+                        let (ua, ub) = (ops[0] & src.bit_mask(), ops[1] & src.bit_mask());
+                        let d = ua.abs_diff(ub);
+                        let _ = (a, b);
+                        sums[lane / 8] = sums[lane / 8].wrapping_add(d);
+                    }
+                }
+                (0..gang_size as usize)
+                    .map(|lane| Some(sums[lane / 8] & e.bit_mask()))
+                    .collect()
+            }
+            other => {
+                return Err(ExecError::Other(format!(
+                    "{} is not horizontal",
+                    other.name()
+                )))
+            }
+        };
+        for t in threads.iter_mut() {
+            if t.pending.take().is_some() {
+                if let Some(r) = results[t.lane as usize] {
+                    t.vals.insert(id, r);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one thread until it finishes or reaches a horizontal op.
+    fn step_thread(
+        &mut self,
+        f: &Function,
+        t: &mut Thread,
+        args: &[u64],
+    ) -> Result<Stop, ExecError> {
+        loop {
+            if self.steps >= self.step_limit {
+                return Err(ExecError::StepLimit);
+            }
+            self.steps += 1;
+            let blk = f.block(t.block);
+
+            if t.idx == 0 {
+                // Evaluate φs simultaneously on block entry.
+                let mut phi_vals = Vec::new();
+                for &id in &blk.insts {
+                    if let Inst::Phi { incoming } = f.inst(id) {
+                        let p = t.prev.ok_or_else(|| {
+                            ExecError::Other("phi in entry block".into())
+                        })?;
+                        let (_, v) = incoming
+                            .iter()
+                            .find(|(b, _)| *b == p)
+                            .ok_or_else(|| ExecError::Other("phi missing edge".into()))?;
+                        phi_vals.push((id, self.operand(f, t, args, *v)?));
+                    } else {
+                        break;
+                    }
+                }
+                for (id, v) in phi_vals {
+                    t.vals.insert(id, v);
+                    t.idx += 1;
+                }
+            }
+
+            while t.idx < blk.insts.len() {
+                let id = blk.insts[t.idx];
+                if matches!(f.inst(id), Inst::Phi { .. }) {
+                    t.idx += 1;
+                    continue;
+                }
+                // Horizontal ops block the thread *before* executing.
+                if let Inst::Intrin { kind, args: iargs } = f.inst(id) {
+                    if kind.is_horizontal() {
+                        let mut ops = Vec::with_capacity(iargs.len());
+                        for &a in iargs.clone().iter() {
+                            ops.push(self.operand(f, t, args, a)?);
+                        }
+                        t.idx += 1;
+                        return Ok(Stop::Horizontal(id, ops));
+                    }
+                }
+                let r = self.exec_scalar_inst(f, t, args, id)?;
+                if let Some(v) = r {
+                    t.vals.insert(id, v);
+                }
+                t.idx += 1;
+            }
+
+            match &blk.term {
+                Terminator::Br(next) => {
+                    t.prev = Some(t.block);
+                    t.block = *next;
+                    t.idx = 0;
+                }
+                Terminator::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let c = self.operand(f, t, args, *cond)?;
+                    t.prev = Some(t.block);
+                    t.block = if c & 1 != 0 { *then_bb } else { *else_bb };
+                    t.idx = 0;
+                }
+                Terminator::Ret(_) => return Ok(Stop::Done),
+            }
+        }
+    }
+
+    fn operand(
+        &self,
+        f: &Function,
+        t: &Thread,
+        args: &[u64],
+        v: Value,
+    ) -> Result<u64, ExecError> {
+        match v {
+            Value::Const(c) => Ok(c.bits),
+            Value::Param(i) => args
+                .get(i as usize)
+                .copied()
+                .ok_or_else(|| ExecError::Other(format!("missing arg {i}"))),
+            Value::Inst(id) => t.vals.get(&id).copied().ok_or_else(|| {
+                ExecError::Other(format!("use of unevaluated {id} in @{}", f.name))
+            }),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_scalar_inst(
+        &mut self,
+        f: &Function,
+        t: &mut Thread,
+        args: &[u64],
+        id: InstId,
+    ) -> Result<Option<u64>, ExecError> {
+        let inst = f.inst(id).clone();
+        let ty = f.inst_ty(id);
+        let elem = ty.elem();
+        match &inst {
+            Inst::Bin { op, a, b } => {
+                let e = elem.ok_or_else(|| ExecError::Other("void bin".into()))?;
+                let (x, y) = (self.operand(f, t, args, *a)?, self.operand(f, t, args, *b)?);
+                Ok(Some(eval_bin(*op, e, x, y)?))
+            }
+            Inst::Un { op, a } => {
+                let e = elem.ok_or_else(|| ExecError::Other("void un".into()))?;
+                Ok(Some(eval_un(*op, e, self.operand(f, t, args, *a)?)?))
+            }
+            Inst::Cmp { pred, a, b } => {
+                let e = f
+                    .value_ty(*a)
+                    .elem()
+                    .ok_or_else(|| ExecError::Other("void cmp".into()))?;
+                let (x, y) = (self.operand(f, t, args, *a)?, self.operand(f, t, args, *b)?);
+                Ok(Some(eval_cmp(*pred, e, x, y) as u64))
+            }
+            Inst::Cast { kind, a } => {
+                let from = f
+                    .value_ty(*a)
+                    .elem()
+                    .ok_or_else(|| ExecError::Other("void cast".into()))?;
+                let to = elem.ok_or_else(|| ExecError::Other("void cast".into()))?;
+                Ok(Some(eval_cast(*kind, from, to, self.operand(f, t, args, *a)?)))
+            }
+            Inst::Select { cond, t: tv, f: fv } => {
+                let c = self.operand(f, t, args, *cond)?;
+                Ok(Some(if c & 1 != 0 {
+                    self.operand(f, t, args, *tv)?
+                } else {
+                    self.operand(f, t, args, *fv)?
+                }))
+            }
+            Inst::Gep { base, index, scale } => {
+                let b = self.operand(f, t, args, *base)?;
+                let i = self.operand(f, t, args, *index)?;
+                let ity = f.value_ty(*index).elem().unwrap_or(psir::ScalarTy::I64);
+                Ok(Some(
+                    b.wrapping_add((sext(ity, i) as u64).wrapping_mul(*scale)),
+                ))
+            }
+            Inst::Load { ptr, mask } => {
+                if mask.is_some() {
+                    return Err(ExecError::Other("masked load in SPMD input".into()));
+                }
+                let e = elem.ok_or_else(|| ExecError::Other("void load".into()))?;
+                let addr = self.operand(f, t, args, *ptr)?;
+                Ok(Some(self.mem.load_scalar(e, addr)?))
+            }
+            Inst::Store { ptr, val, mask } => {
+                if mask.is_some() {
+                    return Err(ExecError::Other("masked store in SPMD input".into()));
+                }
+                let e = f
+                    .value_ty(*val)
+                    .elem()
+                    .ok_or_else(|| ExecError::Other("void store".into()))?;
+                let addr = self.operand(f, t, args, *ptr)?;
+                let v = self.operand(f, t, args, *val)?;
+                self.mem.store_scalar(e, addr, v)?;
+                Ok(None)
+            }
+            Inst::Alloca { size } => {
+                let s = self.operand(f, t, args, *size)?;
+                Ok(Some(self.mem.alloc(s, 64)?))
+            }
+            Inst::Call { callee, args: cargs } => {
+                let mut vals = Vec::with_capacity(cargs.len());
+                for &a in cargs {
+                    vals.push(RtVal::S(self.operand(f, t, args, a)?));
+                }
+                let callee_f = self.module.function(callee).ok_or_else(|| {
+                    ExecError::UnknownFunction(callee.clone())
+                })?;
+                if callee_f.has_horizontal_ops() {
+                    return Err(ExecError::Other(format!(
+                        "@{callee}: horizontal ops inside called functions are \
+                         not part of the model (calls execute per-thread)"
+                    )));
+                }
+                // Execute the call with a plain interpreter sharing memory.
+                let mem = std::mem::replace(&mut self.mem, Memory::new(0));
+                let mut it = Interp::new(self.module, mem, &UNIT, &NOEXT);
+                let r = it.call(callee, &vals);
+                self.mem = std::mem::replace(&mut it.mem, Memory::new(0));
+                match r? {
+                    RtVal::Unit => Ok(None),
+                    RtVal::S(v) => Ok(Some(v)),
+                    RtVal::V(_) => Err(ExecError::Other(
+                        "scalar call returned a vector".into(),
+                    )),
+                }
+            }
+            Inst::Intrin { kind, args: iargs } => {
+                let spmd = f.spmd.expect("SPMD function");
+                let g = spmd.gang_size as u64;
+                let gang_base = args[args.len() - 2];
+                let num_threads = args[args.len() - 1];
+                match kind {
+                    Intrinsic::LaneNum => Ok(Some(t.lane)),
+                    Intrinsic::ThreadNum => Ok(Some(gang_base + t.lane)),
+                    Intrinsic::GangNum => Ok(Some(gang_base / g)),
+                    Intrinsic::NumThreads => Ok(Some(num_threads)),
+                    Intrinsic::GangSize => Ok(Some(g)),
+                    Intrinsic::IsHeadGang => Ok(Some((gang_base == 0) as u64)),
+                    Intrinsic::IsTailGang => Ok(Some((gang_base + g >= num_threads) as u64)),
+                    Intrinsic::Math(m) => {
+                        let e = elem.ok_or_else(|| ExecError::Other("void math".into()))?;
+                        let mut vals = Vec::with_capacity(iargs.len());
+                        for &a in iargs {
+                            vals.push(self.operand(f, t, args, a)?);
+                        }
+                        Ok(Some(eval_math(*m, e, &vals)?))
+                    }
+                    Intrinsic::Fma => {
+                        let e = elem.ok_or_else(|| ExecError::Other("void fma".into()))?;
+                        let x = self.operand(f, t, args, iargs[0])?;
+                        let y = self.operand(f, t, args, iargs[1])?;
+                        let z = self.operand(f, t, args, iargs[2])?;
+                        let (mul, add) = if e.is_float() {
+                            (BinOp::FMul, BinOp::FAdd)
+                        } else {
+                            (BinOp::Mul, BinOp::Add)
+                        };
+                        Ok(Some(eval_bin(add, e, eval_bin(mul, e, x, y)?, z)?))
+                    }
+                    horizontal => Err(ExecError::Other(format!(
+                        "horizontal op {} must be handled by the scheduler",
+                        horizontal.name()
+                    ))),
+                }
+            }
+            Inst::Phi { .. } => unreachable!("phis handled at block entry"),
+            other => Err(ExecError::Other(format!(
+                "vector instruction {other:?} in scalar SPMD input"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! Control-flow structurization (§4.2.1).
+//!
+//! The paper "structurizes" the CFG so that all forward control flow
+//! consists only of if-then patterns before masks are computed. This
+//! reproduction recovers a *control tree* from the CFG of an SPMD region
+//! function: a nest of straight-line blocks, two-armed ifs (joined at the
+//! immediate post-dominator) and single-exit natural loops whose condition
+//! lives in the header.
+//!
+//! The recognized shape is exactly what structured source (`if`/`else`,
+//! `while`, `for` without `break`/`goto`) lowers to; anything else is
+//! rejected with a diagnostic, mirroring the paper's reliance on the
+//! pre-existing structurizer pass (unstructured control flow would need
+//! partial linearization [Moll & Hack 2018], which is out of scope).
+
+use psir::{natural_loops, BlockId, DomTree, Function, Terminator};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Structurization failure: the CFG is not in the supported structured form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructurizeError {
+    /// Explanation of the unsupported shape.
+    pub msg: String,
+}
+
+impl fmt::Display for StructurizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unstructured control flow: {}", self.msg)
+    }
+}
+
+impl Error for StructurizeError {}
+
+/// One node of the control tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// A straight-line block (its terminator is handled by the parent).
+    Block(BlockId),
+    /// A two-armed conditional: `cond_block` ends in a conditional branch,
+    /// the arms re-join at `join` (the immediate post-dominator).
+    If {
+        /// Block whose terminator is the branch.
+        cond_block: BlockId,
+        /// Nodes of the taken ("then") arm; may be empty.
+        then_nodes: Vec<Node>,
+        /// Nodes of the not-taken ("else") arm; may be empty.
+        else_nodes: Vec<Node>,
+        /// The join block (processed by the parent after this node).
+        join: BlockId,
+    },
+    /// A while-shaped natural loop: `header` evaluates the condition and
+    /// branches to the body or to `exit`; the body ends with a latch that
+    /// branches back to `header`.
+    Loop {
+        /// Loop header (contains the exit condition).
+        header: BlockId,
+        /// Body nodes (the header itself is not included).
+        body: Vec<Node>,
+        /// The single exit block.
+        exit: BlockId,
+    },
+}
+
+/// The control tree of a function: the root sequence plus lookup tables.
+#[derive(Debug, Clone)]
+pub struct ControlTree {
+    /// Top-level sequence of nodes, entry to return.
+    pub roots: Vec<Node>,
+}
+
+/// Computes immediate post-dominators on the reversed CFG. Requires a single
+/// `ret` block (the front-end guarantees it; hand-built IR must comply).
+fn post_dominators(f: &Function) -> Result<HashMap<BlockId, BlockId>, StructurizeError> {
+    let rets: Vec<BlockId> = f
+        .block_ids()
+        .filter(|&b| matches!(f.block(b).term, Terminator::Ret(_)))
+        .collect();
+    if rets.len() != 1 {
+        return Err(StructurizeError {
+            msg: format!("expected exactly one return block, found {}", rets.len()),
+        });
+    }
+    let exit = rets[0];
+
+    // Reverse CFG adjacency.
+    let preds = f.predecessors(); // successors in the reversed graph
+    let succs: HashMap<BlockId, Vec<BlockId>> = f
+        .block_ids()
+        .map(|b| (b, f.block(b).term.successors()))
+        .collect();
+
+    // Reverse post-order of the reversed CFG starting at `exit`.
+    let mut visited = std::collections::HashSet::new();
+    let mut post = Vec::new();
+    let mut stack = vec![(exit, 0usize)];
+    visited.insert(exit);
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let ss = &preds[&b];
+        if *i < ss.len() {
+            let s = ss[*i];
+            *i += 1;
+            if visited.insert(s) {
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    let rpo_index: HashMap<BlockId, usize> =
+        post.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+
+    let mut ipdom: HashMap<BlockId, BlockId> = HashMap::new();
+    ipdom.insert(exit, exit);
+    let intersect = |ipdom: &HashMap<BlockId, BlockId>, mut a: BlockId, mut b: BlockId| {
+        while a != b {
+            while rpo_index[&a] > rpo_index[&b] {
+                a = ipdom[&a];
+            }
+            while rpo_index[&b] > rpo_index[&a] {
+                b = ipdom[&b];
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in post.iter().skip(1) {
+            let mut new_i: Option<BlockId> = None;
+            for &p in &succs[&b] {
+                if !ipdom.contains_key(&p) || !rpo_index.contains_key(&p) {
+                    continue;
+                }
+                new_i = Some(match new_i {
+                    None => p,
+                    Some(cur) => intersect(&ipdom, cur, p),
+                });
+            }
+            if let Some(ni) = new_i {
+                if ipdom.get(&b) != Some(&ni) {
+                    ipdom.insert(b, ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    Ok(ipdom)
+}
+
+struct Builder<'f> {
+    f: &'f Function,
+    ipdom: HashMap<BlockId, BlockId>,
+    /// header → exit for recognized loops
+    loop_exit: HashMap<BlockId, BlockId>,
+    /// header → latch
+    loop_latch: HashMap<BlockId, BlockId>,
+}
+
+impl<'f> Builder<'f> {
+    /// Builds the node sequence from `entry` up to (exclusive) `stop`.
+    fn region(
+        &self,
+        entry: BlockId,
+        stop: Option<BlockId>,
+        depth: usize,
+    ) -> Result<Vec<Node>, StructurizeError> {
+        // Structured source never nests anywhere near this deep; hitting
+        // the cap means the CFG cycles without a dominating header
+        // (irreducible flow), which must be reported — and well before the
+        // recursion exhausts the stack.
+        if depth > 200 {
+            return Err(StructurizeError {
+                msg: "region nesting too deep (irreducible or malformed CFG?)".into(),
+            });
+        }
+        let mut nodes = Vec::new();
+        let mut cur = entry;
+        loop {
+            if Some(cur) == stop {
+                return Ok(nodes);
+            }
+            if let (Some(&exit), Some(&latch)) =
+                (self.loop_exit.get(&cur), self.loop_latch.get(&cur))
+            {
+                // `cur` is a loop header. Its body starts at the non-exit
+                // successor and runs until control returns to the header.
+                let header = cur;
+                let body_entry = match &self.f.block(header).term {
+                    Terminator::CondBr {
+                        then_bb, else_bb, ..
+                    } => {
+                        if *else_bb == exit {
+                            *then_bb
+                        } else if *then_bb == exit {
+                            return Err(StructurizeError {
+                                msg: format!(
+                                    "loop at {header} exits on the taken edge; \
+                                     canonicalize conditions so the body is the taken edge"
+                                ),
+                            });
+                        } else {
+                            return Err(StructurizeError {
+                                msg: format!("loop header {header} does not branch to its exit"),
+                            });
+                        }
+                    }
+                    _ => {
+                        return Err(StructurizeError {
+                            msg: format!("loop header {header} must end in a conditional branch"),
+                        })
+                    }
+                };
+                let _ = latch;
+                let body = self.region(body_entry, Some(header), depth + 1)?;
+                nodes.push(Node::Loop {
+                    header,
+                    body,
+                    exit,
+                });
+                cur = exit;
+                continue;
+            }
+            match &self.f.block(cur).term {
+                Terminator::Br(next) => {
+                    nodes.push(Node::Block(cur));
+                    cur = *next;
+                }
+                Terminator::CondBr {
+                    then_bb, else_bb, ..
+                } => {
+                    let join = *self.ipdom.get(&cur).ok_or_else(|| StructurizeError {
+                        msg: format!("no post-dominator for {cur}"),
+                    })?;
+                    let then_nodes = if *then_bb == join {
+                        Vec::new()
+                    } else {
+                        self.region(*then_bb, Some(join), depth + 1)?
+                    };
+                    let else_nodes = if *else_bb == join {
+                        Vec::new()
+                    } else {
+                        self.region(*else_bb, Some(join), depth + 1)?
+                    };
+                    nodes.push(Node::If {
+                        cond_block: cur,
+                        then_nodes,
+                        else_nodes,
+                        join,
+                    });
+                    cur = join;
+                }
+                Terminator::Ret(_) => {
+                    nodes.push(Node::Block(cur));
+                    return Ok(nodes);
+                }
+            }
+        }
+    }
+}
+
+/// Recovers the control tree of `f`.
+///
+/// # Errors
+/// Returns [`StructurizeError`] if the CFG is not in the supported
+/// structured form (multiple returns, multi-exit loops, loops whose
+/// condition is not in the header, irreducible flow).
+pub fn structurize(f: &Function) -> Result<ControlTree, StructurizeError> {
+    let dom = DomTree::compute(f);
+    let loops = natural_loops(f, &dom);
+
+    let mut loop_exit = HashMap::new();
+    let mut loop_latch = HashMap::new();
+    for l in &loops {
+        if l.latches.len() != 1 {
+            return Err(StructurizeError {
+                msg: format!("loop at {} has {} latches", l.header, l.latches.len()),
+            });
+        }
+        // single exit, and it must leave from the header
+        let exits: Vec<_> = l.exits.iter().collect();
+        if exits.len() != 1 {
+            return Err(StructurizeError {
+                msg: format!(
+                    "loop at {} has {} exit edges (break/early-exit unsupported)",
+                    l.header,
+                    exits.len()
+                ),
+            });
+        }
+        let (from, to) = *exits[0];
+        if from != l.header {
+            return Err(StructurizeError {
+                msg: format!(
+                    "loop at {} exits from {from}, not from its header \
+                     (only while-shaped loops are supported)",
+                    l.header
+                ),
+            });
+        }
+        // The latch must branch unconditionally back to the header.
+        let latch = l.latches[0];
+        if !matches!(f.block(latch).term, Terminator::Br(t) if t == l.header) {
+            return Err(StructurizeError {
+                msg: format!("latch {latch} of loop at {} is conditional", l.header),
+            });
+        }
+        loop_exit.insert(l.header, to);
+        loop_latch.insert(l.header, latch);
+    }
+
+    let ipdom = post_dominators(f)?;
+    let b = Builder {
+        f,
+        ipdom,
+        loop_exit,
+        loop_latch,
+    };
+    let roots = b.region(f.entry, None, 0)?;
+    Ok(ControlTree { roots })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psir::{c_i64, BinOp, CmpPred, FunctionBuilder, Param, ScalarTy, Ty, Value};
+
+    #[test]
+    fn straight_line() {
+        let mut fb = FunctionBuilder::new("s", vec![], Ty::Void);
+        fb.ret(None);
+        let t = structurize(&fb.finish()).unwrap();
+        assert_eq!(t.roots, vec![Node::Block(BlockId(0))]);
+    }
+
+    #[test]
+    fn if_else_diamond() {
+        let mut fb = FunctionBuilder::new("d", vec![Param::new("x", Ty::scalar(ScalarTy::I32))], Ty::Void);
+        let t_bb = fb.new_block("t");
+        let e_bb = fb.new_block("e");
+        let j = fb.new_block("j");
+        let c = fb.cmp(CmpPred::Sgt, Value::Param(0), 0i32);
+        fb.cond_br(c, t_bb, e_bb);
+        fb.switch_to(t_bb);
+        fb.br(j);
+        fb.switch_to(e_bb);
+        fb.br(j);
+        fb.switch_to(j);
+        fb.ret(None);
+        let t = structurize(&fb.finish()).unwrap();
+        assert_eq!(t.roots.len(), 2);
+        match &t.roots[0] {
+            Node::If {
+                then_nodes,
+                else_nodes,
+                join,
+                ..
+            } => {
+                assert_eq!(then_nodes, &vec![Node::Block(t_bb)]);
+                assert_eq!(else_nodes, &vec![Node::Block(e_bb)]);
+                assert_eq!(*join, j);
+            }
+            other => panic!("expected If, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_without_else() {
+        let mut fb = FunctionBuilder::new("i", vec![Param::new("x", Ty::scalar(ScalarTy::I32))], Ty::Void);
+        let t_bb = fb.new_block("t");
+        let j = fb.new_block("j");
+        let c = fb.cmp(CmpPred::Sgt, Value::Param(0), 0i32);
+        fb.cond_br(c, t_bb, j);
+        fb.switch_to(t_bb);
+        fb.br(j);
+        fb.switch_to(j);
+        fb.ret(None);
+        let t = structurize(&fb.finish()).unwrap();
+        match &t.roots[0] {
+            Node::If {
+                then_nodes,
+                else_nodes,
+                ..
+            } => {
+                assert_eq!(then_nodes.len(), 1);
+                assert!(else_nodes.is_empty());
+            }
+            other => panic!("expected If, got {other:?}"),
+        }
+    }
+
+    fn while_loop_fn() -> Function {
+        let mut fb = FunctionBuilder::new("w", vec![Param::new("n", Ty::scalar(ScalarTy::I64))], Ty::Void);
+        let header = fb.new_block("header");
+        let body = fb.new_block("body");
+        let exit = fb.new_block("exit");
+        let entry = fb.current_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi_typed(Ty::scalar(ScalarTy::I64), vec![(entry, c_i64(0))]);
+        let c = fb.cmp(CmpPred::Slt, i, Value::Param(0));
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let i2 = fb.bin(BinOp::Add, i, 1i64);
+        fb.phi_add_incoming(i, body, i2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        fb.finish()
+    }
+
+    #[test]
+    fn while_loop_recognized() {
+        let t = structurize(&while_loop_fn()).unwrap();
+        assert_eq!(t.roots.len(), 3); // entry, loop, exit
+        match &t.roots[1] {
+            Node::Loop { header, body, exit } => {
+                assert_eq!(*header, BlockId(1));
+                assert_eq!(body, &vec![Node::Block(BlockId(2))]);
+                assert_eq!(*exit, BlockId(3));
+            }
+            other => panic!("expected Loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_if_in_loop() {
+        let mut fb = FunctionBuilder::new("n", vec![Param::new("n", Ty::scalar(ScalarTy::I64))], Ty::Void);
+        let header = fb.new_block("header");
+        let body = fb.new_block("body");
+        let then_bb = fb.new_block("then");
+        let join = fb.new_block("join");
+        let exit = fb.new_block("exit");
+        let entry = fb.current_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi_typed(Ty::scalar(ScalarTy::I64), vec![(entry, c_i64(0))]);
+        let c = fb.cmp(CmpPred::Slt, i, Value::Param(0));
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let odd = fb.bin(BinOp::And, i, 1i64);
+        let is_odd = fb.cmp(CmpPred::Ne, odd, 0i64);
+        fb.cond_br(is_odd, then_bb, join);
+        fb.switch_to(then_bb);
+        fb.br(join);
+        fb.switch_to(join);
+        let i2 = fb.bin(BinOp::Add, i, 1i64);
+        fb.phi_add_incoming(i, join, i2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let t = structurize(&fb.finish()).unwrap();
+        match &t.roots[1] {
+            Node::Loop { body, .. } => {
+                // The body entry ends in the inner conditional branch, so it
+                // appears as the If's cond_block; the join follows.
+                match &body[0] {
+                    Node::If { .. } => {}
+                    other => panic!("expected If inside loop, got {other:?}"),
+                }
+                assert_eq!(body.len(), 2);
+            }
+            other => panic!("expected Loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_exit_loop_rejected() {
+        // while (c1) { if (c2) break-like edge to exit2 }
+        let mut fb = FunctionBuilder::new("m", vec![Param::new("n", Ty::scalar(ScalarTy::I64))], Ty::Void);
+        let header = fb.new_block("header");
+        let body = fb.new_block("body");
+        let latch = fb.new_block("latch");
+        let exit = fb.new_block("exit");
+        let entry = fb.current_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi_typed(Ty::scalar(ScalarTy::I64), vec![(entry, c_i64(0))]);
+        let c = fb.cmp(CmpPred::Slt, i, Value::Param(0));
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let c2 = fb.cmp(CmpPred::Eq, i, 5i64);
+        fb.cond_br(c2, exit, latch); // break edge
+        fb.switch_to(latch);
+        let i2 = fb.bin(BinOp::Add, i, 1i64);
+        fb.phi_add_incoming(i, latch, i2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let err = structurize(&fb.finish()).unwrap_err();
+        assert!(err.msg.contains("exit edges"));
+    }
+}

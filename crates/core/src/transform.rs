@@ -1,0 +1,1556 @@
+//! Instruction transformation (§4.2.3): scalar SPMD function → vector IR.
+//!
+//! The vectorizer walks the structurized control tree of the SPMD function
+//! and emits a new function in which `G` conceptual threads execute as one
+//! SIMD thread:
+//!
+//! * **uniform branches stay scalar branches**; varying branches are
+//!   linearized under entry/active masks (§4.2.1),
+//! * **indexed values stay scalar** (only their base is computed at run
+//!   time); varying values become gang-width vectors,
+//! * memory operations are selected by address shape: scalar loads/stores
+//!   for uniform addresses, packed ops for element-stride addresses, packed
+//!   + shuffle for small compile-time strides, gather/scatter otherwise,
+//! * φ nodes at varying joins become `select`s driven by the then-arm mask;
+//!   φ nodes at uniform joins and scalar loop headers stay φs,
+//! * divergent loops run until no lane is active, with per-lane freezing of
+//!   loop-carried values and exit-value accumulators,
+//! * Parsimony intrinsics are eliminated: thread indexing folds into
+//!   shapes, horizontal operations map onto vector shuffles/reductions, math
+//!   calls go to a vector math library, `gang_sync` compiles to nothing
+//!   (the SIMD thread is synchronous at instruction granularity),
+//! * calls to unknown scalar functions are serialized per active lane.
+
+use crate::shape::{analyze, gang_base_param, num_threads_param, Shape, ShapeMap};
+use crate::structurize::{structurize, Node, StructurizeError};
+use psir::{
+    iota_bits, BinOp, BlockId, CmpPred, Const, Function, FunctionBuilder, Inst, InstId,
+    Intrinsic, ReduceOp, ScalarTy, Terminator, Ty, UnOp, Value,
+};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Which vector math library transcendental calls resolve to (§6: the
+/// Binomial Options gap is exactly this choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MathLib {
+    /// SLEEF-like library (what the Parsimony prototype links).
+    Sleef,
+    /// ispc-built-in-like library with the faster `pow`.
+    Fastm,
+}
+
+impl MathLib {
+    /// Symbol prefix used in generated call names.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            MathLib::Sleef => "sleef",
+            MathLib::Fastm => "fastm",
+        }
+    }
+}
+
+/// Vectorizer configuration.
+#[derive(Debug, Clone)]
+pub struct VectorizeOptions {
+    /// Vector math library to call for transcendental functions.
+    pub math_lib: MathLib,
+    /// Strided loads/stores within `stride_window × gang_size` elements are
+    /// turned into packed ops plus shuffles instead of gather/scatter
+    /// (the paper uses 4×, §4.2.3).
+    pub stride_window: u32,
+    /// Ablation hook: disable shape analysis entirely (everything varying).
+    pub enable_shape: bool,
+    /// Gang-synchronous (ispc-like) mode: same code generator, but calls to
+    /// separately-compiled scalar functions are rejected (they cannot be
+    /// made gang-synchronous, §4.2.3) and the math library defaults differ.
+    pub gang_sync: bool,
+    /// Branch-on-superword-condition (§4.2.3: "explicitly checking at
+    /// runtime if any thread takes the branch and following the not-taken
+    /// branch if none do", ispc's `cif`): guard each linearized arm of a
+    /// varying `if` with a scalar any-lane-active test.
+    pub boscc: bool,
+}
+
+impl Default for VectorizeOptions {
+    fn default() -> VectorizeOptions {
+        VectorizeOptions {
+            math_lib: MathLib::Sleef,
+            stride_window: 4,
+            enable_shape: true,
+            gang_sync: false,
+            boscc: false,
+        }
+    }
+}
+
+impl VectorizeOptions {
+    /// The configuration used for the ispc-like comparator in Figure 4.
+    pub fn gang_synchronous() -> VectorizeOptions {
+        VectorizeOptions {
+            math_lib: MathLib::Fastm,
+            gang_sync: true,
+            ..VectorizeOptions::default()
+        }
+    }
+}
+
+/// Vectorization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VectorizeError {
+    /// The CFG could not be structurized.
+    Unstructured(StructurizeError),
+    /// The function is not SPMD-annotated or malformed.
+    NotSpmd(String),
+    /// A construct unsupported in the requested mode.
+    Unsupported(String),
+}
+
+impl fmt::Display for VectorizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VectorizeError::Unstructured(e) => write!(f, "{e}"),
+            VectorizeError::NotSpmd(m) => write!(f, "not an SPMD function: {m}"),
+            VectorizeError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl Error for VectorizeError {}
+
+impl From<StructurizeError> for VectorizeError {
+    fn from(e: StructurizeError) -> VectorizeError {
+        VectorizeError::Unstructured(e)
+    }
+}
+
+/// Result of vectorizing one SPMD function.
+#[derive(Debug)]
+pub struct Vectorized {
+    /// The vector-IR function.
+    pub func: Function,
+    /// Compile-time diagnostics (e.g. the §4.2.3 racy-uniform-store warning).
+    pub warnings: Vec<String>,
+}
+
+/// A mapped value in the new function: indexed values keep a scalar base;
+/// varying values are vectors.
+#[derive(Debug, Clone)]
+enum Mv {
+    Scalar { base: Value, offsets: Vec<u64> },
+    Vector(Value),
+}
+
+/// The current execution predicate.
+#[derive(Debug, Clone, Copy)]
+enum MaskCtx {
+    /// All lanes statically active.
+    Full,
+    /// Mask value (vector of i1) in the new function.
+    Dyn(Value),
+}
+
+struct Vectorizer<'a> {
+    old: &'a Function,
+    shapes: ShapeMap,
+    opts: &'a VectorizeOptions,
+    g: u32,
+    fb: FunctionBuilder,
+    env: HashMap<Value, Mv>,
+    warnings: Vec<String>,
+    /// Old block set per loop header, for exit-value scans.
+    old_preds: HashMap<BlockId, Vec<BlockId>>,
+    dom: psir::DomTree,
+    partial: bool,
+    is_head: Option<bool>,
+}
+
+/// Vectorizes one SPMD-annotated scalar function. `partial` selects the
+/// tail-gang specialization (threads with `thread_id ≥ num_threads` masked
+/// off, Listing 6).
+///
+/// # Errors
+/// Returns [`VectorizeError`] for unstructured control flow, a missing SPMD
+/// annotation, a non-void SPMD region, or (in gang-synchronous mode) a call
+/// to a separately-compiled scalar function.
+pub fn vectorize_function(
+    old: &Function,
+    opts: &VectorizeOptions,
+    partial: bool,
+) -> Result<Vectorized, VectorizeError> {
+    vectorize_function_with(old, opts, partial, None)
+}
+
+/// Like [`vectorize_function`], additionally folding `psim_is_head_gang()`
+/// to a known value — used by the §4.1 head-gang peeling, where the driver
+/// extracts the first gang into its own specialization so boundary-condition
+/// checks vanish from the steady-state loop.
+///
+/// # Errors
+/// As for [`vectorize_function`].
+pub fn vectorize_function_with(
+    old: &Function,
+    opts: &VectorizeOptions,
+    partial: bool,
+    is_head: Option<bool>,
+) -> Result<Vectorized, VectorizeError> {
+    let spmd = old
+        .spmd
+        .ok_or_else(|| VectorizeError::NotSpmd(old.name.clone()))?;
+    if !old.ret.is_void() {
+        return Err(VectorizeError::NotSpmd(format!(
+            "SPMD region @{} must return void",
+            old.name
+        )));
+    }
+    if old.params.len() < crate::shape::SPMD_EXTRA_PARAMS {
+        return Err(VectorizeError::NotSpmd(format!(
+            "SPMD region @{} lacks the implicit (gang_base, num_threads) parameters",
+            old.name
+        )));
+    }
+    let tree = structurize(old)?;
+    let g = spmd.gang_size;
+    let mut shapes = analyze(old, g, &tree);
+    if !opts.enable_shape {
+        shapes = crate::shape::all_varying(old, g);
+    }
+
+    let suffix = if partial {
+        "__partial"
+    } else if is_head == Some(true) {
+        "__head"
+    } else {
+        "__full"
+    };
+    let fb = FunctionBuilder::new(
+        format!("{}{}", old.name, suffix),
+        old.params.clone(),
+        Ty::Void,
+    );
+
+    let mut v = Vectorizer {
+        old,
+        shapes,
+        opts,
+        g,
+        fb,
+        env: HashMap::new(),
+        warnings: Vec::new(),
+        old_preds: old.predecessors(),
+        dom: psir::DomTree::compute(old),
+        partial,
+        is_head,
+    };
+
+    // Parameters are uniform scalars.
+    for (i, _) in old.params.iter().enumerate() {
+        v.env.insert(
+            Value::Param(i as u32),
+            Mv::Scalar {
+                base: Value::Param(i as u32),
+                offsets: vec![0; g as usize],
+            },
+        );
+    }
+
+    // Initial mask: full gangs run unmasked; the tail gang masks lanes
+    // beyond num_threads (the implicit `thread_id < N` guard of Listing 6).
+    let mask = if partial {
+        let lanes = v.fb.const_vec(ScalarTy::I64, iota_bits(ScalarTy::I64, g));
+        let nt = Value::Param(num_threads_param(old));
+        let base = Value::Param(gang_base_param(old));
+        let rem = v.fb.bin(BinOp::Sub, nt, base);
+        let rem_v = v.fb.splat(rem, g);
+        let m = v.fb.cmp(CmpPred::Slt, lanes, rem_v);
+        MaskCtx::Dyn(m)
+    } else {
+        MaskCtx::Full
+    };
+
+    v.emit_nodes(&tree.roots, mask)?;
+    let func = v.fb.finish();
+    Ok(Vectorized {
+        func,
+        warnings: v.warnings,
+    })
+}
+
+impl<'a> Vectorizer<'a> {
+    fn shape(&self, v: Value) -> Shape {
+        self.shapes.shape(self.old, v)
+    }
+
+    fn mv(&self, v: Value) -> Mv {
+        if let Value::Const(c) = v {
+            return Mv::Scalar {
+                base: Value::Const(c),
+                offsets: vec![0; self.g as usize],
+            };
+        }
+        self.env
+            .get(&v)
+            .cloned()
+            .unwrap_or_else(|| panic!("value {v:?} not yet mapped in @{}", self.old.name))
+    }
+
+    /// The vector form of an old value, materializing indexed values as
+    /// `splat(base) + constvec(offsets)`.
+    fn vector_of(&mut self, v: Value) -> Value {
+        let g = self.g;
+        match self.mv(v) {
+            Mv::Vector(nv) => nv,
+            Mv::Scalar { base, offsets } => {
+                let elem = self
+                    .old
+                    .value_ty(v)
+                    .elem()
+                    .expect("void value has no vector form");
+                let splatted = self.fb.splat(base, g);
+                if offsets.iter().all(|&o| o == 0) {
+                    return splatted;
+                }
+                match elem {
+                    ScalarTy::Ptr => {
+                        let idx = self.fb.const_vec(ScalarTy::I64, offsets);
+                        self.fb.gep(splatted, idx, 1)
+                    }
+                    e if e.is_int() => {
+                        let offs = self.fb.const_vec(e, offsets);
+                        self.fb.bin(BinOp::Add, splatted, offs)
+                    }
+                    _ => unreachable!("only int/ptr values can be non-uniform indexed"),
+                }
+            }
+        }
+    }
+
+    /// The scalar base of an old value.
+    ///
+    /// # Panics
+    /// Panics if the value is varying (callers must check shapes).
+    fn scalar_of(&mut self, v: Value) -> Value {
+        match self.mv(v) {
+            Mv::Scalar { base, .. } => base,
+            Mv::Vector(_) => panic!(
+                "internal: scalar_of on varying value {v:?} in @{}",
+                self.old.name
+            ),
+        }
+    }
+
+    fn mask_vec(&mut self, mask: MaskCtx) -> Value {
+        match mask {
+            MaskCtx::Full => {
+                let g = self.g;
+                self.fb.const_vec(ScalarTy::I1, vec![1; g as usize])
+            }
+            MaskCtx::Dyn(m) => m,
+        }
+    }
+
+    fn mask_opt(&mut self, mask: MaskCtx) -> Option<Value> {
+        match mask {
+            MaskCtx::Full => None,
+            MaskCtx::Dyn(m) => Some(m),
+        }
+    }
+
+    // ---- control tree walk -------------------------------------------------
+
+    fn emit_nodes(&mut self, nodes: &[Node], mask: MaskCtx) -> Result<(), VectorizeError> {
+        for n in nodes {
+            match n {
+                Node::Block(b) => self.emit_block(*b, mask)?,
+                Node::If {
+                    cond_block,
+                    then_nodes,
+                    else_nodes,
+                    join,
+                } => {
+                    self.emit_block(*cond_block, mask)?;
+                    let cond = match &self.old.block(*cond_block).term {
+                        Terminator::CondBr { cond, .. } => *cond,
+                        _ => unreachable!(),
+                    };
+                    if self.shape(cond).is_uniform() {
+                        self.emit_uniform_if(
+                            cond,
+                            *cond_block,
+                            then_nodes,
+                            else_nodes,
+                            *join,
+                            mask,
+                        )?;
+                    } else {
+                        self.emit_varying_if(
+                            cond,
+                            *cond_block,
+                            then_nodes,
+                            else_nodes,
+                            *join,
+                            mask,
+                        )?;
+                    }
+                }
+                Node::Loop { header, body, exit } => {
+                    let cond = match &self.old.block(*header).term {
+                        Terminator::CondBr { cond, .. } => *cond,
+                        _ => unreachable!(),
+                    };
+                    if self.shape(cond).is_uniform() {
+                        self.emit_uniform_loop(*header, body, *exit, cond, mask)?;
+                    } else {
+                        self.emit_varying_loop(*header, body, *exit, cond, mask)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_block(&mut self, b: BlockId, mask: MaskCtx) -> Result<(), VectorizeError> {
+        // Ret terminators are emitted here; branches are handled by parents.
+        for &id in &self.old.block(b).insts.clone() {
+            if self.env.contains_key(&Value::Inst(id)) {
+                continue; // φ handled by the enclosing If/Loop emission
+            }
+            self.emit_inst(id, mask)?;
+        }
+        if matches!(self.old.block(b).term, Terminator::Ret(_)) {
+            self.fb.ret(None);
+        }
+        Ok(())
+    }
+
+    /// Computes the edge value of an old φ for one incoming old block,
+    /// in whatever form (scalar base / vector) the φ's shape dictates.
+    /// Must be called while the corresponding new predecessor block is
+    /// current (so materializations dominate the edge).
+    fn phi_edge_value(&mut self, phi_id: InstId, old_pred: &dyn Fn(BlockId) -> bool) -> Value {
+        let incoming = match self.old.inst(phi_id) {
+            Inst::Phi { incoming } => incoming.clone(),
+            _ => unreachable!(),
+        };
+        let (_, v) = incoming
+            .iter()
+            .find(|(p, _)| old_pred(*p))
+            .copied()
+            .unwrap_or_else(|| panic!("phi {phi_id} missing expected edge"));
+        match self.shape(Value::Inst(phi_id)) {
+            Shape::Indexed(_) => self.scalar_of(v),
+            _ => self.vector_of(v),
+        }
+    }
+
+    fn old_phis(&self, b: BlockId) -> Vec<InstId> {
+        self.old
+            .block(b)
+            .insts
+            .iter()
+            .copied()
+            .filter(|&i| matches!(self.old.inst(i), Inst::Phi { .. }))
+            .collect()
+    }
+
+    /// Collects all old blocks inside a node list (for membership tests).
+    fn blocks_in(nodes: &[Node], out: &mut Vec<BlockId>) {
+        for n in nodes {
+            match n {
+                Node::Block(b) => out.push(*b),
+                Node::If {
+                    cond_block,
+                    then_nodes,
+                    else_nodes,
+                    ..
+                } => {
+                    out.push(*cond_block);
+                    Self::blocks_in(then_nodes, out);
+                    Self::blocks_in(else_nodes, out);
+                }
+                Node::Loop { header, body, .. } => {
+                    out.push(*header);
+                    Self::blocks_in(body, out);
+                }
+            }
+        }
+    }
+
+    fn emit_uniform_if(
+        &mut self,
+        cond: Value,
+        cond_block: BlockId,
+        then_nodes: &[Node],
+        else_nodes: &[Node],
+        join: BlockId,
+        mask: MaskCtx,
+    ) -> Result<(), VectorizeError> {
+        let cnew = self.scalar_of(cond);
+        let phis = self.old_phis(join);
+
+        let mut then_blocks = Vec::new();
+        Self::blocks_in(then_nodes, &mut then_blocks);
+
+        // Empty-arm φ edge values flow along the cond_block → join edge and
+        // must be materialized *before* the branch seals this block.
+        let pre_then_vals: Option<Vec<Value>> = if then_nodes.is_empty() {
+            Some(
+                phis.iter()
+                    .map(|&p| self.phi_edge_value(p, &|b| b == cond_block))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let pre_else_vals: Option<Vec<Value>> = if else_nodes.is_empty() {
+            Some(
+                phis.iter()
+                    .map(|&p| self.phi_edge_value(p, &|b| b == cond_block))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let pred_block = self.fb.current_block();
+
+        let then_blk = if then_nodes.is_empty() {
+            None
+        } else {
+            Some(self.fb.new_block("then"))
+        };
+        let else_blk = if else_nodes.is_empty() {
+            None
+        } else {
+            Some(self.fb.new_block("else"))
+        };
+        let join_blk = self.fb.new_block("join");
+
+        self.fb.cond_br(
+            cnew,
+            then_blk.unwrap_or(join_blk),
+            else_blk.unwrap_or(join_blk),
+        );
+
+        // Then arm.
+        let (then_exit, then_vals) = if let Some(tb) = then_blk {
+            self.fb.switch_to(tb);
+            self.emit_nodes(then_nodes, mask)?;
+            let exit = self.fb.current_block();
+            let vals: Vec<Value> = phis
+                .iter()
+                .map(|&p| self.phi_edge_value(p, &|b| then_blocks.contains(&b)))
+                .collect();
+            self.fb.br(join_blk);
+            (exit, vals)
+        } else {
+            (pred_block, pre_then_vals.expect("precomputed"))
+        };
+
+        // Else arm (or the fall-through edge).
+        let (else_exit, else_vals) = if let Some(eb) = else_blk {
+            self.fb.switch_to(eb);
+            self.emit_nodes(else_nodes, mask)?;
+            let exit = self.fb.current_block();
+            let vals: Vec<Value> = phis
+                .iter()
+                .map(|&p| self.phi_edge_value(p, &|b| !then_blocks.contains(&b) && b != cond_block))
+                .collect();
+            self.fb.br(join_blk);
+            (exit, vals)
+        } else {
+            (pred_block, pre_else_vals.expect("precomputed"))
+        };
+
+        self.fb.switch_to(join_blk);
+        for ((p, tv), ev) in phis.iter().zip(then_vals).zip(else_vals) {
+            let shape = self.shape(Value::Inst(*p));
+            let new = self
+                .fb
+                .phi(vec![(then_exit, tv), (else_exit, ev)]);
+            let mv = match shape {
+                Shape::Indexed(info) => Mv::Scalar {
+                    base: new,
+                    offsets: info.offsets,
+                },
+                _ => Mv::Vector(new),
+            };
+            self.env.insert(Value::Inst(*p), mv);
+        }
+        Ok(())
+    }
+
+    fn emit_varying_if(
+        &mut self,
+        cond: Value,
+        cond_block: BlockId,
+        then_nodes: &[Node],
+        else_nodes: &[Node],
+        join: BlockId,
+        mask: MaskCtx,
+    ) -> Result<(), VectorizeError> {
+        let cvec = self.vector_of(cond);
+        let mvec = self.mask_vec(mask);
+        let mask_then = self.fb.bin(BinOp::And, mvec, cvec);
+        let not_c = self.fb.un(UnOp::Not, cvec);
+        let mask_else = self.fb.bin(BinOp::And, mvec, not_c);
+
+        let mut then_blocks = Vec::new();
+        Self::blocks_in(then_nodes, &mut then_blocks);
+        let phis = self.old_phis(join);
+
+        // Linearize: both arms execute under their masks, in order.
+        // With BOSCC, each non-empty arm is additionally guarded by a
+        // scalar any-lane-active test (§4.2.3), so fully-converged gangs
+        // skip the dead path entirely.
+        let then_empty = then_nodes.is_empty();
+        let else_empty = else_nodes.is_empty();
+        let then_vals = self.emit_guarded_arm(
+            then_nodes,
+            mask_then,
+            &phis,
+            &|b| {
+                if then_empty {
+                    b == cond_block
+                } else {
+                    then_blocks.contains(&b)
+                }
+            },
+        )?;
+        let else_vals = self.emit_guarded_arm(
+            else_nodes,
+            mask_else,
+            &phis,
+            &|b| {
+                if else_empty {
+                    b == cond_block
+                } else {
+                    !then_blocks.contains(&b) && b != cond_block
+                }
+            },
+        )?;
+
+        // φ → select, steered by the then-arm's active mask (§4.2.3).
+        for ((p, tv), ev) in phis.iter().zip(then_vals).zip(else_vals) {
+            let sel = self.fb.select(mask_then, tv, ev);
+            self.env.insert(Value::Inst(*p), Mv::Vector(sel));
+        }
+        Ok(())
+    }
+
+    /// Emits one arm of a varying `if` under its mask, optionally guarded
+    /// by a scalar any-active test (BOSCC). Returns the φ edge values for
+    /// the join selects.
+    fn emit_guarded_arm(
+        &mut self,
+        nodes: &[Node],
+        arm_mask: Value,
+        phis: &[InstId],
+        old_pred: &dyn Fn(BlockId) -> bool,
+    ) -> Result<Vec<Value>, VectorizeError> {
+        if !self.opts.boscc || nodes.is_empty() {
+            self.emit_nodes(nodes, MaskCtx::Dyn(arm_mask))?;
+            return Ok(phis
+                .iter()
+                .map(|&p| self.phi_edge_value(p, old_pred))
+                .collect());
+        }
+        // Pre-arm φ values (used when the whole gang skips the arm — the
+        // join select ignores these lanes, so any well-typed value works;
+        // the current mapping is always available and well-typed).
+        let pre_vals: Vec<Value> = phis
+            .iter()
+            .map(|&p| self.phi_fallback_value(p))
+            .collect();
+        let any = self.fb.reduce(ReduceOp::Or, arm_mask, None);
+        let pred = self.fb.current_block();
+        let arm_blk = self.fb.new_block("boscc.arm");
+        let cont = self.fb.new_block("boscc.cont");
+        self.fb.cond_br(any, arm_blk, cont);
+        self.fb.switch_to(arm_blk);
+        self.emit_nodes(nodes, MaskCtx::Dyn(arm_mask))?;
+        let arm_vals: Vec<Value> = phis
+            .iter()
+            .map(|&p| self.phi_edge_value(p, old_pred))
+            .collect();
+        let arm_exit = self.fb.current_block();
+        self.fb.br(cont);
+        self.fb.switch_to(cont);
+        let mut merged = Vec::with_capacity(phis.len());
+        for (av, pv) in arm_vals.into_iter().zip(pre_vals) {
+            merged.push(self.fb.phi(vec![(arm_exit, av), (pred, pv)]));
+        }
+        // Values the arm bound in the environment must be re-merged the
+        // same way; anything only used through the join φs is covered by
+        // `merged`, and old SSA guarantees arm-defined values cannot be
+        // used elsewhere — so nothing further to patch.
+        Ok(merged)
+    }
+
+    /// A well-typed stand-in for a φ's value on lanes that skipped a
+    /// BOSCC-guarded arm. A zero vector is always safe: when the whole gang
+    /// skips an arm, no lane has that arm's mask set, so the join `select`
+    /// never reads these lanes (the same argument that makes linearized
+    /// garbage lanes safe, §4.2.3).
+    fn phi_fallback_value(&mut self, phi_id: InstId) -> Value {
+        let e = self
+            .old
+            .inst_ty(phi_id)
+            .elem()
+            .expect("phi of void");
+        let g = self.g;
+        self.fb.const_vec(e, vec![0; g as usize])
+    }
+
+    fn emit_uniform_loop(
+        &mut self,
+        header: BlockId,
+        body: &[Node],
+        _exit: BlockId,
+        cond: Value,
+        mask: MaskCtx,
+    ) -> Result<(), VectorizeError> {
+        let phis = self.old_phis(header);
+        let latch = self.latch_of(header);
+        let preheader_new = self.fb.current_block();
+
+        // Map init values in the preheader (before the branch) so they
+        // dominate the header.
+        let init_vals: Vec<Value> = phis
+            .iter()
+            .map(|&p| self.phi_edge_value(p, &move |b| b != latch))
+            .collect();
+
+        let header_blk = self.fb.new_block("loop.header");
+        let body_blk = self.fb.new_block("loop.body");
+        let exit_blk = self.fb.new_block("loop.exit");
+        self.fb.br(header_blk);
+        self.fb.switch_to(header_blk);
+
+        let mut new_phis = Vec::new();
+        for (p, init) in phis.iter().zip(&init_vals) {
+            let shape = self.shape(Value::Inst(*p));
+            let ty = match &shape {
+                Shape::Indexed(_) => self
+                    .old
+                    .inst_ty(*p),
+                _ => {
+                    let e = self.old.inst_ty(*p).elem().expect("phi of void");
+                    Ty::vec(e, self.g)
+                }
+            };
+            let np = self.fb.phi_typed(ty, vec![(preheader_new, *init)]);
+            let mv = match shape {
+                Shape::Indexed(info) => Mv::Scalar {
+                    base: np,
+                    offsets: info.offsets,
+                },
+                _ => Mv::Vector(np),
+            };
+            self.env.insert(Value::Inst(*p), mv);
+            new_phis.push(np);
+        }
+
+        // Header straight-line code (skips the φs we just handled).
+        self.emit_block(header, mask)?;
+        let cnew = self.scalar_of(cond);
+        self.fb.cond_br(cnew, body_blk, exit_blk);
+
+        self.fb.switch_to(body_blk);
+        self.emit_nodes(body, mask)?;
+        let latch_new = self.fb.current_block();
+        let latch = self.latch_of(header);
+        for (p, np) in phis.iter().zip(&new_phis) {
+            let backedge = self.phi_edge_value(*p, &move |b| b == latch);
+            self.fb.phi_add_incoming(*np, latch_new, backedge);
+        }
+        self.fb.br(header_blk);
+
+        self.fb.switch_to(exit_blk);
+        Ok(())
+    }
+
+    /// The latch (back-edge source) predecessor of a loop header: the
+    /// predecessor that the header dominates.
+    fn latch_of(&self, header: BlockId) -> BlockId {
+        let preds = &self.old_preds[&header];
+        self.dom_cached()
+            .and_then(|dom| preds.iter().copied().find(|&p| dom.dominates(header, p)))
+            .expect("loop header must have a dominated latch")
+    }
+
+    fn dom_cached(&self) -> Option<&psir::DomTree> {
+        Some(&self.dom)
+    }
+
+    fn emit_varying_loop(
+        &mut self,
+        header: BlockId,
+        body: &[Node],
+        _exit: BlockId,
+        cond: Value,
+        mask: MaskCtx,
+    ) -> Result<(), VectorizeError> {
+        let g = self.g;
+        let phis = self.old_phis(header);
+        let entry_mask = self.mask_vec(mask);
+
+        // Materialize φ init values (as vectors — divergent-loop φs are
+        // varying by the divergence rule) in the preheader.
+        let latch = self.latch_of(header);
+        let init_vals: Vec<Value> = phis
+            .iter()
+            .map(|&p| self.phi_edge_value(p, &move |b| b != latch))
+            .collect();
+
+        // Exit-value accumulators for header-defined values used outside
+        // the loop (lanes leave at different iterations; see module docs).
+        let mut loop_blocks = vec![header];
+        Self::blocks_in(body, &mut loop_blocks);
+        let escaping = self.escaping_header_values(header, &loop_blocks);
+        let zero_inits: Vec<Value> = escaping
+            .iter()
+            .map(|&id| {
+                let e = self.old.inst_ty(id).elem().expect("escaping void value");
+                self.fb.const_vec(e, vec![0; g as usize])
+            })
+            .collect();
+
+        let preheader_new = self.fb.current_block();
+        let header_blk = self.fb.new_block("vloop.header");
+        let body_blk = self.fb.new_block("vloop.body");
+        let exit_blk = self.fb.new_block("vloop.exit");
+        self.fb.br(header_blk);
+        self.fb.switch_to(header_blk);
+
+        let live = self
+            .fb
+            .phi_typed(Ty::vec(ScalarTy::I1, g), vec![(preheader_new, entry_mask)]);
+
+        let mut new_phis = Vec::new();
+        for (p, init) in phis.iter().zip(&init_vals) {
+            let e = self.old.inst_ty(*p).elem().expect("phi of void");
+            let np = self
+                .fb
+                .phi_typed(Ty::vec(e, g), vec![(preheader_new, *init)]);
+            self.env.insert(Value::Inst(*p), Mv::Vector(np));
+            new_phis.push(np);
+        }
+        let mut acc_phis = Vec::new();
+        for (id, zi) in escaping.iter().zip(&zero_inits) {
+            let e = self.old.inst_ty(*id).elem().expect("escaping void value");
+            let ap = self
+                .fb
+                .phi_typed(Ty::vec(e, g), vec![(preheader_new, *zi)]);
+            acc_phis.push(ap);
+        }
+
+        // Header body under the live mask.
+        self.emit_block(header, MaskCtx::Dyn(live))?;
+        let cvec = self.vector_of(cond);
+        let active = self.fb.bin(BinOp::And, live, cvec);
+
+        // Update exit accumulators: lanes exiting this iteration record
+        // their header values.
+        let not_c = self.fb.un(UnOp::Not, cvec);
+        let exiting = self.fb.bin(BinOp::And, live, not_c);
+        let mut acc_next = Vec::new();
+        for (id, ap) in escaping.iter().zip(&acc_phis) {
+            let cur = self.vector_of(Value::Inst(*id));
+            let nx = self.fb.select(exiting, cur, *ap);
+            acc_next.push(nx);
+        }
+
+        let any = self.fb.reduce(ReduceOp::Or, active, None);
+        self.fb.cond_br(any, body_blk, exit_blk);
+
+        self.fb.switch_to(body_blk);
+        self.emit_nodes(body, MaskCtx::Dyn(active))?;
+        let latch_new = self.fb.current_block();
+        // Freeze loop-carried values for exited lanes.
+        for (p, np) in phis.iter().zip(&new_phis) {
+            let backedge = self.phi_edge_value(*p, &move |b| b == latch);
+            let frozen = self.fb.select(active, backedge, *np);
+            self.fb.phi_add_incoming(*np, latch_new, frozen);
+        }
+        for (ap, nx) in acc_phis.iter().zip(&acc_next) {
+            self.fb.phi_add_incoming(*ap, latch_new, *nx);
+        }
+        self.fb.phi_add_incoming(live, latch_new, active);
+        self.fb.br(header_blk);
+
+        self.fb.switch_to(exit_blk);
+        // Rebind escaping header values to their accumulators for uses
+        // after the loop. (acc_next is defined in the header, which
+        // dominates the exit.)
+        for (id, nx) in escaping.iter().zip(&acc_next) {
+            self.env.insert(Value::Inst(*id), Mv::Vector(*nx));
+        }
+        Ok(())
+    }
+
+    /// Header-defined non-φ values with uses outside the loop.
+    fn escaping_header_values(&self, header: BlockId, loop_blocks: &[BlockId]) -> Vec<InstId> {
+        let mut out = Vec::new();
+        for &id in &self.old.block(header).insts {
+            if matches!(self.old.inst(id), Inst::Phi { .. }) {
+                continue; // φs freeze via the latch select and stay correct
+            }
+            if self.old.inst_ty(id).is_void() {
+                continue;
+            }
+            let used_outside = self.old.block_ids().any(|b| {
+                if loop_blocks.contains(&b) {
+                    return false;
+                }
+                let in_insts = self.old.block(b).insts.iter().any(|&u| {
+                    self.old
+                        .inst(u)
+                        .operands()
+                        .contains(&Value::Inst(id))
+                });
+                let in_term = match &self.old.block(b).term {
+                    Terminator::CondBr { cond, .. } => *cond == Value::Inst(id),
+                    Terminator::Ret(Some(v)) => *v == Value::Inst(id),
+                    _ => false,
+                };
+                in_insts || in_term
+            });
+            if used_outside {
+                out.push(id);
+            }
+        }
+        out
+    }
+}
+
+impl<'a> Vectorizer<'a> {
+    /// Emits the translation of one old instruction under `mask` and binds
+    /// the result in the environment.
+    fn emit_inst(&mut self, id: InstId, mask: MaskCtx) -> Result<(), VectorizeError> {
+        let inst = self.old.inst(id).clone();
+        let ty = self.old.inst_ty(id);
+        let oid = Value::Inst(id);
+        let g = self.g;
+        match &inst {
+            Inst::Phi { .. } => unreachable!("phis handled by control-tree emission"),
+            Inst::Bin { op, a, b } => {
+                match self.shape(oid) {
+                    Shape::Indexed(info) => {
+                        // The base stays scalar; reconstruct whether the rule
+                        // keeps the left base or applies the op to both.
+                        let (sa, sb) = (self.shape(*a), self.shape(*b));
+                        let base = if sa.is_uniform() && sb.is_uniform() {
+                            let (na, nb) = (self.scalar_of(*a), self.scalar_of(*b));
+                            self.fb.bin(*op, na, nb)
+                        } else {
+                            let ia = sa.indexed().expect("indexed result from indexed operands");
+                            let ib = sb.indexed().expect("indexed result from indexed operands");
+                            let elem = ty.elem().expect("void bin");
+                            let rule = shapecheck::match_rule(
+                                shapecheck::RuleOp::Bin(*op),
+                                elem,
+                                &to_oi(ia),
+                                &to_oi(ib),
+                            )
+                            .expect("shape analysis only marks indexed when a rule matches");
+                            match rule.base {
+                                shapecheck::BaseComb::Left => self.scalar_of(*a),
+                                shapecheck::BaseComb::Apply => {
+                                    let (na, nb) = (self.scalar_of(*a), self.scalar_of(*b));
+                                    self.fb.bin(*op, na, nb)
+                                }
+                            }
+                        };
+                        self.env.insert(oid, Mv::Scalar { base, offsets: info.offsets });
+                    }
+                    _ => {
+                        let va = self.vector_of(*a);
+                        let vb = self.vector_of(*b);
+                        let nv = self.fb.bin(*op, va, vb);
+                        self.env.insert(oid, Mv::Vector(nv));
+                    }
+                }
+                Ok(())
+            }
+            Inst::Un { op, a } => {
+                if self.shape(oid).is_uniform() {
+                    let na = self.scalar_of(*a);
+                    let nv = self.fb.un(*op, na);
+                    self.env.insert(oid, Mv::Scalar { base: nv, offsets: vec![0; g as usize] });
+                } else {
+                    let va = self.vector_of(*a);
+                    let nv = self.fb.un(*op, va);
+                    self.env.insert(oid, Mv::Vector(nv));
+                }
+                Ok(())
+            }
+            Inst::Cmp { pred, a, b } => {
+                if self.shape(oid).is_uniform() {
+                    let (na, nb) = (self.scalar_of(*a), self.scalar_of(*b));
+                    let nv = self.fb.cmp(*pred, na, nb);
+                    self.env.insert(oid, Mv::Scalar { base: nv, offsets: vec![0; g as usize] });
+                } else {
+                    let (va, vb) = (self.vector_of(*a), self.vector_of(*b));
+                    let nv = self.fb.cmp(*pred, va, vb);
+                    self.env.insert(oid, Mv::Vector(nv));
+                }
+                Ok(())
+            }
+            Inst::Cast { kind, a } => {
+                match self.shape(oid) {
+                    Shape::Indexed(info) => {
+                        let na = self.scalar_of(*a);
+                        let nv = self.fb.cast(*kind, na, ty);
+                        self.env.insert(oid, Mv::Scalar { base: nv, offsets: info.offsets });
+                    }
+                    _ => {
+                        let va = self.vector_of(*a);
+                        let elem = ty.elem().expect("void cast");
+                        let nv = self.fb.cast(*kind, va, Ty::vec(elem, g));
+                        self.env.insert(oid, Mv::Vector(nv));
+                    }
+                }
+                Ok(())
+            }
+            Inst::Select { cond, t, f } => {
+                match self.shape(oid) {
+                    Shape::Indexed(info) => {
+                        let nc = self.scalar_of(*cond);
+                        let (nt, nf) = (self.scalar_of(*t), self.scalar_of(*f));
+                        let nv = self.fb.select(nc, nt, nf);
+                        self.env.insert(oid, Mv::Scalar { base: nv, offsets: info.offsets });
+                    }
+                    _ => {
+                        let nc = if self.shape(*cond).is_uniform() {
+                            self.scalar_of(*cond)
+                        } else {
+                            self.vector_of(*cond)
+                        };
+                        let (vt, vf) = (self.vector_of(*t), self.vector_of(*f));
+                        let nv = self.fb.select(nc, vt, vf);
+                        self.env.insert(oid, Mv::Vector(nv));
+                    }
+                }
+                Ok(())
+            }
+            Inst::Gep { base, index, scale } => {
+                match self.shape(oid) {
+                    Shape::Indexed(info) => {
+                        let (nb, ni) = (self.scalar_of(*base), self.scalar_of(*index));
+                        let nv = self.fb.gep(nb, ni, *scale);
+                        self.env.insert(oid, Mv::Scalar { base: nv, offsets: info.offsets });
+                    }
+                    _ => {
+                        let nb = if self.shape(*base).is_uniform() {
+                            self.scalar_of(*base)
+                        } else {
+                            self.vector_of(*base)
+                        };
+                        let ni = if self.shape(*index).is_uniform() {
+                            self.scalar_of(*index)
+                        } else {
+                            self.vector_of(*index)
+                        };
+                        // Need at least one vector operand to get a vector of
+                        // pointers (ablation mode can have both scalar).
+                        let ni = if self.old.value_ty(*base).is_scalar()
+                            && matches!(self.fb.func().value_ty(ni), Ty::Scalar(_))
+                        {
+                            self.fb.splat(ni, g)
+                        } else {
+                            ni
+                        };
+                        let nv = self.fb.gep(nb, ni, *scale);
+                        self.env.insert(oid, Mv::Vector(nv));
+                    }
+                }
+                Ok(())
+            }
+            Inst::Alloca { size } => {
+                // §4.2.3: multiply the allocation by the gang size; each
+                // thread's copy lives at base + lane × size.
+                let ns = self.scalar_of(*size);
+                let total = self.fb.bin(BinOp::Mul, ns, Value::Const(Const::i64(g as i64)));
+                let p = self.fb.alloca(total);
+                match self.shape(oid) {
+                    Shape::Indexed(info) => {
+                        self.env.insert(oid, Mv::Scalar { base: p, offsets: info.offsets });
+                    }
+                    _ => {
+                        let iota = self.fb.const_vec(ScalarTy::I64, iota_bits(ScalarTy::I64, g));
+                        let szv = self.fb.splat(ns, g);
+                        let offs = self.fb.bin(BinOp::Mul, iota, szv);
+                        let pv = self.fb.gep(p, offs, 1);
+                        self.env.insert(oid, Mv::Vector(pv));
+                    }
+                }
+                Ok(())
+            }
+            Inst::Load { ptr, mask: old_mask } => {
+                if old_mask.is_some() {
+                    return Err(VectorizeError::Unsupported(
+                        "masked loads in scalar SPMD input".into(),
+                    ));
+                }
+                self.emit_load(id, *ptr, mask)
+            }
+            Inst::Store { ptr, val, mask: old_mask } => {
+                if old_mask.is_some() {
+                    return Err(VectorizeError::Unsupported(
+                        "masked stores in scalar SPMD input".into(),
+                    ));
+                }
+                self.emit_store(*ptr, *val, mask)
+            }
+            Inst::Call { callee, args } => self.emit_serialized_call(id, callee, args, mask),
+            Inst::Intrin { kind, args } => self.emit_intrinsic(id, *kind, args, mask),
+            other => Err(VectorizeError::Unsupported(format!(
+                "vector instruction {other:?} in scalar SPMD input"
+            ))),
+        }
+    }
+
+    /// Memory-operation selection for loads (§4.2.3).
+    fn emit_load(&mut self, id: InstId, ptr: Value, mask: MaskCtx) -> Result<(), VectorizeError> {
+        let ty = self.old.inst_ty(id);
+        let elem = ty.elem().expect("void load");
+        let s = elem.size_bytes() as i64;
+        let g = self.g;
+        let oid = Value::Inst(id);
+        let pshape = self.shape(ptr);
+
+        if pshape.is_uniform() {
+            // Scalar load of a uniform value, guarded if lanes may be off.
+            let np = self.scalar_of(ptr);
+            let loaded = match mask {
+                MaskCtx::Full => self.fb.load(Ty::Scalar(elem), np, None),
+                MaskCtx::Dyn(m) => {
+                    let any = self.fb.reduce(ReduceOp::Or, m, None);
+                    let prev = self.fb.current_block();
+                    let do_blk = self.fb.new_block("uload");
+                    let cont = self.fb.new_block("uload.cont");
+                    self.fb.cond_br(any, do_blk, cont);
+                    self.fb.switch_to(do_blk);
+                    let l = self.fb.load(Ty::Scalar(elem), np, None);
+                    self.fb.br(cont);
+                    self.fb.switch_to(cont);
+                    self.fb.phi(vec![(do_blk, l), (prev, Value::Const(Const::zero(elem)))])
+                }
+            };
+            self.env.insert(oid, Mv::Scalar { base: loaded, offsets: vec![0; g as usize] });
+            return Ok(());
+        }
+
+        if let Shape::Indexed(info) = &pshape {
+            let offsets: Vec<i64> = info.offsets.iter().map(|&o| o as i64).collect();
+            let min = *offsets.iter().min().expect("offsets nonempty");
+            if info.stride(ScalarTy::Ptr) == Some(s) {
+                // Element-stride: packed load (an order of magnitude faster
+                // than a gather, per the paper).
+                let base = self.scalar_of(ptr);
+                let adj = if min == 0 {
+                    base
+                } else {
+                    self.fb.gep(base, Value::Const(Const::i64(min)), 1)
+                };
+                let mo = self.mask_opt(mask);
+                let nv = self.fb.load(Ty::vec(elem, g), adj, mo);
+                self.env.insert(oid, Mv::Vector(nv));
+                return Ok(());
+            }
+            // Small compile-time strides: one wide packed load + shuffle,
+            // only when all lanes are statically active (the wide load may
+            // touch bytes no scalar thread would).
+            let max = *offsets.iter().max().expect("offsets nonempty");
+            let span_elems = (max - min) / s + 1;
+            let aligned = offsets.iter().all(|&o| (o - min) % s == 0);
+            if matches!(mask, MaskCtx::Full)
+                && aligned
+                && span_elems > 0
+                && span_elems <= (self.opts.stride_window as i64) * g as i64
+            {
+                let base = self.scalar_of(ptr);
+                let adj = if min == 0 {
+                    base
+                } else {
+                    self.fb.gep(base, Value::Const(Const::i64(min)), 1)
+                };
+                let wide = self.fb.load(Ty::vec(elem, span_elems as u32), adj, None);
+                let pattern: Vec<u32> =
+                    offsets.iter().map(|&o| ((o - min) / s) as u32).collect();
+                let nv = self.fb.shuffle_const(wide, pattern);
+                self.env.insert(oid, Mv::Vector(nv));
+                return Ok(());
+            }
+        }
+
+        // Gather.
+        let ptrs = self.vector_of(ptr);
+        let mo = self.mask_opt(mask);
+        let nv = self.fb.load(Ty::vec(elem, g), ptrs, mo);
+        self.env.insert(oid, Mv::Vector(nv));
+        Ok(())
+    }
+
+    /// Memory-operation selection for stores (§4.2.3).
+    fn emit_store(&mut self, ptr: Value, val: Value, mask: MaskCtx) -> Result<(), VectorizeError> {
+        let vty = self.old.value_ty(val);
+        let elem = vty.elem().expect("void store");
+        let s = elem.size_bytes() as i64;
+        let g = self.g;
+        let pshape = self.shape(ptr);
+
+        if pshape.is_uniform() {
+            self.warnings.push(format!(
+                "@{}: store to a uniform address is racy across the gang; \
+                 one thread's value is kept",
+                self.old.name
+            ));
+            if self.shape(val).is_indexed() && self.shape(val).is_uniform() {
+                let np = self.scalar_of(ptr);
+                let nv = self.scalar_of(val);
+                match mask {
+                    MaskCtx::Full => self.fb.store(np, nv, None),
+                    MaskCtx::Dyn(m) => {
+                        let any = self.fb.reduce(ReduceOp::Or, m, None);
+                        let do_blk = self.fb.new_block("ustore");
+                        let cont = self.fb.new_block("ustore.cont");
+                        self.fb.cond_br(any, do_blk, cont);
+                        self.fb.switch_to(do_blk);
+                        self.fb.store(np, nv, None);
+                        self.fb.br(cont);
+                        self.fb.switch_to(cont);
+                    }
+                }
+            } else {
+                // Varying value to one address: racy; emit a masked scatter
+                // to the splatted address (one active lane's value lands).
+                let np = self.scalar_of(ptr);
+                let ptrs = self.fb.splat(np, g);
+                let nv = self.vector_of(val);
+                let mo = self.mask_opt(mask);
+                self.fb.store(ptrs, nv, mo);
+            }
+            return Ok(());
+        }
+
+        if let Shape::Indexed(info) = &pshape {
+            let offsets: Vec<i64> = info.offsets.iter().map(|&o| o as i64).collect();
+            let min = *offsets.iter().min().expect("offsets nonempty");
+            if info.stride(ScalarTy::Ptr) == Some(s) {
+                let base = self.scalar_of(ptr);
+                let adj = if min == 0 {
+                    base
+                } else {
+                    self.fb.gep(base, Value::Const(Const::i64(min)), 1)
+                };
+                let nv = self.vector_of(val);
+                let mo = self.mask_opt(mask);
+                self.fb.store(adj, nv, mo);
+                return Ok(());
+            }
+            let max = *offsets.iter().max().expect("offsets nonempty");
+            let span_elems = (max - min) / s + 1;
+            let aligned = offsets.iter().all(|&o| (o - min) % s == 0);
+            if matches!(mask, MaskCtx::Full)
+                && aligned
+                && span_elems > 0
+                && span_elems <= (self.opts.stride_window as i64) * g as i64
+            {
+                // Expand the gang values into the covering window and store
+                // with a compile-time mask on the written lanes.
+                let mut pattern = vec![0u32; span_elems as usize];
+                let mut present = vec![0u64; span_elems as usize];
+                for (lane, &o) in offsets.iter().enumerate() {
+                    let j = ((o - min) / s) as usize;
+                    pattern[j] = lane as u32;
+                    present[j] = 1;
+                }
+                let base = self.scalar_of(ptr);
+                let adj = if min == 0 {
+                    base
+                } else {
+                    self.fb.gep(base, Value::Const(Const::i64(min)), 1)
+                };
+                let nv = self.vector_of(val);
+                let expanded = self.fb.shuffle_const(nv, pattern);
+                let write_mask = self.fb.const_vec(ScalarTy::I1, present);
+                self.fb.store(adj, expanded, Some(write_mask));
+                return Ok(());
+            }
+        }
+
+        // Scatter.
+        let ptrs = self.vector_of(ptr);
+        let nv = self.vector_of(val);
+        let mo = self.mask_opt(mask);
+        self.fb.store(ptrs, nv, mo);
+        Ok(())
+    }
+
+    /// §4.2.3: calls to scalar functions that cannot be vectorized are
+    /// serialized — each active lane performs the scalar call in turn.
+    fn emit_serialized_call(
+        &mut self,
+        id: InstId,
+        callee: &str,
+        args: &[Value],
+        mask: MaskCtx,
+    ) -> Result<(), VectorizeError> {
+        if self.opts.gang_sync {
+            return Err(VectorizeError::Unsupported(format!(
+                "call to separately-compiled scalar function @{callee} cannot be \
+                 executed in gang-synchronous mode (§4.2.3); Parsimony's \
+                 non-synchronous semantics permit serialization"
+            )));
+        }
+        let ty = self.old.inst_ty(id);
+        let g = self.g;
+        let oid = Value::Inst(id);
+
+        // Materialize argument vectors once (uniform args stay scalar).
+        enum ArgForm {
+            Uniform(Value),
+            PerLane(Value),
+        }
+        let forms: Vec<ArgForm> = args
+            .iter()
+            .map(|&a| {
+                if self.shape(a).is_uniform() {
+                    ArgForm::Uniform(self.scalar_of(a))
+                } else {
+                    ArgForm::PerLane(self.vector_of(a))
+                }
+            })
+            .collect();
+
+        let mut result: Option<Value> = if ty.is_void() {
+            None
+        } else {
+            let e = ty.elem().expect("non-void call");
+            Some(self.fb.const_vec(e, vec![0; g as usize]))
+        };
+
+        for lane in 0..g {
+            let lane_c = Value::Const(Const::i64(lane as i64));
+            let make_args = |me: &mut Self| -> Vec<Value> {
+                forms
+                    .iter()
+                    .map(|f| match f {
+                        ArgForm::Uniform(v) => *v,
+                        ArgForm::PerLane(v) => me.fb.extract(*v, lane_c),
+                    })
+                    .collect()
+            };
+            match mask {
+                MaskCtx::Full => {
+                    let call_args = make_args(self);
+                    let r = self.fb.call(callee, ty.with_lanes(1).into_scalar_or_void(), call_args);
+                    if let Some(acc) = result {
+                        result = Some(self.fb.insert(acc, lane_c, r));
+                    }
+                }
+                MaskCtx::Dyn(m) => {
+                    let mi = self.fb.extract(m, lane_c);
+                    let prev = self.fb.current_block();
+                    let do_blk = self.fb.new_block("sercall");
+                    let cont = self.fb.new_block("sercall.cont");
+                    self.fb.cond_br(mi, do_blk, cont);
+                    self.fb.switch_to(do_blk);
+                    let call_args = make_args(self);
+                    let r = self.fb.call(callee, ty.with_lanes(1).into_scalar_or_void(), call_args);
+                    let updated = result.map(|acc| self.fb.insert(acc, lane_c, r));
+                    self.fb.br(cont);
+                    self.fb.switch_to(cont);
+                    if let (Some(acc), Some(upd)) = (result, updated) {
+                        result = Some(self.fb.phi(vec![(prev, acc), (do_blk, upd)]));
+                    }
+                }
+            }
+        }
+        if let Some(r) = result {
+            self.env.insert(oid, Mv::Vector(r));
+        }
+        Ok(())
+    }
+
+    /// Lowers Parsimony intrinsics (§3 API → vector IR).
+    fn emit_intrinsic(
+        &mut self,
+        id: InstId,
+        kind: Intrinsic,
+        args: &[Value],
+        mask: MaskCtx,
+    ) -> Result<(), VectorizeError> {
+        let g = self.g;
+        let oid = Value::Inst(id);
+        let ty = self.old.inst_ty(id);
+        let gb = Value::Param(gang_base_param(self.old));
+        let nt = Value::Param(num_threads_param(self.old));
+        match kind {
+            Intrinsic::LaneNum => {
+                if self.opts.enable_shape {
+                    self.env.insert(
+                        oid,
+                        Mv::Scalar { base: Value::Const(Const::i64(0)), offsets: iota_bits(ScalarTy::I64, g) },
+                    );
+                } else {
+                    let v = self.fb.const_vec(ScalarTy::I64, iota_bits(ScalarTy::I64, g));
+                    self.env.insert(oid, Mv::Vector(v));
+                }
+                Ok(())
+            }
+            Intrinsic::ThreadNum => {
+                if self.opts.enable_shape {
+                    self.env.insert(oid, Mv::Scalar { base: gb, offsets: iota_bits(ScalarTy::I64, g) });
+                } else {
+                    let b = self.fb.splat(gb, g);
+                    let iota = self.fb.const_vec(ScalarTy::I64, iota_bits(ScalarTy::I64, g));
+                    let v = self.fb.bin(BinOp::Add, b, iota);
+                    self.env.insert(oid, Mv::Vector(v));
+                }
+                Ok(())
+            }
+            Intrinsic::GangNum => {
+                let n = self.fb.bin(BinOp::SDiv, gb, Value::Const(Const::i64(g as i64)));
+                self.bind_uniform(oid, n);
+                Ok(())
+            }
+            Intrinsic::NumThreads => {
+                self.bind_uniform(oid, nt);
+                Ok(())
+            }
+            Intrinsic::GangSize => {
+                self.bind_uniform(oid, Value::Const(Const::i64(g as i64)));
+                Ok(())
+            }
+            Intrinsic::IsHeadGang => {
+                // With head-gang peeling (§3/§4.1), the predicate folds in
+                // the specialized copies.
+                match self.is_head {
+                    Some(known) => self.bind_uniform(oid, Value::Const(Const::bool(known))),
+                    None => {
+                        let c = self.fb.cmp(CmpPred::Eq, gb, 0i64);
+                        self.bind_uniform(oid, c);
+                    }
+                }
+                Ok(())
+            }
+            Intrinsic::IsTailGang => {
+                // The partial specialization only ever runs the trailing
+                // gang (Listing 6), so the predicate folds to true there.
+                if self.partial {
+                    self.bind_uniform(oid, Value::Const(Const::bool(true)));
+                } else {
+                    let end = self.fb.bin(BinOp::Add, gb, Value::Const(Const::i64(g as i64)));
+                    let c = self.fb.cmp(CmpPred::Sge, end, nt);
+                    self.bind_uniform(oid, c);
+                }
+                Ok(())
+            }
+            Intrinsic::GangSync => {
+                // The vectorized gang is synchronous at instruction
+                // granularity; the barrier compiles to nothing. (This pass
+                // performs no memory reordering, so the fence is trivially
+                // respected — the §2.2 Listing 4 hazard cannot arise.)
+                Ok(())
+            }
+            Intrinsic::Shuffle => {
+                let v = self.vector_of(args[0]);
+                let idx = self.vector_of(args[1]);
+                let nv = self.fb.shuffle_var(v, idx);
+                self.env.insert(oid, Mv::Vector(nv));
+                Ok(())
+            }
+            Intrinsic::Broadcast => {
+                let v = self.vector_of(args[0]);
+                if self.shape(args[1]).is_uniform() {
+                    let lane = self.scalar_of(args[1]);
+                    let s = self.fb.extract(v, lane);
+                    self.bind_uniform(oid, s);
+                } else {
+                    let idx = self.vector_of(args[1]);
+                    let nv = self.fb.shuffle_var(v, idx);
+                    self.env.insert(oid, Mv::Vector(nv));
+                }
+                Ok(())
+            }
+            Intrinsic::GangReduce(op) => {
+                let v = self.vector_of(args[0]);
+                let mo = self.mask_opt(mask);
+                let r = self.fb.reduce(op, v, mo);
+                self.bind_uniform(oid, r);
+                Ok(())
+            }
+            Intrinsic::SadGroups => {
+                let a = self.vector_of(args[0]);
+                let b = self.vector_of(args[1]);
+                let src_elem = self.old.value_ty(args[0]).elem().expect("sad args");
+                let out_elem = ty.elem().expect("sad result");
+                let name = format!("vmach.sad.{src_elem}x{g}.{out_elem}");
+                let nv = self.fb.call(name, Ty::vec(out_elem, g), vec![a, b]);
+                self.env.insert(oid, Mv::Vector(nv));
+                Ok(())
+            }
+            Intrinsic::Math(m) => {
+                let elem = ty.elem().expect("void math");
+                let lib = self.opts.math_lib.prefix();
+                if self.shape(oid).is_uniform() {
+                    let s_args: Vec<Value> = args.iter().map(|&a| self.scalar_of(a)).collect();
+                    let name = format!("{lib}.{}.{elem}", m.name());
+                    let r = self.fb.call(name, Ty::Scalar(elem), s_args);
+                    self.bind_uniform(oid, r);
+                } else {
+                    let v_args: Vec<Value> = args.iter().map(|&a| self.vector_of(a)).collect();
+                    let name = format!("{lib}.{}.{elem}x{g}", m.name());
+                    let r = self.fb.call(name, Ty::vec(elem, g), v_args);
+                    self.env.insert(oid, Mv::Vector(r));
+                }
+                Ok(())
+            }
+            Intrinsic::Fma => {
+                if self.shape(oid).is_uniform() {
+                    let s_args: Vec<Value> = args.iter().map(|&a| self.scalar_of(a)).collect();
+                    let r = self.fb.intrin(Intrinsic::Fma, s_args, ty);
+                    self.bind_uniform(oid, r);
+                } else {
+                    let elem = ty.elem().expect("void fma");
+                    let v_args: Vec<Value> = args.iter().map(|&a| self.vector_of(a)).collect();
+                    let r = self.fb.intrin(Intrinsic::Fma, v_args, Ty::vec(elem, g));
+                    self.env.insert(oid, Mv::Vector(r));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn bind_uniform(&mut self, oid: Value, base: Value) {
+        let g = self.g;
+        self.env.insert(oid, Mv::Scalar { base, offsets: vec![0; g as usize] });
+    }
+}
+
+fn to_oi(i: &crate::shape::ShapeInfo) -> shapecheck::OperandInfo {
+    shapecheck::OperandInfo {
+        base_const: i.base_const,
+        base_align: i.align,
+        offsets: i.offsets.clone(),
+        nowrap_unsigned: i.nowrap_u,
+        nowrap_signed: i.nowrap_s,
+    }
+}
+
+/// Helper on [`Ty`] used by serialized calls.
+trait TyExt {
+    fn into_scalar_or_void(self) -> Ty;
+}
+
+impl TyExt for Ty {
+    fn into_scalar_or_void(self) -> Ty {
+        match self {
+            Ty::Void => Ty::Void,
+            t => Ty::Scalar(t.elem().expect("non-void type")),
+        }
+    }
+}

@@ -1,0 +1,569 @@
+//! Differential tests: the vectorized region must produce exactly the same
+//! memory effects as the SPMD reference executor for race-free programs.
+//!
+//! Each test builds a scalar SPMD region, runs it (a) through [`SpmdRef`]
+//! and (b) through the Parsimony pass plus the gang-loop driver on the
+//! plain interpreter, and compares the output buffers byte for byte.
+
+use parsimony::{emit_gang_loop, vectorize_module, SpmdRef, VectorizeOptions};
+use psir::{
+    assert_valid, c_i64, BinOp, CmpPred, Const, FunctionBuilder, Intrinsic, Memory, Module,
+    Param, ReduceOp, RtVal, ScalarTy, SpmdInfo, ThreadCount, Ty, Value,
+};
+
+/// Builds an SPMD region builder with the implicit trailing params.
+fn region_fb(name: &str, user_params: Vec<Param>, gang: u32) -> FunctionBuilder {
+    let mut params = user_params;
+    params.push(Param::new("gang_base", Ty::scalar(ScalarTy::I64)));
+    params.push(Param::new("num_threads", Ty::scalar(ScalarTy::I64)));
+    let mut fb = FunctionBuilder::new(name, params, Ty::Void);
+    fb.set_spmd(SpmdInfo {
+        gang_size: gang,
+        num_threads: ThreadCount::Dynamic,
+        partial: false,
+    });
+    fb
+}
+
+/// Adds a driver function `main` that runs the gang loop over the region.
+fn add_driver(m: &mut Module, region: &str, n_user_params: usize, gang: u32) {
+    let mut params: Vec<Param> = (0..n_user_params)
+        .map(|i| Param::new(format!("p{i}"), Ty::scalar(ScalarTy::Ptr)))
+        .collect();
+    params.push(Param::new("n", Ty::scalar(ScalarTy::I64)));
+    let mut fb = FunctionBuilder::new("main", params, Ty::Void);
+    let captured: Vec<Value> = (0..n_user_params as u32).map(Value::Param).collect();
+    let n = Value::Param(n_user_params as u32);
+    emit_gang_loop(&mut fb, region, &captured, n, gang, None);
+    fb.ret(None);
+    let f = fb.finish();
+    assert_valid(&f);
+    m.add_function(f);
+}
+
+/// Runs both executions and compares the given byte ranges of memory.
+fn compare(
+    module: &Module,
+    region: &str,
+    gang: u32,
+    setup: impl Fn(&mut Memory) -> (Vec<u64>, Vec<(u64, u64)>),
+    num_threads: u64,
+    opts: &VectorizeOptions,
+) {
+    // (a) reference execution
+    let mut mem_a = Memory::default();
+    let (args_a, ranges) = setup(&mut mem_a);
+    let rt_args: Vec<RtVal> = args_a.iter().map(|&a| RtVal::S(a)).collect();
+    let mut r = SpmdRef::new(module, mem_a);
+    r.run_region(region, &rt_args, num_threads).expect("spmd ref ok");
+
+    // (b) vectorized execution through the driver
+    let out = vectorize_module(module, opts).expect("vectorization ok");
+    for name in [format!("{region}__full"), format!("{region}__partial")] {
+        assert_valid(out.module.function(&name).expect("vectorized fn exists"));
+    }
+    let mut module_v = out.module;
+    add_driver(&mut module_v, region, args_a.len(), gang);
+    let mut mem_b = Memory::default();
+    let (args_b, _) = setup(&mut mem_b);
+    let mut it = psir::Interp::with_defaults(&module_v, mem_b);
+    let mut call_args: Vec<RtVal> = args_b.iter().map(|&a| RtVal::S(a)).collect();
+    call_args.push(RtVal::S(num_threads));
+    it.call("main", &call_args).expect("vectorized run ok");
+
+    for &(addr, len) in &ranges {
+        let a = r.mem.read_bytes(addr, len).expect("range a");
+        let b = it.mem.read_bytes(addr, len).expect("range b");
+        assert_eq!(a, b, "memory mismatch in range {addr:#x}+{len}");
+    }
+}
+
+fn i32_buf(mem: &mut Memory, vals: &[i32]) -> u64 {
+    let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+    mem.alloc_bytes(&bytes, 64).expect("alloc")
+}
+
+// ---------------------------------------------------------------------------
+
+/// Listing 3: `tmp = a[i]; psim_gang_sync(); a[i+1] = tmp`.
+/// Every gang shifts its window one to the right — the motivating example.
+#[test]
+fn listing3_shift_with_gang_sync() {
+    let gang = 8u32;
+    let mut fb = region_fb("shift", vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))], gang);
+    let i = fb.thread_num();
+    let ai = fb.gep(Value::Param(0), i, 4);
+    let tmp = fb.load(Ty::scalar(ScalarTy::I32), ai, None);
+    fb.gang_sync();
+    let i1 = fb.bin(BinOp::Add, i, 1i64);
+    let ai1 = fb.gep(Value::Param(0), i1, 4);
+    fb.store(ai1, tmp, None);
+    fb.ret(None);
+    let f = fb.finish();
+    assert_valid(&f);
+    let mut m = Module::new();
+    m.add_function(f);
+
+    let n: u64 = 32; // exact multiple of the gang size
+    compare(
+        &m,
+        "shift",
+        gang,
+        |mem| {
+            let vals: Vec<i32> = (0..(n as i32 + 1)).collect();
+            let a = i32_buf(mem, &vals);
+            (vec![a], vec![(a, (n + 1) * 4)])
+        },
+        n,
+        &VectorizeOptions::default(),
+    );
+}
+
+/// Divergent if/else over element parity, with a partial tail gang.
+#[test]
+fn divergent_if_else_with_tail_gang() {
+    let gang = 8u32;
+    let mut fb = region_fb("diverge", vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))], gang);
+    let then_bb = fb.new_block("then");
+    let else_bb = fb.new_block("else");
+    let join = fb.new_block("join");
+    let i = fb.thread_num();
+    let ai = fb.gep(Value::Param(0), i, 4);
+    let x = fb.load(Ty::scalar(ScalarTy::I32), ai, None);
+    let parity = fb.bin(BinOp::And, x, 1i32);
+    let is_odd = fb.cmp(CmpPred::Ne, parity, 0i32);
+    fb.cond_br(is_odd, then_bb, else_bb);
+    fb.switch_to(then_bb);
+    let xo = fb.bin(BinOp::Add, x, 10i32);
+    fb.br(join);
+    fb.switch_to(else_bb);
+    let xe = fb.bin(BinOp::Sub, x, 1i32);
+    fb.br(join);
+    fb.switch_to(join);
+    let merged = fb.phi(vec![(then_bb, xo), (else_bb, xe)]);
+    fb.store(ai, merged, None);
+    fb.ret(None);
+    let f = fb.finish();
+    assert_valid(&f);
+    let mut m = Module::new();
+    m.add_function(f);
+
+    let n: u64 = 27; // 3 full gangs + tail of 3
+    compare(
+        &m,
+        "diverge",
+        gang,
+        |mem| {
+            let vals: Vec<i32> = (0..n as i32).map(|v| v * 7 - 13).collect();
+            let a = i32_buf(mem, &vals);
+            (vec![a], vec![(a, n * 4)])
+        },
+        n,
+        &VectorizeOptions::default(),
+    );
+}
+
+/// A uniform inner loop (same trip count for all threads) stays a scalar
+/// loop; functional equivalence checked here.
+#[test]
+fn uniform_inner_loop() {
+    let gang = 4u32;
+    let mut fb = region_fb(
+        "uloop",
+        vec![
+            Param::new("a", Ty::scalar(ScalarTy::Ptr)),
+            Param::new("k", Ty::scalar(ScalarTy::Ptr)),
+        ],
+        gang,
+    );
+    let header = fb.new_block("header");
+    let body = fb.new_block("body");
+    let exit = fb.new_block("exit");
+    let i = fb.thread_num();
+    let kp = fb.load(Ty::scalar(ScalarTy::I64), Value::Param(1), None); // uniform bound
+    let ai = fb.gep(Value::Param(0), i, 4);
+    let x0 = fb.load(Ty::scalar(ScalarTy::I32), ai, None);
+    let entry = fb.current_block();
+    fb.br(header);
+    fb.switch_to(header);
+    let j = fb.phi_typed(Ty::scalar(ScalarTy::I64), vec![(entry, c_i64(0))]);
+    let acc = fb.phi_typed(Ty::scalar(ScalarTy::I32), vec![(entry, x0)]);
+    let c = fb.cmp(CmpPred::Slt, j, kp);
+    fb.cond_br(c, body, exit);
+    fb.switch_to(body);
+    let acc2 = fb.bin(BinOp::Add, acc, 3i32);
+    let j2 = fb.bin(BinOp::Add, j, 1i64);
+    fb.phi_add_incoming(j, body, j2);
+    fb.phi_add_incoming(acc, body, acc2);
+    fb.br(header);
+    fb.switch_to(exit);
+    fb.store(ai, acc, None);
+    fb.ret(None);
+    let f = fb.finish();
+    assert_valid(&f);
+    let mut m = Module::new();
+    m.add_function(f);
+
+    let n: u64 = 16;
+    compare(
+        &m,
+        "uloop",
+        gang,
+        |mem| {
+            let vals: Vec<i32> = (0..n as i32).collect();
+            let a = i32_buf(mem, &vals);
+            let k = mem.alloc_bytes(&5i64.to_le_bytes(), 8).expect("alloc");
+            (vec![a, k], vec![(a, n * 4)])
+        },
+        n,
+        &VectorizeOptions::default(),
+    );
+}
+
+/// A divergent loop: each thread iterates `a[i] % 11` times. Exercises the
+/// live-mask machinery, φ freezing, and the any-lane-active exit.
+#[test]
+fn divergent_loop_per_lane_trip_counts() {
+    let gang = 8u32;
+    let mut fb = region_fb("vloop", vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))], gang);
+    let header = fb.new_block("header");
+    let body = fb.new_block("body");
+    let exit = fb.new_block("exit");
+    let i = fb.thread_num();
+    let ai = fb.gep(Value::Param(0), i, 4);
+    let x0 = fb.load(Ty::scalar(ScalarTy::I32), ai, None);
+    let trips = fb.bin(BinOp::URem, x0, 11i32);
+    let entry = fb.current_block();
+    fb.br(header);
+    fb.switch_to(header);
+    let j = fb.phi_typed(Ty::scalar(ScalarTy::I32), vec![(entry, psir::c_i32(0))]);
+    let acc = fb.phi_typed(Ty::scalar(ScalarTy::I32), vec![(entry, x0)]);
+    let c = fb.cmp(CmpPred::Slt, j, trips);
+    fb.cond_br(c, body, exit);
+    fb.switch_to(body);
+    let doubled = fb.bin(BinOp::Mul, acc, 2i32);
+    let plus = fb.bin(BinOp::Add, doubled, 1i32);
+    let j2 = fb.bin(BinOp::Add, j, 1i32);
+    fb.phi_add_incoming(j, body, j2);
+    fb.phi_add_incoming(acc, body, plus);
+    fb.br(header);
+    fb.switch_to(exit);
+    fb.store(ai, acc, None);
+    fb.ret(None);
+    let f = fb.finish();
+    assert_valid(&f);
+    let mut m = Module::new();
+    m.add_function(f);
+
+    let n: u64 = 24;
+    compare(
+        &m,
+        "vloop",
+        gang,
+        |mem| {
+            let vals: Vec<i32> = (0..n as i32).map(|v| v * 31 + 7).collect();
+            let a = i32_buf(mem, &vals);
+            (vec![a], vec![(a, n * 4)])
+        },
+        n,
+        &VectorizeOptions::default(),
+    );
+}
+
+/// Horizontal shuffle: rotate values one lane to the left within each gang
+/// (Listing 5's psim_shuffle_sync pattern).
+#[test]
+fn shuffle_rotate_within_gang() {
+    let gang = 8u32;
+    let mut fb = region_fb("rot", vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))], gang);
+    let i = fb.thread_num();
+    let lane = fb.lane_num();
+    let ai = fb.gep(Value::Param(0), i, 4);
+    let x = fb.load(Ty::scalar(ScalarTy::I32), ai, None);
+    let lp1 = fb.bin(BinOp::Add, lane, 1i64);
+    let got = fb.shuffle_sync(x, lp1);
+    fb.store(ai, got, None);
+    fb.ret(None);
+    let f = fb.finish();
+    assert_valid(&f);
+    let mut m = Module::new();
+    m.add_function(f);
+
+    let n: u64 = 16;
+    compare(
+        &m,
+        "rot",
+        gang,
+        |mem| {
+            let vals: Vec<i32> = (0..n as i32).map(|v| v * v + 3).collect();
+            let a = i32_buf(mem, &vals);
+            (vec![a], vec![(a, n * 4)])
+        },
+        n,
+        &VectorizeOptions::default(),
+    );
+}
+
+/// Gang reduction: every thread writes the gang-wide sum.
+#[test]
+fn gang_reduce_sum() {
+    let gang = 8u32;
+    let mut fb = region_fb("gsum", vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))], gang);
+    let i = fb.thread_num();
+    let ai = fb.gep(Value::Param(0), i, 4);
+    let x = fb.load(Ty::scalar(ScalarTy::I32), ai, None);
+    let total = fb.intrin(
+        Intrinsic::GangReduce(ReduceOp::Add),
+        vec![x],
+        Ty::scalar(ScalarTy::I32),
+    );
+    fb.store(ai, total, None);
+    fb.ret(None);
+    let f = fb.finish();
+    assert_valid(&f);
+    let mut m = Module::new();
+    m.add_function(f);
+
+    // Tail gang included: reduction must only cover live threads.
+    let n: u64 = 19;
+    compare(
+        &m,
+        "gsum",
+        gang,
+        |mem| {
+            let vals: Vec<i32> = (0..n as i32).map(|v| v + 1).collect();
+            let a = i32_buf(mem, &vals);
+            (vec![a], vec![(a, n * 4)])
+        },
+        n,
+        &VectorizeOptions::default(),
+    );
+}
+
+/// Strided access: thread i reads a[2*i] and a[2*i+1] (stride-2 pattern →
+/// wide packed load + shuffle under a full mask) and writes their sum.
+#[test]
+fn strided_deinterleave_sum() {
+    let gang = 8u32;
+    let mut fb = region_fb(
+        "deint",
+        vec![
+            Param::new("a", Ty::scalar(ScalarTy::Ptr)),
+            Param::new("o", Ty::scalar(ScalarTy::Ptr)),
+        ],
+        gang,
+    );
+    let i = fb.thread_num();
+    let two_i = fb.bin(BinOp::Mul, i, 2i64);
+    let p0 = fb.gep(Value::Param(0), two_i, 4);
+    let x0 = fb.load(Ty::scalar(ScalarTy::I32), p0, None);
+    let two_i1 = fb.bin(BinOp::Add, two_i, 1i64);
+    let p1 = fb.gep(Value::Param(0), two_i1, 4);
+    let x1 = fb.load(Ty::scalar(ScalarTy::I32), p1, None);
+    let s = fb.bin(BinOp::Add, x0, x1);
+    let po = fb.gep(Value::Param(1), i, 4);
+    fb.store(po, s, None);
+    fb.ret(None);
+    let f = fb.finish();
+    assert_valid(&f);
+    let mut m = Module::new();
+    m.add_function(f);
+
+    let n: u64 = 16;
+    compare(
+        &m,
+        "deint",
+        gang,
+        |mem| {
+            let vals: Vec<i32> = (0..(2 * n) as i32).map(|v| v * 3 - 5).collect();
+            let a = i32_buf(mem, &vals);
+            let o = i32_buf(mem, &vec![0; n as usize]);
+            (vec![a, o], vec![(o, n * 4)])
+        },
+        n,
+        &VectorizeOptions::default(),
+    );
+}
+
+/// Serialized scalar call: the region calls a module-local helper that the
+/// vectorizer cannot inline, so it is serialized per active lane (§4.2.3).
+#[test]
+fn serialized_scalar_call() {
+    let gang = 4u32;
+    let mut m = Module::new();
+
+    // Helper: doubles its argument and adds 7.
+    let mut hb = FunctionBuilder::new(
+        "helper",
+        vec![Param::new("x", Ty::scalar(ScalarTy::I32))],
+        Ty::scalar(ScalarTy::I32),
+    );
+    let d = hb.bin(BinOp::Mul, Value::Param(0), 2i32);
+    let r = hb.bin(BinOp::Add, d, 7i32);
+    hb.ret(Some(r));
+    m.add_function(hb.finish());
+
+    let mut fb = region_fb("sercall", vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))], gang);
+    let i = fb.thread_num();
+    let ai = fb.gep(Value::Param(0), i, 4);
+    let x = fb.load(Ty::scalar(ScalarTy::I32), ai, None);
+    let y = fb.call("helper", Ty::scalar(ScalarTy::I32), vec![x]);
+    fb.store(ai, y, None);
+    fb.ret(None);
+    let f = fb.finish();
+    assert_valid(&f);
+    m.add_function(f);
+
+    let n: u64 = 11; // tail gang exercises the per-lane guards
+    compare(
+        &m,
+        "sercall",
+        gang,
+        |mem| {
+            let vals: Vec<i32> = (0..n as i32).map(|v| v - 4).collect();
+            let a = i32_buf(mem, &vals);
+            (vec![a], vec![(a, n * 4)])
+        },
+        n,
+        &VectorizeOptions::default(),
+    );
+}
+
+/// The no-shape ablation must still be functionally correct (just slower).
+#[test]
+fn no_shape_ablation_is_correct() {
+    let gang = 8u32;
+    let mut fb = region_fb("abl", vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))], gang);
+    let then_bb = fb.new_block("then");
+    let join = fb.new_block("join");
+    let i = fb.thread_num();
+    let ai = fb.gep(Value::Param(0), i, 4);
+    let x = fb.load(Ty::scalar(ScalarTy::I32), ai, None);
+    let c = fb.cmp(CmpPred::Sgt, x, 50i32);
+    fb.cond_br(c, then_bb, join);
+    fb.switch_to(then_bb);
+    let halved = fb.bin(BinOp::SDiv, x, 2i32);
+    fb.br(join);
+    fb.switch_to(join);
+    let merged = fb.phi(vec![(then_bb, halved), (fb.func().entry, x)]);
+    fb.store(ai, merged, None);
+    fb.ret(None);
+    let f = fb.finish();
+    assert_valid(&f);
+    let mut m = Module::new();
+    m.add_function(f);
+
+    let n: u64 = 21;
+    let opts = VectorizeOptions {
+        enable_shape: false,
+        ..VectorizeOptions::default()
+    };
+    compare(
+        &m,
+        "abl",
+        gang,
+        |mem| {
+            let vals: Vec<i32> = (0..n as i32).map(|v| v * 13 % 101).collect();
+            let a = i32_buf(mem, &vals);
+            (vec![a], vec![(a, n * 4)])
+        },
+        n,
+        &opts,
+    );
+}
+
+/// Head/tail gang intrinsics: the head gang zeroes its first element, the
+/// tail gang writes a sentinel at its first element.
+#[test]
+fn head_and_tail_gang_intrinsics() {
+    let gang = 4u32;
+    let mut fb = region_fb("ht", vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))], gang);
+    let then_bb = fb.new_block("head");
+    let join = fb.new_block("join");
+    let i = fb.thread_num();
+    let ai = fb.gep(Value::Param(0), i, 4);
+    let x = fb.load(Ty::scalar(ScalarTy::I32), ai, None);
+    let is_head = fb.intrin(Intrinsic::IsHeadGang, vec![], Ty::scalar(ScalarTy::I1));
+    fb.cond_br(is_head, then_bb, join);
+    fb.switch_to(then_bb);
+    let plus100 = fb.bin(BinOp::Add, x, 100i32);
+    fb.br(join);
+    fb.switch_to(join);
+    let entry = fb.func().entry;
+    let merged = fb.phi(vec![(then_bb, plus100), (entry, x)]);
+    let is_tail = fb.intrin(Intrinsic::IsTailGang, vec![], Ty::scalar(ScalarTy::I1));
+    let neg = fb.bin(BinOp::Sub, psir::c_i32(0), merged);
+    let fin = fb.select(is_tail, neg, merged);
+    fb.store(ai, fin, None);
+    fb.ret(None);
+    let f = fb.finish();
+    assert_valid(&f);
+    let mut m = Module::new();
+    m.add_function(f);
+
+    let n: u64 = 14; // head gang, middle gangs, tail gang of 2
+    compare(
+        &m,
+        "ht",
+        gang,
+        |mem| {
+            let vals: Vec<i32> = (0..n as i32).map(|v| v + 1).collect();
+            let a = i32_buf(mem, &vals);
+            (vec![a], vec![(a, n * 4)])
+        },
+        n,
+        &VectorizeOptions::default(),
+    );
+}
+
+/// The §4.2.3 BOSCC optimization (guard linearized arms with an any-active
+/// test) must be a pure optimization: identical results on divergent code.
+#[test]
+fn boscc_is_semantics_preserving() {
+    let gang = 8u32;
+    let mut fb = region_fb("bos", vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))], gang);
+    let then_bb = fb.new_block("then");
+    let else_bb = fb.new_block("else");
+    let join = fb.new_block("join");
+    let i = fb.thread_num();
+    let ai = fb.gep(Value::Param(0), i, 4);
+    let x = fb.load(Ty::scalar(ScalarTy::I32), ai, None);
+    let c = fb.cmp(CmpPred::Sgt, x, 500i32);
+    fb.cond_br(c, then_bb, else_bb);
+    fb.switch_to(then_bb);
+    let xt = fb.bin(BinOp::Sub, x, 1000i32);
+    fb.br(join);
+    fb.switch_to(else_bb);
+    let xe = fb.bin(BinOp::Add, x, 5i32);
+    fb.br(join);
+    fb.switch_to(join);
+    let m = fb.phi(vec![(then_bb, xt), (else_bb, xe)]);
+    fb.store(ai, m, None);
+    fb.ret(None);
+    let f = fb.finish();
+    assert_valid(&f);
+    let mut module = Module::new();
+    module.add_function(f);
+
+    // Inputs chosen so some gangs are fully converged (all ≤ 500) and some
+    // diverge — BOSCC's skip path and taken path both execute.
+    let n: u64 = 40;
+    let opts = parsimony::VectorizeOptions {
+        boscc: true,
+        ..parsimony::VectorizeOptions::default()
+    };
+    compare(
+        &module,
+        "bos",
+        gang,
+        |mem| {
+            let vals: Vec<i32> = (0..n as i32)
+                .map(|v| if v / 8 % 2 == 0 { v } else { v * 100 })
+                .collect();
+            let a = i32_buf(mem, &vals);
+            (vec![a], vec![(a, n * 4)])
+        },
+        n,
+        &opts,
+    );
+}

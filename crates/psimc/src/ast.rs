@@ -1,0 +1,291 @@
+//! Abstract syntax tree and the PsimC surface type system.
+//!
+//! PsimC is the C-like host language of this reproduction: enough of C to
+//! write the benchmark kernels (scalar types with explicit signedness,
+//! pointers, loops, functions) plus the `psim gang(G) threads(N) { … }`
+//! construct of §3 and the `psim_*` intrinsics. Deliberate divergences from
+//! C, chosen for kernel clarity, are documented in the crate docs: no
+//! implicit integer promotion (arithmetic stays at the operand width; cast
+//! explicitly) and non-short-circuit `&&`/`||` over `bool`.
+
+use crate::token::Pos;
+use psir::ScalarTy;
+use std::fmt;
+
+/// Surface types. Signedness lives here (the IR encodes it in opcodes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PTy {
+    /// No value.
+    Void,
+    /// Boolean.
+    Bool,
+    /// Signed integers.
+    I8,
+    /// 16-bit signed.
+    I16,
+    /// 32-bit signed.
+    I32,
+    /// 64-bit signed.
+    I64,
+    /// Unsigned integers.
+    U8,
+    /// 16-bit unsigned.
+    U16,
+    /// 32-bit unsigned.
+    U32,
+    /// 64-bit unsigned.
+    U64,
+    /// 32-bit float.
+    F32,
+    /// 64-bit float.
+    F64,
+    /// Pointer to an element type.
+    Ptr(Box<PTy>),
+}
+
+impl PTy {
+    /// The IR scalar type this lowers to.
+    pub fn scalar_ty(&self) -> ScalarTy {
+        match self {
+            PTy::Void => panic!("void has no scalar type"),
+            PTy::Bool => ScalarTy::I1,
+            PTy::I8 | PTy::U8 => ScalarTy::I8,
+            PTy::I16 | PTy::U16 => ScalarTy::I16,
+            PTy::I32 | PTy::U32 => ScalarTy::I32,
+            PTy::I64 | PTy::U64 => ScalarTy::I64,
+            PTy::F32 => ScalarTy::F32,
+            PTy::F64 => ScalarTy::F64,
+            PTy::Ptr(_) => ScalarTy::Ptr,
+        }
+    }
+
+    /// Whether this is a signed integer type.
+    pub fn is_signed_int(&self) -> bool {
+        matches!(self, PTy::I8 | PTy::I16 | PTy::I32 | PTy::I64)
+    }
+
+    /// Whether this is an unsigned integer type.
+    pub fn is_unsigned_int(&self) -> bool {
+        matches!(self, PTy::U8 | PTy::U16 | PTy::U32 | PTy::U64)
+    }
+
+    /// Any integer type (bool excluded).
+    pub fn is_int(&self) -> bool {
+        self.is_signed_int() || self.is_unsigned_int()
+    }
+
+    /// Float type.
+    pub fn is_float(&self) -> bool {
+        matches!(self, PTy::F32 | PTy::F64)
+    }
+
+    /// Pointer type.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, PTy::Ptr(_))
+    }
+
+    /// The pointee of a pointer type.
+    pub fn pointee(&self) -> Option<&PTy> {
+        match self {
+            PTy::Ptr(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PTy::Void => write!(f, "void"),
+            PTy::Bool => write!(f, "bool"),
+            PTy::I8 => write!(f, "i8"),
+            PTy::I16 => write!(f, "i16"),
+            PTy::I32 => write!(f, "i32"),
+            PTy::I64 => write!(f, "i64"),
+            PTy::U8 => write!(f, "u8"),
+            PTy::U16 => write!(f, "u16"),
+            PTy::U32 => write!(f, "u32"),
+            PTy::U64 => write!(f, "u64"),
+            PTy::F32 => write!(f, "f32"),
+            PTy::F64 => write!(f, "f64"),
+            PTy::Ptr(p) => write!(f, "{p}*"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOpKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `&&` (non-short-circuit over bool)
+    LAnd,
+    /// `||`
+    LOr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOpKind {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+    /// `~`
+    BitNot,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal with optional suffix type.
+    Int(i128, Option<PTy>, Pos),
+    /// Float literal with optional suffix type.
+    Float(f64, Option<PTy>, Pos),
+    /// `true` / `false`.
+    Bool(bool, Pos),
+    /// Variable reference.
+    Var(String, Pos),
+    /// Binary operation.
+    Bin(BinOpKind, Box<Expr>, Box<Expr>, Pos),
+    /// Unary operation.
+    Un(UnOpKind, Box<Expr>, Pos),
+    /// Explicit cast `(ty) e`.
+    Cast(PTy, Box<Expr>, Pos),
+    /// `a[i]` load (or store target).
+    Index(Box<Expr>, Box<Expr>, Pos),
+    /// `*p` load (or store target).
+    Deref(Box<Expr>, Pos),
+    /// Ternary `c ? t : f`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>, Pos),
+    /// Call to a user function or builtin.
+    Call(String, Vec<Expr>, Pos),
+}
+
+impl Expr {
+    /// Source position for diagnostics.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Int(_, _, p)
+            | Expr::Float(_, _, p)
+            | Expr::Bool(_, p)
+            | Expr::Var(_, p)
+            | Expr::Bin(_, _, _, p)
+            | Expr::Un(_, _, p)
+            | Expr::Cast(_, _, p)
+            | Expr::Index(_, _, p)
+            | Expr::Deref(_, p)
+            | Expr::Ternary(_, _, _, p)
+            | Expr::Call(_, _, p) => *p,
+        }
+    }
+}
+
+/// Assignable places.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Place {
+    /// Local variable.
+    Var(String, Pos),
+    /// `a[i]`.
+    Index(Expr, Expr, Pos),
+    /// `*p`.
+    Deref(Expr, Pos),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `ty name = init;`
+    Decl(PTy, String, Expr, Pos),
+    /// `ty name[K];` — a local array of `K` elements (lowers to an
+    /// entry-block alloca; in a psim region each thread gets a private
+    /// copy, §4.2.3).
+    DeclArray(PTy, String, u64, Pos),
+    /// `place op= expr;` (plain `=` uses `None`).
+    Assign(Place, Option<BinOpKind>, Expr, Pos),
+    /// `if (c) { .. } else { .. }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>, Pos),
+    /// `while (c) { .. }`
+    While(Expr, Vec<Stmt>, Pos),
+    /// `for (init; cond; step) { .. }` — desugared by the parser into
+    /// Decl/Assign + While, so lowering never sees it.
+    Block(Vec<Stmt>),
+    /// `return e?;`
+    Return(Option<Expr>, Pos),
+    /// Expression statement (a call).
+    Expr(Expr, Pos),
+    /// `psim gang(G) threads(N) { .. }` (§3).
+    Psim {
+        /// Compile-time gang size.
+        gang: u32,
+        /// Thread-count expression, evaluated at the region entry.
+        threads: Expr,
+        /// Region body.
+        body: Vec<Stmt>,
+        /// Position.
+        pos: Pos,
+    },
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnParam {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: PTy,
+    /// `restrict`-qualified pointer.
+    pub restrict: bool,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDef {
+    /// Name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<FnParam>,
+    /// Return type.
+    pub ret: PTy,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// A parsed compilation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Unit {
+    /// All function definitions, in source order.
+    pub funcs: Vec<FnDef>,
+}

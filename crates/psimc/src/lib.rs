@@ -1,0 +1,53 @@
+//! # psimc — the PsimC front-end
+//!
+//! A C-like language with the `psim gang(G) threads(N) { … }` SPMD construct
+//! of the Parsimony paper (§3) and the `psim_*` API, compiled to `psir`.
+//! The front-end does exactly what §4.1 asks of one: it outlines each SPMD
+//! region into a standalone SPMD-annotated function (captured variables
+//! become parameters) and replaces the region with the Listing 6 gang loop
+//! calling the `__full` / `__partial` specializations that the `parsimony`
+//! vectorizer later provides.
+//!
+//! ## Language summary
+//!
+//! * Types: `bool`, `i8..i64`, `u8..u64`, `f32`, `f64`, pointers (`T*`,
+//!   optionally `restrict`). Signedness is explicit and there is **no
+//!   implicit integer promotion** — arithmetic stays at the operand width;
+//!   cast explicitly (`(i32) x`). Literals adapt to the surrounding type.
+//! * Statements: declarations, assignments (including `+=` and `++`),
+//!   `if`/`else`, `while`, `for`, `return`, blocks.
+//! * `psim gang(G) threads(N) { … }` — the SPMD region; inside it the
+//!   `psim_*` intrinsics are available (`psim_thread_num`, `psim_lane_num`,
+//!   `psim_gang_sync`, `psim_shuffle`, `psim_reduce_add`, `psim_sad`, …).
+//! * Builtins: `sqrt`, `abs`, `min`/`max`, `clamp`, `add_sat`/`sub_sat`,
+//!   `avg_u`, `mulhi`, `fma`, and the transcendental set (`exp`, `log`,
+//!   `pow`, `sin`, `cos`, …) that vectorizes into math-library calls.
+//! * `&&`/`||` are non-short-circuiting over `bool`; the ternary operator
+//!   evaluates both arms (they lower to `select`).
+//!
+//! # Examples
+//!
+//! ```
+//! let module = psimc::compile(
+//!     "void scale(f32* a, i64 n) {
+//!          psim gang(16) threads(n) {
+//!              i64 i = psim_thread_num();
+//!              a[i] = a[i] * 2.0;
+//!          }
+//!      }",
+//! )?;
+//! assert!(module.function("scale").is_some());
+//! assert_eq!(module.spmd_functions(), vec!["scale__psim0".to_string()]);
+//! # Ok::<(), psimc::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod parser;
+pub mod token;
+
+mod lower;
+
+pub use lower::{compile, CompileError};
+pub use parser::{parse, ParseError};

@@ -1,0 +1,1421 @@
+//! Lowering from the PsimC AST to `psir`, including `#psim` region
+//! outlining (§4.1).
+//!
+//! Variables lower to SSA directly (no allocas): structured control flow
+//! makes join points explicit, so the lowerer snapshots the variable map at
+//! branches and inserts φs at joins and loop headers for everything the
+//! body assigns. `psim` regions are outlined into standalone SPMD-annotated
+//! functions (captured variables become parameters, by value — assigning to
+//! a captured scalar inside a region is a compile error) and the call site
+//! becomes the Listing 6 gang loop via [`parsimony::emit_gang_loop`].
+
+use crate::ast::*;
+use crate::token::Pos;
+use psir::{
+    BinOp as IrBin, CastKind, CmpPred, Const, FunctionBuilder, Intrinsic, MathFn, Module, Param,
+    ReduceOp, ScalarTy, SpmdInfo, ThreadCount, Ty, UnOp as IrUn, Value,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A semantic (type-check or lowering) error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Source position, when known.
+    pub pos: Option<Pos>,
+    /// Message.
+    pub msg: String,
+}
+
+impl CompileError {
+    fn at(pos: Pos, msg: impl Into<String>) -> CompileError {
+        CompileError {
+            pos: Some(pos),
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(p) => write!(f, "error at {p}: {}", self.msg),
+            None => write!(f, "error: {}", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+type LResult<T> = Result<T, CompileError>;
+
+#[derive(Clone)]
+struct Var {
+    ty: PTy,
+    val: Value,
+    captured: bool,
+}
+
+#[derive(Clone)]
+struct Sig {
+    params: Vec<PTy>,
+    ret: PTy,
+}
+
+struct Lowerer<'u> {
+    unit: &'u Unit,
+    sigs: HashMap<String, Sig>,
+    module: Module,
+    region_counter: usize,
+}
+
+struct FnCtx {
+    fb: FunctionBuilder,
+    scopes: Vec<HashMap<String, Var>>,
+    in_region: bool,
+    terminated: bool,
+    ret_ty: PTy,
+}
+
+impl FnCtx {
+    fn lookup(&self, name: &str) -> Option<&Var> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn assign(&mut self, name: &str, val: Value) -> bool {
+        for s in self.scopes.iter_mut().rev() {
+            if let Some(v) = s.get_mut(name) {
+                v.val = val;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn declare(&mut self, name: &str, ty: PTy, val: Value, captured: bool) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack nonempty")
+            .insert(name.to_string(), Var { ty, val, captured });
+    }
+
+    /// Snapshot of every visible variable's current SSA value.
+    fn snapshot(&self) -> Vec<(String, Value, PTy)> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for s in self.scopes.iter().rev() {
+            for (k, v) in s {
+                if seen.insert(k.clone()) {
+                    out.push((k.clone(), v.val, v.ty.clone()));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+/// Names assigned (not declared) anywhere in a statement list.
+fn assigned_names(stmts: &[Stmt], out: &mut Vec<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(Place::Var(n, _), _, _, _) => {
+                if !out.contains(n) {
+                    out.push(n.clone());
+                }
+            }
+            Stmt::Assign(_, _, _, _)
+            | Stmt::Decl(..)
+            | Stmt::DeclArray(..)
+            | Stmt::Return(..)
+            | Stmt::Expr(..) => {}
+            Stmt::If(_, a, b, _) => {
+                assigned_names(a, out);
+                assigned_names(b, out);
+            }
+            Stmt::While(_, b, _) => assigned_names(b, out),
+            Stmt::Block(b) => assigned_names(b, out),
+            Stmt::Psim { body, .. } => assigned_names(body, out),
+        }
+    }
+}
+
+/// Free variable names referenced in an expression.
+fn expr_free_vars(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Var(n, _) => {
+            if !out.contains(n) {
+                out.push(n.clone());
+            }
+        }
+        Expr::Int(..) | Expr::Float(..) | Expr::Bool(..) => {}
+        Expr::Bin(_, a, b, _) => {
+            expr_free_vars(a, out);
+            expr_free_vars(b, out);
+        }
+        Expr::Un(_, a, _) | Expr::Cast(_, a, _) | Expr::Deref(a, _) => expr_free_vars(a, out),
+        Expr::Index(a, i, _) => {
+            expr_free_vars(a, out);
+            expr_free_vars(i, out);
+        }
+        Expr::Ternary(c, t, f, _) => {
+            expr_free_vars(c, out);
+            expr_free_vars(t, out);
+            expr_free_vars(f, out);
+        }
+        Expr::Call(_, args, _) => {
+            for a in args {
+                expr_free_vars(a, out);
+            }
+        }
+    }
+}
+
+/// Free variables of a region body: referenced names minus locally declared
+/// ones, in first-reference order.
+fn region_captures(body: &[Stmt]) -> Vec<String> {
+    fn walk(stmts: &[Stmt], declared: &mut Vec<String>, free: &mut Vec<String>) {
+        let mark = |names: &mut Vec<String>, declared: &[String], free: &mut Vec<String>| {
+            for n in names.drain(..) {
+                if !declared.contains(&n) && !free.contains(&n) {
+                    free.push(n);
+                }
+            }
+        };
+        for s in stmts {
+            match s {
+                Stmt::Decl(_, name, init, _) => {
+                    let mut names = Vec::new();
+                    expr_free_vars(init, &mut names);
+                    mark(&mut names, declared, free);
+                    declared.push(name.clone());
+                }
+                Stmt::DeclArray(_, name, _, _) => {
+                    declared.push(name.clone());
+                }
+                Stmt::Assign(place, _, rhs, _) => {
+                    let mut names = Vec::new();
+                    match place {
+                        Place::Var(n, _) => {
+                            if !declared.contains(n) {
+                                names.push(n.clone());
+                            }
+                        }
+                        Place::Index(a, i, _) => {
+                            expr_free_vars(a, &mut names);
+                            expr_free_vars(i, &mut names);
+                        }
+                        Place::Deref(a, _) => expr_free_vars(a, &mut names),
+                    }
+                    expr_free_vars(rhs, &mut names);
+                    mark(&mut names, declared, free);
+                }
+                Stmt::If(c, a, b, _) => {
+                    let mut names = Vec::new();
+                    expr_free_vars(c, &mut names);
+                    mark(&mut names, declared, free);
+                    let depth = declared.len();
+                    walk(a, declared, free);
+                    declared.truncate(depth);
+                    walk(b, declared, free);
+                    declared.truncate(depth);
+                }
+                Stmt::While(c, b, _) => {
+                    let mut names = Vec::new();
+                    expr_free_vars(c, &mut names);
+                    mark(&mut names, declared, free);
+                    let depth = declared.len();
+                    walk(b, declared, free);
+                    declared.truncate(depth);
+                }
+                Stmt::Block(b) => {
+                    let depth = declared.len();
+                    walk(b, declared, free);
+                    declared.truncate(depth);
+                }
+                Stmt::Return(Some(e), _) | Stmt::Expr(e, _) => {
+                    let mut names = Vec::new();
+                    expr_free_vars(e, &mut names);
+                    mark(&mut names, declared, free);
+                }
+                Stmt::Return(None, _) => {}
+                Stmt::Psim { threads, body, .. } => {
+                    let mut names = Vec::new();
+                    expr_free_vars(threads, &mut names);
+                    mark(&mut names, declared, free);
+                    let depth = declared.len();
+                    walk(body, declared, free);
+                    declared.truncate(depth);
+                }
+            }
+        }
+    }
+    let mut declared = Vec::new();
+    let mut free = Vec::new();
+    walk(body, &mut declared, &mut free);
+    free
+}
+
+impl<'u> Lowerer<'u> {
+    fn lower_unit(mut self) -> LResult<Module> {
+        for f in &self.unit.funcs {
+            self.lower_fn(f)?;
+        }
+        Ok(self.module)
+    }
+
+    fn lower_fn(&mut self, def: &FnDef) -> LResult<()> {
+        let params: Vec<Param> = def
+            .params
+            .iter()
+            .map(|p| {
+                let mut pp = Param::new(p.name.clone(), Ty::Scalar(p.ty.scalar_ty()));
+                pp.noalias = p.restrict;
+                pp
+            })
+            .collect();
+        let ret = match def.ret {
+            PTy::Void => Ty::Void,
+            ref t => Ty::Scalar(t.scalar_ty()),
+        };
+        let fb = FunctionBuilder::new(def.name.clone(), params, ret);
+        let mut cx = FnCtx {
+            fb,
+            scopes: vec![HashMap::new()],
+            in_region: false,
+            terminated: false,
+            ret_ty: def.ret.clone(),
+        };
+        for (i, p) in def.params.iter().enumerate() {
+            cx.declare(&p.name, p.ty.clone(), Value::Param(i as u32), false);
+        }
+        self.lower_stmts(&mut cx, &def.body)?;
+        if !cx.terminated {
+            if def.ret == PTy::Void {
+                cx.fb.ret(None);
+            } else {
+                return Err(CompileError::at(
+                    def.pos,
+                    format!("function `{}` may end without returning a value", def.name),
+                ));
+            }
+        }
+        self.module.add_function(cx.fb.finish());
+        Ok(())
+    }
+
+    fn lower_stmts(&mut self, cx: &mut FnCtx, stmts: &[Stmt]) -> LResult<()> {
+        cx.scopes.push(HashMap::new());
+        for s in stmts {
+            if cx.terminated {
+                return Err(CompileError::at(stmt_pos(s), "unreachable statement"));
+            }
+            self.lower_stmt(cx, s)?;
+        }
+        cx.scopes.pop();
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, cx: &mut FnCtx, s: &Stmt) -> LResult<()> {
+        match s {
+            Stmt::DeclArray(ty, name, size, pos) => {
+                if ty == &PTy::Void || ty.is_ptr() {
+                    return Err(CompileError::at(*pos, "array element must be a value type"));
+                }
+                let bytes = ty.scalar_ty().size_bytes() * size;
+                let p = cx.fb.alloca_at_entry(psir::Const::i64(bytes as i64));
+                cx.declare(name, PTy::Ptr(Box::new(ty.clone())), p, false);
+                Ok(())
+            }
+            Stmt::Decl(ty, name, init, pos) => {
+                let (v, vty) = self.lower_expr(cx, init, Some(ty))?;
+                if &vty != ty {
+                    return Err(CompileError::at(
+                        *pos,
+                        format!("initializer for `{name}` has type {vty}, expected {ty}"),
+                    ));
+                }
+                cx.declare(name, ty.clone(), v, false);
+                Ok(())
+            }
+            Stmt::Assign(place, op, rhs, pos) => self.lower_assign(cx, place, *op, rhs, *pos),
+            Stmt::If(c, then_s, else_s, pos) => self.lower_if(cx, c, then_s, else_s, *pos),
+            Stmt::While(c, body, pos) => self.lower_while(cx, c, body, *pos),
+            Stmt::Block(b) => self.lower_stmts(cx, b),
+            Stmt::Return(e, pos) => {
+                if cx.in_region {
+                    return Err(CompileError::at(
+                        *pos,
+                        "`return` is not allowed inside a psim region",
+                    ));
+                }
+                match (e, cx.ret_ty.clone()) {
+                    (None, PTy::Void) => cx.fb.ret(None),
+                    (Some(e), ref t) if *t != PTy::Void => {
+                        let (v, vty) = self.lower_expr(cx, e, Some(t))?;
+                        if &vty != t {
+                            return Err(CompileError::at(
+                                *pos,
+                                format!("return type mismatch: {vty} vs {t}"),
+                            ));
+                        }
+                        cx.fb.ret(Some(v));
+                    }
+                    _ => {
+                        return Err(CompileError::at(*pos, "return arity mismatch"));
+                    }
+                }
+                cx.terminated = true;
+                Ok(())
+            }
+            Stmt::Expr(e, _) => {
+                let _ = self.lower_expr(cx, e, None)?;
+                Ok(())
+            }
+            Stmt::Psim {
+                gang,
+                threads,
+                body,
+                pos,
+            } => self.lower_psim(cx, *gang, threads, body, *pos),
+        }
+    }
+
+    fn lower_assign(
+        &mut self,
+        cx: &mut FnCtx,
+        place: &Place,
+        op: Option<BinOpKind>,
+        rhs: &Expr,
+        pos: Pos,
+    ) -> LResult<()> {
+        match place {
+            Place::Var(name, _) => {
+                let var = cx
+                    .lookup(name)
+                    .cloned()
+                    .ok_or_else(|| CompileError::at(pos, format!("unknown variable `{name}`")))?;
+                if var.captured {
+                    return Err(CompileError::at(
+                        pos,
+                        format!(
+                            "cannot assign to captured variable `{name}` inside a psim region \
+                             (captures are by value; write through a pointer instead)"
+                        ),
+                    ));
+                }
+                let (rv, rty) = self.lower_expr(cx, rhs, Some(&var.ty))?;
+                if rty != var.ty {
+                    return Err(CompileError::at(
+                        pos,
+                        format!("assignment type mismatch: {rty} vs {}", var.ty),
+                    ));
+                }
+                let newv = match op {
+                    None => rv,
+                    Some(k) => self.emit_bin(cx, k, var.val, rv, &var.ty, pos)?.0,
+                };
+                cx.assign(name, newv);
+                Ok(())
+            }
+            Place::Index(arr, idx, _) => {
+                let (addr, elem) = self.lower_address(cx, arr, idx, pos)?;
+                let (rv, rty) = self.lower_expr(cx, rhs, Some(&elem))?;
+                if rty != elem {
+                    return Err(CompileError::at(
+                        pos,
+                        format!("stored value has type {rty}, expected {elem}"),
+                    ));
+                }
+                let newv = match op {
+                    None => rv,
+                    Some(k) => {
+                        let old = cx.fb.load(Ty::Scalar(elem.scalar_ty()), addr, None);
+                        self.emit_bin(cx, k, old, rv, &elem, pos)?.0
+                    }
+                };
+                cx.fb.store(addr, newv, None);
+                Ok(())
+            }
+            Place::Deref(p, _) => {
+                let (pv, pty) = self.lower_expr(cx, p, None)?;
+                let elem = pty
+                    .pointee()
+                    .cloned()
+                    .ok_or_else(|| CompileError::at(pos, "cannot store through non-pointer"))?;
+                let (rv, rty) = self.lower_expr(cx, rhs, Some(&elem))?;
+                if rty != elem {
+                    return Err(CompileError::at(
+                        pos,
+                        format!("stored value has type {rty}, expected {elem}"),
+                    ));
+                }
+                let newv = match op {
+                    None => rv,
+                    Some(k) => {
+                        let old = cx.fb.load(Ty::Scalar(elem.scalar_ty()), pv, None);
+                        self.emit_bin(cx, k, old, rv, &elem, pos)?.0
+                    }
+                };
+                cx.fb.store(pv, newv, None);
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_if(
+        &mut self,
+        cx: &mut FnCtx,
+        c: &Expr,
+        then_s: &[Stmt],
+        else_s: &[Stmt],
+        pos: Pos,
+    ) -> LResult<()> {
+        let (cv, cty) = self.lower_expr(cx, c, Some(&PTy::Bool))?;
+        if cty != PTy::Bool {
+            return Err(CompileError::at(pos, format!("condition has type {cty}")));
+        }
+        let before = cx.snapshot();
+        let then_blk = cx.fb.new_block("if.then");
+        let else_blk = if else_s.is_empty() {
+            None
+        } else {
+            Some(cx.fb.new_block("if.else"))
+        };
+        let join_blk = cx.fb.new_block("if.join");
+        let pred = cx.fb.current_block();
+        cx.fb
+            .cond_br(cv, then_blk, else_blk.unwrap_or(join_blk));
+
+        cx.fb.switch_to(then_blk);
+        self.lower_stmts(cx, then_s)?;
+        let then_terminated = cx.terminated;
+        cx.terminated = false;
+        let then_vals = cx.snapshot();
+        let then_exit = cx.fb.current_block();
+        if !then_terminated {
+            cx.fb.br(join_blk);
+        }
+
+        // Reset variables to the pre-branch state for the else arm.
+        for (name, val, _) in &before {
+            cx.assign(name, *val);
+        }
+        let (else_exit, else_vals, else_terminated) = if let Some(eb) = else_blk {
+            cx.fb.switch_to(eb);
+            self.lower_stmts(cx, else_s)?;
+            let t = cx.terminated;
+            cx.terminated = false;
+            let vals = cx.snapshot();
+            let exit = cx.fb.current_block();
+            if !t {
+                cx.fb.br(join_blk);
+            }
+            (exit, vals, t)
+        } else {
+            (pred, before.clone(), false)
+        };
+
+        cx.fb.switch_to(join_blk);
+        match (then_terminated, else_terminated) {
+            (true, true) => {
+                cx.terminated = true;
+                // join block is unreachable; give it a terminator.
+                cx.fb.ret(None);
+            }
+            (true, false) => {
+                for (name, val, _) in &else_vals {
+                    cx.assign(name, *val);
+                }
+            }
+            (false, true) => {
+                for (name, val, _) in &then_vals {
+                    cx.assign(name, *val);
+                }
+            }
+            (false, false) => {
+                for ((name, tv, _), (_, ev, _)) in then_vals.iter().zip(&else_vals) {
+                    if tv != ev {
+                        let phi = cx
+                            .fb
+                            .phi(vec![(then_exit, *tv), (else_exit, *ev)]);
+                        cx.assign(name, phi);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_while(&mut self, cx: &mut FnCtx, c: &Expr, body: &[Stmt], pos: Pos) -> LResult<()> {
+        let mut assigned = Vec::new();
+        assigned_names(body, &mut assigned);
+
+        let header = cx.fb.new_block("while.header");
+        let body_blk = cx.fb.new_block("while.body");
+        let exit_blk = cx.fb.new_block("while.exit");
+        let pre = cx.fb.current_block();
+        cx.fb.br(header);
+        cx.fb.switch_to(header);
+
+        // φs for every outer variable the body assigns.
+        let mut phis = Vec::new();
+        for name in &assigned {
+            if let Some(var) = cx.lookup(name).cloned() {
+                let phi = cx.fb.phi_typed(
+                    Ty::Scalar(var.ty.scalar_ty()),
+                    vec![(pre, var.val)],
+                );
+                cx.assign(name, phi);
+                phis.push((name.clone(), phi));
+            }
+        }
+
+        let (cv, cty) = self.lower_expr(cx, c, Some(&PTy::Bool))?;
+        if cty != PTy::Bool {
+            return Err(CompileError::at(pos, format!("condition has type {cty}")));
+        }
+        cx.fb.cond_br(cv, body_blk, exit_blk);
+
+        cx.fb.switch_to(body_blk);
+        self.lower_stmts(cx, body)?;
+        if cx.terminated {
+            return Err(CompileError::at(
+                pos,
+                "`return` inside a loop body is not supported (restructure the loop)",
+            ));
+        }
+        let latch = cx.fb.current_block();
+        for (name, phi) in &phis {
+            let cur = cx.lookup(name).expect("var still in scope").val;
+            cx.fb.phi_add_incoming(*phi, latch, cur);
+            // After the loop, the variable's value is the φ.
+            cx.assign(name, *phi);
+        }
+        cx.fb.br(header);
+        cx.fb.switch_to(exit_blk);
+        Ok(())
+    }
+
+    fn lower_psim(
+        &mut self,
+        cx: &mut FnCtx,
+        gang: u32,
+        threads: &Expr,
+        body: &[Stmt],
+        pos: Pos,
+    ) -> LResult<()> {
+        if cx.in_region {
+            return Err(CompileError::at(pos, "psim regions cannot nest"));
+        }
+        let captures = region_captures(body);
+        let mut cap_vars = Vec::new();
+        for name in &captures {
+            let var = cx.lookup(name).cloned().ok_or_else(|| {
+                CompileError::at(pos, format!("unknown variable `{name}` captured by region"))
+            })?;
+            cap_vars.push((name.clone(), var));
+        }
+
+        // Build the outlined region function.
+        let host = cx.fb.func().name.clone();
+        let region_name = format!("{host}__psim{}", self.region_counter);
+        self.region_counter += 1;
+        let mut params: Vec<Param> = cap_vars
+            .iter()
+            .map(|(n, v)| Param::new(n.clone(), Ty::Scalar(v.ty.scalar_ty())))
+            .collect();
+        params.push(Param::new("gang_base", Ty::scalar(ScalarTy::I64)));
+        params.push(Param::new("num_threads", Ty::scalar(ScalarTy::I64)));
+        let static_threads = match threads {
+            Expr::Int(v, _, _) if *v > 0 => Some(*v as u64),
+            _ => None,
+        };
+        let mut rfb = FunctionBuilder::new(region_name.clone(), params, Ty::Void);
+        rfb.set_spmd(SpmdInfo {
+            gang_size: gang,
+            num_threads: static_threads
+                .map(ThreadCount::Const)
+                .unwrap_or(ThreadCount::Dynamic),
+            partial: false,
+        });
+        let mut rcx = FnCtx {
+            fb: rfb,
+            scopes: vec![HashMap::new()],
+            in_region: true,
+            terminated: false,
+            ret_ty: PTy::Void,
+        };
+        for (i, (name, var)) in cap_vars.iter().enumerate() {
+            rcx.declare(name, var.ty.clone(), Value::Param(i as u32), true);
+        }
+        self.lower_stmts(&mut rcx, body)?;
+        if !rcx.terminated {
+            rcx.fb.ret(None);
+        }
+        self.module.add_function(rcx.fb.finish());
+
+        // Emit the gang loop at the call site.
+        let (nthreads, nty) = self.lower_expr(cx, threads, Some(&PTy::I64))?;
+        if nty != PTy::I64 {
+            return Err(CompileError::at(
+                pos,
+                format!("threads(..) must be i64, found {nty}"),
+            ));
+        }
+        let captured_vals: Vec<Value> = cap_vars.iter().map(|(_, v)| v.val).collect();
+        let peel_head = body_calls(body, "psim_is_head_gang");
+        parsimony::region::emit_gang_loop_peeled(
+            &mut cx.fb,
+            &region_name,
+            &captured_vals,
+            nthreads,
+            gang,
+            static_threads,
+            peel_head,
+        );
+        Ok(())
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    fn lower_address(
+        &mut self,
+        cx: &mut FnCtx,
+        arr: &Expr,
+        idx: &Expr,
+        pos: Pos,
+    ) -> LResult<(Value, PTy)> {
+        let (av, aty) = self.lower_expr(cx, arr, None)?;
+        let elem = aty
+            .pointee()
+            .cloned()
+            .ok_or_else(|| CompileError::at(pos, format!("cannot index non-pointer {aty}")))?;
+        let (iv, ity) = self.lower_expr(cx, idx, Some(&PTy::I64))?;
+        if !ity.is_int() {
+            return Err(CompileError::at(pos, format!("index has type {ity}")));
+        }
+        // Indices widen to i64 implicitly (sign per the index type).
+        let iv = self.widen_to_i64(cx, iv, &ity);
+        let addr = cx.fb.gep(av, iv, elem.scalar_ty().size_bytes());
+        Ok((addr, elem))
+    }
+
+    fn widen_to_i64(&mut self, cx: &mut FnCtx, v: Value, ty: &PTy) -> Value {
+        if ty.scalar_ty() == ScalarTy::I64 {
+            return v;
+        }
+        let kind = if ty.is_signed_int() {
+            CastKind::Sext
+        } else {
+            CastKind::Zext
+        };
+        cx.fb.cast(kind, v, Ty::scalar(ScalarTy::I64))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn lower_expr(
+        &mut self,
+        cx: &mut FnCtx,
+        e: &Expr,
+        expected: Option<&PTy>,
+    ) -> LResult<(Value, PTy)> {
+        match e {
+            Expr::Int(v, suf, pos) => {
+                let ty = suf
+                    .clone()
+                    .or_else(|| {
+                        expected.and_then(|t| {
+                            if t.is_int() || t.is_float() {
+                                Some(t.clone())
+                            } else {
+                                None
+                            }
+                        })
+                    })
+                    .unwrap_or(PTy::I32);
+                if ty.is_float() {
+                    let c = if ty == PTy::F32 {
+                        Const::f32(*v as f32)
+                    } else {
+                        Const::f64(*v as f64)
+                    };
+                    return Ok((Value::Const(c), ty));
+                }
+                let bits = ty.scalar_ty().bits();
+                let max_mag = 1i128 << bits;
+                if *v >= max_mag || *v < -(max_mag / 2) {
+                    return Err(CompileError::at(
+                        *pos,
+                        format!("literal {v} does not fit in {ty}"),
+                    ));
+                }
+                Ok((
+                    Value::Const(Const::new(ty.scalar_ty(), *v as u64)),
+                    ty,
+                ))
+            }
+            Expr::Float(v, suf, _) => {
+                let ty = suf
+                    .clone()
+                    .or_else(|| {
+                        expected.and_then(|t| if t.is_float() { Some(t.clone()) } else { None })
+                    })
+                    .unwrap_or(PTy::F32);
+                let c = match ty {
+                    PTy::F32 => Const::f32(*v as f32),
+                    PTy::F64 => Const::f64(*v),
+                    other => {
+                        return Err(CompileError {
+                            pos: Some(e.pos()),
+                            msg: format!("float literal with non-float type {other}"),
+                        })
+                    }
+                };
+                Ok((Value::Const(c), ty))
+            }
+            Expr::Bool(b, _) => Ok((Value::Const(Const::bool(*b)), PTy::Bool)),
+            Expr::Var(name, pos) => {
+                let var = cx
+                    .lookup(name)
+                    .cloned()
+                    .ok_or_else(|| CompileError::at(*pos, format!("unknown variable `{name}`")))?;
+                Ok((var.val, var.ty))
+            }
+            Expr::Bin(op, a, b, pos) => {
+                // Literal operands adapt to the other side's type.
+                let a_is_lit = matches!(**a, Expr::Int(_, None, _) | Expr::Float(_, None, _));
+                let b_is_lit = matches!(**b, Expr::Int(_, None, _) | Expr::Float(_, None, _));
+                let arith_expected = expected.filter(|t| t.is_int() || t.is_float());
+                let (av, aty, bv, bty) = if a_is_lit && !b_is_lit {
+                    let (bv, bty) = self.lower_expr(cx, b, arith_expected)?;
+                    let (av, aty) = self.lower_expr(cx, a, Some(&bty))?;
+                    (av, aty, bv, bty)
+                } else {
+                    let (av, aty) = self.lower_expr(cx, a, arith_expected)?;
+                    let (bv, bty) = self.lower_expr(cx, b, Some(&aty))?;
+                    (av, aty, bv, bty)
+                };
+                // Pointer arithmetic: p + i / p - i.
+                if aty.is_ptr() && matches!(op, BinOpKind::Add | BinOpKind::Sub) {
+                    if !bty.is_int() {
+                        return Err(CompileError::at(*pos, "pointer offset must be an integer"));
+                    }
+                    let elem = aty.pointee().expect("is_ptr").scalar_ty();
+                    let mut off = self.widen_to_i64(cx, bv, &bty);
+                    if matches!(op, BinOpKind::Sub) {
+                        off = cx.fb.un(IrUn::INeg, off);
+                    }
+                    let addr = cx.fb.gep(av, off, elem.size_bytes());
+                    return Ok((addr, aty));
+                }
+                if aty != bty {
+                    return Err(CompileError::at(
+                        *pos,
+                        format!("operand types differ: {aty} vs {bty} (cast explicitly)"),
+                    ));
+                }
+                self.emit_bin(cx, *op, av, bv, &aty, *pos)
+            }
+            Expr::Un(op, a, pos) => {
+                let (av, aty) = self.lower_expr(cx, a, expected)?;
+                match op {
+                    UnOpKind::Neg => {
+                        let ir = if aty.is_float() { IrUn::FNeg } else { IrUn::INeg };
+                        if !(aty.is_int() || aty.is_float()) {
+                            return Err(CompileError::at(*pos, format!("cannot negate {aty}")));
+                        }
+                        Ok((cx.fb.un(ir, av), aty))
+                    }
+                    UnOpKind::Not => {
+                        if aty != PTy::Bool {
+                            return Err(CompileError::at(*pos, format!("`!` needs bool, got {aty}")));
+                        }
+                        Ok((cx.fb.un(IrUn::Not, av), PTy::Bool))
+                    }
+                    UnOpKind::BitNot => {
+                        if !aty.is_int() {
+                            return Err(CompileError::at(*pos, format!("`~` needs integer, got {aty}")));
+                        }
+                        Ok((cx.fb.un(IrUn::Not, av), aty))
+                    }
+                }
+            }
+            Expr::Cast(to, a, pos) => {
+                let (av, aty) = self.lower_expr(cx, a, None)?;
+                let v = self.emit_cast(cx, av, &aty, to, *pos)?;
+                Ok((v, to.clone()))
+            }
+            Expr::Index(arr, idx, pos) => {
+                let (addr, elem) = self.lower_address(cx, arr, idx, *pos)?;
+                let v = cx.fb.load(Ty::Scalar(elem.scalar_ty()), addr, None);
+                Ok((v, elem))
+            }
+            Expr::Deref(p, pos) => {
+                let (pv, pty) = self.lower_expr(cx, p, None)?;
+                let elem = pty
+                    .pointee()
+                    .cloned()
+                    .ok_or_else(|| CompileError::at(*pos, "cannot dereference non-pointer"))?;
+                let v = cx.fb.load(Ty::Scalar(elem.scalar_ty()), pv, None);
+                Ok((v, elem))
+            }
+            Expr::Ternary(c, t, f, pos) => {
+                let (cv, cty) = self.lower_expr(cx, c, Some(&PTy::Bool))?;
+                if cty != PTy::Bool {
+                    return Err(CompileError::at(*pos, "ternary condition must be bool"));
+                }
+                let (tv, tty) = self.lower_expr(cx, t, expected)?;
+                let (fv, fty) = self.lower_expr(cx, f, Some(&tty))?;
+                if tty != fty {
+                    return Err(CompileError::at(
+                        *pos,
+                        format!("ternary arms differ: {tty} vs {fty}"),
+                    ));
+                }
+                Ok((cx.fb.select(cv, tv, fv), tty))
+            }
+            Expr::Call(name, args, pos) => self.lower_call(cx, name, args, *pos),
+        }
+    }
+
+    fn emit_bin(
+        &mut self,
+        cx: &mut FnCtx,
+        op: BinOpKind,
+        av: Value,
+        bv: Value,
+        ty: &PTy,
+        pos: Pos,
+    ) -> LResult<(Value, PTy)> {
+        use BinOpKind::*;
+        let signed = ty.is_signed_int();
+        let float = ty.is_float();
+        let int = ty.is_int();
+        let boolean = *ty == PTy::Bool;
+        let arith = |ir: IrBin| -> LResult<IrBin> { Ok(ir) };
+        let result: (Value, PTy) = match op {
+            Add | Sub | Mul | Div | Rem => {
+                if !(int || float) {
+                    return Err(CompileError::at(pos, format!("arithmetic on {ty}")));
+                }
+                let ir = match (op, float, signed) {
+                    (Add, true, _) => IrBin::FAdd,
+                    (Sub, true, _) => IrBin::FSub,
+                    (Mul, true, _) => IrBin::FMul,
+                    (Div, true, _) => IrBin::FDiv,
+                    (Rem, true, _) => IrBin::FRem,
+                    (Add, false, _) => IrBin::Add,
+                    (Sub, false, _) => IrBin::Sub,
+                    (Mul, false, _) => IrBin::Mul,
+                    (Div, false, true) => IrBin::SDiv,
+                    (Div, false, false) => IrBin::UDiv,
+                    (Rem, false, true) => IrBin::SRem,
+                    (Rem, false, false) => IrBin::URem,
+                    _ => unreachable!(),
+                };
+                (cx.fb.bin(arith(ir)?, av, bv), ty.clone())
+            }
+            Shl | Shr => {
+                if !int {
+                    return Err(CompileError::at(pos, format!("shift on {ty}")));
+                }
+                let ir = match (op, signed) {
+                    (Shl, _) => IrBin::Shl,
+                    (Shr, true) => IrBin::AShr,
+                    (Shr, false) => IrBin::LShr,
+                    _ => unreachable!(),
+                };
+                (cx.fb.bin(ir, av, bv), ty.clone())
+            }
+            And | Or | Xor => {
+                if !(int || boolean) {
+                    return Err(CompileError::at(pos, format!("bitwise op on {ty}")));
+                }
+                let ir = match op {
+                    And => IrBin::And,
+                    Or => IrBin::Or,
+                    Xor => IrBin::Xor,
+                    _ => unreachable!(),
+                };
+                (cx.fb.bin(ir, av, bv), ty.clone())
+            }
+            LAnd | LOr => {
+                if !boolean {
+                    return Err(CompileError::at(
+                        pos,
+                        format!("`&&`/`||` need bool operands, got {ty}"),
+                    ));
+                }
+                let ir = if op == LAnd { IrBin::And } else { IrBin::Or };
+                (cx.fb.bin(ir, av, bv), PTy::Bool)
+            }
+            Lt | Le | Gt | Ge | EqEq | Ne => {
+                let pred = match (op, float, signed || ty.is_ptr()) {
+                    (EqEq, false, _) => CmpPred::Eq,
+                    (Ne, false, _) => CmpPred::Ne,
+                    (Lt, false, true) => CmpPred::Slt,
+                    (Le, false, true) => CmpPred::Sle,
+                    (Gt, false, true) => CmpPred::Sgt,
+                    (Ge, false, true) => CmpPred::Sge,
+                    (Lt, false, false) => CmpPred::Ult,
+                    (Le, false, false) => CmpPred::Ule,
+                    (Gt, false, false) => CmpPred::Ugt,
+                    (Ge, false, false) => CmpPred::Uge,
+                    (EqEq, true, _) => CmpPred::FOeq,
+                    (Ne, true, _) => CmpPred::FOne,
+                    (Lt, true, _) => CmpPred::FOlt,
+                    (Le, true, _) => CmpPred::FOle,
+                    (Gt, true, _) => CmpPred::FOgt,
+                    (Ge, true, _) => CmpPred::FOge,
+                    _ => unreachable!(),
+                };
+                if boolean && !matches!(op, EqEq | Ne) {
+                    return Err(CompileError::at(pos, "ordering comparison on bool"));
+                }
+                (cx.fb.cmp(pred, av, bv), PTy::Bool)
+            }
+        };
+        Ok(result)
+    }
+
+    fn emit_cast(
+        &mut self,
+        cx: &mut FnCtx,
+        v: Value,
+        from: &PTy,
+        to: &PTy,
+        pos: Pos,
+    ) -> LResult<Value> {
+        if from == to {
+            return Ok(v);
+        }
+        let fs = from.scalar_ty();
+        let ts = to.scalar_ty();
+        let kind = match (from, to) {
+            (f, t) if f.is_int() && t.is_int() => {
+                if ts.bits() > fs.bits() {
+                    if f.is_signed_int() {
+                        CastKind::Sext
+                    } else {
+                        CastKind::Zext
+                    }
+                } else if ts.bits() < fs.bits() {
+                    CastKind::Trunc
+                } else {
+                    // Same width, signedness change: a no-op on the payload.
+                    return Ok(v);
+                }
+            }
+            (f, t) if f.is_int() && t.is_float() => {
+                if f.is_signed_int() {
+                    CastKind::SiToFp
+                } else {
+                    CastKind::UiToFp
+                }
+            }
+            (f, t) if f.is_float() && t.is_int() => {
+                if t.is_signed_int() {
+                    CastKind::FpToSi
+                } else {
+                    CastKind::FpToUi
+                }
+            }
+            (PTy::F32, PTy::F64) => CastKind::FpExt,
+            (PTy::F64, PTy::F32) => CastKind::FpTrunc,
+            (PTy::Bool, t) if t.is_int() => CastKind::Zext,
+            (f, PTy::Bool) if f.is_int() => {
+                let zero = Value::Const(Const::new(fs, 0));
+                return Ok(cx.fb.cmp(CmpPred::Ne, v, zero));
+            }
+            (PTy::Ptr(_), t) if t.is_int() => CastKind::PtrToInt,
+            (f, PTy::Ptr(_)) if f.is_int() => CastKind::IntToPtr,
+            (PTy::Ptr(_), PTy::Ptr(_)) => return Ok(v),
+            (f, t) => {
+                return Err(CompileError::at(pos, format!("unsupported cast {f} → {t}")));
+            }
+        };
+        Ok(cx.fb.cast(kind, v, Ty::Scalar(ts)))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn lower_call(
+        &mut self,
+        cx: &mut FnCtx,
+        name: &str,
+        args: &[Expr],
+        pos: Pos,
+    ) -> LResult<(Value, PTy)> {
+        let arity = |n: usize| -> LResult<()> {
+            if args.len() != n {
+                Err(CompileError::at(
+                    pos,
+                    format!("`{name}` takes {n} argument(s), got {}", args.len()),
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        let need_region = |cx: &FnCtx| -> LResult<()> {
+            if !cx.in_region {
+                Err(CompileError::at(
+                    pos,
+                    format!("`{name}` is only valid inside a psim region"),
+                ))
+            } else {
+                Ok(())
+            }
+        };
+
+        // --- psim API (§3) ---------------------------------------------------
+        match name {
+            "psim_thread_num" | "psim_lane_num" | "psim_gang_num" | "psim_num_threads"
+            | "psim_gang_size" => {
+                need_region(cx)?;
+                arity(0)?;
+                let kind = match name {
+                    "psim_thread_num" => Intrinsic::ThreadNum,
+                    "psim_lane_num" => Intrinsic::LaneNum,
+                    "psim_gang_num" => Intrinsic::GangNum,
+                    "psim_num_threads" => Intrinsic::NumThreads,
+                    _ => Intrinsic::GangSize,
+                };
+                let v = cx.fb.intrin(kind, vec![], Ty::scalar(ScalarTy::I64));
+                return Ok((v, PTy::I64));
+            }
+            "psim_is_head_gang" | "psim_is_tail_gang" => {
+                need_region(cx)?;
+                arity(0)?;
+                let kind = if name == "psim_is_head_gang" {
+                    Intrinsic::IsHeadGang
+                } else {
+                    Intrinsic::IsTailGang
+                };
+                let v = cx.fb.intrin(kind, vec![], Ty::scalar(ScalarTy::I1));
+                return Ok((v, PTy::Bool));
+            }
+            "psim_gang_sync" => {
+                need_region(cx)?;
+                arity(0)?;
+                cx.fb.intrin(Intrinsic::GangSync, vec![], Ty::Void);
+                return Ok((Value::Const(Const::i32(0)), PTy::Void));
+            }
+            "psim_shuffle" | "psim_broadcast" => {
+                need_region(cx)?;
+                arity(2)?;
+                let (v, vty) = self.lower_expr(cx, &args[0], None)?;
+                let (idx, ity) = self.lower_expr(cx, &args[1], Some(&PTy::I64))?;
+                if !ity.is_int() {
+                    return Err(CompileError::at(pos, "shuffle index must be an integer"));
+                }
+                let idx = self.widen_to_i64(cx, idx, &ity);
+                let kind = if name == "psim_shuffle" {
+                    Intrinsic::Shuffle
+                } else {
+                    Intrinsic::Broadcast
+                };
+                let r = cx
+                    .fb
+                    .intrin(kind, vec![v, idx], Ty::Scalar(vty.scalar_ty()));
+                return Ok((r, vty));
+            }
+            "psim_reduce_add" | "psim_reduce_min" | "psim_reduce_max" => {
+                need_region(cx)?;
+                arity(1)?;
+                let (v, vty) = self.lower_expr(cx, &args[0], None)?;
+                let op = match (name, vty.is_float(), vty.is_signed_int()) {
+                    ("psim_reduce_add", _, _) => ReduceOp::Add,
+                    ("psim_reduce_min", true, _) => ReduceOp::FMin,
+                    ("psim_reduce_max", true, _) => ReduceOp::FMax,
+                    ("psim_reduce_min", false, true) => ReduceOp::SMin,
+                    ("psim_reduce_max", false, true) => ReduceOp::SMax,
+                    ("psim_reduce_min", false, false) => ReduceOp::UMin,
+                    ("psim_reduce_max", false, false) => ReduceOp::UMax,
+                    _ => unreachable!(),
+                };
+                let r = cx.fb.intrin(
+                    Intrinsic::GangReduce(op),
+                    vec![v],
+                    Ty::Scalar(vty.scalar_ty()),
+                );
+                return Ok((r, vty));
+            }
+            "psim_sad" => {
+                need_region(cx)?;
+                arity(2)?;
+                let (a, aty) = self.lower_expr(cx, &args[0], Some(&PTy::U8))?;
+                let (b, bty) = self.lower_expr(cx, &args[1], Some(&PTy::U8))?;
+                if aty != PTy::U8 || bty != PTy::U8 {
+                    return Err(CompileError::at(pos, "psim_sad operates on u8 values"));
+                }
+                let r = cx
+                    .fb
+                    .intrin(Intrinsic::SadGroups, vec![a, b], Ty::scalar(ScalarTy::I64));
+                return Ok((r, PTy::U64));
+            }
+            _ => {}
+        }
+
+        // --- math/util builtins ----------------------------------------------
+        let math1 = |mf: MathFn| -> Option<MathFn> {
+            Some(mf)
+        };
+        let mathfn = match name {
+            "exp" => math1(MathFn::Exp),
+            "log" => math1(MathFn::Log),
+            "pow" => math1(MathFn::Pow),
+            "sin" => math1(MathFn::Sin),
+            "cos" => math1(MathFn::Cos),
+            "tan" => math1(MathFn::Tan),
+            "atan" => math1(MathFn::Atan),
+            "atan2" => math1(MathFn::Atan2),
+            "exp2" => math1(MathFn::Exp2),
+            "log2" => math1(MathFn::Log2),
+            "cdf" => math1(MathFn::Cdf),
+            _ => None,
+        };
+        if let Some(mf) = mathfn {
+            arity(mf.arity())?;
+            let (a0, t0) = self.lower_expr(cx, &args[0], Some(&PTy::F32))?;
+            if !t0.is_float() {
+                return Err(CompileError::at(pos, format!("`{name}` needs a float")));
+            }
+            let mut vals = vec![a0];
+            for a in &args[1..] {
+                let (v, t) = self.lower_expr(cx, a, Some(&t0))?;
+                if t != t0 {
+                    return Err(CompileError::at(pos, "math argument types differ"));
+                }
+                vals.push(v);
+            }
+            let r = cx
+                .fb
+                .intrin(Intrinsic::Math(mf), vals, Ty::Scalar(t0.scalar_ty()));
+            return Ok((r, t0));
+        }
+
+        match name {
+            "sqrt" | "floor" | "ceil" | "round" | "fabs" => {
+                arity(1)?;
+                let (v, ty) = self.lower_expr(cx, &args[0], Some(&PTy::F32))?;
+                if !ty.is_float() {
+                    return Err(CompileError::at(pos, format!("`{name}` needs a float")));
+                }
+                let op = match name {
+                    "sqrt" => IrUn::FSqrt,
+                    "floor" => IrUn::FFloor,
+                    "ceil" => IrUn::FCeil,
+                    "round" => IrUn::FRound,
+                    _ => IrUn::FAbs,
+                };
+                return Ok((cx.fb.un(op, v), ty));
+            }
+            "abs" => {
+                arity(1)?;
+                let (v, ty) = self.lower_expr(cx, &args[0], None)?;
+                let op = if ty.is_float() { IrUn::FAbs } else { IrUn::IAbs };
+                return Ok((cx.fb.un(op, v), ty));
+            }
+            "min" | "max" | "fmin" | "fmax" => {
+                arity(2)?;
+                let (a, aty) = self.lower_expr(cx, &args[0], None)?;
+                let (b, bty) = self.lower_expr(cx, &args[1], Some(&aty))?;
+                if aty != bty {
+                    return Err(CompileError::at(pos, "min/max operand types differ"));
+                }
+                let ir = match (name.starts_with('f') || aty.is_float(), name.ends_with("min"), aty.is_signed_int()) {
+                    (true, true, _) => IrBin::FMin,
+                    (true, false, _) => IrBin::FMax,
+                    (false, true, true) => IrBin::SMin,
+                    (false, false, true) => IrBin::SMax,
+                    (false, true, false) => IrBin::UMin,
+                    (false, false, false) => IrBin::UMax,
+                };
+                return Ok((cx.fb.bin(ir, a, b), aty));
+            }
+            "clamp" => {
+                arity(3)?;
+                let (v, ty) = self.lower_expr(cx, &args[0], None)?;
+                let (lo, lty) = self.lower_expr(cx, &args[1], Some(&ty))?;
+                let (hi, hty) = self.lower_expr(cx, &args[2], Some(&ty))?;
+                if lty != ty || hty != ty {
+                    return Err(CompileError::at(pos, "clamp bound types differ"));
+                }
+                let (minop, maxop) = if ty.is_float() {
+                    (IrBin::FMin, IrBin::FMax)
+                } else if ty.is_signed_int() {
+                    (IrBin::SMin, IrBin::SMax)
+                } else {
+                    (IrBin::UMin, IrBin::UMax)
+                };
+                let t = cx.fb.bin(minop, v, hi);
+                return Ok((cx.fb.bin(maxop, t, lo), ty));
+            }
+            "add_sat" | "sub_sat" => {
+                arity(2)?;
+                let (a, aty) = self.lower_expr(cx, &args[0], None)?;
+                let (b, bty) = self.lower_expr(cx, &args[1], Some(&aty))?;
+                if aty != bty || !aty.is_int() {
+                    return Err(CompileError::at(pos, "saturating ops need equal integer types"));
+                }
+                let ir = match (name, aty.is_signed_int()) {
+                    ("add_sat", true) => IrBin::AddSatS,
+                    ("add_sat", false) => IrBin::AddSatU,
+                    ("sub_sat", true) => IrBin::SubSatS,
+                    _ => IrBin::SubSatU,
+                };
+                return Ok((cx.fb.bin(ir, a, b), aty));
+            }
+            "avg_u" => {
+                arity(2)?;
+                let (a, aty) = self.lower_expr(cx, &args[0], None)?;
+                let (b, bty) = self.lower_expr(cx, &args[1], Some(&aty))?;
+                if aty != bty || !aty.is_unsigned_int() {
+                    return Err(CompileError::at(pos, "avg_u needs unsigned integers"));
+                }
+                return Ok((cx.fb.bin(IrBin::AvgU, a, b), aty));
+            }
+            "mulhi" => {
+                arity(2)?;
+                let (a, aty) = self.lower_expr(cx, &args[0], None)?;
+                let (b, bty) = self.lower_expr(cx, &args[1], Some(&aty))?;
+                if aty != bty || !aty.is_int() {
+                    return Err(CompileError::at(pos, "mulhi needs equal integer types"));
+                }
+                let ir = if aty.is_signed_int() {
+                    IrBin::MulHiS
+                } else {
+                    IrBin::MulHiU
+                };
+                return Ok((cx.fb.bin(ir, a, b), aty));
+            }
+            "fma" => {
+                arity(3)?;
+                let (a, aty) = self.lower_expr(cx, &args[0], Some(&PTy::F32))?;
+                let (b, bty) = self.lower_expr(cx, &args[1], Some(&aty))?;
+                let (c, cty) = self.lower_expr(cx, &args[2], Some(&aty))?;
+                if bty != aty || cty != aty {
+                    return Err(CompileError::at(pos, "fma argument types differ"));
+                }
+                let r = cx.fb.intrin(
+                    Intrinsic::Fma,
+                    vec![a, b, c],
+                    Ty::Scalar(aty.scalar_ty()),
+                );
+                return Ok((r, aty));
+            }
+            _ => {}
+        }
+
+        // --- user function calls ----------------------------------------------
+        let sig = self
+            .sigs
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CompileError::at(pos, format!("unknown function `{name}`")))?;
+        arity(sig.params.len())?;
+        let mut vals = Vec::with_capacity(args.len());
+        for (a, pty) in args.iter().zip(&sig.params) {
+            let (v, ty) = self.lower_expr(cx, a, Some(pty))?;
+            if &ty != pty {
+                return Err(CompileError::at(
+                    pos,
+                    format!("argument to `{name}` has type {ty}, expected {pty}"),
+                ));
+            }
+            vals.push(v);
+        }
+        let ret_ty = match sig.ret {
+            PTy::Void => Ty::Void,
+            ref t => Ty::Scalar(t.scalar_ty()),
+        };
+        let r = cx.fb.call(name, ret_ty, vals);
+        Ok((r, sig.ret))
+    }
+}
+
+/// Whether any statement in the body calls the named builtin.
+fn body_calls(stmts: &[Stmt], name: &str) -> bool {
+    fn expr_calls(e: &Expr, name: &str) -> bool {
+        match e {
+            Expr::Call(n, args, _) => n == name || args.iter().any(|a| expr_calls(a, name)),
+            Expr::Bin(_, a, b, _) => expr_calls(a, name) || expr_calls(b, name),
+            Expr::Un(_, a, _) | Expr::Cast(_, a, _) | Expr::Deref(a, _) => expr_calls(a, name),
+            Expr::Index(a, i, _) => expr_calls(a, name) || expr_calls(i, name),
+            Expr::Ternary(c, t, f, _) => {
+                expr_calls(c, name) || expr_calls(t, name) || expr_calls(f, name)
+            }
+            _ => false,
+        }
+    }
+    stmts.iter().any(|s| match s {
+        Stmt::Decl(_, _, e, _) | Stmt::Return(Some(e), _) | Stmt::Expr(e, _) => {
+            expr_calls(e, name)
+        }
+        Stmt::DeclArray(..) | Stmt::Return(None, _) => false,
+        Stmt::Assign(place, _, e, _) => {
+            expr_calls(e, name)
+                || match place {
+                    Place::Index(a, i, _) => expr_calls(a, name) || expr_calls(i, name),
+                    Place::Deref(a, _) => expr_calls(a, name),
+                    Place::Var(..) => false,
+                }
+        }
+        Stmt::If(c, a, b, _) => {
+            expr_calls(c, name) || body_calls(a, name) || body_calls(b, name)
+        }
+        Stmt::While(c, b, _) => expr_calls(c, name) || body_calls(b, name),
+        Stmt::Block(b) | Stmt::Psim { body: b, .. } => body_calls(b, name),
+    })
+}
+
+fn stmt_pos(s: &Stmt) -> Pos {
+    match s {
+        Stmt::Decl(_, _, _, p)
+        | Stmt::DeclArray(_, _, _, p)
+        | Stmt::Assign(_, _, _, p)
+        | Stmt::If(_, _, _, p)
+        | Stmt::While(_, _, p)
+        | Stmt::Return(_, p)
+        | Stmt::Expr(_, p)
+        | Stmt::Psim { pos: p, .. } => *p,
+        Stmt::Block(b) => b.first().map(stmt_pos).unwrap_or(Pos { line: 0, col: 0 }),
+    }
+}
+
+/// Compiles PsimC source into a `psir` [`Module`] with outlined,
+/// SPMD-annotated region functions and Listing 6 gang loops at call sites.
+///
+/// # Errors
+/// Returns [`CompileError`] on lexical, syntactic or semantic errors.
+pub fn compile(src: &str) -> Result<Module, CompileError> {
+    let unit = crate::parser::parse(src).map_err(|e| CompileError {
+        pos: Some(e.pos),
+        msg: e.msg,
+    })?;
+    let mut sigs = HashMap::new();
+    for f in &unit.funcs {
+        if sigs
+            .insert(
+                f.name.clone(),
+                Sig {
+                    params: f.params.iter().map(|p| p.ty.clone()).collect(),
+                    ret: f.ret.clone(),
+                },
+            )
+            .is_some()
+        {
+            return Err(CompileError::at(
+                f.pos,
+                format!("duplicate function `{}`", f.name),
+            ));
+        }
+    }
+    Lowerer {
+        unit: &unit,
+        sigs,
+        module: Module::new(),
+        region_counter: 0,
+    }
+    .lower_unit()
+}

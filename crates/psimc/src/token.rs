@@ -1,0 +1,277 @@
+//! Lexer for PsimC.
+
+use std::fmt;
+
+/// Source position (1-based line/column) for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// Line number (1-based).
+    pub line: u32,
+    /// Column number (1-based).
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Integer literal (value, had an explicit suffix type?).
+    Int(i128, Option<String>),
+    /// Float literal.
+    Float(f64, Option<String>),
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Error position.
+    pub pos: Pos,
+    /// Message.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "++", "--", "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|",
+    "^", "(", ")", "{", "}", "[", "]", ",", ";", "?", ":", ".",
+];
+
+/// Tokenizes PsimC source. `//` and `/* */` comments are skipped.
+///
+/// # Errors
+/// Returns [`LexError`] on malformed literals or unknown characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    let advance = |i: &mut usize, line: &mut u32, col: &mut u32, n: usize, bytes: &[u8]| {
+        for _ in 0..n {
+            if bytes[*i] == b'\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+        }
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let pos = Pos { line, col };
+        if c.is_ascii_whitespace() {
+            advance(&mut i, &mut line, &mut col, 1, bytes);
+            continue;
+        }
+        if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                advance(&mut i, &mut line, &mut col, 1, bytes);
+            }
+            continue;
+        }
+        if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            advance(&mut i, &mut line, &mut col, 2, bytes);
+            while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                advance(&mut i, &mut line, &mut col, 1, bytes);
+            }
+            if i + 1 >= bytes.len() {
+                return Err(LexError {
+                    pos,
+                    msg: "unterminated block comment".into(),
+                });
+            }
+            advance(&mut i, &mut line, &mut col, 2, bytes);
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                advance(&mut i, &mut line, &mut col, 1, bytes);
+            }
+            out.push(Spanned {
+                tok: Tok::Ident(src[start..i].to_string()),
+                pos,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            let is_hex = src[i..].starts_with("0x") || src[i..].starts_with("0X");
+            if is_hex {
+                advance(&mut i, &mut line, &mut col, 2, bytes);
+                while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                    advance(&mut i, &mut line, &mut col, 1, bytes);
+                }
+            } else {
+                while i < bytes.len() {
+                    let b = bytes[i];
+                    if b.is_ascii_digit() {
+                        advance(&mut i, &mut line, &mut col, 1, bytes);
+                    } else if b == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                        is_float = true;
+                        advance(&mut i, &mut line, &mut col, 1, bytes);
+                    } else if (b | 0x20) == b'e'
+                        && i + 1 < bytes.len()
+                        && (bytes[i + 1].is_ascii_digit()
+                            || ((bytes[i + 1] == b'+' || bytes[i + 1] == b'-')
+                                && i + 2 < bytes.len()
+                                && bytes[i + 2].is_ascii_digit()))
+                    {
+                        is_float = true;
+                        advance(&mut i, &mut line, &mut col, 1, bytes);
+                        if bytes[i] == b'+' || bytes[i] == b'-' {
+                            advance(&mut i, &mut line, &mut col, 1, bytes);
+                        }
+                    } else if b == b'.' && i + 1 < bytes.len() && !bytes[i + 1].is_ascii_digit() {
+                        // trailing dot like `2.0` handled above; `2.` alone:
+                        is_float = true;
+                        advance(&mut i, &mut line, &mut col, 1, bytes);
+                        break;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            let body_end = i;
+            // Optional type suffix: i8/u8/…/f32/f64
+            let mut suffix = None;
+            if i < bytes.len() && (bytes[i] == b'i' || bytes[i] == b'u' || bytes[i] == b'f') {
+                let s = i;
+                while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
+                    advance(&mut i, &mut line, &mut col, 1, bytes);
+                }
+                suffix = Some(src[s..i].to_string());
+            }
+            let body = &src[start..body_end];
+            let is_float = is_float || matches!(&suffix, Some(s) if s.starts_with('f'));
+            if is_float {
+                let v: f64 = body.parse().map_err(|_| LexError {
+                    pos,
+                    msg: format!("bad float literal {body}"),
+                })?;
+                out.push(Spanned {
+                    tok: Tok::Float(v, suffix),
+                    pos,
+                });
+            } else {
+                let v: i128 = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+                    i128::from_str_radix(hex, 16).map_err(|_| LexError {
+                        pos,
+                        msg: format!("bad hex literal {body}"),
+                    })?
+                } else {
+                    body.parse().map_err(|_| LexError {
+                        pos,
+                        msg: format!("bad integer literal {body}"),
+                    })?
+                };
+                out.push(Spanned {
+                    tok: Tok::Int(v, suffix),
+                    pos,
+                });
+            }
+            continue;
+        }
+        let rest = &src[i..];
+        let mut matched = false;
+        for p in PUNCTS {
+            if rest.starts_with(p) {
+                out.push(Spanned {
+                    tok: Tok::Punct(p),
+                    pos,
+                });
+                advance(&mut i, &mut line, &mut col, p.len(), bytes);
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(LexError {
+                pos,
+                msg: format!("unexpected character {:?}", c as char),
+            });
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        pos: Pos { line, col },
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_kernel_fragment() {
+        let toks = lex("void f(u8* a) { i64 i = psim_thread_num(); a[i] = 3; }").unwrap();
+        assert!(matches!(&toks[0].tok, Tok::Ident(s) if s == "void"));
+        assert!(toks.iter().any(|t| matches!(&t.tok, Tok::Punct("[") )));
+        assert!(matches!(toks.last().unwrap().tok, Tok::Eof));
+    }
+
+    #[test]
+    fn literals_and_suffixes() {
+        let toks = lex("42 0xff 3.5 1e-3 7i64 2.5f32").unwrap();
+        assert_eq!(toks[0].tok, Tok::Int(42, None));
+        assert_eq!(toks[1].tok, Tok::Int(255, None));
+        assert_eq!(toks[2].tok, Tok::Float(3.5, None));
+        assert_eq!(toks[3].tok, Tok::Float(1e-3, None));
+        assert_eq!(toks[4].tok, Tok::Int(7, Some("i64".into())));
+        assert_eq!(toks[5].tok, Tok::Float(2.5, Some("f32".into())));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("a // line\n/* block\nmore */ b").unwrap();
+        assert_eq!(toks.len(), 3); // a, b, eof
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let toks = lex("a <<= b >> c <= d && e").unwrap();
+        assert!(toks.iter().any(|t| t.tok == Tok::Punct("<<=")));
+        assert!(toks.iter().any(|t| t.tok == Tok::Punct(">>")));
+        assert!(toks.iter().any(|t| t.tok == Tok::Punct("&&")));
+    }
+
+    #[test]
+    fn error_position_reported() {
+        let err = lex("ab\n  @").unwrap_err();
+        assert_eq!(err.pos.line, 2);
+        assert_eq!(err.pos.col, 3);
+    }
+}

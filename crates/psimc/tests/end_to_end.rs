@@ -1,0 +1,312 @@
+//! End-to-end: PsimC source → psir → Parsimony vectorizer → interpreter,
+//! checked against plain Rust reference computations.
+
+use parsimony::{vectorize_module, VectorizeOptions};
+use psir::{Interp, Memory, Module, RtVal};
+use vmath::RuntimeExterns;
+
+static COST: psir::UnitCost = psir::UnitCost;
+static EXTERNS: RuntimeExterns = RuntimeExterns::new();
+
+fn run_main<'m>(module: &'m Module, args: &[RtVal], mem: Memory) -> Interp<'m> {
+    let mut it = Interp::new(module, mem, &COST, &EXTERNS);
+    it.call("main", args).expect("execution succeeds");
+    it
+}
+
+fn compile_and_vectorize(src: &str) -> Module {
+    let m = psimc::compile(src).expect("compiles");
+    for f in m.functions() {
+        psir::assert_valid(f);
+    }
+    let out = vectorize_module(&m, &VectorizeOptions::default()).expect("vectorizes");
+    out.module
+}
+
+fn f32_buf(mem: &mut Memory, vals: &[f32]) -> u64 {
+    let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+    mem.alloc_bytes(&bytes, 64).unwrap()
+}
+
+fn read_f32s(it: &Interp<'_>, addr: u64, n: usize) -> Vec<f32> {
+    it.mem
+        .read_bytes(addr, (n * 4) as u64)
+        .unwrap()
+        .chunks(4)
+        .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().unwrap())))
+        .collect()
+}
+
+fn read_u8s(it: &Interp<'_>, addr: u64, n: usize) -> Vec<u8> {
+    it.mem.read_bytes(addr, n as u64).unwrap().to_vec()
+}
+
+#[test]
+fn saxpy_region() {
+    let module = compile_and_vectorize(
+        "void main(f32* x, f32* y, f32 a, i64 n) {
+            psim gang(16) threads(n) {
+                i64 i = psim_thread_num();
+                y[i] = a * x[i] + y[i];
+            }
+        }",
+    );
+    let n = 100usize;
+    let xs: Vec<f32> = (0..n).map(|i| i as f32 * 0.5).collect();
+    let ys: Vec<f32> = (0..n).map(|i| 100.0 - i as f32).collect();
+    let mut mem = Memory::default();
+    let x = f32_buf(&mut mem, &xs);
+    let y = f32_buf(&mut mem, &ys);
+    let it = run_main(
+        &module,
+        &[
+            RtVal::S(x),
+            RtVal::S(y),
+            RtVal::from_f32(3.0),
+            RtVal::S(n as u64),
+        ],
+        mem,
+    );
+    let got = read_f32s(&it, y, n);
+    for i in 0..n {
+        assert_eq!(got[i], 3.0 * xs[i] + ys[i], "lane {i}");
+    }
+}
+
+#[test]
+fn saturating_u8_brightness() {
+    let module = compile_and_vectorize(
+        "void main(u8* img, i64 n) {
+            psim gang(64) threads(n) {
+                i64 i = psim_thread_num();
+                img[i] = add_sat(img[i], (u8) 100);
+            }
+        }",
+    );
+    let n = 200usize;
+    let pix: Vec<u8> = (0..n).map(|i| (i * 7 % 256) as u8).collect();
+    let mut mem = Memory::default();
+    let p = mem.alloc_bytes(&pix, 64).unwrap();
+    let it = run_main(&module, &[RtVal::S(p), RtVal::S(n as u64)], mem);
+    let got = read_u8s(&it, p, n);
+    for i in 0..n {
+        assert_eq!(got[i], pix[i].saturating_add(100), "pixel {i}");
+    }
+}
+
+#[test]
+fn divergent_threshold_with_inner_loop() {
+    // Per-pixel: count how many halvings bring it under 16 (divergent loop),
+    // write the count.
+    let module = compile_and_vectorize(
+        "void main(i32* v, i64 n) {
+            psim gang(8) threads(n) {
+                i64 i = psim_thread_num();
+                i32 x = v[i];
+                i32 steps = 0;
+                while (x >= 16) {
+                    x = x / 2;
+                    steps += 1;
+                }
+                v[i] = steps;
+            }
+        }",
+    );
+    let n = 37usize;
+    let vals: Vec<i32> = (0..n).map(|i| (i as i32 * 97 + 3) % 1000).collect();
+    let mut mem = Memory::default();
+    let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let p = mem.alloc_bytes(&bytes, 64).unwrap();
+    let it = run_main(&module, &[RtVal::S(p), RtVal::S(n as u64)], mem);
+    let got: Vec<i32> = it
+        .mem
+        .read_bytes(p, (n * 4) as u64)
+        .unwrap()
+        .chunks(4)
+        .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    for i in 0..n {
+        let mut x = vals[i];
+        let mut steps = 0;
+        while x >= 16 {
+            x /= 2;
+            steps += 1;
+        }
+        assert_eq!(got[i], steps, "element {i} (input {})", vals[i]);
+    }
+}
+
+#[test]
+fn math_library_calls_vectorize() {
+    let module = compile_and_vectorize(
+        "void main(f32* x, i64 n) {
+            psim gang(16) threads(n) {
+                i64 i = psim_thread_num();
+                x[i] = exp(x[i]) + pow(2.0, x[i]);
+            }
+        }",
+    );
+    let n = 50usize;
+    let xs: Vec<f32> = (0..n).map(|i| (i as f32) * 0.1 - 2.0).collect();
+    let mut mem = Memory::default();
+    let x = f32_buf(&mut mem, &xs);
+    let it = run_main(&module, &[RtVal::S(x), RtVal::S(n as u64)], mem);
+    let got = read_f32s(&it, x, n);
+    for i in 0..n {
+        let want = xs[i].exp() + 2.0f32.powf(xs[i]);
+        assert!(
+            (got[i] - want).abs() <= want.abs() * 1e-6 + 1e-6,
+            "lane {i}: {} vs {want}",
+            got[i]
+        );
+    }
+}
+
+#[test]
+fn gang_shuffle_reverse() {
+    // Reverse within each gang using psim_shuffle.
+    let module = compile_and_vectorize(
+        "void main(i32* v, i64 n) {
+            psim gang(8) threads(n) {
+                i64 lane = psim_lane_num();
+                i64 i = psim_thread_num();
+                i32 x = v[i];
+                i32 got = psim_shuffle(x, 7 - lane);
+                v[i] = got;
+            }
+        }",
+    );
+    let n = 16usize;
+    let vals: Vec<i32> = (0..n as i32).collect();
+    let mut mem = Memory::default();
+    let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let p = mem.alloc_bytes(&bytes, 64).unwrap();
+    let it = run_main(&module, &[RtVal::S(p), RtVal::S(n as u64)], mem);
+    let got: Vec<i32> = it
+        .mem
+        .read_bytes(p, (n * 4) as u64)
+        .unwrap()
+        .chunks(4)
+        .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    assert_eq!(got[..8], [7, 6, 5, 4, 3, 2, 1, 0]);
+    assert_eq!(got[8..], [15, 14, 13, 12, 11, 10, 9, 8]);
+}
+
+#[test]
+fn serial_functions_execute_directly() {
+    // Non-psim code must also compile and run (baseline path).
+    let m = psimc::compile(
+        "i64 fib(i64 n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        i64 main(i64 n) {
+            i64 acc = 0;
+            for (i64 i = 0; i < n; i += 1) {
+                acc += fib(i);
+            }
+            return acc;
+        }",
+    )
+    .expect("compiles");
+    for f in m.functions() {
+        psir::assert_valid(f);
+    }
+    let mut it = Interp::with_defaults(&m, Memory::default());
+    let r = it.call("main", &[RtVal::S(10)]).unwrap();
+    // fib sums: 0+1+1+2+3+5+8+13+21+34 = 88
+    assert_eq!(r, RtVal::S(88));
+}
+
+#[test]
+fn capture_assignment_rejected() {
+    let err = psimc::compile(
+        "void main(i64 n) {
+            i64 acc = 0;
+            psim gang(8) threads(n) {
+                acc = psim_thread_num();
+            }
+        }",
+    )
+    .unwrap_err();
+    assert!(err.msg.contains("captured"));
+}
+
+#[test]
+fn psim_intrinsic_outside_region_rejected() {
+    let err = psimc::compile("void main() { i64 i = psim_thread_num(); }").unwrap_err();
+    assert!(err.msg.contains("psim region"));
+}
+
+#[test]
+fn local_arrays_are_thread_private() {
+    // Each thread fills a private 4-element array and sums it; the
+    // vectorized allocation is G× the size with per-lane offsets (§4.2.3).
+    let module = compile_and_vectorize(
+        "void main(f32* restrict out, i64 n) {
+            psim gang(8) threads(n) {
+                i64 idx = psim_thread_num();
+                f32 v[4];
+                for (i64 j = 0; j < 4; j += 1) { v[j] = (f32) (idx + j); }
+                f32 s = 0.0;
+                for (i64 j = 0; j < 4; j += 1) { s += v[j]; }
+                out[idx] = s;
+            }
+        }",
+    );
+    let n = 16usize;
+    let mut mem = Memory::default();
+    let o = mem.alloc((n * 4) as u64, 64).unwrap();
+    let it = run_main(&module, &[RtVal::S(o), RtVal::S(n as u64)], mem);
+    let got = read_f32s(&it, o, n);
+    for (i, v) in got.iter().enumerate() {
+        assert_eq!(*v, (4 * i + 6) as f32, "lane {i}");
+    }
+}
+
+#[test]
+fn head_gang_peeling_specializes() {
+    // A region that treats the head gang specially: the front-end peels the
+    // first gang into a `__head` call whose predicate is folded to true.
+    let src = "void main(i32* restrict a, i64 n) {
+        psim gang(8) threads(n) {
+            i64 i = psim_thread_num();
+            i32 bonus = psim_is_head_gang() ? 1000 : 0;
+            a[i] = a[i] + bonus + 1;
+        }
+    }";
+    let m = psimc::compile(src).expect("compiles");
+    // The driver must mention the head specialization.
+    let driver = psir::print_function(m.function("main").unwrap());
+    assert!(driver.contains("main__psim0__head"), "{driver}");
+
+    let out = vectorize_module(&m, &VectorizeOptions::default()).expect("vectorizes");
+    let head = out
+        .module
+        .function("main__psim0__head")
+        .expect("head variant generated");
+    psir::assert_valid(head);
+    // The folded predicate leaves no is_head_gang computation behind.
+    let text = psir::print_function(head);
+    assert!(!text.contains("is_head_gang"), "{text}");
+
+    // Execution is still correct across head / middle / tail gangs.
+    let n = 21usize;
+    let vals: Vec<i32> = (0..n as i32).collect();
+    let mut mem = Memory::default();
+    let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let a = mem.alloc_bytes(&bytes, 64).unwrap();
+    let it = run_main(&out.module, &[RtVal::S(a), RtVal::S(n as u64)], mem);
+    let got: Vec<i32> = it
+        .mem
+        .read_bytes(a, (n * 4) as u64)
+        .unwrap()
+        .chunks(4)
+        .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    for i in 0..n {
+        let want = vals[i] + if i < 8 { 1000 } else { 0 } + 1;
+        assert_eq!(got[i], want, "element {i}");
+    }
+}

@@ -1,0 +1,165 @@
+//! PsimC language-surface tests: scoping, typing rules, diagnostics.
+
+use psir::{Interp, Memory, RtVal};
+
+fn run_i64(src: &str, args: &[RtVal]) -> i64 {
+    let m = psimc::compile(src).expect("compiles");
+    for f in m.functions() {
+        psir::assert_valid(f);
+    }
+    let mut it = Interp::with_defaults(&m, Memory::default());
+    let r = it.call("main", args).expect("runs");
+    psir::sext(psir::ScalarTy::I64, r.scalar().unwrap())
+}
+
+#[test]
+fn shadowing_scopes() {
+    let r = run_i64(
+        "i64 main() {
+            i64 x = 1;
+            {
+                i64 x = 10;
+                x += 5;
+            }
+            return x;
+        }",
+        &[],
+    );
+    assert_eq!(r, 1, "inner declaration shadows; outer unchanged");
+}
+
+#[test]
+fn loop_variable_scoping_and_updates() {
+    let r = run_i64(
+        "i64 main(i64 n) {
+            i64 total = 0;
+            for (i64 i = 0; i < n; i += 1) {
+                i64 sq = i * i;
+                if (sq % 2 == 0) { total += sq; } else { total -= 1; }
+            }
+            return total;
+        }",
+        &[RtVal::S(6)],
+    );
+    // squares: 0,1,4,9,16,25 → even: 0+4+16=20; odd count 3 → 17
+    assert_eq!(r, 17);
+}
+
+#[test]
+fn unsigned_vs_signed_semantics() {
+    let r = run_i64(
+        "i64 main() {
+            u8 a = 200;
+            u8 b = 100;
+            u8 wrap = a + b;              // 300 wraps to 44
+            i8 sa = (i8) 200;             // -56
+            i64 shifted = (i64) (sa >> (i8) 1);  // arithmetic shift: -28
+            u8 ushift = wrap >> (u8) 2;   // logical: 11
+            return (i64) wrap + shifted + (i64) ushift;
+        }",
+        &[],
+    );
+    assert_eq!(r, 44 - 28 + 11);
+}
+
+#[test]
+fn ternary_and_bool_ops() {
+    let r = run_i64(
+        "i64 main(i64 x) {
+            bool big = x > 10;
+            bool even = x % 2 == 0;
+            return big && even ? 100 : (big || even ? 10 : 1);
+        }",
+        &[RtVal::S(12)],
+    );
+    assert_eq!(r, 100);
+}
+
+#[test]
+fn builtins_on_ints_and_floats() {
+    let r = run_i64(
+        "i64 main() {
+            i32 a = clamp(-5, 0, 10);
+            u8 s = add_sat((u8) 250, (u8) 10);
+            u16 m = mulhi((u16) 300, (u16) 300);   // 90000 >> 16 = 1
+            f32 f = floor(3.7) + ceil(0.2) + abs(-2.0);
+            return (i64) a + (i64) s + (i64) m + (i64) (i32) f;
+        }",
+        &[],
+    );
+    assert_eq!(r, 0 + 255 + 1 + 6);
+}
+
+// ---- diagnostics ------------------------------------------------------------
+
+#[test]
+fn type_mismatch_reports_position() {
+    let err = psimc::compile("void main() { i32 x = 1; i64 y = x; }").unwrap_err();
+    assert!(err.msg.contains("i32"), "{err}");
+    assert!(err.pos.is_some());
+}
+
+#[test]
+fn unknown_function_rejected() {
+    let err = psimc::compile("void main() { i32 x = nosuch(1); }").unwrap_err();
+    assert!(err.msg.contains("unknown function"));
+}
+
+#[test]
+fn arity_mismatch_rejected() {
+    let err = psimc::compile(
+        "i32 f(i32 a, i32 b) { return a + b; }
+         void main() { i32 x = f(1); }",
+    )
+    .unwrap_err();
+    assert!(err.msg.contains("takes 2"));
+}
+
+#[test]
+fn missing_return_rejected() {
+    let err = psimc::compile("i32 main(i64 n) { if (n > 0) { return 1; } }").unwrap_err();
+    assert!(err.msg.contains("without returning"));
+}
+
+#[test]
+fn unreachable_code_rejected() {
+    let err = psimc::compile("i32 main() { return 1; return 2; }").unwrap_err();
+    assert!(err.msg.contains("unreachable"));
+}
+
+#[test]
+fn nested_psim_rejected() {
+    let err = psimc::compile(
+        "void main(i64 n) {
+            psim gang(8) threads(n) {
+                psim gang(8) threads(n) { }
+            }
+        }",
+    )
+    .unwrap_err();
+    assert!(err.msg.contains("nest"));
+}
+
+#[test]
+fn duplicate_function_rejected() {
+    let err = psimc::compile("void f() { } void f() { }").unwrap_err();
+    assert!(err.msg.contains("duplicate"));
+}
+
+#[test]
+fn pointer_arithmetic_and_deref() {
+    let m = psimc::compile(
+        "i32 main(i32* p, i64 n) {
+            i32* q = p + 2;
+            *q = 77;
+            return *(p + 2) + p[1];
+        }",
+    )
+    .expect("compiles");
+    let mut mem = Memory::default();
+    let data: Vec<u8> = [1i32, 5, 9].iter().flat_map(|v| v.to_le_bytes()).collect();
+    let p = mem.alloc_bytes(&data, 64).unwrap();
+    let mut it = Interp::with_defaults(&m, mem);
+    let r = it.call("main", &[RtVal::S(p), RtVal::S(3)]).unwrap();
+    assert_eq!(r, RtVal::S(82));
+}

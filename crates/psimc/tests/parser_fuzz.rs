@@ -1,0 +1,36 @@
+//! The parser and lexer must reject garbage gracefully (no panics).
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lexer_never_panics(src in "\\PC*") {
+        let _ = psimc::parse(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        words in prop::collection::vec(
+            prop_oneof![
+                Just("void".to_string()), Just("i32".to_string()),
+                Just("f32".to_string()), Just("if".to_string()),
+                Just("while".to_string()), Just("for".to_string()),
+                Just("psim".to_string()), Just("gang".to_string()),
+                Just("threads".to_string()), Just("return".to_string()),
+                Just("(".to_string()), Just(")".to_string()),
+                Just("{".to_string()), Just("}".to_string()),
+                Just("[".to_string()), Just("]".to_string()),
+                Just(";".to_string()), Just("=".to_string()),
+                Just("+".to_string()), Just("*".to_string()),
+                Just("x".to_string()), Just("42".to_string()),
+                Just("3.5".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = psimc::compile(&src);
+    }
+}

@@ -1,0 +1,274 @@
+//! CFG analyses: reverse post-order, dominator tree, natural loops.
+//!
+//! These are the standard building blocks that the structurizer, mask
+//! computation, and loop vectorizer consume. The dominator computation is the
+//! Cooper–Harvey–Kennedy iterative algorithm over reverse post-order.
+
+use crate::function::Function;
+use crate::inst::BlockId;
+use std::collections::{HashMap, HashSet};
+
+/// Reverse post-order of the blocks reachable from entry.
+pub fn reverse_post_order(f: &Function) -> Vec<BlockId> {
+    let mut visited = HashSet::new();
+    let mut post = Vec::new();
+    // Iterative DFS with an explicit stack of (block, next-successor-index).
+    let mut stack = vec![(f.entry, 0usize)];
+    visited.insert(f.entry);
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let succs = f.block(b).term.successors();
+        if *i < succs.len() {
+            let s = succs[*i];
+            *i += 1;
+            if visited.insert(s) {
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Dominator tree over the reachable CFG.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    idom: HashMap<BlockId, BlockId>,
+    rpo_index: HashMap<BlockId, usize>,
+    rpo: Vec<BlockId>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `f`.
+    pub fn compute(f: &Function) -> DomTree {
+        let rpo = reverse_post_order(f);
+        let rpo_index: HashMap<BlockId, usize> =
+            rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        let preds = f.predecessors();
+        let mut idom: HashMap<BlockId, BlockId> = HashMap::new();
+        idom.insert(f.entry, f.entry);
+
+        let intersect = |idom: &HashMap<BlockId, BlockId>, mut a: BlockId, mut b: BlockId| {
+            while a != b {
+                while rpo_index[&a] > rpo_index[&b] {
+                    a = idom[&a];
+                }
+                while rpo_index[&b] > rpo_index[&a] {
+                    b = idom[&b];
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[&b] {
+                    if !idom.contains_key(&p) {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom.get(&b) != Some(&ni) {
+                        idom.insert(b, ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DomTree {
+            idom,
+            rpo_index,
+            rpo,
+        }
+    }
+
+    /// The immediate dominator of `b` (entry's idom is itself).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom.get(&b).copied()
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom.get(&cur) {
+                Some(&i) if i != cur => cur = i,
+                _ => return false,
+            }
+        }
+    }
+
+    /// The blocks in reverse post-order (reachable only).
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of a block in reverse post-order.
+    pub fn rpo_index(&self, b: BlockId) -> Option<usize> {
+        self.rpo_index.get(&b).copied()
+    }
+
+    /// Whether `b` is reachable from entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index.contains_key(&b)
+    }
+}
+
+/// A natural loop discovered from a back edge.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edge, dominates the body).
+    pub header: BlockId,
+    /// Sources of back edges into the header.
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop, including the header.
+    pub blocks: HashSet<BlockId>,
+    /// `(from, to)` edges leaving the loop.
+    pub exits: Vec<(BlockId, BlockId)>,
+}
+
+impl NaturalLoop {
+    /// Whether `b` belongs to the loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+}
+
+/// All natural loops of `f`, outermost-first for nested headers.
+pub fn natural_loops(f: &Function, dom: &DomTree) -> Vec<NaturalLoop> {
+    let preds = f.predecessors();
+    // Group back edges by header.
+    let mut latches_by_header: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+    for b in f.block_ids() {
+        if !dom.is_reachable(b) {
+            continue;
+        }
+        for s in f.block(b).term.successors() {
+            if dom.dominates(s, b) {
+                latches_by_header.entry(s).or_default().push(b);
+            }
+        }
+    }
+    let mut loops = Vec::new();
+    for (header, latches) in latches_by_header {
+        // Collect the loop body: reverse reachability from latches up to header.
+        let mut blocks: HashSet<BlockId> = HashSet::new();
+        blocks.insert(header);
+        let mut work: Vec<BlockId> = latches.clone();
+        while let Some(b) = work.pop() {
+            if blocks.insert(b) {
+                for &p in &preds[&b] {
+                    work.push(p);
+                }
+            } else if b != header {
+                // already visited
+            }
+            if b != header {
+                for &p in &preds[&b] {
+                    if !blocks.contains(&p) {
+                        work.push(p);
+                    }
+                }
+            }
+        }
+        let mut exits = Vec::new();
+        for &b in &blocks {
+            for s in f.block(b).term.successors() {
+                if !blocks.contains(&s) {
+                    exits.push((b, s));
+                }
+            }
+        }
+        exits.sort();
+        loops.push(NaturalLoop {
+            header,
+            latches,
+            blocks,
+            exits,
+        });
+    }
+    // Outermost first: order by loop size descending.
+    loops.sort_by_key(|l| std::cmp::Reverse(l.blocks.len()));
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::Param;
+    use crate::inst::{CmpPred, Value};
+    use crate::types::{ScalarTy, Ty};
+
+    /// entry -> header; header -> body | exit; body -> header.
+    fn loop_func() -> Function {
+        let mut fb = FunctionBuilder::new(
+            "l",
+            vec![Param::new("n", Ty::scalar(ScalarTy::I64))],
+            Ty::Void,
+        );
+        let header = fb.new_block("header");
+        let body = fb.new_block("body");
+        let exit = fb.new_block("exit");
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi_typed(Ty::scalar(ScalarTy::I64), vec![(fb.func().entry, crate::builder::c_i64(0))]);
+        let c = fb.cmp(CmpPred::Slt, i, Value::Param(0));
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let i2 = fb.bin(crate::inst::BinOp::Add, i, 1i64);
+        fb.phi_add_incoming(i, body, i2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        fb.finish()
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let f = loop_func();
+        let rpo = reverse_post_order(&f);
+        assert_eq!(rpo[0], f.entry);
+        assert_eq!(rpo.len(), 4);
+    }
+
+    #[test]
+    fn dominators_of_loop() {
+        let f = loop_func();
+        let dom = DomTree::compute(&f);
+        let header = BlockId(1);
+        let body = BlockId(2);
+        let exit = BlockId(3);
+        assert!(dom.dominates(f.entry, exit));
+        assert!(dom.dominates(header, body));
+        assert!(dom.dominates(header, exit));
+        assert!(!dom.dominates(body, exit));
+        assert_eq!(dom.idom(body), Some(header));
+    }
+
+    #[test]
+    fn finds_natural_loop() {
+        let f = loop_func();
+        let dom = DomTree::compute(&f);
+        let loops = natural_loops(&f, &dom);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.latches, vec![BlockId(2)]);
+        assert!(l.contains(BlockId(2)));
+        assert!(!l.contains(BlockId(3)));
+        assert_eq!(l.exits, vec![(BlockId(1), BlockId(3))]);
+    }
+}

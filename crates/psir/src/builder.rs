@@ -1,0 +1,541 @@
+//! Ergonomic construction of SSA functions.
+//!
+//! The builder tracks a *current block*; instruction-emitting methods append
+//! to it and return the result [`Value`]. Result types are inferred from
+//! operands where the IR's typing rules make that unambiguous, and explicit
+//! where they do not (loads, casts, splats).
+
+use crate::constant::Const;
+use crate::function::{Block, Function, InstData, IntoValue, Param, SpmdInfo};
+use crate::inst::{
+    BinOp, BlockId, CastKind, CmpPred, Inst, InstId, Intrinsic, MathFn, ReduceOp, Terminator,
+    UnOp, Value,
+};
+use crate::types::{ScalarTy, Ty};
+
+/// Builds a [`Function`] incrementally.
+///
+/// # Examples
+///
+/// ```
+/// use psir::{FunctionBuilder, Param, Ty, ScalarTy, BinOp, Value};
+///
+/// let mut fb = FunctionBuilder::new(
+///     "add1",
+///     vec![Param::new("x", Ty::scalar(ScalarTy::I32))],
+///     Ty::scalar(ScalarTy::I32),
+/// );
+/// let r = fb.bin(BinOp::Add, Value::Param(0), 1i32);
+/// fb.ret(Some(r));
+/// let f = fb.finish();
+/// assert_eq!(f.num_blocks(), 1);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    current: BlockId,
+    sealed: Vec<bool>,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with an empty entry block selected.
+    pub fn new(name: impl Into<String>, params: Vec<Param>, ret: Ty) -> FunctionBuilder {
+        let entry = Block {
+            name: "entry".into(),
+            insts: Vec::new(),
+            term: Terminator::Ret(None),
+        };
+        FunctionBuilder {
+            func: Function {
+                name: name.into(),
+                params,
+                ret,
+                entry: BlockId(0),
+                spmd: None,
+                blocks: vec![entry],
+                insts: Vec::new(),
+            },
+            current: BlockId(0),
+            sealed: vec![false],
+        }
+    }
+
+    /// Attaches the SPMD annotation (marks this as an outlined `#psim`
+    /// region function).
+    pub fn set_spmd(&mut self, info: SpmdInfo) {
+        self.func.spmd = Some(info);
+    }
+
+    /// Creates a new, empty block (does not switch to it).
+    pub fn new_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId(self.func.blocks.len() as u32);
+        self.func.blocks.push(Block {
+            name: name.into(),
+            insts: Vec::new(),
+            term: Terminator::Ret(None),
+        });
+        self.sealed.push(false);
+        id
+    }
+
+    /// Makes `b` the current insertion block.
+    ///
+    /// # Panics
+    /// Panics if `b` has already been terminated by this builder.
+    pub fn switch_to(&mut self, b: BlockId) {
+        assert!(
+            !self.sealed[b.0 as usize],
+            "block {b} already has a terminator"
+        );
+        self.current = b;
+    }
+
+    /// The block currently being appended to.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Read-only view of the function under construction.
+    pub fn func(&self) -> &Function {
+        &self.func
+    }
+
+    fn push(&mut self, inst: Inst, ty: Ty) -> Value {
+        assert!(
+            !self.sealed[self.current.0 as usize],
+            "appending to a terminated block"
+        );
+        let id = InstId(self.func.insts.len() as u32);
+        self.func.insts.push(InstData { inst, ty });
+        self.func.blocks[self.current.0 as usize].insts.push(id);
+        Value::Inst(id)
+    }
+
+    fn operand_ty(&self, v: Value) -> Ty {
+        self.func.value_ty(v)
+    }
+
+    // ---- arithmetic ------------------------------------------------------
+
+    /// Two-operand arithmetic; result type is the left operand's type.
+    pub fn bin(&mut self, op: BinOp, a: impl IntoValue, b: impl IntoValue) -> Value {
+        let a = a.into_value();
+        let b = b.into_value();
+        let ty = self.operand_ty(a);
+        self.push(Inst::Bin { op, a, b }, ty)
+    }
+
+    /// One-operand arithmetic; result type is the operand's type.
+    pub fn un(&mut self, op: UnOp, a: impl IntoValue) -> Value {
+        let a = a.into_value();
+        let ty = self.operand_ty(a);
+        self.push(Inst::Un { op, a }, ty)
+    }
+
+    /// Comparison; result is `i1` with the operand's lane count.
+    pub fn cmp(&mut self, pred: CmpPred, a: impl IntoValue, b: impl IntoValue) -> Value {
+        let a = a.into_value();
+        let b = b.into_value();
+        let lanes = self.operand_ty(a).lanes();
+        let ty = if lanes <= 1 {
+            Ty::Scalar(ScalarTy::I1)
+        } else {
+            Ty::Vec(ScalarTy::I1, lanes)
+        };
+        self.push(Inst::Cmp { pred, a, b }, ty)
+    }
+
+    /// Conversion to an explicit result type.
+    pub fn cast(&mut self, kind: CastKind, a: impl IntoValue, to: Ty) -> Value {
+        self.push(
+            Inst::Cast {
+                kind,
+                a: a.into_value(),
+            },
+            to,
+        )
+    }
+
+    /// Lane-wise or whole-value select.
+    pub fn select(
+        &mut self,
+        cond: impl IntoValue,
+        t: impl IntoValue,
+        f: impl IntoValue,
+    ) -> Value {
+        let t = t.into_value();
+        let ty = self.operand_ty(t);
+        self.push(
+            Inst::Select {
+                cond: cond.into_value(),
+                t,
+                f: f.into_value(),
+            },
+            ty,
+        )
+    }
+
+    // ---- vectors ---------------------------------------------------------
+
+    /// Broadcast a scalar into `lanes` lanes.
+    pub fn splat(&mut self, a: impl IntoValue, lanes: u32) -> Value {
+        let a = a.into_value();
+        let elem = self
+            .operand_ty(a)
+            .elem()
+            .expect("splat operand must be non-void");
+        self.push(Inst::Splat { a }, Ty::vec(elem, lanes))
+    }
+
+    /// Vector constant from raw per-lane bits.
+    pub fn const_vec(&mut self, elem: ScalarTy, lanes: Vec<u64>) -> Value {
+        let n = lanes.len() as u32;
+        let lanes = lanes.into_iter().map(|b| b & elem.bit_mask()).collect();
+        self.push(Inst::ConstVec { elem, lanes }, Ty::vec(elem, n))
+    }
+
+    /// Extract one lane as a scalar.
+    pub fn extract(&mut self, v: impl IntoValue, lane: impl IntoValue) -> Value {
+        let v = v.into_value();
+        let elem = self
+            .operand_ty(v)
+            .elem()
+            .expect("extract operand must be a vector");
+        self.push(
+            Inst::Extract {
+                v,
+                lane: lane.into_value(),
+            },
+            Ty::Scalar(elem),
+        )
+    }
+
+    /// Insert a scalar into one lane.
+    pub fn insert(
+        &mut self,
+        v: impl IntoValue,
+        lane: impl IntoValue,
+        x: impl IntoValue,
+    ) -> Value {
+        let v = v.into_value();
+        let ty = self.operand_ty(v);
+        self.push(
+            Inst::Insert {
+                v,
+                lane: lane.into_value(),
+                x: x.into_value(),
+            },
+            ty,
+        )
+    }
+
+    /// Shuffle with a compile-time pattern.
+    pub fn shuffle_const(&mut self, v: impl IntoValue, pattern: Vec<u32>) -> Value {
+        let v = v.into_value();
+        let elem = self
+            .operand_ty(v)
+            .elem()
+            .expect("shuffle operand must be a vector");
+        let n = pattern.len() as u32;
+        self.push(Inst::ShuffleConst { v, pattern }, Ty::vec(elem, n))
+    }
+
+    /// Any-to-any shuffle with runtime indices.
+    pub fn shuffle_var(&mut self, v: impl IntoValue, idx: impl IntoValue) -> Value {
+        let v = v.into_value();
+        let ty = self.operand_ty(v);
+        self.push(
+            Inst::ShuffleVar {
+                v,
+                idx: idx.into_value(),
+            },
+            ty,
+        )
+    }
+
+    /// Cross-lane reduction to a scalar.
+    pub fn reduce(&mut self, op: ReduceOp, v: impl IntoValue, mask: Option<Value>) -> Value {
+        let v = v.into_value();
+        let elem = self
+            .operand_ty(v)
+            .elem()
+            .expect("reduce operand must be a vector");
+        self.push(Inst::Reduce { op, v, mask }, Ty::Scalar(elem))
+    }
+
+    // ---- memory ----------------------------------------------------------
+
+    /// Load producing `ty` (scalar load, packed load, or gather depending on
+    /// the pointer/result shapes — see [`Inst::Load`]).
+    pub fn load(&mut self, ty: Ty, ptr: impl IntoValue, mask: Option<Value>) -> Value {
+        self.push(
+            Inst::Load {
+                ptr: ptr.into_value(),
+                mask,
+            },
+            ty,
+        )
+    }
+
+    /// Store (scalar, packed, or scatter).
+    pub fn store(&mut self, ptr: impl IntoValue, val: impl IntoValue, mask: Option<Value>) {
+        self.push(
+            Inst::Store {
+                ptr: ptr.into_value(),
+                val: val.into_value(),
+                mask,
+            },
+            Ty::Void,
+        );
+    }
+
+    /// Stack allocation of `size` bytes.
+    pub fn alloca(&mut self, size: impl IntoValue) -> Value {
+        self.push(
+            Inst::Alloca {
+                size: size.into_value(),
+            },
+            Ty::Scalar(ScalarTy::Ptr),
+        )
+    }
+
+    /// Stack allocation hoisted into the entry block (front-ends use this
+    /// for local arrays declared inside loops — the verifier requires
+    /// allocas in the entry block). `size` must be a constant so dominance
+    /// trivially holds.
+    ///
+    /// # Panics
+    /// Panics if `size` is not a constant.
+    pub fn alloca_at_entry(&mut self, size: Const) -> Value {
+        let id = InstId(self.func.insts.len() as u32);
+        self.func.insts.push(InstData {
+            inst: Inst::Alloca {
+                size: Value::Const(size),
+            },
+            ty: Ty::Scalar(ScalarTy::Ptr),
+        });
+        let entry = self.func.entry;
+        self.func.blocks[entry.0 as usize].insts.insert(0, id);
+        Value::Inst(id)
+    }
+
+    /// Address arithmetic `base + index * scale`. Result is a vector of
+    /// pointers when either input is a vector.
+    pub fn gep(&mut self, base: impl IntoValue, index: impl IntoValue, scale: u64) -> Value {
+        let base = base.into_value();
+        let index = index.into_value();
+        let lanes = self
+            .operand_ty(base)
+            .lanes()
+            .max(self.operand_ty(index).lanes());
+        let ty = if lanes <= 1 {
+            Ty::Scalar(ScalarTy::Ptr)
+        } else {
+            Ty::Vec(ScalarTy::Ptr, lanes)
+        };
+        self.push(Inst::Gep { base, index, scale }, ty)
+    }
+
+    // ---- calls & intrinsics ----------------------------------------------
+
+    /// Direct call; `ret` is the callee's return type.
+    pub fn call(&mut self, callee: impl Into<String>, ret: Ty, args: Vec<Value>) -> Value {
+        self.push(
+            Inst::Call {
+                callee: callee.into(),
+                args,
+            },
+            ret,
+        )
+    }
+
+    /// Parsimony intrinsic with an explicit result type.
+    pub fn intrin(&mut self, kind: Intrinsic, args: Vec<Value>, ty: Ty) -> Value {
+        self.push(Inst::Intrin { kind, args }, ty)
+    }
+
+    /// `psim_get_lane_num()` as `i64`.
+    pub fn lane_num(&mut self) -> Value {
+        self.intrin(Intrinsic::LaneNum, vec![], Ty::Scalar(ScalarTy::I64))
+    }
+
+    /// `psim_get_thread_num()` as `i64`.
+    pub fn thread_num(&mut self) -> Value {
+        self.intrin(Intrinsic::ThreadNum, vec![], Ty::Scalar(ScalarTy::I64))
+    }
+
+    /// `psim_gang_sync()`.
+    pub fn gang_sync(&mut self) {
+        self.intrin(Intrinsic::GangSync, vec![], Ty::Void);
+    }
+
+    /// `psim_shuffle_sync(v, idx)`.
+    pub fn shuffle_sync(&mut self, v: impl IntoValue, idx: impl IntoValue) -> Value {
+        let v = v.into_value();
+        let ty = self.operand_ty(v);
+        self.intrin(Intrinsic::Shuffle, vec![v, idx.into_value()], ty)
+    }
+
+    /// Scalar math intrinsic (vectorized into a math-library call).
+    pub fn math(&mut self, f: MathFn, args: Vec<Value>) -> Value {
+        let ty = self.operand_ty(args[0]);
+        self.intrin(Intrinsic::Math(f), args, ty)
+    }
+
+    /// Fused multiply-add.
+    pub fn fma(&mut self, a: impl IntoValue, b: impl IntoValue, c: impl IntoValue) -> Value {
+        let a = a.into_value();
+        let ty = self.operand_ty(a);
+        self.intrin(
+            Intrinsic::Fma,
+            vec![a, b.into_value(), c.into_value()],
+            ty,
+        )
+    }
+
+    /// φ node. Result type comes from the first incoming value.
+    pub fn phi(&mut self, incoming: Vec<(BlockId, Value)>) -> Value {
+        assert!(!incoming.is_empty(), "phi needs at least one incoming edge");
+        let ty = self.operand_ty(incoming[0].1);
+        self.push(Inst::Phi { incoming }, ty)
+    }
+
+    /// φ node with an explicit type (for forward references whose first
+    /// incoming value is filled in later).
+    pub fn phi_typed(&mut self, ty: Ty, incoming: Vec<(BlockId, Value)>) -> Value {
+        self.push(Inst::Phi { incoming }, ty)
+    }
+
+    /// Adds an incoming edge to an existing φ node.
+    ///
+    /// # Panics
+    /// Panics if `phi` is not a φ instruction.
+    pub fn phi_add_incoming(&mut self, phi: Value, block: BlockId, v: Value) {
+        let id = phi.as_inst().expect("phi value must be an instruction");
+        match &mut self.func.insts[id.0 as usize].inst {
+            Inst::Phi { incoming } => incoming.push((block, v)),
+            other => panic!("not a phi: {other:?}"),
+        }
+    }
+
+    // ---- terminators -----------------------------------------------------
+
+    fn terminate(&mut self, t: Terminator) {
+        assert!(
+            !self.sealed[self.current.0 as usize],
+            "block already terminated"
+        );
+        self.func.blocks[self.current.0 as usize].term = t;
+        self.sealed[self.current.0 as usize] = true;
+    }
+
+    /// Unconditional branch; seals the current block.
+    pub fn br(&mut self, target: BlockId) {
+        self.terminate(Terminator::Br(target));
+    }
+
+    /// Conditional branch; seals the current block.
+    pub fn cond_br(&mut self, cond: impl IntoValue, then_bb: BlockId, else_bb: BlockId) {
+        self.terminate(Terminator::CondBr {
+            cond: cond.into_value(),
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Return; seals the current block.
+    pub fn ret(&mut self, v: Option<Value>) {
+        self.terminate(Terminator::Ret(v));
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Panics
+    /// Panics if any reachable block was never terminated.
+    pub fn finish(self) -> Function {
+        for (i, sealed) in self.sealed.iter().enumerate() {
+            if !sealed && !self.func.blocks[i].insts.is_empty() {
+                panic!(
+                    "block {} ({}) has instructions but no terminator",
+                    i, self.func.blocks[i].name
+                );
+            }
+        }
+        self.func
+    }
+}
+
+/// Convenience: builds the constant `Value` for a `usize` as `i64`.
+pub fn c_i64(v: i64) -> Value {
+    Value::Const(Const::i64(v))
+}
+
+/// Convenience: builds the constant `Value` for an `i32`.
+pub fn c_i32(v: i32) -> Value {
+    Value::Const(Const::i32(v))
+}
+
+/// Convenience: builds the constant `Value` for an `f32`.
+pub fn c_f32(v: f32) -> Value {
+    Value::Const(Const::f32(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_diamond() {
+        let mut fb = FunctionBuilder::new(
+            "max0",
+            vec![Param::new("x", Ty::scalar(ScalarTy::I32))],
+            Ty::scalar(ScalarTy::I32),
+        );
+        let then_bb = fb.new_block("then");
+        let else_bb = fb.new_block("else");
+        let join = fb.new_block("join");
+        let c = fb.cmp(CmpPred::Sgt, Value::Param(0), 0i32);
+        fb.cond_br(c, then_bb, else_bb);
+        fb.switch_to(then_bb);
+        fb.br(join);
+        fb.switch_to(else_bb);
+        fb.br(join);
+        fb.switch_to(join);
+        let p = fb.phi(vec![(then_bb, Value::Param(0)), (else_bb, c_i32(0))]);
+        fb.ret(Some(p));
+        let f = fb.finish();
+        assert_eq!(f.num_blocks(), 4);
+        let preds = f.predecessors();
+        assert_eq!(preds[&join].len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn double_terminate_panics() {
+        let mut fb = FunctionBuilder::new("f", vec![], Ty::Void);
+        fb.ret(None);
+        fb.ret(None);
+    }
+
+    #[test]
+    fn cmp_on_vector_gives_mask() {
+        let mut fb = FunctionBuilder::new("f", vec![], Ty::Void);
+        let v = fb.const_vec(ScalarTy::I32, vec![1, 2, 3, 4]);
+        let m = fb.cmp(CmpPred::Sgt, v, v);
+        assert_eq!(fb.func().value_ty(m), Ty::vec(ScalarTy::I1, 4));
+        fb.ret(None);
+    }
+
+    #[test]
+    fn gep_vector_index_gives_ptr_vector() {
+        let mut fb = FunctionBuilder::new(
+            "f",
+            vec![Param::new("p", Ty::scalar(ScalarTy::Ptr))],
+            Ty::Void,
+        );
+        let idx = fb.const_vec(ScalarTy::I64, vec![0, 1, 2, 3]);
+        let ptrs = fb.gep(Value::Param(0), idx, 4);
+        assert_eq!(fb.func().value_ty(ptrs), Ty::vec(ScalarTy::Ptr, 4));
+        fb.ret(None);
+    }
+}

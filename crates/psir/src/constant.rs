@@ -1,0 +1,162 @@
+//! Scalar constants.
+//!
+//! A [`Const`] is a scalar type tag plus a 64-bit payload holding the raw
+//! bits of the value (floats are stored bit-cast; narrow integers live in the
+//! low bits, truncated to the type's width). Keeping constants `Copy` lets
+//! instruction operands embed them directly, which removes the need for a
+//! constant pool and use-lists in the IR.
+
+use crate::types::ScalarTy;
+use std::fmt;
+
+/// A typed scalar constant. The payload always holds the value truncated to
+/// the type's width (so two equal constants compare equal bit-for-bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Const {
+    /// The scalar type of the constant.
+    pub ty: ScalarTy,
+    /// Raw bits, truncated to `ty.bit_mask()`.
+    pub bits: u64,
+}
+
+impl Const {
+    /// Construct a constant from raw bits, truncating to the type's width.
+    pub fn new(ty: ScalarTy, bits: u64) -> Const {
+        Const {
+            ty,
+            bits: bits & ty.bit_mask(),
+        }
+    }
+
+    /// Boolean constant.
+    pub fn bool(v: bool) -> Const {
+        Const::new(ScalarTy::I1, v as u64)
+    }
+
+    /// `i8` constant.
+    pub fn i8(v: i8) -> Const {
+        Const::new(ScalarTy::I8, v as u8 as u64)
+    }
+
+    /// `i16` constant.
+    pub fn i16(v: i16) -> Const {
+        Const::new(ScalarTy::I16, v as u16 as u64)
+    }
+
+    /// `i32` constant.
+    pub fn i32(v: i32) -> Const {
+        Const::new(ScalarTy::I32, v as u32 as u64)
+    }
+
+    /// `i64` constant.
+    pub fn i64(v: i64) -> Const {
+        Const::new(ScalarTy::I64, v as u64)
+    }
+
+    /// `f32` constant (bit-cast into the payload).
+    pub fn f32(v: f32) -> Const {
+        Const::new(ScalarTy::F32, v.to_bits() as u64)
+    }
+
+    /// `f64` constant (bit-cast into the payload).
+    pub fn f64(v: f64) -> Const {
+        Const::new(ScalarTy::F64, v.to_bits())
+    }
+
+    /// Pointer constant (an address in the virtual machine's flat memory).
+    pub fn ptr(addr: u64) -> Const {
+        Const::new(ScalarTy::Ptr, addr)
+    }
+
+    /// The zero value of `ty`.
+    pub fn zero(ty: ScalarTy) -> Const {
+        Const::new(ty, 0)
+    }
+
+    /// The value sign-extended to `i64`, for integer/pointer constants.
+    pub fn as_i64(self) -> i64 {
+        let b = self.ty.bits();
+        if b == 64 {
+            self.bits as i64
+        } else {
+            let shift = 64 - b;
+            ((self.bits << shift) as i64) >> shift
+        }
+    }
+
+    /// The value zero-extended to `u64`.
+    pub fn as_u64(self) -> u64 {
+        self.bits
+    }
+
+    /// Interpret as `f32`.
+    ///
+    /// # Panics
+    /// Panics if the type is not [`ScalarTy::F32`].
+    pub fn as_f32(self) -> f32 {
+        assert_eq!(self.ty, ScalarTy::F32, "constant is not f32");
+        f32::from_bits(self.bits as u32)
+    }
+
+    /// Interpret as `f64`.
+    ///
+    /// # Panics
+    /// Panics if the type is not [`ScalarTy::F64`].
+    pub fn as_f64(self) -> f64 {
+        assert_eq!(self.ty, ScalarTy::F64, "constant is not f64");
+        f64::from_bits(self.bits)
+    }
+
+    /// Whether the payload is all zero bits.
+    pub fn is_zero(self) -> bool {
+        self.bits == 0
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.ty {
+            ScalarTy::I1 => write!(f, "{}", self.bits != 0),
+            ScalarTy::F32 => write!(f, "{:?}f32", f32::from_bits(self.bits as u32)),
+            ScalarTy::F64 => write!(f, "{:?}f64", f64::from_bits(self.bits)),
+            ScalarTy::Ptr => write!(f, "ptr:{:#x}", self.bits),
+            _ => write!(f, "{}{}", self.as_i64(), self.ty),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation_on_construction() {
+        let c = Const::new(ScalarTy::I8, 0x1ff);
+        assert_eq!(c.bits, 0xff);
+        assert_eq!(c.as_i64(), -1);
+        assert_eq!(c.as_u64(), 0xff);
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(Const::i8(-5).as_i64(), -5);
+        assert_eq!(Const::i16(-300).as_i64(), -300);
+        assert_eq!(Const::i32(i32::MIN).as_i64(), i32::MIN as i64);
+        assert_eq!(Const::i64(-1).as_i64(), -1);
+    }
+
+    #[test]
+    fn float_round_trip() {
+        assert_eq!(Const::f32(1.5).as_f32(), 1.5);
+        assert_eq!(Const::f64(-2.25).as_f64(), -2.25);
+        let nan = Const::f32(f32::NAN);
+        assert!(nan.as_f32().is_nan());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Const::bool(true).to_string(), "true");
+        assert_eq!(Const::i32(-7).to_string(), "-7i32");
+        assert_eq!(Const::f32(1.0).to_string(), "1.0f32");
+    }
+}

@@ -1,0 +1,351 @@
+//! Functions, basic blocks and modules.
+
+use crate::constant::Const;
+use crate::inst::{BlockId, Inst, InstId, Terminator, Value};
+use crate::types::{ScalarTy, Ty};
+use std::collections::HashMap;
+
+/// A formal parameter of a [`Function`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Human-readable name (used by the printer only).
+    pub name: String,
+    /// Parameter type.
+    pub ty: Ty,
+    /// `restrict`-style guarantee: this pointer does not alias any other
+    /// `noalias` parameter. Consumed by the auto-vectorizer's dependence
+    /// analysis and by shape-analysis alignment facts.
+    pub noalias: bool,
+}
+
+impl Param {
+    /// A plain (possibly aliasing) parameter.
+    pub fn new(name: impl Into<String>, ty: Ty) -> Param {
+        Param {
+            name: name.into(),
+            ty,
+            noalias: false,
+        }
+    }
+
+    /// A `noalias` pointer parameter.
+    pub fn noalias(name: impl Into<String>, ty: Ty) -> Param {
+        Param {
+            name: name.into(),
+            ty,
+            noalias: true,
+        }
+    }
+}
+
+/// How many SPMD threads execute a region: a compile-time constant or a
+/// value only known at the call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadCount {
+    /// Known at compile time.
+    Const(u64),
+    /// Passed at run time (the region loop handles head/tail gangs).
+    Dynamic,
+}
+
+/// SPMD annotation attached to an outlined region function (§4.1). The
+/// front-end produces it; the vectorizer consumes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpmdInfo {
+    /// Gang size `G`: a per-region compile-time constant, *independent of the
+    /// hardware vector width* (§3).
+    pub gang_size: u32,
+    /// Total number of conceptual threads in the region.
+    pub num_threads: ThreadCount,
+    /// Whether this is the *partial* (tail-gang) specialization, in which the
+    /// implicit `thread_id < N` guard of Listing 6 applies.
+    pub partial: bool,
+}
+
+/// A basic block: an ordered list of instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Printer name.
+    pub name: String,
+    /// Instruction ids, in execution order. φ nodes must be a prefix.
+    pub insts: Vec<InstId>,
+    /// The terminator.
+    pub term: Terminator,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct InstData {
+    pub inst: Inst,
+    pub ty: Ty,
+}
+
+/// A function in SSA form.
+///
+/// Instruction payloads live in a flat arena indexed by [`InstId`]; blocks
+/// hold ordered id lists. Operands are [`Value`]s (constants, parameters or
+/// instruction results), so there are no use-lists: passes that restructure
+/// code build a *new* function via [`crate::FunctionBuilder`], which is how
+/// the Parsimony transformation (§4.2.3) works in this reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Return type.
+    pub ret: Ty,
+    /// Entry block (always `BlockId(0)` for builder-produced functions).
+    pub entry: BlockId,
+    /// SPMD annotation, present on outlined `#psim` region functions.
+    pub spmd: Option<SpmdInfo>,
+    pub(crate) blocks: Vec<Block>,
+    pub(crate) insts: Vec<InstData>,
+}
+
+impl Function {
+    /// The instruction payload for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is not an instruction of this function.
+    pub fn inst(&self, id: InstId) -> &Inst {
+        &self.insts[id.0 as usize].inst
+    }
+
+    /// Mutable access to an instruction payload.
+    pub fn inst_mut(&mut self, id: InstId) -> &mut Inst {
+        &mut self.insts[id.0 as usize].inst
+    }
+
+    /// The result type of instruction `id`.
+    pub fn inst_ty(&self, id: InstId) -> Ty {
+        self.insts[id.0 as usize].ty
+    }
+
+    /// The type of any operand value.
+    pub fn value_ty(&self, v: Value) -> Ty {
+        match v {
+            Value::Const(c) => Ty::Scalar(c.ty),
+            Value::Param(i) => self.params[i as usize].ty,
+            Value::Inst(i) => self.inst_ty(i),
+        }
+    }
+
+    /// The block payload for `id`.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Mutable access to a block.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.0 as usize]
+    }
+
+    /// Iterate over all block ids in creation order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of instructions in the arena (including unreferenced ones).
+    pub fn num_insts(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Predecessor map (computed on demand).
+    pub fn predecessors(&self) -> HashMap<BlockId, Vec<BlockId>> {
+        let mut preds: HashMap<BlockId, Vec<BlockId>> =
+            self.block_ids().map(|b| (b, Vec::new())).collect();
+        for b in self.block_ids() {
+            for s in self.block(b).term.successors() {
+                preds.get_mut(&s).expect("successor must exist").push(b);
+            }
+        }
+        preds
+    }
+
+    /// Whether any instruction is a horizontal Parsimony intrinsic
+    /// (the function contains explicit gang synchronization).
+    pub fn has_horizontal_ops(&self) -> bool {
+        self.insts.iter().any(|d| {
+            matches!(&d.inst, Inst::Intrin { kind, .. } if kind.is_horizontal())
+        })
+    }
+
+    /// Appends a raw instruction to the arena without placing it in a block.
+    /// Used by transformation passes that construct placement separately.
+    pub fn add_inst(&mut self, inst: Inst, ty: Ty) -> InstId {
+        let id = InstId(self.insts.len() as u32);
+        self.insts.push(InstData { inst, ty });
+        id
+    }
+
+    /// Appends a new (initially empty) block. Used by inlining and other
+    /// whole-function transformations.
+    pub fn add_block(&mut self, name: impl Into<String>, term: Terminator) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block {
+            name: name.into(),
+            insts: Vec::new(),
+            term,
+        });
+        id
+    }
+}
+
+/// Helper constructors for common constant [`Value`]s.
+pub trait IntoValue {
+    /// Convert into an operand [`Value`].
+    fn into_value(self) -> Value;
+}
+
+impl IntoValue for Value {
+    fn into_value(self) -> Value {
+        self
+    }
+}
+
+impl IntoValue for Const {
+    fn into_value(self) -> Value {
+        Value::Const(self)
+    }
+}
+
+impl IntoValue for i32 {
+    fn into_value(self) -> Value {
+        Value::Const(Const::i32(self))
+    }
+}
+
+impl IntoValue for i64 {
+    fn into_value(self) -> Value {
+        Value::Const(Const::i64(self))
+    }
+}
+
+impl IntoValue for f32 {
+    fn into_value(self) -> Value {
+        Value::Const(Const::f32(self))
+    }
+}
+
+impl IntoValue for f64 {
+    fn into_value(self) -> Value {
+        Value::Const(Const::f64(self))
+    }
+}
+
+impl IntoValue for bool {
+    fn into_value(self) -> Value {
+        Value::Const(Const::bool(self))
+    }
+}
+
+/// A compilation unit: a set of functions with unique names.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    funcs: Vec<Function>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Adds a function, replacing any existing function of the same name.
+    pub fn add_function(&mut self, f: Function) {
+        if let Some(&i) = self.by_name.get(&f.name) {
+            self.funcs[i] = f;
+        } else {
+            self.by_name.insert(f.name.clone(), self.funcs.len());
+            self.funcs.push(f);
+        }
+    }
+
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.by_name.get(name).map(|&i| &self.funcs[i])
+    }
+
+    /// Mutable lookup by name.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.by_name.get(name).copied().map(move |i| &mut self.funcs[i])
+    }
+
+    /// Iterate over all functions.
+    pub fn functions(&self) -> impl Iterator<Item = &Function> {
+        self.funcs.iter()
+    }
+
+    /// Names of all SPMD-annotated functions (the vectorizer's work list).
+    pub fn spmd_functions(&self) -> Vec<String> {
+        self.funcs
+            .iter()
+            .filter(|f| f.spmd.is_some())
+            .map(|f| f.name.clone())
+            .collect()
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Whether the module has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+}
+
+/// Returns the lane-offset constant vector `0, 1, …, lanes-1` as raw bits,
+/// for materializing [`crate::Intrinsic::LaneNum`] and other indexed shapes.
+pub fn iota_bits(elem: ScalarTy, lanes: u32) -> Vec<u64> {
+    (0..lanes as u64).map(|i| i & elem.bit_mask()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::BinOp;
+
+    #[test]
+    fn module_add_and_lookup() {
+        let mut m = Module::new();
+        let mut fb = FunctionBuilder::new("f", vec![Param::new("x", Ty::scalar(ScalarTy::I32))], Ty::scalar(ScalarTy::I32));
+        let s = fb.bin(BinOp::Add, Value::Param(0), 1i32);
+        fb.ret(Some(s));
+        m.add_function(fb.finish());
+        assert!(m.function("f").is_some());
+        assert!(m.function("g").is_none());
+        assert_eq!(m.len(), 1);
+        assert!(m.spmd_functions().is_empty());
+    }
+
+    #[test]
+    fn predecessors_computed() {
+        let mut fb = FunctionBuilder::new("g", vec![], Ty::Void);
+        let bb1 = fb.new_block("then");
+        let bb2 = fb.new_block("join");
+        fb.cond_br(true, bb1, bb2);
+        fb.switch_to(bb1);
+        fb.br(bb2);
+        fb.switch_to(bb2);
+        fb.ret(None);
+        let f = fb.finish();
+        let preds = f.predecessors();
+        assert_eq!(preds[&bb2].len(), 2);
+        assert_eq!(preds[&f.entry].len(), 0);
+    }
+
+    #[test]
+    fn iota() {
+        assert_eq!(iota_bits(ScalarTy::I32, 4), vec![0, 1, 2, 3]);
+        assert_eq!(iota_bits(ScalarTy::I8, 3), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,972 @@
+//! Instruction set of the IR.
+//!
+//! The instruction set is the union of what the Parsimony paper's pass
+//! consumes (a scalar LLVM-like subset plus the Parsimony SPMD intrinsics of
+//! §3) and what it produces (architecture-independent vector IR of §4.2.3:
+//! wide arithmetic, packed/gather/scatter memory ops, shuffles, selects and
+//! lane reductions).
+
+use crate::constant::Const;
+use crate::types::ScalarTy;
+use std::fmt;
+
+/// Identifies an instruction within its [`crate::Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstId(pub u32);
+
+/// Identifies a basic block within its [`crate::Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// An SSA operand: either an inline constant, a function parameter, or the
+/// result of another instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// An inline scalar constant.
+    Const(Const),
+    /// The `n`-th function parameter.
+    Param(u32),
+    /// The result of an instruction.
+    Inst(InstId),
+}
+
+impl Value {
+    /// The constant payload, if this operand is a constant.
+    pub fn as_const(self) -> Option<Const> {
+        match self {
+            Value::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The instruction id, if this operand is an instruction result.
+    pub fn as_inst(self) -> Option<InstId> {
+        match self {
+            Value::Inst(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+impl From<Const> for Value {
+    fn from(c: Const) -> Value {
+        Value::Const(c)
+    }
+}
+
+impl From<InstId> for Value {
+    fn from(i: InstId) -> Value {
+        Value::Inst(i)
+    }
+}
+
+/// Two-operand arithmetic/logic operations.
+///
+/// Signedness is encoded in the opcode (LLVM style). The saturating,
+/// averaging and "multiply returning the upper half" forms exist because the
+/// Simd Library kernels (and §7 of the paper) require them; they are exactly
+/// the "important, common operations" the paper argues should become
+/// general-purpose IR constructs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping integer addition.
+    Add,
+    /// Wrapping integer subtraction.
+    Sub,
+    /// Wrapping integer multiplication (low half).
+    Mul,
+    /// Signed division. Traps on division by zero or `MIN / -1`.
+    SDiv,
+    /// Unsigned division. Traps on division by zero.
+    UDiv,
+    /// Signed remainder.
+    SRem,
+    /// Unsigned remainder.
+    URem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left (shift amount taken modulo bit width).
+    Shl,
+    /// Arithmetic (sign-preserving) shift right.
+    AShr,
+    /// Logical shift right.
+    LShr,
+    /// Signed minimum.
+    SMin,
+    /// Signed maximum.
+    SMax,
+    /// Unsigned minimum.
+    UMin,
+    /// Unsigned maximum.
+    UMax,
+    /// Signed saturating addition.
+    AddSatS,
+    /// Unsigned saturating addition.
+    AddSatU,
+    /// Signed saturating subtraction.
+    SubSatS,
+    /// Unsigned saturating subtraction.
+    SubSatU,
+    /// Unsigned rounded average: `(a + b + 1) >> 1` without overflow.
+    AvgU,
+    /// Signed multiply returning the upper half of the double-width product.
+    MulHiS,
+    /// Unsigned multiply returning the upper half of the double-width product.
+    MulHiU,
+    /// Floating-point addition.
+    FAdd,
+    /// Floating-point subtraction.
+    FSub,
+    /// Floating-point multiplication.
+    FMul,
+    /// Floating-point division.
+    FDiv,
+    /// Floating-point remainder.
+    FRem,
+    /// Floating-point minimum (propagates the non-NaN operand).
+    FMin,
+    /// Floating-point maximum (propagates the non-NaN operand).
+    FMax,
+}
+
+impl BinOp {
+    /// Whether the operation acts on floating-point operands.
+    pub fn is_float(self) -> bool {
+        matches!(
+            self,
+            BinOp::FAdd
+                | BinOp::FSub
+                | BinOp::FMul
+                | BinOp::FDiv
+                | BinOp::FRem
+                | BinOp::FMin
+                | BinOp::FMax
+        )
+    }
+
+    /// Whether `a op b == b op a` for all inputs.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::SMin
+                | BinOp::SMax
+                | BinOp::UMin
+                | BinOp::UMax
+                | BinOp::AddSatS
+                | BinOp::AddSatU
+                | BinOp::AvgU
+                | BinOp::MulHiS
+                | BinOp::MulHiU
+                | BinOp::FAdd
+                | BinOp::FMul
+                | BinOp::FMin
+                | BinOp::FMax
+        )
+    }
+
+    /// The textual mnemonic used by the printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::SDiv => "sdiv",
+            BinOp::UDiv => "udiv",
+            BinOp::SRem => "srem",
+            BinOp::URem => "urem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::AShr => "ashr",
+            BinOp::LShr => "lshr",
+            BinOp::SMin => "smin",
+            BinOp::SMax => "smax",
+            BinOp::UMin => "umin",
+            BinOp::UMax => "umax",
+            BinOp::AddSatS => "addsat.s",
+            BinOp::AddSatU => "addsat.u",
+            BinOp::SubSatS => "subsat.s",
+            BinOp::SubSatU => "subsat.u",
+            BinOp::AvgU => "avg.u",
+            BinOp::MulHiS => "mulhi.s",
+            BinOp::MulHiU => "mulhi.u",
+            BinOp::FAdd => "fadd",
+            BinOp::FSub => "fsub",
+            BinOp::FMul => "fmul",
+            BinOp::FDiv => "fdiv",
+            BinOp::FRem => "frem",
+            BinOp::FMin => "fmin",
+            BinOp::FMax => "fmax",
+        }
+    }
+}
+
+/// One-operand operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Bitwise complement.
+    Not,
+    /// Integer negation (two's complement).
+    INeg,
+    /// Integer absolute value (`abs(MIN) == MIN`, wrapping).
+    IAbs,
+    /// Floating-point negation.
+    FNeg,
+    /// Floating-point absolute value.
+    FAbs,
+    /// Floating-point square root.
+    FSqrt,
+    /// Round toward negative infinity.
+    FFloor,
+    /// Round toward positive infinity.
+    FCeil,
+    /// Round to nearest, ties to even.
+    FRound,
+}
+
+impl UnOp {
+    /// The textual mnemonic used by the printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Not => "not",
+            UnOp::INeg => "ineg",
+            UnOp::IAbs => "iabs",
+            UnOp::FNeg => "fneg",
+            UnOp::FAbs => "fabs",
+            UnOp::FSqrt => "fsqrt",
+            UnOp::FFloor => "ffloor",
+            UnOp::FCeil => "fceil",
+            UnOp::FRound => "fround",
+        }
+    }
+}
+
+/// Comparison predicates. Integer predicates come in signed/unsigned pairs;
+/// float predicates are ordered (false if either operand is NaN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpPred {
+    /// Equal (integers, pointers).
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+    /// Signed greater-than.
+    Sgt,
+    /// Signed greater-or-equal.
+    Sge,
+    /// Unsigned less-than.
+    Ult,
+    /// Unsigned less-or-equal.
+    Ule,
+    /// Unsigned greater-than.
+    Ugt,
+    /// Unsigned greater-or-equal.
+    Uge,
+    /// Ordered float equal.
+    FOeq,
+    /// Ordered float not-equal.
+    FOne,
+    /// Ordered float less-than.
+    FOlt,
+    /// Ordered float less-or-equal.
+    FOle,
+    /// Ordered float greater-than.
+    FOgt,
+    /// Ordered float greater-or-equal.
+    FOge,
+}
+
+impl CmpPred {
+    /// Whether this predicate compares floats.
+    pub fn is_float(self) -> bool {
+        matches!(
+            self,
+            CmpPred::FOeq
+                | CmpPred::FOne
+                | CmpPred::FOlt
+                | CmpPred::FOle
+                | CmpPred::FOgt
+                | CmpPred::FOge
+        )
+    }
+
+    /// The predicate with swapped operands (`a < b` ⇔ `b > a`).
+    pub fn swapped(self) -> CmpPred {
+        match self {
+            CmpPred::Eq => CmpPred::Eq,
+            CmpPred::Ne => CmpPred::Ne,
+            CmpPred::Slt => CmpPred::Sgt,
+            CmpPred::Sle => CmpPred::Sge,
+            CmpPred::Sgt => CmpPred::Slt,
+            CmpPred::Sge => CmpPred::Sle,
+            CmpPred::Ult => CmpPred::Ugt,
+            CmpPred::Ule => CmpPred::Uge,
+            CmpPred::Ugt => CmpPred::Ult,
+            CmpPred::Uge => CmpPred::Ule,
+            CmpPred::FOeq => CmpPred::FOeq,
+            CmpPred::FOne => CmpPred::FOne,
+            CmpPred::FOlt => CmpPred::FOgt,
+            CmpPred::FOle => CmpPred::FOge,
+            CmpPred::FOgt => CmpPred::FOlt,
+            CmpPred::FOge => CmpPred::FOle,
+        }
+    }
+
+    /// The textual mnemonic used by the printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpPred::Eq => "eq",
+            CmpPred::Ne => "ne",
+            CmpPred::Slt => "slt",
+            CmpPred::Sle => "sle",
+            CmpPred::Sgt => "sgt",
+            CmpPred::Sge => "sge",
+            CmpPred::Ult => "ult",
+            CmpPred::Ule => "ule",
+            CmpPred::Ugt => "ugt",
+            CmpPred::Uge => "uge",
+            CmpPred::FOeq => "foeq",
+            CmpPred::FOne => "fone",
+            CmpPred::FOlt => "folt",
+            CmpPred::FOle => "fole",
+            CmpPred::FOgt => "fogt",
+            CmpPred::FOge => "foge",
+        }
+    }
+}
+
+/// Conversion (cast) kinds. The destination type is the instruction's result
+/// type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CastKind {
+    /// Zero-extend an integer.
+    Zext,
+    /// Sign-extend an integer.
+    Sext,
+    /// Truncate an integer.
+    Trunc,
+    /// Widen a float (f32 → f64).
+    FpExt,
+    /// Narrow a float (f64 → f32).
+    FpTrunc,
+    /// Signed integer → float.
+    SiToFp,
+    /// Unsigned integer → float.
+    UiToFp,
+    /// Float → signed integer (round toward zero, saturating at the bounds).
+    FpToSi,
+    /// Float → unsigned integer (round toward zero, saturating at the bounds).
+    FpToUi,
+    /// Reinterpret bits between same-width types.
+    Bitcast,
+    /// Pointer → integer.
+    PtrToInt,
+    /// Integer → pointer.
+    IntToPtr,
+}
+
+impl CastKind {
+    /// The textual mnemonic used by the printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CastKind::Zext => "zext",
+            CastKind::Sext => "sext",
+            CastKind::Trunc => "trunc",
+            CastKind::FpExt => "fpext",
+            CastKind::FpTrunc => "fptrunc",
+            CastKind::SiToFp => "sitofp",
+            CastKind::UiToFp => "uitofp",
+            CastKind::FpToSi => "fptosi",
+            CastKind::FpToUi => "fptoui",
+            CastKind::Bitcast => "bitcast",
+            CastKind::PtrToInt => "ptrtoint",
+            CastKind::IntToPtr => "inttoptr",
+        }
+    }
+}
+
+/// Cross-lane reduction operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Sum of lanes (wrapping for ints, sequential for floats).
+    Add,
+    /// Signed minimum across lanes.
+    SMin,
+    /// Signed maximum across lanes.
+    SMax,
+    /// Unsigned minimum across lanes.
+    UMin,
+    /// Unsigned maximum across lanes.
+    UMax,
+    /// Float minimum across lanes.
+    FMin,
+    /// Float maximum across lanes.
+    FMax,
+    /// Bitwise and of lanes.
+    And,
+    /// Bitwise or of lanes.
+    Or,
+    /// Bitwise xor of lanes.
+    Xor,
+}
+
+impl ReduceOp {
+    /// The textual mnemonic used by the printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ReduceOp::Add => "add",
+            ReduceOp::SMin => "smin",
+            ReduceOp::SMax => "smax",
+            ReduceOp::UMin => "umin",
+            ReduceOp::UMax => "umax",
+            ReduceOp::FMin => "fmin",
+            ReduceOp::FMax => "fmax",
+            ReduceOp::And => "and",
+            ReduceOp::Or => "or",
+            ReduceOp::Xor => "xor",
+        }
+    }
+}
+
+/// Transcendental math functions. In scalar SPMD code these appear as
+/// [`Intrinsic::Math`] calls; the vectorizer lowers them to calls into a
+/// vector math library (SLEEF-like or ispc-built-in-like, see the `vmath`
+/// crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MathFn {
+    /// `e^x`
+    Exp,
+    /// Natural logarithm.
+    Log,
+    /// `x^y` (two arguments).
+    Pow,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+    /// Tangent.
+    Tan,
+    /// Arc tangent.
+    Atan,
+    /// Two-argument arc tangent.
+    Atan2,
+    /// `2^x`
+    Exp2,
+    /// Base-2 logarithm.
+    Log2,
+    /// Error-function-free cumulative normal used by Black-Scholes kernels.
+    Cdf,
+}
+
+impl MathFn {
+    /// Number of arguments the function takes.
+    pub fn arity(self) -> usize {
+        match self {
+            MathFn::Pow | MathFn::Atan2 => 2,
+            _ => 1,
+        }
+    }
+
+    /// The name fragment used for vector-library call mangling.
+    pub fn name(self) -> &'static str {
+        match self {
+            MathFn::Exp => "exp",
+            MathFn::Log => "log",
+            MathFn::Pow => "pow",
+            MathFn::Sin => "sin",
+            MathFn::Cos => "cos",
+            MathFn::Tan => "tan",
+            MathFn::Atan => "atan",
+            MathFn::Atan2 => "atan2",
+            MathFn::Exp2 => "exp2",
+            MathFn::Log2 => "log2",
+            MathFn::Cdf => "cdf",
+        }
+    }
+}
+
+/// The Parsimony SPMD intrinsics of §3 of the paper. These appear in
+/// *scalar* SPMD-annotated functions (each conceptual thread calls them) and
+/// are eliminated by the vectorizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// `psim_get_thread_num()` — unique thread id within the SPMD region.
+    ThreadNum,
+    /// `psim_get_gang_num()` — gang index within the SPMD region.
+    GangNum,
+    /// `psim_get_lane_num()` — lane index within the gang (stride-1 indexed).
+    LaneNum,
+    /// `psim_get_num_threads()` — total threads in the region (uniform).
+    NumThreads,
+    /// `psim_get_gang_size()` — compile-time gang size (uniform constant).
+    GangSize,
+    /// `psim_is_head_gang()` — true in the first gang of the region.
+    IsHeadGang,
+    /// `psim_is_tail_gang()` — true in the last gang of the region.
+    IsTailGang,
+    /// `psim_gang_sync()` — execution barrier across the gang.
+    GangSync,
+    /// `psim_shuffle_sync(v, idx)` — any-to-any exchange: each thread
+    /// receives `v` from the thread whose lane number is `idx` (mod gang
+    /// size). Implies a gang sync.
+    Shuffle,
+    /// `psim_broadcast_sync(v, lane)` — every thread receives `v` from the
+    /// given lane. Implies a gang sync.
+    Broadcast,
+    /// `psim_reduce_*_sync(v)` — every thread receives the reduction of `v`
+    /// across the gang. Implies a gang sync.
+    GangReduce(ReduceOp),
+    /// The §7 opaque abstraction over AVX-512 `vpsadbw`: sum of absolute
+    /// differences of 8-bit values in groups of eight lanes; every thread in
+    /// a group of 8 receives the group's 16-bit sum (widened to the result
+    /// type). Implies a gang sync.
+    SadGroups,
+    /// Scalar transcendental math; vectorized into vector-library calls.
+    Math(MathFn),
+    /// Fused multiply-add `a * b + c` (maps to hardware FMA when vectorized).
+    Fma,
+}
+
+impl Intrinsic {
+    /// Whether the intrinsic is *horizontal*: it communicates across the
+    /// gang and therefore acts as a synchronization point (§3).
+    pub fn is_horizontal(self) -> bool {
+        matches!(
+            self,
+            Intrinsic::GangSync
+                | Intrinsic::Shuffle
+                | Intrinsic::Broadcast
+                | Intrinsic::GangReduce(_)
+                | Intrinsic::SadGroups
+        )
+    }
+
+    /// The name used by the printer (mirrors the paper's `psim_*` API).
+    pub fn name(self) -> String {
+        match self {
+            Intrinsic::ThreadNum => "psim.thread_num".into(),
+            Intrinsic::GangNum => "psim.gang_num".into(),
+            Intrinsic::LaneNum => "psim.lane_num".into(),
+            Intrinsic::NumThreads => "psim.num_threads".into(),
+            Intrinsic::GangSize => "psim.gang_size".into(),
+            Intrinsic::IsHeadGang => "psim.is_head_gang".into(),
+            Intrinsic::IsTailGang => "psim.is_tail_gang".into(),
+            Intrinsic::GangSync => "psim.gang_sync".into(),
+            Intrinsic::Shuffle => "psim.shuffle".into(),
+            Intrinsic::Broadcast => "psim.broadcast".into(),
+            Intrinsic::GangReduce(op) => format!("psim.reduce.{}", op.mnemonic()),
+            Intrinsic::SadGroups => "psim.sad_groups".into(),
+            Intrinsic::Math(m) => format!("psim.math.{}", m.name()),
+            Intrinsic::Fma => "psim.fma".into(),
+        }
+    }
+}
+
+/// A non-terminator instruction.
+///
+/// Memory operations are polymorphic over shapes the way §4.2.3 describes:
+/// a [`Inst::Load`] with scalar pointer and scalar result is a plain load;
+/// scalar pointer + vector result is a *packed* load of consecutive lanes;
+/// vector pointer + vector result is a *gather* (and symmetrically for
+/// stores/scatters). The optional mask predicates vector memory ops.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// Two-operand arithmetic/logic. Result type = operand type.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Left operand.
+        a: Value,
+        /// Right operand.
+        b: Value,
+    },
+    /// One-operand arithmetic/logic. Result type = operand type.
+    Un {
+        /// Operation.
+        op: UnOp,
+        /// Operand.
+        a: Value,
+    },
+    /// Comparison producing `i1` (or a vector of `i1`).
+    Cmp {
+        /// Predicate.
+        pred: CmpPred,
+        /// Left operand.
+        a: Value,
+        /// Right operand.
+        b: Value,
+    },
+    /// Conversion; destination type is the instruction's result type.
+    Cast {
+        /// Kind of conversion.
+        kind: CastKind,
+        /// Operand.
+        a: Value,
+    },
+    /// Lane-wise select: `cond ? t : f`. `cond` may be scalar `i1` (whole-
+    /// value select) or a mask vector (per-lane blend).
+    Select {
+        /// Condition (i1 or mask vector).
+        cond: Value,
+        /// Value when true.
+        t: Value,
+        /// Value when false.
+        f: Value,
+    },
+    /// Broadcast a scalar into every lane of the (vector) result type.
+    Splat {
+        /// Scalar operand.
+        a: Value,
+    },
+    /// A vector constant with per-lane payloads (used to materialize the
+    /// compile-time lane offsets of *indexed* shapes).
+    ConstVec {
+        /// Element type.
+        elem: ScalarTy,
+        /// Per-lane raw bits, already truncated to the element width.
+        lanes: Vec<u64>,
+    },
+    /// Extract one lane of a vector as a scalar.
+    Extract {
+        /// Vector operand.
+        v: Value,
+        /// Lane index (scalar integer).
+        lane: Value,
+    },
+    /// Insert a scalar into one lane of a vector.
+    Insert {
+        /// Vector operand.
+        v: Value,
+        /// Lane index (scalar integer).
+        lane: Value,
+        /// Scalar replacement value.
+        x: Value,
+    },
+    /// Shuffle with a compile-time pattern: `result[i] = v[pattern[i]]`.
+    ShuffleConst {
+        /// Vector operand.
+        v: Value,
+        /// One source lane index per result lane.
+        pattern: Vec<u32>,
+    },
+    /// Any-to-any shuffle with runtime indices: `result[i] = v[idx[i] % lanes]`.
+    ShuffleVar {
+        /// Vector operand.
+        v: Value,
+        /// Vector of source lane indices.
+        idx: Value,
+    },
+    /// Load. See the type-driven polymorphism described on [`Inst`].
+    Load {
+        /// Address (scalar ptr, or vector of ptrs for a gather).
+        ptr: Value,
+        /// Optional mask (vector of i1) for vector loads.
+        mask: Option<Value>,
+    },
+    /// Store. See the type-driven polymorphism described on [`Inst`].
+    Store {
+        /// Address (scalar ptr, or vector of ptrs for a scatter).
+        ptr: Value,
+        /// Value to store.
+        val: Value,
+        /// Optional mask (vector of i1) for vector stores.
+        mask: Option<Value>,
+    },
+    /// Stack allocation of `size` bytes; result is a pointer. Must appear in
+    /// the entry block. The vectorizer multiplies the size by the gang size
+    /// (§4.2.3).
+    Alloca {
+        /// Allocation size in bytes.
+        size: Value,
+    },
+    /// Address arithmetic: `base + index * scale` (bytes). A vector `index`
+    /// (or vector `base`) produces a vector of pointers.
+    Gep {
+        /// Base pointer.
+        base: Value,
+        /// Element index.
+        index: Value,
+        /// Byte size of one element.
+        scale: u64,
+    },
+    /// Direct call to a named function (module-local or external, e.g. a
+    /// vector math library routine).
+    Call {
+        /// Symbol name of the callee.
+        callee: String,
+        /// Arguments.
+        args: Vec<Value>,
+    },
+    /// A Parsimony SPMD intrinsic (scalar SPMD code only).
+    Intrin {
+        /// Which intrinsic.
+        kind: Intrinsic,
+        /// Arguments.
+        args: Vec<Value>,
+    },
+    /// SSA φ node.
+    Phi {
+        /// `(predecessor, value)` pairs; must cover every predecessor.
+        incoming: Vec<(BlockId, Value)>,
+    },
+    /// Cross-lane reduction of a vector to a scalar, skipping masked-off
+    /// lanes if a mask is provided.
+    Reduce {
+        /// Reduction operator.
+        op: ReduceOp,
+        /// Vector operand.
+        v: Value,
+        /// Optional mask; inactive lanes contribute the operator's identity.
+        mask: Option<Value>,
+    },
+}
+
+impl Inst {
+    /// All value operands of the instruction, in a fixed order.
+    pub fn operands(&self) -> Vec<Value> {
+        match self {
+            Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => vec![*a, *b],
+            Inst::Un { a, .. } | Inst::Cast { a, .. } | Inst::Splat { a } => vec![*a],
+            Inst::Select { cond, t, f } => vec![*cond, *t, *f],
+            Inst::ConstVec { .. } => vec![],
+            Inst::Extract { v, lane } => vec![*v, *lane],
+            Inst::Insert { v, lane, x } => vec![*v, *lane, *x],
+            Inst::ShuffleConst { v, .. } => vec![*v],
+            Inst::ShuffleVar { v, idx } => vec![*v, *idx],
+            Inst::Load { ptr, mask } => {
+                let mut ops = vec![*ptr];
+                ops.extend(mask.iter().copied());
+                ops
+            }
+            Inst::Store { ptr, val, mask } => {
+                let mut ops = vec![*ptr, *val];
+                ops.extend(mask.iter().copied());
+                ops
+            }
+            Inst::Alloca { size } => vec![*size],
+            Inst::Gep { base, index, .. } => vec![*base, *index],
+            Inst::Call { args, .. } | Inst::Intrin { args, .. } => args.clone(),
+            Inst::Phi { incoming } => incoming.iter().map(|(_, v)| *v).collect(),
+            Inst::Reduce { v, mask, .. } => {
+                let mut ops = vec![*v];
+                ops.extend(mask.iter().copied());
+                ops
+            }
+        }
+    }
+
+    /// Rewrites every operand through `f` (used by transformation passes).
+    pub fn map_operands(&mut self, mut f: impl FnMut(Value) -> Value) {
+        match self {
+            Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => {
+                *a = f(*a);
+                *b = f(*b);
+            }
+            Inst::Un { a, .. } | Inst::Cast { a, .. } | Inst::Splat { a } => *a = f(*a),
+            Inst::Select { cond, t, f: fv } => {
+                *cond = f(*cond);
+                *t = f(*t);
+                *fv = f(*fv);
+            }
+            Inst::ConstVec { .. } => {}
+            Inst::Extract { v, lane } => {
+                *v = f(*v);
+                *lane = f(*lane);
+            }
+            Inst::Insert { v, lane, x } => {
+                *v = f(*v);
+                *lane = f(*lane);
+                *x = f(*x);
+            }
+            Inst::ShuffleConst { v, .. } => *v = f(*v),
+            Inst::ShuffleVar { v, idx } => {
+                *v = f(*v);
+                *idx = f(*idx);
+            }
+            Inst::Load { ptr, mask } => {
+                *ptr = f(*ptr);
+                if let Some(m) = mask {
+                    *m = f(*m);
+                }
+            }
+            Inst::Store { ptr, val, mask } => {
+                *ptr = f(*ptr);
+                *val = f(*val);
+                if let Some(m) = mask {
+                    *m = f(*m);
+                }
+            }
+            Inst::Alloca { size } => *size = f(*size),
+            Inst::Gep { base, index, .. } => {
+                *base = f(*base);
+                *index = f(*index);
+            }
+            Inst::Call { args, .. } | Inst::Intrin { args, .. } => {
+                for a in args {
+                    *a = f(*a);
+                }
+            }
+            Inst::Phi { incoming } => {
+                for (_, v) in incoming {
+                    *v = f(*v);
+                }
+            }
+            Inst::Reduce { v, mask, .. } => {
+                *v = f(*v);
+                if let Some(m) = mask {
+                    *m = f(*m);
+                }
+            }
+        }
+    }
+
+    /// Whether the instruction reads or writes memory (or has other side
+    /// effects that forbid removing or reordering it freely).
+    pub fn has_side_effects(&self) -> bool {
+        matches!(
+            self,
+            Inst::Load { .. }
+                | Inst::Store { .. }
+                | Inst::Call { .. }
+                | Inst::Alloca { .. }
+                | Inst::Intrin {
+                    kind: Intrinsic::GangSync
+                        | Intrinsic::Shuffle
+                        | Intrinsic::Broadcast
+                        | Intrinsic::GangReduce(_)
+                        | Intrinsic::SadGroups,
+                    ..
+                }
+        )
+    }
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Two-way conditional branch on a scalar `i1`.
+    CondBr {
+        /// Scalar condition.
+        cond: Value,
+        /// Target when true.
+        then_bb: BlockId,
+        /// Target when false.
+        else_bb: BlockId,
+    },
+    /// Function return with optional value.
+    Ret(Option<Value>),
+}
+
+impl Terminator {
+    /// The blocks this terminator can branch to.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Br(b) => vec![*b],
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::Ret(_) => vec![],
+        }
+    }
+
+    /// Rewrites successor block ids through `f`.
+    pub fn map_successors(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
+        match self {
+            Terminator::Br(b) => *b = f(*b),
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => {
+                *then_bb = f(*then_bb);
+                *else_bb = f(*else_bb);
+            }
+            Terminator::Ret(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_listing_and_mapping() {
+        let mut i = Inst::Bin {
+            op: BinOp::Add,
+            a: Value::Param(0),
+            b: Value::Const(Const::i32(3)),
+        };
+        assert_eq!(i.operands().len(), 2);
+        i.map_operands(|v| match v {
+            Value::Param(0) => Value::Param(1),
+            other => other,
+        });
+        assert_eq!(i.operands()[0], Value::Param(1));
+    }
+
+    #[test]
+    fn horizontal_intrinsics_are_side_effecting() {
+        let sync = Inst::Intrin {
+            kind: Intrinsic::GangSync,
+            args: vec![],
+        };
+        assert!(sync.has_side_effects());
+        let lane = Inst::Intrin {
+            kind: Intrinsic::LaneNum,
+            args: vec![],
+        };
+        assert!(!lane.has_side_effects());
+        assert!(Intrinsic::Shuffle.is_horizontal());
+        assert!(!Intrinsic::LaneNum.is_horizontal());
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator::CondBr {
+            cond: Value::Param(0),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        assert_eq!(t.successors(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(Terminator::Ret(None).successors(), vec![]);
+    }
+
+    #[test]
+    fn swapped_predicates_are_involutive() {
+        for p in [
+            CmpPred::Eq,
+            CmpPred::Slt,
+            CmpPred::Ule,
+            CmpPred::FOgt,
+            CmpPred::Sge,
+        ] {
+            assert_eq!(p.swapped().swapped(), p);
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! Pure scalar evaluation semantics for IR operations.
+//!
+//! These functions define what each opcode *means* on raw 64-bit payloads
+//! (see [`crate::Const`] for the encoding). They are shared by the plain
+//! interpreter and by the SPMD reference executor in the `parsimony` crate,
+//! so both execution paths agree bit-for-bit by construction.
+
+use crate::inst::{BinOp, CastKind, CmpPred, MathFn, ReduceOp, UnOp};
+use crate::types::ScalarTy;
+use std::error::Error;
+use std::fmt;
+
+/// A runtime trap raised during evaluation or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Integer division by zero (or `MIN / -1` overflow).
+    DivByZero,
+    /// A memory access outside the allocated flat memory.
+    OutOfBounds {
+        /// Faulting address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u64,
+    },
+    /// Call target not found in the module or the extern handler.
+    UnknownFunction(String),
+    /// An SPMD intrinsic reached the plain interpreter (it should have been
+    /// eliminated by the vectorizer or handled by the SPMD reference
+    /// executor).
+    SpmdIntrinsic(String),
+    /// The configured step budget was exhausted (runaway loop guard).
+    StepLimit,
+    /// Anything else (malformed IR reaching execution, arity errors, …).
+    Other(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::DivByZero => write!(f, "integer division by zero"),
+            ExecError::OutOfBounds { addr, size } => {
+                write!(f, "out-of-bounds access of {size} bytes at {addr:#x}")
+            }
+            ExecError::UnknownFunction(n) => write!(f, "unknown function @{n}"),
+            ExecError::SpmdIntrinsic(n) => {
+                write!(f, "SPMD intrinsic {n} outside an SPMD execution context")
+            }
+            ExecError::StepLimit => write!(f, "step limit exhausted"),
+            ExecError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// Sign-extends the payload of `ty` to `i64`.
+pub fn sext(ty: ScalarTy, bits: u64) -> i64 {
+    let w = ty.bits();
+    if w == 64 {
+        bits as i64
+    } else {
+        let sh = 64 - w;
+        ((bits << sh) as i64) >> sh
+    }
+}
+
+/// Truncates an `i64`/`u64` result back to the payload width of `ty`.
+pub fn trunc(ty: ScalarTy, v: u64) -> u64 {
+    v & ty.bit_mask()
+}
+
+fn f32_of(bits: u64) -> f32 {
+    f32::from_bits(bits as u32)
+}
+
+fn f64_of(bits: u64) -> f64 {
+    f64::from_bits(bits)
+}
+
+fn f32_bits(v: f32) -> u64 {
+    v.to_bits() as u64
+}
+
+fn f64_bits(v: f64) -> u64 {
+    v.to_bits()
+}
+
+/// Applies a binary operation on payloads of type `ty`.
+///
+/// # Errors
+/// Returns [`ExecError::DivByZero`] for division/remainder by zero and for
+/// the overflowing `MIN / -1` case.
+pub fn eval_bin(op: BinOp, ty: ScalarTy, a: u64, b: u64) -> Result<u64, ExecError> {
+    use BinOp::*;
+    if op.is_float() {
+        let r = match ty {
+            ScalarTy::F32 => {
+                let (x, y) = (f32_of(a), f32_of(b));
+                f32_bits(match op {
+                    FAdd => x + y,
+                    FSub => x - y,
+                    FMul => x * y,
+                    FDiv => x / y,
+                    FRem => x % y,
+                    FMin => x.min(y),
+                    FMax => x.max(y),
+                    _ => unreachable!(),
+                })
+            }
+            ScalarTy::F64 => {
+                let (x, y) = (f64_of(a), f64_of(b));
+                f64_bits(match op {
+                    FAdd => x + y,
+                    FSub => x - y,
+                    FMul => x * y,
+                    FDiv => x / y,
+                    FRem => x % y,
+                    FMin => x.min(y),
+                    FMax => x.max(y),
+                    _ => unreachable!(),
+                })
+            }
+            other => {
+                return Err(ExecError::Other(format!(
+                    "float op {} on {other}",
+                    op.mnemonic()
+                )))
+            }
+        };
+        return Ok(r);
+    }
+
+    let w = ty.bits();
+    let sa = sext(ty, a);
+    let sb = sext(ty, b);
+    let ua = a;
+    let ub = b;
+    let r: u64 = match op {
+        Add => (ua.wrapping_add(ub)) & ty.bit_mask(),
+        Sub => (ua.wrapping_sub(ub)) & ty.bit_mask(),
+        Mul => (ua.wrapping_mul(ub)) & ty.bit_mask(),
+        SDiv => {
+            if sb == 0 || (sa == sext(ty, 1u64 << (w - 1)) && sb == -1) {
+                return Err(ExecError::DivByZero);
+            }
+            trunc(ty, (sa / sb) as u64)
+        }
+        UDiv => {
+            if ub == 0 {
+                return Err(ExecError::DivByZero);
+            }
+            ua / ub
+        }
+        SRem => {
+            if sb == 0 {
+                return Err(ExecError::DivByZero);
+            }
+            trunc(ty, (sa % sb) as u64)
+        }
+        URem => {
+            if ub == 0 {
+                return Err(ExecError::DivByZero);
+            }
+            ua % ub
+        }
+        And => ua & ub,
+        Or => ua | ub,
+        Xor => ua ^ ub,
+        Shl => trunc(ty, ua << (ub % w as u64)),
+        LShr => ua >> (ub % w as u64),
+        AShr => trunc(ty, (sa >> (ub % w as u64)) as u64),
+        SMin => {
+            if sa <= sb {
+                ua
+            } else {
+                ub
+            }
+        }
+        SMax => {
+            if sa >= sb {
+                ua
+            } else {
+                ub
+            }
+        }
+        UMin => ua.min(ub),
+        UMax => ua.max(ub),
+        AddSatS => {
+            let max = (1i64 << (w - 1)) - 1;
+            let min = -(1i64 << (w - 1));
+            trunc(ty, (sa + sb).clamp(min, max) as u64)
+        }
+        SubSatS => {
+            let max = (1i64 << (w - 1)) - 1;
+            let min = -(1i64 << (w - 1));
+            trunc(ty, (sa - sb).clamp(min, max) as u64)
+        }
+        AddSatU => {
+            let s = (ua as u128) + (ub as u128);
+            let cap = ty.bit_mask() as u128;
+            (s.min(cap)) as u64
+        }
+        SubSatU => ua.saturating_sub(ub),
+        AvgU => {
+            let s = (ua as u128 + ub as u128 + 1) >> 1;
+            trunc(ty, s as u64)
+        }
+        MulHiS => {
+            let p = (sa as i128) * (sb as i128);
+            trunc(ty, (p >> w) as u64)
+        }
+        MulHiU => {
+            let p = (ua as u128) * (ub as u128);
+            trunc(ty, (p >> w) as u64)
+        }
+        FAdd | FSub | FMul | FDiv | FRem | FMin | FMax => unreachable!(),
+    };
+    Ok(r)
+}
+
+/// Applies a unary operation on a payload of type `ty`.
+pub fn eval_un(op: UnOp, ty: ScalarTy, a: u64) -> Result<u64, ExecError> {
+    use UnOp::*;
+    let r = match op {
+        Not => trunc(ty, !a),
+        INeg => trunc(ty, (a as i64).wrapping_neg() as u64),
+        IAbs => trunc(ty, sext(ty, a).wrapping_abs() as u64),
+        FNeg => match ty {
+            ScalarTy::F32 => f32_bits(-f32_of(a)),
+            ScalarTy::F64 => f64_bits(-f64_of(a)),
+            other => return Err(ExecError::Other(format!("fneg on {other}"))),
+        },
+        FAbs => match ty {
+            ScalarTy::F32 => f32_bits(f32_of(a).abs()),
+            ScalarTy::F64 => f64_bits(f64_of(a).abs()),
+            other => return Err(ExecError::Other(format!("fabs on {other}"))),
+        },
+        FSqrt => match ty {
+            ScalarTy::F32 => f32_bits(f32_of(a).sqrt()),
+            ScalarTy::F64 => f64_bits(f64_of(a).sqrt()),
+            other => return Err(ExecError::Other(format!("fsqrt on {other}"))),
+        },
+        FFloor => match ty {
+            ScalarTy::F32 => f32_bits(f32_of(a).floor()),
+            ScalarTy::F64 => f64_bits(f64_of(a).floor()),
+            other => return Err(ExecError::Other(format!("ffloor on {other}"))),
+        },
+        FCeil => match ty {
+            ScalarTy::F32 => f32_bits(f32_of(a).ceil()),
+            ScalarTy::F64 => f64_bits(f64_of(a).ceil()),
+            other => return Err(ExecError::Other(format!("fceil on {other}"))),
+        },
+        FRound => match ty {
+            ScalarTy::F32 => f32_bits(f32_of(a).round_ties_even()),
+            ScalarTy::F64 => f64_bits(f64_of(a).round_ties_even()),
+            other => return Err(ExecError::Other(format!("fround on {other}"))),
+        },
+    };
+    Ok(r)
+}
+
+/// Evaluates a comparison on payloads of type `ty`.
+pub fn eval_cmp(pred: CmpPred, ty: ScalarTy, a: u64, b: u64) -> bool {
+    use CmpPred::*;
+    match pred {
+        Eq => a == b,
+        Ne => a != b,
+        Slt => sext(ty, a) < sext(ty, b),
+        Sle => sext(ty, a) <= sext(ty, b),
+        Sgt => sext(ty, a) > sext(ty, b),
+        Sge => sext(ty, a) >= sext(ty, b),
+        Ult => a < b,
+        Ule => a <= b,
+        Ugt => a > b,
+        Uge => a >= b,
+        FOeq | FOne | FOlt | FOle | FOgt | FOge => {
+            let (x, y) = match ty {
+                ScalarTy::F32 => (f32_of(a) as f64, f32_of(b) as f64),
+                ScalarTy::F64 => (f64_of(a), f64_of(b)),
+                _ => return false,
+            };
+            if x.is_nan() || y.is_nan() {
+                return false;
+            }
+            match pred {
+                FOeq => x == y,
+                FOne => x != y,
+                FOlt => x < y,
+                FOle => x <= y,
+                FOgt => x > y,
+                FOge => x >= y,
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Evaluates a conversion from `from` to `to`.
+pub fn eval_cast(kind: CastKind, from: ScalarTy, to: ScalarTy, a: u64) -> u64 {
+    use CastKind::*;
+    match kind {
+        Zext | Trunc | Bitcast | PtrToInt | IntToPtr => trunc(to, a),
+        Sext => trunc(to, sext(from, a) as u64),
+        FpExt => f64_bits(f32_of(a) as f64),
+        FpTrunc => f32_bits(f64_of(a) as f32),
+        SiToFp => {
+            let v = sext(from, a);
+            match to {
+                ScalarTy::F32 => f32_bits(v as f32),
+                _ => f64_bits(v as f64),
+            }
+        }
+        UiToFp => match to {
+            ScalarTy::F32 => f32_bits(a as f32),
+            _ => f64_bits(a as f64),
+        },
+        FpToSi => {
+            let v = match from {
+                ScalarTy::F32 => f32_of(a) as f64,
+                _ => f64_of(a),
+            };
+            let w = to.bits();
+            let max = ((1i128 << (w - 1)) - 1) as f64;
+            let min = -((1i128 << (w - 1)) as f64);
+            let clamped = if v.is_nan() { 0.0 } else { v.clamp(min, max) };
+            trunc(to, (clamped as i64) as u64)
+        }
+        FpToUi => {
+            let v = match from {
+                ScalarTy::F32 => f32_of(a) as f64,
+                _ => f64_of(a),
+            };
+            let max = if to.bits() == 64 {
+                u64::MAX as f64
+            } else {
+                to.bit_mask() as f64
+            };
+            let clamped = if v.is_nan() { 0.0 } else { v.clamp(0.0, max) };
+            trunc(to, clamped as u64)
+        }
+    }
+}
+
+/// The identity element of a reduction over `ty`.
+pub fn reduce_identity(op: ReduceOp, ty: ScalarTy) -> u64 {
+    use ReduceOp::*;
+    match op {
+        Add | Or | Xor => 0,
+        And => ty.bit_mask(),
+        UMin => ty.bit_mask(),
+        UMax => 0,
+        SMin => trunc(ty, (1u64 << (ty.bits() - 1)).wrapping_sub(1)), // MAX
+        SMax => trunc(ty, 1u64 << (ty.bits() - 1)),                   // MIN
+        FMin => match ty {
+            ScalarTy::F32 => f32_bits(f32::INFINITY),
+            _ => f64_bits(f64::INFINITY),
+        },
+        FMax => match ty {
+            ScalarTy::F32 => f32_bits(f32::NEG_INFINITY),
+            _ => f64_bits(f64::NEG_INFINITY),
+        },
+    }
+}
+
+/// Folds one element into a reduction accumulator.
+pub fn reduce_step(op: ReduceOp, ty: ScalarTy, acc: u64, x: u64) -> u64 {
+    use ReduceOp::*;
+    let bin = match op {
+        Add => {
+            if ty.is_float() {
+                BinOp::FAdd
+            } else {
+                BinOp::Add
+            }
+        }
+        SMin => BinOp::SMin,
+        SMax => BinOp::SMax,
+        UMin => BinOp::UMin,
+        UMax => BinOp::UMax,
+        FMin => BinOp::FMin,
+        FMax => BinOp::FMax,
+        And => BinOp::And,
+        Or => BinOp::Or,
+        Xor => BinOp::Xor,
+    };
+    eval_bin(bin, ty, acc, x).expect("reduction ops cannot trap")
+}
+
+/// Scalar reference semantics of the math intrinsics (IEEE via Rust's
+/// standard library). The `vmath` crate's vector libraries are validated
+/// against these.
+pub fn eval_math(f: MathFn, ty: ScalarTy, args: &[u64]) -> Result<u64, ExecError> {
+    if args.len() != f.arity() {
+        return Err(ExecError::Other(format!(
+            "math.{} expects {} args, got {}",
+            f.name(),
+            f.arity(),
+            args.len()
+        )));
+    }
+    /// Φ(x): standard normal CDF via Abramowitz–Stegun 7.1.26 erf
+    /// approximation (the form Black–Scholes reference kernels use).
+    fn cdf(x: f64) -> f64 {
+        let k = 1.0 / (1.0 + 0.2316419 * x.abs());
+        let poly = k
+            * (0.319381530
+                + k * (-0.356563782 + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))));
+        let approx = 1.0 - (-x * x / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt() * poly;
+        if x >= 0.0 {
+            approx
+        } else {
+            1.0 - approx
+        }
+    }
+    let apply64 = |a: f64, b: f64| -> f64 {
+        match f {
+            MathFn::Exp => a.exp(),
+            MathFn::Log => a.ln(),
+            MathFn::Pow => a.powf(b),
+            MathFn::Sin => a.sin(),
+            MathFn::Cos => a.cos(),
+            MathFn::Tan => a.tan(),
+            MathFn::Atan => a.atan(),
+            MathFn::Atan2 => a.atan2(b),
+            MathFn::Exp2 => a.exp2(),
+            MathFn::Log2 => a.log2(),
+            MathFn::Cdf => cdf(a),
+        }
+    };
+    match ty {
+        ScalarTy::F32 => {
+            let a = f32_of(args[0]);
+            let b = args.get(1).map(|&x| f32_of(x)).unwrap_or(0.0);
+            // Compute in f32 to match what a vector library would produce.
+            let r = match f {
+                MathFn::Exp => a.exp(),
+                MathFn::Log => a.ln(),
+                MathFn::Pow => a.powf(b),
+                MathFn::Sin => a.sin(),
+                MathFn::Cos => a.cos(),
+                MathFn::Tan => a.tan(),
+                MathFn::Atan => a.atan(),
+                MathFn::Atan2 => a.atan2(b),
+                MathFn::Exp2 => a.exp2(),
+                MathFn::Log2 => a.log2(),
+                MathFn::Cdf => cdf(a as f64) as f32,
+            };
+            Ok(f32_bits(r))
+        }
+        ScalarTy::F64 => {
+            let a = f64_of(args[0]);
+            let b = args.get(1).map(|&x| f64_of(x)).unwrap_or(0.0);
+            Ok(f64_bits(apply64(a, b)))
+        }
+        other => Err(ExecError::Other(format!("math on {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_and_signed_ops() {
+        assert_eq!(eval_bin(BinOp::Add, ScalarTy::I8, 0xff, 1).unwrap(), 0);
+        assert_eq!(
+            eval_bin(BinOp::Sub, ScalarTy::I8, 0, 1).unwrap(),
+            0xff
+        );
+        assert_eq!(
+            sext(ScalarTy::I8, eval_bin(BinOp::SDiv, ScalarTy::I8, 0xf6, 3).unwrap()),
+            -3 // -10 / 3
+        );
+        assert!(matches!(
+            eval_bin(BinOp::SDiv, ScalarTy::I32, 5, 0),
+            Err(ExecError::DivByZero)
+        ));
+        // MIN / -1 overflows.
+        assert!(matches!(
+            eval_bin(BinOp::SDiv, ScalarTy::I8, 0x80, 0xff),
+            Err(ExecError::DivByZero)
+        ));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(eval_bin(BinOp::AddSatU, ScalarTy::I8, 200, 100).unwrap(), 255);
+        assert_eq!(eval_bin(BinOp::SubSatU, ScalarTy::I8, 10, 20).unwrap(), 0);
+        assert_eq!(
+            sext(ScalarTy::I8, eval_bin(BinOp::AddSatS, ScalarTy::I8, 100, 100).unwrap()),
+            127
+        );
+        assert_eq!(
+            sext(ScalarTy::I8, eval_bin(BinOp::SubSatS, ScalarTy::I8, 0x80, 1).unwrap()),
+            -128
+        );
+    }
+
+    #[test]
+    fn avg_and_mulhi() {
+        assert_eq!(eval_bin(BinOp::AvgU, ScalarTy::I8, 10, 13).unwrap(), 12);
+        assert_eq!(eval_bin(BinOp::AvgU, ScalarTy::I8, 255, 255).unwrap(), 255);
+        assert_eq!(
+            eval_bin(BinOp::MulHiU, ScalarTy::I16, 0xffff, 0xffff).unwrap(),
+            0xfffe
+        );
+        assert_eq!(
+            sext(ScalarTy::I16, eval_bin(BinOp::MulHiS, ScalarTy::I16, 0x8000, 2).unwrap()),
+            -1
+        );
+    }
+
+    #[test]
+    fn float_ops_and_cmp() {
+        fn bits32(v: f32) -> u64 {
+            v.to_bits() as u64
+        }
+        let a = bits32(3.0);
+        let b = bits32(4.0);
+        assert_eq!(
+            f32::from_bits(eval_bin(BinOp::FAdd, ScalarTy::F32, a, b).unwrap() as u32),
+            7.0
+        );
+        assert!(eval_cmp(CmpPred::FOlt, ScalarTy::F32, a, b));
+        let nan = bits32(f32::NAN);
+        assert!(!eval_cmp(CmpPred::FOeq, ScalarTy::F32, nan, nan));
+        assert!(!eval_cmp(CmpPred::FOlt, ScalarTy::F32, nan, b));
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(eval_cast(CastKind::Sext, ScalarTy::I8, ScalarTy::I32, 0xff), 0xffff_ffff);
+        assert_eq!(eval_cast(CastKind::Zext, ScalarTy::I8, ScalarTy::I32, 0xff), 0xff);
+        assert_eq!(eval_cast(CastKind::Trunc, ScalarTy::I32, ScalarTy::I8, 0x1234), 0x34);
+        let f = eval_cast(CastKind::SiToFp, ScalarTy::I32, ScalarTy::F32, (-3i32) as u32 as u64);
+        assert_eq!(f32::from_bits(f as u32), -3.0);
+        // Saturating fptosi.
+        let big = (1e10f32).to_bits() as u64;
+        assert_eq!(
+            sext(ScalarTy::I32, eval_cast(CastKind::FpToSi, ScalarTy::F32, ScalarTy::I32, big)),
+            i32::MAX as i64
+        );
+        let neg = (-5.9f32).to_bits() as u64;
+        assert_eq!(
+            sext(ScalarTy::I32, eval_cast(CastKind::FpToSi, ScalarTy::F32, ScalarTy::I32, neg)),
+            -5
+        );
+        assert_eq!(eval_cast(CastKind::FpToUi, ScalarTy::F32, ScalarTy::I8, neg), 0);
+    }
+
+    #[test]
+    fn reductions() {
+        // max over i8 with signed values
+        let xs = [5u64, 0xfe, 7, 3]; // 5, -2, 7, 3
+        let mut acc = reduce_identity(ReduceOp::SMax, ScalarTy::I8);
+        for &x in &xs {
+            acc = reduce_step(ReduceOp::SMax, ScalarTy::I8, acc, x);
+        }
+        assert_eq!(sext(ScalarTy::I8, acc), 7);
+        let mut sum = reduce_identity(ReduceOp::Add, ScalarTy::I8);
+        for &x in &xs {
+            sum = reduce_step(ReduceOp::Add, ScalarTy::I8, sum, x);
+        }
+        assert_eq!(sext(ScalarTy::I8, sum), 13);
+    }
+
+    #[test]
+    fn math_reference() {
+        let x = (2.0f32).to_bits() as u64;
+        let y = (10.0f32).to_bits() as u64;
+        let p = eval_math(MathFn::Pow, ScalarTy::F32, &[x, y]).unwrap();
+        assert!((f32::from_bits(p as u32) - 1024.0).abs() < 1e-2);
+        let c = eval_math(MathFn::Cdf, ScalarTy::F64, &[0f64.to_bits()]).unwrap();
+        assert!((f64::from_bits(c) - 0.5).abs() < 1e-6);
+    }
+}

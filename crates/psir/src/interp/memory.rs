@@ -1,0 +1,159 @@
+//! Flat byte-addressed memory for the virtual machine.
+//!
+//! Addresses are plain `u64` offsets; address 0 is reserved so that null
+//! pointers always fault. Allocation is a bump allocator — kernels in this
+//! workspace allocate buffers up front and run to completion, so there is no
+//! free list.
+
+use super::eval::ExecError;
+use crate::types::ScalarTy;
+
+/// Flat little-endian memory.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    brk: u64,
+}
+
+impl Memory {
+    /// Creates a memory of `capacity` bytes. The first 64 bytes are reserved
+    /// (so address 0 is never handed out).
+    pub fn new(capacity: usize) -> Memory {
+        Memory {
+            bytes: vec![0; capacity],
+            brk: 64,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Bump-allocates `size` bytes aligned to `align`.
+    ///
+    /// # Errors
+    /// Returns [`ExecError::OutOfBounds`] when capacity is exhausted.
+    pub fn alloc(&mut self, size: u64, align: u64) -> Result<u64, ExecError> {
+        let align = align.max(1);
+        let addr = (self.brk + align - 1) / align * align;
+        let end = addr.checked_add(size).ok_or(ExecError::OutOfBounds {
+            addr: self.brk,
+            size,
+        })?;
+        if end > self.bytes.len() as u64 {
+            return Err(ExecError::OutOfBounds { addr, size });
+        }
+        self.brk = end;
+        Ok(addr)
+    }
+
+    fn check(&self, addr: u64, size: u64) -> Result<(), ExecError> {
+        if addr == 0 || addr.checked_add(size).map_or(true, |e| e > self.bytes.len() as u64) {
+            Err(ExecError::OutOfBounds { addr, size })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Loads a scalar of type `ty` from `addr`, returning its raw payload.
+    ///
+    /// # Errors
+    /// Returns [`ExecError::OutOfBounds`] on a bad address.
+    pub fn load_scalar(&self, ty: ScalarTy, addr: u64) -> Result<u64, ExecError> {
+        let size = ty.size_bytes();
+        self.check(addr, size)?;
+        let mut buf = [0u8; 8];
+        buf[..size as usize].copy_from_slice(&self.bytes[addr as usize..(addr + size) as usize]);
+        let raw = u64::from_le_bytes(buf);
+        Ok(raw & ty.bit_mask())
+    }
+
+    /// Stores a scalar payload of type `ty` at `addr`.
+    ///
+    /// # Errors
+    /// Returns [`ExecError::OutOfBounds`] on a bad address.
+    pub fn store_scalar(&mut self, ty: ScalarTy, addr: u64, bits: u64) -> Result<(), ExecError> {
+        let size = ty.size_bytes();
+        self.check(addr, size)?;
+        let stored = if ty == ScalarTy::I1 { bits & 1 } else { bits & ty.bit_mask() };
+        let buf = stored.to_le_bytes();
+        self.bytes[addr as usize..(addr + size) as usize].copy_from_slice(&buf[..size as usize]);
+        Ok(())
+    }
+
+    /// Copies a byte slice into memory (workload setup).
+    ///
+    /// # Errors
+    /// Returns [`ExecError::OutOfBounds`] on a bad range.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), ExecError> {
+        self.check(addr, data.len() as u64)?;
+        self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads a byte slice out of memory (result extraction).
+    ///
+    /// # Errors
+    /// Returns [`ExecError::OutOfBounds`] on a bad range.
+    pub fn read_bytes(&self, addr: u64, len: u64) -> Result<&[u8], ExecError> {
+        self.check(addr, len)?;
+        Ok(&self.bytes[addr as usize..(addr + len) as usize])
+    }
+
+    /// Convenience: allocate and fill a typed buffer of `T: AsLeBytes`
+    /// elements; returns the base address.
+    ///
+    /// # Errors
+    /// Returns [`ExecError::OutOfBounds`] when capacity is exhausted.
+    pub fn alloc_bytes(&mut self, data: &[u8], align: u64) -> Result<u64, ExecError> {
+        let addr = self.alloc(data.len() as u64, align)?;
+        self.write_bytes(addr, data)?;
+        Ok(addr)
+    }
+}
+
+impl Default for Memory {
+    /// A 64 MiB memory, enough for all suite workloads.
+    fn default() -> Memory {
+        Memory::new(64 << 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_nonzero() {
+        let mut m = Memory::new(1024);
+        let a = m.alloc(10, 16).unwrap();
+        assert_eq!(a % 16, 0);
+        assert_ne!(a, 0);
+        let b = m.alloc(8, 8).unwrap();
+        assert!(b >= a + 10);
+    }
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut m = Memory::new(1024);
+        let a = m.alloc(64, 64).unwrap();
+        m.store_scalar(ScalarTy::I8, a, 0x1ff).unwrap();
+        assert_eq!(m.load_scalar(ScalarTy::I8, a).unwrap(), 0xff);
+        m.store_scalar(ScalarTy::F32, a + 4, (1.5f32).to_bits() as u64).unwrap();
+        assert_eq!(
+            f32::from_bits(m.load_scalar(ScalarTy::F32, a + 4).unwrap() as u32),
+            1.5
+        );
+        m.store_scalar(ScalarTy::I64, a + 8, u64::MAX).unwrap();
+        assert_eq!(m.load_scalar(ScalarTy::I64, a + 8).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn null_and_oob_fault() {
+        let mut m = Memory::new(128);
+        assert!(m.load_scalar(ScalarTy::I32, 0).is_err());
+        assert!(m.store_scalar(ScalarTy::I32, 126, 1).is_err());
+        assert!(m.alloc(1 << 40, 1).is_err());
+    }
+}

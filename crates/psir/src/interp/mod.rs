@@ -1,0 +1,839 @@
+//! IR interpreter with pluggable cost model.
+//!
+//! The interpreter is the reproduction's stand-in for running compiled code
+//! on AVX-512 hardware: it executes any (scalar or vector) `psir` function
+//! over a flat [`Memory`] and charges cycles for every executed instruction
+//! through a [`CostModel`] — the `vmach` crate supplies the calibrated
+//! AVX-512-class model; [`UnitCost`] charges one cycle per operation.
+
+mod eval;
+mod memory;
+
+pub use eval::{
+    eval_bin, eval_cast, eval_cmp, eval_math, eval_un, reduce_identity, reduce_step, sext, trunc,
+    ExecError,
+};
+pub use memory::Memory;
+
+use crate::function::{Function, Module};
+use crate::inst::{BlockId, Inst, InstId, Intrinsic, Terminator, Value};
+use crate::types::{ScalarTy, Ty};
+use std::collections::HashMap;
+
+/// A runtime value: raw payload bits, scalar or per-lane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtVal {
+    /// No value (void results).
+    Unit,
+    /// A scalar payload (see [`crate::Const`] for the encoding).
+    S(u64),
+    /// A vector of per-lane payloads.
+    V(Vec<u64>),
+}
+
+impl RtVal {
+    /// The scalar payload.
+    ///
+    /// # Errors
+    /// Fails if this is not a scalar.
+    pub fn scalar(&self) -> Result<u64, ExecError> {
+        match self {
+            RtVal::S(v) => Ok(*v),
+            other => Err(ExecError::Other(format!("expected scalar, got {other:?}"))),
+        }
+    }
+
+    /// The per-lane payloads.
+    ///
+    /// # Errors
+    /// Fails if this is not a vector.
+    pub fn vector(&self) -> Result<&[u64], ExecError> {
+        match self {
+            RtVal::V(v) => Ok(v),
+            other => Err(ExecError::Other(format!("expected vector, got {other:?}"))),
+        }
+    }
+
+    /// Builds a scalar from an `i64`.
+    pub fn from_i64(ty: ScalarTy, v: i64) -> RtVal {
+        RtVal::S(v as u64 & ty.bit_mask())
+    }
+
+    /// Builds a scalar from an `f32`.
+    pub fn from_f32(v: f32) -> RtVal {
+        RtVal::S(v.to_bits() as u64)
+    }
+
+    /// Builds a scalar from an `f64`.
+    pub fn from_f64(v: f64) -> RtVal {
+        RtVal::S(v.to_bits())
+    }
+
+    /// Lane payloads of a mask as booleans.
+    ///
+    /// # Errors
+    /// Fails if this is not a vector.
+    pub fn mask_lanes(&self) -> Result<Vec<bool>, ExecError> {
+        Ok(self.vector()?.iter().map(|&b| b & 1 != 0).collect())
+    }
+}
+
+/// Charges simulated cycles for executed operations.
+///
+/// The interpreter calls [`CostModel::inst_cost`] once per dynamically
+/// executed instruction. Implementations can inspect the instruction and the
+/// types of its operands via the owning function (this is how `vmach`
+/// legalizes gang-width vectors onto 512-bit registers and charges
+/// per-lane costs for gathers/scatters).
+pub trait CostModel {
+    /// Cycles for one dynamic execution of `id` in `f`.
+    fn inst_cost(&self, f: &Function, id: InstId) -> u64;
+
+    /// Cycles for a call to an external (library) function.
+    fn extern_call_cost(&self, name: &str, ret: Ty) -> u64;
+
+    /// Cycles charged per executed terminator (branch).
+    fn term_cost(&self, _f: &Function, _term: &Terminator) -> u64 {
+        1
+    }
+}
+
+/// Charges one cycle for everything (useful for functional tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnitCost;
+
+impl CostModel for UnitCost {
+    fn inst_cost(&self, _f: &Function, _id: InstId) -> u64 {
+        1
+    }
+
+    fn extern_call_cost(&self, _name: &str, _ret: Ty) -> u64 {
+        1
+    }
+}
+
+/// Resolves calls to functions that are not defined in the module (vector
+/// math libraries, test hooks).
+pub trait ExternFns {
+    /// Executes the named external function.
+    ///
+    /// # Errors
+    /// Returns [`ExecError::UnknownFunction`] for unknown names.
+    fn call(&self, name: &str, args: &[RtVal]) -> Result<RtVal, ExecError>;
+}
+
+/// An extern resolver that knows no functions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoExterns;
+
+impl ExternFns for NoExterns {
+    fn call(&self, name: &str, _args: &[RtVal]) -> Result<RtVal, ExecError> {
+        Err(ExecError::UnknownFunction(name.to_string()))
+    }
+}
+
+/// Dynamic execution statistics, used by tests and the experiment harnesses
+/// to explain *why* a configuration is fast or slow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Dynamically executed instructions.
+    pub insts: u64,
+    /// Scalar loads.
+    pub scalar_loads: u64,
+    /// Packed (consecutive) vector loads.
+    pub packed_loads: u64,
+    /// Gathers (vector of addresses).
+    pub gathers: u64,
+    /// Scalar stores.
+    pub scalar_stores: u64,
+    /// Packed vector stores.
+    pub packed_stores: u64,
+    /// Scatters.
+    pub scatters: u64,
+    /// Calls executed (module-local and external).
+    pub calls: u64,
+}
+
+/// The interpreter. See the module docs.
+pub struct Interp<'a> {
+    /// The module being executed.
+    pub module: &'a Module,
+    /// Flat memory (inputs/outputs live here).
+    pub mem: Memory,
+    cost: &'a dyn CostModel,
+    externs: &'a dyn ExternFns,
+    /// Simulated cycles accumulated so far.
+    pub cycles: u64,
+    /// Execution statistics.
+    pub stats: ExecStats,
+    steps: u64,
+    step_limit: u64,
+}
+
+/// Default guard against runaway loops.
+const DEFAULT_STEP_LIMIT: u64 = 4_000_000_000;
+
+static UNIT_COST: UnitCost = UnitCost;
+static NO_EXTERNS: NoExterns = NoExterns;
+
+impl<'a> Interp<'a> {
+    /// Full-control constructor.
+    pub fn new(
+        module: &'a Module,
+        mem: Memory,
+        cost: &'a dyn CostModel,
+        externs: &'a dyn ExternFns,
+    ) -> Interp<'a> {
+        Interp {
+            module,
+            mem,
+            cost,
+            externs,
+            cycles: 0,
+            stats: ExecStats::default(),
+            steps: 0,
+            step_limit: DEFAULT_STEP_LIMIT,
+        }
+    }
+
+    /// Interpreter with unit costs and no external functions.
+    pub fn with_defaults(module: &'a Module, mem: Memory) -> Interp<'a> {
+        Interp::new(module, mem, &UNIT_COST, &NO_EXTERNS)
+    }
+
+    /// Replaces the runaway-loop guard (dynamic steps, not cycles).
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.step_limit = limit;
+    }
+
+    /// Calls a module function by name.
+    ///
+    /// # Errors
+    /// Propagates any runtime trap ([`ExecError`]).
+    pub fn call(&mut self, name: &str, args: &[RtVal]) -> Result<RtVal, ExecError> {
+        let f = self
+            .module
+            .function(name)
+            .ok_or_else(|| ExecError::UnknownFunction(name.to_string()))?;
+        self.exec_function(f, args.to_vec())
+    }
+
+    fn value(
+        &self,
+        f: &Function,
+        vals: &HashMap<InstId, RtVal>,
+        args: &[RtVal],
+        v: Value,
+    ) -> Result<RtVal, ExecError> {
+        match v {
+            Value::Const(c) => Ok(RtVal::S(c.bits)),
+            Value::Param(i) => args
+                .get(i as usize)
+                .cloned()
+                .ok_or_else(|| ExecError::Other(format!("missing argument {i} to @{}", f.name))),
+            Value::Inst(i) => vals
+                .get(&i)
+                .cloned()
+                .ok_or_else(|| ExecError::Other(format!("use of unevaluated {i} in @{}", f.name))),
+        }
+    }
+
+    /// Broadcast helper: yields per-lane payloads whether the value is a
+    /// scalar (splatted) or already a vector.
+    fn lanes_of(&self, v: &RtVal, lanes: u32) -> Result<Vec<u64>, ExecError> {
+        match v {
+            RtVal::S(s) => Ok(vec![*s; lanes as usize]),
+            RtVal::V(l) => {
+                if l.len() != lanes as usize {
+                    return Err(ExecError::Other(format!(
+                        "lane count mismatch: {} vs {}",
+                        l.len(),
+                        lanes
+                    )));
+                }
+                Ok(l.clone())
+            }
+            RtVal::Unit => Err(ExecError::Other("void operand".into())),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_function(&mut self, f: &Function, args: Vec<RtVal>) -> Result<RtVal, ExecError> {
+        let mut vals: HashMap<InstId, RtVal> = HashMap::new();
+        let mut block = f.entry;
+        let mut prev: Option<BlockId> = None;
+
+        loop {
+            // φ nodes first, evaluated simultaneously from the incoming edge.
+            let blk = f.block(block);
+            let mut phi_results: Vec<(InstId, RtVal)> = Vec::new();
+            for &id in &blk.insts {
+                if let Inst::Phi { incoming } = f.inst(id) {
+                    let p = prev.ok_or_else(|| {
+                        ExecError::Other(format!("phi {id} in entry block of @{}", f.name))
+                    })?;
+                    let (_, v) = incoming
+                        .iter()
+                        .find(|(b, _)| *b == p)
+                        .ok_or_else(|| {
+                            ExecError::Other(format!("phi {id} missing edge from {p}"))
+                        })?;
+                    let rv = self.value(f, &vals, &args, *v)?;
+                    self.cycles += self.cost.inst_cost(f, id);
+                    self.steps += 1;
+                    phi_results.push((id, rv));
+                } else {
+                    break;
+                }
+            }
+            for (id, rv) in phi_results {
+                vals.insert(id, rv);
+            }
+
+            // Straight-line body.
+            for &id in &blk.insts {
+                if matches!(f.inst(id), Inst::Phi { .. }) {
+                    continue;
+                }
+                if self.steps >= self.step_limit {
+                    return Err(ExecError::StepLimit);
+                }
+                self.steps += 1;
+                self.stats.insts += 1;
+                self.cycles += self.cost.inst_cost(f, id);
+                let r = self.exec_inst(f, &mut vals, &args, id)?;
+                vals.insert(id, r);
+            }
+
+            self.cycles += self.cost.term_cost(f, &blk.term);
+            match &blk.term {
+                Terminator::Br(t) => {
+                    prev = Some(block);
+                    block = *t;
+                }
+                Terminator::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let c = self.value(f, &vals, &args, *cond)?.scalar()?;
+                    prev = Some(block);
+                    block = if c & 1 != 0 { *then_bb } else { *else_bb };
+                }
+                Terminator::Ret(v) => {
+                    return match v {
+                        None => Ok(RtVal::Unit),
+                        Some(v) => self.value(f, &vals, &args, *v),
+                    };
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_inst(
+        &mut self,
+        f: &Function,
+        vals: &mut HashMap<InstId, RtVal>,
+        args: &[RtVal],
+        id: InstId,
+    ) -> Result<RtVal, ExecError> {
+        let inst = f.inst(id).clone();
+        let ty = f.inst_ty(id);
+        let get = |me: &Interp<'a>, v: Value| me.value(f, vals, args, v);
+        match &inst {
+            Inst::Bin { op, a, b } => {
+                let elem = ty.elem().ok_or_else(|| ExecError::Other("void bin".into()))?;
+                let av = get(self, *a)?;
+                let bv = get(self, *b)?;
+                if ty.is_vec() {
+                    let al = self.lanes_of(&av, ty.lanes())?;
+                    let bl = self.lanes_of(&bv, ty.lanes())?;
+                    let r: Result<Vec<u64>, _> = al
+                        .iter()
+                        .zip(&bl)
+                        .map(|(&x, &y)| eval_bin(*op, elem, x, y))
+                        .collect();
+                    Ok(RtVal::V(r?))
+                } else {
+                    Ok(RtVal::S(eval_bin(*op, elem, av.scalar()?, bv.scalar()?)?))
+                }
+            }
+            Inst::Un { op, a } => {
+                let elem = ty.elem().ok_or_else(|| ExecError::Other("void un".into()))?;
+                let av = get(self, *a)?;
+                if ty.is_vec() {
+                    let al = self.lanes_of(&av, ty.lanes())?;
+                    let r: Result<Vec<u64>, _> =
+                        al.iter().map(|&x| eval_un(*op, elem, x)).collect();
+                    Ok(RtVal::V(r?))
+                } else {
+                    Ok(RtVal::S(eval_un(*op, elem, av.scalar()?)?))
+                }
+            }
+            Inst::Cmp { pred, a, b } => {
+                let src = f.value_ty(*a);
+                let elem = src
+                    .elem()
+                    .ok_or_else(|| ExecError::Other("void cmp".into()))?;
+                let av = get(self, *a)?;
+                let bv = get(self, *b)?;
+                if src.is_vec() {
+                    let al = self.lanes_of(&av, src.lanes())?;
+                    let bl = self.lanes_of(&bv, src.lanes())?;
+                    Ok(RtVal::V(
+                        al.iter()
+                            .zip(&bl)
+                            .map(|(&x, &y)| eval_cmp(*pred, elem, x, y) as u64)
+                            .collect(),
+                    ))
+                } else {
+                    Ok(RtVal::S(
+                        eval_cmp(*pred, elem, av.scalar()?, bv.scalar()?) as u64,
+                    ))
+                }
+            }
+            Inst::Cast { kind, a } => {
+                let from = f
+                    .value_ty(*a)
+                    .elem()
+                    .ok_or_else(|| ExecError::Other("void cast".into()))?;
+                let to = ty.elem().ok_or_else(|| ExecError::Other("void cast".into()))?;
+                let av = get(self, *a)?;
+                if ty.is_vec() {
+                    let al = self.lanes_of(&av, ty.lanes())?;
+                    Ok(RtVal::V(
+                        al.iter().map(|&x| eval_cast(*kind, from, to, x)).collect(),
+                    ))
+                } else {
+                    Ok(RtVal::S(eval_cast(*kind, from, to, av.scalar()?)))
+                }
+            }
+            Inst::Select { cond, t, f: fv } => {
+                let cv = get(self, *cond)?;
+                let tv = get(self, *t)?;
+                let fvv = get(self, *fv)?;
+                match cv {
+                    RtVal::S(c) => Ok(if c & 1 != 0 { tv } else { fvv }),
+                    RtVal::V(cl) => {
+                        let lanes = ty.lanes();
+                        let tl = self.lanes_of(&tv, lanes)?;
+                        let fl = self.lanes_of(&fvv, lanes)?;
+                        Ok(RtVal::V(
+                            cl.iter()
+                                .zip(tl.iter().zip(&fl))
+                                .map(|(&c, (&x, &y))| if c & 1 != 0 { x } else { y })
+                                .collect(),
+                        ))
+                    }
+                    RtVal::Unit => Err(ExecError::Other("void select cond".into())),
+                }
+            }
+            Inst::Splat { a } => {
+                let s = get(self, *a)?.scalar()?;
+                Ok(RtVal::V(vec![s; ty.lanes() as usize]))
+            }
+            Inst::ConstVec { lanes, .. } => Ok(RtVal::V(lanes.clone())),
+            Inst::Extract { v, lane } => {
+                let vv = get(self, *v)?;
+                let l = get(self, *lane)?.scalar()? as usize;
+                let lv = vv.vector()?;
+                lv.get(l)
+                    .copied()
+                    .map(RtVal::S)
+                    .ok_or_else(|| ExecError::Other(format!("extract lane {l} out of range")))
+            }
+            Inst::Insert { v, lane, x } => {
+                let mut lv = get(self, *v)?.vector()?.to_vec();
+                let l = get(self, *lane)?.scalar()? as usize;
+                let xv = get(self, *x)?.scalar()?;
+                if l >= lv.len() {
+                    return Err(ExecError::Other(format!("insert lane {l} out of range")));
+                }
+                lv[l] = xv;
+                Ok(RtVal::V(lv))
+            }
+            Inst::ShuffleConst { v, pattern } => {
+                let lv = get(self, *v)?.vector()?.to_vec();
+                Ok(RtVal::V(pattern.iter().map(|&p| lv[p as usize]).collect()))
+            }
+            Inst::ShuffleVar { v, idx } => {
+                let lv = get(self, *v)?.vector()?.to_vec();
+                let iv = get(self, *idx)?.vector()?.to_vec();
+                let n = lv.len() as u64;
+                Ok(RtVal::V(
+                    iv.iter().map(|&i| lv[(i % n) as usize]).collect(),
+                ))
+            }
+            Inst::Load { ptr, mask } => {
+                let elem = ty.elem().ok_or_else(|| ExecError::Other("void load".into()))?;
+                let pv = get(self, *ptr)?;
+                let mk = match mask {
+                    Some(m) => Some(get(self, *m)?.mask_lanes()?),
+                    None => None,
+                };
+                match (&pv, ty) {
+                    (RtVal::S(addr), Ty::Scalar(_)) => {
+                        self.stats.scalar_loads += 1;
+                        Ok(RtVal::S(self.mem.load_scalar(elem, *addr)?))
+                    }
+                    (RtVal::S(addr), Ty::Vec(_, n)) => {
+                        self.stats.packed_loads += 1;
+                        let sz = elem.size_bytes();
+                        let mut out = Vec::with_capacity(n as usize);
+                        for i in 0..n as u64 {
+                            let active = mk.as_ref().map_or(true, |m| m[i as usize]);
+                            out.push(if active {
+                                self.mem.load_scalar(elem, addr + i * sz)?
+                            } else {
+                                0
+                            });
+                        }
+                        Ok(RtVal::V(out))
+                    }
+                    (RtVal::V(addrs), Ty::Vec(..)) => {
+                        self.stats.gathers += 1;
+                        let mut out = Vec::with_capacity(addrs.len());
+                        for (i, &a) in addrs.iter().enumerate() {
+                            let active = mk.as_ref().map_or(true, |m| m[i]);
+                            out.push(if active {
+                                self.mem.load_scalar(elem, a)?
+                            } else {
+                                0
+                            });
+                        }
+                        Ok(RtVal::V(out))
+                    }
+                    _ => Err(ExecError::Other("malformed load shapes".into())),
+                }
+            }
+            Inst::Store { ptr, val, mask } => {
+                let vv = get(self, *val)?;
+                let vty = f.value_ty(*val);
+                let elem = vty
+                    .elem()
+                    .ok_or_else(|| ExecError::Other("void store".into()))?;
+                let pv = get(self, *ptr)?;
+                let mk = match mask {
+                    Some(m) => Some(get(self, *m)?.mask_lanes()?),
+                    None => None,
+                };
+                match (&pv, &vv) {
+                    (RtVal::S(addr), RtVal::S(bits)) => {
+                        self.stats.scalar_stores += 1;
+                        self.mem.store_scalar(elem, *addr, *bits)?;
+                    }
+                    (RtVal::S(addr), RtVal::V(lanes)) => {
+                        self.stats.packed_stores += 1;
+                        let sz = elem.size_bytes();
+                        for (i, &b) in lanes.iter().enumerate() {
+                            if mk.as_ref().map_or(true, |m| m[i]) {
+                                self.mem.store_scalar(elem, addr + i as u64 * sz, b)?;
+                            }
+                        }
+                    }
+                    (RtVal::V(addrs), RtVal::V(lanes)) => {
+                        self.stats.scatters += 1;
+                        for (i, (&a, &b)) in addrs.iter().zip(lanes).enumerate() {
+                            if mk.as_ref().map_or(true, |m| m[i]) {
+                                self.mem.store_scalar(elem, a, b)?;
+                            }
+                        }
+                    }
+                    (RtVal::V(addrs), RtVal::S(bits)) => {
+                        // Scatter of a uniform value.
+                        self.stats.scatters += 1;
+                        for (i, &a) in addrs.iter().enumerate() {
+                            if mk.as_ref().map_or(true, |m| m[i]) {
+                                self.mem.store_scalar(elem, a, *bits)?;
+                            }
+                        }
+                    }
+                    _ => return Err(ExecError::Other("malformed store shapes".into())),
+                }
+                Ok(RtVal::Unit)
+            }
+            Inst::Alloca { size } => {
+                let sz = get(self, *size)?.scalar()?;
+                Ok(RtVal::S(self.mem.alloc(sz, 64)?))
+            }
+            Inst::Gep { base, index, scale } => {
+                let bv = get(self, *base)?;
+                let iv = get(self, *index)?;
+                let ity = f.value_ty(*index).elem().unwrap_or(ScalarTy::I64);
+                match (&bv, &iv) {
+                    (RtVal::S(b), RtVal::S(i)) => Ok(RtVal::S(
+                        b.wrapping_add((sext(ity, *i) as u64).wrapping_mul(*scale)),
+                    )),
+                    _ => {
+                        let lanes = ty.lanes();
+                        let bl = self.lanes_of(&bv, lanes)?;
+                        let il = self.lanes_of(&iv, lanes)?;
+                        Ok(RtVal::V(
+                            bl.iter()
+                                .zip(&il)
+                                .map(|(&b, &i)| {
+                                    b.wrapping_add((sext(ity, i) as u64).wrapping_mul(*scale))
+                                })
+                                .collect(),
+                        ))
+                    }
+                }
+            }
+            Inst::Call { callee, args: cargs } => {
+                self.stats.calls += 1;
+                let mut avs = Vec::with_capacity(cargs.len());
+                for &a in cargs {
+                    avs.push(get(self, a)?);
+                }
+                if self.module.function(callee).is_some() {
+                    let callee_fn = self
+                        .module
+                        .function(callee)
+                        .expect("checked above");
+                    self.exec_function(callee_fn, avs)
+                } else {
+                    self.cycles += self.cost.extern_call_cost(callee, ty);
+                    self.externs.call(callee, &avs)
+                }
+            }
+            Inst::Intrin { kind, args: iargs } => {
+                match kind {
+                    Intrinsic::Math(m) => {
+                        let elem = ty
+                            .elem()
+                            .ok_or_else(|| ExecError::Other("void math".into()))?;
+                        let mut avs = Vec::with_capacity(iargs.len());
+                        for &a in iargs {
+                            avs.push(get(self, a)?);
+                        }
+                        if ty.is_vec() {
+                            let lanes = ty.lanes();
+                            let cols: Result<Vec<Vec<u64>>, _> =
+                                avs.iter().map(|v| self.lanes_of(v, lanes)).collect();
+                            let cols = cols?;
+                            let mut out = Vec::with_capacity(lanes as usize);
+                            for i in 0..lanes as usize {
+                                let row: Vec<u64> = cols.iter().map(|c| c[i]).collect();
+                                out.push(eval_math(*m, elem, &row)?);
+                            }
+                            Ok(RtVal::V(out))
+                        } else {
+                            let row: Result<Vec<u64>, _> =
+                                avs.iter().map(|v| v.scalar()).collect();
+                            Ok(RtVal::S(eval_math(*m, elem, &row?)?))
+                        }
+                    }
+                    Intrinsic::Fma => {
+                        let elem = ty
+                            .elem()
+                            .ok_or_else(|| ExecError::Other("void fma".into()))?;
+                        let a = get(self, iargs[0])?;
+                        let b = get(self, iargs[1])?;
+                        let c = get(self, iargs[2])?;
+                        let fma1 = |x: u64, y: u64, z: u64| -> Result<u64, ExecError> {
+                            let mul = if elem.is_float() {
+                                crate::inst::BinOp::FMul
+                            } else {
+                                crate::inst::BinOp::Mul
+                            };
+                            let add = if elem.is_float() {
+                                crate::inst::BinOp::FAdd
+                            } else {
+                                crate::inst::BinOp::Add
+                            };
+                            eval_bin(add, elem, eval_bin(mul, elem, x, y)?, z)
+                        };
+                        if ty.is_vec() {
+                            let n = ty.lanes();
+                            let (al, bl, cl) = (
+                                self.lanes_of(&a, n)?,
+                                self.lanes_of(&b, n)?,
+                                self.lanes_of(&c, n)?,
+                            );
+                            let r: Result<Vec<u64>, _> = (0..n as usize)
+                                .map(|i| fma1(al[i], bl[i], cl[i]))
+                                .collect();
+                            Ok(RtVal::V(r?))
+                        } else {
+                            Ok(RtVal::S(fma1(a.scalar()?, b.scalar()?, c.scalar()?)?))
+                        }
+                    }
+                    other => Err(ExecError::SpmdIntrinsic(other.name())),
+                }
+            }
+            Inst::Phi { .. } => unreachable!("phis handled at block entry"),
+            Inst::Reduce { op, v, mask } => {
+                let src = f.value_ty(*v);
+                let elem = src
+                    .elem()
+                    .ok_or_else(|| ExecError::Other("void reduce".into()))?;
+                let lv = get(self, *v)?.vector()?.to_vec();
+                let mk = match mask {
+                    Some(m) => Some(get(self, *m)?.mask_lanes()?),
+                    None => None,
+                };
+                let mut acc = reduce_identity(*op, elem);
+                for (i, &x) in lv.iter().enumerate() {
+                    if mk.as_ref().map_or(true, |m| m[i]) {
+                        acc = reduce_step(*op, elem, acc, x);
+                    }
+                }
+                Ok(RtVal::S(acc))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{c_i64, FunctionBuilder};
+    use crate::function::{Module, Param};
+    use crate::inst::{BinOp, CmpPred, ReduceOp};
+    use crate::types::{ScalarTy, Ty};
+
+    fn run(m: &Module, name: &str, args: &[RtVal]) -> RtVal {
+        let mut it = Interp::with_defaults(m, Memory::default());
+        it.call(name, args).unwrap()
+    }
+
+    #[test]
+    fn scalar_loop_sum() {
+        // sum of 0..n
+        let mut fb = FunctionBuilder::new(
+            "sum",
+            vec![Param::new("n", Ty::scalar(ScalarTy::I64))],
+            Ty::scalar(ScalarTy::I64),
+        );
+        let header = fb.new_block("header");
+        let body = fb.new_block("body");
+        let exit = fb.new_block("exit");
+        let entry = fb.current_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi_typed(Ty::scalar(ScalarTy::I64), vec![(entry, c_i64(0))]);
+        let acc = fb.phi_typed(Ty::scalar(ScalarTy::I64), vec![(entry, c_i64(0))]);
+        let c = fb.cmp(CmpPred::Slt, i, Value::Param(0));
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let acc2 = fb.bin(BinOp::Add, acc, i);
+        let i2 = fb.bin(BinOp::Add, i, 1i64);
+        fb.phi_add_incoming(i, body, i2);
+        fb.phi_add_incoming(acc, body, acc2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(Some(acc));
+        let mut m = Module::new();
+        m.add_function(fb.finish());
+        let r = run(&m, "sum", &[RtVal::S(10)]);
+        assert_eq!(r, RtVal::S(45));
+    }
+
+    #[test]
+    fn vector_ops_and_reduce() {
+        let mut fb = FunctionBuilder::new("v", vec![], Ty::scalar(ScalarTy::I32));
+        let a = fb.const_vec(ScalarTy::I32, vec![1, 2, 3, 4]);
+        let b = fb.splat(crate::builder::c_i32(10), 4);
+        let s = fb.bin(BinOp::Mul, a, b);
+        let r = fb.reduce(ReduceOp::Add, s, None);
+        fb.ret(Some(r));
+        let mut m = Module::new();
+        m.add_function(fb.finish());
+        assert_eq!(run(&m, "v", &[]), RtVal::S(100));
+    }
+
+    #[test]
+    fn packed_and_gather_loads() {
+        // load <4 x i32> packed from p, gather from p with indices*2,
+        // add, store packed to q.
+        let mut fb = FunctionBuilder::new(
+            "k",
+            vec![
+                Param::new("p", Ty::scalar(ScalarTy::Ptr)),
+                Param::new("q", Ty::scalar(ScalarTy::Ptr)),
+            ],
+            Ty::Void,
+        );
+        let packed = fb.load(Ty::vec(ScalarTy::I32, 4), Value::Param(0), None);
+        let idx = fb.const_vec(ScalarTy::I64, vec![0, 2, 4, 6]);
+        let ptrs = fb.gep(Value::Param(0), idx, 4);
+        let gathered = fb.load(Ty::vec(ScalarTy::I32, 4), ptrs, None);
+        let sum = fb.bin(BinOp::Add, packed, gathered);
+        fb.store(Value::Param(1), sum, None);
+        fb.ret(None);
+        let mut m = Module::new();
+        m.add_function(fb.finish());
+        let mut mem = Memory::default();
+        let data: Vec<u8> = (0..8i32).flat_map(|v| v.to_le_bytes()).collect();
+        let p = mem.alloc_bytes(&data, 64).unwrap();
+        let q = mem.alloc(16, 64).unwrap();
+        let mut it = Interp::with_defaults(&m, mem);
+        it.call("k", &[RtVal::S(p), RtVal::S(q)]).unwrap();
+        assert_eq!(it.stats.packed_loads, 1);
+        assert_eq!(it.stats.gathers, 1);
+        assert_eq!(it.stats.packed_stores, 1);
+        let out = it.mem.read_bytes(q, 16).unwrap();
+        let vals: Vec<i32> = out
+            .chunks(4)
+            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        // packed = [0,1,2,3]; gathered = [0,2,4,6]
+        assert_eq!(vals, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn masked_store_preserves_inactive_lanes() {
+        let mut fb = FunctionBuilder::new(
+            "ms",
+            vec![Param::new("q", Ty::scalar(ScalarTy::Ptr))],
+            Ty::Void,
+        );
+        let v = fb.const_vec(ScalarTy::I32, vec![9, 9, 9, 9]);
+        let mask = fb.const_vec(ScalarTy::I1, vec![1, 0, 1, 0]);
+        fb.store(Value::Param(0), v, Some(mask));
+        fb.ret(None);
+        let mut m = Module::new();
+        m.add_function(fb.finish());
+        let mut mem = Memory::default();
+        let init: Vec<u8> = (0..4i32).flat_map(|v| v.to_le_bytes()).collect();
+        let q = mem.alloc_bytes(&init, 64).unwrap();
+        let mut it = Interp::with_defaults(&m, mem);
+        it.call("ms", &[RtVal::S(q)]).unwrap();
+        let out = it.mem.read_bytes(q, 16).unwrap();
+        let vals: Vec<i32> = out
+            .chunks(4)
+            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(vals, vec![9, 1, 9, 3]);
+    }
+
+    #[test]
+    fn spmd_intrinsic_traps_in_plain_interp() {
+        let mut fb = FunctionBuilder::new("bad", vec![], Ty::scalar(ScalarTy::I64));
+        let l = fb.lane_num();
+        fb.ret(Some(l));
+        let mut m = Module::new();
+        m.add_function(fb.finish());
+        let mut it = Interp::with_defaults(&m, Memory::default());
+        assert!(matches!(
+            it.call("bad", &[]),
+            Err(ExecError::SpmdIntrinsic(_))
+        ));
+    }
+
+    #[test]
+    fn step_limit_guards_infinite_loops() {
+        let mut fb = FunctionBuilder::new("inf", vec![], Ty::Void);
+        let l = fb.new_block("l");
+        fb.br(l);
+        fb.switch_to(l);
+        let _x = fb.bin(BinOp::Add, 1i64, 1i64);
+        fb.br(l);
+        let mut m = Module::new();
+        m.add_function(fb.finish());
+        let mut it = Interp::with_defaults(&m, Memory::default());
+        it.set_step_limit(1000);
+        assert!(matches!(it.call("inf", &[]), Err(ExecError::StepLimit)));
+    }
+}

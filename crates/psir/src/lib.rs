@@ -1,0 +1,75 @@
+//! # psir — a typed SSA IR substrate
+//!
+//! `psir` is the compiler-IR substrate of the Parsimony (CGO 2023)
+//! reproduction. It plays the role LLVM IR plays in the paper: the Parsimony
+//! vectorizer in the `parsimony` crate is an IR-to-IR pass over `psir`
+//! functions, the `psimc` front-end lowers a C-like language to `psir`, the
+//! `autovec` baseline vectorizes `psir` loops, and the `vmach` crate prices
+//! `psir` instructions on a virtual AVX-512-class machine.
+//!
+//! The crate provides:
+//!
+//! * a type system ([`Ty`], [`ScalarTy`]) with fixed-length vectors,
+//! * an instruction set ([`Inst`], [`BinOp`], …) covering the scalar subset
+//!   the paper's pass consumes *and* the vector subset it produces
+//!   (packed/gather/scatter memory ops, masks, shuffles, reductions),
+//! * the Parsimony SPMD intrinsics ([`Intrinsic`]) of the paper's §3,
+//! * construction ([`FunctionBuilder`]), verification ([`verify_function`]),
+//!   printing ([`print_function`]) and CFG analyses ([`DomTree`],
+//!   [`natural_loops`]),
+//! * an interpreter ([`Interp`]) with a pluggable cycle [`CostModel`] — the
+//!   stand-in for running on AVX-512 hardware.
+//!
+//! # Examples
+//!
+//! Build and run `f(x) = x * 3`:
+//!
+//! ```
+//! use psir::{FunctionBuilder, Param, Ty, ScalarTy, BinOp, Value, Module,
+//!            Interp, Memory, RtVal};
+//!
+//! let mut fb = FunctionBuilder::new(
+//!     "triple",
+//!     vec![Param::new("x", Ty::scalar(ScalarTy::I32))],
+//!     Ty::scalar(ScalarTy::I32),
+//! );
+//! let r = fb.bin(BinOp::Mul, Value::Param(0), 3i32);
+//! fb.ret(Some(r));
+//!
+//! let mut m = Module::new();
+//! m.add_function(fb.finish());
+//! let mut interp = Interp::with_defaults(&m, Memory::default());
+//! let out = interp.call("triple", &[RtVal::S(14)])?;
+//! assert_eq!(out, RtVal::S(42));
+//! # Ok::<(), psir::ExecError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod analysis;
+mod builder;
+mod constant;
+mod function;
+mod inst;
+mod interp;
+mod parse;
+mod print;
+mod types;
+mod verify;
+
+pub use analysis::{natural_loops, reverse_post_order, DomTree, NaturalLoop};
+pub use builder::{c_f32, c_i32, c_i64, FunctionBuilder};
+pub use constant::Const;
+pub use function::{iota_bits, Block, Function, IntoValue, Module, Param, SpmdInfo, ThreadCount};
+pub use inst::{
+    BinOp, BlockId, CastKind, CmpPred, Inst, InstId, Intrinsic, MathFn, ReduceOp, Terminator,
+    UnOp, Value,
+};
+pub use interp::{
+    eval_bin, eval_cast, eval_cmp, eval_math, eval_un, reduce_identity, reduce_step, sext, trunc,
+    CostModel, ExecError, ExecStats, ExternFns, Interp, Memory, NoExterns, RtVal, UnitCost,
+};
+pub use parse::{parse_function, IrParseError};
+pub use print::{print_function, print_module};
+pub use types::{ScalarTy, Ty};
+pub use verify::{assert_valid, verify_function, VerifyError};

@@ -1,0 +1,1009 @@
+//! Textual IR parser — the inverse of [`crate::print_function`].
+//!
+//! Round-tripping `print → parse → print` is used by golden tests and makes
+//! dumped IR directly executable, which is how one debugs a vectorizer.
+//! The grammar is exactly what the printer emits; this is a tooling format,
+//! not a stable interchange format.
+
+use crate::constant::Const;
+use crate::function::{Block, Function, InstData, Param, SpmdInfo, ThreadCount};
+use crate::inst::{
+    BinOp, BlockId, CastKind, CmpPred, Inst, InstId, Intrinsic, MathFn, ReduceOp, Terminator,
+    UnOp, Value,
+};
+use crate::types::{ScalarTy, Ty};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrParseError {
+    /// 1-based line number within the input.
+    pub line: usize,
+    /// Message.
+    pub msg: String,
+}
+
+impl fmt::Display for IrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IR parse error on line {}: {}", self.line, self.msg)
+    }
+}
+
+impl Error for IrParseError {}
+
+type PResult<T> = Result<T, IrParseError>;
+
+fn err<T>(line: usize, msg: impl Into<String>) -> PResult<T> {
+    Err(IrParseError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+fn parse_scalar_ty(s: &str) -> Option<ScalarTy> {
+    Some(match s {
+        "i1" => ScalarTy::I1,
+        "i8" => ScalarTy::I8,
+        "i16" => ScalarTy::I16,
+        "i32" => ScalarTy::I32,
+        "i64" => ScalarTy::I64,
+        "f32" => ScalarTy::F32,
+        "f64" => ScalarTy::F64,
+        "ptr" => ScalarTy::Ptr,
+        _ => return None,
+    })
+}
+
+fn parse_ty(s: &str) -> Option<Ty> {
+    let s = s.trim();
+    if s == "void" {
+        return Some(Ty::Void);
+    }
+    if let Some(inner) = s.strip_prefix('<').and_then(|x| x.strip_suffix('>')) {
+        let (n, e) = inner.split_once(" x ")?;
+        return Some(Ty::vec(parse_scalar_ty(e.trim())?, n.trim().parse().ok()?));
+    }
+    parse_scalar_ty(s).map(Ty::Scalar)
+}
+
+fn parse_value(s: &str, ids: &HashMap<u32, InstId>, line: usize) -> PResult<Value> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix("%arg") {
+        return rest
+            .parse::<u32>()
+            .map(Value::Param)
+            .map_err(|_| IrParseError {
+                line,
+                msg: format!("bad parameter reference {s}"),
+            });
+    }
+    if let Some(rest) = s.strip_prefix('%') {
+        let printed: u32 = rest.parse().map_err(|_| IrParseError {
+            line,
+            msg: format!("bad instruction reference {s}"),
+        })?;
+        return ids
+            .get(&printed)
+            .map(|&i| Value::Inst(i))
+            .ok_or_else(|| IrParseError {
+                line,
+                msg: format!("reference to unknown instruction %{printed}"),
+            });
+    }
+    if s == "true" {
+        return Ok(Value::Const(Const::bool(true)));
+    }
+    if s == "false" {
+        return Ok(Value::Const(Const::bool(false)));
+    }
+    if let Some(addr) = s.strip_prefix("ptr:") {
+        let a = u64::from_str_radix(addr.trim_start_matches("0x"), 16)
+            .map_err(|_| IrParseError {
+                line,
+                msg: format!("bad pointer constant {s}"),
+            })?;
+        return Ok(Value::Const(Const::ptr(a)));
+    }
+    for (suffix, ty) in [
+        ("f32", ScalarTy::F32),
+        ("f64", ScalarTy::F64),
+        ("i16", ScalarTy::I16),
+        ("i32", ScalarTy::I32),
+        ("i64", ScalarTy::I64),
+        ("i8", ScalarTy::I8),
+    ] {
+        if let Some(body) = s.strip_suffix(suffix) {
+            if ty.is_float() {
+                let v: f64 = match body {
+                    "NaN" => f64::NAN,
+                    "inf" => f64::INFINITY,
+                    "-inf" => f64::NEG_INFINITY,
+                    other => other.parse().map_err(|_| IrParseError {
+                        line,
+                        msg: format!("bad float constant {s}"),
+                    })?,
+                };
+                return Ok(Value::Const(if ty == ScalarTy::F32 {
+                    Const::f32(v as f32)
+                } else {
+                    Const::f64(v)
+                }));
+            }
+            let v: i64 = body.parse().map_err(|_| IrParseError {
+                line,
+                msg: format!("bad integer constant {s}"),
+            })?;
+            return Ok(Value::Const(Const::new(ty, v as u64)));
+        }
+    }
+    err(line, format!("cannot parse operand {s:?}"))
+}
+
+fn parse_block_ref(s: &str, line: usize) -> PResult<BlockId> {
+    s.trim()
+        .strip_prefix("bb")
+        .and_then(|n| n.parse::<u32>().ok())
+        .map(BlockId)
+        .ok_or_else(|| IrParseError {
+            line,
+            msg: format!("bad block reference {s}"),
+        })
+}
+
+/// Splits a comma-separated operand list, respecting `<…>`, `[…]` and `(…)`.
+fn split_args(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '<' | '[' | '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            '>' | ']' | ')' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur = String::new();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+fn bin_from_mnemonic(m: &str) -> Option<BinOp> {
+    use BinOp::*;
+    Some(match m {
+        "add" => Add,
+        "sub" => Sub,
+        "mul" => Mul,
+        "sdiv" => SDiv,
+        "udiv" => UDiv,
+        "srem" => SRem,
+        "urem" => URem,
+        "and" => And,
+        "or" => Or,
+        "xor" => Xor,
+        "shl" => Shl,
+        "ashr" => AShr,
+        "lshr" => LShr,
+        "smin" => SMin,
+        "smax" => SMax,
+        "umin" => UMin,
+        "umax" => UMax,
+        "addsat.s" => AddSatS,
+        "addsat.u" => AddSatU,
+        "subsat.s" => SubSatS,
+        "subsat.u" => SubSatU,
+        "avg.u" => AvgU,
+        "mulhi.s" => MulHiS,
+        "mulhi.u" => MulHiU,
+        "fadd" => FAdd,
+        "fsub" => FSub,
+        "fmul" => FMul,
+        "fdiv" => FDiv,
+        "frem" => FRem,
+        "fmin" => FMin,
+        "fmax" => FMax,
+        _ => return None,
+    })
+}
+
+fn un_from_mnemonic(m: &str) -> Option<UnOp> {
+    use UnOp::*;
+    Some(match m {
+        "not" => Not,
+        "ineg" => INeg,
+        "iabs" => IAbs,
+        "fneg" => FNeg,
+        "fabs" => FAbs,
+        "fsqrt" => FSqrt,
+        "ffloor" => FFloor,
+        "fceil" => FCeil,
+        "fround" => FRound,
+        _ => return None,
+    })
+}
+
+fn cmp_from_mnemonic(m: &str) -> Option<CmpPred> {
+    use CmpPred::*;
+    Some(match m {
+        "eq" => Eq,
+        "ne" => Ne,
+        "slt" => Slt,
+        "sle" => Sle,
+        "sgt" => Sgt,
+        "sge" => Sge,
+        "ult" => Ult,
+        "ule" => Ule,
+        "ugt" => Ugt,
+        "uge" => Uge,
+        "foeq" => FOeq,
+        "fone" => FOne,
+        "folt" => FOlt,
+        "fole" => FOle,
+        "fogt" => FOgt,
+        "foge" => FOge,
+        _ => return None,
+    })
+}
+
+fn cast_from_mnemonic(m: &str) -> Option<CastKind> {
+    use CastKind::*;
+    Some(match m {
+        "zext" => Zext,
+        "sext" => Sext,
+        "trunc" => Trunc,
+        "fpext" => FpExt,
+        "fptrunc" => FpTrunc,
+        "sitofp" => SiToFp,
+        "uitofp" => UiToFp,
+        "fptosi" => FpToSi,
+        "fptoui" => FpToUi,
+        "bitcast" => Bitcast,
+        "ptrtoint" => PtrToInt,
+        "inttoptr" => IntToPtr,
+        _ => return None,
+    })
+}
+
+fn reduce_from_mnemonic(m: &str) -> Option<ReduceOp> {
+    use ReduceOp::*;
+    Some(match m {
+        "add" => Add,
+        "smin" => SMin,
+        "smax" => SMax,
+        "umin" => UMin,
+        "umax" => UMax,
+        "fmin" => FMin,
+        "fmax" => FMax,
+        "and" => And,
+        "or" => Or,
+        "xor" => Xor,
+        _ => return None,
+    })
+}
+
+fn intrinsic_from_name(name: &str) -> Option<Intrinsic> {
+    Some(match name {
+        "psim.thread_num" => Intrinsic::ThreadNum,
+        "psim.gang_num" => Intrinsic::GangNum,
+        "psim.lane_num" => Intrinsic::LaneNum,
+        "psim.num_threads" => Intrinsic::NumThreads,
+        "psim.gang_size" => Intrinsic::GangSize,
+        "psim.is_head_gang" => Intrinsic::IsHeadGang,
+        "psim.is_tail_gang" => Intrinsic::IsTailGang,
+        "psim.gang_sync" => Intrinsic::GangSync,
+        "psim.shuffle" => Intrinsic::Shuffle,
+        "psim.broadcast" => Intrinsic::Broadcast,
+        "psim.sad_groups" => Intrinsic::SadGroups,
+        "psim.fma" => Intrinsic::Fma,
+        _ => {
+            if let Some(op) = name.strip_prefix("psim.reduce.") {
+                return Some(Intrinsic::GangReduce(reduce_from_mnemonic(op)?));
+            }
+            if let Some(mf) = name.strip_prefix("psim.math.") {
+                let f = match mf {
+                    "exp" => MathFn::Exp,
+                    "log" => MathFn::Log,
+                    "pow" => MathFn::Pow,
+                    "sin" => MathFn::Sin,
+                    "cos" => MathFn::Cos,
+                    "tan" => MathFn::Tan,
+                    "atan" => MathFn::Atan,
+                    "atan2" => MathFn::Atan2,
+                    "exp2" => MathFn::Exp2,
+                    "log2" => MathFn::Log2,
+                    "cdf" => MathFn::Cdf,
+                    _ => return None,
+                };
+                return Some(Intrinsic::Math(f));
+            }
+            return None;
+        }
+    })
+}
+
+struct RawInst {
+    printed_id: Option<u32>,
+    body: String,
+    line: usize,
+}
+
+struct RawBlock {
+    name: String,
+    insts: Vec<RawInst>,
+    term: (String, usize),
+}
+
+/// Parses one function in the printer's format.
+///
+/// # Errors
+/// Returns [`IrParseError`] with the line number of the offending text.
+#[allow(clippy::too_many_lines)]
+pub fn parse_function(text: &str) -> PResult<Function> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+
+    // Header.
+    let (hline, header) = lines
+        .by_ref()
+        .find(|(_, l)| !l.trim().is_empty())
+        .ok_or_else(|| IrParseError {
+            line: 0,
+            msg: "empty input".into(),
+        })?;
+    let header = header.trim();
+    let rest = header.strip_prefix("func @").ok_or_else(|| IrParseError {
+        line: hline,
+        msg: "expected `func @name(…)`".into(),
+    })?;
+    let open = rest.find('(').ok_or_else(|| IrParseError {
+        line: hline,
+        msg: "missing parameter list".into(),
+    })?;
+    let name = rest[..open].to_string();
+    let close = rest.rfind(") ->").ok_or_else(|| IrParseError {
+        line: hline,
+        msg: "missing `) -> <ty>`".into(),
+    })?;
+    let params_text = &rest[open + 1..close];
+    let mut params = Vec::new();
+    for (i, p) in split_args(params_text).iter().enumerate() {
+        let mut parts = p.split_whitespace();
+        let ty = parse_ty(parts.next().unwrap_or("")).ok_or_else(|| IrParseError {
+            line: hline,
+            msg: format!("bad parameter type in {p:?}"),
+        })?;
+        let _name = parts.next();
+        let noalias = parts.next() == Some("noalias");
+        params.push(Param {
+            name: format!("arg{i}"),
+            ty,
+            noalias,
+        });
+    }
+    let after = &rest[close + 4..];
+    let (ret_text, spmd_text) = match after.find(" spmd(") {
+        Some(i) => (&after[..i], Some(&after[i + 6..])),
+        None => (after.trim_end_matches('{').trim(), None),
+    };
+    let ret = parse_ty(ret_text.trim().trim_end_matches('{').trim()).ok_or_else(|| {
+        IrParseError {
+            line: hline,
+            msg: format!("bad return type {ret_text:?}"),
+        }
+    })?;
+    let spmd = match spmd_text {
+        None => None,
+        Some(t) => {
+            let t = t.split(')').next().unwrap_or("");
+            let mut gang_size = 0;
+            let mut num_threads = ThreadCount::Dynamic;
+            let mut partial = false;
+            for piece in t.split(',') {
+                let piece = piece.trim();
+                if let Some(v) = piece.strip_prefix("gang_size=") {
+                    gang_size = v.parse().unwrap_or(0);
+                } else if let Some(v) = piece.strip_prefix("num_threads=") {
+                    num_threads = if v == "dyn" {
+                        ThreadCount::Dynamic
+                    } else {
+                        ThreadCount::Const(v.parse().unwrap_or(0))
+                    };
+                } else if piece == "partial" {
+                    partial = true;
+                }
+            }
+            Some(SpmdInfo {
+                gang_size,
+                num_threads,
+                partial,
+            })
+        }
+    };
+
+    // Blocks: gather raw text first (φ forward references need two passes).
+    let mut blocks: Vec<RawBlock> = Vec::new();
+    for (lno, raw) in lines {
+        let t = raw.trim();
+        if t.is_empty() || t == "}" {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix("bb") {
+            if let Some((_num, label)) = rest.split_once(':') {
+                blocks.push(RawBlock {
+                    name: label.trim().trim_start_matches(';').trim().to_string(),
+                    insts: Vec::new(),
+                    term: (String::new(), lno),
+                });
+                continue;
+            }
+        }
+        let Some(cur) = blocks.last_mut() else {
+            return err(lno, "instruction before any block label");
+        };
+        if t.starts_with("br ") || t.starts_with("condbr ") || t == "ret" || t.starts_with("ret ")
+        {
+            cur.term = (t.to_string(), lno);
+            continue;
+        }
+        let (printed_id, body) = match t.strip_prefix('%') {
+            Some(rest) if rest.contains(" = ") => {
+                let (idt, body) = rest.split_once(" = ").expect("checked");
+                let id: u32 = idt.trim().parse().map_err(|_| IrParseError {
+                    line: lno,
+                    msg: format!("bad result id %{idt}"),
+                })?;
+                (Some(id), body.to_string())
+            }
+            _ => (None, t.to_string()),
+        };
+        cur.insts.push(RawInst {
+            printed_id,
+            body,
+            line: lno,
+        });
+    }
+    if blocks.is_empty() {
+        return err(hline, "function has no blocks");
+    }
+
+    // Pass 1: allocate ids.
+    let mut ids: HashMap<u32, InstId> = HashMap::new();
+    let mut next = 0u32;
+    for b in &blocks {
+        for inst in &b.insts {
+            let id = InstId(next);
+            next += 1;
+            if let Some(p) = inst.printed_id {
+                ids.insert(p, id);
+            }
+        }
+    }
+
+    // Pass 2: parse instruction bodies.
+    let mut f = Function {
+        name,
+        params,
+        ret,
+        entry: BlockId(0),
+        spmd,
+        blocks: Vec::new(),
+        insts: Vec::new(),
+    };
+    for b in &blocks {
+        let mut inst_ids = Vec::new();
+        for raw in &b.insts {
+            let (inst, ty) = parse_inst(&raw.body, &ids, raw.line)?;
+            let id = InstId(f.insts.len() as u32);
+            f.insts.push(InstData { inst, ty });
+            inst_ids.push(id);
+        }
+        let term = parse_term(&b.term.0, &ids, b.term.1)?;
+        f.blocks.push(Block {
+            name: b.name.clone(),
+            insts: inst_ids,
+            term,
+        });
+    }
+    // Fix result types that depend on operands (select/insert/shufflevar).
+    for i in 0..f.insts.len() {
+        let ty = match &f.insts[i].inst {
+            Inst::Select { t, .. } => Some(f.value_ty(*t)),
+            Inst::Insert { v, .. } | Inst::ShuffleVar { v, .. } => Some(f.value_ty(*v)),
+            Inst::Bin { a, .. } | Inst::Un { a, .. } => Some(f.value_ty(*a)),
+            Inst::Cmp { a, .. } => {
+                let lanes = f.value_ty(*a).lanes();
+                Some(if lanes <= 1 {
+                    Ty::Scalar(ScalarTy::I1)
+                } else {
+                    Ty::Vec(ScalarTy::I1, lanes)
+                })
+            }
+            Inst::Gep { base, index, .. } => {
+                let lanes = f.value_ty(*base).lanes().max(f.value_ty(*index).lanes());
+                Some(if lanes <= 1 {
+                    Ty::Scalar(ScalarTy::Ptr)
+                } else {
+                    Ty::Vec(ScalarTy::Ptr, lanes)
+                })
+            }
+            Inst::ShuffleConst { v, pattern } => Some(
+                Ty::Vec(
+                    f.value_ty(*v).elem().unwrap_or(ScalarTy::I8),
+                    pattern.len() as u32,
+                )
+            ),
+            Inst::Extract { v, .. } => f.value_ty(*v).elem().map(Ty::Scalar),
+            Inst::Reduce { v, .. } => f.value_ty(*v).elem().map(Ty::Scalar),
+            _ => None,
+        };
+        if let Some(ty) = ty {
+            f.insts[i].ty = ty;
+        }
+    }
+    Ok(f)
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_inst(body: &str, ids: &HashMap<u32, InstId>, line: usize) -> PResult<(Inst, Ty)> {
+    let body = body.trim();
+    let (mnemonic, rest) = body.split_once(' ').unwrap_or((body, ""));
+
+    if let Some(pred) = mnemonic.strip_prefix("cmp.").and_then(cmp_from_mnemonic) {
+        let args = split_args(rest);
+        if args.len() != 2 {
+            return err(line, "cmp takes two operands");
+        }
+        let a = parse_value(&args[0], ids, line)?;
+        let b = parse_value(&args[1], ids, line)?;
+        return Ok((Inst::Cmp { pred, a, b }, Ty::Scalar(ScalarTy::I1)));
+    }
+    if let Some(op) = mnemonic.strip_prefix("reduce.").and_then(reduce_from_mnemonic) {
+        let args = split_args(rest);
+        let v = parse_value(&args[0], ids, line)?;
+        let mask = match args.get(1) {
+            Some(m) => Some(parse_value(m.trim_start_matches("mask").trim(), ids, line)?),
+            None => None,
+        };
+        return Ok((Inst::Reduce { op, v, mask }, Ty::Scalar(ScalarTy::I8)));
+    }
+    if let Some(kind) = cast_from_mnemonic(mnemonic) {
+        let (a_text, to_text) = rest.split_once(" to ").ok_or_else(|| IrParseError {
+            line,
+            msg: "cast needs `to <ty>`".into(),
+        })?;
+        let a = parse_value(a_text, ids, line)?;
+        let to = parse_ty(to_text).ok_or_else(|| IrParseError {
+            line,
+            msg: format!("bad cast type {to_text:?}"),
+        })?;
+        return Ok((Inst::Cast { kind, a }, to));
+    }
+    match mnemonic {
+        "select" => {
+            let args = split_args(rest);
+            if args.len() != 3 {
+                return err(line, "select takes three operands");
+            }
+            Ok((
+                Inst::Select {
+                    cond: parse_value(&args[0], ids, line)?,
+                    t: parse_value(&args[1], ids, line)?,
+                    f: parse_value(&args[2], ids, line)?,
+                },
+                Ty::Scalar(ScalarTy::I8), // fixed in the type pass
+            ))
+        }
+        "splat" => {
+            let (a_text, to_text) = rest.split_once(" to ").ok_or_else(|| IrParseError {
+                line,
+                msg: "splat needs `to <ty>`".into(),
+            })?;
+            let a = parse_value(a_text, ids, line)?;
+            let to = parse_ty(to_text).ok_or_else(|| IrParseError {
+                line,
+                msg: format!("bad splat type {to_text:?}"),
+            })?;
+            Ok((Inst::Splat { a }, to))
+        }
+        "constvec" => {
+            let (ety, list) = rest.split_once('[').ok_or_else(|| IrParseError {
+                line,
+                msg: "constvec needs a lane list".into(),
+            })?;
+            let elem = parse_scalar_ty(ety.trim()).ok_or_else(|| IrParseError {
+                line,
+                msg: format!("bad constvec element {ety:?}"),
+            })?;
+            let lanes: Vec<u64> = list
+                .trim_end_matches(']')
+                .split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| s.trim().parse::<u64>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| IrParseError {
+                    line,
+                    msg: "bad constvec lane".into(),
+                })?;
+            let n = lanes.len() as u32;
+            Ok((Inst::ConstVec { elem, lanes }, Ty::vec(elem, n)))
+        }
+        "extract" => {
+            let args = split_args(rest);
+            Ok((
+                Inst::Extract {
+                    v: parse_value(&args[0], ids, line)?,
+                    lane: parse_value(&args[1], ids, line)?,
+                },
+                Ty::Scalar(ScalarTy::I8),
+            ))
+        }
+        "insert" => {
+            let args = split_args(rest);
+            Ok((
+                Inst::Insert {
+                    v: parse_value(&args[0], ids, line)?,
+                    lane: parse_value(&args[1], ids, line)?,
+                    x: parse_value(&args[2], ids, line)?,
+                },
+                Ty::Scalar(ScalarTy::I8),
+            ))
+        }
+        "shuffle" => {
+            let (v_text, pat) = rest.split_once('[').ok_or_else(|| IrParseError {
+                line,
+                msg: "shuffle needs a pattern".into(),
+            })?;
+            let v = parse_value(v_text.trim().trim_end_matches(','), ids, line)?;
+            let pattern: Vec<u32> = pat
+                .trim_end_matches(']')
+                .split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| s.trim().parse::<u32>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| IrParseError {
+                    line,
+                    msg: "bad shuffle index".into(),
+                })?;
+            Ok((Inst::ShuffleConst { v, pattern }, Ty::Scalar(ScalarTy::I8)))
+        }
+        "shufflevar" => {
+            let args = split_args(rest);
+            Ok((
+                Inst::ShuffleVar {
+                    v: parse_value(&args[0], ids, line)?,
+                    idx: parse_value(&args[1], ids, line)?,
+                },
+                Ty::Scalar(ScalarTy::I8),
+            ))
+        }
+        "load" => {
+            // load <ty> <ptr>[, mask <m>]
+            let args = split_args(rest);
+            let mut first = args[0].split_whitespace();
+            let mut ty_text = first.next().unwrap_or("").to_string();
+            // vector types contain spaces: `<64 x i8>`
+            if ty_text.starts_with('<') && !ty_text.ends_with('>') {
+                for part in first.by_ref() {
+                    ty_text.push(' ');
+                    ty_text.push_str(part);
+                    if part.ends_with('>') {
+                        break;
+                    }
+                }
+            }
+            let ptr_text: String = first.collect::<Vec<_>>().join(" ");
+            let ty = parse_ty(&ty_text).ok_or_else(|| IrParseError {
+                line,
+                msg: format!("bad load type {ty_text:?}"),
+            })?;
+            let ptr = parse_value(&ptr_text, ids, line)?;
+            let mask = match args.get(1) {
+                Some(m) => Some(parse_value(m.trim_start_matches("mask").trim(), ids, line)?),
+                None => None,
+            };
+            Ok((Inst::Load { ptr, mask }, ty))
+        }
+        "store" => {
+            let args = split_args(rest);
+            let ptr = parse_value(&args[0], ids, line)?;
+            let val = parse_value(&args[1], ids, line)?;
+            let mask = match args.get(2) {
+                Some(m) => Some(parse_value(m.trim_start_matches("mask").trim(), ids, line)?),
+                None => None,
+            };
+            Ok((Inst::Store { ptr, val, mask }, Ty::Void))
+        }
+        "alloca" => Ok((
+            Inst::Alloca {
+                size: parse_value(rest, ids, line)?,
+            },
+            Ty::Scalar(ScalarTy::Ptr),
+        )),
+        "gep" => {
+            let args = split_args(rest);
+            if args.len() != 3 {
+                return err(line, "gep takes base, index, xSCALE");
+            }
+            let scale: u64 = args[2]
+                .trim()
+                .strip_prefix('x')
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| IrParseError {
+                    line,
+                    msg: format!("bad gep scale {:?}", args[2]),
+                })?;
+            Ok((
+                Inst::Gep {
+                    base: parse_value(&args[0], ids, line)?,
+                    index: parse_value(&args[1], ids, line)?,
+                    scale,
+                },
+                Ty::Scalar(ScalarTy::Ptr),
+            ))
+        }
+        "call" | "intrin" => {
+            // call <ty> @name(args) / intrin <ty> name(args)
+            let open = rest.find('(').ok_or_else(|| IrParseError {
+                line,
+                msg: "call needs an argument list".into(),
+            })?;
+            let close = rest.rfind(')').ok_or_else(|| IrParseError {
+                line,
+                msg: "unterminated argument list".into(),
+            })?;
+            let head = rest[..open].trim();
+            let (ty_text, name) = head.rsplit_once(' ').ok_or_else(|| IrParseError {
+                line,
+                msg: "call needs `<ty> @name`".into(),
+            })?;
+            let ty = parse_ty(ty_text).ok_or_else(|| IrParseError {
+                line,
+                msg: format!("bad call type {ty_text:?}"),
+            })?;
+            let args: PResult<Vec<Value>> = split_args(&rest[open + 1..close])
+                .iter()
+                .map(|a| parse_value(a, ids, line))
+                .collect();
+            let args = args?;
+            if mnemonic == "call" {
+                Ok((
+                    Inst::Call {
+                        callee: name.trim_start_matches('@').to_string(),
+                        args,
+                    },
+                    ty,
+                ))
+            } else {
+                let kind = intrinsic_from_name(name).ok_or_else(|| IrParseError {
+                    line,
+                    msg: format!("unknown intrinsic {name:?}"),
+                })?;
+                Ok((Inst::Intrin { kind, args }, ty))
+            }
+        }
+        "phi" => {
+            // phi <ty> [bb0: v], [bb1: v]
+            let bracket = rest.find('[').ok_or_else(|| IrParseError {
+                line,
+                msg: "phi needs incoming edges".into(),
+            })?;
+            let ty = parse_ty(&rest[..bracket]).ok_or_else(|| IrParseError {
+                line,
+                msg: format!("bad phi type {:?}", &rest[..bracket]),
+            })?;
+            let mut incoming = Vec::new();
+            for edge in split_args(&rest[bracket..]) {
+                let inner = edge
+                    .trim()
+                    .strip_prefix('[')
+                    .and_then(|e| e.strip_suffix(']'))
+                    .ok_or_else(|| IrParseError {
+                        line,
+                        msg: format!("bad phi edge {edge:?}"),
+                    })?;
+                let (b, v) = inner.split_once(':').ok_or_else(|| IrParseError {
+                    line,
+                    msg: format!("bad phi edge {edge:?}"),
+                })?;
+                incoming.push((parse_block_ref(b, line)?, parse_value(v, ids, line)?));
+            }
+            Ok((Inst::Phi { incoming }, ty))
+        }
+        other => {
+            // bin / un with a leading type: `add i32 %a, %b` / `not i32 %a`
+            if let Some(op) = bin_from_mnemonic(other) {
+                let mut toks = rest.splitn(2, ' ');
+                let mut ty_text = toks.next().unwrap_or("").to_string();
+                let mut remainder = toks.next().unwrap_or("").to_string();
+                if ty_text.starts_with('<') && !ty_text.ends_with('>') {
+                    let end = remainder.find('>').ok_or_else(|| IrParseError {
+                        line,
+                        msg: "unterminated vector type".into(),
+                    })?;
+                    ty_text.push(' ');
+                    ty_text.push_str(&remainder[..=end]);
+                    remainder = remainder[end + 1..].trim().to_string();
+                }
+                let ty = parse_ty(&ty_text).ok_or_else(|| IrParseError {
+                    line,
+                    msg: format!("bad operand type {ty_text:?}"),
+                })?;
+                let args = split_args(&remainder);
+                if args.len() != 2 {
+                    return err(line, format!("{other} takes two operands"));
+                }
+                return Ok((
+                    Inst::Bin {
+                        op,
+                        a: parse_value(&args[0], ids, line)?,
+                        b: parse_value(&args[1], ids, line)?,
+                    },
+                    ty,
+                ));
+            }
+            if let Some(op) = un_from_mnemonic(other) {
+                let mut toks = rest.splitn(2, ' ');
+                let mut ty_text = toks.next().unwrap_or("").to_string();
+                let mut remainder = toks.next().unwrap_or("").to_string();
+                if ty_text.starts_with('<') && !ty_text.ends_with('>') {
+                    let end = remainder.find('>').ok_or_else(|| IrParseError {
+                        line,
+                        msg: "unterminated vector type".into(),
+                    })?;
+                    ty_text.push(' ');
+                    ty_text.push_str(&remainder[..=end]);
+                    remainder = remainder[end + 1..].trim().to_string();
+                }
+                let ty = parse_ty(&ty_text).ok_or_else(|| IrParseError {
+                    line,
+                    msg: format!("bad operand type {ty_text:?}"),
+                })?;
+                return Ok((
+                    Inst::Un {
+                        op,
+                        a: parse_value(remainder.trim(), ids, line)?,
+                    },
+                    ty,
+                ));
+            }
+            err(line, format!("unknown instruction {other:?}"))
+        }
+    }
+}
+
+fn parse_term(t: &str, ids: &HashMap<u32, InstId>, line: usize) -> PResult<Terminator> {
+    let t = t.trim();
+    if t == "ret" {
+        return Ok(Terminator::Ret(None));
+    }
+    if let Some(v) = t.strip_prefix("ret ") {
+        return Ok(Terminator::Ret(Some(parse_value(v, ids, line)?)));
+    }
+    if let Some(b) = t.strip_prefix("br ") {
+        return Ok(Terminator::Br(parse_block_ref(b, line)?));
+    }
+    if let Some(rest) = t.strip_prefix("condbr ") {
+        let args = split_args(rest);
+        if args.len() != 3 {
+            return err(line, "condbr takes cond, then, else");
+        }
+        return Ok(Terminator::CondBr {
+            cond: parse_value(&args[0], ids, line)?,
+            then_bb: parse_block_ref(&args[1], line)?,
+            else_bb: parse_block_ref(&args[2], line)?,
+        });
+    }
+    err(line, format!("block has no terminator (found {t:?})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::print::print_function;
+    use crate::verify::assert_valid;
+
+    fn round_trip(f: &Function) {
+        let text = print_function(f);
+        let parsed = parse_function(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_valid(&parsed);
+        let text2 = print_function(&parsed);
+        assert_eq!(text, text2, "round trip must be stable");
+    }
+
+    #[test]
+    fn round_trips_scalar_loop() {
+        let mut fb = FunctionBuilder::new(
+            "sum",
+            vec![Param::new("n", Ty::scalar(ScalarTy::I64))],
+            Ty::scalar(ScalarTy::I64),
+        );
+        let header = fb.new_block("header");
+        let body = fb.new_block("body");
+        let exit = fb.new_block("exit");
+        let entry = fb.current_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi_typed(Ty::scalar(ScalarTy::I64), vec![(entry, crate::builder::c_i64(0))]);
+        let c = fb.cmp(CmpPred::Slt, i, Value::Param(0));
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let i2 = fb.bin(BinOp::Add, i, 1i64);
+        fb.phi_add_incoming(i, body, i2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(Some(i));
+        round_trip(&fb.finish());
+    }
+
+    #[test]
+    fn round_trips_vector_ops() {
+        let mut fb = FunctionBuilder::new(
+            "v",
+            vec![Param::noalias("p", Ty::scalar(ScalarTy::Ptr))],
+            Ty::Void,
+        );
+        let cv = fb.const_vec(ScalarTy::I32, vec![1, 2, 3, 4]);
+        let sp = fb.splat(crate::builder::c_i32(9), 4);
+        let s = fb.bin(BinOp::Add, cv, sp);
+        let sh = fb.shuffle_const(s, vec![3, 2, 1, 0]);
+        let m = fb.const_vec(ScalarTy::I1, vec![1, 0, 1, 0]);
+        let sel = fb.select(m, sh, s);
+        let r = fb.reduce(ReduceOp::Add, sel, Some(m));
+        let g = fb.gep(Value::Param(0), r, 4);
+        fb.store(g, r, None);
+        let l = fb.load(Ty::vec(ScalarTy::I32, 4), Value::Param(0), Some(m));
+        let e = fb.extract(l, 2i64);
+        let ins = fb.insert(l, 0i64, e);
+        let idx = fb.const_vec(ScalarTy::I64, vec![0, 0, 1, 1]);
+        let sv = fb.shuffle_var(ins, idx);
+        let cast = fb.cast(CastKind::Trunc, sv, Ty::vec(ScalarTy::I8, 4));
+        let _ = cast;
+        fb.ret(None);
+        round_trip(&fb.finish());
+    }
+
+    #[test]
+    fn round_trips_spmd_and_intrinsics() {
+        let mut params = vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))];
+        params.push(Param::new("gang_base", Ty::scalar(ScalarTy::I64)));
+        params.push(Param::new("num_threads", Ty::scalar(ScalarTy::I64)));
+        let mut fb = FunctionBuilder::new("k", params, Ty::Void);
+        fb.set_spmd(SpmdInfo {
+            gang_size: 8,
+            num_threads: ThreadCount::Const(64),
+            partial: true,
+        });
+        let lane = fb.lane_num();
+        let x = fb.math(MathFn::Exp, vec![crate::builder::c_f32(1.0)]);
+        let sh = fb.shuffle_sync(x, lane);
+        let red = fb.intrin(
+            Intrinsic::GangReduce(ReduceOp::FMax),
+            vec![sh],
+            Ty::scalar(ScalarTy::F32),
+        );
+        let _ = red;
+        fb.gang_sync();
+        fb.ret(None);
+        round_trip(&fb.finish());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = parse_function("func @f() -> void {\nbb0:  ; entry\n  %0 = zorp i32 %arg0\n  ret\n}")
+            .unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.msg.contains("zorp"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Textual printer for functions and modules (debugging aid).
+//!
+//! The syntax is LLVM-flavored but not intended to be parsed back; tests and
+//! passes construct IR through [`crate::FunctionBuilder`].
+
+use crate::function::{Function, Module, ThreadCount};
+use crate::inst::{Inst, Terminator, Value};
+use std::fmt::Write;
+
+fn fmt_value(v: Value) -> String {
+    match v {
+        Value::Const(c) => c.to_string(),
+        Value::Param(i) => format!("%arg{i}"),
+        Value::Inst(i) => format!("%{}", i.0),
+    }
+}
+
+/// Renders one function.
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    let params = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            format!(
+                "{} %arg{}{}",
+                p.ty,
+                i,
+                if p.noalias { " noalias" } else { "" }
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = write!(out, "func @{}({}) -> {}", f.name, params, f.ret);
+    if let Some(s) = f.spmd {
+        let n = match s.num_threads {
+            ThreadCount::Const(n) => n.to_string(),
+            ThreadCount::Dynamic => "dyn".into(),
+        };
+        let _ = write!(
+            out,
+            " spmd(gang_size={}, num_threads={}{})",
+            s.gang_size,
+            n,
+            if s.partial { ", partial" } else { "" }
+        );
+    }
+    out.push_str(" {\n");
+    for b in f.block_ids() {
+        let blk = f.block(b);
+        let _ = writeln!(out, "{}:  ; {}", b, blk.name);
+        for &id in &blk.insts {
+            let inst = f.inst(id);
+            let ty = f.inst_ty(id);
+            let body = match inst {
+                Inst::Bin { op, a, b } => {
+                    format!("{} {} {}, {}", op.mnemonic(), ty, fmt_value(*a), fmt_value(*b))
+                }
+                Inst::Un { op, a } => format!("{} {} {}", op.mnemonic(), ty, fmt_value(*a)),
+                Inst::Cmp { pred, a, b } => format!(
+                    "cmp.{} {}, {}",
+                    pred.mnemonic(),
+                    fmt_value(*a),
+                    fmt_value(*b)
+                ),
+                Inst::Cast { kind, a } => {
+                    format!("{} {} to {}", kind.mnemonic(), fmt_value(*a), ty)
+                }
+                Inst::Select { cond, t, f: fv } => format!(
+                    "select {}, {}, {}",
+                    fmt_value(*cond),
+                    fmt_value(*t),
+                    fmt_value(*fv)
+                ),
+                Inst::Splat { a } => format!("splat {} to {}", fmt_value(*a), ty),
+                Inst::ConstVec { elem, lanes } => {
+                    let ls = lanes
+                        .iter()
+                        .map(|l| l.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!("constvec {elem} [{ls}]")
+                }
+                Inst::Extract { v, lane } => {
+                    format!("extract {}, {}", fmt_value(*v), fmt_value(*lane))
+                }
+                Inst::Insert { v, lane, x } => format!(
+                    "insert {}, {}, {}",
+                    fmt_value(*v),
+                    fmt_value(*lane),
+                    fmt_value(*x)
+                ),
+                Inst::ShuffleConst { v, pattern } => {
+                    format!("shuffle {} {:?}", fmt_value(*v), pattern)
+                }
+                Inst::ShuffleVar { v, idx } => {
+                    format!("shufflevar {}, {}", fmt_value(*v), fmt_value(*idx))
+                }
+                Inst::Load { ptr, mask } => format!(
+                    "load {} {}{}",
+                    ty,
+                    fmt_value(*ptr),
+                    mask.map(|m| format!(", mask {}", fmt_value(m)))
+                        .unwrap_or_default()
+                ),
+                Inst::Store { ptr, val, mask } => format!(
+                    "store {}, {}{}",
+                    fmt_value(*ptr),
+                    fmt_value(*val),
+                    mask.map(|m| format!(", mask {}", fmt_value(m)))
+                        .unwrap_or_default()
+                ),
+                Inst::Alloca { size } => format!("alloca {}", fmt_value(*size)),
+                Inst::Gep { base, index, scale } => format!(
+                    "gep {}, {}, x{}",
+                    fmt_value(*base),
+                    fmt_value(*index),
+                    scale
+                ),
+                Inst::Call { callee, args } => format!(
+                    "call {} @{}({})",
+                    ty,
+                    callee,
+                    args.iter()
+                        .map(|a| fmt_value(*a))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                Inst::Intrin { kind, args } => format!(
+                    "intrin {} {}({})",
+                    ty,
+                    kind.name(),
+                    args.iter()
+                        .map(|a| fmt_value(*a))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                Inst::Phi { incoming } => format!(
+                    "phi {} {}",
+                    ty,
+                    incoming
+                        .iter()
+                        .map(|(b, v)| format!("[{}: {}]", b, fmt_value(*v)))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                Inst::Reduce { op, v, mask } => format!(
+                    "reduce.{} {}{}",
+                    op.mnemonic(),
+                    fmt_value(*v),
+                    mask.map(|m| format!(", mask {}", fmt_value(m)))
+                        .unwrap_or_default()
+                ),
+            };
+            if ty.is_void() {
+                let _ = writeln!(out, "  {body}");
+            } else {
+                let _ = writeln!(out, "  %{} = {}", id.0, body);
+            }
+        }
+        let term = match &blk.term {
+            Terminator::Br(t) => format!("br {t}"),
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => format!("condbr {}, {}, {}", fmt_value(*cond), then_bb, else_bb),
+            Terminator::Ret(None) => "ret".to_string(),
+            Terminator::Ret(Some(v)) => format!("ret {}", fmt_value(*v)),
+        };
+        let _ = writeln!(out, "  {term}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a whole module.
+pub fn print_module(m: &Module) -> String {
+    m.functions().map(print_function).collect::<Vec<_>>().join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::Param;
+    use crate::inst::{BinOp, Value};
+    use crate::types::{ScalarTy, Ty};
+
+    #[test]
+    fn printer_emits_blocks_and_insts() {
+        let mut fb = FunctionBuilder::new(
+            "f",
+            vec![Param::new("x", Ty::scalar(ScalarTy::I32))],
+            Ty::scalar(ScalarTy::I32),
+        );
+        let s = fb.bin(BinOp::Add, Value::Param(0), 2i32);
+        fb.ret(Some(s));
+        let text = print_function(&fb.finish());
+        assert!(text.contains("func @f"));
+        assert!(text.contains("add i32 %arg0, 2i32"));
+        assert!(text.contains("ret %0"));
+    }
+}

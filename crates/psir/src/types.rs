@@ -1,0 +1,241 @@
+//! Scalar and vector types for the IR.
+//!
+//! The type system deliberately mirrors the subset of LLVM's type system that
+//! the Parsimony paper's vectorizer manipulates: fixed-width integers, IEEE
+//! floats, an opaque pointer type, and fixed-length vectors of those.
+//! Signedness is a property of *operations* (e.g. [`crate::BinOp::SDiv`] vs
+//! [`crate::BinOp::UDiv`]), not of types, exactly as in LLVM IR.
+
+use std::fmt;
+
+/// A scalar (single-lane) type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScalarTy {
+    /// 1-bit boolean (predicate / mask element).
+    I1,
+    /// 8-bit integer.
+    I8,
+    /// 16-bit integer.
+    I16,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// IEEE-754 binary32.
+    F32,
+    /// IEEE-754 binary64.
+    F64,
+    /// Opaque pointer (modeled as a 64-bit address into the flat memory of
+    /// the virtual machine).
+    Ptr,
+}
+
+impl ScalarTy {
+    /// Width of the type in bits. [`ScalarTy::I1`] reports 1 even though it
+    /// occupies a whole byte in memory.
+    pub fn bits(self) -> u32 {
+        match self {
+            ScalarTy::I1 => 1,
+            ScalarTy::I8 => 8,
+            ScalarTy::I16 => 16,
+            ScalarTy::I32 => 32,
+            ScalarTy::I64 => 64,
+            ScalarTy::F32 => 32,
+            ScalarTy::F64 => 64,
+            ScalarTy::Ptr => 64,
+        }
+    }
+
+    /// Size of the type in bytes when stored in memory.
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            ScalarTy::I1 | ScalarTy::I8 => 1,
+            ScalarTy::I16 => 2,
+            ScalarTy::I32 | ScalarTy::F32 => 4,
+            ScalarTy::I64 | ScalarTy::F64 | ScalarTy::Ptr => 8,
+        }
+    }
+
+    /// Whether this is an integer type (including `i1`).
+    pub fn is_int(self) -> bool {
+        matches!(
+            self,
+            ScalarTy::I1 | ScalarTy::I8 | ScalarTy::I16 | ScalarTy::I32 | ScalarTy::I64
+        )
+    }
+
+    /// Whether this is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarTy::F32 | ScalarTy::F64)
+    }
+
+    /// Whether this is the pointer type.
+    pub fn is_ptr(self) -> bool {
+        self == ScalarTy::Ptr
+    }
+
+    /// Mask with the low `bits()` bits set (all-ones for 64-bit types).
+    pub fn bit_mask(self) -> u64 {
+        match self.bits() {
+            64 => u64::MAX,
+            b => (1u64 << b) - 1,
+        }
+    }
+}
+
+impl fmt::Display for ScalarTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScalarTy::I1 => "i1",
+            ScalarTy::I8 => "i8",
+            ScalarTy::I16 => "i16",
+            ScalarTy::I32 => "i32",
+            ScalarTy::I64 => "i64",
+            ScalarTy::F32 => "f32",
+            ScalarTy::F64 => "f64",
+            ScalarTy::Ptr => "ptr",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A first-class IR type: void, scalar, or fixed-length vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// The type of instructions that produce no value (e.g. stores).
+    Void,
+    /// A single-lane value.
+    Scalar(ScalarTy),
+    /// A fixed-length vector: `lanes` elements of `elem`.
+    Vec(ScalarTy, u32),
+}
+
+impl Ty {
+    /// Shorthand for a scalar type.
+    pub fn scalar(s: ScalarTy) -> Ty {
+        Ty::Scalar(s)
+    }
+
+    /// Shorthand for a vector type.
+    ///
+    /// # Panics
+    /// Panics if `lanes == 0`.
+    pub fn vec(elem: ScalarTy, lanes: u32) -> Ty {
+        assert!(lanes > 0, "vector types must have at least one lane");
+        Ty::Vec(elem, lanes)
+    }
+
+    /// The element type: the scalar itself for scalars, the lane type for
+    /// vectors, `None` for void.
+    pub fn elem(self) -> Option<ScalarTy> {
+        match self {
+            Ty::Void => None,
+            Ty::Scalar(s) | Ty::Vec(s, _) => Some(s),
+        }
+    }
+
+    /// Number of lanes (1 for scalars, 0 for void).
+    pub fn lanes(self) -> u32 {
+        match self {
+            Ty::Void => 0,
+            Ty::Scalar(_) => 1,
+            Ty::Vec(_, n) => n,
+        }
+    }
+
+    /// Whether this is a vector type.
+    pub fn is_vec(self) -> bool {
+        matches!(self, Ty::Vec(..))
+    }
+
+    /// Whether this is a scalar type.
+    pub fn is_scalar(self) -> bool {
+        matches!(self, Ty::Scalar(_))
+    }
+
+    /// Whether this is void.
+    pub fn is_void(self) -> bool {
+        self == Ty::Void
+    }
+
+    /// The same element type with a (possibly) different lane count:
+    /// `with_lanes(1)` gives the scalar type.
+    ///
+    /// # Panics
+    /// Panics on [`Ty::Void`].
+    pub fn with_lanes(self, lanes: u32) -> Ty {
+        let e = self.elem().expect("void type has no element");
+        if lanes == 1 {
+            Ty::Scalar(e)
+        } else {
+            Ty::Vec(e, lanes)
+        }
+    }
+
+    /// Total size in bytes when densely packed in memory.
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            Ty::Void => 0,
+            Ty::Scalar(s) => s.size_bytes(),
+            Ty::Vec(s, n) => s.size_bytes() * n as u64,
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Void => f.write_str("void"),
+            Ty::Scalar(s) => write!(f, "{s}"),
+            Ty::Vec(s, n) => write!(f, "<{n} x {s}>"),
+        }
+    }
+}
+
+impl From<ScalarTy> for Ty {
+    fn from(s: ScalarTy) -> Ty {
+        Ty::Scalar(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(ScalarTy::I1.size_bytes(), 1);
+        assert_eq!(ScalarTy::I8.size_bytes(), 1);
+        assert_eq!(ScalarTy::I16.size_bytes(), 2);
+        assert_eq!(ScalarTy::I32.size_bytes(), 4);
+        assert_eq!(ScalarTy::I64.size_bytes(), 8);
+        assert_eq!(ScalarTy::F32.size_bytes(), 4);
+        assert_eq!(ScalarTy::F64.size_bytes(), 8);
+        assert_eq!(ScalarTy::Ptr.size_bytes(), 8);
+    }
+
+    #[test]
+    fn bit_masks() {
+        assert_eq!(ScalarTy::I1.bit_mask(), 1);
+        assert_eq!(ScalarTy::I8.bit_mask(), 0xff);
+        assert_eq!(ScalarTy::I16.bit_mask(), 0xffff);
+        assert_eq!(ScalarTy::I64.bit_mask(), u64::MAX);
+    }
+
+    #[test]
+    fn ty_lanes_and_display() {
+        let v = Ty::vec(ScalarTy::I32, 16);
+        assert_eq!(v.lanes(), 16);
+        assert_eq!(v.elem(), Some(ScalarTy::I32));
+        assert_eq!(v.to_string(), "<16 x i32>");
+        assert_eq!(v.with_lanes(1), Ty::Scalar(ScalarTy::I32));
+        assert_eq!(v.size_bytes(), 64);
+        assert_eq!(Ty::Void.lanes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lane_vector_panics() {
+        let _ = Ty::vec(ScalarTy::I8, 0);
+    }
+}

@@ -1,0 +1,509 @@
+//! IR verifier: structural, type and SSA-dominance checks.
+//!
+//! Passes in this workspace verify their output in tests, which is how the
+//! vectorizer's invariants (mask types, shuffle widths, φ placement) are kept
+//! honest without an external toolchain.
+
+use crate::analysis::DomTree;
+use crate::function::Function;
+use crate::inst::{BlockId, CastKind, Inst, InstId, Intrinsic, Terminator, Value};
+use crate::types::{ScalarTy, Ty};
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+/// A verification failure, with enough context to locate the offender.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function in which the error occurred.
+    pub func: String,
+    /// Offending block, if applicable.
+    pub block: Option<BlockId>,
+    /// Offending instruction, if applicable.
+    pub inst: Option<InstId>,
+    /// Description of the failure.
+    pub msg: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verify error in @{}", self.func)?;
+        if let Some(b) = self.block {
+            write!(f, " {b}")?;
+        }
+        if let Some(i) = self.inst {
+            write!(f, " {i}")?;
+        }
+        write!(f, ": {}", self.msg)
+    }
+}
+
+impl Error for VerifyError {}
+
+struct Verifier<'f> {
+    f: &'f Function,
+    errors: Vec<VerifyError>,
+    cur_block: Option<BlockId>,
+    cur_inst: Option<InstId>,
+}
+
+impl<'f> Verifier<'f> {
+    fn err(&mut self, msg: impl Into<String>) {
+        self.errors.push(VerifyError {
+            func: self.f.name.clone(),
+            block: self.cur_block,
+            inst: self.cur_inst,
+            msg: msg.into(),
+        });
+    }
+
+    fn check_same_ty(&mut self, what: &str, a: Ty, b: Ty) {
+        if a != b {
+            self.err(format!("{what}: type mismatch {a} vs {b}"));
+        }
+    }
+
+    fn check_mask(&mut self, mask: Value, lanes: u32) {
+        let mt = self.f.value_ty(mask);
+        if mt != Ty::Vec(ScalarTy::I1, lanes) && !(lanes == 1 && mt == Ty::Scalar(ScalarTy::I1)) {
+            self.err(format!("mask must be <{lanes} x i1>, got {mt}"));
+        }
+    }
+
+    fn check_inst(&mut self, id: InstId) {
+        let inst = self.f.inst(id).clone();
+        let ty = self.f.inst_ty(id);
+        let vt = |v: Value| self.f.value_ty(v);
+        match &inst {
+            Inst::Bin { op, a, b } => {
+                self.check_same_ty("bin operands", vt(*a), vt(*b));
+                self.check_same_ty("bin result", ty, vt(*a));
+                if let Some(e) = ty.elem() {
+                    if op.is_float() != e.is_float() {
+                        self.err(format!("{} applied to {}", op.mnemonic(), ty));
+                    }
+                }
+            }
+            Inst::Un { .. } => {
+                // result == operand type enforced by builder; tolerate here.
+            }
+            Inst::Cmp { pred, a, b } => {
+                self.check_same_ty("cmp operands", vt(*a), vt(*b));
+                let lanes = vt(*a).lanes().max(1);
+                let want = if lanes == 1 {
+                    Ty::Scalar(ScalarTy::I1)
+                } else {
+                    Ty::Vec(ScalarTy::I1, lanes)
+                };
+                self.check_same_ty("cmp result", ty, want);
+                if let Some(e) = vt(*a).elem() {
+                    if pred.is_float() != e.is_float() {
+                        self.err(format!("cmp.{} applied to {}", pred.mnemonic(), vt(*a)));
+                    }
+                }
+            }
+            Inst::Cast { kind, a } => {
+                let from = vt(*a);
+                if from.lanes() != ty.lanes() {
+                    self.err(format!("cast changes lane count: {from} to {ty}"));
+                }
+                if *kind == CastKind::Bitcast {
+                    if from.elem().map(|e| e.bits()) != ty.elem().map(|e| e.bits()) {
+                        self.err(format!("bitcast width mismatch: {from} to {ty}"));
+                    }
+                }
+            }
+            Inst::Select { cond, t, f: fv } => {
+                self.check_same_ty("select arms", vt(*t), vt(*fv));
+                self.check_same_ty("select result", ty, vt(*t));
+                let ct = vt(*cond);
+                let ok = ct == Ty::Scalar(ScalarTy::I1)
+                    || ct == Ty::Vec(ScalarTy::I1, ty.lanes());
+                if !ok {
+                    self.err(format!("select condition has type {ct} for result {ty}"));
+                }
+            }
+            Inst::Splat { a } => {
+                if !ty.is_vec() {
+                    self.err(format!("splat result must be a vector, got {ty}"));
+                }
+                if vt(*a).elem() != ty.elem() || vt(*a).is_vec() {
+                    self.err(format!("splat of {} to {ty}", vt(*a)));
+                }
+            }
+            Inst::ConstVec { elem, lanes } => {
+                self.check_same_ty("constvec", ty, Ty::vec(*elem, lanes.len() as u32));
+            }
+            Inst::Extract { v, lane } => {
+                if !vt(*v).is_vec() {
+                    self.err("extract from non-vector");
+                }
+                if !vt(*lane).elem().map(|e| e.is_int()).unwrap_or(false) {
+                    self.err("extract lane index must be an integer");
+                }
+            }
+            Inst::Insert { v, x, .. } => {
+                self.check_same_ty("insert result", ty, vt(*v));
+                if vt(*x).elem() != ty.elem() {
+                    self.err("insert element type mismatch");
+                }
+            }
+            Inst::ShuffleConst { v, pattern } => {
+                let src = vt(*v);
+                if !src.is_vec() {
+                    self.err("shuffle of non-vector");
+                } else {
+                    for &p in pattern {
+                        if p >= src.lanes() {
+                            self.err(format!("shuffle index {p} out of range for {src}"));
+                        }
+                    }
+                }
+            }
+            Inst::ShuffleVar { v, idx } => {
+                self.check_same_ty("shufflevar result", ty, vt(*v));
+                if vt(*idx).lanes() != ty.lanes() {
+                    self.err("shufflevar index lane count mismatch");
+                }
+            }
+            Inst::Load { ptr, mask } => {
+                let pt = vt(*ptr);
+                if pt.elem() != Some(ScalarTy::Ptr) {
+                    self.err(format!("load pointer has type {pt}"));
+                }
+                if pt.is_vec() && pt.lanes() != ty.lanes() {
+                    self.err("gather lane count mismatch");
+                }
+                if let Some(m) = mask {
+                    self.check_mask(*m, ty.lanes().max(1));
+                }
+                if ty.is_void() {
+                    self.err("load must produce a value");
+                }
+            }
+            Inst::Store { ptr, val, mask } => {
+                let pt = vt(*ptr);
+                if pt.elem() != Some(ScalarTy::Ptr) {
+                    self.err(format!("store pointer has type {pt}"));
+                }
+                let vty = vt(*val);
+                if pt.is_vec() && pt.lanes() != vty.lanes() {
+                    self.err("scatter lane count mismatch");
+                }
+                if let Some(m) = mask {
+                    self.check_mask(*m, vty.lanes().max(1));
+                }
+            }
+            Inst::Alloca { size } => {
+                if Some(id) == self.cur_inst {
+                    // position check happens in verify_function (entry block)
+                }
+                if !vt(*size).elem().map(|e| e.is_int()).unwrap_or(false) {
+                    self.err("alloca size must be an integer");
+                }
+            }
+            Inst::Gep { base, index, .. } => {
+                if vt(*base).elem() != Some(ScalarTy::Ptr) {
+                    self.err("gep base must be a pointer");
+                }
+                if !vt(*index).elem().map(|e| e.is_int()).unwrap_or(false) {
+                    self.err("gep index must be an integer");
+                }
+            }
+            Inst::Call { .. } => {}
+            Inst::Intrin { kind, args } => match kind {
+                Intrinsic::Shuffle | Intrinsic::Broadcast => {
+                    if args.len() != 2 {
+                        self.err(format!("{} takes 2 arguments", kind.name()));
+                    }
+                }
+                Intrinsic::GangSync => {
+                    if !ty.is_void() {
+                        self.err("gang_sync produces no value");
+                    }
+                }
+                Intrinsic::Math(m) => {
+                    if args.len() != m.arity() {
+                        self.err(format!("math.{} takes {} arguments", m.name(), m.arity()));
+                    }
+                }
+                _ => {}
+            },
+            Inst::Phi { incoming } => {
+                for (_, v) in incoming {
+                    self.check_same_ty("phi incoming", ty, vt(*v));
+                }
+            }
+            Inst::Reduce { v, mask, .. } => {
+                let src = vt(*v);
+                if !src.is_vec() {
+                    self.err("reduce of non-vector");
+                }
+                if Some(ty) != src.elem().map(Ty::Scalar) {
+                    self.err("reduce result must be the element type");
+                }
+                if let Some(m) = mask {
+                    self.check_mask(*m, src.lanes());
+                }
+            }
+        }
+    }
+}
+
+/// Verifies a function. Returns all errors found (empty = valid).
+pub fn verify_function(f: &Function) -> Vec<VerifyError> {
+    let mut v = Verifier {
+        f,
+        errors: Vec::new(),
+        cur_block: None,
+        cur_inst: None,
+    };
+
+    // Block ids in terminators must be valid; instruction ids must be valid
+    // and appear in exactly one block.
+    let nblocks = f.num_blocks() as u32;
+    let mut placement: HashMap<InstId, BlockId> = HashMap::new();
+    for b in f.block_ids() {
+        v.cur_block = Some(b);
+        v.cur_inst = None;
+        for s in f.block(b).term.successors() {
+            if s.0 >= nblocks {
+                v.err(format!("terminator targets nonexistent block {s}"));
+            }
+        }
+        if let Terminator::CondBr { cond, .. } = f.block(b).term {
+            if f.value_ty(cond) != Ty::Scalar(ScalarTy::I1) {
+                v.err(format!(
+                    "condbr condition must be scalar i1, got {}",
+                    f.value_ty(cond)
+                ));
+            }
+        }
+        let mut seen_non_phi = false;
+        for &i in &f.block(b).insts {
+            if i.0 as usize >= f.num_insts() {
+                v.err(format!("block references nonexistent inst {i}"));
+                continue;
+            }
+            if placement.insert(i, b).is_some() {
+                v.cur_inst = Some(i);
+                v.err("instruction appears in more than one block");
+            }
+            match f.inst(i) {
+                Inst::Phi { .. } => {
+                    if seen_non_phi {
+                        v.cur_inst = Some(i);
+                        v.err("phi after non-phi instruction");
+                    }
+                }
+                Inst::Alloca { .. } => {
+                    seen_non_phi = true;
+                    if b != f.entry {
+                        v.cur_inst = Some(i);
+                        v.err("alloca outside entry block");
+                    }
+                }
+                _ => seen_non_phi = true,
+            }
+        }
+    }
+
+    // Per-instruction type checks.
+    for b in f.block_ids() {
+        v.cur_block = Some(b);
+        for &i in &f.block(b).insts.clone() {
+            v.cur_inst = Some(i);
+            v.check_inst(i);
+        }
+    }
+
+    // φ incoming edges must exactly cover predecessors; SSA dominance.
+    let dom = DomTree::compute(f);
+    let preds = f.predecessors();
+    for b in f.block_ids() {
+        if !dom.is_reachable(b) {
+            continue;
+        }
+        v.cur_block = Some(b);
+        let pred_set: HashSet<BlockId> = preds[&b].iter().copied().collect();
+        for &i in &f.block(b).insts {
+            v.cur_inst = Some(i);
+            if let Inst::Phi { incoming } = f.inst(i) {
+                let in_set: HashSet<BlockId> = incoming.iter().map(|(p, _)| *p).collect();
+                if in_set != pred_set {
+                    v.err(format!(
+                        "phi incoming blocks {in_set:?} do not match predecessors {pred_set:?}"
+                    ));
+                }
+            }
+            // Dominance: each inst operand must be defined in a block that
+            // dominates the use (with the φ-edge exception).
+            let inst = f.inst(i).clone();
+            let operands: Vec<(Value, Option<BlockId>)> = match &inst {
+                Inst::Phi { incoming } => incoming.iter().map(|(p, val)| (*val, Some(*p))).collect(),
+                other => other.operands().into_iter().map(|o| (o, None)).collect(),
+            };
+            for (op, via_edge) in operands {
+                if let Value::Inst(def) = op {
+                    if def.0 as usize >= f.num_insts() {
+                        v.err(format!("operand references nonexistent inst {def}"));
+                        continue;
+                    }
+                    let Some(&def_block) = placement.get(&def) else {
+                        v.err(format!("operand {def} is not placed in any block"));
+                        continue;
+                    };
+                    let use_block = via_edge.unwrap_or(b);
+                    let ok = if def_block == use_block && via_edge.is_none() {
+                        // Same-block: def must come first.
+                        let blk = f.block(b);
+                        let di = blk.insts.iter().position(|&x| x == def);
+                        let ui = blk.insts.iter().position(|&x| x == i);
+                        matches!((di, ui), (Some(d), Some(u)) if d < u)
+                    } else {
+                        dom.dominates(def_block, use_block)
+                    };
+                    if !ok && dom.is_reachable(use_block) {
+                        v.err(format!("use of {def} does not satisfy dominance"));
+                    }
+                }
+            }
+        }
+    }
+    v.errors
+}
+
+/// Verifies a function, panicking with a readable report on failure.
+/// Intended for tests and debug assertions inside passes.
+///
+/// # Panics
+/// Panics if the function fails verification.
+pub fn assert_valid(f: &Function) {
+    let errs = verify_function(f);
+    if !errs.is_empty() {
+        let report = errs
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        panic!(
+            "IR verification failed:\n{report}\n--- function ---\n{}",
+            crate::print::print_function(f)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::Param;
+    use crate::inst::{BinOp, CmpPred};
+    use crate::types::{ScalarTy, Ty};
+
+    #[test]
+    fn valid_function_passes() {
+        let mut fb = FunctionBuilder::new(
+            "ok",
+            vec![Param::new("x", Ty::scalar(ScalarTy::I32))],
+            Ty::scalar(ScalarTy::I32),
+        );
+        let y = fb.bin(BinOp::Mul, Value::Param(0), 3i32);
+        fb.ret(Some(y));
+        assert!(verify_function(&fb.finish()).is_empty());
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let mut fb = FunctionBuilder::new(
+            "bad",
+            vec![Param::new("x", Ty::scalar(ScalarTy::I32))],
+            Ty::scalar(ScalarTy::I32),
+        );
+        // i32 + i64 constant: mismatch
+        let y = fb.bin(BinOp::Add, Value::Param(0), 1i64);
+        fb.ret(Some(y));
+        let errs = verify_function(&fb.finish());
+        assert!(errs.iter().any(|e| e.msg.contains("type mismatch")));
+    }
+
+    #[test]
+    fn float_op_on_int_detected() {
+        let mut fb = FunctionBuilder::new(
+            "bad2",
+            vec![Param::new("x", Ty::scalar(ScalarTy::I32))],
+            Ty::scalar(ScalarTy::I32),
+        );
+        let y = fb.bin(BinOp::FAdd, Value::Param(0), 1i32);
+        fb.ret(Some(y));
+        let errs = verify_function(&fb.finish());
+        assert!(errs.iter().any(|e| e.msg.contains("fadd")));
+    }
+
+    #[test]
+    fn phi_incoming_mismatch_detected() {
+        let mut fb = FunctionBuilder::new("bad3", vec![], Ty::scalar(ScalarTy::I32));
+        let b1 = fb.new_block("b1");
+        let b2 = fb.new_block("b2");
+        let j = fb.new_block("j");
+        let c = fb.cmp(CmpPred::Eq, 0i32, 0i32);
+        fb.cond_br(c, b1, b2);
+        fb.switch_to(b1);
+        fb.br(j);
+        fb.switch_to(b2);
+        fb.br(j);
+        fb.switch_to(j);
+        // Missing the b2 edge.
+        let p = fb.phi_typed(Ty::scalar(ScalarTy::I32), vec![(b1, crate::builder::c_i32(1))]);
+        fb.ret(Some(p));
+        let errs = verify_function(&fb.finish());
+        assert!(errs.iter().any(|e| e.msg.contains("phi incoming")));
+    }
+
+    #[test]
+    fn dominance_violation_detected() {
+        let mut fb = FunctionBuilder::new("bad4", vec![], Ty::Void);
+        let b1 = fb.new_block("b1");
+        let b2 = fb.new_block("b2");
+        let j = fb.new_block("j");
+        let c = fb.cmp(CmpPred::Eq, 0i32, 0i32);
+        fb.cond_br(c, b1, b2);
+        fb.switch_to(b1);
+        let only_in_b1 = fb.bin(BinOp::Add, 1i32, 2i32);
+        fb.br(j);
+        fb.switch_to(b2);
+        fb.br(j);
+        fb.switch_to(j);
+        // Uses a value that does not dominate the join.
+        let _bad = fb.bin(BinOp::Add, only_in_b1, 1i32);
+        fb.ret(None);
+        let errs = verify_function(&fb.finish());
+        assert!(errs.iter().any(|e| e.msg.contains("dominance")));
+    }
+
+    #[test]
+    fn alloca_outside_entry_detected() {
+        let mut fb = FunctionBuilder::new("bad5", vec![], Ty::Void);
+        let b1 = fb.new_block("b1");
+        fb.br(b1);
+        fb.switch_to(b1);
+        let _a = fb.alloca(16i64);
+        fb.ret(None);
+        let errs = verify_function(&fb.finish());
+        assert!(errs.iter().any(|e| e.msg.contains("alloca outside entry")));
+    }
+
+    #[test]
+    fn condbr_on_non_bool_detected() {
+        let mut fb = FunctionBuilder::new("bad6", vec![], Ty::Void);
+        let b1 = fb.new_block("b1");
+        let b2 = fb.new_block("b2");
+        fb.cond_br(3i32, b1, b2);
+        fb.switch_to(b1);
+        fb.ret(None);
+        fb.switch_to(b2);
+        fb.ret(None);
+        let errs = verify_function(&fb.finish());
+        assert!(errs.iter().any(|e| e.msg.contains("condbr condition")));
+    }
+}

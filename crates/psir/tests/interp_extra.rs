@@ -1,0 +1,144 @@
+//! Additional interpreter coverage: vector shuffles, masked reductions,
+//! module-internal calls, and external-function dispatch.
+
+use psir::{
+    BinOp, CostModel, ExecError, ExternFns, FunctionBuilder, Interp, Memory, Module, Param,
+    ReduceOp, RtVal, ScalarTy, Terminator, Ty, UnitCost, Value,
+};
+
+#[test]
+fn shuffles_and_lane_ops() {
+    let mut fb = FunctionBuilder::new("s", vec![], Ty::scalar(ScalarTy::I32));
+    let v = fb.const_vec(ScalarTy::I32, vec![10, 20, 30, 40]);
+    let rev = fb.shuffle_const(v, vec![3, 2, 1, 0]);
+    let idx = fb.const_vec(ScalarTy::I64, vec![1, 1, 5, 2]); // 5 % 4 = 1
+    let sh = fb.shuffle_var(rev, idx);
+    let with7 = fb.insert(sh, 0i64, 7i32);
+    let x0 = fb.extract(with7, 0i64);
+    let x2 = fb.extract(with7, 2i64);
+    let r = fb.bin(BinOp::Add, x0, x2);
+    fb.ret(Some(r));
+    let mut m = Module::new();
+    m.add_function(fb.finish());
+    let mut it = Interp::with_defaults(&m, Memory::default());
+    // rev = [40,30,20,10]; sh = [30,30,30,20]; with7[0]=7, with7[2]=30
+    assert_eq!(it.call("s", &[]).unwrap(), RtVal::S(37));
+}
+
+#[test]
+fn masked_reduction_skips_lanes() {
+    let mut fb = FunctionBuilder::new("mr", vec![], Ty::scalar(ScalarTy::I32));
+    let v = fb.const_vec(ScalarTy::I32, vec![1, 2, 4, 8]);
+    let mask = fb.const_vec(ScalarTy::I1, vec![1, 0, 1, 0]);
+    let r = fb.reduce(ReduceOp::Add, v, Some(mask));
+    fb.ret(Some(r));
+    let mut m = Module::new();
+    m.add_function(fb.finish());
+    let mut it = Interp::with_defaults(&m, Memory::default());
+    assert_eq!(it.call("mr", &[]).unwrap(), RtVal::S(5));
+}
+
+#[test]
+fn module_internal_calls_recurse() {
+    let mut m = Module::new();
+    let mut g = FunctionBuilder::new(
+        "double",
+        vec![Param::new("x", Ty::scalar(ScalarTy::I64))],
+        Ty::scalar(ScalarTy::I64),
+    );
+    let r = g.bin(BinOp::Add, Value::Param(0), Value::Param(0));
+    g.ret(Some(r));
+    m.add_function(g.finish());
+    let mut f = FunctionBuilder::new(
+        "quad",
+        vec![Param::new("x", Ty::scalar(ScalarTy::I64))],
+        Ty::scalar(ScalarTy::I64),
+    );
+    let once = f.call("double", Ty::scalar(ScalarTy::I64), vec![Value::Param(0)]);
+    let twice = f.call("double", Ty::scalar(ScalarTy::I64), vec![once]);
+    f.ret(Some(twice));
+    m.add_function(f.finish());
+    let mut it = Interp::with_defaults(&m, Memory::default());
+    assert_eq!(it.call("quad", &[RtVal::S(11)]).unwrap(), RtVal::S(44));
+    assert_eq!(it.stats.calls, 2);
+}
+
+struct TestExterns;
+
+impl ExternFns for TestExterns {
+    fn call(&self, name: &str, args: &[RtVal]) -> Result<RtVal, ExecError> {
+        match name {
+            "test.negate" => Ok(RtVal::S(
+                (args[0].scalar()? as i64).wrapping_neg() as u64 & 0xffff_ffff,
+            )),
+            other => Err(ExecError::UnknownFunction(other.to_string())),
+        }
+    }
+}
+
+struct CountingCost;
+
+impl CostModel for CountingCost {
+    fn inst_cost(&self, _f: &psir::Function, _id: psir::InstId) -> u64 {
+        3
+    }
+    fn extern_call_cost(&self, _name: &str, _ret: Ty) -> u64 {
+        100
+    }
+    fn term_cost(&self, _f: &psir::Function, _t: &Terminator) -> u64 {
+        0
+    }
+}
+
+#[test]
+fn extern_dispatch_and_cost_accounting() {
+    let mut fb = FunctionBuilder::new(
+        "f",
+        vec![Param::new("x", Ty::scalar(ScalarTy::I32))],
+        Ty::scalar(ScalarTy::I32),
+    );
+    let n = fb.call("test.negate", Ty::scalar(ScalarTy::I32), vec![Value::Param(0)]);
+    fb.ret(Some(n));
+    let mut m = Module::new();
+    m.add_function(fb.finish());
+    let ext = TestExterns;
+    let cost = CountingCost;
+    let mut it = Interp::new(&m, Memory::default(), &cost, &ext);
+    let r = it.call("f", &[RtVal::S(5)]).unwrap();
+    assert_eq!(psir::sext(ScalarTy::I32, r.scalar().unwrap()), -5);
+    // 1 call inst (3) + extern (100); terminators free.
+    assert_eq!(it.cycles, 103);
+
+    // Unknown extern is an error, not a crash.
+    let mut fb = FunctionBuilder::new("g", vec![], Ty::scalar(ScalarTy::I32));
+    let n = fb.call("test.nosuch", Ty::scalar(ScalarTy::I32), vec![]);
+    fb.ret(Some(n));
+    m.add_function(fb.finish());
+    let mut it = Interp::new(&m, Memory::default(), &UnitCost, &ext);
+    assert!(matches!(
+        it.call("g", &[]),
+        Err(ExecError::UnknownFunction(_))
+    ));
+}
+
+#[test]
+fn oob_gather_faults() {
+    let mut fb = FunctionBuilder::new(
+        "bad",
+        vec![Param::new("p", Ty::scalar(ScalarTy::Ptr))],
+        Ty::Void,
+    );
+    let idx = fb.const_vec(ScalarTy::I64, vec![0, 1 << 40]);
+    let ptrs = fb.gep(Value::Param(0), idx, 4);
+    let _ = fb.load(Ty::vec(ScalarTy::I32, 2), ptrs, None);
+    fb.ret(None);
+    let mut m = Module::new();
+    m.add_function(fb.finish());
+    let mut mem = Memory::default();
+    let p = mem.alloc(64, 64).unwrap();
+    let mut it = Interp::with_defaults(&m, mem);
+    assert!(matches!(
+        it.call("bad", &[RtVal::S(p)]),
+        Err(ExecError::OutOfBounds { .. })
+    ));
+}

@@ -1,0 +1,139 @@
+//! Compile-time facts about operands of shape transformations.
+//!
+//! The paper (§4.2.2) tracks "known facts about IR values … as z3 model
+//! constraints" and applies a shape transform "only after verifying that its
+//! preconditions are satisfied by the operands". [`OperandInfo`] is this
+//! reproduction's fact record: everything the Parsimony shape analysis knows
+//! about one *indexed* operand — its compile-time base value (if any), the
+//! base's alignment, the per-lane offsets, and no-wrap guarantees.
+
+use psir::ScalarTy;
+
+/// Facts about one indexed operand `base + offsets[i]`.
+///
+/// Offsets are raw payload bits at the operand's width (the same encoding as
+/// [`psir::Const`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperandInfo {
+    /// Compile-time value of the base, if known.
+    pub base_const: Option<u64>,
+    /// Largest power of two known to divide the base (1 = nothing known).
+    pub base_align: u64,
+    /// Per-lane compile-time offsets (raw bits, truncated to the width).
+    pub offsets: Vec<u64>,
+    /// The per-lane values `base + offsets[i]` are known not to wrap in
+    /// unsigned arithmetic at this width (e.g. pointer arithmetic, which is
+    /// undefined on overflow, or index arithmetic with known ranges).
+    pub nowrap_unsigned: bool,
+    /// The per-lane values are known not to wrap in signed arithmetic.
+    pub nowrap_signed: bool,
+}
+
+impl OperandInfo {
+    /// An operand with a statically known base.
+    pub fn with_const_base(base: u64, offsets: Vec<u64>) -> OperandInfo {
+        OperandInfo {
+            base_align: largest_pow2_divisor(base),
+            base_const: Some(base),
+            offsets,
+            nowrap_unsigned: false,
+            nowrap_signed: false,
+        }
+    }
+
+    /// An operand whose base is a runtime scalar with the given alignment.
+    pub fn with_runtime_base(base_align: u64, offsets: Vec<u64>) -> OperandInfo {
+        OperandInfo {
+            base_const: None,
+            base_align: base_align.max(1),
+            offsets,
+            nowrap_unsigned: false,
+            nowrap_signed: false,
+        }
+    }
+
+    /// Marks the operand as non-wrapping (both signednesses).
+    pub fn nowrap(mut self) -> OperandInfo {
+        self.nowrap_unsigned = true;
+        self.nowrap_signed = true;
+        self
+    }
+
+    /// Whether every lane offset is zero (the *uniform* special case of
+    /// indexed, §4.2.2).
+    pub fn is_uniform(&self) -> bool {
+        self.offsets.iter().all(|&o| o == 0)
+    }
+
+    /// Whether the offsets form `0, s, 2s, …` for some stride `s`
+    /// (the *strided* special case of indexed).
+    pub fn stride(&self, ty: ScalarTy) -> Option<i64> {
+        if self.offsets.len() < 2 {
+            return Some(0);
+        }
+        let s = psir::sext(ty, self.offsets[1]).wrapping_sub(psir::sext(ty, self.offsets[0]));
+        for w in self.offsets.windows(2) {
+            let d = psir::sext(ty, w[1]).wrapping_sub(psir::sext(ty, w[0]));
+            if d != s {
+                return None;
+            }
+        }
+        Some(s)
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.offsets.len()
+    }
+}
+
+/// The largest power of two dividing `v` (`u64::MAX`-capped; 0 is treated as
+/// maximally aligned).
+pub fn largest_pow2_divisor(v: u64) -> u64 {
+    if v == 0 {
+        1 << 63
+    } else {
+        1 << v.trailing_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_and_stride() {
+        let u = OperandInfo::with_runtime_base(1, vec![0, 0, 0, 0]);
+        assert!(u.is_uniform());
+        assert_eq!(u.stride(ScalarTy::I32), Some(0));
+
+        let s = OperandInfo::with_runtime_base(1, vec![0, 4, 8, 12]);
+        assert!(!s.is_uniform());
+        assert_eq!(s.stride(ScalarTy::I32), Some(4));
+
+        let irregular = OperandInfo::with_runtime_base(1, vec![0, 1, 3, 4]);
+        assert_eq!(irregular.stride(ScalarTy::I32), None);
+    }
+
+    #[test]
+    fn negative_stride_via_sext() {
+        // offsets 3,2,1,0 at i8: stride -1
+        let s = OperandInfo::with_runtime_base(1, vec![3, 2, 1, 0]);
+        assert_eq!(s.stride(ScalarTy::I8), Some(-1));
+    }
+
+    #[test]
+    fn pow2_divisor() {
+        assert_eq!(largest_pow2_divisor(12), 4);
+        assert_eq!(largest_pow2_divisor(1), 1);
+        assert_eq!(largest_pow2_divisor(64), 64);
+        assert_eq!(largest_pow2_divisor(0), 1 << 63);
+    }
+
+    #[test]
+    fn const_base_alignment_derived() {
+        let o = OperandInfo::with_const_base(24, vec![0, 1]);
+        assert_eq!(o.base_align, 8);
+        assert_eq!(o.base_const, Some(24));
+    }
+}

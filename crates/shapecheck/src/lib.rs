@@ -1,0 +1,45 @@
+//! # shapecheck — two-phase validation of shape transformations
+//!
+//! The Parsimony paper (§4.2.2) performs shape analysis "with the help of
+//! the z3 SMT solver in two phases": offline, a catalog of conditional shape
+//! transformations is verified for correctness; at compile time, a transform
+//! is applied only after (cheaply) checking that its preconditions are
+//! satisfied by the operands.
+//!
+//! This crate is that machinery with the solver replaced by a decision
+//! procedure appropriate for the identities involved (fixed-width bit-vector
+//! equalities): exhaustive enumeration at width 8 plus randomized checking
+//! at width 64 — see `DESIGN.md` for the substitution argument.
+//!
+//! * [`OperandInfo`] — the compile-time facts tracked per indexed operand,
+//! * [`Rule`] / [`RULES`] — the transformation catalog (data, not code),
+//! * [`match_rule`] — the compile-time precondition check,
+//! * [`verify_rule`] / [`verify_all`] — the offline proof.
+//!
+//! # Examples
+//!
+//! ```
+//! use shapecheck::{match_rule, OperandInfo, RuleOp};
+//! use psir::{BinOp, ScalarTy};
+//!
+//! // (base + {0,1,2,3}) * 4  — the right operand is a compile-time uniform,
+//! // so the result is again indexed with offsets {0,4,8,12}.
+//! let a = OperandInfo::with_runtime_base(1, vec![0, 1, 2, 3]);
+//! let four = OperandInfo::with_const_base(4, vec![0, 0, 0, 0]);
+//! let rule = match_rule(RuleOp::Bin(BinOp::Mul), ScalarTy::I64, &a, &four)
+//!     .expect("verified rule applies");
+//! assert_eq!(
+//!     rule.result_offsets(ScalarTy::I64, ScalarTy::I64, &a, &four),
+//!     vec![0, 4, 8, 12],
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+mod facts;
+mod rules;
+mod verify;
+
+pub use facts::{largest_pow2_divisor, OperandInfo};
+pub use rules::{match_rule, BaseComb, OffComb, Precond, Rule, RuleOp, RULES};
+pub use verify::{verify_all, verify_rule, Counterexample, VerifyReport};

@@ -1,0 +1,417 @@
+//! The catalog of conditional shape-transformation rules.
+//!
+//! Each [`Rule`] says: *if the operands of this operation satisfy these
+//! preconditions, then the result is again indexed, with this base and these
+//! offsets*. The rules are exactly the algebra of §4.2.2 of the paper
+//! (addition distributes unconditionally, multiplication needs a
+//! compile-time uniform factor, logical-and needs alignment facts, …).
+//!
+//! A rule is *data*: the same [`Rule::preconds_hold`] / [`Rule::result`]
+//! functions are used by the offline verifier (exhaustive bit-vector
+//! checking, the z3 substitute — see [`crate::verify_rule`]) and by the
+//! compile-time shape analysis in the `parsimony` crate. There is no second
+//! implementation to drift out of sync.
+
+use crate::facts::OperandInfo;
+use psir::{eval_bin, eval_cast, BinOp, CastKind, ScalarTy};
+
+/// The operation a rule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleOp {
+    /// A two-operand arithmetic operation.
+    Bin(BinOp),
+    /// A conversion (the rule's "right operand" is ignored).
+    Cast(CastKind),
+}
+
+/// A machine-checkable precondition over the operands' facts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precond {
+    /// Left operand has all-zero offsets.
+    LeftUniform,
+    /// Right operand has all-zero offsets.
+    RightUniform,
+    /// Left base is a compile-time constant.
+    LeftBaseConst,
+    /// Right base is a compile-time constant.
+    RightBaseConst,
+    /// Right is a compile-time uniform mask whose trailing-zero count `k`
+    /// satisfies: left base is aligned to `2^k`.
+    RightMaskAlignsLeft,
+    /// Right is a compile-time uniform shift amount `k` and the left base is
+    /// aligned to `2^k`.
+    RightShiftAlignsLeft,
+    /// Right is a compile-time uniform constant `c` and the left operand's
+    /// base and offsets are all multiples of some `2^k > c` (so `or` cannot
+    /// carry into the bits the constant occupies).
+    RightConstDisjointOfLeft,
+    /// Left's per-lane values are known not to wrap (unsigned).
+    LeftNoWrapUnsigned,
+    /// Left's per-lane values are known not to wrap (signed).
+    LeftNoWrapSigned,
+    /// Left's offsets are non-negative when sign-extended at this width.
+    LeftOffsetsNonNeg,
+}
+
+/// How the result's scalar base is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaseComb {
+    /// Reuse the left base unchanged.
+    Left,
+    /// Apply the operation to the two bases (`op(a_base, b_base)`), or the
+    /// cast to the left base.
+    Apply,
+}
+
+/// How the result's compile-time per-lane offsets are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffComb {
+    /// Reuse the left offsets.
+    Left,
+    /// All-zero offsets (result is uniform).
+    Zero,
+    /// `op(a_off[i], b_off[i])` lane-wise (or cast of the left offsets).
+    Apply,
+    /// `op(a_off[i], b_base)` — requires `RightBaseConst`.
+    ApplyRightBase,
+    /// `op(a_base, b_off[i])` — requires `LeftBaseConst`.
+    ApplyLeftBase,
+}
+
+/// One verified-offline, checked-online shape transformation.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Stable rule name (used in reports and tests).
+    pub name: &'static str,
+    /// The operation this rule matches.
+    pub op: RuleOp,
+    /// Preconditions that must all hold.
+    pub pre: &'static [Precond],
+    /// Base combination.
+    pub base: BaseComb,
+    /// Offset combination.
+    pub off: OffComb,
+}
+
+impl Rule {
+    /// Checks the preconditions against operand facts at width `ty`.
+    /// For cast rules `b` is ignored (pass any placeholder).
+    pub fn preconds_hold(&self, ty: ScalarTy, a: &OperandInfo, b: &OperandInfo) -> bool {
+        self.pre.iter().all(|p| match p {
+            Precond::LeftUniform => a.is_uniform(),
+            Precond::RightUniform => b.is_uniform(),
+            Precond::LeftBaseConst => a.base_const.is_some(),
+            Precond::RightBaseConst => b.base_const.is_some(),
+            Precond::RightMaskAlignsLeft => match b.base_const {
+                Some(m) => {
+                    // The paper's condition: m is a "negative power of two",
+                    // i.e. a contiguous high mask -2^k (all bits ≥ k set),
+                    // and the left base is 2^k-aligned so no carry crosses
+                    // the mask boundary.
+                    let m = m & ty.bit_mask();
+                    if m == 0 {
+                        return false;
+                    }
+                    let k = m.trailing_zeros();
+                    let contiguous = m == (ty.bit_mask() << k) & ty.bit_mask();
+                    contiguous && a.base_align >= (1u64 << k)
+                }
+                None => false,
+            },
+            Precond::RightShiftAlignsLeft => match b.base_const {
+                Some(k) => {
+                    let k = k % ty.bits() as u64;
+                    a.base_align >= (1u64 << k)
+                }
+                None => false,
+            },
+            Precond::RightConstDisjointOfLeft => match b.base_const {
+                Some(c) => {
+                    let c = c & ty.bit_mask();
+                    if c == 0 {
+                        return true;
+                    }
+                    // smallest power of two strictly above c
+                    let k = 64 - c.leading_zeros() as u64;
+                    let align = 1u64.checked_shl(k as u32).unwrap_or(0);
+                    align != 0
+                        && a.base_align >= align
+                        && a.offsets.iter().all(|&o| o % align == 0)
+                }
+                None => false,
+            },
+            Precond::LeftNoWrapUnsigned => a.nowrap_unsigned,
+            Precond::LeftNoWrapSigned => a.nowrap_signed,
+            Precond::LeftOffsetsNonNeg => a.offsets.iter().all(|&o| psir::sext(ty, o) >= 0),
+        })
+    }
+
+    /// Computes the result's offsets (raw bits at the *result* width).
+    ///
+    /// `ty` is the operand width, `out_ty` the result width (they differ
+    /// only for cast rules).
+    ///
+    /// # Panics
+    /// Panics if the rule's offset combination needs a constant base the
+    /// facts do not provide (callers must check [`Rule::preconds_hold`]).
+    pub fn result_offsets(
+        &self,
+        ty: ScalarTy,
+        out_ty: ScalarTy,
+        a: &OperandInfo,
+        b: &OperandInfo,
+    ) -> Vec<u64> {
+        let lanes = a.offsets.len().max(b.offsets.len());
+        let a_off = |i: usize| a.offsets.get(i).copied().unwrap_or(0);
+        let b_off = |i: usize| b.offsets.get(i).copied().unwrap_or(0);
+        let apply = |x: u64, y: u64| -> u64 {
+            match self.op {
+                RuleOp::Bin(op) => eval_bin(op, ty, x, y).expect("rule ops cannot trap"),
+                RuleOp::Cast(kind) => eval_cast(kind, ty, out_ty, x),
+            }
+        };
+        (0..lanes)
+            .map(|i| match self.off {
+                OffComb::Left => a_off(i) & out_ty.bit_mask(),
+                OffComb::Zero => 0,
+                OffComb::Apply => apply(a_off(i), b_off(i)),
+                OffComb::ApplyRightBase => {
+                    apply(a_off(i), b.base_const.expect("precond RightBaseConst"))
+                }
+                OffComb::ApplyLeftBase => {
+                    apply(a.base_const.expect("precond LeftBaseConst"), b_off(i))
+                }
+            })
+            .collect()
+    }
+
+    /// Computes the result's base from concrete base values (used by the
+    /// offline verifier; the compiler emits the corresponding scalar IR).
+    pub fn result_base(&self, ty: ScalarTy, out_ty: ScalarTy, a_base: u64, b_base: u64) -> u64 {
+        match self.base {
+            BaseComb::Left => a_base & out_ty.bit_mask(),
+            BaseComb::Apply => match self.op {
+                RuleOp::Bin(op) => eval_bin(op, ty, a_base, b_base).expect("rule ops cannot trap"),
+                RuleOp::Cast(kind) => eval_cast(kind, ty, out_ty, a_base),
+            },
+        }
+    }
+}
+
+/// The verified rule catalog.
+///
+/// Every rule in this list is proven by [`crate::verify_all`] (exhaustively
+/// at width 8, randomized at width 64) before being trusted by the
+/// compile-time shape analysis; `cargo test -p shapecheck` runs the proof.
+pub static RULES: &[Rule] = &[
+    // (a_b + a_i) + (b_b + b_i) = (a_b + b_b) + (a_i + b_i): exact in
+    // wrapping arithmetic, no preconditions.
+    Rule {
+        name: "add.indexed",
+        op: RuleOp::Bin(BinOp::Add),
+        pre: &[],
+        base: BaseComb::Apply,
+        off: OffComb::Apply,
+    },
+    // Subtraction distributes the same way.
+    Rule {
+        name: "sub.indexed",
+        op: RuleOp::Bin(BinOp::Sub),
+        pre: &[],
+        base: BaseComb::Apply,
+        off: OffComb::Apply,
+    },
+    // (a_b + a_i) * c = a_b*c + a_i*c: exact in wrapping arithmetic, but the
+    // offsets are compile-time only if c is (§4.2.2's multiplication case).
+    Rule {
+        name: "mul.uniform-const-right",
+        op: RuleOp::Bin(BinOp::Mul),
+        pre: &[Precond::RightUniform, Precond::RightBaseConst],
+        base: BaseComb::Apply,
+        off: OffComb::ApplyRightBase,
+    },
+    Rule {
+        name: "mul.uniform-const-left",
+        op: RuleOp::Bin(BinOp::Mul),
+        pre: &[Precond::LeftUniform, Precond::LeftBaseConst],
+        base: BaseComb::Apply,
+        off: OffComb::ApplyLeftBase,
+    },
+    // Shift-left by a uniform constant is multiplication by 2^k.
+    Rule {
+        name: "shl.uniform-const-right",
+        op: RuleOp::Bin(BinOp::Shl),
+        pre: &[Precond::RightUniform, Precond::RightBaseConst],
+        base: BaseComb::Apply,
+        off: OffComb::ApplyRightBase,
+    },
+    // The paper's logical-and example: (a_b + a_i) & m = (a_b & m) + (a_i & m)
+    // when m's trailing zeros are covered by a_b's alignment.
+    Rule {
+        name: "and.mask-aligned",
+        op: RuleOp::Bin(BinOp::And),
+        pre: &[
+            Precond::RightUniform,
+            Precond::RightBaseConst,
+            Precond::RightMaskAlignsLeft,
+        ],
+        base: BaseComb::Apply,
+        off: OffComb::ApplyRightBase,
+    },
+    // Or with a constant whose bits sit strictly below everything in the
+    // left operand: no carries, so it folds into the base.
+    Rule {
+        name: "or.disjoint",
+        op: RuleOp::Bin(BinOp::Or),
+        pre: &[
+            Precond::RightUniform,
+            Precond::RightBaseConst,
+            Precond::RightConstDisjointOfLeft,
+        ],
+        base: BaseComb::Apply,
+        off: OffComb::Left,
+    },
+    // Logical shift right by k distributes when the base is 2^k-aligned and
+    // the lane values cannot wrap: (a_b + a_i) >> k = (a_b >> k) + (a_i >> k).
+    Rule {
+        name: "lshr.aligned",
+        op: RuleOp::Bin(BinOp::LShr),
+        pre: &[
+            Precond::RightUniform,
+            Precond::RightBaseConst,
+            Precond::RightShiftAlignsLeft,
+            Precond::LeftNoWrapUnsigned,
+        ],
+        base: BaseComb::Apply,
+        off: OffComb::ApplyRightBase,
+    },
+    // xor with aligned mask behaves like or.disjoint for the same reason.
+    Rule {
+        name: "xor.disjoint",
+        op: RuleOp::Bin(BinOp::Xor),
+        pre: &[
+            Precond::RightUniform,
+            Precond::RightBaseConst,
+            Precond::RightConstDisjointOfLeft,
+        ],
+        base: BaseComb::Apply,
+        off: OffComb::Left,
+    },
+    // Truncation distributes over wrapping addition unconditionally.
+    Rule {
+        name: "trunc.indexed",
+        op: RuleOp::Cast(CastKind::Trunc),
+        pre: &[],
+        base: BaseComb::Apply,
+        off: OffComb::Apply,
+    },
+    // Zero-extension needs: no unsigned wrap at the source width and
+    // non-negative offsets (a negative offset's bit pattern would change).
+    Rule {
+        name: "zext.indexed",
+        op: RuleOp::Cast(CastKind::Zext),
+        pre: &[Precond::LeftNoWrapUnsigned, Precond::LeftOffsetsNonNeg],
+        base: BaseComb::Apply,
+        off: OffComb::Apply,
+    },
+    // Sign-extension needs: no signed wrap at the source width.
+    Rule {
+        name: "sext.indexed",
+        op: RuleOp::Cast(CastKind::Sext),
+        pre: &[Precond::LeftNoWrapSigned],
+        base: BaseComb::Apply,
+        off: OffComb::Apply,
+    },
+];
+
+/// Finds the first catalog rule matching `op` whose preconditions hold.
+pub fn match_rule(
+    op: RuleOp,
+    ty: ScalarTy,
+    a: &OperandInfo,
+    b: &OperandInfo,
+) -> Option<&'static Rule> {
+    RULES
+        .iter()
+        .find(|r| r.op == op && r.preconds_hold(ty, a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uni(c: u64) -> OperandInfo {
+        OperandInfo::with_const_base(c, vec![0, 0, 0, 0])
+    }
+
+    #[test]
+    fn add_always_matches() {
+        let a = OperandInfo::with_runtime_base(1, vec![0, 1, 2, 3]);
+        let b = OperandInfo::with_runtime_base(1, vec![4, 4, 4, 4]);
+        let r = match_rule(RuleOp::Bin(BinOp::Add), ScalarTy::I64, &a, &b).unwrap();
+        assert_eq!(r.name, "add.indexed");
+        assert_eq!(
+            r.result_offsets(ScalarTy::I64, ScalarTy::I64, &a, &b),
+            vec![4, 5, 6, 7]
+        );
+    }
+
+    #[test]
+    fn mul_needs_const_uniform() {
+        let a = OperandInfo::with_runtime_base(1, vec![0, 1, 2, 3]);
+        let b_const = uni(4);
+        let r = match_rule(RuleOp::Bin(BinOp::Mul), ScalarTy::I64, &a, &b_const).unwrap();
+        assert_eq!(r.name, "mul.uniform-const-right");
+        assert_eq!(
+            r.result_offsets(ScalarTy::I64, ScalarTy::I64, &a, &b_const),
+            vec![0, 4, 8, 12]
+        );
+        // Non-constant uniform: no rule.
+        let b_dyn = OperandInfo::with_runtime_base(1, vec![0, 0, 0, 0]);
+        assert!(match_rule(RuleOp::Bin(BinOp::Mul), ScalarTy::I64, &a, &b_dyn).is_none());
+        // Varying-ish offsets on both sides: no rule.
+        let b_idx = OperandInfo::with_runtime_base(1, vec![1, 2, 3, 4]);
+        assert!(match_rule(RuleOp::Bin(BinOp::Mul), ScalarTy::I64, &a, &b_idx).is_none());
+    }
+
+    #[test]
+    fn and_requires_alignment() {
+        let mask = uni(0xFFFF_FFF0);
+        let aligned = OperandInfo::with_runtime_base(16, vec![0, 1, 2, 3]);
+        let unaligned = OperandInfo::with_runtime_base(4, vec![0, 1, 2, 3]);
+        assert!(match_rule(RuleOp::Bin(BinOp::And), ScalarTy::I32, &aligned, &mask).is_some());
+        assert!(match_rule(RuleOp::Bin(BinOp::And), ScalarTy::I32, &unaligned, &mask).is_none());
+    }
+
+    #[test]
+    fn lshr_requires_nowrap() {
+        let k = uni(2);
+        let a = OperandInfo::with_runtime_base(4, vec![0, 1, 2, 3]);
+        assert!(match_rule(RuleOp::Bin(BinOp::LShr), ScalarTy::I32, &a, &k).is_none());
+        let a = a.nowrap();
+        let r = match_rule(RuleOp::Bin(BinOp::LShr), ScalarTy::I32, &a, &k).unwrap();
+        assert_eq!(r.name, "lshr.aligned");
+        assert_eq!(
+            r.result_offsets(ScalarTy::I32, ScalarTy::I32, &a, &k),
+            vec![0, 0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn zext_requires_nonneg_offsets() {
+        let b = uni(0);
+        let neg = OperandInfo {
+            base_const: None,
+            base_align: 1,
+            offsets: vec![0, 0xFF], // -1 at i8
+            nowrap_unsigned: true,
+            nowrap_signed: true,
+        };
+        assert!(match_rule(RuleOp::Cast(CastKind::Zext), ScalarTy::I8, &neg, &b).is_none());
+        let pos = OperandInfo {
+            offsets: vec![0, 1],
+            ..neg
+        };
+        assert!(match_rule(RuleOp::Cast(CastKind::Zext), ScalarTy::I8, &pos, &b).is_some());
+    }
+}

@@ -1,0 +1,185 @@
+//! # suite — the evaluation workloads
+//!
+//! The paper's measuring instrument: 72 kernels in the families of the Simd
+//! Library (image processing / ML primitives, Figure 5) and the 7 ispc
+//! benchmark workloads (Figure 4). Every kernel carries up to five
+//! implementations, mirroring the artifact's configurations:
+//!
+//! * **serial PsimC** — compiled as-is (the *scalar* baseline) or through
+//!   the `autovec` baseline vectorizer,
+//! * **Parsimony PsimC** — the same algorithm written against the `psim`
+//!   SPMD API, compiled by the `parsimony` pass (optionally in
+//!   gang-synchronous / ispc-like mode, or with shape analysis disabled),
+//! * **hand-written vector IR** — what an intrinsics programmer would
+//!   write, built directly with the `psir` builder.
+//!
+//! The [`runner`] executes any configuration on the shared workload,
+//! returning simulated cycles from the `vmach` cost model plus the output
+//! buffers, so differential tests can require that every configuration
+//! computes byte-identical results.
+
+#![warn(missing_docs)]
+
+pub mod hand;
+pub mod ispc;
+pub mod runner;
+pub mod simdlib;
+pub mod wrap;
+
+use psir::{RtVal, ScalarTy};
+
+/// How a workload buffer is initialized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// All zero bytes.
+    Zero,
+    /// Deterministic pseudo-random integers (full element range).
+    RandomInt {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Deterministic pseudo-random floats in `[lo, hi)`.
+    RandomF32 {
+        /// RNG seed.
+        seed: u64,
+        /// Lower bound.
+        lo: f32,
+        /// Upper bound.
+        hi: f32,
+    },
+    /// `0, 1, 2, …` truncated to the element type.
+    Ramp,
+    /// Integer-valued pseudo-random `f32` in `[lo, hi)`. Sums of such
+    /// values are exact while they stay below 2²⁴, so float reductions are
+    /// bit-identical regardless of summation order — which lets the
+    /// differential tests compare reduction outputs across configurations
+    /// that legitimately reassociate.
+    RandomF32Int {
+        /// RNG seed.
+        seed: u64,
+        /// Lower bound (integer).
+        lo: i32,
+        /// Upper bound (integer, exclusive).
+        hi: i32,
+    },
+}
+
+/// One workload buffer.
+#[derive(Debug, Clone)]
+pub struct BufSpec {
+    /// Element type.
+    pub elem: ScalarTy,
+    /// Element count.
+    pub len: u64,
+    /// Initialization.
+    pub init: Init,
+    /// Whether differential tests compare this buffer across configs.
+    pub check: bool,
+}
+
+impl BufSpec {
+    /// An input buffer (not compared).
+    pub fn input(elem: ScalarTy, len: u64, init: Init) -> BufSpec {
+        BufSpec {
+            elem,
+            len,
+            init,
+            check: false,
+        }
+    }
+
+    /// An output buffer, zero-initialized and compared.
+    pub fn output(elem: ScalarTy, len: u64) -> BufSpec {
+        BufSpec {
+            elem,
+            len,
+            init: Init::Zero,
+            check: true,
+        }
+    }
+
+    /// An in-place buffer: initialized and compared.
+    pub fn inout(elem: ScalarTy, len: u64, init: Init) -> BufSpec {
+        BufSpec {
+            elem,
+            len,
+            init,
+            check: true,
+        }
+    }
+}
+
+/// A benchmark kernel with all its implementations.
+pub struct Kernel {
+    /// Kernel name (unique within its suite).
+    pub name: String,
+    /// Family label (for reporting).
+    pub family: &'static str,
+    /// Gang size of the Parsimony version.
+    pub gang: u32,
+    /// PsimC source of the Parsimony (SPMD) version; entry `main`.
+    pub psim_src: String,
+    /// PsimC source of the serial version; entry `main`.
+    pub serial_src: String,
+    /// Hand-written vector-IR builder (Figure 5 configurations only).
+    #[allow(clippy::type_complexity)]
+    pub hand: Option<Box<dyn Fn(&mut psir::Module) + Send + Sync>>,
+    /// Workload buffers, in parameter order.
+    pub buffers: Vec<BufSpec>,
+    /// Extra scalar arguments appended after the buffer pointers (before
+    /// the trailing element count).
+    pub extra_args: Vec<RtVal>,
+    /// Element count `n` passed as the last argument.
+    pub n: u64,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("name", &self.name)
+            .field("family", &self.family)
+            .field("gang", &self.gang)
+            .field("n", &self.n)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Kernel {
+    /// Convenience constructor; see field docs.
+    pub fn new(
+        name: impl Into<String>,
+        family: &'static str,
+        gang: u32,
+        psim_src: impl Into<String>,
+        serial_src: impl Into<String>,
+        buffers: Vec<BufSpec>,
+        n: u64,
+    ) -> Kernel {
+        Kernel {
+            name: name.into(),
+            family,
+            gang,
+            psim_src: psim_src.into(),
+            serial_src: serial_src.into(),
+            hand: None,
+            buffers,
+            extra_args: Vec::new(),
+            n,
+        }
+    }
+
+    /// Attaches the hand-written builder.
+    pub fn with_hand(
+        mut self,
+        hand: impl Fn(&mut psir::Module) + Send + Sync + 'static,
+    ) -> Kernel {
+        self.hand = Some(Box::new(hand));
+        self
+    }
+
+    /// Appends extra scalar arguments.
+    pub fn with_extra_args(mut self, args: Vec<RtVal>) -> Kernel {
+        self.extra_args = args;
+        self
+    }
+}

@@ -1,0 +1,254 @@
+//! Executes a kernel under each configuration, measuring simulated cycles.
+
+use crate::{Init, Kernel};
+use autovec::{autovectorize_module, AutovecOptions};
+use parsimony::{vectorize_module, VectorizeOptions};
+use psir::{ExecError, ExecStats, Interp, Memory, Module, RtVal, ScalarTy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vmach::Avx512Cost;
+use vmath::RuntimeExterns;
+
+/// The evaluated configurations (the paper's Figure 4 / Figure 5 bars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Config {
+    /// Serial code, no vectorization (Figure 5's scalar baseline).
+    Scalar,
+    /// Serial code through the `autovec` baseline (loop + SLP).
+    Autovec,
+    /// Parsimony SPMD with SLEEF-like math (the paper's prototype).
+    Parsimony,
+    /// Parsimony with shape analysis disabled (ablation).
+    ParsimonyNoShape,
+    /// Parsimony with branch-on-superword-condition guards (§4.2.3).
+    ParsimonyBoscc,
+    /// Gang-synchronous (ispc-like) mode with the fast built-in math.
+    GangSync,
+    /// Hand-written vector IR (Figure 5's intrinsics bar).
+    Handwritten,
+}
+
+impl Config {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Config::Scalar => "scalar",
+            Config::Autovec => "autovec",
+            Config::Parsimony => "parsimony",
+            Config::ParsimonyNoShape => "parsimony-noshape",
+            Config::ParsimonyBoscc => "parsimony-boscc",
+            Config::GangSync => "gangsync",
+            Config::Handwritten => "handwritten",
+        }
+    }
+}
+
+/// Result of running one configuration.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Simulated cycles under the `vmach` cost model.
+    pub cycles: u64,
+    /// Contents of every `check`-marked buffer, in order.
+    pub outputs: Vec<Vec<u8>>,
+    /// Execution statistics (packed vs gather counts etc.).
+    pub stats: ExecStats,
+}
+
+fn fill(mem: &mut Memory, spec: &crate::BufSpec) -> u64 {
+    let bytes = spec.elem.size_bytes() * spec.len;
+    let mut data = vec![0u8; bytes as usize];
+    match spec.init {
+        Init::Zero => {}
+        Init::Ramp => {
+            for i in 0..spec.len {
+                let v = i & spec.elem.bit_mask();
+                let sz = spec.elem.size_bytes() as usize;
+                data[(i as usize) * sz..(i as usize + 1) * sz]
+                    .copy_from_slice(&v.to_le_bytes()[..sz]);
+            }
+        }
+        Init::RandomInt { seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for i in 0..spec.len {
+                let v: u64 = rng.gen::<u64>() & spec.elem.bit_mask();
+                let sz = spec.elem.size_bytes() as usize;
+                data[(i as usize) * sz..(i as usize + 1) * sz]
+                    .copy_from_slice(&v.to_le_bytes()[..sz]);
+            }
+        }
+        Init::RandomF32 { seed, lo, hi } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for i in 0..spec.len {
+                let v: f32 = rng.gen_range(lo..hi);
+                data[(i as usize) * 4..(i as usize + 1) * 4]
+                    .copy_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        Init::RandomF32Int { seed, lo, hi } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for i in 0..spec.len {
+                let v: f32 = rng.gen_range(lo..hi) as f32;
+                data[(i as usize) * 4..(i as usize + 1) * 4]
+                    .copy_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+    }
+    mem.alloc_bytes(&data, 64).expect("workload fits in memory")
+}
+
+/// Builds the module for a configuration.
+///
+/// # Errors
+/// Propagates compile/vectorization failures, and reports kernels without a
+/// hand-written implementation.
+pub fn build_module(k: &Kernel, cfg: Config) -> Result<Module, String> {
+    match cfg {
+        Config::Scalar => psimc::compile(&k.serial_src).map_err(|e| e.to_string()),
+        Config::Autovec => {
+            let m = psimc::compile(&k.serial_src).map_err(|e| e.to_string())?;
+            let (vm, _) = autovectorize_module(&m, &AutovecOptions::default());
+            Ok(vm)
+        }
+        Config::Parsimony => {
+            let m = psimc::compile(&k.psim_src).map_err(|e| e.to_string())?;
+            let out = vectorize_module(&m, &VectorizeOptions::default())
+                .map_err(|e| e.to_string())?;
+            Ok(out.module)
+        }
+        Config::ParsimonyNoShape => {
+            let m = psimc::compile(&k.psim_src).map_err(|e| e.to_string())?;
+            let opts = VectorizeOptions {
+                enable_shape: false,
+                ..VectorizeOptions::default()
+            };
+            let out = vectorize_module(&m, &opts).map_err(|e| e.to_string())?;
+            Ok(out.module)
+        }
+        Config::ParsimonyBoscc => {
+            let m = psimc::compile(&k.psim_src).map_err(|e| e.to_string())?;
+            let opts = VectorizeOptions {
+                boscc: true,
+                ..VectorizeOptions::default()
+            };
+            let out = vectorize_module(&m, &opts).map_err(|e| e.to_string())?;
+            Ok(out.module)
+        }
+        Config::GangSync => {
+            let m = psimc::compile(&k.psim_src).map_err(|e| e.to_string())?;
+            let out = vectorize_module(&m, &VectorizeOptions::gang_synchronous())
+                .map_err(|e| e.to_string())?;
+            Ok(out.module)
+        }
+        Config::Handwritten => {
+            let hand = k
+                .hand
+                .as_ref()
+                .ok_or_else(|| format!("kernel {} has no hand-written version", k.name))?;
+            let mut m = Module::new();
+            hand(&mut m);
+            Ok(m)
+        }
+    }
+}
+
+static EXTERNS: RuntimeExterns = RuntimeExterns::new();
+
+/// Runs one configuration of a kernel with the AVX-512 cost model.
+///
+/// # Errors
+/// Reports build failures and runtime traps with the kernel/config context.
+pub fn run_kernel(k: &Kernel, cfg: Config) -> Result<RunResult, String> {
+    run_kernel_with(k, cfg, &Avx512Cost::new())
+}
+
+/// Runs the Parsimony configuration with custom vectorizer options (for
+/// the stride-window and BOSCC ablations).
+///
+/// # Errors
+/// Reports build failures and runtime traps with the kernel context.
+pub fn run_kernel_custom(
+    k: &Kernel,
+    opts: &VectorizeOptions,
+) -> Result<RunResult, String> {
+    let m = psimc::compile(&k.psim_src).map_err(|e| e.to_string())?;
+    let out = vectorize_module(&m, opts).map_err(|e| e.to_string())?;
+    run_module(&out.module, k, &Avx512Cost::new())
+}
+
+fn run_module(module: &Module, k: &Kernel, cost: &Avx512Cost) -> Result<RunResult, String> {
+    let mut mem = Memory::default();
+    let mut args: Vec<RtVal> = Vec::new();
+    let mut addrs: Vec<u64> = Vec::new();
+    for spec in &k.buffers {
+        let addr = fill(&mut mem, spec);
+        addrs.push(addr);
+        args.push(RtVal::S(addr));
+    }
+    args.extend(k.extra_args.iter().cloned());
+    args.push(RtVal::S(k.n));
+    let mut it = Interp::new(module, mem, cost, &EXTERNS);
+    it.call("main", &args)
+        .map_err(|e: ExecError| format!("{}: runtime error: {e}", k.name))?;
+    let mut outputs = Vec::new();
+    for (spec, &addr) in k.buffers.iter().zip(&addrs) {
+        if spec.check {
+            let bytes = spec.elem.size_bytes() * spec.len;
+            outputs.push(it.mem.read_bytes(addr, bytes).map_err(|e| e.to_string())?.to_vec());
+        }
+    }
+    Ok(RunResult {
+        cycles: it.cycles,
+        outputs,
+        stats: it.stats,
+    })
+}
+
+/// Like [`run_kernel`] with an explicit cost model (for width sweeps).
+///
+/// # Errors
+/// Reports build failures and runtime traps with the kernel/config context.
+pub fn run_kernel_with(
+    k: &Kernel,
+    cfg: Config,
+    cost: &Avx512Cost,
+) -> Result<RunResult, String> {
+    let module = build_module(k, cfg)?;
+    run_module(&module, k, cost).map_err(|e| format!("[{}] {e}", cfg.label()))
+}
+
+/// Geometric mean helper used by the harnesses.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Convenience: all Figure 5 configurations of one kernel must agree
+/// byte-for-byte; returns per-config cycles.
+///
+/// # Errors
+/// Reports any config failure or output mismatch.
+pub fn run_all_and_check(k: &Kernel, cfgs: &[Config]) -> Result<Vec<(Config, RunResult)>, String> {
+    let mut results = Vec::new();
+    for &c in cfgs {
+        results.push((c, run_kernel(k, c)?));
+    }
+    let base = &results[0];
+    for (c, r) in &results[1..] {
+        if r.outputs != base.1.outputs {
+            return Err(format!(
+                "{}: output mismatch between {} and {}",
+                k.name,
+                base.0.label(),
+                c.label()
+            ));
+        }
+    }
+    Ok(results)
+}
+
+/// The element-size helper the kernel files use when sizing buffers.
+pub fn bytes_of(elem: ScalarTy, n: u64) -> u64 {
+    elem.size_bytes() * n
+}

@@ -1,0 +1,549 @@
+//! Conversion kernels (gray/BGR/YUV, widths, float) and fixed-point 1-D
+//! filters (blur, Sobel, Laplace, median) — the Simd Library's
+//! `Convert`/`Filter` families.
+
+use crate::hand::{elementwise, packed_load, packed_store, vector_loop};
+use crate::wrap::{psim_wrap, serial_wrap};
+use crate::{BufSpec, Init, Kernel};
+use psir::{BinOp, CastKind, ScalarTy, Ty};
+
+fn in_u8(n: u64, seed: u64) -> BufSpec {
+    BufSpec::input(ScalarTy::I8, n, Init::RandomInt { seed })
+}
+
+pub(super) fn kernels(n: u64) -> Vec<Kernel> {
+    let mut v = Vec::new();
+
+    // 25. u8 → f32 normalize (neural conversion)
+    v.push(
+        Kernel::new(
+            "u8_to_f32",
+            "convert",
+            16,
+            psim_wrap(
+                16,
+                "u8* restrict a, f32* restrict out, i64 n",
+                "    out[idx] = (f32) a[idx] * 0.00392156862;",
+            ),
+            serial_wrap(
+                "u8* restrict a, f32* restrict out, i64 n",
+                "    out[idx] = (f32) a[idx] * 0.00392156862;",
+            ),
+            vec![in_u8(n, 51), BufSpec::output(ScalarTy::F32, n)],
+            n,
+        )
+        .with_hand(|m| {
+            elementwise(m, &[ScalarTy::I8], ScalarTy::F32, 16, |fb, xs| {
+                let w = fb.cast(CastKind::Zext, xs[0], Ty::vec(ScalarTy::I32, 16));
+                let f = fb.cast(CastKind::UiToFp, w, Ty::vec(ScalarTy::F32, 16));
+                let k = fb.splat(psir::c_f32(0.003_921_568_6), 16);
+                fb.bin(BinOp::FMul, f, k)
+            })
+        }),
+    );
+    // 26. f32 → u8 saturating
+    v.push(
+        Kernel::new(
+            "f32_to_u8",
+            "convert",
+            16,
+            psim_wrap(
+                16,
+                "f32* restrict a, u8* restrict out, i64 n",
+                "    i32 r = (i32) (a[idx] * 255.0 + 0.5);\n    out[idx] = (u8) clamp(r, 0, 255);",
+            ),
+            serial_wrap(
+                "f32* restrict a, u8* restrict out, i64 n",
+                "    i32 r = (i32) (a[idx] * 255.0 + 0.5);\n    out[idx] = (u8) clamp(r, 0, 255);",
+            ),
+            vec![
+                BufSpec::input(ScalarTy::F32, n, Init::RandomF32 { seed: 52, lo: -0.2, hi: 1.2 }),
+                BufSpec::output(ScalarTy::I8, n),
+            ],
+            n,
+        )
+        .with_hand(|m| {
+            elementwise(m, &[ScalarTy::F32], ScalarTy::I8, 16, |fb, xs| {
+                let k = fb.splat(psir::c_f32(255.0), 16);
+                let h = fb.splat(psir::c_f32(0.5), 16);
+                let s = fb.bin(BinOp::FMul, xs[0], k);
+                let s = fb.bin(BinOp::FAdd, s, h);
+                let i = fb.cast(CastKind::FpToSi, s, Ty::vec(ScalarTy::I32, 16));
+                let zero = fb.splat(psir::c_i32(0), 16);
+                let cap = fb.splat(psir::c_i32(255), 16);
+                let c = fb.bin(BinOp::SMin, i, cap);
+                let c = fb.bin(BinOp::SMax, c, zero);
+                fb.cast(CastKind::Trunc, c, Ty::vec(ScalarTy::I8, 16))
+            })
+        }),
+    );
+    // 27. u8 → u16 widen (parity)
+    v.push(
+        Kernel::new(
+            "u8_to_u16",
+            "convert",
+            32,
+            psim_wrap(
+                32,
+                "u8* restrict a, u16* restrict out, i64 n",
+                "    out[idx] = (u16) a[idx];",
+            ),
+            serial_wrap(
+                "u8* restrict a, u16* restrict out, i64 n",
+                "    out[idx] = (u16) a[idx];",
+            ),
+            vec![in_u8(n, 53), BufSpec::output(ScalarTy::I16, n)],
+            n,
+        )
+        .with_hand(|m| {
+            elementwise(m, &[ScalarTy::I8], ScalarTy::I16, 32, |fb, xs| {
+                fb.cast(CastKind::Zext, xs[0], Ty::vec(ScalarTy::I16, 32))
+            })
+        }),
+    );
+    // 28. u16 → u8 saturating narrow
+    v.push(
+        Kernel::new(
+            "u16_to_u8_sat",
+            "convert",
+            32,
+            psim_wrap(
+                32,
+                "u16* restrict a, u8* restrict out, i64 n",
+                "    out[idx] = (u8) min(a[idx], (u16) 255);",
+            ),
+            serial_wrap(
+                "u16* restrict a, u8* restrict out, i64 n",
+                "    out[idx] = a[idx] < (u16) 255 ? (u8) a[idx] : (u8) 255;",
+            ),
+            vec![
+                BufSpec::input(ScalarTy::I16, n, Init::RandomInt { seed: 54 }),
+                BufSpec::output(ScalarTy::I8, n),
+            ],
+            n,
+        )
+        .with_hand(|m| {
+            elementwise(m, &[ScalarTy::I16], ScalarTy::I8, 32, |fb, xs| {
+                let cap = fb.splat(psir::Const::i16(255), 32);
+                let c = fb.bin(BinOp::UMin, xs[0], cap);
+                fb.cast(CastKind::Trunc, c, Ty::vec(ScalarTy::I8, 32))
+            })
+        }),
+    );
+    // 29. interleaved BGR → gray: stride-3 loads (the §4.2.3 packed+shuffle
+    // case; the baseline cannot vectorize the stride).
+    v.push(
+        Kernel::new(
+            "bgr_to_gray",
+            "convert",
+            64,
+            psim_wrap(
+                64,
+                "u8* restrict a, u8* restrict out, i64 n",
+                "    i32 b = (i32) a[idx * 3];\n    i32 g = (i32) a[idx * 3 + 1];\n    i32 r = (i32) a[idx * 3 + 2];\n    out[idx] = (u8) ((b * 29 + g * 150 + r * 77 + 128) >> 8);",
+            ),
+            serial_wrap(
+                "u8* restrict a, u8* restrict out, i64 n",
+                "    i32 b = (i32) a[idx * 3];\n    i32 g = (i32) a[idx * 3 + 1];\n    i32 r = (i32) a[idx * 3 + 2];\n    out[idx] = (u8) ((b * 29 + g * 150 + r * 77 + 128) >> 8);",
+            ),
+            vec![in_u8(3 * n + 64, 55), BufSpec::output(ScalarTy::I8, n)],
+            n,
+        )
+        .with_hand(|m| {
+            vector_loop(m, 2, &[], 64, |fb, iv, args| {
+                // three deinterleaving wide loads + shuffles
+                let three = fb.bin(BinOp::Mul, iv, 3i64);
+                let base = fb.gep(args[0], three, 1);
+                let wide = fb.load(Ty::vec(ScalarTy::I8, 192), base, None);
+                let ch = |fb: &mut psir::FunctionBuilder, off: u32| {
+                    let pat: Vec<u32> = (0..64).map(|j| j * 3 + off).collect();
+                    fb.shuffle_const(wide, pat)
+                };
+                let b = ch(fb, 0);
+                let g = ch(fb, 1);
+                let r = ch(fb, 2);
+                let i32v = Ty::vec(ScalarTy::I32, 64);
+                let wb = fb.cast(CastKind::Zext, b, i32v);
+                let wg = fb.cast(CastKind::Zext, g, i32v);
+                let wr = fb.cast(CastKind::Zext, r, i32v);
+                let kb = fb.splat(psir::c_i32(29), 64);
+                let kg = fb.splat(psir::c_i32(150), 64);
+                let kr = fb.splat(psir::c_i32(77), 64);
+                let pb = fb.bin(BinOp::Mul, wb, kb);
+                let pg = fb.bin(BinOp::Mul, wg, kg);
+                let pr = fb.bin(BinOp::Mul, wr, kr);
+                let s = fb.bin(BinOp::Add, pb, pg);
+                let s = fb.bin(BinOp::Add, s, pr);
+                let c128 = fb.splat(psir::c_i32(128), 64);
+                let s = fb.bin(BinOp::Add, s, c128);
+                let c8 = fb.splat(psir::c_i32(8), 64);
+                let sh = fb.bin(BinOp::LShr, s, c8);
+                let narrow = fb.cast(CastKind::Trunc, sh, Ty::vec(ScalarTy::I8, 64));
+                packed_store(fb, args[1], iv, ScalarTy::I8, narrow);
+            })
+        }),
+    );
+    // 30. gray → interleaved BGR: stride-3 stores.
+    v.push(
+        Kernel::new(
+            "gray_to_bgr",
+            "convert",
+            64,
+            psim_wrap(
+                64,
+                "u8* restrict a, u8* restrict out, i64 n",
+                "    u8 x = a[idx];\n    out[idx * 3] = x;\n    out[idx * 3 + 1] = x;\n    out[idx * 3 + 2] = x;",
+            ),
+            serial_wrap(
+                "u8* restrict a, u8* restrict out, i64 n",
+                "    u8 x = a[idx];\n    out[idx * 3] = x;\n    out[idx * 3 + 1] = x;\n    out[idx * 3 + 2] = x;",
+            ),
+            vec![in_u8(n, 56), BufSpec::output(ScalarTy::I8, 3 * n + 64)],
+            n,
+        )
+        .with_hand(|m| {
+            vector_loop(m, 2, &[], 64, |fb, iv, args| {
+                let x = packed_load(fb, args[0], iv, ScalarTy::I8, 64);
+                let pat: Vec<u32> = (0..192).map(|j| j / 3).collect();
+                let expanded = fb.shuffle_const(x, pat);
+                let three = fb.bin(BinOp::Mul, iv, 3i64);
+                let base = fb.gep(args[1], three, 1);
+                fb.store(base, expanded, None);
+            })
+        }),
+    );
+    // 31. planar YUV → R channel (parity: unit stride)
+    v.push(
+        Kernel::new(
+            "yuv_to_r",
+            "convert",
+            64,
+            psim_wrap(
+                64,
+                "u8* restrict y, u8* restrict v, u8* restrict out, i64 n",
+                "    i32 yy = ((i32) y[idx] - 16) * 298;\n    i32 vv = (i32) v[idx] - 128;\n    out[idx] = (u8) clamp((yy + 409 * vv + 128) >> 8, 0, 255);",
+            ),
+            serial_wrap(
+                "u8* restrict y, u8* restrict v, u8* restrict out, i64 n",
+                "    i32 yy = ((i32) y[idx] - 16) * 298;\n    i32 vv = (i32) v[idx] - 128;\n    out[idx] = (u8) clamp((yy + 409 * vv + 128) >> 8, 0, 255);",
+            ),
+            vec![in_u8(n, 57), in_u8(n, 58), BufSpec::output(ScalarTy::I8, n)],
+            n,
+        )
+        .with_hand(|m| {
+            elementwise(m, &[ScalarTy::I8, ScalarTy::I8], ScalarTy::I8, 64, |fb, xs| {
+                let i32v = Ty::vec(ScalarTy::I32, 64);
+                let wy = fb.cast(CastKind::Zext, xs[0], i32v);
+                let wv = fb.cast(CastKind::Zext, xs[1], i32v);
+                let c16 = fb.splat(psir::c_i32(16), 64);
+                let c298 = fb.splat(psir::c_i32(298), 64);
+                let c128 = fb.splat(psir::c_i32(128), 64);
+                let c409 = fb.splat(psir::c_i32(409), 64);
+                let yy = fb.bin(BinOp::Sub, wy, c16);
+                let yy = fb.bin(BinOp::Mul, yy, c298);
+                let vv = fb.bin(BinOp::Sub, wv, c128);
+                let pv = fb.bin(BinOp::Mul, vv, c409);
+                let s = fb.bin(BinOp::Add, yy, pv);
+                let s = fb.bin(BinOp::Add, s, c128);
+                let c8 = fb.splat(psir::c_i32(8), 64);
+                let sh = fb.bin(BinOp::AShr, s, c8);
+                let zero = fb.splat(psir::c_i32(0), 64);
+                let cap = fb.splat(psir::c_i32(255), 64);
+                let c = fb.bin(BinOp::SMin, sh, cap);
+                let c = fb.bin(BinOp::SMax, c, zero);
+                fb.cast(CastKind::Trunc, c, Ty::vec(ScalarTy::I8, 64))
+            })
+        }),
+    );
+    // 32. i16 → u8 clamp (Int16ToGray; the psim version clamps at i16
+    // width, as the intrinsics version does)
+    v.push(
+        Kernel::new(
+            "i16_to_gray",
+            "convert",
+            32,
+            psim_wrap(
+                32,
+                "i16* restrict a, u8* restrict out, i64 n",
+                "    out[idx] = (u8) clamp(a[idx], (i16) 0, (i16) 255);",
+            ),
+            serial_wrap(
+                "i16* restrict a, u8* restrict out, i64 n",
+                "    out[idx] = (u8) clamp((i32) a[idx], 0, 255);",
+            ),
+            vec![
+                BufSpec::input(ScalarTy::I16, n, Init::RandomInt { seed: 59 }),
+                BufSpec::output(ScalarTy::I8, n),
+            ],
+            n,
+        )
+        .with_hand(|m| {
+            elementwise(m, &[ScalarTy::I16], ScalarTy::I8, 32, |fb, xs| {
+                let zero = fb.splat(psir::Const::i16(0), 32);
+                let cap = fb.splat(psir::Const::i16(255), 32);
+                let c = fb.bin(BinOp::SMin, xs[0], cap);
+                let c = fb.bin(BinOp::SMax, c, zero);
+                fb.cast(CastKind::Trunc, c, Ty::vec(ScalarTy::I8, 32))
+            })
+        }),
+    );
+
+    // ---- fixed-point 1-D filters (neighbors in a padded input) ------------
+
+    let filter2 = |name: &'static str,
+                   psim_body: &'static str,
+                   serial_body: &'static str,
+                   out_elem: ScalarTy,
+                   hand: fn(&mut psir::Module)|
+     -> Kernel {
+        let params: String = format!(
+            "u8* restrict a, {}* restrict out, i64 n",
+            match out_elem {
+                ScalarTy::I16 => "i16",
+                _ => "u8",
+            }
+        );
+        Kernel::new(
+            name,
+            "filter",
+            64,
+            psim_wrap(64, &params, psim_body),
+            serial_wrap(&params, serial_body),
+            vec![in_u8(n + 64, 60), BufSpec::output(out_elem, n)],
+            n,
+        )
+        .with_hand(hand)
+    };
+    let filter = |name: &'static str,
+                  body: &'static str,
+                  out_elem: ScalarTy,
+                  hand: fn(&mut psir::Module)|
+     -> Kernel {
+        let params: String = format!(
+            "u8* restrict a, {}* restrict out, i64 n",
+            match out_elem {
+                ScalarTy::I16 => "i16",
+                _ => "u8",
+            }
+        );
+        Kernel::new(
+            name,
+            "filter",
+            64,
+            psim_wrap(64, &params, body),
+            serial_wrap(&params, body),
+            vec![in_u8(n + 64, 60), BufSpec::output(out_elem, n)],
+            n,
+        )
+        .with_hand(hand)
+    };
+
+    // 33. 3-tap blur [1 2 1]/4
+    v.push(filter(
+        "blur3_u8",
+        "    i32 s = (i32) a[idx] + 2 * (i32) a[idx + 1] + (i32) a[idx + 2] + 2;\n    out[idx] = (u8) (s >> 2);",
+        ScalarTy::I8,
+        |m| {
+            vector_loop(m, 2, &[], 64, |fb, iv, args| {
+                let i32v = Ty::vec(ScalarTy::I32, 64);
+                let load_w = |fb: &mut psir::FunctionBuilder, off: i64| {
+                    let i = fb.bin(BinOp::Add, iv, off);
+                    let x = packed_load(fb, args[0], i, ScalarTy::I8, 64);
+                    fb.cast(CastKind::Zext, x, i32v)
+                };
+                let x0 = load_w(fb, 0);
+                let x1 = load_w(fb, 1);
+                let x2 = load_w(fb, 2);
+                let two = fb.splat(psir::c_i32(2), 64);
+                let mid = fb.bin(BinOp::Mul, x1, two);
+                let s = fb.bin(BinOp::Add, x0, mid);
+                let s = fb.bin(BinOp::Add, s, x2);
+                let s = fb.bin(BinOp::Add, s, two);
+                let sh = fb.bin(BinOp::LShr, s, two);
+                let r = fb.cast(CastKind::Trunc, sh, Ty::vec(ScalarTy::I8, 64));
+                packed_store(fb, args[1], iv, ScalarTy::I8, r);
+            })
+        },
+    ));
+    // 34. 3-tap box (×171 >> 9 ≈ /3)
+    v.push(filter(
+        "box3_u8",
+        "    i32 s = (i32) a[idx] + (i32) a[idx + 1] + (i32) a[idx + 2];\n    out[idx] = (u8) ((s * 171) >> 9);",
+        ScalarTy::I8,
+        |m| {
+            vector_loop(m, 2, &[], 64, |fb, iv, args| {
+                let i32v = Ty::vec(ScalarTy::I32, 64);
+                let load_w = |fb: &mut psir::FunctionBuilder, off: i64| {
+                    let i = fb.bin(BinOp::Add, iv, off);
+                    let x = packed_load(fb, args[0], i, ScalarTy::I8, 64);
+                    fb.cast(CastKind::Zext, x, i32v)
+                };
+                let x0 = load_w(fb, 0);
+                let x1 = load_w(fb, 1);
+                let x2 = load_w(fb, 2);
+                let s = fb.bin(BinOp::Add, x0, x1);
+                let s = fb.bin(BinOp::Add, s, x2);
+                let k = fb.splat(psir::c_i32(171), 64);
+                let p = fb.bin(BinOp::Mul, s, k);
+                let nine = fb.splat(psir::c_i32(9), 64);
+                let sh = fb.bin(BinOp::LShr, p, nine);
+                let r = fb.cast(CastKind::Trunc, sh, Ty::vec(ScalarTy::I8, 64));
+                packed_store(fb, args[1], iv, ScalarTy::I8, r);
+            })
+        },
+    ));
+    // 35. Sobel dx (u8 → i16; the psim version works at i16 width like the
+    // intrinsics code, the serial version in plain C's int width)
+    v.push(filter2(
+        "sobel_dx",
+        "    out[idx] = (i16) a[idx + 2] - (i16) a[idx];",
+        "    out[idx] = (i16) ((i32) a[idx + 2] - (i32) a[idx]);",
+        ScalarTy::I16,
+        |m| {
+            vector_loop(m, 2, &[], 64, |fb, iv, args| {
+                let i16v = Ty::vec(ScalarTy::I16, 64);
+                let x0 = packed_load(fb, args[0], iv, ScalarTy::I8, 64);
+                let i2 = fb.bin(BinOp::Add, iv, 2i64);
+                let x2 = packed_load(fb, args[0], i2, ScalarTy::I8, 64);
+                let w0 = fb.cast(CastKind::Zext, x0, i16v);
+                let w2 = fb.cast(CastKind::Zext, x2, i16v);
+                let d = fb.bin(BinOp::Sub, w2, w0);
+                packed_store(fb, args[1], iv, ScalarTy::I16, d);
+            })
+        },
+    ));
+    // 36. Laplace (u8 → i16)
+    v.push(filter2(
+        "laplace_1d",
+        "    out[idx] = (i16) a[idx] - (i16) 2 * (i16) a[idx + 1] + (i16) a[idx + 2];",
+        "    out[idx] = (i16) ((i32) a[idx] - 2 * (i32) a[idx + 1] + (i32) a[idx + 2]);",
+        ScalarTy::I16,
+        |m| {
+            vector_loop(m, 2, &[], 64, |fb, iv, args| {
+                let i16v = Ty::vec(ScalarTy::I16, 64);
+                let load_w = |fb: &mut psir::FunctionBuilder, off: i64| {
+                    let i = fb.bin(BinOp::Add, iv, off);
+                    let x = packed_load(fb, args[0], i, ScalarTy::I8, 64);
+                    fb.cast(CastKind::Zext, x, i16v)
+                };
+                let x0 = load_w(fb, 0);
+                let x1 = load_w(fb, 1);
+                let x2 = load_w(fb, 2);
+                let two = fb.splat(psir::Const::i16(2), 64);
+                let mid = fb.bin(BinOp::Mul, x1, two);
+                let s = fb.bin(BinOp::Add, x0, x2);
+                let d = fb.bin(BinOp::Sub, s, mid);
+                packed_store(fb, args[1], iv, ScalarTy::I16, d);
+            })
+        },
+    ));
+    // 37. sharpen: 2·center − (left+right)/2, clamped
+    v.push(filter(
+        "sharpen_u8",
+        "    i32 c = 2 * (i32) a[idx + 1] - (((i32) a[idx] + (i32) a[idx + 2]) >> 1);\n    out[idx] = (u8) clamp(c, 0, 255);",
+        ScalarTy::I8,
+        |m| {
+            vector_loop(m, 2, &[], 64, |fb, iv, args| {
+                let i32v = Ty::vec(ScalarTy::I32, 64);
+                let load_w = |fb: &mut psir::FunctionBuilder, off: i64| {
+                    let i = fb.bin(BinOp::Add, iv, off);
+                    let x = packed_load(fb, args[0], i, ScalarTy::I8, 64);
+                    fb.cast(CastKind::Zext, x, i32v)
+                };
+                let x0 = load_w(fb, 0);
+                let x1 = load_w(fb, 1);
+                let x2 = load_w(fb, 2);
+                let two = fb.splat(psir::c_i32(2), 64);
+                let one = fb.splat(psir::c_i32(1), 64);
+                let dc = fb.bin(BinOp::Mul, x1, two);
+                let s = fb.bin(BinOp::Add, x0, x2);
+                let half = fb.bin(BinOp::AShr, s, one);
+                let c = fb.bin(BinOp::Sub, dc, half);
+                let zero = fb.splat(psir::c_i32(0), 64);
+                let cap = fb.splat(psir::c_i32(255), 64);
+                let c = fb.bin(BinOp::SMin, c, cap);
+                let c = fb.bin(BinOp::SMax, c, zero);
+                let r = fb.cast(CastKind::Trunc, c, Ty::vec(ScalarTy::I8, 64));
+                packed_store(fb, args[1], iv, ScalarTy::I8, r);
+            })
+        },
+    ));
+    // 38. median-of-3 via the min/max network
+    v.push(filter(
+        "median3_u8",
+        "    u8 x = a[idx];\n    u8 y = a[idx + 1];\n    u8 z = a[idx + 2];\n    out[idx] = max(min(x, y), min(max(x, y), z));",
+        ScalarTy::I8,
+        |m| {
+            vector_loop(m, 2, &[], 64, |fb, iv, args| {
+                let x = packed_load(fb, args[0], iv, ScalarTy::I8, 64);
+                let i1 = fb.bin(BinOp::Add, iv, 1i64);
+                let y = packed_load(fb, args[0], i1, ScalarTy::I8, 64);
+                let i2 = fb.bin(BinOp::Add, iv, 2i64);
+                let z = packed_load(fb, args[0], i2, ScalarTy::I8, 64);
+                let lo = fb.bin(BinOp::UMin, x, y);
+                let hi = fb.bin(BinOp::UMax, x, y);
+                let m2 = fb.bin(BinOp::UMin, hi, z);
+                let r = fb.bin(BinOp::UMax, lo, m2);
+                packed_store(fb, args[1], iv, ScalarTy::I8, r);
+            })
+        },
+    ));
+    // 39. edge strength: |laplace| saturated to u8
+    v.push(filter(
+        "edge_abs_u8",
+        "    i32 d = (i32) a[idx] - 2 * (i32) a[idx + 1] + (i32) a[idx + 2];\n    out[idx] = (u8) min(d < 0 ? 0 - d : d, 255);",
+        ScalarTy::I8,
+        |m| {
+            vector_loop(m, 2, &[], 64, |fb, iv, args| {
+                let i32v = Ty::vec(ScalarTy::I32, 64);
+                let load_w = |fb: &mut psir::FunctionBuilder, off: i64| {
+                    let i = fb.bin(BinOp::Add, iv, off);
+                    let x = packed_load(fb, args[0], i, ScalarTy::I8, 64);
+                    fb.cast(CastKind::Zext, x, i32v)
+                };
+                let x0 = load_w(fb, 0);
+                let x1 = load_w(fb, 1);
+                let x2 = load_w(fb, 2);
+                let two = fb.splat(psir::c_i32(2), 64);
+                let mid = fb.bin(BinOp::Mul, x1, two);
+                let s = fb.bin(BinOp::Add, x0, x2);
+                let d = fb.bin(BinOp::Sub, s, mid);
+                let ad = fb.un(psir::UnOp::IAbs, d);
+                let cap = fb.splat(psir::c_i32(255), 64);
+                let c = fb.bin(BinOp::SMin, ad, cap);
+                let r = fb.cast(CastKind::Trunc, c, Ty::vec(ScalarTy::I8, 64));
+                packed_store(fb, args[1], iv, ScalarTy::I8, r);
+            })
+        },
+    ));
+    // 40. 5-tap smooth [1 4 6 4 1]/16
+    v.push(filter(
+        "smooth5_u8",
+        "    i32 s = (i32) a[idx] + 4 * (i32) a[idx + 1] + 6 * (i32) a[idx + 2] + 4 * (i32) a[idx + 3] + (i32) a[idx + 4] + 8;\n    out[idx] = (u8) (s >> 4);",
+        ScalarTy::I8,
+        |m| {
+            vector_loop(m, 2, &[], 64, |fb, iv, args| {
+                let i32v = Ty::vec(ScalarTy::I32, 64);
+                let load_w = |fb: &mut psir::FunctionBuilder, off: i64| {
+                    let i = fb.bin(BinOp::Add, iv, off);
+                    let x = packed_load(fb, args[0], i, ScalarTy::I8, 64);
+                    fb.cast(CastKind::Zext, x, i32v)
+                };
+                let taps = [(0i64, 1i32), (1, 4), (2, 6), (3, 4), (4, 1)];
+                let mut acc = fb.splat(psir::c_i32(8), 64);
+                for (off, w) in taps {
+                    let x = load_w(fb, off);
+                    let wk = fb.splat(psir::c_i32(w), 64);
+                    let p = fb.bin(BinOp::Mul, x, wk);
+                    acc = fb.bin(BinOp::Add, acc, p);
+                }
+                let four = fb.splat(psir::c_i32(4), 64);
+                let sh = fb.bin(BinOp::LShr, acc, four);
+                let r = fb.cast(CastKind::Trunc, sh, Ty::vec(ScalarTy::I8, 64));
+                packed_store(fb, args[1], iv, ScalarTy::I8, r);
+            })
+        },
+    ));
+
+    v
+}

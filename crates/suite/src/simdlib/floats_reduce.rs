@@ -1,0 +1,651 @@
+//! Float kernels (SAXPY-class, activation functions) and reductions
+//! (byte sums via `vpsadbw`, SAD, dot products, min/max, conditional
+//! counts) — the Simd Library's `Neural`/`Reduce`/`Statistic` families.
+
+use crate::hand::{elementwise, elementwise_extra, packed_load, reduction, vector_loop};
+use crate::wrap::{psim_wrap, serial_wrap};
+use crate::{BufSpec, Init, Kernel};
+use psir::{BinOp, CastKind, ReduceOp, RtVal, ScalarTy, Ty};
+
+fn f32_in(n: u64, seed: u64) -> BufSpec {
+    BufSpec::input(ScalarTy::F32, n, Init::RandomF32 { seed, lo: -4.0, hi: 4.0 })
+}
+
+pub(super) fn kernels(n: u64) -> Vec<Kernel> {
+    let mut v = Vec::new();
+    let pf1 = "f32* restrict a, f32* restrict out, i64 n";
+    let pf2 = "f32* restrict a, f32* restrict b, f32* restrict out, i64 n";
+
+    // 41. saxpy (parity)
+    v.push(
+        Kernel::new(
+            "saxpy_f32",
+            "float",
+            16,
+            psim_wrap(
+                16,
+                "f32* restrict x, f32* restrict y, f32 s, i64 n",
+                "    y[idx] = s * x[idx] + y[idx];",
+            ),
+            serial_wrap(
+                "f32* restrict x, f32* restrict y, f32 s, i64 n",
+                "    y[idx] = s * x[idx] + y[idx];",
+            ),
+            vec![f32_in(n, 71), BufSpec::inout(ScalarTy::F32, n, Init::RandomF32 { seed: 72, lo: -1.0, hi: 1.0 })],
+            n,
+        )
+        .with_extra_args(vec![RtVal::from_f32(1.75)])
+        .with_hand(|m| {
+            vector_loop(m, 2, &[ScalarTy::F32], 16, |fb, iv, args| {
+                let x = packed_load(fb, args[0], iv, ScalarTy::F32, 16);
+                let y = packed_load(fb, args[1], iv, ScalarTy::F32, 16);
+                let s = fb.splat(args[2], 16);
+                let p = fb.bin(BinOp::FMul, s, x);
+                let r = fb.bin(BinOp::FAdd, p, y);
+                crate::hand::packed_store(fb, args[1], iv, ScalarTy::F32, r);
+            })
+        }),
+    );
+    // 42. scale+shift
+    v.push(
+        Kernel::new(
+            "scale_shift_f32",
+            "float",
+            16,
+            psim_wrap(
+                16,
+                "f32* restrict a, f32* restrict out, f32 s, f32 b, i64 n",
+                "    out[idx] = a[idx] * s + b;",
+            ),
+            serial_wrap(
+                "f32* restrict a, f32* restrict out, f32 s, f32 b, i64 n",
+                "    out[idx] = a[idx] * s + b;",
+            ),
+            vec![f32_in(n, 73), BufSpec::output(ScalarTy::F32, n)],
+            n,
+        )
+        .with_extra_args(vec![RtVal::from_f32(0.5), RtVal::from_f32(-3.0)])
+        .with_hand(|m| {
+            elementwise_extra(m, &[ScalarTy::F32], ScalarTy::F32, &[ScalarTy::F32, ScalarTy::F32], 16, |fb, xs, e| {
+                let s = fb.splat(e[0], 16);
+                let b = fb.splat(e[1], 16);
+                let p = fb.bin(BinOp::FMul, xs[0], s);
+                fb.bin(BinOp::FAdd, p, b)
+            })
+        }),
+    );
+    // 43. sqrt (parity)
+    {
+        let body = "    out[idx] = sqrt(abs(a[idx]));";
+        v.push(
+            Kernel::new(
+                "sqrt_f32",
+                "float",
+                16,
+                psim_wrap(16, pf1, body),
+                serial_wrap(pf1, body),
+                vec![f32_in(n, 74), BufSpec::output(ScalarTy::F32, n)],
+                n,
+            )
+            .with_hand(|m| {
+                elementwise(m, &[ScalarTy::F32], ScalarTy::F32, 16, |fb, xs| {
+                    let a = fb.un(psir::UnOp::FAbs, xs[0]);
+                    fb.un(psir::UnOp::FSqrt, a)
+                })
+            }),
+        );
+    }
+    // 44. reciprocal sqrt
+    {
+        let body = "    out[idx] = 1.0 / sqrt(abs(a[idx]) + 0.001);";
+        v.push(
+            Kernel::new(
+                "rsqrt_f32",
+                "float",
+                16,
+                psim_wrap(16, pf1, body),
+                serial_wrap(pf1, body),
+                vec![f32_in(n, 75), BufSpec::output(ScalarTy::F32, n)],
+                n,
+            )
+            .with_hand(|m| {
+                elementwise(m, &[ScalarTy::F32], ScalarTy::F32, 16, |fb, xs| {
+                    let a = fb.un(psir::UnOp::FAbs, xs[0]);
+                    let eps = fb.splat(psir::c_f32(0.001), 16);
+                    let a = fb.bin(BinOp::FAdd, a, eps);
+                    let s = fb.un(psir::UnOp::FSqrt, a);
+                    let one = fb.splat(psir::c_f32(1.0), 16);
+                    fb.bin(BinOp::FDiv, one, s)
+                })
+            }),
+        );
+    }
+    // 45. clamp
+    {
+        let params = "f32* restrict a, f32* restrict out, f32 lo, f32 hi, i64 n";
+        let body = "    out[idx] = clamp(a[idx], lo, hi);";
+        v.push(
+            Kernel::new(
+                "clamp_f32",
+                "float",
+                16,
+                psim_wrap(16, params, body),
+                serial_wrap(params, body),
+                vec![f32_in(n, 76), BufSpec::output(ScalarTy::F32, n)],
+                n,
+            )
+            .with_extra_args(vec![RtVal::from_f32(-1.0), RtVal::from_f32(1.0)])
+            .with_hand(|m| {
+                elementwise_extra(m, &[ScalarTy::F32], ScalarTy::F32, &[ScalarTy::F32, ScalarTy::F32], 16, |fb, xs, e| {
+                    let lo = fb.splat(e[0], 16);
+                    let hi = fb.splat(e[1], 16);
+                    let c = fb.bin(BinOp::FMin, xs[0], hi);
+                    fb.bin(BinOp::FMax, c, lo)
+                })
+            }),
+        );
+    }
+    // 46. lerp
+    {
+        let params = "f32* restrict a, f32* restrict b, f32* restrict out, f32 t, i64 n";
+        let body = "    out[idx] = a[idx] + (b[idx] - a[idx]) * t;";
+        v.push(
+            Kernel::new(
+                "lerp_f32",
+                "float",
+                16,
+                psim_wrap(16, params, body),
+                serial_wrap(params, body),
+                vec![f32_in(n, 77), f32_in(n, 78), BufSpec::output(ScalarTy::F32, n)],
+                n,
+            )
+            .with_extra_args(vec![RtVal::from_f32(0.25)])
+            .with_hand(|m| {
+                elementwise_extra(m, &[ScalarTy::F32, ScalarTy::F32], ScalarTy::F32, &[ScalarTy::F32], 16, |fb, xs, e| {
+                    let t = fb.splat(e[0], 16);
+                    let d = fb.bin(BinOp::FSub, xs[1], xs[0]);
+                    let p = fb.bin(BinOp::FMul, d, t);
+                    fb.bin(BinOp::FAdd, xs[0], p)
+                })
+            }),
+        );
+    }
+    // 47. relu (parity)
+    {
+        let body = "    out[idx] = max(a[idx], 0.0);";
+        v.push(
+            Kernel::new(
+                "relu_f32",
+                "float",
+                16,
+                psim_wrap(16, pf1, body),
+                serial_wrap(pf1, body),
+                vec![f32_in(n, 79), BufSpec::output(ScalarTy::F32, n)],
+                n,
+            )
+            .with_hand(|m| {
+                elementwise(m, &[ScalarTy::F32], ScalarTy::F32, 16, |fb, xs| {
+                    let zero = fb.splat(psir::c_f32(0.0), 16);
+                    fb.bin(BinOp::FMax, xs[0], zero)
+                })
+            }),
+        );
+    }
+    // 48. sigmoid: the baseline cannot vectorize the exp call (no veclib) —
+    // Parsimony's math-library integration is the whole win here.
+    {
+        let body = "    out[idx] = 1.0 / (1.0 + exp(0.0 - a[idx]));";
+        v.push(
+            Kernel::new(
+                "sigmoid_f32",
+                "float",
+                16,
+                psim_wrap(16, pf1, body),
+                serial_wrap(pf1, body),
+                vec![f32_in(n, 80), BufSpec::output(ScalarTy::F32, n)],
+                n,
+            )
+            .with_hand(|m| {
+                elementwise(m, &[ScalarTy::F32], ScalarTy::F32, 16, |fb, xs| {
+                    let zero = fb.splat(psir::c_f32(0.0), 16);
+                    let neg = fb.bin(BinOp::FSub, zero, xs[0]);
+                    let e = fb.call("sleef.exp.f32x16", Ty::vec(ScalarTy::F32, 16), vec![neg]);
+                    let one = fb.splat(psir::c_f32(1.0), 16);
+                    let d = fb.bin(BinOp::FAdd, one, e);
+                    fb.bin(BinOp::FDiv, one, d)
+                })
+            }),
+        );
+    }
+    // 49. fused multiply-add (parity: everyone has FMA)
+    {
+        let body = "    out[idx] = fma(a[idx], b[idx], out[idx]);";
+        v.push(
+            Kernel::new(
+                "fma_f32",
+                "float",
+                16,
+                psim_wrap(16, pf2, body),
+                serial_wrap(pf2, body),
+                vec![
+                    f32_in(n, 81),
+                    f32_in(n, 82),
+                    BufSpec::inout(ScalarTy::F32, n, Init::RandomF32 { seed: 83, lo: -1.0, hi: 1.0 }),
+                ],
+                n,
+            )
+            .with_hand(|m| {
+                vector_loop(m, 3, &[], 16, |fb, iv, args| {
+                    let a = packed_load(fb, args[0], iv, ScalarTy::F32, 16);
+                    let b = packed_load(fb, args[1], iv, ScalarTy::F32, 16);
+                    let c = packed_load(fb, args[2], iv, ScalarTy::F32, 16);
+                    let r = fb.fma(a, b, c);
+                    crate::hand::packed_store(fb, args[2], iv, ScalarTy::F32, r);
+                })
+            }),
+        );
+    }
+    // 50. abs (parity)
+    {
+        let body = "    out[idx] = abs(a[idx]);";
+        v.push(
+            Kernel::new(
+                "abs_f32",
+                "float",
+                16,
+                psim_wrap(16, pf1, body),
+                serial_wrap(pf1, body),
+                vec![f32_in(n, 84), BufSpec::output(ScalarTy::F32, n)],
+                n,
+            )
+            .with_hand(|m| {
+                elementwise(m, &[ScalarTy::F32], ScalarTy::F32, 16, |fb, xs| {
+                    fb.un(psir::UnOp::FAbs, xs[0])
+                })
+            }),
+        );
+    }
+
+    // ---- reductions ----------------------------------------------------------
+    //
+    // Signature convention: main(in…, partials, out, n). The psim versions
+    // use the natural SPMD formulation: one gang whose threads stride over
+    // the data with a private accumulator, then a single horizontal
+    // reduction at the end (`partials` is unused but kept so all three
+    // configurations share a signature). The serial versions accumulate
+    // directly; the hand-written versions keep a vector accumulator (and
+    // use `vpsadbw` for byte sums, which is why the Simd Library does).
+
+    /// One-gang accumulate-then-reduce psim source.
+    fn psim_reduce_src(gang: u32, params: &str, decl: &str, step: &str, finish: &str) -> String {
+        format!(
+            "void main({params}) {{\n  psim gang({gang}) threads({gang}) {{\n    i64 lane = psim_thread_num();\n{decl}\n    for (i64 base = 0; base < n; base += {gang}) {{\n{step}\n    }}\n{finish}\n  }}\n}}\n"
+        )
+    }
+
+    // 51. byte sum — the §7 `vpsadbw` abstraction in a strided loop: every
+    // lane accumulates its group sum; the final total is 8× the answer.
+    {
+        let params = "u8* restrict a, u64* restrict partials, u64* restrict out, i64 n";
+        let psim_src = psim_reduce_src(
+            64,
+            params,
+            "    u64 acc = 0;",
+            "        u64 s = psim_sad(a[base + lane], (u8) 0);\n        acc += s;",
+            "    u64 r = psim_reduce_add(acc);\n    out[0] = r / 8;",
+        );
+        let serial_body = "    u64 acc = 0;\n    for (i64 idx = 0; idx < n; idx += 1) {\n        acc += (u64) a[idx];\n    }\n    out[0] = acc;";
+        v.push(
+            Kernel::new(
+                "sum_u8",
+                "reduce",
+                64,
+                psim_src,
+                format!("void main({params}) {{\n{serial_body}\n}}\n"),
+                vec![
+                    BufSpec::input(ScalarTy::I8, n, Init::RandomInt { seed: 85 }),
+                    BufSpec::input(ScalarTy::I64, n / 64, Init::Zero),
+                    BufSpec::output(ScalarTy::I64, 8),
+                ],
+                n,
+            )
+            .with_hand(|m| {
+                reduction(
+                    m,
+                    &[ScalarTy::I8],
+                    ScalarTy::I64,
+                    64,
+                    0,
+                    |fb, acc, xs| {
+                        // vpsadbw against zero; every lane carries its
+                        // group's sum, so the final reduction is 8× the
+                        // answer — divided once at the end (see below).
+                        let zero = fb.splat(psir::Const::i8(0), 64);
+                        let sums = fb.call(
+                            "vmach.sad.i8x64.i64",
+                            Ty::vec(ScalarTy::I64, 64),
+                            vec![xs[0], zero],
+                        );
+                        fb.bin(BinOp::Add, acc, sums)
+                    },
+                    ReduceOp::Add,
+                );
+                fixup_divide_by_8(m);
+            }),
+        );
+    }
+    // 52. sum of absolute differences (SAD) — the Figure 5 headline family.
+    {
+        let params = "u8* restrict a, u8* restrict b, u64* restrict partials, u64* restrict out, i64 n";
+        let psim_src = psim_reduce_src(
+            64,
+            params,
+            "    u64 acc = 0;",
+            "        u64 s = psim_sad(a[base + lane], b[base + lane]);\n        acc += s;",
+            "    u64 r = psim_reduce_add(acc);\n    out[0] = r / 8;",
+        );
+        let serial_body = "    u64 acc = 0;\n    for (i64 idx = 0; idx < n; idx += 1) {\n        i32 d = (i32) a[idx] - (i32) b[idx];\n        acc += (u64) (d < 0 ? 0 - d : d);\n    }\n    out[0] = acc;";
+        v.push(
+            Kernel::new(
+                "abs_diff_sum_u8",
+                "reduce",
+                64,
+                psim_src,
+                format!("void main({params}) {{\n{serial_body}\n}}\n"),
+                vec![
+                    BufSpec::input(ScalarTy::I8, n, Init::RandomInt { seed: 86 }),
+                    BufSpec::input(ScalarTy::I8, n, Init::RandomInt { seed: 87 }),
+                    BufSpec::input(ScalarTy::I64, n / 64, Init::Zero),
+                    BufSpec::output(ScalarTy::I64, 8),
+                ],
+                n,
+            )
+            .with_hand(|m| {
+                reduction(
+                    m,
+                    &[ScalarTy::I8, ScalarTy::I8],
+                    ScalarTy::I64,
+                    64,
+                    0,
+                    |fb, acc, xs| {
+                        let sums = fb.call(
+                            "vmach.sad.i8x64.i64",
+                            Ty::vec(ScalarTy::I64, 64),
+                            vec![xs[0], xs[1]],
+                        );
+                        fb.bin(BinOp::Add, acc, sums)
+                    },
+                    ReduceOp::Add,
+                );
+                fixup_divide_by_8(m);
+            }),
+        );
+    }
+    // 53. sum of squares (widened — all SIMD versions pay the widening)
+    {
+        let params = "u8* restrict a, u64* restrict partials, u64* restrict out, i64 n";
+        let psim_src = psim_reduce_src(
+            64,
+            params,
+            "    u64 acc = 0;",
+            "        u64 x = (u64) a[base + lane];\n        acc += x * x;",
+            "    u64 r = psim_reduce_add(acc);\n    out[0] = r;",
+        );
+        let serial_body = "    u64 acc = 0;\n    for (i64 idx = 0; idx < n; idx += 1) {\n        u64 x = (u64) a[idx];\n        acc += x * x;\n    }\n    out[0] = acc;";
+        v.push(
+            Kernel::new(
+                "square_sum_u8",
+                "reduce",
+                64,
+                psim_src,
+                format!("void main({params}) {{\n{serial_body}\n}}\n"),
+                vec![
+                    BufSpec::input(ScalarTy::I8, n, Init::RandomInt { seed: 88 }),
+                    BufSpec::input(ScalarTy::I64, n / 64, Init::Zero),
+                    BufSpec::output(ScalarTy::I64, 8),
+                ],
+                n,
+            )
+            .with_hand(|m| {
+                reduction(
+                    m,
+                    &[ScalarTy::I8],
+                    ScalarTy::I64,
+                    64,
+                    0,
+                    |fb, acc, xs| {
+                        let w = fb.cast(CastKind::Zext, xs[0], Ty::vec(ScalarTy::I64, 64));
+                        let sq = fb.bin(BinOp::Mul, w, w);
+                        fb.bin(BinOp::Add, acc, sq)
+                    },
+                    ReduceOp::Add,
+                )
+            }),
+        );
+    }
+    // 54. float sum (integer-valued inputs keep every order exact)
+    {
+        let params = "f32* restrict a, f32* restrict partials, f32* restrict out, i64 n";
+        let psim_src = psim_reduce_src(
+            16,
+            params,
+            "    f32 acc = 0.0;",
+            "        acc += a[base + lane];",
+            "    f32 r = psim_reduce_add(acc);\n    out[0] = r;",
+        );
+        let serial_body = "    f32 acc = 0.0;\n    for (i64 idx = 0; idx < n; idx += 1) {\n        acc += a[idx];\n    }\n    out[0] = acc;";
+        v.push(
+            Kernel::new(
+                "sum_f32",
+                "reduce",
+                16,
+                psim_src,
+                format!("void main({params}) {{\n{serial_body}\n}}\n"),
+                vec![
+                    BufSpec::input(ScalarTy::F32, n, Init::RandomF32Int { seed: 89, lo: 0, hi: 256 }),
+                    BufSpec::input(ScalarTy::F32, n / 16, Init::Zero),
+                    BufSpec::output(ScalarTy::F32, 8),
+                ],
+                n,
+            )
+            .with_hand(|m| {
+                reduction(
+                    m,
+                    &[ScalarTy::F32],
+                    ScalarTy::F32,
+                    16,
+                    0.0f32.to_bits() as u64,
+                    |fb, acc, xs| fb.bin(BinOp::FAdd, acc, xs[0]),
+                    ReduceOp::Add,
+                )
+            }),
+        );
+    }
+    // 55-56. min / max reductions over u8
+    {
+        let mk = |name: &'static str, is_max: bool, seed: u64| {
+            let params = "u8* restrict a, u8* restrict partials, u8* restrict out, i64 n";
+            let reduce_fn = if is_max { "psim_reduce_max" } else { "psim_reduce_min" };
+            let fold = if is_max { "max" } else { "min" };
+            let ident = if is_max { "0" } else { "255" };
+            let psim_src = psim_reduce_src(
+                64,
+                params,
+                &format!("    u8 acc = (u8) {ident};"),
+                &format!("        acc = {fold}(acc, a[base + lane]);"),
+                &format!("    u8 r = {reduce_fn}(acc);\n    out[0] = r;"),
+            );
+            let serial_body = format!(
+                "    u8 acc = (u8) {ident};\n    for (i64 idx = 0; idx < n; idx += 1) {{\n        acc = {fold}(acc, a[idx]);\n    }}\n    out[0] = acc;"
+            );
+            let serial_full = format!("void main({params}) {{\n{serial_body}\n}}\n");
+            let op = if is_max { BinOp::UMax } else { BinOp::UMin };
+            let rop = if is_max { ReduceOp::UMax } else { ReduceOp::UMin };
+            let identity = if is_max { 0u64 } else { 255u64 };
+            Kernel::new(
+                name,
+                "reduce",
+                64,
+                psim_src,
+                serial_full,
+                vec![
+                    BufSpec::input(ScalarTy::I8, n, Init::RandomInt { seed }),
+                    BufSpec::input(ScalarTy::I8, n / 64, Init::Zero),
+                    BufSpec::output(ScalarTy::I8, 8),
+                ],
+                n,
+            )
+            .with_hand(move |m| {
+                reduction(
+                    m,
+                    &[ScalarTy::I8],
+                    ScalarTy::I8,
+                    64,
+                    identity,
+                    move |fb, acc, xs| fb.bin(op, acc, xs[0]),
+                    rop,
+                )
+            })
+        };
+        v.push(mk("max_reduce_u8", true, 90));
+        v.push(mk("min_reduce_u8", false, 91));
+    }
+    // 57. conditional count (x > t)
+    {
+        let params = "u8* restrict a, u64* restrict partials, u64* restrict out, u8 t, i64 n";
+        let psim_src = "void main(u8* restrict a, u64* restrict partials, u64* restrict out, u8 t, i64 n) {\n  psim gang(64) threads(64) {\n    i64 lane = psim_thread_num();\n    u64 acc = 0;\n    for (i64 base = 0; base < n; base += 64) {\n        acc += a[base + lane] > t ? (u64) 1 : (u64) 0;\n    }\n    u64 r = psim_reduce_add(acc);\n    out[0] = r;\n  }\n}\n".to_string();
+        let serial_body = "    u64 acc = 0;\n    for (i64 idx = 0; idx < n; idx += 1) {\n        acc += a[idx] > t ? (u64) 1 : (u64) 0;\n    }\n    out[0] = acc;";
+        v.push(
+            Kernel::new(
+                "count_above_u8",
+                "reduce",
+                64,
+                psim_src,
+                format!("void main({params}) {{\n{serial_body}\n}}\n"),
+                vec![
+                    BufSpec::input(ScalarTy::I8, n, Init::RandomInt { seed: 92 }),
+                    BufSpec::input(ScalarTy::I64, n / 64, Init::Zero),
+                    BufSpec::output(ScalarTy::I64, 8),
+                ],
+                n,
+            )
+            .with_extra_args(vec![RtVal::S(99)])
+            .with_hand(|m| {
+                count_above_hand(m);
+            }),
+        );
+    }
+    // 58. dot product f32
+    {
+        let params = "f32* restrict a, f32* restrict b, f32* restrict partials, f32* restrict out, i64 n";
+        let psim_src = "void main(f32* restrict a, f32* restrict b, f32* restrict partials, f32* restrict out, i64 n) {\n  psim gang(16) threads(16) {\n    i64 lane = psim_thread_num();\n    f32 acc = 0.0;\n    for (i64 base = 0; base < n; base += 16) {\n        acc += a[base + lane] * b[base + lane];\n    }\n    f32 r = psim_reduce_add(acc);\n    out[0] = r;\n  }\n}\n".to_string();
+        let serial_body = "    f32 acc = 0.0;\n    for (i64 idx = 0; idx < n; idx += 1) {\n        acc += a[idx] * b[idx];\n    }\n    out[0] = acc;";
+        v.push(
+            Kernel::new(
+                "dot_f32",
+                "reduce",
+                16,
+                psim_src,
+                format!("void main({params}) {{\n{serial_body}\n}}\n"),
+                vec![
+                    BufSpec::input(ScalarTy::F32, n, Init::RandomF32Int { seed: 93, lo: -7, hi: 8 }),
+                    BufSpec::input(ScalarTy::F32, n, Init::RandomF32Int { seed: 94, lo: -7, hi: 8 }),
+                    BufSpec::input(ScalarTy::F32, n / 16, Init::Zero),
+                    BufSpec::output(ScalarTy::F32, 8),
+                ],
+                n,
+            )
+            .with_hand(|m| {
+                reduction(
+                    m,
+                    &[ScalarTy::F32, ScalarTy::F32],
+                    ScalarTy::F32,
+                    16,
+                    0.0f32.to_bits() as u64,
+                    |fb, acc, xs| {
+                        let p = fb.bin(BinOp::FMul, xs[0], xs[1]);
+                        fb.bin(BinOp::FAdd, acc, p)
+                    },
+                    ReduceOp::Add,
+                )
+            }),
+        );
+    }
+
+    v
+}
+
+/// Rewrites the reduction epilogue of the just-built `main` so the stored
+/// total is divided by 8 (the `vpsadbw` trick replicates each group sum
+/// across its 8 lanes).
+fn fixup_divide_by_8(m: &mut psir::Module) {
+    let f = m.function_mut("main").expect("hand kernel built");
+    for b in f.block_ids().collect::<Vec<_>>() {
+        for pos in 0..f.block(b).insts.len() {
+            let id = f.block(b).insts[pos];
+            if let psir::Inst::Store { ptr, val, mask } = f.inst(id).clone() {
+                let div = f.add_inst(
+                    psir::Inst::Bin {
+                        op: BinOp::LShr,
+                        a: val,
+                        b: psir::Value::Const(psir::Const::i64(3)),
+                    },
+                    Ty::Scalar(ScalarTy::I64),
+                );
+                *f.inst_mut(id) = psir::Inst::Store {
+                    ptr,
+                    val: psir::Value::Inst(div),
+                    mask,
+                };
+                f.block_mut(b).insts.insert(pos, div);
+                return;
+            }
+        }
+    }
+    panic!("no reduction store found");
+}
+
+/// Hand-written conditional count: vector accumulator of 0/1 at i64,
+/// horizontal reduce once at the end.
+fn count_above_hand(m: &mut psir::Module) {
+    use psir::{CmpPred as P, Const, FunctionBuilder, Param, Value};
+    let mut params: Vec<Param> = (0..3)
+        .map(|i| Param::noalias(format!("p{i}"), Ty::scalar(ScalarTy::Ptr)))
+        .collect();
+    params.push(Param::new("t", Ty::scalar(ScalarTy::I8)));
+    params.push(Param::new("n", Ty::scalar(ScalarTy::I64)));
+    let mut fb = FunctionBuilder::new("main", params, Ty::Void);
+    let n = Value::Param(4);
+    let header = fb.new_block("c.header");
+    let body = fb.new_block("c.body");
+    let exit = fb.new_block("c.exit");
+    let pre = fb.current_block();
+    let init = fb.const_vec(ScalarTy::I64, vec![0; 64]);
+    fb.br(header);
+    fb.switch_to(header);
+    let iv = fb.phi_typed(Ty::scalar(ScalarTy::I64), vec![(pre, psir::c_i64(0))]);
+    let vacc = fb.phi_typed(Ty::vec(ScalarTy::I64, 64), vec![(pre, init)]);
+    let next_end = fb.bin(BinOp::Add, iv, Value::Const(Const::i64(64)));
+    let ok = fb.cmp(P::Sle, next_end, n);
+    fb.cond_br(ok, body, exit);
+    fb.switch_to(body);
+    let x = packed_load(&mut fb, Value::Param(0), iv, ScalarTy::I8, 64);
+    let t = fb.splat(Value::Param(3), 64);
+    let c = fb.cmp(P::Ugt, x, t);
+    let ones = fb.splat(Const::i64(1), 64);
+    let zeros = fb.splat(Const::i64(0), 64);
+    let sel = fb.select(c, ones, zeros);
+    let vacc2 = fb.bin(BinOp::Add, vacc, sel);
+    let latch = fb.current_block();
+    let nx = fb.bin(BinOp::Add, iv, Value::Const(Const::i64(64)));
+    fb.phi_add_incoming(iv, latch, nx);
+    fb.phi_add_incoming(vacc, latch, vacc2);
+    fb.br(header);
+    fb.switch_to(exit);
+    let total = fb.reduce(ReduceOp::Add, vacc, None);
+    fb.store(Value::Param(2), total, None);
+    fb.ret(None);
+    let f = fb.finish();
+    psir::assert_valid(&f);
+    m.add_function(f);
+}

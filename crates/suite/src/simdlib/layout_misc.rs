@@ -1,0 +1,489 @@
+//! Layout-changing kernels ((de)interleave, channel extraction, swizzles,
+//! reversal, lookup tables) and miscellaneous image ops (fill, copy,
+//! blending, background maintenance, segmentation, LBP).
+
+use crate::hand::{elementwise, packed_load, packed_store, vector_loop};
+use crate::wrap::{psim_wrap, serial_wrap};
+use crate::{BufSpec, Init, Kernel};
+use psir::{BinOp, CastKind, CmpPred, RtVal, ScalarTy, Ty};
+
+fn in_u8(n: u64, seed: u64) -> BufSpec {
+    BufSpec::input(ScalarTy::I8, n, Init::RandomInt { seed })
+}
+
+pub(super) fn kernels(n: u64) -> Vec<Kernel> {
+    let mut v = Vec::new();
+
+    // 59. deinterleave 2 streams: stride-2 loads (baseline rejects).
+    v.push(
+        Kernel::new(
+            "deinterleave2_u8",
+            "layout",
+            64,
+            psim_wrap(
+                64,
+                "u8* restrict a, u8* restrict out0, u8* restrict out1, i64 n",
+                "    out0[idx] = a[idx * 2];\n    out1[idx] = a[idx * 2 + 1];",
+            ),
+            serial_wrap(
+                "u8* restrict a, u8* restrict out0, u8* restrict out1, i64 n",
+                "    out0[idx] = a[idx * 2];\n    out1[idx] = a[idx * 2 + 1];",
+            ),
+            vec![
+                in_u8(2 * n, 101),
+                BufSpec::output(ScalarTy::I8, n),
+                BufSpec::output(ScalarTy::I8, n),
+            ],
+            n,
+        )
+        .with_hand(|m| {
+            vector_loop(m, 3, &[], 64, |fb, iv, args| {
+                let two = fb.bin(BinOp::Mul, iv, 2i64);
+                let base = fb.gep(args[0], two, 1);
+                let wide = fb.load(Ty::vec(ScalarTy::I8, 128), base, None);
+                let ev: Vec<u32> = (0..64).map(|j| j * 2).collect();
+                let od: Vec<u32> = (0..64).map(|j| j * 2 + 1).collect();
+                let e = fb.shuffle_const(wide, ev);
+                let o = fb.shuffle_const(wide, od);
+                packed_store(fb, args[1], iv, ScalarTy::I8, e);
+                packed_store(fb, args[2], iv, ScalarTy::I8, o);
+            })
+        }),
+    );
+    // 60. interleave 2 streams: stride-2 stores.
+    v.push(
+        Kernel::new(
+            "interleave2_u8",
+            "layout",
+            64,
+            psim_wrap(
+                64,
+                "u8* restrict a, u8* restrict b, u8* restrict out, i64 n",
+                "    out[idx * 2] = a[idx];\n    out[idx * 2 + 1] = b[idx];",
+            ),
+            serial_wrap(
+                "u8* restrict a, u8* restrict b, u8* restrict out, i64 n",
+                "    out[idx * 2] = a[idx];\n    out[idx * 2 + 1] = b[idx];",
+            ),
+            vec![
+                in_u8(n, 102),
+                in_u8(n, 103),
+                BufSpec::output(ScalarTy::I8, 2 * n),
+            ],
+            n,
+        )
+        .with_hand(|m| {
+            vector_loop(m, 3, &[], 64, |fb, iv, args| {
+                let a = packed_load(fb, args[0], iv, ScalarTy::I8, 64);
+                let b = packed_load(fb, args[1], iv, ScalarTy::I8, 64);
+                // build the 128-lane interleaved vector from a 128-lane
+                // concat-free trick: widen both and merge via two shuffles
+                // into a scratch via inserts is slow; instead shuffle each
+                // and blend with a mask store twice.
+                let lo_pat: Vec<u32> = (0..128).map(|j| (j / 2) as u32).collect();
+                let ea = fb.shuffle_const(a, lo_pat.clone());
+                let eb = fb.shuffle_const(b, lo_pat);
+                let mask_a: Vec<u64> = (0..128).map(|j| u64::from(j % 2 == 0)).collect();
+                let mask_b: Vec<u64> = (0..128).map(|j| u64::from(j % 2 == 1)).collect();
+                let ma = fb.const_vec(ScalarTy::I1, mask_a);
+                let mb = fb.const_vec(ScalarTy::I1, mask_b);
+                let two = fb.bin(BinOp::Mul, iv, 2i64);
+                let base = fb.gep(args[2], two, 1);
+                fb.store(base, ea, Some(ma));
+                fb.store(base, eb, Some(mb));
+            })
+        }),
+    );
+    // 61. extract middle channel of interleaved 3-channel data.
+    v.push(
+        Kernel::new(
+            "extract_g_u8",
+            "layout",
+            64,
+            psim_wrap(
+                64,
+                "u8* restrict a, u8* restrict out, i64 n",
+                "    out[idx] = a[idx * 3 + 1];",
+            ),
+            serial_wrap(
+                "u8* restrict a, u8* restrict out, i64 n",
+                "    out[idx] = a[idx * 3 + 1];",
+            ),
+            vec![in_u8(3 * n + 64, 104), BufSpec::output(ScalarTy::I8, n)],
+            n,
+        )
+        .with_hand(|m| {
+            vector_loop(m, 2, &[], 64, |fb, iv, args| {
+                let three = fb.bin(BinOp::Mul, iv, 3i64);
+                let base = fb.gep(args[0], three, 1);
+                let wide = fb.load(Ty::vec(ScalarTy::I8, 192), base, None);
+                let pat: Vec<u32> = (0..64).map(|j| j * 3 + 1).collect();
+                let g = fb.shuffle_const(wide, pat);
+                packed_store(fb, args[1], iv, ScalarTy::I8, g);
+            })
+        }),
+    );
+    // 62. RGBA → BGRA swizzle (stride-4 shuffle).
+    v.push(
+        Kernel::new(
+            "swizzle_rgba_bgra",
+            "layout",
+            64,
+            psim_wrap(
+                64,
+                "u8* restrict a, u8* restrict out, i64 n",
+                "    out[idx * 4] = a[idx * 4 + 2];\n    out[idx * 4 + 1] = a[idx * 4 + 1];\n    out[idx * 4 + 2] = a[idx * 4];\n    out[idx * 4 + 3] = a[idx * 4 + 3];",
+            ),
+            serial_wrap(
+                "u8* restrict a, u8* restrict out, i64 n",
+                "    out[idx * 4] = a[idx * 4 + 2];\n    out[idx * 4 + 1] = a[idx * 4 + 1];\n    out[idx * 4 + 2] = a[idx * 4];\n    out[idx * 4 + 3] = a[idx * 4 + 3];",
+            ),
+            vec![in_u8(4 * n, 105), BufSpec::output(ScalarTy::I8, 4 * n)],
+            n,
+        )
+        .with_hand(|m| {
+            vector_loop(m, 2, &[], 64, |fb, iv, args| {
+                let four = fb.bin(BinOp::Mul, iv, 4i64);
+                let base = fb.gep(args[0], four, 1);
+                let wide = fb.load(Ty::vec(ScalarTy::I8, 256), base, None);
+                let pat: Vec<u32> = (0..256)
+                    .map(|j| {
+                        let pix = (j / 4) * 4;
+                        match j % 4 {
+                            0 => pix + 2,
+                            1 => pix + 1,
+                            2 => pix,
+                            _ => pix + 3,
+                        }
+                    })
+                    .collect();
+                let sw = fb.shuffle_const(wide, pat);
+                let obase = fb.gep(args[1], four, 1);
+                fb.store(obase, sw, None);
+            })
+        }),
+    );
+    // 63. downsample even elements.
+    v.push(
+        Kernel::new(
+            "pack_even_u8",
+            "layout",
+            64,
+            psim_wrap(
+                64,
+                "u8* restrict a, u8* restrict out, i64 n",
+                "    out[idx] = a[idx * 2];",
+            ),
+            serial_wrap(
+                "u8* restrict a, u8* restrict out, i64 n",
+                "    out[idx] = a[idx * 2];",
+            ),
+            vec![in_u8(2 * n, 106), BufSpec::output(ScalarTy::I8, n)],
+            n,
+        )
+        .with_hand(|m| {
+            vector_loop(m, 2, &[], 64, |fb, iv, args| {
+                let two = fb.bin(BinOp::Mul, iv, 2i64);
+                let base = fb.gep(args[0], two, 1);
+                let wide = fb.load(Ty::vec(ScalarTy::I8, 128), base, None);
+                let pat: Vec<u32> = (0..64).map(|j| j * 2).collect();
+                let e = fb.shuffle_const(wide, pat);
+                packed_store(fb, args[1], iv, ScalarTy::I8, e);
+            })
+        }),
+    );
+    // 64. duplicate (2× upsample).
+    v.push(
+        Kernel::new(
+            "dup2_u8",
+            "layout",
+            64,
+            psim_wrap(
+                64,
+                "u8* restrict a, u8* restrict out, i64 n",
+                "    u8 x = a[idx];\n    out[idx * 2] = x;\n    out[idx * 2 + 1] = x;",
+            ),
+            serial_wrap(
+                "u8* restrict a, u8* restrict out, i64 n",
+                "    u8 x = a[idx];\n    out[idx * 2] = x;\n    out[idx * 2 + 1] = x;",
+            ),
+            vec![in_u8(n, 107), BufSpec::output(ScalarTy::I8, 2 * n)],
+            n,
+        )
+        .with_hand(|m| {
+            vector_loop(m, 2, &[], 64, |fb, iv, args| {
+                let x = packed_load(fb, args[0], iv, ScalarTy::I8, 64);
+                let pat: Vec<u32> = (0..128).map(|j| (j / 2) as u32).collect();
+                let d = fb.shuffle_const(x, pat);
+                let two = fb.bin(BinOp::Mul, iv, 2i64);
+                let base = fb.gep(args[1], two, 1);
+                fb.store(base, d, None);
+            })
+        }),
+    );
+    // 65. block reversal: negative stride (baseline rejects; Parsimony uses
+    // a packed load + reverse shuffle under the stride window).
+    v.push(
+        Kernel::new(
+            "reverse_u8",
+            "layout",
+            64,
+            psim_wrap(
+                64,
+                "u8* restrict a, u8* restrict out, i64 n",
+                "    out[idx] = a[n - 1 - idx];",
+            ),
+            serial_wrap(
+                "u8* restrict a, u8* restrict out, i64 n",
+                "    out[idx] = a[n - 1 - idx];",
+            ),
+            vec![in_u8(n, 108), BufSpec::output(ScalarTy::I8, n)],
+            n,
+        )
+        .with_hand(|m| {
+            vector_loop(m, 2, &[], 64, |fb, iv, args| {
+                // load the mirrored block and reverse it
+                let nm = fb.bin(BinOp::Sub, n_param(fb), iv);
+                let start = fb.bin(BinOp::Sub, nm, 64i64);
+                let base = fb.gep(args[0], start, 1);
+                let x = fb.load(Ty::vec(ScalarTy::I8, 64), base, None);
+                let pat: Vec<u32> = (0..64).rev().collect();
+                let r = fb.shuffle_const(x, pat);
+                packed_store(fb, args[1], iv, ScalarTy::I8, r);
+            })
+        }),
+    );
+    // 66. lookup table: data-dependent addresses (gather for everyone).
+    v.push(
+        Kernel::new(
+            "lut_u8",
+            "layout",
+            64,
+            psim_wrap(
+                64,
+                "u8* restrict a, u8* restrict lut, u8* restrict out, i64 n",
+                "    out[idx] = lut[(i64) a[idx]];",
+            ),
+            serial_wrap(
+                "u8* restrict a, u8* restrict lut, u8* restrict out, i64 n",
+                "    out[idx] = lut[(i64) a[idx]];",
+            ),
+            vec![
+                in_u8(n, 109),
+                in_u8(256, 110),
+                BufSpec::output(ScalarTy::I8, n),
+            ],
+            n,
+        )
+        .with_hand(|m| {
+            vector_loop(m, 3, &[], 64, |fb, iv, args| {
+                let x = packed_load(fb, args[0], iv, ScalarTy::I8, 64);
+                let idx = fb.cast(CastKind::Zext, x, Ty::vec(ScalarTy::I64, 64));
+                let ptrs = fb.gep(args[1], idx, 1);
+                let g = fb.load(Ty::vec(ScalarTy::I8, 64), ptrs, None);
+                packed_store(fb, args[2], iv, ScalarTy::I8, g);
+            })
+        }),
+    );
+
+    // ---- misc ---------------------------------------------------------------
+
+    // 67. fill (parity)
+    v.push(
+        Kernel::new(
+            "fill_u8",
+            "misc",
+            64,
+            psim_wrap(
+                64,
+                "u8* restrict out, u8 v, i64 n",
+                "    out[idx] = v;",
+            ),
+            serial_wrap(
+                "u8* restrict out, u8 v, i64 n",
+                "    out[idx] = v;",
+            ),
+            vec![BufSpec::output(ScalarTy::I8, n)],
+            n,
+        )
+        .with_extra_args(vec![RtVal::S(0xA5)])
+        .with_hand(|m| {
+            vector_loop(m, 1, &[ScalarTy::I8], 64, |fb, iv, args| {
+                let v = fb.splat(args[1], 64);
+                packed_store(fb, args[0], iv, ScalarTy::I8, v);
+            })
+        }),
+    );
+    // 68. copy (parity)
+    v.push(
+        Kernel::new(
+            "copy_u8",
+            "misc",
+            64,
+            psim_wrap(
+                64,
+                "u8* restrict a, u8* restrict out, i64 n",
+                "    out[idx] = a[idx];",
+            ),
+            serial_wrap(
+                "u8* restrict a, u8* restrict out, i64 n",
+                "    out[idx] = a[idx];",
+            ),
+            vec![in_u8(n, 111), BufSpec::output(ScalarTy::I8, n)],
+            n,
+        )
+        .with_hand(|m| {
+            elementwise(m, &[ScalarTy::I8], ScalarTy::I8, 64, |_fb, xs| xs[0])
+        }),
+    );
+    // 69. mask blend
+    v.push(
+        Kernel::new(
+            "blend_u8",
+            "misc",
+            64,
+            psim_wrap(
+                64,
+                "u8* restrict m, u8* restrict a, u8* restrict b, u8* restrict out, i64 n",
+                "    out[idx] = m[idx] > (u8) 127 ? a[idx] : b[idx];",
+            ),
+            serial_wrap(
+                "u8* restrict m, u8* restrict a, u8* restrict b, u8* restrict out, i64 n",
+                "    out[idx] = m[idx] > (u8) 127 ? a[idx] : b[idx];",
+            ),
+            vec![
+                in_u8(n, 112),
+                in_u8(n, 113),
+                in_u8(n, 114),
+                BufSpec::output(ScalarTy::I8, n),
+            ],
+            n,
+        )
+        .with_hand(|m| {
+            elementwise(m, &[ScalarTy::I8, ScalarTy::I8, ScalarTy::I8], ScalarTy::I8, 64, |fb, xs| {
+                let t = fb.splat(psir::Const::i8(127), 64);
+                let c = fb.cmp(CmpPred::Ugt, xs[0], t);
+                fb.select(c, xs[1], xs[2])
+            })
+        }),
+    );
+    // 70. background maintenance (grow-range): nested select with
+    // saturating steps.
+    v.push(
+        Kernel::new(
+            "background_u8",
+            "misc",
+            64,
+            psim_wrap(
+                64,
+                "u8* restrict a, u8* restrict bg, i64 n",
+                "    u8 x = a[idx];\n    u8 b = bg[idx];\n    bg[idx] = x > b ? add_sat(b, (u8) 1) : (x < b ? sub_sat(b, (u8) 1) : b);",
+            ),
+            serial_wrap(
+                "u8* restrict a, u8* restrict bg, i64 n",
+                "    u8 x = a[idx];\n    u8 b = bg[idx];\n    i32 w = (i32) b;\n    i32 up = min(w + 1, 255);\n    i32 dn = max(w - 1, 0);\n    bg[idx] = x > b ? (u8) up : (x < b ? (u8) dn : b);",
+            ),
+            vec![
+                in_u8(n, 115),
+                BufSpec::inout(ScalarTy::I8, n, Init::RandomInt { seed: 116 }),
+            ],
+            n,
+        )
+        .with_hand(|m| {
+            vector_loop(m, 2, &[], 64, |fb, iv, args| {
+                let x = packed_load(fb, args[0], iv, ScalarTy::I8, 64);
+                let b = packed_load(fb, args[1], iv, ScalarTy::I8, 64);
+                let one = fb.splat(psir::Const::i8(1), 64);
+                let up = fb.bin(BinOp::AddSatU, b, one);
+                let dn = fb.bin(BinOp::SubSatU, b, one);
+                let gt = fb.cmp(CmpPred::Ugt, x, b);
+                let lt = fb.cmp(CmpPred::Ult, x, b);
+                let lo = fb.select(lt, dn, b);
+                let r = fb.select(gt, up, lo);
+                packed_store(fb, args[1], iv, ScalarTy::I8, r);
+            })
+        }),
+    );
+    // 71. two-threshold segmentation
+    v.push(
+        Kernel::new(
+            "segment_u8",
+            "misc",
+            64,
+            psim_wrap(
+                64,
+                "u8* restrict a, u8* restrict out, u8 t0, u8 t1, i64 n",
+                "    out[idx] = a[idx] > t1 ? (u8) 2 : (a[idx] > t0 ? (u8) 1 : (u8) 0);",
+            ),
+            serial_wrap(
+                "u8* restrict a, u8* restrict out, u8 t0, u8 t1, i64 n",
+                "    out[idx] = a[idx] > t1 ? (u8) 2 : (a[idx] > t0 ? (u8) 1 : (u8) 0);",
+            ),
+            vec![in_u8(n, 117), BufSpec::output(ScalarTy::I8, n)],
+            n,
+        )
+        .with_extra_args(vec![RtVal::S(80), RtVal::S(170)])
+        .with_hand(|m| {
+            crate::hand::elementwise_extra(
+                m,
+                &[ScalarTy::I8],
+                ScalarTy::I8,
+                &[ScalarTy::I8, ScalarTy::I8],
+                64,
+                |fb, xs, e| {
+                    let t0 = fb.splat(e[0], 64);
+                    let t1 = fb.splat(e[1], 64);
+                    let c0 = fb.cmp(CmpPred::Ugt, xs[0], t0);
+                    let c1 = fb.cmp(CmpPred::Ugt, xs[0], t1);
+                    let zero = fb.splat(psir::Const::i8(0), 64);
+                    let one = fb.splat(psir::Const::i8(1), 64);
+                    let two = fb.splat(psir::Const::i8(2), 64);
+                    let low = fb.select(c0, one, zero);
+                    fb.select(c1, two, low)
+                },
+            )
+        }),
+    );
+    // 72. local binary pattern over 3 forward neighbors.
+    v.push(
+        Kernel::new(
+            "lbp3_u8",
+            "misc",
+            64,
+            psim_wrap(
+                64,
+                "u8* restrict a, u8* restrict out, i64 n",
+                "    u8 c = a[idx];\n    u8 r = (a[idx + 1] > c ? (u8) 1 : (u8) 0) | (a[idx + 2] > c ? (u8) 2 : (u8) 0) | (a[idx + 3] > c ? (u8) 4 : (u8) 0);\n    out[idx] = r;",
+            ),
+            serial_wrap(
+                "u8* restrict a, u8* restrict out, i64 n",
+                "    u8 c = a[idx];\n    u8 r = (a[idx + 1] > c ? (u8) 1 : (u8) 0) | (a[idx + 2] > c ? (u8) 2 : (u8) 0) | (a[idx + 3] > c ? (u8) 4 : (u8) 0);\n    out[idx] = r;",
+            ),
+            vec![in_u8(n + 64, 118), BufSpec::output(ScalarTy::I8, n)],
+            n,
+        )
+        .with_hand(|m| {
+            vector_loop(m, 2, &[], 64, |fb, iv, args| {
+                let c = packed_load(fb, args[0], iv, ScalarTy::I8, 64);
+                let zero = fb.splat(psir::Const::i8(0), 64);
+                let mut r = zero;
+                for (off, bit) in [(1i64, 1i8), (2, 2), (3, 4)] {
+                    let i = fb.bin(BinOp::Add, iv, off);
+                    let x = packed_load(fb, args[0], i, ScalarTy::I8, 64);
+                    let gt = fb.cmp(CmpPred::Ugt, x, c);
+                    let b = fb.splat(psir::Const::i8(bit), 64);
+                    let sel = fb.select(gt, b, zero);
+                    r = fb.bin(BinOp::Or, r, sel);
+                }
+                packed_store(fb, args[1], iv, ScalarTy::I8, r);
+            })
+        }),
+    );
+
+    v
+}
+
+/// The trailing `n` parameter of a hand-built kernel (last parameter).
+fn n_param(fb: &psir::FunctionBuilder) -> psir::Value {
+    psir::Value::Param((fb.func().params.len() - 1) as u32)
+}

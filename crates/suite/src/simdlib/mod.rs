@@ -1,0 +1,67 @@
+//! The 72 Simd-Library-family kernels of Figure 5.
+//!
+//! Each kernel has a serial PsimC version (scalar / autovec baselines), a
+//! Parsimony PsimC version, and a hand-written vector-IR version. Where the
+//! Simd Library's intrinsics implementations use a hardware trick (psadbw
+//! for byte sums, saturating-subtract absolute difference, divide-by-255
+//! shifts), the Parsimony and hand-written versions use it too, while the
+//! serial version uses the straightforward widened formula — the same
+//! relationship the paper's three bars have.
+
+mod convert_filter;
+mod floats_reduce;
+mod layout_misc;
+mod pointwise;
+
+use crate::Kernel;
+
+/// All 72 kernels at workload size `n` (elements; must be a multiple of
+/// 256 so that every gang size divides it and hand-written kernels need no
+/// epilogue).
+///
+/// # Panics
+/// Panics if `n` is not a positive multiple of 256.
+pub fn kernels(n: u64) -> Vec<Kernel> {
+    assert!(n > 0 && n % 256 == 0, "workload must be a multiple of 256");
+    let mut v = Vec::new();
+    v.extend(pointwise::kernels(n));
+    v.extend(convert_filter::kernels(n));
+    v.extend(floats_reduce::kernels(n));
+    v.extend(layout_misc::kernels(n));
+    v
+}
+
+/// The default Figure 5 workload size (1080p-row-scale).
+pub const DEFAULT_N: u64 = 1 << 14;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_72_kernels_with_unique_names() {
+        let ks = kernels(512);
+        assert_eq!(ks.len(), 72, "the paper evaluates 72 Simd Library benchmarks");
+        let mut names: Vec<&str> = ks.iter().map(|k| k.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 72, "kernel names must be unique");
+    }
+
+    #[test]
+    fn all_sources_compile() {
+        for k in kernels(512) {
+            psimc::compile(&k.psim_src)
+                .unwrap_or_else(|e| panic!("{}: psim source: {e}", k.name));
+            psimc::compile(&k.serial_src)
+                .unwrap_or_else(|e| panic!("{}: serial source: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn all_kernels_have_handwritten_versions() {
+        for k in kernels(512) {
+            assert!(k.hand.is_some(), "{} lacks a hand-written version", k.name);
+        }
+    }
+}

@@ -1,0 +1,590 @@
+//! Point-wise u8/u16 kernels (Simd Library "OperationBinary8u/16i"
+//! families): saturating arithmetic, averages, absolute differences,
+//! min/max, logic, weighted blends.
+
+use crate::hand::elementwise;
+use crate::wrap::{psim_wrap, serial_wrap};
+use crate::{BufSpec, Init, Kernel};
+use psir::{BinOp, RtVal, ScalarTy};
+
+const P2U8: &str = "u8* restrict a, u8* restrict b, u8* restrict out, i64 n";
+const P1U8: &str = "u8* restrict a, u8* restrict out, i64 n";
+const P2U16: &str = "u16* restrict a, u16* restrict b, u16* restrict out, i64 n";
+
+fn bufs2(elem: ScalarTy, n: u64) -> Vec<BufSpec> {
+    vec![
+        BufSpec::input(elem, n, Init::RandomInt { seed: 11 }),
+        BufSpec::input(elem, n, Init::RandomInt { seed: 22 }),
+        BufSpec::output(elem, n),
+    ]
+}
+
+fn bufs1(elem: ScalarTy, n: u64) -> Vec<BufSpec> {
+    vec![
+        BufSpec::input(elem, n, Init::RandomInt { seed: 33 }),
+        BufSpec::output(elem, n),
+    ]
+}
+
+/// Binary u8 kernel where psim & hand use one native op and the serial
+/// version uses the widened formula.
+fn native2_u8(
+    name: &str,
+    n: u64,
+    psim_expr: &str,
+    serial_body: &str,
+    op: BinOp,
+) -> Kernel {
+    let body = format!("    out[idx] = {psim_expr};");
+    Kernel::new(
+        name,
+        "pointwise-u8",
+        64,
+        psim_wrap(64, P2U8, &body),
+        serial_wrap(P2U8, serial_body),
+        bufs2(ScalarTy::I8, n),
+        n,
+    )
+    .with_hand(move |m| {
+        elementwise(m, &[ScalarTy::I8, ScalarTy::I8], ScalarTy::I8, 64, move |fb, xs| {
+            fb.bin(op, xs[0], xs[1])
+        })
+    })
+}
+
+/// Kernel where all three versions use the same expression (parity cases —
+/// the baseline vectorizes these fine, as in the paper's Figure 5 where
+/// several bars tie).
+fn parity2_u8(name: &str, n: u64, expr: &str, op: BinOp) -> Kernel {
+    let body = format!("    out[idx] = {expr};");
+    Kernel::new(
+        name,
+        "pointwise-u8",
+        64,
+        psim_wrap(64, P2U8, &body),
+        serial_wrap(P2U8, &body),
+        bufs2(ScalarTy::I8, n),
+        n,
+    )
+    .with_hand(move |m| {
+        elementwise(m, &[ScalarTy::I8, ScalarTy::I8], ScalarTy::I8, 64, move |fb, xs| {
+            fb.bin(op, xs[0], xs[1])
+        })
+    })
+}
+
+pub(super) fn kernels(n: u64) -> Vec<Kernel> {
+    let mut v = Vec::new();
+
+    // 1. saturating add
+    v.push(native2_u8(
+        "add_sat_u8",
+        n,
+        "add_sat(a[idx], b[idx])",
+        "    i32 r = (i32) a[idx] + (i32) b[idx];\n    out[idx] = (u8) min(r, 255);",
+        BinOp::AddSatU,
+    ));
+    // 2. saturating sub
+    v.push(native2_u8(
+        "sub_sat_u8",
+        n,
+        "sub_sat(a[idx], b[idx])",
+        "    i32 r = (i32) a[idx] - (i32) b[idx];\n    out[idx] = (u8) max(r, 0);",
+        BinOp::SubSatU,
+    ));
+    // 3. rounded average
+    v.push(native2_u8(
+        "avg_u8",
+        n,
+        "avg_u(a[idx], b[idx])",
+        "    i32 r = ((i32) a[idx] + (i32) b[idx] + 1) / 2;\n    out[idx] = (u8) r;",
+        BinOp::AvgU,
+    ));
+    // 4-6. logic (parity: the auto-vectorizer handles these)
+    v.push(parity2_u8("and_u8", n, "a[idx] & b[idx]", BinOp::And));
+    v.push(parity2_u8("or_u8", n, "a[idx] | b[idx]", BinOp::Or));
+    v.push(parity2_u8("xor_u8", n, "a[idx] ^ b[idx]", BinOp::Xor));
+    // 7-8. min/max (serial uses ternaries, like scalar C)
+    {
+        let mk = |name: &str, cmp: &str, op: BinOp| {
+            let psim_body = format!(
+                "    out[idx] = {}(a[idx], b[idx]);",
+                if op == BinOp::UMax { "max" } else { "min" }
+            );
+            let serial_body =
+                format!("    out[idx] = a[idx] {cmp} b[idx] ? a[idx] : b[idx];");
+            Kernel::new(
+                name,
+                "pointwise-u8",
+                64,
+                psim_wrap(64, P2U8, &psim_body),
+                serial_wrap(P2U8, &serial_body),
+                bufs2(ScalarTy::I8, n),
+                n,
+            )
+            .with_hand(move |m| {
+                elementwise(m, &[ScalarTy::I8, ScalarTy::I8], ScalarTy::I8, 64, move |fb, xs| {
+                    fb.bin(op, xs[0], xs[1])
+                })
+            })
+        };
+        v.push(mk("max_u8", ">", BinOp::UMax));
+        v.push(mk("min_u8", "<", BinOp::UMin));
+    }
+    // 9. absolute difference: the saturating-subtract trick.
+    v.push(
+        Kernel::new(
+            "abs_diff_u8",
+            "pointwise-u8",
+            64,
+            psim_wrap(
+                64,
+                P2U8,
+                "    out[idx] = sub_sat(a[idx], b[idx]) | sub_sat(b[idx], a[idx]);",
+            ),
+            serial_wrap(
+                P2U8,
+                "    i32 d = (i32) a[idx] - (i32) b[idx];\n    out[idx] = (u8) (d < 0 ? 0 - d : d);",
+            ),
+            bufs2(ScalarTy::I8, n),
+            n,
+        )
+        .with_hand(|m| {
+            elementwise(m, &[ScalarTy::I8, ScalarTy::I8], ScalarTy::I8, 64, |fb, xs| {
+                let d1 = fb.bin(BinOp::SubSatU, xs[0], xs[1]);
+                let d2 = fb.bin(BinOp::SubSatU, xs[1], xs[0]);
+                fb.bin(BinOp::Or, d1, d2)
+            })
+        }),
+    );
+    // 10. alpha multiply: divide-by-255 via the shift identity in the
+    // SIMD versions, a real division in the serial one.
+    v.push(
+        Kernel::new(
+            "mul_div255_u8",
+            "pointwise-u8",
+            64,
+            psim_wrap(
+                64,
+                P2U8,
+                "    i32 x = (i32) a[idx] * (i32) b[idx] + 128;\n    out[idx] = (u8) ((x + (x >> 8) + 1) >> 8);",
+            ),
+            serial_wrap(
+                P2U8,
+                "    i32 x = (i32) a[idx] * (i32) b[idx] + 128;\n    out[idx] = (u8) ((x + (x >> 8) + 1) >> 8);",
+            ),
+            bufs2(ScalarTy::I8, n),
+            n,
+        )
+        .with_hand(|m| {
+            elementwise(m, &[ScalarTy::I8, ScalarTy::I8], ScalarTy::I8, 64, |fb, xs| {
+                // widen to i32, multiply, shift-divide, narrow
+                let i32v = psir::Ty::vec(ScalarTy::I32, 64);
+                let wa = fb.cast(psir::CastKind::Zext, xs[0], i32v);
+                let wb = fb.cast(psir::CastKind::Zext, xs[1], i32v);
+                let p = fb.bin(BinOp::Mul, wa, wb);
+                let c128 = fb.splat(psir::c_i32(128), 64);
+                let x = fb.bin(BinOp::Add, p, c128);
+                let c8 = fb.splat(psir::c_i32(8), 64);
+                let hi = fb.bin(BinOp::LShr, x, c8);
+                let s = fb.bin(BinOp::Add, x, hi);
+                let one = fb.splat(psir::c_i32(1), 64);
+                let s1 = fb.bin(BinOp::Add, s, one);
+                let r = fb.bin(BinOp::LShr, s1, c8);
+                fb.cast(psir::CastKind::Trunc, r, psir::Ty::vec(ScalarTy::I8, 64))
+            })
+        }),
+    );
+    // 11. screen blend: 255 - (255-a)(255-b)/255.
+    v.push(
+        Kernel::new(
+            "screen_u8",
+            "pointwise-u8",
+            64,
+            psim_wrap(
+                64,
+                P2U8,
+                "    i32 x = (255 - (i32) a[idx]) * (255 - (i32) b[idx]) + 128;\n    out[idx] = (u8) (255 - ((x + (x >> 8) + 1) >> 8));",
+            ),
+            serial_wrap(
+                P2U8,
+                "    i32 x = (255 - (i32) a[idx]) * (255 - (i32) b[idx]) + 128;\n    out[idx] = (u8) (255 - ((x + (x >> 8) + 1) >> 8));",
+            ),
+            bufs2(ScalarTy::I8, n),
+            n,
+        )
+        .with_hand(|m| {
+            elementwise(m, &[ScalarTy::I8, ScalarTy::I8], ScalarTy::I8, 64, |fb, xs| {
+                let ones = fb.splat(psir::Const::i8(-1), 64); // 0xff
+                let na = fb.bin(BinOp::Sub, ones, xs[0]);
+                let nb = fb.bin(BinOp::Sub, ones, xs[1]);
+                // (255-a)(255-b)/255 via mulhi-free widened math at i32
+                let i32v = psir::Ty::vec(ScalarTy::I32, 64);
+                let wa = fb.cast(psir::CastKind::Zext, na, i32v);
+                let wb = fb.cast(psir::CastKind::Zext, nb, i32v);
+                let p = fb.bin(BinOp::Mul, wa, wb);
+                let c128 = fb.splat(psir::c_i32(128), 64);
+                let x = fb.bin(BinOp::Add, p, c128);
+                let c8 = fb.splat(psir::c_i32(8), 64);
+                let hi = fb.bin(BinOp::LShr, x, c8);
+                let s = fb.bin(BinOp::Add, x, hi);
+                let one = fb.splat(psir::c_i32(1), 64);
+                let s1 = fb.bin(BinOp::Add, s, one);
+                let q = fb.bin(BinOp::LShr, s1, c8);
+                let narrowed = fb.cast(psir::CastKind::Trunc, q, psir::Ty::vec(ScalarTy::I8, 64));
+                fb.bin(BinOp::Sub, ones, narrowed)
+            })
+        }),
+    );
+    // 12. horizontal gradient: |a[i+1] − a[i]| with the sat-sub trick.
+    v.push(
+        Kernel::new(
+            "gradient_u8",
+            "pointwise-u8",
+            64,
+            psim_wrap(
+                64,
+                P1U8,
+                "    u8 x = a[idx];\n    u8 y = a[idx + 1];\n    out[idx] = sub_sat(x, y) | sub_sat(y, x);",
+            ),
+            serial_wrap(
+                P1U8,
+                "    i32 d = (i32) a[idx + 1] - (i32) a[idx];\n    out[idx] = (u8) (d < 0 ? 0 - d : d);",
+            ),
+            vec![
+                BufSpec::input(ScalarTy::I8, n + 64, Init::RandomInt { seed: 44 }),
+                BufSpec::output(ScalarTy::I8, n),
+            ],
+            n,
+        )
+        .with_hand(|m| {
+            crate::hand::vector_loop(m, 2, &[], 64, |fb, iv, args| {
+                let x = crate::hand::packed_load(fb, args[0], iv, ScalarTy::I8, 64);
+                let ip1 = fb.bin(BinOp::Add, iv, 1i64);
+                let y = crate::hand::packed_load(fb, args[0], ip1, ScalarTy::I8, 64);
+                let d1 = fb.bin(BinOp::SubSatU, x, y);
+                let d2 = fb.bin(BinOp::SubSatU, y, x);
+                let r = fb.bin(BinOp::Or, d1, d2);
+                crate::hand::packed_store(fb, args[1], iv, ScalarTy::I8, r);
+            })
+        }),
+    );
+
+    // ---- unary u8 -----------------------------------------------------------
+
+    // 13. invert (parity)
+    v.push(
+        Kernel::new(
+            "invert_u8",
+            "pointwise-u8",
+            64,
+            psim_wrap(64, P1U8, "    out[idx] = (u8) 255 - a[idx];"),
+            serial_wrap(P1U8, "    out[idx] = (u8) 255 - a[idx];"),
+            bufs1(ScalarTy::I8, n),
+            n,
+        )
+        .with_hand(|m| {
+            elementwise(m, &[ScalarTy::I8], ScalarTy::I8, 64, |fb, xs| {
+                let ones = fb.splat(psir::Const::i8(-1), 64);
+                fb.bin(BinOp::Sub, ones, xs[0])
+            })
+        }),
+    );
+    // 14. binarization with threshold
+    v.push(
+        Kernel::new(
+            "binarize_u8",
+            "pointwise-u8",
+            64,
+            psim_wrap(
+                64,
+                "u8* restrict a, u8* restrict out, u8 t, i64 n",
+                "    out[idx] = a[idx] > t ? (u8) 255 : (u8) 0;",
+            ),
+            serial_wrap(
+                "u8* restrict a, u8* restrict out, u8 t, i64 n",
+                "    out[idx] = a[idx] > t ? (u8) 255 : (u8) 0;",
+            ),
+            bufs1(ScalarTy::I8, n),
+            n,
+        )
+        .with_extra_args(vec![RtVal::S(127)])
+        .with_hand(|m| {
+            crate::hand::elementwise_extra(
+                m,
+                &[ScalarTy::I8],
+                ScalarTy::I8,
+                &[ScalarTy::I8],
+                64,
+                |fb, xs, extra| {
+                    let t = fb.splat(extra[0], 64);
+                    let c = fb.cmp(psir::CmpPred::Ugt, xs[0], t);
+                    let hi = fb.splat(psir::Const::i8(-1), 64);
+                    let lo = fb.splat(psir::Const::i8(0), 64);
+                    fb.select(c, hi, lo)
+                },
+            )
+        }),
+    );
+    // 15. truncate-threshold
+    v.push(
+        Kernel::new(
+            "threshold_trunc_u8",
+            "pointwise-u8",
+            64,
+            psim_wrap(
+                64,
+                "u8* restrict a, u8* restrict out, u8 t, i64 n",
+                "    out[idx] = min(a[idx], t);",
+            ),
+            serial_wrap(
+                "u8* restrict a, u8* restrict out, u8 t, i64 n",
+                "    out[idx] = a[idx] < t ? a[idx] : t;",
+            ),
+            bufs1(ScalarTy::I8, n),
+            n,
+        )
+        .with_extra_args(vec![RtVal::S(160)])
+        .with_hand(|m| {
+            crate::hand::elementwise_extra(
+                m,
+                &[ScalarTy::I8],
+                ScalarTy::I8,
+                &[ScalarTy::I8],
+                64,
+                |fb, xs, extra| {
+                    let t = fb.splat(extra[0], 64);
+                    fb.bin(BinOp::UMin, xs[0], t)
+                },
+            )
+        }),
+    );
+    // 16. contrast stretch (widened multiply, saturating narrow)
+    v.push(
+        Kernel::new(
+            "stretch_u8",
+            "pointwise-u8",
+            64,
+            psim_wrap(
+                64,
+                "u8* restrict a, u8* restrict out, i32 k, i64 n",
+                "    i32 r = ((i32) a[idx] * k) >> 8;\n    out[idx] = (u8) min(r, 255);",
+            ),
+            serial_wrap(
+                "u8* restrict a, u8* restrict out, i32 k, i64 n",
+                "    i32 r = ((i32) a[idx] * k) >> 8;\n    out[idx] = (u8) min(r, 255);",
+            ),
+            bufs1(ScalarTy::I8, n),
+            n,
+        )
+        .with_extra_args(vec![RtVal::S(310)])
+        .with_hand(|m| {
+            crate::hand::elementwise_extra(
+                m,
+                &[ScalarTy::I8],
+                ScalarTy::I8,
+                &[ScalarTy::I32],
+                64,
+                |fb, xs, extra| {
+                    let i32v = psir::Ty::vec(ScalarTy::I32, 64);
+                    let w = fb.cast(psir::CastKind::Zext, xs[0], i32v);
+                    let k = fb.splat(extra[0], 64);
+                    let p = fb.bin(BinOp::Mul, w, k);
+                    let c8 = fb.splat(psir::c_i32(8), 64);
+                    let s = fb.bin(BinOp::AShr, p, c8);
+                    let cap = fb.splat(psir::c_i32(255), 64);
+                    let c = fb.bin(BinOp::SMin, s, cap);
+                    fb.cast(psir::CastKind::Trunc, c, psir::Ty::vec(ScalarTy::I8, 64))
+                },
+            )
+        }),
+    );
+    // 17. x² >> 8 via native mulhi
+    v.push(
+        Kernel::new(
+            "square_hi_u8",
+            "pointwise-u8",
+            64,
+            psim_wrap(64, P1U8, "    out[idx] = mulhi(a[idx], a[idx]);"),
+            serial_wrap(
+                P1U8,
+                "    out[idx] = (u8) (((i32) a[idx] * (i32) a[idx]) >> 8);",
+            ),
+            bufs1(ScalarTy::I8, n),
+            n,
+        )
+        .with_hand(|m| {
+            elementwise(m, &[ScalarTy::I8], ScalarTy::I8, 64, |fb, xs| {
+                fb.bin(BinOp::MulHiU, xs[0], xs[0])
+            })
+        }),
+    );
+    // 18. halve (parity)
+    v.push(
+        Kernel::new(
+            "shift_half_u8",
+            "pointwise-u8",
+            64,
+            psim_wrap(64, P1U8, "    out[idx] = a[idx] >> (u8) 1;"),
+            serial_wrap(P1U8, "    out[idx] = a[idx] >> (u8) 1;"),
+            bufs1(ScalarTy::I8, n),
+            n,
+        )
+        .with_hand(|m| {
+            elementwise(m, &[ScalarTy::I8], ScalarTy::I8, 64, |fb, xs| {
+                let one = fb.splat(psir::Const::i8(1), 64);
+                fb.bin(BinOp::LShr, xs[0], one)
+            })
+        }),
+    );
+
+    // ---- i16/u16 ------------------------------------------------------------
+
+    // 19-20. saturating i16 add/sub
+    {
+        let mk = |name: &str, builtin: &str, clamp_lo: i32, clamp_hi: i32, sign: &str, op: BinOp| {
+            let params = "i16* restrict a, i16* restrict b, i16* restrict out, i64 n";
+            Kernel::new(
+                name,
+                "pointwise-i16",
+                32,
+                psim_wrap(
+                    32,
+                    params,
+                    &format!("    out[idx] = {builtin}(a[idx], b[idx]);"),
+                ),
+                serial_wrap(
+                    params,
+                    &format!(
+                        "    i32 r = (i32) a[idx] {sign} (i32) b[idx];\n    out[idx] = (i16) clamp(r, 0 - {}, {clamp_hi});",
+                        -clamp_lo
+                    ),
+                ),
+                bufs2(ScalarTy::I16, n),
+                n,
+            )
+            .with_hand(move |m| {
+                elementwise(m, &[ScalarTy::I16, ScalarTy::I16], ScalarTy::I16, 32, move |fb, xs| {
+                    fb.bin(op, xs[0], xs[1])
+                })
+            })
+        };
+        v.push(mk("add_sat_i16", "add_sat", -32768, 32767, "+", BinOp::AddSatS));
+        v.push(mk("sub_sat_i16", "sub_sat", -32768, 32767, "-", BinOp::SubSatS));
+    }
+    // 21. mulhi i16
+    v.push(
+        Kernel::new(
+            "mulhi_i16",
+            "pointwise-i16",
+            32,
+            psim_wrap(
+                32,
+                "i16* restrict a, i16* restrict b, i16* restrict out, i64 n",
+                "    out[idx] = mulhi(a[idx], b[idx]);",
+            ),
+            serial_wrap(
+                "i16* restrict a, i16* restrict b, i16* restrict out, i64 n",
+                "    out[idx] = (i16) (((i32) a[idx] * (i32) b[idx]) >> 16);",
+            ),
+            bufs2(ScalarTy::I16, n),
+            n,
+        )
+        .with_hand(|m| {
+            elementwise(m, &[ScalarTy::I16, ScalarTy::I16], ScalarTy::I16, 32, |fb, xs| {
+                fb.bin(BinOp::MulHiS, xs[0], xs[1])
+            })
+        }),
+    );
+    // 22. u16 rounded average
+    v.push(
+        Kernel::new(
+            "avg_u16",
+            "pointwise-i16",
+            32,
+            psim_wrap(32, P2U16, "    out[idx] = avg_u(a[idx], b[idx]);"),
+            serial_wrap(
+                P2U16,
+                "    i32 r = ((i32) a[idx] + (i32) b[idx] + 1) / 2;\n    out[idx] = (u16) r;",
+            ),
+            bufs2(ScalarTy::I16, n),
+            n,
+        )
+        .with_hand(|m| {
+            elementwise(m, &[ScalarTy::I16, ScalarTy::I16], ScalarTy::I16, 32, |fb, xs| {
+                fb.bin(BinOp::AvgU, xs[0], xs[1])
+            })
+        }),
+    );
+    // 23. u16 absolute difference with the sat trick
+    v.push(
+        Kernel::new(
+            "abs_diff_u16",
+            "pointwise-i16",
+            32,
+            psim_wrap(
+                32,
+                P2U16,
+                "    out[idx] = sub_sat(a[idx], b[idx]) | sub_sat(b[idx], a[idx]);",
+            ),
+            serial_wrap(
+                P2U16,
+                "    i32 d = (i32) a[idx] - (i32) b[idx];\n    out[idx] = (u16) (d < 0 ? 0 - d : d);",
+            ),
+            bufs2(ScalarTy::I16, n),
+            n,
+        )
+        .with_hand(|m| {
+            elementwise(m, &[ScalarTy::I16, ScalarTy::I16], ScalarTy::I16, 32, |fb, xs| {
+                let d1 = fb.bin(BinOp::SubSatU, xs[0], xs[1]);
+                let d2 = fb.bin(BinOp::SubSatU, xs[1], xs[0]);
+                fb.bin(BinOp::Or, d1, d2)
+            })
+        }),
+    );
+    // 24. weighted blend (parity: widened formula everywhere)
+    v.push(
+        Kernel::new(
+            "weighted_i16",
+            "pointwise-i16",
+            32,
+            psim_wrap(
+                32,
+                "i16* restrict a, i16* restrict b, i16* restrict out, i32 w, i64 n",
+                "    out[idx] = (i16) (((i32) a[idx] * w + (i32) b[idx] * (256 - w)) >> 8);",
+            ),
+            serial_wrap(
+                "i16* restrict a, i16* restrict b, i16* restrict out, i32 w, i64 n",
+                "    out[idx] = (i16) (((i32) a[idx] * w + (i32) b[idx] * (256 - w)) >> 8);",
+            ),
+            bufs2(ScalarTy::I16, n),
+            n,
+        )
+        .with_extra_args(vec![RtVal::S(77)])
+        .with_hand(|m| {
+            crate::hand::elementwise_extra(
+                m,
+                &[ScalarTy::I16, ScalarTy::I16],
+                ScalarTy::I16,
+                &[ScalarTy::I32],
+                32,
+                |fb, xs, extra| {
+                    let i32v = psir::Ty::vec(ScalarTy::I32, 32);
+                    let wa = fb.cast(psir::CastKind::Sext, xs[0], i32v);
+                    let wb = fb.cast(psir::CastKind::Sext, xs[1], i32v);
+                    let w = fb.splat(extra[0], 32);
+                    let c256 = fb.splat(psir::c_i32(256), 32);
+                    let iw = fb.bin(BinOp::Sub, c256, w);
+                    let pa = fb.bin(BinOp::Mul, wa, w);
+                    let pb = fb.bin(BinOp::Mul, wb, iw);
+                    let s = fb.bin(BinOp::Add, pa, pb);
+                    let c8 = fb.splat(psir::c_i32(8), 32);
+                    let r = fb.bin(BinOp::AShr, s, c8);
+                    fb.cast(psir::CastKind::Trunc, r, psir::Ty::vec(ScalarTy::I16, 32))
+                },
+            )
+        }),
+    );
+
+    v
+}

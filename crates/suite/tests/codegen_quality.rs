@@ -1,0 +1,83 @@
+//! Code-generation quality guards: the §4.2.3 memory-operation selection
+//! must keep producing the *kind* of accesses the paper's performance story
+//! depends on. These assertions are robust (they check the dynamic
+//! instruction mix, not IR text) and fail loudly if shape analysis or the
+//! window transformation regresses.
+
+use suite::runner::{run_kernel, Config};
+use suite::simdlib::kernels;
+
+fn stats(name: &str, cfg: Config) -> psir::ExecStats {
+    let ks = kernels(512);
+    let k = ks.iter().find(|k| k.name == name).expect("kernel exists");
+    run_kernel(k, cfg).expect("runs").stats
+}
+
+#[test]
+fn unit_stride_kernels_use_packed_accesses_only() {
+    for name in ["add_sat_u8", "saxpy_f32", "blur3_u8", "median3_u8"] {
+        let s = stats(name, Config::Parsimony);
+        assert_eq!(s.gathers, 0, "{name}: unexpected gathers {s:?}");
+        assert_eq!(s.scatters, 0, "{name}: unexpected scatters {s:?}");
+        assert!(s.packed_loads > 0, "{name}: no packed loads? {s:?}");
+        assert!(s.packed_stores > 0, "{name}: no packed stores? {s:?}");
+    }
+}
+
+#[test]
+fn strided_kernels_use_the_shuffle_window_not_gathers() {
+    // §4.2.3: compile-time strides within 4× the gang size become packed
+    // loads/stores plus shuffles — "still faster than gather/scatters".
+    for name in ["bgr_to_gray", "deinterleave2_u8", "extract_g_u8", "reverse_u8"] {
+        let s = stats(name, Config::Parsimony);
+        assert_eq!(s.gathers, 0, "{name}: window transform regressed {s:?}");
+    }
+    for name in ["gray_to_bgr", "interleave2_u8", "dup2_u8", "swizzle_rgba_bgra"] {
+        let s = stats(name, Config::Parsimony);
+        assert_eq!(s.scatters, 0, "{name}: window transform regressed {s:?}");
+    }
+}
+
+#[test]
+fn data_dependent_addresses_gather_as_they_must() {
+    let s = stats("lut_u8", Config::Parsimony);
+    assert!(s.gathers > 0, "lut is inherently a gather: {s:?}");
+}
+
+#[test]
+fn shape_ablation_degrades_to_gathers() {
+    let with = stats("add_sat_u8", Config::Parsimony);
+    let without = stats("add_sat_u8", Config::ParsimonyNoShape);
+    assert_eq!(with.gathers, 0);
+    assert!(
+        without.gathers > 0 && without.scatters > 0,
+        "the ablation must visibly lose the packed accesses: {without:?}"
+    );
+}
+
+#[test]
+fn soa_binomial_lattice_stays_packed() {
+    let ks = suite::ispc::kernels(suite::ispc::IspcSizes::tiny());
+    let k = ks
+        .iter()
+        .find(|k| k.name == "binomial_options")
+        .expect("binomial");
+    let s = run_kernel(k, Config::Parsimony).expect("runs").stats;
+    assert_eq!(
+        s.gathers, 0,
+        "the SoA lattice must stay packed (this is why pow dominates): {s:?}"
+    );
+    let vol = ks.iter().find(|k| k.name == "volume").expect("volume");
+    let sv = run_kernel(vol, Config::Parsimony).expect("runs").stats;
+    assert!(sv.gathers > 0, "volume sampling is data-dependent: {sv:?}");
+}
+
+#[test]
+fn autovec_baseline_never_gathers() {
+    // The baseline has no gather path at all — its wins are packed-only.
+    for name in ["add_sat_u8", "saxpy_f32", "sum_f32", "blur3_u8"] {
+        let s = stats(name, Config::Autovec);
+        assert_eq!(s.gathers, 0, "{name}: the baseline cannot gather {s:?}");
+        assert_eq!(s.scatters, 0, "{name}: the baseline cannot scatter {s:?}");
+    }
+}

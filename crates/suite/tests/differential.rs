@@ -1,0 +1,70 @@
+//! Differential correctness: every configuration of every kernel computes
+//! byte-identical outputs. Four independently-built implementations
+//! (serial interpretation, baseline auto-vectorization, the Parsimony pass,
+//! hand-written vector IR) agreeing on randomized inputs is the suite's
+//! correctness argument.
+
+use suite::ispc::{kernels as ispc_kernels, IspcSizes};
+use suite::runner::{run_all_and_check, Config};
+use suite::simdlib::kernels as simd_kernels;
+
+#[test]
+fn simdlib_all_configs_agree() {
+    let cfgs = [
+        Config::Scalar,
+        Config::Autovec,
+        Config::Parsimony,
+        Config::ParsimonyBoscc,
+        Config::GangSync,
+        Config::Handwritten,
+    ];
+    let mut failures = Vec::new();
+    for k in simd_kernels(512) {
+        if let Err(e) = run_all_and_check(&k, &cfgs) {
+            failures.push(e);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} kernels disagree:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn simdlib_no_shape_ablation_agrees() {
+    // The ablation is slower but must still be correct. A subset keeps the
+    // test fast (the ablation emits gathers everywhere).
+    let cfgs = [Config::Scalar, Config::ParsimonyNoShape];
+    let mut failures = Vec::new();
+    for k in simd_kernels(256).into_iter().take(24) {
+        if let Err(e) = run_all_and_check(&k, &cfgs) {
+            failures.push(e);
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn ispc_workloads_all_configs_agree() {
+    let cfgs = [
+        Config::Scalar,
+        Config::Autovec,
+        Config::Parsimony,
+        Config::ParsimonyBoscc,
+        Config::GangSync,
+    ];
+    let mut failures = Vec::new();
+    for k in ispc_kernels(IspcSizes::tiny()) {
+        if let Err(e) = run_all_and_check(&k, &cfgs) {
+            failures.push(e);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} workloads disagree:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

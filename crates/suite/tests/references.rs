@@ -1,0 +1,135 @@
+//! Independent Rust-reference oracles for representative kernels: beyond
+//! the four implementations agreeing with *each other*, these spot checks
+//! pin the agreed-upon result to an independently written computation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use suite::runner::{run_kernel, Config};
+use suite::simdlib::kernels;
+use suite::Init;
+
+fn regen_input(init: Init, len: u64, elem_bytes: usize) -> Vec<u8> {
+    // Mirrors runner::fill for the inits used below.
+    match init {
+        Init::RandomInt { seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mask = match elem_bytes {
+                1 => 0xffu64,
+                2 => 0xffff,
+                4 => 0xffff_ffff,
+                _ => u64::MAX,
+            };
+            (0..len)
+                .flat_map(|_| {
+                    let v = rng.gen::<u64>() & mask;
+                    v.to_le_bytes()[..elem_bytes].to_vec()
+                })
+                .collect()
+        }
+        _ => panic!("regen_input only supports RandomInt here"),
+    }
+}
+
+fn kernel_input_u8(name: &str, buf_index: usize) -> (suite::Kernel, Vec<u8>) {
+    let k = kernels(512)
+        .into_iter()
+        .find(|k| k.name == name)
+        .unwrap_or_else(|| panic!("kernel {name}"));
+    let spec = &k.buffers[buf_index];
+    let data = regen_input(spec.init, spec.len, spec.elem.size_bytes() as usize);
+    (k, data)
+}
+
+#[test]
+fn add_sat_u8_matches_rust_saturating_add() {
+    let (k, a) = kernel_input_u8("add_sat_u8", 0);
+    let b = regen_input(k.buffers[1].init, k.buffers[1].len, 1);
+    let got = run_kernel(&k, Config::Parsimony).unwrap();
+    let out = &got.outputs[0];
+    for i in 0..out.len() {
+        assert_eq!(out[i], a[i].saturating_add(b[i]), "element {i}");
+    }
+}
+
+#[test]
+fn abs_diff_u8_matches_rust_abs_diff() {
+    let (k, a) = kernel_input_u8("abs_diff_u8", 0);
+    let b = regen_input(k.buffers[1].init, k.buffers[1].len, 1);
+    let got = run_kernel(&k, Config::Handwritten).unwrap();
+    let out = &got.outputs[0];
+    for i in 0..out.len() {
+        assert_eq!(out[i], a[i].abs_diff(b[i]), "element {i}");
+    }
+}
+
+#[test]
+fn bgr_to_gray_matches_reference_formula() {
+    let (k, bgr) = kernel_input_u8("bgr_to_gray", 0);
+    let got = run_kernel(&k, Config::Parsimony).unwrap();
+    let out = &got.outputs[0];
+    for i in 0..out.len() {
+        let (b, g, r) = (
+            bgr[3 * i] as u32,
+            bgr[3 * i + 1] as u32,
+            bgr[3 * i + 2] as u32,
+        );
+        let want = ((b * 29 + g * 150 + r * 77 + 128) >> 8) as u8;
+        assert_eq!(out[i], want, "pixel {i}");
+    }
+}
+
+#[test]
+fn abs_diff_sum_matches_rust_sum() {
+    let (k, a) = kernel_input_u8("abs_diff_sum_u8", 0);
+    let b = regen_input(k.buffers[1].init, k.buffers[1].len, 1);
+    let got = run_kernel(&k, Config::Handwritten).unwrap();
+    let total = u64::from_le_bytes(got.outputs[0][..8].try_into().unwrap());
+    let want: u64 = a.iter().zip(&b).map(|(&x, &y)| x.abs_diff(y) as u64).sum();
+    assert_eq!(total, want);
+}
+
+#[test]
+fn median3_matches_rust_sort() {
+    let (k, a) = kernel_input_u8("median3_u8", 0);
+    let got = run_kernel(&k, Config::Autovec).unwrap();
+    let out = &got.outputs[0];
+    for i in 0..out.len() {
+        let mut w = [a[i], a[i + 1], a[i + 2]];
+        w.sort_unstable();
+        assert_eq!(out[i], w[1], "element {i}");
+    }
+}
+
+#[test]
+fn max_reduce_matches_rust_max() {
+    let (k, a) = kernel_input_u8("max_reduce_u8", 0);
+    let got = run_kernel(&k, Config::GangSync).unwrap();
+    assert_eq!(got.outputs[0][0], *a.iter().max().unwrap());
+}
+
+#[test]
+fn mandelbrot_interior_and_exterior_points() {
+    let ks = suite::ispc::kernels(suite::ispc::IspcSizes::tiny());
+    let k = ks.iter().find(|k| k.name == "mandelbrot").unwrap();
+    let got = run_kernel(k, Config::Parsimony).unwrap();
+    let out: Vec<i32> = got.outputs[0]
+        .chunks(4)
+        .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    // Rust reference over the same pixel grid.
+    let (w, maxit) = (32i64, 64);
+    let n = out.len() as i64;
+    for (idx, &it) in out.iter().enumerate() {
+        let idx = idx as i64;
+        let x0 = -2.0f32 + (idx % w) as f32 * (3.0 / w as f32);
+        let y0 = -1.0f32 + (idx / w) as f32 * (2.0 / (n / w) as f32);
+        let (mut x, mut y, mut i) = (0.0f32, 0.0f32, 0);
+        while x * x + y * y < 4.0 && i < maxit {
+            let xt = x * x - y * y + x0;
+            y = 2.0 * x * y + y0;
+            x = xt;
+            i += 1;
+        }
+        assert_eq!(it, i, "pixel {idx}");
+    }
+}

@@ -1,0 +1,225 @@
+//! The cycle cost model plugged into the `psir` interpreter.
+
+use crate::legalize::legalize;
+use crate::target::Target;
+use psir::{CostModel, Function, InstId, MathFn, Terminator, Ty};
+
+/// Per-call costs of math-library routines, scalar and vectorized.
+///
+/// The vector numbers model one 512-bit call; wider gangs multiply by the
+/// register count. `sleef_pow` vs `fastm_pow` encodes the §6 finding that
+/// SLEEF's AVX-512 `pow` is ~2.6× slower than ispc's built-in — the entire
+/// Binomial Options gap in Figure 4.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MathCosts {
+    /// SLEEF-like `pow` per 512-bit vector call.
+    pub sleef_pow: u64,
+    /// ispc-built-in-like `pow` per 512-bit vector call.
+    pub fastm_pow: u64,
+    /// exp/log per 512-bit vector call.
+    pub exp_log: u64,
+    /// sin/cos/tan per 512-bit vector call.
+    pub trig: u64,
+    /// cumulative-normal (Black-Scholes CDF) per 512-bit vector call.
+    pub cdf: u64,
+}
+
+impl Default for MathCosts {
+    fn default() -> MathCosts {
+        // Quarter-cycle units (see `legalize::QUARTER_CYCLES_PER_CYCLE`).
+        MathCosts {
+            sleef_pow: 248,
+            fastm_pow: 96,
+            exp_log: 72,
+            trig: 88,
+            cdf: 120,
+        }
+    }
+}
+
+impl MathCosts {
+    /// Cost of one scalar libm-class call.
+    pub fn scalar(&self, f: MathFn) -> u64 {
+        // Quarter-cycle units; scalar libm calls do not benefit from the
+        // 4-wide issue the way ordinary scalar code does.
+        match f {
+            MathFn::Pow => 220,
+            MathFn::Exp | MathFn::Log | MathFn::Exp2 | MathFn::Log2 => 100,
+            MathFn::Sin | MathFn::Cos | MathFn::Tan | MathFn::Atan | MathFn::Atan2 => 112,
+            MathFn::Cdf => 160,
+        }
+    }
+
+    /// Cost of one vector-library call for `f` from library `lib`
+    /// (`"sleef"` or `"fastm"`), per 512-bit register.
+    pub fn vector(&self, lib: &str, f: MathFn) -> u64 {
+        match f {
+            MathFn::Pow => {
+                if lib == "fastm" {
+                    self.fastm_pow
+                } else {
+                    self.sleef_pow
+                }
+            }
+            MathFn::Exp | MathFn::Log | MathFn::Exp2 | MathFn::Log2 => self.exp_log,
+            MathFn::Sin | MathFn::Cos | MathFn::Tan | MathFn::Atan | MathFn::Atan2 => self.trig,
+            MathFn::Cdf => self.cdf,
+        }
+    }
+}
+
+fn parse_math_fn(name: &str) -> Option<MathFn> {
+    Some(match name {
+        "exp" => MathFn::Exp,
+        "log" => MathFn::Log,
+        "pow" => MathFn::Pow,
+        "sin" => MathFn::Sin,
+        "cos" => MathFn::Cos,
+        "tan" => MathFn::Tan,
+        "atan" => MathFn::Atan,
+        "atan2" => MathFn::Atan2,
+        "exp2" => MathFn::Exp2,
+        "log2" => MathFn::Log2,
+        "cdf" => MathFn::Cdf,
+        _ => return None,
+    })
+}
+
+/// The AVX-512-class cost model: legalizes each executed instruction and
+/// charges the micro-op sequence; prices external (math / machine builtin)
+/// calls from their mangled names.
+#[derive(Debug, Clone, Default)]
+pub struct Avx512Cost {
+    /// The target being priced.
+    pub target: Target,
+    /// Math-library cost table.
+    pub math: MathCosts,
+}
+
+impl Avx512Cost {
+    /// A model for the default AVX-512 target.
+    pub fn new() -> Avx512Cost {
+        Avx512Cost::default()
+    }
+
+    /// A model for a specific target (e.g. [`Target::avx2`]).
+    pub fn for_target(target: Target) -> Avx512Cost {
+        Avx512Cost {
+            target,
+            math: MathCosts::default(),
+        }
+    }
+}
+
+impl Avx512Cost {
+    /// Converts accumulated model cost to whole CPU cycles (the model works
+    /// in quarter-cycle units; see
+    /// [`crate::QUARTER_CYCLES_PER_CYCLE`]).
+    pub fn to_cycles(units: u64) -> u64 {
+        units / crate::legalize::QUARTER_CYCLES_PER_CYCLE
+    }
+}
+
+impl CostModel for Avx512Cost {
+    fn inst_cost(&self, f: &Function, id: InstId) -> u64 {
+        legalize(&self.target, f, id).iter().map(|u| u.cycles).sum()
+    }
+
+    fn extern_call_cost(&self, name: &str, ret: Ty) -> u64 {
+        // Mangling: "{lib}.{fn}.{elem}" (scalar) or "{lib}.{fn}.{elem}x{G}".
+        let mut parts = name.split('.');
+        let lib = parts.next().unwrap_or("");
+        let func = parts.next().unwrap_or("");
+        let suffix = parts.next().unwrap_or("");
+        let regs = |elem_bits: u32| {
+            let lanes = ret.lanes().max(1);
+            self.target.uops_for(lanes, elem_bits)
+        };
+        match lib {
+            "sleef" | "fastm" => {
+                let Some(mf) = parse_math_fn(func) else {
+                    return 20;
+                };
+                if suffix.contains('x') {
+                    let elem_bits = if suffix.starts_with("f64") { 64 } else { 32 };
+                    self.math.vector(lib, mf) * regs(elem_bits)
+                } else {
+                    self.math.scalar(mf)
+                }
+            }
+            "vmach" => {
+                // Machine builtins: sad is one vpsadbw per *source*
+                // register (the name carries "{src}x{G}"), plus one widening
+                // op when the result element is wider than the native 16b
+                // accumulator.
+                let lanes: u32 = suffix
+                    .split('x')
+                    .nth(1)
+                    .and_then(|s| s.split('.').next())
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(ret.lanes().max(1));
+                let widen = u64::from(name.ends_with("i32") || name.ends_with("i64"));
+                4 * (self.target.uops_for(lanes, 8) + widen)
+            }
+            _ => 20,
+        }
+    }
+
+    fn term_cost(&self, _f: &Function, term: &Terminator) -> u64 {
+        match term {
+            Terminator::Ret(_) => 8,
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psir::ScalarTy;
+
+    #[test]
+    fn sleef_pow_is_about_2_6x_fastm() {
+        let c = Avx512Cost::new();
+        let v16 = Ty::vec(ScalarTy::F32, 16);
+        let s = c.extern_call_cost("sleef.pow.f32x16", v16);
+        let f = c.extern_call_cost("fastm.pow.f32x16", v16);
+        let ratio = s as f64 / f as f64;
+        assert!((2.3..3.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn wide_gang_multiplies_math_cost() {
+        let c = Avx512Cost::new();
+        let v16 = Ty::vec(ScalarTy::F32, 16);
+        let v32 = Ty::vec(ScalarTy::F32, 32);
+        assert_eq!(
+            c.extern_call_cost("sleef.exp.f32x32", v32),
+            2 * c.extern_call_cost("sleef.exp.f32x16", v16)
+        );
+    }
+
+    #[test]
+    fn scalar_math_cheaper_than_serializing_vector() {
+        let c = Avx512Cost::new();
+        let scalar = c.extern_call_cost("sleef.exp.f32", Ty::Scalar(ScalarTy::F32));
+        let vector = c.extern_call_cost("sleef.exp.f32x16", Ty::vec(ScalarTy::F32, 16));
+        // One vector call amortizes 16 lanes: far better than 16 scalars.
+        assert!(vector < 16 * scalar / 4);
+    }
+
+    #[test]
+    fn sad_is_one_op_per_register() {
+        let c = Avx512Cost::new();
+        // 64 × i8 source = one 512b vpsadbw (4 quarter-cycles), plus one
+        // widening op for the 64b accumulator type.
+        assert_eq!(
+            c.extern_call_cost("vmach.sad.i8x64.i64", Ty::vec(ScalarTy::I64, 64)),
+            8
+        );
+        assert_eq!(
+            c.extern_call_cost("vmach.sad.i8x64.i16", Ty::vec(ScalarTy::I16, 64)),
+            4
+        );
+    }
+}

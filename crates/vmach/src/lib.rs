@@ -1,0 +1,24 @@
+//! # vmach — the virtual AVX-512-class SIMD machine
+//!
+//! The paper evaluates on an Intel Xeon Gold 6258R with AVX-512. This crate
+//! is the reproduction's stand-in for that hardware: it **legalizes**
+//! gang-width vector IR onto 512-bit machine registers (a gang of 32 × i32
+//! becomes two 512-bit micro-ops, exactly the §4.3 back-end behavior) and
+//! prices every legalized micro-op with a calibrated cycle model. The
+//! `psir` interpreter charges these costs while executing, so "simulated
+//! cycles" plays the role wall-clock time plays in the paper's figures.
+//!
+//! The model is deliberately transparent: relative costs (packed ≈ 1 cycle
+//! per 512-bit op, gathers pay per lane, `vpsadbw` is one op, division is
+//! expensive) are what drive the reproduced speedup *shapes*; absolute
+//! cycle parity with real silicon is a non-goal (see `DESIGN.md`).
+
+#![warn(missing_docs)]
+
+mod cost;
+mod legalize;
+mod target;
+
+pub use cost::{Avx512Cost, MathCosts};
+pub use legalize::{legalize, Uop, UopKind, QUARTER_CYCLES_PER_CYCLE};
+pub use target::Target;

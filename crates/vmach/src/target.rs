@@ -1,0 +1,59 @@
+//! Target description.
+
+/// A SIMD target: a register width and a human-readable name. The default
+/// models x86 AVX-512 (`-mprefer-vector-width=512`, as the paper compiles).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Target {
+    /// Vector register width in bits.
+    pub vector_bits: u32,
+    /// Display name.
+    pub name: String,
+}
+
+impl Target {
+    /// The AVX-512 class target used throughout the evaluation.
+    pub fn avx512() -> Target {
+        Target {
+            vector_bits: 512,
+            name: "x86-avx512".into(),
+        }
+    }
+
+    /// A 256-bit (AVX2-class) target, for gang-size/width sweeps.
+    pub fn avx2() -> Target {
+        Target {
+            vector_bits: 256,
+            name: "x86-avx2".into(),
+        }
+    }
+
+    /// How many registers a vector of `lanes` × `elem_bits` occupies
+    /// (the §4.3 unrolling factor; at least 1).
+    pub fn uops_for(&self, lanes: u32, elem_bits: u32) -> u64 {
+        let total = lanes as u64 * elem_bits as u64;
+        total.div_ceil(self.vector_bits as u64).max(1)
+    }
+}
+
+impl Default for Target {
+    fn default() -> Target {
+        Target::avx512()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unroll_factors() {
+        let t = Target::avx512();
+        assert_eq!(t.uops_for(16, 32), 1); // 512b exactly
+        assert_eq!(t.uops_for(32, 32), 2); // the §4.3 example: 1024b → 2 ops
+        assert_eq!(t.uops_for(64, 8), 1); // 64 × i8 = 512b
+        assert_eq!(t.uops_for(8, 32), 1); // partial register still 1 op
+        assert_eq!(t.uops_for(16, 64), 2);
+        let t2 = Target::avx2();
+        assert_eq!(t2.uops_for(16, 32), 2);
+    }
+}

@@ -1,0 +1,239 @@
+//! Runtime resolution of vector-library and machine-builtin calls.
+
+use psir::{eval_math, ExecError, ExternFns, MathFn, RtVal, ScalarTy};
+
+/// Resolves the external calls the vectorizer emits:
+///
+/// * `sleef.{fn}.{f32|f64}[x{G}]` — SLEEF-like library,
+/// * `fastm.{fn}.{f32|f64}[x{G}]` — ispc-built-in-like library,
+/// * `vmach.sad.{src}x{G}.{out}` — the §7 `vpsadbw` abstraction.
+///
+/// By default both math libraries compute IEEE-reference values (identical
+/// to the scalar interpreter's [`eval_math`]), which keeps differential
+/// tests bit-exact; their *costs* differ in the `vmach` cost model. With
+/// [`RuntimeExterns::approx`], `f32` calls run the genuine polynomial
+/// kernels from [`crate::poly`] instead.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuntimeExterns {
+    approx: bool,
+}
+
+impl RuntimeExterns {
+    /// IEEE-reference value semantics (default).
+    pub const fn new() -> RuntimeExterns {
+        RuntimeExterns { approx: false }
+    }
+
+    /// Polynomial-kernel value semantics for `f32`.
+    pub const fn approx() -> RuntimeExterns {
+        RuntimeExterns { approx: true }
+    }
+}
+
+fn parse_math(name: &str) -> Option<MathFn> {
+    Some(match name {
+        "exp" => MathFn::Exp,
+        "log" => MathFn::Log,
+        "pow" => MathFn::Pow,
+        "sin" => MathFn::Sin,
+        "cos" => MathFn::Cos,
+        "tan" => MathFn::Tan,
+        "atan" => MathFn::Atan,
+        "atan2" => MathFn::Atan2,
+        "exp2" => MathFn::Exp2,
+        "log2" => MathFn::Log2,
+        "cdf" => MathFn::Cdf,
+        _ => return None,
+    })
+}
+
+fn parse_elem(s: &str) -> Option<(ScalarTy, Option<u32>)> {
+    let (elem, lanes) = match s.find('x') {
+        Some(i) => (&s[..i], Some(s[i + 1..].parse().ok()?)),
+        None => (s, None),
+    };
+    let ty = match elem {
+        "f32" => ScalarTy::F32,
+        "f64" => ScalarTy::F64,
+        "i8" => ScalarTy::I8,
+        "i16" => ScalarTy::I16,
+        "i32" => ScalarTy::I32,
+        "i64" => ScalarTy::I64,
+        _ => return None,
+    };
+    Some((ty, lanes))
+}
+
+impl RuntimeExterns {
+    fn math_lane(&self, mf: MathFn, ty: ScalarTy, row: &[u64]) -> Result<u64, ExecError> {
+        if self.approx && ty == ScalarTy::F32 {
+            let a = f32::from_bits(row[0] as u32);
+            let b = row.get(1).map(|&x| f32::from_bits(x as u32)).unwrap_or(0.0);
+            let r = match mf {
+                MathFn::Exp => crate::poly::expf(a),
+                MathFn::Log => crate::poly::logf(a),
+                MathFn::Pow => crate::poly::powf(a, b),
+                MathFn::Sin => crate::poly::sinf(a),
+                MathFn::Cos => crate::poly::cosf(a),
+                MathFn::Atan => crate::poly::atanf(a),
+                MathFn::Exp2 => crate::poly::exp2f(a),
+                MathFn::Log2 => crate::poly::log2f(a),
+                // No polynomial kernel: fall back to the reference.
+                _ => return eval_math(mf, ty, row),
+            };
+            Ok(r.to_bits() as u64)
+        } else {
+            eval_math(mf, ty, row)
+        }
+    }
+
+    fn call_math(
+        &self,
+        mf: MathFn,
+        ty: ScalarTy,
+        lanes: Option<u32>,
+        args: &[RtVal],
+    ) -> Result<RtVal, ExecError> {
+        if args.len() != mf.arity() {
+            return Err(ExecError::Other(format!(
+                "math.{} expects {} args",
+                mf.name(),
+                mf.arity()
+            )));
+        }
+        match lanes {
+            None => {
+                let row: Result<Vec<u64>, _> = args.iter().map(|a| a.scalar()).collect();
+                Ok(RtVal::S(self.math_lane(mf, ty, &row?)?))
+            }
+            Some(n) => {
+                let cols: Result<Vec<&[u64]>, _> = args.iter().map(|a| a.vector()).collect();
+                let cols = cols?;
+                if cols.iter().any(|c| c.len() != n as usize) {
+                    return Err(ExecError::Other("vector math lane mismatch".into()));
+                }
+                let mut out = Vec::with_capacity(n as usize);
+                for i in 0..n as usize {
+                    let row: Vec<u64> = cols.iter().map(|c| c[i]).collect();
+                    out.push(self.math_lane(mf, ty, &row)?);
+                }
+                Ok(RtVal::V(out))
+            }
+        }
+    }
+
+    fn call_sad(&self, name_rest: &str, args: &[RtVal]) -> Result<RtVal, ExecError> {
+        // name_rest = "{src}x{G}.{out}"
+        let mut it = name_rest.split('.');
+        let (src, lanes) = parse_elem(it.next().unwrap_or(""))
+            .ok_or_else(|| ExecError::Other(format!("bad sad mangle {name_rest}")))?;
+        let (out, _) = parse_elem(it.next().unwrap_or(""))
+            .ok_or_else(|| ExecError::Other(format!("bad sad mangle {name_rest}")))?;
+        let lanes = lanes.ok_or_else(|| ExecError::Other("sad needs lanes".into()))? as usize;
+        let a = args
+            .first()
+            .ok_or_else(|| ExecError::Other("sad arity".into()))?
+            .vector()?;
+        let b = args
+            .get(1)
+            .ok_or_else(|| ExecError::Other("sad arity".into()))?
+            .vector()?;
+        if a.len() != lanes || b.len() != lanes {
+            return Err(ExecError::Other("sad lane mismatch".into()));
+        }
+        let groups = lanes.div_ceil(8);
+        let mut sums = vec![0u64; groups];
+        for i in 0..lanes {
+            let (ua, ub) = (a[i] & src.bit_mask(), b[i] & src.bit_mask());
+            sums[i / 8] = sums[i / 8].wrapping_add(ua.abs_diff(ub));
+        }
+        Ok(RtVal::V(
+            (0..lanes).map(|i| sums[i / 8] & out.bit_mask()).collect(),
+        ))
+    }
+}
+
+impl ExternFns for RuntimeExterns {
+    fn call(&self, name: &str, args: &[RtVal]) -> Result<RtVal, ExecError> {
+        if let Some(rest) = name.strip_prefix("vmach.sad.") {
+            return self.call_sad(rest, args);
+        }
+        let mut parts = name.splitn(3, '.');
+        let lib = parts.next().unwrap_or("");
+        let func = parts.next().unwrap_or("");
+        let suffix = parts.next().unwrap_or("");
+        if lib != "sleef" && lib != "fastm" {
+            return Err(ExecError::UnknownFunction(name.to_string()));
+        }
+        let mf = parse_math(func)
+            .ok_or_else(|| ExecError::UnknownFunction(name.to_string()))?;
+        let (ty, lanes) = parse_elem(suffix)
+            .ok_or_else(|| ExecError::UnknownFunction(name.to_string()))?;
+        self.call_math(mf, ty, lanes, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_and_vector_math_calls() {
+        let e = RuntimeExterns::new();
+        let r = e
+            .call("sleef.exp.f32", &[RtVal::from_f32(1.0)])
+            .unwrap();
+        assert!((f32::from_bits(r.scalar().unwrap() as u32) - std::f32::consts::E).abs() < 1e-6);
+
+        let v = RtVal::V(vec![(1.0f32).to_bits() as u64, (2.0f32).to_bits() as u64]);
+        let r = e.call("fastm.exp.f32x2", &[v]).unwrap();
+        let lanes = r.vector().unwrap();
+        assert!((f32::from_bits(lanes[1] as u32) - (2.0f32).exp()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sleef_and_fastm_agree_on_values_by_default() {
+        let e = RuntimeExterns::new();
+        let args = [RtVal::from_f32(3.5), RtVal::from_f32(1.7)];
+        let a = e.call("sleef.pow.f32", &args).unwrap();
+        let b = e.call("fastm.pow.f32", &args).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn approx_mode_uses_polynomials_within_tolerance() {
+        let e = RuntimeExterns::approx();
+        let r = e
+            .call("sleef.pow.f32", &[RtVal::from_f32(2.0), RtVal::from_f32(10.0)])
+            .unwrap();
+        let v = f32::from_bits(r.scalar().unwrap() as u32);
+        assert!((v - 1024.0).abs() / 1024.0 < 1e-4);
+    }
+
+    #[test]
+    fn sad_groups_of_eight() {
+        let e = RuntimeExterns::new();
+        let a = RtVal::V((0..16).map(|i| i as u64).collect());
+        let b = RtVal::V(vec![0u64; 16]);
+        let r = e.call("vmach.sad.i8x16.i32", &[a, b]).unwrap();
+        let lanes = r.vector().unwrap();
+        // group 0: 0+1+…+7 = 28; group 1: 8+…+15 = 92
+        assert_eq!(lanes[0], 28);
+        assert_eq!(lanes[7], 28);
+        assert_eq!(lanes[8], 92);
+        assert_eq!(lanes[15], 92);
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        let e = RuntimeExterns::new();
+        assert!(matches!(
+            e.call("libm.exp.f32", &[RtVal::from_f32(1.0)]),
+            Err(ExecError::UnknownFunction(_))
+        ));
+        assert!(matches!(
+            e.call("sleef.nosuch.f32", &[RtVal::from_f32(1.0)]),
+            Err(ExecError::UnknownFunction(_))
+        ));
+    }
+}

@@ -1,0 +1,26 @@
+//! # vmath — vector math libraries (the SLEEF / ispc-builtin substitutes)
+//!
+//! The Parsimony prototype links SLEEF for vectorized transcendentals, while
+//! ispc uses its own built-in library; the paper traces its only Figure 4
+//! performance gap (Binomial Options, 0.71×) to SLEEF's slower `pow`. This
+//! crate supplies both libraries for the reproduction:
+//!
+//! * [`RuntimeExterns`] resolves the mangled call names the vectorizer emits
+//!   (`sleef.pow.f32x16`, `fastm.exp.f32x16`, …) plus the `vmach.sad.*`
+//!   machine builtin, lane-wise over vector arguments,
+//! * [`poly`] contains genuine polynomial/range-reduction implementations
+//!   (what a SLEEF-like library actually computes), validated against the
+//!   IEEE reference in its tests.
+//!
+//! **Cost vs. value:** the *cycle cost* difference between the two libraries
+//! lives in the `vmach` cost model; by default both produce IEEE-reference
+//! *values* (so differential tests are bit-exact), with
+//! [`RuntimeExterns::approx`] switching to the polynomial kernels.
+
+#![warn(missing_docs)]
+
+pub mod poly;
+
+mod externs;
+
+pub use externs::RuntimeExterns;

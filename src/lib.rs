@@ -1,0 +1,25 @@
+//! Umbrella crate for the Parsimony (CGO 2023) reproduction.
+//!
+//! This crate re-exports the workspace members so that the examples and
+//! integration tests under the repository root can exercise the whole system
+//! through one dependency. See `README.md` for an overview and `DESIGN.md`
+//! for the system inventory.
+//!
+//! The interesting entry points are:
+//!
+//! * [`psimc`] — the PsimC front-end (`#psim` regions embedded in a C-like
+//!   language),
+//! * [`parsimony`] — the standalone IR-to-IR SPMD vectorization pass (the
+//!   paper's contribution),
+//! * [`autovec`] — the baseline loop/SLP auto-vectorizer,
+//! * [`vmach`] — the virtual 512-bit SIMD machine and cost model,
+//! * [`suite`] — the 72 Simd-Library-style kernels and 7 ispc workloads.
+
+pub use autovec;
+pub use parsimony;
+pub use psimc;
+pub use psir;
+pub use shapecheck;
+pub use suite;
+pub use vmach;
+pub use vmath;

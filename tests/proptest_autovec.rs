@@ -1,0 +1,165 @@
+//! Property-based testing of the baseline auto-vectorizer: random serial
+//! elementwise loops (with reductions and invariant operands mixed in) must
+//! compute exactly what their scalar execution computes — whether or not
+//! the legality analysis decided to vectorize them.
+
+use autovec::{autovectorize_function, AutovecOptions};
+use proptest::prelude::*;
+use psir::{Interp, Memory, Module, RtVal};
+
+#[derive(Debug, Clone)]
+enum E {
+    A,      // a[i]
+    B,      // b[i]
+    Iv,     // (i32) i
+    K(i32), // constant
+    Inv,    // loop-invariant scalar parameter
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Min(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Sel(Box<E>, Box<E>, Box<E>),
+}
+
+impl E {
+    fn render(&self) -> String {
+        match self {
+            E::A => "a[i]".into(),
+            E::B => "b[i]".into(),
+            E::Iv => "((i32) i)".into(),
+            E::K(k) => format!("({k})"),
+            E::Inv => "k".into(),
+            E::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            E::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            E::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+            E::Min(a, b) => format!("min({}, {})", a.render(), b.render()),
+            E::Xor(a, b) => format!("({} ^ {})", a.render(), b.render()),
+            E::Sel(c, t, f) => {
+                format!("({} > 0 ? {} : {})", c.render(), t.render(), f.render())
+            }
+        }
+    }
+}
+
+fn expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        Just(E::A),
+        Just(E::B),
+        Just(E::Iv),
+        Just(E::Inv),
+        (-50i32..50).prop_map(E::K),
+    ];
+    leaf.prop_recursive(3, 20, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| E::Sel(
+                Box::new(c),
+                Box::new(t),
+                Box::new(f)
+            )),
+        ]
+    })
+}
+
+#[derive(Debug, Clone)]
+enum LoopKind {
+    /// out[i] = expr
+    Map(E),
+    /// acc += expr; out[0] = acc
+    SumReduce(E),
+    /// out[i] = expr with a[i+1] also readable (neighbor loads)
+    Neighbor(E),
+}
+
+fn loop_kind() -> impl Strategy<Value = LoopKind> {
+    prop_oneof![
+        expr().prop_map(LoopKind::Map),
+        expr().prop_map(LoopKind::SumReduce),
+        expr().prop_map(LoopKind::Neighbor),
+    ]
+}
+
+fn source(kind: &LoopKind) -> String {
+    match kind {
+        LoopKind::Map(e) => format!(
+            "void main(i32* restrict a, i32* restrict b, i32* restrict out, i32 k, i64 n) {{\n\
+             \x20   for (i64 i = 0; i < n; i += 1) {{\n\
+             \x20       out[i] = {};\n\
+             \x20   }}\n}}\n",
+            e.render()
+        ),
+        LoopKind::SumReduce(e) => format!(
+            "void main(i32* restrict a, i32* restrict b, i32* restrict out, i32 k, i64 n) {{\n\
+             \x20   i32 acc = 0;\n\
+             \x20   for (i64 i = 0; i < n; i += 1) {{\n\
+             \x20       acc += {};\n\
+             \x20   }}\n\
+             \x20   out[0] = acc;\n}}\n",
+            e.render()
+        ),
+        LoopKind::Neighbor(e) => format!(
+            "void main(i32* restrict a, i32* restrict b, i32* restrict out, i32 k, i64 n) {{\n\
+             \x20   for (i64 i = 0; i < n; i += 1) {{\n\
+             \x20       out[i] = {} + a[i + 1];\n\
+             \x20   }}\n}}\n",
+            e.render()
+        ),
+    }
+}
+
+fn run(m: &Module, n: u64, seed: u64) -> Vec<u8> {
+    let mut mem = Memory::default();
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state & 0x7f) as i32 - 64
+    };
+    let a: Vec<u8> = (0..n + 8).flat_map(|_| next().to_le_bytes()).collect();
+    let b: Vec<u8> = (0..n + 8).flat_map(|_| next().to_le_bytes()).collect();
+    let pa = mem.alloc_bytes(&a, 64).unwrap();
+    let pb = mem.alloc_bytes(&b, 64).unwrap();
+    let out = mem.alloc(4 * n.max(1), 64).unwrap();
+    let mut it = Interp::with_defaults(m, mem);
+    it.call(
+        "main",
+        &[
+            RtVal::S(pa),
+            RtVal::S(pb),
+            RtVal::S(out),
+            RtVal::S(7),
+            RtVal::S(n),
+        ],
+    )
+    .expect("runs");
+    it.mem.read_bytes(out, 4 * n.max(1)).unwrap().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn autovectorized_loops_match_scalar(
+        kind in loop_kind(),
+        n in 0u64..70,
+        seed in any::<u64>(),
+    ) {
+        let src = source(&kind);
+        let m = psimc::compile(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let mut vm = Module::new();
+        for f in m.functions() {
+            let (nf, _) = autovectorize_function(f, &AutovecOptions::default());
+            psir::assert_valid(&nf);
+            vm.add_function(nf);
+        }
+        let want = run(&m, n, seed);
+        let got = run(&vm, n, seed);
+        prop_assert_eq!(want, got, "loop:\n{}", src);
+    }
+}

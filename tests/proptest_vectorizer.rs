@@ -1,0 +1,283 @@
+//! Property-based differential testing of the vectorizer: random SPMD
+//! kernels are generated as PsimC source, executed through the SPMD
+//! reference executor (interleaved conceptual threads, the §3 semantics)
+//! and through the full compile→vectorize→interpret pipeline, and the two
+//! memory images must agree bit-for-bit.
+
+use parsimony::{vectorize_module, SpmdRef, VectorizeOptions};
+use proptest::prelude::*;
+use psir::{Interp, Memory, RtVal};
+
+/// A tiny expression language over `i32` that cannot trap (no division)
+/// and cannot compute out-of-range indices.
+#[derive(Debug, Clone)]
+enum E {
+    /// input element a[i]
+    Elem,
+    /// input element b[i]
+    ElemB,
+    /// the thread id as i32
+    Tid,
+    /// small constant
+    K(i32),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Min(Box<E>, Box<E>),
+    Max(Box<E>, Box<E>),
+    /// ternary on sign
+    Sel(Box<E>, Box<E>, Box<E>),
+}
+
+impl E {
+    fn render(&self) -> String {
+        match self {
+            E::Elem => "x".into(),
+            E::ElemB => "y".into(),
+            E::Tid => "ti".into(),
+            E::K(k) => format!("({k})"),
+            E::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            E::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            E::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+            E::Xor(a, b) => format!("({} ^ {})", a.render(), b.render()),
+            E::Min(a, b) => format!("min({}, {})", a.render(), b.render()),
+            E::Max(a, b) => format!("max({}, {})", a.render(), b.render()),
+            E::Sel(c, t, f) => format!(
+                "({} > 0 ? {} : {})",
+                c.render(),
+                t.render(),
+                f.render()
+            ),
+        }
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        Just(E::Elem),
+        Just(E::ElemB),
+        Just(E::Tid),
+        (-100i32..100).prop_map(E::K),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Min(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Max(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| E::Sel(
+                Box::new(c),
+                Box::new(t),
+                Box::new(f)
+            )),
+        ]
+    })
+}
+
+/// A random kernel shape: straight-line, divergent if, divergent bounded
+/// loop, or a shuffle exchange.
+#[derive(Debug, Clone)]
+enum Shape {
+    Straight(E),
+    If(E, E, E),
+    Loop(E, u8),
+    Shuffle(E, i8),
+    Reduce(E),
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        expr_strategy().prop_map(Shape::Straight),
+        (expr_strategy(), expr_strategy(), expr_strategy())
+            .prop_map(|(c, t, f)| Shape::If(c, t, f)),
+        (expr_strategy(), 1u8..5).prop_map(|(e, k)| Shape::Loop(e, k)),
+        (expr_strategy(), -7i8..8).prop_map(|(e, d)| Shape::Shuffle(e, d)),
+        expr_strategy().prop_map(Shape::Reduce),
+    ]
+}
+
+fn kernel_source(shape: &Shape, gang: u32) -> String {
+    let prologue = "    i64 i = psim_thread_num();\n\
+                    \x20   i64 lane = psim_lane_num();\n\
+                    \x20   i32 ti = (i32) i;\n\
+                    \x20   i32 x = a[i];\n\
+                    \x20   i32 y = b[i];\n\
+                    \x20   i32 r = 0;";
+    let body = match shape {
+        Shape::Straight(e) => format!("    r = {};", e.render()),
+        Shape::If(c, t, f) => format!(
+            "    if ({} % 2 == 0) {{\n        r = {};\n    }} else {{\n        r = {};\n    }}",
+            c.render(),
+            t.render(),
+            f.render()
+        ),
+        Shape::Loop(e, k) => format!(
+            "    i32 trips = ({}) & {k};\n    i32 j = 0;\n    while (j < trips) {{\n        r = r * 3 + {} + j;\n        j += 1;\n    }}",
+            e.render(),
+            e.render()
+        ),
+        Shape::Shuffle(e, d) => format!(
+            "    i32 v = {};\n    r = psim_shuffle(v, lane + {d});",
+            e.render()
+        ),
+        Shape::Reduce(e) => format!("    r = psim_reduce_add({});", e.render()),
+    };
+    format!(
+        "void k(i32* restrict a, i32* restrict b, i32* restrict out, i64 n) {{\n  psim gang({gang}) threads(n) {{\n{prologue}\n{body}\n    out[i] = r;\n  }}\n}}\n"
+    )
+}
+
+fn run_both(src: &str, n: u64, seed: u64) -> (Vec<u8>, Vec<u8>) {
+    let m = psimc::compile(src).unwrap_or_else(|e| panic!("compile: {e}\n{src}"));
+    for f in m.functions() {
+        psir::assert_valid(f);
+    }
+
+    let setup = |mem: &mut Memory| -> (u64, u64, u64) {
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state & 0xff) as i32 - 128
+        };
+        let a_vals: Vec<u8> = (0..n).flat_map(|_| next().to_le_bytes()).collect();
+        let b_vals: Vec<u8> = (0..n).flat_map(|_| next().to_le_bytes()).collect();
+        let a = mem.alloc_bytes(&a_vals, 64).unwrap();
+        let b = mem.alloc_bytes(&b_vals, 64).unwrap();
+        let out = mem.alloc(4 * n, 64).unwrap();
+        (a, b, out)
+    };
+
+    // Reference: interleaved conceptual threads — run under two different
+    // legal schedules; race-free programs must not notice (§3 weak forward
+    // progress).
+    let mut mem = Memory::default();
+    let (a, b, out) = setup(&mut mem);
+    let mut r = SpmdRef::new(&m, mem);
+    r.run_region("k__psim0", &[RtVal::S(a), RtVal::S(b), RtVal::S(out)], n)
+        .unwrap_or_else(|e| panic!("spmd ref: {e}\n{src}"));
+    let want = r.mem.read_bytes(out, 4 * n).unwrap().to_vec();
+
+    let mut mem = Memory::default();
+    let (a, b, out) = setup(&mut mem);
+    let mut r2 = SpmdRef::new(&m, mem).with_schedule(seed | 1);
+    r2.run_region("k__psim0", &[RtVal::S(a), RtVal::S(b), RtVal::S(out)], n)
+        .unwrap_or_else(|e| panic!("spmd ref (scheduled): {e}\n{src}"));
+    let want2 = r2.mem.read_bytes(out, 4 * n).unwrap().to_vec();
+    assert_eq!(want, want2, "schedule-dependent result!\n{src}");
+
+    // Vectorized pipeline.
+    let vm = vectorize_module(&m, &VectorizeOptions::default())
+        .unwrap_or_else(|e| panic!("vectorize: {e}\n{src}"));
+    let mut mem = Memory::default();
+    let (a, b, out) = setup(&mut mem);
+    let mut it = Interp::with_defaults(&vm.module, mem);
+    it.call("k", &[RtVal::S(a), RtVal::S(b), RtVal::S(out), RtVal::S(n)])
+        .unwrap_or_else(|e| panic!("vectorized run: {e}\n{src}"));
+    let got = it.mem.read_bytes(out, 4 * n).unwrap().to_vec();
+    (want, got)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn vectorized_matches_spmd_reference(
+        shape in shape_strategy(),
+        gang_pow in 2u32..5,          // gang ∈ {4, 8, 16}
+        n_mult in 1u64..5,
+        tail in 0u64..4,
+        seed in any::<u64>(),
+    ) {
+        let gang = 1 << gang_pow;
+        // Shuffles read from gang-mates; the tail gang would read lanes
+        // that never ran (undefined in the model), so keep shuffle kernels
+        // gang-aligned.
+        let tail = if matches!(shape, Shape::Shuffle(..)) { 0 } else { tail };
+        let n = gang as u64 * n_mult + tail;
+        let src = kernel_source(&shape, gang);
+        let (want, got) = run_both(&src, n, seed);
+        prop_assert_eq!(want, got, "kernel:\n{}", src);
+    }
+
+    #[test]
+    fn boscc_matches_reference(
+        shape in shape_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let src = kernel_source(&shape, 8);
+        let n = 32u64;
+        let m = psimc::compile(&src).unwrap();
+        let vm = vectorize_module(
+            &m,
+            &VectorizeOptions { boscc: true, ..VectorizeOptions::default() },
+        )
+        .unwrap();
+
+        let setup = |mem: &mut Memory| -> (u64, u64, u64) {
+            let vals: Vec<u8> = (0..n)
+                .flat_map(|i| ((i as i32).wrapping_mul(seed as i32 | 1) % 256 - 128).to_le_bytes())
+                .collect();
+            let a = mem.alloc_bytes(&vals, 64).unwrap();
+            let b = mem.alloc_bytes(&vals, 64).unwrap();
+            let out = mem.alloc(4 * n, 64).unwrap();
+            (a, b, out)
+        };
+        let mut mem = Memory::default();
+        let (a, b, out) = setup(&mut mem);
+        let mut r = SpmdRef::new(&m, mem);
+        r.run_region("k__psim0", &[RtVal::S(a), RtVal::S(b), RtVal::S(out)], n).unwrap();
+        let want = r.mem.read_bytes(out, 4 * n).unwrap().to_vec();
+
+        let mut mem = Memory::default();
+        let (a, b, out) = setup(&mut mem);
+        let mut it = Interp::with_defaults(&vm.module, mem);
+        it.call("k", &[RtVal::S(a), RtVal::S(b), RtVal::S(out), RtVal::S(n)]).unwrap();
+        let got = it.mem.read_bytes(out, 4 * n).unwrap().to_vec();
+        prop_assert_eq!(want, got, "kernel:\n{}", src);
+    }
+
+    #[test]
+    fn no_shape_ablation_matches_reference(
+        shape in shape_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let src = kernel_source(&shape, 8);
+        let n = 24u64;
+        let m = psimc::compile(&src).unwrap();
+        let vm = vectorize_module(
+            &m,
+            &VectorizeOptions { enable_shape: false, ..VectorizeOptions::default() },
+        )
+        .unwrap();
+
+        let setup = |mem: &mut Memory| -> (u64, u64, u64) {
+            let vals: Vec<u8> = (0..n)
+                .flat_map(|i| ((i as i32 * 37 + seed as i32 % 100) % 256 - 128).to_le_bytes())
+                .collect();
+            let a = mem.alloc_bytes(&vals, 64).unwrap();
+            let b = mem.alloc_bytes(&vals, 64).unwrap();
+            let out = mem.alloc(4 * n, 64).unwrap();
+            (a, b, out)
+        };
+        let mut mem = Memory::default();
+        let (a, b, out) = setup(&mut mem);
+        let mut r = SpmdRef::new(&m, mem);
+        r.run_region("k__psim0", &[RtVal::S(a), RtVal::S(b), RtVal::S(out)], n).unwrap();
+        let want = r.mem.read_bytes(out, 4 * n).unwrap().to_vec();
+
+        let mut mem = Memory::default();
+        let (a, b, out) = setup(&mut mem);
+        let mut it = Interp::with_defaults(&vm.module, mem);
+        it.call("k", &[RtVal::S(a), RtVal::S(b), RtVal::S(out), RtVal::S(n)]).unwrap();
+        let got = it.mem.read_bytes(out, 4 * n).unwrap().to_vec();
+        prop_assert_eq!(want, got, "kernel:\n{}", src);
+    }
+}
