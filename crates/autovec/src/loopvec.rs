@@ -11,10 +11,11 @@ use crate::scev::{base_root, classify, Lin, Scev};
 use crate::AutovecOptions;
 use parsimony::structurize::{structurize, Node};
 use psir::{
-    BinOp, BlockId, CmpPred, Const, Function, FunctionBuilder, Inst, InstId,
-    Intrinsic, Module, ReduceOp, ScalarTy, Terminator, Ty, Value,
+    BinOp, BlockId, CmpPred, Const, Function, FunctionBuilder, Inst, InstId, Intrinsic, Module,
+    ReduceOp, ScalarTy, Terminator, Ty, Value,
 };
 use std::collections::{HashMap, HashSet};
+use telemetry::{Pass, Remark, RemarkKind, Severity};
 
 /// What happened to each candidate loop.
 #[derive(Debug, Clone, Default)]
@@ -23,6 +24,40 @@ pub struct AutovecReport {
     pub vectorized: usize,
     /// Rejections: (loop header in the original function, reason).
     pub rejected: Vec<(BlockId, String)>,
+    /// Structured remarks mirroring the two fields above.
+    pub remarks: Vec<Remark>,
+}
+
+impl AutovecReport {
+    /// Records a vectorized loop.
+    fn note_vectorized(&mut self, function: &str, header: BlockId) {
+        self.vectorized += 1;
+        self.remarks.push(
+            Remark::new(
+                Pass::Autovec,
+                Severity::Passed,
+                function,
+                RemarkKind::LoopVectorized,
+            )
+            .at_block(header.0),
+        );
+    }
+
+    /// Records a rejected loop.
+    fn note_rejected(&mut self, function: &str, header: BlockId, reason: String) {
+        self.remarks.push(
+            Remark::new(
+                Pass::Autovec,
+                Severity::Missed,
+                function,
+                RemarkKind::LoopRejected {
+                    reason: reason.clone(),
+                },
+            )
+            .at_block(header.0),
+        );
+        self.rejected.push((header, reason));
+    }
 }
 
 struct Copier<'a> {
@@ -163,14 +198,14 @@ impl<'a> Copier<'a> {
                 Node::Loop { header, body, exit } => {
                     match self.plan_loop(*header, body) {
                         Ok(plan) => {
-                            self.report.vectorized += 1;
+                            self.report.note_vectorized(&self.old.name, *header);
                             self.emit_vector_loop(*header, body, &plan);
                             // Remainder: the original loop, seeded from the
                             // vector loop's final state.
                             self.copy_loop(*header, body, *exit, Some(&plan));
                         }
                         Err(reason) => {
-                            self.report.rejected.push((*header, reason));
+                            self.report.note_rejected(&self.old.name, *header, reason);
                             self.copy_loop_plain(*header, body, *exit);
                         }
                     }
@@ -475,11 +510,9 @@ impl<'a> Copier<'a> {
                     };
                     widest_bits = widest_bits.max(elem.bits());
                     let s = match ptr {
-                        Value::Inst(pi) => scev
-                            .get(pi)
-                            .cloned()
-                            .unwrap_or(Scev::Other)
-                            .lin_of(*ptr),
+                        Value::Inst(pi) => {
+                            scev.get(pi).cloned().unwrap_or(Scev::Other).lin_of(*ptr)
+                        }
                         other => Some(Lin {
                             pieces: vec![(*other, 1)],
                             iv_scale: 0,
@@ -580,9 +613,7 @@ impl<'a> Copier<'a> {
                 let e = ty.elem().expect("reduction elem");
                 let ident = reduction_identity(r.op, e);
                 let splat = self.fb.const_vec(e, vec![ident; vf as usize]);
-                let init_scalar = self.map(self.phi_edge(r.phi, |b| {
-                    b != self.latch_of(_header)
-                }));
+                let init_scalar = self.map(self.phi_edge(r.phi, |b| b != self.latch_of(_header)));
                 self.fb
                     .insert(splat, Value::Const(Const::i64(0)), init_scalar)
             })
@@ -609,7 +640,17 @@ impl<'a> Copier<'a> {
         // Vector body.
         self.fb.switch_to(vbody);
         let mut venv: HashMap<InstId, VForm> = HashMap::new();
-        venv.insert(plan.iv, VForm::Lin(viv, Lin { pieces: vec![], iv_scale: 1, konst: 0 }));
+        venv.insert(
+            plan.iv,
+            VForm::Lin(
+                viv,
+                Lin {
+                    pieces: vec![],
+                    iv_scale: 1,
+                    konst: 0,
+                },
+            ),
+        );
         for (r, vr) in plan.reductions.iter().zip(&vreds) {
             venv.insert(r.phi, VForm::Vec(*vr));
         }
@@ -823,10 +864,7 @@ impl<'a> Copier<'a> {
                 args,
             } => {
                 let elem = ty.elem().expect("fma elem");
-                let vals: Vec<Value> = args
-                    .iter()
-                    .map(|&a| self.vec_of(a, plan, venv))
-                    .collect();
+                let vals: Vec<Value> = args.iter().map(|&a| self.vec_of(a, plan, venv)).collect();
                 let nv = self.fb.intrin(Intrinsic::Fma, vals, Ty::vec(elem, vf));
                 venv.insert(id, VForm::Vec(nv));
             }
@@ -887,10 +925,7 @@ fn reduction_identity(op: BinOp, e: ScalarTy) -> u64 {
 /// Auto-vectorizes one function. SPMD-annotated functions are returned
 /// unchanged (they are not serial code). Returns the new function and a
 /// per-loop report.
-pub fn autovectorize_function(
-    f: &Function,
-    opts: &AutovecOptions,
-) -> (Function, AutovecReport) {
+pub fn autovectorize_function(f: &Function, opts: &AutovecOptions) -> (Function, AutovecReport) {
     if f.spmd.is_some() {
         return (f.clone(), AutovecReport::default());
     }
@@ -903,7 +938,7 @@ pub fn autovectorize_function(
         Ok(t) => t,
         Err(e) => {
             let mut r = AutovecReport::default();
-            r.rejected.push((f.entry, format!("not structurized: {e}")));
+            r.note_rejected(&f.name, f.entry, format!("not structurized: {e}"));
             return (f.clone(), r);
         }
     };

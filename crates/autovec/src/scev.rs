@@ -167,7 +167,11 @@ pub fn classify(
                             }
                         };
                         if let Some(k) = konst_of(&y) {
-                            let k = if matches!(op, BinOp::Shl) { 1i64 << (k & 63) } else { k };
+                            let k = if matches!(op, BinOp::Shl) {
+                                1i64 << (k & 63)
+                            } else {
+                                k
+                            };
                             Scev::Lin(x.scale(k))
                         } else if let (BinOp::Mul, Some(k)) = (*op, konst_of(&x)) {
                             Scev::Lin(y.scale(k))
@@ -203,10 +207,10 @@ pub fn classify(
                 // Conservative: invariant if all operands invariant.
                 let _ = a;
                 let ops = inst.operands();
-                if ops
-                    .iter()
-                    .all(|&o| matches!(classify_val(&map, o), Scev::Inv) || matches!(classify_val(&map,o), Scev::Lin(ref l) if l.is_invariant()))
-                {
+                if ops.iter().all(|&o| {
+                    matches!(classify_val(&map, o), Scev::Inv)
+                        || matches!(classify_val(&map,o), Scev::Lin(ref l) if l.is_invariant())
+                }) {
                     Scev::Inv
                 } else {
                     Scev::Other
@@ -256,9 +260,14 @@ mod tests {
         fb.ret(None);
         let f = fb.finish();
         let iv_id = iv.as_inst().unwrap();
-        let in_loop: HashSet<InstId> = [iv_id, x4.as_inst().unwrap(), x48.as_inst().unwrap(), addr.as_inst().unwrap()]
-            .into_iter()
-            .collect();
+        let in_loop: HashSet<InstId> = [
+            iv_id,
+            x4.as_inst().unwrap(),
+            x48.as_inst().unwrap(),
+            addr.as_inst().unwrap(),
+        ]
+        .into_iter()
+        .collect();
         let order: Vec<InstId> = in_loop.iter().copied().collect();
         let mut order = order;
         order.sort();

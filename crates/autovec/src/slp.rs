@@ -84,7 +84,9 @@ fn isomorphic(lanes: &[LaneExpr]) -> bool {
             }
             _ => false,
         }),
-        LaneExpr::Shared(v) => lanes.iter().all(|x| matches!(x, LaneExpr::Shared(w) if w == v)),
+        LaneExpr::Shared(v) => lanes
+            .iter()
+            .all(|x| matches!(x, LaneExpr::Shared(w) if w == v)),
         LaneExpr::Konst(_) => lanes.iter().all(|x| matches!(x, LaneExpr::Konst(_))),
         LaneExpr::Bin(op, a0, b0) => {
             let mut asub = vec![(**a0).clone()];
@@ -159,10 +161,7 @@ fn emit_group(
                     _ => unreachable!(),
                 })
                 .collect();
-            let id = f.add_inst(
-                Inst::ConstVec { elem, lanes: bits },
-                Ty::vec(elem, n),
-            );
+            let id = f.add_inst(Inst::ConstVec { elem, lanes: bits }, Ty::vec(elem, n));
             new_insts.push(id);
             Value::Inst(id)
         }
@@ -183,7 +182,14 @@ fn emit_group(
                 .collect();
             let va = emit_group(f, &asub, elem, new_insts);
             let vb = emit_group(f, &bsub, elem, new_insts);
-            let id = f.add_inst(Inst::Bin { op: *op, a: va, b: vb }, Ty::vec(elem, n));
+            let id = f.add_inst(
+                Inst::Bin {
+                    op: *op,
+                    a: va,
+                    b: vb,
+                },
+                Ty::vec(elem, n),
+            );
             new_insts.push(id);
             Value::Inst(id)
         }
@@ -234,9 +240,7 @@ fn try_block(f: &mut Function, b: BlockId, vector_bits: u32) -> usize {
         let mut i = 0;
         while i + want <= offs.len() {
             let window = &offs[i..i + want];
-            let consecutive = window
-                .windows(2)
-                .all(|w| w[1].0 - w[0].0 == esz);
+            let consecutive = window.windows(2).all(|w| w[1].0 - w[0].0 == esz);
             if !consecutive {
                 i += 1;
                 continue;
@@ -259,13 +263,7 @@ fn try_block(f: &mut Function, b: BlockId, vector_bits: u32) -> usize {
             // from offsets outside the written window. Skipped here because
             // the written window check needs the root; be conservative:
             let store_ids: Vec<InstId> = chunk.iter().map(|&si| stores[si].1).collect();
-            groups.push((
-                store_ids,
-                stores[chunk[0]].2,
-                stores[chunk[0]].3,
-                e,
-                lanes,
-            ));
+            groups.push((store_ids, stores[chunk[0]].2, stores[chunk[0]].3, e, lanes));
             i += want;
         }
     }

@@ -33,7 +33,9 @@ fn vectorized_module(m: &Module) -> (Module, usize, Vec<String>) {
 }
 
 fn i32_inputs(n: usize) -> Vec<i32> {
-    (0..n).map(|i| (i as i32).wrapping_mul(2654435761u32 as i32) % 1000).collect()
+    (0..n)
+        .map(|i| (i as i32).wrapping_mul(2654435761u32 as i32) % 1000)
+        .collect()
 }
 
 fn setup_i32(mem: &mut Memory, vals: &[i32]) -> u64 {
@@ -244,7 +246,11 @@ fn nested_loops_vectorize_inner() {
     let run_one = |m: &Module| -> Vec<i32> {
         let mut mem = Memory::default();
         let a = setup_i32(&mut mem, &vals);
-        let it = run(m, &[RtVal::S(a), RtVal::S(w as u64), RtVal::S(h as u64)], mem);
+        let it = run(
+            m,
+            &[RtVal::S(a), RtVal::S(w as u64), RtVal::S(h as u64)],
+            mem,
+        );
         read_i32(&it, a, w * h)
     };
     assert_eq!(run_one(&m), run_one(&vm));
@@ -272,7 +278,10 @@ fn slp_vectorizes_unrolled_block() {
     let vals = [1.0f32, 2.0, 3.0, 4.0];
     let run_one = |m: &Module| -> Vec<f32> {
         let mut mem = Memory::default();
-        let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+        let bytes: Vec<u8> = vals
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
         let a = mem.alloc_bytes(&bytes, 64).unwrap();
         let b = mem.alloc(16, 64).unwrap();
         let it = run(m, &[RtVal::S(a), RtVal::S(b)], mem);

@@ -27,12 +27,18 @@ fn bench_boscc(c: &mut Criterion) {
     // arm, wins when gangs are often fully converged.
     use parsimony::{vectorize_module, VectorizeOptions};
     let ks = kernels(2048);
-    let k = ks.iter().find(|k| k.name == "background_u8").expect("kernel exists");
+    let k = ks
+        .iter()
+        .find(|k| k.name == "background_u8")
+        .expect("kernel exists");
     let mut g = c.benchmark_group("ablation/boscc/background_u8");
     g.sample_size(10);
     for (label, boscc) in [("linearized", false), ("boscc", true)] {
         let m = psimc::compile(&k.psim_src).expect("compiles");
-        let opts = VectorizeOptions { boscc, ..VectorizeOptions::default() };
+        let opts = VectorizeOptions {
+            boscc,
+            ..VectorizeOptions::default()
+        };
         let _ = vectorize_module(&m, &opts).expect("vectorizes");
         g.bench_function(label, |b| {
             b.iter(|| {

@@ -7,12 +7,19 @@
 //! requested.
 //!
 //! Usage:
-//!   cargo run --release -p psim-bench --bin fig5 `[-- --n N] [--no-shape] [--avx2] [--stride-window]`
+//!   cargo run --release -p psim-bench --bin fig5 `[-- --n N] [--no-shape] [--avx2] [--stride-window] [--profile[=json]]`
 
-use psim_bench::{cell, geomean_speedup, measure};
+use psim_bench::{
+    cell, geomean_speedup, measure, parse_profile_flag, profile_kernels, ProfileMode,
+};
 use suite::runner::{run_kernel_with, Config};
 use suite::simdlib::{kernels, DEFAULT_N};
 use vmach::{Avx512Cost, Target};
+
+fn usage() -> ! {
+    eprintln!("usage: fig5 [--n N] [--no-shape] [--avx2] [--stride-window] [--profile[=json]]");
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -20,19 +27,43 @@ fn main() {
     let mut with_noshape = false;
     let mut with_avx2 = false;
     let mut with_window = false;
+    let mut profile_mode = ProfileMode::Off;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--n" => {
                 i += 1;
-                n = args[i].parse().expect("--n takes an element count");
+                let Some(v) = args.get(i) else {
+                    eprintln!("fig5: --n takes an element count");
+                    usage();
+                };
+                n = v.parse().unwrap_or_else(|_| {
+                    eprintln!("fig5: --n takes an element count, got {v:?}");
+                    usage();
+                });
+                if n == 0 || n % 256 != 0 {
+                    eprintln!("fig5: --n must be a positive multiple of 256, got {n}");
+                    usage();
+                }
             }
             "--no-shape" => with_noshape = true,
             "--avx2" => with_avx2 = true,
             "--stride-window" => with_window = true,
-            other => panic!("unknown flag {other}"),
+            other => match parse_profile_flag(other) {
+                Some(m) => profile_mode = m,
+                None => {
+                    eprintln!("fig5: unknown flag {other}");
+                    usage();
+                }
+            },
         }
         i += 1;
+    }
+
+    if profile_mode == ProfileMode::Json {
+        let profile = profile_kernels(&kernels(n), &[Config::Parsimony]);
+        println!("{}", profile.to_json().to_string_pretty());
+        return;
     }
 
     let mut cfgs = vec![
@@ -96,6 +127,12 @@ fn main() {
     );
     assert!(gp > ga, "Parsimony must beat the auto-vectorizer overall");
 
+    if profile_mode == ProfileMode::Text {
+        let profile = profile_kernels(&ks, &[Config::Parsimony]);
+        println!("\ncycle-attribution profile (per kernel/config/function):");
+        print!("{}", profile.render_text());
+    }
+
     if with_window {
         // §4.2.3 ablation: the strided-shuffle window (default 4× the gang
         // size). Window 0 forces gather/scatter on every non-unit stride;
@@ -103,16 +140,32 @@ fn main() {
         use parsimony::VectorizeOptions;
         use suite::runner::run_kernel_custom;
         println!("\nstride-window ablation (Parsimony cycles):");
-        println!("{:<22} {:>12} {:>12} {:>8}", "kernel", "window=4", "window=0", "ratio");
-        for name in ["deinterleave2_u8", "interleave2_u8", "bgr_to_gray", "gray_to_bgr", "extract_g_u8", "reverse_u8"] {
+        println!(
+            "{:<22} {:>12} {:>12} {:>8}",
+            "kernel", "window=4", "window=0", "ratio"
+        );
+        for name in [
+            "deinterleave2_u8",
+            "interleave2_u8",
+            "bgr_to_gray",
+            "gray_to_bgr",
+            "extract_g_u8",
+            "reverse_u8",
+        ] {
             let k = ks.iter().find(|k| k.name == name).expect("kernel");
             let w4 = run_kernel_custom(k, &VectorizeOptions::default()).expect("runs");
             let w0 = run_kernel_custom(
                 k,
-                &VectorizeOptions { stride_window: 0, ..VectorizeOptions::default() },
+                &VectorizeOptions {
+                    stride_window: 0,
+                    ..VectorizeOptions::default()
+                },
             )
             .expect("runs");
-            assert_eq!(w4.outputs, w0.outputs, "{name}: window must not change results");
+            assert_eq!(
+                w4.outputs, w0.outputs,
+                "{name}: window must not change results"
+            );
             println!(
                 "{:<22} {:>12} {:>12} {:>8.2}",
                 name,
@@ -128,7 +181,10 @@ fn main() {
         // a narrower (256-bit) machine — no recompilation of the SPMD
         // program, only a different back-end cost. A subset keeps it quick.
         println!("\nvector-width portability (Parsimony cycles, same IR):");
-        println!("{:<22} {:>12} {:>12} {:>8}", "kernel", "avx512", "avx2", "ratio");
+        println!(
+            "{:<22} {:>12} {:>12} {:>8}",
+            "kernel", "avx512", "avx2", "ratio"
+        );
         let avx512 = Avx512Cost::new();
         let avx2 = Avx512Cost::for_target(Target::avx2());
         for k in ks.iter().take(8) {

@@ -1,0 +1,74 @@
+//! `profdiff` — compares two cycle-attribution profile JSON documents
+//! (as emitted by `fig4 --profile=json` / `fig5 --profile=json`) and exits
+//! nonzero when the geometric-mean cycle ratio across shared functions
+//! regresses past a threshold. Intended as a CI perf gate:
+//!
+//! ```text
+//! fig5 --n 1024 --profile=json > before.json
+//! # ... apply a change ...
+//! fig5 --n 1024 --profile=json > after.json
+//! profdiff before.json after.json --threshold 0.05
+//! ```
+//!
+//! Exit codes: 0 = within threshold, 1 = regression, 2 = usage/IO error.
+
+use psim_bench::profdiff;
+
+fn usage() -> ! {
+    eprintln!("usage: profdiff BEFORE.json AFTER.json [--threshold FRACTION]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<String> = Vec::new();
+    let mut threshold = 0.05f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("profdiff: --threshold takes a fraction (e.g. 0.05)");
+                    usage();
+                };
+                threshold = v.parse().unwrap_or_else(|_| {
+                    eprintln!("profdiff: --threshold takes a fraction, got {v:?}");
+                    usage();
+                });
+            }
+            other if !other.starts_with('-') => files.push(other.to_string()),
+            other => {
+                eprintln!("profdiff: unknown flag {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    if files.len() != 2 {
+        usage();
+    }
+
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("profdiff: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let before = read(&files[0]);
+    let after = read(&files[1]);
+
+    match profdiff(&before, &after, threshold) {
+        Ok((table, regressed)) => {
+            print!("{table}");
+            if regressed {
+                eprintln!("profdiff: REGRESSION past the {threshold} threshold");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("profdiff: {e}");
+            std::process::exit(2);
+        }
+    }
+}

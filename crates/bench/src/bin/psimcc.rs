@@ -13,6 +13,9 @@
 //!   form `buf:N` allocates a zeroed N-byte buffer and passes its address
 //!   (its contents are hex-dumped after the run).
 //! * `--cycles` prints the simulated cycle count.
+//! * `--remarks text|json` prints the pipeline's structured optimization
+//!   remarks (shape summaries, memory-op selection, linearization, math
+//!   dispatch, …) in deterministic order instead of the vector IR.
 
 use parsimony::{vectorize_module, VectorizeOptions};
 use psir::{Interp, Memory, RtVal};
@@ -22,7 +25,7 @@ use vmath::RuntimeExterns;
 fn usage() -> ! {
     eprintln!(
         "usage: psimcc FILE [--emit scalar|vector] [--gang-sync] [--no-shape] \
-         [--boscc] [--run ENTRY [ARG…]] [--cycles]"
+         [--boscc] [--remarks text|json] [--run ENTRY [ARG…]] [--cycles]"
     );
     std::process::exit(2);
 }
@@ -34,6 +37,7 @@ fn main() {
     let mut opts = VectorizeOptions::default();
     let mut run: Option<(String, Vec<String>)> = None;
     let mut show_cycles = false;
+    let mut remarks_mode: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -46,6 +50,21 @@ fn main() {
             "--no-shape" => opts.enable_shape = false,
             "--boscc" => opts.boscc = true,
             "--cycles" => show_cycles = true,
+            "--remarks" => {
+                i += 1;
+                let mode = args.get(i).cloned().unwrap_or_else(|| usage());
+                if mode != "text" && mode != "json" {
+                    usage();
+                }
+                remarks_mode = Some(mode);
+            }
+            flag if flag.starts_with("--remarks=") => {
+                let mode = &flag["--remarks=".len()..];
+                if mode != "text" && mode != "json" {
+                    usage();
+                }
+                remarks_mode = Some(mode.to_string());
+            }
             "--run" => {
                 i += 1;
                 let entry = args.get(i).cloned().unwrap_or_else(|| usage());
@@ -89,6 +108,22 @@ fn main() {
     });
     for w in &out.warnings {
         eprintln!("warning: {w}");
+    }
+
+    if let Some(mode) = remarks_mode {
+        let mut remarks = out.remarks.clone();
+        telemetry::sort_remarks(&mut remarks);
+        if mode == "json" {
+            println!(
+                "{}",
+                telemetry::remarks_to_json(&remarks).to_string_pretty()
+            );
+        } else {
+            print!("{}", telemetry::remarks_to_text(&remarks));
+        }
+        if run.is_none() {
+            return;
+        }
     }
 
     if let Some((entry, raw_args)) = run {

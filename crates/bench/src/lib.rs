@@ -7,8 +7,9 @@
 
 #![warn(missing_docs)]
 
-use suite::runner::{geomean, run_kernel, Config, RunResult};
+use suite::runner::{geomean, run_kernel, run_kernel_profiled, Config, RunResult};
 use suite::Kernel;
+use telemetry::{Profile, ProfileDiff};
 
 /// One row of a speedup table.
 #[derive(Debug, Clone)]
@@ -44,8 +45,8 @@ pub fn measure(kernels: &[Kernel], cfgs: &[Config]) -> Vec<Row> {
             let cycles = cfgs
                 .iter()
                 .map(|&c| {
-                    let r: RunResult = run_kernel(k, c)
-                        .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+                    let r: RunResult =
+                        run_kernel(k, c).unwrap_or_else(|e| panic!("{}: {e}", k.name));
                     (c, r.cycles)
                 })
                 .collect();
@@ -66,4 +67,81 @@ pub fn geomean_speedup(rows: &[Row], cfg: Config, base: Config) -> f64 {
 /// Formats a fixed-width table cell.
 pub fn cell(v: f64) -> String {
     format!("{v:8.2}")
+}
+
+/// How a harness should report its cycle-attribution profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileMode {
+    /// No profiling (the default).
+    Off,
+    /// Human-readable per-kernel breakdown after the speedup tables.
+    Text,
+    /// A single profile JSON document on stdout (tables suppressed so the
+    /// output can be piped straight into `profdiff`).
+    Json,
+}
+
+/// Parses a `--profile` / `--profile=json` flag; `None` if `arg` is not a
+/// profile flag at all.
+pub fn parse_profile_flag(arg: &str) -> Option<ProfileMode> {
+    match arg {
+        "--profile" | "--profile=text" => Some(ProfileMode::Text),
+        "--profile=json" => Some(ProfileMode::Json),
+        _ => None,
+    }
+}
+
+/// Runs one kernel configuration with profiling and namespaces every
+/// function as `{kernel}/{config}/{function}` so profiles from many kernels
+/// can be merged into one document without key collisions.
+///
+/// # Panics
+/// Panics on build or runtime failure (harness inputs are trusted).
+pub fn profile_kernel(k: &Kernel, cfg: Config) -> Profile {
+    let r = run_kernel_profiled(k, cfg).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+    let p = r.profile.expect("profiled run returns a profile");
+    let mut out = Profile::new();
+    for (fname, fp) in p.functions {
+        out.functions
+            .insert(format!("{}/{}/{fname}", k.name, cfg.label()), fp);
+    }
+    out
+}
+
+/// Profiles every kernel under every configuration into one merged,
+/// namespaced [`Profile`].
+///
+/// # Panics
+/// Panics on build or runtime failure (harness inputs are trusted).
+pub fn profile_kernels(kernels: &[Kernel], cfgs: &[Config]) -> Profile {
+    let mut merged = Profile::new();
+    for k in kernels {
+        for &c in cfgs {
+            merged.merge(&profile_kernel(k, c));
+        }
+    }
+    merged
+}
+
+/// Core of the `profdiff` binary: parse two profile JSON documents and
+/// compare `after` against the `before` baseline.
+///
+/// Returns the rendered diff table and whether the geomean cycle ratio
+/// regressed past `threshold` (the binary turns that into a nonzero exit).
+///
+/// # Errors
+/// Reports malformed JSON or JSON that is not a profile document.
+pub fn profdiff(
+    before_json: &str,
+    after_json: &str,
+    threshold: f64,
+) -> Result<(String, bool), String> {
+    let parse = |src: &str, which: &str| -> Result<Profile, String> {
+        let j = telemetry::Json::parse(src).map_err(|e| format!("{which}: {e}"))?;
+        Profile::from_json(&j).ok_or_else(|| format!("{which}: not a profile document"))
+    };
+    let before = parse(before_json, "before")?;
+    let after = parse(after_json, "after")?;
+    let diff = ProfileDiff::compute(&before, &after, threshold);
+    Ok((diff.render_text(), diff.regressed))
 }

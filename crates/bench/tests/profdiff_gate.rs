@@ -1,0 +1,62 @@
+//! The `profdiff` CI gate: a regression past the threshold must be flagged
+//! (the binary turns the flag into a nonzero exit), parity must pass, and
+//! malformed input must be rejected rather than trusted.
+
+use psim_bench::{profdiff, profile_kernel};
+use suite::runner::Config;
+use suite::simdlib::kernels;
+use telemetry::{Json, Profile};
+
+/// A small real profile, serialized the way `fig5 --profile=json` emits it.
+fn sample_profile_json() -> String {
+    let ks = kernels(256);
+    let k = ks.iter().find(|k| k.name == "saxpy_f32").expect("kernel");
+    profile_kernel(k, Config::Parsimony)
+        .to_json()
+        .to_string_pretty()
+}
+
+/// Doubles every cycle count in a profile document (a 2× regression).
+fn doubled(json_src: &str) -> String {
+    let j = Json::parse(json_src).expect("valid profile json");
+    let p = Profile::from_json(&j).expect("profile document");
+    let mut slow = p.clone();
+    slow.merge(&p);
+    slow.to_json().to_string_pretty()
+}
+
+#[test]
+fn self_diff_passes_the_gate() {
+    let j = sample_profile_json();
+    let (table, regressed) = profdiff(&j, &j, 0.05).expect("diff runs");
+    assert!(!regressed, "identical profiles must not regress");
+    assert!(table.contains("<total>"));
+    assert!(table.contains("ok"));
+}
+
+#[test]
+fn doubling_cycles_trips_the_gate() {
+    let before = sample_profile_json();
+    let after = doubled(&before);
+    let (table, regressed) = profdiff(&before, &after, 0.05).expect("diff runs");
+    assert!(regressed, "a 2x slowdown must trip the 5% gate");
+    assert!(table.contains("REGRESSED"));
+
+    // The gate is directional: the same pair reversed is an improvement.
+    let (_, improved_regressed) = profdiff(&after, &before, 0.05).expect("diff runs");
+    assert!(!improved_regressed, "an improvement must pass the gate");
+}
+
+#[test]
+fn wide_threshold_tolerates_the_same_regression() {
+    let before = sample_profile_json();
+    let after = doubled(&before);
+    let (_, regressed) = profdiff(&before, &after, 1.5).expect("diff runs");
+    assert!(!regressed, "a 150% threshold tolerates a 2x ratio");
+}
+
+#[test]
+fn malformed_input_is_an_error_not_a_pass() {
+    assert!(profdiff("{not json", "{}", 0.05).is_err());
+    assert!(profdiff("[1, 2, 3]", "[4]", 0.05).is_err());
+}

@@ -1,0 +1,66 @@
+//! Golden-file check on the cycle-attribution profile: the data-dependent
+//! lookup-table kernel (`lut_u8`) with shape analysis disabled must produce
+//! a gather/scatter-dominated profile — every address is treated as
+//! arbitrary, so loads gather and stores scatter. Shape analysis recovers
+//! the consecutive accesses, shrinking those buckets.
+
+use suite::runner::{run_kernel_profiled, Config};
+use suite::simdlib::kernels;
+use telemetry::{CostClass, Profile};
+
+const N: u64 = 1024;
+
+fn profile_of(cfg: Config) -> Profile {
+    let ks = kernels(N);
+    let k = ks
+        .iter()
+        .find(|k| k.name == "lut_u8")
+        .expect("lut_u8 present");
+    run_kernel_profiled(k, cfg)
+        .expect("kernel runs")
+        .profile
+        .expect("profiled run returns a profile")
+}
+
+#[test]
+fn lut_without_shape_analysis_matches_golden_dominance() {
+    let profile = profile_of(Config::ParsimonyNoShape);
+    let ranked: Vec<String> = profile
+        .dominance()
+        .iter()
+        .map(|&(c, _)| c.name().to_string())
+        .collect();
+    let golden = include_str!("golden/lut_u8_noshape_dominance.txt");
+    let expected: Vec<String> = golden.lines().map(str::to_string).collect();
+    assert_eq!(
+        ranked, expected,
+        "dominance ranking drifted from the golden file \
+         (tests/golden/lut_u8_noshape_dominance.txt)"
+    );
+    assert_eq!(ranked[0], "gather", "gathers must dominate without shapes");
+    assert_eq!(ranked[1], "scatter", "scatters must rank second");
+}
+
+#[test]
+fn shape_analysis_shrinks_the_gather_scatter_buckets() {
+    let noshape = profile_of(Config::ParsimonyNoShape);
+    let shaped = profile_of(Config::Parsimony);
+
+    // The LUT load is genuinely data-dependent, so a gather bucket remains
+    // even with shapes — but the consecutive `a[idx]` load stops gathering.
+    assert!(
+        shaped.class_cycles(CostClass::Gather) < noshape.class_cycles(CostClass::Gather),
+        "shape analysis must reduce gather cycles"
+    );
+    assert!(
+        shaped.class_cycles(CostClass::Gather) > 0,
+        "the true LUT gather remains"
+    );
+    // The consecutive store is fully recovered: the scatter bucket empties.
+    assert!(noshape.class_cycles(CostClass::Scatter) > 0);
+    assert_eq!(
+        shaped.class_cycles(CostClass::Scatter),
+        0,
+        "shape analysis must turn the consecutive store back into a packed store"
+    );
+}

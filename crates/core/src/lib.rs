@@ -31,6 +31,4 @@ pub use region::emit_gang_loop;
 pub use shape::{analyze, Shape, ShapeInfo, ShapeMap};
 pub use spmd_ref::SpmdRef;
 pub use structurize::{structurize, ControlTree, Node, StructurizeError};
-pub use transform::{
-    vectorize_function, MathLib, VectorizeError, VectorizeOptions, Vectorized,
-};
+pub use transform::{vectorize_function, MathLib, VectorizeError, VectorizeOptions, Vectorized};

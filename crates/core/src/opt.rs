@@ -174,7 +174,6 @@ pub fn dce(f: &mut Function) -> usize {
     removed
 }
 
-
 /// Common-subexpression elimination over pure instructions: two identical
 /// pure instructions where the first dominates the second collapse to one.
 /// Essential before dependence analysis (structurally equal addresses must
@@ -225,11 +224,7 @@ pub fn cse(f: &mut Function) -> usize {
             }
             match canon.entry(inst) {
                 Entry::Occupied(e) => {
-                    if let Some(&(_, prev)) = e
-                        .get()
-                        .iter()
-                        .find(|(db, _)| dom.dominates(*db, b))
-                    {
+                    if let Some(&(_, prev)) = e.get().iter().find(|(db, _)| dom.dominates(*db, b)) {
                         replace.insert(id, prev);
                         removed += 1;
                     } else {
@@ -507,13 +502,8 @@ fn inline_one(
     if let Some(rv) = ret_val {
         for b in f.block_ids().collect::<Vec<_>>() {
             for id in f.block(b).insts.clone() {
-                f.inst_mut(id).map_operands(|v| {
-                    if v == Value::Inst(call_id) {
-                        rv
-                    } else {
-                        v
-                    }
-                });
+                f.inst_mut(id)
+                    .map_operands(|v| if v == Value::Inst(call_id) { rv } else { v });
             }
             let mut term = f.block(b).term.clone();
             match &mut term {
@@ -613,11 +603,7 @@ pub fn thread_empty_blocks(f: &mut Function) -> usize {
         let Some((e, t)) = target else {
             return threaded;
         };
-        let preds: Vec<psir::BlockId> = f
-            .predecessors()
-            .get(&e)
-            .cloned()
-            .unwrap_or_default();
+        let preds: Vec<psir::BlockId> = f.predecessors().get(&e).cloned().unwrap_or_default();
         if preds.is_empty() {
             // Unreachable empty block; detach it by making it self-loop so
             // we don't revisit, then stop considering it.
@@ -663,8 +649,10 @@ pub fn thread_empty_blocks(f: &mut Function) -> usize {
 #[cfg(test)]
 mod opt_tests {
     use super::*;
-    use psir::{assert_valid, CmpPred, FunctionBuilder, Interp, Memory, Module, Param, RtVal,
-               ScalarTy, Value};
+    use psir::{
+        assert_valid, CmpPred, FunctionBuilder, Interp, Memory, Module, Param, RtVal, ScalarTy,
+        Value,
+    };
 
     #[test]
     fn cse_merges_structurally_equal_addresses() {
@@ -713,7 +701,11 @@ mod opt_tests {
 
     #[test]
     fn empty_blocks_are_threaded() {
-        let mut fb = FunctionBuilder::new("h", vec![Param::new("x", Ty::scalar(ScalarTy::I32))], Ty::Void);
+        let mut fb = FunctionBuilder::new(
+            "h",
+            vec![Param::new("x", Ty::scalar(ScalarTy::I32))],
+            Ty::Void,
+        );
         let hop = fb.new_block("hop");
         let dest = fb.new_block("dest");
         let other = fb.new_block("other");

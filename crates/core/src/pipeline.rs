@@ -2,8 +2,11 @@
 //! function in a module, exactly as the paper inserts its single IR-to-IR
 //! pass into an existing pipeline (§4).
 
-use crate::transform::{vectorize_function, vectorize_function_with, VectorizeError, VectorizeOptions};
+use crate::transform::{
+    vectorize_function, vectorize_function_with, VectorizeError, VectorizeOptions,
+};
 use psir::{Inst, Intrinsic, Module};
+use telemetry::Remark;
 
 /// Result of vectorizing a module.
 #[derive(Debug)]
@@ -12,8 +15,11 @@ pub struct PipelineOutput {
     /// functions added (scalar functions, including the annotated
     /// originals, are preserved).
     pub module: Module,
-    /// All compile-time warnings across regions.
+    /// All compile-time warnings across regions (derived from `remarks` —
+    /// the text of every warning-severity remark, kept for compatibility).
     pub warnings: Vec<String>,
+    /// Structured optimization remarks from every pass, across regions.
+    pub remarks: Vec<Remark>,
     /// Names of the regions that were vectorized.
     pub vectorized: Vec<String>,
 }
@@ -32,7 +38,7 @@ pub fn vectorize_module(
     opts: &VectorizeOptions,
 ) -> Result<PipelineOutput, VectorizeError> {
     let mut out = m.clone();
-    let mut warnings = Vec::new();
+    let mut remarks = Vec::new();
     let mut vectorized = Vec::new();
     let mut inline_targets = Vec::new();
     for name in m.spmd_functions() {
@@ -42,7 +48,10 @@ pub fn vectorize_module(
             f.block(b).insts.iter().any(|&i| {
                 matches!(
                     f.inst(i),
-                    Inst::Intrin { kind: Intrinsic::IsHeadGang, .. }
+                    Inst::Intrin {
+                        kind: Intrinsic::IsHeadGang,
+                        ..
+                    }
                 )
             })
         });
@@ -58,7 +67,7 @@ pub fn vectorize_module(
         for v in variants {
             let mut func = v.func;
             crate::opt::cleanup(&mut func);
-            warnings.extend(v.warnings);
+            remarks.extend(v.remarks);
             if func.name.ends_with("__full") || func.name.ends_with("__head") {
                 inline_targets.push(func.name.clone());
             }
@@ -79,7 +88,8 @@ pub fn vectorize_module(
     }
     Ok(PipelineOutput {
         module: out,
-        warnings,
+        warnings: telemetry::warnings_of(&remarks),
+        remarks,
         vectorized,
     })
 }

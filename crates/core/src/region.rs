@@ -45,7 +45,15 @@ pub fn emit_gang_loop(
     gang: u32,
     static_threads: Option<u64>,
 ) {
-    emit_gang_loop_peeled(fb, region, captured, num_threads, gang, static_threads, false);
+    emit_gang_loop_peeled(
+        fb,
+        region,
+        captured,
+        num_threads,
+        gang,
+        static_threads,
+        false,
+    );
 }
 
 /// [`emit_gang_loop`] with optional head-gang peeling: when the region uses
@@ -107,10 +115,7 @@ pub fn emit_gang_loop_peeled(
     fb.br(header);
 
     fb.switch_to(header);
-    let base = fb.phi_typed(
-        Ty::scalar(psir::ScalarTy::I64),
-        vec![(pre, loop_start)],
-    );
+    let base = fb.phi_typed(Ty::scalar(psir::ScalarTy::I64), vec![(pre, loop_start)]);
     let more = fb.cmp(CmpPred::Slt, base, full_end);
     fb.cond_br(more, body, exit);
 

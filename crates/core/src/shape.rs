@@ -13,9 +13,7 @@
 //! applied only when their preconditions hold, via the offline-verified
 //! catalog in the `shapecheck` crate (the paper's two-phase z3 flow).
 
-use psir::{
-    iota_bits, BinOp, CastKind, Function, Inst, InstId, Intrinsic, ScalarTy, Ty, Value,
-};
+use psir::{iota_bits, BinOp, CastKind, Function, Inst, InstId, Intrinsic, ScalarTy, Ty, Value};
 use shapecheck::{largest_pow2_divisor, match_rule, OperandInfo, RuleOp};
 use std::collections::HashMap;
 
@@ -165,6 +163,20 @@ impl ShapeMap {
     pub fn gang(&self) -> u32 {
         self.gang
     }
+
+    /// Counts of `(uniform, indexed-non-uniform, varying)` instruction
+    /// classifications — the telemetry shape summary.
+    pub fn summary(&self) -> (usize, usize, usize) {
+        let (mut uni, mut idx, mut var) = (0, 0, 0);
+        for s in self.insts.values() {
+            match s {
+                Shape::Indexed(i) if i.is_uniform() => uni += 1,
+                Shape::Indexed(_) => idx += 1,
+                _ => var += 1,
+            }
+        }
+        (uni, idx, var)
+    }
 }
 
 /// Number of implicit trailing parameters every outlined SPMD region
@@ -251,9 +263,7 @@ impl<'f> Analyzer<'f> {
                             Some(rule) => {
                                 let offsets = rule.result_offsets(elem, elem, &oa, &ob);
                                 let base_const = match (ia.base_const, ib.base_const) {
-                                    (Some(x), Some(y)) => {
-                                        Some(rule.result_base(elem, elem, x, y))
-                                    }
+                                    (Some(x), Some(y)) => Some(rule.result_base(elem, elem, x, y)),
                                     _ => None,
                                 };
                                 let align = base_const
@@ -290,13 +300,11 @@ impl<'f> Analyzer<'f> {
                     _ => Shape::Varying,
                 }
             }
-            Inst::Cmp { a, b, .. } => {
-                match (self.shape_of(*a), self.shape_of(*b)) {
-                    (Shape::Top, _) | (_, Shape::Top) => Shape::Top,
-                    (sa, sb) if sa.is_uniform() && sb.is_uniform() => uni(1),
-                    _ => Shape::Varying,
-                }
-            }
+            Inst::Cmp { a, b, .. } => match (self.shape_of(*a), self.shape_of(*b)) {
+                (Shape::Top, _) | (_, Shape::Top) => Shape::Top,
+                (sa, sb) if sa.is_uniform() && sb.is_uniform() => uni(1),
+                _ => Shape::Varying,
+            },
             Inst::Cast { kind, a } => {
                 let sa = self.shape_of(*a);
                 let from = f.value_ty(*a).elem().unwrap_or(ScalarTy::I64);
@@ -309,10 +317,7 @@ impl<'f> Analyzer<'f> {
                         1,
                     )),
                     Shape::Indexed(ia)
-                        if matches!(
-                            kind,
-                            CastKind::Trunc | CastKind::Zext | CastKind::Sext
-                        ) =>
+                        if matches!(kind, CastKind::Trunc | CastKind::Zext | CastKind::Sext) =>
                     {
                         let oa = ia.to_operand_info();
                         let dummy = OperandInfo::with_const_base(0, vec![0; g as usize]);
@@ -370,9 +375,7 @@ impl<'f> Analyzer<'f> {
                             .iter()
                             .zip(&ii.offsets)
                             .map(|(&bo, &io)| {
-                                bo.wrapping_add(
-                                    (psir::sext(ity, io) as u64).wrapping_mul(*scale),
-                                )
+                                bo.wrapping_add((psir::sext(ity, io) as u64).wrapping_mul(*scale))
                             })
                             .collect();
                         let align = ib
@@ -484,17 +487,31 @@ fn rule_align(op: BinOp, a: &ShapeInfo, b: &ShapeInfo) -> u64 {
     match op {
         BinOp::Add | BinOp::Sub => a.align.min(b.align),
         BinOp::Mul => {
-            let factor = b.base_const.or(a.base_const).map(largest_pow2_divisor).unwrap_or(1);
+            let factor = b
+                .base_const
+                .or(a.base_const)
+                .map(largest_pow2_divisor)
+                .unwrap_or(1);
             (a.align.max(b.align)).saturating_mul(factor).min(1 << 62)
         }
         BinOp::Shl => {
             let k = b.base_const.unwrap_or(0).min(62);
-            a.align.checked_shl(k as u32).unwrap_or(1 << 62).max(1).min(1 << 62)
+            a.align
+                .checked_shl(k as u32)
+                .unwrap_or(1 << 62)
+                .max(1)
+                .min(1 << 62)
         }
         BinOp::And => {
             let k = b
                 .base_const
-                .map(|m| if m == 0 { 1 } else { 1u64 << m.trailing_zeros().min(62) })
+                .map(|m| {
+                    if m == 0 {
+                        1
+                    } else {
+                        1u64 << m.trailing_zeros().min(62)
+                    }
+                })
                 .unwrap_or(1);
             a.align.max(k)
         }
@@ -537,10 +554,7 @@ pub fn all_varying(f: &Function, gang: u32) -> ShapeMap {
 fn divergence_context(
     f: &Function,
     tree: &crate::structurize::ControlTree,
-) -> (
-    HashMap<psir::BlockId, Value>,
-    HashMap<InstId, Vec<Value>>,
-) {
+) -> (HashMap<psir::BlockId, Value>, HashMap<InstId, Vec<Value>>) {
     use crate::structurize::Node;
     let mut block_ctrl: HashMap<psir::BlockId, Value> = HashMap::new();
     // (loop cond, set of blocks in the loop) per loop
@@ -648,11 +662,7 @@ fn divergence_context(
 ///
 /// # Panics
 /// Panics if the function lacks the SPMD annotation.
-pub fn analyze(
-    f: &Function,
-    gang: u32,
-    tree: &crate::structurize::ControlTree,
-) -> ShapeMap {
+pub fn analyze(f: &Function, gang: u32, tree: &crate::structurize::ControlTree) -> ShapeMap {
     assert!(f.spmd.is_some(), "shape analysis needs an SPMD function");
     let nparams = f.params.len();
     let mut params = Vec::with_capacity(nparams);
@@ -743,9 +753,7 @@ pub fn analyze(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use psir::{
-        CmpPred, FunctionBuilder, Param, SpmdInfo, ThreadCount, Ty, Value,
-    };
+    use psir::{CmpPred, FunctionBuilder, Param, SpmdInfo, ThreadCount, Ty, Value};
 
     fn spmd_fb(name: &str, user_params: Vec<Param>, gang: u32) -> FunctionBuilder {
         let mut params = user_params;
@@ -846,10 +854,14 @@ mod tests {
     #[test]
     fn loop_phi_fed_by_varying_degrades() {
         // acc = 0; while (c) { acc = acc + load(gather) } — acc varying.
-        let mut fb = spmd_fb("lv", vec![
-            Param::new("a", Ty::scalar(ScalarTy::Ptr)),
-            Param::new("n", Ty::scalar(ScalarTy::I64)),
-        ], 8);
+        let mut fb = spmd_fb(
+            "lv",
+            vec![
+                Param::new("a", Ty::scalar(ScalarTy::Ptr)),
+                Param::new("n", Ty::scalar(ScalarTy::I64)),
+            ],
+            8,
+        );
         let header = fb.new_block("header");
         let body = fb.new_block("body");
         let exit = fb.new_block("exit");

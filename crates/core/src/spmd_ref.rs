@@ -18,9 +18,9 @@
 
 use crate::shape::SPMD_EXTRA_PARAMS;
 use psir::{
-    eval_bin, eval_cast, eval_cmp, eval_math, eval_un, reduce_identity, reduce_step, sext,
-    BinOp, BlockId, ExecError, Function, Inst, InstId, Interp, Intrinsic, Memory, Module,
-    NoExterns, RtVal, Terminator, UnitCost, Value,
+    eval_bin, eval_cast, eval_cmp, eval_math, eval_un, reduce_identity, reduce_step, sext, BinOp,
+    BlockId, ExecError, Function, Inst, InstId, Interp, Intrinsic, Memory, Module, NoExterns,
+    RtVal, Terminator, UnitCost, Value,
 };
 use std::collections::HashMap;
 
@@ -190,8 +190,7 @@ impl<'m> SpmdRef<'m> {
                 .collect();
             if ids.windows(2).any(|w| w[0] != w[1]) {
                 return Err(ExecError::Other(
-                    "divergent barrier: gang threads blocked at different horizontal ops"
-                        .into(),
+                    "divergent barrier: gang threads blocked at different horizontal ops".into(),
                 ));
             }
             let id = ids[0];
@@ -304,9 +303,9 @@ impl<'m> SpmdRef<'m> {
                 let mut phi_vals = Vec::new();
                 for &id in &blk.insts {
                     if let Inst::Phi { incoming } = f.inst(id) {
-                        let p = t.prev.ok_or_else(|| {
-                            ExecError::Other("phi in entry block".into())
-                        })?;
+                        let p = t
+                            .prev
+                            .ok_or_else(|| ExecError::Other("phi in entry block".into()))?;
                         let (_, v) = incoming
                             .iter()
                             .find(|(b, _)| *b == p)
@@ -367,22 +366,18 @@ impl<'m> SpmdRef<'m> {
         }
     }
 
-    fn operand(
-        &self,
-        f: &Function,
-        t: &Thread,
-        args: &[u64],
-        v: Value,
-    ) -> Result<u64, ExecError> {
+    fn operand(&self, f: &Function, t: &Thread, args: &[u64], v: Value) -> Result<u64, ExecError> {
         match v {
             Value::Const(c) => Ok(c.bits),
             Value::Param(i) => args
                 .get(i as usize)
                 .copied()
                 .ok_or_else(|| ExecError::Other(format!("missing arg {i}"))),
-            Value::Inst(id) => t.vals.get(&id).copied().ok_or_else(|| {
-                ExecError::Other(format!("use of unevaluated {id} in @{}", f.name))
-            }),
+            Value::Inst(id) => {
+                t.vals.get(&id).copied().ok_or_else(|| {
+                    ExecError::Other(format!("use of unevaluated {id} in @{}", f.name))
+                })
+            }
         }
     }
 
@@ -421,7 +416,12 @@ impl<'m> SpmdRef<'m> {
                     .elem()
                     .ok_or_else(|| ExecError::Other("void cast".into()))?;
                 let to = elem.ok_or_else(|| ExecError::Other("void cast".into()))?;
-                Ok(Some(eval_cast(*kind, from, to, self.operand(f, t, args, *a)?)))
+                Ok(Some(eval_cast(
+                    *kind,
+                    from,
+                    to,
+                    self.operand(f, t, args, *a)?,
+                )))
             }
             Inst::Select { cond, t: tv, f: fv } => {
                 let c = self.operand(f, t, args, *cond)?;
@@ -464,14 +464,18 @@ impl<'m> SpmdRef<'m> {
                 let s = self.operand(f, t, args, *size)?;
                 Ok(Some(self.mem.alloc(s, 64)?))
             }
-            Inst::Call { callee, args: cargs } => {
+            Inst::Call {
+                callee,
+                args: cargs,
+            } => {
                 let mut vals = Vec::with_capacity(cargs.len());
                 for &a in cargs {
                     vals.push(RtVal::S(self.operand(f, t, args, a)?));
                 }
-                let callee_f = self.module.function(callee).ok_or_else(|| {
-                    ExecError::UnknownFunction(callee.clone())
-                })?;
+                let callee_f = self
+                    .module
+                    .function(callee)
+                    .ok_or_else(|| ExecError::UnknownFunction(callee.clone()))?;
                 if callee_f.has_horizontal_ops() {
                     return Err(ExecError::Other(format!(
                         "@{callee}: horizontal ops inside called functions are \
@@ -486,9 +490,7 @@ impl<'m> SpmdRef<'m> {
                 match r? {
                     RtVal::Unit => Ok(None),
                     RtVal::S(v) => Ok(Some(v)),
-                    RtVal::V(_) => Err(ExecError::Other(
-                        "scalar call returned a vector".into(),
-                    )),
+                    RtVal::V(_) => Err(ExecError::Other("scalar call returned a vector".into())),
                 }
             }
             Inst::Intrin { kind, args: iargs } => {

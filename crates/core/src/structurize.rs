@@ -70,6 +70,36 @@ pub struct ControlTree {
     pub roots: Vec<Node>,
 }
 
+impl ControlTree {
+    /// Counts of `(if-regions, loops)` in the whole tree — the telemetry
+    /// structurization summary.
+    pub fn stats(&self) -> (usize, usize) {
+        fn walk(nodes: &[Node], ifs: &mut usize, loops: &mut usize) {
+            for n in nodes {
+                match n {
+                    Node::Block(_) => {}
+                    Node::If {
+                        then_nodes,
+                        else_nodes,
+                        ..
+                    } => {
+                        *ifs += 1;
+                        walk(then_nodes, ifs, loops);
+                        walk(else_nodes, ifs, loops);
+                    }
+                    Node::Loop { body, .. } => {
+                        *loops += 1;
+                        walk(body, ifs, loops);
+                    }
+                }
+            }
+        }
+        let (mut ifs, mut loops) = (0, 0);
+        walk(&self.roots, &mut ifs, &mut loops);
+        (ifs, loops)
+    }
+}
+
 /// Computes immediate post-dominators on the reversed CFG. Requires a single
 /// `ret` block (the front-end guarantees it; hand-built IR must comply).
 fn post_dominators(f: &Function) -> Result<HashMap<BlockId, BlockId>, StructurizeError> {
@@ -216,11 +246,7 @@ impl<'f> Builder<'f> {
                 };
                 let _ = latch;
                 let body = self.region(body_entry, Some(header), depth + 1)?;
-                nodes.push(Node::Loop {
-                    header,
-                    body,
-                    exit,
-                });
+                nodes.push(Node::Loop { header, body, exit });
                 cur = exit;
                 continue;
             }
@@ -338,7 +364,11 @@ mod tests {
 
     #[test]
     fn if_else_diamond() {
-        let mut fb = FunctionBuilder::new("d", vec![Param::new("x", Ty::scalar(ScalarTy::I32))], Ty::Void);
+        let mut fb = FunctionBuilder::new(
+            "d",
+            vec![Param::new("x", Ty::scalar(ScalarTy::I32))],
+            Ty::Void,
+        );
         let t_bb = fb.new_block("t");
         let e_bb = fb.new_block("e");
         let j = fb.new_block("j");
@@ -369,7 +399,11 @@ mod tests {
 
     #[test]
     fn if_without_else() {
-        let mut fb = FunctionBuilder::new("i", vec![Param::new("x", Ty::scalar(ScalarTy::I32))], Ty::Void);
+        let mut fb = FunctionBuilder::new(
+            "i",
+            vec![Param::new("x", Ty::scalar(ScalarTy::I32))],
+            Ty::Void,
+        );
         let t_bb = fb.new_block("t");
         let j = fb.new_block("j");
         let c = fb.cmp(CmpPred::Sgt, Value::Param(0), 0i32);
@@ -393,7 +427,11 @@ mod tests {
     }
 
     fn while_loop_fn() -> Function {
-        let mut fb = FunctionBuilder::new("w", vec![Param::new("n", Ty::scalar(ScalarTy::I64))], Ty::Void);
+        let mut fb = FunctionBuilder::new(
+            "w",
+            vec![Param::new("n", Ty::scalar(ScalarTy::I64))],
+            Ty::Void,
+        );
         let header = fb.new_block("header");
         let body = fb.new_block("body");
         let exit = fb.new_block("exit");
@@ -428,7 +466,11 @@ mod tests {
 
     #[test]
     fn nested_if_in_loop() {
-        let mut fb = FunctionBuilder::new("n", vec![Param::new("n", Ty::scalar(ScalarTy::I64))], Ty::Void);
+        let mut fb = FunctionBuilder::new(
+            "n",
+            vec![Param::new("n", Ty::scalar(ScalarTy::I64))],
+            Ty::Void,
+        );
         let header = fb.new_block("header");
         let body = fb.new_block("body");
         let then_bb = fb.new_block("then");
@@ -470,7 +512,11 @@ mod tests {
     #[test]
     fn multi_exit_loop_rejected() {
         // while (c1) { if (c2) break-like edge to exit2 }
-        let mut fb = FunctionBuilder::new("m", vec![Param::new("n", Ty::scalar(ScalarTy::I64))], Ty::Void);
+        let mut fb = FunctionBuilder::new(
+            "m",
+            vec![Param::new("n", Ty::scalar(ScalarTy::I64))],
+            Ty::Void,
+        );
         let header = fb.new_block("header");
         let body = fb.new_block("body");
         let latch = fb.new_block("latch");

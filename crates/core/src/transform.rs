@@ -24,12 +24,13 @@
 use crate::shape::{analyze, gang_base_param, num_threads_param, Shape, ShapeMap};
 use crate::structurize::{structurize, Node, StructurizeError};
 use psir::{
-    iota_bits, BinOp, BlockId, CmpPred, Const, Function, FunctionBuilder, Inst, InstId,
-    Intrinsic, ReduceOp, ScalarTy, Terminator, Ty, UnOp, Value,
+    iota_bits, BinOp, BlockId, CmpPred, Const, Function, FunctionBuilder, Inst, InstId, Intrinsic,
+    ReduceOp, ScalarTy, Terminator, Ty, UnOp, Value,
 };
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use telemetry::{MemOpChoice, Pass, Remark, RemarkKind, Severity};
 
 /// Which vector math library transcendental calls resolve to (§6: the
 /// Binomial Options gap is exactly this choice).
@@ -131,7 +132,10 @@ pub struct Vectorized {
     /// The vector-IR function.
     pub func: Function,
     /// Compile-time diagnostics (e.g. the §4.2.3 racy-uniform-store warning).
+    /// Derived from `remarks` — the text of every warning-severity remark.
     pub warnings: Vec<String>,
+    /// Structured optimization remarks for every decision the pass made.
+    pub remarks: Vec<Remark>,
 }
 
 /// A mapped value in the new function: indexed values keep a scalar base;
@@ -158,7 +162,9 @@ struct Vectorizer<'a> {
     g: u32,
     fb: FunctionBuilder,
     env: HashMap<Value, Mv>,
-    warnings: Vec<String>,
+    /// Name of the variant being emitted (remark attribution).
+    fname: String,
+    remarks: Vec<Remark>,
     /// Old block set per loop header, for exit-value scans.
     old_preds: HashMap<BlockId, Vec<BlockId>>,
     dom: psir::DomTree,
@@ -224,11 +230,28 @@ pub fn vectorize_function_with(
     } else {
         "__full"
     };
-    let fb = FunctionBuilder::new(
-        format!("{}{}", old.name, suffix),
-        old.params.clone(),
-        Ty::Void,
-    );
+    let fname = format!("{}{}", old.name, suffix);
+    let fb = FunctionBuilder::new(fname.clone(), old.params.clone(), Ty::Void);
+
+    let mut remarks = Vec::new();
+    let (regions, loops) = tree.stats();
+    remarks.push(Remark::new(
+        Pass::Structurize,
+        Severity::Analysis,
+        &fname,
+        RemarkKind::StructurizeSummary { regions, loops },
+    ));
+    let (uniform, indexed, varying) = shapes.summary();
+    remarks.push(Remark::new(
+        Pass::Shape,
+        Severity::Analysis,
+        &fname,
+        RemarkKind::ShapeSummary {
+            uniform,
+            indexed,
+            varying,
+        },
+    ));
 
     let mut v = Vectorizer {
         old,
@@ -237,7 +260,8 @@ pub fn vectorize_function_with(
         g,
         fb,
         env: HashMap::new(),
-        warnings: Vec::new(),
+        fname,
+        remarks,
         old_preds: old.predecessors(),
         dom: psir::DomTree::compute(old),
         partial,
@@ -273,11 +297,24 @@ pub fn vectorize_function_with(
     let func = v.fb.finish();
     Ok(Vectorized {
         func,
-        warnings: v.warnings,
+        warnings: telemetry::warnings_of(&v.remarks),
+        remarks: v.remarks,
     })
 }
 
 impl<'a> Vectorizer<'a> {
+    /// Records a structured remark for this variant.
+    fn remark(&mut self, severity: Severity, kind: RemarkKind) {
+        self.remarks
+            .push(Remark::new(Pass::Vectorize, severity, &self.fname, kind));
+    }
+
+    /// Records a remark attributed to one old-function instruction.
+    fn remark_at(&mut self, severity: Severity, kind: RemarkKind, id: InstId) {
+        self.remarks
+            .push(Remark::new(Pass::Vectorize, severity, &self.fname, kind).at_inst(id.0));
+    }
+
     fn shape(&self, v: Value) -> Shape {
         self.shapes.shape(self.old, v)
     }
@@ -565,9 +602,7 @@ impl<'a> Vectorizer<'a> {
         self.fb.switch_to(join_blk);
         for ((p, tv), ev) in phis.iter().zip(then_vals).zip(else_vals) {
             let shape = self.shape(Value::Inst(*p));
-            let new = self
-                .fb
-                .phi(vec![(then_exit, tv), (else_exit, ev)]);
+            let new = self.fb.phi(vec![(then_exit, tv), (else_exit, ev)]);
             let mv = match shape {
                 Shape::Indexed(info) => Mv::Scalar {
                     base: new,
@@ -589,6 +624,12 @@ impl<'a> Vectorizer<'a> {
         join: BlockId,
         mask: MaskCtx,
     ) -> Result<(), VectorizeError> {
+        self.remark(
+            Severity::Passed,
+            RemarkKind::BranchLinearized {
+                arms: 2 - usize::from(then_nodes.is_empty()) - usize::from(else_nodes.is_empty()),
+            },
+        );
         let cvec = self.vector_of(cond);
         let mvec = self.mask_vec(mask);
         let mask_then = self.fb.bin(BinOp::And, mvec, cvec);
@@ -605,32 +646,28 @@ impl<'a> Vectorizer<'a> {
         // skip the dead path entirely.
         let then_empty = then_nodes.is_empty();
         let else_empty = else_nodes.is_empty();
-        let then_vals = self.emit_guarded_arm(
-            then_nodes,
-            mask_then,
-            &phis,
-            &|b| {
-                if then_empty {
-                    b == cond_block
-                } else {
-                    then_blocks.contains(&b)
-                }
-            },
-        )?;
-        let else_vals = self.emit_guarded_arm(
-            else_nodes,
-            mask_else,
-            &phis,
-            &|b| {
-                if else_empty {
-                    b == cond_block
-                } else {
-                    !then_blocks.contains(&b) && b != cond_block
-                }
-            },
-        )?;
+        let then_vals = self.emit_guarded_arm(then_nodes, mask_then, &phis, &|b| {
+            if then_empty {
+                b == cond_block
+            } else {
+                then_blocks.contains(&b)
+            }
+        })?;
+        let else_vals = self.emit_guarded_arm(else_nodes, mask_else, &phis, &|b| {
+            if else_empty {
+                b == cond_block
+            } else {
+                !then_blocks.contains(&b) && b != cond_block
+            }
+        })?;
 
         // φ → select, steered by the then-arm's active mask (§4.2.3).
+        if !phis.is_empty() {
+            self.remark(
+                Severity::Passed,
+                RemarkKind::PhiToSelect { phis: phis.len() },
+            );
+        }
         for ((p, tv), ev) in phis.iter().zip(then_vals).zip(else_vals) {
             let sel = self.fb.select(mask_then, tv, ev);
             self.env.insert(Value::Inst(*p), Mv::Vector(sel));
@@ -658,10 +695,8 @@ impl<'a> Vectorizer<'a> {
         // Pre-arm φ values (used when the whole gang skips the arm — the
         // join select ignores these lanes, so any well-typed value works;
         // the current mapping is always available and well-typed).
-        let pre_vals: Vec<Value> = phis
-            .iter()
-            .map(|&p| self.phi_fallback_value(p))
-            .collect();
+        let pre_vals: Vec<Value> = phis.iter().map(|&p| self.phi_fallback_value(p)).collect();
+        self.remark(Severity::Passed, RemarkKind::BosccGuard);
         let any = self.fb.reduce(ReduceOp::Or, arm_mask, None);
         let pred = self.fb.current_block();
         let arm_blk = self.fb.new_block("boscc.arm");
@@ -693,11 +728,7 @@ impl<'a> Vectorizer<'a> {
     /// never reads these lanes (the same argument that makes linearized
     /// garbage lanes safe, §4.2.3).
     fn phi_fallback_value(&mut self, phi_id: InstId) -> Value {
-        let e = self
-            .old
-            .inst_ty(phi_id)
-            .elem()
-            .expect("phi of void");
+        let e = self.old.inst_ty(phi_id).elem().expect("phi of void");
         let g = self.g;
         self.fb.const_vec(e, vec![0; g as usize])
     }
@@ -731,9 +762,7 @@ impl<'a> Vectorizer<'a> {
         for (p, init) in phis.iter().zip(&init_vals) {
             let shape = self.shape(Value::Inst(*p));
             let ty = match &shape {
-                Shape::Indexed(_) => self
-                    .old
-                    .inst_ty(*p),
+                Shape::Indexed(_) => self.old.inst_ty(*p),
                 _ => {
                     let e = self.old.inst_ty(*p).elem().expect("phi of void");
                     Ty::vec(e, self.g)
@@ -839,9 +868,7 @@ impl<'a> Vectorizer<'a> {
         let mut acc_phis = Vec::new();
         for (id, zi) in escaping.iter().zip(&zero_inits) {
             let e = self.old.inst_ty(*id).elem().expect("escaping void value");
-            let ap = self
-                .fb
-                .phi_typed(Ty::vec(e, g), vec![(preheader_new, *zi)]);
+            let ap = self.fb.phi_typed(Ty::vec(e, g), vec![(preheader_new, *zi)]);
             acc_phis.push(ap);
         }
 
@@ -903,12 +930,12 @@ impl<'a> Vectorizer<'a> {
                 if loop_blocks.contains(&b) {
                     return false;
                 }
-                let in_insts = self.old.block(b).insts.iter().any(|&u| {
-                    self.old
-                        .inst(u)
-                        .operands()
-                        .contains(&Value::Inst(id))
-                });
+                let in_insts = self
+                    .old
+                    .block(b)
+                    .insts
+                    .iter()
+                    .any(|&u| self.old.inst(u).operands().contains(&Value::Inst(id)));
                 let in_term = match &self.old.block(b).term {
                     Terminator::CondBr { cond, .. } => *cond == Value::Inst(id),
                     Terminator::Ret(Some(v)) => *v == Value::Inst(id),
@@ -962,7 +989,13 @@ impl<'a> Vectorizer<'a> {
                                 }
                             }
                         };
-                        self.env.insert(oid, Mv::Scalar { base, offsets: info.offsets });
+                        self.env.insert(
+                            oid,
+                            Mv::Scalar {
+                                base,
+                                offsets: info.offsets,
+                            },
+                        );
                     }
                     _ => {
                         let va = self.vector_of(*a);
@@ -977,7 +1010,13 @@ impl<'a> Vectorizer<'a> {
                 if self.shape(oid).is_uniform() {
                     let na = self.scalar_of(*a);
                     let nv = self.fb.un(*op, na);
-                    self.env.insert(oid, Mv::Scalar { base: nv, offsets: vec![0; g as usize] });
+                    self.env.insert(
+                        oid,
+                        Mv::Scalar {
+                            base: nv,
+                            offsets: vec![0; g as usize],
+                        },
+                    );
                 } else {
                     let va = self.vector_of(*a);
                     let nv = self.fb.un(*op, va);
@@ -989,7 +1028,13 @@ impl<'a> Vectorizer<'a> {
                 if self.shape(oid).is_uniform() {
                     let (na, nb) = (self.scalar_of(*a), self.scalar_of(*b));
                     let nv = self.fb.cmp(*pred, na, nb);
-                    self.env.insert(oid, Mv::Scalar { base: nv, offsets: vec![0; g as usize] });
+                    self.env.insert(
+                        oid,
+                        Mv::Scalar {
+                            base: nv,
+                            offsets: vec![0; g as usize],
+                        },
+                    );
                 } else {
                     let (va, vb) = (self.vector_of(*a), self.vector_of(*b));
                     let nv = self.fb.cmp(*pred, va, vb);
@@ -1002,7 +1047,13 @@ impl<'a> Vectorizer<'a> {
                     Shape::Indexed(info) => {
                         let na = self.scalar_of(*a);
                         let nv = self.fb.cast(*kind, na, ty);
-                        self.env.insert(oid, Mv::Scalar { base: nv, offsets: info.offsets });
+                        self.env.insert(
+                            oid,
+                            Mv::Scalar {
+                                base: nv,
+                                offsets: info.offsets,
+                            },
+                        );
                     }
                     _ => {
                         let va = self.vector_of(*a);
@@ -1019,7 +1070,13 @@ impl<'a> Vectorizer<'a> {
                         let nc = self.scalar_of(*cond);
                         let (nt, nf) = (self.scalar_of(*t), self.scalar_of(*f));
                         let nv = self.fb.select(nc, nt, nf);
-                        self.env.insert(oid, Mv::Scalar { base: nv, offsets: info.offsets });
+                        self.env.insert(
+                            oid,
+                            Mv::Scalar {
+                                base: nv,
+                                offsets: info.offsets,
+                            },
+                        );
                     }
                     _ => {
                         let nc = if self.shape(*cond).is_uniform() {
@@ -1039,7 +1096,13 @@ impl<'a> Vectorizer<'a> {
                     Shape::Indexed(info) => {
                         let (nb, ni) = (self.scalar_of(*base), self.scalar_of(*index));
                         let nv = self.fb.gep(nb, ni, *scale);
-                        self.env.insert(oid, Mv::Scalar { base: nv, offsets: info.offsets });
+                        self.env.insert(
+                            oid,
+                            Mv::Scalar {
+                                base: nv,
+                                offsets: info.offsets,
+                            },
+                        );
                     }
                     _ => {
                         let nb = if self.shape(*base).is_uniform() {
@@ -1071,14 +1134,24 @@ impl<'a> Vectorizer<'a> {
                 // §4.2.3: multiply the allocation by the gang size; each
                 // thread's copy lives at base + lane × size.
                 let ns = self.scalar_of(*size);
-                let total = self.fb.bin(BinOp::Mul, ns, Value::Const(Const::i64(g as i64)));
+                let total = self
+                    .fb
+                    .bin(BinOp::Mul, ns, Value::Const(Const::i64(g as i64)));
                 let p = self.fb.alloca(total);
                 match self.shape(oid) {
                     Shape::Indexed(info) => {
-                        self.env.insert(oid, Mv::Scalar { base: p, offsets: info.offsets });
+                        self.env.insert(
+                            oid,
+                            Mv::Scalar {
+                                base: p,
+                                offsets: info.offsets,
+                            },
+                        );
                     }
                     _ => {
-                        let iota = self.fb.const_vec(ScalarTy::I64, iota_bits(ScalarTy::I64, g));
+                        let iota = self
+                            .fb
+                            .const_vec(ScalarTy::I64, iota_bits(ScalarTy::I64, g));
                         let szv = self.fb.splat(ns, g);
                         let offs = self.fb.bin(BinOp::Mul, iota, szv);
                         let pv = self.fb.gep(p, offs, 1);
@@ -1087,7 +1160,10 @@ impl<'a> Vectorizer<'a> {
                 }
                 Ok(())
             }
-            Inst::Load { ptr, mask: old_mask } => {
+            Inst::Load {
+                ptr,
+                mask: old_mask,
+            } => {
                 if old_mask.is_some() {
                     return Err(VectorizeError::Unsupported(
                         "masked loads in scalar SPMD input".into(),
@@ -1095,7 +1171,11 @@ impl<'a> Vectorizer<'a> {
                 }
                 self.emit_load(id, *ptr, mask)
             }
-            Inst::Store { ptr, val, mask: old_mask } => {
+            Inst::Store {
+                ptr,
+                val,
+                mask: old_mask,
+            } => {
                 if old_mask.is_some() {
                     return Err(VectorizeError::Unsupported(
                         "masked stores in scalar SPMD input".into(),
@@ -1122,6 +1202,15 @@ impl<'a> Vectorizer<'a> {
 
         if pshape.is_uniform() {
             // Scalar load of a uniform value, guarded if lanes may be off.
+            self.remark_at(
+                Severity::Passed,
+                RemarkKind::MemOp {
+                    is_store: false,
+                    choice: MemOpChoice::Scalar,
+                    stride: None,
+                },
+                id,
+            );
             let np = self.scalar_of(ptr);
             let loaded = match mask {
                 MaskCtx::Full => self.fb.load(Ty::Scalar(elem), np, None),
@@ -1135,10 +1224,17 @@ impl<'a> Vectorizer<'a> {
                     let l = self.fb.load(Ty::Scalar(elem), np, None);
                     self.fb.br(cont);
                     self.fb.switch_to(cont);
-                    self.fb.phi(vec![(do_blk, l), (prev, Value::Const(Const::zero(elem)))])
+                    self.fb
+                        .phi(vec![(do_blk, l), (prev, Value::Const(Const::zero(elem)))])
                 }
             };
-            self.env.insert(oid, Mv::Scalar { base: loaded, offsets: vec![0; g as usize] });
+            self.env.insert(
+                oid,
+                Mv::Scalar {
+                    base: loaded,
+                    offsets: vec![0; g as usize],
+                },
+            );
             return Ok(());
         }
 
@@ -1148,6 +1244,15 @@ impl<'a> Vectorizer<'a> {
             if info.stride(ScalarTy::Ptr) == Some(s) {
                 // Element-stride: packed load (an order of magnitude faster
                 // than a gather, per the paper).
+                self.remark_at(
+                    Severity::Passed,
+                    RemarkKind::MemOp {
+                        is_store: false,
+                        choice: MemOpChoice::Packed,
+                        stride: Some(1),
+                    },
+                    id,
+                );
                 let base = self.scalar_of(ptr);
                 let adj = if min == 0 {
                     base
@@ -1170,6 +1275,15 @@ impl<'a> Vectorizer<'a> {
                 && span_elems > 0
                 && span_elems <= (self.opts.stride_window as i64) * g as i64
             {
+                self.remark_at(
+                    Severity::Passed,
+                    RemarkKind::MemOp {
+                        is_store: false,
+                        choice: MemOpChoice::PackedShuffle,
+                        stride: info.stride(ScalarTy::Ptr).map(|st| st / s),
+                    },
+                    id,
+                );
                 let base = self.scalar_of(ptr);
                 let adj = if min == 0 {
                     base
@@ -1177,8 +1291,7 @@ impl<'a> Vectorizer<'a> {
                     self.fb.gep(base, Value::Const(Const::i64(min)), 1)
                 };
                 let wide = self.fb.load(Ty::vec(elem, span_elems as u32), adj, None);
-                let pattern: Vec<u32> =
-                    offsets.iter().map(|&o| ((o - min) / s) as u32).collect();
+                let pattern: Vec<u32> = offsets.iter().map(|&o| ((o - min) / s) as u32).collect();
                 let nv = self.fb.shuffle_const(wide, pattern);
                 self.env.insert(oid, Mv::Vector(nv));
                 return Ok(());
@@ -1186,6 +1299,15 @@ impl<'a> Vectorizer<'a> {
         }
 
         // Gather.
+        self.remark_at(
+            Severity::Missed,
+            RemarkKind::MemOp {
+                is_store: false,
+                choice: MemOpChoice::GatherScatter,
+                stride: None,
+            },
+            id,
+        );
         let ptrs = self.vector_of(ptr);
         let mo = self.mask_opt(mask);
         let nv = self.fb.load(Ty::vec(elem, g), ptrs, mo);
@@ -1202,12 +1324,26 @@ impl<'a> Vectorizer<'a> {
         let pshape = self.shape(ptr);
 
         if pshape.is_uniform() {
-            self.warnings.push(format!(
+            let racy = format!(
                 "@{}: store to a uniform address is racy across the gang; \
                  one thread's value is kept",
                 self.old.name
-            ));
-            if self.shape(val).is_indexed() && self.shape(val).is_uniform() {
+            );
+            self.remark(Severity::Warning, RemarkKind::Note { text: racy });
+            let scalar_path = self.shape(val).is_indexed() && self.shape(val).is_uniform();
+            self.remark(
+                Severity::Passed,
+                RemarkKind::MemOp {
+                    is_store: true,
+                    choice: if scalar_path {
+                        MemOpChoice::Scalar
+                    } else {
+                        MemOpChoice::GatherScatter
+                    },
+                    stride: None,
+                },
+            );
+            if scalar_path {
                 let np = self.scalar_of(ptr);
                 let nv = self.scalar_of(val);
                 match mask {
@@ -1239,6 +1375,14 @@ impl<'a> Vectorizer<'a> {
             let offsets: Vec<i64> = info.offsets.iter().map(|&o| o as i64).collect();
             let min = *offsets.iter().min().expect("offsets nonempty");
             if info.stride(ScalarTy::Ptr) == Some(s) {
+                self.remark(
+                    Severity::Passed,
+                    RemarkKind::MemOp {
+                        is_store: true,
+                        choice: MemOpChoice::Packed,
+                        stride: Some(1),
+                    },
+                );
                 let base = self.scalar_of(ptr);
                 let adj = if min == 0 {
                     base
@@ -1260,6 +1404,14 @@ impl<'a> Vectorizer<'a> {
             {
                 // Expand the gang values into the covering window and store
                 // with a compile-time mask on the written lanes.
+                self.remark(
+                    Severity::Passed,
+                    RemarkKind::MemOp {
+                        is_store: true,
+                        choice: MemOpChoice::PackedShuffle,
+                        stride: info.stride(ScalarTy::Ptr).map(|st| st / s),
+                    },
+                );
                 let mut pattern = vec![0u32; span_elems as usize];
                 let mut present = vec![0u64; span_elems as usize];
                 for (lane, &o) in offsets.iter().enumerate() {
@@ -1282,6 +1434,14 @@ impl<'a> Vectorizer<'a> {
         }
 
         // Scatter.
+        self.remark(
+            Severity::Missed,
+            RemarkKind::MemOp {
+                is_store: true,
+                choice: MemOpChoice::GatherScatter,
+                stride: None,
+            },
+        );
         let ptrs = self.vector_of(ptr);
         let nv = self.vector_of(val);
         let mo = self.mask_opt(mask);
@@ -1308,6 +1468,14 @@ impl<'a> Vectorizer<'a> {
         let ty = self.old.inst_ty(id);
         let g = self.g;
         let oid = Value::Inst(id);
+        self.remark_at(
+            Severity::Missed,
+            RemarkKind::CallSerialized {
+                callee: callee.to_string(),
+                lanes: g,
+            },
+            id,
+        );
 
         // Materialize argument vectors once (uniform args stay scalar).
         enum ArgForm {
@@ -1346,7 +1514,9 @@ impl<'a> Vectorizer<'a> {
             match mask {
                 MaskCtx::Full => {
                     let call_args = make_args(self);
-                    let r = self.fb.call(callee, ty.with_lanes(1).into_scalar_or_void(), call_args);
+                    let r = self
+                        .fb
+                        .call(callee, ty.with_lanes(1).into_scalar_or_void(), call_args);
                     if let Some(acc) = result {
                         result = Some(self.fb.insert(acc, lane_c, r));
                     }
@@ -1359,7 +1529,9 @@ impl<'a> Vectorizer<'a> {
                     self.fb.cond_br(mi, do_blk, cont);
                     self.fb.switch_to(do_blk);
                     let call_args = make_args(self);
-                    let r = self.fb.call(callee, ty.with_lanes(1).into_scalar_or_void(), call_args);
+                    let r = self
+                        .fb
+                        .call(callee, ty.with_lanes(1).into_scalar_or_void(), call_args);
                     let updated = result.map(|acc| self.fb.insert(acc, lane_c, r));
                     self.fb.br(cont);
                     self.fb.switch_to(cont);
@@ -1393,27 +1565,42 @@ impl<'a> Vectorizer<'a> {
                 if self.opts.enable_shape {
                     self.env.insert(
                         oid,
-                        Mv::Scalar { base: Value::Const(Const::i64(0)), offsets: iota_bits(ScalarTy::I64, g) },
+                        Mv::Scalar {
+                            base: Value::Const(Const::i64(0)),
+                            offsets: iota_bits(ScalarTy::I64, g),
+                        },
                     );
                 } else {
-                    let v = self.fb.const_vec(ScalarTy::I64, iota_bits(ScalarTy::I64, g));
+                    let v = self
+                        .fb
+                        .const_vec(ScalarTy::I64, iota_bits(ScalarTy::I64, g));
                     self.env.insert(oid, Mv::Vector(v));
                 }
                 Ok(())
             }
             Intrinsic::ThreadNum => {
                 if self.opts.enable_shape {
-                    self.env.insert(oid, Mv::Scalar { base: gb, offsets: iota_bits(ScalarTy::I64, g) });
+                    self.env.insert(
+                        oid,
+                        Mv::Scalar {
+                            base: gb,
+                            offsets: iota_bits(ScalarTy::I64, g),
+                        },
+                    );
                 } else {
                     let b = self.fb.splat(gb, g);
-                    let iota = self.fb.const_vec(ScalarTy::I64, iota_bits(ScalarTy::I64, g));
+                    let iota = self
+                        .fb
+                        .const_vec(ScalarTy::I64, iota_bits(ScalarTy::I64, g));
                     let v = self.fb.bin(BinOp::Add, b, iota);
                     self.env.insert(oid, Mv::Vector(v));
                 }
                 Ok(())
             }
             Intrinsic::GangNum => {
-                let n = self.fb.bin(BinOp::SDiv, gb, Value::Const(Const::i64(g as i64)));
+                let n = self
+                    .fb
+                    .bin(BinOp::SDiv, gb, Value::Const(Const::i64(g as i64)));
                 self.bind_uniform(oid, n);
                 Ok(())
             }
@@ -1443,7 +1630,9 @@ impl<'a> Vectorizer<'a> {
                 if self.partial {
                     self.bind_uniform(oid, Value::Const(Const::bool(true)));
                 } else {
-                    let end = self.fb.bin(BinOp::Add, gb, Value::Const(Const::i64(g as i64)));
+                    let end = self
+                        .fb
+                        .bin(BinOp::Add, gb, Value::Const(Const::i64(g as i64)));
                     let c = self.fb.cmp(CmpPred::Sge, end, nt);
                     self.bind_uniform(oid, c);
                 }
@@ -1499,11 +1688,29 @@ impl<'a> Vectorizer<'a> {
                 if self.shape(oid).is_uniform() {
                     let s_args: Vec<Value> = args.iter().map(|&a| self.scalar_of(a)).collect();
                     let name = format!("{lib}.{}.{elem}", m.name());
+                    self.remark_at(
+                        Severity::Passed,
+                        RemarkKind::MathDispatch {
+                            func: m.name().to_string(),
+                            lib: lib.to_string(),
+                            symbol: name.clone(),
+                        },
+                        id,
+                    );
                     let r = self.fb.call(name, Ty::Scalar(elem), s_args);
                     self.bind_uniform(oid, r);
                 } else {
                     let v_args: Vec<Value> = args.iter().map(|&a| self.vector_of(a)).collect();
                     let name = format!("{lib}.{}.{elem}x{g}", m.name());
+                    self.remark_at(
+                        Severity::Passed,
+                        RemarkKind::MathDispatch {
+                            func: m.name().to_string(),
+                            lib: lib.to_string(),
+                            symbol: name.clone(),
+                        },
+                        id,
+                    );
                     let r = self.fb.call(name, Ty::vec(elem, g), v_args);
                     self.env.insert(oid, Mv::Vector(r));
                 }
@@ -1527,7 +1734,13 @@ impl<'a> Vectorizer<'a> {
 
     fn bind_uniform(&mut self, oid: Value, base: Value) {
         let g = self.g;
-        self.env.insert(oid, Mv::Scalar { base, offsets: vec![0; g as usize] });
+        self.env.insert(
+            oid,
+            Mv::Scalar {
+                base,
+                offsets: vec![0; g as usize],
+            },
+        );
     }
 }
 

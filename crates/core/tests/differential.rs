@@ -7,8 +7,8 @@
 
 use parsimony::{emit_gang_loop, vectorize_module, SpmdRef, VectorizeOptions};
 use psir::{
-    assert_valid, c_i64, BinOp, CmpPred, Const, FunctionBuilder, Intrinsic, Memory, Module,
-    Param, ReduceOp, RtVal, ScalarTy, SpmdInfo, ThreadCount, Ty, Value,
+    assert_valid, c_i64, BinOp, CmpPred, Const, FunctionBuilder, Intrinsic, Memory, Module, Param,
+    ReduceOp, RtVal, ScalarTy, SpmdInfo, ThreadCount, Ty, Value,
 };
 
 /// Builds an SPMD region builder with the implicit trailing params.
@@ -55,7 +55,8 @@ fn compare(
     let (args_a, ranges) = setup(&mut mem_a);
     let rt_args: Vec<RtVal> = args_a.iter().map(|&a| RtVal::S(a)).collect();
     let mut r = SpmdRef::new(module, mem_a);
-    r.run_region(region, &rt_args, num_threads).expect("spmd ref ok");
+    r.run_region(region, &rt_args, num_threads)
+        .expect("spmd ref ok");
 
     // (b) vectorized execution through the driver
     let out = vectorize_module(module, opts).expect("vectorization ok");
@@ -90,7 +91,11 @@ fn i32_buf(mem: &mut Memory, vals: &[i32]) -> u64 {
 #[test]
 fn listing3_shift_with_gang_sync() {
     let gang = 8u32;
-    let mut fb = region_fb("shift", vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))], gang);
+    let mut fb = region_fb(
+        "shift",
+        vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))],
+        gang,
+    );
     let i = fb.thread_num();
     let ai = fb.gep(Value::Param(0), i, 4);
     let tmp = fb.load(Ty::scalar(ScalarTy::I32), ai, None);
@@ -123,7 +128,11 @@ fn listing3_shift_with_gang_sync() {
 #[test]
 fn divergent_if_else_with_tail_gang() {
     let gang = 8u32;
-    let mut fb = region_fb("diverge", vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))], gang);
+    let mut fb = region_fb(
+        "diverge",
+        vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))],
+        gang,
+    );
     let then_bb = fb.new_block("then");
     let else_bb = fb.new_block("else");
     let join = fb.new_block("join");
@@ -225,7 +234,11 @@ fn uniform_inner_loop() {
 #[test]
 fn divergent_loop_per_lane_trip_counts() {
     let gang = 8u32;
-    let mut fb = region_fb("vloop", vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))], gang);
+    let mut fb = region_fb(
+        "vloop",
+        vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))],
+        gang,
+    );
     let header = fb.new_block("header");
     let body = fb.new_block("body");
     let exit = fb.new_block("exit");
@@ -275,7 +288,11 @@ fn divergent_loop_per_lane_trip_counts() {
 #[test]
 fn shuffle_rotate_within_gang() {
     let gang = 8u32;
-    let mut fb = region_fb("rot", vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))], gang);
+    let mut fb = region_fb(
+        "rot",
+        vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))],
+        gang,
+    );
     let i = fb.thread_num();
     let lane = fb.lane_num();
     let ai = fb.gep(Value::Param(0), i, 4);
@@ -308,7 +325,11 @@ fn shuffle_rotate_within_gang() {
 #[test]
 fn gang_reduce_sum() {
     let gang = 8u32;
-    let mut fb = region_fb("gsum", vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))], gang);
+    let mut fb = region_fb(
+        "gsum",
+        vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))],
+        gang,
+    );
     let i = fb.thread_num();
     let ai = fb.gep(Value::Param(0), i, 4);
     let x = fb.load(Ty::scalar(ScalarTy::I32), ai, None);
@@ -403,7 +424,11 @@ fn serialized_scalar_call() {
     hb.ret(Some(r));
     m.add_function(hb.finish());
 
-    let mut fb = region_fb("sercall", vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))], gang);
+    let mut fb = region_fb(
+        "sercall",
+        vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))],
+        gang,
+    );
     let i = fb.thread_num();
     let ai = fb.gep(Value::Param(0), i, 4);
     let x = fb.load(Ty::scalar(ScalarTy::I32), ai, None);
@@ -433,7 +458,11 @@ fn serialized_scalar_call() {
 #[test]
 fn no_shape_ablation_is_correct() {
     let gang = 8u32;
-    let mut fb = region_fb("abl", vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))], gang);
+    let mut fb = region_fb(
+        "abl",
+        vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))],
+        gang,
+    );
     let then_bb = fb.new_block("then");
     let join = fb.new_block("join");
     let i = fb.thread_num();
@@ -521,7 +550,11 @@ fn head_and_tail_gang_intrinsics() {
 #[test]
 fn boscc_is_semantics_preserving() {
     let gang = 8u32;
-    let mut fb = region_fb("bos", vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))], gang);
+    let mut fb = region_fb(
+        "bos",
+        vec![Param::new("a", Ty::scalar(ScalarTy::Ptr))],
+        gang,
+    );
     let then_bb = fb.new_block("then");
     let else_bb = fb.new_block("else");
     let join = fb.new_block("join");

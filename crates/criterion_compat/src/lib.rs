@@ -1,0 +1,128 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the tiny API surface its benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
+//! plain wall-clock average over a fixed iteration count — adequate for
+//! relative comparisons of the simulated-cycle harnesses.
+//!
+//! Because the bench targets build with `harness = false`, `cargo test`
+//! executes their `main`; to keep the test suite fast, benches only run
+//! when `PSIM_BENCH_RUN=1` is set (otherwise `main` prints a note and
+//! exits immediately).
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Top-level bench context.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let id = id.into();
+        let mut g = self.benchmark_group(id.clone());
+        g.bench_function(id, f);
+        g.finish();
+    }
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints its mean wall time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters: self.sample_size,
+        };
+        f(&mut b);
+        let total: f64 = b.samples.iter().sum();
+        let n = b.samples.len().max(1) as f64;
+        println!("{}/{}: {:>12.1} ns/iter (stub)", self.name, id, total / n);
+    }
+
+    /// Ends the group (upstream flushes reports here; the stub does not
+    /// buffer anything).
+    pub fn finish(self) {}
+}
+
+/// Runs and times the measured closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Times `f` over the configured iteration count.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            let v = f();
+            self.samples.push(t0.elapsed().as_nanos() as f64);
+            drop(black_box(v));
+        }
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting the benchmark
+/// body.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a bench group: a named unit the stub `main` runs in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, gated on PSIM_BENCH_RUN=1.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if ::std::env::var_os("PSIM_BENCH_RUN").is_none() {
+                eprintln!(
+                    "bench stub: set PSIM_BENCH_RUN=1 to execute benches \
+                     (skipped under plain `cargo test`/`cargo bench`)"
+                );
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

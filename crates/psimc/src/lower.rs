@@ -484,8 +484,7 @@ impl<'u> Lowerer<'u> {
         };
         let join_blk = cx.fb.new_block("if.join");
         let pred = cx.fb.current_block();
-        cx.fb
-            .cond_br(cv, then_blk, else_blk.unwrap_or(join_blk));
+        cx.fb.cond_br(cv, then_blk, else_blk.unwrap_or(join_blk));
 
         cx.fb.switch_to(then_blk);
         self.lower_stmts(cx, then_s)?;
@@ -536,9 +535,7 @@ impl<'u> Lowerer<'u> {
             (false, false) => {
                 for ((name, tv, _), (_, ev, _)) in then_vals.iter().zip(&else_vals) {
                     if tv != ev {
-                        let phi = cx
-                            .fb
-                            .phi(vec![(then_exit, *tv), (else_exit, *ev)]);
+                        let phi = cx.fb.phi(vec![(then_exit, *tv), (else_exit, *ev)]);
                         cx.assign(name, phi);
                     }
                 }
@@ -562,10 +559,9 @@ impl<'u> Lowerer<'u> {
         let mut phis = Vec::new();
         for name in &assigned {
             if let Some(var) = cx.lookup(name).cloned() {
-                let phi = cx.fb.phi_typed(
-                    Ty::Scalar(var.ty.scalar_ty()),
-                    vec![(pre, var.val)],
-                );
+                let phi = cx
+                    .fb
+                    .phi_typed(Ty::Scalar(var.ty.scalar_ty()), vec![(pre, var.val)]);
                 cx.assign(name, phi);
                 phis.push((name.clone(), phi));
             }
@@ -750,10 +746,7 @@ impl<'u> Lowerer<'u> {
                         format!("literal {v} does not fit in {ty}"),
                     ));
                 }
-                Ok((
-                    Value::Const(Const::new(ty.scalar_ty(), *v as u64)),
-                    ty,
-                ))
+                Ok((Value::Const(Const::new(ty.scalar_ty(), *v as u64)), ty))
             }
             Expr::Float(v, suf, _) => {
                 let ty = suf
@@ -821,7 +814,11 @@ impl<'u> Lowerer<'u> {
                 let (av, aty) = self.lower_expr(cx, a, expected)?;
                 match op {
                     UnOpKind::Neg => {
-                        let ir = if aty.is_float() { IrUn::FNeg } else { IrUn::INeg };
+                        let ir = if aty.is_float() {
+                            IrUn::FNeg
+                        } else {
+                            IrUn::INeg
+                        };
                         if !(aty.is_int() || aty.is_float()) {
                             return Err(CompileError::at(*pos, format!("cannot negate {aty}")));
                         }
@@ -829,13 +826,19 @@ impl<'u> Lowerer<'u> {
                     }
                     UnOpKind::Not => {
                         if aty != PTy::Bool {
-                            return Err(CompileError::at(*pos, format!("`!` needs bool, got {aty}")));
+                            return Err(CompileError::at(
+                                *pos,
+                                format!("`!` needs bool, got {aty}"),
+                            ));
                         }
                         Ok((cx.fb.un(IrUn::Not, av), PTy::Bool))
                     }
                     UnOpKind::BitNot => {
                         if !aty.is_int() {
-                            return Err(CompileError::at(*pos, format!("`~` needs integer, got {aty}")));
+                            return Err(CompileError::at(
+                                *pos,
+                                format!("`~` needs integer, got {aty}"),
+                            ));
                         }
                         Ok((cx.fb.un(IrUn::Not, av), aty))
                     }
@@ -1157,9 +1160,7 @@ impl<'u> Lowerer<'u> {
         }
 
         // --- math/util builtins ----------------------------------------------
-        let math1 = |mf: MathFn| -> Option<MathFn> {
-            Some(mf)
-        };
+        let math1 = |mf: MathFn| -> Option<MathFn> { Some(mf) };
         let mathfn = match name {
             "exp" => math1(MathFn::Exp),
             "log" => math1(MathFn::Log),
@@ -1213,7 +1214,11 @@ impl<'u> Lowerer<'u> {
             "abs" => {
                 arity(1)?;
                 let (v, ty) = self.lower_expr(cx, &args[0], None)?;
-                let op = if ty.is_float() { IrUn::FAbs } else { IrUn::IAbs };
+                let op = if ty.is_float() {
+                    IrUn::FAbs
+                } else {
+                    IrUn::IAbs
+                };
                 return Ok((cx.fb.un(op, v), ty));
             }
             "min" | "max" | "fmin" | "fmax" => {
@@ -1223,7 +1228,11 @@ impl<'u> Lowerer<'u> {
                 if aty != bty {
                     return Err(CompileError::at(pos, "min/max operand types differ"));
                 }
-                let ir = match (name.starts_with('f') || aty.is_float(), name.ends_with("min"), aty.is_signed_int()) {
+                let ir = match (
+                    name.starts_with('f') || aty.is_float(),
+                    name.ends_with("min"),
+                    aty.is_signed_int(),
+                ) {
                     (true, true, _) => IrBin::FMin,
                     (true, false, _) => IrBin::FMax,
                     (false, true, true) => IrBin::SMin,
@@ -1256,7 +1265,10 @@ impl<'u> Lowerer<'u> {
                 let (a, aty) = self.lower_expr(cx, &args[0], None)?;
                 let (b, bty) = self.lower_expr(cx, &args[1], Some(&aty))?;
                 if aty != bty || !aty.is_int() {
-                    return Err(CompileError::at(pos, "saturating ops need equal integer types"));
+                    return Err(CompileError::at(
+                        pos,
+                        "saturating ops need equal integer types",
+                    ));
                 }
                 let ir = match (name, aty.is_signed_int()) {
                     ("add_sat", true) => IrBin::AddSatS,
@@ -1297,11 +1309,9 @@ impl<'u> Lowerer<'u> {
                 if bty != aty || cty != aty {
                     return Err(CompileError::at(pos, "fma argument types differ"));
                 }
-                let r = cx.fb.intrin(
-                    Intrinsic::Fma,
-                    vec![a, b, c],
-                    Ty::Scalar(aty.scalar_ty()),
-                );
+                let r = cx
+                    .fb
+                    .intrin(Intrinsic::Fma, vec![a, b, c], Ty::Scalar(aty.scalar_ty()));
                 return Ok((r, aty));
             }
             _ => {}
@@ -1349,9 +1359,7 @@ fn body_calls(stmts: &[Stmt], name: &str) -> bool {
         }
     }
     stmts.iter().any(|s| match s {
-        Stmt::Decl(_, _, e, _) | Stmt::Return(Some(e), _) | Stmt::Expr(e, _) => {
-            expr_calls(e, name)
-        }
+        Stmt::Decl(_, _, e, _) | Stmt::Return(Some(e), _) | Stmt::Expr(e, _) => expr_calls(e, name),
         Stmt::DeclArray(..) | Stmt::Return(None, _) => false,
         Stmt::Assign(place, _, e, _) => {
             expr_calls(e, name)
@@ -1361,9 +1369,7 @@ fn body_calls(stmts: &[Stmt], name: &str) -> bool {
                     Place::Var(..) => false,
                 }
         }
-        Stmt::If(c, a, b, _) => {
-            expr_calls(c, name) || body_calls(a, name) || body_calls(b, name)
-        }
+        Stmt::If(c, a, b, _) => expr_calls(c, name) || body_calls(a, name) || body_calls(b, name),
         Stmt::While(c, b, _) => expr_calls(c, name) || body_calls(b, name),
         Stmt::Block(b) | Stmt::Psim { body: b, .. } => body_calls(b, name),
     })

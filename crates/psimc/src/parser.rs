@@ -332,7 +332,11 @@ impl Parser {
                 return Ok(Stmt::Assign(place, op, rhs, pos));
             }
             if *p == "++" || *p == "--" {
-                let op = if *p == "++" { BinOpKind::Add } else { BinOpKind::Sub };
+                let op = if *p == "++" {
+                    BinOpKind::Add
+                } else {
+                    BinOpKind::Sub
+                };
                 self.bump();
                 let place = Self::place_from_expr(e)?;
                 return Ok(Stmt::Assign(place, Some(op), Expr::Int(1, None, pos), pos));
@@ -434,12 +438,10 @@ impl Parser {
 
     fn func(&mut self) -> PResult<FnDef> {
         let pos = self.pos();
-        let ret = self
-            .try_ty()
-            .ok_or_else(|| ParseError {
-                pos,
-                msg: "expected return type".into(),
-            })?;
+        let ret = self.try_ty().ok_or_else(|| ParseError {
+            pos,
+            msg: "expected return type".into(),
+        })?;
         let name = self.eat_ident()?;
         self.eat_punct("(")?;
         let mut params = Vec::new();

@@ -60,8 +60,8 @@ impl std::error::Error for LexError {}
 
 const PUNCTS: &[&str] = &[
     "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
-    "&=", "|=", "^=", "++", "--", "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|",
-    "^", "(", ")", "{", "}", "[", "]", ",", ";", "?", ":", ".",
+    "&=", "|=", "^=", "++", "--", "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ",", ";", "?", ":", ".",
 ];
 
 /// Tokenizes PsimC source. `//` and `/* */` comments are skipped.
@@ -186,7 +186,9 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     pos,
                 });
             } else {
-                let v: i128 = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+                let v: i128 = if let Some(hex) =
+                    body.strip_prefix("0x").or_else(|| body.strip_prefix("0X"))
+                {
                     i128::from_str_radix(hex, 16).map_err(|_| LexError {
                         pos,
                         msg: format!("bad hex literal {body}"),
@@ -239,7 +241,7 @@ mod tests {
     fn lexes_kernel_fragment() {
         let toks = lex("void f(u8* a) { i64 i = psim_thread_num(); a[i] = 3; }").unwrap();
         assert!(matches!(&toks[0].tok, Tok::Ident(s) if s == "void"));
-        assert!(toks.iter().any(|t| matches!(&t.tok, Tok::Punct("[") )));
+        assert!(toks.iter().any(|t| matches!(&t.tok, Tok::Punct("["))));
         assert!(matches!(toks.last().unwrap().tok, Tok::Eof));
     }
 

@@ -24,7 +24,10 @@ fn compile_and_vectorize(src: &str) -> Module {
 }
 
 fn f32_buf(mem: &mut Memory, vals: &[f32]) -> u64 {
-    let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_bits().to_le_bytes()).collect();
+    let bytes: Vec<u8> = vals
+        .iter()
+        .flat_map(|v| v.to_bits().to_le_bytes())
+        .collect();
     mem.alloc_bytes(&bytes, 64).unwrap()
 }
 

@@ -224,7 +224,10 @@ mod tests {
         let exit = fb.new_block("exit");
         fb.br(header);
         fb.switch_to(header);
-        let i = fb.phi_typed(Ty::scalar(ScalarTy::I64), vec![(fb.func().entry, crate::builder::c_i64(0))]);
+        let i = fb.phi_typed(
+            Ty::scalar(ScalarTy::I64),
+            vec![(fb.func().entry, crate::builder::c_i64(0))],
+        );
         let c = fb.cmp(CmpPred::Slt, i, Value::Param(0));
         fb.cond_br(c, body, exit);
         fb.switch_to(body);

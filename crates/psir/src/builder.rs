@@ -8,8 +8,8 @@
 use crate::constant::Const;
 use crate::function::{Block, Function, InstData, IntoValue, Param, SpmdInfo};
 use crate::inst::{
-    BinOp, BlockId, CastKind, CmpPred, Inst, InstId, Intrinsic, MathFn, ReduceOp, Terminator,
-    UnOp, Value,
+    BinOp, BlockId, CastKind, CmpPred, Inst, InstId, Intrinsic, MathFn, ReduceOp, Terminator, UnOp,
+    Value,
 };
 use crate::types::{ScalarTy, Ty};
 
@@ -157,12 +157,7 @@ impl FunctionBuilder {
     }
 
     /// Lane-wise or whole-value select.
-    pub fn select(
-        &mut self,
-        cond: impl IntoValue,
-        t: impl IntoValue,
-        f: impl IntoValue,
-    ) -> Value {
+    pub fn select(&mut self, cond: impl IntoValue, t: impl IntoValue, f: impl IntoValue) -> Value {
         let t = t.into_value();
         let ty = self.operand_ty(t);
         self.push(
@@ -211,12 +206,7 @@ impl FunctionBuilder {
     }
 
     /// Insert a scalar into one lane.
-    pub fn insert(
-        &mut self,
-        v: impl IntoValue,
-        lane: impl IntoValue,
-        x: impl IntoValue,
-    ) -> Value {
+    pub fn insert(&mut self, v: impl IntoValue, lane: impl IntoValue, x: impl IntoValue) -> Value {
         let v = v.into_value();
         let ty = self.operand_ty(v);
         self.push(
@@ -386,11 +376,7 @@ impl FunctionBuilder {
     pub fn fma(&mut self, a: impl IntoValue, b: impl IntoValue, c: impl IntoValue) -> Value {
         let a = a.into_value();
         let ty = self.operand_ty(a);
-        self.intrin(
-            Intrinsic::Fma,
-            vec![a, b.into_value(), c.into_value()],
-            ty,
-        )
+        self.intrin(Intrinsic::Fma, vec![a, b.into_value(), c.into_value()], ty)
     }
 
     /// φ node. Result type comes from the first incoming value.

@@ -170,9 +170,9 @@ impl Function {
     /// Whether any instruction is a horizontal Parsimony intrinsic
     /// (the function contains explicit gang synchronization).
     pub fn has_horizontal_ops(&self) -> bool {
-        self.insts.iter().any(|d| {
-            matches!(&d.inst, Inst::Intrin { kind, .. } if kind.is_horizontal())
-        })
+        self.insts
+            .iter()
+            .any(|d| matches!(&d.inst, Inst::Intrin { kind, .. } if kind.is_horizontal()))
     }
 
     /// Appends a raw instruction to the arena without placing it in a block.
@@ -274,7 +274,10 @@ impl Module {
 
     /// Mutable lookup by name.
     pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
-        self.by_name.get(name).copied().map(move |i| &mut self.funcs[i])
+        self.by_name
+            .get(name)
+            .copied()
+            .map(move |i| &mut self.funcs[i])
     }
 
     /// Iterate over all functions.
@@ -317,7 +320,11 @@ mod tests {
     #[test]
     fn module_add_and_lookup() {
         let mut m = Module::new();
-        let mut fb = FunctionBuilder::new("f", vec![Param::new("x", Ty::scalar(ScalarTy::I32))], Ty::scalar(ScalarTy::I32));
+        let mut fb = FunctionBuilder::new(
+            "f",
+            vec![Param::new("x", Ty::scalar(ScalarTy::I32))],
+            Ty::scalar(ScalarTy::I32),
+        );
         let s = fb.bin(BinOp::Add, Value::Param(0), 1i32);
         fb.ret(Some(s));
         m.add_function(fb.finish());

@@ -463,12 +463,12 @@ mod tests {
     #[test]
     fn wrapping_and_signed_ops() {
         assert_eq!(eval_bin(BinOp::Add, ScalarTy::I8, 0xff, 1).unwrap(), 0);
+        assert_eq!(eval_bin(BinOp::Sub, ScalarTy::I8, 0, 1).unwrap(), 0xff);
         assert_eq!(
-            eval_bin(BinOp::Sub, ScalarTy::I8, 0, 1).unwrap(),
-            0xff
-        );
-        assert_eq!(
-            sext(ScalarTy::I8, eval_bin(BinOp::SDiv, ScalarTy::I8, 0xf6, 3).unwrap()),
+            sext(
+                ScalarTy::I8,
+                eval_bin(BinOp::SDiv, ScalarTy::I8, 0xf6, 3).unwrap()
+            ),
             -3 // -10 / 3
         );
         assert!(matches!(
@@ -484,14 +484,23 @@ mod tests {
 
     #[test]
     fn saturating_ops() {
-        assert_eq!(eval_bin(BinOp::AddSatU, ScalarTy::I8, 200, 100).unwrap(), 255);
+        assert_eq!(
+            eval_bin(BinOp::AddSatU, ScalarTy::I8, 200, 100).unwrap(),
+            255
+        );
         assert_eq!(eval_bin(BinOp::SubSatU, ScalarTy::I8, 10, 20).unwrap(), 0);
         assert_eq!(
-            sext(ScalarTy::I8, eval_bin(BinOp::AddSatS, ScalarTy::I8, 100, 100).unwrap()),
+            sext(
+                ScalarTy::I8,
+                eval_bin(BinOp::AddSatS, ScalarTy::I8, 100, 100).unwrap()
+            ),
             127
         );
         assert_eq!(
-            sext(ScalarTy::I8, eval_bin(BinOp::SubSatS, ScalarTy::I8, 0x80, 1).unwrap()),
+            sext(
+                ScalarTy::I8,
+                eval_bin(BinOp::SubSatS, ScalarTy::I8, 0x80, 1).unwrap()
+            ),
             -128
         );
     }
@@ -505,7 +514,10 @@ mod tests {
             0xfffe
         );
         assert_eq!(
-            sext(ScalarTy::I16, eval_bin(BinOp::MulHiS, ScalarTy::I16, 0x8000, 2).unwrap()),
+            sext(
+                ScalarTy::I16,
+                eval_bin(BinOp::MulHiS, ScalarTy::I16, 0x8000, 2).unwrap()
+            ),
             -1
         );
     }
@@ -529,23 +541,46 @@ mod tests {
 
     #[test]
     fn casts() {
-        assert_eq!(eval_cast(CastKind::Sext, ScalarTy::I8, ScalarTy::I32, 0xff), 0xffff_ffff);
-        assert_eq!(eval_cast(CastKind::Zext, ScalarTy::I8, ScalarTy::I32, 0xff), 0xff);
-        assert_eq!(eval_cast(CastKind::Trunc, ScalarTy::I32, ScalarTy::I8, 0x1234), 0x34);
-        let f = eval_cast(CastKind::SiToFp, ScalarTy::I32, ScalarTy::F32, (-3i32) as u32 as u64);
+        assert_eq!(
+            eval_cast(CastKind::Sext, ScalarTy::I8, ScalarTy::I32, 0xff),
+            0xffff_ffff
+        );
+        assert_eq!(
+            eval_cast(CastKind::Zext, ScalarTy::I8, ScalarTy::I32, 0xff),
+            0xff
+        );
+        assert_eq!(
+            eval_cast(CastKind::Trunc, ScalarTy::I32, ScalarTy::I8, 0x1234),
+            0x34
+        );
+        let f = eval_cast(
+            CastKind::SiToFp,
+            ScalarTy::I32,
+            ScalarTy::F32,
+            (-3i32) as u32 as u64,
+        );
         assert_eq!(f32::from_bits(f as u32), -3.0);
         // Saturating fptosi.
         let big = (1e10f32).to_bits() as u64;
         assert_eq!(
-            sext(ScalarTy::I32, eval_cast(CastKind::FpToSi, ScalarTy::F32, ScalarTy::I32, big)),
+            sext(
+                ScalarTy::I32,
+                eval_cast(CastKind::FpToSi, ScalarTy::F32, ScalarTy::I32, big)
+            ),
             i32::MAX as i64
         );
         let neg = (-5.9f32).to_bits() as u64;
         assert_eq!(
-            sext(ScalarTy::I32, eval_cast(CastKind::FpToSi, ScalarTy::F32, ScalarTy::I32, neg)),
+            sext(
+                ScalarTy::I32,
+                eval_cast(CastKind::FpToSi, ScalarTy::F32, ScalarTy::I32, neg)
+            ),
             -5
         );
-        assert_eq!(eval_cast(CastKind::FpToUi, ScalarTy::F32, ScalarTy::I8, neg), 0);
+        assert_eq!(
+            eval_cast(CastKind::FpToUi, ScalarTy::F32, ScalarTy::I8, neg),
+            0
+        );
     }
 
     #[test]

@@ -49,7 +49,11 @@ impl Memory {
     }
 
     fn check(&self, addr: u64, size: u64) -> Result<(), ExecError> {
-        if addr == 0 || addr.checked_add(size).map_or(true, |e| e > self.bytes.len() as u64) {
+        if addr == 0
+            || addr
+                .checked_add(size)
+                .map_or(true, |e| e > self.bytes.len() as u64)
+        {
             Err(ExecError::OutOfBounds { addr, size })
         } else {
             Ok(())
@@ -76,7 +80,11 @@ impl Memory {
     pub fn store_scalar(&mut self, ty: ScalarTy, addr: u64, bits: u64) -> Result<(), ExecError> {
         let size = ty.size_bytes();
         self.check(addr, size)?;
-        let stored = if ty == ScalarTy::I1 { bits & 1 } else { bits & ty.bit_mask() };
+        let stored = if ty == ScalarTy::I1 {
+            bits & 1
+        } else {
+            bits & ty.bit_mask()
+        };
         let buf = stored.to_le_bytes();
         self.bytes[addr as usize..(addr + size) as usize].copy_from_slice(&buf[..size as usize]);
         Ok(())
@@ -140,7 +148,8 @@ mod tests {
         let a = m.alloc(64, 64).unwrap();
         m.store_scalar(ScalarTy::I8, a, 0x1ff).unwrap();
         assert_eq!(m.load_scalar(ScalarTy::I8, a).unwrap(), 0xff);
-        m.store_scalar(ScalarTy::F32, a + 4, (1.5f32).to_bits() as u64).unwrap();
+        m.store_scalar(ScalarTy::F32, a + 4, (1.5f32).to_bits() as u64)
+            .unwrap();
         assert_eq!(
             f32::from_bits(m.load_scalar(ScalarTy::F32, a + 4).unwrap() as u32),
             1.5

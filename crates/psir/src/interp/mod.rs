@@ -20,6 +20,8 @@ use crate::inst::{BlockId, Inst, InstId, Intrinsic, Terminator, Value};
 use crate::types::{ScalarTy, Ty};
 use std::collections::HashMap;
 
+pub use telemetry::{CostClass, Profile};
+
 /// A runtime value: raw payload bits, scalar or per-lane.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RtVal {
@@ -96,6 +98,15 @@ pub trait CostModel {
     fn term_cost(&self, _f: &Function, _term: &Terminator) -> u64 {
         1
     }
+
+    /// [`inst_cost`](CostModel::inst_cost), broken down by cost class for
+    /// profiling. The returned cycles must sum to `inst_cost(f, id)`.
+    ///
+    /// The default attributes everything to [`CostClass::Other`]; `vmach`
+    /// overrides this with its legalized micro-op breakdown.
+    fn inst_cost_classed(&self, f: &Function, id: InstId) -> Vec<(CostClass, u64)> {
+        vec![(CostClass::Other, self.inst_cost(f, id))]
+    }
 }
 
 /// Charges one cycle for everything (useful for functional tests).
@@ -166,6 +177,8 @@ pub struct Interp<'a> {
     pub cycles: u64,
     /// Execution statistics.
     pub stats: ExecStats,
+    /// Cycle-attribution profile, populated when profiling is enabled.
+    profile: Option<Profile>,
     steps: u64,
     step_limit: u64,
 }
@@ -191,9 +204,30 @@ impl<'a> Interp<'a> {
             externs,
             cycles: 0,
             stats: ExecStats::default(),
+            profile: None,
             steps: 0,
             step_limit: DEFAULT_STEP_LIMIT,
         }
+    }
+
+    /// Turns on cycle-attribution profiling. Subsequent execution
+    /// attributes every charged cycle to a [`CostClass`] bucket of the
+    /// function it was spent in (via [`CostModel::inst_cost_classed`]).
+    pub fn enable_profiling(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Profile::new());
+        }
+    }
+
+    /// Takes the accumulated profile, leaving profiling enabled with a
+    /// fresh empty profile. Returns `None` if profiling was never enabled.
+    pub fn take_profile(&mut self) -> Option<Profile> {
+        self.profile.replace(Profile::new())
+    }
+
+    /// The accumulated profile so far, if profiling is enabled.
+    pub fn profile(&self) -> Option<&Profile> {
+        self.profile.as_ref()
     }
 
     /// Interpreter with unit costs and no external functions.
@@ -257,6 +291,39 @@ impl<'a> Interp<'a> {
         }
     }
 
+    /// Charges one dynamic execution of `id`, attributing to the profile
+    /// when profiling is enabled.
+    fn charge_inst(&mut self, f: &Function, id: InstId) {
+        if self.profile.is_some() {
+            let classed = self.cost.inst_cost_classed(f, id);
+            let p = self.profile.as_mut().expect("checked above");
+            for (class, cy) in classed {
+                self.cycles += cy;
+                p.record(&f.name, class, cy);
+            }
+        } else {
+            self.cycles += self.cost.inst_cost(f, id);
+        }
+    }
+
+    /// Charges an executed terminator.
+    fn charge_term(&mut self, f: &Function, term: &Terminator) {
+        let cy = self.cost.term_cost(f, term);
+        self.cycles += cy;
+        if let Some(p) = self.profile.as_mut() {
+            p.record(&f.name, CostClass::Branch, cy);
+        }
+    }
+
+    /// Charges an external (library) call.
+    fn charge_extern(&mut self, f: &Function, callee: &str, ret: Ty) {
+        let cy = self.cost.extern_call_cost(callee, ret);
+        self.cycles += cy;
+        if let Some(p) = self.profile.as_mut() {
+            p.record_extern(&f.name, callee, cy);
+        }
+    }
+
     #[allow(clippy::too_many_lines)]
     fn exec_function(&mut self, f: &Function, args: Vec<RtVal>) -> Result<RtVal, ExecError> {
         let mut vals: HashMap<InstId, RtVal> = HashMap::new();
@@ -272,14 +339,11 @@ impl<'a> Interp<'a> {
                     let p = prev.ok_or_else(|| {
                         ExecError::Other(format!("phi {id} in entry block of @{}", f.name))
                     })?;
-                    let (_, v) = incoming
-                        .iter()
-                        .find(|(b, _)| *b == p)
-                        .ok_or_else(|| {
-                            ExecError::Other(format!("phi {id} missing edge from {p}"))
-                        })?;
+                    let (_, v) = incoming.iter().find(|(b, _)| *b == p).ok_or_else(|| {
+                        ExecError::Other(format!("phi {id} missing edge from {p}"))
+                    })?;
                     let rv = self.value(f, &vals, &args, *v)?;
-                    self.cycles += self.cost.inst_cost(f, id);
+                    self.charge_inst(f, id);
                     self.steps += 1;
                     phi_results.push((id, rv));
                 } else {
@@ -300,12 +364,12 @@ impl<'a> Interp<'a> {
                 }
                 self.steps += 1;
                 self.stats.insts += 1;
-                self.cycles += self.cost.inst_cost(f, id);
+                self.charge_inst(f, id);
                 let r = self.exec_inst(f, &mut vals, &args, id)?;
                 vals.insert(id, r);
             }
 
-            self.cycles += self.cost.term_cost(f, &blk.term);
+            self.charge_term(f, &blk.term);
             match &blk.term {
                 Terminator::Br(t) => {
                     prev = Some(block);
@@ -343,7 +407,9 @@ impl<'a> Interp<'a> {
         let get = |me: &Interp<'a>, v: Value| me.value(f, vals, args, v);
         match &inst {
             Inst::Bin { op, a, b } => {
-                let elem = ty.elem().ok_or_else(|| ExecError::Other("void bin".into()))?;
+                let elem = ty
+                    .elem()
+                    .ok_or_else(|| ExecError::Other("void bin".into()))?;
                 let av = get(self, *a)?;
                 let bv = get(self, *b)?;
                 if ty.is_vec() {
@@ -360,7 +426,9 @@ impl<'a> Interp<'a> {
                 }
             }
             Inst::Un { op, a } => {
-                let elem = ty.elem().ok_or_else(|| ExecError::Other("void un".into()))?;
+                let elem = ty
+                    .elem()
+                    .ok_or_else(|| ExecError::Other("void un".into()))?;
                 let av = get(self, *a)?;
                 if ty.is_vec() {
                     let al = self.lanes_of(&av, ty.lanes())?;
@@ -389,7 +457,7 @@ impl<'a> Interp<'a> {
                     ))
                 } else {
                     Ok(RtVal::S(
-                        eval_cmp(*pred, elem, av.scalar()?, bv.scalar()?) as u64,
+                        eval_cmp(*pred, elem, av.scalar()?, bv.scalar()?) as u64
                     ))
                 }
             }
@@ -398,7 +466,9 @@ impl<'a> Interp<'a> {
                     .value_ty(*a)
                     .elem()
                     .ok_or_else(|| ExecError::Other("void cast".into()))?;
-                let to = ty.elem().ok_or_else(|| ExecError::Other("void cast".into()))?;
+                let to = ty
+                    .elem()
+                    .ok_or_else(|| ExecError::Other("void cast".into()))?;
                 let av = get(self, *a)?;
                 if ty.is_vec() {
                     let al = self.lanes_of(&av, ty.lanes())?;
@@ -461,12 +531,12 @@ impl<'a> Interp<'a> {
                 let lv = get(self, *v)?.vector()?.to_vec();
                 let iv = get(self, *idx)?.vector()?.to_vec();
                 let n = lv.len() as u64;
-                Ok(RtVal::V(
-                    iv.iter().map(|&i| lv[(i % n) as usize]).collect(),
-                ))
+                Ok(RtVal::V(iv.iter().map(|&i| lv[(i % n) as usize]).collect()))
             }
             Inst::Load { ptr, mask } => {
-                let elem = ty.elem().ok_or_else(|| ExecError::Other("void load".into()))?;
+                let elem = ty
+                    .elem()
+                    .ok_or_else(|| ExecError::Other("void load".into()))?;
                 let pv = get(self, *ptr)?;
                 let mk = match mask {
                     Some(m) => Some(get(self, *m)?.mask_lanes()?),
@@ -580,88 +650,84 @@ impl<'a> Interp<'a> {
                     }
                 }
             }
-            Inst::Call { callee, args: cargs } => {
+            Inst::Call {
+                callee,
+                args: cargs,
+            } => {
                 self.stats.calls += 1;
                 let mut avs = Vec::with_capacity(cargs.len());
                 for &a in cargs {
                     avs.push(get(self, a)?);
                 }
                 if self.module.function(callee).is_some() {
-                    let callee_fn = self
-                        .module
-                        .function(callee)
-                        .expect("checked above");
+                    let callee_fn = self.module.function(callee).expect("checked above");
                     self.exec_function(callee_fn, avs)
                 } else {
-                    self.cycles += self.cost.extern_call_cost(callee, ty);
+                    self.charge_extern(f, callee, ty);
                     self.externs.call(callee, &avs)
                 }
             }
-            Inst::Intrin { kind, args: iargs } => {
-                match kind {
-                    Intrinsic::Math(m) => {
-                        let elem = ty
-                            .elem()
-                            .ok_or_else(|| ExecError::Other("void math".into()))?;
-                        let mut avs = Vec::with_capacity(iargs.len());
-                        for &a in iargs {
-                            avs.push(get(self, a)?);
-                        }
-                        if ty.is_vec() {
-                            let lanes = ty.lanes();
-                            let cols: Result<Vec<Vec<u64>>, _> =
-                                avs.iter().map(|v| self.lanes_of(v, lanes)).collect();
-                            let cols = cols?;
-                            let mut out = Vec::with_capacity(lanes as usize);
-                            for i in 0..lanes as usize {
-                                let row: Vec<u64> = cols.iter().map(|c| c[i]).collect();
-                                out.push(eval_math(*m, elem, &row)?);
-                            }
-                            Ok(RtVal::V(out))
-                        } else {
-                            let row: Result<Vec<u64>, _> =
-                                avs.iter().map(|v| v.scalar()).collect();
-                            Ok(RtVal::S(eval_math(*m, elem, &row?)?))
-                        }
+            Inst::Intrin { kind, args: iargs } => match kind {
+                Intrinsic::Math(m) => {
+                    let elem = ty
+                        .elem()
+                        .ok_or_else(|| ExecError::Other("void math".into()))?;
+                    let mut avs = Vec::with_capacity(iargs.len());
+                    for &a in iargs {
+                        avs.push(get(self, a)?);
                     }
-                    Intrinsic::Fma => {
-                        let elem = ty
-                            .elem()
-                            .ok_or_else(|| ExecError::Other("void fma".into()))?;
-                        let a = get(self, iargs[0])?;
-                        let b = get(self, iargs[1])?;
-                        let c = get(self, iargs[2])?;
-                        let fma1 = |x: u64, y: u64, z: u64| -> Result<u64, ExecError> {
-                            let mul = if elem.is_float() {
-                                crate::inst::BinOp::FMul
-                            } else {
-                                crate::inst::BinOp::Mul
-                            };
-                            let add = if elem.is_float() {
-                                crate::inst::BinOp::FAdd
-                            } else {
-                                crate::inst::BinOp::Add
-                            };
-                            eval_bin(add, elem, eval_bin(mul, elem, x, y)?, z)
-                        };
-                        if ty.is_vec() {
-                            let n = ty.lanes();
-                            let (al, bl, cl) = (
-                                self.lanes_of(&a, n)?,
-                                self.lanes_of(&b, n)?,
-                                self.lanes_of(&c, n)?,
-                            );
-                            let r: Result<Vec<u64>, _> = (0..n as usize)
-                                .map(|i| fma1(al[i], bl[i], cl[i]))
-                                .collect();
-                            Ok(RtVal::V(r?))
-                        } else {
-                            Ok(RtVal::S(fma1(a.scalar()?, b.scalar()?, c.scalar()?)?))
+                    if ty.is_vec() {
+                        let lanes = ty.lanes();
+                        let cols: Result<Vec<Vec<u64>>, _> =
+                            avs.iter().map(|v| self.lanes_of(v, lanes)).collect();
+                        let cols = cols?;
+                        let mut out = Vec::with_capacity(lanes as usize);
+                        for i in 0..lanes as usize {
+                            let row: Vec<u64> = cols.iter().map(|c| c[i]).collect();
+                            out.push(eval_math(*m, elem, &row)?);
                         }
+                        Ok(RtVal::V(out))
+                    } else {
+                        let row: Result<Vec<u64>, _> = avs.iter().map(|v| v.scalar()).collect();
+                        Ok(RtVal::S(eval_math(*m, elem, &row?)?))
                     }
-                    other => Err(ExecError::SpmdIntrinsic(other.name())),
                 }
-            }
+                Intrinsic::Fma => {
+                    let elem = ty
+                        .elem()
+                        .ok_or_else(|| ExecError::Other("void fma".into()))?;
+                    let a = get(self, iargs[0])?;
+                    let b = get(self, iargs[1])?;
+                    let c = get(self, iargs[2])?;
+                    let fma1 = |x: u64, y: u64, z: u64| -> Result<u64, ExecError> {
+                        let mul = if elem.is_float() {
+                            crate::inst::BinOp::FMul
+                        } else {
+                            crate::inst::BinOp::Mul
+                        };
+                        let add = if elem.is_float() {
+                            crate::inst::BinOp::FAdd
+                        } else {
+                            crate::inst::BinOp::Add
+                        };
+                        eval_bin(add, elem, eval_bin(mul, elem, x, y)?, z)
+                    };
+                    if ty.is_vec() {
+                        let n = ty.lanes();
+                        let (al, bl, cl) = (
+                            self.lanes_of(&a, n)?,
+                            self.lanes_of(&b, n)?,
+                            self.lanes_of(&c, n)?,
+                        );
+                        let r: Result<Vec<u64>, _> =
+                            (0..n as usize).map(|i| fma1(al[i], bl[i], cl[i])).collect();
+                        Ok(RtVal::V(r?))
+                    } else {
+                        Ok(RtVal::S(fma1(a.scalar()?, b.scalar()?, c.scalar()?)?))
+                    }
+                }
+                other => Err(ExecError::SpmdIntrinsic(other.name())),
+            },
             Inst::Phi { .. } => unreachable!("phis handled at block entry"),
             Inst::Reduce { op, v, mask } => {
                 let src = f.value_ty(*v);

@@ -62,12 +62,13 @@ pub use builder::{c_f32, c_i32, c_i64, FunctionBuilder};
 pub use constant::Const;
 pub use function::{iota_bits, Block, Function, IntoValue, Module, Param, SpmdInfo, ThreadCount};
 pub use inst::{
-    BinOp, BlockId, CastKind, CmpPred, Inst, InstId, Intrinsic, MathFn, ReduceOp, Terminator,
-    UnOp, Value,
+    BinOp, BlockId, CastKind, CmpPred, Inst, InstId, Intrinsic, MathFn, ReduceOp, Terminator, UnOp,
+    Value,
 };
 pub use interp::{
     eval_bin, eval_cast, eval_cmp, eval_math, eval_un, reduce_identity, reduce_step, sext, trunc,
-    CostModel, ExecError, ExecStats, ExternFns, Interp, Memory, NoExterns, RtVal, UnitCost,
+    CostClass, CostModel, ExecError, ExecStats, ExternFns, Interp, Memory, NoExterns, Profile,
+    RtVal, UnitCost,
 };
 pub use parse::{parse_function, IrParseError};
 pub use print::{print_function, print_module};

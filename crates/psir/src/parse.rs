@@ -8,8 +8,8 @@
 use crate::constant::Const;
 use crate::function::{Block, Function, InstData, Param, SpmdInfo, ThreadCount};
 use crate::inst::{
-    BinOp, BlockId, CastKind, CmpPred, Inst, InstId, Intrinsic, MathFn, ReduceOp, Terminator,
-    UnOp, Value,
+    BinOp, BlockId, CastKind, CmpPred, Inst, InstId, Intrinsic, MathFn, ReduceOp, Terminator, UnOp,
+    Value,
 };
 use crate::types::{ScalarTy, Ty};
 use std::collections::HashMap;
@@ -99,8 +99,8 @@ fn parse_value(s: &str, ids: &HashMap<u32, InstId>, line: usize) -> PResult<Valu
         return Ok(Value::Const(Const::bool(false)));
     }
     if let Some(addr) = s.strip_prefix("ptr:") {
-        let a = u64::from_str_radix(addr.trim_start_matches("0x"), 16)
-            .map_err(|_| IrParseError {
+        let a =
+            u64::from_str_radix(addr.trim_start_matches("0x"), 16).map_err(|_| IrParseError {
                 line,
                 msg: format!("bad pointer constant {s}"),
             })?;
@@ -396,12 +396,11 @@ pub fn parse_function(text: &str) -> PResult<Function> {
         Some(i) => (&after[..i], Some(&after[i + 6..])),
         None => (after.trim_end_matches('{').trim(), None),
     };
-    let ret = parse_ty(ret_text.trim().trim_end_matches('{').trim()).ok_or_else(|| {
-        IrParseError {
+    let ret =
+        parse_ty(ret_text.trim().trim_end_matches('{').trim()).ok_or_else(|| IrParseError {
             line: hline,
             msg: format!("bad return type {ret_text:?}"),
-        }
-    })?;
+        })?;
     let spmd = match spmd_text {
         None => None,
         Some(t) => {
@@ -451,8 +450,7 @@ pub fn parse_function(text: &str) -> PResult<Function> {
         let Some(cur) = blocks.last_mut() else {
             return err(lno, "instruction before any block label");
         };
-        if t.starts_with("br ") || t.starts_with("condbr ") || t == "ret" || t.starts_with("ret ")
-        {
+        if t.starts_with("br ") || t.starts_with("condbr ") || t == "ret" || t.starts_with("ret ") {
             cur.term = (t.to_string(), lno);
             continue;
         }
@@ -537,12 +535,10 @@ pub fn parse_function(text: &str) -> PResult<Function> {
                     Ty::Vec(ScalarTy::Ptr, lanes)
                 })
             }
-            Inst::ShuffleConst { v, pattern } => Some(
-                Ty::Vec(
-                    f.value_ty(*v).elem().unwrap_or(ScalarTy::I8),
-                    pattern.len() as u32,
-                )
-            ),
+            Inst::ShuffleConst { v, pattern } => Some(Ty::Vec(
+                f.value_ty(*v).elem().unwrap_or(ScalarTy::I8),
+                pattern.len() as u32,
+            )),
             Inst::Extract { v, .. } => f.value_ty(*v).elem().map(Ty::Scalar),
             Inst::Reduce { v, .. } => f.value_ty(*v).elem().map(Ty::Scalar),
             _ => None,
@@ -568,7 +564,10 @@ fn parse_inst(body: &str, ids: &HashMap<u32, InstId>, line: usize) -> PResult<(I
         let b = parse_value(&args[1], ids, line)?;
         return Ok((Inst::Cmp { pred, a, b }, Ty::Scalar(ScalarTy::I1)));
     }
-    if let Some(op) = mnemonic.strip_prefix("reduce.").and_then(reduce_from_mnemonic) {
+    if let Some(op) = mnemonic
+        .strip_prefix("reduce.")
+        .and_then(reduce_from_mnemonic)
+    {
         let args = split_args(rest);
         let v = parse_value(&args[0], ids, line)?;
         let mask = match args.get(1) {
@@ -935,7 +934,10 @@ mod tests {
         let entry = fb.current_block();
         fb.br(header);
         fb.switch_to(header);
-        let i = fb.phi_typed(Ty::scalar(ScalarTy::I64), vec![(entry, crate::builder::c_i64(0))]);
+        let i = fb.phi_typed(
+            Ty::scalar(ScalarTy::I64),
+            vec![(entry, crate::builder::c_i64(0))],
+        );
         let c = fb.cmp(CmpPred::Slt, i, Value::Param(0));
         fb.cond_br(c, body, exit);
         fb.switch_to(body);
@@ -1001,8 +1003,9 @@ mod tests {
 
     #[test]
     fn parse_errors_carry_line_numbers() {
-        let e = parse_function("func @f() -> void {\nbb0:  ; entry\n  %0 = zorp i32 %arg0\n  ret\n}")
-            .unwrap_err();
+        let e =
+            parse_function("func @f() -> void {\nbb0:  ; entry\n  %0 = zorp i32 %arg0\n  ret\n}")
+                .unwrap_err();
         assert_eq!(e.line, 3);
         assert!(e.msg.contains("zorp"));
     }

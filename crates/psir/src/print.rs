@@ -55,7 +55,13 @@ pub fn print_function(f: &Function) -> String {
             let ty = f.inst_ty(id);
             let body = match inst {
                 Inst::Bin { op, a, b } => {
-                    format!("{} {} {}, {}", op.mnemonic(), ty, fmt_value(*a), fmt_value(*b))
+                    format!(
+                        "{} {} {}, {}",
+                        op.mnemonic(),
+                        ty,
+                        fmt_value(*a),
+                        fmt_value(*b)
+                    )
                 }
                 Inst::Un { op, a } => format!("{} {} {}", op.mnemonic(), ty, fmt_value(*a)),
                 Inst::Cmp { pred, a, b } => format!(
@@ -177,7 +183,10 @@ pub fn print_function(f: &Function) -> String {
 
 /// Renders a whole module.
 pub fn print_module(m: &Module) -> String {
-    m.functions().map(print_function).collect::<Vec<_>>().join("\n")
+    m.functions()
+        .map(print_function)
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 #[cfg(test)]

@@ -117,8 +117,7 @@ impl<'f> Verifier<'f> {
                 self.check_same_ty("select arms", vt(*t), vt(*fv));
                 self.check_same_ty("select result", ty, vt(*t));
                 let ct = vt(*cond);
-                let ok = ct == Ty::Scalar(ScalarTy::I1)
-                    || ct == Ty::Vec(ScalarTy::I1, ty.lanes());
+                let ok = ct == Ty::Scalar(ScalarTy::I1) || ct == Ty::Vec(ScalarTy::I1, ty.lanes());
                 if !ok {
                     self.err(format!("select condition has type {ct} for result {ty}"));
                 }
@@ -340,7 +339,9 @@ pub fn verify_function(f: &Function) -> Vec<VerifyError> {
             // dominates the use (with the φ-edge exception).
             let inst = f.inst(i).clone();
             let operands: Vec<(Value, Option<BlockId>)> = match &inst {
-                Inst::Phi { incoming } => incoming.iter().map(|(p, val)| (*val, Some(*p))).collect(),
+                Inst::Phi { incoming } => {
+                    incoming.iter().map(|(p, val)| (*val, Some(*p))).collect()
+                }
                 other => other.operands().into_iter().map(|o| (o, None)).collect(),
             };
             for (op, via_edge) in operands {
@@ -454,7 +455,10 @@ mod tests {
         fb.br(j);
         fb.switch_to(j);
         // Missing the b2 edge.
-        let p = fb.phi_typed(Ty::scalar(ScalarTy::I32), vec![(b1, crate::builder::c_i32(1))]);
+        let p = fb.phi_typed(
+            Ty::scalar(ScalarTy::I32),
+            vec![(b1, crate::builder::c_i32(1))],
+        );
         fb.ret(Some(p));
         let errs = verify_function(&fb.finish());
         assert!(errs.iter().any(|e| e.msg.contains("phi incoming")));

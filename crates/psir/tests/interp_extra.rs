@@ -97,7 +97,11 @@ fn extern_dispatch_and_cost_accounting() {
         vec![Param::new("x", Ty::scalar(ScalarTy::I32))],
         Ty::scalar(ScalarTy::I32),
     );
-    let n = fb.call("test.negate", Ty::scalar(ScalarTy::I32), vec![Value::Param(0)]);
+    let n = fb.call(
+        "test.negate",
+        Ty::scalar(ScalarTy::I32),
+        vec![Value::Param(0)],
+    );
     fb.ret(Some(n));
     let mut m = Module::new();
     m.add_function(fb.finish());

@@ -134,9 +134,7 @@ impl Rule {
                     // smallest power of two strictly above c
                     let k = 64 - c.leading_zeros() as u64;
                     let align = 1u64.checked_shl(k as u32).unwrap_or(0);
-                    align != 0
-                        && a.base_align >= align
-                        && a.offsets.iter().all(|&o| o % align == 0)
+                    align != 0 && a.base_align >= align && a.offsets.iter().all(|&o| o % align == 0)
                 }
                 None => false,
             },

@@ -103,8 +103,8 @@ fn offset_catalog(ty: ScalarTy) -> Vec<Vec<u64>> {
 fn base_catalog(ty: ScalarTy) -> Vec<u64> {
     let m = ty.bit_mask();
     let mut v: Vec<u64> = vec![
-        0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 24, 31, 32, 63, 64, 96, 100, 127, 128, 129, 192, 240,
-        248, 252, 254, 255,
+        0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 24, 31, 32, 63, 64, 96, 100, 127, 128, 129, 192, 240, 248,
+        252, 254, 255,
     ];
     v.iter_mut().for_each(|x| *x &= m);
     v.sort_unstable();
@@ -225,9 +225,9 @@ pub fn verify_rule(rule: &Rule, random_cases: u64) -> Result<VerifyReport, Count
         let align_shift = rng.next() % 16;
         let a_base = ((rng.next() >> 16) << align_shift) & ty64.bit_mask();
         let b_base = match rng.next() % 4 {
-            0 => rng.next() & 0x3f,                          // small constant / shift
+            0 => rng.next() & 0x3f, // small constant / shift
             1 => (ty64.bit_mask() << (rng.next() % 16)) & ty64.bit_mask(), // mask
-            2 => 1u64 << (rng.next() % 16),                  // power of two
+            2 => 1u64 << (rng.next() % 16), // power of two
             _ => rng.next() & ty64.bit_mask(),
         };
         let stride = rng.next() % 64;

@@ -7,9 +7,7 @@
 //! factor, so the builders need no scalar epilogue (matching how intrinsics
 //! kernels in the Simd Library handle their aligned fast path).
 
-use psir::{
-    BinOp, CmpPred, Const, FunctionBuilder, Param, ReduceOp, ScalarTy, Ty, Value,
-};
+use psir::{BinOp, CmpPred, Const, FunctionBuilder, Param, ReduceOp, ScalarTy, Ty, Value};
 
 /// Builds `main(buf₀…buf_{k−1}, extra…, n)` containing a single vector loop
 /// `for (i = 0; i + step <= n; i += step)`; `body` receives the builder, the
@@ -57,7 +55,13 @@ pub fn vector_loop(
 }
 
 /// Packed load of `vf` lanes of `elem` at `ptr[iv]`.
-pub fn packed_load(fb: &mut FunctionBuilder, ptr: Value, iv: Value, elem: ScalarTy, vf: u32) -> Value {
+pub fn packed_load(
+    fb: &mut FunctionBuilder,
+    ptr: Value,
+    iv: Value,
+    elem: ScalarTy,
+    vf: u32,
+) -> Value {
     let addr = fb.gep(ptr, iv, elem.size_bytes());
     fb.load(Ty::vec(elem, vf), addr, None)
 }
@@ -193,9 +197,13 @@ mod tests {
     #[test]
     fn elementwise_builder_runs() {
         let mut m = Module::new();
-        elementwise(&mut m, &[ScalarTy::I8, ScalarTy::I8], ScalarTy::I8, 64, |fb, xs| {
-            fb.bin(BinOp::AddSatU, xs[0], xs[1])
-        });
+        elementwise(
+            &mut m,
+            &[ScalarTy::I8, ScalarTy::I8],
+            ScalarTy::I8,
+            64,
+            |fb, xs| fb.bin(BinOp::AddSatU, xs[0], xs[1]),
+        );
         let mut mem = Memory::default();
         let a: Vec<u8> = (0..128u32).map(|i| (i * 3) as u8).collect();
         let b: Vec<u8> = (0..128u32).map(|i| (200 - i) as u8).collect();
@@ -203,8 +211,11 @@ mod tests {
         let pb = mem.alloc_bytes(&b, 64).unwrap();
         let po = mem.alloc(128, 64).unwrap();
         let mut it = Interp::with_defaults(&m, mem);
-        it.call("main", &[RtVal::S(pa), RtVal::S(pb), RtVal::S(po), RtVal::S(128)])
-            .unwrap();
+        it.call(
+            "main",
+            &[RtVal::S(pa), RtVal::S(pb), RtVal::S(po), RtVal::S(128)],
+        )
+        .unwrap();
         let out = it.mem.read_bytes(po, 128).unwrap();
         for i in 0..128 {
             assert_eq!(out[i], a[i].saturating_add(b[i]));

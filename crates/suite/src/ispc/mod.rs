@@ -108,9 +108,33 @@ fn black_scholes(sz: IspcSizes) -> Kernel {
         psim_wrap(16, params, body),
         serial_wrap(params, body),
         vec![
-            BufSpec::input(ScalarTy::F32, n, Init::RandomF32 { seed: 201, lo: 40.0, hi: 160.0 }),
-            BufSpec::input(ScalarTy::F32, n, Init::RandomF32 { seed: 202, lo: 50.0, hi: 150.0 }),
-            BufSpec::input(ScalarTy::F32, n, Init::RandomF32 { seed: 203, lo: 0.2, hi: 2.0 }),
+            BufSpec::input(
+                ScalarTy::F32,
+                n,
+                Init::RandomF32 {
+                    seed: 201,
+                    lo: 40.0,
+                    hi: 160.0,
+                },
+            ),
+            BufSpec::input(
+                ScalarTy::F32,
+                n,
+                Init::RandomF32 {
+                    seed: 202,
+                    lo: 50.0,
+                    hi: 150.0,
+                },
+            ),
+            BufSpec::input(
+                ScalarTy::F32,
+                n,
+                Init::RandomF32 {
+                    seed: 203,
+                    lo: 0.2,
+                    hi: 2.0,
+                },
+            ),
             BufSpec::output(ScalarTy::F32, n),
         ],
         n,
@@ -153,9 +177,33 @@ fn binomial(sz: IspcSizes) -> Kernel {
         psim_wrap(16, params, body),
         serial_wrap(params, body),
         vec![
-            BufSpec::input(ScalarTy::F32, n, Init::RandomF32 { seed: 211, lo: 40.0, hi: 160.0 }),
-            BufSpec::input(ScalarTy::F32, n, Init::RandomF32 { seed: 212, lo: 50.0, hi: 150.0 }),
-            BufSpec::input(ScalarTy::F32, n, Init::RandomF32 { seed: 213, lo: 0.2, hi: 2.0 }),
+            BufSpec::input(
+                ScalarTy::F32,
+                n,
+                Init::RandomF32 {
+                    seed: 211,
+                    lo: 40.0,
+                    hi: 160.0,
+                },
+            ),
+            BufSpec::input(
+                ScalarTy::F32,
+                n,
+                Init::RandomF32 {
+                    seed: 212,
+                    lo: 50.0,
+                    hi: 150.0,
+                },
+            ),
+            BufSpec::input(
+                ScalarTy::F32,
+                n,
+                Init::RandomF32 {
+                    seed: 213,
+                    lo: 0.2,
+                    hi: 2.0,
+                },
+            ),
             BufSpec::output(ScalarTy::F32, n),
             BufSpec::input(ScalarTy::F32, (steps + 1) * n, Init::Zero),
         ],
@@ -238,7 +286,15 @@ fn stencil(sz: IspcSizes) -> Kernel {
         psim_wrap(16, params, body),
         serial_wrap(params, body),
         vec![
-            BufSpec::input(ScalarTy::F32, n, Init::RandomF32 { seed: 221, lo: 0.0, hi: 1.0 }),
+            BufSpec::input(
+                ScalarTy::F32,
+                n,
+                Init::RandomF32 {
+                    seed: 221,
+                    lo: 0.0,
+                    hi: 1.0,
+                },
+            ),
             BufSpec::output(ScalarTy::F32, n),
         ],
         n,
@@ -274,7 +330,15 @@ fn volume(sz: IspcSizes) -> Kernel {
         psim_wrap(16, params, body),
         serial_wrap(params, body),
         vec![
-            BufSpec::input(ScalarTy::F32, d * d * d, Init::RandomF32 { seed: 231, lo: 0.0, hi: 1.0 }),
+            BufSpec::input(
+                ScalarTy::F32,
+                d * d * d,
+                Init::RandomF32 {
+                    seed: 231,
+                    lo: 0.0,
+                    hi: 1.0,
+                },
+            ),
             BufSpec::output(ScalarTy::F32, rays),
         ],
         rays,
@@ -354,10 +418,8 @@ mod tests {
         let ks = kernels(IspcSizes::tiny());
         assert_eq!(ks.len(), 7);
         for k in &ks {
-            psimc::compile(&k.psim_src)
-                .unwrap_or_else(|e| panic!("{}: psim: {e}", k.name));
-            psimc::compile(&k.serial_src)
-                .unwrap_or_else(|e| panic!("{}: serial: {e}", k.name));
+            psimc::compile(&k.psim_src).unwrap_or_else(|e| panic!("{}: psim: {e}", k.name));
+            psimc::compile(&k.serial_src).unwrap_or_else(|e| panic!("{}: serial: {e}", k.name));
         }
     }
 }

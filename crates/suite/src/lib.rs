@@ -169,10 +169,7 @@ impl Kernel {
     }
 
     /// Attaches the hand-written builder.
-    pub fn with_hand(
-        mut self,
-        hand: impl Fn(&mut psir::Module) + Send + Sync + 'static,
-    ) -> Kernel {
+    pub fn with_hand(mut self, hand: impl Fn(&mut psir::Module) + Send + Sync + 'static) -> Kernel {
         self.hand = Some(Box::new(hand));
         self
     }

@@ -3,7 +3,7 @@
 use crate::{Init, Kernel};
 use autovec::{autovectorize_module, AutovecOptions};
 use parsimony::{vectorize_module, VectorizeOptions};
-use psir::{ExecError, ExecStats, Interp, Memory, Module, RtVal, ScalarTy};
+use psir::{ExecError, ExecStats, Interp, Memory, Module, Profile, RtVal, ScalarTy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vmach::Avx512Cost;
@@ -52,6 +52,9 @@ pub struct RunResult {
     pub outputs: Vec<Vec<u8>>,
     /// Execution statistics (packed vs gather counts etc.).
     pub stats: ExecStats,
+    /// Cycle-attribution profile; `Some` only under the `_profiled` entry
+    /// points.
+    pub profile: Option<Profile>,
 }
 
 fn fill(mem: &mut Memory, spec: &crate::BufSpec) -> u64 {
@@ -111,8 +114,8 @@ pub fn build_module(k: &Kernel, cfg: Config) -> Result<Module, String> {
         }
         Config::Parsimony => {
             let m = psimc::compile(&k.psim_src).map_err(|e| e.to_string())?;
-            let out = vectorize_module(&m, &VectorizeOptions::default())
-                .map_err(|e| e.to_string())?;
+            let out =
+                vectorize_module(&m, &VectorizeOptions::default()).map_err(|e| e.to_string())?;
             Ok(out.module)
         }
         Config::ParsimonyNoShape => {
@@ -161,21 +164,38 @@ pub fn run_kernel(k: &Kernel, cfg: Config) -> Result<RunResult, String> {
     run_kernel_with(k, cfg, &Avx512Cost::new())
 }
 
+/// Like [`run_kernel`], additionally collecting a per-function
+/// cycle-attribution [`Profile`] (`RunResult::profile` is `Some`).
+///
+/// # Errors
+/// Reports build failures and runtime traps with the kernel/config context.
+pub fn run_kernel_profiled(k: &Kernel, cfg: Config) -> Result<RunResult, String> {
+    let module = build_module(k, cfg)?;
+    run_module_inner(&module, k, &Avx512Cost::new(), true)
+        .map_err(|e| format!("[{}] {e}", cfg.label()))
+}
+
 /// Runs the Parsimony configuration with custom vectorizer options (for
 /// the stride-window and BOSCC ablations).
 ///
 /// # Errors
 /// Reports build failures and runtime traps with the kernel context.
-pub fn run_kernel_custom(
-    k: &Kernel,
-    opts: &VectorizeOptions,
-) -> Result<RunResult, String> {
+pub fn run_kernel_custom(k: &Kernel, opts: &VectorizeOptions) -> Result<RunResult, String> {
     let m = psimc::compile(&k.psim_src).map_err(|e| e.to_string())?;
     let out = vectorize_module(&m, opts).map_err(|e| e.to_string())?;
     run_module(&out.module, k, &Avx512Cost::new())
 }
 
 fn run_module(module: &Module, k: &Kernel, cost: &Avx512Cost) -> Result<RunResult, String> {
+    run_module_inner(module, k, cost, false)
+}
+
+fn run_module_inner(
+    module: &Module,
+    k: &Kernel,
+    cost: &Avx512Cost,
+    profiled: bool,
+) -> Result<RunResult, String> {
     let mut mem = Memory::default();
     let mut args: Vec<RtVal> = Vec::new();
     let mut addrs: Vec<u64> = Vec::new();
@@ -187,19 +207,28 @@ fn run_module(module: &Module, k: &Kernel, cost: &Avx512Cost) -> Result<RunResul
     args.extend(k.extra_args.iter().cloned());
     args.push(RtVal::S(k.n));
     let mut it = Interp::new(module, mem, cost, &EXTERNS);
+    if profiled {
+        it.enable_profiling();
+    }
     it.call("main", &args)
         .map_err(|e: ExecError| format!("{}: runtime error: {e}", k.name))?;
     let mut outputs = Vec::new();
     for (spec, &addr) in k.buffers.iter().zip(&addrs) {
         if spec.check {
             let bytes = spec.elem.size_bytes() * spec.len;
-            outputs.push(it.mem.read_bytes(addr, bytes).map_err(|e| e.to_string())?.to_vec());
+            outputs.push(
+                it.mem
+                    .read_bytes(addr, bytes)
+                    .map_err(|e| e.to_string())?
+                    .to_vec(),
+            );
         }
     }
     Ok(RunResult {
         cycles: it.cycles,
         outputs,
         stats: it.stats,
+        profile: it.take_profile(),
     })
 }
 
@@ -207,11 +236,7 @@ fn run_module(module: &Module, k: &Kernel, cost: &Avx512Cost) -> Result<RunResul
 ///
 /// # Errors
 /// Reports build failures and runtime traps with the kernel/config context.
-pub fn run_kernel_with(
-    k: &Kernel,
-    cfg: Config,
-    cost: &Avx512Cost,
-) -> Result<RunResult, String> {
+pub fn run_kernel_with(k: &Kernel, cfg: Config, cost: &Avx512Cost) -> Result<RunResult, String> {
     let module = build_module(k, cfg)?;
     run_module(&module, k, cost).map_err(|e| format!("[{}] {e}", cfg.label()))
 }

@@ -57,7 +57,15 @@ pub(super) fn kernels(n: u64) -> Vec<Kernel> {
                 "    i32 r = (i32) (a[idx] * 255.0 + 0.5);\n    out[idx] = (u8) clamp(r, 0, 255);",
             ),
             vec![
-                BufSpec::input(ScalarTy::F32, n, Init::RandomF32 { seed: 52, lo: -0.2, hi: 1.2 }),
+                BufSpec::input(
+                    ScalarTy::F32,
+                    n,
+                    Init::RandomF32 {
+                        seed: 52,
+                        lo: -0.2,
+                        hi: 1.2,
+                    },
+                ),
                 BufSpec::output(ScalarTy::I8, n),
             ],
             n,

@@ -8,7 +8,15 @@ use crate::{BufSpec, Init, Kernel};
 use psir::{BinOp, CastKind, ReduceOp, RtVal, ScalarTy, Ty};
 
 fn f32_in(n: u64, seed: u64) -> BufSpec {
-    BufSpec::input(ScalarTy::F32, n, Init::RandomF32 { seed, lo: -4.0, hi: 4.0 })
+    BufSpec::input(
+        ScalarTy::F32,
+        n,
+        Init::RandomF32 {
+            seed,
+            lo: -4.0,
+            hi: 4.0,
+        },
+    )
 }
 
 pub(super) fn kernels(n: u64) -> Vec<Kernel> {
@@ -31,7 +39,18 @@ pub(super) fn kernels(n: u64) -> Vec<Kernel> {
                 "f32* restrict x, f32* restrict y, f32 s, i64 n",
                 "    y[idx] = s * x[idx] + y[idx];",
             ),
-            vec![f32_in(n, 71), BufSpec::inout(ScalarTy::F32, n, Init::RandomF32 { seed: 72, lo: -1.0, hi: 1.0 })],
+            vec![
+                f32_in(n, 71),
+                BufSpec::inout(
+                    ScalarTy::F32,
+                    n,
+                    Init::RandomF32 {
+                        seed: 72,
+                        lo: -1.0,
+                        hi: 1.0,
+                    },
+                ),
+            ],
             n,
         )
         .with_extra_args(vec![RtVal::from_f32(1.75)])
@@ -66,12 +85,19 @@ pub(super) fn kernels(n: u64) -> Vec<Kernel> {
         )
         .with_extra_args(vec![RtVal::from_f32(0.5), RtVal::from_f32(-3.0)])
         .with_hand(|m| {
-            elementwise_extra(m, &[ScalarTy::F32], ScalarTy::F32, &[ScalarTy::F32, ScalarTy::F32], 16, |fb, xs, e| {
-                let s = fb.splat(e[0], 16);
-                let b = fb.splat(e[1], 16);
-                let p = fb.bin(BinOp::FMul, xs[0], s);
-                fb.bin(BinOp::FAdd, p, b)
-            })
+            elementwise_extra(
+                m,
+                &[ScalarTy::F32],
+                ScalarTy::F32,
+                &[ScalarTy::F32, ScalarTy::F32],
+                16,
+                |fb, xs, e| {
+                    let s = fb.splat(e[0], 16);
+                    let b = fb.splat(e[1], 16);
+                    let p = fb.bin(BinOp::FMul, xs[0], s);
+                    fb.bin(BinOp::FAdd, p, b)
+                },
+            )
         }),
     );
     // 43. sqrt (parity)
@@ -136,12 +162,19 @@ pub(super) fn kernels(n: u64) -> Vec<Kernel> {
             )
             .with_extra_args(vec![RtVal::from_f32(-1.0), RtVal::from_f32(1.0)])
             .with_hand(|m| {
-                elementwise_extra(m, &[ScalarTy::F32], ScalarTy::F32, &[ScalarTy::F32, ScalarTy::F32], 16, |fb, xs, e| {
-                    let lo = fb.splat(e[0], 16);
-                    let hi = fb.splat(e[1], 16);
-                    let c = fb.bin(BinOp::FMin, xs[0], hi);
-                    fb.bin(BinOp::FMax, c, lo)
-                })
+                elementwise_extra(
+                    m,
+                    &[ScalarTy::F32],
+                    ScalarTy::F32,
+                    &[ScalarTy::F32, ScalarTy::F32],
+                    16,
+                    |fb, xs, e| {
+                        let lo = fb.splat(e[0], 16);
+                        let hi = fb.splat(e[1], 16);
+                        let c = fb.bin(BinOp::FMin, xs[0], hi);
+                        fb.bin(BinOp::FMax, c, lo)
+                    },
+                )
             }),
         );
     }
@@ -156,17 +189,28 @@ pub(super) fn kernels(n: u64) -> Vec<Kernel> {
                 16,
                 psim_wrap(16, params, body),
                 serial_wrap(params, body),
-                vec![f32_in(n, 77), f32_in(n, 78), BufSpec::output(ScalarTy::F32, n)],
+                vec![
+                    f32_in(n, 77),
+                    f32_in(n, 78),
+                    BufSpec::output(ScalarTy::F32, n),
+                ],
                 n,
             )
             .with_extra_args(vec![RtVal::from_f32(0.25)])
             .with_hand(|m| {
-                elementwise_extra(m, &[ScalarTy::F32, ScalarTy::F32], ScalarTy::F32, &[ScalarTy::F32], 16, |fb, xs, e| {
-                    let t = fb.splat(e[0], 16);
-                    let d = fb.bin(BinOp::FSub, xs[1], xs[0]);
-                    let p = fb.bin(BinOp::FMul, d, t);
-                    fb.bin(BinOp::FAdd, xs[0], p)
-                })
+                elementwise_extra(
+                    m,
+                    &[ScalarTy::F32, ScalarTy::F32],
+                    ScalarTy::F32,
+                    &[ScalarTy::F32],
+                    16,
+                    |fb, xs, e| {
+                        let t = fb.splat(e[0], 16);
+                        let d = fb.bin(BinOp::FSub, xs[1], xs[0]);
+                        let p = fb.bin(BinOp::FMul, d, t);
+                        fb.bin(BinOp::FAdd, xs[0], p)
+                    },
+                )
             }),
         );
     }
@@ -230,7 +274,15 @@ pub(super) fn kernels(n: u64) -> Vec<Kernel> {
                 vec![
                     f32_in(n, 81),
                     f32_in(n, 82),
-                    BufSpec::inout(ScalarTy::F32, n, Init::RandomF32 { seed: 83, lo: -1.0, hi: 1.0 }),
+                    BufSpec::inout(
+                        ScalarTy::F32,
+                        n,
+                        Init::RandomF32 {
+                            seed: 83,
+                            lo: -1.0,
+                            hi: 1.0,
+                        },
+                    ),
                 ],
                 n,
             )
@@ -336,7 +388,8 @@ pub(super) fn kernels(n: u64) -> Vec<Kernel> {
     }
     // 52. sum of absolute differences (SAD) — the Figure 5 headline family.
     {
-        let params = "u8* restrict a, u8* restrict b, u64* restrict partials, u64* restrict out, i64 n";
+        let params =
+            "u8* restrict a, u8* restrict b, u64* restrict partials, u64* restrict out, i64 n";
         let psim_src = psim_reduce_src(
             64,
             params,
@@ -442,7 +495,15 @@ pub(super) fn kernels(n: u64) -> Vec<Kernel> {
                 psim_src,
                 format!("void main({params}) {{\n{serial_body}\n}}\n"),
                 vec![
-                    BufSpec::input(ScalarTy::F32, n, Init::RandomF32Int { seed: 89, lo: 0, hi: 256 }),
+                    BufSpec::input(
+                        ScalarTy::F32,
+                        n,
+                        Init::RandomF32Int {
+                            seed: 89,
+                            lo: 0,
+                            hi: 256,
+                        },
+                    ),
                     BufSpec::input(ScalarTy::F32, n / 16, Init::Zero),
                     BufSpec::output(ScalarTy::F32, 8),
                 ],
@@ -465,7 +526,11 @@ pub(super) fn kernels(n: u64) -> Vec<Kernel> {
     {
         let mk = |name: &'static str, is_max: bool, seed: u64| {
             let params = "u8* restrict a, u8* restrict partials, u8* restrict out, i64 n";
-            let reduce_fn = if is_max { "psim_reduce_max" } else { "psim_reduce_min" };
+            let reduce_fn = if is_max {
+                "psim_reduce_max"
+            } else {
+                "psim_reduce_min"
+            };
             let fold = if is_max { "max" } else { "min" };
             let ident = if is_max { "0" } else { "255" };
             let psim_src = psim_reduce_src(
@@ -480,7 +545,11 @@ pub(super) fn kernels(n: u64) -> Vec<Kernel> {
             );
             let serial_full = format!("void main({params}) {{\n{serial_body}\n}}\n");
             let op = if is_max { BinOp::UMax } else { BinOp::UMin };
-            let rop = if is_max { ReduceOp::UMax } else { ReduceOp::UMin };
+            let rop = if is_max {
+                ReduceOp::UMax
+            } else {
+                ReduceOp::UMin
+            };
             let identity = if is_max { 0u64 } else { 255u64 };
             Kernel::new(
                 name,
@@ -537,7 +606,8 @@ pub(super) fn kernels(n: u64) -> Vec<Kernel> {
     }
     // 58. dot product f32
     {
-        let params = "f32* restrict a, f32* restrict b, f32* restrict partials, f32* restrict out, i64 n";
+        let params =
+            "f32* restrict a, f32* restrict b, f32* restrict partials, f32* restrict out, i64 n";
         let psim_src = "void main(f32* restrict a, f32* restrict b, f32* restrict partials, f32* restrict out, i64 n) {\n  psim gang(16) threads(16) {\n    i64 lane = psim_thread_num();\n    f32 acc = 0.0;\n    for (i64 base = 0; base < n; base += 16) {\n        acc += a[base + lane] * b[base + lane];\n    }\n    f32 r = psim_reduce_add(acc);\n    out[0] = r;\n  }\n}\n".to_string();
         let serial_body = "    f32 acc = 0.0;\n    for (i64 idx = 0; idx < n; idx += 1) {\n        acc += a[idx] * b[idx];\n    }\n    out[0] = acc;";
         v.push(
@@ -548,8 +618,24 @@ pub(super) fn kernels(n: u64) -> Vec<Kernel> {
                 psim_src,
                 format!("void main({params}) {{\n{serial_body}\n}}\n"),
                 vec![
-                    BufSpec::input(ScalarTy::F32, n, Init::RandomF32Int { seed: 93, lo: -7, hi: 8 }),
-                    BufSpec::input(ScalarTy::F32, n, Init::RandomF32Int { seed: 94, lo: -7, hi: 8 }),
+                    BufSpec::input(
+                        ScalarTy::F32,
+                        n,
+                        Init::RandomF32Int {
+                            seed: 93,
+                            lo: -7,
+                            hi: 8,
+                        },
+                    ),
+                    BufSpec::input(
+                        ScalarTy::F32,
+                        n,
+                        Init::RandomF32Int {
+                            seed: 94,
+                            lo: -7,
+                            hi: 8,
+                        },
+                    ),
                     BufSpec::input(ScalarTy::F32, n / 16, Init::Zero),
                     BufSpec::output(ScalarTy::F32, 8),
                 ],

@@ -294,15 +294,8 @@ pub(super) fn kernels(n: u64) -> Vec<Kernel> {
             "fill_u8",
             "misc",
             64,
-            psim_wrap(
-                64,
-                "u8* restrict out, u8 v, i64 n",
-                "    out[idx] = v;",
-            ),
-            serial_wrap(
-                "u8* restrict out, u8 v, i64 n",
-                "    out[idx] = v;",
-            ),
+            psim_wrap(64, "u8* restrict out, u8 v, i64 n", "    out[idx] = v;"),
+            serial_wrap("u8* restrict out, u8 v, i64 n", "    out[idx] = v;"),
             vec![BufSpec::output(ScalarTy::I8, n)],
             n,
         )
@@ -332,9 +325,7 @@ pub(super) fn kernels(n: u64) -> Vec<Kernel> {
             vec![in_u8(n, 111), BufSpec::output(ScalarTy::I8, n)],
             n,
         )
-        .with_hand(|m| {
-            elementwise(m, &[ScalarTy::I8], ScalarTy::I8, 64, |_fb, xs| xs[0])
-        }),
+        .with_hand(|m| elementwise(m, &[ScalarTy::I8], ScalarTy::I8, 64, |_fb, xs| xs[0])),
     );
     // 69. mask blend
     v.push(
@@ -360,11 +351,17 @@ pub(super) fn kernels(n: u64) -> Vec<Kernel> {
             n,
         )
         .with_hand(|m| {
-            elementwise(m, &[ScalarTy::I8, ScalarTy::I8, ScalarTy::I8], ScalarTy::I8, 64, |fb, xs| {
-                let t = fb.splat(psir::Const::i8(127), 64);
-                let c = fb.cmp(CmpPred::Ugt, xs[0], t);
-                fb.select(c, xs[1], xs[2])
-            })
+            elementwise(
+                m,
+                &[ScalarTy::I8, ScalarTy::I8, ScalarTy::I8],
+                ScalarTy::I8,
+                64,
+                |fb, xs| {
+                    let t = fb.splat(psir::Const::i8(127), 64);
+                    let c = fb.cmp(CmpPred::Ugt, xs[0], t);
+                    fb.select(c, xs[1], xs[2])
+                },
+            )
         }),
     );
     // 70. background maintenance (grow-range): nested select with

@@ -41,7 +41,11 @@ mod tests {
     #[test]
     fn there_are_72_kernels_with_unique_names() {
         let ks = kernels(512);
-        assert_eq!(ks.len(), 72, "the paper evaluates 72 Simd Library benchmarks");
+        assert_eq!(
+            ks.len(),
+            72,
+            "the paper evaluates 72 Simd Library benchmarks"
+        );
         let mut names: Vec<&str> = ks.iter().map(|k| k.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
@@ -51,8 +55,7 @@ mod tests {
     #[test]
     fn all_sources_compile() {
         for k in kernels(512) {
-            psimc::compile(&k.psim_src)
-                .unwrap_or_else(|e| panic!("{}: psim source: {e}", k.name));
+            psimc::compile(&k.psim_src).unwrap_or_else(|e| panic!("{}: psim source: {e}", k.name));
             psimc::compile(&k.serial_src)
                 .unwrap_or_else(|e| panic!("{}: serial source: {e}", k.name));
         }

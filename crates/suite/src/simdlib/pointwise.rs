@@ -28,13 +28,7 @@ fn bufs1(elem: ScalarTy, n: u64) -> Vec<BufSpec> {
 
 /// Binary u8 kernel where psim & hand use one native op and the serial
 /// version uses the widened formula.
-fn native2_u8(
-    name: &str,
-    n: u64,
-    psim_expr: &str,
-    serial_body: &str,
-    op: BinOp,
-) -> Kernel {
+fn native2_u8(name: &str, n: u64, psim_expr: &str, serial_body: &str, op: BinOp) -> Kernel {
     let body = format!("    out[idx] = {psim_expr};");
     Kernel::new(
         name,
@@ -46,9 +40,13 @@ fn native2_u8(
         n,
     )
     .with_hand(move |m| {
-        elementwise(m, &[ScalarTy::I8, ScalarTy::I8], ScalarTy::I8, 64, move |fb, xs| {
-            fb.bin(op, xs[0], xs[1])
-        })
+        elementwise(
+            m,
+            &[ScalarTy::I8, ScalarTy::I8],
+            ScalarTy::I8,
+            64,
+            move |fb, xs| fb.bin(op, xs[0], xs[1]),
+        )
     })
 }
 
@@ -67,9 +65,13 @@ fn parity2_u8(name: &str, n: u64, expr: &str, op: BinOp) -> Kernel {
         n,
     )
     .with_hand(move |m| {
-        elementwise(m, &[ScalarTy::I8, ScalarTy::I8], ScalarTy::I8, 64, move |fb, xs| {
-            fb.bin(op, xs[0], xs[1])
-        })
+        elementwise(
+            m,
+            &[ScalarTy::I8, ScalarTy::I8],
+            ScalarTy::I8,
+            64,
+            move |fb, xs| fb.bin(op, xs[0], xs[1]),
+        )
     })
 }
 
@@ -111,8 +113,7 @@ pub(super) fn kernels(n: u64) -> Vec<Kernel> {
                 "    out[idx] = {}(a[idx], b[idx]);",
                 if op == BinOp::UMax { "max" } else { "min" }
             );
-            let serial_body =
-                format!("    out[idx] = a[idx] {cmp} b[idx] ? a[idx] : b[idx];");
+            let serial_body = format!("    out[idx] = a[idx] {cmp} b[idx] ? a[idx] : b[idx];");
             Kernel::new(
                 name,
                 "pointwise-u8",
@@ -123,9 +124,13 @@ pub(super) fn kernels(n: u64) -> Vec<Kernel> {
                 n,
             )
             .with_hand(move |m| {
-                elementwise(m, &[ScalarTy::I8, ScalarTy::I8], ScalarTy::I8, 64, move |fb, xs| {
-                    fb.bin(op, xs[0], xs[1])
-                })
+                elementwise(
+                    m,
+                    &[ScalarTy::I8, ScalarTy::I8],
+                    ScalarTy::I8,
+                    64,
+                    move |fb, xs| fb.bin(op, xs[0], xs[1]),
+                )
             })
         };
         v.push(mk("max_u8", ">", BinOp::UMax));
@@ -442,7 +447,12 @@ pub(super) fn kernels(n: u64) -> Vec<Kernel> {
 
     // 19-20. saturating i16 add/sub
     {
-        let mk = |name: &str, builtin: &str, clamp_lo: i32, clamp_hi: i32, sign: &str, op: BinOp| {
+        let mk = |name: &str,
+                  builtin: &str,
+                  clamp_lo: i32,
+                  clamp_hi: i32,
+                  sign: &str,
+                  op: BinOp| {
             let params = "i16* restrict a, i16* restrict b, i16* restrict out, i64 n";
             Kernel::new(
                 name,
@@ -469,8 +479,22 @@ pub(super) fn kernels(n: u64) -> Vec<Kernel> {
                 })
             })
         };
-        v.push(mk("add_sat_i16", "add_sat", -32768, 32767, "+", BinOp::AddSatS));
-        v.push(mk("sub_sat_i16", "sub_sat", -32768, 32767, "-", BinOp::SubSatS));
+        v.push(mk(
+            "add_sat_i16",
+            "add_sat",
+            -32768,
+            32767,
+            "+",
+            BinOp::AddSatS,
+        ));
+        v.push(mk(
+            "sub_sat_i16",
+            "sub_sat",
+            -32768,
+            32767,
+            "-",
+            BinOp::SubSatS,
+        ));
     }
     // 21. mulhi i16
     v.push(
@@ -491,9 +515,13 @@ pub(super) fn kernels(n: u64) -> Vec<Kernel> {
             n,
         )
         .with_hand(|m| {
-            elementwise(m, &[ScalarTy::I16, ScalarTy::I16], ScalarTy::I16, 32, |fb, xs| {
-                fb.bin(BinOp::MulHiS, xs[0], xs[1])
-            })
+            elementwise(
+                m,
+                &[ScalarTy::I16, ScalarTy::I16],
+                ScalarTy::I16,
+                32,
+                |fb, xs| fb.bin(BinOp::MulHiS, xs[0], xs[1]),
+            )
         }),
     );
     // 22. u16 rounded average
@@ -511,9 +539,13 @@ pub(super) fn kernels(n: u64) -> Vec<Kernel> {
             n,
         )
         .with_hand(|m| {
-            elementwise(m, &[ScalarTy::I16, ScalarTy::I16], ScalarTy::I16, 32, |fb, xs| {
-                fb.bin(BinOp::AvgU, xs[0], xs[1])
-            })
+            elementwise(
+                m,
+                &[ScalarTy::I16, ScalarTy::I16],
+                ScalarTy::I16,
+                32,
+                |fb, xs| fb.bin(BinOp::AvgU, xs[0], xs[1]),
+            )
         }),
     );
     // 23. u16 absolute difference with the sat trick

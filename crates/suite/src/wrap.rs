@@ -16,9 +16,7 @@ pub fn psim_wrap(gang: u32, params: &str, body: &str) -> String {
 
 /// Wraps the same `body` in a serial `for` loop.
 pub fn serial_wrap(params: &str, body: &str) -> String {
-    format!(
-        "void main({params}) {{\n  for (i64 idx = 0; idx < n; idx += 1) {{\n{body}\n  }}\n}}\n"
-    )
+    format!("void main({params}) {{\n  for (i64 idx = 0; idx < n; idx += 1) {{\n{body}\n  }}\n}}\n")
 }
 
 #[cfg(test)]

@@ -28,11 +28,21 @@ fn unit_stride_kernels_use_packed_accesses_only() {
 fn strided_kernels_use_the_shuffle_window_not_gathers() {
     // §4.2.3: compile-time strides within 4× the gang size become packed
     // loads/stores plus shuffles — "still faster than gather/scatters".
-    for name in ["bgr_to_gray", "deinterleave2_u8", "extract_g_u8", "reverse_u8"] {
+    for name in [
+        "bgr_to_gray",
+        "deinterleave2_u8",
+        "extract_g_u8",
+        "reverse_u8",
+    ] {
         let s = stats(name, Config::Parsimony);
         assert_eq!(s.gathers, 0, "{name}: window transform regressed {s:?}");
     }
-    for name in ["gray_to_bgr", "interleave2_u8", "dup2_u8", "swizzle_rgba_bgra"] {
+    for name in [
+        "gray_to_bgr",
+        "interleave2_u8",
+        "dup2_u8",
+        "swizzle_rgba_bgra",
+    ] {
         let s = stats(name, Config::Parsimony);
         assert_eq!(s.scatters, 0, "{name}: window transform regressed {s:?}");
     }

@@ -1,0 +1,668 @@
+//! # psim-telemetry
+//!
+//! Structured optimization remarks and cycle-attribution profiling for the
+//! Parsimony reproduction, in the spirit of LLVM's `-Rpass` /
+//! `-fsave-optimization-record` machinery.
+//!
+//! Two artifact families live here:
+//!
+//! * [`Remark`] — a structured record of one vectorizer decision (shape
+//!   classification, memory-op selection, branch linearization, BOSCC
+//!   guarding, φ→select conversion, opaque-call serialization, math-library
+//!   dispatch, …). Every pass that makes a policy decision emits remarks
+//!   instead of ad-hoc strings; the old `warnings: Vec<String>` surface is
+//!   derived from the remark stream for compatibility.
+//! * [`Profile`] — an accumulator attributing simulated cycles to
+//!   [`CostClass`] buckets per function, fed by the `psir` interpreter's
+//!   cost-model hooks and rendered by the bench binaries (`--profile`) and
+//!   the `profdiff` CI gate.
+//!
+//! Both serialize through the hand-rolled [`Json`] value type in
+//! [`json`] — this crate deliberately has **zero** dependencies.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod profile;
+
+pub use json::Json;
+pub use profile::{CostClass, FnProfile, Profile, ProfileDiff};
+
+use std::fmt;
+
+/// The pipeline pass that produced a remark.
+///
+/// Variant order defines the deterministic sort order of remark streams
+/// (pipeline order: front-end shape analysis first, auto-vectorizer last).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Pass {
+    /// `core::shape` — shape (uniform/indexed/varying) inference.
+    Shape,
+    /// `core::structurize` — CFG structurization ahead of linearization.
+    Structurize,
+    /// `core::transform` — the SPMD-to-vector transform proper.
+    Vectorize,
+    /// `autovec::loopvec` — the baseline inner-loop auto-vectorizer.
+    Autovec,
+}
+
+impl Pass {
+    /// Stable lower-case name used in JSON and text output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Shape => "shape",
+            Pass::Structurize => "structurize",
+            Pass::Vectorize => "vectorize",
+            Pass::Autovec => "autovec",
+        }
+    }
+
+    /// Parses the stable name back into a pass.
+    pub fn from_name(s: &str) -> Option<Pass> {
+        Some(match s {
+            "shape" => Pass::Shape,
+            "structurize" => Pass::Structurize,
+            "vectorize" => Pass::Vectorize,
+            "autovec" => Pass::Autovec,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Severity of a remark, mirroring LLVM's passed/missed/analysis split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// An optimization was applied.
+    Passed,
+    /// An optimization opportunity was declined or impossible.
+    Missed,
+    /// Neutral information about what the pass saw.
+    Analysis,
+    /// Something the user should look at (kept out of `Missed` so the
+    /// legacy `warnings` shim can be derived as exactly this class).
+    Warning,
+}
+
+impl Severity {
+    /// Stable lower-case name used in JSON and text output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Passed => "passed",
+            Severity::Missed => "missed",
+            Severity::Analysis => "analysis",
+            Severity::Warning => "warning",
+        }
+    }
+
+    /// Parses the stable name back into a severity.
+    pub fn from_name(s: &str) -> Option<Severity> {
+        Some(match s {
+            "passed" => Severity::Passed,
+            "missed" => Severity::Missed,
+            "analysis" => Severity::Analysis,
+            "warning" => Severity::Warning,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a varying memory access was lowered (Parsimony §4.3's ladder:
+/// contiguous packed ops, packed+shuffle for small constant strides,
+/// gather/scatter otherwise, plus the scalar path for uniform addresses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemOpChoice {
+    /// Uniform address: one scalar op, splat/extract as needed.
+    Scalar,
+    /// Element stride 1: a single packed vector op.
+    Packed,
+    /// Small constant stride: packed loads plus shuffles.
+    PackedShuffle,
+    /// Arbitrary addresses: hardware gather/scatter.
+    GatherScatter,
+}
+
+impl MemOpChoice {
+    /// Stable snake_case name used in JSON and text output.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemOpChoice::Scalar => "scalar",
+            MemOpChoice::Packed => "packed",
+            MemOpChoice::PackedShuffle => "packed_shuffle",
+            MemOpChoice::GatherScatter => "gather_scatter",
+        }
+    }
+
+    /// Parses the stable name back into a choice.
+    pub fn from_name(s: &str) -> Option<MemOpChoice> {
+        Some(match s {
+            "scalar" => MemOpChoice::Scalar,
+            "packed" => MemOpChoice::Packed,
+            "packed_shuffle" => MemOpChoice::PackedShuffle,
+            "gather_scatter" => MemOpChoice::GatherScatter,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for MemOpChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What kind of decision a remark records, with its structured payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RemarkKind {
+    /// Shape-analysis summary for one function.
+    ShapeSummary {
+        /// Values classified uniform.
+        uniform: usize,
+        /// Values classified indexed (affine in the lane index).
+        indexed: usize,
+        /// Values classified varying.
+        varying: usize,
+    },
+    /// Structurizer summary for one function.
+    StructurizeSummary {
+        /// Single-entry/single-exit regions discovered.
+        regions: usize,
+        /// Loops contained in those regions.
+        loops: usize,
+    },
+    /// One load or store was lowered.
+    MemOp {
+        /// True for store, false for load.
+        is_store: bool,
+        /// The lowering the cost ladder chose.
+        choice: MemOpChoice,
+        /// Element stride when a constant stride was proven.
+        stride: Option<i64>,
+    },
+    /// A varying branch was linearized into masked execution.
+    BranchLinearized {
+        /// Number of conditional arms merged into the linear schedule.
+        arms: usize,
+    },
+    /// An any-lane (BOSCC) guard was wrapped around a linearized arm.
+    BosccGuard,
+    /// A φ node at a join became a mask-driven select.
+    PhiToSelect {
+        /// φ nodes converted at this join.
+        phis: usize,
+    },
+    /// An opaque call was serialized per lane.
+    CallSerialized {
+        /// Callee symbol.
+        callee: String,
+        /// Gang size (number of scalar calls emitted).
+        lanes: u32,
+    },
+    /// A math intrinsic was dispatched to a vector math library.
+    MathDispatch {
+        /// Intrinsic name (`pow`, `exp`, …).
+        func: String,
+        /// Library prefix (`sleef` or `fastm`).
+        lib: String,
+        /// Full mangled vector symbol.
+        symbol: String,
+    },
+    /// A whole-loop verdict from the auto-vectorizer.
+    LoopVectorized,
+    /// The auto-vectorizer declined a loop.
+    LoopRejected {
+        /// Why the loop was left scalar.
+        reason: String,
+    },
+    /// Free-form message (the legacy warning channel and anything that does
+    /// not yet merit a dedicated variant).
+    Note {
+        /// The message text.
+        text: String,
+    },
+}
+
+impl RemarkKind {
+    /// Stable snake_case kind tag used in JSON output and sorting.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RemarkKind::ShapeSummary { .. } => "shape_summary",
+            RemarkKind::StructurizeSummary { .. } => "structurize_summary",
+            RemarkKind::MemOp { .. } => "mem_op",
+            RemarkKind::BranchLinearized { .. } => "branch_linearized",
+            RemarkKind::BosccGuard => "boscc_guard",
+            RemarkKind::PhiToSelect { .. } => "phi_to_select",
+            RemarkKind::CallSerialized { .. } => "call_serialized",
+            RemarkKind::MathDispatch { .. } => "math_dispatch",
+            RemarkKind::LoopVectorized => "loop_vectorized",
+            RemarkKind::LoopRejected { .. } => "loop_rejected",
+            RemarkKind::Note { .. } => "note",
+        }
+    }
+
+    fn payload(&self) -> Vec<(&'static str, Json)> {
+        match self {
+            RemarkKind::ShapeSummary {
+                uniform,
+                indexed,
+                varying,
+            } => vec![
+                ("uniform", Json::u64(*uniform as u64)),
+                ("indexed", Json::u64(*indexed as u64)),
+                ("varying", Json::u64(*varying as u64)),
+            ],
+            RemarkKind::StructurizeSummary { regions, loops } => vec![
+                ("regions", Json::u64(*regions as u64)),
+                ("loops", Json::u64(*loops as u64)),
+            ],
+            RemarkKind::MemOp {
+                is_store,
+                choice,
+                stride,
+            } => {
+                let mut p = vec![
+                    (
+                        "op",
+                        Json::Str(if *is_store { "store" } else { "load" }.into()),
+                    ),
+                    ("choice", Json::Str(choice.name().into())),
+                ];
+                if let Some(s) = stride {
+                    p.push(("stride", Json::Int(*s)));
+                }
+                p
+            }
+            RemarkKind::BranchLinearized { arms } => {
+                vec![("arms", Json::u64(*arms as u64))]
+            }
+            RemarkKind::BosccGuard => vec![],
+            RemarkKind::PhiToSelect { phis } => vec![("phis", Json::u64(*phis as u64))],
+            RemarkKind::CallSerialized { callee, lanes } => vec![
+                ("callee", Json::Str(callee.clone())),
+                ("lanes", Json::u64(*lanes as u64)),
+            ],
+            RemarkKind::MathDispatch { func, lib, symbol } => vec![
+                ("func", Json::Str(func.clone())),
+                ("lib", Json::Str(lib.clone())),
+                ("symbol", Json::Str(symbol.clone())),
+            ],
+            RemarkKind::LoopVectorized => vec![],
+            RemarkKind::LoopRejected { reason } => {
+                vec![("reason", Json::Str(reason.clone()))]
+            }
+            RemarkKind::Note { text } => vec![("text", Json::Str(text.clone()))],
+        }
+    }
+
+    fn from_payload(tag: &str, j: &Json) -> Option<RemarkKind> {
+        let u = |k: &str| j.get(k).and_then(Json::as_u64);
+        let s = |k: &str| j.get(k).and_then(Json::as_str).map(str::to_string);
+        Some(match tag {
+            "shape_summary" => RemarkKind::ShapeSummary {
+                uniform: u("uniform")? as usize,
+                indexed: u("indexed")? as usize,
+                varying: u("varying")? as usize,
+            },
+            "structurize_summary" => RemarkKind::StructurizeSummary {
+                regions: u("regions")? as usize,
+                loops: u("loops")? as usize,
+            },
+            "mem_op" => RemarkKind::MemOp {
+                is_store: s("op")? == "store",
+                choice: MemOpChoice::from_name(&s("choice")?)?,
+                stride: j.get("stride").and_then(|v| match v {
+                    Json::Int(i) => Some(*i),
+                    _ => None,
+                }),
+            },
+            "branch_linearized" => RemarkKind::BranchLinearized {
+                arms: u("arms")? as usize,
+            },
+            "boscc_guard" => RemarkKind::BosccGuard,
+            "phi_to_select" => RemarkKind::PhiToSelect {
+                phis: u("phis")? as usize,
+            },
+            "call_serialized" => RemarkKind::CallSerialized {
+                callee: s("callee")?,
+                lanes: u("lanes")? as u32,
+            },
+            "math_dispatch" => RemarkKind::MathDispatch {
+                func: s("func")?,
+                lib: s("lib")?,
+                symbol: s("symbol")?,
+            },
+            "loop_vectorized" => RemarkKind::LoopVectorized,
+            "loop_rejected" => RemarkKind::LoopRejected {
+                reason: s("reason")?,
+            },
+            "note" => RemarkKind::Note { text: s("text")? },
+            _ => return None,
+        })
+    }
+}
+
+/// One structured optimization remark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Remark {
+    /// Pass that emitted the remark.
+    pub pass: Pass,
+    /// Severity class.
+    pub severity: Severity,
+    /// Function the remark is about.
+    pub function: String,
+    /// Basic block index within the function, when attributable.
+    pub block: Option<u32>,
+    /// Instruction index within the function, when attributable.
+    pub inst: Option<u32>,
+    /// The decision payload.
+    pub kind: RemarkKind,
+}
+
+impl Remark {
+    /// Builds a remark with no block/instruction attribution.
+    pub fn new(
+        pass: Pass,
+        severity: Severity,
+        function: impl Into<String>,
+        kind: RemarkKind,
+    ) -> Remark {
+        Remark {
+            pass,
+            severity,
+            function: function.into(),
+            block: None,
+            inst: None,
+            kind,
+        }
+    }
+
+    /// Attaches a block index.
+    pub fn at_block(mut self, block: u32) -> Remark {
+        self.block = Some(block);
+        self
+    }
+
+    /// Attaches an instruction index.
+    pub fn at_inst(mut self, inst: u32) -> Remark {
+        self.inst = Some(inst);
+        self
+    }
+
+    /// A plain-text warning remark (legacy channel).
+    pub fn warning(pass: Pass, function: impl Into<String>, text: impl Into<String>) -> Remark {
+        Remark::new(
+            pass,
+            Severity::Warning,
+            function,
+            RemarkKind::Note { text: text.into() },
+        )
+    }
+
+    /// The key used for deterministic ordering: pass, then function, then
+    /// block, then instruction, then kind tag.
+    ///
+    /// Remarks are sorted by this key before serialization so output is
+    /// independent of traversal order inside the passes.
+    pub fn sort_key(&self) -> (Pass, &str, u32, u32, &'static str) {
+        (
+            self.pass,
+            self.function.as_str(),
+            self.block.unwrap_or(u32::MAX),
+            self.inst.unwrap_or(u32::MAX),
+            self.kind.tag(),
+        )
+    }
+
+    /// Renders the remark as one human-readable line.
+    pub fn render_text(&self) -> String {
+        let mut loc = self.function.clone();
+        if let Some(b) = self.block {
+            loc.push_str(&format!(":b{b}"));
+        }
+        if let Some(i) = self.inst {
+            loc.push_str(&format!(":i{i}"));
+        }
+        let detail = match &self.kind {
+            RemarkKind::ShapeSummary {
+                uniform,
+                indexed,
+                varying,
+            } => format!("shapes: {uniform} uniform, {indexed} indexed, {varying} varying"),
+            RemarkKind::StructurizeSummary { regions, loops } => {
+                format!("structurized {regions} region(s), {loops} loop(s)")
+            }
+            RemarkKind::MemOp {
+                is_store,
+                choice,
+                stride,
+            } => {
+                let op = if *is_store { "store" } else { "load" };
+                match stride {
+                    Some(s) => format!("{op} lowered as {choice} (stride {s})"),
+                    None => format!("{op} lowered as {choice}"),
+                }
+            }
+            RemarkKind::BranchLinearized { arms } => {
+                format!("varying branch linearized ({arms} arm(s))")
+            }
+            RemarkKind::BosccGuard => "BOSCC any-lane guard inserted".to_string(),
+            RemarkKind::PhiToSelect { phis } => {
+                format!("{phis} phi(s) converted to mask select")
+            }
+            RemarkKind::CallSerialized { callee, lanes } => {
+                format!("opaque call to `{callee}` serialized over {lanes} lane(s)")
+            }
+            RemarkKind::MathDispatch { func, lib, symbol } => {
+                format!("math intrinsic `{func}` dispatched to {lib} ({symbol})")
+            }
+            RemarkKind::LoopVectorized => "loop vectorized".to_string(),
+            RemarkKind::LoopRejected { reason } => format!("loop not vectorized: {reason}"),
+            RemarkKind::Note { text } => text.clone(),
+        };
+        format!("[{}] {} @ {}: {}", self.pass, self.severity, loc, detail)
+    }
+
+    /// Serializes the remark to a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("pass", Json::Str(self.pass.name().into())),
+            ("severity", Json::Str(self.severity.name().into())),
+            ("function", Json::Str(self.function.clone())),
+        ];
+        if let Some(b) = self.block {
+            pairs.push(("block", Json::u64(b as u64)));
+        }
+        if let Some(i) = self.inst {
+            pairs.push(("inst", Json::u64(i as u64)));
+        }
+        pairs.push(("kind", Json::Str(self.kind.tag().into())));
+        let payload = self.kind.payload();
+        if !payload.is_empty() {
+            pairs.push(("args", Json::obj(payload)));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Deserializes a remark from a JSON object.
+    pub fn from_json(j: &Json) -> Option<Remark> {
+        let tag = j.get("kind")?.as_str()?.to_string();
+        let args = j.get("args").cloned().unwrap_or(Json::Obj(vec![]));
+        Some(Remark {
+            pass: Pass::from_name(j.get("pass")?.as_str()?)?,
+            severity: Severity::from_name(j.get("severity")?.as_str()?)?,
+            function: j.get("function")?.as_str()?.to_string(),
+            block: j.get("block").and_then(Json::as_u64).map(|v| v as u32),
+            inst: j.get("inst").and_then(Json::as_u64).map(|v| v as u32),
+            kind: RemarkKind::from_payload(&tag, &args)?,
+        })
+    }
+}
+
+/// Sorts a remark stream into its canonical deterministic order.
+///
+/// The sort is stable, so remarks with identical keys (e.g. repeated
+/// identical warnings) keep their emission order.
+pub fn sort_remarks(remarks: &mut [Remark]) {
+    remarks.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+}
+
+/// Serializes a remark stream as a JSON array (canonically ordered).
+pub fn remarks_to_json(remarks: &[Remark]) -> Json {
+    let mut sorted: Vec<Remark> = remarks.to_vec();
+    sort_remarks(&mut sorted);
+    Json::Arr(sorted.iter().map(Remark::to_json).collect())
+}
+
+/// Parses a remark stream serialized by [`remarks_to_json`].
+pub fn remarks_from_json(j: &Json) -> Option<Vec<Remark>> {
+    j.as_arr()?.iter().map(Remark::from_json).collect()
+}
+
+/// Renders a remark stream as human-readable text, one line per remark,
+/// in canonical order.
+pub fn remarks_to_text(remarks: &[Remark]) -> String {
+    let mut sorted: Vec<Remark> = remarks.to_vec();
+    sort_remarks(&mut sorted);
+    let mut out = String::new();
+    for r in &sorted {
+        out.push_str(&r.render_text());
+        out.push('\n');
+    }
+    out
+}
+
+/// Derives the legacy `warnings: Vec<String>` surface from a remark
+/// stream: the text of every [`Severity::Warning`] remark, in emission
+/// order.
+pub fn warnings_of(remarks: &[Remark]) -> Vec<String> {
+    remarks
+        .iter()
+        .filter(|r| r.severity == Severity::Warning)
+        .map(|r| match &r.kind {
+            RemarkKind::Note { text } => text.clone(),
+            other => Remark {
+                pass: r.pass,
+                severity: r.severity,
+                function: r.function.clone(),
+                block: r.block,
+                inst: r.inst,
+                kind: other.clone(),
+            }
+            .render_text(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_remarks() -> Vec<Remark> {
+        vec![
+            Remark::new(
+                Pass::Vectorize,
+                Severity::Passed,
+                "binomial",
+                RemarkKind::MathDispatch {
+                    func: "pow".into(),
+                    lib: "sleef".into(),
+                    symbol: "sleef.pow.f32x8".into(),
+                },
+            )
+            .at_block(2)
+            .at_inst(17),
+            Remark::new(
+                Pass::Shape,
+                Severity::Analysis,
+                "binomial",
+                RemarkKind::ShapeSummary {
+                    uniform: 10,
+                    indexed: 3,
+                    varying: 21,
+                },
+            ),
+            Remark::warning(
+                Pass::Vectorize,
+                "binomial",
+                "store to a uniform address is racy",
+            ),
+            Remark::new(
+                Pass::Vectorize,
+                Severity::Passed,
+                "aobench",
+                RemarkKind::MemOp {
+                    is_store: false,
+                    choice: MemOpChoice::GatherScatter,
+                    stride: None,
+                },
+            )
+            .at_block(0)
+            .at_inst(4),
+            Remark::new(
+                Pass::Autovec,
+                Severity::Missed,
+                "mandelbrot",
+                RemarkKind::LoopRejected {
+                    reason: "loop-carried dependence".into(),
+                },
+            )
+            .at_block(1),
+        ]
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_all_fields() {
+        let remarks = sample_remarks();
+        let j = remarks_to_json(&remarks);
+        let text = j.to_string_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        let back = remarks_from_json(&parsed).unwrap();
+        let mut expect = remarks;
+        sort_remarks(&mut expect);
+        assert_eq!(back, expect);
+    }
+
+    #[test]
+    fn ordering_is_deterministic_across_emission_orders() {
+        let a = sample_remarks();
+        let mut b = sample_remarks();
+        b.reverse();
+        assert_eq!(remarks_to_json(&a), remarks_to_json(&b));
+        assert_eq!(remarks_to_text(&a), remarks_to_text(&b));
+        // Pipeline order: shape remarks precede vectorize remarks.
+        let text = remarks_to_text(&a);
+        let shape_pos = text.find("[shape]").unwrap();
+        let vec_pos = text.find("[vectorize]").unwrap();
+        let autovec_pos = text.find("[autovec]").unwrap();
+        assert!(shape_pos < vec_pos && vec_pos < autovec_pos);
+    }
+
+    #[test]
+    fn warnings_shim_extracts_warning_text() {
+        let remarks = sample_remarks();
+        let warnings = warnings_of(&remarks);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("racy"));
+    }
+
+    #[test]
+    fn render_text_mentions_key_facts() {
+        let remarks = sample_remarks();
+        let text = remarks_to_text(&remarks);
+        assert!(text.contains("sleef.pow.f32x8"));
+        assert!(text.contains("gather_scatter"));
+        assert!(text.contains("binomial:b2:i17"));
+        assert!(text.contains("loop-carried dependence"));
+    }
+}

@@ -1,0 +1,510 @@
+//! Cycle-attribution profiling.
+//!
+//! A [`Profile`] attributes the interpreter's simulated cycles to
+//! [`CostClass`] buckets per function, plus a per-symbol ledger of extern
+//! (math-library) calls. The bench binaries render profiles with
+//! `--profile`, and `profdiff` compares two serialized profiles as a CI
+//! performance gate ([`ProfileDiff`]).
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+
+/// Coarse cost classes that simulated cycles are attributed to.
+///
+/// These are the profiling-visible grouping of the virtual machine's
+/// micro-op kinds; the mapping from uops to classes lives in `vmach` so
+/// this crate stays dependency-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CostClass {
+    /// Scalar integer ALU work.
+    ScalarAlu,
+    /// Scalar floating-point work (including scalar divides).
+    ScalarFp,
+    /// Scalar loads/stores.
+    ScalarMem,
+    /// Packed vector ALU work.
+    VecAlu,
+    /// Packed vector multiplies.
+    VecMul,
+    /// Packed vector divides / square roots.
+    VecDiv,
+    /// Contiguous packed vector loads/stores.
+    VecMem,
+    /// Hardware gather.
+    Gather,
+    /// Hardware scatter.
+    Scatter,
+    /// Shuffles / permutes (including variable shuffles).
+    Shuffle,
+    /// Mask register manipulation.
+    MaskOp,
+    /// Cross-lane reductions.
+    Reduce,
+    /// Lane extract/insert traffic.
+    LaneXfer,
+    /// Broadcasts.
+    Splat,
+    /// Branches and other control flow.
+    Branch,
+    /// Direct (non-extern) calls, allocas, φ bookkeeping.
+    Other,
+    /// Extern math-library calls (sleef/fastm dispatch targets).
+    ExternCall,
+}
+
+/// All classes, in the fixed order used for serialization and rendering.
+pub const COST_CLASSES: [CostClass; 17] = [
+    CostClass::ScalarAlu,
+    CostClass::ScalarFp,
+    CostClass::ScalarMem,
+    CostClass::VecAlu,
+    CostClass::VecMul,
+    CostClass::VecDiv,
+    CostClass::VecMem,
+    CostClass::Gather,
+    CostClass::Scatter,
+    CostClass::Shuffle,
+    CostClass::MaskOp,
+    CostClass::Reduce,
+    CostClass::LaneXfer,
+    CostClass::Splat,
+    CostClass::Branch,
+    CostClass::Other,
+    CostClass::ExternCall,
+];
+
+impl CostClass {
+    /// Stable snake_case name used in JSON and text output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostClass::ScalarAlu => "scalar_alu",
+            CostClass::ScalarFp => "scalar_fp",
+            CostClass::ScalarMem => "scalar_mem",
+            CostClass::VecAlu => "vec_alu",
+            CostClass::VecMul => "vec_mul",
+            CostClass::VecDiv => "vec_div",
+            CostClass::VecMem => "vec_mem",
+            CostClass::Gather => "gather",
+            CostClass::Scatter => "scatter",
+            CostClass::Shuffle => "shuffle",
+            CostClass::MaskOp => "mask_op",
+            CostClass::Reduce => "reduce",
+            CostClass::LaneXfer => "lane_xfer",
+            CostClass::Splat => "splat",
+            CostClass::Branch => "branch",
+            CostClass::Other => "other",
+            CostClass::ExternCall => "extern_call",
+        }
+    }
+
+    /// Parses the stable name back into a class.
+    pub fn from_name(s: &str) -> Option<CostClass> {
+        COST_CLASSES.iter().copied().find(|c| c.name() == s)
+    }
+
+    fn index(self) -> usize {
+        COST_CLASSES
+            .iter()
+            .position(|c| *c == self)
+            .expect("class listed in COST_CLASSES")
+    }
+}
+
+impl std::fmt::Display for CostClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-function cycle attribution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FnProfile {
+    /// Cycles per cost class, indexed by position in [`COST_CLASSES`].
+    cycles: [u64; COST_CLASSES.len()],
+    /// Extern-call ledger: symbol → (call count, total cycles).
+    pub externs: BTreeMap<String, (u64, u64)>,
+}
+
+impl FnProfile {
+    /// Cycles attributed to one class.
+    pub fn class_cycles(&self, class: CostClass) -> u64 {
+        self.cycles[class.index()]
+    }
+
+    /// Total cycles across all classes.
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Classes ranked by cycles, descending, zero buckets omitted. Ties
+    /// break on the fixed class order, so the ranking is deterministic.
+    pub fn dominance(&self) -> Vec<(CostClass, u64)> {
+        let mut ranked: Vec<(CostClass, u64)> = COST_CLASSES
+            .iter()
+            .map(|&c| (c, self.class_cycles(c)))
+            .filter(|&(_, cy)| cy > 0)
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked
+    }
+}
+
+/// A cycle-attribution profile over a whole run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Per-function breakdowns, keyed (and therefore serialized) in sorted
+    /// function-name order.
+    pub functions: BTreeMap<String, FnProfile>,
+}
+
+impl Profile {
+    /// An empty profile.
+    pub fn new() -> Profile {
+        Profile::default()
+    }
+
+    /// Attributes `cycles` of class `class` to `function`.
+    pub fn record(&mut self, function: &str, class: CostClass, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        let f = self.functions.entry(function.to_string()).or_default();
+        f.cycles[class.index()] += cycles;
+    }
+
+    /// Attributes one extern call to `function`, both in the
+    /// [`CostClass::ExternCall`] bucket and in the per-symbol ledger.
+    pub fn record_extern(&mut self, function: &str, symbol: &str, cycles: u64) {
+        let f = self.functions.entry(function.to_string()).or_default();
+        f.cycles[CostClass::ExternCall.index()] += cycles;
+        let e = f.externs.entry(symbol.to_string()).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += cycles;
+    }
+
+    /// Total cycles across every function.
+    pub fn total_cycles(&self) -> u64 {
+        self.functions.values().map(FnProfile::total_cycles).sum()
+    }
+
+    /// Cycles in one class, summed over every function.
+    pub fn class_cycles(&self, class: CostClass) -> u64 {
+        self.functions.values().map(|f| f.class_cycles(class)).sum()
+    }
+
+    /// Total extern cycles for symbols whose name contains `pat`
+    /// (e.g. `"sleef.pow"` matches `sleef.pow.f32x8`).
+    pub fn extern_cycles_matching(&self, pat: &str) -> u64 {
+        self.functions
+            .values()
+            .flat_map(|f| f.externs.iter())
+            .filter(|(sym, _)| sym.contains(pat))
+            .map(|(_, (_, cy))| *cy)
+            .sum()
+    }
+
+    /// Folds another profile into this one.
+    pub fn merge(&mut self, other: &Profile) {
+        for (name, fp) in &other.functions {
+            let f = self.functions.entry(name.clone()).or_default();
+            for (i, cy) in fp.cycles.iter().enumerate() {
+                f.cycles[i] += cy;
+            }
+            for (sym, (calls, cy)) in &fp.externs {
+                let e = f.externs.entry(sym.clone()).or_insert((0, 0));
+                e.0 += calls;
+                e.1 += cy;
+            }
+        }
+    }
+
+    /// Whole-profile dominance ranking (see [`FnProfile::dominance`]).
+    pub fn dominance(&self) -> Vec<(CostClass, u64)> {
+        let mut sum = FnProfile::default();
+        for f in self.functions.values() {
+            for (i, cy) in f.cycles.iter().enumerate() {
+                sum.cycles[i] += cy;
+            }
+        }
+        sum.dominance()
+    }
+
+    /// Serializes to a JSON object. Output is deterministic: functions in
+    /// name order, classes in [`COST_CLASSES`] order (zero buckets
+    /// omitted), extern symbols in name order.
+    pub fn to_json(&self) -> Json {
+        let mut fns = Vec::new();
+        for (name, fp) in &self.functions {
+            let classes: Vec<(String, Json)> = COST_CLASSES
+                .iter()
+                .filter(|&&c| fp.class_cycles(c) > 0)
+                .map(|&c| (c.name().to_string(), Json::u64(fp.class_cycles(c))))
+                .collect();
+            let externs: Vec<(String, Json)> = fp
+                .externs
+                .iter()
+                .map(|(sym, (calls, cy))| {
+                    (
+                        sym.clone(),
+                        Json::obj(vec![
+                            ("calls", Json::u64(*calls)),
+                            ("cycles", Json::u64(*cy)),
+                        ]),
+                    )
+                })
+                .collect();
+            let mut pairs = vec![
+                ("total_cycles".to_string(), Json::u64(fp.total_cycles())),
+                ("classes".to_string(), Json::Obj(classes)),
+            ];
+            if !externs.is_empty() {
+                pairs.push(("externs".to_string(), Json::Obj(externs)));
+            }
+            fns.push((name.clone(), Json::Obj(pairs)));
+        }
+        Json::obj(vec![
+            ("total_cycles", Json::u64(self.total_cycles())),
+            ("functions", Json::Obj(fns)),
+        ])
+    }
+
+    /// Parses a profile serialized by [`to_json`](Profile::to_json).
+    pub fn from_json(j: &Json) -> Option<Profile> {
+        let mut p = Profile::new();
+        for (name, fj) in j.get("functions")?.as_obj()? {
+            let f = p.functions.entry(name.clone()).or_default();
+            for (cname, cy) in fj.get("classes")?.as_obj()? {
+                let class = CostClass::from_name(cname)?;
+                f.cycles[class.index()] += cy.as_u64()?;
+            }
+            if let Some(ext) = fj.get("externs") {
+                for (sym, e) in ext.as_obj()? {
+                    f.externs.insert(
+                        sym.clone(),
+                        (e.get("calls")?.as_u64()?, e.get("cycles")?.as_u64()?),
+                    );
+                }
+            }
+        }
+        Some(p)
+    }
+
+    /// Renders a per-function, per-class table for terminals.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let grand = self.total_cycles();
+        out.push_str(&format!("total cycles: {grand}\n"));
+        for (name, fp) in &self.functions {
+            let total = fp.total_cycles();
+            out.push_str(&format!("  fn {name}: {total} cycles\n"));
+            for (class, cy) in fp.dominance() {
+                let pct = if total > 0 {
+                    100.0 * cy as f64 / total as f64
+                } else {
+                    0.0
+                };
+                out.push_str(&format!(
+                    "    {:<12} {:>12}  {:5.1}%\n",
+                    class.name(),
+                    cy,
+                    pct
+                ));
+            }
+            for (sym, (calls, cy)) in &fp.externs {
+                out.push_str(&format!("    extern {sym}: {calls} call(s), {cy} cycles\n"));
+            }
+        }
+        out
+    }
+}
+
+/// One row of a profile comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Function name (or `"<total>"` for the whole-run row).
+    pub name: String,
+    /// Cycles in the baseline profile.
+    pub before: u64,
+    /// Cycles in the new profile.
+    pub after: u64,
+    /// `after / before`; `f64::INFINITY` when a function is new.
+    pub ratio: f64,
+}
+
+/// The result of diffing two profiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileDiff {
+    /// Per-function rows in name order, followed by a `"<total>"` row.
+    pub rows: Vec<DiffRow>,
+    /// Geometric mean of per-function ratios (functions present in both).
+    pub geomean_ratio: f64,
+    /// The regression threshold the diff was evaluated against.
+    pub threshold: f64,
+    /// True when `geomean_ratio > 1 + threshold`.
+    pub regressed: bool,
+}
+
+impl ProfileDiff {
+    /// Compares `after` against the `before` baseline.
+    ///
+    /// `threshold` is a fraction: `0.05` flags a regression when the
+    /// geometric-mean cycle ratio across shared functions exceeds 1.05.
+    pub fn compute(before: &Profile, after: &Profile, threshold: f64) -> ProfileDiff {
+        let mut names: Vec<&String> = before
+            .functions
+            .keys()
+            .chain(after.functions.keys())
+            .collect();
+        names.sort();
+        names.dedup();
+
+        let mut rows = Vec::new();
+        let mut log_sum = 0.0f64;
+        let mut shared = 0usize;
+        for name in names {
+            let b = before
+                .functions
+                .get(name)
+                .map(FnProfile::total_cycles)
+                .unwrap_or(0);
+            let a = after
+                .functions
+                .get(name)
+                .map(FnProfile::total_cycles)
+                .unwrap_or(0);
+            let ratio = if b > 0 {
+                a as f64 / b as f64
+            } else {
+                f64::INFINITY
+            };
+            if b > 0 && a > 0 {
+                log_sum += (a as f64 / b as f64).ln();
+                shared += 1;
+            }
+            rows.push(DiffRow {
+                name: name.clone(),
+                before: b,
+                after: a,
+                ratio,
+            });
+        }
+        let bt = before.total_cycles();
+        let at = after.total_cycles();
+        rows.push(DiffRow {
+            name: "<total>".to_string(),
+            before: bt,
+            after: at,
+            ratio: if bt > 0 {
+                at as f64 / bt as f64
+            } else {
+                f64::INFINITY
+            },
+        });
+        let geomean_ratio = if shared > 0 {
+            (log_sum / shared as f64).exp()
+        } else if at > bt {
+            f64::INFINITY
+        } else {
+            1.0
+        };
+        ProfileDiff {
+            rows,
+            geomean_ratio,
+            threshold,
+            regressed: geomean_ratio > 1.0 + threshold,
+        }
+    }
+
+    /// Renders the diff as a terminal table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>14} {:>14} {:>8}\n",
+            "function", "before", "after", "ratio"
+        ));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<24} {:>14} {:>14} {:>8.3}\n",
+                row.name, row.before, row.after, row.ratio
+            ));
+        }
+        out.push_str(&format!(
+            "geomean ratio {:.4} vs threshold {:.2} -> {}\n",
+            self.geomean_ratio,
+            1.0 + self.threshold,
+            if self.regressed { "REGRESSED" } else { "ok" }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> Profile {
+        let mut p = Profile::new();
+        p.record("binomial", CostClass::VecMul, 4000);
+        p.record("binomial", CostClass::VecMem, 1200);
+        p.record("binomial", CostClass::MaskOp, 90);
+        p.record_extern("binomial", "sleef.pow.f32x8", 248);
+        p.record_extern("binomial", "sleef.pow.f32x8", 248);
+        p.record("aobench", CostClass::Gather, 9000);
+        p.record("aobench", CostClass::VecAlu, 500);
+        p
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let p = sample_profile();
+        let text = p.to_json().to_string_pretty();
+        let back = Profile::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.total_cycles(), p.total_cycles());
+    }
+
+    #[test]
+    fn extern_ledger_counts_calls_and_cycles() {
+        let p = sample_profile();
+        let (calls, cycles) = p.functions["binomial"].externs["sleef.pow.f32x8"];
+        assert_eq!((calls, cycles), (2, 496));
+        assert_eq!(p.extern_cycles_matching("sleef.pow"), 496);
+        assert_eq!(p.extern_cycles_matching("fastm.pow"), 0);
+        assert_eq!(p.class_cycles(CostClass::ExternCall), 496);
+    }
+
+    #[test]
+    fn dominance_ranks_by_cycles() {
+        let p = sample_profile();
+        let ranked = p.functions["aobench"].dominance();
+        assert_eq!(ranked[0].0, CostClass::Gather);
+        let overall = p.dominance();
+        assert_eq!(overall[0], (CostClass::Gather, 9000));
+    }
+
+    #[test]
+    fn diff_flags_regressions_past_threshold() {
+        let before = sample_profile();
+        let mut after = sample_profile();
+        after.record("binomial", CostClass::VecDiv, 5000);
+        let d = ProfileDiff::compute(&before, &after, 0.05);
+        assert!(d.geomean_ratio > 1.05);
+        assert!(d.regressed);
+        // Unchanged profile is never a regression.
+        let same = ProfileDiff::compute(&before, &before, 0.05);
+        assert!((same.geomean_ratio - 1.0).abs() < 1e-12);
+        assert!(!same.regressed);
+        // An improvement is not a regression either.
+        let better = ProfileDiff::compute(&after, &before, 0.05);
+        assert!(!better.regressed);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = sample_profile();
+        let b = sample_profile();
+        a.merge(&b);
+        assert_eq!(a.total_cycles(), 2 * b.total_cycles());
+        assert_eq!(a.functions["binomial"].externs["sleef.pow.f32x8"].0, 4);
+    }
+}

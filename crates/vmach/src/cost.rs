@@ -125,6 +125,13 @@ impl CostModel for Avx512Cost {
         legalize(&self.target, f, id).iter().map(|u| u.cycles).sum()
     }
 
+    fn inst_cost_classed(&self, f: &Function, id: InstId) -> Vec<(telemetry::CostClass, u64)> {
+        legalize(&self.target, f, id)
+            .iter()
+            .map(|u| (u.kind.cost_class(), u.cycles))
+            .collect()
+    }
+
     fn extern_call_cost(&self, name: &str, ret: Ty) -> u64 {
         // Mangling: "{lib}.{fn}.{elem}" (scalar) or "{lib}.{fn}.{elem}x{G}".
         let mut parts = name.split('.');

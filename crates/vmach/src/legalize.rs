@@ -66,6 +66,32 @@ pub enum UopKind {
     Alloca,
 }
 
+impl UopKind {
+    /// The profiling cost class this micro-op is attributed to (the
+    /// telemetry-visible coarsening of the uop taxonomy).
+    pub fn cost_class(self) -> telemetry::CostClass {
+        use telemetry::CostClass as C;
+        match self {
+            UopKind::ScalarAlu => C::ScalarAlu,
+            UopKind::ScalarFp | UopKind::ScalarDiv => C::ScalarFp,
+            UopKind::ScalarMem => C::ScalarMem,
+            UopKind::VecAlu => C::VecAlu,
+            UopKind::VecMul | UopKind::Sad => C::VecMul,
+            UopKind::VecDiv => C::VecDiv,
+            UopKind::VecMem => C::VecMem,
+            UopKind::Gather { .. } => C::Gather,
+            UopKind::Scatter { .. } => C::Scatter,
+            UopKind::Shuffle | UopKind::ShuffleVar => C::Shuffle,
+            UopKind::MaskOp => C::MaskOp,
+            UopKind::Reduce { .. } => C::Reduce,
+            UopKind::LaneXfer => C::LaneXfer,
+            UopKind::Splat => C::Splat,
+            UopKind::Branch => C::Branch,
+            UopKind::Call | UopKind::Alloca => C::Other,
+        }
+    }
+}
+
 /// One legalized micro-op with its cycle cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Uop {
@@ -147,9 +173,7 @@ pub fn legalize(target: &Target, f: &Function, id: InstId) -> Vec<Uop> {
                     }
                 } else {
                     match op {
-                        BinOp::SDiv | BinOp::UDiv | BinOp::SRem | BinOp::URem => {
-                            UopKind::ScalarDiv
-                        }
+                        BinOp::SDiv | BinOp::UDiv | BinOp::SRem | BinOp::URem => UopKind::ScalarDiv,
                         _ => UopKind::ScalarAlu,
                     }
                 };
@@ -162,7 +186,11 @@ pub fn legalize(target: &Target, f: &Function, id: InstId) -> Vec<Uop> {
             let n = vec_split(target, oty);
             let kind = match op {
                 BinOp::Mul | BinOp::MulHiS | BinOp::MulHiU | BinOp::FMul => UopKind::VecMul,
-                BinOp::SDiv | BinOp::UDiv | BinOp::SRem | BinOp::URem | BinOp::FDiv
+                BinOp::SDiv
+                | BinOp::UDiv
+                | BinOp::SRem
+                | BinOp::URem
+                | BinOp::FDiv
                 | BinOp::FRem => UopKind::VecDiv,
                 _ => UopKind::VecAlu,
             };
@@ -204,7 +232,11 @@ pub fn legalize(target: &Target, f: &Function, id: InstId) -> Vec<Uop> {
             if !oty.is_vec() && !ty.is_vec() {
                 let fp = oty.elem().map_or(false, |e| e.is_float())
                     || ty.elem().map_or(false, |e| e.is_float());
-                vec![uop(if fp { UopKind::ScalarFp } else { UopKind::ScalarAlu })]
+                vec![uop(if fp {
+                    UopKind::ScalarFp
+                } else {
+                    UopKind::ScalarAlu
+                })]
             } else {
                 // Converting widths may need both source and dest registers.
                 let n = vec_split(target, oty).max(vec_split(target, ty));
@@ -239,9 +271,7 @@ pub fn legalize(target: &Target, f: &Function, id: InstId) -> Vec<Uop> {
         Inst::Load { ptr, .. } => {
             let pty = f.value_ty(*ptr);
             if pty.is_vec() {
-                vec![uop(UopKind::Gather {
-                    lanes: ty.lanes(),
-                })]
+                vec![uop(UopKind::Gather { lanes: ty.lanes() })]
             } else if ty.is_vec() {
                 repeat(UopKind::VecMem, vec_split(target, ty))
             } else {
@@ -252,9 +282,7 @@ pub fn legalize(target: &Target, f: &Function, id: InstId) -> Vec<Uop> {
             let pty = f.value_ty(*ptr);
             let vty = f.value_ty(*val);
             if pty.is_vec() {
-                vec![uop(UopKind::Scatter {
-                    lanes: pty.lanes(),
-                })]
+                vec![uop(UopKind::Scatter { lanes: pty.lanes() })]
             } else if vty.is_vec() {
                 repeat(UopKind::VecMem, vec_split(target, vty))
             } else {
@@ -415,6 +443,9 @@ mod avx2_tests {
         let any_cost: u64 = legalize(&t, &f, id_any).iter().map(|u| u.cycles).sum();
         let sum_cost: u64 = legalize(&t, &f, id_sum).iter().map(|u| u.cycles).sum();
         assert!(any_cost <= 2, "kortest-class, got {any_cost}");
-        assert!(sum_cost >= 10 * any_cost, "lane-tree reduce is much heavier");
+        assert!(
+            sum_cost >= 10 * any_cost,
+            "lane-tree reduce is much heavier"
+        );
     }
 }

@@ -165,10 +165,9 @@ impl ExternFns for RuntimeExterns {
         if lib != "sleef" && lib != "fastm" {
             return Err(ExecError::UnknownFunction(name.to_string()));
         }
-        let mf = parse_math(func)
-            .ok_or_else(|| ExecError::UnknownFunction(name.to_string()))?;
-        let (ty, lanes) = parse_elem(suffix)
-            .ok_or_else(|| ExecError::UnknownFunction(name.to_string()))?;
+        let mf = parse_math(func).ok_or_else(|| ExecError::UnknownFunction(name.to_string()))?;
+        let (ty, lanes) =
+            parse_elem(suffix).ok_or_else(|| ExecError::UnknownFunction(name.to_string()))?;
         self.call_math(mf, ty, lanes, args)
     }
 }
@@ -180,9 +179,7 @@ mod tests {
     #[test]
     fn scalar_and_vector_math_calls() {
         let e = RuntimeExterns::new();
-        let r = e
-            .call("sleef.exp.f32", &[RtVal::from_f32(1.0)])
-            .unwrap();
+        let r = e.call("sleef.exp.f32", &[RtVal::from_f32(1.0)]).unwrap();
         assert!((f32::from_bits(r.scalar().unwrap() as u32) - std::f32::consts::E).abs() < 1e-6);
 
         let v = RtVal::V(vec![(1.0f32).to_bits() as u64, (2.0f32).to_bits() as u64]);
@@ -204,7 +201,10 @@ mod tests {
     fn approx_mode_uses_polynomials_within_tolerance() {
         let e = RuntimeExterns::approx();
         let r = e
-            .call("sleef.pow.f32", &[RtVal::from_f32(2.0), RtVal::from_f32(10.0)])
+            .call(
+                "sleef.pow.f32",
+                &[RtVal::from_f32(2.0), RtVal::from_f32(10.0)],
+            )
             .unwrap();
         let v = f32::from_bits(r.scalar().unwrap() as u32);
         assert!((v - 1024.0).abs() / 1024.0 < 1e-4);

@@ -39,7 +39,11 @@ pub fn exp2f(x: f32) -> f32 {
 /// mantissa.
 pub fn log2f(x: f32) -> f32 {
     if x <= 0.0 {
-        return if x == 0.0 { f32::NEG_INFINITY } else { f32::NAN };
+        return if x == 0.0 {
+            f32::NEG_INFINITY
+        } else {
+            f32::NAN
+        };
     }
     let bits = x.to_bits();
     let mut e = ((bits >> 23) & 0xff) as i32 - 127;
@@ -132,13 +136,15 @@ pub fn atanf(x: f32) -> f32 {
         t = (t - 1.0) / (t + 1.0);
     }
     let z = t * t;
-    let p = (((8.053_744_5e-2 * z - 1.387_768_6e-1) * z + 1.997_771_1e-1) * z
-        - 3.333_295e-1)
-        * z
-        * t
-        + t;
+    let p =
+        (((8.053_744_5e-2 * z - 1.387_768_6e-1) * z + 1.997_771_1e-1) * z - 3.333_295e-1) * z * t
+            + t;
     y += p;
-    let r = if inv { std::f32::consts::FRAC_PI_2 - y } else { y };
+    let r = if inv {
+        std::f32::consts::FRAC_PI_2 - y
+    } else {
+        y
+    };
     if neg {
         -r
     } else {

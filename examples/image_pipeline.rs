@@ -92,10 +92,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut it = Interp::new(&out.module, mem, &*COST, &EXTERNS);
     it.call("to_gray", &[RtVal::S(p_bgr), RtVal::S(p_gray), RtVal::S(n)])?;
     it.call("blur3", &[RtVal::S(p_gray), RtVal::S(p_blur), RtVal::S(n)])?;
-    it.call("mean_value", &[RtVal::S(p_blur), RtVal::S(p_mean), RtVal::S(n)])?;
+    it.call(
+        "mean_value",
+        &[RtVal::S(p_blur), RtVal::S(p_mean), RtVal::S(n)],
+    )?;
     it.call(
         "binarize",
-        &[RtVal::S(p_blur), RtVal::S(p_bin), RtVal::S(p_mean), RtVal::S(n)],
+        &[
+            RtVal::S(p_blur),
+            RtVal::S(p_bin),
+            RtVal::S(p_mean),
+            RtVal::S(n),
+        ],
     )?;
 
     let mean = u64::from_le_bytes(it.mem.read_bytes(p_mean, 8)?.try_into()?);
@@ -110,7 +118,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for y in (0..h).step_by(16) {
         let row: String = (0..w)
             .step_by(8)
-            .map(|x| if bin[(y * w + x) as usize] == 255 { '#' } else { '.' })
+            .map(|x| {
+                if bin[(y * w + x) as usize] == 255 {
+                    '#'
+                } else {
+                    '.'
+                }
+            })
             .collect();
         println!("{row}");
     }

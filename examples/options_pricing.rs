@@ -63,7 +63,8 @@ fn price(
     steps: Option<u64>,
 ) -> Result<(Vec<f32>, u64), Box<dyn std::error::Error>> {
     let mut mem = Memory::default();
-    let to_bytes = |v: &[f32]| -> Vec<u8> { v.iter().flat_map(|f| f.to_bits().to_le_bytes()).collect() };
+    let to_bytes =
+        |v: &[f32]| -> Vec<u8> { v.iter().flat_map(|f| f.to_bits().to_le_bytes()).collect() };
     let spots: Vec<f32> = (0..n).map(|i| 80.0 + (i % 41) as f32).collect();
     let strikes: Vec<f32> = (0..n).map(|i| 90.0 + (i % 21) as f32).collect();
     let expiries: Vec<f32> = (0..n).map(|i| 0.25 + (i % 8) as f32 * 0.25).collect();

@@ -40,20 +40,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    the full-gang specialization into the gang loop.
     let out = vectorize_module(&module, &VectorizeOptions::default())?;
     println!("\n== vectorized driver (after the Parsimony pass) ==");
-    print!("{}", psir::print_function(out.module.function("saxpy").unwrap()));
+    print!(
+        "{}",
+        psir::print_function(out.module.function("saxpy").unwrap())
+    );
 
     // 3. Run it on the virtual AVX-512 machine.
     let n = 1000usize;
     let xs: Vec<f32> = (0..n).map(|i| i as f32 * 0.25).collect();
     let ys: Vec<f32> = (0..n).map(|i| 100.0 - i as f32).collect();
     let mut mem = Memory::default();
-    let to_bytes = |v: &[f32]| -> Vec<u8> { v.iter().flat_map(|f| f.to_bits().to_le_bytes()).collect() };
+    let to_bytes =
+        |v: &[f32]| -> Vec<u8> { v.iter().flat_map(|f| f.to_bits().to_le_bytes()).collect() };
     let x = mem.alloc_bytes(&to_bytes(&xs), 64)?;
     let y = mem.alloc_bytes(&to_bytes(&ys), 64)?;
     let mut it = Interp::new(&out.module, mem, &*COST, &EXTERNS);
     it.call(
         "saxpy",
-        &[RtVal::S(x), RtVal::S(y), RtVal::from_f32(3.0), RtVal::S(n as u64)],
+        &[
+            RtVal::S(x),
+            RtVal::S(y),
+            RtVal::from_f32(3.0),
+            RtVal::S(n as u64),
+        ],
     )?;
     let vec_cycles = it.cycles;
 
@@ -76,7 +85,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut it = Interp::new(&serial, mem, &*COST, &EXTERNS);
     it.call(
         "saxpy",
-        &[RtVal::S(x), RtVal::S(y), RtVal::from_f32(3.0), RtVal::S(n as u64)],
+        &[
+            RtVal::S(x),
+            RtVal::S(y),
+            RtVal::from_f32(3.0),
+            RtVal::S(n as u64),
+        ],
     )?;
     let scalar_cycles = it.cycles;
 

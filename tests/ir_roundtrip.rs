@@ -9,7 +9,13 @@ use suite::simdlib::kernels;
 
 #[test]
 fn vectorized_kernels_round_trip_and_run() {
-    let names = ["add_sat_u8", "bgr_to_gray", "blur3_u8", "segment_u8", "abs_diff_sum_u8"];
+    let names = [
+        "add_sat_u8",
+        "bgr_to_gray",
+        "blur3_u8",
+        "segment_u8",
+        "abs_diff_sum_u8",
+    ];
     let ks = kernels(512);
     for name in names {
         let k = ks.iter().find(|k| k.name == name).expect("kernel exists");
@@ -22,8 +28,8 @@ fn vectorized_kernels_round_trip_and_run() {
         let mut reparsed = Module::new();
         for f in module.functions() {
             let text = print_function(f);
-            let back = parse_function(&text)
-                .unwrap_or_else(|e| panic!("{name}/{}: {e}\n{text}", f.name));
+            let back =
+                parse_function(&text).unwrap_or_else(|e| panic!("{name}/{}: {e}\n{text}", f.name));
             psir::assert_valid(&back);
             let normalized = print_function(&back);
             let again = parse_function(&normalized)

@@ -30,7 +30,8 @@ fn listing1_serial_semantics_and_autovec_refusal() {
         }",
     )
     .unwrap();
-    let (_, report) = autovectorize_function(m.function("foo").unwrap(), &AutovecOptions::default());
+    let (_, report) =
+        autovectorize_function(m.function("foo").unwrap(), &AutovecOptions::default());
     assert_eq!(report.vectorized, 0, "Listing 1 must not vectorize");
     assert!(report.rejected[0].1.contains("dependence"));
 

@@ -43,12 +43,7 @@ impl E {
             E::Xor(a, b) => format!("({} ^ {})", a.render(), b.render()),
             E::Min(a, b) => format!("min({}, {})", a.render(), b.render()),
             E::Max(a, b) => format!("max({}, {})", a.render(), b.render()),
-            E::Sel(c, t, f) => format!(
-                "({} > 0 ? {} : {})",
-                c.render(),
-                t.render(),
-                f.render()
-            ),
+            E::Sel(c, t, f) => format!("({} > 0 ? {} : {})", c.render(), t.render(), f.render()),
         }
     }
 }
