@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Panic-hygiene ratchet: counts panic-family call sites (panic!, unwrap,
+# expect, unreachable!, todo!) in each crate's src/ and fails if any crate
+# exceeds its checked-in budget. The budgets are the current counts —
+# including #[cfg(test)] unit-test modules, which keeps the script a dumb
+# grep — so new panics in library code fail CI, and the numbers may only
+# be ratcheted *down* as code is converted to located diagnostics.
+#
+# Usage: ci/panic_budget.sh   (from the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# crate-dir budget
+BUDGETS="
+autovec 39
+bench 14
+core 78
+criterion_compat 0
+proptest_compat 2
+psimc 22
+psir 53
+rand_compat 0
+shapecheck 9
+suite 19
+telemetry 14
+vmach 11
+vmath 10
+"
+
+fail=0
+while read -r crate budget; do
+  [ -z "$crate" ] && continue
+  src="crates/$crate/src"
+  [ -d "$src" ] || { echo "panic_budget: missing $src" >&2; fail=1; continue; }
+  count=$(grep -rEn '\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(|todo!\(' \
+            "$src" --include='*.rs' 2>/dev/null | grep -cv '^\s*//' || true)
+  if [ "$count" -gt "$budget" ]; then
+    echo "panic_budget: crates/$crate has $count panic-family sites (budget $budget)" >&2
+    echo "  convert new failures to telemetry::Diagnostic instead (DESIGN.md §9)" >&2
+    fail=1
+  elif [ "$count" -lt "$budget" ]; then
+    echo "panic_budget: crates/$crate improved to $count (budget $budget) — ratchet the budget down"
+  else
+    echo "panic_budget: crates/$crate ok ($count/$budget)"
+  fi
+done <<EOF
+$BUDGETS
+EOF
+
+exit $fail

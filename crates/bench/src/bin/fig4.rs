@@ -20,6 +20,16 @@ fn usage() -> ! {
 }
 
 fn main() {
+    // Tool-quality failure reporting: anything that goes wrong below —
+    // including a pipeline diagnostic surfaced as a panic message — exits
+    // nonzero with a one-line formatted error, never a Rust backtrace.
+    if let Err(msg) = parsimony::fault::catch_pass_panic(run) {
+        eprintln!("fig4: error: {msg}");
+        std::process::exit(1);
+    }
+}
+
+fn run() {
     let args: Vec<String> = std::env::args().collect();
     let mut sizes = IspcSizes::default();
     let mut gang_sweep = false;

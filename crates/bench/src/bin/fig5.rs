@@ -22,6 +22,15 @@ fn usage() -> ! {
 }
 
 fn main() {
+    // As in fig4: failures become a one-line formatted error and a nonzero
+    // exit, never a Rust panic backtrace.
+    if let Err(msg) = parsimony::fault::catch_pass_panic(run) {
+        eprintln!("fig5: error: {msg}");
+        std::process::exit(1);
+    }
+}
+
+fn run() {
     let args: Vec<String> = std::env::args().collect();
     let mut n = DEFAULT_N;
     let mut with_noshape = false;

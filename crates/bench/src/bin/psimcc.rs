@@ -16,8 +16,17 @@
 //! * `--remarks text|json` prints the pipeline's structured optimization
 //!   remarks (shape summaries, memory-op selection, linearization, math
 //!   dispatch, …) in deterministic order instead of the vector IR.
+//! * `--verify off|fallback|strict` controls in-pipeline IR verification
+//!   (default `fallback`: a variant that fails verification degrades its
+//!   region to a scalar gang-serialized loop; `strict` makes any region
+//!   failure a hard located error).
+//! * `--inject-fault PASS:SITE` deterministically injects a fault at a
+//!   registered pipeline site (see `--inject-fault help`), exercising the
+//!   degradation machinery end to end.
 
-use parsimony::{vectorize_module, VectorizeOptions};
+use parsimony::{
+    vectorize_module_with, FaultInjector, PipelineOptions, VectorizeOptions, VerifyMode,
+};
 use psir::{Interp, Memory, RtVal};
 use vmach::Avx512Cost;
 use vmath::RuntimeExterns;
@@ -25,7 +34,8 @@ use vmath::RuntimeExterns;
 fn usage() -> ! {
     eprintln!(
         "usage: psimcc FILE [--emit scalar|vector] [--gang-sync] [--no-shape] \
-         [--boscc] [--remarks text|json] [--run ENTRY [ARG…]] [--cycles]"
+         [--boscc] [--remarks text|json] [--verify off|fallback|strict] \
+         [--inject-fault PASS:SITE] [--run ENTRY [ARG…]] [--cycles]"
     );
     std::process::exit(2);
 }
@@ -38,6 +48,20 @@ fn main() {
     let mut run: Option<(String, Vec<String>)> = None;
     let mut show_cycles = false;
     let mut remarks_mode: Option<String> = None;
+    let mut popts = PipelineOptions::default();
+
+    let parse_verify = |s: &str| {
+        VerifyMode::parse(s).unwrap_or_else(|| {
+            eprintln!("psimcc: invalid --verify mode `{s}` (expected off, fallback, or strict)");
+            std::process::exit(2);
+        })
+    };
+    let parse_inject = |s: &str| -> FaultInjector {
+        FaultInjector::parse(s).unwrap_or_else(|e| {
+            eprintln!("psimcc: {e}");
+            std::process::exit(2);
+        })
+    };
 
     let mut i = 0;
     while i < args.len() {
@@ -64,6 +88,22 @@ fn main() {
                     usage();
                 }
                 remarks_mode = Some(mode.to_string());
+            }
+            "--verify" => {
+                i += 1;
+                let mode = args.get(i).cloned().unwrap_or_else(|| usage());
+                popts.verify = parse_verify(&mode);
+            }
+            flag if flag.starts_with("--verify=") => {
+                popts.verify = parse_verify(&flag["--verify=".len()..]);
+            }
+            "--inject-fault" => {
+                i += 1;
+                let spec = args.get(i).cloned().unwrap_or_else(|| usage());
+                popts.inject = Some(parse_inject(&spec));
+            }
+            flag if flag.starts_with("--inject-fault=") => {
+                popts.inject = Some(parse_inject(&flag["--inject-fault=".len()..]));
             }
             "--run" => {
                 i += 1;
@@ -102,8 +142,10 @@ fn main() {
         return;
     }
 
-    let out = vectorize_module(&scalar, &opts).unwrap_or_else(|e| {
-        eprintln!("psimcc: vectorization failed: {e}");
+    let out = vectorize_module_with(&scalar, &opts, &popts).unwrap_or_else(|e| {
+        // A formatted, located diagnostic ([pass] @func:bN:iN: message) —
+        // never a Rust panic backtrace.
+        eprintln!("psimcc: error: {e}");
         std::process::exit(1);
     });
     for w in &out.warnings {

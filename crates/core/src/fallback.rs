@@ -1,0 +1,342 @@
+//! Scalar gang-serialization fallback: the degradation path of the driver.
+//!
+//! When a region cannot be vectorized (or its vector output fails
+//! in-pipeline verification), the pipeline still has to honor the front-end
+//! contract of §4.1: the gang loop at the call site invokes
+//! `<region>__full` / `<region>__partial` (and `__head` when peeling), and
+//! *any* implementation with those names is acceptable. This module provides
+//! the trivially correct one, generalizing the paper's §4.2 serialization
+//! mechanism (opaque calls execute "by executing the scalar versions of
+//! these functions serially for each thread in the gang") from a single call
+//! to a whole region:
+//!
+//! * `<region>__lane` — a scalar clone of the region body parameterized by
+//!   an explicit trailing `lane` argument, with every Parsimony intrinsic
+//!   rewritten to its per-lane scalar meaning
+//!   (`thread_num = gang_base + lane`, …),
+//! * `__full`/`__head` — a loop calling `__lane` for lanes `0..G`,
+//! * `__partial` — the same loop bounded by `num_threads - gang_base`.
+//!
+//! Serialization is only legal for regions with **no horizontal
+//! operations**: `gang_sync`, `shuffle`, `broadcast`, `reduce` and
+//! `sad_groups` are rendezvous points between concurrently-live lanes, and
+//! a lane-at-a-time schedule cannot honor them. Such regions are reported
+//! as non-degradable with a located diagnostic instead.
+
+use crate::region::{full_name, head_name, partial_name};
+use crate::shape::{gang_base_param, num_threads_param, SPMD_EXTRA_PARAMS};
+use psir::{
+    BinOp, BlockId, CmpPred, Const, Function, FunctionBuilder, Inst, InstId, Intrinsic, Param,
+    ScalarTy, Ty, Value,
+};
+use telemetry::{Diagnostic, Pass};
+
+/// Name of the per-lane scalar body backing the serialized variants.
+pub fn lane_name(region: &str) -> String {
+    format!("{region}__lane")
+}
+
+/// Which driver variant to emit around the `__lane` body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Variant {
+    Full,
+    Partial,
+    Head,
+}
+
+/// Builds the scalar serialized variants for `region`: the `__lane` body
+/// plus `__full`, `__partial` and (when `emit_head`) `__head` drivers.
+///
+/// # Errors
+/// A located diagnostic when the region is not serializable: it contains
+/// horizontal operations, lacks the SPMD annotation, or is missing the
+/// implicit trailing `(gang_base, num_threads)` parameters.
+pub fn serialize_region(region: &Function, emit_head: bool) -> Result<Vec<Function>, Diagnostic> {
+    let Some(spmd) = region.spmd else {
+        return Err(Diagnostic::new(
+            Pass::Pipeline,
+            &region.name,
+            "cannot serialize: function is not SPMD-annotated",
+        ));
+    };
+    if region.params.len() < SPMD_EXTRA_PARAMS {
+        return Err(Diagnostic::new(
+            Pass::Pipeline,
+            &region.name,
+            "cannot serialize: missing the implicit (gang_base, num_threads) parameters",
+        ));
+    }
+    if let Some((b, i)) = first_horizontal(region) {
+        return Err(Diagnostic::new(
+            Pass::Pipeline,
+            &region.name,
+            "cannot serialize: region uses a horizontal operation (a rendezvous \
+             between concurrently-live lanes has no lane-at-a-time schedule)",
+        )
+        .at_block(b)
+        .at_inst(i));
+    }
+    let g = spmd.gang_size;
+    let lane_fn = build_lane_fn(region, g);
+    let mut out = vec![
+        build_driver(region, g, Variant::Full),
+        build_driver(region, g, Variant::Partial),
+    ];
+    if emit_head {
+        out.push(build_driver(region, g, Variant::Head));
+    }
+    out.push(lane_fn);
+    Ok(out)
+}
+
+/// Locates the first horizontal intrinsic, if any, for diagnostics.
+fn first_horizontal(f: &Function) -> Option<(u32, u32)> {
+    for b in f.block_ids() {
+        for &i in &f.block(b).insts {
+            if let Inst::Intrin { kind, .. } = f.inst(i) {
+                if kind.is_horizontal() {
+                    return Some((b.0, i.0));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Clones the region body into a `__lane(params…, gang_base, num_threads,
+/// lane)` scalar function, rewriting the vertical Parsimony intrinsics in
+/// place to their per-lane scalar values (exactly the reference executor's
+/// semantics in `spmd_ref`).
+fn build_lane_fn(src: &Function, g: u32) -> Function {
+    let mut f = src.clone();
+    f.name = lane_name(&src.name);
+    f.spmd = None;
+    let gb = Value::Param(gang_base_param(src));
+    let nt = Value::Param(num_threads_param(src));
+    let lane = Value::Param(f.params.len() as u32);
+    f.params.push(Param::new("lane", Ty::scalar(ScalarTy::I64)));
+    let gconst = Value::Const(Const::i64(g as i64));
+    let zero = Value::Const(Const::i64(0));
+
+    for bi in 0..f.num_blocks() {
+        let bid = BlockId(bi as u32);
+        let ids: Vec<InstId> = f.block(bid).insts.clone();
+        let mut rewritten: Vec<InstId> = Vec::with_capacity(ids.len());
+        for id in ids {
+            let kind = match f.inst(id) {
+                Inst::Intrin { kind, .. } => *kind,
+                _ => {
+                    rewritten.push(id);
+                    continue;
+                }
+            };
+            // The replacement keeps the original InstId (so uses stay
+            // valid) and the original result type: i64 for the indexing
+            // queries, i1 for the gang predicates.
+            let replacement = match kind {
+                Intrinsic::LaneNum => Inst::Bin {
+                    op: BinOp::Add,
+                    a: lane,
+                    b: zero,
+                },
+                Intrinsic::ThreadNum => Inst::Bin {
+                    op: BinOp::Add,
+                    a: gb,
+                    b: lane,
+                },
+                Intrinsic::GangNum => Inst::Bin {
+                    op: BinOp::SDiv,
+                    a: gb,
+                    b: gconst,
+                },
+                Intrinsic::NumThreads => Inst::Bin {
+                    op: BinOp::Add,
+                    a: nt,
+                    b: zero,
+                },
+                Intrinsic::GangSize => Inst::Bin {
+                    op: BinOp::Add,
+                    a: gconst,
+                    b: zero,
+                },
+                Intrinsic::IsHeadGang => Inst::Cmp {
+                    pred: CmpPred::Eq,
+                    a: gb,
+                    b: zero,
+                },
+                Intrinsic::IsTailGang => {
+                    // gang_base + G >= num_threads needs a helper add.
+                    let sum = f.add_inst(
+                        Inst::Bin {
+                            op: BinOp::Add,
+                            a: gb,
+                            b: gconst,
+                        },
+                        Ty::scalar(ScalarTy::I64),
+                    );
+                    rewritten.push(sum);
+                    Inst::Cmp {
+                        pred: CmpPred::Sge,
+                        a: Value::Inst(sum),
+                        b: nt,
+                    }
+                }
+                // Math and FMA already have scalar semantics; horizontal
+                // intrinsics were rejected by `serialize_region`.
+                Intrinsic::Math(_)
+                | Intrinsic::Fma
+                | Intrinsic::GangSync
+                | Intrinsic::Shuffle
+                | Intrinsic::Broadcast
+                | Intrinsic::GangReduce(_)
+                | Intrinsic::SadGroups => {
+                    rewritten.push(id);
+                    continue;
+                }
+            };
+            *f.inst_mut(id) = replacement;
+            rewritten.push(id);
+        }
+        f.block_mut(bid).insts = rewritten;
+    }
+    f
+}
+
+/// Emits one serialized driver: a scalar loop over lanes calling `__lane`.
+fn build_driver(src: &Function, g: u32, variant: Variant) -> Function {
+    let name = match variant {
+        Variant::Full => full_name(&src.name),
+        Variant::Partial => partial_name(&src.name),
+        Variant::Head => head_name(&src.name),
+    };
+    let mut fb = FunctionBuilder::new(name, src.params.clone(), Ty::Void);
+    let gb = Value::Param(gang_base_param(src));
+    let nt = Value::Param(num_threads_param(src));
+    // Full (and head) gangs run all G lanes; the tail gang runs the
+    // remaining num_threads - gang_base (Listing 6's implicit guard).
+    let count = match variant {
+        Variant::Full | Variant::Head => Value::Const(Const::i64(g as i64)),
+        Variant::Partial => fb.bin(BinOp::Sub, nt, gb),
+    };
+
+    let header = fb.new_block("lane.header");
+    let body = fb.new_block("lane.body");
+    let exit = fb.new_block("lane.exit");
+    let pre = fb.current_block();
+    fb.br(header);
+
+    fb.switch_to(header);
+    let lane = fb.phi_typed(
+        Ty::scalar(ScalarTy::I64),
+        vec![(pre, Value::Const(Const::i64(0)))],
+    );
+    let more = fb.cmp(CmpPred::Slt, lane, count);
+    fb.cond_br(more, body, exit);
+
+    fb.switch_to(body);
+    let mut args: Vec<Value> = (0..src.params.len() as u32).map(Value::Param).collect();
+    args.push(lane);
+    fb.call(lane_name(&src.name), Ty::Void, args);
+    let next = fb.bin(BinOp::Add, lane, 1i64);
+    let cur = fb.current_block();
+    fb.phi_add_incoming(lane, cur, next);
+    fb.br(header);
+
+    fb.switch_to(exit);
+    fb.ret(None);
+    fb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmd_ref::SpmdRef;
+    use psir::{assert_valid, Interp, Memory, Module, RtVal, SpmdInfo, ThreadCount};
+
+    fn sample_region(gang: u32) -> Function {
+        let mut fb = FunctionBuilder::new(
+            "k__psim0",
+            vec![
+                Param::new("a", Ty::scalar(ScalarTy::Ptr)),
+                Param::new("gang_base", Ty::scalar(ScalarTy::I64)),
+                Param::new("num_threads", Ty::scalar(ScalarTy::I64)),
+            ],
+            Ty::Void,
+        );
+        fb.set_spmd(SpmdInfo {
+            gang_size: gang,
+            num_threads: ThreadCount::Dynamic,
+            partial: false,
+        });
+        // a[tid] = tid * 3 + gang_num + is_tail_gang
+        let tid = fb.thread_num();
+        let gn = fb.intrin(Intrinsic::GangNum, vec![], Ty::scalar(ScalarTy::I64));
+        let tail = fb.intrin(Intrinsic::IsTailGang, vec![], Ty::scalar(ScalarTy::I1));
+        let tail64 = fb.cast(psir::CastKind::Zext, tail, Ty::scalar(ScalarTy::I64));
+        let t3 = fb.bin(BinOp::Mul, tid, 3i64);
+        let s = fb.bin(BinOp::Add, t3, gn);
+        let s2 = fb.bin(BinOp::Add, s, tail64);
+        let s32 = fb.cast(psir::CastKind::Trunc, s2, Ty::scalar(ScalarTy::I32));
+        let addr = fb.gep(Value::Param(0), tid, 4);
+        fb.store(addr, s32, None);
+        fb.ret(None);
+        fb.finish()
+    }
+
+    #[test]
+    fn serialized_variants_match_spmd_reference() {
+        let region = sample_region(8);
+        let variants = serialize_region(&region, false).unwrap();
+        assert_eq!(variants.len(), 3); // full, partial, lane
+        let mut m = Module::new();
+        m.add_function(region.clone());
+        for v in variants {
+            assert_valid(&v);
+            m.add_function(v);
+        }
+        let n = 13u64; // one full gang + a 5-lane tail
+                       // Reference: the scalar SPMD executor.
+        let mut refmem = Memory::default();
+        let rbuf = refmem.alloc(4 * n, 64).unwrap();
+        let mut r = SpmdRef::new(&m, refmem);
+        r.run_region("k__psim0", &[RtVal::S(rbuf)], n).unwrap();
+        let expect = r.mem.read_bytes(rbuf, 4 * n).unwrap().to_vec();
+        // Serialized variants, driven as Listing 6 would.
+        let mut mem = Memory::default();
+        let buf = mem.alloc(4 * n, 64).unwrap();
+        let mut it = Interp::with_defaults(&m, mem);
+        it.call("k__psim0__full", &[RtVal::S(buf), RtVal::S(0), RtVal::S(n)])
+            .unwrap();
+        it.call(
+            "k__psim0__partial",
+            &[RtVal::S(buf), RtVal::S(8), RtVal::S(n)],
+        )
+        .unwrap();
+        let got = it.mem.read_bytes(buf, 4 * n).unwrap().to_vec();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn horizontal_regions_are_not_serializable() {
+        let mut fb = FunctionBuilder::new(
+            "h__psim0",
+            vec![
+                Param::new("gang_base", Ty::scalar(ScalarTy::I64)),
+                Param::new("num_threads", Ty::scalar(ScalarTy::I64)),
+            ],
+            Ty::Void,
+        );
+        fb.set_spmd(SpmdInfo {
+            gang_size: 4,
+            num_threads: ThreadCount::Dynamic,
+            partial: false,
+        });
+        let lane = fb.lane_num();
+        let _ = fb.shuffle_sync(lane, 0i64);
+        fb.ret(None);
+        let f = fb.finish();
+        let err = serialize_region(&f, false).unwrap_err();
+        assert!(err.message.contains("horizontal"));
+        assert!(err.block.is_some() && err.inst.is_some());
+    }
+}

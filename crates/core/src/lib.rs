@@ -15,9 +15,18 @@
 //!   semantics; the differential oracle for the vectorizer,
 //! * [`emit_gang_loop`] — the front-end contract of §4.1 (Listing 6):
 //!   outlined regions, the gang loop, full/partial specialization.
+//!
+//! The module driver is **panic-free and fault tolerant**: pass failures
+//! become located [`telemetry::Diagnostic`]s, failing regions degrade to a
+//! scalar gang-serialized loop ([`fallback`]) instead of aborting the
+//! module, produced variants are verified in-pipeline ([`VerifyMode`]), and
+//! every recovery path is exercisable deterministically through the fault
+//! injection harness ([`fault`]).
 
 #![warn(missing_docs)]
 
+pub mod fallback;
+pub mod fault;
 pub mod opt;
 pub mod pipeline;
 pub mod region;
@@ -26,9 +35,13 @@ pub mod spmd_ref;
 pub mod structurize;
 pub mod transform;
 
-pub use pipeline::{vectorize_module, PipelineOutput};
+pub use fault::FaultInjector;
+pub use pipeline::{
+    vectorize_module, vectorize_module_with, PipelineOptions, PipelineOutput, VerifyMode,
+};
 pub use region::emit_gang_loop;
 pub use shape::{analyze, Shape, ShapeInfo, ShapeMap};
 pub use spmd_ref::SpmdRef;
 pub use structurize::{structurize, ControlTree, Node, StructurizeError};
+pub use telemetry::Diagnostic;
 pub use transform::{vectorize_function, MathLib, VectorizeError, VectorizeOptions, Vectorized};

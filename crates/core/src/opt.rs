@@ -348,7 +348,7 @@ pub fn inline_calls(m: &mut psir::Module, callee_names: &[String]) -> usize {
         loop {
             // Find one call site at a time (inlining invalidates positions).
             let site = {
-                let f = m.function(&caller).expect("caller exists");
+                let Some(f) = m.function(&caller) else { break };
                 let mut found = None;
                 'outer: for b in f.block_ids() {
                     for (pos, &id) in f.block(b).insts.iter().enumerate() {
@@ -365,9 +365,15 @@ pub fn inline_calls(m: &mut psir::Module, callee_names: &[String]) -> usize {
             let Some((block, pos, call_id, callee)) = site else {
                 break;
             };
-            let callee_fn = m.function(&callee).expect("callee exists").clone();
-            let f = m.function_mut(&caller).expect("caller exists");
-            inline_one(f, block, pos, call_id, &callee_fn);
+            let Some(callee_fn) = m.function(&callee).map(Function::clone) else {
+                break;
+            };
+            let Some(f) = m.function_mut(&caller) else {
+                break;
+            };
+            if !inline_one(f, block, pos, call_id, &callee_fn) {
+                break;
+            }
             inlined += 1;
         }
     }
@@ -380,10 +386,12 @@ fn inline_one(
     pos: usize,
     call_id: InstId,
     callee: &Function,
-) {
+) -> bool {
     let args = match f.inst(call_id) {
         Inst::Call { args, .. } => args.clone(),
-        other => panic!("not a call: {other:?}"),
+        // The site scan only hands us calls; a mismatch means the caller
+        // mutated underneath us, and skipping the site beats aborting.
+        _ => return false,
     };
 
     // 1. Copy the callee's instruction arena with remapped operands.
@@ -522,6 +530,7 @@ fn inline_one(
             f.block_mut(b).term = term;
         }
     }
+    true
 }
 
 /// Redundant-load elimination within basic blocks: a load from the same

@@ -1,19 +1,89 @@
 //! Module-level driver: run the Parsimony pass over every SPMD-annotated
 //! function in a module, exactly as the paper inserts its single IR-to-IR
 //! pass into an existing pipeline (§4).
+//!
+//! The driver is **fault tolerant**: a region that fails vectorization, or
+//! whose vector output fails in-pipeline verification, does not abort the
+//! module. Instead it is emitted as a scalar gang-serialized loop (the
+//! §4.2 serialization mechanism, see [`crate::fallback`]), a
+//! warning-severity [`RemarkKind::Degraded`] remark carries the located
+//! diagnostic, and compilation continues with the remaining regions.
+//! Residual panics deep inside a pass are caught at this boundary
+//! ([`crate::fault::catch_pass_panic`]) and attributed to the active pass.
+//! Only two things are hard errors: `--verify=strict`, and a failing region
+//! that cannot be serialized (it uses horizontal operations, which have no
+//! lane-at-a-time schedule).
 
-use crate::transform::{
-    vectorize_function, vectorize_function_with, VectorizeError, VectorizeOptions,
-};
-use psir::{Inst, Intrinsic, Module};
-use telemetry::Remark;
+use crate::fallback;
+use crate::fault::{self, FaultInjector};
+use crate::transform::{vectorize_function_with, VectorizeError, VectorizeOptions};
+use psir::{Function, Inst, Intrinsic, Module};
+use telemetry::{Diagnostic, Pass, Remark, RemarkKind, Severity};
+
+/// When the pipeline runs `psir::verify` on its own output, and what a
+/// verification failure does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyMode {
+    /// No in-pipeline verification.
+    Off,
+    /// Verify every produced variant; a failure degrades the region to the
+    /// scalar serialized fallback (the default).
+    #[default]
+    Fallback,
+    /// Verify every produced variant; any failure — verification or
+    /// vectorization — is a hard located error.
+    Strict,
+}
+
+impl VerifyMode {
+    /// Parses the `--verify=` flag value.
+    pub fn parse(s: &str) -> Option<VerifyMode> {
+        Some(match s {
+            "off" => VerifyMode::Off,
+            "fallback" => VerifyMode::Fallback,
+            "strict" => VerifyMode::Strict,
+            _ => return None,
+        })
+    }
+
+    /// Stable flag-value name.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerifyMode::Off => "off",
+            VerifyMode::Fallback => "fallback",
+            VerifyMode::Strict => "strict",
+        }
+    }
+}
+
+/// Driver-level configuration, separate from the per-function
+/// [`VectorizeOptions`].
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// In-pipeline verification mode.
+    pub verify: VerifyMode,
+    /// Armed fault injector, if any (tests pass one explicitly; the
+    /// [`Default`] impl consults the `PSIM_INJECT_FAULT` environment
+    /// variable).
+    pub inject: Option<FaultInjector>,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> PipelineOptions {
+        PipelineOptions {
+            verify: VerifyMode::Fallback,
+            inject: FaultInjector::from_env(),
+        }
+    }
+}
 
 /// Result of vectorizing a module.
 #[derive(Debug)]
 pub struct PipelineOutput {
     /// The module with `<region>__full` / `<region>__partial` vector
     /// functions added (scalar functions, including the annotated
-    /// originals, are preserved).
+    /// originals, are preserved). Degraded regions contribute scalar
+    /// serialized functions under the same names instead.
     pub module: Module,
     /// All compile-time warnings across regions (derived from `remarks` —
     /// the text of every warning-severity remark, kept for compatibility).
@@ -22,27 +92,74 @@ pub struct PipelineOutput {
     pub remarks: Vec<Remark>,
     /// Names of the regions that were vectorized.
     pub vectorized: Vec<String>,
+    /// Names of the regions that fell back to the scalar gang-serialized
+    /// loop; each has a matching [`RemarkKind::Degraded`] warning remark.
+    pub degraded: Vec<String>,
 }
 
 /// Vectorizes every SPMD function in `m`, adding the full and partial
 /// specializations the gang loop (Listing 6) calls, then re-inlines the
 /// *full* specialization into its call sites (§4.1: the back-end re-inlines
 /// the vectorized function to avoid the call overhead; the cold tail call
-/// stays out of line).
+/// stays out of line). Uses [`PipelineOptions::default`]: verification in
+/// fallback mode, fault injection from the environment.
 ///
 /// # Errors
-/// Fails if any region cannot be vectorized; the module is not partially
-/// updated in that case.
+/// Fails only for a failing region that cannot be scalar-serialized (it
+/// uses horizontal operations); all other region failures degrade to the
+/// serialized fallback and are reported through `degraded`/`remarks`.
 pub fn vectorize_module(
     m: &Module,
     opts: &VectorizeOptions,
 ) -> Result<PipelineOutput, VectorizeError> {
+    vectorize_module_with(m, opts, &PipelineOptions::default())
+}
+
+/// [`vectorize_module`] with explicit driver options.
+///
+/// # Errors
+/// In [`VerifyMode::Strict`], any region failure is a hard located error.
+/// Otherwise only a non-serializable failing region fails the module.
+pub fn vectorize_module_with(
+    m: &Module,
+    opts: &VectorizeOptions,
+    popts: &PipelineOptions,
+) -> Result<PipelineOutput, VectorizeError> {
+    fault::with_injector(popts.inject.clone(), || drive(m, opts, popts))
+}
+
+/// One region's successfully built vector variants.
+struct BuiltRegion {
+    funcs: Vec<Function>,
+    remarks: Vec<Remark>,
+    inline_targets: Vec<String>,
+}
+
+fn drive(
+    m: &Module,
+    opts: &VectorizeOptions,
+    popts: &PipelineOptions,
+) -> Result<PipelineOutput, VectorizeError> {
     let mut out = m.clone();
     let mut remarks = Vec::new();
     let mut vectorized = Vec::new();
+    let mut degraded = Vec::new();
     let mut inline_targets = Vec::new();
     for name in m.spmd_functions() {
-        let f = m.function(&name).expect("listed function exists");
+        let Some(f) = m.function(&name) else {
+            // Unreachable from `spmd_functions`, but a lookup mismatch must
+            // not take down the driver (it used to be an `.expect`).
+            let d = Diagnostic::new(
+                Pass::Pipeline,
+                &name,
+                "listed SPMD function missing from module",
+            );
+            if popts.verify == VerifyMode::Strict {
+                return Err(VectorizeError::Invalid(d));
+            }
+            remarks.push(d.to_remark());
+            continue;
+        };
         // Head-gang peeling applies when the region queries the predicate.
         let uses_head = f.block_ids().any(|b| {
             f.block(b).insts.iter().any(|&i| {
@@ -55,41 +172,155 @@ pub fn vectorize_module(
                 )
             })
         });
-        let mut variants = Vec::new();
-        if uses_head {
-            // The peeled specialization folds the predicate; the plain
-            // __full keeps the runtime check so non-peeling drivers (or the
-            // n < G case) remain correct.
-            variants.push(vectorize_function_with(f, opts, false, Some(true))?);
-        }
-        variants.push(vectorize_function(f, opts, false)?);
-        variants.push(vectorize_function(f, opts, true)?);
-        for v in variants {
-            let mut func = v.func;
-            crate::opt::cleanup(&mut func);
-            remarks.extend(v.remarks);
-            if func.name.ends_with("__full") || func.name.ends_with("__head") {
-                inline_targets.push(func.name.clone());
+
+        // Everything pass-shaped runs behind the catch_unwind boundary so a
+        // panic anywhere inside structurize/shape/transform/opt/verify is
+        // attributed and handled like an ordinary pass error.
+        let built = fault::catch_pass_panic(|| build_region(f, opts, popts, uses_head));
+        let failure = match built {
+            Ok(Ok(b)) => {
+                for func in b.funcs {
+                    out.add_function(func);
+                }
+                remarks.extend(b.remarks);
+                inline_targets.extend(b.inline_targets);
+                vectorized.push(name.clone());
+                None
             }
+            Ok(Err(d)) => Some(d),
+            Err(msg) => {
+                let pass = fault::current_pass();
+                fault::reset_current_pass();
+                Some(Diagnostic::new(
+                    pass,
+                    &name,
+                    format!("internal error (caught panic): {msg}"),
+                ))
+            }
+        };
+
+        let Some(diag) = failure else { continue };
+        if popts.verify == VerifyMode::Strict {
+            return Err(VectorizeError::Invalid(diag));
+        }
+        // Graceful degradation: emit the region as a scalar gang-serialized
+        // loop under the same __full/__partial/__head names, record the
+        // diagnostic on a warning remark, and keep compiling.
+        let fb_funcs = fallback::serialize_region(f, uses_head).map_err(|mut d2| {
+            d2.message = format!("{} (region failed with: {diag})", d2.message);
+            VectorizeError::Invalid(d2)
+        })?;
+        for func in &fb_funcs {
+            // The fallback generator is simple enough to verify its own
+            // output unconditionally; a failure here is a driver bug, not
+            // user input, so it is a hard error even in fallback mode.
+            if let Some(e) = psir::verify_function(func).first() {
+                let mut d = Diagnostic::new(
+                    Pass::Pipeline,
+                    &func.name,
+                    format!("serialized fallback failed verification: {}", e.msg),
+                );
+                if let Some(b) = e.block {
+                    d = d.at_block(b.0);
+                }
+                if let Some(i) = e.inst {
+                    d = d.at_inst(i.0);
+                }
+                return Err(VectorizeError::Invalid(d));
+            }
+        }
+        for func in fb_funcs {
             out.add_function(func);
         }
-        vectorized.push(name);
+        remarks.push(Remark::new(
+            Pass::Pipeline,
+            Severity::Warning,
+            &name,
+            RemarkKind::Degraded {
+                region: name.clone(),
+                reason: diag.to_string(),
+            },
+        ));
+        degraded.push(name.clone());
     }
-    crate::opt::inline_calls(&mut out, &inline_targets);
-    let caller_names: Vec<String> = out
-        .functions()
-        .filter(|f| f.spmd.is_none())
-        .map(|f| f.name.clone())
-        .collect();
-    for name in caller_names {
-        if let Some(f) = out.function_mut(&name) {
-            crate::opt::cleanup(f);
+    fault::pass_scope(Pass::Opt, || {
+        crate::opt::inline_calls(&mut out, &inline_targets);
+        let caller_names: Vec<String> = out
+            .functions()
+            .filter(|f| f.spmd.is_none())
+            .map(|f| f.name.clone())
+            .collect();
+        for name in caller_names {
+            // Degraded regions' fallback bodies are cold correctness paths;
+            // leave them as emitted.
+            if degraded.iter().any(|r| name.starts_with(r.as_str())) {
+                continue;
+            }
+            if let Some(f) = out.function_mut(&name) {
+                crate::opt::cleanup(f);
+            }
         }
-    }
+    });
     Ok(PipelineOutput {
         module: out,
         warnings: telemetry::warnings_of(&remarks),
         remarks,
         vectorized,
+        degraded,
     })
+}
+
+/// Builds every vector variant of one region: vectorize, clean up, verify.
+/// Any failure comes back as a located [`Diagnostic`].
+fn build_region(
+    f: &Function,
+    opts: &VectorizeOptions,
+    popts: &PipelineOptions,
+    uses_head: bool,
+) -> Result<BuiltRegion, Diagnostic> {
+    let mut variants = Vec::new();
+    if uses_head {
+        // The peeled specialization folds the predicate; the plain __full
+        // keeps the runtime check so non-peeling drivers (or the n < G
+        // case) remain correct.
+        variants.push(
+            vectorize_function_with(f, opts, false, Some(true)).map_err(|e| e.diagnostic(f))?,
+        );
+    }
+    variants.push(vectorize_function_with(f, opts, false, None).map_err(|e| e.diagnostic(f))?);
+    variants.push(vectorize_function_with(f, opts, true, None).map_err(|e| e.diagnostic(f))?);
+    let mut built = BuiltRegion {
+        funcs: Vec::new(),
+        remarks: Vec::new(),
+        inline_targets: Vec::new(),
+    };
+    for v in variants {
+        let mut func = v.func;
+        fault::pass_scope(Pass::Opt, || {
+            fault::inject_panic("opt");
+            crate::opt::cleanup(&mut func);
+        });
+        if popts.verify != VerifyMode::Off {
+            let verdict = fault::pass_scope(Pass::Verify, || {
+                fault::corrupt_for_verify(&mut func);
+                psir::verify_function(&func)
+            });
+            if let Some(e) = verdict.first() {
+                let mut d = Diagnostic::new(Pass::Verify, &func.name, e.msg.clone());
+                if let Some(b) = e.block {
+                    d = d.at_block(b.0);
+                }
+                if let Some(i) = e.inst {
+                    d = d.at_inst(i.0);
+                }
+                return Err(d);
+            }
+        }
+        built.remarks.extend(v.remarks);
+        if func.name.ends_with("__full") || func.name.ends_with("__head") {
+            built.inline_targets.push(func.name.clone());
+        }
+        built.funcs.push(func);
+    }
+    Ok(built)
 }

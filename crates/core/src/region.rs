@@ -10,6 +10,10 @@
 //! The names of the two specializations are derived from the region name by
 //! [`full_name`] / [`partial_name`]; the vectorizer (or, for testing, any
 //! other implementation strategy) must provide functions with those names.
+//! The scalar gang-serialized fallback ([`crate::fallback`]) is one such
+//! strategy: when a region degrades, it emits lane-loop drivers under these
+//! same contract names, so the gang loop emitted here never needs to know
+//! whether its callee was vectorized or serialized.
 
 use psir::{BinOp, CmpPred, Const, FunctionBuilder, Ty, Value};
 

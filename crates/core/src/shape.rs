@@ -663,6 +663,7 @@ fn divergence_context(
 /// # Panics
 /// Panics if the function lacks the SPMD annotation.
 pub fn analyze(f: &Function, gang: u32, tree: &crate::structurize::ControlTree) -> ShapeMap {
+    crate::fault::inject_panic("shape");
     assert!(f.spmd.is_some(), "shape analysis needs an SPMD function");
     let nparams = f.params.len();
     let mut params = Vec::with_capacity(nparams);

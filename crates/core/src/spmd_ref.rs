@@ -147,7 +147,10 @@ impl<'m> SpmdRef<'m> {
                 pending: None,
             })
             .collect();
-        let gang_size = f.spmd.expect("checked").gang_size as u64;
+        let gang_size = f
+            .spmd
+            .ok_or_else(|| ExecError::Other(format!("@{} is not SPMD-annotated", f.name)))?
+            .gang_size as u64;
 
         let mut rng = self.schedule;
         loop {
@@ -183,11 +186,15 @@ impl<'m> SpmdRef<'m> {
             }
 
             // Everyone alive is blocked; they must agree on the op.
-            let ids: Vec<InstId> = threads
-                .iter()
-                .filter(|t| !t.done)
-                .map(|t| t.pending.as_ref().expect("blocked").0)
-                .collect();
+            let mut ids: Vec<InstId> = Vec::new();
+            for t in threads.iter().filter(|t| !t.done) {
+                let Some((id, _)) = &t.pending else {
+                    return Err(ExecError::Other(
+                        "gang thread neither finished nor blocked at a horizontal op".into(),
+                    ));
+                };
+                ids.push(*id);
+            }
             if ids.windows(2).any(|w| w[0] != w[1]) {
                 return Err(ExecError::Other(
                     "divergent barrier: gang threads blocked at different horizontal ops".into(),
@@ -221,16 +228,26 @@ impl<'m> SpmdRef<'m> {
         let elem = f.inst_ty(id).elem();
         let results: Vec<Option<u64>> = match kind {
             Intrinsic::GangSync => vec![None; gang_size as usize],
-            Intrinsic::Shuffle | Intrinsic::Broadcast => (0..gang_size as usize)
-                .map(|lane| {
+            Intrinsic::Shuffle | Intrinsic::Broadcast => {
+                let mut res = Vec::with_capacity(gang_size as usize);
+                for lane in 0..gang_size as usize {
                     let ops = &contrib[lane];
                     if ops.is_empty() {
-                        return Some(0);
+                        res.push(Some(0));
+                        continue;
                     }
-                    let src = (ops[1] % gang_size) as usize;
-                    Some(contrib[src].first().copied().unwrap_or(0))
-                })
-                .collect(),
+                    let Some(&sel) = ops.get(1) else {
+                        return Err(ExecError::Other(format!(
+                            "{} at i{} is missing its lane-select operand",
+                            kind.name(),
+                            id.0
+                        )));
+                    };
+                    let src = (sel % gang_size) as usize;
+                    res.push(Some(contrib[src].first().copied().unwrap_or(0)));
+                }
+                res
+            }
             Intrinsic::GangReduce(op) => {
                 let e = elem.ok_or_else(|| ExecError::Other("void reduce".into()))?;
                 let mut acc = reduce_identity(op, e);
@@ -494,8 +511,16 @@ impl<'m> SpmdRef<'m> {
                 }
             }
             Inst::Intrin { kind, args: iargs } => {
-                let spmd = f.spmd.expect("SPMD function");
+                let spmd = f.spmd.ok_or_else(|| {
+                    ExecError::Other(format!("@{} is not SPMD-annotated", f.name))
+                })?;
                 let g = spmd.gang_size as u64;
+                if args.len() < SPMD_EXTRA_PARAMS {
+                    return Err(ExecError::Other(format!(
+                        "@{}: SPMD intrinsic without the implicit gang_base/num_threads arguments",
+                        f.name
+                    )));
+                }
                 let gang_base = args[args.len() - 2];
                 let num_threads = args[args.len() - 1];
                 match kind {
@@ -516,9 +541,16 @@ impl<'m> SpmdRef<'m> {
                     }
                     Intrinsic::Fma => {
                         let e = elem.ok_or_else(|| ExecError::Other("void fma".into()))?;
-                        let x = self.operand(f, t, args, iargs[0])?;
-                        let y = self.operand(f, t, args, iargs[1])?;
-                        let z = self.operand(f, t, args, iargs[2])?;
+                        let [a0, a1, a2] = iargs.as_slice() else {
+                            return Err(ExecError::Other(format!(
+                                "fma at i{} expects 3 operands, got {}",
+                                id.0,
+                                iargs.len()
+                            )));
+                        };
+                        let x = self.operand(f, t, args, *a0)?;
+                        let y = self.operand(f, t, args, *a1)?;
+                        let z = self.operand(f, t, args, *a2)?;
                         let (mul, add) = if e.is_float() {
                             (BinOp::FMul, BinOp::FAdd)
                         } else {
@@ -532,7 +564,10 @@ impl<'m> SpmdRef<'m> {
                     ))),
                 }
             }
-            Inst::Phi { .. } => unreachable!("phis handled at block entry"),
+            Inst::Phi { .. } => Err(ExecError::Other(format!(
+                "phi at i{} reached the per-instruction path (phis are resolved at block entry)",
+                id.0
+            ))),
             other => Err(ExecError::Other(format!(
                 "vector instruction {other:?} in scalar SPMD input"
             ))),

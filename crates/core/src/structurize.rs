@@ -23,6 +23,24 @@ use std::fmt;
 pub struct StructurizeError {
     /// Explanation of the unsupported shape.
     pub msg: String,
+    /// Block the unsupported shape was detected at, when attributable.
+    pub block: Option<u32>,
+}
+
+impl StructurizeError {
+    fn new(msg: impl Into<String>) -> StructurizeError {
+        StructurizeError {
+            msg: msg.into(),
+            block: None,
+        }
+    }
+
+    fn at(msg: impl Into<String>, block: BlockId) -> StructurizeError {
+        StructurizeError {
+            msg: msg.into(),
+            block: Some(block.0),
+        }
+    }
 }
 
 impl fmt::Display for StructurizeError {
@@ -108,9 +126,10 @@ fn post_dominators(f: &Function) -> Result<HashMap<BlockId, BlockId>, Structuriz
         .filter(|&b| matches!(f.block(b).term, Terminator::Ret(_)))
         .collect();
     if rets.len() != 1 {
-        return Err(StructurizeError {
-            msg: format!("expected exactly one return block, found {}", rets.len()),
-        });
+        return Err(StructurizeError::new(format!(
+            "expected exactly one return block, found {}",
+            rets.len()
+        )));
     }
     let exit = rets[0];
 
@@ -203,9 +222,9 @@ impl<'f> Builder<'f> {
         // (irreducible flow), which must be reported — and well before the
         // recursion exhausts the stack.
         if depth > 200 {
-            return Err(StructurizeError {
-                msg: "region nesting too deep (irreducible or malformed CFG?)".into(),
-            });
+            return Err(StructurizeError::new(
+                "region nesting too deep (irreducible or malformed CFG?)",
+            ));
         }
         let mut nodes = Vec::new();
         let mut cur = entry;
@@ -226,22 +245,22 @@ impl<'f> Builder<'f> {
                         if *else_bb == exit {
                             *then_bb
                         } else if *then_bb == exit {
-                            return Err(StructurizeError {
-                                msg: format!(
-                                    "loop at {header} exits on the taken edge; \
+                            return Err(StructurizeError::new(format!(
+                                "loop at {header} exits on the taken edge; \
                                      canonicalize conditions so the body is the taken edge"
-                                ),
-                            });
+                            )));
                         } else {
-                            return Err(StructurizeError {
-                                msg: format!("loop header {header} does not branch to its exit"),
-                            });
+                            return Err(StructurizeError::at(
+                                format!("loop header {header} does not branch to its exit"),
+                                header,
+                            ));
                         }
                     }
                     _ => {
-                        return Err(StructurizeError {
-                            msg: format!("loop header {header} must end in a conditional branch"),
-                        })
+                        return Err(StructurizeError::at(
+                            format!("loop header {header} must end in a conditional branch"),
+                            header,
+                        ))
                     }
                 };
                 let _ = latch;
@@ -258,8 +277,8 @@ impl<'f> Builder<'f> {
                 Terminator::CondBr {
                     then_bb, else_bb, ..
                 } => {
-                    let join = *self.ipdom.get(&cur).ok_or_else(|| StructurizeError {
-                        msg: format!("no post-dominator for {cur}"),
+                    let join = *self.ipdom.get(&cur).ok_or_else(|| {
+                        StructurizeError::at(format!("no post-dominator for {cur}"), cur)
                     })?;
                     let then_nodes = if *then_bb == join {
                         Vec::new()
@@ -295,6 +314,13 @@ impl<'f> Builder<'f> {
 /// structured form (multiple returns, multi-exit loops, loops whose
 /// condition is not in the header, irreducible flow).
 pub fn structurize(f: &Function) -> Result<ControlTree, StructurizeError> {
+    crate::fault::inject_panic("structurize");
+    if crate::fault::inject_error("structurize") {
+        return Err(StructurizeError::new(format!(
+            "injected fault at structurize:error in @{}",
+            f.name
+        )));
+    }
     let dom = DomTree::compute(f);
     let loops = natural_loops(f, &dom);
 
@@ -302,37 +328,35 @@ pub fn structurize(f: &Function) -> Result<ControlTree, StructurizeError> {
     let mut loop_latch = HashMap::new();
     for l in &loops {
         if l.latches.len() != 1 {
-            return Err(StructurizeError {
-                msg: format!("loop at {} has {} latches", l.header, l.latches.len()),
-            });
+            return Err(StructurizeError::at(
+                format!("loop at {} has {} latches", l.header, l.latches.len()),
+                l.header,
+            ));
         }
         // single exit, and it must leave from the header
         let exits: Vec<_> = l.exits.iter().collect();
         if exits.len() != 1 {
-            return Err(StructurizeError {
-                msg: format!(
-                    "loop at {} has {} exit edges (break/early-exit unsupported)",
-                    l.header,
-                    exits.len()
-                ),
-            });
+            return Err(StructurizeError::new(format!(
+                "loop at {} has {} exit edges (break/early-exit unsupported)",
+                l.header,
+                exits.len()
+            )));
         }
         let (from, to) = *exits[0];
         if from != l.header {
-            return Err(StructurizeError {
-                msg: format!(
-                    "loop at {} exits from {from}, not from its header \
+            return Err(StructurizeError::new(format!(
+                "loop at {} exits from {from}, not from its header \
                      (only while-shaped loops are supported)",
-                    l.header
-                ),
-            });
+                l.header
+            )));
         }
         // The latch must branch unconditionally back to the header.
         let latch = l.latches[0];
         if !matches!(f.block(latch).term, Terminator::Br(t) if t == l.header) {
-            return Err(StructurizeError {
-                msg: format!("latch {latch} of loop at {} is conditional", l.header),
-            });
+            return Err(StructurizeError::at(
+                format!("latch {latch} of loop at {} is conditional", l.header),
+                latch,
+            ));
         }
         loop_exit.insert(l.header, to);
         loop_latch.insert(l.header, latch);

@@ -106,6 +106,10 @@ pub enum VectorizeError {
     NotSpmd(String),
     /// A construct unsupported in the requested mode.
     Unsupported(String),
+    /// A located diagnostic from the fault-tolerant driver: an in-pipeline
+    /// verification failure, a caught panic, or a failing region that could
+    /// not be scalar-serialized.
+    Invalid(telemetry::Diagnostic),
 }
 
 impl fmt::Display for VectorizeError {
@@ -114,11 +118,32 @@ impl fmt::Display for VectorizeError {
             VectorizeError::Unstructured(e) => write!(f, "{e}"),
             VectorizeError::NotSpmd(m) => write!(f, "not an SPMD function: {m}"),
             VectorizeError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            VectorizeError::Invalid(d) => write!(f, "{d}"),
         }
     }
 }
 
 impl Error for VectorizeError {}
+
+impl VectorizeError {
+    /// Converts the error into a located [`telemetry::Diagnostic`] for the
+    /// region `f`, attributing it to the pass that actually failed.
+    pub fn diagnostic(&self, f: &Function) -> telemetry::Diagnostic {
+        match self {
+            VectorizeError::Unstructured(e) => {
+                let mut d = telemetry::Diagnostic::new(Pass::Structurize, &f.name, e.to_string());
+                if let Some(b) = e.block {
+                    d = d.at_block(b);
+                }
+                d
+            }
+            VectorizeError::NotSpmd(_) | VectorizeError::Unsupported(_) => {
+                telemetry::Diagnostic::new(Pass::Vectorize, &f.name, self.to_string())
+            }
+            VectorizeError::Invalid(d) => d.clone(),
+        }
+    }
+}
 
 impl From<StructurizeError> for VectorizeError {
     fn from(e: StructurizeError) -> VectorizeError {
@@ -216,9 +241,15 @@ pub fn vectorize_function_with(
             old.name
         )));
     }
-    let tree = structurize(old)?;
+    if crate::fault::inject_error("vectorize") {
+        return Err(VectorizeError::Unsupported(format!(
+            "injected fault at vectorize:error in @{}",
+            old.name
+        )));
+    }
+    let tree = crate::fault::pass_scope(Pass::Structurize, || structurize(old))?;
     let g = spmd.gang_size;
-    let mut shapes = analyze(old, g, &tree);
+    let mut shapes = crate::fault::pass_scope(Pass::Shape, || analyze(old, g, &tree));
     if !opts.enable_shape {
         shapes = crate::shape::all_varying(old, g);
     }
@@ -293,7 +324,10 @@ pub fn vectorize_function_with(
         MaskCtx::Full
     };
 
-    v.emit_nodes(&tree.roots, mask)?;
+    crate::fault::pass_scope(Pass::Vectorize, || {
+        crate::fault::inject_panic("vectorize");
+        v.emit_nodes(&tree.roots, mask)
+    })?;
     let func = v.fb.finish();
     Ok(Vectorized {
         func,

@@ -7,7 +7,7 @@
 
 use parsimony::{emit_gang_loop, vectorize_module, SpmdRef, VectorizeOptions};
 use psir::{
-    assert_valid, c_i64, BinOp, CmpPred, Const, FunctionBuilder, Intrinsic, Memory, Module, Param,
+    assert_valid, c_i64, BinOp, CmpPred, FunctionBuilder, Intrinsic, Memory, Module, Param,
     ReduceOp, RtVal, ScalarTy, SpmdInfo, ThreadCount, Ty, Value,
 };
 

@@ -21,8 +21,12 @@ fn region_fb(name: &str, user_params: Vec<Param>, gang: u32) -> FunctionBuilder 
 }
 
 /// §4.2.3: "separately-compiled scalar functions cannot be transformed to
-/// execute in gang-synchronous fashion" — the ispc-like mode must reject
-/// them, while Parsimony serializes them.
+/// execute in gang-synchronous fashion" — the ispc-like mode cannot
+/// vectorize them, while Parsimony serializes them. Under the fault-tolerant
+/// driver the gang-synchronous failure no longer aborts the module: the
+/// region degrades to a scalar gang-serialized loop with a warning remark
+/// carrying the gang-synchronous diagnostic. `--verify=strict` keeps the
+/// old hard-error behavior.
 #[test]
 fn gang_sync_mode_rejects_scalar_calls() {
     let mut m = Module::new();
@@ -44,11 +48,39 @@ fn gang_sync_mode_rejects_scalar_calls() {
     fb.ret(None);
     m.add_function(fb.finish());
 
-    // Parsimony mode: fine (serialized per lane).
-    vectorize_module(&m, &VectorizeOptions::default()).expect("parsimony serializes");
-    // Gang-synchronous mode: rejected.
-    let err = vectorize_module(&m, &VectorizeOptions::gang_synchronous()).unwrap_err();
-    assert!(matches!(err, VectorizeError::Unsupported(_)));
+    // Parsimony mode: fine (serialized per lane), nothing degraded.
+    let out = vectorize_module(&m, &VectorizeOptions::default()).expect("parsimony serializes");
+    assert!(out.degraded.is_empty());
+    assert_eq!(out.vectorized, vec!["k".to_string()]);
+
+    // Gang-synchronous mode: the region cannot be vectorized, so the driver
+    // degrades it to the scalar gang-serialized fallback and keeps going.
+    let out = vectorize_module(&m, &VectorizeOptions::gang_synchronous())
+        .expect("failing region degrades instead of aborting the module");
+    assert_eq!(out.degraded, vec!["k".to_string()]);
+    assert!(out.vectorized.is_empty());
+    assert!(
+        out.warnings
+            .iter()
+            .any(|w| w.contains("gang-synchronous") && w.contains("degraded")),
+        "expected a degradation warning carrying the diagnostic, got {:?}",
+        out.warnings
+    );
+    // The gang-loop contract is still satisfied: __full/__partial exist.
+    assert!(out.module.function("k__full").is_some());
+    assert!(out.module.function("k__partial").is_some());
+
+    // Strict mode keeps the hard error.
+    let err = parsimony::vectorize_module_with(
+        &m,
+        &VectorizeOptions::gang_synchronous(),
+        &parsimony::PipelineOptions {
+            verify: parsimony::VerifyMode::Strict,
+            inject: None,
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, VectorizeError::Invalid(_)));
     assert!(err.to_string().contains("gang-synchronous"));
 }
 

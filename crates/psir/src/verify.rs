@@ -307,6 +307,14 @@ pub fn verify_function(f: &Function) -> Vec<VerifyError> {
         }
     }
 
+    // Structurally broken CFGs (dangling block targets, dangling inst ids)
+    // cannot be walked by the analyses below without indexing out of
+    // bounds, so report what we have — the verifier must return located
+    // errors, not panic, on arbitrary IR.
+    if !v.errors.is_empty() {
+        return v.errors;
+    }
+
     // Per-instruction type checks.
     for b in f.block_ids() {
         v.cur_block = Some(b);

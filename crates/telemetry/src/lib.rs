@@ -44,6 +44,15 @@ pub enum Pass {
     Vectorize,
     /// `autovec::loopvec` — the baseline inner-loop auto-vectorizer.
     Autovec,
+    /// `core::opt` — the post-vectorization cleanup pipeline.
+    Opt,
+    /// `psir::verify` run inside the pipeline (in-pipeline IR verification).
+    Verify,
+    /// `vmach::legalize` — vector-IR-to-µop legalization.
+    Legalize,
+    /// `core::pipeline` — the module driver itself (lookups, fallback
+    /// emission, caught panics attributed to no narrower pass).
+    Pipeline,
 }
 
 impl Pass {
@@ -54,6 +63,10 @@ impl Pass {
             Pass::Structurize => "structurize",
             Pass::Vectorize => "vectorize",
             Pass::Autovec => "autovec",
+            Pass::Opt => "opt",
+            Pass::Verify => "verify",
+            Pass::Legalize => "legalize",
+            Pass::Pipeline => "pipeline",
         }
     }
 
@@ -64,6 +77,10 @@ impl Pass {
             "structurize" => Pass::Structurize,
             "vectorize" => Pass::Vectorize,
             "autovec" => Pass::Autovec,
+            "opt" => Pass::Opt,
+            "verify" => Pass::Verify,
+            "legalize" => Pass::Legalize,
+            "pipeline" => Pass::Pipeline,
             _ => return None,
         })
     }
@@ -87,6 +104,9 @@ pub enum Severity {
     /// Something the user should look at (kept out of `Missed` so the
     /// legacy `warnings` shim can be derived as exactly this class).
     Warning,
+    /// An unrecoverable failure; only [`Diagnostic`]s travelling in `Err`
+    /// returns carry this, never remarks in the ordinary stream.
+    Error,
 }
 
 impl Severity {
@@ -97,6 +117,7 @@ impl Severity {
             Severity::Missed => "missed",
             Severity::Analysis => "analysis",
             Severity::Warning => "warning",
+            Severity::Error => "error",
         }
     }
 
@@ -107,6 +128,7 @@ impl Severity {
             "missed" => Severity::Missed,
             "analysis" => Severity::Analysis,
             "warning" => Severity::Warning,
+            "error" => Severity::Error,
             _ => return None,
         })
     }
@@ -225,6 +247,16 @@ pub enum RemarkKind {
         /// Why the loop was left scalar.
         reason: String,
     },
+    /// A region fell back to the scalar gang-serialized loop instead of
+    /// being vectorized (the §4.2 serialization mechanism applied to the
+    /// whole region), because vectorization failed or its output failed
+    /// in-pipeline verification.
+    Degraded {
+        /// The region (SPMD function) that was serialized.
+        region: String,
+        /// Rendered diagnostic explaining why vectorization was abandoned.
+        reason: String,
+    },
     /// Free-form message (the legacy warning channel and anything that does
     /// not yet merit a dedicated variant).
     Note {
@@ -247,6 +279,7 @@ impl RemarkKind {
             RemarkKind::MathDispatch { .. } => "math_dispatch",
             RemarkKind::LoopVectorized => "loop_vectorized",
             RemarkKind::LoopRejected { .. } => "loop_rejected",
+            RemarkKind::Degraded { .. } => "degraded",
             RemarkKind::Note { .. } => "note",
         }
     }
@@ -301,6 +334,10 @@ impl RemarkKind {
             RemarkKind::LoopRejected { reason } => {
                 vec![("reason", Json::Str(reason.clone()))]
             }
+            RemarkKind::Degraded { region, reason } => vec![
+                ("region", Json::Str(region.clone())),
+                ("reason", Json::Str(reason.clone())),
+            ],
             RemarkKind::Note { text } => vec![("text", Json::Str(text.clone()))],
         }
     }
@@ -344,6 +381,10 @@ impl RemarkKind {
             },
             "loop_vectorized" => RemarkKind::LoopVectorized,
             "loop_rejected" => RemarkKind::LoopRejected {
+                reason: s("reason")?,
+            },
+            "degraded" => RemarkKind::Degraded {
+                region: s("region")?,
                 reason: s("reason")?,
             },
             "note" => RemarkKind::Note { text: s("text")? },
@@ -468,6 +509,9 @@ impl Remark {
             }
             RemarkKind::LoopVectorized => "loop vectorized".to_string(),
             RemarkKind::LoopRejected { reason } => format!("loop not vectorized: {reason}"),
+            RemarkKind::Degraded { region, reason } => {
+                format!("region `{region}` degraded to a scalar gang-serialized loop: {reason}")
+            }
             RemarkKind::Note { text } => text.clone(),
         };
         format!("[{}] {} @ {}: {}", self.pass, self.severity, loc, detail)
@@ -508,6 +552,116 @@ impl Remark {
         })
     }
 }
+
+/// A located compiler diagnostic: the unified error currency of the
+/// pipeline. Every pass failure — a rejected CFG shape, an unsupported
+/// construct, an in-pipeline verification failure, or a panic caught at the
+/// driver boundary — is carried as one of these, so CLIs can print a
+/// `pass @function:bN:iN: message` line instead of a Rust backtrace and the
+/// driver can attach it to a warning remark when it degrades the region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Pass that reported the failure (a caught panic is attributed to the
+    /// pass that was active when it unwound).
+    pub pass: Pass,
+    /// Severity: `Warning` when the driver recovered (degradation),
+    /// effectively an error when it could not.
+    pub severity: Severity,
+    /// Function the failure is located in.
+    pub function: String,
+    /// Basic block index, when attributable.
+    pub block: Option<u32>,
+    /// Instruction index, when attributable.
+    pub inst: Option<u32>,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic with no block/instruction attribution and
+    /// warning severity (the driver upgrades or downgrades as it decides
+    /// whether the failure is recoverable).
+    pub fn new(pass: Pass, function: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            pass,
+            severity: Severity::Warning,
+            function: function.into(),
+            block: None,
+            inst: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches a block index.
+    pub fn at_block(mut self, block: u32) -> Diagnostic {
+        self.block = Some(block);
+        self
+    }
+
+    /// Attaches an instruction index.
+    pub fn at_inst(mut self, inst: u32) -> Diagnostic {
+        self.inst = Some(inst);
+        self
+    }
+
+    /// Upgrades the diagnostic to error severity (unrecoverable failures).
+    pub fn error(mut self) -> Diagnostic {
+        self.severity = Severity::Error;
+        self
+    }
+
+    /// The `@function:bN:iN` location suffix used in rendered output.
+    pub fn location(&self) -> String {
+        let mut loc = format!("@{}", self.function);
+        if let Some(b) = self.block {
+            loc.push_str(&format!(":b{b}"));
+        }
+        if let Some(i) = self.inst {
+            loc.push_str(&format!(":i{i}"));
+        }
+        loc
+    }
+
+    /// Converts the diagnostic into a remark so it travels with the
+    /// pipeline's ordinary telemetry stream.
+    pub fn to_remark(&self) -> Remark {
+        Remark {
+            pass: self.pass,
+            severity: self.severity,
+            function: self.function.clone(),
+            block: self.block,
+            inst: self.inst,
+            kind: RemarkKind::Note {
+                text: self.message.clone(),
+            },
+        }
+    }
+
+    /// Serializes the diagnostic to a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("pass", Json::Str(self.pass.name().into())),
+            ("severity", Json::Str(self.severity.name().into())),
+            ("function", Json::Str(self.function.clone())),
+        ];
+        if let Some(b) = self.block {
+            pairs.push(("block", Json::u64(b as u64)));
+        }
+        if let Some(i) = self.inst {
+            pairs.push(("inst", Json::u64(i as u64)));
+        }
+        pairs.push(("message", Json::Str(self.message.clone())));
+        Json::obj(pairs)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.pass, self.location(), self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
 
 /// Sorts a remark stream into its canonical deterministic order.
 ///
@@ -654,6 +808,48 @@ mod tests {
         let warnings = warnings_of(&remarks);
         assert_eq!(warnings.len(), 1);
         assert!(warnings[0].contains("racy"));
+    }
+
+    #[test]
+    fn degraded_remark_roundtrips_and_renders() {
+        let r = Remark::new(
+            Pass::Pipeline,
+            Severity::Warning,
+            "k__psim0",
+            RemarkKind::Degraded {
+                region: "k__psim0".into(),
+                reason: "[structurize] @k__psim0: unstructured control flow".into(),
+            },
+        );
+        let j = remarks_to_json(&[r.clone()]);
+        let back = remarks_from_json(&Json::parse(&j.to_string_pretty()).unwrap()).unwrap();
+        assert_eq!(back, vec![r.clone()]);
+        let text = r.render_text();
+        assert!(text.contains("degraded to a scalar gang-serialized loop"));
+        assert!(text.contains("unstructured control flow"));
+        // The legacy warnings shim surfaces degradations too.
+        let w = warnings_of(&[r]);
+        assert_eq!(w.len(), 1);
+        assert!(w[0].contains("degraded"));
+    }
+
+    #[test]
+    fn diagnostic_renders_location_and_converts_to_remark() {
+        let d = Diagnostic::new(Pass::Verify, "k__psim0__full", "terminator targets b9999")
+            .at_block(3)
+            .at_inst(11);
+        let line = d.to_string();
+        assert!(line.contains("[verify]"));
+        assert!(line.contains("@k__psim0__full:b3:i11"));
+        assert!(line.contains("terminator targets b9999"));
+        let r = d.to_remark();
+        assert_eq!(r.pass, Pass::Verify);
+        assert_eq!(r.block, Some(3));
+        assert_eq!(r.inst, Some(11));
+        // New pass names parse back (JSON round-trip of the remark stream).
+        for p in [Pass::Opt, Pass::Verify, Pass::Legalize, Pass::Pipeline] {
+            assert_eq!(Pass::from_name(p.name()), Some(p));
+        }
     }
 
     #[test]

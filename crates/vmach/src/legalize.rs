@@ -158,6 +158,34 @@ fn vec_split(t: &Target, ty: Ty) -> u64 {
     }
 }
 
+/// [`legalize`] behind a bounds check, for callers feeding it IR they did
+/// not build themselves: an out-of-range instruction id comes back as a
+/// located [`telemetry::Diagnostic`] (pass `legalize`) instead of an
+/// index panic. In-range legalization is total and cannot fail.
+///
+/// # Errors
+/// When `id` does not name an instruction of `f`.
+pub fn legalize_checked(
+    target: &Target,
+    f: &Function,
+    id: InstId,
+) -> Result<Vec<Uop>, telemetry::Diagnostic> {
+    if id.0 as usize >= f.num_insts() {
+        return Err(telemetry::Diagnostic::new(
+            telemetry::Pass::Legalize,
+            &f.name,
+            format!(
+                "instruction i{} out of range (function has {} instructions)",
+                id.0,
+                f.num_insts()
+            ),
+        )
+        .at_inst(id.0)
+        .error());
+    }
+    Ok(legalize(target, f, id))
+}
+
 /// Legalizes one instruction of `f` for `target`.
 pub fn legalize(target: &Target, f: &Function, id: InstId) -> Vec<Uop> {
     let inst = f.inst(id);
@@ -383,6 +411,24 @@ mod tests {
         let t = Target::avx512();
         let div: u64 = legalize(&t, &f, ids[4]).iter().map(|u| u.cycles).sum();
         assert!(div >= 8);
+    }
+
+    #[test]
+    fn checked_legalize_locates_out_of_range_ids() {
+        let (f, ids) = build_probe();
+        let t = Target::avx512();
+        // In range: identical to the unchecked entry point.
+        assert_eq!(
+            legalize_checked(&t, &f, ids[1]).unwrap(),
+            legalize(&t, &f, ids[1])
+        );
+        // Out of range: a located diagnostic, not an index panic.
+        let bad = InstId(f.num_insts() as u32);
+        let d = legalize_checked(&t, &f, bad).unwrap_err();
+        assert_eq!(d.pass, telemetry::Pass::Legalize);
+        assert_eq!(d.severity, telemetry::Severity::Error);
+        assert_eq!(d.inst, Some(bad.0));
+        assert!(d.to_string().contains("out of range"), "{d}");
     }
 }
 

@@ -20,5 +20,5 @@ mod legalize;
 mod target;
 
 pub use cost::{Avx512Cost, MathCosts};
-pub use legalize::{legalize, Uop, UopKind, QUARTER_CYCLES_PER_CYCLE};
+pub use legalize::{legalize, legalize_checked, Uop, UopKind, QUARTER_CYCLES_PER_CYCLE};
 pub use target::Target;
