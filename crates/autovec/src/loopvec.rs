@@ -160,8 +160,8 @@ impl<'a> Copier<'a> {
         inst.map_operands(|v| self.map(v));
         let new_id = {
             // Append through the builder's current block by re-adding.
-            let v = self.push_inst(inst, ty);
-            v
+
+            self.push_inst(inst, ty)
         };
         self.env.insert(Value::Inst(id), new_id);
     }
@@ -893,15 +893,11 @@ enum VForm {
 
 fn reduction_identity(op: BinOp, e: ScalarTy) -> u64 {
     match op {
-        BinOp::Add | BinOp::Or | BinOp::Xor => {
-            if e.is_float() {
-                if e == ScalarTy::F32 {
-                    0.0f32.to_bits() as u64
-                } else {
-                    0.0f64.to_bits()
-                }
+        BinOp::Add | BinOp::Or | BinOp::Xor if e.is_float() => {
+            if e == ScalarTy::F32 {
+                0.0f32.to_bits() as u64
             } else {
-                0
+                0.0f64.to_bits()
             }
         }
         BinOp::FAdd => {

@@ -189,9 +189,7 @@ pub fn classify(
             // use (the vectorizer only consumes strides, which are exact for
             // in-range indices; out-of-range indices would fault anyway).
             Inst::Cast { a, .. } => match classify_val(&map, *a) {
-                Scev::Lin(l) if ty.elem().map_or(false, |e| e.is_int() || e.is_ptr()) => {
-                    Scev::Lin(l)
-                }
+                Scev::Lin(l) if ty.elem().is_some_and(|e| e.is_int() || e.is_ptr()) => Scev::Lin(l),
                 Scev::Inv => Scev::Inv,
                 _ => Scev::Other,
             },

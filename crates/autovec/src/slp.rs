@@ -228,7 +228,9 @@ fn try_block(f: &mut Function, b: BlockId, vector_bits: u32) -> usize {
     }
     let mut vectorized = 0usize;
     let mut consumed: Vec<InstId> = Vec::new();
-    let mut groups: Vec<(Vec<InstId>, Value, i64, ScalarTy, Vec<LaneExpr>)> = Vec::new();
+    // (store ids, address root, base offset, element type, lane expressions)
+    type StoreGroup = (Vec<InstId>, Value, i64, ScalarTy, Vec<LaneExpr>);
+    let mut groups: Vec<StoreGroup> = Vec::new();
     let mut by_root: HashMap<(Value, ScalarTy), Vec<(i64, usize)>> = HashMap::new();
     for (i, s) in stores.iter().enumerate() {
         by_root.entry((s.2, s.4)).or_default().push((s.3, i));

@@ -1,0 +1,135 @@
+//! `compbench` — compile-time benchmark and determinism gate for the
+//! parallel region driver.
+//!
+//! ```text
+//! compbench [--regions M] [-j N | --jobs N] [--iters K]
+//!           [--check] [--min-speedup X] [--json[=FILE]]
+//! ```
+//!
+//! Synthesizes a module with `M` independent SPMD regions, compiles it with
+//! the pipeline serially and with `N` workers, and reports the wall times,
+//! the speedup ratio, and whether the parallel output (printed module +
+//! canonical remark stream) is byte-identical to the serial one.
+//!
+//! * `--check` — gate mode: exit 1 unless the outputs are identical (and,
+//!   when `--min-speedup X` is given, the measured speedup is at least X).
+//! * `--json` — print the JSON report on stdout instead of the text
+//!   summary; `--json=FILE` writes it to FILE and keeps the text summary
+//!   on stdout (the CI artifact mode).
+//!
+//! Exit contract (as for every tool in this repo): 0 success, 1 gate or
+//! pipeline failure, 2 usage error.
+
+use psim_bench::compbench::{run, CompBenchConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: compbench [--regions M] [-j N | --jobs N] [--iters K] \
+         [--check] [--min-speedup X] [--json[=FILE]]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = CompBenchConfig::default();
+    let mut check = false;
+    let mut min_speedup: Option<f64> = None;
+    let mut json_out: Option<Option<String>> = None;
+
+    let parse_usize = |v: Option<&String>, what: &str| -> usize {
+        let Some(v) = v else { usage() };
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("compbench: {what} takes a positive integer, got {v:?}");
+                usage();
+            }
+        }
+    };
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--regions" => {
+                i += 1;
+                cfg.regions = parse_usize(args.get(i), "--regions");
+            }
+            "-j" | "--jobs" => {
+                i += 1;
+                cfg.jobs = parse_usize(args.get(i), "--jobs");
+            }
+            flag if flag.starts_with("--jobs=") => {
+                cfg.jobs = parse_usize(Some(&flag["--jobs=".len()..].to_string()), "--jobs");
+            }
+            "--iters" => {
+                i += 1;
+                cfg.iters = parse_usize(args.get(i), "--iters");
+            }
+            "--check" => check = true,
+            "--min-speedup" => {
+                i += 1;
+                let Some(v) = args.get(i) else { usage() };
+                match v.parse::<f64>() {
+                    Ok(x) if x > 0.0 => min_speedup = Some(x),
+                    _ => {
+                        eprintln!("compbench: --min-speedup takes a positive number, got {v:?}");
+                        usage();
+                    }
+                }
+            }
+            "--json" => json_out = Some(None),
+            flag if flag.starts_with("--json=") => {
+                json_out = Some(Some(flag["--json=".len()..].to_string()));
+            }
+            other => {
+                eprintln!("compbench: unknown flag {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let report = match run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("compbench: error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let json = report.to_json().to_string_pretty();
+    match &json_out {
+        Some(None) => println!("{json}"),
+        Some(Some(path)) => {
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("compbench: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            print!("{}", report.render_text());
+        }
+        None => print!("{}", report.render_text()),
+    }
+
+    if check {
+        if !report.identical {
+            eprintln!(
+                "compbench: GATE FAILED: parallel (jobs={}) output differs from serial",
+                report.config.jobs
+            );
+            std::process::exit(1);
+        }
+        if let Some(min) = min_speedup {
+            let s = report.speedup();
+            if s < min {
+                eprintln!("compbench: GATE FAILED: speedup {s:.2}x below required {min:.2}x");
+                std::process::exit(1);
+            }
+        }
+        eprintln!(
+            "compbench: gate ok (identical output, {:.2}x speedup at jobs={})",
+            report.speedup(),
+            report.config.jobs
+        );
+    }
+}

@@ -7,7 +7,11 @@
 //! because SLEEF's AVX-512 `pow` is 2.6× slower than ispc's built-in (§6).
 //!
 //! Usage:
-//!   cargo run --release -p psim-bench --bin fig4 `[-- --tiny] [--gang-sweep] [--profile[=json]]`
+//!   cargo run --release -p psim-bench --bin fig4 `[-- --tiny] [--gang-sweep] [--profile[=json]] [-j N]`
+//!
+//! `-j N` / `--jobs N` sets the region-compilation worker count for every
+//! kernel build (default: `PSIM_JOBS` or the available parallelism);
+//! results are identical at every level, only compile time changes.
 
 use psim_bench::{cell, geomean_speedup, measure, parse_profile_flag, profile_kernel, ProfileMode};
 use suite::ispc::{kernels, IspcSizes};
@@ -15,8 +19,22 @@ use suite::runner::{run_kernel, Config};
 use telemetry::Profile;
 
 fn usage() -> ! {
-    eprintln!("usage: fig4 [--tiny] [--gang-sweep] [--profile[=json]]");
+    eprintln!("usage: fig4 [--tiny] [--gang-sweep] [--profile[=json]] [-j N | --jobs N]");
     std::process::exit(2);
+}
+
+/// Applies `-j`: the kernel builders compile through default
+/// [`parsimony::PipelineOptions`], which honor `PSIM_JOBS`, so the flag is
+/// delivered through the environment before any compilation starts.
+fn set_jobs(tool: &str, v: Option<&String>) {
+    let Some(v) = v else { usage() };
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => std::env::set_var(parsimony::JOBS_ENV_VAR, v),
+        _ => {
+            eprintln!("{tool}: --jobs takes a positive integer, got {v:?}");
+            usage();
+        }
+    }
 }
 
 fn main() {
@@ -39,6 +57,10 @@ fn run() {
         match args[i].as_str() {
             "--tiny" => sizes = IspcSizes::tiny(),
             "--gang-sweep" => gang_sweep = true,
+            "-j" | "--jobs" => {
+                i += 1;
+                set_jobs("fig4", args.get(i));
+            }
             other => match parse_profile_flag(other) {
                 Some(m) => profile_mode = m,
                 None => {

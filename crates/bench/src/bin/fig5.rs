@@ -7,7 +7,11 @@
 //! requested.
 //!
 //! Usage:
-//!   cargo run --release -p psim-bench --bin fig5 `[-- --n N] [--no-shape] [--avx2] [--stride-window] [--profile[=json]]`
+//!   cargo run --release -p psim-bench --bin fig5 `[-- --n N] [--no-shape] [--avx2] [--stride-window] [--profile[=json]] [-j N]`
+//!
+//! `-j N` / `--jobs N` sets the region-compilation worker count for every
+//! kernel build (default: `PSIM_JOBS` or the available parallelism);
+//! results are identical at every level, only compile time changes.
 
 use psim_bench::{
     cell, geomean_speedup, measure, parse_profile_flag, profile_kernels, ProfileMode,
@@ -17,8 +21,25 @@ use suite::simdlib::{kernels, DEFAULT_N};
 use vmach::{Avx512Cost, Target};
 
 fn usage() -> ! {
-    eprintln!("usage: fig5 [--n N] [--no-shape] [--avx2] [--stride-window] [--profile[=json]]");
+    eprintln!(
+        "usage: fig5 [--n N] [--no-shape] [--avx2] [--stride-window] [--profile[=json]] \
+         [-j N | --jobs N]"
+    );
     std::process::exit(2);
+}
+
+/// Applies `-j`: the kernel builders compile through default
+/// [`parsimony::PipelineOptions`], which honor `PSIM_JOBS`, so the flag is
+/// delivered through the environment before any compilation starts.
+fn set_jobs(tool: &str, v: Option<&String>) {
+    let Some(v) = v else { usage() };
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => std::env::set_var(parsimony::JOBS_ENV_VAR, v),
+        _ => {
+            eprintln!("{tool}: --jobs takes a positive integer, got {v:?}");
+            usage();
+        }
+    }
 }
 
 fn main() {
@@ -50,7 +71,7 @@ fn run() {
                     eprintln!("fig5: --n takes an element count, got {v:?}");
                     usage();
                 });
-                if n == 0 || n % 256 != 0 {
+                if n == 0 || !n.is_multiple_of(256) {
                     eprintln!("fig5: --n must be a positive multiple of 256, got {n}");
                     usage();
                 }
@@ -58,6 +79,10 @@ fn run() {
             "--no-shape" => with_noshape = true,
             "--avx2" => with_avx2 = true,
             "--stride-window" => with_window = true,
+            "-j" | "--jobs" => {
+                i += 1;
+                set_jobs("fig5", args.get(i));
+            }
             other => match parse_profile_flag(other) {
                 Some(m) => profile_mode = m,
                 None => {

@@ -23,6 +23,9 @@
 //! * `--inject-fault PASS:SITE` deterministically injects a fault at a
 //!   registered pipeline site (see `--inject-fault help`), exercising the
 //!   degradation machinery end to end.
+//! * `-j N` / `--jobs N` sets the region-compilation worker count (default:
+//!   `PSIM_JOBS` or the available parallelism). Output is byte-identical at
+//!   every level; `-j` only changes compile time.
 
 use parsimony::{
     vectorize_module_with, FaultInjector, PipelineOptions, VectorizeOptions, VerifyMode,
@@ -35,7 +38,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: psimcc FILE [--emit scalar|vector] [--gang-sync] [--no-shape] \
          [--boscc] [--remarks text|json] [--verify off|fallback|strict] \
-         [--inject-fault PASS:SITE] [--run ENTRY [ARG…]] [--cycles]"
+         [--inject-fault PASS:SITE] [-j N | --jobs N] [--run ENTRY [ARG…]] [--cycles]"
     );
     std::process::exit(2);
 }
@@ -61,6 +64,15 @@ fn main() {
             eprintln!("psimcc: {e}");
             std::process::exit(2);
         })
+    };
+    let parse_jobs = |s: &str| -> usize {
+        match s.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("psimcc: --jobs takes a positive integer, got {s:?}");
+                std::process::exit(2);
+            }
+        }
     };
 
     let mut i = 0;
@@ -104,6 +116,14 @@ fn main() {
             }
             flag if flag.starts_with("--inject-fault=") => {
                 popts.inject = Some(parse_inject(&flag["--inject-fault=".len()..]));
+            }
+            "-j" | "--jobs" => {
+                i += 1;
+                let v = args.get(i).cloned().unwrap_or_else(|| usage());
+                popts.jobs = parse_jobs(&v);
+            }
+            flag if flag.starts_with("--jobs=") => {
+                popts.jobs = parse_jobs(&flag["--jobs=".len()..]);
             }
             "--run" => {
                 i += 1;

@@ -1,0 +1,250 @@
+//! Compile-time benchmark for the parallel region driver.
+//!
+//! Parsimony's pitch is a self-contained IR-to-IR pass that drops into a
+//! standard compiler flow, which makes *compile time* a first-class metric.
+//! This module synthesizes a PsimC translation unit with `M` independent
+//! SPMD regions, runs the vectorization pipeline serially (`jobs = 1`) and
+//! with a worker pool (`jobs = N`), and reports:
+//!
+//! * wall-clock compile time for both (best of `iters` runs),
+//! * the speedup ratio,
+//! * whether the parallel output is **byte-identical** to the serial one
+//!   (printed module and canonical remark stream) — the determinism
+//!   contract CI gates on,
+//! * the per-region wall-time attribution of both runs.
+//!
+//! Used by the `compbench` binary and the CI `compile-time` job.
+
+use parsimony::{vectorize_module_with, PipelineOptions, VectorizeOptions};
+use psir::Module;
+use std::time::Instant;
+use telemetry::{CompileTimings, Json};
+
+/// Configuration of one compile-time measurement.
+#[derive(Debug, Clone)]
+pub struct CompBenchConfig {
+    /// Number of synthesized SPMD regions.
+    pub regions: usize,
+    /// Worker count for the parallel run (the serial run always uses 1).
+    pub jobs: usize,
+    /// Timed repetitions per configuration; the best (minimum) wall time
+    /// is reported to suppress scheduler noise.
+    pub iters: usize,
+}
+
+impl Default for CompBenchConfig {
+    fn default() -> CompBenchConfig {
+        CompBenchConfig {
+            regions: 64,
+            jobs: parsimony::default_jobs(),
+            iters: 3,
+        }
+    }
+}
+
+/// Result of one serial-vs-parallel compile-time comparison.
+#[derive(Debug, Clone)]
+pub struct CompBenchReport {
+    /// The configuration measured.
+    pub config: CompBenchConfig,
+    /// Best serial (`jobs = 1`) wall time, nanoseconds.
+    pub serial_nanos: u64,
+    /// Best parallel (`jobs = config.jobs`) wall time, nanoseconds.
+    pub parallel_nanos: u64,
+    /// Whether the parallel printed module and canonical remark stream are
+    /// byte-identical to the serial ones.
+    pub identical: bool,
+    /// Regions vectorized (same for both runs when `identical`).
+    pub vectorized: usize,
+    /// Regions degraded to the scalar fallback.
+    pub degraded: usize,
+    /// Per-region attribution of the best serial run.
+    pub serial_timings: CompileTimings,
+    /// Per-region attribution of the best parallel run.
+    pub parallel_timings: CompileTimings,
+}
+
+impl CompBenchReport {
+    /// Serial wall time over parallel wall time (higher = parallel faster).
+    pub fn speedup(&self) -> f64 {
+        self.serial_nanos as f64 / self.parallel_nanos.max(1) as f64
+    }
+
+    /// Serializes the report to a JSON object (the CI artifact format).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("regions", Json::u64(self.config.regions as u64)),
+            ("jobs", Json::u64(self.config.jobs as u64)),
+            ("iters", Json::u64(self.config.iters as u64)),
+            ("serial_nanos", Json::u64(self.serial_nanos)),
+            ("parallel_nanos", Json::u64(self.parallel_nanos)),
+            ("speedup", Json::Num(self.speedup())),
+            ("identical", Json::Bool(self.identical)),
+            ("vectorized", Json::u64(self.vectorized as u64)),
+            ("degraded", Json::u64(self.degraded as u64)),
+            ("serial", self.serial_timings.to_json()),
+            ("parallel", self.parallel_timings.to_json()),
+        ])
+    }
+
+    /// Renders the human-readable summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "compbench: {} region(s), {} iteration(s) per config\n",
+            self.config.regions, self.config.iters
+        ));
+        out.push_str(&format!(
+            "  serial   (jobs=1)  : {:>10.3} ms\n",
+            self.serial_nanos as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "  parallel (jobs={:<2}) : {:>10.3} ms\n",
+            self.config.jobs,
+            self.parallel_nanos as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "  speedup            : {:>10.2}x\n",
+            self.speedup()
+        ));
+        out.push_str(&format!(
+            "  output identical   : {}\n",
+            if self.identical { "yes" } else { "NO" }
+        ));
+        out.push_str(&format!(
+            "  vectorized/degraded: {}/{}\n",
+            self.vectorized, self.degraded
+        ));
+        out.push_str(&self.parallel_timings.render_text());
+        out
+    }
+}
+
+/// Region body templates, cycled so the synthesized module mixes shapes
+/// (pure arithmetic, math-library dispatch, data-dependent control flow,
+/// gathers) the way a real translation unit would.
+const BODIES: &[&str] = &[
+    // Straight-line arithmetic over two streams.
+    "    f32 x = a[i];\n    f32 y = b[i];\n    f32 z = x * y + x - y * 0.5;\n    z = z * z + x;\n    out[i] = z;\n",
+    // Math-library dispatch (SLEEF-like vector calls).
+    "    f32 x = a[i] + 1.5;\n    f32 y = sqrt(x) + exp(b[i] * 0.01);\n    out[i] = log(x + y + 2.0);\n",
+    // Data-dependent branch (linearization + phi-to-select).
+    "    f32 x = a[i];\n    f32 y = b[i];\n    f32 r = 0.0;\n    if (x > y) {\n      r = x - y;\n    } else {\n      r = (y - x) * 2.0;\n    }\n    out[i] = r;\n",
+    // Data-dependent loop (structurization work).
+    "    f32 x = a[i];\n    i32 it = 0;\n    while (x < 100.0 && it < 12) {\n      x = x * 1.7 + 1.0;\n      it += 1;\n    }\n    out[i] = x + (f32) it;\n",
+    // Indexed gather through a computed address.
+    "    i64 j = (i * 7 + 3) % n;\n    out[i] = a[j] * 0.25 + b[i];\n",
+];
+
+/// Synthesizes a PsimC translation unit with `regions` independent SPMD
+/// functions (`k0 … k{regions-1}`), cycling body templates for shape
+/// variety. Deterministic: the same `regions` always yields the same
+/// source.
+pub fn synth_source(regions: usize) -> String {
+    let mut src = String::new();
+    for r in 0..regions {
+        let body = BODIES[r % BODIES.len()];
+        src.push_str(&format!(
+            "void k{r}(f32* restrict a, f32* restrict b, f32* restrict out, i64 n) {{\n  \
+             psim gang(16) threads(n) {{\n    i64 i = psim_thread_num();\n{body}  }}\n}}\n\n"
+        ));
+    }
+    src
+}
+
+/// Compiles the synthesized source to the scalar module the pipeline runs
+/// on.
+///
+/// # Errors
+/// Propagates front-end failures (which would be a bug in [`synth_source`]).
+pub fn synth_module(regions: usize) -> Result<Module, String> {
+    psimc::compile(&synth_source(regions)).map_err(|e| e.to_string())
+}
+
+/// One timed pipeline run; returns the wall time and the full output.
+fn timed_run(
+    m: &Module,
+    opts: &VectorizeOptions,
+    popts: &PipelineOptions,
+) -> Result<(u64, parsimony::PipelineOutput), String> {
+    let t = Instant::now();
+    let out = vectorize_module_with(m, opts, popts).map_err(|e| e.to_string())?;
+    Ok((t.elapsed().as_nanos() as u64, out))
+}
+
+/// Runs the full serial-vs-parallel comparison.
+///
+/// # Errors
+/// Reports front-end or pipeline failures (the synthesized module is
+/// expected to vectorize cleanly; degradation is reported, not an error).
+pub fn run(cfg: &CompBenchConfig) -> Result<CompBenchReport, String> {
+    if cfg.regions == 0 || cfg.iters == 0 || cfg.jobs == 0 {
+        return Err("compbench: regions, jobs, and iters must all be >= 1".into());
+    }
+    let m = synth_module(cfg.regions)?;
+    let opts = VectorizeOptions::default();
+    let serial_popts = PipelineOptions::default().with_jobs(1);
+    let parallel_popts = PipelineOptions::default().with_jobs(cfg.jobs);
+
+    let mut best: [Option<(u64, parsimony::PipelineOutput)>; 2] = [None, None];
+    for (slot, popts) in [(0, &serial_popts), (1, &parallel_popts)] {
+        for _ in 0..cfg.iters {
+            let (nanos, out) = timed_run(&m, &opts, popts)?;
+            if best[slot].as_ref().is_none_or(|(b, _)| nanos < *b) {
+                best[slot] = Some((nanos, out));
+            }
+        }
+    }
+    let [serial, parallel] = best;
+    let (serial_nanos, serial_out) = serial.ok_or("compbench: no serial run completed")?;
+    let (parallel_nanos, parallel_out) = parallel.ok_or("compbench: no parallel run completed")?;
+
+    let identical = psir::print_module(&serial_out.module)
+        == psir::print_module(&parallel_out.module)
+        && telemetry::remarks_to_text(&serial_out.remarks)
+            == telemetry::remarks_to_text(&parallel_out.remarks)
+        && serial_out.vectorized == parallel_out.vectorized
+        && serial_out.degraded == parallel_out.degraded;
+
+    Ok(CompBenchReport {
+        config: cfg.clone(),
+        serial_nanos,
+        parallel_nanos,
+        identical,
+        vectorized: serial_out.vectorized.len(),
+        degraded: serial_out.degraded.len(),
+        serial_timings: serial_out.timings,
+        parallel_timings: parallel_out.timings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_source_is_deterministic_and_compiles() {
+        assert_eq!(synth_source(7), synth_source(7));
+        let m = synth_module(11).expect("synthesized source compiles");
+        assert_eq!(m.spmd_functions().len(), 11);
+    }
+
+    #[test]
+    fn small_run_is_identical_and_fully_vectorized() {
+        let report = run(&CompBenchConfig {
+            regions: 10,
+            jobs: 4,
+            iters: 1,
+        })
+        .expect("compbench runs");
+        assert!(report.identical, "parallel output must match serial");
+        assert_eq!(report.vectorized, 10);
+        assert_eq!(report.degraded, 0);
+        assert_eq!(report.serial_timings.regions.len(), 10);
+        assert_eq!(report.parallel_timings.regions.len(), 10);
+        assert_eq!(report.parallel_timings.jobs, 4);
+        let j = report.to_json().to_string_pretty();
+        assert!(j.contains("\"speedup\""));
+        assert!(j.contains("\"identical\": true"));
+    }
+}

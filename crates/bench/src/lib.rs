@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod compbench;
+
 use suite::runner::{geomean, run_kernel, run_kernel_profiled, Config, RunResult};
 use suite::Kernel;
 use telemetry::{Profile, ProfileDiff};

@@ -18,6 +18,16 @@
 //! [`crate::vectorize_module`] consults once per call. Firing is
 //! deterministic: an active injector fires at *every* matching site, so a
 //! sweep over [`SITES`] covers each recovery path without any randomness.
+//!
+//! Thread-locality is a feature, not a hazard, for the parallel region
+//! driver: each fan-out worker re-arms the module's injector on its own
+//! thread ([`with_injector`]) before building regions, so an armed site
+//! fires in every region that reaches it regardless of which worker (or
+//! how many workers) the scheduler picked — the set of degraded regions,
+//! and therefore the output, is identical at every `-j` level. The same
+//! holds for the panic machinery: [`pass_scope`] attribution and the quiet
+//! hook's suppression flag are per-thread, while the installed hook itself
+//! is process-global and consults the firing thread's flag.
 
 use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, AssertUnwindSafe};

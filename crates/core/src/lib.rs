@@ -22,6 +22,11 @@
 //! module, produced variants are verified in-pipeline ([`VerifyMode`]), and
 //! every recovery path is exercisable deterministically through the fault
 //! injection harness ([`fault`]).
+//!
+//! It is also **parallel**: independent SPMD regions fan out across
+//! [`PipelineOptions::jobs`] worker threads and merge back in original
+//! region order, so the printed module and remark stream are byte-identical
+//! at every `-j` level (see `pipeline` module docs and DESIGN.md §10).
 
 #![warn(missing_docs)]
 
@@ -37,7 +42,8 @@ pub mod transform;
 
 pub use fault::FaultInjector;
 pub use pipeline::{
-    vectorize_module, vectorize_module_with, PipelineOptions, PipelineOutput, VerifyMode,
+    default_jobs, vectorize_module, vectorize_module_with, PipelineOptions, PipelineOutput,
+    VerifyMode, JOBS_ENV_VAR,
 };
 pub use region::emit_gang_loop;
 pub use shape::{analyze, Shape, ShapeInfo, ShapeMap};

@@ -76,13 +76,9 @@ pub fn fold_constants(f: &mut Function) -> usize {
                 _ => None,
             },
             Inst::Select { cond, t, f: fv } => match as_const(*cond) {
-                Some(c) if ty.is_scalar() || true => {
-                    // Scalar i1 condition folds regardless of arm types.
-                    if c.ty == psir::ScalarTy::I1 {
-                        Some(resolve(if c.bits & 1 != 0 { *t } else { *fv }))
-                    } else {
-                        None
-                    }
+                // Scalar i1 condition folds regardless of arm types.
+                Some(c) if c.ty == psir::ScalarTy::I1 => {
+                    Some(resolve(if c.bits & 1 != 0 { *t } else { *fv }))
                 }
                 _ => None,
             },
@@ -146,10 +142,8 @@ pub fn dce(f: &mut Function) -> usize {
 
     for b in f.block_ids() {
         for &id in &f.block(b).insts {
-            if f.inst(id).has_side_effects() || f.inst_ty(id).is_void() {
-                if live.insert(id) {
-                    work.push(id);
-                }
+            if (f.inst(id).has_side_effects() || f.inst_ty(id).is_void()) && live.insert(id) {
+                work.push(id);
             }
         }
         match &f.block(b).term {
@@ -365,7 +359,7 @@ pub fn inline_calls(m: &mut psir::Module, callee_names: &[String]) -> usize {
             let Some((block, pos, call_id, callee)) = site else {
                 break;
             };
-            let Some(callee_fn) = m.function(&callee).map(Function::clone) else {
+            let Some(callee_fn) = m.function(&callee).cloned() else {
                 break;
             };
             let Some(f) = m.function_mut(&caller) else {
@@ -515,15 +509,11 @@ fn inline_one(
             }
             let mut term = f.block(b).term.clone();
             match &mut term {
-                Terminator::CondBr { cond, .. } => {
-                    if *cond == Value::Inst(call_id) {
-                        *cond = rv;
-                    }
+                Terminator::CondBr { cond, .. } if *cond == Value::Inst(call_id) => {
+                    *cond = rv;
                 }
-                Terminator::Ret(Some(v)) => {
-                    if *v == Value::Inst(call_id) {
-                        *v = rv;
-                    }
+                Terminator::Ret(Some(v)) if *v == Value::Inst(call_id) => {
+                    *v = rv;
                 }
                 _ => {}
             }

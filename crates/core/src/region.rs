@@ -77,7 +77,7 @@ pub fn emit_gang_loop_peeled(
     peel_head: bool,
 ) {
     let g = Const::i64(gang as i64);
-    let only_full = static_threads.map_or(false, |n| n % gang as u64 == 0);
+    let only_full = static_threads.is_some_and(|n| n % gang as u64 == 0);
 
     // Specialized driver: a main loop over complete gangs with no
     // per-iteration full/partial test, then at most one partial (tail) call.
@@ -103,11 +103,11 @@ pub fn emit_gang_loop_peeled(
         fb.call(head_name(region), Ty::Void, hargs);
         fb.br(cont);
         fb.switch_to(cont);
-        let start = fb.phi(vec![
+
+        fb.phi(vec![
             (head_blk, Value::Const(g)),
             (pre, Value::Const(Const::i64(0))),
-        ]);
-        start
+        ])
     } else {
         Value::Const(Const::i64(0))
     };

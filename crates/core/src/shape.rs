@@ -499,8 +499,7 @@ fn rule_align(op: BinOp, a: &ShapeInfo, b: &ShapeInfo) -> u64 {
             a.align
                 .checked_shl(k as u32)
                 .unwrap_or(1 << 62)
-                .max(1)
-                .min(1 << 62)
+                .clamp(1, 1 << 62)
         }
         BinOp::And => {
             let k = b
@@ -638,18 +637,20 @@ fn divergence_context(
             for &user in &f.block(b).insts {
                 for op in f.inst(user).operands() {
                     if let Value::Inst(def) = op {
-                        if inst_block.get(&def).map_or(false, |db| inside.contains(db)) {
+                        if inst_block.get(&def).is_some_and(|db| inside.contains(db)) {
                             escapes.entry(def).or_default().push(*cond);
                         }
                     }
                 }
             }
             // Terminator conditions count as uses too.
-            if let psir::Terminator::CondBr { cond: c, .. } = &f.block(b).term {
-                if let Value::Inst(def) = c {
-                    if inst_block.get(def).map_or(false, |db| inside.contains(db)) {
-                        escapes.entry(*def).or_default().push(*cond);
-                    }
+            if let psir::Terminator::CondBr {
+                cond: Value::Inst(def),
+                ..
+            } = &f.block(b).term
+            {
+                if inst_block.get(def).is_some_and(|db| inside.contains(db)) {
+                    escapes.entry(*def).or_default().push(*cond);
                 }
             }
         }

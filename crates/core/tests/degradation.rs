@@ -188,6 +188,7 @@ fn strict_mode_is_a_hard_error() {
         &PipelineOptions {
             verify: VerifyMode::Strict,
             inject: None,
+            jobs: 1,
         },
     )
     .unwrap_err();
@@ -207,6 +208,7 @@ fn verify_off_still_degrades() {
         &PipelineOptions {
             verify: VerifyMode::Off,
             inject: None,
+            jobs: 1,
         },
     )
     .expect("degrades with verification off");

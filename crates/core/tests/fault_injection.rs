@@ -126,6 +126,7 @@ fn sweep_every_registered_site() {
             &PipelineOptions {
                 verify: VerifyMode::Fallback,
                 inject: Some(inj),
+                jobs: 1,
             },
         )
         .unwrap_or_else(|e| panic!("{spec}: module must degrade, got Err({e})"));
@@ -169,6 +170,7 @@ fn injected_panics_are_attributed_to_their_pass() {
             &PipelineOptions {
                 verify: VerifyMode::Strict,
                 inject: Some(FaultInjector::parse(&spec).unwrap()),
+                jobs: 1,
             },
         )
         .unwrap_err();
@@ -197,6 +199,7 @@ fn corrupt_site_is_caught_by_the_verifier() {
         &PipelineOptions {
             verify: VerifyMode::Strict,
             inject: Some(inj.clone()),
+            jobs: 1,
         },
     )
     .unwrap_err();
@@ -210,6 +213,7 @@ fn corrupt_site_is_caught_by_the_verifier() {
         &PipelineOptions {
             verify: VerifyMode::Off,
             inject: Some(inj),
+            jobs: 1,
         },
     )
     .expect("no verification, no corruption");

@@ -77,6 +77,7 @@ fn gang_sync_mode_rejects_scalar_calls() {
         &parsimony::PipelineOptions {
             verify: parsimony::VerifyMode::Strict,
             inject: None,
+            jobs: 1,
         },
     )
     .unwrap_err();

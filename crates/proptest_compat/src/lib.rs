@@ -430,7 +430,7 @@ mod tests {
 
     #[test]
     fn union_and_map_generate() {
-        let s = prop_oneof![Just(1i32), (10i32..20), (0i32..3).prop_map(|v| v * 100)];
+        let s = prop_oneof![Just(1i32), 10i32..20, (0i32..3).prop_map(|v| v * 100)];
         let mut rng = TestRng::deterministic("union_and_map_generate");
         for _ in 0..100 {
             let v = s.generate(&mut rng);
@@ -439,7 +439,7 @@ mod tests {
     }
 
     proptest! {
-        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+        #![proptest_config(ProptestConfig { cases: 32 })]
 
         #[test]
         fn macro_roundtrip(x in 0i32..50, y in any::<bool>()) {

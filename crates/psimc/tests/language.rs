@@ -87,7 +87,7 @@ fn builtins_on_ints_and_floats() {
         }",
         &[],
     );
-    assert_eq!(r, 0 + 255 + 1 + 6);
+    assert_eq!(r, 255 + 1 + 6);
 }
 
 // ---- diagnostics ------------------------------------------------------------

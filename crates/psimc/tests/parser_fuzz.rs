@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 512 })]
 
     #[test]
     fn lexer_never_panics(src in "\\PC*") {

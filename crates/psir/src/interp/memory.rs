@@ -36,7 +36,7 @@ impl Memory {
     /// Returns [`ExecError::OutOfBounds`] when capacity is exhausted.
     pub fn alloc(&mut self, size: u64, align: u64) -> Result<u64, ExecError> {
         let align = align.max(1);
-        let addr = (self.brk + align - 1) / align * align;
+        let addr = self.brk.div_ceil(align) * align;
         let end = addr.checked_add(size).ok_or(ExecError::OutOfBounds {
             addr: self.brk,
             size,
@@ -52,7 +52,7 @@ impl Memory {
         if addr == 0
             || addr
                 .checked_add(size)
-                .map_or(true, |e| e > self.bytes.len() as u64)
+                .is_none_or(|e| e > self.bytes.len() as u64)
         {
             Err(ExecError::OutOfBounds { addr, size })
         } else {

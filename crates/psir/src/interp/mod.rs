@@ -294,9 +294,8 @@ impl<'a> Interp<'a> {
     /// Charges one dynamic execution of `id`, attributing to the profile
     /// when profiling is enabled.
     fn charge_inst(&mut self, f: &Function, id: InstId) {
-        if self.profile.is_some() {
+        if let Some(p) = self.profile.as_mut() {
             let classed = self.cost.inst_cost_classed(f, id);
-            let p = self.profile.as_mut().expect("checked above");
             for (class, cy) in classed {
                 self.cycles += cy;
                 p.record(&f.name, class, cy);
@@ -552,7 +551,7 @@ impl<'a> Interp<'a> {
                         let sz = elem.size_bytes();
                         let mut out = Vec::with_capacity(n as usize);
                         for i in 0..n as u64 {
-                            let active = mk.as_ref().map_or(true, |m| m[i as usize]);
+                            let active = mk.as_ref().is_none_or(|m| m[i as usize]);
                             out.push(if active {
                                 self.mem.load_scalar(elem, addr + i * sz)?
                             } else {
@@ -565,7 +564,7 @@ impl<'a> Interp<'a> {
                         self.stats.gathers += 1;
                         let mut out = Vec::with_capacity(addrs.len());
                         for (i, &a) in addrs.iter().enumerate() {
-                            let active = mk.as_ref().map_or(true, |m| m[i]);
+                            let active = mk.as_ref().is_none_or(|m| m[i]);
                             out.push(if active {
                                 self.mem.load_scalar(elem, a)?
                             } else {
@@ -597,7 +596,7 @@ impl<'a> Interp<'a> {
                         self.stats.packed_stores += 1;
                         let sz = elem.size_bytes();
                         for (i, &b) in lanes.iter().enumerate() {
-                            if mk.as_ref().map_or(true, |m| m[i]) {
+                            if mk.as_ref().is_none_or(|m| m[i]) {
                                 self.mem.store_scalar(elem, addr + i as u64 * sz, b)?;
                             }
                         }
@@ -605,7 +604,7 @@ impl<'a> Interp<'a> {
                     (RtVal::V(addrs), RtVal::V(lanes)) => {
                         self.stats.scatters += 1;
                         for (i, (&a, &b)) in addrs.iter().zip(lanes).enumerate() {
-                            if mk.as_ref().map_or(true, |m| m[i]) {
+                            if mk.as_ref().is_none_or(|m| m[i]) {
                                 self.mem.store_scalar(elem, a, b)?;
                             }
                         }
@@ -614,7 +613,7 @@ impl<'a> Interp<'a> {
                         // Scatter of a uniform value.
                         self.stats.scatters += 1;
                         for (i, &a) in addrs.iter().enumerate() {
-                            if mk.as_ref().map_or(true, |m| m[i]) {
+                            if mk.as_ref().is_none_or(|m| m[i]) {
                                 self.mem.store_scalar(elem, a, *bits)?;
                             }
                         }
@@ -741,7 +740,7 @@ impl<'a> Interp<'a> {
                 };
                 let mut acc = reduce_identity(*op, elem);
                 for (i, &x) in lv.iter().enumerate() {
-                    if mk.as_ref().map_or(true, |m| m[i]) {
+                    if mk.as_ref().is_none_or(|m| m[i]) {
                         acc = reduce_step(*op, elem, acc, x);
                     }
                 }

@@ -107,10 +107,10 @@ impl<'f> Verifier<'f> {
                 if from.lanes() != ty.lanes() {
                     self.err(format!("cast changes lane count: {from} to {ty}"));
                 }
-                if *kind == CastKind::Bitcast {
-                    if from.elem().map(|e| e.bits()) != ty.elem().map(|e| e.bits()) {
-                        self.err(format!("bitcast width mismatch: {from} to {ty}"));
-                    }
+                if *kind == CastKind::Bitcast
+                    && from.elem().map(|e| e.bits()) != ty.elem().map(|e| e.bits())
+                {
+                    self.err(format!("bitcast width mismatch: {from} to {ty}"));
                 }
             }
             Inst::Select { cond, t, f: fv } => {
@@ -211,20 +211,14 @@ impl<'f> Verifier<'f> {
             }
             Inst::Call { .. } => {}
             Inst::Intrin { kind, args } => match kind {
-                Intrinsic::Shuffle | Intrinsic::Broadcast => {
-                    if args.len() != 2 {
-                        self.err(format!("{} takes 2 arguments", kind.name()));
-                    }
+                Intrinsic::Shuffle | Intrinsic::Broadcast if args.len() != 2 => {
+                    self.err(format!("{} takes 2 arguments", kind.name()));
                 }
-                Intrinsic::GangSync => {
-                    if !ty.is_void() {
-                        self.err("gang_sync produces no value");
-                    }
+                Intrinsic::GangSync if !ty.is_void() => {
+                    self.err("gang_sync produces no value");
                 }
-                Intrinsic::Math(m) => {
-                    if args.len() != m.arity() {
-                        self.err(format!("math.{} takes {} arguments", m.name(), m.arity()));
-                    }
+                Intrinsic::Math(m) if args.len() != m.arity() => {
+                    self.err(format!("math.{} takes {} arguments", m.name(), m.arity()));
                 }
                 _ => {}
             },

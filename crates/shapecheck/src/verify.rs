@@ -162,7 +162,7 @@ fn check_one(
             },
             RuleOp::Cast(kind) => eval_cast(kind, ty, out_ty, av),
         };
-        let got = r_base.wrapping_add(r_off[lane]) & out_ty.bit_mask();
+        let got = r_base.wrapping_add(*r_off.get(lane).unwrap_or(&0)) & out_ty.bit_mask();
         if expected != got {
             return Err(Counterexample {
                 rule: rule.name,
@@ -232,7 +232,7 @@ pub fn verify_rule(rule: &Rule, random_cases: u64) -> Result<VerifyReport, Count
         };
         let stride = rng.next() % 64;
         let a_off: Vec<u64> = (0..4).map(|i| (i * stride) & ty64.bit_mask()).collect();
-        let b_off: Vec<u64> = if rng.next() % 2 == 0 {
+        let b_off: Vec<u64> = if rng.next().is_multiple_of(2) {
             vec![0, 0, 0, 0]
         } else {
             (0..4).map(|_| rng.next() & 0xff).collect()

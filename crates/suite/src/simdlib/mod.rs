@@ -22,7 +22,10 @@ use crate::Kernel;
 /// # Panics
 /// Panics if `n` is not a positive multiple of 256.
 pub fn kernels(n: u64) -> Vec<Kernel> {
-    assert!(n > 0 && n % 256 == 0, "workload must be a multiple of 256");
+    assert!(
+        n > 0 && n.is_multiple_of(256),
+        "workload must be a multiple of 256"
+    );
     let mut v = Vec::new();
     v.extend(pointwise::kernels(n));
     v.extend(convert_filter::kernels(n));

@@ -76,36 +76,36 @@ fn parity2_u8(name: &str, n: u64, expr: &str, op: BinOp) -> Kernel {
 }
 
 pub(super) fn kernels(n: u64) -> Vec<Kernel> {
-    let mut v = Vec::new();
-
-    // 1. saturating add
-    v.push(native2_u8(
-        "add_sat_u8",
-        n,
-        "add_sat(a[idx], b[idx])",
-        "    i32 r = (i32) a[idx] + (i32) b[idx];\n    out[idx] = (u8) min(r, 255);",
-        BinOp::AddSatU,
-    ));
-    // 2. saturating sub
-    v.push(native2_u8(
-        "sub_sat_u8",
-        n,
-        "sub_sat(a[idx], b[idx])",
-        "    i32 r = (i32) a[idx] - (i32) b[idx];\n    out[idx] = (u8) max(r, 0);",
-        BinOp::SubSatU,
-    ));
-    // 3. rounded average
-    v.push(native2_u8(
-        "avg_u8",
-        n,
-        "avg_u(a[idx], b[idx])",
-        "    i32 r = ((i32) a[idx] + (i32) b[idx] + 1) / 2;\n    out[idx] = (u8) r;",
-        BinOp::AvgU,
-    ));
-    // 4-6. logic (parity: the auto-vectorizer handles these)
-    v.push(parity2_u8("and_u8", n, "a[idx] & b[idx]", BinOp::And));
-    v.push(parity2_u8("or_u8", n, "a[idx] | b[idx]", BinOp::Or));
-    v.push(parity2_u8("xor_u8", n, "a[idx] ^ b[idx]", BinOp::Xor));
+    let mut v = vec![
+        // 1. saturating add
+        native2_u8(
+            "add_sat_u8",
+            n,
+            "add_sat(a[idx], b[idx])",
+            "    i32 r = (i32) a[idx] + (i32) b[idx];\n    out[idx] = (u8) min(r, 255);",
+            BinOp::AddSatU,
+        ),
+        // 2. saturating sub
+        native2_u8(
+            "sub_sat_u8",
+            n,
+            "sub_sat(a[idx], b[idx])",
+            "    i32 r = (i32) a[idx] - (i32) b[idx];\n    out[idx] = (u8) max(r, 0);",
+            BinOp::SubSatU,
+        ),
+        // 3. rounded average
+        native2_u8(
+            "avg_u8",
+            n,
+            "avg_u(a[idx], b[idx])",
+            "    i32 r = ((i32) a[idx] + (i32) b[idx] + 1) / 2;\n    out[idx] = (u8) r;",
+            BinOp::AvgU,
+        ),
+        // 4-6. logic (parity: the auto-vectorizer handles these)
+        parity2_u8("and_u8", n, "a[idx] & b[idx]", BinOp::And),
+        parity2_u8("or_u8", n, "a[idx] | b[idx]", BinOp::Or),
+        parity2_u8("xor_u8", n, "a[idx] ^ b[idx]", BinOp::Xor),
+    ];
     // 7-8. min/max (serial uses ternaries, like scalar C)
     {
         let mk = |name: &str, cmp: &str, op: BinOp| {

@@ -16,6 +16,9 @@
 //!   [`CostClass`] buckets per function, fed by the `psir` interpreter's
 //!   cost-model hooks and rendered by the bench binaries (`--profile`) and
 //!   the `profdiff` CI gate.
+//! * [`CompileTimings`] — wall-clock attribution for the parallel
+//!   region-compilation driver: per-region build times plus fan-out
+//!   metadata, reported by the `compbench` harness and its CI gate.
 //!
 //! Both serialize through the hand-rolled [`Json`] value type in
 //! [`json`] — this crate deliberately has **zero** dependencies.
@@ -24,9 +27,11 @@
 
 pub mod json;
 pub mod profile;
+pub mod timing;
 
 pub use json::Json;
 pub use profile::{CostClass, FnProfile, Profile, ProfileDiff};
+pub use timing::{CompileTimings, RegionTiming};
 
 use std::fmt;
 
@@ -821,7 +826,7 @@ mod tests {
                 reason: "[structurize] @k__psim0: unstructured control flow".into(),
             },
         );
-        let j = remarks_to_json(&[r.clone()]);
+        let j = remarks_to_json(std::slice::from_ref(&r));
         let back = remarks_from_json(&Json::parse(&j.to_string_pretty()).unwrap()).unwrap();
         assert_eq!(back, vec![r.clone()]);
         let text = r.render_text();

@@ -1,0 +1,166 @@
+//! Compile-time attribution: where the pipeline's wall-clock time went.
+//!
+//! The parallel region driver (`parsimony::pipeline`) builds every SPMD
+//! region independently and merges the results in original region order, so
+//! the interesting compile-time questions become per-region: which region
+//! was slow, how well did the fan-out pack onto the workers, and what was
+//! the critical path? [`CompileTimings`] answers those. It is measurement
+//! metadata, not part of the deterministic output contract — the printed
+//! module and the remark stream are byte-identical across `-j` levels, the
+//! timings are whatever the clock said.
+
+use crate::json::Json;
+
+/// Wall-clock attribution for one region's build (all variants: vectorize,
+/// cleanup, verify, and — on the degradation path — fallback serialization).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionTiming {
+    /// The SPMD region (function) name.
+    pub region: String,
+    /// Wall-clock nanoseconds spent building this region.
+    pub nanos: u64,
+    /// Index of the worker that built the region (0 for the serial path).
+    pub worker: usize,
+}
+
+impl RegionTiming {
+    /// Serializes to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("region", Json::Str(self.region.clone())),
+            ("nanos", Json::u64(self.nanos)),
+            ("worker", Json::u64(self.worker as u64)),
+        ])
+    }
+
+    /// Deserializes from a JSON object.
+    pub fn from_json(j: &Json) -> Option<RegionTiming> {
+        Some(RegionTiming {
+            region: j.get("region")?.as_str()?.to_string(),
+            nanos: j.get("nanos")?.as_u64()?,
+            worker: j.get("worker")?.as_u64()? as usize,
+        })
+    }
+}
+
+/// Compile-time report for one [`vectorize_module`] call: total wall time,
+/// the worker count, and per-region attribution in original region order.
+///
+/// [`vectorize_module`]: https://docs.rs/parsimony
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompileTimings {
+    /// Worker threads the driver actually used.
+    pub jobs: usize,
+    /// Wall-clock nanoseconds for the whole module (fan-out + merge +
+    /// post-merge optimization).
+    pub wall_nanos: u64,
+    /// Per-region build times, in original region order.
+    pub regions: Vec<RegionTiming>,
+}
+
+impl CompileTimings {
+    /// Sum of all per-region build times — an estimate of the serial cost
+    /// of the fan-out phase (merge and post-merge work excluded).
+    pub fn region_nanos_total(&self) -> u64 {
+        self.regions.iter().map(|r| r.nanos).sum()
+    }
+
+    /// The slowest single region — a lower bound on the parallel fan-out
+    /// phase's wall time (its critical path).
+    pub fn critical_path_nanos(&self) -> u64 {
+        self.regions.iter().map(|r| r.nanos).max().unwrap_or(0)
+    }
+
+    /// Serializes to a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("jobs", Json::u64(self.jobs as u64)),
+            ("wall_nanos", Json::u64(self.wall_nanos)),
+            (
+                "regions",
+                Json::Arr(self.regions.iter().map(RegionTiming::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Deserializes from a JSON object.
+    pub fn from_json(j: &Json) -> Option<CompileTimings> {
+        Some(CompileTimings {
+            jobs: j.get("jobs")?.as_u64()? as usize,
+            wall_nanos: j.get("wall_nanos")?.as_u64()?,
+            regions: j
+                .get("regions")?
+                .as_arr()?
+                .iter()
+                .map(RegionTiming::from_json)
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+
+    /// Renders a short human-readable summary: totals plus the slowest
+    /// regions first.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "compile: {:.3} ms wall on {} worker(s); {} region(s), {:.3} ms summed, {:.3} ms critical path\n",
+            self.wall_nanos as f64 / 1e6,
+            self.jobs,
+            self.regions.len(),
+            self.region_nanos_total() as f64 / 1e6,
+            self.critical_path_nanos() as f64 / 1e6,
+        );
+        let mut by_cost: Vec<&RegionTiming> = self.regions.iter().collect();
+        by_cost.sort_by(|a, b| b.nanos.cmp(&a.nanos).then(a.region.cmp(&b.region)));
+        for r in by_cost.iter().take(5) {
+            out.push_str(&format!(
+                "  {:<32} {:>10.3} ms  (worker {})\n",
+                r.region,
+                r.nanos as f64 / 1e6,
+                r.worker
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CompileTimings {
+        CompileTimings {
+            jobs: 4,
+            wall_nanos: 5_000_000,
+            regions: vec![
+                RegionTiming {
+                    region: "a__psim0".into(),
+                    nanos: 1_000_000,
+                    worker: 0,
+                },
+                RegionTiming {
+                    region: "b__psim0".into(),
+                    nanos: 3_000_000,
+                    worker: 2,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = sample();
+        let j = t.to_json();
+        let parsed = Json::parse(&j.to_string_pretty()).unwrap();
+        assert_eq!(CompileTimings::from_json(&parsed).unwrap(), t);
+    }
+
+    #[test]
+    fn totals_and_critical_path() {
+        let t = sample();
+        assert_eq!(t.region_nanos_total(), 4_000_000);
+        assert_eq!(t.critical_path_nanos(), 3_000_000);
+        let text = t.render_text();
+        assert!(text.contains("2 region(s)"));
+        // Slowest region is listed first.
+        assert!(text.find("b__psim0").unwrap() < text.find("a__psim0").unwrap());
+    }
+}

@@ -258,8 +258,8 @@ pub fn legalize(target: &Target, f: &Function, id: InstId) -> Vec<Uop> {
         Inst::Cast { a, .. } => {
             let oty = f.value_ty(*a);
             if !oty.is_vec() && !ty.is_vec() {
-                let fp = oty.elem().map_or(false, |e| e.is_float())
-                    || ty.elem().map_or(false, |e| e.is_float());
+                let fp = oty.elem().is_some_and(|e| e.is_float())
+                    || ty.elem().is_some_and(|e| e.is_float());
                 vec![uop(if fp {
                     UopKind::ScalarFp
                 } else {

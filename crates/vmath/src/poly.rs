@@ -20,8 +20,8 @@ pub fn exp2f(x: f32) -> f32 {
     // 2^f = e^(f ln2); coefficients of the Taylor/minimax hybrid.
     const C: [f32; 7] = [
         1.0,
-        0.693_147_2,
-        0.240_226_51,
+        std::f32::consts::LN_2,
+        0.240_226_5,
         0.055_504_11,
         0.009_618_13,
         0.001_333_55,

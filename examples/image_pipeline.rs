@@ -84,8 +84,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut mem = Memory::default();
     let p_bgr = mem.alloc_bytes(&bgr, 64)?;
-    let p_gray = mem.alloc((n + 64) as u64, 64)?;
-    let p_blur = mem.alloc((n + 64) as u64, 64)?;
+    let p_gray = mem.alloc(n + 64, 64)?;
+    let p_blur = mem.alloc(n + 64, 64)?;
     let p_mean = mem.alloc(8, 64)?;
     let p_bin = mem.alloc(n, 64)?;
 

@@ -142,7 +142,7 @@ fn run(m: &Module, n: u64, seed: u64) -> Vec<u8> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 48 })]
 
     #[test]
     fn autovectorized_loops_match_scalar(

@@ -128,10 +128,7 @@ fn setup(mem: &mut Memory, n: u64, seed: u64) -> (u64, u64) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        .. ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig { cases: 48 })]
 
     // For every registered fault site: no panic escapes the driver, the
     // module is valid, serializable regions degrade and still match the
@@ -158,7 +155,7 @@ proptest! {
         let result = vectorize_module_with(
             &m,
             &VectorizeOptions::default(),
-            &PipelineOptions { verify: VerifyMode::Fallback, inject: Some(inj) },
+            &PipelineOptions { verify: VerifyMode::Fallback, inject: Some(inj), jobs: 1 },
         );
 
         if shape.has_horizontal() {
@@ -213,7 +210,7 @@ proptest! {
         let out = vectorize_module_with(
             &m,
             &VectorizeOptions::default(),
-            &PipelineOptions { verify: VerifyMode::Fallback, inject: None },
+            &PipelineOptions { verify: VerifyMode::Fallback, inject: None, jobs: 1 },
         )
         .unwrap_or_else(|e| panic!("pipeline: {e}\n{src}"));
         prop_assert!(out.degraded.is_empty(), "spuriously degraded: {:?}\n{}", out.degraded, src);

@@ -178,10 +178,7 @@ fn run_both(src: &str, n: u64, seed: u64) -> (Vec<u8>, Vec<u8>) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 64,
-        .. ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig { cases: 64 })]
 
     #[test]
     fn vectorized_matches_spmd_reference(
