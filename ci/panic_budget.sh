@@ -19,12 +19,12 @@ PATTERN='\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(|todo!\('
 # crate-dir budget
 BUDGETS="
 autovec 39
-bench 16
+bench 20
 core 78
 criterion_compat 0
 proptest_compat 2
 psimc 22
-psir 52
+psir 65
 rand_compat 0
 shapecheck 9
 suite 19

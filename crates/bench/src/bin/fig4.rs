@@ -13,13 +13,18 @@
 //! kernel build (default: `PSIM_JOBS` or the available parallelism);
 //! results are identical at every level, only compile time changes.
 
-use psim_bench::{cell, geomean_speedup, measure, parse_profile_flag, profile_kernel, ProfileMode};
+use psim_bench::{
+    cell, geomean_speedup, measure_iters, parse_profile_flag, profile_kernel, total_wall_ms,
+    ProfileMode,
+};
 use suite::ispc::{kernels, IspcSizes};
 use suite::runner::{run_kernel, Config};
 use telemetry::Profile;
 
 fn usage() -> ! {
-    eprintln!("usage: fig4 [--tiny] [--gang-sweep] [--profile[=json]] [-j N | --jobs N]");
+    eprintln!(
+        "usage: fig4 [--tiny] [--gang-sweep] [--iters N] [--profile[=json]] [-j N | --jobs N]"
+    );
     std::process::exit(2);
 }
 
@@ -52,11 +57,23 @@ fn run() {
     let mut sizes = IspcSizes::default();
     let mut gang_sweep = false;
     let mut profile_mode = ProfileMode::Off;
+    let mut iters = 1usize;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--tiny" => sizes = IspcSizes::tiny(),
             "--gang-sweep" => gang_sweep = true,
+            "--iters" => {
+                i += 1;
+                let Some(v) = args.get(i) else { usage() };
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => iters = n,
+                    _ => {
+                        eprintln!("fig4: --iters takes a positive integer, got {v:?}");
+                        usage();
+                    }
+                }
+            }
             "-j" | "--jobs" => {
                 i += 1;
                 set_jobs("fig4", args.get(i));
@@ -88,19 +105,30 @@ fn run() {
         sizes.dim
     );
     let ks = kernels(sizes);
-    let rows = measure(&ks, &cfgs);
+    let rows = measure_iters(&ks, &cfgs, iters);
 
     println!(
-        "{:<18} {:>9} {:>9} {:>9}",
-        "benchmark", "parsimony", "ispc-like", "ratio"
+        "{:<18} {:>9} {:>9} {:>9} {:>9}",
+        "benchmark", "parsimony", "ispc-like", "ratio", "wall(ms)"
     );
-    println!("{}", "-".repeat(50));
+    println!("{}", "-".repeat(60));
     for r in &rows {
         let p = r.speedup(Config::Parsimony, Config::Autovec);
         let g = r.speedup(Config::GangSync, Config::Autovec);
-        println!("{:<18} {}x {}x {}", r.name, cell(p), cell(g), cell(p / g));
+        println!(
+            "{:<18} {}x {}x {} {:>9.2}",
+            r.name,
+            cell(p),
+            cell(g),
+            cell(p / g),
+            r.wall_ms(Config::Parsimony)
+        );
     }
-    println!("{}", "-".repeat(50));
+    println!("{}", "-".repeat(60));
+    println!(
+        "wall time (parsimony, best of {iters}): {:.1} ms total",
+        total_wall_ms(&rows, Config::Parsimony)
+    );
     let gp = geomean_speedup(&rows, Config::Parsimony, Config::Autovec);
     let gg = geomean_speedup(&rows, Config::GangSync, Config::Autovec);
     println!("geomean speedup over auto-vectorization:");

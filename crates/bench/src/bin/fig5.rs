@@ -14,7 +14,8 @@
 //! results are identical at every level, only compile time changes.
 
 use psim_bench::{
-    cell, geomean_speedup, measure, parse_profile_flag, profile_kernels, ProfileMode,
+    cell, geomean_speedup, measure_iters, parse_profile_flag, profile_kernels, total_wall_ms,
+    ProfileMode,
 };
 use suite::runner::{run_kernel_with, Config};
 use suite::simdlib::{kernels, DEFAULT_N};
@@ -22,8 +23,8 @@ use vmach::{Avx512Cost, Target};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fig5 [--n N] [--no-shape] [--avx2] [--stride-window] [--profile[=json]] \
-         [-j N | --jobs N]"
+        "usage: fig5 [--n N] [--iters N] [--no-shape] [--avx2] [--stride-window] \
+         [--profile[=json]] [-j N | --jobs N]"
     );
     std::process::exit(2);
 }
@@ -55,6 +56,7 @@ fn run() {
     let args: Vec<String> = std::env::args().collect();
     let mut n = DEFAULT_N;
     let mut with_noshape = false;
+    let mut iters = 1usize;
     let mut with_avx2 = false;
     let mut with_window = false;
     let mut profile_mode = ProfileMode::Off;
@@ -74,6 +76,17 @@ fn run() {
                 if n == 0 || !n.is_multiple_of(256) {
                     eprintln!("fig5: --n must be a positive multiple of 256, got {n}");
                     usage();
+                }
+            }
+            "--iters" => {
+                i += 1;
+                let Some(v) = args.get(i) else { usage() };
+                match v.parse::<usize>() {
+                    Ok(x) if x >= 1 => iters = x,
+                    _ => {
+                        eprintln!("fig5: --iters takes a positive integer, got {v:?}");
+                        usage();
+                    }
                 }
             }
             "--no-shape" => with_noshape = true,
@@ -112,29 +125,41 @@ fn run() {
 
     eprintln!("figure 5: 72 Simd Library kernels, n = {n} elements");
     let ks = kernels(n);
-    let rows = measure(&ks, &cfgs);
+    let rows = measure_iters(&ks, &cfgs, iters);
 
     println!(
-        "{:<22} {:>8} {:>8} {:>8}{}",
+        "{:<22} {:>8} {:>8} {:>8} {:>9}{}",
         "kernel",
         "autovec",
         "parsim",
         "hand",
+        "wall(ms)",
         if with_noshape { "  noshape" } else { "" }
     );
-    println!("{}", "-".repeat(if with_noshape { 60 } else { 50 }));
+    println!("{}", "-".repeat(if with_noshape { 70 } else { 60 }));
     for r in &rows {
         let a = r.speedup(Config::Autovec, Config::Scalar);
         let p = r.speedup(Config::Parsimony, Config::Scalar);
         let h = r.speedup(Config::Handwritten, Config::Scalar);
-        print!("{:<22} {} {} {}", r.name, cell(a), cell(p), cell(h));
+        print!(
+            "{:<22} {} {} {} {:>9.2}",
+            r.name,
+            cell(a),
+            cell(p),
+            cell(h),
+            r.wall_ms(Config::Parsimony)
+        );
         if with_noshape {
             let ns = r.speedup(Config::ParsimonyNoShape, Config::Scalar);
             print!(" {}", cell(ns));
         }
         println!();
     }
-    println!("{}", "-".repeat(if with_noshape { 60 } else { 50 }));
+    println!("{}", "-".repeat(if with_noshape { 70 } else { 60 }));
+    println!(
+        "wall time (parsimony, best of {iters}): {:.1} ms total",
+        total_wall_ms(&rows, Config::Parsimony)
+    );
 
     let ga = geomean_speedup(&rows, Config::Autovec, Config::Scalar);
     let gp = geomean_speedup(&rows, Config::Parsimony, Config::Scalar);

@@ -8,10 +8,14 @@
 #![warn(missing_docs)]
 
 pub mod compbench;
+pub mod runbench;
 
-use suite::runner::{geomean, run_kernel, run_kernel_profiled, Config, RunResult};
+use suite::runner::{
+    build_module, geomean, run_kernel_profiled, run_module_engine, Config, Engine, RunResult,
+};
 use suite::Kernel;
 use telemetry::{Profile, ProfileDiff};
+use vmach::Avx512Cost;
 
 /// One row of a speedup table.
 #[derive(Debug, Clone)]
@@ -20,6 +24,10 @@ pub struct Row {
     pub name: String,
     /// `(config, cycles)` pairs in presentation order.
     pub cycles: Vec<(Config, u64)>,
+    /// `(config, best-of-iters wall nanoseconds)` pairs: how long the
+    /// interpreter itself took, as opposed to the simulated cycles it
+    /// reported.
+    pub wall_nanos: Vec<(Config, u64)>,
 }
 
 impl Row {
@@ -34,30 +42,70 @@ impl Row {
         };
         get(base) / get(cfg)
     }
+
+    /// Best-of-iters wall time of one configuration, in milliseconds.
+    pub fn wall_ms(&self, cfg: Config) -> f64 {
+        self.wall_nanos
+            .iter()
+            .find(|(k, _)| *k == cfg)
+            .map(|(_, v)| *v as f64 / 1e6)
+            .expect("config measured")
+    }
 }
 
-/// Runs every configuration of every kernel, returning the rows.
+/// Runs every configuration of every kernel once, returning the rows.
 ///
 /// # Panics
 /// Panics on any build or runtime failure (harness inputs are trusted).
 pub fn measure(kernels: &[Kernel], cfgs: &[Config]) -> Vec<Row> {
+    measure_iters(kernels, cfgs, 1)
+}
+
+/// Like [`measure`], repeating each kernel/config execution `iters` times
+/// and recording the best (minimum) wall time — the simulated cycles are
+/// deterministic across repetitions, only the wall clock varies.
+///
+/// # Panics
+/// Panics on any build or runtime failure (harness inputs are trusted),
+/// and if `iters` is zero.
+pub fn measure_iters(kernels: &[Kernel], cfgs: &[Config], iters: usize) -> Vec<Row> {
+    assert!(iters >= 1, "iters must be >= 1");
     kernels
         .iter()
         .map(|k| {
-            let cycles = cfgs
-                .iter()
-                .map(|&c| {
+            let mut cycles = Vec::with_capacity(cfgs.len());
+            let mut wall_nanos = Vec::with_capacity(cfgs.len());
+            for &c in cfgs {
+                // Build once; the wall clock times execution, not
+                // compilation (compbench owns compile time).
+                let module = build_module(k, c).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+                let cost = Avx512Cost::new();
+                let mut best = u64::MAX;
+                let mut got = 0u64;
+                for _ in 0..iters {
+                    let t = std::time::Instant::now();
                     let r: RunResult =
-                        run_kernel(k, c).unwrap_or_else(|e| panic!("{}: {e}", k.name));
-                    (c, r.cycles)
-                })
-                .collect();
+                        run_module_engine(&module, k, &cost, false, Engine::default())
+                            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+                    best = best.min(t.elapsed().as_nanos() as u64);
+                    got = r.cycles;
+                }
+                cycles.push((c, got));
+                wall_nanos.push((c, best));
+            }
             Row {
                 name: k.name.clone(),
                 cycles,
+                wall_nanos,
             }
         })
         .collect()
+}
+
+/// Total best-of-iters wall time of one configuration across all rows, in
+/// milliseconds.
+pub fn total_wall_ms(rows: &[Row], cfg: Config) -> f64 {
+    rows.iter().map(|r| r.wall_ms(cfg)).sum()
 }
 
 /// Geomean of per-row speedups of `cfg` over `base`.

@@ -456,6 +456,507 @@ pub fn eval_math(f: MathFn, ty: ScalarTy, args: &[u64]) -> Result<u64, ExecError
     }
 }
 
+// ---------------------------------------------------------------------------
+// Pre-resolved lane kernels (fast-engine specialization)
+// ---------------------------------------------------------------------------
+//
+// The functions above define the semantics; they re-match the opcode and
+// element type on every lane. The resolvers below specialize that dispatch
+// once per *static* instruction when a `FramePlan` is built: each returns a
+// monomorphized `fn` pointer computing exactly what the corresponding
+// `eval_*` function computes, or `None` for the (fallible or rare) cases
+// that must keep the general per-lane path. The engine differential tests
+// pin the two bit-identical.
+
+/// Mask with the low `w` bits set.
+#[inline]
+const fn mask_w(w: u32) -> u64 {
+    if w == 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+/// [`sext`] with the width as a compile-time constant.
+#[inline]
+fn sext_w<const W: u32>(bits: u64) -> i64 {
+    if W == 64 {
+        bits as i64
+    } else {
+        ((bits << (64 - W)) as i64) >> (64 - W)
+    }
+}
+
+macro_rules! int2 {
+    ($name:ident, $a:ident, $b:ident, $body:expr) => {
+        #[inline]
+        fn $name<const W: u32>($a: u64, $b: u64) -> u64 {
+            $body
+        }
+    };
+}
+
+int2!(k_add, a, b, a.wrapping_add(b) & mask_w(W));
+int2!(k_sub, a, b, a.wrapping_sub(b) & mask_w(W));
+int2!(k_mul, a, b, a.wrapping_mul(b) & mask_w(W));
+int2!(k_shl, a, b, (a << (b % W as u64)) & mask_w(W));
+int2!(k_lshr, a, b, a >> (b % W as u64));
+int2!(
+    k_ashr,
+    a,
+    b,
+    ((sext_w::<W>(a) >> (b % W as u64)) as u64) & mask_w(W)
+);
+int2!(
+    k_smin,
+    a,
+    b,
+    if sext_w::<W>(a) <= sext_w::<W>(b) {
+        a
+    } else {
+        b
+    }
+);
+int2!(
+    k_smax,
+    a,
+    b,
+    if sext_w::<W>(a) >= sext_w::<W>(b) {
+        a
+    } else {
+        b
+    }
+);
+int2!(k_addsats, a, b, {
+    let max = (1i64 << (W - 1)) - 1;
+    let min = -(1i64 << (W - 1));
+    ((sext_w::<W>(a) + sext_w::<W>(b)).clamp(min, max) as u64) & mask_w(W)
+});
+int2!(k_subsats, a, b, {
+    let max = (1i64 << (W - 1)) - 1;
+    let min = -(1i64 << (W - 1));
+    ((sext_w::<W>(a) - sext_w::<W>(b)).clamp(min, max) as u64) & mask_w(W)
+});
+int2!(
+    k_addsatu,
+    a,
+    b,
+    ((a as u128 + b as u128).min(mask_w(W) as u128)) as u64
+);
+int2!(
+    k_avgu,
+    a,
+    b,
+    (((a as u128 + b as u128 + 1) >> 1) as u64) & mask_w(W)
+);
+int2!(
+    k_mulhis,
+    a,
+    b,
+    ((((sext_w::<W>(a) as i128) * (sext_w::<W>(b) as i128)) >> W) as u64) & mask_w(W)
+);
+int2!(
+    k_mulhiu,
+    a,
+    b,
+    ((((a as u128) * (b as u128)) >> W) as u64) & mask_w(W)
+);
+
+#[inline]
+fn k_and(a: u64, b: u64) -> u64 {
+    a & b
+}
+#[inline]
+fn k_or(a: u64, b: u64) -> u64 {
+    a | b
+}
+#[inline]
+fn k_xor(a: u64, b: u64) -> u64 {
+    a ^ b
+}
+#[inline]
+fn k_umin(a: u64, b: u64) -> u64 {
+    a.min(b)
+}
+#[inline]
+fn k_umax(a: u64, b: u64) -> u64 {
+    a.max(b)
+}
+#[inline]
+fn k_subsatu(a: u64, b: u64) -> u64 {
+    a.saturating_sub(b)
+}
+
+macro_rules! fbin {
+    ($n32:ident, $n64:ident, $x:ident, $y:ident, $e32:expr, $e64:expr) => {
+        #[inline]
+        fn $n32(a: u64, b: u64) -> u64 {
+            let ($x, $y) = (f32_of(a), f32_of(b));
+            f32_bits($e32)
+        }
+        #[inline]
+        fn $n64(a: u64, b: u64) -> u64 {
+            let ($x, $y) = (f64_of(a), f64_of(b));
+            f64_bits($e64)
+        }
+    };
+}
+
+fbin!(k_fadd32, k_fadd64, x, y, x + y, x + y);
+fbin!(k_fsub32, k_fsub64, x, y, x - y, x - y);
+fbin!(k_fmul32, k_fmul64, x, y, x * y, x * y);
+fbin!(k_fdiv32, k_fdiv64, x, y, x / y, x / y);
+fbin!(k_frem32, k_frem64, x, y, x % y, x % y);
+fbin!(k_fmin32, k_fmin64, x, y, x.min(y), x.min(y));
+fbin!(k_fmax32, k_fmax64, x, y, x.max(y), x.max(y));
+
+macro_rules! by_width {
+    ($f:ident, $w:expr) => {
+        match $w {
+            1 => $f::<1>,
+            8 => $f::<8>,
+            16 => $f::<16>,
+            32 => $f::<32>,
+            _ => $f::<64>,
+        }
+    };
+}
+
+/// Resolves a [`BinOp`] on `ty` lanes to a specialized infallible kernel,
+/// or `None` for the ops that must keep the general [`eval_bin`] path
+/// (division/remainder traps, 64-bit signed saturation, float ops on
+/// non-float types).
+pub fn bin_lane_fn(op: BinOp, ty: ScalarTy) -> Option<fn(u64, u64) -> u64> {
+    use BinOp::*;
+    if op.is_float() {
+        let g = match (ty, op) {
+            (ScalarTy::F32, FAdd) => k_fadd32,
+            (ScalarTy::F32, FSub) => k_fsub32,
+            (ScalarTy::F32, FMul) => k_fmul32,
+            (ScalarTy::F32, FDiv) => k_fdiv32,
+            (ScalarTy::F32, FRem) => k_frem32,
+            (ScalarTy::F32, FMin) => k_fmin32,
+            (ScalarTy::F32, FMax) => k_fmax32,
+            (ScalarTy::F64, FAdd) => k_fadd64,
+            (ScalarTy::F64, FSub) => k_fsub64,
+            (ScalarTy::F64, FMul) => k_fmul64,
+            (ScalarTy::F64, FDiv) => k_fdiv64,
+            (ScalarTy::F64, FRem) => k_frem64,
+            (ScalarTy::F64, FMin) => k_fmin64,
+            (ScalarTy::F64, FMax) => k_fmax64,
+            _ => return None,
+        };
+        return Some(g);
+    }
+    let w = ty.bits();
+    Some(match op {
+        Add => by_width!(k_add, w),
+        Sub => by_width!(k_sub, w),
+        Mul => by_width!(k_mul, w),
+        And => k_and,
+        Or => k_or,
+        Xor => k_xor,
+        Shl => by_width!(k_shl, w),
+        LShr => by_width!(k_lshr, w),
+        AShr => by_width!(k_ashr, w),
+        SMin => by_width!(k_smin, w),
+        SMax => by_width!(k_smax, w),
+        UMin => k_umin,
+        UMax => k_umax,
+        // 64-bit signed saturation would overflow the i64 intermediate in
+        // ways eval_bin's release-mode arithmetic defines; keep those on
+        // the shared path.
+        AddSatS if w < 64 => by_width!(k_addsats, w),
+        SubSatS if w < 64 => by_width!(k_subsats, w),
+        AddSatU => by_width!(k_addsatu, w),
+        SubSatU => k_subsatu,
+        AvgU => by_width!(k_avgu, w),
+        MulHiS => by_width!(k_mulhis, w),
+        MulHiU => by_width!(k_mulhiu, w),
+        _ => return None,
+    })
+}
+
+macro_rules! int1 {
+    ($name:ident, $a:ident, $body:expr) => {
+        #[inline]
+        fn $name<const W: u32>($a: u64) -> u64 {
+            $body
+        }
+    };
+}
+
+int1!(k_not, a, (!a) & mask_w(W));
+int1!(k_ineg, a, ((a as i64).wrapping_neg() as u64) & mask_w(W));
+int1!(
+    k_iabs,
+    a,
+    (sext_w::<W>(a).wrapping_abs() as u64) & mask_w(W)
+);
+
+macro_rules! fun1 {
+    ($n32:ident, $n64:ident, $x:ident, $e32:expr, $e64:expr) => {
+        #[inline]
+        fn $n32(a: u64) -> u64 {
+            let $x = f32_of(a);
+            f32_bits($e32)
+        }
+        #[inline]
+        fn $n64(a: u64) -> u64 {
+            let $x = f64_of(a);
+            f64_bits($e64)
+        }
+    };
+}
+
+fun1!(k_fneg32, k_fneg64, x, -x, -x);
+fun1!(k_fabs32, k_fabs64, x, x.abs(), x.abs());
+fun1!(k_fsqrt32, k_fsqrt64, x, x.sqrt(), x.sqrt());
+fun1!(k_ffloor32, k_ffloor64, x, x.floor(), x.floor());
+fun1!(k_fceil32, k_fceil64, x, x.ceil(), x.ceil());
+fun1!(
+    k_fround32,
+    k_fround64,
+    x,
+    x.round_ties_even(),
+    x.round_ties_even()
+);
+
+/// Resolves a [`UnOp`] on `ty` lanes to a specialized kernel, or `None`
+/// for float ops on non-float types (which trap in [`eval_un`]).
+pub fn un_lane_fn(op: UnOp, ty: ScalarTy) -> Option<fn(u64) -> u64> {
+    use UnOp::*;
+    let w = ty.bits();
+    Some(match (op, ty) {
+        (Not, _) => by_width!(k_not, w),
+        (INeg, _) => by_width!(k_ineg, w),
+        (IAbs, _) => by_width!(k_iabs, w),
+        (FNeg, ScalarTy::F32) => k_fneg32,
+        (FNeg, ScalarTy::F64) => k_fneg64,
+        (FAbs, ScalarTy::F32) => k_fabs32,
+        (FAbs, ScalarTy::F64) => k_fabs64,
+        (FSqrt, ScalarTy::F32) => k_fsqrt32,
+        (FSqrt, ScalarTy::F64) => k_fsqrt64,
+        (FFloor, ScalarTy::F32) => k_ffloor32,
+        (FFloor, ScalarTy::F64) => k_ffloor64,
+        (FCeil, ScalarTy::F32) => k_fceil32,
+        (FCeil, ScalarTy::F64) => k_fceil64,
+        (FRound, ScalarTy::F32) => k_fround32,
+        (FRound, ScalarTy::F64) => k_fround64,
+        _ => return None,
+    })
+}
+
+macro_rules! icmp {
+    ($name:ident, $a:ident, $b:ident, $body:expr) => {
+        #[inline]
+        fn $name<const W: u32>($a: u64, $b: u64) -> u64 {
+            ($body) as u64
+        }
+    };
+}
+
+icmp!(k_slt, a, b, sext_w::<W>(a) < sext_w::<W>(b));
+icmp!(k_sle, a, b, sext_w::<W>(a) <= sext_w::<W>(b));
+icmp!(k_sgt, a, b, sext_w::<W>(a) > sext_w::<W>(b));
+icmp!(k_sge, a, b, sext_w::<W>(a) >= sext_w::<W>(b));
+
+#[inline]
+fn k_eq(a: u64, b: u64) -> u64 {
+    (a == b) as u64
+}
+#[inline]
+fn k_ne(a: u64, b: u64) -> u64 {
+    (a != b) as u64
+}
+#[inline]
+fn k_ult(a: u64, b: u64) -> u64 {
+    (a < b) as u64
+}
+#[inline]
+fn k_ule(a: u64, b: u64) -> u64 {
+    (a <= b) as u64
+}
+#[inline]
+fn k_ugt(a: u64, b: u64) -> u64 {
+    (a > b) as u64
+}
+#[inline]
+fn k_uge(a: u64, b: u64) -> u64 {
+    (a >= b) as u64
+}
+#[inline]
+fn k_false(_a: u64, _b: u64) -> u64 {
+    0
+}
+
+macro_rules! fcmp {
+    ($n32:ident, $n64:ident, $x:ident, $y:ident, $e:expr) => {
+        #[inline]
+        fn $n32(a: u64, b: u64) -> u64 {
+            let ($x, $y) = (f32_of(a) as f64, f32_of(b) as f64);
+            (!$x.is_nan() && !$y.is_nan() && $e) as u64
+        }
+        #[inline]
+        fn $n64(a: u64, b: u64) -> u64 {
+            let ($x, $y) = (f64_of(a), f64_of(b));
+            (!$x.is_nan() && !$y.is_nan() && $e) as u64
+        }
+    };
+}
+
+fcmp!(k_foeq32, k_foeq64, x, y, x == y);
+fcmp!(k_fone32, k_fone64, x, y, x != y);
+fcmp!(k_folt32, k_folt64, x, y, x < y);
+fcmp!(k_fole32, k_fole64, x, y, x <= y);
+fcmp!(k_fogt32, k_fogt64, x, y, x > y);
+fcmp!(k_foge32, k_foge64, x, y, x >= y);
+
+/// Resolves a [`CmpPred`] on `ty` operands to a specialized kernel
+/// returning `0`/`1` exactly as [`eval_cmp`] does (including ordered float
+/// comparisons on non-float types, which are always false).
+pub fn cmp_lane_fn(pred: CmpPred, ty: ScalarTy) -> fn(u64, u64) -> u64 {
+    use CmpPred::*;
+    let w = ty.bits();
+    match pred {
+        Eq => k_eq,
+        Ne => k_ne,
+        Slt => by_width!(k_slt, w),
+        Sle => by_width!(k_sle, w),
+        Sgt => by_width!(k_sgt, w),
+        Sge => by_width!(k_sge, w),
+        Ult => k_ult,
+        Ule => k_ule,
+        Ugt => k_ugt,
+        Uge => k_uge,
+        FOeq | FOne | FOlt | FOle | FOgt | FOge => match ty {
+            ScalarTy::F32 => match pred {
+                FOeq => k_foeq32,
+                FOne => k_fone32,
+                FOlt => k_folt32,
+                FOle => k_fole32,
+                FOgt => k_fogt32,
+                _ => k_foge32,
+            },
+            ScalarTy::F64 => match pred {
+                FOeq => k_foeq64,
+                FOne => k_fone64,
+                FOlt => k_folt64,
+                FOle => k_fole64,
+                FOgt => k_fogt64,
+                _ => k_foge64,
+            },
+            _ => k_false,
+        },
+    }
+}
+
+int1!(k_trunc, a, a & mask_w(W));
+
+#[inline]
+fn k_sextc<const FW: u32, const TW: u32>(a: u64) -> u64 {
+    (sext_w::<FW>(a) as u64) & mask_w(TW)
+}
+
+#[inline]
+fn k_fpext(a: u64) -> u64 {
+    f64_bits(f32_of(a) as f64)
+}
+#[inline]
+fn k_fptrunc(a: u64) -> u64 {
+    f32_bits(f64_of(a) as f32)
+}
+
+int1!(k_si2f32, a, f32_bits(sext_w::<W>(a) as f32));
+int1!(k_si2f64, a, f64_bits(sext_w::<W>(a) as f64));
+
+#[inline]
+fn k_ui2f32(a: u64) -> u64 {
+    f32_bits(a as f32)
+}
+#[inline]
+fn k_ui2f64(a: u64) -> u64 {
+    f64_bits(a as f64)
+}
+
+macro_rules! fp2int {
+    ($name:ident, $of:expr, $signed:literal) => {
+        #[inline]
+        fn $name<const TW: u32>(a: u64) -> u64 {
+            #[allow(clippy::cast_sign_loss)]
+            let v: f64 = $of(a);
+            if $signed {
+                let max = ((1i128 << (TW - 1)) - 1) as f64;
+                let min = -((1i128 << (TW - 1)) as f64);
+                let clamped = if v.is_nan() { 0.0 } else { v.clamp(min, max) };
+                ((clamped as i64) as u64) & mask_w(TW)
+            } else {
+                let max = if TW == 64 {
+                    u64::MAX as f64
+                } else {
+                    mask_w(TW) as f64
+                };
+                let clamped = if v.is_nan() { 0.0 } else { v.clamp(0.0, max) };
+                (clamped as u64) & mask_w(TW)
+            }
+        }
+    };
+}
+
+fp2int!(k_f32tosi, |a| f32_of(a) as f64, true);
+fp2int!(k_f64tosi, f64_of, true);
+fp2int!(k_f32toui, |a| f32_of(a) as f64, false);
+fp2int!(k_f64toui, f64_of, false);
+
+/// Resolves a [`CastKind`] from `from` to `to` to a specialized kernel
+/// computing exactly what [`eval_cast`] computes.
+pub fn cast_lane_fn(kind: CastKind, from: ScalarTy, to: ScalarTy) -> fn(u64) -> u64 {
+    use CastKind::*;
+    let (fw, tw) = (from.bits(), to.bits());
+    match kind {
+        Zext | Trunc | Bitcast | PtrToInt | IntToPtr => by_width!(k_trunc, tw),
+        Sext => {
+            macro_rules! arm {
+                ($F:literal) => {
+                    match tw {
+                        1 => k_sextc::<$F, 1>,
+                        8 => k_sextc::<$F, 8>,
+                        16 => k_sextc::<$F, 16>,
+                        32 => k_sextc::<$F, 32>,
+                        _ => k_sextc::<$F, 64>,
+                    }
+                };
+            }
+            match fw {
+                1 => arm!(1),
+                8 => arm!(8),
+                16 => arm!(16),
+                32 => arm!(32),
+                _ => arm!(64),
+            }
+        }
+        FpExt => k_fpext,
+        FpTrunc => k_fptrunc,
+        SiToFp => match to {
+            ScalarTy::F32 => by_width!(k_si2f32, fw),
+            _ => by_width!(k_si2f64, fw),
+        },
+        UiToFp => match to {
+            ScalarTy::F32 => k_ui2f32,
+            _ => k_ui2f64,
+        },
+        FpToSi => match from {
+            ScalarTy::F32 => by_width!(k_f32tosi, tw),
+            _ => by_width!(k_f64tosi, tw),
+        },
+        FpToUi => match from {
+            ScalarTy::F32 => by_width!(k_f32toui, tw),
+            _ => by_width!(k_f64toui, tw),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -90,6 +90,108 @@ impl Memory {
         Ok(())
     }
 
+    /// Loads `n` consecutive lanes of type `ty` starting at `addr`,
+    /// appending their raw payloads to `out`. One bounds check covers the
+    /// whole packed range (the fast path for unmasked packed loads).
+    ///
+    /// # Errors
+    /// Returns [`ExecError::OutOfBounds`] on a bad range.
+    pub fn load_lanes(
+        &self,
+        ty: ScalarTy,
+        addr: u64,
+        n: u64,
+        out: &mut Vec<u64>,
+    ) -> Result<(), ExecError> {
+        let size = ty.size_bytes();
+        let total = size.checked_mul(n).ok_or(ExecError::OutOfBounds {
+            addr,
+            size: u64::MAX,
+        })?;
+        self.check(addr, total)?;
+        let mask = ty.bit_mask();
+        let base = addr as usize;
+        let src = &self.bytes[base..base + total as usize];
+        out.reserve(n as usize);
+        // Specialized per element size: the compiler sees a fixed chunk
+        // width, so the copies vectorize and the range checks hoist out.
+        // (`& mask` is live even at size 1 — it narrows I1 payloads.)
+        match size {
+            1 => out.extend(src.iter().map(|&b| u64::from(b) & mask)),
+            2 => out.extend(
+                src.chunks_exact(2)
+                    .map(|c| u64::from(u16::from_le_bytes([c[0], c[1]])) & mask),
+            ),
+            4 => out.extend(
+                src.chunks_exact(4)
+                    .map(|c| u64::from(u32::from_le_bytes([c[0], c[1], c[2], c[3]])) & mask),
+            ),
+            8 => out.extend(src.chunks_exact(8).map(|c| {
+                u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]) & mask
+            })),
+            _ => {
+                for i in 0..n as usize {
+                    let mut buf = [0u8; 8];
+                    let off = i * size as usize;
+                    buf[..size as usize].copy_from_slice(&src[off..off + size as usize]);
+                    out.push(u64::from_le_bytes(buf) & mask);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Stores consecutive lane payloads of type `ty` starting at `addr`
+    /// with a single bounds check (the fast path for unmasked packed
+    /// stores). Payloads are truncated exactly as
+    /// [`Memory::store_scalar`] truncates them.
+    ///
+    /// # Errors
+    /// Returns [`ExecError::OutOfBounds`] on a bad range.
+    pub fn store_lanes(&mut self, ty: ScalarTy, addr: u64, lanes: &[u64]) -> Result<(), ExecError> {
+        let size = ty.size_bytes();
+        let total = size
+            .checked_mul(lanes.len() as u64)
+            .ok_or(ExecError::OutOfBounds {
+                addr,
+                size: u64::MAX,
+            })?;
+        self.check(addr, total)?;
+        let mask = if ty == ScalarTy::I1 { 1 } else { ty.bit_mask() };
+        let base = addr as usize;
+        let dst = &mut self.bytes[base..base + total as usize];
+        match size {
+            1 => {
+                for (d, &bits) in dst.iter_mut().zip(lanes) {
+                    *d = (bits & mask) as u8;
+                }
+            }
+            2 => {
+                for (c, &bits) in dst.chunks_exact_mut(2).zip(lanes) {
+                    c.copy_from_slice(&(((bits & mask) as u16).to_le_bytes()));
+                }
+            }
+            4 => {
+                for (c, &bits) in dst.chunks_exact_mut(4).zip(lanes) {
+                    c.copy_from_slice(&(((bits & mask) as u32).to_le_bytes()));
+                }
+            }
+            8 => {
+                for (c, &bits) in dst.chunks_exact_mut(8).zip(lanes) {
+                    c.copy_from_slice(&(bits & mask).to_le_bytes());
+                }
+            }
+            _ => {
+                for (i, &bits) in lanes.iter().enumerate() {
+                    let buf = (bits & mask).to_le_bytes();
+                    let off = i * size as usize;
+                    dst[off..off + size as usize].copy_from_slice(&buf[..size as usize]);
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Copies a byte slice into memory (workload setup).
     ///
     /// # Errors

@@ -5,20 +5,38 @@
 //! over a flat [`Memory`] and charges cycles for every executed instruction
 //! through a [`CostModel`] — the `vmach` crate supplies the calibrated
 //! AVX-512-class model; [`UnitCost`] charges one cycle per operation.
+//!
+//! Two execution engines share one set of instruction semantics
+//! ([`Interp::set_engine`]):
+//!
+//! * [`Engine::Fast`] (the default) executes through a precompiled
+//!   per-function [`FramePlan`]: dense frame slots instead of a hash map,
+//!   pre-resolved φ edge tables, memoized instruction costs (one
+//!   legalization per *static* instruction), and pooled lane buffers.
+//! * [`Engine::Reference`] is the retained slow path: per-dynamic-step
+//!   cost-model queries, hashed value storage, and dynamic φ resolution.
+//!
+//! Both engines produce byte-identical simulated cycles, [`Profile`]s,
+//! statistics, and results — `runbench --check` and the engine
+//! differential tests gate on this identity contract.
 
 mod eval;
 mod memory;
+mod plan;
 
 pub use eval::{
     eval_bin, eval_cast, eval_cmp, eval_math, eval_un, reduce_identity, reduce_step, sext, trunc,
     ExecError,
 };
 pub use memory::Memory;
+pub use plan::{BlockPlan, CallSite, EdgeTable, FramePlan, LaneKernel, PhiMove, PlannedCost};
 
 use crate::function::{Function, Module};
 use crate::inst::{BlockId, Inst, InstId, Intrinsic, Terminator, Value};
 use crate::types::{ScalarTy, Ty};
+use std::borrow::Cow;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 pub use telemetry::{CostClass, Profile};
 
@@ -71,22 +89,131 @@ impl RtVal {
         RtVal::S(v.to_bits())
     }
 
-    /// Lane payloads of a mask as booleans.
+    /// Lane payloads of a mask as booleans, collected into a fresh vector.
+    ///
+    /// Hot paths should prefer [`RtVal::mask_lanes_iter`], which borrows
+    /// instead of allocating.
     ///
     /// # Errors
     /// Fails if this is not a vector.
     pub fn mask_lanes(&self) -> Result<Vec<bool>, ExecError> {
-        Ok(self.vector()?.iter().map(|&b| b & 1 != 0).collect())
+        Ok(self.mask_lanes_iter()?.collect())
+    }
+
+    /// Borrowing variant of [`RtVal::mask_lanes`]: iterates the mask lanes
+    /// as booleans without allocating.
+    ///
+    /// # Errors
+    /// Fails if this is not a vector.
+    pub fn mask_lanes_iter(&self) -> Result<impl Iterator<Item = bool> + '_, ExecError> {
+        Ok(self.vector()?.iter().map(|&b| b & 1 != 0))
+    }
+}
+
+/// A borrowed per-lane view of an operand: a scalar splatted to the lane
+/// count, or the operand's own lane slice. This is the allocation-free
+/// replacement for cloning broadcast vectors on every operand read.
+#[derive(Debug, Clone, Copy)]
+pub enum Lanes<'a> {
+    /// A scalar broadcast across the lanes.
+    Splat {
+        /// The splatted payload.
+        val: u64,
+        /// Lane count of the view.
+        lanes: u32,
+    },
+    /// A borrowed lane slice.
+    Slice(&'a [u64]),
+}
+
+impl<'a> Lanes<'a> {
+    /// Views `v` as `lanes` per-lane payloads (splatting scalars).
+    ///
+    /// # Errors
+    /// Fails on void operands and on vectors of a different lane count.
+    pub fn of(v: &'a RtVal, lanes: u32) -> Result<Lanes<'a>, ExecError> {
+        match v {
+            RtVal::S(s) => Ok(Lanes::Splat { val: *s, lanes }),
+            RtVal::V(l) => {
+                if l.len() != lanes as usize {
+                    return Err(ExecError::Other(format!(
+                        "lane count mismatch: {} vs {}",
+                        l.len(),
+                        lanes
+                    )));
+                }
+                Ok(Lanes::Slice(l))
+            }
+            RtVal::Unit => Err(ExecError::Other("void operand".into())),
+        }
+    }
+
+    /// The payload of lane `i`.
+    #[inline]
+    pub fn at(&self, i: usize) -> u64 {
+        match self {
+            Lanes::Splat { val, .. } => *val,
+            Lanes::Slice(l) => l[i],
+        }
+    }
+
+    /// Lane count of the view.
+    pub fn len(&self) -> usize {
+        match self {
+            Lanes::Splat { lanes, .. } => *lanes as usize,
+            Lanes::Slice(l) => l.len(),
+        }
+    }
+
+    /// Whether the view has no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the lane payloads.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + 'a {
+        let view = *self;
+        (0..view.len()).map(move |i| view.at(i))
+    }
+}
+
+/// A borrowed view of an optional execution mask: `active(i)` is true for
+/// unmasked operations and for lanes whose mask payload has bit 0 set.
+#[derive(Debug, Clone, Copy)]
+pub struct MaskRef<'a>(Option<&'a [u64]>);
+
+impl<'a> MaskRef<'a> {
+    /// Builds the view, checking that a present mask is a vector.
+    ///
+    /// # Errors
+    /// Fails if `m` is `Some` but not a vector value.
+    pub fn new(m: Option<&'a RtVal>) -> Result<MaskRef<'a>, ExecError> {
+        Ok(MaskRef(match m {
+            Some(v) => Some(v.vector()?),
+            None => None,
+        }))
+    }
+
+    /// Whether lane `i` executes.
+    #[inline]
+    pub fn active(&self, i: usize) -> bool {
+        self.0.is_none_or(|m| m[i] & 1 != 0)
+    }
+
+    /// Whether there is no mask at all (every lane executes).
+    pub fn is_unmasked(&self) -> bool {
+        self.0.is_none()
     }
 }
 
 /// Charges simulated cycles for executed operations.
 ///
 /// The interpreter calls [`CostModel::inst_cost`] once per dynamically
-/// executed instruction. Implementations can inspect the instruction and the
-/// types of its operands via the owning function (this is how `vmach`
-/// legalizes gang-width vectors onto 512-bit registers and charges
-/// per-lane costs for gathers/scatters).
+/// executed instruction (or once per *static* instruction when the fast
+/// engine builds a [`FramePlan`] cost table). Implementations can inspect
+/// the instruction and the types of its operands via the owning function
+/// (this is how `vmach` legalizes gang-width vectors onto 512-bit
+/// registers and charges per-lane costs for gathers/scatters).
 pub trait CostModel {
     /// Cycles for one dynamic execution of `id` in `f`.
     fn inst_cost(&self, f: &Function, id: InstId) -> u64;
@@ -106,6 +233,14 @@ pub trait CostModel {
     /// overrides this with its legalized micro-op breakdown.
     fn inst_cost_classed(&self, f: &Function, id: InstId) -> Vec<(CostClass, u64)> {
         vec![(CostClass::Other, self.inst_cost(f, id))]
+    }
+
+    /// Total and classed cost in one query, used when building a
+    /// [`FramePlan`] cost table. Implementations whose cost methods share
+    /// expensive work (as `vmach`'s micro-op legalization does) should
+    /// override this to compute both in a single pass.
+    fn inst_cost_full(&self, f: &Function, id: InstId) -> (u64, Vec<(CostClass, u64)>) {
+        (self.inst_cost(f, id), self.inst_cost_classed(f, id))
     }
 }
 
@@ -165,6 +300,68 @@ pub struct ExecStats {
     pub calls: u64,
 }
 
+/// Which execution engine the interpreter steps with. Both engines share
+/// one set of instruction semantics and are cycle/profile/result
+/// identical; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Precompiled [`FramePlan`] execution (dense frame slots, memoized
+    /// costs, φ edge tables, pooled buffers). The default.
+    #[default]
+    Fast,
+    /// The retained reference step loop (hashed values, per-step cost
+    /// queries, dynamic φ scans), kept as the identity baseline for
+    /// `runbench --check` and the differential tests.
+    Reference,
+}
+
+/// Dense activation frame used by the fast engine: one slot per arena
+/// instruction, indexed by `InstId`. Unset slots read as [`RtVal::Unit`] —
+/// the fast engine relies on the verifier's SSA dominance guarantee
+/// instead of tracking initialization per slot. (The reference engine
+/// keeps the retained `HashMap<InstId, RtVal>` storage.)
+struct SlotFrame(Vec<RtVal>);
+
+impl SlotFrame {
+    /// The value of `id`, if it has been computed.
+    fn get(&self, id: InstId) -> Option<&RtVal> {
+        self.0.get(id.0 as usize)
+    }
+
+    /// Stores the result of `id`, returning the displaced value (so the
+    /// caller can recycle its lane buffer).
+    fn set(&mut self, id: InstId, v: RtVal) -> RtVal {
+        std::mem::replace(&mut self.0[id.0 as usize], v)
+    }
+
+    /// Moves the value of `id` out of the frame (used at `ret`).
+    fn take(&mut self, id: InstId) -> RtVal {
+        std::mem::replace(&mut self.0[id.0 as usize], RtVal::Unit)
+    }
+}
+
+/// Resolves an operand to a (usually borrowed) runtime value — the fast
+/// engine's allocation-free replacement for the reference path's
+/// clone-per-operand `value_ref`.
+fn operand<'v>(
+    f: &Function,
+    frame: &'v SlotFrame,
+    args: &'v [RtVal],
+    v: Value,
+) -> Result<Cow<'v, RtVal>, ExecError> {
+    match v {
+        Value::Const(c) => Ok(Cow::Owned(RtVal::S(c.bits))),
+        Value::Param(i) => args
+            .get(i as usize)
+            .map(Cow::Borrowed)
+            .ok_or_else(|| ExecError::Other(format!("missing argument {i} to @{}", f.name))),
+        Value::Inst(i) => frame
+            .get(i)
+            .map(Cow::Borrowed)
+            .ok_or_else(|| ExecError::Other(format!("use of unevaluated {i} in @{}", f.name))),
+    }
+}
+
 /// The interpreter. See the module docs.
 pub struct Interp<'a> {
     /// The module being executed.
@@ -181,10 +378,25 @@ pub struct Interp<'a> {
     profile: Option<Profile>,
     steps: u64,
     step_limit: u64,
+    engine: Engine,
+    /// Precompiled plans, keyed by function address (stable for the
+    /// lifetime of the `&'a Module` borrow).
+    plans: HashMap<usize, Rc<FramePlan>>,
+    /// Recycled lane buffers for vector results.
+    lane_pool: Vec<Vec<u64>>,
+    /// Recycled slot vectors for fast-engine activations.
+    frame_pool: Vec<Vec<RtVal>>,
 }
 
 /// Default guard against runaway loops.
 const DEFAULT_STEP_LIMIT: u64 = 4_000_000_000;
+
+/// Bound on pooled lane buffers (keeps pathological gang widths from
+/// pinning memory).
+const LANE_POOL_CAP: usize = 4096;
+
+/// Bound on pooled activation frames (call depth is shallow in practice).
+const FRAME_POOL_CAP: usize = 64;
 
 static UNIT_COST: UnitCost = UnitCost;
 static NO_EXTERNS: NoExterns = NoExterns;
@@ -207,6 +419,10 @@ impl<'a> Interp<'a> {
             profile: None,
             steps: 0,
             step_limit: DEFAULT_STEP_LIMIT,
+            engine: Engine::default(),
+            plans: HashMap::new(),
+            lane_pool: Vec::new(),
+            frame_pool: Vec::new(),
         }
     }
 
@@ -240,6 +456,29 @@ impl<'a> Interp<'a> {
         self.step_limit = limit;
     }
 
+    /// Selects the execution engine (the default is [`Engine::Fast`]).
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
+    }
+
+    /// The active execution engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Eagerly builds (and caches) the execution plan for `name`; plans
+    /// are otherwise built lazily on first call. Returns `false` when the
+    /// function is not defined in the module.
+    pub fn precompile(&mut self, name: &str) -> bool {
+        match self.module.function(name) {
+            Some(f) => {
+                self.plan_for(f);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Calls a module function by name.
     ///
     /// # Errors
@@ -252,47 +491,88 @@ impl<'a> Interp<'a> {
         self.exec_function(f, args.to_vec())
     }
 
-    fn value(
-        &self,
-        f: &Function,
-        vals: &HashMap<InstId, RtVal>,
-        args: &[RtVal],
-        v: Value,
-    ) -> Result<RtVal, ExecError> {
-        match v {
-            Value::Const(c) => Ok(RtVal::S(c.bits)),
-            Value::Param(i) => args
-                .get(i as usize)
-                .cloned()
-                .ok_or_else(|| ExecError::Other(format!("missing argument {i} to @{}", f.name))),
-            Value::Inst(i) => vals
-                .get(&i)
-                .cloned()
-                .ok_or_else(|| ExecError::Other(format!("use of unevaluated {i} in @{}", f.name))),
+    fn exec_function(&mut self, f: &Function, args: Vec<RtVal>) -> Result<RtVal, ExecError> {
+        match self.engine {
+            Engine::Fast => self.exec_planned(f, args),
+            Engine::Reference => self.exec_reference(f, args),
         }
     }
 
-    /// Broadcast helper: yields per-lane payloads whether the value is a
-    /// scalar (splatted) or already a vector.
-    fn lanes_of(&self, v: &RtVal, lanes: u32) -> Result<Vec<u64>, ExecError> {
-        match v {
-            RtVal::S(s) => Ok(vec![*s; lanes as usize]),
-            RtVal::V(l) => {
-                if l.len() != lanes as usize {
-                    return Err(ExecError::Other(format!(
-                        "lane count mismatch: {} vs {}",
-                        l.len(),
-                        lanes
-                    )));
-                }
-                Ok(l.clone())
-            }
-            RtVal::Unit => Err(ExecError::Other("void operand".into())),
+    /// The cached plan for `f`, building it on first use.
+    fn plan_for(&mut self, f: &Function) -> Rc<FramePlan> {
+        let key = std::ptr::from_ref(f) as usize;
+        if let Some(p) = self.plans.get(&key) {
+            return Rc::clone(p);
         }
+        let plan = Rc::new(FramePlan::build(self.module, f, self.cost));
+        self.plans.insert(key, Rc::clone(&plan));
+        plan
+    }
+
+    /// Pops (or allocates) a lane buffer with room for `cap` lanes.
+    fn take_lanes(&mut self, cap: usize) -> Vec<u64> {
+        let mut b = self.lane_pool.pop().unwrap_or_default();
+        b.clear();
+        b.reserve(cap);
+        b
+    }
+
+    /// Applies a resolved two-operand kernel across lane views into a
+    /// pooled buffer, specializing the (slice, splat) operand shapes so the
+    /// hot loop iterates raw slices with no per-lane enum dispatch.
+    fn map2(&mut self, g: fn(u64, u64) -> u64, a: Lanes<'_>, b: Lanes<'_>) -> Vec<u64> {
+        let mut out = self.take_lanes(a.len());
+        match (a, b) {
+            (Lanes::Slice(x), Lanes::Slice(y)) => {
+                out.extend(x.iter().zip(y).map(|(&p, &q)| g(p, q)));
+            }
+            (Lanes::Slice(x), Lanes::Splat { val, .. }) => {
+                out.extend(x.iter().map(|&p| g(p, val)));
+            }
+            (Lanes::Splat { val, .. }, Lanes::Slice(y)) => {
+                out.extend(y.iter().map(|&q| g(val, q)));
+            }
+            (Lanes::Splat { val: p, lanes }, Lanes::Splat { val: q, .. }) => {
+                out.resize(lanes as usize, g(p, q));
+            }
+        }
+        out
+    }
+
+    /// One-operand counterpart of [`Interp::map2`].
+    fn map1(&mut self, g: fn(u64) -> u64, a: Lanes<'_>) -> Vec<u64> {
+        let mut out = self.take_lanes(a.len());
+        match a {
+            Lanes::Slice(x) => out.extend(x.iter().map(|&p| g(p))),
+            Lanes::Splat { val, lanes } => out.resize(lanes as usize, g(val)),
+        }
+        out
+    }
+
+    /// Returns a displaced value's lane buffer to the pool.
+    fn recycle(&mut self, v: RtVal) {
+        if let RtVal::V(b) = v {
+            self.recycle_buf(b);
+        }
+    }
+
+    /// Returns a raw lane buffer to the pool.
+    fn recycle_buf(&mut self, b: Vec<u64>) {
+        if self.lane_pool.len() < LANE_POOL_CAP {
+            self.lane_pool.push(b);
+        }
+    }
+
+    /// Pops (or allocates) an activation frame of `slots` slots.
+    fn take_frame(&mut self, slots: usize) -> Vec<RtVal> {
+        let mut v = self.frame_pool.pop().unwrap_or_default();
+        v.clear();
+        v.resize(slots, RtVal::Unit);
+        v
     }
 
     /// Charges one dynamic execution of `id`, attributing to the profile
-    /// when profiling is enabled.
+    /// when profiling is enabled (reference engine: per-step cost query).
     fn charge_inst(&mut self, f: &Function, id: InstId) {
         if let Some(p) = self.profile.as_mut() {
             let classed = self.cost.inst_cost_classed(f, id);
@@ -305,26 +585,154 @@ impl<'a> Interp<'a> {
         }
     }
 
-    /// Charges an executed terminator.
-    fn charge_term(&mut self, f: &Function, term: &Terminator) {
-        let cy = self.cost.term_cost(f, term);
-        self.cycles += cy;
+    /// Fast-engine charge: the memoized cost table stands in for the
+    /// per-step cost-model query. Cycle and profile effects are identical
+    /// to [`Interp::charge_inst`] by the [`CostModel`] contract.
+    fn charge_planned(&mut self, fname: &str, pc: &PlannedCost) {
         if let Some(p) = self.profile.as_mut() {
-            p.record(&f.name, CostClass::Branch, cy);
+            let mut sum = 0u64;
+            for &(_, cy) in &pc.classed {
+                sum += cy;
+            }
+            self.cycles += sum;
+            p.record_classed(fname, &pc.classed);
+        } else {
+            self.cycles += pc.total;
         }
     }
 
-    /// Charges an external (library) call.
-    fn charge_extern(&mut self, f: &Function, callee: &str, ret: Ty) {
-        let cy = self.cost.extern_call_cost(callee, ret);
+    /// Charges an executed terminator (reference engine: per-step query).
+    fn charge_term(&mut self, f: &Function, term: &Terminator) {
+        let cy = self.cost.term_cost(f, term);
+        self.charge_term_cy(&f.name, cy);
+    }
+
+    /// Charges `cy` terminator cycles to `fname`.
+    fn charge_term_cy(&mut self, fname: &str, cy: u64) {
+        self.cycles += cy;
+        if let Some(p) = self.profile.as_mut() {
+            p.record(fname, CostClass::Branch, cy);
+        }
+    }
+
+    /// Charges an external (library) call at `cy` cycles.
+    fn charge_extern(&mut self, f: &Function, callee: &str, cy: u64) {
         self.cycles += cy;
         if let Some(p) = self.profile.as_mut() {
             p.record_extern(&f.name, callee, cy);
         }
     }
 
-    #[allow(clippy::too_many_lines)]
-    fn exec_function(&mut self, f: &Function, args: Vec<RtVal>) -> Result<RtVal, ExecError> {
+    /// Fast engine: executes `f` through its precompiled [`FramePlan`].
+    fn exec_planned(&mut self, f: &Function, args: Vec<RtVal>) -> Result<RtVal, ExecError> {
+        let plan = self.plan_for(f);
+        let mut frame = SlotFrame(self.take_frame(plan.slots));
+        let result = self.run_planned(f, &plan, &mut frame, &args);
+        let mut slots = frame.0;
+        for v in slots.drain(..) {
+            self.recycle(v);
+        }
+        if self.frame_pool.len() < FRAME_POOL_CAP {
+            self.frame_pool.push(slots);
+        }
+        result
+    }
+
+    fn run_planned(
+        &mut self,
+        f: &Function,
+        plan: &FramePlan,
+        frame: &mut SlotFrame,
+        args: &[RtVal],
+    ) -> Result<RtVal, ExecError> {
+        let mut block = f.entry;
+        let mut prev: Option<BlockId> = None;
+        let mut phi_vals: Vec<(InstId, RtVal)> = Vec::new();
+
+        loop {
+            let bp = &plan.blocks[block.0 as usize];
+
+            // φ schedule: the edge table resolved at plan time replaces
+            // the reference engine's per-entry scan + incoming search.
+            if let Some(first) = bp.first_phi {
+                let Some(p) = prev else {
+                    return Err(ExecError::Other(format!(
+                        "phi {first} in entry block of @{}",
+                        f.name
+                    )));
+                };
+                let Some(table) = bp.edges.iter().find(|e| e.pred == p) else {
+                    return Err(ExecError::Other(format!(
+                        "phi {first} missing edge from {p}"
+                    )));
+                };
+                phi_vals.clear();
+                for mv in &table.moves {
+                    if self.steps >= self.step_limit {
+                        return Err(ExecError::StepLimit);
+                    }
+                    self.steps += 1;
+                    let Some(src) = mv.src else {
+                        return Err(ExecError::Other(format!(
+                            "phi {} missing edge from {p}",
+                            mv.phi
+                        )));
+                    };
+                    let rv = operand(f, frame, args, src)?.into_owned();
+                    self.charge_planned(&f.name, &plan.costs[mv.phi.0 as usize]);
+                    phi_vals.push((mv.phi, rv));
+                }
+                for (id, rv) in phi_vals.drain(..) {
+                    let old = frame.set(id, rv);
+                    self.recycle(old);
+                }
+            }
+
+            // Straight-line body over dense slots and memoized costs.
+            for &id in &bp.body {
+                if self.steps >= self.step_limit {
+                    return Err(ExecError::StepLimit);
+                }
+                self.steps += 1;
+                self.stats.insts += 1;
+                self.charge_planned(&f.name, &plan.costs[id.0 as usize]);
+                let r = self.exec_inst(f, frame, args, id, plan)?;
+                let old = frame.set(id, r);
+                self.recycle(old);
+            }
+
+            self.charge_term_cy(&f.name, bp.term_cost);
+            match &f.block(block).term {
+                Terminator::Br(t) => {
+                    prev = Some(block);
+                    block = *t;
+                }
+                Terminator::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let c = operand(f, frame, args, *cond)?.scalar()?;
+                    prev = Some(block);
+                    block = if c & 1 != 0 { *then_bb } else { *else_bb };
+                }
+                Terminator::Ret(v) => {
+                    return match v {
+                        None => Ok(RtVal::Unit),
+                        Some(Value::Inst(i)) => Ok(frame.take(*i)),
+                        Some(v) => operand(f, frame, args, *v).map(Cow::into_owned),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Reference engine: the retained pre-plan step loop, kept verbatim as
+    /// the identity baseline (hashed value storage, cloned operands,
+    /// per-dynamic-step cost-model queries, per-entry φ scans). The only
+    /// intentional change from the original is the φ step-limit check —
+    /// the runaway-guard bugfix applies to both engines.
+    fn exec_reference(&mut self, f: &Function, args: Vec<RtVal>) -> Result<RtVal, ExecError> {
         let mut vals: HashMap<InstId, RtVal> = HashMap::new();
         let mut block = f.entry;
         let mut prev: Option<BlockId> = None;
@@ -335,15 +743,21 @@ impl<'a> Interp<'a> {
             let mut phi_results: Vec<(InstId, RtVal)> = Vec::new();
             for &id in &blk.insts {
                 if let Inst::Phi { incoming } = f.inst(id) {
+                    // The runaway guard applies to φ steps too: a
+                    // φ-only loop must not spin past the limit between
+                    // body checks.
+                    if self.steps >= self.step_limit {
+                        return Err(ExecError::StepLimit);
+                    }
+                    self.steps += 1;
                     let p = prev.ok_or_else(|| {
                         ExecError::Other(format!("phi {id} in entry block of @{}", f.name))
                     })?;
                     let (_, v) = incoming.iter().find(|(b, _)| *b == p).ok_or_else(|| {
                         ExecError::Other(format!("phi {id} missing edge from {p}"))
                     })?;
-                    let rv = self.value(f, &vals, &args, *v)?;
+                    let rv = self.value_ref(f, &vals, &args, *v)?;
                     self.charge_inst(f, id);
-                    self.steps += 1;
                     phi_results.push((id, rv));
                 } else {
                     break;
@@ -364,7 +778,7 @@ impl<'a> Interp<'a> {
                 self.steps += 1;
                 self.stats.insts += 1;
                 self.charge_inst(f, id);
-                let r = self.exec_inst(f, &mut vals, &args, id)?;
+                let r = self.exec_inst_ref(f, &vals, &args, id)?;
                 vals.insert(id, r);
             }
 
@@ -379,31 +793,84 @@ impl<'a> Interp<'a> {
                     then_bb,
                     else_bb,
                 } => {
-                    let c = self.value(f, &vals, &args, *cond)?.scalar()?;
+                    let c = self.value_ref(f, &vals, &args, *cond)?.scalar()?;
                     prev = Some(block);
                     block = if c & 1 != 0 { *then_bb } else { *else_bb };
                 }
                 Terminator::Ret(v) => {
                     return match v {
                         None => Ok(RtVal::Unit),
-                        Some(v) => self.value(f, &vals, &args, *v),
+                        Some(v) => self.value_ref(f, &vals, &args, *v),
                     };
                 }
             }
         }
     }
 
+    /// Reference-engine operand resolution: clones out of the hash map, as
+    /// the original step loop did.
+    fn value_ref(
+        &self,
+        f: &Function,
+        vals: &HashMap<InstId, RtVal>,
+        args: &[RtVal],
+        v: Value,
+    ) -> Result<RtVal, ExecError> {
+        match v {
+            Value::Const(c) => Ok(RtVal::S(c.bits)),
+            Value::Param(i) => args
+                .get(i as usize)
+                .cloned()
+                .ok_or_else(|| ExecError::Other(format!("missing argument {i} to @{}", f.name))),
+            Value::Inst(i) => vals
+                .get(&i)
+                .cloned()
+                .ok_or_else(|| ExecError::Other(format!("use of unevaluated {i} in @{}", f.name))),
+        }
+    }
+
+    /// Reference-engine broadcast helper: yields per-lane payloads whether
+    /// the value is a scalar (splatted) or already a vector, allocating a
+    /// fresh vector per call as the original did.
+    fn lanes_of_ref(&self, v: &RtVal, lanes: u32) -> Result<Vec<u64>, ExecError> {
+        match v {
+            RtVal::S(s) => Ok(vec![*s; lanes as usize]),
+            RtVal::V(l) => {
+                if l.len() != lanes as usize {
+                    return Err(ExecError::Other(format!(
+                        "lane count mismatch: {} vs {}",
+                        l.len(),
+                        lanes
+                    )));
+                }
+                Ok(l.clone())
+            }
+            RtVal::Unit => Err(ExecError::Other("void operand".into())),
+        }
+    }
+
+    /// Charges an external (library) call, resolving the cost dynamically
+    /// (the reference path; the fast engine memoizes it in the plan).
+    fn charge_extern_dyn(&mut self, f: &Function, callee: &str, ret: Ty) {
+        let cy = self.cost.extern_call_cost(callee, ret);
+        self.charge_extern(f, callee, cy);
+    }
+
+    /// Reference-engine instruction execution: the retained original,
+    /// cloning the instruction and every operand and allocating fresh lane
+    /// buffers per operation. `crates/suite/tests/engine_differential.rs`
+    /// pins it result/cycle/profile-identical to the fast path.
     #[allow(clippy::too_many_lines)]
-    fn exec_inst(
+    fn exec_inst_ref(
         &mut self,
         f: &Function,
-        vals: &mut HashMap<InstId, RtVal>,
+        vals: &HashMap<InstId, RtVal>,
         args: &[RtVal],
         id: InstId,
     ) -> Result<RtVal, ExecError> {
         let inst = f.inst(id).clone();
         let ty = f.inst_ty(id);
-        let get = |me: &Interp<'a>, v: Value| me.value(f, vals, args, v);
+        let get = |me: &Interp<'a>, v: Value| me.value_ref(f, vals, args, v);
         match &inst {
             Inst::Bin { op, a, b } => {
                 let elem = ty
@@ -412,8 +879,8 @@ impl<'a> Interp<'a> {
                 let av = get(self, *a)?;
                 let bv = get(self, *b)?;
                 if ty.is_vec() {
-                    let al = self.lanes_of(&av, ty.lanes())?;
-                    let bl = self.lanes_of(&bv, ty.lanes())?;
+                    let al = self.lanes_of_ref(&av, ty.lanes())?;
+                    let bl = self.lanes_of_ref(&bv, ty.lanes())?;
                     let r: Result<Vec<u64>, _> = al
                         .iter()
                         .zip(&bl)
@@ -430,7 +897,7 @@ impl<'a> Interp<'a> {
                     .ok_or_else(|| ExecError::Other("void un".into()))?;
                 let av = get(self, *a)?;
                 if ty.is_vec() {
-                    let al = self.lanes_of(&av, ty.lanes())?;
+                    let al = self.lanes_of_ref(&av, ty.lanes())?;
                     let r: Result<Vec<u64>, _> =
                         al.iter().map(|&x| eval_un(*op, elem, x)).collect();
                     Ok(RtVal::V(r?))
@@ -446,8 +913,8 @@ impl<'a> Interp<'a> {
                 let av = get(self, *a)?;
                 let bv = get(self, *b)?;
                 if src.is_vec() {
-                    let al = self.lanes_of(&av, src.lanes())?;
-                    let bl = self.lanes_of(&bv, src.lanes())?;
+                    let al = self.lanes_of_ref(&av, src.lanes())?;
+                    let bl = self.lanes_of_ref(&bv, src.lanes())?;
                     Ok(RtVal::V(
                         al.iter()
                             .zip(&bl)
@@ -470,7 +937,7 @@ impl<'a> Interp<'a> {
                     .ok_or_else(|| ExecError::Other("void cast".into()))?;
                 let av = get(self, *a)?;
                 if ty.is_vec() {
-                    let al = self.lanes_of(&av, ty.lanes())?;
+                    let al = self.lanes_of_ref(&av, ty.lanes())?;
                     Ok(RtVal::V(
                         al.iter().map(|&x| eval_cast(*kind, from, to, x)).collect(),
                     ))
@@ -486,8 +953,8 @@ impl<'a> Interp<'a> {
                     RtVal::S(c) => Ok(if c & 1 != 0 { tv } else { fvv }),
                     RtVal::V(cl) => {
                         let lanes = ty.lanes();
-                        let tl = self.lanes_of(&tv, lanes)?;
-                        let fl = self.lanes_of(&fvv, lanes)?;
+                        let tl = self.lanes_of_ref(&tv, lanes)?;
+                        let fl = self.lanes_of_ref(&fvv, lanes)?;
                         Ok(RtVal::V(
                             cl.iter()
                                 .zip(tl.iter().zip(&fl))
@@ -550,7 +1017,7 @@ impl<'a> Interp<'a> {
                         self.stats.packed_loads += 1;
                         let sz = elem.size_bytes();
                         let mut out = Vec::with_capacity(n as usize);
-                        for i in 0..n as u64 {
+                        for i in 0..u64::from(n) {
                             let active = mk.as_ref().is_none_or(|m| m[i as usize]);
                             out.push(if active {
                                 self.mem.load_scalar(elem, addr + i * sz)?
@@ -636,8 +1103,8 @@ impl<'a> Interp<'a> {
                     )),
                     _ => {
                         let lanes = ty.lanes();
-                        let bl = self.lanes_of(&bv, lanes)?;
-                        let il = self.lanes_of(&iv, lanes)?;
+                        let bl = self.lanes_of_ref(&bv, lanes)?;
+                        let il = self.lanes_of_ref(&iv, lanes)?;
                         Ok(RtVal::V(
                             bl.iter()
                                 .zip(&il)
@@ -658,11 +1125,10 @@ impl<'a> Interp<'a> {
                 for &a in cargs {
                     avs.push(get(self, a)?);
                 }
-                if self.module.function(callee).is_some() {
-                    let callee_fn = self.module.function(callee).expect("checked above");
-                    self.exec_function(callee_fn, avs)
+                if let Some(callee_fn) = self.module.function(callee) {
+                    self.exec_reference(callee_fn, avs)
                 } else {
-                    self.charge_extern(f, callee, ty);
+                    self.charge_extern_dyn(f, callee, ty);
                     self.externs.call(callee, &avs)
                 }
             }
@@ -678,7 +1144,7 @@ impl<'a> Interp<'a> {
                     if ty.is_vec() {
                         let lanes = ty.lanes();
                         let cols: Result<Vec<Vec<u64>>, _> =
-                            avs.iter().map(|v| self.lanes_of(v, lanes)).collect();
+                            avs.iter().map(|v| self.lanes_of_ref(v, lanes)).collect();
                         let cols = cols?;
                         let mut out = Vec::with_capacity(lanes as usize);
                         for i in 0..lanes as usize {
@@ -714,9 +1180,9 @@ impl<'a> Interp<'a> {
                     if ty.is_vec() {
                         let n = ty.lanes();
                         let (al, bl, cl) = (
-                            self.lanes_of(&a, n)?,
-                            self.lanes_of(&b, n)?,
-                            self.lanes_of(&c, n)?,
+                            self.lanes_of_ref(&a, n)?,
+                            self.lanes_of_ref(&b, n)?,
+                            self.lanes_of_ref(&c, n)?,
                         );
                         let r: Result<Vec<u64>, _> =
                             (0..n as usize).map(|i| fma1(al[i], bl[i], cl[i])).collect();
@@ -748,6 +1214,446 @@ impl<'a> Interp<'a> {
             }
         }
     }
+
+    /// Fast-engine instruction execution over dense frame slots, borrowed
+    /// operand views, and pooled lane buffers; `plan` supplies the static
+    /// call-site table (call kind and extern cost) and the pre-resolved
+    /// per-lane kernels.
+    #[allow(clippy::too_many_lines)]
+    fn exec_inst(
+        &mut self,
+        f: &Function,
+        frame: &SlotFrame,
+        args: &[RtVal],
+        id: InstId,
+        plan: &FramePlan,
+    ) -> Result<RtVal, ExecError> {
+        let inst = f.inst(id);
+        let ty = f.inst_ty(id);
+        match inst {
+            Inst::Bin { op, a, b } => {
+                let elem = ty
+                    .elem()
+                    .ok_or_else(|| ExecError::Other("void bin".into()))?;
+                let av = operand(f, frame, args, *a)?;
+                let bv = operand(f, frame, args, *b)?;
+                let kern = plan.kernels[id.0 as usize];
+                if ty.is_vec() {
+                    let n = ty.lanes();
+                    let al = Lanes::of(&av, n)?;
+                    let bl = Lanes::of(&bv, n)?;
+                    if let LaneKernel::Bin(g) = kern {
+                        return Ok(RtVal::V(self.map2(g, al, bl)));
+                    }
+                    let mut out = self.take_lanes(n as usize);
+                    for i in 0..n as usize {
+                        out.push(eval_bin(*op, elem, al.at(i), bl.at(i))?);
+                    }
+                    Ok(RtVal::V(out))
+                } else if let LaneKernel::Bin(g) = kern {
+                    Ok(RtVal::S(g(av.scalar()?, bv.scalar()?)))
+                } else {
+                    Ok(RtVal::S(eval_bin(*op, elem, av.scalar()?, bv.scalar()?)?))
+                }
+            }
+            Inst::Un { op, a } => {
+                let elem = ty
+                    .elem()
+                    .ok_or_else(|| ExecError::Other("void un".into()))?;
+                let av = operand(f, frame, args, *a)?;
+                let kern = plan.kernels[id.0 as usize];
+                if ty.is_vec() {
+                    let n = ty.lanes();
+                    let al = Lanes::of(&av, n)?;
+                    if let LaneKernel::Un(g) = kern {
+                        return Ok(RtVal::V(self.map1(g, al)));
+                    }
+                    let mut out = self.take_lanes(n as usize);
+                    for i in 0..n as usize {
+                        out.push(eval_un(*op, elem, al.at(i))?);
+                    }
+                    Ok(RtVal::V(out))
+                } else if let LaneKernel::Un(g) = kern {
+                    Ok(RtVal::S(g(av.scalar()?)))
+                } else {
+                    Ok(RtVal::S(eval_un(*op, elem, av.scalar()?)?))
+                }
+            }
+            Inst::Cmp { pred, a, b } => {
+                let src = f.value_ty(*a);
+                let elem = src
+                    .elem()
+                    .ok_or_else(|| ExecError::Other("void cmp".into()))?;
+                let av = operand(f, frame, args, *a)?;
+                let bv = operand(f, frame, args, *b)?;
+                let kern = plan.kernels[id.0 as usize];
+                if src.is_vec() {
+                    let n = src.lanes();
+                    let al = Lanes::of(&av, n)?;
+                    let bl = Lanes::of(&bv, n)?;
+                    if let LaneKernel::Bin(g) = kern {
+                        return Ok(RtVal::V(self.map2(g, al, bl)));
+                    }
+                    let mut out = self.take_lanes(n as usize);
+                    for i in 0..n as usize {
+                        out.push(eval_cmp(*pred, elem, al.at(i), bl.at(i)) as u64);
+                    }
+                    Ok(RtVal::V(out))
+                } else if let LaneKernel::Bin(g) = kern {
+                    Ok(RtVal::S(g(av.scalar()?, bv.scalar()?)))
+                } else {
+                    Ok(RtVal::S(
+                        eval_cmp(*pred, elem, av.scalar()?, bv.scalar()?) as u64
+                    ))
+                }
+            }
+            Inst::Cast { kind, a } => {
+                let from = f
+                    .value_ty(*a)
+                    .elem()
+                    .ok_or_else(|| ExecError::Other("void cast".into()))?;
+                let to = ty
+                    .elem()
+                    .ok_or_else(|| ExecError::Other("void cast".into()))?;
+                let av = operand(f, frame, args, *a)?;
+                let kern = plan.kernels[id.0 as usize];
+                if ty.is_vec() {
+                    let n = ty.lanes();
+                    let al = Lanes::of(&av, n)?;
+                    if let LaneKernel::Un(g) = kern {
+                        return Ok(RtVal::V(self.map1(g, al)));
+                    }
+                    let mut out = self.take_lanes(n as usize);
+                    for i in 0..n as usize {
+                        out.push(eval_cast(*kind, from, to, al.at(i)));
+                    }
+                    Ok(RtVal::V(out))
+                } else if let LaneKernel::Un(g) = kern {
+                    Ok(RtVal::S(g(av.scalar()?)))
+                } else {
+                    Ok(RtVal::S(eval_cast(*kind, from, to, av.scalar()?)))
+                }
+            }
+            Inst::Select { cond, t, f: fv } => {
+                let cv = operand(f, frame, args, *cond)?;
+                let tv = operand(f, frame, args, *t)?;
+                let fvv = operand(f, frame, args, *fv)?;
+                match cv.as_ref() {
+                    RtVal::S(c) => Ok(if c & 1 != 0 {
+                        tv.into_owned()
+                    } else {
+                        fvv.into_owned()
+                    }),
+                    RtVal::V(cl) => {
+                        let n = ty.lanes();
+                        let tl = Lanes::of(&tv, n)?;
+                        let fl = Lanes::of(&fvv, n)?;
+                        let len = cl.len().min(tl.len()).min(fl.len());
+                        let mut out = self.take_lanes(len);
+                        for (i, &c) in cl.iter().take(len).enumerate() {
+                            out.push(if c & 1 != 0 { tl.at(i) } else { fl.at(i) });
+                        }
+                        Ok(RtVal::V(out))
+                    }
+                    RtVal::Unit => Err(ExecError::Other("void select cond".into())),
+                }
+            }
+            Inst::Splat { a } => {
+                let s = operand(f, frame, args, *a)?.scalar()?;
+                let n = ty.lanes() as usize;
+                let mut out = self.take_lanes(n);
+                out.resize(n, s);
+                Ok(RtVal::V(out))
+            }
+            Inst::ConstVec { lanes, .. } => {
+                let mut out = self.take_lanes(lanes.len());
+                out.extend_from_slice(lanes);
+                Ok(RtVal::V(out))
+            }
+            Inst::Extract { v, lane } => {
+                let vv = operand(f, frame, args, *v)?;
+                let l = operand(f, frame, args, *lane)?.scalar()? as usize;
+                let lv = vv.vector()?;
+                lv.get(l)
+                    .copied()
+                    .map(RtVal::S)
+                    .ok_or_else(|| ExecError::Other(format!("extract lane {l} out of range")))
+            }
+            Inst::Insert { v, lane, x } => {
+                let vv = operand(f, frame, args, *v)?;
+                let src = vv.vector()?;
+                let mut out = self.take_lanes(src.len());
+                out.extend_from_slice(src);
+                let l = operand(f, frame, args, *lane)?.scalar()? as usize;
+                let xv = operand(f, frame, args, *x)?.scalar()?;
+                if l >= out.len() {
+                    return Err(ExecError::Other(format!("insert lane {l} out of range")));
+                }
+                out[l] = xv;
+                Ok(RtVal::V(out))
+            }
+            Inst::ShuffleConst { v, pattern } => {
+                let vv = operand(f, frame, args, *v)?;
+                let lv = vv.vector()?;
+                let mut out = self.take_lanes(pattern.len());
+                for &p in pattern {
+                    out.push(lv[p as usize]);
+                }
+                Ok(RtVal::V(out))
+            }
+            Inst::ShuffleVar { v, idx } => {
+                let vv = operand(f, frame, args, *v)?;
+                let iv = operand(f, frame, args, *idx)?;
+                let lv = vv.vector()?;
+                let il = iv.vector()?;
+                let n = lv.len() as u64;
+                let mut out = self.take_lanes(il.len());
+                for &i in il {
+                    out.push(lv[(i % n) as usize]);
+                }
+                Ok(RtVal::V(out))
+            }
+            Inst::Load { ptr, mask } => {
+                let elem = ty
+                    .elem()
+                    .ok_or_else(|| ExecError::Other("void load".into()))?;
+                let pv = operand(f, frame, args, *ptr)?;
+                let mkv = match mask {
+                    Some(m) => Some(operand(f, frame, args, *m)?),
+                    None => None,
+                };
+                let mk = MaskRef::new(mkv.as_deref())?;
+                match (pv.as_ref(), ty) {
+                    (RtVal::S(addr), Ty::Scalar(_)) => {
+                        self.stats.scalar_loads += 1;
+                        Ok(RtVal::S(self.mem.load_scalar(elem, *addr)?))
+                    }
+                    (RtVal::S(addr), Ty::Vec(_, n)) => {
+                        self.stats.packed_loads += 1;
+                        let sz = elem.size_bytes();
+                        let mut out = self.take_lanes(n as usize);
+                        if mk.is_unmasked() {
+                            // One bounds check for the whole packed range;
+                            // a masked load keeps the per-lane path (its
+                            // inactive lanes may legitimately be
+                            // out-of-bounds under the tail-gang contract).
+                            self.mem.load_lanes(elem, *addr, u64::from(n), &mut out)?;
+                        } else {
+                            for i in 0..u64::from(n) {
+                                out.push(if mk.active(i as usize) {
+                                    self.mem.load_scalar(elem, addr + i * sz)?
+                                } else {
+                                    0
+                                });
+                            }
+                        }
+                        Ok(RtVal::V(out))
+                    }
+                    (RtVal::V(addrs), Ty::Vec(..)) => {
+                        self.stats.gathers += 1;
+                        let mut out = self.take_lanes(addrs.len());
+                        for (i, &a) in addrs.iter().enumerate() {
+                            out.push(if mk.active(i) {
+                                self.mem.load_scalar(elem, a)?
+                            } else {
+                                0
+                            });
+                        }
+                        Ok(RtVal::V(out))
+                    }
+                    _ => Err(ExecError::Other("malformed load shapes".into())),
+                }
+            }
+            Inst::Store { ptr, val, mask } => {
+                let vv = operand(f, frame, args, *val)?;
+                let vty = f.value_ty(*val);
+                let elem = vty
+                    .elem()
+                    .ok_or_else(|| ExecError::Other("void store".into()))?;
+                let pv = operand(f, frame, args, *ptr)?;
+                let mkv = match mask {
+                    Some(m) => Some(operand(f, frame, args, *m)?),
+                    None => None,
+                };
+                let mk = MaskRef::new(mkv.as_deref())?;
+                match (pv.as_ref(), vv.as_ref()) {
+                    (RtVal::S(addr), RtVal::S(bits)) => {
+                        self.stats.scalar_stores += 1;
+                        self.mem.store_scalar(elem, *addr, *bits)?;
+                    }
+                    (RtVal::S(addr), RtVal::V(lanes)) => {
+                        self.stats.packed_stores += 1;
+                        if mk.is_unmasked() {
+                            // Single bounds check; masked stores stay
+                            // per-lane (inactive out-of-bounds lanes must
+                            // not fault).
+                            self.mem.store_lanes(elem, *addr, lanes)?;
+                        } else {
+                            let sz = elem.size_bytes();
+                            for (i, &b) in lanes.iter().enumerate() {
+                                if mk.active(i) {
+                                    self.mem.store_scalar(elem, addr + i as u64 * sz, b)?;
+                                }
+                            }
+                        }
+                    }
+                    (RtVal::V(addrs), RtVal::V(lanes)) => {
+                        self.stats.scatters += 1;
+                        for (i, (&a, &b)) in addrs.iter().zip(lanes).enumerate() {
+                            if mk.active(i) {
+                                self.mem.store_scalar(elem, a, b)?;
+                            }
+                        }
+                    }
+                    (RtVal::V(addrs), RtVal::S(bits)) => {
+                        // Scatter of a uniform value.
+                        self.stats.scatters += 1;
+                        for (i, &a) in addrs.iter().enumerate() {
+                            if mk.active(i) {
+                                self.mem.store_scalar(elem, a, *bits)?;
+                            }
+                        }
+                    }
+                    _ => return Err(ExecError::Other("malformed store shapes".into())),
+                }
+                Ok(RtVal::Unit)
+            }
+            Inst::Alloca { size } => {
+                let sz = operand(f, frame, args, *size)?.scalar()?;
+                Ok(RtVal::S(self.mem.alloc(sz, 64)?))
+            }
+            Inst::Gep { base, index, scale } => {
+                let bv = operand(f, frame, args, *base)?;
+                let iv = operand(f, frame, args, *index)?;
+                let ity = f.value_ty(*index).elem().unwrap_or(ScalarTy::I64);
+                match (bv.as_ref(), iv.as_ref()) {
+                    (RtVal::S(b), RtVal::S(i)) => Ok(RtVal::S(
+                        b.wrapping_add((sext(ity, *i) as u64).wrapping_mul(*scale)),
+                    )),
+                    _ => {
+                        let n = ty.lanes();
+                        let bl = Lanes::of(&bv, n)?;
+                        let il = Lanes::of(&iv, n)?;
+                        let mut out = self.take_lanes(n as usize);
+                        for i in 0..n as usize {
+                            out.push(
+                                bl.at(i).wrapping_add(
+                                    (sext(ity, il.at(i)) as u64).wrapping_mul(*scale),
+                                ),
+                            );
+                        }
+                        Ok(RtVal::V(out))
+                    }
+                }
+            }
+            Inst::Call {
+                callee,
+                args: cargs,
+            } => {
+                self.stats.calls += 1;
+                let mut avs = Vec::with_capacity(cargs.len());
+                for &a in cargs {
+                    avs.push(operand(f, frame, args, a)?.into_owned());
+                }
+                // The call kind (and the extern cost) come statically
+                // from the plan.
+                match plan.calls[id.0 as usize] {
+                    CallSite::Extern { cost } => {
+                        self.charge_extern(f, callee, cost);
+                        self.externs.call(callee, &avs)
+                    }
+                    _ => match self.module.function(callee) {
+                        Some(callee_fn) => self.exec_planned(callee_fn, avs),
+                        None => Err(ExecError::UnknownFunction(callee.clone())),
+                    },
+                }
+            }
+            Inst::Intrin { kind, args: iargs } => match kind {
+                Intrinsic::Math(m) => {
+                    let elem = ty
+                        .elem()
+                        .ok_or_else(|| ExecError::Other("void math".into()))?;
+                    let mut avs = Vec::with_capacity(iargs.len());
+                    for &a in iargs {
+                        avs.push(operand(f, frame, args, a)?);
+                    }
+                    if ty.is_vec() {
+                        let lanes = ty.lanes();
+                        let views: Result<Vec<Lanes<'_>>, ExecError> =
+                            avs.iter().map(|v| Lanes::of(v, lanes)).collect();
+                        let views = views?;
+                        let mut row = self.take_lanes(views.len());
+                        let mut out = self.take_lanes(lanes as usize);
+                        for i in 0..lanes as usize {
+                            row.clear();
+                            row.extend(views.iter().map(|c| c.at(i)));
+                            out.push(eval_math(*m, elem, &row)?);
+                        }
+                        self.recycle_buf(row);
+                        Ok(RtVal::V(out))
+                    } else {
+                        let row: Result<Vec<u64>, _> = avs.iter().map(|v| v.scalar()).collect();
+                        Ok(RtVal::S(eval_math(*m, elem, &row?)?))
+                    }
+                }
+                Intrinsic::Fma => {
+                    let elem = ty
+                        .elem()
+                        .ok_or_else(|| ExecError::Other("void fma".into()))?;
+                    let a = operand(f, frame, args, iargs[0])?;
+                    let b = operand(f, frame, args, iargs[1])?;
+                    let c = operand(f, frame, args, iargs[2])?;
+                    let fma1 = |x: u64, y: u64, z: u64| -> Result<u64, ExecError> {
+                        let mul = if elem.is_float() {
+                            crate::inst::BinOp::FMul
+                        } else {
+                            crate::inst::BinOp::Mul
+                        };
+                        let add = if elem.is_float() {
+                            crate::inst::BinOp::FAdd
+                        } else {
+                            crate::inst::BinOp::Add
+                        };
+                        eval_bin(add, elem, eval_bin(mul, elem, x, y)?, z)
+                    };
+                    if ty.is_vec() {
+                        let n = ty.lanes();
+                        let (al, bl, cl) =
+                            (Lanes::of(&a, n)?, Lanes::of(&b, n)?, Lanes::of(&c, n)?);
+                        let mut out = self.take_lanes(n as usize);
+                        for i in 0..n as usize {
+                            out.push(fma1(al.at(i), bl.at(i), cl.at(i))?);
+                        }
+                        Ok(RtVal::V(out))
+                    } else {
+                        Ok(RtVal::S(fma1(a.scalar()?, b.scalar()?, c.scalar()?)?))
+                    }
+                }
+                other => Err(ExecError::SpmdIntrinsic(other.name())),
+            },
+            Inst::Phi { .. } => unreachable!("phis handled at block entry"),
+            Inst::Reduce { op, v, mask } => {
+                let src = f.value_ty(*v);
+                let elem = src
+                    .elem()
+                    .ok_or_else(|| ExecError::Other("void reduce".into()))?;
+                let vv = operand(f, frame, args, *v)?;
+                let lv = vv.vector()?;
+                let mkv = match mask {
+                    Some(m) => Some(operand(f, frame, args, *m)?),
+                    None => None,
+                };
+                let mk = MaskRef::new(mkv.as_deref())?;
+                let mut acc = reduce_identity(*op, elem);
+                for (i, &x) in lv.iter().enumerate() {
+                    if mk.active(i) {
+                        acc = reduce_step(*op, elem, acc, x);
+                    }
+                }
+                Ok(RtVal::S(acc))
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -763,8 +1669,7 @@ mod tests {
         it.call(name, args).unwrap()
     }
 
-    #[test]
-    fn scalar_loop_sum() {
+    fn sum_module() -> Module {
         // sum of 0..n
         let mut fb = FunctionBuilder::new(
             "sum",
@@ -791,8 +1696,29 @@ mod tests {
         fb.ret(Some(acc));
         let mut m = Module::new();
         m.add_function(fb.finish());
+        m
+    }
+
+    #[test]
+    fn scalar_loop_sum() {
+        let m = sum_module();
         let r = run(&m, "sum", &[RtVal::S(10)]);
         assert_eq!(r, RtVal::S(45));
+    }
+
+    #[test]
+    fn engines_agree_on_cycles_and_profile() {
+        let m = sum_module();
+        let mut results = Vec::new();
+        for engine in [Engine::Fast, Engine::Reference] {
+            let mut it = Interp::with_defaults(&m, Memory::default());
+            it.set_engine(engine);
+            it.enable_profiling();
+            let r = it.call("sum", &[RtVal::S(100)]).unwrap();
+            let p = it.take_profile().expect("profiling enabled");
+            results.push((r, it.cycles, it.stats, p.to_json().to_string_pretty()));
+        }
+        assert_eq!(results[0], results[1]);
     }
 
     #[test]
@@ -897,8 +1823,79 @@ mod tests {
         fb.br(l);
         let mut m = Module::new();
         m.add_function(fb.finish());
+        for engine in [Engine::Fast, Engine::Reference] {
+            let mut it = Interp::with_defaults(&m, Memory::default());
+            it.set_engine(engine);
+            it.set_step_limit(1000);
+            assert!(matches!(it.call("inf", &[]), Err(ExecError::StepLimit)));
+        }
+    }
+
+    #[test]
+    fn step_limit_guards_phi_only_loops() {
+        // Regression: a loop whose header consists *only* of φ nodes never
+        // reached the body's step-limit check, so the runaway guard never
+        // fired. The φ schedule must check the limit too — on both
+        // engines.
+        let mut fb = FunctionBuilder::new("phi_spin", vec![], Ty::Void);
+        let header = fb.new_block("header");
+        let entry = fb.current_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let c = fb.phi_typed(
+            Ty::scalar(ScalarTy::I1),
+            vec![(entry, Value::Const(crate::Const::bool(true)))],
+        );
+        let exit = fb.new_block("exit");
+        fb.cond_br(c, header, exit);
+        fb.phi_add_incoming(c, header, c);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let mut m = Module::new();
+        m.add_function(fb.finish());
+        for engine in [Engine::Fast, Engine::Reference] {
+            let mut it = Interp::with_defaults(&m, Memory::default());
+            it.set_engine(engine);
+            it.set_step_limit(1000);
+            assert!(
+                matches!(it.call("phi_spin", &[]), Err(ExecError::StepLimit)),
+                "φ-only loop must trip the step limit under {engine:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mask_and_lane_views_borrow() {
+        let v = RtVal::V(vec![1, 0, 3, 0]);
+        let bools: Vec<bool> = v.mask_lanes_iter().unwrap().collect();
+        assert_eq!(bools, vec![true, false, true, false]);
+        assert_eq!(v.mask_lanes().unwrap(), bools);
+
+        let lanes = Lanes::of(&v, 4).unwrap();
+        assert_eq!(lanes.len(), 4);
+        assert_eq!(lanes.at(2), 3);
+        assert_eq!(lanes.iter().collect::<Vec<_>>(), vec![1, 0, 3, 0]);
+        let s = RtVal::S(7);
+        let splat = Lanes::of(&s, 3).unwrap();
+        assert!(!splat.is_empty());
+        assert_eq!(splat.iter().collect::<Vec<_>>(), vec![7, 7, 7]);
+        assert!(Lanes::of(&v, 5).is_err());
+        assert!(Lanes::of(&RtVal::Unit, 2).is_err());
+
+        let mk = MaskRef::new(Some(&v)).unwrap();
+        assert!(mk.active(0) && !mk.active(1));
+        assert!(!mk.is_unmasked());
+        let unmasked = MaskRef::new(None).unwrap();
+        assert!(unmasked.is_unmasked() && unmasked.active(123));
+        assert!(MaskRef::new(Some(&RtVal::S(1))).is_err());
+    }
+
+    #[test]
+    fn precompile_caches_plans() {
+        let m = sum_module();
         let mut it = Interp::with_defaults(&m, Memory::default());
-        it.set_step_limit(1000);
-        assert!(matches!(it.call("inf", &[]), Err(ExecError::StepLimit)));
+        assert!(it.precompile("sum"));
+        assert!(!it.precompile("missing"));
+        assert_eq!(it.call("sum", &[RtVal::S(5)]).unwrap(), RtVal::S(10));
     }
 }

@@ -9,6 +9,8 @@ use rand::{Rng, SeedableRng};
 use vmach::Avx512Cost;
 use vmath::RuntimeExterns;
 
+pub use psir::Engine;
+
 /// The evaluated configurations (the paper's Figure 4 / Figure 5 bars).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Config {
@@ -196,6 +198,23 @@ fn run_module_inner(
     cost: &Avx512Cost,
     profiled: bool,
 ) -> Result<RunResult, String> {
+    run_module_engine(module, k, cost, profiled, Engine::default())
+}
+
+/// Runs an already-built module over `k`'s workload with an explicit
+/// interpreter [`Engine`] — the entry point `runbench` and the engine
+/// differential tests use to compare the fast and reference paths over
+/// identical inputs.
+///
+/// # Errors
+/// Reports runtime traps with the kernel context.
+pub fn run_module_engine(
+    module: &Module,
+    k: &Kernel,
+    cost: &Avx512Cost,
+    profiled: bool,
+    engine: Engine,
+) -> Result<RunResult, String> {
     let mut mem = Memory::default();
     let mut args: Vec<RtVal> = Vec::new();
     let mut addrs: Vec<u64> = Vec::new();
@@ -207,6 +226,7 @@ fn run_module_inner(
     args.extend(k.extra_args.iter().cloned());
     args.push(RtVal::S(k.n));
     let mut it = Interp::new(module, mem, cost, &EXTERNS);
+    it.set_engine(engine);
     if profiled {
         it.enable_profiling();
     }

@@ -172,6 +172,21 @@ impl Profile {
         f.cycles[class.index()] += cycles;
     }
 
+    /// Attributes a precomputed classed cost list to `function` with a
+    /// single map lookup — the bulk variant of [`Profile::record`] used by
+    /// the interpreter's memoized cost tables. Effect is identical to
+    /// calling `record` once per entry (zero-cycle entries contribute
+    /// nothing and never create a function row on their own).
+    pub fn record_classed(&mut self, function: &str, classed: &[(CostClass, u64)]) {
+        if classed.iter().all(|&(_, cy)| cy == 0) {
+            return;
+        }
+        let f = self.functions.entry(function.to_string()).or_default();
+        for &(class, cy) in classed {
+            f.cycles[class.index()] += cy;
+        }
+    }
+
     /// Attributes one extern call to `function`, both in the
     /// [`CostClass::ExternCall`] bucket and in the per-symbol ledger.
     pub fn record_extern(&mut self, function: &str, symbol: &str, cycles: u64) {

@@ -132,6 +132,18 @@ impl CostModel for Avx512Cost {
             .collect()
     }
 
+    fn inst_cost_full(&self, f: &Function, id: InstId) -> (u64, Vec<(telemetry::CostClass, u64)>) {
+        // One legalization serves both answers — this is the query the
+        // interpreter's plan cache issues once per static instruction.
+        let uops = legalize(&self.target, f, id);
+        let total = uops.iter().map(|u| u.cycles).sum();
+        let classed = uops
+            .iter()
+            .map(|u| (u.kind.cost_class(), u.cycles))
+            .collect();
+        (total, classed)
+    }
+
     fn extern_call_cost(&self, name: &str, ret: Ty) -> u64 {
         // Mangling: "{lib}.{fn}.{elem}" (scalar) or "{lib}.{fn}.{elem}x{G}".
         let mut parts = name.split('.');
