@@ -10,6 +10,10 @@
 # see exactly which call pushed the crate over budget instead of
 # re-running the grep by hand.
 #
+# Exit status: 0 all within budget, 1 over budget, 2 a budgeted crate
+# directory disappeared (rename the entry rather than silently skipping —
+# a vanished dir would otherwise let its panics escape the ratchet).
+#
 # Usage: ci/panic_budget.sh   (from the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,11 +24,12 @@ PATTERN='\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(|todo!\('
 BUDGETS="
 autovec 39
 bench 20
-core 78
+core 80
 criterion_compat 0
+fuzz 20
 proptest_compat 2
-psimc 22
-psir 65
+psimc 26
+psir 72
 rand_compat 0
 shapecheck 9
 suite 19
@@ -34,10 +39,16 @@ vmath 10
 "
 
 fail=0
+missing=0
 while read -r crate budget; do
   [ -z "$crate" ] && continue
   src="crates/$crate/src"
-  [ -d "$src" ] || { echo "panic_budget: missing $src" >&2; fail=1; continue; }
+  if [ ! -d "$src" ]; then
+    echo "panic_budget: budgeted directory $src no longer exists —" \
+         "update or remove its BUDGETS entry" >&2
+    missing=1
+    continue
+  fi
   sites=$(grep -rEn "$PATTERN" "$src" --include='*.rs' 2>/dev/null \
             | grep -v '^\s*//' || true)
   if [ -z "$sites" ]; then
@@ -61,4 +72,5 @@ done <<EOF
 $BUDGETS
 EOF
 
+[ "$missing" -ne 0 ] && exit 2
 exit $fail

@@ -528,9 +528,13 @@ fn inline_one(
 /// or call reuses the earlier result. Returns loads removed.
 pub fn redundant_loads(f: &mut Function) -> usize {
     let mut removed = 0;
+    // The replacement map is function-wide: a removed load's uses can live
+    // in *other* blocks (e.g. the per-lane extracts that call serialization
+    // emits into its `sercall` blocks), so the final rewrite below must
+    // cover every block, not just the one the load was removed from.
+    let mut replace: HashMap<InstId, InstId> = HashMap::new();
     for b in f.block_ids().collect::<Vec<_>>() {
         let mut avail: HashMap<(Value, Option<Value>, Ty), InstId> = HashMap::new();
-        let mut replace: HashMap<InstId, InstId> = HashMap::new();
         let insts = f.block(b).insts.clone();
         let mut keep = Vec::with_capacity(insts.len());
         for id in insts {
@@ -560,21 +564,31 @@ pub fn redundant_loads(f: &mut Function) -> usize {
             }
         }
         f.block_mut(b).insts = keep;
-        // Rewrite the terminator through the replacements.
-        let mut term = f.block(b).term.clone();
-        let fix = |v: &mut Value| {
-            if let Value::Inst(i) = v {
-                if let Some(&r) = replace.get(i) {
-                    *v = Value::Inst(r);
-                }
+    }
+    // Rewrite every remaining use (any block) through the replacements.
+    if !replace.is_empty() {
+        for b in f.block_ids().collect::<Vec<_>>() {
+            for id in f.block(b).insts.clone() {
+                f.inst_mut(id).map_operands(|v| match v {
+                    Value::Inst(i) => Value::Inst(replace.get(&i).copied().unwrap_or(i)),
+                    other => other,
+                });
             }
-        };
-        match &mut term {
-            Terminator::CondBr { cond, .. } => fix(cond),
-            Terminator::Ret(Some(v)) => fix(v),
-            _ => {}
+            let mut term = f.block(b).term.clone();
+            let fix = |v: &mut Value| {
+                if let Value::Inst(i) = v {
+                    if let Some(&r) = replace.get(i) {
+                        *v = Value::Inst(r);
+                    }
+                }
+            };
+            match &mut term {
+                Terminator::CondBr { cond, .. } => fix(cond),
+                Terminator::Ret(Some(v)) => fix(v),
+                _ => {}
+            }
+            f.block_mut(b).term = term;
         }
-        f.block_mut(b).term = term;
     }
     removed
 }
@@ -696,6 +710,36 @@ mod opt_tests {
         let p = mem.alloc_bytes(&7i32.to_le_bytes(), 64).unwrap();
         let mut it = Interp::with_defaults(&m, mem);
         assert_eq!(it.call("g", &[RtVal::S(p)]).unwrap(), RtVal::S(14));
+    }
+
+    #[test]
+    fn redundant_load_elimination_rewrites_cross_block_uses() {
+        // A duplicate load whose only use lives in a *different* block —
+        // the shape the serialized-call path emits (the per-lane extract
+        // sits in a `sercall` block, the load in the entry). The removed
+        // load's uses must be rewritten function-wide, not per-block.
+        let mut fb = FunctionBuilder::new(
+            "h",
+            vec![Param::new("p", Ty::scalar(ScalarTy::Ptr))],
+            Ty::scalar(ScalarTy::I32),
+        );
+        let l1 = fb.load(Ty::scalar(ScalarTy::I32), Value::Param(0), None);
+        let l2 = fb.load(Ty::scalar(ScalarTy::I32), Value::Param(0), None); // dup
+        let next = fb.new_block("next");
+        fb.br(next);
+        fb.switch_to(next);
+        let s = fb.bin(psir::BinOp::Add, l1, l2); // cross-block use of the dup
+        fb.ret(Some(s));
+        let mut f = fb.finish();
+        let removed = redundant_loads(&mut f);
+        assert_eq!(removed, 1);
+        assert_valid(&f);
+        let mut m = Module::new();
+        m.add_function(f);
+        let mut mem = Memory::default();
+        let p = mem.alloc_bytes(&21i32.to_le_bytes(), 64).unwrap();
+        let mut it = Interp::with_defaults(&m, mem);
+        assert_eq!(it.call("h", &[RtVal::S(p)]).unwrap(), RtVal::S(42));
     }
 
     #[test]

@@ -1,0 +1,19 @@
+//! Vectorizes one region's `__partial` variant and prints the IR before
+//! and after cleanup, for debugging verifier failures.
+fn main() {
+    let path = std::env::args().nth(1).expect("usage: dump_partial FILE");
+    let src = std::fs::read_to_string(&path).expect("readable file");
+    let module = psimc::compile(&src).expect("compiles");
+    let region = module.spmd_functions()[0].clone();
+    let f = module.function(&region).expect("region exists");
+    let opts = parsimony::VectorizeOptions::default();
+    let v =
+        parsimony::transform::vectorize_function_with(f, &opts, true, None).expect("vectorizes");
+    let mut func = v.func;
+    println!("=== before cleanup ===\n{}", psir::print_function(&func));
+    parsimony::opt::cleanup(&mut func);
+    println!("=== after cleanup ===\n{}", psir::print_function(&func));
+    for e in psir::verify_function(&func) {
+        println!("VERIFY: {:?} {:?} {}", e.block, e.inst, e.msg);
+    }
+}

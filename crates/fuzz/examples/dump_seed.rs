@@ -1,0 +1,13 @@
+fn main() {
+    let seed: u64 = std::env::args().nth(1).unwrap().parse().unwrap();
+    let p = psim_fuzz::generate(seed);
+    let g = *p.gangs.iter().max().unwrap();
+    let src = p.source_for_gang(g);
+    for (i, l) in src.lines().enumerate() {
+        println!("{:3} {}", i + 1, l);
+    }
+    match psimc::compile(&src) {
+        Ok(_) => println!("-- compiles OK"),
+        Err(e) => println!("-- ERROR {e:?}"),
+    }
+}

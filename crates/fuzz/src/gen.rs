@@ -1,0 +1,1161 @@
+//! Seeded, fully deterministic PsimC program generator.
+//!
+//! Produces random-but-well-formed SPMD programs over the constructs the
+//! `psimc` front-end parses: gangs, varying and uniform values, divergent
+//! `if`/`while` control flow, lane-horizontal operations (shuffles,
+//! broadcasts, reductions, barriers), private per-thread arrays,
+//! gather-shaped loads, scatter-shaped stores, scalar helper calls, and the
+//! exact-arithmetic builtin set. Programs are built as `psimc` ASTs and
+//! rendered to plain source with [`psimc::render`], so every generated
+//! artifact is directly compilable (and committable as a corpus file).
+//!
+//! ## Soundness constraints (what keeps the differential oracle meaningful)
+//!
+//! A generated program must have *one* defined meaning under the SPMD model
+//! so that any disagreement between configurations is a pipeline bug, not
+//! model-undefined behavior. The generator enforces, by construction:
+//!
+//! * **Race freedom.** Input buffers are only read. Each output buffer is
+//!   assigned one fixed bijective index form for the whole program — `i`,
+//!   `(n-1)-i`, or `(i+C)%n` — so no two threads ever store to the same
+//!   element.
+//! * **Trap freedom on masked-off lanes.** Vectorized execution evaluates
+//!   both arms of divergent branches under masks, so any expression must be
+//!   safe for *any* lane values: integer division/remainder only by
+//!   positive constants, every load index clamped into `[0, n)` by
+//!   `(i64)(e & 255) % n`, local-array indices masked by `& (K-1)`, and
+//!   shifts are defined at any amount (the interpreter wraps them).
+//! * **No float reductions.** Vectorized reduction trees reassociate;
+//!   integer `add`/`min`/`max` are exact in any order.
+//! * **Convergent horizontal ops.** `psim_shuffle`, `psim_broadcast`,
+//!   `psim_reduce_*`, and `psim_gang_sync` appear only at the top level of
+//!   the region (never under divergent control flow), and programs that
+//!   read other lanes (`shuffle`/`broadcast`) restrict `threads(n)` to
+//!   multiples of the gang size — reading a *dead* lane of a partial tail
+//!   gang is model-undefined.
+//! * **Exact builtins only.** `sqrt`, `abs`, `min`/`max`, `clamp`, `fma`
+//!   (evaluated unfused everywhere), `add_sat`/`sub_sat`, `avg_u`, `mulhi`
+//!   are bit-exact across configurations; the polynomial transcendentals
+//!   are excluded (their contract is "close", not "identical", on extreme
+//!   inputs).
+
+use crate::rng::Rng;
+use psimc::ast::{BinOpKind, Expr, FnDef, FnParam, PTy, Place, Stmt, Unit};
+use psimc::render::render_unit;
+use psimc::token::Pos;
+use suite::{BufSpec, Init};
+
+/// Whether a workload buffer is read or written by the region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufRole {
+    /// Read-only input.
+    In,
+    /// Write-only output (zero-initialized).
+    Out,
+}
+
+/// One workload buffer of a fuzz program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzBuf {
+    /// Kernel parameter name (`in0`, `out1`, …).
+    pub name: String,
+    /// Element type (a scalar `PTy`).
+    pub ty: PTy,
+    /// Element count (covers the largest `n` in the sweep).
+    pub len: u64,
+    /// Input or output.
+    pub role: BufRole,
+    /// Deterministic initialization.
+    pub init: Init,
+}
+
+impl FuzzBuf {
+    /// The suite buffer spec used to materialize this buffer.
+    pub fn spec(&self) -> BufSpec {
+        BufSpec {
+            elem: self.ty.scalar_ty(),
+            len: self.len,
+            init: self.init,
+            check: true,
+        }
+    }
+}
+
+/// A generated (or corpus-loaded) differential test program.
+///
+/// `body` is the psim-region body; the host function is always the fixed
+/// shape `void kernel(bufs…, i64 n) { psim gang(G) threads(n) { body } }`.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Generator seed (0 for hand-written corpus programs).
+    pub seed: u64,
+    /// Gang sizes to sweep (each yields one compiled variant).
+    pub gangs: Vec<u32>,
+    /// Thread counts to sweep per gang variant.
+    pub n_values: Vec<u64>,
+    /// Workload buffers, in kernel parameter order.
+    pub bufs: Vec<FuzzBuf>,
+    /// Scalar helper functions callable from the region.
+    pub helpers: Vec<FnDef>,
+    /// Region body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// One concrete compile-and-run unit: a source string plus its workload.
+#[derive(Debug, Clone)]
+pub struct TestCase {
+    /// Display name (`seed42/g8`, or the corpus file stem).
+    pub name: String,
+    /// Complete PsimC source (may include `//` metadata comments).
+    pub source: String,
+    /// Thread counts to run.
+    pub n_values: Vec<u64>,
+    /// Workload buffers, in kernel parameter order.
+    pub bufs: Vec<FuzzBuf>,
+}
+
+fn p0() -> Pos {
+    Pos { line: 0, col: 0 }
+}
+
+impl Program {
+    /// Builds the AST unit for one gang size of the sweep.
+    pub fn unit(&self, gang: u32) -> Unit {
+        let mut params: Vec<FnParam> = self
+            .bufs
+            .iter()
+            .map(|b| FnParam {
+                name: b.name.clone(),
+                ty: PTy::Ptr(Box::new(b.ty.clone())),
+                restrict: true,
+            })
+            .collect();
+        params.push(FnParam {
+            name: "n".into(),
+            ty: PTy::I64,
+            restrict: false,
+        });
+        let kernel = FnDef {
+            name: "kernel".into(),
+            params,
+            ret: PTy::Void,
+            body: vec![Stmt::Psim {
+                gang,
+                threads: Expr::Var("n".into(), p0()),
+                body: self.body.clone(),
+                pos: p0(),
+            }],
+            pos: p0(),
+        };
+        let mut funcs = self.helpers.clone();
+        funcs.push(kernel);
+        Unit { funcs }
+    }
+
+    /// Renders the program for one gang size.
+    pub fn source_for_gang(&self, gang: u32) -> String {
+        render_unit(&self.unit(gang))
+    }
+
+    /// Whether the body reads other lanes' values (shuffle/broadcast); such
+    /// programs only run at thread counts that are multiples of the gang.
+    pub fn has_lane_horizontal(&self) -> bool {
+        fn expr_has(e: &Expr) -> bool {
+            match e {
+                Expr::Call(name, args, _) => {
+                    name == "psim_shuffle" || name == "psim_broadcast" || args.iter().any(expr_has)
+                }
+                Expr::Bin(_, a, b, _) => expr_has(a) || expr_has(b),
+                Expr::Un(_, a, _) | Expr::Cast(_, a, _) | Expr::Deref(a, _) => expr_has(a),
+                Expr::Index(a, b, _) => expr_has(a) || expr_has(b),
+                Expr::Ternary(a, b, c, _) => expr_has(a) || expr_has(b) || expr_has(c),
+                _ => false,
+            }
+        }
+        fn stmt_has(s: &Stmt) -> bool {
+            match s {
+                Stmt::Decl(_, _, e, _) | Stmt::Expr(e, _) => expr_has(e),
+                Stmt::Assign(place, _, e, _) => {
+                    let pe = match place {
+                        Place::Var(_, _) => false,
+                        Place::Index(a, b, _) => expr_has(a) || expr_has(b),
+                        Place::Deref(a, _) => expr_has(a),
+                    };
+                    pe || expr_has(e)
+                }
+                Stmt::If(c, t, f, _) => {
+                    expr_has(c) || t.iter().any(stmt_has) || f.iter().any(stmt_has)
+                }
+                Stmt::While(c, b, _) => expr_has(c) || b.iter().any(stmt_has),
+                Stmt::Block(b) => b.iter().any(stmt_has),
+                Stmt::Return(e, _) => e.as_ref().is_some_and(expr_has),
+                Stmt::DeclArray(..) => false,
+                Stmt::Psim { body, threads, .. } => expr_has(threads) || body.iter().any(stmt_has),
+            }
+        }
+        self.body.iter().any(stmt_has)
+    }
+
+    /// The concrete test cases of the gang sweep, in order.
+    pub fn cases(&self) -> Vec<TestCase> {
+        self.gangs
+            .iter()
+            .map(|&g| TestCase {
+                name: format!("seed{}/g{g}", self.seed),
+                source: self.source_for_gang(g),
+                n_values: self.n_values.clone(),
+                bufs: self.bufs.clone(),
+            })
+            .collect()
+    }
+}
+
+/// Generates the program for one seed. Fully deterministic: the same seed
+/// yields a byte-identical program on every platform and `-j` level.
+pub fn generate(seed: u64) -> Program {
+    Gen::new(seed).finish()
+}
+
+#[derive(Clone)]
+struct VarInfo {
+    name: String,
+    ty: PTy,
+    mutable: bool,
+}
+
+/// The per-buffer scatter index form (fixed for the whole program so
+/// concurrent threads never collide).
+#[derive(Clone, Copy)]
+enum StoreIdx {
+    Thread,
+    Reverse,
+    Rot(u64),
+}
+
+struct Gen {
+    rng: Rng,
+    seed: u64,
+    scope: Vec<VarInfo>,
+    bufs: Vec<FuzzBuf>,
+    store_idx: Vec<StoreIdx>,
+    helpers: Vec<FnDef>,
+    /// Buffers/`i`/`n`/intrinsics are in scope (false inside helper bodies).
+    in_region: bool,
+    next_var: u32,
+}
+
+const ARITH: [PTy; 4] = [PTy::I32, PTy::I64, PTy::U32, PTy::F32];
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen {
+            rng: Rng::new(seed.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(seed)),
+            seed,
+            scope: Vec::new(),
+            bufs: Vec::new(),
+            store_idx: Vec::new(),
+            helpers: Vec::new(),
+            in_region: false,
+            next_var: 0,
+        }
+    }
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        let n = self.next_var;
+        self.next_var += 1;
+        format!("{prefix}{n}")
+    }
+
+    fn arith_ty(&mut self) -> PTy {
+        self.rng.pick(&ARITH).clone()
+    }
+
+    fn int_ty(&mut self) -> PTy {
+        self.rng.pick(&[PTy::I32, PTy::I64, PTy::U32]).clone()
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    /// A literal of `ty` (never zero for floats used as denominators — the
+    /// caller handles that case via `const_denominator`).
+    fn literal(&mut self, ty: &PTy) -> Expr {
+        // Literals always carry an explicit type suffix: unsuffixed literals
+        // only adapt to a contextually-expected type, and builtins like
+        // `min(lit, e)` lower the first argument with no expectation.
+        match ty {
+            PTy::F32 => Expr::Float(self.rng.range(-32, 33) as f64 * 0.25, Some(PTy::F32), p0()),
+            PTy::U32 => Expr::Int(self.rng.range(0, 64) as i128, Some(PTy::U32), p0()),
+            PTy::Bool => Expr::Bool(self.rng.chance(1, 2), p0()),
+            _ => Expr::Int(self.rng.range(-32, 64) as i128, Some(ty.clone()), p0()),
+        }
+    }
+
+    /// A nonzero positive constant, safe as a division/remainder RHS on any
+    /// (possibly masked-off) lane.
+    fn const_denominator(&mut self, ty: &PTy) -> Expr {
+        match ty {
+            PTy::F32 => Expr::Float(
+                (1 + self.rng.range(0, 12)) as f64 * 0.25,
+                Some(PTy::F32),
+                p0(),
+            ),
+            _ => Expr::Int(self.rng.range(1, 8) as i128, Some(ty.clone()), p0()),
+        }
+    }
+
+    fn var_of(&mut self, ty: &PTy) -> Option<Expr> {
+        let cands: Vec<String> = self
+            .scope
+            .iter()
+            .filter(|v| &v.ty == ty)
+            .map(|v| v.name.clone())
+            .collect();
+        if cands.is_empty() {
+            None
+        } else {
+            Some(Expr::Var(self.rng.pick(&cands).clone(), p0()))
+        }
+    }
+
+    /// A linear (`buf[i]`) or gather (`buf[(i64)(e & 255) % n]`) load from
+    /// an input buffer of element type `ty`. The gather index is in
+    /// `[0, n)` for *any* lane values, so masked-off lanes cannot fault.
+    fn buffer_load(&mut self, ty: &PTy, depth: u32) -> Option<Expr> {
+        if !self.in_region {
+            return None;
+        }
+        let cands: Vec<String> = self
+            .bufs
+            .iter()
+            .filter(|b| b.role == BufRole::In && &b.ty == ty)
+            .map(|b| b.name.clone())
+            .collect();
+        if cands.is_empty() {
+            return None;
+        }
+        let buf = self.rng.pick(&cands).clone();
+        let idx = if depth > 0 && self.rng.chance(1, 3) {
+            // Gather: clamp an arbitrary i32 expression into [0, n).
+            let e = self.expr(&PTy::I32, depth - 1);
+            Expr::Bin(
+                BinOpKind::Rem,
+                Box::new(Expr::Cast(
+                    PTy::I64,
+                    Box::new(Expr::Bin(
+                        BinOpKind::And,
+                        Box::new(e),
+                        Box::new(Expr::Int(255, None, p0())),
+                        p0(),
+                    )),
+                    p0(),
+                )),
+                Box::new(Expr::Var("n".into(), p0())),
+                p0(),
+            )
+        } else {
+            Expr::Var("i".into(), p0())
+        };
+        Some(Expr::Index(
+            Box::new(Expr::Var(buf, p0())),
+            Box::new(idx),
+            p0(),
+        ))
+    }
+
+    fn leaf(&mut self, ty: &PTy) -> Expr {
+        // Order the options deterministically and pick by weight.
+        let roll = self.rng.below(10);
+        if roll < 3 {
+            if let Some(v) = self.var_of(ty) {
+                return v;
+            }
+        }
+        if roll < 5 {
+            if let Some(l) = self.buffer_load(ty, 0) {
+                return l;
+            }
+        }
+        if roll < 6 && self.in_region && ty.is_int() {
+            let name = *self.rng.pick(&[
+                "psim_thread_num",
+                "psim_lane_num",
+                "psim_gang_num",
+                "psim_num_threads",
+                "psim_gang_size",
+            ]);
+            let call = Expr::Call(name.into(), vec![], p0());
+            return if *ty == PTy::I64 {
+                call
+            } else {
+                Expr::Cast(ty.clone(), Box::new(call), p0())
+            };
+        }
+        self.literal(ty)
+    }
+
+    fn bool_expr(&mut self, depth: u32) -> Expr {
+        if depth == 0 {
+            let roll = self.rng.below(8);
+            if roll < 3 {
+                if let Some(v) = self.var_of(&PTy::Bool) {
+                    return v;
+                }
+            }
+            if roll == 3 && self.in_region {
+                let name = *self.rng.pick(&["psim_is_head_gang", "psim_is_tail_gang"]);
+                return Expr::Call(name.into(), vec![], p0());
+            }
+            return Expr::Bool(self.rng.chance(1, 2), p0());
+        }
+        match self.rng.below(10) {
+            0..=5 => {
+                let ty = self.arith_ty();
+                let op = *self.rng.pick(&[
+                    BinOpKind::Lt,
+                    BinOpKind::Le,
+                    BinOpKind::Gt,
+                    BinOpKind::Ge,
+                    BinOpKind::EqEq,
+                    BinOpKind::Ne,
+                ]);
+                let a = self.expr(&ty, depth - 1);
+                let b = self.expr(&ty, depth - 1);
+                Expr::Bin(op, Box::new(a), Box::new(b), p0())
+            }
+            6 | 7 => {
+                let op = *self
+                    .rng
+                    .pick(&[BinOpKind::LAnd, BinOpKind::LOr, BinOpKind::Xor]);
+                let a = self.bool_expr(depth - 1);
+                let b = self.bool_expr(depth - 1);
+                Expr::Bin(op, Box::new(a), Box::new(b), p0())
+            }
+            8 => Expr::Un(
+                psimc::ast::UnOpKind::Not,
+                Box::new(self.bool_expr(depth - 1)),
+                p0(),
+            ),
+            _ => {
+                // bool from integer: `(bool) e` lowers to `e != 0`.
+                let ty = self.int_ty();
+                Expr::Cast(PTy::Bool, Box::new(self.expr(&ty, depth - 1)), p0())
+            }
+        }
+    }
+
+    /// An arithmetic expression of exactly type `ty`.
+    fn expr(&mut self, ty: &PTy, depth: u32) -> Expr {
+        if *ty == PTy::Bool {
+            return self.bool_expr(depth);
+        }
+        if depth == 0 {
+            return self.leaf(ty);
+        }
+        match self.rng.below(20) {
+            0..=6 => {
+                let op = if ty.is_float() {
+                    *self
+                        .rng
+                        .pick(&[BinOpKind::Add, BinOpKind::Sub, BinOpKind::Mul])
+                } else {
+                    *self.rng.pick(&[
+                        BinOpKind::Add,
+                        BinOpKind::Sub,
+                        BinOpKind::Mul,
+                        BinOpKind::And,
+                        BinOpKind::Or,
+                        BinOpKind::Xor,
+                    ])
+                };
+                let a = self.expr(ty, depth - 1);
+                let b = self.expr(ty, depth - 1);
+                Expr::Bin(op, Box::new(a), Box::new(b), p0())
+            }
+            7 => {
+                // Division/remainder: constant positive RHS only (masked
+                // lanes evaluate this too).
+                let op = *self.rng.pick(&[BinOpKind::Div, BinOpKind::Rem]);
+                let a = self.expr(ty, depth - 1);
+                let b = self.const_denominator(ty);
+                Expr::Bin(op, Box::new(a), Box::new(b), p0())
+            }
+            8 if ty.is_int() => {
+                let op = *self.rng.pick(&[BinOpKind::Shl, BinOpKind::Shr]);
+                let a = self.expr(ty, depth - 1);
+                let b = self.expr(ty, depth - 1);
+                Expr::Bin(op, Box::new(a), Box::new(b), p0())
+            }
+            9 => {
+                let k = if ty.is_float() {
+                    psimc::ast::UnOpKind::Neg
+                } else {
+                    *self
+                        .rng
+                        .pick(&[psimc::ast::UnOpKind::Neg, psimc::ast::UnOpKind::BitNot])
+                };
+                Expr::Un(k, Box::new(self.expr(ty, depth - 1)), p0())
+            }
+            10 | 11 => {
+                let c = self.bool_expr(depth - 1);
+                let a = self.expr(ty, depth - 1);
+                let b = self.expr(ty, depth - 1);
+                Expr::Ternary(Box::new(c), Box::new(a), Box::new(b), p0())
+            }
+            12 => {
+                let from = self.arith_ty();
+                Expr::Cast(ty.clone(), Box::new(self.expr(&from, depth - 1)), p0())
+            }
+            13 | 14 => {
+                let name = *self.rng.pick(&["min", "max"]);
+                let a = self.expr(ty, depth - 1);
+                let b = self.expr(ty, depth - 1);
+                Expr::Call(name.into(), vec![a, b], p0())
+            }
+            15 => {
+                let v = self.expr(ty, depth - 1);
+                let lo = self.expr(ty, depth - 1);
+                let hi = self.expr(ty, depth - 1);
+                Expr::Call("clamp".into(), vec![v, lo, hi], p0())
+            }
+            16 => Expr::Call("abs".into(), vec![self.expr(ty, depth - 1)], p0()),
+            17 => {
+                if ty.is_float() {
+                    if self.rng.chance(1, 2) {
+                        Expr::Call("sqrt".into(), vec![self.expr(ty, depth - 1)], p0())
+                    } else {
+                        let a = self.expr(ty, depth - 1);
+                        let b = self.expr(ty, depth - 1);
+                        let c = self.expr(ty, depth - 1);
+                        Expr::Call("fma".into(), vec![a, b, c], p0())
+                    }
+                } else if *ty == PTy::U32 {
+                    let name = *self.rng.pick(&["avg_u", "mulhi", "add_sat", "sub_sat"]);
+                    let a = self.expr(ty, depth - 1);
+                    let b = self.expr(ty, depth - 1);
+                    Expr::Call(name.into(), vec![a, b], p0())
+                } else {
+                    let name = *self.rng.pick(&["add_sat", "sub_sat", "mulhi"]);
+                    let a = self.expr(ty, depth - 1);
+                    let b = self.expr(ty, depth - 1);
+                    Expr::Call(name.into(), vec![a, b], p0())
+                }
+            }
+            18 => {
+                let helpers: Vec<(String, PTy)> = self
+                    .helpers
+                    .iter()
+                    .filter(|h| &h.ret == ty)
+                    .map(|h| (h.name.clone(), h.params[0].ty.clone()))
+                    .collect();
+                if self.in_region && !helpers.is_empty() {
+                    let (name, pty) = self.rng.pick(&helpers).clone();
+                    let arg = self.expr(&pty, depth - 1);
+                    Expr::Call(name, vec![arg], p0())
+                } else {
+                    self.leaf(ty)
+                }
+            }
+            _ => {
+                if let Some(l) = self.buffer_load(ty, depth) {
+                    l
+                } else {
+                    self.leaf(ty)
+                }
+            }
+        }
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    /// The fixed scatter index expression of output buffer `bi` — bijective
+    /// over `[0, n)` by construction.
+    fn store_index(&self, bi: usize) -> Expr {
+        let i = Expr::Var("i".into(), p0());
+        let n = Expr::Var("n".into(), p0());
+        match self.store_idx[bi] {
+            StoreIdx::Thread => i,
+            StoreIdx::Reverse => Expr::Bin(
+                BinOpKind::Sub,
+                Box::new(Expr::Bin(
+                    BinOpKind::Sub,
+                    Box::new(n),
+                    Box::new(Expr::Int(1, None, p0())),
+                    p0(),
+                )),
+                Box::new(i),
+                p0(),
+            ),
+            StoreIdx::Rot(c) => Expr::Bin(
+                BinOpKind::Rem,
+                Box::new(Expr::Bin(
+                    BinOpKind::Add,
+                    Box::new(i),
+                    Box::new(Expr::Int(c as i128, None, p0())),
+                    p0(),
+                )),
+                Box::new(n),
+                p0(),
+            ),
+        }
+    }
+
+    fn store_stmt(&mut self) -> Stmt {
+        let outs: Vec<usize> = (0..self.bufs.len())
+            .filter(|&b| self.bufs[b].role == BufRole::Out)
+            .collect();
+        let bi = *self.rng.pick(&outs);
+        let elem = self.bufs[bi].ty.clone();
+        let src_ty = self.arith_ty();
+        let value = self.expr(&src_ty, 2);
+        let value = if src_ty == elem {
+            value
+        } else {
+            Expr::Cast(elem, Box::new(value), p0())
+        };
+        Stmt::Assign(
+            Place::Index(
+                Expr::Var(self.bufs[bi].name.clone(), p0()),
+                self.store_index(bi),
+                p0(),
+            ),
+            None,
+            value,
+            p0(),
+        )
+    }
+
+    fn decl_stmt(&mut self) -> Stmt {
+        let ty = if self.rng.chance(1, 5) {
+            PTy::Bool
+        } else {
+            self.arith_ty()
+        };
+        let name = self.fresh("v");
+        let init = self.expr(&ty, 3);
+        self.scope.push(VarInfo {
+            name: name.clone(),
+            ty: ty.clone(),
+            mutable: true,
+        });
+        Stmt::Decl(ty, name, init, p0())
+    }
+
+    fn assign_stmt(&mut self) -> Option<Stmt> {
+        let cands: Vec<(String, PTy)> = self
+            .scope
+            .iter()
+            .filter(|v| v.mutable)
+            .map(|v| (v.name.clone(), v.ty.clone()))
+            .collect();
+        if cands.is_empty() {
+            return None;
+        }
+        let (name, ty) = self.rng.pick(&cands).clone();
+        let (op, rhs) = if ty == PTy::Bool {
+            (None, self.bool_expr(2))
+        } else if self.rng.chance(1, 2) {
+            (None, self.expr(&ty, 3))
+        } else if ty.is_float() {
+            match self.rng.below(4) {
+                0 => (Some(BinOpKind::Add), self.expr(&ty, 2)),
+                1 => (Some(BinOpKind::Sub), self.expr(&ty, 2)),
+                2 => (Some(BinOpKind::Mul), self.expr(&ty, 2)),
+                _ => (Some(BinOpKind::Div), self.const_denominator(&ty)),
+            }
+        } else {
+            match self.rng.below(8) {
+                0 => (Some(BinOpKind::Add), self.expr(&ty, 2)),
+                1 => (Some(BinOpKind::Sub), self.expr(&ty, 2)),
+                2 => (Some(BinOpKind::Mul), self.expr(&ty, 2)),
+                3 => (Some(BinOpKind::And), self.expr(&ty, 2)),
+                4 => (Some(BinOpKind::Or), self.expr(&ty, 2)),
+                5 => (Some(BinOpKind::Xor), self.expr(&ty, 2)),
+                6 => (Some(BinOpKind::Shl), self.expr(&ty, 1)),
+                _ => (Some(BinOpKind::Rem), self.const_denominator(&ty)),
+            }
+        };
+        Some(Stmt::Assign(Place::Var(name, p0()), op, rhs, p0()))
+    }
+
+    /// A counted `while` loop: trips are bounded by construction (the
+    /// counter strictly increases toward a bound that is `& 7`-clamped or a
+    /// small constant), so every generated loop terminates on every lane.
+    fn while_stmt(&mut self, depth: u32, budget: u32) -> Stmt {
+        let counter = self.fresh("t");
+        let decl = Stmt::Decl(PTy::I32, counter.clone(), Expr::Int(0, None, p0()), p0());
+        let bound = if self.rng.chance(1, 2) {
+            Expr::Int(self.rng.range(1, 7) as i128, None, p0())
+        } else {
+            // A divergent (data-dependent) bound, clamped to [0, 7].
+            Expr::Bin(
+                BinOpKind::And,
+                Box::new(self.expr(&PTy::I32, 2)),
+                Box::new(Expr::Int(7, None, p0())),
+                p0(),
+            )
+        };
+        let cond = Expr::Bin(
+            BinOpKind::Lt,
+            Box::new(Expr::Var(counter.clone(), p0())),
+            Box::new(bound),
+            p0(),
+        );
+        // The counter is visible inside the body (reads are fine) but not
+        // assignable by generated statements — only the fixed increment
+        // below mutates it, which is what bounds the trip count.
+        self.scope.push(VarInfo {
+            name: counter.clone(),
+            ty: PTy::I32,
+            mutable: false,
+        });
+        let mark = self.scope.len();
+        let mut body = self.block(depth + 1, budget);
+        self.scope.truncate(mark);
+        self.scope.pop();
+        body.push(Stmt::Assign(
+            Place::Var(counter, p0()),
+            Some(BinOpKind::Add),
+            Expr::Int(1, None, p0()),
+            p0(),
+        ));
+        Stmt::Block(vec![decl, Stmt::While(cond, body, p0())])
+    }
+
+    fn if_stmt(&mut self, depth: u32, budget: u32) -> Stmt {
+        let cond = self.bool_expr(3);
+        let mark = self.scope.len();
+        let then_b = self.block(depth + 1, budget);
+        self.scope.truncate(mark);
+        let else_b = if self.rng.chance(1, 2) {
+            let b = self.block(depth + 1, budget / 2);
+            self.scope.truncate(mark);
+            b
+        } else {
+            Vec::new()
+        };
+        Stmt::If(cond, then_b, else_b, p0())
+    }
+
+    /// A private per-thread array: declared, fully initialized by a counted
+    /// loop, then read back through a masked (`& (K-1)`) index.
+    fn array_pattern(&mut self) -> Vec<Stmt> {
+        const K: u64 = 8;
+        let ty = self.arith_ty();
+        let arr = self.fresh("a");
+        let q = self.fresh("q");
+        let init_val = {
+            // Mix the slot number in so slots differ.
+            let base = Expr::Cast(ty.clone(), Box::new(Expr::Var(q.clone(), p0())), p0());
+            let rhs = self.expr(&ty, 1);
+            Expr::Bin(BinOpKind::Add, Box::new(base), Box::new(rhs), p0())
+        };
+        let init_loop = Stmt::While(
+            Expr::Bin(
+                BinOpKind::Lt,
+                Box::new(Expr::Var(q.clone(), p0())),
+                Box::new(Expr::Int(K as i128, None, p0())),
+                p0(),
+            ),
+            vec![
+                Stmt::Assign(
+                    Place::Index(
+                        Expr::Var(arr.clone(), p0()),
+                        Expr::Var(q.clone(), p0()),
+                        p0(),
+                    ),
+                    None,
+                    init_val,
+                    p0(),
+                ),
+                Stmt::Assign(
+                    Place::Var(q.clone(), p0()),
+                    Some(BinOpKind::Add),
+                    Expr::Int(1, None, p0()),
+                    p0(),
+                ),
+            ],
+            p0(),
+        );
+        let read_idx = Expr::Bin(
+            BinOpKind::And,
+            Box::new(self.expr(&PTy::I32, 2)),
+            Box::new(Expr::Int((K - 1) as i128, None, p0())),
+            p0(),
+        );
+        let out = self.fresh("v");
+        let read = Stmt::Decl(
+            ty.clone(),
+            out.clone(),
+            Expr::Index(
+                Box::new(Expr::Var(arr.clone(), p0())),
+                Box::new(read_idx),
+                p0(),
+            ),
+            p0(),
+        );
+        self.scope.push(VarInfo {
+            name: out,
+            ty,
+            mutable: true,
+        });
+        vec![
+            Stmt::DeclArray(self.scope.last().unwrap().ty.clone(), arr, K, p0()),
+            Stmt::Decl(PTy::I32, q, Expr::Int(0, None, p0()), p0()),
+            init_loop,
+            read,
+        ]
+    }
+
+    /// A top-level (convergent) lane-horizontal statement.
+    fn horizontal_stmt(&mut self) -> Stmt {
+        match self.rng.below(6) {
+            0 | 1 => {
+                // Integer reduction (exact in any association order).
+                let ty = self.int_ty();
+                let name =
+                    *self
+                        .rng
+                        .pick(&["psim_reduce_add", "psim_reduce_min", "psim_reduce_max"]);
+                let arg = self.expr(&ty, 2);
+                let v = self.fresh("r");
+                self.scope.push(VarInfo {
+                    name: v.clone(),
+                    ty: ty.clone(),
+                    mutable: true,
+                });
+                Stmt::Decl(ty, v, Expr::Call(name.into(), vec![arg], p0()), p0())
+            }
+            2 | 3 => {
+                // Shuffle with a lane index clamped into [0, gang).
+                let ty = self.arith_ty();
+                let val = self.expr(&ty, 2);
+                let idx = Expr::Bin(
+                    BinOpKind::Rem,
+                    Box::new(Expr::Bin(
+                        BinOpKind::And,
+                        Box::new(Expr::Cast(
+                            PTy::I64,
+                            Box::new(self.expr(&PTy::I32, 2)),
+                            p0(),
+                        )),
+                        Box::new(Expr::Int(255, None, p0())),
+                        p0(),
+                    )),
+                    Box::new(Expr::Call("psim_gang_size".into(), vec![], p0())),
+                    p0(),
+                );
+                let v = self.fresh("s");
+                self.scope.push(VarInfo {
+                    name: v.clone(),
+                    ty: ty.clone(),
+                    mutable: true,
+                });
+                Stmt::Decl(
+                    ty,
+                    v,
+                    Expr::Call("psim_shuffle".into(), vec![val, idx], p0()),
+                    p0(),
+                )
+            }
+            4 => {
+                let ty = self.arith_ty();
+                let val = self.expr(&ty, 2);
+                let idx = Expr::Bin(
+                    BinOpKind::Rem,
+                    Box::new(Expr::Int(self.rng.range(0, 16) as i128, None, p0())),
+                    Box::new(Expr::Call("psim_gang_size".into(), vec![], p0())),
+                    p0(),
+                );
+                let v = self.fresh("b");
+                self.scope.push(VarInfo {
+                    name: v.clone(),
+                    ty: ty.clone(),
+                    mutable: true,
+                });
+                Stmt::Decl(
+                    ty,
+                    v,
+                    Expr::Call("psim_broadcast".into(), vec![val, idx], p0()),
+                    p0(),
+                )
+            }
+            _ => Stmt::Expr(Expr::Call("psim_gang_sync".into(), vec![], p0()), p0()),
+        }
+    }
+
+    /// Generates a statement block. `depth` 0 is the region's top level —
+    /// the only place horizontal (cross-lane) statements may appear,
+    /// because under divergent control flow they would not be convergent.
+    fn block(&mut self, depth: u32, mut budget: u32) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        while budget > 0 {
+            let roll = self.rng.below(16);
+            match roll {
+                0..=3 => {
+                    out.push(self.decl_stmt());
+                    budget -= 1;
+                }
+                4 | 5 => {
+                    if let Some(s) = self.assign_stmt() {
+                        out.push(s);
+                    }
+                    budget = budget.saturating_sub(1);
+                }
+                6..=8 => {
+                    out.push(self.store_stmt());
+                    budget -= 1;
+                }
+                9 | 10 => {
+                    if depth < 3 && budget >= 3 {
+                        let inner = 1 + self.rng.below(budget as u64 - 2) as u32;
+                        out.push(self.if_stmt(depth, inner));
+                        budget -= inner.min(budget);
+                    } else {
+                        out.push(self.decl_stmt());
+                        budget = budget.saturating_sub(1);
+                    }
+                }
+                11 => {
+                    if depth < 3 && budget >= 3 {
+                        let inner = 1 + self.rng.below(budget as u64 - 2) as u32;
+                        out.push(self.while_stmt(depth, inner));
+                        budget -= inner.min(budget);
+                    } else {
+                        out.push(self.store_stmt());
+                        budget = budget.saturating_sub(1);
+                    }
+                }
+                12 => {
+                    if budget >= 3 {
+                        out.extend(self.array_pattern());
+                        budget -= 3;
+                    } else {
+                        out.push(self.decl_stmt());
+                        budget = budget.saturating_sub(1);
+                    }
+                }
+                _ => {
+                    if depth == 0 && self.rng.chance(2, 3) {
+                        out.push(self.horizontal_stmt());
+                    } else {
+                        out.push(self.decl_stmt());
+                    }
+                    budget = budget.saturating_sub(1);
+                }
+            }
+        }
+        out
+    }
+
+    // ---- whole-program assembly -----------------------------------------
+
+    fn gen_helper(&mut self) -> FnDef {
+        let ty = self.rng.pick(&[PTy::I32, PTy::I64, PTy::F32]).clone();
+        let name = self.fresh("h");
+        let saved_scope = std::mem::take(&mut self.scope);
+        let saved_region = self.in_region;
+        self.in_region = false;
+        self.scope.push(VarInfo {
+            name: "x".into(),
+            ty: ty.clone(),
+            mutable: false,
+        });
+        let body_expr = self.expr(&ty, 3);
+        self.scope = saved_scope;
+        self.in_region = saved_region;
+        FnDef {
+            name,
+            params: vec![FnParam {
+                name: "x".into(),
+                ty: ty.clone(),
+                restrict: false,
+            }],
+            ret: ty,
+            body: vec![Stmt::Return(Some(body_expr), p0())],
+            pos: p0(),
+        }
+    }
+
+    fn finish(mut self) -> Program {
+        // Gang sweep: two distinct powers of two.
+        let pool = [4u32, 8, 16, 32];
+        let g1 = *self.rng.pick(&pool);
+        let mut g2 = *self.rng.pick(&pool);
+        if g2 == g1 {
+            g2 = if g1 == 32 { 8 } else { g1 * 2 };
+        }
+        let gangs = vec![g1, g2];
+        let gmax = g1.max(g2) as u64;
+
+        // Buffers.
+        let n_in = 1 + self.rng.below(3);
+        let n_out = 1 + self.rng.below(2);
+        for k in 0..n_in {
+            let ty = self.arith_ty();
+            let init = match ty {
+                PTy::F32 => {
+                    if self.rng.chance(1, 2) {
+                        Init::RandomF32 {
+                            seed: self.seed ^ (k + 1),
+                            lo: -4.0,
+                            hi: 4.0,
+                        }
+                    } else {
+                        Init::RandomF32Int {
+                            seed: self.seed ^ (k + 1),
+                            lo: -8,
+                            hi: 8,
+                        }
+                    }
+                }
+                _ => {
+                    if self.rng.chance(1, 4) {
+                        Init::Ramp
+                    } else {
+                        Init::RandomInt {
+                            seed: self.seed ^ (k + 1),
+                        }
+                    }
+                }
+            };
+            self.bufs.push(FuzzBuf {
+                name: format!("in{k}"),
+                ty,
+                len: 0, // patched once n_values are known
+                role: BufRole::In,
+                init,
+            });
+            self.store_idx.push(StoreIdx::Thread); // unused for inputs
+        }
+        for k in 0..n_out {
+            let ty = self.arith_ty();
+            self.bufs.push(FuzzBuf {
+                name: format!("out{k}"),
+                ty,
+                len: 0,
+                role: BufRole::Out,
+                init: Init::Zero,
+            });
+            let idx = match self.rng.below(4) {
+                0 => StoreIdx::Reverse,
+                1 => StoreIdx::Rot(1 + self.rng.below(3)),
+                _ => StoreIdx::Thread,
+            };
+            self.store_idx.push(idx);
+        }
+
+        // Helpers.
+        let n_helpers = self.rng.below(3);
+        for _ in 0..n_helpers {
+            let h = self.gen_helper();
+            self.helpers.push(h);
+        }
+
+        // Region body: `i`, then generated statements, then one guaranteed
+        // store per output buffer so every output is exercised.
+        self.in_region = true;
+        self.scope.push(VarInfo {
+            name: "i".into(),
+            ty: PTy::I64,
+            mutable: false,
+        });
+        self.scope.push(VarInfo {
+            name: "n".into(),
+            ty: PTy::I64,
+            mutable: false,
+        });
+        let mut body = vec![Stmt::Decl(
+            PTy::I64,
+            "i".into(),
+            Expr::Call("psim_thread_num".into(), vec![], p0()),
+            p0(),
+        )];
+        let budget = 6 + self.rng.below(9) as u32;
+        body.extend(self.block(0, budget));
+        for bi in 0..self.bufs.len() {
+            if self.bufs[bi].role == BufRole::Out {
+                let elem = self.bufs[bi].ty.clone();
+                let src = self.expr(&elem, 2);
+                body.push(Stmt::Assign(
+                    Place::Index(
+                        Expr::Var(self.bufs[bi].name.clone(), p0()),
+                        self.store_index(bi),
+                        p0(),
+                    ),
+                    None,
+                    src,
+                    p0(),
+                ));
+            }
+        }
+
+        let mut program = Program {
+            seed: self.seed,
+            gangs,
+            n_values: Vec::new(),
+            bufs: self.bufs,
+            helpers: self.helpers,
+            body,
+        };
+
+        // Thread-count sweep. Lane-horizontal programs only run at
+        // multiples of the gang (dead-lane reads are model-undefined);
+        // everything else sweeps awkward tails too.
+        let mut n_values: Vec<u64> = if program.has_lane_horizontal() {
+            vec![gmax, 3 * gmax]
+        } else {
+            vec![1, gmax - 1, 2 * gmax + 3, 4 * gmax]
+        };
+        n_values.dedup();
+        let nmax = *n_values.iter().max().unwrap();
+        program.n_values = n_values;
+        for b in &mut program.bufs {
+            b.len = nmax;
+        }
+        program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_program() {
+        for seed in [0u64, 1, 7, 42, 1234] {
+            let a = generate(seed);
+            let b = generate(seed);
+            assert_eq!(a.gangs, b.gangs);
+            assert_eq!(a.n_values, b.n_values);
+            for (&g, _) in a.gangs.iter().zip(&b.gangs) {
+                assert_eq!(a.source_for_gang(g), b.source_for_gang(g));
+            }
+        }
+    }
+
+    #[test]
+    fn generated_programs_compile() {
+        for seed in 0..40u64 {
+            let p = generate(seed);
+            for &g in &p.gangs {
+                let src = p.source_for_gang(g);
+                psimc::compile(&src).unwrap_or_else(|e| {
+                    panic!("seed {seed} gang {g} does not compile: {e}\n{src}")
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn horizontal_programs_use_gang_multiples() {
+        for seed in 0..60u64 {
+            let p = generate(seed);
+            if p.has_lane_horizontal() {
+                let gmax = *p.gangs.iter().max().unwrap() as u64;
+                for &n in &p.n_values {
+                    assert_eq!(n % gmax, 0, "seed {seed}: n={n} not a multiple of {gmax}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # psim-fuzz — generative differential fuzzing of the whole pipeline
+//!
+//! The paper's central correctness claim is that the vectorizing
+//! transformation preserves SPMD semantics end-to-end. The `shapecheck`
+//! crate verifies the rewrite rules in isolation; this crate adversarially
+//! exercises the *composed* pipeline (structurize → shape → transform →
+//! opt → legalize → both execution engines) with generated programs:
+//!
+//! * [`gen`] — a seeded, fully deterministic PsimC program generator over a
+//!   typed expression/statement grammar (divergent control flow, shuffles,
+//!   reductions, gather/scatter memory access, private arrays, helpers).
+//! * [`oracle`] — the differential oracle: SPMD reference executor,
+//!   vectorized pipeline on both interpreter engines, and the forced
+//!   scalar-fallback path must produce byte-identical buffers (and the two
+//!   engines cycle-identical accounting) across a gang-size sweep.
+//! * [`shrink`] — an integrated minimizer: statement deletion, structure
+//!   unwrapping, constant simplification, and gang/thread-count reduction
+//!   to a fixpoint, gated on an arbitrary failure-preserving predicate.
+//! * [`repro`] — self-contained repro files: `//`-comment metadata plus
+//!   plain PsimC source, directly compilable and committable under
+//!   `corpus/` where they replay as ordinary tier-1 tests.
+//!
+//! The `psim-fuzz` binary (`--seeds N --seed-start K --json`) drives all of
+//! this for local runs, corpus regeneration, and the CI `fuzz-smoke` gate.
+
+pub mod gen;
+pub mod oracle;
+pub mod repro;
+pub mod rng;
+pub mod shrink;
+
+pub use gen::{generate, BufRole, FuzzBuf, Program, TestCase};
+pub use oracle::{run_case, run_program, FailKind, Failure, OracleOptions, Verdict};
+pub use repro::{parse_repro, write_repro};
+pub use shrink::{shrink, size};

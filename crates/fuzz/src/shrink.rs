@@ -1,0 +1,535 @@
+//! Deterministic program minimizer.
+//!
+//! Given a failing [`Program`] and a predicate that re-checks "does this
+//! candidate still fail the same way?", the shrinker greedily applies
+//! reduction passes to a fixpoint:
+//!
+//! 1. **Statement deletion** — any single statement, at any nesting depth.
+//! 2. **Structure unwrapping** — replace `if`/`while`/block statements by
+//!    their body (or else-arm), removing one control-flow level.
+//! 3. **Expression simplification** — replace declaration initializers and
+//!    plain assignments by a typed constant.
+//! 4. **Literal shrinking** — halve integer/float literals toward zero.
+//! 5. **Sweep reduction** — drop gang variants and thread counts down to a
+//!    single small configuration; halve `n`; drop unreferenced buffers and
+//!    unused helper functions.
+//!
+//! Candidates are enumerated in a fixed deterministic order and accepted
+//! only if (a) they strictly decrease [`size`] and (b) the predicate still
+//! holds — so the result is reproducible, shrinking is monotone, and
+//! re-shrinking an already-shrunk program is a no-op (idempotence). The
+//! predicate sees each candidate in full; candidates that no longer
+//! compile simply fail the predicate and are rejected, which keeps the
+//! shrinker oblivious to well-formedness rules.
+
+use crate::gen::Program;
+use psimc::ast::{Expr, PTy, Place, Stmt};
+use psimc::token::Pos;
+
+fn p0() -> Pos {
+    Pos { line: 0, col: 0 }
+}
+
+/// Shrink statistics (how much work the run did).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShrinkStats {
+    /// Candidates tried (predicate evaluations).
+    pub evals: u64,
+    /// Candidates accepted.
+    pub accepted: u64,
+}
+
+/// The shrink metric: AST node count plus the bit-length of every numeric
+/// literal (so halving a constant is a strict decrease), plus the sweep and
+/// buffer cardinalities. Every accepted shrink candidate strictly
+/// decreases this.
+pub fn size(p: &Program) -> u64 {
+    fn bits(v: u128) -> u64 {
+        (128 - v.leading_zeros()) as u64
+    }
+    fn expr_size(e: &Expr) -> u64 {
+        match e {
+            Expr::Int(v, _, _) => 1 + bits(v.unsigned_abs()),
+            Expr::Float(v, _, _) => 1 + bits(v.abs() as u128),
+            Expr::Bool(..) | Expr::Var(..) => 1,
+            Expr::Bin(_, a, b, _) => 1 + expr_size(a) + expr_size(b),
+            Expr::Un(_, a, _) | Expr::Cast(_, a, _) | Expr::Deref(a, _) => 1 + expr_size(a),
+            Expr::Index(a, b, _) => 1 + expr_size(a) + expr_size(b),
+            Expr::Ternary(a, b, c, _) => 1 + expr_size(a) + expr_size(b) + expr_size(c),
+            Expr::Call(_, args, _) => 1 + args.iter().map(expr_size).sum::<u64>(),
+        }
+    }
+    fn place_size(pl: &Place) -> u64 {
+        match pl {
+            Place::Var(..) => 1,
+            Place::Index(a, b, _) => 1 + expr_size(a) + expr_size(b),
+            Place::Deref(a, _) => 1 + expr_size(a),
+        }
+    }
+    fn stmt_size(s: &Stmt) -> u64 {
+        match s {
+            Stmt::Decl(_, _, e, _) | Stmt::Expr(e, _) => 1 + expr_size(e),
+            Stmt::DeclArray(..) => 1,
+            Stmt::Assign(pl, _, e, _) => 1 + place_size(pl) + expr_size(e),
+            Stmt::If(c, t, f, _) => {
+                1 + expr_size(c)
+                    + t.iter().map(stmt_size).sum::<u64>()
+                    + f.iter().map(stmt_size).sum::<u64>()
+            }
+            Stmt::While(c, b, _) => 1 + expr_size(c) + b.iter().map(stmt_size).sum::<u64>(),
+            Stmt::Block(b) => 1 + b.iter().map(stmt_size).sum::<u64>(),
+            Stmt::Return(e, _) => 1 + e.as_ref().map(expr_size).unwrap_or(0),
+            Stmt::Psim { threads, body, .. } => {
+                1 + expr_size(threads) + body.iter().map(stmt_size).sum::<u64>()
+            }
+        }
+    }
+    p.body.iter().map(stmt_size).sum::<u64>()
+        + p.helpers
+            .iter()
+            .flat_map(|h| h.body.iter())
+            .map(stmt_size)
+            .sum::<u64>()
+        + p.gangs.iter().map(|&g| bits(g as u128)).sum::<u64>()
+        + p.n_values.iter().map(|&n| 1 + bits(n as u128)).sum::<u64>()
+        + p.bufs.len() as u64
+}
+
+/// Minimizes `p` under `still_fails`, which must return `true` for `p`
+/// itself (the caller established the failure) and for any candidate that
+/// reproduces it. Stops at a fixpoint or after `max_evals` predicate
+/// evaluations. Deterministic: same input and predicate, same output.
+pub fn shrink(
+    p: &Program,
+    mut still_fails: impl FnMut(&Program) -> bool,
+    max_evals: u64,
+) -> (Program, ShrinkStats) {
+    let mut cur = p.clone();
+    let mut stats = ShrinkStats::default();
+    loop {
+        let mut improved = false;
+        for cand in candidates(&cur) {
+            if stats.evals >= max_evals {
+                return (cur, stats);
+            }
+            if size(&cand) >= size(&cur) {
+                continue;
+            }
+            stats.evals += 1;
+            if still_fails(&cand) {
+                stats.accepted += 1;
+                cur = cand;
+                improved = true;
+                break; // restart enumeration against the smaller program
+            }
+        }
+        if !improved {
+            return (cur, stats);
+        }
+    }
+}
+
+/// All single-step reduction candidates of `p`, in deterministic order.
+fn candidates(p: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    deletion_candidates(p, &mut out);
+    unwrap_candidates(p, &mut out);
+    simplify_candidates(p, &mut out);
+    literal_candidates(p, &mut out);
+    sweep_candidates(p, &mut out);
+    out
+}
+
+// --- body traversal helpers ---------------------------------------------
+
+/// A path to one nested statement list: a sequence of (statement index,
+/// arm) pairs, where arm 0 is then/body and arm 1 is the else-arm.
+type BodyPath = Vec<(usize, u8)>;
+
+fn child_bodies(s: &Stmt) -> Vec<&Vec<Stmt>> {
+    match s {
+        Stmt::If(_, t, f, _) => vec![t, f],
+        Stmt::While(_, b, _) | Stmt::Block(b) => vec![b],
+        Stmt::Psim { body, .. } => vec![body],
+        _ => vec![],
+    }
+}
+
+fn all_body_paths(body: &[Stmt], prefix: &BodyPath, out: &mut Vec<BodyPath>) {
+    out.push(prefix.clone());
+    for (i, s) in body.iter().enumerate() {
+        for (arm, child) in child_bodies(s).into_iter().enumerate() {
+            let mut path = prefix.clone();
+            path.push((i, arm as u8));
+            all_body_paths(child, &path, out);
+        }
+    }
+}
+
+fn body_at_mut<'a>(root: &'a mut Vec<Stmt>, path: &[(usize, u8)]) -> &'a mut Vec<Stmt> {
+    let mut cur = root;
+    for &(i, arm) in path {
+        cur = match &mut cur[i] {
+            Stmt::If(_, t, f, _) => {
+                if arm == 0 {
+                    t
+                } else {
+                    f
+                }
+            }
+            Stmt::While(_, b, _) | Stmt::Block(b) | Stmt::Psim { body: b, .. } => b,
+            other => unreachable!("path into a leaf statement: {other:?}"),
+        };
+    }
+    cur
+}
+
+fn body_at<'a>(root: &'a [Stmt], path: &[(usize, u8)]) -> &'a [Stmt] {
+    let mut cur = root;
+    for &(i, arm) in path {
+        cur = match &cur[i] {
+            Stmt::If(_, t, f, _) => {
+                if arm == 0 {
+                    t
+                } else {
+                    f
+                }
+            }
+            Stmt::While(_, b, _) | Stmt::Block(b) | Stmt::Psim { body: b, .. } => b,
+            other => unreachable!("path into a leaf statement: {other:?}"),
+        };
+    }
+    cur
+}
+
+// --- pass 1: statement deletion ------------------------------------------
+
+fn deletion_candidates(p: &Program, out: &mut Vec<Program>) {
+    let mut paths = Vec::new();
+    all_body_paths(&p.body, &Vec::new(), &mut paths);
+    for path in &paths {
+        let len = body_at(&p.body, path).len();
+        for i in 0..len {
+            let mut cand = p.clone();
+            body_at_mut(&mut cand.body, path).remove(i);
+            out.push(cand);
+        }
+    }
+}
+
+// --- pass 2: structure unwrapping ----------------------------------------
+
+fn unwrap_candidates(p: &Program, out: &mut Vec<Program>) {
+    let mut paths = Vec::new();
+    all_body_paths(&p.body, &Vec::new(), &mut paths);
+    for path in &paths {
+        let body = body_at(&p.body, path);
+        for (i, s) in body.iter().enumerate() {
+            let replacements: Vec<Vec<Stmt>> = match s {
+                Stmt::If(_, t, f, _) => {
+                    let mut r = vec![t.clone()];
+                    if !f.is_empty() {
+                        r.push(f.clone());
+                    }
+                    r
+                }
+                Stmt::While(_, b, _) => vec![b.clone()],
+                Stmt::Block(b) => vec![b.clone()],
+                _ => vec![],
+            };
+            for repl in replacements {
+                let mut cand = p.clone();
+                let b = body_at_mut(&mut cand.body, path);
+                b.splice(i..=i, repl);
+                out.push(cand);
+            }
+        }
+    }
+}
+
+// --- pass 3: expression simplification -----------------------------------
+
+fn const_of(ty: &PTy) -> Option<Expr> {
+    Some(match ty {
+        PTy::Bool => Expr::Bool(false, p0()),
+        PTy::F32 | PTy::F64 => Expr::Float(1.0, None, p0()),
+        t if t.is_int() => Expr::Int(1, None, p0()),
+        _ => return None,
+    })
+}
+
+fn is_const(e: &Expr) -> bool {
+    matches!(e, Expr::Int(..) | Expr::Float(..) | Expr::Bool(..))
+}
+
+fn simplify_candidates(p: &Program, out: &mut Vec<Program>) {
+    let mut paths = Vec::new();
+    all_body_paths(&p.body, &Vec::new(), &mut paths);
+    // Declared types, for typing replacement constants of assignments.
+    let mut decl_ty: Vec<(String, PTy)> = Vec::new();
+    fn collect(body: &[Stmt], decl_ty: &mut Vec<(String, PTy)>) {
+        for s in body {
+            match s {
+                Stmt::Decl(ty, name, _, _) => decl_ty.push((name.clone(), ty.clone())),
+                _ => {
+                    for b in child_bodies(s) {
+                        collect(b, decl_ty);
+                    }
+                }
+            }
+        }
+    }
+    collect(&p.body, &mut decl_ty);
+    for path in &paths {
+        let body = body_at(&p.body, path);
+        for (i, s) in body.iter().enumerate() {
+            let replacement: Option<Expr> = match s {
+                Stmt::Decl(ty, _, init, _) if !is_const(init) => const_of(ty),
+                Stmt::Assign(Place::Var(name, _), None, rhs, _) if !is_const(rhs) => decl_ty
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .and_then(|(_, ty)| const_of(ty)),
+                Stmt::Assign(Place::Index(Expr::Var(buf, _), _, _), None, rhs, _)
+                    if !is_const(rhs) =>
+                {
+                    p.bufs
+                        .iter()
+                        .find(|b| &b.name == buf)
+                        .and_then(|b| const_of(&b.ty))
+                }
+                _ => None,
+            };
+            if let Some(c) = replacement {
+                let mut cand = p.clone();
+                let b = body_at_mut(&mut cand.body, path);
+                match &mut b[i] {
+                    Stmt::Decl(_, _, init, _) => *init = c,
+                    Stmt::Assign(_, _, rhs, _) => *rhs = c,
+                    _ => unreachable!(),
+                }
+                out.push(cand);
+            }
+        }
+    }
+}
+
+// --- pass 4: literal shrinking -------------------------------------------
+
+fn for_each_expr_mut(body: &mut [Stmt], f: &mut impl FnMut(&mut Expr)) {
+    fn expr_rec(e: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+        match e {
+            Expr::Bin(_, a, b, _) => {
+                expr_rec(a, f);
+                expr_rec(b, f);
+            }
+            Expr::Un(_, a, _) | Expr::Cast(_, a, _) | Expr::Deref(a, _) => expr_rec(a, f),
+            Expr::Index(a, b, _) => {
+                expr_rec(a, f);
+                expr_rec(b, f);
+            }
+            Expr::Ternary(a, b, c, _) => {
+                expr_rec(a, f);
+                expr_rec(b, f);
+                expr_rec(c, f);
+            }
+            Expr::Call(_, args, _) => {
+                for a in args {
+                    expr_rec(a, f);
+                }
+            }
+            _ => {}
+        }
+        f(e);
+    }
+    fn stmt_rec(s: &mut Stmt, f: &mut impl FnMut(&mut Expr)) {
+        match s {
+            Stmt::Decl(_, _, e, _) | Stmt::Expr(e, _) | Stmt::Return(Some(e), _) => expr_rec(e, f),
+            Stmt::Assign(pl, _, e, _) => {
+                match pl {
+                    Place::Index(a, b, _) => {
+                        expr_rec(a, f);
+                        expr_rec(b, f);
+                    }
+                    Place::Deref(a, _) => expr_rec(a, f),
+                    Place::Var(..) => {}
+                }
+                expr_rec(e, f);
+            }
+            Stmt::If(c, t, fb, _) => {
+                expr_rec(c, f);
+                for s in t {
+                    stmt_rec(s, f);
+                }
+                for s in fb {
+                    stmt_rec(s, f);
+                }
+            }
+            Stmt::While(c, b, _) => {
+                expr_rec(c, f);
+                for s in b {
+                    stmt_rec(s, f);
+                }
+            }
+            Stmt::Block(b) => {
+                for s in b {
+                    stmt_rec(s, f);
+                }
+            }
+            Stmt::Psim { threads, body, .. } => {
+                expr_rec(threads, f);
+                for s in body {
+                    stmt_rec(s, f);
+                }
+            }
+            _ => {}
+        }
+    }
+    for s in body {
+        stmt_rec(s, f);
+    }
+}
+
+fn literal_candidates(p: &Program, out: &mut Vec<Program>) {
+    // Count shrinkable literals, then produce one candidate per literal.
+    let mut total = 0u64;
+    let mut probe = p.clone();
+    for_each_expr_mut(&mut probe.body, &mut |e| {
+        total += match e {
+            Expr::Int(v, _, _) if v.unsigned_abs() >= 2 => 1,
+            Expr::Float(v, _, _) if v.abs() >= 2.0 => 1,
+            _ => 0,
+        };
+    });
+    for target in 0..total {
+        let mut cand = p.clone();
+        let mut k = 0u64;
+        for_each_expr_mut(&mut cand.body, &mut |e| {
+            let shrinkable = matches!(e, Expr::Int(v, _, _) if v.unsigned_abs() >= 2)
+                || matches!(e, Expr::Float(v, _, _) if v.abs() >= 2.0);
+            if shrinkable {
+                if k == target {
+                    match e {
+                        Expr::Int(v, _, _) => *v /= 2,
+                        Expr::Float(v, _, _) => *v /= 2.0,
+                        _ => unreachable!(),
+                    }
+                }
+                k += 1;
+            }
+        });
+        out.push(cand);
+    }
+}
+
+// --- pass 5: sweep / workload reduction ----------------------------------
+
+fn name_used(body: &[Stmt], name: &str) -> bool {
+    fn expr_uses(e: &Expr, name: &str) -> bool {
+        match e {
+            Expr::Var(n, _) => n == name,
+            Expr::Call(n, args, _) => n == name || args.iter().any(|a| expr_uses(a, name)),
+            Expr::Bin(_, a, b, _) | Expr::Index(a, b, _) => {
+                expr_uses(a, name) || expr_uses(b, name)
+            }
+            Expr::Un(_, a, _) | Expr::Cast(_, a, _) | Expr::Deref(a, _) => expr_uses(a, name),
+            Expr::Ternary(a, b, c, _) => {
+                expr_uses(a, name) || expr_uses(b, name) || expr_uses(c, name)
+            }
+            _ => false,
+        }
+    }
+    fn stmt_uses(s: &Stmt, name: &str) -> bool {
+        match s {
+            Stmt::Decl(_, _, e, _) | Stmt::Expr(e, _) | Stmt::Return(Some(e), _) => {
+                expr_uses(e, name)
+            }
+            Stmt::Assign(pl, _, e, _) => {
+                let in_place = match pl {
+                    Place::Var(n, _) => n == name,
+                    Place::Index(a, b, _) => expr_uses(a, name) || expr_uses(b, name),
+                    Place::Deref(a, _) => expr_uses(a, name),
+                };
+                in_place || expr_uses(e, name)
+            }
+            Stmt::If(c, t, f, _) => {
+                expr_uses(c, name)
+                    || t.iter().any(|s| stmt_uses(s, name))
+                    || f.iter().any(|s| stmt_uses(s, name))
+            }
+            Stmt::While(c, b, _) => expr_uses(c, name) || b.iter().any(|s| stmt_uses(s, name)),
+            Stmt::Block(b) => b.iter().any(|s| stmt_uses(s, name)),
+            Stmt::Psim { threads, body, .. } => {
+                expr_uses(threads, name) || body.iter().any(|s| stmt_uses(s, name))
+            }
+            _ => false,
+        }
+    }
+    body.iter().any(|s| stmt_uses(s, name))
+}
+
+fn sweep_candidates(p: &Program, out: &mut Vec<Program>) {
+    // Keep a single gang variant.
+    if p.gangs.len() > 1 {
+        for &g in &p.gangs {
+            let mut cand = p.clone();
+            cand.gangs = vec![g];
+            out.push(cand);
+        }
+    }
+    // Halve a gang (stay a power of two, floor 2).
+    for (gi, &g) in p.gangs.iter().enumerate() {
+        if g >= 4 {
+            let mut cand = p.clone();
+            cand.gangs[gi] = g / 2;
+            if cand.has_lane_horizontal() {
+                // Keep every n a multiple of the (new) largest gang.
+                let gmax = *cand.gangs.iter().max().unwrap() as u64;
+                for n in &mut cand.n_values {
+                    *n = (*n / gmax).max(1) * gmax;
+                }
+                cand.n_values.dedup();
+            }
+            out.push(cand);
+        }
+    }
+    // Keep a single thread count.
+    if p.n_values.len() > 1 {
+        for &n in &p.n_values {
+            let mut cand = p.clone();
+            cand.n_values = vec![n];
+            out.push(cand);
+        }
+    }
+    // Halve a thread count (respecting the gang-multiple constraint).
+    let horizontal = p.has_lane_horizontal();
+    let gmax = *p.gangs.iter().max().unwrap_or(&1) as u64;
+    for (ni, &n) in p.n_values.iter().enumerate() {
+        let half = if horizontal {
+            ((n / 2) / gmax).max(1) * gmax
+        } else {
+            (n / 2).max(1)
+        };
+        if half < n {
+            let mut cand = p.clone();
+            cand.n_values[ni] = half;
+            cand.n_values.dedup();
+            out.push(cand);
+        }
+    }
+    // Drop buffers the body never references (and their kernel parameter).
+    for bi in 0..p.bufs.len() {
+        if !name_used(&p.body, &p.bufs[bi].name) {
+            let mut cand = p.clone();
+            cand.bufs.remove(bi);
+            out.push(cand);
+        }
+    }
+    // Drop helper functions the body never calls.
+    for hi in 0..p.helpers.len() {
+        if !name_used(&p.body, &p.helpers[hi].name) {
+            let mut cand = p.clone();
+            cand.helpers.remove(hi);
+            out.push(cand);
+        }
+    }
+}

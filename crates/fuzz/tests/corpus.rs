@@ -1,0 +1,66 @@
+//! Replays every committed repro under `corpus/` through the full
+//! differential oracle — the corpus is the fuzzer's regression suite and
+//! runs as an ordinary tier-1 test.
+
+use psim_fuzz::{parse_repro, run_case, OracleOptions, Verdict};
+
+fn corpus_files() -> Vec<(String, String)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/corpus");
+    let mut files: Vec<(String, String)> = std::fs::read_dir(dir)
+        .expect("corpus directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "psim"))
+        .map(|p| {
+            let name = p.file_stem().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&p).expect("readable corpus file");
+            (name, text)
+        })
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 6,
+        "expected the committed corpus, found {} files",
+        files.len()
+    );
+    files
+}
+
+#[test]
+fn corpus_replays_green() {
+    let opts = OracleOptions::default();
+    for (name, text) in corpus_files() {
+        let case = parse_repro(&text, &name).unwrap_or_else(|e| panic!("{e}"));
+        match run_case(&case, &opts) {
+            Verdict::Pass => {}
+            Verdict::Fail(f) => panic!("corpus `{name}` fails: [{}] {}", f.kind.name(), f.detail),
+        }
+    }
+}
+
+/// Every registered fault site, swept over the whole corpus: the oracle
+/// checks the *degraded* pipeline differentially (satisfying the
+/// `PSIM_INJECT_FAULT` contract without touching process environment).
+#[test]
+fn corpus_survives_every_fault_site() {
+    let files = corpus_files();
+    for &(pass, site) in parsimony::fault::SITES {
+        let opts = OracleOptions {
+            inject: Some(
+                parsimony::FaultInjector::parse(&format!("{pass}:{site}"))
+                    .expect("registered site"),
+            ),
+            ..OracleOptions::default()
+        };
+        for (name, text) in &files {
+            let case = parse_repro(text, name).unwrap_or_else(|e| panic!("{e}"));
+            match run_case(&case, &opts) {
+                Verdict::Pass => {}
+                Verdict::Fail(f) => panic!(
+                    "corpus `{name}` under {pass}:{site} fails: [{}] {}",
+                    f.kind.name(),
+                    f.detail
+                ),
+            }
+        }
+    }
+}

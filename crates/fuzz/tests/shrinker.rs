@@ -1,0 +1,82 @@
+//! Shrinker properties: idempotence, monotone size reduction, and
+//! predicate (oracle) preservation — checked with a synthetic structural
+//! predicate so the properties don't depend on finding a real pipeline bug.
+
+use psim_fuzz::gen::Program;
+use psim_fuzz::{generate, shrink, size};
+use psimc::ast::Stmt;
+
+fn contains_while(body: &[Stmt]) -> bool {
+    body.iter().any(|s| match s {
+        Stmt::While(..) => true,
+        Stmt::If(_, t, f, _) => contains_while(t) || contains_while(f),
+        Stmt::Block(b) | Stmt::Psim { body: b, .. } => contains_while(b),
+        _ => false,
+    })
+}
+
+fn predicate(p: &Program) -> bool {
+    contains_while(&p.body)
+}
+
+/// First seed whose generated program contains a loop (the predicate must
+/// hold for the input, as it would for a real failing program).
+fn looping_program() -> Program {
+    (0..200)
+        .map(generate)
+        .find(predicate)
+        .expect("some seed in 0..200 generates a loop")
+}
+
+#[test]
+fn shrinking_preserves_the_predicate_and_reduces_size() {
+    let p = looping_program();
+    let before = size(&p);
+    let (shrunk, stats) = shrink(&p, predicate, 10_000);
+    assert!(predicate(&shrunk), "shrinking must preserve the predicate");
+    assert!(size(&shrunk) <= before);
+    assert!(stats.accepted > 0, "a full program must shrink somewhat");
+    // The shrunk program is still well-formed enough to render.
+    for case in shrunk.cases() {
+        assert!(case.source.contains("while"));
+    }
+}
+
+#[test]
+fn accepted_candidates_shrink_monotonically() {
+    let p = looping_program();
+    let mut accepted_sizes: Vec<u64> = Vec::new();
+    let (_, _) = shrink(
+        &p,
+        |cand| {
+            let ok = predicate(cand);
+            if ok {
+                // The shrinker only consults the predicate for candidates
+                // strictly smaller than the current program, and accepts
+                // every hit — so sizes at `true` returns strictly decrease.
+                accepted_sizes.push(size(cand));
+            }
+            ok
+        },
+        10_000,
+    );
+    assert!(
+        accepted_sizes.windows(2).all(|w| w[1] < w[0]),
+        "accepted candidate sizes must strictly decrease: {accepted_sizes:?}"
+    );
+}
+
+#[test]
+fn shrinking_is_idempotent() {
+    let p = looping_program();
+    let (once, _) = shrink(&p, predicate, 10_000);
+    let (twice, stats2) = shrink(&once, predicate, 10_000);
+    assert_eq!(
+        stats2.accepted, 0,
+        "re-shrinking an already-shrunk program must accept nothing"
+    );
+    // Byte-identical output, compared through the renderer.
+    let a: Vec<String> = once.cases().iter().map(|c| c.source.clone()).collect();
+    let b: Vec<String> = twice.cases().iter().map(|c| c.source.clone()).collect();
+    assert_eq!(a, b);
+}

@@ -45,6 +45,7 @@
 
 pub mod ast;
 pub mod parser;
+pub mod render;
 pub mod token;
 
 mod lower;

@@ -155,7 +155,16 @@ pub fn eval_bin(op: BinOp, ty: ScalarTy, a: u64, b: u64) -> Result<u64, ExecErro
             if sb == 0 {
                 return Err(ExecError::DivByZero);
             }
-            trunc(ty, (sa % sb) as u64)
+            if sa == sext(ty, 1u64 << (w - 1)) && sb == -1 {
+                // MIN % -1 is mathematically 0 but overflows the native
+                // `%`; unlike SDiv (where MIN / -1 has no representable
+                // result) there is a correct answer, so return it rather
+                // than introducing a trap the hardware semantics don't
+                // have.
+                0
+            } else {
+                trunc(ty, (sa % sb) as u64)
+            }
         }
         URem => {
             if ub == 0 {
@@ -186,14 +195,16 @@ pub fn eval_bin(op: BinOp, ty: ScalarTy, a: u64, b: u64) -> Result<u64, ExecErro
         UMin => ua.min(ub),
         UMax => ua.max(ub),
         AddSatS => {
-            let max = (1i64 << (w - 1)) - 1;
-            let min = -(1i64 << (w - 1));
-            trunc(ty, (sa + sb).clamp(min, max) as u64)
+            // i128 throughout: at w = 64 both the sum and the bound
+            // computation overflow native i64 arithmetic.
+            let max = (1i128 << (w - 1)) - 1;
+            let min = -(1i128 << (w - 1));
+            trunc(ty, (sa as i128 + sb as i128).clamp(min, max) as u64)
         }
         SubSatS => {
-            let max = (1i64 << (w - 1)) - 1;
-            let min = -(1i64 << (w - 1));
-            trunc(ty, (sa - sb).clamp(min, max) as u64)
+            let max = (1i128 << (w - 1)) - 1;
+            let min = -(1i128 << (w - 1));
+            trunc(ty, (sa as i128 - sb as i128).clamp(min, max) as u64)
         }
         AddSatU => {
             let s = (ua as u128) + (ub as u128);
@@ -981,6 +992,37 @@ mod tests {
             eval_bin(BinOp::SDiv, ScalarTy::I8, 0x80, 0xff),
             Err(ExecError::DivByZero)
         ));
+        // Signed saturating arithmetic at full 64-bit width (the sum and
+        // the bounds both exceed native i64 range).
+        assert_eq!(
+            eval_bin(BinOp::AddSatS, ScalarTy::I64, i64::MAX as u64, 1).unwrap(),
+            i64::MAX as u64
+        );
+        assert_eq!(
+            eval_bin(BinOp::SubSatS, ScalarTy::I64, i64::MIN as u64, 1).unwrap(),
+            i64::MIN as u64
+        );
+        assert_eq!(
+            eval_bin(BinOp::SubSatS, ScalarTy::I64, i64::MIN as u64, u64::MAX).unwrap(),
+            i64::MIN.wrapping_add(1) as u64 // MIN - (-1) = MIN + 1, exact
+        );
+        assert_eq!(
+            eval_bin(BinOp::AddSatS, ScalarTy::I8, 0x7f, 1).unwrap(),
+            0x7f
+        );
+        // MIN % -1 is 0 (no trap), at every width.
+        assert_eq!(eval_bin(BinOp::SRem, ScalarTy::I8, 0x80, 0xff).unwrap(), 0);
+        assert_eq!(
+            eval_bin(BinOp::SRem, ScalarTy::I64, i64::MIN as u64, u64::MAX).unwrap(),
+            0
+        );
+        assert_eq!(
+            sext(
+                ScalarTy::I32,
+                eval_bin(BinOp::SRem, ScalarTy::I32, (-7i64) as u64, 4).unwrap()
+            ),
+            -3
+        );
     }
 
     #[test]

@@ -59,7 +59,11 @@ pub struct RunResult {
     pub profile: Option<Profile>,
 }
 
-fn fill(mem: &mut Memory, spec: &crate::BufSpec) -> u64 {
+/// Allocates and initializes one workload buffer in `mem` according to its
+/// [`BufSpec`](crate::BufSpec), returning the base address. Deterministic
+/// for a given spec (seeded fills), which the differential fuzzer relies on
+/// to hand every execution configuration bit-identical inputs.
+pub fn fill_buffer(mem: &mut Memory, spec: &crate::BufSpec) -> u64 {
     let bytes = spec.elem.size_bytes() * spec.len;
     let mut data = vec![0u8; bytes as usize];
     match spec.init {
@@ -219,7 +223,7 @@ pub fn run_module_engine(
     let mut args: Vec<RtVal> = Vec::new();
     let mut addrs: Vec<u64> = Vec::new();
     for spec in &k.buffers {
-        let addr = fill(&mut mem, spec);
+        let addr = fill_buffer(&mut mem, spec);
         addrs.push(addr);
         args.push(RtVal::S(addr));
     }
