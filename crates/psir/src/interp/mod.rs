@@ -23,6 +23,7 @@
 mod eval;
 mod memory;
 mod plan;
+mod plan_cache;
 
 pub use eval::{
     eval_bin, eval_cast, eval_cmp, eval_math, eval_un, reduce_identity, reduce_step, sext, trunc,
@@ -30,13 +31,14 @@ pub use eval::{
 };
 pub use memory::Memory;
 pub use plan::{BlockPlan, CallSite, EdgeTable, FramePlan, LaneKernel, PhiMove, PlannedCost};
+pub use plan_cache::{PlanCache, PlanCacheStats};
 
 use crate::function::{Function, Module};
 use crate::inst::{BlockId, Inst, InstId, Intrinsic, Terminator, Value};
 use crate::types::{ScalarTy, Ty};
 use std::borrow::Cow;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 pub use telemetry::{CostClass, Profile};
 
@@ -380,8 +382,16 @@ pub struct Interp<'a> {
     step_limit: u64,
     engine: Engine,
     /// Precompiled plans, keyed by function address (stable for the
-    /// lifetime of the `&'a Module` borrow).
-    plans: HashMap<usize, Rc<FramePlan>>,
+    /// lifetime of the `&'a Module` borrow). `Arc` (not `Rc`) so plans can
+    /// be shared with a cross-thread [`PlanCache`].
+    plans: HashMap<usize, Arc<FramePlan>>,
+    /// Optional shared plan tier: `(cache, module_id)`. The id must
+    /// identify the module *and* the cost model (see [`PlanCache`]).
+    shared_plans: Option<(Arc<PlanCache>, u64)>,
+    /// Plans resolved from the shared cache by this interpreter.
+    plan_shared_hits: u64,
+    /// Plans this interpreter had to build itself.
+    plan_builds: u64,
     /// Recycled lane buffers for vector results.
     lane_pool: Vec<Vec<u64>>,
     /// Recycled slot vectors for fast-engine activations.
@@ -421,6 +431,9 @@ impl<'a> Interp<'a> {
             step_limit: DEFAULT_STEP_LIMIT,
             engine: Engine::default(),
             plans: HashMap::new(),
+            shared_plans: None,
+            plan_shared_hits: 0,
+            plan_builds: 0,
             lane_pool: Vec::new(),
             frame_pool: Vec::new(),
         }
@@ -498,14 +511,42 @@ impl<'a> Interp<'a> {
         }
     }
 
-    /// The cached plan for `f`, building it on first use.
-    fn plan_for(&mut self, f: &Function) -> Rc<FramePlan> {
+    /// Attaches a shared cross-thread [`PlanCache`]. `module_id` must be a
+    /// content hash identifying both `self.module` and the cost model —
+    /// callers with the same id share byte-identical plans instead of
+    /// rebuilding them per interpreter.
+    pub fn set_plan_cache(&mut self, cache: Arc<PlanCache>, module_id: u64) {
+        self.shared_plans = Some((cache, module_id));
+    }
+
+    /// Plans this interpreter resolved from the shared cache (or a prior
+    /// local build) versus built from scratch — per-request cache telemetry.
+    pub fn plan_counters(&self) -> (u64, u64) {
+        (self.plan_shared_hits, self.plan_builds)
+    }
+
+    /// The cached plan for `f`, building it on first use. Resolution order:
+    /// this interpreter's local map (free, no lock), then the shared
+    /// [`PlanCache`] if attached, then a fresh build (published to both).
+    fn plan_for(&mut self, f: &Function) -> Arc<FramePlan> {
         let key = std::ptr::from_ref(f) as usize;
         if let Some(p) = self.plans.get(&key) {
-            return Rc::clone(p);
+            return Arc::clone(p);
         }
-        let plan = Rc::new(FramePlan::build(self.module, f, self.cost));
-        self.plans.insert(key, Rc::clone(&plan));
+        if let Some((cache, module_id)) = &self.shared_plans {
+            if let Some(plan) = cache.get(*module_id, &f.name) {
+                self.plan_shared_hits += 1;
+                self.plans.insert(key, Arc::clone(&plan));
+                return plan;
+            }
+        }
+        let mut plan = Arc::new(FramePlan::build(self.module, f, self.cost));
+        self.plan_builds += 1;
+        if let Some((cache, module_id)) = &self.shared_plans {
+            // A racing builder may have won; converge on its Arc.
+            plan = cache.insert(*module_id, &f.name, plan);
+        }
+        self.plans.insert(key, Arc::clone(&plan));
         plan
     }
 

@@ -68,8 +68,8 @@ pub use inst::{
 pub use interp::{
     eval_bin, eval_cast, eval_cmp, eval_math, eval_un, reduce_identity, reduce_step, sext, trunc,
     BlockPlan, CallSite, CostClass, CostModel, EdgeTable, Engine, ExecError, ExecStats, ExternFns,
-    FramePlan, Interp, LaneKernel, Lanes, MaskRef, Memory, NoExterns, PhiMove, PlannedCost,
-    Profile, RtVal, UnitCost,
+    FramePlan, Interp, LaneKernel, Lanes, MaskRef, Memory, NoExterns, PhiMove, PlanCache,
+    PlanCacheStats, PlannedCost, Profile, RtVal, UnitCost,
 };
 pub use parse::{parse_function, IrParseError};
 pub use print::{print_function, print_module};

@@ -1,0 +1,59 @@
+//! Compile-time pins on the `Send + Sync` bounds the serving layer relies
+//! on. `psim-serve` shares compiled [`Module`]s and cached [`FramePlan`]s
+//! across worker threads; if any of these types regrew an `Rc`, `RefCell`,
+//! or raw-pointer field, that sharing would silently become unsound — so
+//! this test makes the bounds a compile error instead of a code review
+//! hope. (A `static_assertions`-style check, hand-rolled because the repo
+//! vendors no such crate.)
+
+use psir::{
+    ExecStats, FramePlan, Function, Memory, Module, PlanCache, PlanCacheStats, Profile, RtVal,
+};
+use std::sync::Arc;
+
+const fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn shared_types_are_send_and_sync() {
+    const {
+        assert_send_sync::<Module>();
+        assert_send_sync::<Function>();
+        assert_send_sync::<FramePlan>();
+        assert_send_sync::<Arc<FramePlan>>();
+        assert_send_sync::<PlanCache>();
+        assert_send_sync::<Arc<PlanCache>>();
+        assert_send_sync::<PlanCacheStats>();
+        assert_send_sync::<RtVal>();
+        assert_send_sync::<Memory>();
+        assert_send_sync::<ExecStats>();
+        assert_send_sync::<Profile>();
+    }
+}
+
+#[test]
+fn plans_shared_across_threads_stay_identical() {
+    use psir::{BinOp, FunctionBuilder, ScalarTy, Ty, UnitCost};
+
+    let mut fb = FunctionBuilder::new("f", vec![], Ty::scalar(ScalarTy::I64));
+    let x = fb.bin(BinOp::Add, 40i64, 2i64);
+    fb.ret(Some(x));
+    let mut m = Module::new();
+    m.add_function(fb.finish());
+    let m = Arc::new(m);
+    let cache = Arc::new(PlanCache::new(1 << 20));
+
+    let f = m.function("f").expect("built");
+    let seed = cache.insert(7, "f", Arc::new(FramePlan::build(&m, f, &UnitCost)));
+
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || cache.get(7, "f").expect("plan cached"))
+        })
+        .collect();
+    for h in handles {
+        let got = h.join().expect("no panic");
+        assert!(Arc::ptr_eq(&got, &seed), "all threads share one plan");
+    }
+    assert_eq!(cache.stats().hits, 4);
+}
