@@ -21,21 +21,56 @@
 //! pipeline failure, 2 usage error.
 
 use psim_bench::compbench::{run, CompBenchConfig};
+use telemetry::cli::Help;
+
+const HELP: Help = Help {
+    bin: "compbench",
+    about: "Times serial vs parallel region compilation over a synthesized module, gating \
+            on byte-identical output and the compile-time speedup.",
+    usage: "[options]",
+    flags: &[
+        ("--regions M", "synthesized SPMD region count (default: 64)"),
+        (
+            "-j, --jobs N",
+            "parallel worker count (default: available parallelism)",
+        ),
+        ("--iters K", "best-of-K wall-clock measurement (default: 3)"),
+        (
+            "--check",
+            "gate: exit 1 unless parallel output is byte-identical",
+        ),
+        ("--min-speedup X", "with --check, also require speedup >= X"),
+        ("--json[=FILE]", "emit the JSON report to stdout or FILE"),
+        (
+            "--baseline FILE",
+            "validate FILE's bench-schema/meta against this build",
+        ),
+        ("-h, --help", "print this help"),
+        (
+            "-V, --version",
+            "print version, protocol, and toolchain info",
+        ),
+    ],
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: compbench [--regions M] [-j N | --jobs N] [--iters K] \
-         [--check] [--min-speedup X] [--json[=FILE]]"
+         [--check] [--min-speedup X] [--json[=FILE]] [--baseline FILE]"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    for a in &args {
+        HELP.intercept(a, env!("CARGO_PKG_VERSION"));
+    }
     let mut cfg = CompBenchConfig::default();
     let mut check = false;
     let mut min_speedup: Option<f64> = None;
     let mut json_out: Option<Option<String>> = None;
+    let mut baseline: Option<String> = None;
 
     let parse_usize = |v: Option<&String>, what: &str| -> usize {
         let Some(v) = v else { usage() };
@@ -82,12 +117,26 @@ fn main() {
             flag if flag.starts_with("--json=") => {
                 json_out = Some(Some(flag["--json=".len()..].to_string()));
             }
+            "--baseline" => {
+                i += 1;
+                let Some(v) = args.get(i) else { usage() };
+                baseline = Some(v.clone());
+            }
             other => {
                 eprintln!("compbench: unknown flag {other}");
                 usage();
             }
         }
         i += 1;
+    }
+
+    // Reject version/tool skew in the baseline loudly before comparing.
+    if let Some(path) = &baseline {
+        if let Err(e) = psim_bench::check_baseline(path, "compbench") {
+            eprintln!("compbench: GATE FAILED: baseline {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("compbench: baseline {path} schema ok");
     }
 
     let report = match run(&cfg) {

@@ -19,7 +19,27 @@ use psim_bench::{
 };
 use suite::ispc::{kernels, IspcSizes};
 use suite::runner::{run_kernel, Config};
+use telemetry::cli::Help;
 use telemetry::Profile;
+
+const HELP: Help = Help {
+    bin: "fig4",
+    about: "Reproduces Figure 4: Parsimony vs the gang-synchronous (ispc-like) comparator on \
+            the 7 ispc benchmarks, normalized to auto-vectorized serial code.",
+    usage: "[options]",
+    flags: &[
+        ("--tiny", "use the tiny workload sizes"),
+        ("--gang-sweep", "also run the gang-size sweep ablation"),
+        ("--iters N", "best-of-N wall-clock measurement (default: 1)"),
+        ("--profile[=json]", "print the cycle-attribution profile"),
+        ("-j, --jobs N", "region-compilation worker count"),
+        ("-h, --help", "print this help"),
+        (
+            "-V, --version",
+            "print version, protocol, and toolchain info",
+        ),
+    ],
+};
 
 fn usage() -> ! {
     eprintln!(
@@ -54,6 +74,9 @@ fn main() {
 
 fn run() {
     let args: Vec<String> = std::env::args().collect();
+    for a in args.iter().skip(1) {
+        HELP.intercept(a, env!("CARGO_PKG_VERSION"));
+    }
     let mut sizes = IspcSizes::default();
     let mut gang_sweep = false;
     let mut profile_mode = ProfileMode::Off;

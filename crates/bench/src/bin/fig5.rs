@@ -19,7 +19,29 @@ use psim_bench::{
 };
 use suite::runner::{run_kernel_with, Config};
 use suite::simdlib::{kernels, DEFAULT_N};
+use telemetry::cli::Help;
 use vmach::{Avx512Cost, Target};
+
+const HELP: Help = Help {
+    bin: "fig5",
+    about: "Reproduces Figure 5: speedup over scalar compilation on the 72 Simd Library \
+            kernels (autovec, Parsimony, hand-written intrinsics).",
+    usage: "[options]",
+    flags: &[
+        ("--n N", "element count (positive multiple of 256)"),
+        ("--iters N", "best-of-N wall-clock measurement (default: 1)"),
+        ("--no-shape", "add the shape-analysis ablation column"),
+        ("--avx2", "add the 256-bit legalization portability table"),
+        ("--stride-window", "add the strided-shuffle window ablation"),
+        ("--profile[=json]", "print the cycle-attribution profile"),
+        ("-j, --jobs N", "region-compilation worker count"),
+        ("-h, --help", "print this help"),
+        (
+            "-V, --version",
+            "print version, protocol, and toolchain info",
+        ),
+    ],
+};
 
 fn usage() -> ! {
     eprintln!(
@@ -54,6 +76,9 @@ fn main() {
 
 fn run() {
     let args: Vec<String> = std::env::args().collect();
+    for a in args.iter().skip(1) {
+        HELP.intercept(a, env!("CARGO_PKG_VERSION"));
+    }
     let mut n = DEFAULT_N;
     let mut with_noshape = false;
     let mut iters = 1usize;

@@ -31,8 +31,48 @@ use parsimony::{
     vectorize_module_with, FaultInjector, PipelineOptions, VectorizeOptions, VerifyMode,
 };
 use psir::{Interp, Memory, RtVal};
+use telemetry::cli::Help;
 use vmach::Avx512Cost;
 use vmath::RuntimeExterns;
+
+const HELP: Help = Help {
+    bin: "psimcc",
+    about: "Compiles PsimC through the Parsimony SPMD vectorizer; optionally runs the result \
+            on the simulated AVX-512 machine.",
+    usage: "FILE [options] [--run ENTRY [ARG…]]",
+    flags: &[
+        (
+            "--emit scalar|vector",
+            "print front-end IR or vectorized IR (default: vector)",
+        ),
+        ("--gang-sync", "gang-synchronous (ispc-like) mode"),
+        ("--no-shape", "disable shape analysis"),
+        ("--boscc", "insert branch-on-superword-condition guards"),
+        (
+            "--remarks text|json",
+            "print structured optimization remarks",
+        ),
+        (
+            "--verify off|fallback|strict",
+            "in-pipeline IR verification mode (default: fallback)",
+        ),
+        (
+            "--inject-fault PASS:SITE",
+            "deterministically inject a pipeline fault",
+        ),
+        ("-j, --jobs N", "region-compilation worker count"),
+        (
+            "--run ENTRY [ARG…]",
+            "execute ENTRY (ints, floats, or buf:N buffer args)",
+        ),
+        ("--cycles", "print the simulated cycle count"),
+        ("-h, --help", "print this help"),
+        (
+            "-V, --version",
+            "print version, protocol, and toolchain info",
+        ),
+    ],
+};
 
 fn usage() -> ! {
     eprintln!(
@@ -45,6 +85,9 @@ fn usage() -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    for a in &args {
+        HELP.intercept(a, env!("CARGO_PKG_VERSION"));
+    }
     let mut file = None;
     let mut emit = "vector".to_string();
     let mut opts = VectorizeOptions::default();

@@ -24,18 +24,58 @@
 //! runtime failure, 2 usage error.
 
 use psim_bench::runbench::{run, RunBenchConfig};
+use telemetry::cli::Help;
+
+const HELP: Help = Help {
+    bin: "runbench",
+    about: "Times the suite kernels under both interpreter engines, gating on the \
+            fast/reference byte-identity contract and the wall-clock speedup.",
+    usage: "[options]",
+    flags: &[
+        (
+            "--n N",
+            "Simd-Library workload size (positive multiple of 256)",
+        ),
+        ("--iters K", "best-of-K wall-clock measurement (default: 3)"),
+        (
+            "--check",
+            "gate: exit 1 unless every kernel is engine-identical",
+        ),
+        (
+            "--min-speedup X",
+            "with --check, also require geomean speedup >= X",
+        ),
+        ("--json[=FILE]", "emit the JSON report to stdout or FILE"),
+        (
+            "--baseline FILE",
+            "validate FILE's bench-schema/meta against this build",
+        ),
+        ("-h, --help", "print this help"),
+        (
+            "-V, --version",
+            "print version, protocol, and toolchain info",
+        ),
+    ],
+};
 
 fn usage() -> ! {
-    eprintln!("usage: runbench [--n N] [--iters K] [--check] [--min-speedup X] [--json[=FILE]]");
+    eprintln!(
+        "usage: runbench [--n N] [--iters K] [--check] [--min-speedup X] [--json[=FILE]] \
+         [--baseline FILE]"
+    );
     std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    for a in &args {
+        HELP.intercept(a, env!("CARGO_PKG_VERSION"));
+    }
     let mut cfg = RunBenchConfig::default();
     let mut check = false;
     let mut min_speedup: Option<f64> = None;
     let mut json_out: Option<Option<String>> = None;
+    let mut baseline: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -78,12 +118,27 @@ fn main() {
             flag if flag.starts_with("--json=") => {
                 json_out = Some(Some(flag["--json=".len()..].to_string()));
             }
+            "--baseline" => {
+                i += 1;
+                let Some(v) = args.get(i) else { usage() };
+                baseline = Some(v.clone());
+            }
             other => {
                 eprintln!("runbench: unknown flag {other}");
                 usage();
             }
         }
         i += 1;
+    }
+
+    // Baselines must be self-describing: reject version/tool skew loudly
+    // before any numbers are compared against them.
+    if let Some(path) = &baseline {
+        if let Err(e) = psim_bench::check_baseline(path, "runbench") {
+            eprintln!("runbench: GATE FAILED: baseline {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("runbench: baseline {path} schema ok");
     }
 
     let report = match run(&cfg) {

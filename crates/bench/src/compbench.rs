@@ -73,6 +73,16 @@ impl CompBenchReport {
     /// Serializes the report to a JSON object (the CI artifact format).
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
+            (
+                "meta",
+                telemetry::cli::bench_meta(
+                    "compbench",
+                    vec![
+                        ("regions", Json::u64(self.config.regions as u64)),
+                        ("jobs", Json::u64(self.config.jobs as u64)),
+                    ],
+                ),
+            ),
             ("regions", Json::u64(self.config.regions as u64)),
             ("jobs", Json::u64(self.config.jobs as u64)),
             ("iters", Json::u64(self.config.iters as u64)),

@@ -14,8 +14,22 @@ use suite::runner::{
     build_module, geomean, run_kernel_profiled, run_module_engine, Config, Engine, RunResult,
 };
 use suite::Kernel;
-use telemetry::{Profile, ProfileDiff};
+use telemetry::{Json, Profile, ProfileDiff};
 use vmach::Avx512Cost;
+
+/// Reads a committed `BENCH_*.json` baseline and validates its
+/// self-describing `meta` block (schema version, producing tool) against
+/// this build — the shared front door of every `--baseline` gate flag.
+///
+/// # Errors
+/// Explains what failed to read, parse, or match; gates print this and
+/// exit 1 so stale baselines fail loudly.
+pub fn check_baseline(path: &str, tool: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    telemetry::cli::check_bench_meta(&json, tool)?;
+    Ok(json)
+}
 
 /// One row of a speedup table.
 #[derive(Debug, Clone)]

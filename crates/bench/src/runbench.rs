@@ -103,6 +103,23 @@ impl RunBenchReport {
             })
             .collect();
         Json::obj(vec![
+            (
+                "meta",
+                telemetry::cli::bench_meta(
+                    "runbench",
+                    vec![
+                        ("n", Json::u64(self.config.n)),
+                        ("iters", Json::u64(self.config.iters as u64)),
+                        // Cache-relevant sweep description: which kernel
+                        // sets and gang configurations the rows cover.
+                        (
+                            "gang_config",
+                            Json::Str("simdlib×parsimony + ispc(tiny)×{parsimony,gangsync}".into()),
+                        ),
+                        ("engine", Json::Str("fast-vs-reference".into())),
+                    ],
+                ),
+            ),
             ("n", Json::u64(self.config.n)),
             ("iters", Json::u64(self.config.iters as u64)),
             ("geomean_speedup", Json::Num(self.geomean_speedup())),

@@ -24,7 +24,40 @@ use psim_fuzz::shrink::{shrink, size};
 use psim_fuzz::{generate, write_repro};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use telemetry::cli::Help;
 use telemetry::Json;
+
+const HELP: Help = Help {
+    bin: "psim-fuzz",
+    about: "Differentially fuzzes the vectorization pipeline: each seed generates a \
+            deterministic SPMD program and checks the SPMD reference, both vectorized \
+            engines, and the scalar fallback for byte-identical results. Honors \
+            PSIM_INJECT_FAULT; failures are minimized and written as repro files.",
+    usage: "[options]",
+    flags: &[
+        ("--seeds N", "number of seeds to run (default: 100)"),
+        ("--seed-start K", "first seed (default: 0)"),
+        (
+            "-j, --jobs J",
+            "worker threads (default: available parallelism)",
+        ),
+        ("--json[=PATH]", "write a JSON report to stdout or PATH"),
+        (
+            "--out DIR",
+            "repro output directory (default: fuzz-artifacts)",
+        ),
+        (
+            "--max-shrink-evals M",
+            "shrinker evaluation budget (default: 300)",
+        ),
+        ("-q, --quiet", "suppress progress output"),
+        ("-h, --help", "print this help"),
+        (
+            "-V, --version",
+            "print version, protocol, and toolchain info",
+        ),
+    ],
+};
 
 struct Args {
     seeds: u64,
@@ -64,6 +97,7 @@ fn parse_args() -> Args {
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
+        HELP.intercept(&a, env!("CARGO_PKG_VERSION"));
         let mut need = |name: &str| -> String {
             it.next().unwrap_or_else(|| {
                 eprintln!("psim-fuzz: {name} needs a value");
@@ -91,7 +125,6 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| usage());
             }
             "--quiet" | "-q" => args.quiet = true,
-            "--help" | "-h" => usage(),
             other => {
                 if let Some(path) = other.strip_prefix("--json=") {
                     args.json = Some(Some(path.to_string()));

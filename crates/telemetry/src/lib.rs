@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod json;
 pub mod profile;
 pub mod timing;
