@@ -29,11 +29,12 @@ criterion_compat 0
 fuzz 20
 proptest_compat 2
 psimc 26
-psir 72
+psir 74
 rand_compat 0
+serve 29
 shapecheck 9
 suite 19
-telemetry 17
+telemetry 18
 vmach 11
 vmath 10
 "

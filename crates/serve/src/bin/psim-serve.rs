@@ -1,0 +1,138 @@
+//! `psim-serve` — the persistent compile-and-execute daemon.
+//!
+//! ```text
+//! psim-serve [--listen ADDR | --unix PATH] [--workers N] [--queue-cap N]
+//!            [--module-budget BYTES] [--plan-budget BYTES]
+//! ```
+//!
+//! Serves the line-delimited JSON protocol (see `crates/serve/src/
+//! request.rs`) until a client sends a `shutdown` request. Prints one
+//! `listening on ADDR` line to stderr once ready, so scripts can wait for
+//! it.
+//!
+//! Exit contract (as for every tool in this repo): 0 clean shutdown,
+//! 1 runtime failure (bind error), 2 usage error.
+
+use psim_serve::{serve_tcp, serve_unix, ServeOptions};
+use telemetry::cli::Help;
+
+const HELP: Help = Help {
+    bin: "psim-serve",
+    about: "Persistent compile-and-execute daemon: accepts PsimC sources over a line-delimited \
+            JSON socket protocol, compiles through the Parsimony pipeline with content-addressed \
+            module/plan caches shared across sessions, and executes on the fast engine.",
+    usage: "[options]",
+    flags: &[
+        (
+            "--listen ADDR",
+            "TCP listen address (default: 127.0.0.1:7878; port 0 = ephemeral)",
+        ),
+        (
+            "--unix PATH",
+            "serve a Unix-domain socket at PATH instead of TCP",
+        ),
+        (
+            "--workers N",
+            "executor pool size (default: available parallelism)",
+        ),
+        (
+            "--queue-cap N",
+            "max pending requests before `overloaded` replies (default: 64)",
+        ),
+        (
+            "--module-budget BYTES",
+            "module-cache byte budget (default: 67108864)",
+        ),
+        (
+            "--plan-budget BYTES",
+            "plan-cache byte budget (default: 67108864)",
+        ),
+        ("-h, --help", "print this help"),
+        (
+            "-V, --version",
+            "print version, protocol, and toolchain info",
+        ),
+    ],
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: psim-serve [--listen ADDR | --unix PATH] [--workers N] [--queue-cap N] \
+         [--module-budget BYTES] [--plan-budget BYTES]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for a in &args {
+        HELP.intercept(a, env!("CARGO_PKG_VERSION"));
+    }
+    let mut listen = "127.0.0.1:7878".to_string();
+    let mut unix: Option<String> = None;
+    let mut opts = ServeOptions::default();
+
+    let parse_num = |v: Option<&String>, what: &str| -> usize {
+        let Some(v) = v else { usage() };
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("psim-serve: {what} takes a positive integer, got {v:?}");
+                usage();
+            }
+        }
+    };
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => {
+                i += 1;
+                let Some(v) = args.get(i) else { usage() };
+                listen.clone_from(v);
+            }
+            "--unix" => {
+                i += 1;
+                let Some(v) = args.get(i) else { usage() };
+                unix = Some(v.clone());
+            }
+            "--workers" => {
+                i += 1;
+                opts.workers = parse_num(args.get(i), "--workers");
+            }
+            "--queue-cap" => {
+                i += 1;
+                opts.queue_cap = parse_num(args.get(i), "--queue-cap");
+            }
+            "--module-budget" => {
+                i += 1;
+                opts.module_budget = parse_num(args.get(i), "--module-budget");
+            }
+            "--plan-budget" => {
+                i += 1;
+                opts.plan_budget = parse_num(args.get(i), "--plan-budget");
+            }
+            other => {
+                eprintln!("psim-serve: unknown flag {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let handle = match &unix {
+        Some(path) => serve_unix(path, &opts),
+        None => serve_tcp(&listen, &opts),
+    };
+    match handle {
+        Ok(h) => {
+            eprintln!("psim-serve: listening on {}", h.addr);
+            h.join();
+            eprintln!("psim-serve: shut down");
+        }
+        Err(e) => {
+            eprintln!("psim-serve: cannot bind: {e}");
+            std::process::exit(1);
+        }
+    }
+}

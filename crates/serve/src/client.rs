@@ -1,0 +1,69 @@
+//! A minimal blocking client for the line-delimited protocol, used by
+//! `servebench`, the tests, and as reference code for external clients.
+
+use crate::request::{Request, Response, RunRequest};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// One blocking connection to a `psim-serve` TCP endpoint.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (`host:port`).
+    ///
+    /// # Errors
+    /// Propagates connect failures.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and blocks for its response (the protocol is
+    /// strictly request-response per connection).
+    ///
+    /// # Errors
+    /// I/O failures, closed connections, and unparseable responses.
+    pub fn request(&mut self, req: &Request) -> Result<Response, String> {
+        let line = req.to_json().to_string_compact();
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut buf = String::new();
+        let n = self
+            .reader
+            .read_line(&mut buf)
+            .map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("connection closed by server".into());
+        }
+        Response::parse(buf.trim_end())
+    }
+
+    /// Convenience wrapper for `run` requests.
+    ///
+    /// # Errors
+    /// As [`Client::request`].
+    pub fn run(&mut self, req: RunRequest) -> Result<Response, String> {
+        self.request(&Request::Run(Box::new(req)))
+    }
+
+    /// Pings the server, returning its protocol version.
+    ///
+    /// # Errors
+    /// As [`Client::request`], plus unexpected response kinds.
+    pub fn ping(&mut self, id: u64) -> Result<u64, String> {
+        match self.request(&Request::Ping { id })? {
+            Response::Pong { protocol, .. } => Ok(protocol),
+            other => Err(format!("expected pong, got {other:?}")),
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Compile-and-execute core of the server.
+//!
+//! [`ServeState`] owns the two cache tiers — content hash → compiled
+//! module ([`ModuleCache`]) and (module, function) → execution plan
+//! (the shared [`psir::PlanCache`] from the interpreter) — and serves a
+//! [`RunRequest`] by compiling through them and executing on the
+//! interpreter's fast engine. [`single_shot`] is the cache-free reference
+//! path, equivalent to a one-off `psimcc --run` invocation; `servebench
+//! --check` gates on the two producing byte-identical responses.
+//!
+//! The server fixes one cost model (`Avx512Cost::new()`, the suite
+//! default) process-wide. That makes the module-cache key a valid
+//! `module_id` for the plan cache: a `FramePlan` is a pure function of
+//! (module, function, cost model), the key already identifies the module
+//! and configuration, and the cost model never varies.
+
+use crate::cache::{CompiledModule, ModuleCache};
+use crate::hashing::request_key;
+use crate::request::{hex, CacheInfo, Mode, RunRequest, RunResponse};
+use parsimony::{
+    vectorize_module_with, FaultInjector, PipelineOptions, VectorizeOptions, VerifyMode,
+};
+use psir::{Engine, Interp, Memory, PlanCache, RtVal};
+use std::sync::Arc;
+use std::time::Instant;
+use suite::runner::fill_buffer;
+use telemetry::Json;
+use vmach::Avx512Cost;
+use vmath::RuntimeExterns;
+
+static EXTERNS: RuntimeExterns = RuntimeExterns::new();
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads in the executor pool.
+    pub workers: usize,
+    /// Bound on pending (queued + executing) requests; submissions past
+    /// the bound receive explicit `overloaded` responses.
+    pub queue_cap: usize,
+    /// Byte budget of the module cache.
+    pub module_budget: usize,
+    /// Byte budget of the shared plan cache.
+    pub plan_budget: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+            queue_cap: 64,
+            module_budget: 64 << 20,
+            plan_budget: 64 << 20,
+        }
+    }
+}
+
+/// Shared compile/execute state: both cache tiers plus the fixed cost
+/// model. `Send + Sync`; one instance is shared by every worker and
+/// connection.
+#[derive(Debug)]
+pub struct ServeState {
+    /// Tier 1: content hash → compiled module.
+    pub modules: ModuleCache,
+    /// Tier 2: (module, function) → execution plan, shared with every
+    /// in-flight interpreter.
+    pub plans: Arc<PlanCache>,
+    cost: Avx512Cost,
+}
+
+impl ServeState {
+    /// Fresh state with the configured cache budgets.
+    pub fn new(opts: &ServeOptions) -> ServeState {
+        ServeState {
+            modules: ModuleCache::new(opts.module_budget),
+            plans: Arc::new(PlanCache::new(opts.plan_budget)),
+            cost: Avx512Cost::new(),
+        }
+    }
+
+    /// Serves one request through the caches on the fast engine.
+    ///
+    /// # Errors
+    /// Compile failures (parse, vectorization, bad verify/inject
+    /// descriptors) and runtime traps, with enough context to act on.
+    /// Failures are never cached.
+    pub fn run_request(&self, req: &RunRequest) -> Result<RunResponse, String> {
+        let key = request_key(&req.source, req.mode.name(), &req.verify, &req.inject);
+        let t = Instant::now();
+        let (cm, module_hit) = match self.modules.get(key) {
+            Some(cm) => (cm, true),
+            None => {
+                let cm = compile_uncached(req, key)?;
+                (self.modules.insert(cm), false)
+            }
+        };
+        let compile_nanos = if module_hit {
+            0
+        } else {
+            t.elapsed().as_nanos() as u64
+        };
+        let mut resp = execute(&cm, req, &self.cost, Some((&self.plans, key)))?;
+        resp.cache.module_hit = module_hit;
+        resp.compile_nanos = compile_nanos;
+        Ok(resp)
+    }
+
+    /// Cache counter document (the `stats` op payload).
+    pub fn stats_json(&self) -> Json {
+        let m = self.modules.stats();
+        let p = self.plans.stats();
+        Json::obj(vec![
+            (
+                "module_cache",
+                Json::obj(vec![
+                    ("hits", Json::u64(m.hits)),
+                    ("misses", Json::u64(m.misses)),
+                    ("evictions", Json::u64(m.evictions)),
+                    ("entries", Json::u64(m.entries as u64)),
+                    ("bytes", Json::u64(m.bytes as u64)),
+                    ("budget", Json::u64(self.modules.budget() as u64)),
+                ]),
+            ),
+            (
+                "plan_cache",
+                Json::obj(vec![
+                    ("hits", Json::u64(p.hits)),
+                    ("misses", Json::u64(p.misses)),
+                    ("evictions", Json::u64(p.evictions)),
+                    ("entries", Json::u64(p.entries)),
+                    ("bytes", Json::u64(p.bytes)),
+                    ("budget", Json::u64(self.plans.budget() as u64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Compiles a request's source with its per-request pipeline
+/// configuration, bypassing every cache.
+fn compile_uncached(req: &RunRequest, key: u64) -> Result<CompiledModule, String> {
+    let verify = VerifyMode::parse(&req.verify)
+        .ok_or_else(|| format!("bad verify mode {:?} (off|fallback|strict)", req.verify))?;
+    let inject = if req.inject.is_empty() {
+        None
+    } else {
+        Some(FaultInjector::parse(&req.inject).map_err(|e| format!("bad inject spec: {e}"))?)
+    };
+    let m = psimc::compile(&req.source).map_err(|e| format!("compile error: {e}"))?;
+    let opts = match req.mode {
+        Mode::Parsimony => VectorizeOptions::default(),
+        Mode::GangSync => VectorizeOptions::gang_synchronous(),
+    };
+    // jobs = 1: requests are already parallel across the worker pool, so
+    // per-request region fan-out would only oversubscribe the host. The
+    // pipeline output is byte-identical at any job count (PR 3's
+    // contract), so this is invisible to clients.
+    let popts = PipelineOptions {
+        verify,
+        inject,
+        jobs: 1,
+    };
+    let out =
+        vectorize_module_with(&m, &opts, &popts).map_err(|e| format!("pipeline error: {e}"))?;
+    let remarks = telemetry::remarks_to_json(&out.remarks);
+    let approx_bytes = CompiledModule::estimate_bytes(&out.module, &remarks);
+    Ok(CompiledModule {
+        module: out.module,
+        key,
+        warnings: out.warnings,
+        degraded: out.degraded,
+        remarks,
+        approx_bytes,
+    })
+}
+
+/// Executes a compiled module over a request's workload on the fast
+/// engine. `plans` attaches the shared plan cache (the cached serve path);
+/// `None` is the single-shot path.
+fn execute(
+    cm: &CompiledModule,
+    req: &RunRequest,
+    cost: &Avx512Cost,
+    plans: Option<(&Arc<PlanCache>, u64)>,
+) -> Result<RunResponse, String> {
+    let t = Instant::now();
+    let mut mem = Memory::default();
+    let mut addrs: Vec<u64> = Vec::new();
+    let mut args: Vec<RtVal> = Vec::new();
+    for spec in &req.buffers {
+        let addr = fill_buffer(&mut mem, spec);
+        addrs.push(addr);
+        args.push(RtVal::S(addr));
+    }
+    args.extend(req.extra_args.iter().map(|&v| RtVal::S(v)));
+    args.push(RtVal::S(req.n));
+
+    let mut it = Interp::new(&cm.module, mem, cost, &EXTERNS);
+    it.set_engine(Engine::Fast);
+    if let Some((cache, module_id)) = plans {
+        it.set_plan_cache(Arc::clone(cache), module_id);
+    }
+    if req.want_profile {
+        it.enable_profiling();
+    }
+    it.call(&req.entry, &args)
+        .map_err(|e| format!("runtime error: {e}"))?;
+
+    let mut outputs = Vec::new();
+    for (spec, &addr) in req.buffers.iter().zip(&addrs) {
+        if spec.check {
+            let bytes = spec.elem.size_bytes() * spec.len;
+            outputs.push(hex(it
+                .mem
+                .read_bytes(addr, bytes)
+                .map_err(|e| e.to_string())?));
+        }
+    }
+    let (plan_shared_hits, plan_builds) = it.plan_counters();
+    Ok(RunResponse {
+        id: req.id,
+        cycles: it.cycles,
+        outputs,
+        stats: format!("{:?}", it.stats),
+        degraded: cm.degraded.clone(),
+        warnings: cm.warnings.clone(),
+        remarks: req.want_remarks.then(|| cm.remarks.clone()),
+        profile: it.take_profile().map(|p| p.to_json()),
+        cache: CacheInfo {
+            module_hit: false,
+            plan_shared_hits,
+            plan_builds,
+        },
+        compile_nanos: 0,
+        exec_nanos: t.elapsed().as_nanos() as u64,
+    })
+}
+
+/// The uncached reference path: compiles and executes a request from
+/// scratch, exactly as a one-off `psimcc --run` would. `servebench
+/// --check` asserts every served response is byte-identical (in its
+/// [`RunResponse::identity`] payload) to this.
+///
+/// # Errors
+/// Same failure surface as [`ServeState::run_request`].
+pub fn single_shot(req: &RunRequest) -> Result<RunResponse, String> {
+    let key = request_key(&req.source, req.mode.name(), &req.verify, &req.inject);
+    let t = Instant::now();
+    let cm = compile_uncached(req, key)?;
+    let compile_nanos = t.elapsed().as_nanos() as u64;
+    let mut resp = execute(&cm, req, &Avx512Cost::new(), None)?;
+    resp.compile_nanos = compile_nanos;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "
+void main(f32* restrict a, f32* restrict out, i64 n) {
+  psim gang(8) threads(n) {
+    i64 i = psim_thread_num();
+    out[i] = a[i] * 2.0 + 1.0;  // doubled plus one
+  }
+}
+";
+
+    fn req(id: u64) -> RunRequest {
+        let mut r = RunRequest::new(id, SRC, 256);
+        r.buffers = vec![
+            suite::BufSpec {
+                elem: psir::ScalarTy::F32,
+                len: 256,
+                init: suite::Init::RandomF32 {
+                    seed: 1,
+                    lo: -4.0,
+                    hi: 4.0,
+                },
+                check: false,
+            },
+            suite::BufSpec {
+                elem: psir::ScalarTy::F32,
+                len: 256,
+                init: suite::Init::Zero,
+                check: true,
+            },
+        ];
+        r
+    }
+
+    #[test]
+    fn cached_and_single_shot_agree_byte_for_byte() {
+        let state = ServeState::new(&ServeOptions::default());
+        let cold = state.run_request(&req(1)).expect("cold run");
+        let hot = state.run_request(&req(2)).expect("hot run");
+        let reference = single_shot(&req(3)).expect("single shot");
+        assert!(!cold.cache.module_hit);
+        assert!(hot.cache.module_hit);
+        assert!(hot.cache.plan_shared_hits > 0, "hot run reuses the plan");
+        assert_eq!(cold.identity(), reference.identity());
+        assert_eq!(hot.identity(), reference.identity());
+        assert!(!cold.outputs[0].is_empty());
+        assert_eq!(hot.compile_nanos, 0, "module-cache hit skips the compiler");
+    }
+
+    #[test]
+    fn remarks_and_profile_are_opt_in_and_replayed_on_hits() {
+        let state = ServeState::new(&ServeOptions::default());
+        let plain = state.run_request(&req(1)).expect("plain");
+        assert!(plain.remarks.is_none() && plain.profile.is_none());
+        let mut r = req(2);
+        r.want_remarks = true;
+        r.want_profile = true;
+        let full = state.run_request(&r).expect("full");
+        assert!(full.remarks.is_some() && full.profile.is_some());
+        let mut shot = req(3);
+        shot.want_remarks = true;
+        shot.want_profile = true;
+        let reference = single_shot(&shot).expect("single shot");
+        assert_eq!(full.identity(), reference.identity());
+    }
+
+    #[test]
+    fn bad_descriptors_fail_without_poisoning_the_cache() {
+        let state = ServeState::new(&ServeOptions::default());
+        let mut bad = req(1);
+        bad.verify = "nope".into();
+        assert!(state.run_request(&bad).unwrap_err().contains("verify"));
+        let mut bad = req(2);
+        bad.inject = "not-a-site".into();
+        assert!(state.run_request(&bad).unwrap_err().contains("inject"));
+        let mut bad = req(3);
+        bad.source = "void main( {".into();
+        assert!(state.run_request(&bad).unwrap_err().contains("compile"));
+        // The clean request still compiles fresh (nothing was cached).
+        let ok = state.run_request(&req(4)).expect("clean run");
+        assert!(!ok.cache.module_hit);
+        assert_eq!(state.modules.stats().entries, 1);
+    }
+
+    #[test]
+    fn fault_injection_is_honored_per_request() {
+        let state = ServeState::new(&ServeOptions::default());
+        let clean = state.run_request(&req(1)).expect("clean");
+        assert!(clean.degraded.is_empty(), "clean request must not degrade");
+        let mut faulty = req(2);
+        faulty.inject = "shape:1".into();
+        match state.run_request(&faulty) {
+            // Depending on the injected site the pipeline either degrades
+            // the region (graceful degradation) or the request errors —
+            // both are per-request effects; the clean entry must survive.
+            Ok(resp) => assert!(!resp.degraded.is_empty() || resp.cycles > 0),
+            Err(e) => assert!(!e.is_empty()),
+        }
+        let again = state.run_request(&req(3)).expect("clean again");
+        assert!(again.cache.module_hit, "clean entry still cached");
+        assert_eq!(again.identity(), clean.identity());
+    }
+}

@@ -1,0 +1,287 @@
+//! The server's work-stealing executor pool with bounded admission.
+//!
+//! Requests from every connection funnel into one pool so a burst on one
+//! connection cannot starve the others. Each worker owns a deque; submits
+//! are distributed round-robin and an idle worker steals from its peers
+//! before sleeping on the condvar. Admission is controlled by a single
+//! bound on the *pending* count (queued + executing): when the bound is
+//! reached, [`Executor::submit`] refuses the job and the server answers
+//! `overloaded` — explicit backpressure, never a silent drop.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    ready: Condvar,
+    // Guards the sleep/wake handshake; the queues have their own locks.
+    sleep: Mutex<()>,
+    pending: AtomicUsize,
+    stopping: AtomicBool,
+    overloaded: AtomicUsize,
+    executed: AtomicUsize,
+}
+
+/// Fixed-size work-stealing thread pool with a bounded pending count.
+pub struct Executor {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    queue_cap: usize,
+    next: AtomicUsize,
+}
+
+impl Executor {
+    /// Spawns `workers` threads; at most `queue_cap` jobs may be pending
+    /// (queued or executing) at once.
+    pub fn new(workers: usize, queue_cap: usize) -> Arc<Executor> {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            ready: Condvar::new(),
+            sleep: Mutex::new(()),
+            pending: AtomicUsize::new(0),
+            stopping: AtomicBool::new(false),
+            overloaded: AtomicUsize::new(0),
+            executed: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|wid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("psim-serve-worker-{wid}"))
+                    .spawn(move || worker_loop(&shared, wid))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Arc::new(Executor {
+            shared,
+            workers: Mutex::new(handles),
+            queue_cap: queue_cap.max(1),
+            next: AtomicUsize::new(0),
+        })
+    }
+
+    /// Submits a job, or refuses it when the pending bound is reached.
+    ///
+    /// # Errors
+    /// [`Overloaded`] when `queue_cap` jobs are already pending; the job
+    /// is handed back untouched so the caller can report backpressure.
+    pub fn submit(&self, job: Job) -> Result<(), Overloaded> {
+        // Reserve a pending slot optimistically; back out on overflow so
+        // concurrent submits cannot jointly exceed the bound.
+        let prev = self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        if prev >= self.queue_cap {
+            self.shared.pending.fetch_sub(1, Ordering::SeqCst);
+            self.shared.overloaded.fetch_add(1, Ordering::Relaxed);
+            return Err(Overloaded);
+        }
+        let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.shared.queues.len();
+        self.shared.queues[slot]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push_back(job);
+        // Wake everyone: the job may be stolen by any worker.
+        let _g = self
+            .shared
+            .sleep
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.shared.ready.notify_all();
+        Ok(())
+    }
+
+    /// Jobs currently pending (queued or executing).
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::SeqCst)
+    }
+
+    /// The pending bound.
+    pub fn queue_cap(&self) -> usize {
+        self.queue_cap
+    }
+
+    /// `(executed, refused)` counters since construction.
+    pub fn counters(&self) -> (usize, usize) {
+        (
+            self.shared.executed.load(Ordering::Relaxed),
+            self.shared.overloaded.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Stops accepting work, drains nothing (pending jobs still run), and
+    /// joins the workers.
+    pub fn shutdown(&self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        {
+            let _g = self
+                .shared
+                .sleep
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            self.shared.ready.notify_all();
+        }
+        let handles = std::mem::take(
+            &mut *self
+                .workers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Admission refusal: the bounded queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overloaded;
+
+fn take_job(shared: &Shared, wid: usize) -> Option<Job> {
+    // Own queue first, then steal round-robin from the peers.
+    let n = shared.queues.len();
+    for i in 0..n {
+        let q = &shared.queues[(wid + i) % n];
+        let mut g = q.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(job) = g.pop_front() {
+            return Some(job);
+        }
+    }
+    None
+}
+
+fn worker_loop(shared: &Shared, wid: usize) {
+    loop {
+        if let Some(job) = take_job(shared, wid) {
+            job();
+            shared.executed.fetch_add(1, Ordering::Relaxed);
+            shared.pending.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let g = shared
+            .sleep
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Re-check under the lock so a submit between the failed scan and
+        // this wait cannot be missed.
+        let empty = (0..shared.queues.len()).all(|i| {
+            shared.queues[i]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .is_empty()
+        });
+        if empty && !shared.stopping.load(Ordering::SeqCst) {
+            let _ = shared
+                .ready
+                .wait_timeout(g, std::time::Duration::from_millis(50));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_jobs_on_many_workers() {
+        let ex = Executor::new(4, 64);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..32 {
+            let tx = tx.clone();
+            ex.submit(Box::new(move || tx.send(i).unwrap())).unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<i32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+        ex.shutdown();
+        assert_eq!(ex.counters().0, 32);
+    }
+
+    #[test]
+    fn admission_refuses_when_full_and_recovers() {
+        let ex = Executor::new(1, 2);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        // Job 1 blocks the single worker; job 2 fills the queue.
+        let gr = Mutex::new(gate_rx);
+        let ex2 = Arc::clone(&ex);
+        let dt = done_tx.clone();
+        ex2.submit(Box::new(move || {
+            gr.lock().unwrap().recv().unwrap();
+            dt.send(()).unwrap();
+        }))
+        .unwrap();
+        let dt = done_tx.clone();
+        ex.submit(Box::new(move || dt.send(()).unwrap())).unwrap();
+        // Pending bound reached: the third submit must be refused.
+        assert_eq!(ex.submit(Box::new(|| {})), Err(Overloaded));
+        assert_eq!(ex.counters().1, 1);
+        // Release the worker; both jobs complete and admission recovers.
+        gate_tx.send(()).unwrap();
+        done_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .unwrap();
+        done_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .unwrap();
+        // Eventually pending drains to 0 and a new submit is admitted.
+        for _ in 0..100 {
+            if ex.pending() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let dt = done_tx;
+        ex.submit(Box::new(move || dt.send(()).unwrap())).unwrap();
+        done_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .unwrap();
+        ex.shutdown();
+    }
+
+    #[test]
+    fn free_worker_steals_from_blocked_peers_queues() {
+        let ex = Executor::new(4, 256);
+        // Block three of the four workers on gates. Round-robin placement
+        // then spreads the quick jobs over all four queues, so the one
+        // free worker can only finish them by stealing from its peers.
+        let gates: Vec<mpsc::Sender<()>> = (0..3)
+            .map(|_| {
+                let (gtx, grx) = mpsc::channel::<()>();
+                let grx = Mutex::new(grx);
+                ex.submit(Box::new(move || {
+                    let _ = grx.lock().unwrap().recv();
+                }))
+                .unwrap();
+                gtx
+            })
+            .collect();
+        let (tx, rx) = mpsc::channel();
+        for i in 0..32 {
+            let tx = tx.clone();
+            ex.submit(Box::new(move || tx.send(i).unwrap())).unwrap();
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        for _ in 0..32 {
+            got.push(
+                rx.recv_timeout(std::time::Duration::from_secs(10))
+                    .expect("quick job must be stolen despite 3 blocked workers"),
+            );
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+        for g in gates {
+            let _ = g.send(());
+        }
+        ex.shutdown();
+    }
+}

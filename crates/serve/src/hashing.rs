@@ -1,0 +1,106 @@
+//! Content addressing for the serve caches.
+//!
+//! The module cache is keyed by *what the compiler would see*, not by the
+//! request text: PsimC sources that differ only in comments or whitespace
+//! canonicalize to the same token stream and therefore share one compiled
+//! module (and, transitively, one set of execution plans). The compile
+//! *configuration* — SPMD mode, verification mode, fault-injection
+//! descriptor — is folded into the key because it changes the compiled
+//! output.
+//!
+//! Hashing is FNV-1a 64, the same construction the rest of the workspace
+//! uses for deterministic seeds. Collisions are theoretically possible but
+//! irrelevant in practice for a cache whose worst failure mode would
+//! surface instantly in the byte-identity gates (`servebench --check`
+//! compares every served response against an uncached single-shot run).
+
+/// FNV-1a 64-bit over a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Canonicalizes a PsimC source for content addressing: strips `//`
+/// line comments (PsimC has no string literals, so the scan is textual)
+/// and collapses every whitespace run to a single space. Token boundaries
+/// are preserved — `a + b` and `a  +  b` canonicalize identically, while
+/// `a+b` stays distinct (it already lexes the same, but the cache does not
+/// need to know that).
+pub fn canonicalize(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    for line in src.lines() {
+        let code = match line.find("//") {
+            Some(i) => &line[..i],
+            None => line,
+        };
+        for tok in code.split_whitespace() {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(tok);
+        }
+    }
+    out
+}
+
+/// Content hash of a canonicalized source.
+pub fn source_hash(src: &str) -> u64 {
+    fnv1a(canonicalize(src).as_bytes())
+}
+
+/// Full module-cache key: source content hash combined with every
+/// compile-time knob that changes the compiled output. The returned key
+/// doubles as the `module_id` for the shared [`psir::PlanCache`] — the
+/// server fixes one cost model process-wide, so (key, function) uniquely
+/// identifies a `FramePlan`.
+pub fn request_key(source: &str, mode: &str, verify: &str, inject: &str) -> u64 {
+    let mut h = source_hash(source);
+    for part in [mode, verify, inject] {
+        // Chain with a separator so ("ab","c") and ("a","bc") differ.
+        h = fnv1a(format!("{h:016x}\x1f{part}").as_bytes());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_whitespace_do_not_change_the_hash() {
+        let a = "void f(i64 n) {\n  psim gang(8) threads(n) { }\n}\n";
+        let b = "// header comment\nvoid f(i64 n)   {\n\tpsim gang(8)\n  threads(n) { } // tail\n}";
+        assert_eq!(source_hash(a), source_hash(b));
+        assert_eq!(canonicalize(a), canonicalize(b));
+    }
+
+    #[test]
+    fn token_changes_change_the_hash() {
+        assert_ne!(source_hash("a + b"), source_hash("a - b"));
+        // Collapsing whitespace must not merge tokens.
+        assert_ne!(canonicalize("a b"), canonicalize("ab"));
+    }
+
+    #[test]
+    fn config_is_part_of_the_key() {
+        let src = "void f() { }";
+        let base = request_key(src, "parsimony", "fallback", "");
+        assert_ne!(base, request_key(src, "gangsync", "fallback", ""));
+        assert_ne!(base, request_key(src, "parsimony", "strict", ""));
+        assert_ne!(base, request_key(src, "parsimony", "fallback", "shape:1"));
+        assert_eq!(base, request_key(src, "parsimony", "fallback", ""));
+    }
+
+    #[test]
+    fn key_parts_are_separated() {
+        let src = "void f() { }";
+        assert_ne!(
+            request_key(src, "ab", "c", ""),
+            request_key(src, "a", "bc", "")
+        );
+    }
+}

@@ -1,0 +1,591 @@
+//! `servebench` core: a load generator for `psim-serve`.
+//!
+//! Spawns an in-process server, fans a fixed workload — the full suite
+//! sweep (the 86 kernel runs `runbench` times) plus the committed fuzz
+//! corpus — across `clients` concurrent connections, and measures
+//! per-item cold (first submission, empty caches) and hot (resubmission,
+//! warm caches) latency, p50/p99, throughput, and the hot-over-cold
+//! speedup the caches buy.
+//!
+//! Latency percentiles are client-observed wall times (they include queue
+//! wait, which is the point of a load test). The gated speedup, by
+//! contrast, is computed from the server-reported per-request service
+//! time (`compile_nanos + exec_nanos`): under a saturated queue, a
+//! request's wall time is dominated by its queue position, which would
+//! make cold/hot wall ratios measure scheduling luck instead of what the
+//! caches actually save.
+//!
+//! With `check`, every served response's deterministic identity payload
+//! (outputs, cycles, stats, remarks — see `RunResponse::identity`) is
+//! compared byte-for-byte against an uncached [`single_shot`] run of the
+//! same request, hot responses are compared against cold ones, and any
+//! drop, id mismatch, or non-`ok` status is a failure. This is the serve
+//! path's differential gate, run in CI.
+
+use crate::client::Client;
+use crate::engine::{single_shot, ServeOptions};
+use crate::request::{Mode, Request, Response, RunRequest};
+use crate::server::serve_tcp;
+use std::path::Path;
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+use suite::runner::geomean;
+use suite::Kernel;
+use telemetry::Json;
+
+/// One workload item: a named request template (ids are assigned per
+/// submission).
+#[derive(Debug, Clone)]
+pub struct WorkItem {
+    /// Display name (`kernel/config` or `corpus/file@n`).
+    pub name: String,
+    /// The request template.
+    pub req: RunRequest,
+}
+
+fn kernel_request(k: &Kernel, mode: Mode) -> Result<RunRequest, String> {
+    let mut r = RunRequest::new(0, &k.psim_src, k.n);
+    r.mode = mode;
+    r.buffers = k.buffers.clone();
+    r.want_remarks = true;
+    r.extra_args = k
+        .extra_args
+        .iter()
+        .map(|v| match v {
+            psir::RtVal::S(x) => Ok(*x),
+            other => Err(format!("{}: non-scalar extra arg {other:?}", k.name)),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(r)
+}
+
+/// The suite sweep: every Simd-Library kernel under Parsimony plus the
+/// ispc set (tiny sizes) under both modes — the same 86 runs `runbench`
+/// measures, now served over the wire.
+///
+/// # Errors
+/// Reports kernels whose extra arguments cannot travel the wire.
+pub fn suite_items(n: u64) -> Result<Vec<WorkItem>, String> {
+    let mut items = Vec::new();
+    for k in suite::simdlib::kernels(n) {
+        items.push(WorkItem {
+            name: format!("{}/parsimony", k.name),
+            req: kernel_request(&k, Mode::Parsimony)?,
+        });
+    }
+    for k in suite::ispc::kernels(suite::ispc::IspcSizes::tiny()) {
+        for mode in [Mode::Parsimony, Mode::GangSync] {
+            items.push(WorkItem {
+                name: format!("{}/{}", k.name, mode.name()),
+                req: kernel_request(&k, mode)?,
+            });
+        }
+    }
+    Ok(items)
+}
+
+/// The committed fuzz-corpus regression cases (entry `kernel`), one item
+/// per `(file, n)` pair — the serve path replays the same inputs the
+/// differential oracle runs.
+///
+/// # Errors
+/// Reports unreadable or malformed repro files.
+pub fn corpus_items(dir: &Path) -> Result<Vec<WorkItem>, String> {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read corpus dir {}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "psim"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no .psim files in {}", dir.display()));
+    }
+    let mut items = Vec::new();
+    for path in files {
+        let stem = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let case = psim_fuzz::parse_repro(&text, &stem)?;
+        for &n in &case.n_values {
+            let mut r = RunRequest::new(0, &case.source, n);
+            r.entry = "kernel".into();
+            r.buffers = case.bufs.iter().map(psim_fuzz::FuzzBuf::spec).collect();
+            r.want_remarks = true;
+            items.push(WorkItem {
+                name: format!("corpus/{stem}@{n}"),
+                req: r,
+            });
+        }
+    }
+    Ok(items)
+}
+
+/// The default corpus location when running from the workspace.
+pub fn default_corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../fuzz/corpus")
+}
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct ServeBenchConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Simd-Library workload size.
+    pub n: u64,
+    /// Hot resubmissions per item (the best is reported).
+    pub hot_iters: usize,
+    /// Differential gate: compare every response against [`single_shot`].
+    pub check: bool,
+    /// Server sizing (workers, queue bound, cache budgets).
+    pub opts: ServeOptions,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> ServeBenchConfig {
+        ServeBenchConfig {
+            clients: 8,
+            n: 1024,
+            hot_iters: 2,
+            check: false,
+            opts: ServeOptions::default(),
+        }
+    }
+}
+
+/// Per-item measurement.
+#[derive(Debug, Clone)]
+pub struct ServeBenchRow {
+    /// Item name.
+    pub name: String,
+    /// Cold (cache-miss) client-observed latency, nanoseconds.
+    pub cold_nanos: u64,
+    /// Best hot (cache-hit) client-observed latency, nanoseconds.
+    pub hot_nanos: u64,
+    /// Server-reported cold service time (compile + execute), nanoseconds.
+    pub cold_serve_nanos: u64,
+    /// Best server-reported hot service time, nanoseconds.
+    pub hot_serve_nanos: u64,
+    /// Whether the hot submissions hit the module cache.
+    pub hot_module_hit: bool,
+}
+
+impl ServeBenchRow {
+    /// Cold over hot *service time* (higher = caches help more). Queue
+    /// wait is excluded — see the module docs.
+    pub fn speedup(&self) -> f64 {
+        self.cold_serve_nanos as f64 / self.hot_serve_nanos.max(1) as f64
+    }
+}
+
+/// Full load-generator report.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// The configuration measured.
+    pub clients: usize,
+    /// Simd-Library workload size.
+    pub n: u64,
+    /// Hot resubmissions per item.
+    pub hot_iters: usize,
+    /// Per-item rows.
+    pub rows: Vec<ServeBenchRow>,
+    /// Requests sent (== responses received; drops are failures).
+    pub requests: u64,
+    /// Total wall nanoseconds of the measurement (cold + hot phases).
+    pub wall_nanos: u64,
+    /// Cold latency percentiles (p50, p99), nanoseconds.
+    pub cold_p50: u64,
+    /// 99th percentile cold latency.
+    pub cold_p99: u64,
+    /// Median hot latency.
+    pub hot_p50: u64,
+    /// 99th percentile hot latency.
+    pub hot_p99: u64,
+    /// Server stats document captured after the run.
+    pub server_stats: Json,
+    /// Check failures (empty = the differential gate passed).
+    pub failures: Vec<String>,
+    /// Whether the differential check ran.
+    pub checked: bool,
+}
+
+impl ServeBenchReport {
+    /// Geomean of per-item cold/hot speedups.
+    pub fn geomean_speedup(&self) -> f64 {
+        let xs: Vec<f64> = self.rows.iter().map(ServeBenchRow::speedup).collect();
+        geomean(&xs)
+    }
+
+    /// Requests per second over the whole measurement.
+    pub fn throughput_rps(&self) -> f64 {
+        self.requests as f64 / (self.wall_nanos.max(1) as f64 / 1e9)
+    }
+
+    /// Serializes the report (the CI artifact and `BENCH_servebench.json`
+    /// baseline format).
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("name", Json::Str(r.name.clone())),
+                    ("cold_nanos", Json::u64(r.cold_nanos)),
+                    ("hot_nanos", Json::u64(r.hot_nanos)),
+                    ("cold_serve_nanos", Json::u64(r.cold_serve_nanos)),
+                    ("hot_serve_nanos", Json::u64(r.hot_serve_nanos)),
+                    ("speedup", Json::Num(r.speedup())),
+                    ("hot_module_hit", Json::Bool(r.hot_module_hit)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            (
+                "meta",
+                telemetry::cli::bench_meta(
+                    "servebench",
+                    vec![
+                        ("clients", Json::u64(self.clients as u64)),
+                        ("n", Json::u64(self.n)),
+                        ("hot_iters", Json::u64(self.hot_iters as u64)),
+                        (
+                            "gang_config",
+                            Json::Str(
+                                "simdlib×parsimony + ispc(tiny)×{parsimony,gangsync} + corpus"
+                                    .into(),
+                            ),
+                        ),
+                        ("engine", Json::Str("fast".into())),
+                    ],
+                ),
+            ),
+            ("items", Json::u64(self.rows.len() as u64)),
+            ("requests", Json::u64(self.requests)),
+            ("wall_nanos", Json::u64(self.wall_nanos)),
+            ("throughput_rps", Json::Num(self.throughput_rps())),
+            ("cold_p50_nanos", Json::u64(self.cold_p50)),
+            ("cold_p99_nanos", Json::u64(self.cold_p99)),
+            ("hot_p50_nanos", Json::u64(self.hot_p50)),
+            ("hot_p99_nanos", Json::u64(self.hot_p99)),
+            ("geomean_speedup", Json::Num(self.geomean_speedup())),
+            ("checked", Json::Bool(self.checked)),
+            ("failures", Json::u64(self.failures.len() as u64)),
+            ("server_stats", self.server_stats.clone()),
+            ("rows", Json::Arr(rows)),
+        ])
+    }
+
+    /// Human-readable summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "servebench: {} item(s), {} client(s), n={}, {} hot iteration(s)\n",
+            self.rows.len(),
+            self.clients,
+            self.n,
+            self.hot_iters
+        ));
+        out.push_str(&format!(
+            "  requests           : {:>10} ({:.0} req/s)\n",
+            self.requests,
+            self.throughput_rps()
+        ));
+        out.push_str(&format!(
+            "  cold latency       : {:>10.2} ms p50, {:>10.2} ms p99\n",
+            self.cold_p50 as f64 / 1e6,
+            self.cold_p99 as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "  hot latency        : {:>10.2} ms p50, {:>10.2} ms p99\n",
+            self.hot_p50 as f64 / 1e6,
+            self.hot_p99 as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "  hot/cold speedup   : {:>10.2}x geomean (service time)\n",
+            self.geomean_speedup()
+        ));
+        if self.checked {
+            out.push_str(&format!(
+                "  differential check : {}\n",
+                if self.failures.is_empty() {
+                    "ok (served == single-shot, byte-identical)".to_string()
+                } else {
+                    format!("{} FAILURE(S)", self.failures.len())
+                }
+            ));
+            for f in self.failures.iter().take(10) {
+                out.push_str(&format!("    {f}\n"));
+            }
+        }
+        out
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct ItemResult {
+    index: usize,
+    cold_nanos: u64,
+    hot_nanos: u64,
+    cold_serve_nanos: u64,
+    hot_serve_nanos: u64,
+    hot_module_hit: bool,
+    failures: Vec<String>,
+    requests: u64,
+}
+
+/// Runs the full load generation against a fresh in-process server.
+///
+/// # Errors
+/// Workload construction and server/socket failures. Check failures are
+/// *not* errors — they are reported in the returned report so the caller
+/// can gate and still emit the artifact.
+pub fn run(cfg: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
+    let mut items = suite_items(cfg.n)?;
+    items.extend(corpus_items(&default_corpus_dir())?);
+    run_items(cfg, &items)
+}
+
+/// [`run`] over an explicit workload (the tests use tiny ones).
+///
+/// # Errors
+/// As [`run`].
+pub fn run_items(cfg: &ServeBenchConfig, items: &[WorkItem]) -> Result<ServeBenchReport, String> {
+    if cfg.clients == 0 || cfg.hot_iters == 0 {
+        return Err("servebench: clients and hot-iters must be >= 1".into());
+    }
+    // Reference identities, computed uncached before the server starts so
+    // server load cannot perturb them. Parallel across host threads.
+    let expected: Vec<Option<String>> = if cfg.check {
+        let results: Vec<Mutex<Option<Result<String, String>>>> =
+            items.iter().map(|_| Mutex::new(None)).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+            .min(items.len().max(1));
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= items.len() {
+                        return;
+                    }
+                    let r = single_shot(&items[i].req).map(|resp| resp.identity());
+                    *results[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
+                });
+            }
+        });
+        let mut expected = Vec::with_capacity(items.len());
+        for (i, cell) in results.into_iter().enumerate() {
+            match cell
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+            {
+                Some(Ok(identity)) => expected.push(Some(identity)),
+                Some(Err(e)) => return Err(format!("single-shot {}: {e}", items[i].name)),
+                None => return Err(format!("single-shot {}: not computed", items[i].name)),
+            }
+        }
+        expected
+    } else {
+        items.iter().map(|_| None).collect()
+    };
+
+    let mut opts = cfg.opts.clone();
+    // The queue bound must admit a full burst from every client, otherwise
+    // the bench would measure its own backpressure.
+    opts.queue_cap = opts.queue_cap.max(cfg.clients * 2 + 16);
+    let server = serve_tcp("127.0.0.1:0", &opts).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr.clone();
+
+    // Round-robin partition of item indices across clients.
+    let assignments: Vec<Vec<usize>> = (0..cfg.clients)
+        .map(|c| (c..items.len()).step_by(cfg.clients).collect())
+        .collect();
+    let barrier = Barrier::new(cfg.clients);
+    let t0 = Instant::now();
+    let mut all: Vec<ItemResult> = Vec::with_capacity(items.len());
+    let client_results: Result<Vec<Vec<ItemResult>>, String> = std::thread::scope(|s| {
+        let handles: Vec<_> = assignments
+            .iter()
+            .enumerate()
+            .map(|(cid, mine)| {
+                let addr = addr.clone();
+                let barrier = &barrier;
+                let expected = &expected;
+                s.spawn(move || client_worker(cid, &addr, items, mine, expected, cfg, barrier))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(|_| "client thread panicked".to_string())?)
+            .collect()
+    });
+    let client_results = client_results?;
+    let wall_nanos = t0.elapsed().as_nanos() as u64;
+    for mut v in client_results {
+        all.append(&mut v);
+    }
+    all.sort_by_key(|r| r.index);
+
+    // Capture server-side counters before tearing the server down.
+    let mut stats_client = Client::connect(&addr).map_err(|e| format!("stats connect: {e}"))?;
+    let server_stats = match stats_client.request(&Request::Stats { id: u64::MAX })? {
+        Response::Stats { stats, .. } => stats,
+        other => return Err(format!("expected stats, got {other:?}")),
+    };
+    drop(stats_client);
+    server.shutdown();
+
+    let mut failures = Vec::new();
+    let mut requests = 0;
+    let mut rows = Vec::with_capacity(all.len());
+    let mut colds = Vec::with_capacity(all.len());
+    let mut hots = Vec::with_capacity(all.len());
+    for r in all {
+        requests += r.requests;
+        failures.extend(r.failures);
+        colds.push(r.cold_nanos);
+        hots.push(r.hot_nanos);
+        rows.push(ServeBenchRow {
+            name: items[r.index].name.clone(),
+            cold_nanos: r.cold_nanos,
+            hot_nanos: r.hot_nanos,
+            cold_serve_nanos: r.cold_serve_nanos,
+            hot_serve_nanos: r.hot_serve_nanos,
+            hot_module_hit: r.hot_module_hit,
+        });
+    }
+    colds.sort_unstable();
+    hots.sort_unstable();
+    Ok(ServeBenchReport {
+        clients: cfg.clients,
+        n: cfg.n,
+        hot_iters: cfg.hot_iters,
+        cold_p50: percentile(&colds, 0.50),
+        cold_p99: percentile(&colds, 0.99),
+        hot_p50: percentile(&hots, 0.50),
+        hot_p99: percentile(&hots, 0.99),
+        rows,
+        requests,
+        wall_nanos,
+        server_stats,
+        failures,
+        checked: cfg.check,
+    })
+}
+
+/// One client connection's share of the workload: a cold pass over its
+/// items, a barrier (so the hot phase measures a fully warm server), then
+/// `hot_iters` hot passes.
+fn client_worker(
+    cid: usize,
+    addr: &str,
+    items: &[WorkItem],
+    mine: &[usize],
+    expected: &[Option<String>],
+    cfg: &ServeBenchConfig,
+    barrier: &Barrier,
+) -> Result<Vec<ItemResult>, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("client {cid}: connect: {e}"))?;
+    let mut results: Vec<ItemResult> = mine
+        .iter()
+        .map(|&i| ItemResult {
+            index: i,
+            cold_nanos: 0,
+            hot_nanos: u64::MAX,
+            cold_serve_nanos: 0,
+            hot_serve_nanos: u64::MAX,
+            hot_module_hit: true,
+            failures: Vec::new(),
+            requests: 0,
+        })
+        .collect();
+    let mut cold_identity: Vec<Option<String>> = mine.iter().map(|_| None).collect();
+
+    for phase in 0..=cfg.hot_iters {
+        if phase == 1 {
+            barrier.wait();
+        }
+        for (slot, &i) in mine.iter().enumerate() {
+            let r = &mut results[slot];
+            let mut req = items[i].req.clone();
+            // Unique id per submission; the echo check catches misrouting.
+            req.id = ((cid as u64) << 40) | ((phase as u64) << 32) | i as u64;
+            let want = req.id;
+            let t = Instant::now();
+            let resp = client.run(req);
+            let nanos = t.elapsed().as_nanos() as u64;
+            r.requests += 1;
+            let resp = match resp {
+                Ok(resp) => resp,
+                Err(e) => {
+                    r.failures.push(format!("{}: dropped: {e}", items[i].name));
+                    continue;
+                }
+            };
+            let ok = match resp {
+                Response::Ok(ok) => ok,
+                other => {
+                    r.failures
+                        .push(format!("{}: unexpected response {other:?}", items[i].name));
+                    continue;
+                }
+            };
+            if ok.id != want {
+                r.failures.push(format!(
+                    "{}: misordered response (sent id {want}, got {})",
+                    items[i].name, ok.id
+                ));
+            }
+            let identity = ok.identity();
+            let serve_nanos = ok.compile_nanos + ok.exec_nanos;
+            if phase == 0 {
+                r.cold_nanos = nanos;
+                r.cold_serve_nanos = serve_nanos;
+                if let Some(exp) = &expected[i] {
+                    if *exp != identity {
+                        r.failures.push(format!(
+                            "{}: cold response differs from single-shot run",
+                            items[i].name
+                        ));
+                    }
+                }
+                cold_identity[slot] = Some(identity);
+            } else {
+                r.hot_nanos = r.hot_nanos.min(nanos);
+                r.hot_serve_nanos = r.hot_serve_nanos.min(serve_nanos);
+                r.hot_module_hit &= ok.cache.module_hit;
+                if let Some(cold) = &cold_identity[slot] {
+                    if *cold != identity {
+                        r.failures.push(format!(
+                            "{}: hot response differs from cold response",
+                            items[i].name
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for r in &mut results {
+        if r.hot_nanos == u64::MAX {
+            r.hot_nanos = r.cold_nanos.max(1);
+        }
+        if r.hot_serve_nanos == u64::MAX {
+            r.hot_serve_nanos = r.cold_serve_nanos.max(1);
+        }
+    }
+    Ok(results)
+}

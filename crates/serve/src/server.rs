@@ -1,0 +1,306 @@
+//! The persistent daemon: socket accept loop, per-connection handlers,
+//! and graceful shutdown.
+//!
+//! One [`ServeState`] (both cache tiers) and one [`Executor`] (the
+//! work-stealing pool) are shared by every connection. Each connection
+//! gets a reader thread that parses line-delimited requests, submits
+//! `run` jobs to the pool, and writes exactly one response line per
+//! request line, in order — the protocol is strictly request-response
+//! per connection, so clients can never observe reordering.
+//!
+//! Admission control: when the pool's bounded queue is full, the
+//! connection immediately receives an `overloaded` response for that
+//! request. Nothing is ever silently dropped; a malformed line yields an
+//! `error` response and the connection stays usable.
+
+use crate::engine::{ServeOptions, ServeState};
+use crate::executor::Executor;
+use crate::request::{Request, Response};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use telemetry::cli::PROTOCOL_VERSION;
+use telemetry::Json;
+
+struct ServerShared {
+    state: ServeState,
+    executor: Arc<Executor>,
+    stopping: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl ServerShared {
+    fn stats_json(&self) -> Json {
+        let (executed, refused) = self.executor.counters();
+        let mut fields = match self.state.stats_json() {
+            Json::Obj(pairs) => pairs,
+            _ => Vec::new(),
+        };
+        fields.push((
+            "admission".into(),
+            Json::obj(vec![
+                ("pending", Json::u64(self.executor.pending() as u64)),
+                ("queue_cap", Json::u64(self.executor.queue_cap() as u64)),
+                ("executed", Json::u64(executed as u64)),
+                ("refused", Json::u64(refused as u64)),
+            ]),
+        ));
+        fields.push((
+            "requests".into(),
+            Json::u64(self.requests.load(Ordering::Relaxed)),
+        ));
+        fields.push((
+            "errors".into(),
+            Json::u64(self.errors.load(Ordering::Relaxed)),
+        ));
+        fields.push(("protocol".into(), Json::u64(PROTOCOL_VERSION)));
+        Json::Obj(fields)
+    }
+}
+
+enum WakeTarget {
+    Tcp(std::net::SocketAddr),
+    Unix(PathBuf),
+}
+
+/// A running server; dropping it without [`ServerHandle::shutdown`] leaks
+/// the accept thread (tests and the daemon always shut down explicitly).
+pub struct ServerHandle {
+    /// Displayable listen address (`host:port` or a socket path).
+    pub addr: String,
+    shared: Arc<ServerShared>,
+    accept: Option<JoinHandle<()>>,
+    wake: WakeTarget,
+}
+
+impl ServerHandle {
+    /// Requests shutdown (idempotent) and joins the accept loop and the
+    /// worker pool. In-flight requests finish first.
+    pub fn shutdown(mut self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        match &self.wake {
+            WakeTarget::Tcp(addr) => drop(TcpStream::connect(addr)),
+            WakeTarget::Unix(path) => drop(UnixStream::connect(path)),
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.shared.executor.shutdown();
+        if let WakeTarget::Unix(path) = &self.wake {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Waits for a *client-initiated* `shutdown` request to stop the
+    /// server, then joins the pool (the daemon binary's main loop).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.shared.executor.shutdown();
+        if let WakeTarget::Unix(path) = &self.wake {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Binds a TCP listener and starts serving. `addr` may use port 0 for an
+/// ephemeral port; the bound address is in the returned handle.
+///
+/// # Errors
+/// Propagates bind failures.
+pub fn serve_tcp(addr: &str, opts: &ServeOptions) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shared = make_shared(opts);
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let wake = local;
+        std::thread::Builder::new()
+            .name("psim-serve-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.stopping.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    spawn_conn(&shared, stream, move || {
+                        drop(TcpStream::connect(wake));
+                    });
+                }
+            })?
+    };
+    Ok(ServerHandle {
+        addr: local.to_string(),
+        shared,
+        accept: Some(accept),
+        wake: WakeTarget::Tcp(local),
+    })
+}
+
+/// Binds a Unix-domain socket at `path` (removing a stale socket file
+/// first) and starts serving.
+///
+/// # Errors
+/// Propagates bind failures.
+pub fn serve_unix(path: &str, opts: &ServeOptions) -> std::io::Result<ServerHandle> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    let shared = make_shared(opts);
+    let wake_path = PathBuf::from(path);
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let wake = wake_path.clone();
+        std::thread::Builder::new()
+            .name("psim-serve-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.stopping.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let wake = wake.clone();
+                    spawn_conn(&shared, stream, move || {
+                        drop(UnixStream::connect(&wake));
+                    });
+                }
+            })?
+    };
+    Ok(ServerHandle {
+        addr: path.to_string(),
+        shared,
+        accept: Some(accept),
+        wake: WakeTarget::Unix(wake_path),
+    })
+}
+
+fn make_shared(opts: &ServeOptions) -> Arc<ServerShared> {
+    Arc::new(ServerShared {
+        state: ServeState::new(opts),
+        executor: Executor::new(opts.workers, opts.queue_cap),
+        stopping: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+    })
+}
+
+trait Conn: Read + Write + Send + 'static {
+    fn split(&self) -> std::io::Result<Box<dyn Conn>>;
+}
+
+impl Conn for TcpStream {
+    fn split(&self) -> std::io::Result<Box<dyn Conn>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+impl Conn for UnixStream {
+    fn split(&self) -> std::io::Result<Box<dyn Conn>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+fn spawn_conn<C: Conn>(
+    shared: &Arc<ServerShared>,
+    stream: C,
+    wake: impl FnOnce() + Send + 'static,
+) {
+    let shared = Arc::clone(shared);
+    let _ = std::thread::Builder::new()
+        .name("psim-serve-conn".into())
+        .spawn(move || {
+            let Ok(writer) = stream.split() else { return };
+            handle_conn(&shared, BufReader::new(stream), writer, wake);
+        });
+}
+
+fn handle_conn(
+    shared: &Arc<ServerShared>,
+    reader: BufReader<impl Read>,
+    mut writer: impl Write,
+    wake: impl FnOnce(),
+) {
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let (response, stop) = dispatch(shared, &line);
+        if matches!(
+            response,
+            Response::Error { .. } | Response::Overloaded { .. }
+        ) {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let out = response.to_json().to_string_compact();
+        if writer.write_all(out.as_bytes()).is_err() || writer.write_all(b"\n").is_err() {
+            break;
+        }
+        let _ = writer.flush();
+        if stop {
+            shared.stopping.store(true, Ordering::SeqCst);
+            wake();
+            break;
+        }
+    }
+}
+
+/// Handles one request line, returning the response and whether the
+/// server should stop after sending it.
+fn dispatch(shared: &Arc<ServerShared>, line: &str) -> (Response, bool) {
+    let req = match Request::parse(line) {
+        Ok(r) => r,
+        Err(e) => return (Response::Error { id: 0, message: e }, false),
+    };
+    match req {
+        Request::Ping { id } => (
+            Response::Pong {
+                id,
+                protocol: PROTOCOL_VERSION,
+            },
+            false,
+        ),
+        Request::Stats { id } => (
+            Response::Stats {
+                id,
+                stats: shared.stats_json(),
+            },
+            false,
+        ),
+        Request::Shutdown { id } => (Response::ShuttingDown { id }, true),
+        Request::Run(run) => {
+            let id = run.id;
+            let (tx, rx) = mpsc::channel();
+            let job_shared = Arc::clone(shared);
+            let submitted = shared.executor.submit(Box::new(move || {
+                let resp = match job_shared.state.run_request(&run) {
+                    Ok(r) => Response::Ok(Box::new(r)),
+                    Err(message) => Response::Error {
+                        id: run.id,
+                        message,
+                    },
+                };
+                let _ = tx.send(resp);
+            }));
+            if submitted.is_err() {
+                return (Response::Overloaded { id }, false);
+            }
+            match rx.recv() {
+                Ok(resp) => (resp, false),
+                Err(_) => (
+                    Response::Error {
+                        id,
+                        message: "worker failed before replying".into(),
+                    },
+                    false,
+                ),
+            }
+        }
+    }
+}

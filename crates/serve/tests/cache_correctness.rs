@@ -1,0 +1,157 @@
+//! Cache-correctness guarantees of the serve path.
+//!
+//! 1. Content addressing: textually different but hash-identical sources
+//!    (comment/whitespace mutations) share one compiled module and one
+//!    set of plans — pinned as a property test over generated mutations.
+//! 2. Eviction safety: an evicted module/plan recompiles to a
+//!    byte-identical response; the budgets bound memory, never answers.
+
+use proptest::prelude::*;
+use psim_serve::hashing::source_hash;
+use psim_serve::{single_shot, RunRequest, ServeOptions, ServeState};
+
+const SRC: &str = "void main(f32* restrict a, f32* restrict out, i64 n) {\n  psim gang(8) threads(n) {\n    i64 i = psim_thread_num();\n    f32 x = a[i];\n    if (x > 0.0) {\n      out[i] = x * 2.0;\n    } else {\n      out[i] = x - 1.0;\n    }\n  }\n}\n";
+
+fn req_with_source(id: u64, source: &str) -> RunRequest {
+    let mut r = RunRequest::new(id, source, 256);
+    r.buffers = vec![
+        suite::BufSpec {
+            elem: psir::ScalarTy::F32,
+            len: 256,
+            init: suite::Init::RandomF32 {
+                seed: 11,
+                lo: -3.0,
+                hi: 3.0,
+            },
+            check: false,
+        },
+        suite::BufSpec {
+            elem: psir::ScalarTy::F32,
+            len: 256,
+            init: suite::Init::Zero,
+            check: true,
+        },
+    ];
+    r.want_remarks = true;
+    r
+}
+
+/// Rewrites `src` with hash-neutral noise decided by `seed`: per line,
+/// optionally reindent, append spaces or a `//` comment, and optionally
+/// insert whole comment lines. Token content is untouched.
+fn mutate_whitespace_and_comments(src: &str, seed: u64) -> String {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut out = String::new();
+    for line in src.lines() {
+        if next() % 3 == 0 {
+            out.push_str("  // inserted comment line\n");
+        }
+        let indent = " ".repeat((next() % 6) as usize);
+        out.push_str(&indent);
+        // Collapse-safe: re-join the line's tokens with 1–3 spaces.
+        let mut first = true;
+        for tok in line.split_whitespace() {
+            if !first {
+                out.push_str(&" ".repeat(1 + (next() % 3) as usize));
+            }
+            out.push_str(tok);
+            first = false;
+        }
+        if next() % 2 == 0 {
+            out.push_str("   // trailing note");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+// Property: two textually different but hash-identical submissions share
+// one compiled module (the second is a cache hit) and produce identical
+// responses.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24 })]
+
+    #[test]
+    fn hash_identical_sources_share_a_module_and_plans(seed in 0u64..u64::MAX) {
+        let mutated = mutate_whitespace_and_comments(SRC, seed);
+        prop_assert!(mutated != SRC, "mutation must change the text");
+        prop_assert_eq!(source_hash(&mutated), source_hash(SRC));
+
+        let state = ServeState::new(&ServeOptions::default());
+        let cold = state.run_request(&req_with_source(1, SRC)).expect("cold");
+        let hot = state
+            .run_request(&req_with_source(2, &mutated))
+            .expect("mutated");
+        prop_assert!(!cold.cache.module_hit);
+        prop_assert!(
+            hot.cache.module_hit,
+            "hash-identical source must hit the module cache"
+        );
+        prop_assert!(
+            hot.cache.plan_shared_hits > 0 && hot.cache.plan_builds == 0,
+            "hash-identical source must reuse the cached plans \
+             (shared_hits={}, builds={})",
+            hot.cache.plan_shared_hits,
+            hot.cache.plan_builds
+        );
+        prop_assert_eq!(cold.identity(), hot.identity());
+        prop_assert_eq!(state.modules.stats().entries, 1);
+    }
+}
+
+#[test]
+fn evicted_module_recompiles_byte_identical() {
+    // Budgets small enough that the second source evicts the first from
+    // both tiers; resubmitting the first then recompiles from scratch.
+    let state = ServeState::new(&ServeOptions {
+        module_budget: 1,
+        plan_budget: 1,
+        ..ServeOptions::default()
+    });
+    let other = SRC.replace("* 2.0", "* 4.0");
+
+    let first = state.run_request(&req_with_source(1, SRC)).expect("first");
+    state
+        .run_request(&req_with_source(2, &other))
+        .expect("second (evicts first)");
+    let mstats = state.modules.stats();
+    assert!(mstats.evictions >= 1, "tiny budget must evict: {mstats:?}");
+
+    let again = state.run_request(&req_with_source(3, SRC)).expect("again");
+    assert!(
+        !again.cache.module_hit,
+        "evicted module must recompile, not hit"
+    );
+    assert_eq!(
+        again.identity(),
+        first.identity(),
+        "recompile after eviction is byte-identical"
+    );
+    // And both match the uncached single-shot reference.
+    let reference = single_shot(&req_with_source(4, SRC)).expect("single shot");
+    assert_eq!(again.identity(), reference.identity());
+}
+
+#[test]
+fn distinct_token_streams_do_not_collide() {
+    let state = ServeState::new(&ServeOptions::default());
+    let other = SRC.replace("* 2.0", "* 4.0");
+    assert_ne!(source_hash(SRC), source_hash(&other));
+    let a = state.run_request(&req_with_source(1, SRC)).expect("a");
+    let b = state.run_request(&req_with_source(2, &other)).expect("b");
+    assert!(
+        !b.cache.module_hit,
+        "different tokens must not share a module"
+    );
+    assert_ne!(
+        a.outputs, b.outputs,
+        "the kernels compute different results"
+    );
+    assert_eq!(state.modules.stats().entries, 2);
+}

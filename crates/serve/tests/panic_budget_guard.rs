@@ -1,0 +1,77 @@
+//! Guards the panic-budget ratchet's own failure modes: the committed
+//! script passes on the current tree, and a budgeted directory that has
+//! vanished makes it exit 2 (so renamed/deleted crates cannot silently
+//! escape the ratchet).
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+fn script_text() -> String {
+    std::fs::read_to_string(repo_root().join("ci/panic_budget.sh")).expect("script exists")
+}
+
+/// Runs a script body through `bash -s` with the repo's `ci/` directory
+/// as cwd, so the script's `cd "$(dirname "$0")/.."` (with `$0` = `bash`
+/// → `.`) lands on the repo root exactly as a committed invocation does.
+fn run_script(body: &str) -> std::process::Output {
+    let mut child = Command::new("bash")
+        .arg("-s")
+        .current_dir(repo_root().join("ci"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn bash");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(body.as_bytes())
+        .expect("write script");
+    child.wait_with_output().expect("wait")
+}
+
+#[test]
+fn committed_budgets_pass_on_the_current_tree() {
+    let out = run_script(&script_text());
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "panic budget must pass: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The serve crate is under the ratchet.
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("crates/serve"),
+        "serve must have a budget entry"
+    );
+}
+
+#[test]
+fn vanished_budgeted_directory_exits_two() {
+    let script = script_text();
+    let marker = "telemetry 18";
+    assert!(script.contains(marker), "budget list changed; update test");
+    let ghosted = script.replace(marker, &format!("{marker}\nghostcrate 0"));
+    let out = run_script(&ghosted);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "a vanished budgeted dir must exit 2: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("ghostcrate"),
+        "stderr names the vanished entry"
+    );
+}

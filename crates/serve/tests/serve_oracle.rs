@@ -1,0 +1,42 @@
+//! The serve path as a sixth oracle configuration: every committed fuzz
+//! corpus case, replayed over a real socket through the cached serve
+//! path, must produce responses byte-identical to uncached single-shot
+//! runs — for every recorded `n` value, twice (cold and hot).
+
+use psim_serve::servebench::{corpus_items, default_corpus_dir};
+use psim_serve::{serve_tcp, single_shot, Client, Response, ServeOptions};
+
+#[test]
+fn corpus_replay_through_the_server_matches_single_shot() {
+    let items = corpus_items(&default_corpus_dir()).expect("committed corpus parses");
+    assert!(
+        items.len() >= 6,
+        "corpus must have at least one item per committed file, got {}",
+        items.len()
+    );
+    let server = serve_tcp("127.0.0.1:0", &ServeOptions::default()).expect("bind");
+    let mut client = Client::connect(&server.addr).expect("connect");
+    for (i, item) in items.iter().enumerate() {
+        let expected = single_shot(&item.req)
+            .unwrap_or_else(|e| panic!("{}: single shot: {e}", item.name))
+            .identity();
+        for pass in 0..2u64 {
+            let mut req = item.req.clone();
+            req.id = (i as u64) * 10 + pass;
+            let resp = client
+                .run(req)
+                .unwrap_or_else(|e| panic!("{}: transport: {e}", item.name));
+            let Response::Ok(ok) = resp else {
+                panic!("{}: unexpected response {resp:?}", item.name)
+            };
+            assert_eq!(ok.id, (i as u64) * 10 + pass, "{}: id echo", item.name);
+            assert_eq!(
+                ok.identity(),
+                expected,
+                "{}: served response (pass {pass}) differs from single-shot",
+                item.name
+            );
+        }
+    }
+    server.shutdown();
+}

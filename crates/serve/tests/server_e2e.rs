@@ -1,0 +1,307 @@
+//! End-to-end tests of the daemon over real sockets: protocol liveness,
+//! cache behavior across a connection, error recovery, explicit
+//! backpressure, and graceful shutdown.
+
+use psim_serve::{serve_tcp, serve_unix, Client, Request, Response, RunRequest, ServeOptions};
+use std::time::{Duration, Instant};
+
+const SRC: &str = "
+void main(f32* restrict a, f32* restrict out, i64 n) {
+  psim gang(8) threads(n) {
+    i64 i = psim_thread_num();
+    out[i] = a[i] * 3.0 - 1.0;
+  }
+}
+";
+
+/// A deliberately slow kernel (a long data-independent loop) used to hold
+/// the single worker busy while backpressure is probed.
+const SLOW_SRC: &str = "
+void main(f32* restrict out, i64 n) {
+  psim gang(8) threads(n) {
+    i64 i = psim_thread_num();
+    f32 x = (f32) i;
+    i64 it = 0;
+    while (it < 200000) {
+      x = x * 1.000001 + 0.5;
+      it += 1;
+    }
+    out[i] = x;
+  }
+}
+";
+
+fn basic_req(id: u64) -> RunRequest {
+    let mut r = RunRequest::new(id, SRC, 128);
+    r.buffers = vec![
+        suite::BufSpec {
+            elem: psir::ScalarTy::F32,
+            len: 128,
+            init: suite::Init::RandomF32 {
+                seed: 3,
+                lo: -2.0,
+                hi: 2.0,
+            },
+            check: false,
+        },
+        suite::BufSpec {
+            elem: psir::ScalarTy::F32,
+            len: 128,
+            init: suite::Init::Zero,
+            check: true,
+        },
+    ];
+    r
+}
+
+#[test]
+fn tcp_session_ping_run_hit_and_stats() {
+    let server = serve_tcp("127.0.0.1:0", &ServeOptions::default()).expect("bind");
+    let mut c = Client::connect(&server.addr).expect("connect");
+    assert_eq!(c.ping(1).expect("ping"), telemetry::cli::PROTOCOL_VERSION);
+
+    let Response::Ok(cold) = c.run(basic_req(10)).expect("cold run") else {
+        panic!("cold run failed")
+    };
+    assert_eq!(cold.id, 10);
+    assert!(!cold.cache.module_hit);
+    assert!(!cold.outputs.is_empty());
+
+    let Response::Ok(hot) = c.run(basic_req(11)).expect("hot run") else {
+        panic!("hot run failed")
+    };
+    assert_eq!(hot.id, 11);
+    assert!(hot.cache.module_hit, "second submission hits the cache");
+    assert_eq!(hot.identity(), cold.identity(), "hit is byte-identical");
+    assert_eq!(hot.compile_nanos, 0);
+
+    let Response::Stats { stats, .. } = c.request(&Request::Stats { id: 12 }).expect("stats")
+    else {
+        panic!("stats failed")
+    };
+    let hits = stats
+        .get("module_cache")
+        .and_then(|m| m.get("hits"))
+        .and_then(telemetry::Json::as_u64)
+        .expect("module_cache.hits");
+    assert_eq!(hits, 1);
+    server.shutdown();
+}
+
+#[test]
+fn unix_socket_serves_the_same_protocol() {
+    let path = std::env::temp_dir().join(format!("psim-serve-test-{}.sock", std::process::id()));
+    let path_str = path.to_string_lossy().into_owned();
+    let server = serve_unix(&path_str, &ServeOptions::default()).expect("bind unix");
+    // The TCP client only speaks TCP; talk to the Unix socket directly.
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::os::unix::net::UnixStream::connect(&path).expect("connect unix");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let line = Request::Ping { id: 5 }.to_json().to_string_compact();
+    writer.write_all(line.as_bytes()).unwrap();
+    writer.write_all(b"\n").unwrap();
+    writer.flush().unwrap();
+    let mut buf = String::new();
+    reader.read_line(&mut buf).unwrap();
+    let Response::Pong { id, protocol } = Response::parse(buf.trim_end()).expect("parse") else {
+        panic!("expected pong, got {buf}")
+    };
+    assert_eq!((id, protocol), (5, telemetry::cli::PROTOCOL_VERSION));
+    drop(writer);
+    server.shutdown();
+    assert!(!path.exists(), "socket file cleaned up on shutdown");
+}
+
+#[test]
+fn malformed_and_failing_requests_keep_the_connection_usable() {
+    let server = serve_tcp("127.0.0.1:0", &ServeOptions::default()).expect("bind");
+    let mut c = Client::connect(&server.addr).expect("connect");
+
+    // Malformed line → error response, connection survives.
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(&server.addr).expect("raw connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    writer.write_all(b"this is not json\n").unwrap();
+    writer.flush().unwrap();
+    let mut buf = String::new();
+    reader.read_line(&mut buf).unwrap();
+    let Response::Error { id, message } = Response::parse(buf.trim_end()).expect("parse") else {
+        panic!("expected error, got {buf}")
+    };
+    assert_eq!(id, 0);
+    assert!(message.contains("malformed"));
+    // Same raw connection still serves a ping.
+    let line = Request::Ping { id: 9 }.to_json().to_string_compact();
+    writer.write_all(line.as_bytes()).unwrap();
+    writer.write_all(b"\n").unwrap();
+    writer.flush().unwrap();
+    buf.clear();
+    reader.read_line(&mut buf).unwrap();
+    assert!(matches!(
+        Response::parse(buf.trim_end()),
+        Ok(Response::Pong { id: 9, .. })
+    ));
+
+    // A compile failure is an error response, and the next run succeeds.
+    let mut bad = basic_req(20);
+    bad.source = "void main( {".into();
+    let Response::Error { id, message } = c.run(bad).expect("send") else {
+        panic!("expected error")
+    };
+    assert_eq!(id, 20);
+    assert!(message.contains("compile"));
+    assert!(matches!(c.run(basic_req(21)), Ok(Response::Ok(_))));
+    server.shutdown();
+}
+
+#[test]
+fn overload_yields_explicit_backpressure_then_recovers() {
+    // One worker, pending bound 1: while the slow request executes, any
+    // further run must be refused with `overloaded` (not queued, not
+    // dropped).
+    let opts = ServeOptions {
+        workers: 1,
+        queue_cap: 1,
+        ..ServeOptions::default()
+    };
+    let server = serve_tcp("127.0.0.1:0", &opts).expect("bind");
+    let addr = server.addr.clone();
+
+    let slow = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            let mut c = Client::connect(&addr).expect("connect slow");
+            let mut r = RunRequest::new(100, SLOW_SRC, 64);
+            r.buffers = vec![suite::BufSpec {
+                elem: psir::ScalarTy::F32,
+                len: 64,
+                init: suite::Init::Zero,
+                check: true,
+            }];
+            c.run(r).expect("slow run")
+        }
+    });
+
+    // Wait until the slow request is admitted (pending >= 1).
+    let mut c = Client::connect(&addr).expect("connect probe");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let Response::Stats { stats, .. } = c.request(&Request::Stats { id: 1 }).expect("stats")
+        else {
+            panic!("stats failed")
+        };
+        let pending = stats
+            .get("admission")
+            .and_then(|a| a.get("pending"))
+            .and_then(telemetry::Json::as_u64)
+            .unwrap_or(0);
+        if pending >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "slow request never admitted");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The queue is full: this run is refused, explicitly.
+    match c.run(basic_req(200)).expect("send during overload") {
+        Response::Overloaded { id } => assert_eq!(id, 200),
+        Response::Ok(_) => {
+            // The slow request finished between the stats poll and our
+            // submission — rare, but not a protocol violation. The
+            // refusal path is separately pinned by the executor unit
+            // tests; nothing more to assert here.
+        }
+        other => panic!("expected overloaded or ok, got {other:?}"),
+    }
+
+    let slow_resp = slow.join().expect("slow thread");
+    assert!(matches!(slow_resp, Response::Ok(_)), "slow run completes");
+
+    // Admission recovers: the same request is now served.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match c.run(basic_req(201)).expect("send after overload") {
+            Response::Ok(ok) => {
+                assert_eq!(ok.id, 201);
+                break;
+            }
+            Response::Overloaded { .. } => {
+                assert!(Instant::now() < deadline, "admission never recovered");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn client_initiated_shutdown_is_acknowledged() {
+    let server = serve_tcp("127.0.0.1:0", &ServeOptions::default()).expect("bind");
+    let addr = server.addr.clone();
+    let mut c = Client::connect(&addr).expect("connect");
+    let resp = c.request(&Request::Shutdown { id: 77 }).expect("shutdown");
+    assert!(matches!(resp, Response::ShuttingDown { id: 77 }));
+    server.join();
+    // The listener is gone: new connections are refused (or reset).
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(
+        Client::connect(&addr).is_err() || {
+            // Some platforms accept briefly; a ping must then fail.
+            Client::connect(&addr).is_ok_and(|mut c| c.ping(1).is_err())
+        },
+        "server must stop accepting after shutdown"
+    );
+}
+
+#[test]
+fn concurrent_clients_share_one_module_compile() {
+    let server = serve_tcp("127.0.0.1:0", &ServeOptions::default()).expect("bind");
+    let addr = server.addr.clone();
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).expect("connect");
+                let mut ids = Vec::new();
+                for k in 0..3 {
+                    let id = t * 100 + k;
+                    match c.run(basic_req(id)).expect("run") {
+                        Response::Ok(ok) => {
+                            assert_eq!(ok.id, id, "response routed to its request");
+                            ids.push(ok.identity());
+                        }
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+                ids
+            })
+        })
+        .collect();
+    let all: Vec<Vec<String>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let first = &all[0][0];
+    for ids in &all {
+        for id in ids {
+            assert_eq!(id, first, "every client sees one identical answer");
+        }
+    }
+    let mut c = Client::connect(&addr).expect("connect");
+    let Response::Stats { stats, .. } = c.request(&Request::Stats { id: 1 }).expect("stats") else {
+        panic!("stats failed")
+    };
+    let misses = stats
+        .get("module_cache")
+        .and_then(|m| m.get("misses"))
+        .and_then(telemetry::Json::as_u64)
+        .expect("misses");
+    let entries = stats
+        .get("module_cache")
+        .and_then(|m| m.get("entries"))
+        .and_then(telemetry::Json::as_u64)
+        .expect("entries");
+    assert_eq!(entries, 1, "12 submissions share one compiled module");
+    assert!(misses >= 1);
+    server.shutdown();
+}
