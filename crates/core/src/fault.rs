@@ -50,6 +50,68 @@ pub const SITES: &[(&str, &str)] = &[
     ("verify", "corrupt"),
 ];
 
+/// Environment variable holding a serve-layer `<layer>:<site>` chaos spec
+/// (consulted by `psim-serve` at startup; strictly opt-in).
+pub const SERVE_ENV_VAR: &str = "PSIM_SERVE_CHAOS";
+
+/// Every registered serve-layer chaos site, as `(layer, site)` pairs. The
+/// same registry discipline as [`SITES`], one process boundary up: the
+/// serve chaos sweep iterates this list, so an injection point added to
+/// the daemon without registering it here is left untested. Firing is
+/// deterministic — an armed site fires at *every* matching point.
+///
+/// * `conn:close_before_write` — the connection is dropped instead of
+///   writing a response (the client sees EOF, never a partial success).
+/// * `conn:truncate_write` — half the response bytes are written, no
+///   newline, then the connection is dropped (a torn frame).
+/// * `conn:delay_write` — a bounded delay before each response write
+///   (slow-server simulation; must not be confused with a hang).
+/// * `conn:close_on_read` — the connection is dropped right after a frame
+///   is read, before it is processed.
+/// * `worker:kill` — the worker thread executing the request panics
+///   mid-request (the pool must survive and the client must get a
+///   structured error).
+/// * `worker:delay` — a bounded delay inside the worker before
+///   compilation starts.
+pub const SERVE_SITES: &[(&str, &str)] = &[
+    ("conn", "close_before_write"),
+    ("conn", "truncate_write"),
+    ("conn", "delay_write"),
+    ("conn", "close_on_read"),
+    ("worker", "kill"),
+    ("worker", "delay"),
+];
+
+/// Parses a `<first>:<second>` spec against a `(first, second)` site
+/// registry — the shared grammar of [`FaultInjector::parse`] and the serve
+/// chaos parser.
+///
+/// # Errors
+/// Reports a malformed spec or an unregistered site, listing the valid
+/// ones.
+pub fn parse_site_spec(spec: &str, sites: &[(&str, &str)]) -> Result<(String, String), String> {
+    let valid = || {
+        sites
+            .iter()
+            .map(|&(p, s)| format!("{p}:{s}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let Some((pass, site)) = spec.split_once(':') else {
+        return Err(format!(
+            "invalid fault spec `{spec}` (expected <pass>:<site>; one of: {})",
+            valid()
+        ));
+    };
+    if !sites.iter().any(|&(p, s)| p == pass && s == site) {
+        return Err(format!(
+            "unknown fault site `{spec}` (registered sites: {})",
+            valid()
+        ));
+    }
+    Ok((pass.to_string(), site.to_string()))
+}
+
 /// An armed fault injector: fires at every site matching `pass:site`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultInjector {
@@ -66,29 +128,8 @@ impl FaultInjector {
     /// Reports a malformed spec or an unregistered site, listing the valid
     /// ones.
     pub fn parse(spec: &str) -> Result<FaultInjector, String> {
-        let valid = || {
-            SITES
-                .iter()
-                .map(|&(p, s)| format!("{p}:{s}"))
-                .collect::<Vec<_>>()
-                .join(", ")
-        };
-        let Some((pass, site)) = spec.split_once(':') else {
-            return Err(format!(
-                "invalid fault spec `{spec}` (expected <pass>:<site>; one of: {})",
-                valid()
-            ));
-        };
-        if !SITES.iter().any(|&(p, s)| p == pass && s == site) {
-            return Err(format!(
-                "unknown fault site `{spec}` (registered sites: {})",
-                valid()
-            ));
-        }
-        Ok(FaultInjector {
-            pass: pass.to_string(),
-            site: site.to_string(),
-        })
+        let (pass, site) = parse_site_spec(spec, SITES)?;
+        Ok(FaultInjector { pass, site })
     }
 
     /// Reads and parses [`ENV_VAR`]; `None` when unset or invalid (the CLIs

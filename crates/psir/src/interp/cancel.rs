@@ -1,0 +1,178 @@
+//! Cooperative cancellation for long-running executions.
+//!
+//! A [`CancelToken`] is a cheap, clonable handle shared between the party
+//! running an [`Interp`](super::Interp) and any party that may want to stop
+//! it: a serving front-end whose client disconnected, a deadline enforcer,
+//! or a process shutting down. The interpreter polls the token at block
+//! boundaries in *both* engines — the cheapest place that still bounds the
+//! reaction latency by one straight-line block — and returns
+//! [`ExecError::Cancelled`](super::ExecError::Cancelled) or
+//! [`ExecError::DeadlineExceeded`](super::ExecError::DeadlineExceeded)
+//! without executing further instructions.
+//!
+//! The polls charge no cycles and mutate no statistics, so an execution
+//! that is never cancelled is byte-identical (cycles, outputs, stats,
+//! profile) with or without a token attached — the engine-differential and
+//! fuzz gates rely on this. Reading the wall clock is not free, though, so
+//! the deadline is only consulted every [`DEADLINE_POLL_STEPS`] dynamic
+//! steps; the atomic flag is checked at every block boundary.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a token was cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// The requesting party went away (e.g. a client disconnect).
+    Client,
+    /// The attached deadline passed.
+    Deadline,
+    /// The host process is shutting down.
+    Shutdown,
+}
+
+/// Dynamic steps between wall-clock deadline polls. The flag itself is
+/// checked at every block boundary; only `Instant::now()` is amortized.
+pub const DEADLINE_POLL_STEPS: u64 = 8192;
+
+const LIVE: u8 = 0;
+const BY_CLIENT: u8 = 1;
+const BY_DEADLINE: u8 = 2;
+const BY_SHUTDOWN: u8 = 3;
+
+#[derive(Debug)]
+struct Inner {
+    state: AtomicU8,
+    deadline: Option<Instant>,
+}
+
+/// A shared cancellation flag with an optional deadline. Clones share one
+/// flag; cancelling any clone cancels them all.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A live token with no deadline.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                state: AtomicU8::new(LIVE),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A live token that trips with [`CancelReason::Deadline`] once `d` has
+    /// elapsed from now.
+    pub fn with_deadline(d: Duration) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                state: AtomicU8::new(LIVE),
+                deadline: Instant::now().checked_add(d),
+            }),
+        }
+    }
+
+    /// Cancels the token. The first reason wins; later calls are no-ops so
+    /// a racing disconnect and shutdown report deterministically whichever
+    /// was observed first.
+    pub fn cancel(&self, reason: CancelReason) {
+        let v = match reason {
+            CancelReason::Client => BY_CLIENT,
+            CancelReason::Deadline => BY_DEADLINE,
+            CancelReason::Shutdown => BY_SHUTDOWN,
+        };
+        let _ = self
+            .inner
+            .state
+            .compare_exchange(LIVE, v, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// The cancellation reason, or `None` while live. Does not consult the
+    /// deadline clock (see [`CancelToken::poll_deadline`]).
+    pub fn reason(&self) -> Option<CancelReason> {
+        match self.inner.state.load(Ordering::Acquire) {
+            BY_CLIENT => Some(CancelReason::Client),
+            BY_DEADLINE => Some(CancelReason::Deadline),
+            BY_SHUTDOWN => Some(CancelReason::Shutdown),
+            _ => None,
+        }
+    }
+
+    /// Whether the token has been cancelled (any reason).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.state.load(Ordering::Acquire) != LIVE
+    }
+
+    /// Reads the wall clock and trips the token if the deadline has
+    /// passed. Returns the reason if the token is (now) cancelled.
+    pub fn poll_deadline(&self) -> Option<CancelReason> {
+        if let Some(r) = self.reason() {
+            return Some(r);
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.cancel(CancelReason::Deadline);
+                // Report what actually stuck (a concurrent cancel wins).
+                self.reason()
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether a deadline is attached (used to decide if the clock must be
+    /// polled at all).
+    pub fn has_deadline(&self) -> bool {
+        self.inner.deadline.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_reason_wins() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.reason(), None);
+        t.cancel(CancelReason::Client);
+        t.cancel(CancelReason::Shutdown);
+        assert_eq!(t.reason(), Some(CancelReason::Client));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_one_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        u.cancel(CancelReason::Shutdown);
+        assert_eq!(t.reason(), Some(CancelReason::Shutdown));
+    }
+
+    #[test]
+    fn expired_deadline_trips_on_poll_only() {
+        let t = CancelToken::with_deadline(Duration::from_nanos(0));
+        // The flag alone never consults the clock.
+        assert_eq!(t.reason(), None);
+        assert_eq!(t.poll_deadline(), Some(CancelReason::Deadline));
+        assert_eq!(t.reason(), Some(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn distant_deadline_stays_live() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert_eq!(t.poll_deadline(), None);
+        assert!(!t.is_cancelled());
+        assert!(t.has_deadline());
+    }
+}

@@ -30,6 +30,20 @@ pub enum ExecError {
     SpmdIntrinsic(String),
     /// The configured step budget was exhausted (runaway loop guard).
     StepLimit,
+    /// The configured allocation budget was exhausted (a resource limit,
+    /// distinct from [`ExecError::OutOfBounds`], which is capacity).
+    MemoryBudget {
+        /// Bytes the allocation would have brought the total to.
+        requested: u64,
+        /// The configured budget in bytes.
+        limit: u64,
+    },
+    /// Execution was cancelled through an attached
+    /// [`CancelToken`](super::CancelToken).
+    Cancelled,
+    /// The deadline attached to the execution's
+    /// [`CancelToken`](super::CancelToken) passed.
+    DeadlineExceeded,
     /// Anything else (malformed IR reaching execution, arity errors, …).
     Other(String),
 }
@@ -46,6 +60,14 @@ impl fmt::Display for ExecError {
                 write!(f, "SPMD intrinsic {n} outside an SPMD execution context")
             }
             ExecError::StepLimit => write!(f, "step limit exhausted"),
+            ExecError::MemoryBudget { requested, limit } => {
+                write!(
+                    f,
+                    "memory budget exhausted ({requested} bytes requested, {limit} allowed)"
+                )
+            }
+            ExecError::Cancelled => write!(f, "execution cancelled"),
+            ExecError::DeadlineExceeded => write!(f, "deadline exceeded"),
             ExecError::Other(m) => write!(f, "{m}"),
         }
     }

@@ -13,6 +13,12 @@ use crate::types::ScalarTy;
 pub struct Memory {
     bytes: Vec<u8>,
     brk: u64,
+    /// Optional allocation budget in bytes (alignment padding included),
+    /// measured from the end of the 64-byte reserve. Distinct from
+    /// capacity: exceeding the budget is a *resource* error, so a serving
+    /// layer can refuse a hostile workload without conflating it with a
+    /// wild pointer.
+    budget: Option<u64>,
 }
 
 impl Memory {
@@ -22,6 +28,7 @@ impl Memory {
         Memory {
             bytes: vec![0; capacity],
             brk: 64,
+            budget: None,
         }
     }
 
@@ -30,10 +37,24 @@ impl Memory {
         self.bytes.len()
     }
 
+    /// Caps further allocation at `limit` bytes total (counting what is
+    /// already allocated and alignment padding; the 64-byte reserve is
+    /// free). `None` removes the cap; capacity still applies either way.
+    pub fn set_budget(&mut self, limit: Option<u64>) {
+        self.budget = limit;
+    }
+
+    /// Bytes allocated so far (including alignment padding, excluding the
+    /// reserve) — the quantity the budget is measured against.
+    pub fn allocated(&self) -> u64 {
+        self.brk.saturating_sub(64)
+    }
+
     /// Bump-allocates `size` bytes aligned to `align`.
     ///
     /// # Errors
-    /// Returns [`ExecError::OutOfBounds`] when capacity is exhausted.
+    /// Returns [`ExecError::OutOfBounds`] when capacity is exhausted and
+    /// [`ExecError::MemoryBudget`] when a configured budget is.
     pub fn alloc(&mut self, size: u64, align: u64) -> Result<u64, ExecError> {
         let align = align.max(1);
         let addr = self.brk.div_ceil(align) * align;
@@ -41,6 +62,15 @@ impl Memory {
             addr: self.brk,
             size,
         })?;
+        if let Some(limit) = self.budget {
+            let total = end.saturating_sub(64);
+            if total > limit {
+                return Err(ExecError::MemoryBudget {
+                    requested: total,
+                    limit,
+                });
+            }
+        }
         if end > self.bytes.len() as u64 {
             return Err(ExecError::OutOfBounds { addr, size });
         }
@@ -266,5 +296,27 @@ mod tests {
         assert!(m.load_scalar(ScalarTy::I32, 0).is_err());
         assert!(m.store_scalar(ScalarTy::I32, 126, 1).is_err());
         assert!(m.alloc(1 << 40, 1).is_err());
+    }
+
+    #[test]
+    fn budget_is_a_distinct_resource_error() {
+        let mut m = Memory::new(4096);
+        m.set_budget(Some(100));
+        assert_eq!(m.allocated(), 0);
+        let a = m.alloc(64, 1).unwrap();
+        assert!(a >= 64);
+        assert_eq!(m.allocated(), 64);
+        // Over budget but well under capacity: a MemoryBudget error, with
+        // the running total (not just this allocation) reported.
+        match m.alloc(64, 1) {
+            Err(ExecError::MemoryBudget { requested, limit }) => {
+                assert_eq!((requested, limit), (128, 100));
+            }
+            other => panic!("expected MemoryBudget, got {other:?}"),
+        }
+        // Lifting the budget recovers; capacity still binds.
+        m.set_budget(None);
+        assert!(m.alloc(64, 1).is_ok());
+        assert!(m.alloc(1 << 20, 1).is_err());
     }
 }

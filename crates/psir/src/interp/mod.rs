@@ -20,11 +20,13 @@
 //! statistics, and results — `runbench --check` and the engine
 //! differential tests gate on this identity contract.
 
+mod cancel;
 mod eval;
 mod memory;
 mod plan;
 mod plan_cache;
 
+pub use cancel::{CancelReason, CancelToken, DEADLINE_POLL_STEPS};
 pub use eval::{
     eval_bin, eval_cast, eval_cmp, eval_math, eval_un, reduce_identity, reduce_step, sext, trunc,
     ExecError,
@@ -396,10 +398,16 @@ pub struct Interp<'a> {
     lane_pool: Vec<Vec<u64>>,
     /// Recycled slot vectors for fast-engine activations.
     frame_pool: Vec<Vec<RtVal>>,
+    /// Cooperative cancellation handle, polled at block boundaries by both
+    /// engines. `None` (the default) costs one branch per block and keeps
+    /// execution byte-identical to a token-less run.
+    cancel: Option<CancelToken>,
+    /// Step count at which the deadline clock is next consulted.
+    next_deadline_poll: u64,
 }
 
 /// Default guard against runaway loops.
-const DEFAULT_STEP_LIMIT: u64 = 4_000_000_000;
+pub const DEFAULT_STEP_LIMIT: u64 = 4_000_000_000;
 
 /// Bound on pooled lane buffers (keeps pathological gang widths from
 /// pinning memory).
@@ -436,6 +444,8 @@ impl<'a> Interp<'a> {
             plan_builds: 0,
             lane_pool: Vec::new(),
             frame_pool: Vec::new(),
+            cancel: None,
+            next_deadline_poll: 0,
         }
     }
 
@@ -467,6 +477,42 @@ impl<'a> Interp<'a> {
     /// Replaces the runaway-loop guard (dynamic steps, not cycles).
     pub fn set_step_limit(&mut self, limit: u64) {
         self.step_limit = limit;
+    }
+
+    /// Dynamic steps executed so far (the quantity the step limit and the
+    /// deadline-poll cadence are measured in).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Attaches a cooperative-cancellation token. Both engines poll it at
+    /// every block boundary: the atomic flag always, the deadline clock
+    /// every [`DEADLINE_POLL_STEPS`] dynamic steps. Cancellation surfaces
+    /// as [`ExecError::Cancelled`] / [`ExecError::DeadlineExceeded`]; the
+    /// polls charge no cycles and touch no statistics, so an execution that
+    /// is never cancelled is byte-identical to one without a token.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+        self.next_deadline_poll = 0;
+    }
+
+    /// Block-boundary cancellation poll (see [`Interp::set_cancel_token`]).
+    #[inline]
+    fn check_cancel(&mut self) -> Result<(), ExecError> {
+        let Some(tok) = &self.cancel else {
+            return Ok(());
+        };
+        let reason = if tok.has_deadline() && self.steps >= self.next_deadline_poll {
+            self.next_deadline_poll = self.steps.saturating_add(DEADLINE_POLL_STEPS);
+            tok.poll_deadline()
+        } else {
+            tok.reason()
+        };
+        match reason {
+            None => Ok(()),
+            Some(CancelReason::Deadline) => Err(ExecError::DeadlineExceeded),
+            Some(CancelReason::Client | CancelReason::Shutdown) => Err(ExecError::Cancelled),
+        }
     }
 
     /// Selects the execution engine (the default is [`Engine::Fast`]).
@@ -691,6 +737,7 @@ impl<'a> Interp<'a> {
         let mut phi_vals: Vec<(InstId, RtVal)> = Vec::new();
 
         loop {
+            self.check_cancel()?;
             let bp = &plan.blocks[block.0 as usize];
 
             // φ schedule: the edge table resolved at plan time replaces
@@ -771,14 +818,17 @@ impl<'a> Interp<'a> {
     /// Reference engine: the retained pre-plan step loop, kept verbatim as
     /// the identity baseline (hashed value storage, cloned operands,
     /// per-dynamic-step cost-model queries, per-entry φ scans). The only
-    /// intentional change from the original is the φ step-limit check —
-    /// the runaway-guard bugfix applies to both engines.
+    /// intentional changes from the original are the φ step-limit check
+    /// (the runaway-guard bugfix) and the block-boundary cancellation poll
+    /// — both apply identically to both engines and neither perturbs
+    /// cycles or statistics.
     fn exec_reference(&mut self, f: &Function, args: Vec<RtVal>) -> Result<RtVal, ExecError> {
         let mut vals: HashMap<InstId, RtVal> = HashMap::new();
         let mut block = f.entry;
         let mut prev: Option<BlockId> = None;
 
         loop {
+            self.check_cancel()?;
             // φ nodes first, evaluated simultaneously from the incoming edge.
             let blk = f.block(block);
             let mut phi_results: Vec<(InstId, RtVal)> = Vec::new();
@@ -1902,6 +1952,82 @@ mod tests {
                 matches!(it.call("phi_spin", &[]), Err(ExecError::StepLimit)),
                 "φ-only loop must trip the step limit under {engine:?}"
             );
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_both_engines_at_a_block_boundary() {
+        let mut fb = FunctionBuilder::new("inf", vec![], Ty::Void);
+        let l = fb.new_block("l");
+        fb.br(l);
+        fb.switch_to(l);
+        let _x = fb.bin(BinOp::Add, 1i64, 1i64);
+        fb.br(l);
+        let mut m = Module::new();
+        m.add_function(fb.finish());
+        for engine in [Engine::Fast, Engine::Reference] {
+            let mut it = Interp::with_defaults(&m, Memory::default());
+            it.set_engine(engine);
+            let tok = CancelToken::new();
+            tok.cancel(CancelReason::Client);
+            it.set_cancel_token(tok);
+            assert!(
+                matches!(it.call("inf", &[]), Err(ExecError::Cancelled)),
+                "pre-cancelled token must stop the {engine:?} engine"
+            );
+        }
+    }
+
+    #[test]
+    fn expired_deadline_stops_both_engines() {
+        let mut fb = FunctionBuilder::new("inf", vec![], Ty::Void);
+        let l = fb.new_block("l");
+        fb.br(l);
+        fb.switch_to(l);
+        let _x = fb.bin(BinOp::Add, 1i64, 1i64);
+        fb.br(l);
+        let mut m = Module::new();
+        m.add_function(fb.finish());
+        for engine in [Engine::Fast, Engine::Reference] {
+            let mut it = Interp::with_defaults(&m, Memory::default());
+            it.set_engine(engine);
+            it.set_cancel_token(CancelToken::with_deadline(std::time::Duration::from_nanos(
+                0,
+            )));
+            assert!(
+                matches!(it.call("inf", &[]), Err(ExecError::DeadlineExceeded)),
+                "expired deadline must stop the {engine:?} engine"
+            );
+        }
+    }
+
+    #[test]
+    fn uncancelled_token_is_invisible_to_the_identity() {
+        // A live token (with a far deadline) must not perturb cycles,
+        // stats, or results relative to a token-less run — the serve layer
+        // attaches one to every request, and the differential gates
+        // require byte-identity with single-shot runs that attach none.
+        let m = sum_module();
+        for engine in [Engine::Fast, Engine::Reference] {
+            let mut plain = Interp::with_defaults(&m, Memory::default());
+            plain.set_engine(engine);
+            let r1 = plain.call("sum", &[RtVal::S(100)]).unwrap();
+
+            let mut tokened = Interp::with_defaults(&m, Memory::default());
+            tokened.set_engine(engine);
+            tokened.set_cancel_token(CancelToken::with_deadline(std::time::Duration::from_secs(
+                3600,
+            )));
+            let r2 = tokened.call("sum", &[RtVal::S(100)]).unwrap();
+
+            assert_eq!(r1, r2);
+            assert_eq!(plain.cycles, tokened.cycles, "{engine:?} cycles differ");
+            assert_eq!(
+                format!("{:?}", plain.stats),
+                format!("{:?}", tokened.stats),
+                "{engine:?} stats differ"
+            );
+            assert_eq!(plain.steps(), tokened.steps());
         }
     }
 

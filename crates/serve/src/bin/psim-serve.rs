@@ -3,7 +3,15 @@
 //! ```text
 //! psim-serve [--listen ADDR | --unix PATH] [--workers N] [--queue-cap N]
 //!            [--module-budget BYTES] [--plan-budget BYTES]
+//!            [--deadline-ms MS] [--max-steps N] [--max-mem-bytes BYTES]
+//!            [--max-source-bytes BYTES] [--max-frame-bytes BYTES]
+//!            [--idle-timeout-ms MS] [--frame-timeout-ms MS]
 //! ```
+//!
+//! Requests may carry their own `deadline_ms` / `max_steps` /
+//! `max_mem_bytes`, which tighten the server limits but never exceed
+//! them. Setting `PSIM_SERVE_CHAOS=<layer>:<site>` arms deterministic
+//! fault injection at one registered serve site (testing only).
 //!
 //! Serves the line-delimited JSON protocol (see `crates/serve/src/
 //! request.rs`) until a client sends a `shutdown` request. Prints one
@@ -13,7 +21,7 @@
 //! Exit contract (as for every tool in this repo): 0 clean shutdown,
 //! 1 runtime failure (bind error), 2 usage error.
 
-use psim_serve::{serve_tcp, serve_unix, ServeOptions};
+use psim_serve::{serve_tcp, serve_unix, ChaosSpec, ServeOptions};
 use telemetry::cli::Help;
 
 const HELP: Help = Help {
@@ -47,6 +55,34 @@ const HELP: Help = Help {
             "--plan-budget BYTES",
             "plan-cache byte budget (default: 67108864)",
         ),
+        (
+            "--deadline-ms MS",
+            "default per-request deadline in ms (default: 0 = none)",
+        ),
+        (
+            "--max-steps N",
+            "per-request dynamic-step budget (default: 33554432)",
+        ),
+        (
+            "--max-mem-bytes BYTES",
+            "per-request allocation budget (default: 67108864)",
+        ),
+        (
+            "--max-source-bytes BYTES",
+            "request source size cap (default: 1048576)",
+        ),
+        (
+            "--max-frame-bytes BYTES",
+            "wire frame (request line) cap (default: 8388608)",
+        ),
+        (
+            "--idle-timeout-ms MS",
+            "reap connections idle this long (default: 300000; 0 = never)",
+        ),
+        (
+            "--frame-timeout-ms MS",
+            "close connections whose frame trickles longer than this (default: 30000; 0 = never)",
+        ),
         ("-h, --help", "print this help"),
         (
             "-V, --version",
@@ -58,7 +94,9 @@ const HELP: Help = Help {
 fn usage() -> ! {
     eprintln!(
         "usage: psim-serve [--listen ADDR | --unix PATH] [--workers N] [--queue-cap N] \
-         [--module-budget BYTES] [--plan-budget BYTES]"
+         [--module-budget BYTES] [--plan-budget BYTES] [--deadline-ms MS] [--max-steps N] \
+         [--max-mem-bytes BYTES] [--max-source-bytes BYTES] [--max-frame-bytes BYTES] \
+         [--idle-timeout-ms MS] [--frame-timeout-ms MS]"
     );
     std::process::exit(2);
 }
@@ -78,6 +116,19 @@ fn main() {
             Ok(n) if n >= 1 => n,
             _ => {
                 eprintln!("psim-serve: {what} takes a positive integer, got {v:?}");
+                usage();
+            }
+        }
+    };
+
+    // Limit flags accept 0 ("unlimited"/"none") where the limit is
+    // optional, unlike the sizing flags above which require >= 1.
+    let parse_u64 = |v: Option<&String>, what: &str| -> u64 {
+        let Some(v) = v else { usage() };
+        match v.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("psim-serve: {what} takes a non-negative integer, got {v:?}");
                 usage();
             }
         }
@@ -112,12 +163,52 @@ fn main() {
                 i += 1;
                 opts.plan_budget = parse_num(args.get(i), "--plan-budget");
             }
+            "--deadline-ms" => {
+                i += 1;
+                opts.limits.deadline_ms = parse_u64(args.get(i), "--deadline-ms");
+            }
+            "--max-steps" => {
+                i += 1;
+                opts.limits.max_steps = parse_num(args.get(i), "--max-steps") as u64;
+            }
+            "--max-mem-bytes" => {
+                i += 1;
+                opts.limits.max_mem_bytes = parse_num(args.get(i), "--max-mem-bytes") as u64;
+            }
+            "--max-source-bytes" => {
+                i += 1;
+                opts.limits.max_source_bytes = parse_num(args.get(i), "--max-source-bytes") as u64;
+            }
+            "--max-frame-bytes" => {
+                i += 1;
+                opts.limits.max_frame_bytes = parse_num(args.get(i), "--max-frame-bytes") as u64;
+            }
+            "--idle-timeout-ms" => {
+                i += 1;
+                opts.limits.idle_timeout_ms = parse_u64(args.get(i), "--idle-timeout-ms");
+            }
+            "--frame-timeout-ms" => {
+                i += 1;
+                opts.limits.frame_timeout_ms = parse_u64(args.get(i), "--frame-timeout-ms");
+            }
             other => {
                 eprintln!("psim-serve: unknown flag {other}");
                 usage();
             }
         }
         i += 1;
+    }
+
+    match ChaosSpec::from_env() {
+        Ok(None) => {}
+        Ok(Some(chaos)) => {
+            eprintln!("psim-serve: CHAOS ARMED at {} (testing only)", chaos.spec());
+            opts.chaos = Some(chaos);
+        }
+        Err(e) => {
+            eprintln!("psim-serve: {e}");
+            std::process::exit(2);
+        }
     }
 
     let handle = match &unix {

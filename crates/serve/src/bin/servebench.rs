@@ -3,6 +3,7 @@
 //! ```text
 //! servebench [--clients N] [--n N] [--hot-iters K] [--check]
 //!            [--min-speedup X] [--json[=FILE]] [--baseline FILE]
+//! servebench --chaos [--json[=FILE]]
 //! ```
 //!
 //! Spawns an in-process server, drives the full suite sweep plus the fuzz
@@ -18,11 +19,16 @@
 //! * `--json` — print the JSON report on stdout; `--json=FILE` writes it
 //!   to FILE and keeps the text summary on stdout (the CI artifact and
 //!   `BENCH_servebench.json` baseline mode).
+//! * `--chaos` — instead of the load test, sweep every registered serve
+//!   fault site (one fresh server per site, that site armed) and exit 1
+//!   unless each yields a byte-identical success, a structured error, or
+//!   a clean close — never a hang, an escaped panic, or a byte-different
+//!   success.
 //!
 //! Exit contract (as for every tool in this repo): 0 success, 1 gate or
 //! runtime failure, 2 usage error.
 
-use psim_serve::servebench::{run, ServeBenchConfig};
+use psim_serve::servebench::{run, run_chaos, ServeBenchConfig};
 use telemetry::cli::Help;
 
 const HELP: Help = Help {
@@ -43,6 +49,10 @@ const HELP: Help = Help {
         ),
         ("--check", "gate: exit 1 on any identity/drop/order failure"),
         (
+            "--chaos",
+            "sweep every registered serve fault site; exit 1 on any hang or wrong answer",
+        ),
+        (
             "--min-speedup X",
             "with --check, require hot/cold geomean speedup >= X",
         ),
@@ -62,7 +72,7 @@ const HELP: Help = Help {
 fn usage() -> ! {
     eprintln!(
         "usage: servebench [--clients N] [--n N] [--hot-iters K] [--check] [--min-speedup X] \
-         [--json[=FILE]] [--baseline FILE]"
+         [--json[=FILE]] [--baseline FILE] | servebench --chaos [--json[=FILE]]"
     );
     std::process::exit(2);
 }
@@ -76,6 +86,7 @@ fn main() {
     let mut min_speedup: Option<f64> = None;
     let mut json_out: Option<Option<String>> = None;
     let mut baseline: Option<String> = None;
+    let mut chaos = false;
 
     let parse_usize = |v: Option<&String>, what: &str| -> usize {
         let Some(v) = v else { usage() };
@@ -111,6 +122,7 @@ fn main() {
                 cfg.hot_iters = parse_usize(args.get(i), "--hot-iters");
             }
             "--check" => cfg.check = true,
+            "--chaos" => chaos = true,
             "--min-speedup" => {
                 i += 1;
                 let Some(v) = args.get(i) else { usage() };
@@ -137,6 +149,40 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    if chaos {
+        let report = match run_chaos() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("servebench: chaos harness error: {e}");
+                std::process::exit(1);
+            }
+        };
+        let json = report.to_json().to_string_pretty();
+        match &json_out {
+            Some(None) => println!("{json}"),
+            Some(Some(path)) => {
+                if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                    eprintln!("servebench: cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                print!("{}", report.render_text());
+            }
+            None => print!("{}", report.render_text()),
+        }
+        if !report.failures.is_empty() {
+            eprintln!(
+                "servebench: CHAOS GATE FAILED: {} violation(s)",
+                report.failures.len()
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "servebench: chaos gate ok ({} site(s): structured error or clean close everywhere)",
+            report.outcomes.len()
+        );
+        return;
     }
 
     // Baselines must be self-describing: reject version/tool skew loudly

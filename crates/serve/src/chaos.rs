@@ -1,0 +1,127 @@
+//! Deterministic chaos injection for the serve layer.
+//!
+//! The same discipline as `parsimony`'s compile-time fault injection
+//! ([`parsimony::fault`]), one process boundary up: every place the daemon
+//! can misbehave against a peer — torn or dropped socket writes, dropped
+//! reads, a worker dying mid-request — is a *registered site*
+//! ([`parsimony::fault::SERVE_SITES`]), and an armed [`ChaosSpec`] fires at
+//! **every** matching site, so a sweep over the registry exercises each
+//! failure path without randomness.
+//!
+//! Chaos is strictly opt-in and scoped to one server instance
+//! ([`ServeOptions::chaos`](crate::ServeOptions)): tests running
+//! concurrently in one process cannot perturb each other, and a production
+//! daemon only arms it when `PSIM_SERVE_CHAOS=<layer>:<site>` is set at
+//! startup ([`ChaosSpec::from_env`]). Fire counts are shared across clones
+//! so a harness can assert the armed site actually fired.
+
+use parsimony::fault::{parse_site_spec, SERVE_ENV_VAR, SERVE_SITES};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Bounded delay injected by the `delay` sites. Long enough to be visible
+/// in wall-clock stats, short enough that a sweep over every site stays
+/// fast and a delay is never mistaken for a hang.
+pub const CHAOS_DELAY: Duration = Duration::from_millis(30);
+
+/// An armed serve-layer chaos injector: fires at every site matching
+/// `<layer>:<site>`. Clones share one fire counter.
+#[derive(Debug, Clone)]
+pub struct ChaosSpec {
+    /// Layer name (first component: `conn` or `worker`).
+    pub layer: String,
+    /// Site name within the layer.
+    pub site: String,
+    fired: Arc<AtomicU64>,
+}
+
+impl ChaosSpec {
+    /// Parses a `<layer>:<site>` spec against the registered
+    /// [`SERVE_SITES`].
+    ///
+    /// # Errors
+    /// Reports a malformed spec or an unregistered site, listing the valid
+    /// ones.
+    pub fn parse(spec: &str) -> Result<ChaosSpec, String> {
+        let (layer, site) = parse_site_spec(spec, SERVE_SITES)?;
+        Ok(ChaosSpec {
+            layer,
+            site,
+            fired: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// Reads and parses [`SERVE_ENV_VAR`] (`PSIM_SERVE_CHAOS`).
+    ///
+    /// # Errors
+    /// `Ok(None)` when the variable is unset; a parse error when it is set
+    /// but invalid, so a typo is reported rather than silently ignored.
+    pub fn from_env() -> Result<Option<ChaosSpec>, String> {
+        match std::env::var(SERVE_ENV_VAR) {
+            Ok(s) => ChaosSpec::parse(&s).map(Some),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Whether this injector matches `<layer>:<site>`; a match bumps the
+    /// shared fire counter. Deterministic: an armed site fires every time
+    /// it is reached.
+    pub fn fires(&self, layer: &str, site: &str) -> bool {
+        if self.layer == layer && self.site == site {
+            self.fired.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Times the armed site has fired (shared across clones).
+    pub fn fired(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// The canonical `<layer>:<site>` rendering.
+    pub fn spec(&self) -> String {
+        format!("{}:{}", self.layer, self.site)
+    }
+}
+
+/// Fires `chaos` at `<layer>:delay` if armed, sleeping [`CHAOS_DELAY`].
+pub fn maybe_delay(chaos: Option<&ChaosSpec>, layer: &str, site: &str) {
+    if chaos.is_some_and(|c| c.fires(layer, site)) {
+        std::thread::sleep(CHAOS_DELAY);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_registered_serve_sites_only() {
+        for &(l, s) in SERVE_SITES {
+            let c = ChaosSpec::parse(&format!("{l}:{s}")).unwrap();
+            assert_eq!((c.layer.as_str(), c.site.as_str()), (l, s));
+            assert_eq!(c.spec(), format!("{l}:{s}"));
+        }
+        assert!(ChaosSpec::parse("conn").is_err());
+        assert!(ChaosSpec::parse("conn:nosite")
+            .unwrap_err()
+            .contains("registered sites"));
+        // Compile-pipeline sites are a different registry.
+        assert!(ChaosSpec::parse("vectorize:panic").is_err());
+    }
+
+    #[test]
+    fn fires_only_on_match_and_counts_across_clones() {
+        let c = ChaosSpec::parse("conn:truncate_write").unwrap();
+        let clone = c.clone();
+        assert!(!c.fires("conn", "delay_write"));
+        assert!(!c.fires("worker", "kill"));
+        assert_eq!(c.fired(), 0);
+        assert!(c.fires("conn", "truncate_write"));
+        assert!(clone.fires("conn", "truncate_write"));
+        assert_eq!(c.fired(), 2, "clones share one counter");
+    }
+}

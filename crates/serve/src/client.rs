@@ -4,6 +4,7 @@
 use crate::request::{Request, Response, RunRequest};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 /// One blocking connection to a `psim-serve` TCP endpoint.
 pub struct Client {
@@ -25,6 +26,20 @@ impl Client {
         })
     }
 
+    /// Connects with socket read/write timeouts armed, so a wedged or
+    /// chaos-injected server can never hang the client — a blocked
+    /// request fails with a timeout error instead. The chaos sweep
+    /// treats such a timeout as a *hang*, i.e. a server bug.
+    ///
+    /// # Errors
+    /// Propagates connect and socket-option failures.
+    pub fn connect_with_timeout(addr: &str, timeout: Duration) -> std::io::Result<Client> {
+        let client = Client::connect(addr)?;
+        client.reader.get_ref().set_read_timeout(Some(timeout))?;
+        client.writer.set_write_timeout(Some(timeout))?;
+        Ok(client)
+    }
+
     /// Sends one request and blocks for its response (the protocol is
     /// strictly request-response per connection).
     ///
@@ -38,10 +53,18 @@ impl Client {
             .and_then(|()| self.writer.flush())
             .map_err(|e| format!("send: {e}"))?;
         let mut buf = String::new();
-        let n = self
-            .reader
-            .read_line(&mut buf)
-            .map_err(|e| format!("recv: {e}"))?;
+        let n = self.reader.read_line(&mut buf).map_err(|e| {
+            // Surface a socket timeout recognizably: the chaos sweep
+            // classifies it as a hang (a server bug), unlike EOF.
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                format!("recv: timeout: {e}")
+            } else {
+                format!("recv: {e}")
+            }
+        })?;
         if n == 0 {
             return Err("connection closed by server".into());
         }

@@ -15,12 +15,14 @@
 //! and configuration, and the cost model never varies.
 
 use crate::cache::{CompiledModule, ModuleCache};
+use crate::chaos::ChaosSpec;
 use crate::hashing::request_key;
 use crate::request::{hex, CacheInfo, Mode, RunRequest, RunResponse};
 use parsimony::{
     vectorize_module_with, FaultInjector, PipelineOptions, VectorizeOptions, VerifyMode,
 };
-use psir::{Engine, Interp, Memory, PlanCache, RtVal};
+use psir::{CancelReason, CancelToken, Engine, ExecError, Interp, Memory, PlanCache, RtVal};
+use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 use suite::runner::fill_buffer;
@@ -29,6 +31,50 @@ use vmach::Avx512Cost;
 use vmath::RuntimeExterns;
 
 static EXTERNS: RuntimeExterns = RuntimeExterns::new();
+
+/// Server-wide resource limits and socket timeouts. Per-request budgets
+/// (`deadline_ms`, `max_steps`, `max_mem_bytes` on the request) may
+/// tighten these but never exceed them. Defaults are generous — at the
+/// defaults every suite/corpus workload behaves exactly as without
+/// budgets, which the servebench identity gate relies on.
+#[derive(Debug, Clone)]
+pub struct ServeLimits {
+    /// Default per-request deadline in milliseconds (0 = none).
+    pub deadline_ms: u64,
+    /// Cap on dynamic interpreter steps per request.
+    pub max_steps: u64,
+    /// Cap on bytes a request may allocate (buffers + runtime allocs).
+    pub max_mem_bytes: u64,
+    /// Cap on request source size in bytes.
+    pub max_source_bytes: u64,
+    /// Cap on one wire frame (request line) in bytes. Enforced by the
+    /// server's bounded frame reader; an oversized frame cannot be
+    /// re-synchronized, so the connection closes after the error reply.
+    pub max_frame_bytes: u64,
+    /// Idle-connection reaping: a connection with no frame activity for
+    /// this long is closed (0 = never).
+    pub idle_timeout_ms: u64,
+    /// Slow-client (slowloris) protection: a *started* frame must
+    /// complete within this long or the connection is closed (0 = never).
+    pub frame_timeout_ms: u64,
+    /// Socket write timeout in milliseconds (0 = none).
+    pub write_timeout_ms: u64,
+}
+
+impl Default for ServeLimits {
+    fn default() -> ServeLimits {
+        ServeLimits {
+            deadline_ms: 0,
+            max_steps: psir::DEFAULT_STEP_LIMIT,
+            max_mem_bytes: 64 << 20,
+            max_source_bytes: 1 << 20,
+            max_frame_bytes: 8 << 20,
+            idle_timeout_ms: 300_000,
+            frame_timeout_ms: 30_000,
+            write_timeout_ms: 30_000,
+        }
+    }
+}
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -42,6 +88,11 @@ pub struct ServeOptions {
     pub module_budget: usize,
     /// Byte budget of the shared plan cache.
     pub plan_budget: usize,
+    /// Resource limits and socket timeouts.
+    pub limits: ServeLimits,
+    /// Armed chaos injection (strictly opt-in; `None` in production
+    /// unless `PSIM_SERVE_CHAOS` is set).
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl Default for ServeOptions {
@@ -53,6 +104,80 @@ impl Default for ServeOptions {
             queue_cap: 64,
             module_budget: 64 << 20,
             plan_budget: 64 << 20,
+            limits: ServeLimits::default(),
+            chaos: None,
+        }
+    }
+}
+
+/// A typed failure from the serving path, mapped one-to-one onto the
+/// structured response statuses (see
+/// [`telemetry::cli::STRUCTURED_FAILURE_STATUSES`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Compile or runtime failure (the `error` status).
+    Error(String),
+    /// The effective deadline passed.
+    DeadlineExceeded,
+    /// The request was cancelled (client disconnect).
+    Cancelled,
+    /// The server is shutting down.
+    ShuttingDown,
+    /// A resource budget was exhausted.
+    ResourceExhausted {
+        /// Which budget: `steps`, `mem_bytes`, or `source_bytes`.
+        what: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Error(m) => write!(f, "{m}"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::Cancelled => write!(f, "request cancelled"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::ResourceExhausted { what, detail } => {
+                write!(f, "resource exhausted ({what}): {detail}")
+            }
+        }
+    }
+}
+
+/// Effective (server ∧ request) budgets for one execution: the request may
+/// tighten a server limit, never exceed it. 0 on the request means
+/// "inherit".
+#[derive(Debug, Clone, Copy)]
+pub struct RunBudget {
+    /// Dynamic-step cap.
+    pub max_steps: u64,
+    /// Allocation cap in bytes.
+    pub max_mem_bytes: u64,
+}
+
+impl RunBudget {
+    /// Combines the server limits with a request's own budget fields.
+    pub fn effective(limits: &ServeLimits, req: &RunRequest) -> RunBudget {
+        let tighter = |server: u64, request: u64| {
+            if request == 0 {
+                server
+            } else {
+                server.min(request)
+            }
+        };
+        RunBudget {
+            max_steps: tighter(limits.max_steps, req.max_steps),
+            max_mem_bytes: tighter(limits.max_mem_bytes, req.max_mem_bytes),
+        }
+    }
+
+    /// The effective deadline in milliseconds (0 = none).
+    pub fn effective_deadline_ms(limits: &ServeLimits, req: &RunRequest) -> u64 {
+        match (limits.deadline_ms, req.deadline_ms) {
+            (0, d) | (d, 0) => d,
+            (a, b) => a.min(b),
         }
     }
 }
@@ -87,12 +212,47 @@ impl ServeState {
     /// descriptors) and runtime traps, with enough context to act on.
     /// Failures are never cached.
     pub fn run_request(&self, req: &RunRequest) -> Result<RunResponse, String> {
+        self.run_request_with(req, &ServeLimits::default(), None)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Serves one request under explicit limits and an optional
+    /// cancellation token (the daemon's path). Budgets are *runtime*
+    /// knobs: they are deliberately not part of the cache key, so the same
+    /// source served under different budgets shares one compiled module.
+    ///
+    /// # Errors
+    /// Typed: budget exhaustion, deadline, cancellation, and plain
+    /// compile/runtime failures each map to their structured response
+    /// status. Failures are never cached.
+    pub fn run_request_with(
+        &self,
+        req: &RunRequest,
+        limits: &ServeLimits,
+        cancel: Option<&CancelToken>,
+    ) -> Result<RunResponse, ServeError> {
+        if req.source.len() as u64 > limits.max_source_bytes {
+            return Err(ServeError::ResourceExhausted {
+                what: "source_bytes".into(),
+                detail: format!(
+                    "source is {} bytes, {} allowed",
+                    req.source.len(),
+                    limits.max_source_bytes
+                ),
+            });
+        }
+        // A request that is already cancelled or past its deadline skips
+        // the (uncancellable) compile phase entirely — a queued request
+        // whose deadline passed while it waited costs nothing further.
+        if let Some(tok) = cancel {
+            check_token(tok)?;
+        }
         let key = request_key(&req.source, req.mode.name(), &req.verify, &req.inject);
         let t = Instant::now();
         let (cm, module_hit) = match self.modules.get(key) {
             Some(cm) => (cm, true),
             None => {
-                let cm = compile_uncached(req, key)?;
+                let cm = compile_uncached(req, key).map_err(ServeError::Error)?;
                 (self.modules.insert(cm), false)
             }
         };
@@ -101,7 +261,15 @@ impl ServeState {
         } else {
             t.elapsed().as_nanos() as u64
         };
-        let mut resp = execute(&cm, req, &self.cost, Some((&self.plans, key)))?;
+        let budget = RunBudget::effective(limits, req);
+        let mut resp = execute(
+            &cm,
+            req,
+            &self.cost,
+            Some((&self.plans, key)),
+            Some(&budget),
+            cancel,
+        )?;
         resp.cache.module_hit = module_hit;
         resp.compile_nanos = compile_nanos;
         Ok(resp)
@@ -176,17 +344,83 @@ fn compile_uncached(req: &RunRequest, key: u64) -> Result<CompiledModule, String
     })
 }
 
+/// Maps a cancelled token onto its typed error. The reason distinguishes
+/// shutdown from client disconnect from deadline.
+fn check_token(tok: &CancelToken) -> Result<(), ServeError> {
+    match tok.poll_deadline() {
+        None => Ok(()),
+        Some(CancelReason::Deadline) => Err(ServeError::DeadlineExceeded),
+        Some(CancelReason::Client) => Err(ServeError::Cancelled),
+        Some(CancelReason::Shutdown) => Err(ServeError::ShuttingDown),
+    }
+}
+
+/// Maps an interpreter trap onto the typed serve error, consulting the
+/// token (when present) to attribute a generic `Cancelled` trap to
+/// disconnect vs shutdown.
+fn map_exec_error(
+    e: &ExecError,
+    budget: Option<&RunBudget>,
+    tok: Option<&CancelToken>,
+) -> ServeError {
+    match e {
+        ExecError::StepLimit => ServeError::ResourceExhausted {
+            what: "steps".into(),
+            detail: format!(
+                "step budget of {} exhausted",
+                budget.map_or(psir::DEFAULT_STEP_LIMIT, |b| b.max_steps)
+            ),
+        },
+        ExecError::MemoryBudget { requested, limit } => ServeError::ResourceExhausted {
+            what: "mem_bytes".into(),
+            detail: format!("{requested} bytes requested, {limit} allowed"),
+        },
+        ExecError::DeadlineExceeded => ServeError::DeadlineExceeded,
+        ExecError::Cancelled => match tok.and_then(CancelToken::reason) {
+            Some(CancelReason::Shutdown) => ServeError::ShuttingDown,
+            _ => ServeError::Cancelled,
+        },
+        other => ServeError::Error(format!("runtime error: {other}")),
+    }
+}
+
 /// Executes a compiled module over a request's workload on the fast
 /// engine. `plans` attaches the shared plan cache (the cached serve path);
-/// `None` is the single-shot path.
+/// `None` is the single-shot path. `budget`/`cancel` attach resource
+/// limits and cooperative cancellation; both `None` reproduces the
+/// pre-budget behavior bit for bit (nothing is configured on the
+/// interpreter at all).
 fn execute(
     cm: &CompiledModule,
     req: &RunRequest,
     cost: &Avx512Cost,
     plans: Option<(&Arc<PlanCache>, u64)>,
-) -> Result<RunResponse, String> {
+    budget: Option<&RunBudget>,
+    cancel: Option<&CancelToken>,
+) -> Result<RunResponse, ServeError> {
     let t = Instant::now();
     let mut mem = Memory::default();
+    if let Some(b) = budget {
+        // The workload buffers are allocated before the budget could be
+        // attached (their fill path treats allocation failure as fatal),
+        // so their footprint is pre-checked with the allocator's own
+        // arithmetic: 64-byte aligned bumps from a 64-byte reserve.
+        let mut brk: u64 = 64;
+        for spec in &req.buffers {
+            let bytes = spec.elem.size_bytes() * spec.len;
+            brk = brk.div_ceil(64) * 64 + bytes;
+        }
+        let footprint = brk.saturating_sub(64);
+        if footprint > b.max_mem_bytes {
+            return Err(ServeError::ResourceExhausted {
+                what: "mem_bytes".into(),
+                detail: format!(
+                    "workload buffers need {footprint} bytes, {} allowed",
+                    b.max_mem_bytes
+                ),
+            });
+        }
+    }
     let mut addrs: Vec<u64> = Vec::new();
     let mut args: Vec<RtVal> = Vec::new();
     for spec in &req.buffers {
@@ -196,9 +430,18 @@ fn execute(
     }
     args.extend(req.extra_args.iter().map(|&v| RtVal::S(v)));
     args.push(RtVal::S(req.n));
+    if let Some(b) = budget {
+        mem.set_budget(Some(b.max_mem_bytes));
+    }
 
     let mut it = Interp::new(&cm.module, mem, cost, &EXTERNS);
     it.set_engine(Engine::Fast);
+    if let Some(b) = budget {
+        it.set_step_limit(b.max_steps);
+    }
+    if let Some(tok) = cancel {
+        it.set_cancel_token(tok.clone());
+    }
     if let Some((cache, module_id)) = plans {
         it.set_plan_cache(Arc::clone(cache), module_id);
     }
@@ -206,7 +449,7 @@ fn execute(
         it.enable_profiling();
     }
     it.call(&req.entry, &args)
-        .map_err(|e| format!("runtime error: {e}"))?;
+        .map_err(|e| map_exec_error(&e, budget, cancel))?;
 
     let mut outputs = Vec::new();
     for (spec, &addr) in req.buffers.iter().zip(&addrs) {
@@ -215,7 +458,7 @@ fn execute(
             outputs.push(hex(it
                 .mem
                 .read_bytes(addr, bytes)
-                .map_err(|e| e.to_string())?));
+                .map_err(|e| ServeError::Error(e.to_string()))?));
         }
     }
     let (plan_shared_hits, plan_builds) = it.plan_counters();
@@ -235,6 +478,8 @@ fn execute(
         },
         compile_nanos: 0,
         exec_nanos: t.elapsed().as_nanos() as u64,
+        steps: it.steps(),
+        mem_bytes: it.mem.allocated(),
     })
 }
 
@@ -250,7 +495,8 @@ pub fn single_shot(req: &RunRequest) -> Result<RunResponse, String> {
     let t = Instant::now();
     let cm = compile_uncached(req, key)?;
     let compile_nanos = t.elapsed().as_nanos() as u64;
-    let mut resp = execute(&cm, req, &Avx512Cost::new(), None)?;
+    let mut resp =
+        execute(&cm, req, &Avx512Cost::new(), None, None, None).map_err(|e| e.to_string())?;
     resp.compile_nanos = compile_nanos;
     Ok(resp)
 }
@@ -339,6 +585,116 @@ void main(f32* restrict a, f32* restrict out, i64 n) {
         let ok = state.run_request(&req(4)).expect("clean run");
         assert!(!ok.cache.module_hit);
         assert_eq!(state.modules.stats().entries, 1);
+    }
+
+    const SLOW_SRC: &str = "
+void main(f32* restrict out, i64 n) {
+  psim gang(8) threads(n) {
+    i64 i = psim_thread_num();
+    f32 x = (f32) i;
+    i64 it = 0;
+    while (it < 100000) {
+      x = x * 1.000001 + 0.5;
+      it += 1;
+    }
+    out[i] = x;
+  }
+}
+";
+
+    fn slow_req(id: u64) -> RunRequest {
+        let mut r = RunRequest::new(id, SLOW_SRC, 64);
+        r.buffers = vec![suite::BufSpec {
+            elem: psir::ScalarTy::F32,
+            len: 64,
+            init: suite::Init::Zero,
+            check: true,
+        }];
+        r
+    }
+
+    #[test]
+    fn step_budget_exhaustion_is_typed_and_does_not_poison_the_caches() {
+        let state = ServeState::new(&ServeOptions::default());
+        let mut tight = slow_req(1);
+        tight.max_steps = 1000;
+        match state.run_request_with(&tight, &ServeLimits::default(), None) {
+            Err(ServeError::ResourceExhausted { what, detail }) => {
+                assert_eq!(what, "steps");
+                assert!(detail.contains("1000"));
+            }
+            other => panic!("expected steps exhaustion, got {other:?}"),
+        }
+        // The module compiled fine and stays cached; an unbudgeted retry
+        // serves the canonical answer.
+        let full = state.run_request(&slow_req(2)).expect("unbudgeted run");
+        assert!(full.cache.module_hit, "budget failure must not evict");
+        assert_eq!(
+            full.identity(),
+            single_shot(&slow_req(3)).expect("reference").identity()
+        );
+    }
+
+    #[test]
+    fn source_and_memory_budgets_are_enforced_before_execution() {
+        let state = ServeState::new(&ServeOptions::default());
+        let limits = ServeLimits {
+            max_source_bytes: 16,
+            ..ServeLimits::default()
+        };
+        match state.run_request_with(&slow_req(1), &limits, None) {
+            Err(ServeError::ResourceExhausted { what, .. }) => {
+                assert_eq!(what, "source_bytes");
+            }
+            other => panic!("expected source_bytes exhaustion, got {other:?}"),
+        }
+        let mut tight = req(2);
+        tight.max_mem_bytes = 128; // two 256-element f32 buffers cannot fit
+        match state.run_request_with(&tight, &ServeLimits::default(), None) {
+            Err(ServeError::ResourceExhausted { what, .. }) => {
+                assert_eq!(what, "mem_bytes");
+            }
+            other => panic!("expected mem_bytes exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_and_cancelled_token_map_to_their_statuses() {
+        let state = ServeState::new(&ServeOptions::default());
+        let tok = psir::CancelToken::with_deadline(std::time::Duration::from_nanos(0));
+        assert_eq!(
+            state
+                .run_request_with(&slow_req(1), &ServeLimits::default(), Some(&tok))
+                .unwrap_err(),
+            ServeError::DeadlineExceeded
+        );
+        let tok = psir::CancelToken::new();
+        tok.cancel(psir::CancelReason::Client);
+        assert_eq!(
+            state
+                .run_request_with(&slow_req(2), &ServeLimits::default(), Some(&tok))
+                .unwrap_err(),
+            ServeError::Cancelled
+        );
+        let tok = psir::CancelToken::new();
+        tok.cancel(psir::CancelReason::Shutdown);
+        assert_eq!(
+            state
+                .run_request_with(&slow_req(3), &ServeLimits::default(), Some(&tok))
+                .unwrap_err(),
+            ServeError::ShuttingDown
+        );
+        // A live token with room to finish serves normally, byte-identical
+        // to the reference.
+        let tok = psir::CancelToken::with_deadline(std::time::Duration::from_secs(600));
+        let ok = state
+            .run_request_with(&slow_req(4), &ServeLimits::default(), Some(&tok))
+            .expect("live token");
+        assert_eq!(
+            ok.identity(),
+            single_shot(&slow_req(5)).expect("reference").identity()
+        );
+        assert!(ok.steps > 0 && ok.mem_bytes > 0, "accounting is reported");
     }
 
     #[test]

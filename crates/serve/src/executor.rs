@@ -7,16 +7,73 @@
 //! bound on the *pending* count (queued + executing): when the bound is
 //! reached, [`Executor::submit`] refuses the job and the server answers
 //! `overloaded` — explicit backpressure, never a silent drop.
+//!
+//! Robustness contract (PR 7):
+//!
+//! * every job runs under `catch_unwind`, so a panicking request kills
+//!   neither its worker nor the daemon — the panic is counted
+//!   ([`Executor::panics`]) and the submitter's reply channel simply
+//!   drops, which the dispatcher reports as a structured error;
+//! * [`Executor::shutdown`] stops the workers and then *aborts* still
+//!   queued jobs through the abort hook given to
+//!   [`Executor::submit_with_abort`], so queued-but-unstarted requests
+//!   get a structured `shutting_down` reply instead of running during
+//!   teardown (in-flight jobs always complete);
+//! * the magic numbers of the pool live in [`ExecutorConfig`], not in
+//!   the code.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Tunable knobs of the executor pool. Socket-level timeouts live in
+/// [`ServeLimits`](crate::ServeLimits); these govern only the pool and
+/// the dispatcher's reply loop.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Worker threads in the pool (clamped to ≥ 1).
+    pub workers: usize,
+    /// Bound on pending (queued + executing) jobs (clamped to ≥ 1).
+    pub queue_cap: usize,
+    /// How long an idle worker parks on the condvar before rescanning
+    /// the queues. A wake notification cuts this short; the timeout is
+    /// only a backstop against a lost wakeup.
+    pub park_timeout: Duration,
+    /// How often a dispatcher waiting for a job's reply should wake to
+    /// re-check for client disconnect or server shutdown. The reply
+    /// itself arrives through the channel immediately; this only bounds
+    /// how stale a cancellation check can be.
+    pub reply_poll: Duration,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> ExecutorConfig {
+        ExecutorConfig {
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+            queue_cap: 64,
+            park_timeout: Duration::from_millis(50),
+            reply_poll: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A queued unit of work: the job itself plus an optional abort hook
+/// that runs *instead of* the job when the pool shuts down before the
+/// job starts.
+struct Task {
+    run: Job,
+    abort: Option<Job>,
+}
+
 struct Shared {
-    queues: Vec<Mutex<VecDeque<Job>>>,
+    queues: Vec<Mutex<VecDeque<Task>>>,
     ready: Condvar,
     // Guards the sleep/wake handshake; the queues have their own locks.
     sleep: Mutex<()>,
@@ -24,31 +81,53 @@ struct Shared {
     stopping: AtomicBool,
     overloaded: AtomicUsize,
     executed: AtomicUsize,
+    aborted: AtomicUsize,
+    panics: AtomicUsize,
+    park_timeout: Duration,
 }
 
 /// Fixed-size work-stealing thread pool with a bounded pending count.
 pub struct Executor {
     shared: Arc<Shared>,
     workers: Mutex<Vec<JoinHandle<()>>>,
-    queue_cap: usize,
+    config: ExecutorConfig,
     next: AtomicUsize,
 }
 
 impl Executor {
     /// Spawns `workers` threads; at most `queue_cap` jobs may be pending
-    /// (queued or executing) at once.
+    /// (queued or executing) at once. Remaining knobs take their
+    /// [`ExecutorConfig`] defaults.
     pub fn new(workers: usize, queue_cap: usize) -> Arc<Executor> {
-        let workers = workers.max(1);
+        Executor::with_config(ExecutorConfig {
+            workers,
+            queue_cap,
+            ..ExecutorConfig::default()
+        })
+    }
+
+    /// Spawns the pool with explicit [`ExecutorConfig`] knobs.
+    pub fn with_config(config: ExecutorConfig) -> Arc<Executor> {
+        let config = ExecutorConfig {
+            workers: config.workers.max(1),
+            queue_cap: config.queue_cap.max(1),
+            ..config
+        };
         let shared = Arc::new(Shared {
-            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queues: (0..config.workers)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
             ready: Condvar::new(),
             sleep: Mutex::new(()),
             pending: AtomicUsize::new(0),
             stopping: AtomicBool::new(false),
             overloaded: AtomicUsize::new(0),
             executed: AtomicUsize::new(0),
+            aborted: AtomicUsize::new(0),
+            panics: AtomicUsize::new(0),
+            park_timeout: config.park_timeout,
         });
-        let handles = (0..workers)
+        let handles = (0..config.workers)
             .map(|wid| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -60,7 +139,7 @@ impl Executor {
         Arc::new(Executor {
             shared,
             workers: Mutex::new(handles),
-            queue_cap: queue_cap.max(1),
+            config,
             next: AtomicUsize::new(0),
         })
     }
@@ -71,10 +150,31 @@ impl Executor {
     /// [`Overloaded`] when `queue_cap` jobs are already pending; the job
     /// is handed back untouched so the caller can report backpressure.
     pub fn submit(&self, job: Job) -> Result<(), Overloaded> {
+        self.submit_task(Task {
+            run: job,
+            abort: None,
+        })
+    }
+
+    /// Submits a job with an abort hook. If the pool shuts down before
+    /// the job starts, `abort` runs (on the shutdown thread) *instead
+    /// of* `job`, letting the submitter deliver a structured
+    /// `shutting_down` reply rather than silently dropping the request.
+    ///
+    /// # Errors
+    /// [`Overloaded`] exactly as for [`Executor::submit`].
+    pub fn submit_with_abort(&self, job: Job, abort: Job) -> Result<(), Overloaded> {
+        self.submit_task(Task {
+            run: job,
+            abort: Some(abort),
+        })
+    }
+
+    fn submit_task(&self, task: Task) -> Result<(), Overloaded> {
         // Reserve a pending slot optimistically; back out on overflow so
         // concurrent submits cannot jointly exceed the bound.
         let prev = self.shared.pending.fetch_add(1, Ordering::SeqCst);
-        if prev >= self.queue_cap {
+        if prev >= self.config.queue_cap {
             self.shared.pending.fetch_sub(1, Ordering::SeqCst);
             self.shared.overloaded.fetch_add(1, Ordering::Relaxed);
             return Err(Overloaded);
@@ -83,7 +183,7 @@ impl Executor {
         self.shared.queues[slot]
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push_back(job);
+            .push_back(task);
         // Wake everyone: the job may be stolen by any worker.
         let _g = self
             .shared
@@ -101,7 +201,12 @@ impl Executor {
 
     /// The pending bound.
     pub fn queue_cap(&self) -> usize {
-        self.queue_cap
+        self.config.queue_cap
+    }
+
+    /// The pool's configuration.
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.config
     }
 
     /// `(executed, refused)` counters since construction.
@@ -112,18 +217,39 @@ impl Executor {
         )
     }
 
-    /// Stops accepting work, drains nothing (pending jobs still run), and
-    /// joins the workers.
-    pub fn shutdown(&self) {
+    /// Jobs whose closure panicked (contained by the worker; counted,
+    /// never fatal).
+    pub fn panics(&self) -> usize {
+        self.shared.panics.load(Ordering::Relaxed)
+    }
+
+    /// Jobs aborted at shutdown before they started.
+    pub fn aborted(&self) -> usize {
+        self.shared.aborted.load(Ordering::Relaxed)
+    }
+
+    /// Flags the pool as stopping and wakes the workers, without
+    /// blocking. After this, no new job will be *started* (in-flight
+    /// jobs finish); call [`Executor::shutdown`] to join and drain.
+    /// Useful when the caller must do work between "stop starting jobs"
+    /// and "wait for the pool" — e.g. cancelling in-flight tokens.
+    pub fn begin_shutdown(&self) {
         self.shared.stopping.store(true, Ordering::SeqCst);
-        {
-            let _g = self
-                .shared
-                .sleep
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            self.shared.ready.notify_all();
-        }
+        let _g = self
+            .shared
+            .sleep
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.shared.ready.notify_all();
+    }
+
+    /// Stops accepting work, joins the workers (in-flight jobs finish),
+    /// then aborts still-queued jobs: each runs its abort hook if it has
+    /// one (structured `shutting_down` replies), otherwise its job runs
+    /// here, preserving the plain-[`submit`](Executor::submit) promise
+    /// that an admitted job is never silently dropped.
+    pub fn shutdown(&self) {
+        self.begin_shutdown();
         let handles = std::mem::take(
             &mut *self
                 .workers
@@ -133,6 +259,22 @@ impl Executor {
         for h in handles {
             let _ = h.join();
         }
+        // The workers are gone; whatever is still queued never started.
+        for q in &self.shared.queues {
+            loop {
+                let task = q
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .pop_front();
+                let Some(task) = task else { break };
+                let hook = task.abort.unwrap_or(task.run);
+                if catch_unwind(AssertUnwindSafe(hook)).is_err() {
+                    self.shared.panics.fetch_add(1, Ordering::Relaxed);
+                }
+                self.shared.aborted.fetch_add(1, Ordering::Relaxed);
+                self.shared.pending.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
     }
 }
 
@@ -140,14 +282,14 @@ impl Executor {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Overloaded;
 
-fn take_job(shared: &Shared, wid: usize) -> Option<Job> {
+fn take_task(shared: &Shared, wid: usize) -> Option<Task> {
     // Own queue first, then steal round-robin from the peers.
     let n = shared.queues.len();
     for i in 0..n {
         let q = &shared.queues[(wid + i) % n];
         let mut g = q.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        if let Some(job) = g.pop_front() {
-            return Some(job);
+        if let Some(task) = g.pop_front() {
+            return Some(task);
         }
     }
     None
@@ -155,14 +297,21 @@ fn take_job(shared: &Shared, wid: usize) -> Option<Job> {
 
 fn worker_loop(shared: &Shared, wid: usize) {
     loop {
-        if let Some(job) = take_job(shared, wid) {
-            job();
+        // Stop *before* taking another job: at shutdown, queued jobs are
+        // aborted with structured replies rather than raced to completion.
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(task) = take_task(shared, wid) {
+            // Contain panics: one poisoned request must not take down the
+            // worker (or, since workers are never respawned, slowly
+            // drain the pool).
+            if catch_unwind(AssertUnwindSafe(task.run)).is_err() {
+                shared.panics.fetch_add(1, Ordering::Relaxed);
+            }
             shared.executed.fetch_add(1, Ordering::Relaxed);
             shared.pending.fetch_sub(1, Ordering::SeqCst);
             continue;
-        }
-        if shared.stopping.load(Ordering::SeqCst) {
-            return;
         }
         let g = shared
             .sleep
@@ -177,9 +326,7 @@ fn worker_loop(shared: &Shared, wid: usize) {
                 .is_empty()
         });
         if empty && !shared.stopping.load(Ordering::SeqCst) {
-            let _ = shared
-                .ready
-                .wait_timeout(g, std::time::Duration::from_millis(50));
+            let _ = shared.ready.wait_timeout(g, shared.park_timeout);
         }
     }
 }
@@ -188,6 +335,10 @@ fn worker_loop(shared: &Shared, wid: usize) {
 mod tests {
     use super::*;
     use std::sync::mpsc;
+
+    /// Generous bound for "the pool certainly finished this" waits in
+    /// tests; unrelated to any production timeout.
+    const TEST_WAIT: Duration = Duration::from_secs(10);
 
     #[test]
     fn runs_jobs_on_many_workers() {
@@ -226,24 +377,18 @@ mod tests {
         assert_eq!(ex.counters().1, 1);
         // Release the worker; both jobs complete and admission recovers.
         gate_tx.send(()).unwrap();
-        done_rx
-            .recv_timeout(std::time::Duration::from_secs(5))
-            .unwrap();
-        done_rx
-            .recv_timeout(std::time::Duration::from_secs(5))
-            .unwrap();
+        done_rx.recv_timeout(TEST_WAIT).unwrap();
+        done_rx.recv_timeout(TEST_WAIT).unwrap();
         // Eventually pending drains to 0 and a new submit is admitted.
         for _ in 0..100 {
             if ex.pending() == 0 {
                 break;
             }
-            std::thread::sleep(std::time::Duration::from_millis(10));
+            std::thread::sleep(Duration::from_millis(10));
         }
         let dt = done_tx;
         ex.submit(Box::new(move || dt.send(()).unwrap())).unwrap();
-        done_rx
-            .recv_timeout(std::time::Duration::from_secs(5))
-            .unwrap();
+        done_rx.recv_timeout(TEST_WAIT).unwrap();
         ex.shutdown();
     }
 
@@ -273,7 +418,7 @@ mod tests {
         let mut got = Vec::new();
         for _ in 0..32 {
             got.push(
-                rx.recv_timeout(std::time::Duration::from_secs(10))
+                rx.recv_timeout(TEST_WAIT)
                     .expect("quick job must be stolen despite 3 blocked workers"),
             );
         }
@@ -283,5 +428,69 @@ mod tests {
             let _ = g.send(());
         }
         ex.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_is_contained_and_counted() {
+        let ex = Executor::new(2, 16);
+        ex.submit(Box::new(|| panic!("chaos"))).unwrap();
+        let (tx, rx) = mpsc::channel();
+        ex.submit(Box::new(move || tx.send(7).unwrap())).unwrap();
+        // The pool survives the panic and keeps executing jobs.
+        assert_eq!(rx.recv_timeout(TEST_WAIT).unwrap(), 7);
+        for _ in 0..100 {
+            if ex.panics() == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(ex.panics(), 1);
+        ex.shutdown();
+        assert_eq!(
+            ex.counters().0,
+            2,
+            "the panicking job still counts as executed"
+        );
+    }
+
+    #[test]
+    fn shutdown_aborts_queued_jobs_through_their_hook() {
+        let ex = Executor::new(1, 8);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let gr = Mutex::new(gate_rx);
+        // Occupy the single worker so everything behind it stays queued.
+        ex.submit(Box::new(move || {
+            started_tx.send(()).unwrap();
+            let _ = gr.lock().unwrap().recv();
+        }))
+        .unwrap();
+        // Wait until the worker is actually *executing* the gated job,
+        // so the stop flag below cannot sweep it into the drained set.
+        started_rx.recv_timeout(TEST_WAIT).unwrap();
+        let (tx, rx) = mpsc::channel::<&'static str>();
+        for _ in 0..3 {
+            let run_tx = tx.clone();
+            let abort_tx = tx.clone();
+            ex.submit_with_abort(
+                Box::new(move || run_tx.send("ran").unwrap()),
+                Box::new(move || abort_tx.send("aborted").unwrap()),
+            )
+            .unwrap();
+        }
+        drop(tx);
+        // Flag the stop *before* unblocking the worker, so it cannot
+        // race a queued job to execution on its way out.
+        ex.begin_shutdown();
+        gate_tx.send(()).unwrap();
+        ex.shutdown();
+        let outcomes: Vec<&str> = rx.iter().collect();
+        assert_eq!(outcomes.len(), 3, "no queued job is silently dropped");
+        assert!(
+            outcomes.iter().all(|&o| o == "aborted"),
+            "queued jobs are aborted at shutdown, not run: {outcomes:?}"
+        );
+        assert_eq!(ex.aborted(), 3);
+        assert_eq!(ex.pending(), 0);
     }
 }

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod engine;
 pub mod executor;
@@ -38,8 +39,9 @@ pub mod servebench;
 pub mod server;
 
 pub use cache::{CompiledModule, ModuleCache, ModuleCacheStats};
+pub use chaos::{ChaosSpec, CHAOS_DELAY};
 pub use client::Client;
-pub use engine::{single_shot, ServeOptions, ServeState};
+pub use engine::{single_shot, RunBudget, ServeError, ServeLimits, ServeOptions, ServeState};
 pub use executor::{Executor, Overloaded};
 pub use request::{CacheInfo, Mode, Request, Response, RunRequest, RunResponse};
 pub use server::{serve_tcp, serve_unix, ServerHandle};

@@ -189,6 +189,16 @@ pub struct RunRequest {
     pub want_remarks: bool,
     /// Include the cycle-attribution profile in the response.
     pub want_profile: bool,
+    /// Per-request deadline in milliseconds (0 = inherit the server
+    /// default). The effective deadline is the tighter of the two; an
+    /// exceeded deadline yields a `deadline_exceeded` response.
+    pub deadline_ms: u64,
+    /// Per-request dynamic-step budget (0 = inherit; capped by the server
+    /// limit). Exhaustion yields `resource_exhausted`.
+    pub max_steps: u64,
+    /// Per-request allocation budget in bytes (0 = inherit; capped by the
+    /// server limit). Exhaustion yields `resource_exhausted`.
+    pub max_mem_bytes: u64,
 }
 
 impl RunRequest {
@@ -207,6 +217,9 @@ impl RunRequest {
             extra_args: Vec::new(),
             want_remarks: false,
             want_profile: false,
+            deadline_ms: 0,
+            max_steps: 0,
+            max_mem_bytes: 0,
         }
     }
 }
@@ -263,6 +276,17 @@ impl Request {
                 }
                 if r.want_profile {
                     fields.push(("want_profile", Json::Bool(true)));
+                }
+                // Budget fields ride along only when set, so a default
+                // request is wire-identical to protocol 1.
+                if r.deadline_ms != 0 {
+                    fields.push(("deadline_ms", u64_to_json(r.deadline_ms)));
+                }
+                if r.max_steps != 0 {
+                    fields.push(("max_steps", u64_to_json(r.max_steps)));
+                }
+                if r.max_mem_bytes != 0 {
+                    fields.push(("max_mem_bytes", u64_to_json(r.max_mem_bytes)));
                 }
                 Json::obj(fields)
             }
@@ -346,6 +370,7 @@ impl Request {
                     Some(_) => return Err("run: \"extra_args\" must be an array".into()),
                 };
                 let flag = |k: &str| matches!(j.get(k), Some(Json::Bool(true)));
+                let budget = |k: &str| j.get(k).and_then(json_to_u64).unwrap_or(0);
                 Ok(Request::Run(Box::new(RunRequest {
                     id,
                     source,
@@ -358,6 +383,9 @@ impl Request {
                     extra_args,
                     want_remarks: flag("want_remarks"),
                     want_profile: flag("want_profile"),
+                    deadline_ms: budget("deadline_ms"),
+                    max_steps: budget("max_steps"),
+                    max_mem_bytes: budget("max_mem_bytes"),
                 })))
             }
             other => Err(format!("unknown op {other:?}")),
@@ -402,6 +430,13 @@ pub struct RunResponse {
     pub compile_nanos: u64,
     /// Wall nanoseconds spent executing.
     pub exec_nanos: u64,
+    /// Dynamic interpreter steps the execution consumed (what the step
+    /// budget is charged against). Accounting, not identity: deterministic
+    /// for a request, but reported alongside the wall times.
+    pub steps: u64,
+    /// Bytes the execution allocated (what the memory budget is charged
+    /// against), alignment padding included.
+    pub mem_bytes: u64,
 }
 
 impl RunResponse {
@@ -464,10 +499,36 @@ pub enum Response {
         /// Human-readable failure description.
         message: String,
     },
-    /// Acknowledgement of `shutdown`.
+    /// Acknowledgement of `shutdown`, and the structured reply for any
+    /// request caught in flight (or still queued) when the server stops.
     ShuttingDown {
         /// Echo of the request id.
         id: u64,
+    },
+    /// The request's effective deadline passed before execution finished;
+    /// the worker was released at the next block boundary.
+    DeadlineExceeded {
+        /// Echo of the request id.
+        id: u64,
+    },
+    /// The request was cancelled (the client disconnected mid-request);
+    /// the worker was released at the next block boundary.
+    Cancelled {
+        /// Echo of the request id.
+        id: u64,
+    },
+    /// A resource budget was exhausted: steps, memory, source size, or
+    /// frame size. Deterministic for a given request and budget, and the
+    /// connection stays usable (except for oversized frames, which cannot
+    /// be re-synchronized).
+    ResourceExhausted {
+        /// Echo of the request id (0 when the frame itself was oversized).
+        id: u64,
+        /// Which budget: `steps`, `mem_bytes`, `source_bytes`, or
+        /// `frame_bytes`.
+        what: String,
+        /// Human-readable detail (the budget and what hit it).
+        detail: String,
     },
 }
 
@@ -498,6 +559,8 @@ impl Response {
                     ("plan_builds", u64_to_json(r.cache.plan_builds)),
                     ("compile_nanos", u64_to_json(r.compile_nanos)),
                     ("exec_nanos", u64_to_json(r.exec_nanos)),
+                    ("steps", u64_to_json(r.steps)),
+                    ("mem_bytes", u64_to_json(r.mem_bytes)),
                 ];
                 if let Some(remarks) = &r.remarks {
                     fields.push(("remarks", remarks.clone()));
@@ -529,6 +592,20 @@ impl Response {
             Response::ShuttingDown { id } => Json::obj(vec![
                 ("status", Json::Str("shutting_down".into())),
                 ("id", u64_to_json(*id)),
+            ]),
+            Response::DeadlineExceeded { id } => Json::obj(vec![
+                ("status", Json::Str("deadline_exceeded".into())),
+                ("id", u64_to_json(*id)),
+            ]),
+            Response::Cancelled { id } => Json::obj(vec![
+                ("status", Json::Str("cancelled".into())),
+                ("id", u64_to_json(*id)),
+            ]),
+            Response::ResourceExhausted { id, what, detail } => Json::obj(vec![
+                ("status", Json::Str("resource_exhausted".into())),
+                ("id", u64_to_json(*id)),
+                ("what", Json::Str(what.clone())),
+                ("detail", Json::Str(detail.clone())),
             ]),
         }
     }
@@ -564,6 +641,16 @@ impl Response {
             }),
             "overloaded" => Ok(Response::Overloaded { id }),
             "shutting_down" => Ok(Response::ShuttingDown { id }),
+            "deadline_exceeded" => Ok(Response::DeadlineExceeded { id }),
+            "cancelled" => Ok(Response::Cancelled { id }),
+            "resource_exhausted" => {
+                let field = |k: &str| j.get(k).and_then(Json::as_str).unwrap_or("").to_string();
+                Ok(Response::ResourceExhausted {
+                    id,
+                    what: field("what"),
+                    detail: field("detail"),
+                })
+            }
             "error" => Ok(Response::Error {
                 id,
                 message: j
@@ -598,6 +685,10 @@ impl Response {
                     },
                     compile_nanos: num("compile_nanos")?,
                     exec_nanos: num("exec_nanos")?,
+                    // Tolerate protocol-1 responses that predate the
+                    // accounting fields.
+                    steps: j.get("steps").and_then(json_to_u64).unwrap_or(0),
+                    mem_bytes: j.get("mem_bytes").and_then(json_to_u64).unwrap_or(0),
                 })))
             }
             other => Err(format!("unknown status {other:?}")),
@@ -707,6 +798,8 @@ mod tests {
             },
             compile_nanos: 0,
             exec_nanos: 999,
+            steps: 10,
+            mem_bytes: 4096,
         };
         let line = Response::Ok(Box::new(r.clone()))
             .to_json()
@@ -723,6 +816,78 @@ mod tests {
         hot.compile_nanos = 1;
         hot.exec_nanos = 2;
         assert_eq!(r.identity(), hot.identity());
+    }
+
+    #[test]
+    fn budget_fields_round_trip_and_default_requests_stay_protocol_1() {
+        // Defaults: no budget keys on the wire at all.
+        let plain = RunRequest::new(1, "void main(i64 n) { }", 8);
+        let line = Request::Run(Box::new(plain)).to_json().to_string_compact();
+        assert!(!line.contains("deadline_ms"));
+        assert!(!line.contains("max_steps"));
+        assert!(!line.contains("max_mem_bytes"));
+        let Request::Run(b) = Request::parse(&line).unwrap() else {
+            panic!("wrong op")
+        };
+        assert_eq!((b.deadline_ms, b.max_steps, b.max_mem_bytes), (0, 0, 0));
+
+        // Set budgets survive the round trip.
+        let mut r = RunRequest::new(2, "void main(i64 n) { }", 8);
+        r.deadline_ms = 250;
+        r.max_steps = 1_000_000;
+        r.max_mem_bytes = 1 << 20;
+        let line = Request::Run(Box::new(r)).to_json().to_string_compact();
+        let Request::Run(b) = Request::parse(&line).unwrap() else {
+            panic!("wrong op")
+        };
+        assert_eq!(
+            (b.deadline_ms, b.max_steps, b.max_mem_bytes),
+            (250, 1_000_000, 1 << 20)
+        );
+    }
+
+    #[test]
+    fn structured_failure_statuses_round_trip() {
+        for resp in [
+            Response::DeadlineExceeded { id: 4 },
+            Response::Cancelled { id: 5 },
+            Response::ResourceExhausted {
+                id: 6,
+                what: "steps".into(),
+                detail: "1000 steps allowed".into(),
+            },
+        ] {
+            let line = resp.to_json().to_string_compact();
+            let status = Json::parse(&line)
+                .unwrap()
+                .get("status")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string();
+            assert!(
+                telemetry::cli::STRUCTURED_FAILURE_STATUSES.contains(&status.as_str()),
+                "{status} must be a registered structured failure status"
+            );
+            let back = Response::parse(&line).expect("round trip");
+            match (&resp, &back) {
+                (Response::DeadlineExceeded { id: a }, Response::DeadlineExceeded { id: b })
+                | (Response::Cancelled { id: a }, Response::Cancelled { id: b }) => {
+                    assert_eq!(a, b);
+                }
+                (
+                    Response::ResourceExhausted { id: a, what: w, .. },
+                    Response::ResourceExhausted {
+                        id: b,
+                        what: x,
+                        detail,
+                    },
+                ) => {
+                    assert_eq!((a, w.as_str()), (b, x.as_str()));
+                    assert!(detail.contains("1000"));
+                }
+                other => panic!("mismatched round trip: {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -22,13 +22,15 @@
 //! drop, id mismatch, or non-`ok` status is a failure. This is the serve
 //! path's differential gate, run in CI.
 
+use crate::chaos::ChaosSpec;
 use crate::client::Client;
 use crate::engine::{single_shot, ServeOptions};
 use crate::request::{Mode, Request, Response, RunRequest};
 use crate::server::serve_tcp;
+use parsimony::fault::SERVE_SITES;
 use std::path::Path;
 use std::sync::{Barrier, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use suite::runner::geomean;
 use suite::Kernel;
 use telemetry::Json;
@@ -194,6 +196,9 @@ pub struct ServeBenchReport {
     pub rows: Vec<ServeBenchRow>,
     /// Requests sent (== responses received; drops are failures).
     pub requests: u64,
+    /// `overloaded` responses absorbed by bounded retry with backoff
+    /// (each retry is also counted in `requests`).
+    pub retries: u64,
     /// Total wall nanoseconds of the measurement (cold + hot phases).
     pub wall_nanos: u64,
     /// Cold latency percentiles (p50, p99), nanoseconds.
@@ -259,6 +264,7 @@ impl ServeBenchReport {
                             ),
                         ),
                         ("engine", Json::Str("fast".into())),
+                        ("retries", Json::u64(self.retries)),
                     ],
                 ),
             ),
@@ -289,9 +295,10 @@ impl ServeBenchReport {
             self.hot_iters
         ));
         out.push_str(&format!(
-            "  requests           : {:>10} ({:.0} req/s)\n",
+            "  requests           : {:>10} ({:.0} req/s, {} retried)\n",
             self.requests,
-            self.throughput_rps()
+            self.throughput_rps(),
+            self.retries
         ));
         out.push_str(&format!(
             "  cold latency       : {:>10.2} ms p50, {:>10.2} ms p99\n",
@@ -341,6 +348,7 @@ struct ItemResult {
     hot_module_hit: bool,
     failures: Vec<String>,
     requests: u64,
+    retries: u64,
 }
 
 /// Runs the full load generation against a fresh in-process server.
@@ -451,11 +459,13 @@ pub fn run_items(cfg: &ServeBenchConfig, items: &[WorkItem]) -> Result<ServeBenc
 
     let mut failures = Vec::new();
     let mut requests = 0;
+    let mut retries = 0;
     let mut rows = Vec::with_capacity(all.len());
     let mut colds = Vec::with_capacity(all.len());
     let mut hots = Vec::with_capacity(all.len());
     for r in all {
         requests += r.requests;
+        retries += r.retries;
         failures.extend(r.failures);
         colds.push(r.cold_nanos);
         hots.push(r.hot_nanos);
@@ -480,6 +490,7 @@ pub fn run_items(cfg: &ServeBenchConfig, items: &[WorkItem]) -> Result<ServeBenc
         hot_p99: percentile(&hots, 0.99),
         rows,
         requests,
+        retries,
         wall_nanos,
         server_stats,
         failures,
@@ -511,6 +522,7 @@ fn client_worker(
             hot_module_hit: true,
             failures: Vec::new(),
             requests: 0,
+            retries: 0,
         })
         .collect();
     let mut cold_identity: Vec<Option<String>> = mine.iter().map(|_| None).collect();
@@ -526,9 +538,10 @@ fn client_worker(
             req.id = ((cid as u64) << 40) | ((phase as u64) << 32) | i as u64;
             let want = req.id;
             let t = Instant::now();
-            let resp = client.run(req);
+            let (resp, attempts) = run_with_retry(&mut client, &req, cid);
             let nanos = t.elapsed().as_nanos() as u64;
-            r.requests += 1;
+            r.requests += 1 + attempts;
+            r.retries += attempts;
             let resp = match resp {
                 Ok(resp) => resp,
                 Err(e) => {
@@ -588,4 +601,269 @@ fn client_worker(
         }
     }
     Ok(results)
+}
+
+/// Retry bound for `overloaded` responses: with exponential backoff this
+/// absorbs transient saturation without ever spinning on a permanently
+/// full server.
+pub const MAX_RETRIES: u64 = 8;
+
+/// Base unit of the retry backoff; attempt `k` sleeps
+/// `RETRY_BASE × (2^k + jitter)` with deterministic jitter.
+pub const RETRY_BASE: Duration = Duration::from_millis(2);
+
+/// FNV-1a over the words — the deterministic jitter source, so a rerun
+/// of the same configuration backs off identically (no wall-clock or
+/// RNG dependence).
+fn fnv1a(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Sends `req`, absorbing up to [`MAX_RETRIES`] `overloaded` responses
+/// with exponential backoff plus deterministic jitter (seeded from the
+/// client id, request id, and attempt number). Returns the final
+/// response and how many retries were spent; an `overloaded` that
+/// survives the budget is returned to the caller as the final answer.
+fn run_with_retry(
+    client: &mut Client,
+    req: &RunRequest,
+    cid: usize,
+) -> (Result<Response, String>, u64) {
+    let mut attempts: u64 = 0;
+    loop {
+        match client.run(req.clone()) {
+            Ok(Response::Overloaded { .. }) if attempts < MAX_RETRIES => {
+                attempts += 1;
+                let exp = 1u64 << attempts.min(6);
+                let jitter = fnv1a(&[cid as u64, req.id, attempts]) % exp;
+                std::thread::sleep(RETRY_BASE * (exp + jitter) as u32);
+            }
+            other => return (other, attempts),
+        }
+    }
+}
+
+/// A tiny fixed kernel for the chaos sweep — fast enough that the sweep
+/// over every site stays well under a second of compute.
+const CHAOS_SRC: &str = "
+void main(f32* restrict a, f32* restrict out, i64 n) {
+  psim gang(8) threads(n) {
+    i64 i = psim_thread_num();
+    out[i] = a[i] * 2.0 + 1.0;
+  }
+}
+";
+
+fn chaos_request(id: u64) -> RunRequest {
+    let mut r = RunRequest::new(id, CHAOS_SRC, 64);
+    r.buffers = vec![
+        suite::BufSpec {
+            elem: psir::ScalarTy::F32,
+            len: 64,
+            init: suite::Init::RandomF32 {
+                seed: 11,
+                lo: -1.0,
+                hi: 1.0,
+            },
+            check: false,
+        },
+        suite::BufSpec {
+            elem: psir::ScalarTy::F32,
+            len: 64,
+            init: suite::Init::Zero,
+            check: true,
+        },
+    ];
+    r
+}
+
+/// How one chaos-site probe ended. Every value here is an *acceptable*
+/// outcome — hangs, panic escapes, and byte-different successes are
+/// failures, reported separately.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// The armed `<layer>:<site>`.
+    pub site: String,
+    /// Times the site fired during the probe (must be ≥ 1).
+    pub fired: u64,
+    /// Classification: `ok-identical`, `structured:<status>`, or
+    /// `transport-error`.
+    pub outcome: String,
+}
+
+/// Result of sweeping every registered serve fault site.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// One entry per registered site, in registry order.
+    pub outcomes: Vec<ChaosOutcome>,
+    /// Contract violations (empty = the sweep passed).
+    pub failures: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Human-readable summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "servebench --chaos: {} site(s) swept\n",
+            self.outcomes.len()
+        ));
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "  {:28} fired {:>3}x  -> {}\n",
+                o.site, o.fired, o.outcome
+            ));
+        }
+        if self.failures.is_empty() {
+            out.push_str("  contract: ok (structured error or clean close at every site)\n");
+        } else {
+            out.push_str(&format!("  {} FAILURE(S)\n", self.failures.len()));
+            for f in &self.failures {
+                out.push_str(&format!("    {f}\n"));
+            }
+        }
+        out
+    }
+
+    /// Serialized sweep report (the CI artifact).
+    pub fn to_json(&self) -> Json {
+        let outcomes = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                Json::obj(vec![
+                    ("site", Json::Str(o.site.clone())),
+                    ("fired", Json::u64(o.fired)),
+                    ("outcome", Json::Str(o.outcome.clone())),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            (
+                "meta",
+                telemetry::cli::bench_meta(
+                    "servebench-chaos",
+                    vec![("sites", Json::u64(self.outcomes.len() as u64))],
+                ),
+            ),
+            ("outcomes", Json::Arr(outcomes)),
+            (
+                "failures",
+                Json::Arr(self.failures.iter().cloned().map(Json::Str).collect()),
+            ),
+        ])
+    }
+}
+
+/// Classifies one response under chaos against the expected identity.
+/// Returns `(outcome, failure)`.
+fn classify_chaos(
+    site: &str,
+    resp: &Result<Response, String>,
+    expected: &str,
+) -> (String, Option<String>) {
+    match resp {
+        Ok(Response::Ok(ok)) => {
+            if ok.identity() == *expected {
+                ("ok-identical".into(), None)
+            } else {
+                (
+                    "ok-DIFFERENT".into(),
+                    Some(format!(
+                        "{site}: chaos produced a byte-different success — fail-stop violated"
+                    )),
+                )
+            }
+        }
+        Ok(other) => {
+            let status = match other.to_json() {
+                Json::Obj(pairs) => pairs
+                    .into_iter()
+                    .find(|(k, _)| k == "status")
+                    .map(|(_, v)| match v {
+                        Json::Str(s) => s,
+                        v => v.to_string_compact(),
+                    })
+                    .unwrap_or_default(),
+                _ => String::new(),
+            };
+            (format!("structured:{status}"), None)
+        }
+        Err(e) if e.contains("timeout") => (
+            "hang".into(),
+            Some(format!("{site}: client timed out — the server hung: {e}")),
+        ),
+        Err(_) => ("transport-error".into(), None),
+    }
+}
+
+/// Sweeps every registered serve fault site
+/// ([`parsimony::fault::SERVE_SITES`]): for each, a fresh server is
+/// started with that one site armed, a request is driven through it with
+/// client timeouts, and the outcome must be a byte-identical success, a
+/// structured error line, or a clean transport error — never a hang, an
+/// escaped panic, or a byte-different success. Each site must actually
+/// fire, and each server must shut down cleanly afterwards.
+///
+/// # Errors
+/// Harness failures (bind/connect, single-shot reference). Contract
+/// violations are reported in the returned [`ChaosReport::failures`].
+pub fn run_chaos() -> Result<ChaosReport, String> {
+    let expected = single_shot(&chaos_request(1))
+        .map(|r| r.identity())
+        .map_err(|e| format!("single-shot reference: {e}"))?;
+    let mut outcomes = Vec::new();
+    let mut failures = Vec::new();
+    for &(layer, site) in SERVE_SITES {
+        let spec = format!("{layer}:{site}");
+        let chaos = ChaosSpec::parse(&spec)?;
+        let opts = ServeOptions {
+            workers: 2,
+            queue_cap: 8,
+            chaos: Some(chaos.clone()),
+            ..ServeOptions::default()
+        };
+        let server = serve_tcp("127.0.0.1:0", &opts).map_err(|e| format!("{spec}: bind: {e}"))?;
+        let mut client = Client::connect_with_timeout(&server.addr, Duration::from_secs(10))
+            .map_err(|e| format!("{spec}: connect: {e}"))?;
+        let resp = client.run(chaos_request(2));
+        let (outcome, failure) = classify_chaos(&spec, &resp, &expected);
+        failures.extend(failure);
+        // A fresh, chaos-free connection must still get service — chaos
+        // wounds one exchange, never the server. (Connection-layer sites
+        // fire on every exchange, so probe liveness only for worker
+        // sites; for conn sites clean shutdown below is the liveness
+        // check.)
+        if layer == "worker" && site == "kill" {
+            // One contained crash must not poison the pool.
+            let again = Client::connect_with_timeout(&server.addr, Duration::from_secs(10))
+                .map_err(|e| format!("{spec}: reconnect: {e}"))
+                .and_then(|mut c| c.run(chaos_request(3)));
+            match again {
+                Ok(_) => {}
+                Err(e) => failures.push(format!("{spec}: server dead after contained crash: {e}")),
+            }
+        }
+        let fired = chaos.fired();
+        if fired == 0 {
+            failures.push(format!("{spec}: armed site never fired"));
+        }
+        drop(client);
+        // Shutdown must complete; a wedged reader/worker would hang here
+        // and trip the CI wall-clock cap.
+        server.shutdown();
+        outcomes.push(ChaosOutcome {
+            site: spec,
+            fired,
+            outcome,
+        });
+    }
+    Ok(ChaosReport { outcomes, failures })
 }

@@ -1,0 +1,37 @@
+//! The deterministic chaos sweep as a test: every serve fault site
+//! registered in [`parsimony::fault::SERVE_SITES`] is armed once against
+//! a fresh server, and each probe must end in a byte-identical success,
+//! a structured error line, or a clean transport close — never a hang
+//! (client timeouts are classified as hangs and fail), an escaped panic,
+//! or a byte-different success — and every armed site must actually
+//! fire. This is the same harness `servebench --chaos` runs in CI.
+
+use parsimony::fault::SERVE_SITES;
+use psim_serve::servebench::run_chaos;
+
+#[test]
+fn chaos_sweep_covers_every_registered_site() {
+    let report = run_chaos().expect("chaos harness");
+    assert_eq!(
+        report.outcomes.len(),
+        SERVE_SITES.len(),
+        "the sweep must visit the whole registry"
+    );
+    for (o, &(layer, site)) in report.outcomes.iter().zip(SERVE_SITES) {
+        assert_eq!(o.site, format!("{layer}:{site}"), "registry order");
+        assert!(o.fired >= 1, "{}: armed site never fired", o.site);
+        assert!(
+            o.outcome == "ok-identical"
+                || o.outcome.starts_with("structured:")
+                || o.outcome == "transport-error",
+            "{}: unacceptable outcome {}",
+            o.site,
+            o.outcome
+        );
+    }
+    assert!(
+        report.failures.is_empty(),
+        "chaos contract violations: {:?}",
+        report.failures
+    );
+}

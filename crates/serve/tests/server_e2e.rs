@@ -305,3 +305,232 @@ fn concurrent_clients_share_one_module_compile() {
     assert!(misses >= 1);
     server.shutdown();
 }
+
+/// A kernel long enough (one gang, 20M iterations) that deadline and
+/// cancellation tests can rely on it still running when they act; it is
+/// only ever run to completion if the machinery under test is broken.
+const VERY_SLOW_SRC: &str = "
+void main(f32* restrict out, i64 n) {
+  psim gang(8) threads(n) {
+    i64 i = psim_thread_num();
+    f32 x = (f32) i;
+    i64 it = 0;
+    while (it < 20000000) {
+      x = x * 1.000001 + 0.5;
+      it += 1;
+    }
+    out[i] = x;
+  }
+}
+";
+
+/// A request with a single output buffer (for the out-only slow kernels).
+fn out_only_req(id: u64, src: &str, n: u64) -> RunRequest {
+    let mut r = RunRequest::new(id, src, n);
+    r.buffers = vec![suite::BufSpec {
+        elem: psir::ScalarTy::F32,
+        len: n,
+        init: suite::Init::Zero,
+        check: true,
+    }];
+    r
+}
+
+fn lifecycle_counter(stats: &telemetry::Json, key: &str) -> u64 {
+    stats
+        .get("lifecycle")
+        .and_then(|l| l.get(key))
+        .and_then(telemetry::Json::as_u64)
+        .unwrap_or(0)
+}
+
+#[test]
+fn expired_deadline_is_a_structured_response_and_the_connection_survives() {
+    let server = serve_tcp("127.0.0.1:0", &ServeOptions::default()).expect("bind");
+    let mut c = Client::connect(&server.addr).expect("connect");
+    let mut r = out_only_req(50, VERY_SLOW_SRC, 8);
+    r.deadline_ms = 50;
+    match c.run(r).expect("send") {
+        Response::DeadlineExceeded { id } => assert_eq!(id, 50),
+        other => panic!("expected deadline_exceeded, got {other:?}"),
+    }
+    // The connection stays usable and ordinary requests still succeed.
+    assert!(matches!(c.run(basic_req(51)), Ok(Response::Ok(_))));
+    let Response::Stats { stats, .. } = c.request(&Request::Stats { id: 52 }).expect("stats")
+    else {
+        panic!("stats failed")
+    };
+    assert!(lifecycle_counter(&stats, "deadline_exceeded") >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn step_and_source_budgets_are_resource_exhausted_on_the_wire() {
+    // Request-side tightening: a tiny step budget on a long-running
+    // kernel.
+    let server = serve_tcp("127.0.0.1:0", &ServeOptions::default()).expect("bind");
+    let mut c = Client::connect(&server.addr).expect("connect");
+    let mut r = out_only_req(60, SLOW_SRC, 64);
+    r.max_steps = 1000;
+    match c.run(r).expect("send") {
+        Response::ResourceExhausted { id, what, detail } => {
+            assert_eq!(id, 60);
+            assert_eq!(what, "steps");
+            assert!(detail.contains("1000"), "detail names the budget: {detail}");
+        }
+        other => panic!("expected resource_exhausted(steps), got {other:?}"),
+    }
+    // The response counters expose the typed rejection.
+    let Response::Stats { stats, .. } = c.request(&Request::Stats { id: 61 }).expect("stats")
+    else {
+        panic!("stats failed")
+    };
+    assert!(lifecycle_counter(&stats, "resource_exhausted") >= 1);
+    server.shutdown();
+
+    // Server-side limit: a source-size cap refuses before compiling.
+    let opts = ServeOptions {
+        limits: psim_serve::ServeLimits {
+            max_source_bytes: 16,
+            ..psim_serve::ServeLimits::default()
+        },
+        ..ServeOptions::default()
+    };
+    let server = serve_tcp("127.0.0.1:0", &opts).expect("bind");
+    let mut c = Client::connect(&server.addr).expect("connect");
+    match c.run(basic_req(62)).expect("send") {
+        Response::ResourceExhausted { id, what, .. } => {
+            assert_eq!(id, 62);
+            assert_eq!(what, "source_bytes");
+        }
+        other => panic!("expected resource_exhausted(source_bytes), got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frame_is_refused_and_the_connection_closes() {
+    let opts = ServeOptions {
+        limits: psim_serve::ServeLimits {
+            max_frame_bytes: 1024,
+            ..psim_serve::ServeLimits::default()
+        },
+        ..ServeOptions::default()
+    };
+    let server = serve_tcp("127.0.0.1:0", &opts).expect("bind");
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(&server.addr).expect("raw connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    // 3000 bytes of junk with no newline: an unresynchronizable
+    // oversized frame. (Small enough to arrive in one loopback segment —
+    // unread residue at close would RST the structured reply away.)
+    writer.write_all(&vec![b'x'; 3000]).unwrap();
+    writer.flush().unwrap();
+    let mut buf = String::new();
+    reader.read_line(&mut buf).unwrap();
+    match Response::parse(buf.trim_end()).expect("parse") {
+        Response::ResourceExhausted { id, what, .. } => {
+            assert_eq!(id, 0, "no request id inside an unparsed frame");
+            assert_eq!(what, "frame_bytes");
+        }
+        other => panic!("expected resource_exhausted(frame_bytes), got {other:?}"),
+    }
+    // After the structured refusal the server closes the connection.
+    buf.clear();
+    assert_eq!(reader.read_line(&mut buf).unwrap(), 0, "connection closed");
+    server.shutdown();
+}
+
+#[test]
+fn client_disconnect_mid_run_cancels_and_frees_the_worker() {
+    let opts = ServeOptions {
+        workers: 1,
+        queue_cap: 4,
+        ..ServeOptions::default()
+    };
+    let server = serve_tcp("127.0.0.1:0", &opts).expect("bind");
+    // Fire a very slow run from a raw connection and immediately drop it.
+    {
+        use std::io::Write;
+        let mut stream = std::net::TcpStream::connect(&server.addr).expect("raw connect");
+        let line = Request::Run(Box::new(out_only_req(70, VERY_SLOW_SRC, 8)))
+            .to_json()
+            .to_string_compact();
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+        // Dropping the stream closes the socket: the dispatcher's probe
+        // must notice and cancel the in-flight execution.
+    }
+    let mut c = Client::connect(&server.addr).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let Response::Stats { stats, .. } = c.request(&Request::Stats { id: 71 }).expect("stats")
+        else {
+            panic!("stats failed")
+        };
+        if lifecycle_counter(&stats, "cancelled") >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "disconnect never cancelled the in-flight run"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // The single worker is free again: a normal request is served.
+    assert!(matches!(c.run(basic_req(72)), Ok(Response::Ok(_))));
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_gives_inflight_and_queued_requests_structured_replies() {
+    let opts = ServeOptions {
+        workers: 1,
+        queue_cap: 4,
+        ..ServeOptions::default()
+    };
+    let server = serve_tcp("127.0.0.1:0", &opts).expect("bind");
+    let addr = server.addr.clone();
+    let spawn_run = |id: u64| {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).expect("connect");
+            c.run(out_only_req(id, VERY_SLOW_SRC, 8)).expect("reply")
+        })
+    };
+    let a = spawn_run(80); // will occupy the single worker
+    let b = spawn_run(81); // will sit in the queue
+
+    // Wait until both are inside the pool (one executing, one queued).
+    let mut c = Client::connect(&addr).expect("connect probe");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let Response::Stats { stats, .. } = c.request(&Request::Stats { id: 82 }).expect("stats")
+        else {
+            panic!("stats failed")
+        };
+        let pending = stats
+            .get("admission")
+            .and_then(|x| x.get("pending"))
+            .and_then(telemetry::Json::as_u64)
+            .unwrap_or(0);
+        if pending >= 2 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "runs never admitted");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    drop(c);
+    server.shutdown();
+    // Both the cancelled in-flight run and the aborted queued run get
+    // explicit shutting_down replies — nothing hangs, nothing is dropped.
+    for h in [a, b] {
+        let resp = h.join().expect("client thread");
+        assert!(
+            matches!(resp, Response::ShuttingDown { .. }),
+            "expected shutting_down, got {resp:?}"
+        );
+    }
+}

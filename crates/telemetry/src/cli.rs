@@ -22,7 +22,29 @@ use crate::Json;
 
 /// Version of the `psim-serve` wire protocol (requests, responses, and
 /// their field semantics).
-pub const PROTOCOL_VERSION: u64 = 1;
+///
+/// History:
+/// * 1 — initial protocol (PR 6): `run`/`ping`/`stats`/`shutdown`,
+///   statuses `ok`/`pong`/`stats`/`overloaded`/`error`/`shutting_down`.
+/// * 2 — request lifecycle robustness: per-request budgets on `run`
+///   (`deadline_ms`, `max_steps`, `max_mem_bytes`), the structured
+///   failure statuses in [`STRUCTURED_FAILURE_STATUSES`], and
+///   `steps`/`mem_bytes` accounting fields on `ok` responses.
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// Every structured failure status a `psim-serve` response can carry.
+/// "Structured" is the robustness contract: whatever goes wrong — budget
+/// exhaustion, deadline, disconnect, shutdown, overload, or a plain error
+/// — the client receives one of these statuses, never a hang or a
+/// byte-different success. The chaos sweep asserts against this list.
+pub const STRUCTURED_FAILURE_STATUSES: &[&str] = &[
+    "error",
+    "overloaded",
+    "shutting_down",
+    "deadline_exceeded",
+    "cancelled",
+    "resource_exhausted",
+];
 
 /// Version of the bench-report JSON schema shared by `runbench`,
 /// `compbench`, and `servebench` (the `meta` object itself plus the
