@@ -23,15 +23,15 @@ PATTERN='\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(|todo!\('
 # crate-dir budget
 BUDGETS="
 autovec 39
-bench 20
+bench 22
 core 80
 criterion_compat 0
 fuzz 20
 proptest_compat 2
 psimc 26
-psir 78
+psir 95
 rand_compat 0
-serve 58
+serve 65
 shapecheck 9
 suite 19
 telemetry 18

@@ -14,8 +14,8 @@
 //! results are identical at every level, only compile time changes.
 
 use psim_bench::{
-    cell, geomean_speedup, measure_iters, parse_profile_flag, profile_kernel, total_wall_ms,
-    ProfileMode,
+    apply_engine_flag, cell, geomean_speedup, measure_iters, parse_profile_flag, profile_kernel,
+    total_wall_ms, ProfileMode,
 };
 use suite::ispc::{kernels, IspcSizes};
 use suite::runner::{run_kernel, Config};
@@ -32,6 +32,10 @@ const HELP: Help = Help {
         ("--gang-sweep", "also run the gang-size sweep ablation"),
         ("--iters N", "best-of-N wall-clock measurement (default: 1)"),
         ("--profile[=json]", "print the cycle-attribution profile"),
+        (
+            "--engine E",
+            "interpreter engine: fast (default), reference, or native",
+        ),
         ("-j, --jobs N", "region-compilation worker count"),
         ("-h, --help", "print this help"),
         (
@@ -43,7 +47,8 @@ const HELP: Help = Help {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fig4 [--tiny] [--gang-sweep] [--iters N] [--profile[=json]] [-j N | --jobs N]"
+        "usage: fig4 [--tiny] [--gang-sweep] [--iters N] [--profile[=json]] \
+         [--engine fast|reference|native] [-j N | --jobs N]"
     );
     std::process::exit(2);
 }
@@ -95,6 +100,12 @@ fn run() {
                         eprintln!("fig4: --iters takes a positive integer, got {v:?}");
                         usage();
                     }
+                }
+            }
+            "--engine" => {
+                i += 1;
+                if !apply_engine_flag("fig4", args.get(i)) {
+                    usage();
                 }
             }
             "-j" | "--jobs" => {

@@ -14,8 +14,8 @@
 //! results are identical at every level, only compile time changes.
 
 use psim_bench::{
-    cell, geomean_speedup, measure_iters, parse_profile_flag, profile_kernels, total_wall_ms,
-    ProfileMode,
+    apply_engine_flag, cell, geomean_speedup, measure_iters, parse_profile_flag, profile_kernels,
+    total_wall_ms, ProfileMode,
 };
 use suite::runner::{run_kernel_with, Config};
 use suite::simdlib::{kernels, DEFAULT_N};
@@ -34,6 +34,10 @@ const HELP: Help = Help {
         ("--avx2", "add the 256-bit legalization portability table"),
         ("--stride-window", "add the strided-shuffle window ablation"),
         ("--profile[=json]", "print the cycle-attribution profile"),
+        (
+            "--engine E",
+            "interpreter engine: fast (default), reference, or native",
+        ),
         ("-j, --jobs N", "region-compilation worker count"),
         ("-h, --help", "print this help"),
         (
@@ -46,7 +50,7 @@ const HELP: Help = Help {
 fn usage() -> ! {
     eprintln!(
         "usage: fig5 [--n N] [--iters N] [--no-shape] [--avx2] [--stride-window] \
-         [--profile[=json]] [-j N | --jobs N]"
+         [--profile[=json]] [--engine fast|reference|native] [-j N | --jobs N]"
     );
     std::process::exit(2);
 }
@@ -117,6 +121,12 @@ fn run() {
             "--no-shape" => with_noshape = true,
             "--avx2" => with_avx2 = true,
             "--stride-window" => with_window = true,
+            "--engine" => {
+                i += 1;
+                if !apply_engine_flag("fig5", args.get(i)) {
+                    usage();
+                }
+            }
             "-j" | "--jobs" => {
                 i += 1;
                 set_jobs("fig5", args.get(i));

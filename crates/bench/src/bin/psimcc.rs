@@ -65,6 +65,10 @@ const HELP: Help = Help {
             "--run ENTRY [ARG…]",
             "execute ENTRY (ints, floats, or buf:N buffer args)",
         ),
+        (
+            "--engine E",
+            "interpreter engine for --run: fast (default), reference, or native",
+        ),
         ("--cycles", "print the simulated cycle count"),
         ("-h, --help", "print this help"),
         (
@@ -78,7 +82,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: psimcc FILE [--emit scalar|vector] [--gang-sync] [--no-shape] \
          [--boscc] [--remarks text|json] [--verify off|fallback|strict] \
-         [--inject-fault PASS:SITE] [-j N | --jobs N] [--run ENTRY [ARG…]] [--cycles]"
+         [--inject-fault PASS:SITE] [-j N | --jobs N] \
+         [--engine fast|reference|native] [--run ENTRY [ARG…]] [--cycles]"
     );
     std::process::exit(2);
 }
@@ -92,6 +97,7 @@ fn main() {
     let mut emit = "vector".to_string();
     let mut opts = VectorizeOptions::default();
     let mut run: Option<(String, Vec<String>)> = None;
+    let mut engine = psir::Engine::default();
     let mut show_cycles = false;
     let mut remarks_mode: Option<String> = None;
     let mut popts = PipelineOptions::default();
@@ -159,6 +165,27 @@ fn main() {
             }
             flag if flag.starts_with("--inject-fault=") => {
                 popts.inject = Some(parse_inject(&flag["--inject-fault=".len()..]));
+            }
+            "--engine" => {
+                i += 1;
+                let v = args.get(i).cloned().unwrap_or_else(|| usage());
+                engine = psir::Engine::from_flag(&v).unwrap_or_else(|| {
+                    eprintln!(
+                        "psimcc: unknown engine {v:?}; valid engines: {}",
+                        psir::Engine::ALL.map(psir::Engine::flag_name).join(", ")
+                    );
+                    std::process::exit(2);
+                });
+            }
+            flag if flag.starts_with("--engine=") => {
+                let v = &flag["--engine=".len()..];
+                engine = psir::Engine::from_flag(v).unwrap_or_else(|| {
+                    eprintln!(
+                        "psimcc: unknown engine {v:?}; valid engines: {}",
+                        psir::Engine::ALL.map(psir::Engine::flag_name).join(", ")
+                    );
+                    std::process::exit(2);
+                });
             }
             "-j" | "--jobs" => {
                 i += 1;
@@ -252,6 +279,7 @@ fn main() {
             }
         }
         let mut it = Interp::new(&out.module, mem, &cost, &EXT);
+        it.set_engine(engine);
         match it.call(&entry, &call_args) {
             Ok(RtVal::Unit) => {}
             Ok(RtVal::S(v)) => println!("=> {v} (as i64: {})", v as i64),

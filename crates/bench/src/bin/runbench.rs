@@ -2,16 +2,18 @@
 //! interpreter's fast engine.
 //!
 //! ```text
-//! runbench [--n N] [--iters K] [--check] [--min-speedup X] [--json[=FILE]]
+//! runbench [--engine fast|native] [--n N] [--iters K] [--check]
+//!          [--min-speedup X] [--json[=FILE]]
 //! ```
 //!
 //! Executes the suite kernels (the Figure 5 Simd-Library set at workload
-//! size `N`, plus the Figure 4 ispc set at tiny sizes) through both
-//! interpreter engines — the precompiled `FramePlan` fast path and the
-//! retained reference step loop — and reports per-kernel best-of-`K` wall
-//! times, the geomean speedup, and whether the engines were byte-identical
-//! in simulated cycles, checked outputs, execution statistics, and profile
-//! JSON.
+//! size `N`, plus the Figure 4 ispc set at tiny sizes) through the subject
+//! engine and its baseline — `fast` (the precompiled `FramePlan` path) is
+//! measured against the retained reference step loop, `native` (fused
+//! block kernels) against `fast` — and reports per-kernel best-of-`K`
+//! wall times, the geomean speedup, and whether the engines were
+//! byte-identical in simulated cycles, checked outputs, execution
+//! statistics, and profile JSON.
 //!
 //! * `--check` — gate mode: exit 1 unless every kernel is engine-identical
 //!   (and, when `--min-speedup X` is given, the geomean speedup is at
@@ -28,10 +30,15 @@ use telemetry::cli::Help;
 
 const HELP: Help = Help {
     bin: "runbench",
-    about: "Times the suite kernels under both interpreter engines, gating on the \
-            fast/reference byte-identity contract and the wall-clock speedup.",
+    about: "Times the suite kernels under a subject interpreter engine and its \
+            baseline, gating on the byte-identity contract and the wall-clock \
+            speedup.",
     usage: "[options]",
     flags: &[
+        (
+            "--engine E",
+            "engine under test: fast (vs reference; default) or native (vs fast)",
+        ),
         (
             "--n N",
             "Simd-Library workload size (positive multiple of 256)",
@@ -60,8 +67,8 @@ const HELP: Help = Help {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: runbench [--n N] [--iters K] [--check] [--min-speedup X] [--json[=FILE]] \
-         [--baseline FILE]"
+        "usage: runbench [--engine fast|native] [--n N] [--iters K] [--check] \
+         [--min-speedup X] [--json[=FILE]] [--baseline FILE]"
     );
     std::process::exit(2);
 }
@@ -80,6 +87,27 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--engine" => {
+                i += 1;
+                let Some(v) = args.get(i) else { usage() };
+                match psir::Engine::from_flag(v) {
+                    Some(e) if e != psir::Engine::Reference => cfg.engine = e,
+                    Some(_) => {
+                        eprintln!(
+                            "runbench: the reference engine is the baseline; \
+                             --engine takes fast or native"
+                        );
+                        usage();
+                    }
+                    None => {
+                        eprintln!(
+                            "runbench: unknown engine {v:?}; valid engines: {}",
+                            psir::Engine::ALL.map(psir::Engine::flag_name).join(", ")
+                        );
+                        usage();
+                    }
+                }
+            }
             "--n" => {
                 i += 1;
                 let Some(v) = args.get(i) else { usage() };
@@ -170,8 +198,12 @@ fn main() {
                 .filter(|r| !r.identical)
                 .map(|r| format!("{}/{}", r.kernel, r.config))
                 .collect();
+            let (subject, baseline) = match cfg.engine {
+                psir::Engine::Native => ("native", "fast"),
+                _ => ("fast", "reference"),
+            };
             eprintln!(
-                "runbench: GATE FAILED: fast engine differs from reference on: {}",
+                "runbench: GATE FAILED: {subject} engine differs from {baseline} on: {}",
                 bad.join(", ")
             );
             std::process::exit(1);

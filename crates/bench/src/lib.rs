@@ -11,7 +11,7 @@ pub mod compbench;
 pub mod runbench;
 
 use suite::runner::{
-    build_module, geomean, run_kernel_profiled, run_module_engine, Config, Engine, RunResult,
+    build_module, geomean, run_kernel_profiled, run_module_engine, Config, RunResult,
 };
 use suite::Kernel;
 use telemetry::{Json, Profile, ProfileDiff};
@@ -96,11 +96,11 @@ pub fn measure_iters(kernels: &[Kernel], cfgs: &[Config], iters: usize) -> Vec<R
                 let cost = Avx512Cost::new();
                 let mut best = u64::MAX;
                 let mut got = 0u64;
+                let engine = suite::runner::default_engine();
                 for _ in 0..iters {
                     let t = std::time::Instant::now();
-                    let r: RunResult =
-                        run_module_engine(&module, k, &cost, false, Engine::default())
-                            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+                    let r: RunResult = run_module_engine(&module, k, &cost, false, engine)
+                        .unwrap_or_else(|e| panic!("{}: {e}", k.name));
                     best = best.min(t.elapsed().as_nanos() as u64);
                     got = r.cycles;
                 }
@@ -152,6 +152,32 @@ pub fn parse_profile_flag(arg: &str) -> Option<ProfileMode> {
         "--profile" | "--profile=text" => Some(ProfileMode::Text),
         "--profile=json" => Some(ProfileMode::Json),
         _ => None,
+    }
+}
+
+/// Parses and applies a figure harness's `--engine VALUE`: routes every
+/// default-engine kernel run through the chosen interpreter engine (the
+/// engines are result-identical by contract, so the figures are a
+/// cross-check, not a different experiment). Returns `false` — after
+/// printing the exit-2 diagnostic — on a missing or unknown value, so the
+/// caller can fall through to its usage line.
+pub fn apply_engine_flag(tool: &str, v: Option<&String>) -> bool {
+    let Some(v) = v else {
+        eprintln!("{tool}: --engine requires a value");
+        return false;
+    };
+    match psir::Engine::from_flag(v) {
+        Some(e) => {
+            suite::runner::set_engine_override(e);
+            true
+        }
+        None => {
+            eprintln!(
+                "{tool}: unknown engine {v:?}; valid engines: {}",
+                psir::Engine::ALL.map(psir::Engine::flag_name).join(", ")
+            );
+            false
+        }
     }
 }
 

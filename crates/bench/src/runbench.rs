@@ -1,21 +1,32 @@
-//! Wall-clock execution benchmark for the interpreter's fast engine.
+//! Wall-clock execution benchmark for the interpreter's optimized engines.
 //!
 //! Every Figure 4/5 cycle count comes from dynamically executing vector IR
 //! through the `psir` interpreter, so the interpreter's *wall-clock* speed
 //! bounds how large a workload the harnesses can afford. This module times
-//! the suite kernels end-to-end under both execution engines — the
-//! precompiled `FramePlan` fast path and the retained reference step loop
-//! — reporting best-of-`iters` wall time per kernel, the geomean speedup,
-//! and whether the two engines were **byte-identical** in simulated
+//! the suite kernels end-to-end under a **subject** engine and its
+//! **baseline**:
+//!
+//! * `--engine fast` (the default): the precompiled `FramePlan` fast path
+//!   against the retained reference step loop.
+//! * `--engine native`: the native tier (fused block kernels over a
+//!   compacted register file) against the fast engine, additionally
+//!   reporting how many blocks dynamically bailed out to the exact path
+//!   (zero on the hot suite kernels).
+//!
+//! Each mode reports best-of-`iters` wall time per kernel, the geomean
+//! speedup, and whether the engines were **byte-identical** in simulated
 //! cycles, checked outputs, execution statistics, and profile JSON (the
 //! identity contract CI gates on with `--check`).
 //!
-//! Used by the `runbench` binary and the CI `run-time` job; the committed
-//! `BENCH_runbench.json` baseline records the perf trajectory.
+//! Used by the `runbench` binary and the CI `run-time`/`native` jobs; the
+//! committed `BENCH_runbench.json` and `BENCH_runbench_native.json`
+//! baselines record the perf trajectory.
 
 use psir::Engine;
 use std::time::Instant;
-use suite::runner::{build_module, geomean, run_module_engine, Config, RunResult};
+use suite::runner::{
+    build_module, geomean, run_module_engine, run_module_engine_shared, Config, RunResult,
+};
 use suite::Kernel;
 use telemetry::Json;
 use vmach::Avx512Cost;
@@ -29,15 +40,57 @@ pub struct RunBenchConfig {
     /// Timed repetitions per kernel and engine; the best (minimum) wall
     /// time is reported to suppress scheduler noise.
     pub iters: usize,
+    /// The engine under test. [`Engine::Fast`] is timed against the
+    /// reference engine, [`Engine::Native`] against the fast engine;
+    /// [`Engine::Reference`] *is* the baseline and is rejected.
+    pub engine: Engine,
 }
 
 impl Default for RunBenchConfig {
     fn default() -> RunBenchConfig {
-        RunBenchConfig { n: 4096, iters: 3 }
+        RunBenchConfig {
+            n: 4096,
+            iters: 3,
+            engine: Engine::Fast,
+        }
     }
 }
 
-/// Per-kernel timing of the fast engine against the reference engine.
+impl RunBenchConfig {
+    /// The engine the subject is timed against.
+    ///
+    /// # Errors
+    /// [`Engine::Reference`] has no baseline (it is the baseline).
+    pub fn baseline_engine(&self) -> Result<Engine, String> {
+        match self.engine {
+            Engine::Fast => Ok(Engine::Reference),
+            Engine::Native => Ok(Engine::Fast),
+            Engine::Reference => Err("runbench: the reference engine is the baseline; \
+                 --engine takes fast or native"
+                .into()),
+        }
+    }
+
+    /// JSON field names for the subject and baseline wall times. The
+    /// default mode keeps the historical `fast_nanos`/`reference_nanos`
+    /// schema of `BENCH_runbench.json`.
+    fn nanos_keys(&self) -> (&'static str, &'static str) {
+        match self.engine {
+            Engine::Native => ("native_nanos", "fast_nanos"),
+            _ => ("fast_nanos", "reference_nanos"),
+        }
+    }
+
+    /// The mode tag recorded in the report meta.
+    fn mode(&self) -> &'static str {
+        match self.engine {
+            Engine::Native => "native-vs-fast",
+            _ => "fast-vs-reference",
+        }
+    }
+}
+
+/// Per-kernel timing of the subject engine against its baseline.
 #[derive(Debug, Clone)]
 pub struct RunBenchRow {
     /// Kernel name.
@@ -46,20 +99,23 @@ pub struct RunBenchRow {
     pub config: &'static str,
     /// Simulated cycles (identical for both engines when `identical`).
     pub cycles: u64,
-    /// Best fast-engine wall time, nanoseconds.
-    pub fast_nanos: u64,
-    /// Best reference-engine wall time, nanoseconds.
-    pub reference_nanos: u64,
+    /// Best subject-engine wall time, nanoseconds.
+    pub subject_nanos: u64,
+    /// Best baseline-engine wall time, nanoseconds.
+    pub baseline_nanos: u64,
+    /// Native-tier blocks that dynamically bailed out to the exact path
+    /// during one subject run (0 in the default mode).
+    pub native_bailouts: u64,
     /// Whether cycles, checked outputs, execution statistics, and profile
     /// JSON were byte-identical between the engines.
     pub identical: bool,
 }
 
 impl RunBenchRow {
-    /// Reference wall time over fast wall time (higher = fast engine
+    /// Baseline wall time over subject wall time (higher = subject engine
     /// faster).
     pub fn speedup(&self) -> f64 {
-        self.reference_nanos as f64 / self.fast_nanos.max(1) as f64
+        self.baseline_nanos as f64 / self.subject_nanos.max(1) as f64
     }
 }
 
@@ -73,7 +129,7 @@ pub struct RunBenchReport {
 }
 
 impl RunBenchReport {
-    /// Geomean of per-kernel wall-clock speedups (reference / fast).
+    /// Geomean of per-kernel wall-clock speedups (baseline / subject).
     pub fn geomean_speedup(&self) -> f64 {
         let xs: Vec<f64> = self.rows.iter().map(RunBenchRow::speedup).collect();
         geomean(&xs)
@@ -84,25 +140,37 @@ impl RunBenchReport {
         self.rows.iter().all(|r| r.identical)
     }
 
+    /// Total native-tier bailouts across all kernels (0 in the default
+    /// mode).
+    pub fn total_bailouts(&self) -> u64 {
+        self.rows.iter().map(|r| r.native_bailouts).sum()
+    }
+
     /// Serializes the report to a JSON object (the CI artifact and
-    /// `BENCH_runbench.json` baseline format).
+    /// `BENCH_runbench[_native].json` baseline format).
     pub fn to_json(&self) -> Json {
+        let (subject_key, baseline_key) = self.config.nanos_keys();
+        let native = self.config.engine == Engine::Native;
         let rows = self
             .rows
             .iter()
             .map(|r| {
-                Json::obj(vec![
+                let mut fields = vec![
                     ("kernel", Json::Str(r.kernel.clone())),
                     ("config", Json::Str(r.config.to_string())),
                     ("cycles", Json::u64(r.cycles)),
-                    ("fast_nanos", Json::u64(r.fast_nanos)),
-                    ("reference_nanos", Json::u64(r.reference_nanos)),
+                    (subject_key, Json::u64(r.subject_nanos)),
+                    (baseline_key, Json::u64(r.baseline_nanos)),
                     ("speedup", Json::Num(r.speedup())),
                     ("identical", Json::Bool(r.identical)),
-                ])
+                ];
+                if native {
+                    fields.push(("bailouts", Json::u64(r.native_bailouts)));
+                }
+                Json::obj(fields)
             })
             .collect();
-        Json::obj(vec![
+        let mut fields = vec![
             (
                 "meta",
                 telemetry::cli::bench_meta(
@@ -116,7 +184,7 @@ impl RunBenchReport {
                             "gang_config",
                             Json::Str("simdlib×parsimony + ispc(tiny)×{parsimony,gangsync}".into()),
                         ),
-                        ("engine", Json::Str("fast-vs-reference".into())),
+                        ("engine", Json::Str(self.config.mode().into())),
                     ],
                 ),
             ),
@@ -125,23 +193,34 @@ impl RunBenchReport {
             ("geomean_speedup", Json::Num(self.geomean_speedup())),
             ("identical", Json::Bool(self.all_identical())),
             ("kernels", Json::u64(self.rows.len() as u64)),
-            ("rows", Json::Arr(rows)),
-        ])
+        ];
+        if native {
+            fields.push(("bailouts", Json::u64(self.total_bailouts())));
+        }
+        fields.push(("rows", Json::Arr(rows)));
+        Json::obj(fields)
     }
 
     /// Renders the human-readable summary (worst and best kernels plus the
     /// aggregate line; the full per-kernel table lives in the JSON).
     pub fn render_text(&self) -> String {
+        let native = self.config.engine == Engine::Native;
+        let (subject_col, baseline_col) = if native {
+            ("native (us)", "fast (us)")
+        } else {
+            ("fast (us)", "ref (us)")
+        };
         let mut out = String::new();
         out.push_str(&format!(
-            "runbench: {} kernel(s), n={}, {} iteration(s) per engine\n",
+            "runbench[{}]: {} kernel(s), n={}, {} iteration(s) per engine\n",
+            self.config.mode(),
             self.rows.len(),
             self.config.n,
             self.config.iters
         ));
         out.push_str(&format!(
             "{:<28} {:>12} {:>12} {:>8}  identical\n",
-            "kernel", "fast (us)", "ref (us)", "speedup"
+            "kernel", subject_col, baseline_col, "speedup"
         ));
         let mut ranked: Vec<&RunBenchRow> = self.rows.iter().collect();
         ranked.sort_by(|a, b| {
@@ -163,8 +242,8 @@ impl RunBenchReport {
             out.push_str(&format!(
                 "{:<28} {:>12.1} {:>12.1} {:>7.2}x  {}\n",
                 format!("{}/{}", r.kernel, r.config),
-                r.fast_nanos as f64 / 1e3,
-                r.reference_nanos as f64 / 1e3,
+                r.subject_nanos as f64 / 1e3,
+                r.baseline_nanos as f64 / 1e3,
                 r.speedup(),
                 if r.identical { "yes" } else { "NO" }
             ));
@@ -183,20 +262,31 @@ impl RunBenchReport {
             "engines identical    : {}\n",
             if self.all_identical() { "yes" } else { "NO" }
         ));
+        if native {
+            out.push_str(&format!(
+                "native bailouts      : {}\n",
+                self.total_bailouts()
+            ));
+        }
         out
     }
 }
 
 /// One timed execution of a built module under `engine` (unprofiled, the
-/// configuration the harnesses run in).
+/// configuration the harnesses run in). All runs of one kernel share a
+/// plan cache, so the measurement amortizes plan construction (frame
+/// plans, and through them the native tier's lowering) across iterations
+/// exactly as the serving path's warm runs do — both engines benefit
+/// identically, keeping the comparison fair.
 fn timed_run(
     module: &psir::Module,
     k: &Kernel,
     cost: &Avx512Cost,
     engine: Engine,
+    plans: &std::sync::Arc<psir::PlanCache>,
 ) -> Result<(u64, RunResult), String> {
     let t = Instant::now();
-    let r = run_module_engine(module, k, cost, false, engine)?;
+    let r = run_module_engine_shared(module, k, cost, false, engine, plans, 0)?;
     Ok((t.elapsed().as_nanos() as u64, r))
 }
 
@@ -207,23 +297,29 @@ fn bench_kernel(
     cfg_label: &'static str,
     config: Config,
     iters: usize,
+    subject: Engine,
+    baseline: Engine,
 ) -> Result<RunBenchRow, String> {
     let module = build_module(k, config).map_err(|e| format!("{}: {e}", k.name))?;
     let cost = Avx512Cost::new();
+    // One cache per kernel (module_id 0): subject and baseline share the
+    // same frame plans, so neither engine pays plan construction inside
+    // the timed region after its first iteration.
+    let plans = std::sync::Arc::new(psir::PlanCache::new(1 << 20));
 
     let mut best: [Option<(u64, RunResult)>; 2] = [None, None];
-    for (slot, engine) in [(0, Engine::Fast), (1, Engine::Reference)] {
+    for (slot, engine) in [(0, subject), (1, baseline)] {
         for _ in 0..iters {
-            let (nanos, r) = timed_run(&module, k, &cost, engine)
+            let (nanos, r) = timed_run(&module, k, &cost, engine, &plans)
                 .map_err(|e| format!("{}[{engine:?}]: {e}", k.name))?;
             if best[slot].as_ref().is_none_or(|(b, _)| nanos < *b) {
                 best[slot] = Some((nanos, r));
             }
         }
     }
-    let [fast, reference] = best;
-    let (fast_nanos, fast_r) = fast.ok_or("runbench: no fast run completed")?;
-    let (reference_nanos, ref_r) = reference.ok_or("runbench: no reference run completed")?;
+    let [subj, base] = best;
+    let (subject_nanos, subj_r) = subj.ok_or("runbench: no subject run completed")?;
+    let (baseline_nanos, base_r) = base.ok_or("runbench: no baseline run completed")?;
 
     // Identity: cycles / outputs / stats from the timed runs, profile JSON
     // from one profiled run per engine.
@@ -234,17 +330,18 @@ fn bench_kernel(
             .map(|p| p.to_json().to_string_pretty())
             .unwrap_or_default())
     };
-    let identical = fast_r.cycles == ref_r.cycles
-        && fast_r.outputs == ref_r.outputs
-        && fast_r.stats == ref_r.stats
-        && profile_json(Engine::Fast)? == profile_json(Engine::Reference)?;
+    let identical = subj_r.cycles == base_r.cycles
+        && subj_r.outputs == base_r.outputs
+        && subj_r.stats == base_r.stats
+        && profile_json(subject)? == profile_json(baseline)?;
 
     Ok(RunBenchRow {
         kernel: k.name.clone(),
         config: cfg_label,
-        cycles: fast_r.cycles,
-        fast_nanos,
-        reference_nanos,
+        cycles: subj_r.cycles,
+        subject_nanos,
+        baseline_nanos,
+        native_bailouts: subj_r.native_bailouts,
         identical,
     })
 }
@@ -263,6 +360,7 @@ pub fn run(cfg: &RunBenchConfig) -> Result<RunBenchReport, String> {
     if cfg.n == 0 || !cfg.n.is_multiple_of(256) {
         return Err("runbench: n must be a positive multiple of 256".into());
     }
+    let baseline = cfg.baseline_engine()?;
     let mut rows = Vec::new();
     for k in suite::simdlib::kernels(cfg.n) {
         rows.push(bench_kernel(
@@ -270,11 +368,20 @@ pub fn run(cfg: &RunBenchConfig) -> Result<RunBenchReport, String> {
             Config::Parsimony.label(),
             Config::Parsimony,
             cfg.iters,
+            cfg.engine,
+            baseline,
         )?);
     }
     for k in suite::ispc::kernels(suite::ispc::IspcSizes::tiny()) {
         for config in [Config::Parsimony, Config::GangSync] {
-            rows.push(bench_kernel(&k, config.label(), config, cfg.iters)?);
+            rows.push(bench_kernel(
+                &k,
+                config.label(),
+                config,
+                cfg.iters,
+                cfg.engine,
+                baseline,
+            )?);
         }
     }
     Ok(RunBenchReport {
@@ -293,23 +400,86 @@ mod tests {
             .into_iter()
             .next()
             .expect("suite has kernels");
-        let row = bench_kernel(&k, Config::Parsimony.label(), Config::Parsimony, 1)
-            .expect("kernel benches");
+        let row = bench_kernel(
+            &k,
+            Config::Parsimony.label(),
+            Config::Parsimony,
+            1,
+            Engine::Fast,
+            Engine::Reference,
+        )
+        .expect("kernel benches");
         assert!(row.identical, "engines must agree on {}", row.kernel);
         assert!(row.cycles > 0);
         let report = RunBenchReport {
-            config: RunBenchConfig { n: 256, iters: 1 },
+            config: RunBenchConfig {
+                n: 256,
+                iters: 1,
+                engine: Engine::Fast,
+            },
             rows: vec![row],
         };
         let j = report.to_json().to_string_pretty();
         assert!(j.contains("\"geomean_speedup\""));
         assert!(j.contains("\"identical\": true"));
+        assert!(j.contains("\"fast_nanos\""));
+        assert!(j.contains("\"reference_nanos\""));
+        assert!(!j.contains("\"bailouts\""));
         assert!(report.render_text().contains("geomean speedup"));
     }
 
     #[test]
+    fn native_mode_reports_bailouts_and_identity() {
+        let k = suite::simdlib::kernels(256)
+            .into_iter()
+            .next()
+            .expect("suite has kernels");
+        let row = bench_kernel(
+            &k,
+            Config::Parsimony.label(),
+            Config::Parsimony,
+            1,
+            Engine::Native,
+            Engine::Fast,
+        )
+        .expect("kernel benches");
+        assert!(row.identical, "native must match fast on {}", row.kernel);
+        assert_eq!(row.native_bailouts, 0, "suite kernels must run fully fused");
+        let report = RunBenchReport {
+            config: RunBenchConfig {
+                n: 256,
+                iters: 1,
+                engine: Engine::Native,
+            },
+            rows: vec![row],
+        };
+        let j = report.to_json().to_string_pretty();
+        assert!(j.contains("\"native_nanos\""));
+        assert!(j.contains("\"fast_nanos\""));
+        assert!(j.contains("\"bailouts\": 0"));
+        assert!(j.contains("native-vs-fast"));
+        assert!(report.render_text().contains("native bailouts"));
+    }
+
+    #[test]
     fn rejects_bad_config() {
-        assert!(run(&RunBenchConfig { n: 100, iters: 1 }).is_err());
-        assert!(run(&RunBenchConfig { n: 256, iters: 0 }).is_err());
+        assert!(run(&RunBenchConfig {
+            n: 100,
+            iters: 1,
+            engine: Engine::Fast
+        })
+        .is_err());
+        assert!(run(&RunBenchConfig {
+            n: 256,
+            iters: 0,
+            engine: Engine::Fast
+        })
+        .is_err());
+        assert!(run(&RunBenchConfig {
+            n: 256,
+            iters: 1,
+            engine: Engine::Reference
+        })
+        .is_err());
     }
 }

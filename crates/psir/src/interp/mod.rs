@@ -23,6 +23,7 @@
 mod cancel;
 mod eval;
 mod memory;
+mod native;
 mod plan;
 mod plan_cache;
 
@@ -304,7 +305,7 @@ pub struct ExecStats {
     pub calls: u64,
 }
 
-/// Which execution engine the interpreter steps with. Both engines share
+/// Which execution engine the interpreter steps with. All engines share
 /// one set of instruction semantics and are cycle/profile/result
 /// identical; see the module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -317,6 +318,37 @@ pub enum Engine {
     /// queries, dynamic φ scans), kept as the identity baseline for
     /// `runbench --check` and the differential tests.
     Reference,
+    /// The native tier: block bodies lowered to fused, monomorphized
+    /// kernels over a linear-scan-compacted register file, with batched
+    /// per-block accounting and per-block bailout to the per-instruction
+    /// path (see `interp/native/`). Byte-identical to the other engines
+    /// on results, cycles, stats, and profiles.
+    Native,
+}
+
+impl Engine {
+    /// Every selectable engine, in CLI listing order.
+    pub const ALL: [Engine; 3] = [Engine::Fast, Engine::Reference, Engine::Native];
+
+    /// The CLI name of the engine (`--engine` flag value).
+    pub fn flag_name(self) -> &'static str {
+        match self {
+            Engine::Fast => "fast",
+            Engine::Reference => "reference",
+            Engine::Native => "native",
+        }
+    }
+
+    /// Parses a `--engine` flag value. Returns `None` for unknown names so
+    /// callers can apply the exit-2 usage contract.
+    pub fn from_flag(s: &str) -> Option<Engine> {
+        match s {
+            "fast" => Some(Engine::Fast),
+            "reference" | "ref" => Some(Engine::Reference),
+            "native" => Some(Engine::Native),
+            _ => None,
+        }
+    }
 }
 
 /// Dense activation frame used by the fast engine: one slot per arena
@@ -344,12 +376,28 @@ impl SlotFrame {
     }
 }
 
+/// Storage for instruction results: implemented by the fast engine's
+/// dense [`SlotFrame`] and by the native tier's linear-scan-compacted
+/// register file, so both engines execute instructions through the one
+/// shared `exec_inst` path (monomorphized per store — no dynamic
+/// dispatch on the hot loop).
+trait ValueStore {
+    /// The stored value of `i`, if the id is in range.
+    fn value(&self, i: InstId) -> Option<&RtVal>;
+}
+
+impl ValueStore for SlotFrame {
+    fn value(&self, i: InstId) -> Option<&RtVal> {
+        self.get(i)
+    }
+}
+
 /// Resolves an operand to a (usually borrowed) runtime value — the fast
 /// engine's allocation-free replacement for the reference path's
 /// clone-per-operand `value_ref`.
-fn operand<'v>(
+fn operand<'v, S: ValueStore>(
     f: &Function,
-    frame: &'v SlotFrame,
+    frame: &'v S,
     args: &'v [RtVal],
     v: Value,
 ) -> Result<Cow<'v, RtVal>, ExecError> {
@@ -360,7 +408,7 @@ fn operand<'v>(
             .map(Cow::Borrowed)
             .ok_or_else(|| ExecError::Other(format!("missing argument {i} to @{}", f.name))),
         Value::Inst(i) => frame
-            .get(i)
+            .value(i)
             .map(Cow::Borrowed)
             .ok_or_else(|| ExecError::Other(format!("use of unevaluated {i} in @{}", f.name))),
     }
@@ -394,6 +442,10 @@ pub struct Interp<'a> {
     plan_shared_hits: u64,
     /// Plans this interpreter had to build itself.
     plan_builds: u64,
+    /// Blocks the native tier handed back to the per-instruction path
+    /// (incomplete φ edges or a step-limit boundary). Zero on the hot
+    /// suite kernels; reported by `runbench --engine native`.
+    native_bailouts: u64,
     /// Recycled lane buffers for vector results.
     lane_pool: Vec<Vec<u64>>,
     /// Recycled slot vectors for fast-engine activations.
@@ -442,6 +494,7 @@ impl<'a> Interp<'a> {
             shared_plans: None,
             plan_shared_hits: 0,
             plan_builds: 0,
+            native_bailouts: 0,
             lane_pool: Vec::new(),
             frame_pool: Vec::new(),
             cancel: None,
@@ -554,7 +607,14 @@ impl<'a> Interp<'a> {
         match self.engine {
             Engine::Fast => self.exec_planned(f, args),
             Engine::Reference => self.exec_reference(f, args),
+            Engine::Native => self.exec_native(f, args),
         }
+    }
+
+    /// Blocks the native tier bailed out of to the per-instruction path
+    /// (see [`Engine::Native`]). Always zero under the other engines.
+    pub fn native_bailouts(&self) -> u64 {
+        self.native_bailouts
     }
 
     /// Attaches a shared cross-thread [`PlanCache`]. `module_id` must be a
@@ -1311,10 +1371,10 @@ impl<'a> Interp<'a> {
     /// call-site table (call kind and extern cost) and the pre-resolved
     /// per-lane kernels.
     #[allow(clippy::too_many_lines)]
-    fn exec_inst(
+    fn exec_inst<S: ValueStore>(
         &mut self,
         f: &Function,
-        frame: &SlotFrame,
+        frame: &S,
         args: &[RtVal],
         id: InstId,
         plan: &FramePlan,
@@ -1654,7 +1714,7 @@ impl<'a> Interp<'a> {
                         self.externs.call(callee, &avs)
                     }
                     _ => match self.module.function(callee) {
-                        Some(callee_fn) => self.exec_planned(callee_fn, avs),
+                        Some(callee_fn) => self.exec_function(callee_fn, avs),
                         None => Err(ExecError::UnknownFunction(callee.clone())),
                     },
                 }
@@ -1801,7 +1861,7 @@ mod tests {
     fn engines_agree_on_cycles_and_profile() {
         let m = sum_module();
         let mut results = Vec::new();
-        for engine in [Engine::Fast, Engine::Reference] {
+        for engine in [Engine::Fast, Engine::Reference, Engine::Native] {
             let mut it = Interp::with_defaults(&m, Memory::default());
             it.set_engine(engine);
             it.enable_profiling();
@@ -1914,7 +1974,7 @@ mod tests {
         fb.br(l);
         let mut m = Module::new();
         m.add_function(fb.finish());
-        for engine in [Engine::Fast, Engine::Reference] {
+        for engine in [Engine::Fast, Engine::Reference, Engine::Native] {
             let mut it = Interp::with_defaults(&m, Memory::default());
             it.set_engine(engine);
             it.set_step_limit(1000);
@@ -1944,7 +2004,7 @@ mod tests {
         fb.ret(None);
         let mut m = Module::new();
         m.add_function(fb.finish());
-        for engine in [Engine::Fast, Engine::Reference] {
+        for engine in [Engine::Fast, Engine::Reference, Engine::Native] {
             let mut it = Interp::with_defaults(&m, Memory::default());
             it.set_engine(engine);
             it.set_step_limit(1000);
@@ -1965,7 +2025,7 @@ mod tests {
         fb.br(l);
         let mut m = Module::new();
         m.add_function(fb.finish());
-        for engine in [Engine::Fast, Engine::Reference] {
+        for engine in [Engine::Fast, Engine::Reference, Engine::Native] {
             let mut it = Interp::with_defaults(&m, Memory::default());
             it.set_engine(engine);
             let tok = CancelToken::new();
@@ -1988,7 +2048,7 @@ mod tests {
         fb.br(l);
         let mut m = Module::new();
         m.add_function(fb.finish());
-        for engine in [Engine::Fast, Engine::Reference] {
+        for engine in [Engine::Fast, Engine::Reference, Engine::Native] {
             let mut it = Interp::with_defaults(&m, Memory::default());
             it.set_engine(engine);
             it.set_cancel_token(CancelToken::with_deadline(std::time::Duration::from_nanos(
@@ -2008,7 +2068,7 @@ mod tests {
         // attaches one to every request, and the differential gates
         // require byte-identity with single-shot runs that attach none.
         let m = sum_module();
-        for engine in [Engine::Fast, Engine::Reference] {
+        for engine in [Engine::Fast, Engine::Reference, Engine::Native] {
             let mut plain = Interp::with_defaults(&m, Memory::default());
             plain.set_engine(engine);
             let r1 = plain.call("sum", &[RtVal::S(100)]).unwrap();

@@ -1,0 +1,509 @@
+//! The native tier's lowered instruction set and its executor.
+//!
+//! A lowered block body is a straight-line `Vec<NOp>` over the compacted
+//! register file. Operand resolution (`Value` → const bits / argument
+//! index / register) and opcode dispatch (opcode × element type → a
+//! monomorphized whole-vector kernel) happen once at lowering time, so
+//! the hot loop is: read registers, run one kernel over the whole vector,
+//! write one register. Anything without a fused form lowers to
+//! [`NOp::General`], which executes through the engines' shared
+//! `exec_inst` path — so correctness never depends on fusion coverage.
+
+use super::super::eval::{sext, VecKern1, VecKern2, VecKern3};
+use super::super::{ExecError, FramePlan, Interp, Lanes, RtVal, ValueStore};
+use super::regalloc::NO_REG;
+use crate::function::Function;
+use crate::inst::{BlockId, InstId};
+use crate::types::ScalarTy;
+use std::borrow::Cow;
+
+/// The shared `Unit` the register file hands out for unassigned reads,
+/// mirroring the fast engine's unset-slot semantics.
+pub(super) static UNIT: RtVal = RtVal::Unit;
+
+/// A pre-resolved operand.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum NSrc {
+    /// Read a register.
+    Reg(u32),
+    /// Constant payload bits.
+    Imm(u64),
+    /// Function argument (fallible: the caller may pass too few).
+    Param(u32),
+    /// An in-range instruction that is never defined — reads as `Unit`,
+    /// exactly like an unset fast-engine slot.
+    Unit,
+    /// An out-of-arena-range instruction id; always the fast engine's
+    /// "use of unevaluated" error.
+    Oob(InstId),
+}
+
+/// One lowered block-body operation.
+#[derive(Debug, Clone)]
+pub(crate) enum NOp {
+    /// Vector two-operand kernel (binary ops and comparisons).
+    Bin2V {
+        /// Whole-vector kernel.
+        g: VecKern2,
+        /// Left operand.
+        a: NSrc,
+        /// Right operand.
+        b: NSrc,
+        /// Lane count of the result.
+        n: u32,
+        /// Destination register.
+        dst: u32,
+    },
+    /// Scalar two-operand kernel.
+    Bin2S {
+        /// Per-lane kernel.
+        g: fn(u64, u64) -> u64,
+        /// Left operand.
+        a: NSrc,
+        /// Right operand.
+        b: NSrc,
+        /// Destination register.
+        dst: u32,
+    },
+    /// Vector one-operand kernel (unary ops and casts).
+    Un1V {
+        /// Whole-vector kernel.
+        g: VecKern1,
+        /// Operand.
+        a: NSrc,
+        /// Lane count of the result.
+        n: u32,
+        /// Destination register.
+        dst: u32,
+    },
+    /// Scalar one-operand kernel.
+    Un1S {
+        /// Per-lane kernel.
+        g: fn(u64) -> u64,
+        /// Operand.
+        a: NSrc,
+        /// Destination register.
+        dst: u32,
+    },
+    /// Vector fused multiply-add.
+    FmaV {
+        /// Whole-vector three-operand kernel.
+        g: VecKern3,
+        /// Multiplicand.
+        a: NSrc,
+        /// Multiplier.
+        b: NSrc,
+        /// Addend.
+        c: NSrc,
+        /// Lane count of the result.
+        n: u32,
+        /// Destination register.
+        dst: u32,
+    },
+    /// Scalar fused multiply-add (`add(mul(a, b), c)`).
+    FmaS {
+        /// Multiply kernel.
+        mul: fn(u64, u64) -> u64,
+        /// Add kernel.
+        add: fn(u64, u64) -> u64,
+        /// Multiplicand.
+        a: NSrc,
+        /// Multiplier.
+        b: NSrc,
+        /// Addend.
+        c: NSrc,
+        /// Destination register.
+        dst: u32,
+    },
+    /// Broadcast a scalar across `n` lanes.
+    SplatV {
+        /// The scalar operand.
+        a: NSrc,
+        /// Lane count.
+        n: u32,
+        /// Destination register.
+        dst: u32,
+    },
+    /// Materialize a constant vector.
+    ConstV {
+        /// The lane payloads (owned by the plan; copied into a pooled
+        /// buffer per execution, as the fast engine does).
+        lanes: Vec<u64>,
+        /// Destination register.
+        dst: u32,
+    },
+    /// Unmasked vector-typed load. The element type and lane count are
+    /// static; the pointer's *shape* dispatch (scalar pointer → packed
+    /// load, vector of addresses → gather) stays at runtime, mirroring
+    /// `exec_inst` — including its stats counters and error ordering.
+    LoadV {
+        /// The pointer operand.
+        ptr: NSrc,
+        /// Element type.
+        elem: ScalarTy,
+        /// Lane count of the result.
+        n: u32,
+        /// Destination register.
+        dst: u32,
+    },
+    /// Unmasked scalar-typed load.
+    LoadS {
+        /// The pointer operand.
+        ptr: NSrc,
+        /// Element type.
+        elem: ScalarTy,
+        /// Destination register.
+        dst: u32,
+    },
+    /// Unmasked store. Shape dispatch over `(pointer, value)` — scalar
+    /// store, packed store, scatter, uniform scatter — stays at runtime,
+    /// mirroring `exec_inst`.
+    StoreOp {
+        /// The pointer operand.
+        ptr: NSrc,
+        /// The value operand (resolved first, as `exec_inst` does).
+        val: NSrc,
+        /// Element type of the stored value.
+        elem: ScalarTy,
+        /// Destination register (the `Unit` result).
+        dst: u32,
+    },
+    /// Address arithmetic: `base + sext(index) * scale`, scalar or
+    /// elementwise depending on the operands' runtime shapes.
+    GepOp {
+        /// Base address operand.
+        base: NSrc,
+        /// Index operand.
+        index: NSrc,
+        /// Static element type of the index (for sign extension).
+        ity: ScalarTy,
+        /// Byte scale.
+        scale: u64,
+        /// Lane count of the result type (used by the vector path).
+        n: u32,
+        /// Destination register.
+        dst: u32,
+    },
+    /// Compile-time-pattern shuffle: `out[i] = v[pattern[i]]`.
+    ShufC {
+        /// Vector operand.
+        v: NSrc,
+        /// One source lane per result lane (owned by the plan).
+        pattern: Vec<u32>,
+        /// Destination register.
+        dst: u32,
+    },
+    /// No fused form: execute through the shared `exec_inst` path (this
+    /// *is* the fast engine's instruction semantics, including its stats
+    /// counters, extern-call charging, and error messages).
+    General {
+        /// The instruction to execute.
+        id: InstId,
+        /// Destination register.
+        dst: u32,
+    },
+}
+
+/// A lowered terminator.
+#[derive(Debug, Clone)]
+pub(crate) enum NTerm {
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Conditional branch on a scalar condition.
+    CondBr {
+        /// The condition operand.
+        cond: NSrc,
+        /// Target when bit 0 is set.
+        then_bb: BlockId,
+        /// Target otherwise.
+        else_bb: BlockId,
+    },
+    /// `ret` with no value.
+    RetUnit,
+    /// `ret` of a register-resident value (moved out, like the fast
+    /// engine's `frame.take`).
+    RetMove(u32),
+    /// `ret` of any other operand.
+    RetSrc(NSrc),
+}
+
+/// The native tier's activation record: the compacted register file plus
+/// the `InstId → register` map (needed so the shared `exec_inst` path can
+/// resolve `Value::Inst` operands of [`NOp::General`] ops).
+pub(super) struct RegStore<'p> {
+    /// Register contents.
+    pub regs: Vec<RtVal>,
+    /// `InstId → register`, borrowed from the plan.
+    pub map: &'p [u32],
+}
+
+impl ValueStore for RegStore<'_> {
+    fn value(&self, i: InstId) -> Option<&RtVal> {
+        let r = *self.map.get(i.0 as usize)?;
+        if r == NO_REG {
+            Some(&UNIT)
+        } else {
+            Some(&self.regs[r as usize])
+        }
+    }
+}
+
+/// Resolves a pre-lowered operand against the register file.
+pub(super) fn read_src<'v>(
+    f: &Function,
+    store: &'v RegStore<'_>,
+    args: &'v [RtVal],
+    s: NSrc,
+) -> Result<Cow<'v, RtVal>, ExecError> {
+    match s {
+        NSrc::Reg(r) => Ok(Cow::Borrowed(&store.regs[r as usize])),
+        NSrc::Imm(bits) => Ok(Cow::Owned(RtVal::S(bits))),
+        NSrc::Param(i) => args
+            .get(i as usize)
+            .map(Cow::Borrowed)
+            .ok_or_else(|| ExecError::Other(format!("missing argument {i} to @{}", f.name))),
+        NSrc::Unit => Ok(Cow::Borrowed(&UNIT)),
+        NSrc::Oob(i) => Err(ExecError::Other(format!(
+            "use of unevaluated {i} in @{}",
+            f.name
+        ))),
+    }
+}
+
+impl<'a> Interp<'a> {
+    /// Takes the destination register's buffer for in-place reuse: a
+    /// displaced vector result is cleared and written over (its capacity
+    /// is already right for steady-state loops); anything else falls back
+    /// to the lane pool. Sound because the allocator keeps `dst` disjoint
+    /// from the op's operand registers.
+    fn take_dst_buf(&mut self, store: &mut RegStore<'_>, dst: u32) -> Vec<u64> {
+        match std::mem::replace(&mut store.regs[dst as usize], RtVal::Unit) {
+            RtVal::V(mut b) => {
+                b.clear();
+                b
+            }
+            _ => self.take_lanes(0),
+        }
+    }
+
+    /// Commits a scalar (or general) result to `dst`, recycling the
+    /// displaced value's buffer.
+    #[inline]
+    fn commit(&mut self, store: &mut RegStore<'_>, dst: u32, v: RtVal) {
+        if dst == NO_REG {
+            self.recycle(v);
+            return;
+        }
+        let old = std::mem::replace(&mut store.regs[dst as usize], v);
+        self.recycle(old);
+    }
+
+    /// Executes one fused op. Value results, error cases, error ordering,
+    /// statistics, and extern charging are bit-identical to the fast
+    /// engine executing the same instruction (the fused kernels are
+    /// pinned to the per-lane kernels by the eval-layer property tests;
+    /// everything else routes through the shared `exec_inst`).
+    pub(super) fn exec_nop(
+        &mut self,
+        f: &Function,
+        store: &mut RegStore<'_>,
+        args: &[RtVal],
+        op: &NOp,
+        plan: &FramePlan,
+    ) -> Result<(), ExecError> {
+        match op {
+            NOp::Bin2V { g, a, b, n, dst } => {
+                let mut out = self.take_dst_buf(store, *dst);
+                let av = read_src(f, store, args, *a)?;
+                let bv = read_src(f, store, args, *b)?;
+                let al = Lanes::of(&av, *n)?;
+                let bl = Lanes::of(&bv, *n)?;
+                g(&mut out, al, bl);
+                store.regs[*dst as usize] = RtVal::V(out);
+                Ok(())
+            }
+            NOp::Bin2S { g, a, b, dst } => {
+                let x = read_src(f, store, args, *a)?.scalar()?;
+                let y = read_src(f, store, args, *b)?.scalar()?;
+                let r = RtVal::S(g(x, y));
+                self.commit(store, *dst, r);
+                Ok(())
+            }
+            NOp::Un1V { g, a, n, dst } => {
+                let mut out = self.take_dst_buf(store, *dst);
+                let av = read_src(f, store, args, *a)?;
+                let al = Lanes::of(&av, *n)?;
+                g(&mut out, al);
+                store.regs[*dst as usize] = RtVal::V(out);
+                Ok(())
+            }
+            NOp::Un1S { g, a, dst } => {
+                let x = read_src(f, store, args, *a)?.scalar()?;
+                let r = RtVal::S(g(x));
+                self.commit(store, *dst, r);
+                Ok(())
+            }
+            NOp::FmaV { g, a, b, c, n, dst } => {
+                let mut out = self.take_dst_buf(store, *dst);
+                let av = read_src(f, store, args, *a)?;
+                let bv = read_src(f, store, args, *b)?;
+                let cv = read_src(f, store, args, *c)?;
+                let al = Lanes::of(&av, *n)?;
+                let bl = Lanes::of(&bv, *n)?;
+                let cl = Lanes::of(&cv, *n)?;
+                g(&mut out, al, bl, cl);
+                store.regs[*dst as usize] = RtVal::V(out);
+                Ok(())
+            }
+            NOp::FmaS {
+                mul,
+                add,
+                a,
+                b,
+                c,
+                dst,
+            } => {
+                let x = read_src(f, store, args, *a)?.scalar()?;
+                let y = read_src(f, store, args, *b)?.scalar()?;
+                let z = read_src(f, store, args, *c)?.scalar()?;
+                let r = RtVal::S(add(mul(x, y), z));
+                self.commit(store, *dst, r);
+                Ok(())
+            }
+            NOp::SplatV { a, n, dst } => {
+                let mut out = self.take_dst_buf(store, *dst);
+                let s = read_src(f, store, args, *a)?.scalar()?;
+                out.resize(*n as usize, s);
+                store.regs[*dst as usize] = RtVal::V(out);
+                Ok(())
+            }
+            NOp::ConstV { lanes, dst } => {
+                let mut out = self.take_dst_buf(store, *dst);
+                out.extend_from_slice(lanes);
+                store.regs[*dst as usize] = RtVal::V(out);
+                Ok(())
+            }
+            NOp::LoadV { ptr, elem, n, dst } => {
+                let mut out = self.take_dst_buf(store, *dst);
+                let pv = read_src(f, store, args, *ptr)?;
+                match pv.as_ref() {
+                    RtVal::S(addr) => {
+                        self.stats.packed_loads += 1;
+                        // One bounds check for the whole packed range (the
+                        // unmasked case; masked loads stay on the shared
+                        // path), exactly like `exec_inst`.
+                        self.mem.load_lanes(*elem, *addr, u64::from(*n), &mut out)?;
+                    }
+                    RtVal::V(addrs) => {
+                        self.stats.gathers += 1;
+                        for &a in addrs {
+                            out.push(self.mem.load_scalar(*elem, a)?);
+                        }
+                    }
+                    RtVal::Unit => return Err(ExecError::Other("malformed load shapes".into())),
+                }
+                store.regs[*dst as usize] = RtVal::V(out);
+                Ok(())
+            }
+            NOp::LoadS { ptr, elem, dst } => {
+                let pv = read_src(f, store, args, *ptr)?;
+                let r = match pv.as_ref() {
+                    RtVal::S(addr) => {
+                        self.stats.scalar_loads += 1;
+                        RtVal::S(self.mem.load_scalar(*elem, *addr)?)
+                    }
+                    _ => return Err(ExecError::Other("malformed load shapes".into())),
+                };
+                self.commit(store, *dst, r);
+                Ok(())
+            }
+            NOp::StoreOp {
+                ptr,
+                val,
+                elem,
+                dst,
+            } => {
+                {
+                    let vv = read_src(f, store, args, *val)?;
+                    let pv = read_src(f, store, args, *ptr)?;
+                    match (pv.as_ref(), vv.as_ref()) {
+                        (RtVal::S(addr), RtVal::S(bits)) => {
+                            self.stats.scalar_stores += 1;
+                            self.mem.store_scalar(*elem, *addr, *bits)?;
+                        }
+                        (RtVal::S(addr), RtVal::V(lanes)) => {
+                            self.stats.packed_stores += 1;
+                            // Single bounds check for the unmasked packed
+                            // range, exactly like `exec_inst`.
+                            self.mem.store_lanes(*elem, *addr, lanes)?;
+                        }
+                        (RtVal::V(addrs), RtVal::V(lanes)) => {
+                            self.stats.scatters += 1;
+                            for (&a, &b) in addrs.iter().zip(lanes) {
+                                self.mem.store_scalar(*elem, a, b)?;
+                            }
+                        }
+                        (RtVal::V(addrs), RtVal::S(bits)) => {
+                            // Scatter of a uniform value.
+                            self.stats.scatters += 1;
+                            for &a in addrs {
+                                self.mem.store_scalar(*elem, a, *bits)?;
+                            }
+                        }
+                        _ => return Err(ExecError::Other("malformed store shapes".into())),
+                    }
+                }
+                self.commit(store, *dst, RtVal::Unit);
+                Ok(())
+            }
+            NOp::GepOp {
+                base,
+                index,
+                ity,
+                scale,
+                n,
+                dst,
+            } => {
+                let mut out = self.take_dst_buf(store, *dst);
+                let bv = read_src(f, store, args, *base)?;
+                let iv = read_src(f, store, args, *index)?;
+                let r =
+                    match (bv.as_ref(), iv.as_ref()) {
+                        (RtVal::S(b), RtVal::S(i)) => {
+                            RtVal::S(b.wrapping_add((sext(*ity, *i) as u64).wrapping_mul(*scale)))
+                        }
+                        _ => {
+                            let bl = Lanes::of(&bv, *n)?;
+                            let il = Lanes::of(&iv, *n)?;
+                            for i in 0..*n as usize {
+                                out.push(bl.at(i).wrapping_add(
+                                    (sext(*ity, il.at(i)) as u64).wrapping_mul(*scale),
+                                ));
+                            }
+                            RtVal::V(std::mem::take(&mut out))
+                        }
+                    };
+                store.regs[*dst as usize] = r;
+                // The scalar path never used the displaced buffer; the
+                // vector path left an empty placeholder behind.
+                self.recycle(RtVal::V(out));
+                Ok(())
+            }
+            NOp::ShufC { v, pattern, dst } => {
+                let mut out = self.take_dst_buf(store, *dst);
+                let vv = read_src(f, store, args, *v)?;
+                let lv = vv.vector()?;
+                for &p in pattern {
+                    out.push(lv[p as usize]);
+                }
+                store.regs[*dst as usize] = RtVal::V(out);
+                Ok(())
+            }
+            NOp::General { id, dst } => {
+                let r = self.exec_inst(f, &*store, args, *id, plan)?;
+                self.commit(store, *dst, r);
+                Ok(())
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Linear-scan register allocation for the native tier.
+//!
+//! The fast engine's [`SlotFrame`](super::super::SlotFrame) spends one
+//! `RtVal` slot per arena instruction. The native tier compacts that into
+//! a small register file: values live across blocks (φ defs, φ edge
+//! sources, and any value used outside its defining block) are *pinned*
+//! to dedicated registers for the whole activation, and everything else
+//! is allocated per block with a linear scan that recycles a register at
+//! the value's last in-block use. Terminator operands are kept live to
+//! the block end so the shared terminator dispatch can still read them.
+//!
+//! Safety rests on the same umbrella as the fast engine's decision not to
+//! track per-slot initialization: the verifier's SSA dominance guarantee.
+//! A register is only reused once its value can no longer be named by a
+//! dominated use. The destination register of an instruction is allocated
+//! *before* its dying operands are freed, so a lowered op's destination
+//! never aliases one of its own operand registers — this is what lets the
+//! emitter take the destination buffer first and write into it while the
+//! operands are still borrowed.
+
+use super::super::plan::FramePlan;
+use crate::function::Function;
+use crate::inst::Value;
+use std::collections::{HashMap, HashSet};
+
+/// Sentinel for "no register assigned": reads as [`RtVal::Unit`]
+/// (matching an unset fast-engine slot), writes are discarded.
+///
+/// [`RtVal::Unit`]: super::super::RtVal
+pub const NO_REG: u32 = u32::MAX;
+
+/// The allocation result: a dense `InstId → register` map.
+#[derive(Debug, Clone)]
+pub struct RegMap {
+    /// Register of each arena instruction (`NO_REG` when the instruction
+    /// is never scheduled and therefore never defined).
+    pub reg_of: Vec<u32>,
+    /// Size of the register file.
+    pub num_regs: usize,
+}
+
+/// Allocates registers for every instruction scheduled by `plan`.
+pub fn allocate(f: &Function, plan: &FramePlan) -> RegMap {
+    let n = plan.slots;
+    let mut reg_of = vec![NO_REG; n];
+
+    // Defining block of every scheduled instruction. φs are defined by
+    // their block's edge tables (every edge schedules the same φ list);
+    // a φ block with no predecessors errors before any φ write, so its
+    // φs legitimately stay undefined.
+    let mut def_block: Vec<Option<u32>> = vec![None; n];
+    for (bi, bp) in plan.blocks.iter().enumerate() {
+        if let Some(e) = bp.edges.first() {
+            for mv in &e.moves {
+                def_block[mv.phi.0 as usize] = Some(bi as u32);
+            }
+        }
+        for &id in &bp.body {
+            def_block[id.0 as usize] = Some(bi as u32);
+        }
+    }
+
+    // Pinned values: φ defs, φ edge sources (a self-loop edge reads them
+    // after the block's local registers have been recycled), and values
+    // used in a block other than the one defining them.
+    let mut pinned = vec![false; n];
+    for bp in &plan.blocks {
+        for e in &bp.edges {
+            for mv in &e.moves {
+                pinned[mv.phi.0 as usize] = true;
+                if let Some(Value::Inst(i)) = mv.src {
+                    if (i.0 as usize) < n {
+                        pinned[i.0 as usize] = true;
+                    }
+                }
+            }
+        }
+    }
+    for b in f.block_ids() {
+        let bp = &plan.blocks[b.0 as usize];
+        let mut mark_cross = |v: Value| {
+            if let Value::Inst(i) = v {
+                if let Some(Some(db)) = def_block.get(i.0 as usize) {
+                    if *db != b.0 {
+                        pinned[i.0 as usize] = true;
+                    }
+                }
+            }
+        };
+        for &id in &bp.body {
+            for v in f.inst(id).operands() {
+                mark_cross(v);
+            }
+        }
+        match &f.block(b).term {
+            crate::inst::Terminator::CondBr { cond, .. } => mark_cross(*cond),
+            crate::inst::Terminator::Ret(Some(v)) => mark_cross(*v),
+            _ => {}
+        }
+    }
+
+    // Pinned values own registers 0..P for the whole activation.
+    let mut next = 0u32;
+    for i in 0..n {
+        if pinned[i] && def_block[i].is_some() {
+            reg_of[i] = next;
+            next += 1;
+        }
+    }
+
+    // Per-block linear scan over the remaining (block-local) values.
+    let mut free: Vec<u32> = Vec::new();
+    for b in f.block_ids() {
+        let bp = &plan.blocks[b.0 as usize];
+
+        // Last in-block use of each value; terminator operands are
+        // removed so they stay live to the block end.
+        let mut last_use: HashMap<u32, usize> = HashMap::new();
+        for (pos, &id) in bp.body.iter().enumerate() {
+            for v in f.inst(id).operands() {
+                if let Value::Inst(i) = v {
+                    last_use.insert(i.0, pos);
+                }
+            }
+        }
+        match &f.block(b).term {
+            crate::inst::Terminator::CondBr {
+                cond: Value::Inst(i),
+                ..
+            } => {
+                last_use.remove(&i.0);
+            }
+            crate::inst::Terminator::Ret(Some(Value::Inst(i))) => {
+                last_use.remove(&i.0);
+            }
+            _ => {}
+        }
+
+        let mut block_regs: Vec<u32> = Vec::new();
+        let mut freed: HashSet<u32> = HashSet::new();
+        for (pos, &id) in bp.body.iter().enumerate() {
+            let slot = id.0 as usize;
+            // Destination first (see the module docs: this keeps dst
+            // disjoint from the operand registers).
+            if reg_of[slot] == NO_REG {
+                let r = match free.pop() {
+                    Some(r) => {
+                        freed.remove(&r);
+                        r
+                    }
+                    None => {
+                        let r = next;
+                        next += 1;
+                        r
+                    }
+                };
+                reg_of[slot] = r;
+                block_regs.push(r);
+            }
+            // Recycle block-local operands dying here.
+            for v in f.inst(id).operands() {
+                if let Value::Inst(i) = v {
+                    let s = i.0 as usize;
+                    if i != id
+                        && s < n
+                        && !pinned[s]
+                        && def_block[s] == Some(b.0)
+                        && last_use.get(&i.0) == Some(&pos)
+                    {
+                        let r = reg_of[s];
+                        if r != NO_REG && freed.insert(r) {
+                            free.push(r);
+                        }
+                    }
+                }
+            }
+        }
+        // Whatever survived to the block end goes back to the pool.
+        for r in block_regs {
+            if freed.insert(r) {
+                free.push(r);
+            }
+        }
+    }
+
+    RegMap {
+        reg_of,
+        num_regs: next as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{c_i64, FunctionBuilder};
+    use crate::function::{Module, Param};
+    use crate::inst::{BinOp, CmpPred, Value};
+    use crate::interp::UnitCost;
+    use crate::types::{ScalarTy, Ty};
+
+    #[test]
+    fn straight_line_chain_reuses_registers() {
+        // r = ((((p+1)+2)+3)+4): each intermediate dies at its only use,
+        // so the block needs far fewer registers than instructions.
+        let mut fb = FunctionBuilder::new(
+            "chain",
+            vec![Param::new("p", Ty::scalar(ScalarTy::I64))],
+            Ty::scalar(ScalarTy::I64),
+        );
+        let mut v = fb.bin(BinOp::Add, Value::Param(0), 1i64);
+        for k in 2..=8i64 {
+            v = fb.bin(BinOp::Add, v, k);
+        }
+        fb.ret(Some(v));
+        let mut m = Module::new();
+        m.add_function(fb.finish());
+        let f = m.function("chain").unwrap();
+        let plan = FramePlan::build(&m, f, &UnitCost);
+        let rm = allocate(f, &plan);
+        assert!(
+            rm.num_regs <= 3,
+            "chain of 8 adds should need <= 3 regs, got {}",
+            rm.num_regs
+        );
+        for &id in &plan.blocks[0].body {
+            assert_ne!(rm.reg_of[id.0 as usize], NO_REG);
+        }
+    }
+
+    #[test]
+    fn loop_carried_values_are_pinned_and_distinct() {
+        let mut fb = FunctionBuilder::new(
+            "sum",
+            vec![Param::new("n", Ty::scalar(ScalarTy::I64))],
+            Ty::scalar(ScalarTy::I64),
+        );
+        let header = fb.new_block("header");
+        let body = fb.new_block("body");
+        let exit = fb.new_block("exit");
+        let entry = fb.current_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let i = fb.phi_typed(Ty::scalar(ScalarTy::I64), vec![(entry, c_i64(0))]);
+        let acc = fb.phi_typed(Ty::scalar(ScalarTy::I64), vec![(entry, c_i64(0))]);
+        let c = fb.cmp(CmpPred::Slt, i, Value::Param(0));
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        let acc2 = fb.bin(BinOp::Add, acc, i);
+        let i2 = fb.bin(BinOp::Add, i, 1i64);
+        fb.phi_add_incoming(i, body, i2);
+        fb.phi_add_incoming(acc, body, acc2);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(Some(acc));
+        let mut m = Module::new();
+        m.add_function(fb.finish());
+        let f = m.function("sum").unwrap();
+        let plan = FramePlan::build(&m, f, &UnitCost);
+        let rm = allocate(f, &plan);
+
+        // φ defs and their back-edge sources all get registers, and the
+        // live-together set (i, acc, i2, acc2) is pairwise distinct.
+        let mut seen = std::collections::HashSet::new();
+        for v in [i, acc, acc2, i2] {
+            let Value::Inst(id) = v else { unreachable!() };
+            let r = rm.reg_of[id.0 as usize];
+            assert_ne!(r, NO_REG);
+            assert!(seen.insert(r), "register {r} double-assigned");
+        }
+    }
+}

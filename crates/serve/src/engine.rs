@@ -4,9 +4,15 @@
 //! module ([`ModuleCache`]) and (module, function) → execution plan
 //! (the shared [`psir::PlanCache`] from the interpreter) — and serves a
 //! [`RunRequest`] by compiling through them and executing on the
-//! interpreter's fast engine. [`single_shot`] is the cache-free reference
-//! path, equivalent to a one-off `psimcc --run` invocation; `servebench
+//! interpreter engine the request names (fast by default, the native tier
+//! as an opt-in). [`single_shot`] is the cache-free reference path,
+//! equivalent to a one-off `psimcc --run` invocation; `servebench
 //! --check` gates on the two producing byte-identical responses.
+//!
+//! The engine is part of the request key even though the compiled module
+//! is engine-independent: native and fast requests for the same source
+//! never share a module or plan entry, so an engine-selection bug can
+//! never serve one tier's request from the other's warm path.
 //!
 //! The server fixes one cost model (`Avx512Cost::new()`, the suite
 //! default) process-wide. That makes the module-cache key a valid
@@ -21,7 +27,7 @@ use crate::request::{hex, CacheInfo, Mode, RunRequest, RunResponse};
 use parsimony::{
     vectorize_module_with, FaultInjector, PipelineOptions, VectorizeOptions, VerifyMode,
 };
-use psir::{CancelReason, CancelToken, Engine, ExecError, Interp, Memory, PlanCache, RtVal};
+use psir::{CancelReason, CancelToken, ExecError, Interp, Memory, PlanCache, RtVal};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -205,7 +211,7 @@ impl ServeState {
         }
     }
 
-    /// Serves one request through the caches on the fast engine.
+    /// Serves one request through the caches on the request's engine.
     ///
     /// # Errors
     /// Compile failures (parse, vectorization, bad verify/inject
@@ -247,7 +253,13 @@ impl ServeState {
         if let Some(tok) = cancel {
             check_token(tok)?;
         }
-        let key = request_key(&req.source, req.mode.name(), &req.verify, &req.inject);
+        let key = request_key(
+            &req.source,
+            req.mode.name(),
+            &req.verify,
+            &req.inject,
+            req.engine.flag_name(),
+        );
         let t = Instant::now();
         let (cm, module_hit) = match self.modules.get(key) {
             Some(cm) => (cm, true),
@@ -384,7 +396,7 @@ fn map_exec_error(
     }
 }
 
-/// Executes a compiled module over a request's workload on the fast
+/// Executes a compiled module over a request's workload on the request's
 /// engine. `plans` attaches the shared plan cache (the cached serve path);
 /// `None` is the single-shot path. `budget`/`cancel` attach resource
 /// limits and cooperative cancellation; both `None` reproduces the
@@ -435,7 +447,7 @@ fn execute(
     }
 
     let mut it = Interp::new(&cm.module, mem, cost, &EXTERNS);
-    it.set_engine(Engine::Fast);
+    it.set_engine(req.engine);
     if let Some(b) = budget {
         it.set_step_limit(b.max_steps);
     }
@@ -491,7 +503,13 @@ fn execute(
 /// # Errors
 /// Same failure surface as [`ServeState::run_request`].
 pub fn single_shot(req: &RunRequest) -> Result<RunResponse, String> {
-    let key = request_key(&req.source, req.mode.name(), &req.verify, &req.inject);
+    let key = request_key(
+        &req.source,
+        req.mode.name(),
+        &req.verify,
+        &req.inject,
+        req.engine.flag_name(),
+    );
     let t = Instant::now();
     let cm = compile_uncached(req, key)?;
     let compile_nanos = t.elapsed().as_nanos() as u64;
@@ -504,6 +522,7 @@ pub fn single_shot(req: &RunRequest) -> Result<RunResponse, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use psir::Engine;
 
     const SRC: &str = "
 void main(f32* restrict a, f32* restrict out, i64 n) {
@@ -695,6 +714,51 @@ void main(f32* restrict out, i64 n) {
             single_shot(&slow_req(5)).expect("reference").identity()
         );
         assert!(ok.steps > 0 && ok.mem_bytes > 0, "accounting is reported");
+    }
+
+    #[test]
+    fn native_requests_never_share_cache_entries_with_fast_requests() {
+        let state = ServeState::new(&ServeOptions::default());
+        let fast_cold = state.run_request(&req(1)).expect("fast cold");
+        assert!(!fast_cold.cache.module_hit);
+
+        // Same source on the native engine: a distinct module entry (cold
+        // compile) and distinct plans (builds, not shared hits).
+        let mut native = req(2);
+        native.engine = Engine::Native;
+        let native_cold = state.run_request(&native).expect("native cold");
+        assert!(
+            !native_cold.cache.module_hit,
+            "native request must not hit the fast request's module entry"
+        );
+        assert_eq!(
+            native_cold.cache.plan_shared_hits, 0,
+            "native request must not reuse the fast request's plans"
+        );
+        assert_eq!(state.modules.stats().entries, 2);
+
+        // Warm replays on each tier hit only their own entries, and both
+        // tiers serve the byte-identical answer.
+        let fast_hot = state.run_request(&req(3)).expect("fast hot");
+        let mut native2 = req(4);
+        native2.engine = Engine::Native;
+        let native_hot = state.run_request(&native2).expect("native hot");
+        assert!(fast_hot.cache.module_hit && native_hot.cache.module_hit);
+        assert!(native_hot.cache.plan_shared_hits > 0);
+        assert_eq!(state.modules.stats().entries, 2);
+        assert_eq!(fast_hot.identity(), fast_cold.identity());
+        assert_eq!(native_hot.identity(), native_cold.identity());
+        assert_eq!(
+            native_cold.identity(),
+            fast_cold.identity(),
+            "engines must agree byte for byte"
+        );
+        let mut shot = req(5);
+        shot.engine = Engine::Native;
+        assert_eq!(
+            native_hot.identity(),
+            single_shot(&shot).expect("native single shot").identity()
+        );
     }
 
     #[test]

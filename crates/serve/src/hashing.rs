@@ -53,13 +53,18 @@ pub fn source_hash(src: &str) -> u64 {
 }
 
 /// Full module-cache key: source content hash combined with every
-/// compile-time knob that changes the compiled output. The returned key
-/// doubles as the `module_id` for the shared [`psir::PlanCache`] — the
-/// server fixes one cost model process-wide, so (key, function) uniquely
-/// identifies a `FramePlan`.
-pub fn request_key(source: &str, mode: &str, verify: &str, inject: &str) -> u64 {
+/// compile-time knob that changes the compiled output, plus the execution
+/// engine. The returned key doubles as the `module_id` for the shared
+/// [`psir::PlanCache`] — the server fixes one cost model process-wide, so
+/// (key, function) uniquely identifies a `FramePlan`.
+///
+/// The engine is part of the key even though the compiled module is
+/// engine-independent: keeping native-engine entries disjoint means an
+/// engine-selection bug can never silently serve a request from the wrong
+/// tier's warm path, and the per-engine hit/miss counters stay honest.
+pub fn request_key(source: &str, mode: &str, verify: &str, inject: &str, engine: &str) -> u64 {
     let mut h = source_hash(source);
-    for part in [mode, verify, inject] {
+    for part in [mode, verify, inject, engine] {
         // Chain with a separator so ("ab","c") and ("a","bc") differ.
         h = fnv1a(format!("{h:016x}\x1f{part}").as_bytes());
     }
@@ -88,19 +93,26 @@ mod tests {
     #[test]
     fn config_is_part_of_the_key() {
         let src = "void f() { }";
-        let base = request_key(src, "parsimony", "fallback", "");
-        assert_ne!(base, request_key(src, "gangsync", "fallback", ""));
-        assert_ne!(base, request_key(src, "parsimony", "strict", ""));
-        assert_ne!(base, request_key(src, "parsimony", "fallback", "shape:1"));
-        assert_eq!(base, request_key(src, "parsimony", "fallback", ""));
+        let base = request_key(src, "parsimony", "fallback", "", "fast");
+        assert_ne!(base, request_key(src, "gangsync", "fallback", "", "fast"));
+        assert_ne!(base, request_key(src, "parsimony", "strict", "", "fast"));
+        assert_ne!(
+            base,
+            request_key(src, "parsimony", "fallback", "shape:1", "fast")
+        );
+        assert_ne!(
+            base,
+            request_key(src, "parsimony", "fallback", "", "native")
+        );
+        assert_eq!(base, request_key(src, "parsimony", "fallback", "", "fast"));
     }
 
     #[test]
     fn key_parts_are_separated() {
         let src = "void f() { }";
         assert_ne!(
-            request_key(src, "ab", "c", ""),
-            request_key(src, "a", "bc", "")
+            request_key(src, "ab", "c", "", "fast"),
+            request_key(src, "a", "bc", "", "fast")
         );
     }
 }

@@ -13,7 +13,7 @@
 //! u64 *bit pattern* reinterpreted as i64 — `telemetry::Json` preserves
 //! i64 exactly, so the round trip is lossless.
 
-use psir::ScalarTy;
+use psir::{Engine, ScalarTy};
 use suite::{BufSpec, Init};
 use telemetry::Json;
 
@@ -180,6 +180,10 @@ pub struct RunRequest {
     pub verify: String,
     /// Fault-injection descriptor (empty = none), honored per-request.
     pub inject: String,
+    /// Interpreter engine to execute on (default fast). Engines are
+    /// result-identical by contract, but the engine is still part of the
+    /// cache key so native and fast entries never share a warm path.
+    pub engine: Engine,
     /// Workload buffers, in parameter order.
     pub buffers: Vec<BufSpec>,
     /// Extra scalar arguments (u64 bit patterns) appended after the
@@ -213,6 +217,7 @@ impl RunRequest {
             mode: Mode::Parsimony,
             verify: "fallback".into(),
             inject: String::new(),
+            engine: Engine::Fast,
             buffers: Vec::new(),
             extra_args: Vec::new(),
             want_remarks: false,
@@ -270,6 +275,12 @@ impl Request {
                 ];
                 if !r.inject.is_empty() {
                     fields.push(("inject", Json::Str(r.inject.clone())));
+                }
+                // Like the budget fields below: the engine rides along
+                // only when it is not the default, so fast requests stay
+                // wire-identical to protocol 1.
+                if r.engine != Engine::Fast {
+                    fields.push(("engine", Json::Str(r.engine.flag_name().into())));
                 }
                 if r.want_remarks {
                     fields.push(("want_remarks", Json::Bool(true)));
@@ -353,6 +364,12 @@ impl Request {
                     .and_then(Json::as_str)
                     .unwrap_or("")
                     .to_string();
+                let engine = match j.get("engine").and_then(Json::as_str) {
+                    None => Engine::Fast,
+                    Some(s) => {
+                        Engine::from_flag(s).ok_or_else(|| format!("run: bad engine {s:?}"))?
+                    }
+                };
                 let buffers = match j.get("buffers") {
                     None => Vec::new(),
                     Some(Json::Arr(items)) => items
@@ -379,6 +396,7 @@ impl Request {
                     mode,
                     verify,
                     inject,
+                    engine,
                     buffers,
                     extra_args,
                     want_remarks: flag("want_remarks"),
@@ -826,10 +844,12 @@ mod tests {
         assert!(!line.contains("deadline_ms"));
         assert!(!line.contains("max_steps"));
         assert!(!line.contains("max_mem_bytes"));
+        assert!(!line.contains("engine"));
         let Request::Run(b) = Request::parse(&line).unwrap() else {
             panic!("wrong op")
         };
         assert_eq!((b.deadline_ms, b.max_steps, b.max_mem_bytes), (0, 0, 0));
+        assert_eq!(b.engine, Engine::Fast);
 
         // Set budgets survive the round trip.
         let mut r = RunRequest::new(2, "void main(i64 n) { }", 8);
@@ -888,6 +908,22 @@ mod tests {
                 other => panic!("mismatched round trip: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn engine_field_round_trips_and_rejects_unknown_values() {
+        let mut r = RunRequest::new(9, "void main(i64 n) { }", 8);
+        r.engine = Engine::Native;
+        let line = Request::Run(Box::new(r)).to_json().to_string_compact();
+        assert!(line.contains("\"engine\""));
+        let Request::Run(b) = Request::parse(&line).unwrap() else {
+            panic!("wrong op")
+        };
+        assert_eq!(b.engine, Engine::Native);
+
+        let bad = "{\"op\": \"run\", \"id\": 1, \"source\": \"\", \"n\": 8, \
+                   \"engine\": \"turbo\"}";
+        assert!(Request::parse(bad).unwrap_err().contains("bad engine"));
     }
 
     #[test]

@@ -28,10 +28,15 @@ const TOOLS: &[&str] = &[
     "psimcc",
     "fig4",
     "fig5",
+    "runbench",
     "psim-fuzz",
     "psim-serve",
     "servebench",
 ];
+
+/// Tools that take `--engine`: an unknown value is a usage error (exit
+/// 2) naming the valid engines, and `--help` documents the flag.
+const ENGINE_TOOLS: &[&str] = &["runbench", "fig4", "fig5"];
 
 #[test]
 fn version_exits_zero_and_names_the_protocol() {
@@ -90,6 +95,40 @@ fn unknown_flags_exit_two() {
             Some(2),
             "{tool} must exit 2 on an unknown flag (stderr: {})",
             String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn unknown_engine_values_exit_two_and_help_names_the_engines() {
+    for tool in ENGINE_TOOLS {
+        let Some(path) = bin(tool) else {
+            eprintln!("exit_contract: {tool} not built in this invocation, skipping");
+            continue;
+        };
+        for args in [&["--engine", "turbo"][..], &["--engine"][..]] {
+            let out = Command::new(&path).args(args).output().expect("run");
+            assert_eq!(
+                out.status.code(),
+                Some(2),
+                "{tool} {args:?} must be a usage error (stderr: {})",
+                String::from_utf8_lossy(&out.stderr)
+            );
+        }
+        let out = Command::new(&path)
+            .args(["--engine", "turbo"])
+            .output()
+            .expect("run");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("fast") && stderr.contains("native"),
+            "{tool} must name the valid engines on a bad value: {stderr:?}"
+        );
+        let help = Command::new(&path).arg("--help").output().expect("run");
+        let stdout = String::from_utf8_lossy(&help.stdout);
+        assert!(
+            stdout.contains("--engine"),
+            "{tool} --help must document --engine: {stdout:?}"
         );
     }
 }

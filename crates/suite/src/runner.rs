@@ -57,6 +57,10 @@ pub struct RunResult {
     /// Cycle-attribution profile; `Some` only under the `_profiled` entry
     /// points.
     pub profile: Option<Profile>,
+    /// Native-tier blocks that dynamically fell back to the exact path
+    /// (always 0 for the fast and reference engines). Not part of the
+    /// engine-identity contract — it describes the native tier itself.
+    pub native_bailouts: u64,
 }
 
 /// Allocates and initializes one workload buffer in `mem` according to its
@@ -196,13 +200,31 @@ fn run_module(module: &Module, k: &Kernel, cost: &Avx512Cost) -> Result<RunResul
     run_module_inner(module, k, cost, false)
 }
 
+/// Process-wide engine override for the figure harnesses' `--engine` flag:
+/// every [`run_kernel`]-family entry point executes under this engine
+/// instead of [`Engine::default`]. First set wins (the CLIs set it once,
+/// right after argument parsing); the explicit-engine entry points like
+/// [`run_module_engine`] are unaffected.
+static ENGINE_OVERRIDE: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
+
+/// Overrides the engine used by the default-engine entry points. Returns
+/// `false` if an override was already set to a *different* engine.
+pub fn set_engine_override(engine: Engine) -> bool {
+    *ENGINE_OVERRIDE.get_or_init(|| engine) == engine
+}
+
+/// The engine the default-engine entry points run under.
+pub fn default_engine() -> Engine {
+    ENGINE_OVERRIDE.get().copied().unwrap_or_default()
+}
+
 fn run_module_inner(
     module: &Module,
     k: &Kernel,
     cost: &Avx512Cost,
     profiled: bool,
 ) -> Result<RunResult, String> {
-    run_module_engine(module, k, cost, profiled, Engine::default())
+    run_module_engine(module, k, cost, profiled, default_engine())
 }
 
 /// Runs an already-built module over `k`'s workload with an explicit
@@ -219,6 +241,37 @@ pub fn run_module_engine(
     profiled: bool,
     engine: Engine,
 ) -> Result<RunResult, String> {
+    run_module_engine_inner(module, k, cost, profiled, engine, None)
+}
+
+/// Like [`run_module_engine`] with a shared [`PlanCache`] attached, so
+/// repeated runs of the same module amortize plan construction (frame
+/// plans, and through them the native tier's lowering) exactly as the
+/// serving path does. `module_id` must identify the module and cost model
+/// within the cache.
+///
+/// # Errors
+/// Reports runtime traps with the kernel context.
+pub fn run_module_engine_shared(
+    module: &Module,
+    k: &Kernel,
+    cost: &Avx512Cost,
+    profiled: bool,
+    engine: Engine,
+    plans: &std::sync::Arc<psir::PlanCache>,
+    module_id: u64,
+) -> Result<RunResult, String> {
+    run_module_engine_inner(module, k, cost, profiled, engine, Some((plans, module_id)))
+}
+
+fn run_module_engine_inner(
+    module: &Module,
+    k: &Kernel,
+    cost: &Avx512Cost,
+    profiled: bool,
+    engine: Engine,
+    plans: Option<(&std::sync::Arc<psir::PlanCache>, u64)>,
+) -> Result<RunResult, String> {
     let mut mem = Memory::default();
     let mut args: Vec<RtVal> = Vec::new();
     let mut addrs: Vec<u64> = Vec::new();
@@ -231,6 +284,9 @@ pub fn run_module_engine(
     args.push(RtVal::S(k.n));
     let mut it = Interp::new(module, mem, cost, &EXTERNS);
     it.set_engine(engine);
+    if let Some((cache, module_id)) = plans {
+        it.set_plan_cache(std::sync::Arc::clone(cache), module_id);
+    }
     if profiled {
         it.enable_profiling();
     }
@@ -252,6 +308,7 @@ pub fn run_module_engine(
         cycles: it.cycles,
         outputs,
         stats: it.stats,
+        native_bailouts: it.native_bailouts(),
         profile: it.take_profile(),
     })
 }

@@ -1,9 +1,11 @@
-//! Engine differential: the fast (`FramePlan`) engine and the retained
-//! reference engine must agree byte-for-byte on simulated cycles, checked
+//! Engine differential: the fast (`FramePlan`) engine, the retained
+//! reference engine, and the native tier (fused block kernels with
+//! bailout) must agree byte-for-byte on simulated cycles, checked
 //! outputs, execution statistics, and profile JSON — across every suite
 //! kernel, across gang-size sweep variants, and on pipeline-degraded
 //! (fault-injected, scalar-fallback) modules. This is the identity
-//! contract the precompiled-plan optimization is allowed to exist under.
+//! contract the precompiled-plan and native-tier optimizations are
+//! allowed to exist under.
 
 use parsimony::{
     vectorize_module_with, FaultInjector, PipelineOptions, VectorizeOptions, VerifyMode,
@@ -14,34 +16,43 @@ use suite::simdlib::kernels as simd_kernels;
 use suite::Kernel;
 use vmach::Avx512Cost;
 
-/// Runs `module` over `k`'s workload under both engines (profiled, so the
-/// classed-cost attribution is exercised too) and compares every
-/// observable.
+/// Runs `module` over `k`'s workload under all three engines (profiled,
+/// so the classed-cost attribution is exercised too) and compares every
+/// observable against the fast engine.
 fn engines_agree(k: &Kernel, module: &psir::Module, label: &str) -> Result<(), String> {
     let cost = Avx512Cost::new();
     let fast = run_module_engine(module, k, &cost, true, Engine::Fast)
         .map_err(|e| format!("{label}: fast engine: {e}"))?;
-    let reference = run_module_engine(module, k, &cost, true, Engine::Reference)
-        .map_err(|e| format!("{label}: reference engine: {e}"))?;
-    if fast.cycles != reference.cycles {
-        return Err(format!(
-            "{label}: cycles differ: fast {} vs reference {}",
-            fast.cycles, reference.cycles
-        ));
-    }
-    if fast.outputs != reference.outputs {
-        return Err(format!("{label}: checked outputs differ"));
-    }
-    if fast.stats != reference.stats {
-        return Err(format!(
-            "{label}: stats differ: fast {:?} vs reference {:?}",
-            fast.stats, reference.stats
-        ));
-    }
-    let fj = fast.profile.map(|p| p.to_json().to_string_pretty());
-    let rj = reference.profile.map(|p| p.to_json().to_string_pretty());
-    if fj != rj {
-        return Err(format!("{label}: profile JSON differs"));
+    let fj = fast
+        .profile
+        .as_ref()
+        .map(|p| p.to_json().to_string_pretty());
+    for engine in [Engine::Reference, Engine::Native] {
+        let name = match engine {
+            Engine::Reference => "reference",
+            _ => "native",
+        };
+        let other = run_module_engine(module, k, &cost, true, engine)
+            .map_err(|e| format!("{label}: {name} engine: {e}"))?;
+        if fast.cycles != other.cycles {
+            return Err(format!(
+                "{label}: cycles differ: fast {} vs {name} {}",
+                fast.cycles, other.cycles
+            ));
+        }
+        if fast.outputs != other.outputs {
+            return Err(format!("{label}: checked outputs differ vs {name}"));
+        }
+        if fast.stats != other.stats {
+            return Err(format!(
+                "{label}: stats differ: fast {:?} vs {name} {:?}",
+                fast.stats, other.stats
+            ));
+        }
+        let oj = other.profile.map(|p| p.to_json().to_string_pretty());
+        if fj != oj {
+            return Err(format!("{label}: profile JSON differs vs {name}"));
+        }
     }
     Ok(())
 }
