@@ -46,12 +46,25 @@ out=$(mktemp)
 {
   echo "### Benchmark baselines"
   echo
-  echo "| report | tool | mode | geomean speedup | identical | size |"
-  echo "|---|---|---|---|---|---|"
+  echo "| report | tool | mode | geomean speedup | batch | batch speedup | identical | size |"
+  echo "|---|---|---|---|---|---|---|---|"
   for f in "${files[@]}"; do
     tool=$(meta "$f" tool)
     mode=$(meta "$f" engine)
     gm=$(round2 "$(field "$f" geomean_speedup)")
+    # servebench meta carries the batching knobs; its plan_share section
+    # carries the measured batched/unbatched throughput ratio. Both are
+    # nested one level deep, same indentation as the meta block.
+    bw=$(meta "$f" batch_window_ms)
+    if [ "$bw" = "-" ]; then
+      batch="-"
+    elif [ "$bw" = "0" ]; then
+      batch="off"
+    else
+      batch="${bw}ms/$(meta "$f" max_batch)"
+    fi
+    bs=$(meta "$f" batch_speedup)
+    [ "$bs" != "-" ] && bs="$(round2 "$bs")x"
     # runbench reports per-kernel identity; servebench reports checked.
     ident=$(field "$f" identical)
     [ "$ident" = "-" ] && ident=$(field "$f" checked)
@@ -59,7 +72,7 @@ out=$(mktemp)
     [ "$size" = "-" ] && size="$(field "$f" items) items" || size="$size kernels"
     bail=$(field "$f" bailouts)
     [ "$bail" != "-" ] && mode="$mode ($bail bailouts)"
-    echo "| $f | $tool | $mode | ${gm}x | $ident | $size |"
+    echo "| $f | $tool | $mode | ${gm}x | $batch | $bs | $ident | $size |"
   done
   echo
 } >"$out"

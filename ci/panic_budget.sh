@@ -29,9 +29,9 @@ criterion_compat 0
 fuzz 20
 proptest_compat 2
 psimc 26
-psir 95
+psir 105
 rand_compat 0
-serve 65
+serve 80
 shapecheck 9
 suite 19
 telemetry 18

@@ -73,6 +73,13 @@ pub const SERVE_ENV_VAR: &str = "PSIM_SERVE_CHAOS";
 ///   structured error).
 /// * `worker:delay` — a bounded delay inside the worker before
 ///   compilation starts.
+/// * `batch:form_delay` — a bounded delay during batch formation, before
+///   the request enters the coalescing window (skews join timing so
+///   window expiry and late joins are exercised).
+/// * `batch:member_cancel` — at batch dissolution, the first member of
+///   every sealed batch has its token cancelled as if its client had
+///   disconnected; that member must detach to a structured `cancelled`
+///   reply without poisoning its batchmates.
 pub const SERVE_SITES: &[(&str, &str)] = &[
     ("conn", "close_before_write"),
     ("conn", "truncate_write"),
@@ -80,6 +87,8 @@ pub const SERVE_SITES: &[(&str, &str)] = &[
     ("conn", "close_on_read"),
     ("worker", "kill"),
     ("worker", "delay"),
+    ("batch", "form_delay"),
+    ("batch", "member_cancel"),
 ];
 
 /// Parses a `<first>:<second>` spec against a `(first, second)` site

@@ -19,6 +19,11 @@ pub struct Memory {
     /// layer can refuse a hostile workload without conflating it with a
     /// wild pointer.
     budget: Option<u64>,
+    /// High-water mark of bytes ever written. Stores bounds-check against
+    /// capacity (not `brk`), so a reset must scrub up to this mark — not
+    /// just the allocated prefix — to be indistinguishable from a fresh
+    /// memory.
+    touched: u64,
 }
 
 impl Memory {
@@ -29,7 +34,22 @@ impl Memory {
             bytes: vec![0; capacity],
             brk: 64,
             budget: None,
+            touched: 64,
         }
+    }
+
+    /// Returns the memory to its freshly-constructed state without
+    /// releasing the backing allocation: every byte ever written is
+    /// zeroed, the bump pointer rewinds to the 64-byte reserve, and the
+    /// budget is cleared. A subsequent run on this memory is
+    /// byte-indistinguishable from one on `Memory::new(capacity)` — the
+    /// hook that lets a batch executor reuse one arena across requests.
+    pub fn reset(&mut self) {
+        let end = self.brk.max(self.touched).min(self.bytes.len() as u64);
+        self.bytes[64..end as usize].fill(0);
+        self.brk = 64;
+        self.touched = 64;
+        self.budget = None;
     }
 
     /// Total capacity in bytes.
@@ -117,6 +137,7 @@ impl Memory {
         };
         let buf = stored.to_le_bytes();
         self.bytes[addr as usize..(addr + size) as usize].copy_from_slice(&buf[..size as usize]);
+        self.touched = self.touched.max(addr + size);
         Ok(())
     }
 
@@ -187,6 +208,7 @@ impl Memory {
                 size: u64::MAX,
             })?;
         self.check(addr, total)?;
+        self.touched = self.touched.max(addr + total);
         let mask = if ty == ScalarTy::I1 { 1 } else { ty.bit_mask() };
         let base = addr as usize;
         let dst = &mut self.bytes[base..base + total as usize];
@@ -229,6 +251,7 @@ impl Memory {
     pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), ExecError> {
         self.check(addr, data.len() as u64)?;
         self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        self.touched = self.touched.max(addr + data.len() as u64);
         Ok(())
     }
 
@@ -250,6 +273,60 @@ impl Memory {
         let addr = self.alloc(data.len() as u64, align)?;
         self.write_bytes(addr, data)?;
         Ok(addr)
+    }
+
+    /// Captures the allocated prefix (everything after the 64-byte
+    /// reserve, up to the bump pointer) as an [`MemImage`]. Taken right
+    /// after workload buffers are filled, the image lets a batch executor
+    /// replace a batchmate's per-element seeded refill with one memcpy —
+    /// see [`Memory::restore`].
+    pub fn image(&self) -> MemImage {
+        MemImage {
+            data: self.bytes[64..self.brk as usize].to_vec(),
+            brk: self.brk,
+        }
+    }
+
+    /// Restores the state captured by [`Memory::image`]: bytes the image
+    /// does not cover are scrubbed back to zero (up to the high-water
+    /// mark, exactly like [`Memory::reset`]), the image bytes are copied
+    /// in, the bump pointer rewinds to the image's, and the budget is
+    /// cleared. The result is byte-indistinguishable from a fresh reset
+    /// followed by the identical allocation/fill sequence the image was
+    /// taken after. An image from a larger memory is truncated to this
+    /// memory's capacity (images are only meant to round-trip within one
+    /// arena, where no truncation can occur).
+    pub fn restore(&mut self, img: &MemImage) {
+        let cap = self.bytes.len();
+        let end = (self.brk.max(self.touched) as usize).min(cap);
+        self.bytes[64.min(cap)..end].fill(0);
+        let n = img.data.len().min(cap.saturating_sub(64));
+        self.bytes[64..64 + n].copy_from_slice(&img.data[..n]);
+        self.brk = img.brk.min(cap as u64);
+        self.touched = self.brk;
+        self.budget = None;
+    }
+}
+
+/// An immutable image of a memory's allocated prefix, captured by
+/// [`Memory::image`] and re-applied by [`Memory::restore`]. Used by the
+/// serve batch executor to share one initialized input arena across batch
+/// members whose buffer specs are identical.
+#[derive(Debug, Clone)]
+pub struct MemImage {
+    data: Vec<u8>,
+    brk: u64,
+}
+
+impl MemImage {
+    /// Bytes the image covers (allocated prefix, reserve excluded).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the image covers no allocations.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
     }
 }
 
@@ -291,11 +368,46 @@ mod tests {
     }
 
     #[test]
+    fn image_restore_is_indistinguishable_from_refill() {
+        let mut m = Memory::new(1024);
+        let a = m.alloc_bytes(&[1, 2, 3, 4], 64).unwrap();
+        let img = m.image();
+        // Mutate, allocate past the image, and budget the arena.
+        m.write_bytes(a, &[9, 9, 9, 9]).unwrap();
+        m.alloc_bytes(&[7; 100], 64).unwrap();
+        m.set_budget(Some(8));
+        m.restore(&img);
+        // Contents, bump pointer, and budget all match a fresh refill.
+        assert_eq!(m.read_bytes(a, 4).unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(m.allocated(), 4);
+        let b = m.alloc_bytes(&[0; 200], 64).unwrap();
+        assert_eq!(m.read_bytes(b, 200).unwrap(), &[0u8; 200]);
+    }
+
+    #[test]
     fn null_and_oob_fault() {
         let mut m = Memory::new(128);
         assert!(m.load_scalar(ScalarTy::I32, 0).is_err());
         assert!(m.store_scalar(ScalarTy::I32, 126, 1).is_err());
         assert!(m.alloc(1 << 40, 1).is_err());
+    }
+
+    #[test]
+    fn reset_is_indistinguishable_from_fresh() {
+        let mut m = Memory::new(1024);
+        m.set_budget(Some(512));
+        let a = m.alloc(128, 64).unwrap();
+        m.store_scalar(ScalarTy::I64, a, u64::MAX).unwrap();
+        // A store past brk (legal: stores check capacity, not brk) must
+        // also be scrubbed by reset.
+        m.store_scalar(ScalarTy::I64, 900, u64::MAX).unwrap();
+        m.reset();
+        let fresh = Memory::new(1024);
+        assert_eq!(m.allocated(), 0);
+        assert_eq!(m.bytes, fresh.bytes, "every written byte scrubbed");
+        assert_eq!(m.budget, None, "budget cleared");
+        // Allocation restarts from the reserve, exactly like a fresh map.
+        assert_eq!(m.alloc(16, 64).unwrap(), 64);
     }
 
     #[test]

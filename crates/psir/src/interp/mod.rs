@@ -32,7 +32,7 @@ pub use eval::{
     eval_bin, eval_cast, eval_cmp, eval_math, eval_un, reduce_identity, reduce_step, sext, trunc,
     ExecError,
 };
-pub use memory::Memory;
+pub use memory::{MemImage, Memory};
 pub use plan::{BlockPlan, CallSite, EdgeTable, FramePlan, LaneKernel, PhiMove, PlannedCost};
 pub use plan_cache::{PlanCache, PlanCacheStats};
 
@@ -629,6 +629,27 @@ impl<'a> Interp<'a> {
     /// local build) versus built from scratch — per-request cache telemetry.
     pub fn plan_counters(&self) -> (u64, u64) {
         (self.plan_shared_hits, self.plan_builds)
+    }
+
+    /// Clears every piece of per-run state — cycles, statistics, step
+    /// count, profile, cancellation token, and the plan/bailout telemetry
+    /// counters — while keeping the warm machinery: resolved plans, the
+    /// shared plan cache attachment, the lane/frame pools, the engine
+    /// selection, and the step limit. The memory is *not* touched; callers
+    /// reset it separately via [`Memory::reset`]. Together the two resets
+    /// make a reused interpreter byte-indistinguishable from a fresh one,
+    /// which is what lets a batch executor run many requests back-to-back
+    /// on one arena.
+    pub fn reset_run(&mut self) {
+        self.cycles = 0;
+        self.stats = ExecStats::default();
+        self.profile = None;
+        self.steps = 0;
+        self.plan_shared_hits = 0;
+        self.plan_builds = 0;
+        self.native_bailouts = 0;
+        self.cancel = None;
+        self.next_deadline_poll = 0;
     }
 
     /// The cached plan for `f`, building it on first use. Resolution order:

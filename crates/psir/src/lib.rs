@@ -68,8 +68,8 @@ pub use inst::{
 pub use interp::{
     eval_bin, eval_cast, eval_cmp, eval_math, eval_un, reduce_identity, reduce_step, sext, trunc,
     BlockPlan, CallSite, CancelReason, CancelToken, CostClass, CostModel, EdgeTable, Engine,
-    ExecError, ExecStats, ExternFns, FramePlan, Interp, LaneKernel, Lanes, MaskRef, Memory,
-    NoExterns, PhiMove, PlanCache, PlanCacheStats, PlannedCost, Profile, RtVal, UnitCost,
+    ExecError, ExecStats, ExternFns, FramePlan, Interp, LaneKernel, Lanes, MaskRef, MemImage,
+    Memory, NoExterns, PhiMove, PlanCache, PlanCacheStats, PlannedCost, Profile, RtVal, UnitCost,
     DEADLINE_POLL_STEPS, DEFAULT_STEP_LIMIT,
 };
 pub use parse::{parse_function, IrParseError};

@@ -1,0 +1,275 @@
+//! Admission-side request coalescing: the batching tier.
+//!
+//! Concurrent `run` requests whose [`batch_key`](crate::hashing::batch_key)
+//! matches — same compiled module, entry function, gang configuration, and
+//! budget triple — are grouped into one [`Batch`] and dispatched to the
+//! executor as a *single* job. The batch executor
+//! ([`ServeState::run_batch_with`](crate::ServeState::run_batch_with))
+//! resolves the shared plan once and runs the members back-to-back on one
+//! pre-warmed interpreter arena, amortizing cache lookups, plan
+//! resolution, memory-map churn, and per-job dispatch across the batch.
+//!
+//! Window semantics: the first request for a key becomes the batch
+//! *leader* and waits up to the configured window on its own connection
+//! thread (which would otherwise be blocked on its reply channel anyway —
+//! no worker is burned). Followers join the open batch; whoever fills it
+//! to `max_batch` seals and dispatches immediately. A leader whose window
+//! expires seals whatever has gathered — a singleton request is therefore
+//! never stalled past the window, and with the window at 0 the tier is
+//! disabled entirely and dispatch is per-request, exactly as before.
+//!
+//! The coalescer is generic over the member payload so it can be unit
+//! tested without sockets; the server instantiates it with its dispatch
+//! bookkeeping (request, token, reply channel).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Batching knobs, embedded in [`ServeOptions`](crate::ServeOptions).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Coalescing window in milliseconds; 0 disables the batching tier.
+    pub window_ms: u64,
+    /// Members per batch at which it seals without waiting out the window.
+    pub max_batch: usize,
+}
+
+impl Default for BatchConfig {
+    /// Batching off. The library default keeps every non-batching code
+    /// path (and test) byte-for-byte as before; the `psim-serve` daemon
+    /// and `servebench` turn the tier on via their own defaults.
+    fn default() -> BatchConfig {
+        BatchConfig {
+            window_ms: 0,
+            max_batch: 16,
+        }
+    }
+}
+
+/// Lifecycle-style telemetry for the batching tier, reported under
+/// `"batch"` in the `stats` response.
+#[derive(Default)]
+pub struct BatchCounters {
+    /// Batches sealed and dispatched (including singletons).
+    pub batches_formed: AtomicU64,
+    /// Total members across all sealed batches (mean size = this /
+    /// `batches_formed`).
+    pub batched_requests: AtomicU64,
+    /// Members that joined an already-open batch instead of opening their
+    /// own (the requests the tier actually coalesced away).
+    pub coalesced_requests: AtomicU64,
+    /// Largest batch sealed so far.
+    pub max_batch_size: AtomicU64,
+    /// Batches sealed because the leader's window expired rather than by
+    /// filling to `max_batch`.
+    pub window_timeouts: AtomicU64,
+}
+
+impl BatchCounters {
+    fn note_sealed(&self, size: usize, timed_out: bool) {
+        self.batches_formed.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+        self.coalesced_requests
+            .fetch_add(size as u64 - 1, Ordering::Relaxed);
+        self.max_batch_size
+            .fetch_max(size as u64, Ordering::Relaxed);
+        if timed_out {
+            self.window_timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A sealed batch, handed to exactly one dispatching thread.
+pub struct Batch<M> {
+    /// The shared batch key the members were coalesced under.
+    pub key: u64,
+    /// The members, in admission order.
+    pub members: Vec<M>,
+}
+
+struct Slot<M> {
+    members: Vec<M>,
+}
+
+/// The admission-side coalescer: open (unsealed) batches keyed by
+/// [`batch_key`](crate::hashing::batch_key). Sealing removes the slot, so
+/// a key never has more than one open batch and a sealed batch is owned
+/// by exactly one thread.
+pub struct Coalescer<M> {
+    window: Duration,
+    max_batch: usize,
+    slots: Mutex<HashMap<u64, Slot<M>>>,
+    sealed: Condvar,
+    /// Telemetry (shared with the server's `stats` document).
+    pub counters: BatchCounters,
+}
+
+impl<M> Coalescer<M> {
+    /// A coalescer from the given knobs. Callers gate on
+    /// `window_ms > 0` before constructing one; a zero window would make
+    /// every request a leader that seals immediately.
+    pub fn new(cfg: BatchConfig) -> Coalescer<M> {
+        Coalescer {
+            window: Duration::from_millis(cfg.window_ms),
+            max_batch: cfg.max_batch.max(1),
+            slots: Mutex::new(HashMap::new()),
+            sealed: Condvar::new(),
+            counters: BatchCounters::default(),
+        }
+    }
+
+    /// Submits one member under `key`, blocking the calling thread for at
+    /// most the window. Returns `Some(batch)` when *this* call sealed the
+    /// batch (by filling it to `max_batch` as a follower, or by window
+    /// expiry as the leader) — the caller must dispatch it. Returns `None`
+    /// when the member was handed off into a batch another thread seals
+    /// (or already sealed); the caller then just waits on its own reply
+    /// channel.
+    pub fn submit(&self, key: u64, member: M) -> Option<Batch<M>> {
+        let mut slots = self
+            .slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(slot) = slots.get_mut(&key) {
+            // Follower: join the open batch; seal it if now full.
+            slot.members.push(member);
+            if slot.members.len() >= self.max_batch {
+                let slot = slots.remove(&key).expect("open slot");
+                drop(slots);
+                self.counters.note_sealed(slot.members.len(), false);
+                self.sealed.notify_all();
+                return Some(Batch {
+                    key,
+                    members: slot.members,
+                });
+            }
+            return None;
+        }
+        // Leader: open the batch and wait out the window (or until a
+        // follower seals it from under us — the slot disappearing is the
+        // signal). One condvar covers every key; a wakeup for another key
+        // just re-checks and re-arms with the remaining window.
+        slots.insert(
+            key,
+            Slot {
+                members: vec![member],
+            },
+        );
+        if self.max_batch == 1 {
+            // A leader is already a full batch: seal without waiting.
+            let slot = slots.remove(&key).expect("own slot");
+            drop(slots);
+            self.counters.note_sealed(1, false);
+            return Some(Batch {
+                key,
+                members: slot.members,
+            });
+        }
+        let deadline = Instant::now() + self.window;
+        while slots.contains_key(&key) {
+            let now = Instant::now();
+            if now >= deadline {
+                let slot = slots.remove(&key).expect("own slot");
+                drop(slots);
+                self.counters.note_sealed(slot.members.len(), true);
+                // Wake any leader whose slot this seal raced away (a
+                // follower may have re-opened the key meanwhile; its
+                // leader re-checks and re-arms with its remaining window).
+                self.sealed.notify_all();
+                return Some(Batch {
+                    key,
+                    members: slot.members,
+                });
+            }
+            let (guard, _) = self
+                .sealed
+                .wait_timeout(slots, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            slots = guard;
+        }
+        // A follower filled and sealed the batch, member included.
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    fn cfg(window_ms: u64, max_batch: usize) -> BatchConfig {
+        BatchConfig {
+            window_ms,
+            max_batch,
+        }
+    }
+
+    #[test]
+    fn singleton_seals_on_window_expiry() {
+        let c: Coalescer<u32> = Coalescer::new(cfg(10, 8));
+        let t = Instant::now();
+        let batch = c.submit(1, 7).expect("leader seals own singleton");
+        assert!(
+            t.elapsed() >= Duration::from_millis(10),
+            "waited the window"
+        );
+        assert_eq!((batch.key, batch.members), (1, vec![7]));
+        assert_eq!(c.counters.batches_formed.load(Ordering::Relaxed), 1);
+        assert_eq!(c.counters.window_timeouts.load(Ordering::Relaxed), 1);
+        assert_eq!(c.counters.coalesced_requests.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn filling_to_max_batch_seals_early_and_exactly_one_thread_dispatches() {
+        let c: Arc<Coalescer<usize>> = Arc::new(Coalescer::new(cfg(10_000, 4)));
+        let (tx, rx) = mpsc::channel();
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let c = Arc::clone(&c);
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    if let Some(b) = c.submit(42, i) {
+                        tx.send(b).unwrap();
+                    }
+                })
+            })
+            .collect();
+        // Sealed long before the 10 s window: joining the 4th member did it.
+        let batch = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("batch sealed by fill, not window");
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(batch.members.len(), 4);
+        let mut members = batch.members;
+        members.sort_unstable();
+        assert_eq!(members, vec![0, 1, 2, 3]);
+        assert!(
+            rx.try_recv().is_err(),
+            "exactly one thread owns the sealed batch"
+        );
+        assert_eq!(c.counters.batches_formed.load(Ordering::Relaxed), 1);
+        assert_eq!(c.counters.coalesced_requests.load(Ordering::Relaxed), 3);
+        assert_eq!(c.counters.max_batch_size.load(Ordering::Relaxed), 4);
+        assert_eq!(c.counters.window_timeouts.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn distinct_keys_never_coalesce() {
+        let c: Arc<Coalescer<u32>> = Arc::new(Coalescer::new(cfg(20, 8)));
+        let other = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || c.submit(2, 20).expect("own singleton"))
+        };
+        let a = c.submit(1, 10).expect("own singleton");
+        let b = other.join().unwrap();
+        assert_eq!((a.key, a.members), (1, vec![10]));
+        assert_eq!((b.key, b.members), (2, vec![20]));
+        assert_eq!(c.counters.batches_formed.load(Ordering::Relaxed), 2);
+    }
+}

@@ -2,7 +2,10 @@
 //!
 //! ```text
 //! servebench [--clients N] [--n N] [--hot-iters K] [--check]
-//!            [--min-speedup X] [--json[=FILE]] [--baseline FILE]
+//!            [--engine fast|reference|native]
+//!            [--batch-window-ms MS] [--max-batch N]
+//!            [--min-speedup X] [--min-batch-speedup X]
+//!            [--json[=FILE]] [--baseline FILE]
 //! servebench --chaos [--json[=FILE]]
 //! ```
 //!
@@ -16,6 +19,13 @@
 //!   stats, remarks) with zero drops and zero misordered responses.
 //! * `--min-speedup X` — with `--check`, also require the hot-over-cold
 //!   geomean speedup to be at least X (the cache-effectiveness gate).
+//! * `--min-batch-speedup X` — require the plan-share phase's
+//!   client-observed throughput ratio (batching on over off) to be at
+//!   least X (the batching-effectiveness gate).
+//! * `--batch-window-ms MS` / `--max-batch N` — the server's batching
+//!   knobs for the run (window 0 disables the tier; default: 2 ms / 16).
+//! * `--engine E` — tag every request (and the single-shot references)
+//!   with the given execution engine (default: fast).
 //! * `--json` — print the JSON report on stdout; `--json=FILE` writes it
 //!   to FILE and keeps the text summary on stdout (the CI artifact and
 //!   `BENCH_servebench.json` baseline mode).
@@ -53,8 +63,24 @@ const HELP: Help = Help {
             "sweep every registered serve fault site; exit 1 on any hang or wrong answer",
         ),
         (
+            "--engine E",
+            "execution engine for every request: fast, reference, or native (default: fast)",
+        ),
+        (
+            "--batch-window-ms MS",
+            "server batching window for the run (default: 2; 0 = batching off)",
+        ),
+        (
+            "--max-batch N",
+            "members at which a batch seals without waiting out the window (default: 16)",
+        ),
+        (
             "--min-speedup X",
             "with --check, require hot/cold geomean speedup >= X",
+        ),
+        (
+            "--min-batch-speedup X",
+            "require plan-share batched/unbatched rps ratio >= X",
         ),
         ("--json[=FILE]", "emit the JSON report to stdout or FILE"),
         (
@@ -71,8 +97,10 @@ const HELP: Help = Help {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: servebench [--clients N] [--n N] [--hot-iters K] [--check] [--min-speedup X] \
-         [--json[=FILE]] [--baseline FILE] | servebench --chaos [--json[=FILE]]"
+        "usage: servebench [--clients N] [--n N] [--hot-iters K] [--check] \
+         [--engine fast|reference|native] [--batch-window-ms MS] [--max-batch N] \
+         [--min-speedup X] [--min-batch-speedup X] [--json[=FILE]] [--baseline FILE] \
+         | servebench --chaos [--json[=FILE]]"
     );
     std::process::exit(2);
 }
@@ -84,6 +112,7 @@ fn main() {
     }
     let mut cfg = ServeBenchConfig::default();
     let mut min_speedup: Option<f64> = None;
+    let mut min_batch_speedup: Option<f64> = None;
     let mut json_out: Option<Option<String>> = None;
     let mut baseline: Option<String> = None;
     let mut chaos = false;
@@ -123,6 +152,40 @@ fn main() {
             }
             "--check" => cfg.check = true,
             "--chaos" => chaos = true,
+            "--engine" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("servebench: --engine requires a value");
+                    usage();
+                };
+                match psir::Engine::from_flag(v) {
+                    Some(e) => cfg.engine = e,
+                    None => {
+                        eprintln!(
+                            "servebench: unknown engine {v:?} — \
+                             --engine takes fast, reference, or native"
+                        );
+                        usage();
+                    }
+                }
+            }
+            "--batch-window-ms" => {
+                i += 1;
+                let Some(v) = args.get(i) else { usage() };
+                match v.parse::<u64>() {
+                    Ok(ms) => cfg.opts.batch.window_ms = ms,
+                    Err(_) => {
+                        eprintln!(
+                            "servebench: --batch-window-ms takes a non-negative integer, got {v:?}"
+                        );
+                        usage();
+                    }
+                }
+            }
+            "--max-batch" => {
+                i += 1;
+                cfg.opts.batch.max_batch = parse_usize(args.get(i), "--max-batch");
+            }
             "--min-speedup" => {
                 i += 1;
                 let Some(v) = args.get(i) else { usage() };
@@ -130,6 +193,19 @@ fn main() {
                     Ok(x) if x > 0.0 => min_speedup = Some(x),
                     _ => {
                         eprintln!("servebench: --min-speedup takes a positive number, got {v:?}");
+                        usage();
+                    }
+                }
+            }
+            "--min-batch-speedup" => {
+                i += 1;
+                let Some(v) = args.get(i) else { usage() };
+                match v.parse::<f64>() {
+                    Ok(x) if x > 0.0 => min_batch_speedup = Some(x),
+                    _ => {
+                        eprintln!(
+                            "servebench: --min-batch-speedup takes a positive number, got {v:?}"
+                        );
                         usage();
                     }
                 }
@@ -243,6 +319,32 @@ fn main() {
             report.requests,
             report.geomean_speedup()
         );
+    }
+
+    if let Some(min) = min_batch_speedup {
+        match &report.plan_share {
+            Some(ps) => {
+                let s = ps.speedup();
+                if s < min {
+                    eprintln!(
+                        "servebench: GATE FAILED: plan-share batched/unbatched throughput \
+                         {s:.2}x below required {min:.2}x ({:.0} vs {:.0} rps)",
+                        ps.on_rps, ps.off_rps
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "servebench: batch gate ok ({s:.2}x client-observed rps, \
+                     {} batches, {:.1} mean members)",
+                    ps.batches_formed,
+                    ps.mean_batch_size()
+                );
+            }
+            None => {
+                eprintln!("servebench: GATE FAILED: this run produced no plan-share phase");
+                std::process::exit(1);
+            }
+        }
     }
 }
 

@@ -19,6 +19,9 @@ impl Client {
     /// Propagates connect failures.
     pub fn connect(addr: &str) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        // Request-response per line: Nagle would hold the request back
+        // waiting for an ACK that only arrives via delayed ACK (~40 ms).
+        stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),
@@ -46,10 +49,12 @@ impl Client {
     /// # Errors
     /// I/O failures, closed connections, and unparseable responses.
     pub fn request(&mut self, req: &Request) -> Result<Response, String> {
-        let line = req.to_json().to_string_compact();
+        let mut line = req.to_json().to_string_compact();
+        // Payload + newline in one write: two writes would be a
+        // write-write-read pattern that stalls on Nagle + delayed ACK.
+        line.push('\n');
         self.writer
             .write_all(line.as_bytes())
-            .and_then(|()| self.writer.write_all(b"\n"))
             .and_then(|()| self.writer.flush())
             .map_err(|e| format!("send: {e}"))?;
         let mut buf = String::new();

@@ -20,6 +20,7 @@
 //! (module, function, cost model), the key already identifies the module
 //! and configuration, and the cost model never varies.
 
+use crate::batch::BatchConfig;
 use crate::cache::{CompiledModule, ModuleCache};
 use crate::chaos::ChaosSpec;
 use crate::hashing::request_key;
@@ -96,6 +97,10 @@ pub struct ServeOptions {
     pub plan_budget: usize,
     /// Resource limits and socket timeouts.
     pub limits: ServeLimits,
+    /// Request batching knobs (the coalescing tier). The library default
+    /// disables batching; the daemon and `servebench` enable it by
+    /// default through their own flag defaults.
+    pub batch: BatchConfig,
     /// Armed chaos injection (strictly opt-in; `None` in production
     /// unless `PSIM_SERVE_CHAOS` is set).
     pub chaos: Option<ChaosSpec>,
@@ -111,6 +116,7 @@ impl Default for ServeOptions {
             module_budget: 64 << 20,
             plan_budget: 64 << 20,
             limits: ServeLimits::default(),
+            batch: BatchConfig::default(),
             chaos: None,
         }
     }
@@ -287,6 +293,114 @@ impl ServeState {
         Ok(resp)
     }
 
+    /// Serves a sealed batch of coalesced requests — one cache lookup,
+    /// one compile (at most), one interpreter arena for every member.
+    /// Members share a [`batch_key`](crate::hashing::batch_key), so they
+    /// agree on module, entry, gang configuration, and budget triple; the
+    /// per-member budget, token, and profiling are still configured
+    /// individually, and each member's response is byte-identical to what
+    /// it would have received alone.
+    ///
+    /// Detach-on-error contract: a member that fails — cancelled, past
+    /// its deadline, over a budget, or trapped at runtime — gets its
+    /// typed error at its slot and the loop moves on; the arena reset
+    /// between members scrubs any partial state, so a poisoned member can
+    /// never leak into a batchmate's answer.
+    pub fn run_batch_with(
+        &self,
+        members: &[(&RunRequest, Option<&CancelToken>)],
+        limits: &ServeLimits,
+    ) -> Vec<Result<RunResponse, ServeError>> {
+        let mut out: Vec<Option<Result<RunResponse, ServeError>>> =
+            members.iter().map(|_| None).collect();
+        // Source admission per member: batch keys hash the *canonicalized*
+        // source, so raw lengths may differ across members.
+        for (slot, (req, _)) in out.iter_mut().zip(members) {
+            if req.source.len() as u64 > limits.max_source_bytes {
+                *slot = Some(Err(ServeError::ResourceExhausted {
+                    what: "source_bytes".into(),
+                    detail: format!(
+                        "source is {} bytes, {} allowed",
+                        req.source.len(),
+                        limits.max_source_bytes
+                    ),
+                }));
+            }
+        }
+        // Resolve the shared module once, compiling through the first
+        // still-admissible member. No admissible member at all means every
+        // slot already holds its error.
+        let Some(lead) = out.iter().position(Option::is_none).map(|i| members[i].0) else {
+            return out.into_iter().map(|s| s.expect("filled")).collect();
+        };
+        let key = request_key(
+            &lead.source,
+            lead.mode.name(),
+            &lead.verify,
+            &lead.inject,
+            lead.engine.flag_name(),
+        );
+        let t = Instant::now();
+        let (cm, module_hit) = match self.modules.get(key) {
+            Some(cm) => (cm, true),
+            None => match compile_uncached(lead, key) {
+                Ok(cm) => (self.modules.insert(cm), false),
+                Err(e) => {
+                    // A compile failure detaches every admissible member
+                    // with the same error (they share the source).
+                    for slot in &mut out {
+                        if slot.is_none() {
+                            *slot = Some(Err(ServeError::Error(e.clone())));
+                        }
+                    }
+                    return out.into_iter().map(|s| s.expect("filled")).collect();
+                }
+            },
+        };
+        let compile_nanos = if module_hit {
+            0
+        } else {
+            t.elapsed().as_nanos() as u64
+        };
+        // One arena, one interpreter, members back-to-back. The reset pair
+        // (`Memory::reset` + `Interp::reset_run`) restores the
+        // fresh-interpreter state between members while keeping the warm
+        // machinery — resolved plans, lane/frame pools, the mapped arena.
+        let mut it = Interp::new(&cm.module, Memory::default(), &self.cost, &EXTERNS);
+        it.set_plan_cache(Arc::clone(&self.plans), key);
+        // Input-arena sharing: the first member to fill its workload
+        // buffers leaves an image behind, and every later member with the
+        // *identical* buffer-spec list restores it instead of re-running
+        // the seeded per-element fills — one memcpy replaces the RNG. The
+        // fills are deterministic functions of the specs, so the restored
+        // arena is byte-for-byte the one a fresh fill would produce.
+        let mut inputs: Option<InputSnapshot> = None;
+        let mut first = true;
+        for (slot, (req, cancel)) in out.iter_mut().zip(members) {
+            if slot.is_some() {
+                continue;
+            }
+            if !first {
+                it.mem.reset();
+                it.reset_run();
+            }
+            first = false;
+            let result = match cancel.map_or(Ok(()), check_token) {
+                Err(e) => Err(e),
+                Ok(()) => {
+                    let budget = RunBudget::effective(limits, req);
+                    run_member(&mut it, &cm, req, Some(&budget), *cancel, Some(&mut inputs))
+                }
+            };
+            *slot = Some(result.map(|mut resp| {
+                resp.cache.module_hit = module_hit;
+                resp.compile_nanos = compile_nanos;
+                resp
+            }));
+        }
+        out.into_iter().map(|s| s.expect("filled")).collect()
+    }
+
     /// Cache counter document (the `stats` op payload).
     pub fn stats_json(&self) -> Json {
         let m = self.modules.stats();
@@ -410,8 +524,37 @@ fn execute(
     budget: Option<&RunBudget>,
     cancel: Option<&CancelToken>,
 ) -> Result<RunResponse, ServeError> {
+    let mut it = Interp::new(&cm.module, Memory::default(), cost, &EXTERNS);
+    if let Some((cache, module_id)) = plans {
+        it.set_plan_cache(Arc::clone(cache), module_id);
+    }
+    run_member(&mut it, cm, req, budget, cancel, None)
+}
+
+/// The lead batch member's initialized input arena: its buffer-spec list,
+/// the buffer base addresses, and the filled-arena image. Batchmates with
+/// an identical spec list restore the image instead of refilling.
+struct InputSnapshot {
+    specs: Vec<suite::BufSpec>,
+    addrs: Vec<u64>,
+    image: psir::MemImage,
+}
+
+/// Runs one request on a prepared interpreter whose memory is fresh (or
+/// freshly [`Memory::reset`]) — the shared tail of the single-request and
+/// batch paths. The arena and resolved plans carry over between batch
+/// members; everything the response depends on is configured here per
+/// member, so a member executed mid-batch is byte-identical to one
+/// executed alone.
+fn run_member(
+    it: &mut Interp<'_>,
+    cm: &CompiledModule,
+    req: &RunRequest,
+    budget: Option<&RunBudget>,
+    cancel: Option<&CancelToken>,
+    snap: Option<&mut Option<InputSnapshot>>,
+) -> Result<RunResponse, ServeError> {
     let t = Instant::now();
-    let mut mem = Memory::default();
     if let Some(b) = budget {
         // The workload buffers are allocated before the budget could be
         // attached (their fill path treats allocation failure as fatal),
@@ -434,28 +577,39 @@ fn execute(
         }
     }
     let mut addrs: Vec<u64> = Vec::new();
-    let mut args: Vec<RtVal> = Vec::new();
-    for spec in &req.buffers {
-        let addr = fill_buffer(&mut mem, spec);
-        addrs.push(addr);
-        args.push(RtVal::S(addr));
+    match snap {
+        Some(Some(s)) if s.specs == req.buffers => {
+            // A batchmate already filled this exact workload: restore its
+            // image (one memcpy) instead of re-running the seeded fills.
+            it.mem.restore(&s.image);
+            addrs.clone_from(&s.addrs);
+        }
+        slot => {
+            for spec in &req.buffers {
+                addrs.push(fill_buffer(&mut it.mem, spec));
+            }
+            if let Some(slot @ None) = slot {
+                *slot = Some(InputSnapshot {
+                    specs: req.buffers.clone(),
+                    addrs: addrs.clone(),
+                    image: it.mem.image(),
+                });
+            }
+        }
     }
+    let mut args: Vec<RtVal> = addrs.iter().map(|&a| RtVal::S(a)).collect();
     args.extend(req.extra_args.iter().map(|&v| RtVal::S(v)));
     args.push(RtVal::S(req.n));
     if let Some(b) = budget {
-        mem.set_budget(Some(b.max_mem_bytes));
+        it.mem.set_budget(Some(b.max_mem_bytes));
     }
 
-    let mut it = Interp::new(&cm.module, mem, cost, &EXTERNS);
     it.set_engine(req.engine);
     if let Some(b) = budget {
         it.set_step_limit(b.max_steps);
     }
     if let Some(tok) = cancel {
         it.set_cancel_token(tok.clone());
-    }
-    if let Some((cache, module_id)) = plans {
-        it.set_plan_cache(Arc::clone(cache), module_id);
     }
     if req.want_profile {
         it.enable_profiling();

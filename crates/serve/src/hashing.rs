@@ -71,6 +71,36 @@ pub fn request_key(source: &str, mode: &str, verify: &str, inject: &str, engine:
     h
 }
 
+/// Batch-coalescing key: the module-cache key extended with everything
+/// two concurrent requests must share to be admitted into one batch —
+/// the entry function (one plan per function), the gang configuration
+/// `n`, and the request-side budget triple. Module key first: requests
+/// in one batch share a compiled module, its plans, and one interpreter
+/// arena by construction. Budgets are *compatible*, not merely present:
+/// each member still gets its own [`RunBudget`](crate::RunBudget) and
+/// token at execution time, the key only guarantees the members agree on
+/// what those budgets are.
+pub fn batch_key(
+    module_key: u64,
+    entry: &str,
+    n: u64,
+    deadline_ms: u64,
+    max_steps: u64,
+    max_mem_bytes: u64,
+) -> u64 {
+    let mut h = module_key;
+    for part in [
+        entry.to_string(),
+        n.to_string(),
+        deadline_ms.to_string(),
+        max_steps.to_string(),
+        max_mem_bytes.to_string(),
+    ] {
+        h = fnv1a(format!("{h:016x}\x1f{part}").as_bytes());
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +144,18 @@ mod tests {
             request_key(src, "ab", "c", "", "fast"),
             request_key(src, "a", "bc", "", "fast")
         );
+    }
+
+    #[test]
+    fn batch_key_separates_entry_gang_and_budgets() {
+        let m = request_key("void f() { }", "parsimony", "fallback", "", "fast");
+        let base = batch_key(m, "main", 1024, 0, 0, 0);
+        assert_eq!(base, batch_key(m, "main", 1024, 0, 0, 0));
+        assert_ne!(base, batch_key(m, "other", 1024, 0, 0, 0));
+        assert_ne!(base, batch_key(m, "main", 2048, 0, 0, 0));
+        assert_ne!(base, batch_key(m, "main", 1024, 50, 0, 0));
+        assert_ne!(base, batch_key(m, "main", 1024, 0, 1000, 0));
+        assert_ne!(base, batch_key(m, "main", 1024, 0, 0, 4096));
+        assert_ne!(base, batch_key(m.wrapping_add(1), "main", 1024, 0, 0, 0));
     }
 }

@@ -23,11 +23,21 @@
 //! response (never a silent drop). Degraded regions and fault injection
 //! ride along per-request, exactly as on the `psimcc` command line.
 //!
+//! On top of the caches sits the **batching tier** ([`batch`]):
+//! concurrent `run` requests that agree on module, entry, gang
+//! configuration, and budgets are coalesced — within a bounded window —
+//! into one batch that executes back-to-back on a single pre-warmed
+//! interpreter arena, resolving the shared plan once. Responses stay
+//! byte-identical to unbatched runs; a cancelled or budget-exhausted
+//! member detaches to its structured error without poisoning its
+//! batchmates. See `DESIGN.md` §16.
+//!
 //! See `DESIGN.md` §13 for the architecture and the README's *Serving*
 //! section for a copy-paste client session.
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cache;
 pub mod chaos;
 pub mod client;
@@ -38,6 +48,7 @@ pub mod request;
 pub mod servebench;
 pub mod server;
 
+pub use batch::{Batch, BatchConfig, BatchCounters, Coalescer};
 pub use cache::{CompiledModule, ModuleCache, ModuleCacheStats};
 pub use chaos::{ChaosSpec, CHAOS_DELAY};
 pub use client::Client;

@@ -142,18 +142,27 @@ pub struct ServeBenchConfig {
     pub hot_iters: usize,
     /// Differential gate: compare every response against [`single_shot`].
     pub check: bool,
-    /// Server sizing (workers, queue bound, cache budgets).
+    /// Execution engine every request is tagged with (and the
+    /// single-shot references run on).
+    pub engine: psir::Engine,
+    /// Server sizing (workers, queue bound, cache budgets) plus the
+    /// batching knobs (`opts.batch`).
     pub opts: ServeOptions,
 }
 
 impl Default for ServeBenchConfig {
     fn default() -> ServeBenchConfig {
+        let mut opts = ServeOptions::default();
+        // Unlike the library default (off), servebench measures the
+        // serving configuration the daemon ships with: batching on.
+        opts.batch.window_ms = 2;
         ServeBenchConfig {
             clients: 8,
             n: 1024,
             hot_iters: 2,
             check: false,
-            opts: ServeOptions::default(),
+            engine: psir::Engine::Fast,
+            opts,
         }
     }
 }
@@ -180,6 +189,18 @@ impl ServeBenchRow {
     /// wait is excluded — see the module docs.
     pub fn speedup(&self) -> f64 {
         self.cold_serve_nanos as f64 / self.hot_serve_nanos.max(1) as f64
+    }
+
+    /// Cold client-observed wall time minus server-reported service
+    /// time: queue wait, batching-window wait, and transport, in
+    /// nanoseconds.
+    pub fn cold_queue_nanos(&self) -> u64 {
+        self.cold_nanos.saturating_sub(self.cold_serve_nanos)
+    }
+
+    /// Hot-pass counterpart of [`ServeBenchRow::cold_queue_nanos`].
+    pub fn hot_queue_nanos(&self) -> u64 {
+        self.hot_nanos.saturating_sub(self.hot_serve_nanos)
     }
 }
 
@@ -209,6 +230,24 @@ pub struct ServeBenchReport {
     pub hot_p50: u64,
     /// 99th percentile hot latency.
     pub hot_p99: u64,
+    /// Median cold queue-wait (client wall minus server service time:
+    /// queue, batching window, transport), nanoseconds.
+    pub cold_queue_p50: u64,
+    /// 99th percentile cold queue-wait.
+    pub cold_queue_p99: u64,
+    /// Median hot queue-wait.
+    pub hot_queue_p50: u64,
+    /// 99th percentile hot queue-wait.
+    pub hot_queue_p99: u64,
+    /// Execution engine the workload ran on.
+    pub engine: psir::Engine,
+    /// Batching knobs the server ran with (window 0 = tier off).
+    pub batch_window_ms: u64,
+    /// Members per batch at which a batch seals early.
+    pub max_batch: usize,
+    /// The plan-sharing batching phase (full [`run`]s only; [`run_items`]
+    /// leaves it out).
+    pub plan_share: Option<PlanShareReport>,
     /// Server stats document captured after the run.
     pub server_stats: Json,
     /// Check failures (empty = the differential gate passed).
@@ -242,12 +281,14 @@ impl ServeBenchReport {
                     ("hot_nanos", Json::u64(r.hot_nanos)),
                     ("cold_serve_nanos", Json::u64(r.cold_serve_nanos)),
                     ("hot_serve_nanos", Json::u64(r.hot_serve_nanos)),
+                    ("cold_queue_nanos", Json::u64(r.cold_queue_nanos())),
+                    ("hot_queue_nanos", Json::u64(r.hot_queue_nanos())),
                     ("speedup", Json::Num(r.speedup())),
                     ("hot_module_hit", Json::Bool(r.hot_module_hit)),
                 ])
             })
             .collect();
-        Json::obj(vec![
+        let mut fields = vec![
             (
                 "meta",
                 telemetry::cli::bench_meta(
@@ -263,7 +304,9 @@ impl ServeBenchReport {
                                     .into(),
                             ),
                         ),
-                        ("engine", Json::Str("fast".into())),
+                        ("engine", Json::Str(self.engine.flag_name().into())),
+                        ("batch_window_ms", Json::u64(self.batch_window_ms)),
+                        ("max_batch", Json::u64(self.max_batch as u64)),
                         ("retries", Json::u64(self.retries)),
                     ],
                 ),
@@ -276,12 +319,22 @@ impl ServeBenchReport {
             ("cold_p99_nanos", Json::u64(self.cold_p99)),
             ("hot_p50_nanos", Json::u64(self.hot_p50)),
             ("hot_p99_nanos", Json::u64(self.hot_p99)),
+            ("cold_queue_p50_nanos", Json::u64(self.cold_queue_p50)),
+            ("cold_queue_p99_nanos", Json::u64(self.cold_queue_p99)),
+            ("hot_queue_p50_nanos", Json::u64(self.hot_queue_p50)),
+            ("hot_queue_p99_nanos", Json::u64(self.hot_queue_p99)),
             ("geomean_speedup", Json::Num(self.geomean_speedup())),
+        ];
+        if let Some(ps) = &self.plan_share {
+            fields.push(("plan_share", ps.to_json()));
+        }
+        fields.extend([
             ("checked", Json::Bool(self.checked)),
             ("failures", Json::u64(self.failures.len() as u64)),
             ("server_stats", self.server_stats.clone()),
             ("rows", Json::Arr(rows)),
-        ])
+        ]);
+        Json::obj(fields)
     }
 
     /// Human-readable summary.
@@ -311,9 +364,28 @@ impl ServeBenchReport {
             self.hot_p99 as f64 / 1e6
         ));
         out.push_str(&format!(
+            "  cold queue wait    : {:>10.2} ms p50, {:>10.2} ms p99 (wall - service)\n",
+            self.cold_queue_p50 as f64 / 1e6,
+            self.cold_queue_p99 as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "  hot queue wait     : {:>10.2} ms p50, {:>10.2} ms p99 (wall - service)\n",
+            self.hot_queue_p50 as f64 / 1e6,
+            self.hot_queue_p99 as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "  engine / batching  : {} / window {} ms, max {}\n",
+            self.engine.flag_name(),
+            self.batch_window_ms,
+            self.max_batch
+        ));
+        out.push_str(&format!(
             "  hot/cold speedup   : {:>10.2}x geomean (service time)\n",
             self.geomean_speedup()
         ));
+        if let Some(ps) = &self.plan_share {
+            out.push_str(&ps.render_text());
+        }
         if self.checked {
             out.push_str(&format!(
                 "  differential check : {}\n",
@@ -329,6 +401,434 @@ impl ServeBenchReport {
         }
         out
     }
+}
+
+/// Result of the plan-sharing batching phase: the same synchronized
+/// identical-request workload driven twice — batching as configured vs
+/// batching off — against fresh servers, reporting client-observed
+/// throughput for both legs and the batch counters of the on leg.
+#[derive(Debug, Clone)]
+pub struct PlanShareReport {
+    /// Client threads (same as the main phase's client count); each
+    /// drives [`PLAN_SHARE_FAN`] pipelined connections.
+    pub clients: usize,
+    /// Pipelined connections per client thread.
+    pub fan: usize,
+    /// Submission rounds per connection, per leg.
+    pub rounds: usize,
+    /// Measured legs per side; reported throughput is the median.
+    pub legs: usize,
+    /// Coalescing window of the on leg (0 = the leg ran unbatched too).
+    pub window_ms: u64,
+    /// `max_batch` of the on leg (clamped to the client count so a full
+    /// wave seals by fill rather than window expiry).
+    pub max_batch: usize,
+    /// Client-observed throughput with batching on, requests/second
+    /// (median across the measured legs).
+    pub on_rps: f64,
+    /// Client-observed throughput with batching off, requests/second
+    /// (median across the measured legs).
+    pub off_rps: f64,
+    /// Batches the on-leg server formed.
+    pub batches_formed: u64,
+    /// Members across all on-leg batches.
+    pub batched_requests: u64,
+    /// On-leg requests that joined an existing batch.
+    pub coalesced_requests: u64,
+    /// Largest on-leg batch.
+    pub max_batch_size: u64,
+    /// On-leg batches sealed by window expiry instead of by fill.
+    pub window_timeouts: u64,
+    /// Identity/transport failures from both legs (merged into the main
+    /// report's failures, so `--check` gates them).
+    pub failures: Vec<String>,
+}
+
+impl PlanShareReport {
+    /// Client-observed throughput ratio, batching on over off.
+    pub fn speedup(&self) -> f64 {
+        self.on_rps / self.off_rps.max(f64::MIN_POSITIVE)
+    }
+
+    /// Mean members per sealed batch on the on leg.
+    pub fn mean_batch_size(&self) -> f64 {
+        self.batched_requests as f64 / self.batches_formed.max(1) as f64
+    }
+
+    /// The `plan_share` section of the JSON report.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("clients", Json::u64(self.clients as u64)),
+            ("fan", Json::u64(self.fan as u64)),
+            ("rounds", Json::u64(self.rounds as u64)),
+            ("legs", Json::u64(self.legs as u64)),
+            ("window_ms", Json::u64(self.window_ms)),
+            ("max_batch", Json::u64(self.max_batch as u64)),
+            ("batch_on_rps", Json::Num(self.on_rps)),
+            ("batch_off_rps", Json::Num(self.off_rps)),
+            ("batch_speedup", Json::Num(self.speedup())),
+            ("batches_formed", Json::u64(self.batches_formed)),
+            ("batched_requests", Json::u64(self.batched_requests)),
+            ("coalesced_requests", Json::u64(self.coalesced_requests)),
+            ("mean_batch_size", Json::Num(self.mean_batch_size())),
+            ("max_batch_size", Json::u64(self.max_batch_size)),
+            ("window_timeouts", Json::u64(self.window_timeouts)),
+        ])
+    }
+
+    /// Human-readable block appended to the main summary.
+    pub fn render_text(&self) -> String {
+        format!(
+            "  plan-share phase   : {:>10.0} rps batched, {:>10.0} rps unbatched ({:.2}x, \
+             {} threads x {} conns)\n  \
+               batches            : {} formed, {:.1} mean / {} max members, {} coalesced, {} window timeout(s)\n",
+            self.on_rps,
+            self.off_rps,
+            self.speedup(),
+            self.clients,
+            self.fan,
+            self.batches_formed,
+            self.mean_batch_size(),
+            self.max_batch_size,
+            self.coalesced_requests,
+            self.window_timeouts,
+        )
+    }
+}
+
+/// Submission rounds per connection in each plan-share leg.
+const PLAN_SHARE_ROUNDS: usize = 200;
+
+/// Times each leg is measured (alternating on/off, each against a fresh
+/// server); the reported throughput is the per-leg median. One leg is a
+/// couple hundred milliseconds — short enough that a scheduler hiccup
+/// can swing it by tens of percent, and the median of three filters
+/// exactly that tail.
+const PLAN_SHARE_LEGS: usize = 3;
+
+/// Pipelined connections each client thread drives. Batch members can
+/// only come from distinct connections (the wire protocol is
+/// request-reply per connection), so a thread writes one request down
+/// each of its connections back-to-back and then collects the replies —
+/// the in-flight population the coalescer sees is `clients × fan`.
+const PLAN_SHARE_FAN: usize = 4;
+
+/// `psim` regions in the plan-share kernel — few, because every region
+/// adds per-request transport (its line in the response's stats string)
+/// faster than it adds amortizable setup.
+const PLAN_SHARE_REGIONS: usize = 2;
+
+/// Gang width and thread count of each plan-share region.
+const PLAN_SHARE_N: u64 = 64;
+
+/// Stride of the kernel's table reads. The input table spans
+/// `(n-1)·stride + 1` elements, so its seeded fill — the dominant
+/// fresh-run cost, which batch members share via the input-arena
+/// snapshot — is ~60x the work the kernel itself does per request.
+const PLAN_SHARE_STRIDE: u64 = 61;
+
+/// The plan-share request: a couple of small regions reading a large
+/// seeded lookup table at a stride. Per-request execution is trivial;
+/// what dominates an unbatched run is exactly the per-run machinery the
+/// batching tier amortizes — executor dispatch and worker wake,
+/// interpreter construction, plan resolution, lane/frame pool warmup,
+/// and above all the deterministic per-element table fill, which batch
+/// members with identical buffer specs restore from the lead member's
+/// arena image instead of recomputing.
+fn plan_share_request(id: u64) -> RunRequest {
+    let gang = PLAN_SHARE_N;
+    let stride = PLAN_SHARE_STRIDE;
+    let mut src = String::from("void main(f32* restrict a, f32* restrict out, i64 n) {\n");
+    for k in 0..PLAN_SHARE_REGIONS {
+        src.push_str(&format!(
+            "  psim gang({gang}) threads(n) {{ i64 i = psim_thread_num(); \
+             out[i] = out[i] + a[i * {stride}] * {k}.5; }}\n"
+        ));
+    }
+    src.push('}');
+    let mut r = RunRequest::new(id, &src, PLAN_SHARE_N);
+    r.buffers = vec![
+        suite::BufSpec {
+            elem: psir::ScalarTy::F32,
+            len: (PLAN_SHARE_N - 1) * PLAN_SHARE_STRIDE + 1,
+            init: suite::Init::RandomF32 {
+                seed: 11,
+                lo: -1.0,
+                hi: 1.0,
+            },
+            check: false,
+        },
+        suite::BufSpec {
+            elem: psir::ScalarTy::F32,
+            len: PLAN_SHARE_N,
+            init: suite::Init::Zero,
+            check: false,
+        },
+    ];
+    r
+}
+
+/// Drives the plan-sharing workload — every connection submitting the
+/// *same* request, pipelined [`PLAN_SHARE_FAN`] deep per client thread —
+/// twice: once with the configured batching and once with the tier
+/// disabled, each against a fresh server. Every response is
+/// identity-checked against an uncached [`single_shot`] run (after the
+/// clock stops, so verification cost never pollutes the throughput
+/// comparison), so the phase is also an identity gate for the batched
+/// path.
+///
+/// # Errors
+/// Harness failures (bind/connect, the single-shot reference). Identity
+/// failures land in [`PlanShareReport::failures`].
+pub fn run_plan_share(cfg: &ServeBenchConfig) -> Result<PlanShareReport, String> {
+    let mut req = plan_share_request(0);
+    req.engine = cfg.engine;
+    let expected = single_shot(&req)
+        .map(|r| r.identity())
+        .map_err(|e| format!("plan-share single-shot reference: {e}"))?;
+    let mut on = cfg.opts.clone();
+    // Never let batches outgrow the in-flight population, so every batch
+    // can seal by fill rather than window expiry.
+    on.batch.max_batch = on.batch.max_batch.min(cfg.clients * PLAN_SHARE_FAN).max(1);
+    let mut off = on.clone();
+    off.batch.window_ms = 0;
+    let mut failures = Vec::new();
+    let mut on_runs: Vec<f64> = Vec::new();
+    let mut off_runs: Vec<f64> = Vec::new();
+    let mut on_stats: Vec<Json> = Vec::new();
+    for _ in 0..PLAN_SHARE_LEGS {
+        let (rps, stats, fails) = plan_share_leg(cfg, &on, &req, &expected)?;
+        on_runs.push(rps);
+        on_stats.push(stats);
+        failures.extend(fails);
+        let (rps, _, fails) = plan_share_leg(cfg, &off, &req, &expected)?;
+        off_runs.push(rps);
+        failures.extend(fails);
+    }
+    let median = |runs: &mut Vec<f64>| {
+        runs.sort_by(f64::total_cmp);
+        runs[runs.len() / 2]
+    };
+    // Batch counters are summed across the on legs (each leg ran against
+    // its own fresh server): totals for the whole phase.
+    let counter = |name: &str| {
+        on_stats
+            .iter()
+            .filter_map(|s| {
+                s.get("batch")
+                    .and_then(|b| b.get(name))
+                    .and_then(Json::as_u64)
+            })
+            .sum::<u64>()
+    };
+    let max_counter = |name: &str| {
+        on_stats
+            .iter()
+            .filter_map(|s| {
+                s.get("batch")
+                    .and_then(|b| b.get(name))
+                    .and_then(Json::as_u64)
+            })
+            .max()
+            .unwrap_or(0)
+    };
+    Ok(PlanShareReport {
+        clients: cfg.clients,
+        fan: PLAN_SHARE_FAN,
+        rounds: PLAN_SHARE_ROUNDS,
+        legs: PLAN_SHARE_LEGS,
+        window_ms: on.batch.window_ms,
+        max_batch: on.batch.max_batch,
+        on_rps: median(&mut on_runs),
+        off_rps: median(&mut off_runs),
+        batches_formed: counter("batches_formed"),
+        batched_requests: counter("batched_requests"),
+        coalesced_requests: counter("coalesced_requests"),
+        max_batch_size: max_counter("max_batch_size"),
+        window_timeouts: counter("window_timeouts"),
+        failures,
+    })
+}
+
+/// The plan-share wire id for a (connection, round) pair. Always ten
+/// decimal digits (connections and rounds are small), so the prebuilt
+/// request line can be patched in place instead of re-serialized.
+fn plan_share_id(cid: usize, round: usize) -> u64 {
+    1_000_000_000 + (cid as u64) * 1_000_000 + round as u64
+}
+
+/// One plan-share leg: fresh server with `opts`, `cfg.clients` threads
+/// each driving [`PLAN_SHARE_FAN`] pipelined connections for
+/// [`PLAN_SHARE_ROUNDS`] rounds after a warmup request. Inside the timed
+/// window a thread only writes prebuilt request lines (id patched in
+/// place) and collects raw reply lines — parsing and identity checking
+/// happen after the clock stops, so the measured wall time is transport
+/// plus serving and nothing else. Returns (client-observed rps, final
+/// server stats, identity/transport failures).
+fn plan_share_leg(
+    cfg: &ServeBenchConfig,
+    opts: &ServeOptions,
+    req: &RunRequest,
+    expected: &str,
+) -> Result<(f64, Json, Vec<String>), String> {
+    use std::io::{BufRead, BufReader, Write};
+    let leg = if opts.batch.window_ms > 0 {
+        "on"
+    } else {
+        "off"
+    };
+    let fan = PLAN_SHARE_FAN;
+    let mut opts = opts.clone();
+    opts.queue_cap = opts.queue_cap.max(cfg.clients * fan * 2 + 16);
+    let server = serve_tcp("127.0.0.1:0", &opts).map_err(|e| format!("plan-share: bind: {e}"))?;
+    let addr = server.addr.clone();
+    // Warm the module cache so both legs measure steady-state serving.
+    let mut warm = Client::connect(&addr).map_err(|e| format!("plan-share: connect: {e}"))?;
+    let mut wreq = req.clone();
+    wreq.id = 1;
+    match warm.run(wreq) {
+        Ok(Response::Ok(_)) => {}
+        other => return Err(format!("plan-share warmup: unexpected {other:?}")),
+    }
+    // The prebuilt wire line, with a ten-digit placeholder id to patch.
+    let mut proto = req.clone();
+    proto.id = plan_share_id(0, 0);
+    let mut line = Request::Run(Box::new(proto)).to_json().to_string_compact();
+    line.push('\n');
+    let Some(idpos) = line.find(&plan_share_id(0, 0).to_string()) else {
+        return Err("plan-share: id not found in serialized request".into());
+    };
+    let template = line.into_bytes();
+    let barrier = Barrier::new(cfg.clients);
+    let t0 = Instant::now();
+    type LegOutcome = (Vec<(u64, String)>, Vec<String>);
+    let outcomes: Vec<LegOutcome> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|tid| {
+                let addr = addr.clone();
+                let barrier = &barrier;
+                let template = &template;
+                s.spawn(move || -> LegOutcome {
+                    let mut fails = Vec::new();
+                    let mut replies: Vec<(u64, String)> =
+                        Vec::with_capacity(fan * PLAN_SHARE_ROUNDS);
+                    let mut conns = Vec::with_capacity(fan);
+                    for _ in 0..fan {
+                        match std::net::TcpStream::connect(&addr) {
+                            Ok(st) => {
+                                // One request per reply round-trips on each
+                                // connection; waiting for more data to fill a
+                                // segment would only add latency.
+                                let _ = st.set_nodelay(true);
+                                match st.try_clone() {
+                                    Ok(rd) => conns.push((st, BufReader::new(rd))),
+                                    Err(e) => {
+                                        fails.push(format!(
+                                            "plan-share({leg}) thread {tid}: clone: {e}"
+                                        ));
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                fails.push(format!("plan-share({leg}) thread {tid}: connect: {e}"))
+                            }
+                        }
+                    }
+                    // A degraded thread still hits the barrier exactly once,
+                    // or every other thread wedges before the first round.
+                    barrier.wait();
+                    if conns.len() != fan {
+                        return (replies, fails);
+                    }
+                    let mut buf = template.clone();
+                    let width = plan_share_id(0, 0).to_string().len();
+                    'rounds: for round in 0..PLAN_SHARE_ROUNDS {
+                        for (f, (wr, _)) in conns.iter_mut().enumerate() {
+                            let id = plan_share_id(tid * fan + f, round);
+                            buf[idpos..idpos + width].copy_from_slice(id.to_string().as_bytes());
+                            if let Err(e) = wr.write_all(&buf) {
+                                fails.push(format!(
+                                    "plan-share({leg}) thread {tid} round {round}: write: {e}"
+                                ));
+                                break 'rounds;
+                            }
+                        }
+                        for (f, (_, rd)) in conns.iter_mut().enumerate() {
+                            let id = plan_share_id(tid * fan + f, round);
+                            let mut reply = String::new();
+                            match rd.read_line(&mut reply) {
+                                Ok(0) => {
+                                    fails.push(format!(
+                                        "plan-share({leg}) thread {tid} round {round}: \
+                                         connection closed"
+                                    ));
+                                    break 'rounds;
+                                }
+                                Ok(_) => replies.push((id, reply)),
+                                Err(e) => {
+                                    fails.push(format!(
+                                        "plan-share({leg}) thread {tid} round {round}: read: {e}"
+                                    ));
+                                    break 'rounds;
+                                }
+                            }
+                        }
+                    }
+                    (replies, fails)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| (Vec::new(), vec!["plan-share thread panicked".into()]))
+            })
+            .collect()
+    });
+    let wall = t0.elapsed().as_nanos().max(1) as f64;
+    // Verification, off the clock: every reply parses, echoes the id it
+    // was written against, and matches the single-shot identity.
+    let mut failures = Vec::new();
+    let mut answered = 0usize;
+    for (replies, fails) in outcomes {
+        failures.extend(fails);
+        answered += replies.len();
+        for (want, reply) in replies {
+            match Response::parse(reply.trim_end()) {
+                Ok(Response::Ok(ok)) => {
+                    if ok.id != want {
+                        failures.push(format!(
+                            "plan-share({leg}) id {want}: misordered response (got {})",
+                            ok.id
+                        ));
+                    } else if ok.identity() != expected {
+                        failures.push(format!(
+                            "plan-share({leg}) id {want}: response differs from single-shot run"
+                        ));
+                    }
+                }
+                Ok(other) => failures.push(format!(
+                    "plan-share({leg}) id {want}: unexpected response {other:?}"
+                )),
+                Err(e) => failures.push(format!("plan-share({leg}) id {want}: malformed: {e}")),
+            }
+        }
+    }
+    let sent = cfg.clients * fan * PLAN_SHARE_ROUNDS;
+    if answered != sent {
+        failures.push(format!(
+            "plan-share({leg}): {answered} of {sent} requests answered"
+        ));
+    }
+    let rps = answered as f64 / (wall / 1e9);
+    let stats = match warm.request(&Request::Stats { id: u64::MAX }) {
+        Ok(Response::Stats { stats, .. }) => stats,
+        other => return Err(format!("plan-share stats: unexpected {other:?}")),
+    };
+    drop(warm);
+    server.shutdown();
+    Ok((rps, stats, failures))
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -360,7 +860,15 @@ struct ItemResult {
 pub fn run(cfg: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
     let mut items = suite_items(cfg.n)?;
     items.extend(corpus_items(&default_corpus_dir())?);
-    run_items(cfg, &items)
+    for item in &mut items {
+        item.req.engine = cfg.engine;
+    }
+    let mut report = run_items(cfg, &items)?;
+    let plan_share = run_plan_share(cfg)?;
+    // Plan-share identity failures gate `--check` like any other.
+    report.failures.extend(plan_share.failures.iter().cloned());
+    report.plan_share = Some(plan_share);
+    Ok(report)
 }
 
 /// [`run`] over an explicit workload (the tests use tiny ones).
@@ -480,6 +988,10 @@ pub fn run_items(cfg: &ServeBenchConfig, items: &[WorkItem]) -> Result<ServeBenc
     }
     colds.sort_unstable();
     hots.sort_unstable();
+    let mut cold_queues: Vec<u64> = rows.iter().map(ServeBenchRow::cold_queue_nanos).collect();
+    let mut hot_queues: Vec<u64> = rows.iter().map(ServeBenchRow::hot_queue_nanos).collect();
+    cold_queues.sort_unstable();
+    hot_queues.sort_unstable();
     Ok(ServeBenchReport {
         clients: cfg.clients,
         n: cfg.n,
@@ -488,6 +1000,14 @@ pub fn run_items(cfg: &ServeBenchConfig, items: &[WorkItem]) -> Result<ServeBenc
         cold_p99: percentile(&colds, 0.99),
         hot_p50: percentile(&hots, 0.50),
         hot_p99: percentile(&hots, 0.99),
+        cold_queue_p50: percentile(&cold_queues, 0.50),
+        cold_queue_p99: percentile(&cold_queues, 0.99),
+        hot_queue_p50: percentile(&hot_queues, 0.50),
+        hot_queue_p99: percentile(&hot_queues, 0.99),
+        engine: cfg.engine,
+        batch_window_ms: cfg.opts.batch.window_ms,
+        max_batch: cfg.opts.batch.max_batch,
+        plan_share: None,
         rows,
         requests,
         retries,
@@ -824,12 +1344,15 @@ pub fn run_chaos() -> Result<ChaosReport, String> {
     for &(layer, site) in SERVE_SITES {
         let spec = format!("{layer}:{site}");
         let chaos = ChaosSpec::parse(&spec)?;
-        let opts = ServeOptions {
+        let mut opts = ServeOptions {
             workers: 2,
             queue_cap: 8,
             chaos: Some(chaos.clone()),
             ..ServeOptions::default()
         };
+        // Batching on, so the `batch:*` sites sit on the probed path
+        // (every request becomes a singleton batch at worst).
+        opts.batch.window_ms = 2;
         let server = serve_tcp("127.0.0.1:0", &opts).map_err(|e| format!("{spec}: bind: {e}"))?;
         let mut client = Client::connect_with_timeout(&server.addr, Duration::from_secs(10))
             .map_err(|e| format!("{spec}: connect: {e}"))?;

@@ -36,10 +36,12 @@
 //!   the sweep harness (`servebench --chaos`) asserts every site yields
 //!   a structured error or clean close, never a hang or a wrong answer.
 
+use crate::batch::{BatchConfig, Coalescer};
 use crate::chaos::{maybe_delay, ChaosSpec};
 use crate::engine::{RunBudget, ServeError, ServeLimits, ServeOptions, ServeState};
 use crate::executor::{Executor, ExecutorConfig};
-use crate::request::{Request, Response};
+use crate::hashing::{batch_key, request_key};
+use crate::request::{Request, Response, RunRequest};
 use psir::{CancelReason, CancelToken};
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -71,10 +73,26 @@ struct Lifecycle {
     conns_reaped: AtomicU64,
 }
 
+/// One coalesced `run` request inside an open or sealed batch: the
+/// request itself plus the reply channel and token its connection thread
+/// is waiting on. Whichever thread dispatches the sealed batch answers
+/// every member through its own channel; the member's connection thread
+/// keeps running its usual reply loop (disconnect probing, shutdown
+/// checks) unchanged.
+struct BatchMember {
+    run: Box<RunRequest>,
+    token: CancelToken,
+    tx: mpsc::Sender<Response>,
+}
+
 struct ServerShared {
     state: ServeState,
     executor: Arc<Executor>,
     limits: ServeLimits,
+    batch_cfg: BatchConfig,
+    /// The batching tier; `None` when the window is 0 (tier disabled) —
+    /// dispatch is then per-request, exactly as before the tier existed.
+    coalescer: Option<Coalescer<BatchMember>>,
     chaos: Option<ChaosSpec>,
     stopping: AtomicBool,
     requests: AtomicU64,
@@ -137,6 +155,23 @@ impl ServerShared {
                     "aborted_at_shutdown",
                     Json::u64(self.executor.aborted() as u64),
                 ),
+            ]),
+        ));
+        let batch = self.coalescer.as_ref().map(|c| &c.counters);
+        let bc = |f: fn(&crate::batch::BatchCounters) -> &AtomicU64| {
+            Json::u64(batch.map_or(0, |c| f(c).load(Ordering::Relaxed)))
+        };
+        fields.push((
+            "batch".into(),
+            Json::obj(vec![
+                ("enabled", Json::Bool(batch.is_some())),
+                ("window_ms", Json::u64(self.batch_cfg.window_ms)),
+                ("max_batch", Json::u64(self.batch_cfg.max_batch as u64)),
+                ("batches_formed", bc(|c| &c.batches_formed)),
+                ("batched_requests", bc(|c| &c.batched_requests)),
+                ("coalesced_requests", bc(|c| &c.coalesced_requests)),
+                ("max_batch_size", bc(|c| &c.max_batch_size)),
+                ("window_timeouts", bc(|c| &c.window_timeouts)),
             ]),
         ));
         fields.push((
@@ -238,6 +273,10 @@ pub fn serve_tcp(addr: &str, opts: &ServeOptions) -> std::io::Result<ServerHandl
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    // The protocol is write-then-read per line; leaving
+                    // Nagle on makes every payload+newline pair eat a
+                    // delayed-ACK round trip (~40 ms) on loopback.
+                    let _ = stream.set_nodelay(true);
                     spawn_conn(&shared, stream, move || {
                         drop(TcpStream::connect(wake));
                     });
@@ -297,6 +336,8 @@ fn make_shared(opts: &ServeOptions) -> Arc<ServerShared> {
             ..ExecutorConfig::default()
         }),
         limits: opts.limits.clone(),
+        batch_cfg: opts.batch,
+        coalescer: (opts.batch.window_ms > 0).then(|| Coalescer::new(opts.batch)),
         chaos: opts.chaos.clone(),
         stopping: AtomicBool::new(false),
         requests: AtomicU64::new(0),
@@ -490,8 +531,12 @@ fn write_response(
         let _ = writer.flush();
         return Err(std::io::Error::other("chaos: truncate_write"));
     }
-    writer.write_all(out.as_bytes())?;
-    writer.write_all(b"\n")?;
+    // One write for payload + newline: a separate `write_all(b"\n")`
+    // is a write-write-read pattern that stalls on Nagle + delayed ACK.
+    let mut framed = Vec::with_capacity(out.len() + 1);
+    framed.extend_from_slice(out.as_bytes());
+    framed.push(b'\n');
+    writer.write_all(&framed)?;
     writer.flush()
 }
 
@@ -635,34 +680,6 @@ fn dispatch(shared: &Arc<ServerShared>, line: &str, frames: &mut FrameReader) ->
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .insert(seq, token.clone());
             let (tx, rx) = mpsc::channel();
-            let job = {
-                let shared = Arc::clone(shared);
-                let token = token.clone();
-                let tx = tx.clone();
-                Box::new(move || {
-                    maybe_delay(shared.chaos.as_ref(), "worker", "delay");
-                    if shared
-                        .chaos
-                        .as_ref()
-                        .is_some_and(|c| c.fires("worker", "kill"))
-                    {
-                        panic!("chaos: worker killed mid-request");
-                    }
-                    let resp =
-                        match shared
-                            .state
-                            .run_request_with(&run, &shared.limits, Some(&token))
-                        {
-                            Ok(r) => Response::Ok(Box::new(r)),
-                            Err(e) => serve_error_response(id, e),
-                        };
-                    let _ = tx.send(resp);
-                })
-            };
-            let abort = Box::new(move || {
-                let _ = tx.send(Response::ShuttingDown { id });
-            });
-            let submitted = shared.executor.submit_with_abort(job, abort);
             let cleanup = |shared: &ServerShared| {
                 shared
                     .inflight
@@ -670,9 +687,45 @@ fn dispatch(shared: &Arc<ServerShared>, line: &str, frames: &mut FrameReader) ->
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .remove(&seq);
             };
-            if submitted.is_err() {
-                cleanup(shared);
-                return (Response::Overloaded { id }, false);
+            if shared.coalescer.is_some() {
+                // Batching tier: hand the request (with its reply channel)
+                // to the coalescer. Every outcome — result, structured
+                // error, even executor overload — arrives through `tx`
+                // from whichever thread dispatches the sealed batch, so
+                // this thread drops straight into the reply loop below.
+                submit_batched(shared, run, token.clone(), tx);
+            } else {
+                let job = {
+                    let shared = Arc::clone(shared);
+                    let token = token.clone();
+                    let tx = tx.clone();
+                    Box::new(move || {
+                        maybe_delay(shared.chaos.as_ref(), "worker", "delay");
+                        if shared
+                            .chaos
+                            .as_ref()
+                            .is_some_and(|c| c.fires("worker", "kill"))
+                        {
+                            panic!("chaos: worker killed mid-request");
+                        }
+                        let resp =
+                            match shared
+                                .state
+                                .run_request_with(&run, &shared.limits, Some(&token))
+                            {
+                                Ok(r) => Response::Ok(Box::new(r)),
+                                Err(e) => serve_error_response(id, e),
+                            };
+                        let _ = tx.send(resp);
+                    }) as Box<dyn FnOnce() + Send>
+                };
+                let abort = Box::new(move || {
+                    let _ = tx.send(Response::ShuttingDown { id });
+                });
+                if shared.executor.submit_with_abort(job, abort).is_err() {
+                    cleanup(shared);
+                    return (Response::Overloaded { id }, false);
+                }
             }
             let reply_poll = shared.executor.config().reply_poll;
             let resp = loop {
@@ -705,6 +758,100 @@ fn dispatch(shared: &Arc<ServerShared>, line: &str, frames: &mut FrameReader) ->
             };
             cleanup(shared);
             (resp, false)
+        }
+    }
+}
+
+/// Admits one `run` request into the batching tier: computes its batch
+/// key, joins (or opens) the coalescer slot for that key, and — when
+/// this call is the one that seals the batch — dispatches it. All
+/// replies flow through the member channels, so the caller always
+/// proceeds to its reply loop regardless of who dispatched.
+fn submit_batched(
+    shared: &Arc<ServerShared>,
+    run: Box<RunRequest>,
+    token: CancelToken,
+    tx: mpsc::Sender<Response>,
+) {
+    let key = batch_key(
+        request_key(
+            &run.source,
+            run.mode.name(),
+            &run.verify,
+            &run.inject,
+            run.engine.flag_name(),
+        ),
+        &run.entry,
+        run.n,
+        run.deadline_ms,
+        run.max_steps,
+        run.max_mem_bytes,
+    );
+    maybe_delay(shared.chaos.as_ref(), "batch", "form_delay");
+    let coalescer = shared.coalescer.as_ref().expect("batching enabled");
+    let Some(batch) = coalescer.submit(key, BatchMember { run, token, tx }) else {
+        // Joined a batch another thread seals and dispatches.
+        return;
+    };
+    if shared
+        .chaos
+        .as_ref()
+        .is_some_and(|c| c.fires("batch", "member_cancel"))
+    {
+        // As if the first member's client vanished at the worst moment:
+        // it must detach to a structured `cancelled` reply without
+        // poisoning its batchmates.
+        batch.members[0].token.cancel(CancelReason::Client);
+    }
+    dispatch_batch(shared, batch.members);
+}
+
+/// Ships one sealed batch to the executor as a single job. The member
+/// reply channels are snapshotted first so refusal (bounded queue full)
+/// and shutdown-abort can still answer every member; the job itself runs
+/// the members back-to-back on one interpreter arena
+/// ([`ServeState::run_batch_with`]) and fans the per-member results back
+/// out through their channels.
+fn dispatch_batch(shared: &Arc<ServerShared>, members: Vec<BatchMember>) {
+    let pairs: Vec<(u64, mpsc::Sender<Response>)> =
+        members.iter().map(|m| (m.run.id, m.tx.clone())).collect();
+    let job = {
+        let shared = Arc::clone(shared);
+        Box::new(move || {
+            maybe_delay(shared.chaos.as_ref(), "worker", "delay");
+            if shared
+                .chaos
+                .as_ref()
+                .is_some_and(|c| c.fires("worker", "kill"))
+            {
+                panic!("chaos: worker killed mid-batch");
+            }
+            let refs: Vec<(&RunRequest, Option<&CancelToken>)> =
+                members.iter().map(|m| (&*m.run, Some(&m.token))).collect();
+            let results = shared.state.run_batch_with(&refs, &shared.limits);
+            for (m, result) in members.iter().zip(results) {
+                let resp = match result {
+                    Ok(r) => Response::Ok(Box::new(r)),
+                    Err(e) => serve_error_response(m.run.id, e),
+                };
+                let _ = m.tx.send(resp);
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let abort = {
+        let pairs = pairs.clone();
+        Box::new(move || {
+            for (id, tx) in &pairs {
+                let _ = tx.send(Response::ShuttingDown { id: *id });
+            }
+        })
+    };
+    if shared.executor.submit_with_abort(job, abort).is_err() {
+        // The executor refused the batch and dropped the job (members
+        // inside); answer each one explicitly so no connection thread is
+        // left waiting on a dead channel.
+        for (id, tx) in pairs {
+            let _ = tx.send(Response::Overloaded { id });
         }
     }
 }

@@ -36,7 +36,7 @@ const TOOLS: &[&str] = &[
 
 /// Tools that take `--engine`: an unknown value is a usage error (exit
 /// 2) naming the valid engines, and `--help` documents the flag.
-const ENGINE_TOOLS: &[&str] = &["runbench", "fig4", "fig5"];
+const ENGINE_TOOLS: &[&str] = &["runbench", "fig4", "fig5", "servebench"];
 
 #[test]
 fn version_exits_zero_and_names_the_protocol() {
@@ -129,6 +129,50 @@ fn unknown_engine_values_exit_two_and_help_names_the_engines() {
         assert!(
             stdout.contains("--engine"),
             "{tool} --help must document --engine: {stdout:?}"
+        );
+    }
+}
+
+#[test]
+fn bad_batch_flag_values_exit_two_and_help_documents_the_flags() {
+    // Both binaries in this crate take the batching knobs; a window that
+    // is not an integer or a batch size of zero is a usage error, never a
+    // silently-clamped value.
+    for tool in ["psim-serve", "servebench"] {
+        let path = bin(tool).expect("same-crate binary");
+        for args in [
+            &["--batch-window-ms", "junk"][..],
+            &["--batch-window-ms"][..],
+            &["--max-batch", "0"][..],
+            &["--max-batch", "lots"][..],
+        ] {
+            let out = Command::new(&path).args(args).output().expect("run");
+            assert_eq!(
+                out.status.code(),
+                Some(2),
+                "{tool} {args:?} must be a usage error (stderr: {})",
+                String::from_utf8_lossy(&out.stderr)
+            );
+        }
+        let help = Command::new(&path).arg("--help").output().expect("run");
+        let stdout = String::from_utf8_lossy(&help.stdout);
+        assert!(
+            stdout.contains("--batch-window-ms") && stdout.contains("--max-batch"),
+            "{tool} --help must document the batching flags: {stdout:?}"
+        );
+    }
+    // The batching-effectiveness gate flag is servebench-only.
+    let path = bin("servebench").expect("same-crate binary");
+    for args in [
+        &["--min-batch-speedup", "junk"][..],
+        &["--min-batch-speedup"][..],
+    ] {
+        let out = Command::new(&path).args(args).output().expect("run");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "servebench {args:?} must be a usage error (stderr: {})",
+            String::from_utf8_lossy(&out.stderr)
         );
     }
 }

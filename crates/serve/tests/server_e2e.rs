@@ -534,3 +534,81 @@ fn shutdown_gives_inflight_and_queued_requests_structured_replies() {
         );
     }
 }
+
+/// Pulls one counter out of the `stats` response's `batch` object.
+fn batch_counter(stats: &telemetry::Json, name: &str) -> u64 {
+    stats
+        .get("batch")
+        .and_then(|b| b.get(name))
+        .and_then(telemetry::Json::as_u64)
+        .unwrap_or_else(|| panic!("stats.batch.{name} missing"))
+}
+
+#[test]
+fn batching_coalesces_identical_runs_and_the_counters_move() {
+    let mut opts = ServeOptions::default();
+    // A long window so two concurrent submissions reliably overlap; the
+    // pair seals by fill (max_batch 2), not by window expiry.
+    opts.batch.window_ms = 500;
+    opts.batch.max_batch = 2;
+    let server = serve_tcp("127.0.0.1:0", &opts).expect("bind");
+    let expected = psim_serve::single_shot(&basic_req(0))
+        .expect("single-shot reference")
+        .identity();
+
+    let mut c0 = Client::connect(&server.addr).expect("connect");
+    let addr = server.addr.clone();
+    let other = std::thread::spawn(move || {
+        let mut c = Client::connect(&addr).expect("connect");
+        c.run(basic_req(2)).expect("batched run")
+    });
+    let r1 = c0.run(basic_req(3)).expect("batched run");
+    let r2 = other.join().expect("client thread");
+    for (resp, want) in [(r1, 3), (r2, 2)] {
+        let Response::Ok(ok) = resp else {
+            panic!("batched run failed: {resp:?}")
+        };
+        assert_eq!(ok.id, want);
+        assert_eq!(
+            ok.identity(),
+            expected,
+            "batched response byte-identical to single-shot"
+        );
+    }
+
+    let Response::Stats { stats, .. } = c0.request(&Request::Stats { id: 90 }).expect("stats")
+    else {
+        panic!("stats failed")
+    };
+    assert!(
+        stats
+            .get("batch")
+            .and_then(|b| b.get("enabled"))
+            .is_some_and(|v| matches!(v, telemetry::Json::Bool(true))),
+        "batch tier reports enabled"
+    );
+    assert_eq!(batch_counter(&stats, "batches_formed"), 1);
+    assert_eq!(batch_counter(&stats, "batched_requests"), 2);
+    assert_eq!(batch_counter(&stats, "coalesced_requests"), 1);
+    assert_eq!(batch_counter(&stats, "max_batch_size"), 2);
+    assert_eq!(batch_counter(&stats, "window_timeouts"), 0);
+
+    // A lone request finds no batchmate: its window expires and it ships
+    // as a singleton batch — stalled by at most the window, never lost.
+    let t = Instant::now();
+    let Response::Ok(solo) = c0.run(basic_req(4)).expect("singleton run") else {
+        panic!("singleton run failed")
+    };
+    assert!(
+        t.elapsed() >= Duration::from_millis(500),
+        "waited the window"
+    );
+    assert_eq!(solo.identity(), expected);
+    let Response::Stats { stats, .. } = c0.request(&Request::Stats { id: 91 }).expect("stats")
+    else {
+        panic!("stats failed")
+    };
+    assert_eq!(batch_counter(&stats, "batches_formed"), 2);
+    assert_eq!(batch_counter(&stats, "window_timeouts"), 1);
+    server.shutdown();
+}

@@ -65,7 +65,7 @@ pub enum Init {
 }
 
 /// One workload buffer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BufSpec {
     /// Element type.
     pub elem: ScalarTy,

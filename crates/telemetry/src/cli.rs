@@ -30,7 +30,12 @@ use crate::Json;
 ///   (`deadline_ms`, `max_steps`, `max_mem_bytes`), the structured
 ///   failure statuses in [`STRUCTURED_FAILURE_STATUSES`], and
 ///   `steps`/`mem_bytes` accounting fields on `ok` responses.
-pub const PROTOCOL_VERSION: u64 = 2;
+/// * 3 — plan-sharing request batching: the `stats` response gains a
+///   `batch` object (enabled flag, window/max knobs, and the
+///   batches-formed / batched / coalesced / max-size / window-timeout
+///   counters). `run` requests and responses are unchanged — batched
+///   responses are byte-identical to unbatched ones.
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// Every structured failure status a `psim-serve` response can carry.
 /// "Structured" is the robustness contract: whatever goes wrong — budget
@@ -49,7 +54,15 @@ pub const STRUCTURED_FAILURE_STATUSES: &[&str] = &[
 /// Version of the bench-report JSON schema shared by `runbench`,
 /// `compbench`, and `servebench` (the `meta` object itself plus the
 /// report fields the CI gates read).
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+///
+/// History:
+/// * 1 — initial versioned schema (PR 8).
+/// * 2 — servebench splits client-observed latency into queue-wait and
+///   service time, adds the `plan_share` batching phase (on/off rps and
+///   the batch counters), and records the batching knobs plus the
+///   engine in `meta`. Baselines written under schema 1 are rejected by
+///   the `--baseline` gate and must be regenerated.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// The exit-status contract every binary follows (also asserted by the
 /// shared exit-contract test): printed at the end of `--help`.
