@@ -46,11 +46,15 @@ out=$(mktemp)
 {
   echo "### Benchmark baselines"
   echo
-  echo "| report | tool | mode | geomean speedup | batch | batch speedup | identical | size |"
-  echo "|---|---|---|---|---|---|---|---|"
+  echo "| report | tool | target | engine | geomean speedup | batch | batch speedup | identical | size |"
+  echo "|---|---|---|---|---|---|---|---|---|"
   for f in "${files[@]}"; do
     tool=$(meta "$f" tool)
     mode=$(meta "$f" engine)
+    # Schema 3: the costing target joins meta (the target×engine CI
+    # matrix keeps one baseline per leg, and this table is the one place
+    # the whole matrix is visible at once). compbench has no target.
+    target=$(meta "$f" target)
     gm=$(round2 "$(field "$f" geomean_speedup)")
     # servebench meta carries the batching knobs; its plan_share section
     # carries the measured batched/unbatched throughput ratio. Both are
@@ -72,7 +76,7 @@ out=$(mktemp)
     [ "$size" = "-" ] && size="$(field "$f" items) items" || size="$size kernels"
     bail=$(field "$f" bailouts)
     [ "$bail" != "-" ] && mode="$mode ($bail bailouts)"
-    echo "| $f | $tool | $mode | ${gm}x | $batch | $bs | $ident | $size |"
+    echo "| $f | $tool | $target | $mode | ${gm}x | $batch | $bs | $ident | $size |"
   done
   echo
 } >"$out"

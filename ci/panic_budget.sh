@@ -23,7 +23,7 @@ PATTERN='\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(|todo!\('
 # crate-dir budget
 BUDGETS="
 autovec 39
-bench 22
+bench 27
 core 80
 criterion_compat 0
 fuzz 20
@@ -31,11 +31,11 @@ proptest_compat 2
 psimc 26
 psir 105
 rand_compat 0
-serve 80
+serve 82
 shapecheck 9
 suite 19
 telemetry 18
-vmach 11
+vmach 14
 vmath 10
 "
 

@@ -14,11 +14,11 @@
 //! results are identical at every level, only compile time changes.
 
 use psim_bench::{
-    apply_engine_flag, cell, geomean_speedup, measure_iters, parse_profile_flag, profile_kernel,
-    total_wall_ms, ProfileMode,
+    apply_engine_flag, apply_target_flag, cell, geomean_speedup, measure_iters, module_fingerprint,
+    parse_profile_flag, profile_kernel, total_wall_ms, ProfileMode,
 };
 use suite::ispc::{kernels, IspcSizes};
-use suite::runner::{run_kernel, Config};
+use suite::runner::{build_module, run_kernel, run_kernel_with, Config};
 use telemetry::cli::Help;
 use telemetry::Profile;
 
@@ -36,6 +36,19 @@ const HELP: Help = Help {
             "--engine E",
             "interpreter engine: fast (default), reference, or native",
         ),
+        (
+            "--target T",
+            "costing machine: x86-avx512 (default), x86-avx2, or sve-vla[:VL]",
+        ),
+        (
+            "--target-matrix",
+            "add the target×config matrix table (all targets, same IR)",
+        ),
+        (
+            "--contract",
+            "print per-benchmark gang size and module fingerprint, then exit \
+             (the target-contract gate diffs this across SVE vector lengths)",
+        ),
         ("-j, --jobs N", "region-compilation worker count"),
         ("-h, --help", "print this help"),
         (
@@ -48,7 +61,8 @@ const HELP: Help = Help {
 fn usage() -> ! {
     eprintln!(
         "usage: fig4 [--tiny] [--gang-sweep] [--iters N] [--profile[=json]] \
-         [--engine fast|reference|native] [-j N | --jobs N]"
+         [--engine fast|reference|native] [--target x86-avx512|x86-avx2|sve-vla[:VL]] \
+         [--target-matrix] [--contract] [-j N | --jobs N]"
     );
     std::process::exit(2);
 }
@@ -86,11 +100,15 @@ fn run() {
     let mut gang_sweep = false;
     let mut profile_mode = ProfileMode::Off;
     let mut iters = 1usize;
+    let mut with_target_matrix = false;
+    let mut contract = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--tiny" => sizes = IspcSizes::tiny(),
             "--gang-sweep" => gang_sweep = true,
+            "--target-matrix" => with_target_matrix = true,
+            "--contract" => contract = true,
             "--iters" => {
                 i += 1;
                 let Some(v) = args.get(i) else { usage() };
@@ -108,6 +126,18 @@ fn run() {
                     usage();
                 }
             }
+            "--target" => {
+                i += 1;
+                if !apply_target_flag("fig4", args.get(i)) {
+                    usage();
+                }
+            }
+            t if t.starts_with("--target=") => {
+                let v = t["--target=".len()..].to_string();
+                if !apply_target_flag("fig4", Some(&v)) {
+                    usage();
+                }
+            }
             "-j" | "--jobs" => {
                 i += 1;
                 set_jobs("fig4", args.get(i));
@@ -121,6 +151,11 @@ fn run() {
             },
         }
         i += 1;
+    }
+
+    if contract {
+        print_contract(sizes);
+        return;
     }
 
     if profile_mode == ProfileMode::Json {
@@ -199,8 +234,75 @@ fn run() {
         check_pow_gap(&profile);
     }
 
+    if with_target_matrix {
+        target_matrix(sizes);
+    }
+
     if gang_sweep {
         gang_size_sweep(sizes);
+    }
+}
+
+/// The `target-contract` gate's machine-checkable output: one line per
+/// benchmark with its chosen gang size and the FNV fingerprint of the
+/// compiled Parsimony module. The costing target is deliberately absent
+/// from both the computation and the output — CI runs this at several SVE
+/// vector lengths and diffs the lines byte-for-byte, proving that the
+/// gang-size choice and the emitted module are vector-length-invariant
+/// (Parsimony picks gangs at the program level, never from the machine).
+fn print_contract(sizes: IspcSizes) {
+    for k in kernels(sizes) {
+        let module =
+            build_module(&k, Config::Parsimony).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        println!(
+            "{} gang={} module_fnv={:016x}",
+            k.name,
+            k.gang,
+            module_fingerprint(&module)
+        );
+    }
+}
+
+/// The target×config matrix: the same compiled IR priced on every modeled
+/// machine, fixed-width and scalable. Outputs are asserted identical
+/// across every cell — targets move cycle attribution, never semantics.
+fn target_matrix(sizes: IspcSizes) {
+    use vmach::{Target, TargetCost};
+    let targets = [
+        Target::avx512(),
+        Target::avx2(),
+        Target::sve(128),
+        Target::sve(512),
+        Target::sve(2048),
+    ];
+    let matrix_cfgs = [Config::Parsimony, Config::GangSync];
+    println!("\ntarget×config matrix (speedup over autovec, same IR):");
+    print!("{:<18} {:<14}", "benchmark", "target");
+    for c in matrix_cfgs {
+        print!(" {:>9}", c.label());
+    }
+    println!();
+    for k in kernels(sizes) {
+        for t in &targets {
+            let cost = TargetCost::for_target(t.clone());
+            let base = run_kernel_with(&k, Config::Autovec, &cost).expect("runs");
+            print!("{:<18} {:<14}", k.name, t.flag_name());
+            let mut outputs = base.outputs.clone();
+            for c in matrix_cfgs {
+                let r = run_kernel_with(&k, c, &cost).expect("runs");
+                assert_eq!(
+                    r.outputs,
+                    outputs,
+                    "{}: target {} changed results under {}",
+                    k.name,
+                    t.flag_name(),
+                    c.label()
+                );
+                outputs = r.outputs;
+                print!(" {:>9.2}", base.cycles as f64 / r.cycles as f64);
+            }
+            println!();
+        }
     }
 }
 

@@ -14,13 +14,13 @@
 //! results are identical at every level, only compile time changes.
 
 use psim_bench::{
-    apply_engine_flag, cell, geomean_speedup, measure_iters, parse_profile_flag, profile_kernels,
-    total_wall_ms, ProfileMode,
+    apply_engine_flag, apply_target_flag, cell, geomean_speedup, measure_iters, parse_profile_flag,
+    profile_kernels, total_wall_ms, ProfileMode,
 };
 use suite::runner::{run_kernel_with, Config};
 use suite::simdlib::{kernels, DEFAULT_N};
 use telemetry::cli::Help;
-use vmach::{Avx512Cost, Target};
+use vmach::{Target, TargetCost};
 
 const HELP: Help = Help {
     bin: "fig5",
@@ -38,6 +38,14 @@ const HELP: Help = Help {
             "--engine E",
             "interpreter engine: fast (default), reference, or native",
         ),
+        (
+            "--target T",
+            "costing machine: x86-avx512 (default), x86-avx2, or sve-vla[:VL]",
+        ),
+        (
+            "--target-matrix",
+            "add the target×config matrix table (all targets, same IR)",
+        ),
         ("-j, --jobs N", "region-compilation worker count"),
         ("-h, --help", "print this help"),
         (
@@ -50,7 +58,8 @@ const HELP: Help = Help {
 fn usage() -> ! {
     eprintln!(
         "usage: fig5 [--n N] [--iters N] [--no-shape] [--avx2] [--stride-window] \
-         [--profile[=json]] [--engine fast|reference|native] [-j N | --jobs N]"
+         [--profile[=json]] [--engine fast|reference|native] \
+         [--target x86-avx512|x86-avx2|sve-vla[:VL]] [--target-matrix] [-j N | --jobs N]"
     );
     std::process::exit(2);
 }
@@ -88,6 +97,7 @@ fn run() {
     let mut iters = 1usize;
     let mut with_avx2 = false;
     let mut with_window = false;
+    let mut with_target_matrix = false;
     let mut profile_mode = ProfileMode::Off;
     let mut i = 1;
     while i < args.len() {
@@ -127,6 +137,19 @@ fn run() {
                     usage();
                 }
             }
+            "--target" => {
+                i += 1;
+                if !apply_target_flag("fig5", args.get(i)) {
+                    usage();
+                }
+            }
+            flag if flag.starts_with("--target=") => {
+                let v = flag["--target=".len()..].to_string();
+                if !apply_target_flag("fig5", Some(&v)) {
+                    usage();
+                }
+            }
+            "--target-matrix" => with_target_matrix = true,
             "-j" | "--jobs" => {
                 i += 1;
                 set_jobs("fig5", args.get(i));
@@ -270,6 +293,49 @@ fn run() {
         }
     }
 
+    if with_target_matrix {
+        // The target×config matrix: the *same* compiled IR priced on every
+        // modeled machine, fixed-width and scalable. Outputs are identical
+        // by construction (targets never change semantics); only cycle
+        // attribution moves. A subset of kernels keeps it quick.
+        let targets = [
+            Target::avx512(),
+            Target::avx2(),
+            Target::sve(128),
+            Target::sve(512),
+            Target::sve(2048),
+        ];
+        let matrix_cfgs = [Config::Autovec, Config::Parsimony, Config::Handwritten];
+        println!("\ntarget×config matrix (speedup over scalar, same IR):");
+        print!("{:<22} {:<14}", "kernel", "target");
+        for c in matrix_cfgs {
+            print!(" {:>9}", c.label());
+        }
+        println!();
+        for k in ks.iter().take(8) {
+            for t in &targets {
+                let cost = TargetCost::for_target(t.clone());
+                let scalar = run_kernel_with(k, Config::Scalar, &cost).expect("runs");
+                print!("{:<22} {:<14}", k.name, t.flag_name());
+                let mut outputs = scalar.outputs.clone();
+                for c in matrix_cfgs {
+                    let r = run_kernel_with(k, c, &cost).expect("runs");
+                    assert_eq!(
+                        r.outputs,
+                        outputs,
+                        "{}: target {} changed results under {}",
+                        k.name,
+                        t.flag_name(),
+                        c.label()
+                    );
+                    outputs = r.outputs;
+                    print!(" {:>9.2}", scalar.cycles as f64 / r.cycles as f64);
+                }
+                println!();
+            }
+        }
+    }
+
     if with_avx2 {
         // §4.3 portability: the *same* gang-width vector IR legalizes onto
         // a narrower (256-bit) machine — no recompilation of the SPMD
@@ -279,8 +345,8 @@ fn run() {
             "{:<22} {:>12} {:>12} {:>8}",
             "kernel", "avx512", "avx2", "ratio"
         );
-        let avx512 = Avx512Cost::new();
-        let avx2 = Avx512Cost::for_target(Target::avx2());
+        let avx512 = TargetCost::for_target(Target::avx512());
+        let avx2 = TargetCost::for_target(Target::avx2());
         for k in ks.iter().take(8) {
             let a = run_kernel_with(k, Config::Parsimony, &avx512).expect("runs");
             let b = run_kernel_with(k, Config::Parsimony, &avx2).expect("runs");

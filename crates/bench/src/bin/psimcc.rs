@@ -32,7 +32,7 @@ use parsimony::{
 };
 use psir::{Interp, Memory, RtVal};
 use telemetry::cli::Help;
-use vmach::Avx512Cost;
+use vmach::{Target, TargetCost};
 use vmath::RuntimeExterns;
 
 const HELP: Help = Help {
@@ -69,6 +69,10 @@ const HELP: Help = Help {
             "--engine E",
             "interpreter engine for --run: fast (default), reference, or native",
         ),
+        (
+            "--target T",
+            "machine for --run costing: x86-avx512 (default), x86-avx2, or sve-vla[:VL]",
+        ),
         ("--cycles", "print the simulated cycle count"),
         ("-h, --help", "print this help"),
         (
@@ -83,7 +87,8 @@ fn usage() -> ! {
         "usage: psimcc FILE [--emit scalar|vector] [--gang-sync] [--no-shape] \
          [--boscc] [--remarks text|json] [--verify off|fallback|strict] \
          [--inject-fault PASS:SITE] [-j N | --jobs N] \
-         [--engine fast|reference|native] [--run ENTRY [ARG…]] [--cycles]"
+         [--engine fast|reference|native] [--target x86-avx512|x86-avx2|sve-vla[:VL]] \
+         [--run ENTRY [ARG…]] [--cycles]"
     );
     std::process::exit(2);
 }
@@ -110,6 +115,12 @@ fn main() {
     };
     let parse_inject = |s: &str| -> FaultInjector {
         FaultInjector::parse(s).unwrap_or_else(|e| {
+            eprintln!("psimcc: {e}");
+            std::process::exit(2);
+        })
+    };
+    let parse_target = |s: &str| -> Target {
+        Target::parse(s).unwrap_or_else(|e| {
             eprintln!("psimcc: {e}");
             std::process::exit(2);
         })
@@ -187,6 +198,20 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--target" => {
+                i += 1;
+                let v = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!(
+                        "psimcc: --target requires a value; valid targets: {}",
+                        vmach::VALID_TARGETS
+                    );
+                    std::process::exit(2);
+                });
+                popts.target = parse_target(&v);
+            }
+            flag if flag.starts_with("--target=") => {
+                popts.target = parse_target(&flag["--target=".len()..]);
+            }
             "-j" | "--jobs" => {
                 i += 1;
                 let v = args.get(i).cloned().unwrap_or_else(|| usage());
@@ -260,7 +285,7 @@ fn main() {
 
     if let Some((entry, raw_args)) = run {
         static EXT: RuntimeExterns = RuntimeExterns::new();
-        let cost = Avx512Cost::new();
+        let cost = TargetCost::for_target(popts.target.clone());
         let mut mem = Memory::default();
         let mut call_args = Vec::new();
         let mut bufs: Vec<(u64, u64)> = Vec::new();

@@ -40,6 +40,10 @@ const HELP: Help = Help {
             "engine under test: fast (vs reference; default) or native (vs fast)",
         ),
         (
+            "--target T",
+            "costing machine: x86-avx512 (default), x86-avx2, or sve-vla[:VL]",
+        ),
+        (
             "--n N",
             "Simd-Library workload size (positive multiple of 256)",
         ),
@@ -67,7 +71,8 @@ const HELP: Help = Help {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: runbench [--engine fast|native] [--n N] [--iters K] [--check] \
+        "usage: runbench [--engine fast|native] \
+         [--target x86-avx512|x86-avx2|sve-vla[:VL]] [--n N] [--iters K] [--check] \
          [--min-speedup X] [--json[=FILE]] [--baseline FILE]"
     );
     std::process::exit(2);
@@ -104,6 +109,23 @@ fn main() {
                             "runbench: unknown engine {v:?}; valid engines: {}",
                             psir::Engine::ALL.map(psir::Engine::flag_name).join(", ")
                         );
+                        usage();
+                    }
+                }
+            }
+            "--target" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!(
+                        "runbench: --target requires a value; valid targets: {}",
+                        vmach::VALID_TARGETS
+                    );
+                    usage();
+                };
+                match vmach::Target::parse(v) {
+                    Ok(t) => cfg.target = t,
+                    Err(e) => {
+                        eprintln!("runbench: {e}");
                         usage();
                     }
                 }

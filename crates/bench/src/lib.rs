@@ -15,7 +15,7 @@ use suite::runner::{
 };
 use suite::Kernel;
 use telemetry::{Json, Profile, ProfileDiff};
-use vmach::Avx512Cost;
+use vmach::{Target, TargetCost};
 
 /// Reads a committed `BENCH_*.json` baseline and validates its
 /// self-describing `meta` block (schema version, producing tool) against
@@ -93,7 +93,7 @@ pub fn measure_iters(kernels: &[Kernel], cfgs: &[Config], iters: usize) -> Vec<R
                 // Build once; the wall clock times execution, not
                 // compilation (compbench owns compile time).
                 let module = build_module(k, c).unwrap_or_else(|e| panic!("{}: {e}", k.name));
-                let cost = Avx512Cost::new();
+                let cost = TargetCost::for_target(suite::runner::default_target());
                 let mut best = u64::MAX;
                 let mut got = 0u64;
                 let engine = suite::runner::default_engine();
@@ -181,19 +181,60 @@ pub fn apply_engine_flag(tool: &str, v: Option<&String>) -> bool {
     }
 }
 
+/// Parses and applies a figure harness's `--target VALUE`: routes every
+/// default-cost kernel run through [`suite::runner::set_target_override`]
+/// so the whole process prices against the chosen machine. Returns
+/// `false` — after printing the exit-2 diagnostic naming the valid
+/// targets — on a missing or unknown value, so the caller can fall
+/// through to its usage line.
+pub fn apply_target_flag(tool: &str, v: Option<&String>) -> bool {
+    let Some(v) = v else {
+        eprintln!(
+            "{tool}: --target requires a value; valid targets: {}",
+            vmach::VALID_TARGETS
+        );
+        return false;
+    };
+    match Target::parse(v) {
+        Ok(t) => {
+            suite::runner::set_target_override(t);
+            true
+        }
+        Err(e) => {
+            eprintln!("{tool}: {e}");
+            false
+        }
+    }
+}
+
+/// FNV-1a fingerprint of a module's printed text. The `target-contract`
+/// gate (fig4 `--contract`) prints this so CI can diff compilations at
+/// different SVE vector lengths: the fingerprints must match because
+/// compilation is target-independent.
+pub fn module_fingerprint(module: &psir::Module) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in psir::print_module(module).bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// Runs one kernel configuration with profiling and namespaces every
-/// function as `{kernel}/{config}/{function}` so profiles from many kernels
-/// can be merged into one document without key collisions.
+/// function as `{kernel}/{target}/{config}/{function}` so profiles from
+/// many kernels (and many targets, since the telemetry is a target×config
+/// matrix) can be merged into one document without key collisions.
 ///
 /// # Panics
 /// Panics on build or runtime failure (harness inputs are trusted).
 pub fn profile_kernel(k: &Kernel, cfg: Config) -> Profile {
     let r = run_kernel_profiled(k, cfg).unwrap_or_else(|e| panic!("{}: {e}", k.name));
     let p = r.profile.expect("profiled run returns a profile");
+    let target = suite::runner::default_target().flag_name();
     let mut out = Profile::new();
     for (fname, fp) in p.functions {
         out.functions
-            .insert(format!("{}/{}/{fname}", k.name, cfg.label()), fp);
+            .insert(format!("{}/{target}/{}/{fname}", k.name, cfg.label()), fp);
     }
     out
 }

@@ -29,7 +29,7 @@ use suite::runner::{
 };
 use suite::Kernel;
 use telemetry::Json;
-use vmach::Avx512Cost;
+use vmach::{Target, TargetCost};
 
 /// Configuration of one execution-time measurement.
 #[derive(Debug, Clone)]
@@ -44,6 +44,11 @@ pub struct RunBenchConfig {
     /// reference engine, [`Engine::Native`] against the fast engine;
     /// [`Engine::Reference`] *is* the baseline and is rejected.
     pub engine: Engine,
+    /// The machine simulated cycles are priced against. Subject and
+    /// baseline engines share it (the identity contract is per target),
+    /// and it is recorded in the report meta so per-target baseline files
+    /// cannot be compared across targets by accident.
+    pub target: Target,
 }
 
 impl Default for RunBenchConfig {
@@ -52,6 +57,7 @@ impl Default for RunBenchConfig {
             n: 4096,
             iters: 3,
             engine: Engine::Fast,
+            target: Target::reference_default(),
         }
     }
 }
@@ -185,6 +191,7 @@ impl RunBenchReport {
                             Json::Str("simdlib×parsimony + ispc(tiny)×{parsimony,gangsync}".into()),
                         ),
                         ("engine", Json::Str(self.config.mode().into())),
+                        ("target", Json::Str(self.config.target.flag_name())),
                     ],
                 ),
             ),
@@ -281,7 +288,7 @@ impl RunBenchReport {
 fn timed_run(
     module: &psir::Module,
     k: &Kernel,
-    cost: &Avx512Cost,
+    cost: &TargetCost,
     engine: Engine,
     plans: &std::sync::Arc<psir::PlanCache>,
 ) -> Result<(u64, RunResult), String> {
@@ -299,9 +306,10 @@ fn bench_kernel(
     iters: usize,
     subject: Engine,
     baseline: Engine,
+    target: &Target,
 ) -> Result<RunBenchRow, String> {
     let module = build_module(k, config).map_err(|e| format!("{}: {e}", k.name))?;
-    let cost = Avx512Cost::new();
+    let cost = TargetCost::for_target(target.clone());
     // One cache per kernel (module_id 0): subject and baseline share the
     // same frame plans, so neither engine pays plan construction inside
     // the timed region after its first iteration.
@@ -370,6 +378,7 @@ pub fn run(cfg: &RunBenchConfig) -> Result<RunBenchReport, String> {
             cfg.iters,
             cfg.engine,
             baseline,
+            &cfg.target,
         )?);
     }
     for k in suite::ispc::kernels(suite::ispc::IspcSizes::tiny()) {
@@ -381,6 +390,7 @@ pub fn run(cfg: &RunBenchConfig) -> Result<RunBenchReport, String> {
                 cfg.iters,
                 cfg.engine,
                 baseline,
+                &cfg.target,
             )?);
         }
     }
@@ -407,6 +417,7 @@ mod tests {
             1,
             Engine::Fast,
             Engine::Reference,
+            &Target::reference_default(),
         )
         .expect("kernel benches");
         assert!(row.identical, "engines must agree on {}", row.kernel);
@@ -416,6 +427,7 @@ mod tests {
                 n: 256,
                 iters: 1,
                 engine: Engine::Fast,
+                target: Target::reference_default(),
             },
             rows: vec![row],
         };
@@ -441,6 +453,7 @@ mod tests {
             1,
             Engine::Native,
             Engine::Fast,
+            &Target::reference_default(),
         )
         .expect("kernel benches");
         assert!(row.identical, "native must match fast on {}", row.kernel);
@@ -450,6 +463,7 @@ mod tests {
                 n: 256,
                 iters: 1,
                 engine: Engine::Native,
+                target: Target::reference_default(),
             },
             rows: vec![row],
         };
@@ -466,19 +480,20 @@ mod tests {
         assert!(run(&RunBenchConfig {
             n: 100,
             iters: 1,
-            engine: Engine::Fast
+            ..RunBenchConfig::default()
         })
         .is_err());
         assert!(run(&RunBenchConfig {
             n: 256,
             iters: 0,
-            engine: Engine::Fast
+            ..RunBenchConfig::default()
         })
         .is_err());
         assert!(run(&RunBenchConfig {
             n: 256,
             iters: 1,
-            engine: Engine::Reference
+            engine: Engine::Reference,
+            ..RunBenchConfig::default()
         })
         .is_err());
     }

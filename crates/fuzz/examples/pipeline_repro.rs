@@ -9,6 +9,7 @@ fn main() {
         verify: parsimony::VerifyMode::Strict,
         inject: None,
         jobs: 1,
+        ..parsimony::PipelineOptions::default()
     };
     match parsimony::vectorize_module_with(&module, &parsimony::VectorizeOptions::default(), &popts)
     {

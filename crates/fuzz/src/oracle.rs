@@ -35,7 +35,7 @@ use parsimony::{
 };
 use psir::{Engine, ExecStats, Interp, Memory, Module, RtVal};
 use suite::runner::fill_buffer;
-use vmach::Avx512Cost;
+use vmach::{Target, TargetCost};
 use vmath::RuntimeExterns;
 
 static EXTERNS: RuntimeExterns = RuntimeExterns::new();
@@ -53,6 +53,13 @@ pub struct OracleOptions {
     /// Interpreter step limit per run (a backstop; generated loops are
     /// bounded by construction).
     pub step_limit: u64,
+    /// Extra costing targets swept on the fast engine: every target must
+    /// produce byte-identical outputs to the SPMD reference, because
+    /// targets price uops and never touch semantics. The default sweeps
+    /// both fixed-width machines and the scalable target at three vector
+    /// lengths; the primary target ([`Target::reference_default`]) is
+    /// always checked and need not be listed.
+    pub targets: Vec<Target>,
 }
 
 impl Default for OracleOptions {
@@ -61,6 +68,12 @@ impl Default for OracleOptions {
             jobs: 1,
             inject: FaultInjector::from_env(),
             step_limit: 50_000_000,
+            targets: vec![
+                Target::avx2(),
+                Target::sve(128),
+                Target::sve(512),
+                Target::sve(2048),
+            ],
         }
     }
 }
@@ -183,10 +196,10 @@ fn run_vectorized(
     case: &TestCase,
     n: u64,
     engine: Engine,
+    cost: &TargetCost,
     step_limit: u64,
     label: &str,
 ) -> Result<(Vec<Vec<u8>>, u64, ExecStats), Failure> {
-    let cost = Avx512Cost::new();
     let mut mem = Memory::default();
     let mut addrs = Vec::new();
     let mut args = Vec::new();
@@ -196,7 +209,7 @@ fn run_vectorized(
         args.push(RtVal::S(a));
     }
     args.push(RtVal::S(n));
-    let mut it = Interp::new(module, mem, &cost, &EXTERNS);
+    let mut it = Interp::new(module, mem, cost, &EXTERNS);
     it.set_engine(engine);
     it.set_step_limit(step_limit);
     it.call("kernel", &args).map_err(|e| Failure {
@@ -258,16 +271,21 @@ fn compare_outputs(
 /// Checks one vectorized (or degraded) module against the precomputed SPMD
 /// reference outputs, across all three interpreter engines and all `n`
 /// values; the reference and native engines must additionally match the
-/// fast engine's simulated cycles and execution statistics.
+/// fast engine's simulated cycles and execution statistics. Every extra
+/// costing target in `opts.targets` is then swept on the fast engine:
+/// outputs must stay byte-identical (cycles legitimately move — that is
+/// what a target is for).
 fn check_module(
     module: &Module,
     case: &TestCase,
     reference: &[(u64, Vec<Vec<u8>>)],
-    step_limit: u64,
+    opts: &OracleOptions,
     label: &str,
 ) -> Option<Verdict> {
+    let step_limit = opts.step_limit;
+    let cost = TargetCost::for_target(Target::reference_default());
     for (n, want) in reference {
-        let fast = match run_vectorized(module, case, *n, Engine::Fast, step_limit, label) {
+        let fast = match run_vectorized(module, case, *n, Engine::Fast, &cost, step_limit, label) {
             Ok(r) => r,
             Err(f) => return Some(Verdict::Fail(f)),
         };
@@ -280,6 +298,7 @@ fn check_module(
                 case,
                 *n,
                 engine,
+                &cost,
                 step_limit,
                 &format!("{label}({name} engine)"),
             ) {
@@ -310,6 +329,18 @@ fn check_module(
                         case.name, fast.2, other.2
                     ),
                 ));
+            }
+        }
+        for t in &opts.targets {
+            let tcost = TargetCost::for_target(t.clone());
+            let tlabel = format!("{label}(target {})", t.flag_name());
+            let swept =
+                match run_vectorized(module, case, *n, Engine::Fast, &tcost, step_limit, &tlabel) {
+                    Ok(r) => r,
+                    Err(f) => return Some(Verdict::Fail(f)),
+                };
+            if let Some(v) = compare_outputs(case, *n, &tlabel, &swept.0, want) {
+                return Some(v);
             }
         }
     }
@@ -358,6 +389,7 @@ pub fn run_case(case: &TestCase, opts: &OracleOptions) -> Verdict {
         verify: VerifyMode::Fallback,
         inject: opts.inject.clone(),
         jobs: opts.jobs,
+        target: Target::reference_default(),
     };
     let out = match vectorize_module_with(&module, &VectorizeOptions::default(), &popts) {
         Ok(o) => o,
@@ -385,7 +417,7 @@ pub fn run_case(case: &TestCase, opts: &OracleOptions) -> Verdict {
     } else {
         "vectorized pipeline"
     };
-    if let Some(v) = check_module(&out.module, case, &reference, opts.step_limit, label) {
+    if let Some(v) = check_module(&out.module, case, &reference, opts, label) {
         return v;
     }
 
@@ -397,6 +429,7 @@ pub fn run_case(case: &TestCase, opts: &OracleOptions) -> Verdict {
             verify: VerifyMode::Fallback,
             inject: Some(FaultInjector::parse("vectorize:panic").expect("registered site")),
             jobs: opts.jobs,
+            target: Target::reference_default(),
         };
         let out = match vectorize_module_with(&module, &VectorizeOptions::default(), &popts) {
             Ok(o) => o,
@@ -416,13 +449,7 @@ pub fn run_case(case: &TestCase, opts: &OracleOptions) -> Verdict {
                 ),
             );
         }
-        if let Some(v) = check_module(
-            &out.module,
-            case,
-            &reference,
-            opts.step_limit,
-            "scalar fallback",
-        ) {
+        if let Some(v) = check_module(&out.module, case, &reference, opts, "scalar fallback") {
             return v;
         }
     }

@@ -67,6 +67,10 @@ const HELP: Help = Help {
             "execution engine for every request: fast, reference, or native (default: fast)",
         ),
         (
+            "--target T",
+            "costing target for every request: x86-avx512 (default), x86-avx2, or sve-vla[:VL]",
+        ),
+        (
             "--batch-window-ms MS",
             "server batching window for the run (default: 2; 0 = batching off)",
         ),
@@ -98,7 +102,8 @@ const HELP: Help = Help {
 fn usage() -> ! {
     eprintln!(
         "usage: servebench [--clients N] [--n N] [--hot-iters K] [--check] \
-         [--engine fast|reference|native] [--batch-window-ms MS] [--max-batch N] \
+         [--engine fast|reference|native] [--target x86-avx512|x86-avx2|sve-vla[:VL]] \
+         [--batch-window-ms MS] [--max-batch N] \
          [--min-speedup X] [--min-batch-speedup X] [--json[=FILE]] [--baseline FILE] \
          | servebench --chaos [--json[=FILE]]"
     );
@@ -165,6 +170,23 @@ fn main() {
                             "servebench: unknown engine {v:?} — \
                              --engine takes fast, reference, or native"
                         );
+                        usage();
+                    }
+                }
+            }
+            "--target" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!(
+                        "servebench: --target requires a value; valid targets: {}",
+                        vmach::VALID_TARGETS
+                    );
+                    usage();
+                };
+                match vmach::Target::parse(v) {
+                    Ok(t) => cfg.target = t,
+                    Err(e) => {
+                        eprintln!("servebench: {e}");
                         usage();
                     }
                 }

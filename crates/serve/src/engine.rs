@@ -9,16 +9,19 @@
 //! equivalent to a one-off `psimcc --run` invocation; `servebench
 //! --check` gates on the two producing byte-identical responses.
 //!
-//! The engine is part of the request key even though the compiled module
-//! is engine-independent: native and fast requests for the same source
-//! never share a module or plan entry, so an engine-selection bug can
-//! never serve one tier's request from the other's warm path.
+//! The engine and costing target are part of the request key even though
+//! the compiled module depends on neither: native and fast requests for
+//! the same source never share a module or plan entry, so an
+//! engine-selection bug can never serve one tier's request from the
+//! other's warm path — and since cached cycle counts are priced against
+//! the request's target, per-target keys keep those prices from bleeding
+//! across machines.
 //!
-//! The server fixes one cost model (`Avx512Cost::new()`, the suite
-//! default) process-wide. That makes the module-cache key a valid
+//! The cost model is derived per request from its target
+//! (`TargetCost::for_target`). The module-cache key is still a valid
 //! `module_id` for the plan cache: a `FramePlan` is a pure function of
-//! (module, function, cost model), the key already identifies the module
-//! and configuration, and the cost model never varies.
+//! (module, function, cost model), and the key identifies the module,
+//! the configuration, *and* the target the cost model came from.
 
 use crate::batch::BatchConfig;
 use crate::cache::{CompiledModule, ModuleCache};
@@ -34,7 +37,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use suite::runner::fill_buffer;
 use telemetry::Json;
-use vmach::Avx512Cost;
+use vmach::TargetCost;
 use vmath::RuntimeExterns;
 
 static EXTERNS: RuntimeExterns = RuntimeExterns::new();
@@ -194,9 +197,9 @@ impl RunBudget {
     }
 }
 
-/// Shared compile/execute state: both cache tiers plus the fixed cost
-/// model. `Send + Sync`; one instance is shared by every worker and
-/// connection.
+/// Shared compile/execute state: both cache tiers. `Send + Sync`; one
+/// instance is shared by every worker and connection. The cost model is
+/// per-request (derived from the request's target), not state.
 #[derive(Debug)]
 pub struct ServeState {
     /// Tier 1: content hash → compiled module.
@@ -204,7 +207,6 @@ pub struct ServeState {
     /// Tier 2: (module, function) → execution plan, shared with every
     /// in-flight interpreter.
     pub plans: Arc<PlanCache>,
-    cost: Avx512Cost,
 }
 
 impl ServeState {
@@ -213,7 +215,6 @@ impl ServeState {
         ServeState {
             modules: ModuleCache::new(opts.module_budget),
             plans: Arc::new(PlanCache::new(opts.plan_budget)),
-            cost: Avx512Cost::new(),
         }
     }
 
@@ -265,6 +266,7 @@ impl ServeState {
             &req.verify,
             &req.inject,
             req.engine.flag_name(),
+            &req.target.flag_name(),
         );
         let t = Instant::now();
         let (cm, module_hit) = match self.modules.get(key) {
@@ -280,10 +282,11 @@ impl ServeState {
             t.elapsed().as_nanos() as u64
         };
         let budget = RunBudget::effective(limits, req);
+        let cost = TargetCost::for_target(req.target.clone());
         let mut resp = execute(
             &cm,
             req,
-            &self.cost,
+            &cost,
             Some((&self.plans, key)),
             Some(&budget),
             cancel,
@@ -339,6 +342,7 @@ impl ServeState {
             &lead.verify,
             &lead.inject,
             lead.engine.flag_name(),
+            &lead.target.flag_name(),
         );
         let t = Instant::now();
         let (cm, module_hit) = match self.modules.get(key) {
@@ -366,7 +370,11 @@ impl ServeState {
         // (`Memory::reset` + `Interp::reset_run`) restores the
         // fresh-interpreter state between members while keeping the warm
         // machinery — resolved plans, lane/frame pools, the mapped arena.
-        let mut it = Interp::new(&cm.module, Memory::default(), &self.cost, &EXTERNS);
+        // Batch members share a target by construction — the target is
+        // folded into the request key, which leads the batch key — so the
+        // lead's cost model prices every member.
+        let cost = TargetCost::for_target(lead.target.clone());
+        let mut it = Interp::new(&cm.module, Memory::default(), &cost, &EXTERNS);
         it.set_plan_cache(Arc::clone(&self.plans), key);
         // Input-arena sharing: the first member to fill its workload
         // buffers leaves an image behind, and every later member with the
@@ -455,6 +463,7 @@ fn compile_uncached(req: &RunRequest, key: u64) -> Result<CompiledModule, String
         verify,
         inject,
         jobs: 1,
+        target: req.target.clone(),
     };
     let out =
         vectorize_module_with(&m, &opts, &popts).map_err(|e| format!("pipeline error: {e}"))?;
@@ -519,7 +528,7 @@ fn map_exec_error(
 fn execute(
     cm: &CompiledModule,
     req: &RunRequest,
-    cost: &Avx512Cost,
+    cost: &TargetCost,
     plans: Option<(&Arc<PlanCache>, u64)>,
     budget: Option<&RunBudget>,
     cancel: Option<&CancelToken>,
@@ -663,12 +672,13 @@ pub fn single_shot(req: &RunRequest) -> Result<RunResponse, String> {
         &req.verify,
         &req.inject,
         req.engine.flag_name(),
+        &req.target.flag_name(),
     );
     let t = Instant::now();
     let cm = compile_uncached(req, key)?;
     let compile_nanos = t.elapsed().as_nanos() as u64;
-    let mut resp =
-        execute(&cm, req, &Avx512Cost::new(), None, None, None).map_err(|e| e.to_string())?;
+    let cost = TargetCost::for_target(req.target.clone());
+    let mut resp = execute(&cm, req, &cost, None, None, None).map_err(|e| e.to_string())?;
     resp.compile_nanos = compile_nanos;
     Ok(resp)
 }

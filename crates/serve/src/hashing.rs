@@ -54,17 +54,26 @@ pub fn source_hash(src: &str) -> u64 {
 
 /// Full module-cache key: source content hash combined with every
 /// compile-time knob that changes the compiled output, plus the execution
-/// engine. The returned key doubles as the `module_id` for the shared
-/// [`psir::PlanCache`] — the server fixes one cost model process-wide, so
-/// (key, function) uniquely identifies a `FramePlan`.
+/// engine and costing target. The returned key doubles as the `module_id`
+/// for the shared [`psir::PlanCache`] — (key, function) uniquely
+/// identifies a `FramePlan`.
 ///
-/// The engine is part of the key even though the compiled module is
-/// engine-independent: keeping native-engine entries disjoint means an
-/// engine-selection bug can never silently serve a request from the wrong
-/// tier's warm path, and the per-engine hit/miss counters stay honest.
-pub fn request_key(source: &str, mode: &str, verify: &str, inject: &str, engine: &str) -> u64 {
+/// The engine and target are part of the key even though the compiled
+/// module depends on neither: keeping native-engine and per-target
+/// entries disjoint means a selection bug can never silently serve a
+/// request from the wrong tier's warm path (a cached response carries
+/// target-priced cycles), and the per-engine hit/miss counters stay
+/// honest.
+pub fn request_key(
+    source: &str,
+    mode: &str,
+    verify: &str,
+    inject: &str,
+    engine: &str,
+    target: &str,
+) -> u64 {
     let mut h = source_hash(source);
-    for part in [mode, verify, inject, engine] {
+    for part in [mode, verify, inject, engine, target] {
         // Chain with a separator so ("ab","c") and ("a","bc") differ.
         h = fnv1a(format!("{h:016x}\x1f{part}").as_bytes());
     }
@@ -123,32 +132,59 @@ mod tests {
     #[test]
     fn config_is_part_of_the_key() {
         let src = "void f() { }";
-        let base = request_key(src, "parsimony", "fallback", "", "fast");
-        assert_ne!(base, request_key(src, "gangsync", "fallback", "", "fast"));
-        assert_ne!(base, request_key(src, "parsimony", "strict", "", "fast"));
+        let avx512 = "x86-avx512";
+        let base = request_key(src, "parsimony", "fallback", "", "fast", avx512);
         assert_ne!(
             base,
-            request_key(src, "parsimony", "fallback", "shape:1", "fast")
+            request_key(src, "gangsync", "fallback", "", "fast", avx512)
         );
         assert_ne!(
             base,
-            request_key(src, "parsimony", "fallback", "", "native")
+            request_key(src, "parsimony", "strict", "", "fast", avx512)
         );
-        assert_eq!(base, request_key(src, "parsimony", "fallback", "", "fast"));
+        assert_ne!(
+            base,
+            request_key(src, "parsimony", "fallback", "shape:1", "fast", avx512)
+        );
+        assert_ne!(
+            base,
+            request_key(src, "parsimony", "fallback", "", "native", avx512)
+        );
+        // Targets keep disjoint warm paths: cached cycles are priced per
+        // machine, and different SVE vector lengths price differently too.
+        assert_ne!(
+            base,
+            request_key(src, "parsimony", "fallback", "", "fast", "sve-vla:512")
+        );
+        assert_ne!(
+            request_key(src, "parsimony", "fallback", "", "fast", "sve-vla:512"),
+            request_key(src, "parsimony", "fallback", "", "fast", "sve-vla:256")
+        );
+        assert_eq!(
+            base,
+            request_key(src, "parsimony", "fallback", "", "fast", avx512)
+        );
     }
 
     #[test]
     fn key_parts_are_separated() {
         let src = "void f() { }";
         assert_ne!(
-            request_key(src, "ab", "c", "", "fast"),
-            request_key(src, "a", "bc", "", "fast")
+            request_key(src, "ab", "c", "", "fast", "x86-avx512"),
+            request_key(src, "a", "bc", "", "fast", "x86-avx512")
         );
     }
 
     #[test]
     fn batch_key_separates_entry_gang_and_budgets() {
-        let m = request_key("void f() { }", "parsimony", "fallback", "", "fast");
+        let m = request_key(
+            "void f() { }",
+            "parsimony",
+            "fallback",
+            "",
+            "fast",
+            "x86-avx512",
+        );
         let base = batch_key(m, "main", 1024, 0, 0, 0);
         assert_eq!(base, batch_key(m, "main", 1024, 0, 0, 0));
         assert_ne!(base, batch_key(m, "other", 1024, 0, 0, 0));

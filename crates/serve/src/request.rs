@@ -16,6 +16,7 @@
 use psir::{Engine, ScalarTy};
 use suite::{BufSpec, Init};
 use telemetry::Json;
+use vmach::Target;
 
 /// Encodes a u64 losslessly as a JSON integer (bit pattern as i64).
 pub fn u64_to_json(v: u64) -> Json {
@@ -184,6 +185,10 @@ pub struct RunRequest {
     /// result-identical by contract, but the engine is still part of the
     /// cache key so native and fast entries never share a warm path.
     pub engine: Engine,
+    /// Costing target the cycles are priced against (default
+    /// `x86-avx512`). Targets never change outputs, but cached cycles are
+    /// target-priced, so the target joins the cache key.
+    pub target: Target,
     /// Workload buffers, in parameter order.
     pub buffers: Vec<BufSpec>,
     /// Extra scalar arguments (u64 bit patterns) appended after the
@@ -218,6 +223,7 @@ impl RunRequest {
             verify: "fallback".into(),
             inject: String::new(),
             engine: Engine::Fast,
+            target: Target::reference_default(),
             buffers: Vec::new(),
             extra_args: Vec::new(),
             want_remarks: false,
@@ -281,6 +287,9 @@ impl Request {
                 // wire-identical to protocol 1.
                 if r.engine != Engine::Fast {
                     fields.push(("engine", Json::Str(r.engine.flag_name().into())));
+                }
+                if r.target != Target::reference_default() {
+                    fields.push(("target", Json::Str(r.target.flag_name())));
                 }
                 if r.want_remarks {
                     fields.push(("want_remarks", Json::Bool(true)));
@@ -370,6 +379,10 @@ impl Request {
                         Engine::from_flag(s).ok_or_else(|| format!("run: bad engine {s:?}"))?
                     }
                 };
+                let target = match j.get("target").and_then(Json::as_str) {
+                    None => Target::reference_default(),
+                    Some(s) => Target::parse(s).map_err(|e| format!("run: bad target: {e}"))?,
+                };
                 let buffers = match j.get("buffers") {
                     None => Vec::new(),
                     Some(Json::Arr(items)) => items
@@ -397,6 +410,7 @@ impl Request {
                     verify,
                     inject,
                     engine,
+                    target,
                     buffers,
                     extra_args,
                     want_remarks: flag("want_remarks"),
@@ -845,11 +859,13 @@ mod tests {
         assert!(!line.contains("max_steps"));
         assert!(!line.contains("max_mem_bytes"));
         assert!(!line.contains("engine"));
+        assert!(!line.contains("target"));
         let Request::Run(b) = Request::parse(&line).unwrap() else {
             panic!("wrong op")
         };
         assert_eq!((b.deadline_ms, b.max_steps, b.max_mem_bytes), (0, 0, 0));
         assert_eq!(b.engine, Engine::Fast);
+        assert_eq!(b.target, Target::reference_default());
 
         // Set budgets survive the round trip.
         let mut r = RunRequest::new(2, "void main(i64 n) { }", 8);
@@ -924,6 +940,23 @@ mod tests {
         let bad = "{\"op\": \"run\", \"id\": 1, \"source\": \"\", \"n\": 8, \
                    \"engine\": \"turbo\"}";
         assert!(Request::parse(bad).unwrap_err().contains("bad engine"));
+    }
+
+    #[test]
+    fn target_field_round_trips_and_rejects_unknown_values() {
+        let mut r = RunRequest::new(10, "void main(i64 n) { }", 8);
+        r.target = Target::sve(256);
+        let line = Request::Run(Box::new(r)).to_json().to_string_compact();
+        assert!(line.contains("\"target\""));
+        assert!(line.contains("sve-vla:256"));
+        let Request::Run(b) = Request::parse(&line).unwrap() else {
+            panic!("wrong op")
+        };
+        assert_eq!(b.target, Target::sve(256));
+
+        let bad = "{\"op\": \"run\", \"id\": 1, \"source\": \"\", \"n\": 8, \
+                   \"target\": \"neon\"}";
+        assert!(Request::parse(bad).unwrap_err().contains("bad target"));
     }
 
     #[test]

@@ -145,6 +145,9 @@ pub struct ServeBenchConfig {
     /// Execution engine every request is tagged with (and the
     /// single-shot references run on).
     pub engine: psir::Engine,
+    /// Costing target every request is tagged with (and the single-shot
+    /// references price against).
+    pub target: vmach::Target,
     /// Server sizing (workers, queue bound, cache budgets) plus the
     /// batching knobs (`opts.batch`).
     pub opts: ServeOptions,
@@ -162,6 +165,7 @@ impl Default for ServeBenchConfig {
             hot_iters: 2,
             check: false,
             engine: psir::Engine::Fast,
+            target: vmach::Target::reference_default(),
             opts,
         }
     }
@@ -241,6 +245,8 @@ pub struct ServeBenchReport {
     pub hot_queue_p99: u64,
     /// Execution engine the workload ran on.
     pub engine: psir::Engine,
+    /// Costing target the workload was priced against.
+    pub target: vmach::Target,
     /// Batching knobs the server ran with (window 0 = tier off).
     pub batch_window_ms: u64,
     /// Members per batch at which a batch seals early.
@@ -305,6 +311,7 @@ impl ServeBenchReport {
                             ),
                         ),
                         ("engine", Json::Str(self.engine.flag_name().into())),
+                        ("target", Json::Str(self.target.flag_name())),
                         ("batch_window_ms", Json::u64(self.batch_window_ms)),
                         ("max_batch", Json::u64(self.max_batch as u64)),
                         ("retries", Json::u64(self.retries)),
@@ -378,6 +385,10 @@ impl ServeBenchReport {
             self.engine.flag_name(),
             self.batch_window_ms,
             self.max_batch
+        ));
+        out.push_str(&format!(
+            "  costing target     : {}\n",
+            self.target.flag_name()
         ));
         out.push_str(&format!(
             "  hot/cold speedup   : {:>10.2}x geomean (service time)\n",
@@ -583,6 +594,7 @@ fn plan_share_request(id: u64) -> RunRequest {
 pub fn run_plan_share(cfg: &ServeBenchConfig) -> Result<PlanShareReport, String> {
     let mut req = plan_share_request(0);
     req.engine = cfg.engine;
+    req.target = cfg.target.clone();
     let expected = single_shot(&req)
         .map(|r| r.identity())
         .map_err(|e| format!("plan-share single-shot reference: {e}"))?;
@@ -862,6 +874,7 @@ pub fn run(cfg: &ServeBenchConfig) -> Result<ServeBenchReport, String> {
     items.extend(corpus_items(&default_corpus_dir())?);
     for item in &mut items {
         item.req.engine = cfg.engine;
+        item.req.target = cfg.target.clone();
     }
     let mut report = run_items(cfg, &items)?;
     let plan_share = run_plan_share(cfg)?;
@@ -1005,6 +1018,7 @@ pub fn run_items(cfg: &ServeBenchConfig, items: &[WorkItem]) -> Result<ServeBenc
         hot_queue_p50: percentile(&hot_queues, 0.50),
         hot_queue_p99: percentile(&hot_queues, 0.99),
         engine: cfg.engine,
+        target: cfg.target.clone(),
         batch_window_ms: cfg.opts.batch.window_ms,
         max_batch: cfg.opts.batch.max_batch,
         plan_share: None,

@@ -780,6 +780,7 @@ fn submit_batched(
             &run.verify,
             &run.inject,
             run.engine.flag_name(),
+            &run.target.flag_name(),
         ),
         &run.entry,
         run.n,

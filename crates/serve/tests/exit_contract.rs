@@ -38,6 +38,11 @@ const TOOLS: &[&str] = &[
 /// 2) naming the valid engines, and `--help` documents the flag.
 const ENGINE_TOOLS: &[&str] = &["runbench", "fig4", "fig5", "servebench"];
 
+/// Tools that take `--target`: an unknown value (or a missing one) is a
+/// usage error (exit 2) naming the valid targets, and `--help` documents
+/// the flag.
+const TARGET_TOOLS: &[&str] = &["psimcc", "runbench", "fig4", "fig5", "servebench"];
+
 #[test]
 fn version_exits_zero_and_names_the_protocol() {
     for tool in TOOLS {
@@ -129,6 +134,51 @@ fn unknown_engine_values_exit_two_and_help_names_the_engines() {
         assert!(
             stdout.contains("--engine"),
             "{tool} --help must document --engine: {stdout:?}"
+        );
+    }
+}
+
+#[test]
+fn unknown_target_values_exit_two_and_help_names_the_targets() {
+    for tool in TARGET_TOOLS {
+        let Some(path) = bin(tool) else {
+            eprintln!("exit_contract: {tool} not built in this invocation, skipping");
+            continue;
+        };
+        for args in [&["--target", "neon"][..], &["--target"][..]] {
+            let out = Command::new(&path).args(args).output().expect("run");
+            assert_eq!(
+                out.status.code(),
+                Some(2),
+                "{tool} {args:?} must be a usage error (stderr: {})",
+                String::from_utf8_lossy(&out.stderr)
+            );
+        }
+        let out = Command::new(&path)
+            .args(["--target", "neon"])
+            .output()
+            .expect("run");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("x86-avx512") && stderr.contains("sve-vla"),
+            "{tool} must name the valid targets on a bad value: {stderr:?}"
+        );
+        // A malformed SVE vector length is a usage error too, not a panic.
+        let out = Command::new(&path)
+            .args(["--target", "sve-vla:100"])
+            .output()
+            .expect("run");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{tool} must reject a non-multiple-of-128 VL (stderr: {})",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let help = Command::new(&path).arg("--help").output().expect("run");
+        let stdout = String::from_utf8_lossy(&help.stdout);
+        assert!(
+            stdout.contains("--target"),
+            "{tool} --help must document --target: {stdout:?}"
         );
     }
 }

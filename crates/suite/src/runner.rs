@@ -6,7 +6,7 @@ use parsimony::{vectorize_module, VectorizeOptions};
 use psir::{ExecError, ExecStats, Interp, Memory, Module, Profile, RtVal, ScalarTy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vmach::Avx512Cost;
+use vmach::{Target, TargetCost};
 use vmath::RuntimeExterns;
 
 pub use psir::Engine;
@@ -166,12 +166,13 @@ pub fn build_module(k: &Kernel, cfg: Config) -> Result<Module, String> {
 
 static EXTERNS: RuntimeExterns = RuntimeExterns::new();
 
-/// Runs one configuration of a kernel with the AVX-512 cost model.
+/// Runs one configuration of a kernel, costing against
+/// [`default_target`].
 ///
 /// # Errors
 /// Reports build failures and runtime traps with the kernel/config context.
 pub fn run_kernel(k: &Kernel, cfg: Config) -> Result<RunResult, String> {
-    run_kernel_with(k, cfg, &Avx512Cost::new())
+    run_kernel_with(k, cfg, &TargetCost::for_target(default_target()))
 }
 
 /// Like [`run_kernel`], additionally collecting a per-function
@@ -181,7 +182,7 @@ pub fn run_kernel(k: &Kernel, cfg: Config) -> Result<RunResult, String> {
 /// Reports build failures and runtime traps with the kernel/config context.
 pub fn run_kernel_profiled(k: &Kernel, cfg: Config) -> Result<RunResult, String> {
     let module = build_module(k, cfg)?;
-    run_module_inner(&module, k, &Avx512Cost::new(), true)
+    run_module_inner(&module, k, &TargetCost::for_target(default_target()), true)
         .map_err(|e| format!("[{}] {e}", cfg.label()))
 }
 
@@ -193,10 +194,10 @@ pub fn run_kernel_profiled(k: &Kernel, cfg: Config) -> Result<RunResult, String>
 pub fn run_kernel_custom(k: &Kernel, opts: &VectorizeOptions) -> Result<RunResult, String> {
     let m = psimc::compile(&k.psim_src).map_err(|e| e.to_string())?;
     let out = vectorize_module(&m, opts).map_err(|e| e.to_string())?;
-    run_module(&out.module, k, &Avx512Cost::new())
+    run_module(&out.module, k, &TargetCost::for_target(default_target()))
 }
 
-fn run_module(module: &Module, k: &Kernel, cost: &Avx512Cost) -> Result<RunResult, String> {
+fn run_module(module: &Module, k: &Kernel, cost: &TargetCost) -> Result<RunResult, String> {
     run_module_inner(module, k, cost, false)
 }
 
@@ -218,10 +219,35 @@ pub fn default_engine() -> Engine {
     ENGINE_OVERRIDE.get().copied().unwrap_or_default()
 }
 
+/// Process-wide target override for the harnesses' `--target` flag,
+/// mirroring [`set_engine_override`]: every default-cost entry point
+/// ([`run_kernel`], [`run_kernel_profiled`], [`run_kernel_custom`]) prices
+/// against this machine instead of [`Target::reference_default`]. First
+/// set wins; entry points taking an explicit [`TargetCost`]
+/// ([`run_kernel_with`], the `run_module_engine` family) are unaffected,
+/// which is what lets one process report a target×config matrix.
+static TARGET_OVERRIDE: std::sync::OnceLock<Target> = std::sync::OnceLock::new();
+
+/// Overrides the target used by the default-cost entry points. Returns
+/// `false` if an override was already set to a *different* target.
+pub fn set_target_override(target: Target) -> bool {
+    *TARGET_OVERRIDE.get_or_init(|| target.clone()) == target
+}
+
+/// The target the default-cost entry points price against: the override
+/// when one is set, otherwise the one documented defaulting site,
+/// [`Target::reference_default`].
+pub fn default_target() -> Target {
+    TARGET_OVERRIDE
+        .get()
+        .cloned()
+        .unwrap_or_else(Target::reference_default)
+}
+
 fn run_module_inner(
     module: &Module,
     k: &Kernel,
-    cost: &Avx512Cost,
+    cost: &TargetCost,
     profiled: bool,
 ) -> Result<RunResult, String> {
     run_module_engine(module, k, cost, profiled, default_engine())
@@ -237,7 +263,7 @@ fn run_module_inner(
 pub fn run_module_engine(
     module: &Module,
     k: &Kernel,
-    cost: &Avx512Cost,
+    cost: &TargetCost,
     profiled: bool,
     engine: Engine,
 ) -> Result<RunResult, String> {
@@ -255,7 +281,7 @@ pub fn run_module_engine(
 pub fn run_module_engine_shared(
     module: &Module,
     k: &Kernel,
-    cost: &Avx512Cost,
+    cost: &TargetCost,
     profiled: bool,
     engine: Engine,
     plans: &std::sync::Arc<psir::PlanCache>,
@@ -267,7 +293,7 @@ pub fn run_module_engine_shared(
 fn run_module_engine_inner(
     module: &Module,
     k: &Kernel,
-    cost: &Avx512Cost,
+    cost: &TargetCost,
     profiled: bool,
     engine: Engine,
     plans: Option<(&std::sync::Arc<psir::PlanCache>, u64)>,
@@ -317,7 +343,7 @@ fn run_module_engine_inner(
 ///
 /// # Errors
 /// Reports build failures and runtime traps with the kernel/config context.
-pub fn run_kernel_with(k: &Kernel, cfg: Config, cost: &Avx512Cost) -> Result<RunResult, String> {
+pub fn run_kernel_with(k: &Kernel, cfg: Config, cost: &TargetCost) -> Result<RunResult, String> {
     let module = build_module(k, cfg)?;
     run_module(&module, k, cost).map_err(|e| format!("[{}] {e}", cfg.label()))
 }

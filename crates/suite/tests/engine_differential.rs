@@ -14,13 +14,23 @@ use suite::ispc::{kernels as ispc_kernels, IspcSizes};
 use suite::runner::{build_module, run_module_engine, Config, Engine};
 use suite::simdlib::kernels as simd_kernels;
 use suite::Kernel;
-use vmach::Avx512Cost;
+use vmach::{Target, TargetCost};
 
 /// Runs `module` over `k`'s workload under all three engines (profiled,
 /// so the classed-cost attribution is exercised too) and compares every
 /// observable against the fast engine.
 fn engines_agree(k: &Kernel, module: &psir::Module, label: &str) -> Result<(), String> {
-    let cost = Avx512Cost::new();
+    engines_agree_on(k, module, label, &Target::reference_default())
+}
+
+/// [`engines_agree`] under an explicit costing target.
+fn engines_agree_on(
+    k: &Kernel,
+    module: &psir::Module,
+    label: &str,
+    target: &Target,
+) -> Result<(), String> {
+    let cost = TargetCost::for_target(target.clone());
     let fast = run_module_engine(module, k, &cost, true, Engine::Fast)
         .map_err(|e| format!("{label}: fast engine: {e}"))?;
     let fj = fast
@@ -120,6 +130,63 @@ fn gang_size_sweep_agrees_between_engines() {
 }
 
 #[test]
+fn targets_preserve_outputs_and_engine_identity() {
+    // The target sweep of ISSUE 10: the same compiled module, priced on
+    // every modeled machine — both fixed-width x86 targets and the
+    // scalable target at three vector lengths. Two contracts at once:
+    //   1. per target, all three engines still agree on everything
+    //      (cycles included — they share the target's cost model);
+    //   2. across targets, checked outputs are byte-identical to the
+    //      reference target's (targets price uops, never touch values).
+    let targets = [
+        Target::avx2(),
+        Target::sve(128),
+        Target::sve(512),
+        Target::sve(2048),
+    ];
+    let mut failures = Vec::new();
+    for k in simd_kernels(512).iter().take(8) {
+        let label = format!("{}/{}", k.name, Config::Parsimony.label());
+        let module = match build_module(k, Config::Parsimony) {
+            Ok(m) => m,
+            Err(e) => {
+                failures.push(format!("{label}: build: {e}"));
+                continue;
+            }
+        };
+        let base_cost = TargetCost::for_target(Target::reference_default());
+        let want = match run_module_engine(&module, k, &base_cost, false, Engine::Fast) {
+            Ok(r) => r.outputs,
+            Err(e) => {
+                failures.push(format!("{label}: reference target: {e}"));
+                continue;
+            }
+        };
+        for t in &targets {
+            let tlabel = format!("{label}@{}", t.flag_name());
+            if let Err(e) = engines_agree_on(k, &module, &tlabel, t) {
+                failures.push(e);
+                continue;
+            }
+            let cost = TargetCost::for_target(t.clone());
+            match run_module_engine(&module, k, &cost, false, Engine::Fast) {
+                Ok(r) if r.outputs != want => {
+                    failures.push(format!("{tlabel}: outputs diverge from x86-avx512"));
+                }
+                Ok(_) => {}
+                Err(e) => failures.push(format!("{tlabel}: {e}")),
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} target-sweep divergences:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
 fn degraded_scalar_fallback_agrees_between_engines() {
     // A PSIM_INJECT_FAULT-style injected panic in the vectorize pass
     // degrades regions to the scalar serialized fallback; the degraded
@@ -128,6 +195,7 @@ fn degraded_scalar_fallback_agrees_between_engines() {
         verify: VerifyMode::Fallback,
         inject: Some(FaultInjector::parse("vectorize:panic").expect("registered site")),
         jobs: 1,
+        target: Target::reference_default(),
     };
     let mut failures = Vec::new();
     for k in simd_kernels(512).into_iter().take(8) {

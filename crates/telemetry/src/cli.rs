@@ -35,7 +35,11 @@ use crate::Json;
 ///   batches-formed / batched / coalesced / max-size / window-timeout
 ///   counters). `run` requests and responses are unchanged — batched
 ///   responses are byte-identical to unbatched ones.
-pub const PROTOCOL_VERSION: u64 = 3;
+/// * 4 — costing targets: `run` requests carry an optional `target`
+///   (`x86-avx512`, `x86-avx2`, `sve-vla[:VL]`; absent = `x86-avx512`)
+///   that prices the response's simulated cycles and joins the module
+///   cache key. Default requests stay wire-identical to protocol 3.
+pub const PROTOCOL_VERSION: u64 = 4;
 
 /// Every structured failure status a `psim-serve` response can carry.
 /// "Structured" is the robustness contract: whatever goes wrong — budget
@@ -62,7 +66,11 @@ pub const STRUCTURED_FAILURE_STATUSES: &[&str] = &[
 ///   the batch counters), and records the batching knobs plus the
 ///   engine in `meta`. Baselines written under schema 1 are rejected by
 ///   the `--baseline` gate and must be regenerated.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// * 3 — costing targets: `runbench` and `servebench` record the target
+///   in `meta`, and cycle-derived numbers are priced against it (the
+///   target×engine CI matrix keeps one baseline file per leg). Schema-2
+///   baselines must be regenerated.
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// The exit-status contract every binary follows (also asserted by the
 /// shared exit-contract test): printed at the end of `--help`.

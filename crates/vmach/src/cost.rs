@@ -85,33 +85,32 @@ fn parse_math_fn(name: &str) -> Option<MathFn> {
     })
 }
 
-/// The AVX-512-class cost model: legalizes each executed instruction and
-/// charges the micro-op sequence; prices external (math / machine builtin)
-/// calls from their mangled names.
-#[derive(Debug, Clone, Default)]
-pub struct Avx512Cost {
+/// The per-target cost model: legalizes each executed instruction for its
+/// [`Target`] (fixed-width blend fix-ups or predication-first, see
+/// `ops`) and charges the micro-op sequence; prices external (math /
+/// machine builtin) calls from their mangled names.
+///
+/// There is deliberately no `Default`/`new()`: construct with
+/// [`TargetCost::for_target`] so every model names its machine. The one
+/// documented defaulting site is [`Target::reference_default`].
+#[derive(Debug, Clone)]
+pub struct TargetCost {
     /// The target being priced.
     pub target: Target,
     /// Math-library cost table.
     pub math: MathCosts,
 }
 
-impl Avx512Cost {
-    /// A model for the default AVX-512 target.
-    pub fn new() -> Avx512Cost {
-        Avx512Cost::default()
-    }
-
-    /// A model for a specific target (e.g. [`Target::avx2`]).
-    pub fn for_target(target: Target) -> Avx512Cost {
-        Avx512Cost {
+impl TargetCost {
+    /// A model for a specific target (e.g. [`Target::avx2`],
+    /// [`Target::sve`]).
+    pub fn for_target(target: Target) -> TargetCost {
+        TargetCost {
             target,
             math: MathCosts::default(),
         }
     }
-}
 
-impl Avx512Cost {
     /// Converts accumulated model cost to whole CPU cycles (the model works
     /// in quarter-cycle units; see
     /// [`crate::QUARTER_CYCLES_PER_CYCLE`]).
@@ -120,7 +119,7 @@ impl Avx512Cost {
     }
 }
 
-impl CostModel for Avx512Cost {
+impl CostModel for TargetCost {
     fn inst_cost(&self, f: &Function, id: InstId) -> u64 {
         legalize(&self.target, f, id).iter().map(|u| u.cycles).sum()
     }
@@ -197,9 +196,13 @@ mod tests {
     use super::*;
     use psir::ScalarTy;
 
+    fn c() -> TargetCost {
+        TargetCost::for_target(Target::reference_default())
+    }
+
     #[test]
     fn sleef_pow_is_about_2_6x_fastm() {
-        let c = Avx512Cost::new();
+        let c = c();
         let v16 = Ty::vec(ScalarTy::F32, 16);
         let s = c.extern_call_cost("sleef.pow.f32x16", v16);
         let f = c.extern_call_cost("fastm.pow.f32x16", v16);
@@ -209,7 +212,7 @@ mod tests {
 
     #[test]
     fn wide_gang_multiplies_math_cost() {
-        let c = Avx512Cost::new();
+        let c = c();
         let v16 = Ty::vec(ScalarTy::F32, 16);
         let v32 = Ty::vec(ScalarTy::F32, 32);
         assert_eq!(
@@ -220,7 +223,7 @@ mod tests {
 
     #[test]
     fn scalar_math_cheaper_than_serializing_vector() {
-        let c = Avx512Cost::new();
+        let c = c();
         let scalar = c.extern_call_cost("sleef.exp.f32", Ty::Scalar(ScalarTy::F32));
         let vector = c.extern_call_cost("sleef.exp.f32x16", Ty::vec(ScalarTy::F32, 16));
         // One vector call amortizes 16 lanes: far better than 16 scalars.
@@ -229,7 +232,7 @@ mod tests {
 
     #[test]
     fn sad_is_one_op_per_register() {
-        let c = Avx512Cost::new();
+        let c = c();
         // 64 × i8 source = one 512b vpsadbw (4 quarter-cycles), plus one
         // widening op for the 64b accumulator type.
         assert_eq!(
@@ -239,6 +242,19 @@ mod tests {
         assert_eq!(
             c.extern_call_cost("vmach.sad.i8x64.i16", Ty::vec(ScalarTy::I16, 64)),
             4
+        );
+    }
+
+    #[test]
+    fn scalable_vl_scales_math_register_count() {
+        // At VL 128 a 16-lane f32 call spans 4 registers; at VL 2048 it
+        // fits in one. The priced cost tracks the register count.
+        let v16 = Ty::vec(ScalarTy::F32, 16);
+        let narrow = TargetCost::for_target(Target::sve(128));
+        let wide = TargetCost::for_target(Target::sve(2048));
+        assert_eq!(
+            narrow.extern_call_cost("sleef.exp.f32x16", v16),
+            4 * wide.extern_call_cost("sleef.exp.f32x16", v16)
         );
     }
 }

@@ -47,6 +47,23 @@ pub enum UopKind {
     ShuffleVar,
     /// Mask-register operation.
     MaskOp,
+    /// Lane merge/select fix-up on a fixed-width target (`vpblend*`-class);
+    /// how masked operations and vector selects legalize without hardware
+    /// predication.
+    Blend,
+    /// Predicated register move on a scalable target (`sel`/`movprfx`
+    /// under a governing predicate); the predication-first counterpart of
+    /// [`UopKind::Blend`].
+    PredMove,
+    /// `whilelt`-style governing-predicate construction on a scalable
+    /// target (loop-tail predication instead of an unrolled epilogue).
+    WhileLt,
+    /// First-faulting contiguous load under a governing predicate
+    /// (`ldff1*`-class, scalable targets only).
+    FfLoad,
+    /// Predicated contiguous store (`st1*` under a governing predicate,
+    /// scalable targets only) — no read-modify-write emulation needed.
+    PredMem,
     /// Cross-lane reduction step sequence.
     Reduce {
         /// Lanes reduced.
@@ -81,8 +98,9 @@ impl UopKind {
             UopKind::VecMem => C::VecMem,
             UopKind::Gather { .. } => C::Gather,
             UopKind::Scatter { .. } => C::Scatter,
-            UopKind::Shuffle | UopKind::ShuffleVar => C::Shuffle,
-            UopKind::MaskOp => C::MaskOp,
+            UopKind::Shuffle | UopKind::ShuffleVar | UopKind::Blend => C::Shuffle,
+            UopKind::MaskOp | UopKind::PredMove | UopKind::WhileLt => C::MaskOp,
+            UopKind::FfLoad | UopKind::PredMem => C::VecMem,
             UopKind::Reduce { .. } => C::Reduce,
             UopKind::LaneXfer => C::LaneXfer,
             UopKind::Splat => C::Splat,
@@ -112,7 +130,7 @@ pub struct Uop {
 /// packed accesses.
 pub const QUARTER_CYCLES_PER_CYCLE: u64 = 4;
 
-fn cycles_for(kind: UopKind) -> u64 {
+pub(crate) fn cycles_for(kind: UopKind) -> u64 {
     match kind {
         UopKind::ScalarAlu => 1,
         UopKind::ScalarFp => 4,
@@ -130,6 +148,16 @@ fn cycles_for(kind: UopKind) -> u64 {
         UopKind::Shuffle => 4,
         UopKind::ShuffleVar => 12,
         UopKind::MaskOp => 1,
+        // Blends run on the shuffle port; a predicated move is priced the
+        // same so unmasked select-bearing kernels cost identically on every
+        // family (the throughput-parity property).
+        UopKind::Blend => 4,
+        UopKind::PredMove => 4,
+        // Predicate construction is a 1-unit mask-register op; predicated /
+        // first-faulting contiguous accesses run at packed-memory speed.
+        UopKind::WhileLt => 1,
+        UopKind::FfLoad => 8,
+        UopKind::PredMem => 8,
         UopKind::Reduce { lanes } => 8 * (32 - (lanes.max(1)).leading_zeros() as u64).max(1),
         UopKind::Sad => 4,
         UopKind::LaneXfer => 8,
@@ -273,7 +301,7 @@ pub fn legalize(target: &Target, f: &Function, id: InstId) -> Vec<Uop> {
         }
         Inst::Select { .. } => {
             if ty.is_vec() {
-                repeat(UopKind::VecAlu, vec_split(target, ty))
+                target.ops().vec_select(vec_split(target, ty))
             } else {
                 vec![uop(UopKind::ScalarAlu)]
             }
@@ -296,23 +324,39 @@ pub fn legalize(target: &Target, f: &Function, id: InstId) -> Vec<Uop> {
             }
         }
         Inst::ShuffleVar { .. } => repeat(UopKind::ShuffleVar, vec_split(target, ty)),
-        Inst::Load { ptr, .. } => {
+        Inst::Load { ptr, mask } => {
             let pty = f.value_ty(*ptr);
             if pty.is_vec() {
-                vec![uop(UopKind::Gather { lanes: ty.lanes() })]
+                if mask.is_some() {
+                    target.ops().masked_gather(ty.lanes())
+                } else {
+                    vec![uop(UopKind::Gather { lanes: ty.lanes() })]
+                }
             } else if ty.is_vec() {
-                repeat(UopKind::VecMem, vec_split(target, ty))
+                if mask.is_some() {
+                    target.ops().masked_load(vec_split(target, ty))
+                } else {
+                    repeat(UopKind::VecMem, vec_split(target, ty))
+                }
             } else {
                 vec![uop(UopKind::ScalarMem)]
             }
         }
-        Inst::Store { ptr, val, .. } => {
+        Inst::Store { ptr, val, mask } => {
             let pty = f.value_ty(*ptr);
             let vty = f.value_ty(*val);
             if pty.is_vec() {
-                vec![uop(UopKind::Scatter { lanes: pty.lanes() })]
+                if mask.is_some() {
+                    target.ops().masked_scatter(pty.lanes())
+                } else {
+                    vec![uop(UopKind::Scatter { lanes: pty.lanes() })]
+                }
             } else if vty.is_vec() {
-                repeat(UopKind::VecMem, vec_split(target, vty))
+                if mask.is_some() {
+                    target.ops().masked_store(vec_split(target, vty))
+                } else {
+                    repeat(UopKind::VecMem, vec_split(target, vty))
+                }
             } else {
                 vec![uop(UopKind::ScalarMem)]
             }
@@ -472,6 +516,36 @@ mod avx2_tests {
         assert!(legalize(&t, &f, id2)
             .iter()
             .all(|u| matches!(u.kind, UopKind::ShuffleVar)));
+    }
+
+    #[test]
+    fn masked_stores_blend_on_x86_and_predicate_on_sve() {
+        let mut fb = FunctionBuilder::new("m", vec![], Ty::Void);
+        let p = fb.alloca(64i64);
+        let v = fb.const_vec(ScalarTy::I32, (0..16).collect());
+        let m = fb.const_vec(ScalarTy::I1, vec![1; 16]);
+        fb.store(p, v, Some(m));
+        fb.ret(None);
+        let f = fb.finish();
+        let id = (0..f.num_insts() as u32)
+            .map(InstId)
+            .find(|&i| matches!(f.inst(i), Inst::Store { mask: Some(_), .. }))
+            .expect("the masked store we just built");
+
+        let fixed = legalize(&Target::avx512(), &f, id);
+        assert!(
+            fixed.iter().any(|u| u.kind == UopKind::Blend),
+            "fixed-width masked store carries a blend fix-up: {fixed:?}"
+        );
+        let sve = legalize(&Target::sve(512), &f, id);
+        assert_eq!(sve[0].kind, UopKind::WhileLt);
+        assert!(sve[1..].iter().all(|u| u.kind == UopKind::PredMem));
+        assert!(
+            sve.len() < fixed.len(),
+            "predication is strictly fewer uops"
+        );
+        let c = |v: &[Uop]| v.iter().map(|u| u.cycles).sum::<u64>();
+        assert!(c(&sve) < c(&fixed), "and strictly cheaper");
     }
 
     #[test]

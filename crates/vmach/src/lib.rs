@@ -1,12 +1,20 @@
-//! # vmach — the virtual AVX-512-class SIMD machine
+//! # vmach — the virtual SIMD machine
 //!
 //! The paper evaluates on an Intel Xeon Gold 6258R with AVX-512. This crate
 //! is the reproduction's stand-in for that hardware: it **legalizes**
-//! gang-width vector IR onto 512-bit machine registers (a gang of 32 × i32
-//! becomes two 512-bit micro-ops, exactly the §4.3 back-end behavior) and
-//! prices every legalized micro-op with a calibrated cycle model. The
-//! `psir` interpreter charges these costs while executing, so "simulated
-//! cycles" plays the role wall-clock time plays in the paper's figures.
+//! gang-width vector IR onto machine registers (a gang of 32 × i32 becomes
+//! two 512-bit micro-ops on `x86-avx512`, exactly the §4.3 back-end
+//! behavior) and prices every legalized micro-op with a calibrated cycle
+//! model. The `psir` interpreter charges these costs while executing, so
+//! "simulated cycles" plays the role wall-clock time plays in the paper's
+//! figures.
+//!
+//! Three targets are modeled (see [`Target`]): fixed-width `x86-avx512`
+//! and `x86-avx2`, where masked operations legalize to blend fix-up
+//! sequences, and the scalable `sve-vla`, whose vector length is a runtime
+//! parameter (swept 128–2048 bits) and whose legalization is
+//! predication-first ([`TargetOps`]). Targets change cycle attribution and
+//! micro-op counts only — never execution semantics or module text.
 //!
 //! The model is deliberately transparent: relative costs (packed ≈ 1 cycle
 //! per 512-bit op, gathers pay per lane, `vpsadbw` is one op, division is
@@ -17,8 +25,10 @@
 
 mod cost;
 mod legalize;
+mod ops;
 mod target;
 
-pub use cost::{Avx512Cost, MathCosts};
+pub use cost::{MathCosts, TargetCost};
 pub use legalize::{legalize, legalize_checked, Uop, UopKind, QUARTER_CYCLES_PER_CYCLE};
-pub use target::Target;
+pub use ops::{FixedWidthOps, ScalableOps, TargetOps};
+pub use target::{Target, SVE_DEFAULT_VL, SVE_MAX_VL, SVE_MIN_VL, VALID_TARGETS};

@@ -1,0 +1,159 @@
+//! Per-target legalization of masked and predicated operations.
+//!
+//! Unmasked straight-line code legalizes identically on every target (one
+//! packed micro-op per register, see `legalize`) — that is what makes the
+//! cross-target throughput-parity property hold. The families differ
+//! exactly where lanes are *masked*:
+//!
+//! * **Fixed-width x86** ([`FixedWidthOps`]): no governing predicates.
+//!   A masked load is the packed load plus a blend merging the inactive
+//!   lanes; a masked store has no in-memory blend, so it is the
+//!   read-modify-write emulation (load, blend, store); masked
+//!   gathers/scatters pay a fix-up blend around the per-lane unit; a
+//!   vector select is the classic blend sequence.
+//! * **Scalable SVE** ([`ScalableOps`]): predication-first. One
+//!   `whilelt`-style micro-op materializes the governing predicate, then
+//!   every register's worth of data runs under it — first-faulting
+//!   contiguous loads, predicated contiguous stores, predicated
+//!   gather/scatter, and predicated register moves for select. No fix-up
+//!   sequences, which is why masked tails are strictly cheaper here (the
+//!   property tests in `tests/predication.rs` pin this down).
+
+use crate::legalize::{Uop, UopKind};
+
+/// The target-family hooks `legalize` dispatches masked/predicated
+/// operations through. `regs` is the register count from
+/// [`Target::uops_for`](crate::Target::uops_for); `lanes` is the IR lane
+/// count of a gather/scatter.
+pub trait TargetOps {
+    /// Masked packed (contiguous) load covering `regs` registers.
+    fn masked_load(&self, regs: u64) -> Vec<Uop>;
+    /// Masked packed (contiguous) store covering `regs` registers.
+    fn masked_store(&self, regs: u64) -> Vec<Uop>;
+    /// Masked gather of `lanes` lanes.
+    fn masked_gather(&self, lanes: u32) -> Vec<Uop>;
+    /// Masked scatter of `lanes` lanes.
+    fn masked_scatter(&self, lanes: u32) -> Vec<Uop>;
+    /// Per-lane vector select covering `regs` registers.
+    fn vec_select(&self, regs: u64) -> Vec<Uop>;
+}
+
+fn uop(kind: UopKind) -> Uop {
+    Uop {
+        kind,
+        cycles: crate::legalize::cycles_for(kind),
+    }
+}
+
+fn per_reg(regs: u64, kinds: &[UopKind]) -> Vec<Uop> {
+    let mut out = Vec::with_capacity(regs as usize * kinds.len());
+    for _ in 0..regs {
+        out.extend(kinds.iter().copied().map(uop));
+    }
+    out
+}
+
+/// Fixed-width x86 legalization: masked operations carry blend fix-ups.
+pub struct FixedWidthOps;
+
+impl TargetOps for FixedWidthOps {
+    fn masked_load(&self, regs: u64) -> Vec<Uop> {
+        // Packed load, then blend the inactive lanes back in.
+        per_reg(regs, &[UopKind::VecMem, UopKind::Blend])
+    }
+
+    fn masked_store(&self, regs: u64) -> Vec<Uop> {
+        // Memory cannot be blended in place: load the destination, blend
+        // the active lanes over it, store the merged register back.
+        per_reg(regs, &[UopKind::VecMem, UopKind::Blend, UopKind::VecMem])
+    }
+
+    fn masked_gather(&self, lanes: u32) -> Vec<Uop> {
+        vec![uop(UopKind::Gather { lanes }), uop(UopKind::Blend)]
+    }
+
+    fn masked_scatter(&self, lanes: u32) -> Vec<Uop> {
+        // Select the active lanes before the per-lane store unit.
+        vec![uop(UopKind::Blend), uop(UopKind::Scatter { lanes })]
+    }
+
+    fn vec_select(&self, regs: u64) -> Vec<Uop> {
+        per_reg(regs, &[UopKind::Blend])
+    }
+}
+
+/// Scalable (SVE-class) legalization: predication-first. One governing
+/// predicate per masked operation, no fix-up sequences.
+pub struct ScalableOps;
+
+impl TargetOps for ScalableOps {
+    fn masked_load(&self, regs: u64) -> Vec<Uop> {
+        let mut out = vec![uop(UopKind::WhileLt)];
+        out.extend(per_reg(regs, &[UopKind::FfLoad]));
+        out
+    }
+
+    fn masked_store(&self, regs: u64) -> Vec<Uop> {
+        let mut out = vec![uop(UopKind::WhileLt)];
+        out.extend(per_reg(regs, &[UopKind::PredMem]));
+        out
+    }
+
+    fn masked_gather(&self, lanes: u32) -> Vec<Uop> {
+        vec![uop(UopKind::WhileLt), uop(UopKind::Gather { lanes })]
+    }
+
+    fn masked_scatter(&self, lanes: u32) -> Vec<Uop> {
+        vec![uop(UopKind::WhileLt), uop(UopKind::Scatter { lanes })]
+    }
+
+    fn vec_select(&self, regs: u64) -> Vec<Uop> {
+        // Predicated register move — same cycles as the blend (parity on
+        // unmasked kernels containing selects), attributed to the mask
+        // unit instead of the shuffle port.
+        per_reg(regs, &[UopKind::PredMove])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uops(v: &[Uop]) -> usize {
+        v.len()
+    }
+
+    fn cycles(v: &[Uop]) -> u64 {
+        v.iter().map(|u| u.cycles).sum()
+    }
+
+    #[test]
+    fn predicated_masked_stores_are_strictly_cheaper_at_every_width() {
+        for regs in 1..=8u64 {
+            let fixed = FixedWidthOps.masked_store(regs);
+            let sve = ScalableOps.masked_store(regs);
+            assert!(uops(&sve) < uops(&fixed), "regs {regs}");
+            assert!(cycles(&sve) < cycles(&fixed), "regs {regs}");
+        }
+    }
+
+    #[test]
+    fn predicated_masked_loads_never_cost_more() {
+        for regs in 1..=8u64 {
+            let fixed = FixedWidthOps.masked_load(regs);
+            let sve = ScalableOps.masked_load(regs);
+            assert!(uops(&sve) <= uops(&fixed), "regs {regs}");
+            assert!(cycles(&sve) < cycles(&fixed), "regs {regs}");
+        }
+    }
+
+    #[test]
+    fn select_cycles_agree_across_families() {
+        for regs in 1..=4u64 {
+            assert_eq!(
+                cycles(&FixedWidthOps.vec_select(regs)),
+                cycles(&ScalableOps.vec_select(regs))
+            );
+        }
+    }
+}

@@ -1,14 +1,57 @@
 //! Target description.
+//!
+//! Two target families exist:
+//!
+//! * **Fixed-width** (`x86-avx512`, `x86-avx2`): the register width is a
+//!   compile-time constant and masked operations legalize to the packed
+//!   operation plus shuffle/blend/select fix-up micro-ops.
+//! * **Scalable** (`sve-vla`): the vector length is a *runtime* parameter
+//!   (the model sweeps 128–2048 bits) and legalization is
+//!   predication-first — masked lanes run under mask-register predication
+//!   (`whilelt`-style governing predicates, first-faulting contiguous
+//!   loads) with no fix-up sequences.
+//!
+//! Either way the compiled module is identical: the target changes cycle
+//! attribution and micro-op counts, never semantics or module text. The
+//! `target-contract` CI job machine-checks that claim by compiling at
+//! three SVE vector lengths and diffing the emitted modules.
 
-/// A SIMD target: a register width and a human-readable name. The default
-/// models x86 AVX-512 (`-mprefer-vector-width=512`, as the paper compiles).
+use crate::ops::{FixedWidthOps, ScalableOps, TargetOps};
+
+/// A SIMD target: register width, whether that width is a compile-time
+/// constant or a runtime parameter, and (through [`Target::ops`]) how
+/// masked operations legalize.
+///
+/// There is deliberately **no** `Default` impl: every consumer names its
+/// machine explicitly, and the single documented defaulting site is
+/// [`Target::reference_default`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Target {
-    /// Vector register width in bits.
+    /// Vector register width in bits. For a scalable target this is the
+    /// runtime vector length the cost model prices against; the compiled
+    /// module never depends on it.
     pub vector_bits: u32,
-    /// Display name.
+    /// Target family name (`x86-avx512`, `x86-avx2`, `sve-vla`).
     pub name: String,
+    /// Whether the width is a runtime parameter (SVE-class
+    /// vector-length-agnostic) with predication-first legalization.
+    pub scalable: bool,
 }
+
+/// The default vector length priced for `sve-vla` when the flag does not
+/// name one.
+pub const SVE_DEFAULT_VL: u32 = 512;
+
+/// Smallest legal SVE vector length in bits.
+pub const SVE_MIN_VL: u32 = 128;
+
+/// Largest legal SVE vector length in bits.
+pub const SVE_MAX_VL: u32 = 2048;
+
+/// The `--target` values every CLI accepts, for help text and usage
+/// errors.
+pub const VALID_TARGETS: &str = "x86-avx512, x86-avx2, sve-vla[:VL] \
+     (VL a multiple of 128 in 128..=2048, default 512)";
 
 impl Target {
     /// The AVX-512 class target used throughout the evaluation.
@@ -16,6 +59,7 @@ impl Target {
         Target {
             vector_bits: 512,
             name: "x86-avx512".into(),
+            scalable: false,
         }
     }
 
@@ -24,20 +68,104 @@ impl Target {
         Target {
             vector_bits: 256,
             name: "x86-avx2".into(),
+            scalable: false,
+        }
+    }
+
+    /// An SVE-class scalable target priced at runtime vector length
+    /// `vl_bits`. The compiled module is vector-length-agnostic; only the
+    /// cost attribution sees `vl_bits`.
+    ///
+    /// # Panics
+    /// If `vl_bits` is not a multiple of 128 in
+    /// [`SVE_MIN_VL`]`..=`[`SVE_MAX_VL`] (the architectural constraint).
+    /// CLI input goes through [`Target::parse`], which reports the
+    /// constraint as an error instead.
+    pub fn sve(vl_bits: u32) -> Target {
+        assert!(
+            (SVE_MIN_VL..=SVE_MAX_VL).contains(&vl_bits) && vl_bits.is_multiple_of(128),
+            "SVE vector length must be a multiple of 128 in \
+             {SVE_MIN_VL}..={SVE_MAX_VL}, got {vl_bits}"
+        );
+        Target {
+            vector_bits: vl_bits,
+            name: "sve-vla".into(),
+            scalable: true,
+        }
+    }
+
+    /// **The one documented defaulting site.** The machine the evaluation
+    /// defaults to when nothing chose one — AVX-512, as the paper
+    /// compiles (`-mprefer-vector-width=512`). Everything else either
+    /// takes an explicit [`Target`] or delegates here
+    /// (`PipelineOptions::default`, the suite runner's `default_target`).
+    pub fn reference_default() -> Target {
+        Target::avx512()
+    }
+
+    /// Parses a `--target` flag value: `x86-avx512`, `x86-avx2`,
+    /// `sve-vla` (priced at [`SVE_DEFAULT_VL`]), or `sve-vla:VL`.
+    ///
+    /// # Errors
+    /// Names the valid targets (and the VL constraint) so CLIs can print
+    /// the message verbatim as their exit-2 diagnostic.
+    pub fn parse(s: &str) -> Result<Target, String> {
+        match s {
+            "x86-avx512" => return Ok(Target::avx512()),
+            "x86-avx2" => return Ok(Target::avx2()),
+            "sve-vla" => return Ok(Target::sve(SVE_DEFAULT_VL)),
+            _ => {}
+        }
+        if let Some(vl) = s.strip_prefix("sve-vla:") {
+            let bits: u32 = vl.parse().map_err(|_| {
+                format!("bad SVE vector length {vl:?}; valid targets: {VALID_TARGETS}")
+            })?;
+            if !(SVE_MIN_VL..=SVE_MAX_VL).contains(&bits) || !bits.is_multiple_of(128) {
+                return Err(format!(
+                    "SVE vector length must be a multiple of 128 in \
+                     {SVE_MIN_VL}..={SVE_MAX_VL}, got {bits}; valid targets: {VALID_TARGETS}"
+                ));
+            }
+            return Ok(Target::sve(bits));
+        }
+        Err(format!(
+            "unknown target {s:?}; valid targets: {VALID_TARGETS}"
+        ))
+    }
+
+    /// The stable flag/cache name this target round-trips through
+    /// [`Target::parse`]: the family name, plus the priced vector length
+    /// for scalable targets (`sve-vla:512`). Serve cache keys and bench
+    /// `meta` blocks carry this string.
+    pub fn flag_name(&self) -> String {
+        if self.scalable {
+            format!("{}:{}", self.name, self.vector_bits)
+        } else {
+            self.name.clone()
+        }
+    }
+
+    /// The per-target legalization rules for masked/predicated operations
+    /// (dispatched by `legalize`).
+    pub fn ops(&self) -> &'static dyn TargetOps {
+        if self.scalable {
+            &ScalableOps
+        } else {
+            &FixedWidthOps
         }
     }
 
     /// How many registers a vector of `lanes` × `elem_bits` occupies
     /// (the §4.3 unrolling factor; at least 1).
+    ///
+    /// On a scalable target the count is against the runtime vector
+    /// length and the final partial register is covered by a
+    /// `whilelt`-style loop-tail predicate instead of an unrolled scalar
+    /// epilogue — same register count, different (predicated) micro-ops
+    /// when a mask is present.
     pub fn uops_for(&self, lanes: u32, elem_bits: u32) -> u64 {
         let total = lanes as u64 * elem_bits as u64;
         total.div_ceil(self.vector_bits as u64).max(1)
-    }
-}
-
-impl Default for Target {
-    fn default() -> Target {
-        Target::avx512()
     }
 }
 
@@ -55,5 +183,49 @@ mod tests {
         assert_eq!(t.uops_for(16, 64), 2);
         let t2 = Target::avx2();
         assert_eq!(t2.uops_for(16, 32), 2);
+        // The scalable target unrolls against its runtime VL.
+        assert_eq!(Target::sve(128).uops_for(16, 32), 4);
+        assert_eq!(Target::sve(2048).uops_for(16, 32), 1);
+    }
+
+    #[test]
+    fn parse_round_trips_every_flag_name() {
+        for t in [
+            Target::avx512(),
+            Target::avx2(),
+            Target::sve(128),
+            Target::sve(SVE_DEFAULT_VL),
+            Target::sve(2048),
+        ] {
+            assert_eq!(Target::parse(&t.flag_name()).unwrap(), t);
+        }
+        assert_eq!(
+            Target::parse("sve-vla").unwrap(),
+            Target::sve(SVE_DEFAULT_VL)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_unknown_targets_and_bad_vls() {
+        for bad in [
+            "neon",
+            "sve-vla:100",
+            "sve-vla:4096",
+            "sve-vla:0",
+            "sve-vla:x",
+            "",
+        ] {
+            let err = Target::parse(bad).unwrap_err();
+            assert!(
+                err.contains("x86-avx512") && err.contains("sve-vla"),
+                "{bad}: diagnostic must enumerate the targets: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn the_defaulting_site_is_avx512() {
+        assert_eq!(Target::reference_default(), Target::avx512());
+        assert!(!Target::reference_default().scalable);
     }
 }

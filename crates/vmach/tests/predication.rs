@@ -1,0 +1,199 @@
+//! The two cross-family legalization properties the SVE target is built
+//! on (ISSUE 10's property-test satellite):
+//!
+//! 1. **Throughput parity.** For unmasked straight-line kernels, the
+//!    predication-first legalization and the fixed-width
+//!    shuffle/blend legalization agree on total element throughput: at
+//!    equal register width every instruction costs the same total cycles,
+//!    so a target switch cannot change what "fast" means for code with no
+//!    masked lanes.
+//! 2. **Predication wins on masked tails.** For the masked loads and
+//!    stores a loop tail produces, the predicated sequence uses strictly
+//!    fewer micro-ops (and strictly fewer cycles) than the fixed-width
+//!    blend/read-modify-write emulation, at every register count.
+
+use proptest::prelude::*;
+use psir::{BinOp, CmpPred, Function, FunctionBuilder, Inst, InstId, Param, ScalarTy, Ty, Value};
+use vmach::{legalize, Target, UopKind};
+
+/// One step of a randomly generated straight-line vector kernel.
+#[derive(Debug, Clone)]
+enum Op {
+    Add,
+    Mul,
+    Div,
+    Sqrtish, // unary: FNeg to keep values finite, still a vec unary op
+    Select,
+    Splat,
+    Shuffle,
+    RoundTrip, // packed store + packed load (unmasked memory traffic)
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Add),
+        Just(Op::Mul),
+        Just(Op::Div),
+        Just(Op::Sqrtish),
+        Just(Op::Select),
+        Just(Op::Splat),
+        Just(Op::Shuffle),
+        Just(Op::RoundTrip),
+    ]
+}
+
+fn lanes() -> impl Strategy<Value = u32> {
+    prop_oneof![Just(4u32), Just(8), Just(16), Just(32), Just(64)]
+}
+
+/// Builds an unmasked straight-line kernel from the op list: a packed
+/// load, a chain of vector ops, a packed store. No instruction carries a
+/// mask, which is the regime where every target family must agree.
+fn build_kernel(ops: &[Op], lanes: u32) -> Function {
+    let mut fb = FunctionBuilder::new(
+        "k",
+        vec![Param::new("p", Ty::scalar(ScalarTy::Ptr))],
+        Ty::Void,
+    );
+    let vty = Ty::vec(ScalarTy::F32, lanes);
+    let mut v = fb.load(vty, Value::Param(0), None);
+    for o in ops {
+        v = match o {
+            Op::Add => fb.bin(BinOp::FAdd, v, v),
+            Op::Mul => fb.bin(BinOp::FMul, v, v),
+            Op::Div => fb.bin(BinOp::FDiv, v, v),
+            Op::Sqrtish => fb.un(psir::UnOp::FNeg, v),
+            Op::Select => {
+                let c = fb.cmp(CmpPred::FOgt, v, v);
+                fb.select(c, v, v)
+            }
+            Op::Splat => {
+                let s = fb.splat(1.5f32, lanes);
+                fb.bin(BinOp::FAdd, v, s)
+            }
+            Op::Shuffle => fb.shuffle_const(v, (0..lanes).rev().collect()),
+            Op::RoundTrip => {
+                fb.store(Value::Param(0), v, None);
+                fb.load(vty, Value::Param(0), None)
+            }
+        };
+    }
+    fb.store(Value::Param(0), v, None);
+    fb.ret(None);
+    fb.finish()
+}
+
+/// Builds a loop-tail access pattern: a masked load and a masked store of
+/// `lanes` × f32 (what whilelt-predicated tails and fixed-width epilogue
+/// fix-ups both legalize from).
+fn build_masked_tail(lanes: u32) -> (Function, InstId, InstId) {
+    let mut fb = FunctionBuilder::new(
+        "tail",
+        vec![Param::new("p", Ty::scalar(ScalarTy::Ptr))],
+        Ty::Void,
+    );
+    let m = fb.const_vec(
+        ScalarTy::I1,
+        (0..lanes as u64).map(|i| u64::from(i % 2 == 0)).collect(),
+    );
+    let v = fb.load(Ty::vec(ScalarTy::F32, lanes), Value::Param(0), Some(m));
+    fb.store(Value::Param(0), v, Some(m));
+    fb.ret(None);
+    let f = fb.finish();
+    let mut load = None;
+    let mut store = None;
+    for i in 0..f.num_insts() as u32 {
+        match f.inst(InstId(i)) {
+            Inst::Load { mask: Some(_), .. } => load = Some(InstId(i)),
+            Inst::Store { mask: Some(_), .. } => store = Some(InstId(i)),
+            _ => {}
+        }
+    }
+    (f, load.expect("masked load"), store.expect("masked store"))
+}
+
+fn total_cycles(t: &Target, f: &Function) -> u64 {
+    (0..f.num_insts() as u32)
+        .map(|i| {
+            legalize(t, f, InstId(i))
+                .iter()
+                .map(|u| u.cycles)
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+fn total_uops(t: &Target, f: &Function) -> usize {
+    (0..f.num_insts() as u32)
+        .map(|i| legalize(t, f, InstId(i)).len())
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64 })]
+
+    // Property 1: at equal register width, unmasked straight-line kernels
+    // cost identically (cycles AND uop count) under fixed-width and
+    // predication-first legalization.
+    #[test]
+    fn unmasked_throughput_is_family_invariant(
+        ops in proptest::collection::vec(op(), 1..12),
+        lanes in lanes(),
+    ) {
+        let f = build_kernel(&ops, lanes);
+        for (fixed, scalable) in [
+            (Target::avx512(), Target::sve(512)),
+            (Target::avx2(), Target::sve(256)),
+        ] {
+            prop_assert_eq!(
+                total_cycles(&fixed, &f),
+                total_cycles(&scalable, &f),
+                "cycles diverge between {} and {} on {:?} x{}",
+                fixed.flag_name(), scalable.flag_name(), ops, lanes
+            );
+            prop_assert_eq!(
+                total_uops(&fixed, &f),
+                total_uops(&scalable, &f),
+                "uop counts diverge between {} and {} on {:?} x{}",
+                fixed.flag_name(), scalable.flag_name(), ops, lanes
+            );
+        }
+    }
+
+    // Property 2: masked-tail loads and stores take strictly fewer uops
+    // (and cycles) under predication than under blend fix-ups, at every
+    // lane count / register width combination.
+    #[test]
+    fn masked_tails_are_strictly_cheaper_under_predication(
+        lanes in lanes(),
+    ) {
+        let (f, load, store) = build_masked_tail(lanes);
+        for (fixed, scalable) in [
+            (Target::avx512(), Target::sve(512)),
+            (Target::avx2(), Target::sve(256)),
+        ] {
+            let tail_uops = |t: &Target| {
+                legalize(t, &f, load).len() + legalize(t, &f, store).len()
+            };
+            let tail_cycles = |t: &Target| -> u64 {
+                legalize(t, &f, load).iter().chain(legalize(t, &f, store).iter())
+                    .map(|u| u.cycles).sum()
+            };
+            prop_assert!(
+                tail_uops(&scalable) < tail_uops(&fixed),
+                "{}: {} uops vs {}: {} uops at {} lanes",
+                scalable.flag_name(), tail_uops(&scalable),
+                fixed.flag_name(), tail_uops(&fixed), lanes
+            );
+            prop_assert!(
+                tail_cycles(&scalable) < tail_cycles(&fixed),
+                "cycles not strictly lower at {} lanes", lanes
+            );
+            // And the predicated sequence is genuinely predication-first:
+            // no blend fix-ups, a governing predicate up front.
+            let s = legalize(&scalable, &f, store);
+            prop_assert!(s.iter().all(|u| u.kind != UopKind::Blend));
+            prop_assert!(matches!(s[0].kind, UopKind::WhileLt));
+        }
+    }
+}

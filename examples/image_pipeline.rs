@@ -13,7 +13,7 @@
 
 use parsimony::{vectorize_module, VectorizeOptions};
 use psir::{Interp, Memory, RtVal};
-use vmach::Avx512Cost;
+use vmach::{Target, TargetCost};
 use vmath::RuntimeExterns;
 
 const SRC: &str = "
@@ -56,7 +56,8 @@ void binarize(u8* restrict src, u8* restrict dst, u64* restrict mean, i64 n) {
 }
 ";
 
-static COST: std::sync::LazyLock<Avx512Cost> = std::sync::LazyLock::new(Avx512Cost::new);
+static COST: std::sync::LazyLock<TargetCost> =
+    std::sync::LazyLock::new(|| TargetCost::for_target(Target::reference_default()));
 static EXTERNS: RuntimeExterns = RuntimeExterns::new();
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

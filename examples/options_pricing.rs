@@ -7,7 +7,7 @@
 
 use parsimony::{vectorize_module, MathLib, VectorizeOptions};
 use psir::{Interp, Memory, RtVal};
-use vmach::Avx512Cost;
+use vmach::{Target, TargetCost};
 use vmath::RuntimeExterns;
 
 const SRC: &str = "
@@ -53,7 +53,8 @@ void binomial(f32* restrict s, f32* restrict k, f32* restrict t,
 }
 ";
 
-static COST: std::sync::LazyLock<Avx512Cost> = std::sync::LazyLock::new(Avx512Cost::new);
+static COST: std::sync::LazyLock<TargetCost> =
+    std::sync::LazyLock::new(|| TargetCost::for_target(Target::reference_default()));
 static EXTERNS: RuntimeExterns = RuntimeExterns::new();
 
 fn price(

@@ -12,7 +12,7 @@
 
 use parsimony::{vectorize_module, VectorizeOptions};
 use psir::{Interp, Memory, RtVal};
-use vmach::Avx512Cost;
+use vmach::{Target, TargetCost};
 use vmath::RuntimeExterns;
 
 const SRC: &str = "
@@ -25,7 +25,8 @@ void saxpy(f32* restrict x, f32* restrict y, f32 a, i64 n) {
 }
 ";
 
-static COST: std::sync::LazyLock<Avx512Cost> = std::sync::LazyLock::new(Avx512Cost::new);
+static COST: std::sync::LazyLock<TargetCost> =
+    std::sync::LazyLock::new(|| TargetCost::for_target(Target::reference_default()));
 static EXTERNS: RuntimeExterns = RuntimeExterns::new();
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
